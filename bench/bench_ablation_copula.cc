@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: correlated uncertain inputs.  The paper models every
+ * uncertainty as independent; this bench sweeps a Gaussian-copula
+ * correlation between the application parameters f and c and shows
+ * how the independence assumption under- or over-states risk.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "core/framework.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "risk/arch_risk.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "20000");
+    opts.declare("sigma", "0.4", "uncertainty level (f and c)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const double sigma = opts.getDouble("sigma");
+
+    ar::bench::banner(
+        "Ablation: correlated application parameters (f, c)",
+        "Gaussian copula over the Table-2 marginals, Asym + LPHC");
+
+    const auto config = ar::model::asymCores();
+    const auto app = ar::model::appLPHC();
+    ar::core::Framework fw({trials, "latin-hypercube"});
+    fw.setSystem(ar::model::buildHillMartySystem(config.numTypes()));
+    const double ref = ar::model::HillMartyEvaluator::nominalSpeedup(
+        config, app.f, app.c);
+    ar::risk::QuadraticRisk fn;
+
+    ar::model::UncertaintySpec spec;
+    spec.sigma_f = spec.sigma_c = sigma;
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"rho", "expected", "stddev", "risk"});
+    }
+
+    // Independent baseline first so ratios are available for every
+    // row.
+    double indep_risk = 0.0;
+    {
+        const auto in =
+            ar::model::groundTruthBindings(config, app, spec);
+        const auto res = fw.analyze("Speedup", in, fn, ref, seed);
+        std::vector<double> norm(res.samples);
+        for (auto &s : norm)
+            s /= ref;
+        indep_risk = ar::risk::archRisk(norm, 1.0, fn);
+    }
+
+    ar::report::Table table;
+    table.header({"rho(f, c)", "E[perf]", "stddev", "risk",
+                  "risk vs independent"});
+    for (double rho : {-0.8, -0.4, 0.0, 0.4, 0.8}) {
+        auto in = ar::model::groundTruthBindings(config, app, spec);
+        if (rho != 0.0)
+            in.correlations.push_back({"f", "c", rho});
+        const auto res = fw.analyze("Speedup", in, fn, ref, seed);
+        const double norm_e = res.expected() / ref;
+        const double norm_sd = res.summary.stddev / ref;
+        std::vector<double> norm(res.samples);
+        for (auto &s : norm)
+            s /= ref;
+        const double risk = ar::risk::archRisk(norm, 1.0, fn);
+        table.row({ar::util::formatFixed(rho, 1),
+                   ar::util::formatFixed(norm_e, 4),
+                   ar::util::formatFixed(norm_sd, 4),
+                   ar::util::formatFixed(risk, 5),
+                   ar::util::formatFixed(risk / indep_risk, 2) +
+                       "x"});
+        if (csv) {
+            csv->row(ar::util::formatDouble(rho),
+                     {norm_e, norm_sd, risk});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Reading: positive rho means 'more parallel futures also "
+        "communicate\nmore', which partially cancels in the LPHC "
+        "regime; negative rho\ncompounds the downside.  Either way "
+        "the independence assumption\nmis-states the tail, which is "
+        "the quantity architectural risk cares\nabout.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation: Box-Cox bootstrap versus KDE extraction quality.
+ * For the paper's three kinds of hidden inputs (log-normal core
+ * performance, normalized-binomial f, Bernoulli x LogNormal design
+ * risk), measures the KS distance between the extracted and the true
+ * distribution as the observation budget k grows.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "dist/combinators.hh"
+#include "dist/discrete.hh"
+#include "dist/lognormal.hh"
+#include "extract/extract.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "stats/quantiles.hh"
+#include "util/string_utils.hh"
+
+namespace
+{
+
+double
+ksToTruth(const ar::dist::Distribution &est,
+          const ar::dist::Distribution &truth, std::uint64_t seed)
+{
+    ar::util::Rng rng(seed);
+    const auto a = est.sampleMany(4000, rng);
+    const auto b = truth.sampleMany(4000, rng);
+    return ar::stats::ksStatistic(a, b);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("reps", "5", "repetitions per point");
+    opts.declare("csv", "", "optional CSV output path");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const int reps = static_cast<int>(opts.getInt("reps"));
+
+    ar::bench::banner("Ablation: Box-Cox bootstrap vs KDE extraction",
+                      "KS distance to the hidden truth vs sample "
+                      "budget k");
+
+    struct Source
+    {
+        std::string label;
+        ar::dist::DistPtr truth;
+    };
+    std::vector<Source> sources;
+    sources.push_back(
+        {"LogNormal core perf",
+         std::make_shared<ar::dist::LogNormal>(
+             ar::dist::LogNormal::fromMeanStddev(8.0, 1.6))});
+    sources.push_back(
+        {"NormalizedBinomial f",
+         std::make_shared<ar::dist::NormalizedBinomial>(
+             ar::dist::NormalizedBinomial::fromMeanStddev(0.9,
+                                                          0.02))});
+    sources.push_back(
+        {"Bernoulli x LogNormal",
+         std::make_shared<ar::dist::Product>(
+             std::make_shared<ar::dist::Bernoulli>(0.9),
+             std::make_shared<ar::dist::LogNormal>(
+                 ar::dist::LogNormal::fromMeanStddev(8.0, 1.6)))});
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"source", "k", "pipeline_ks", "kde_ks",
+                  "boxcox_share"});
+    }
+
+    ar::report::Table table;
+    table.header({"hidden source", "k", "pipeline KS", "KDE-only KS",
+                  "Box-Cox taken"});
+    for (const auto &src : sources) {
+        for (std::size_t k : {20, 50, 200, 1000}) {
+            double pipe_ks = 0.0, kde_ks = 0.0;
+            int boxcox_taken = 0;
+            for (int rep = 0; rep < reps; ++rep) {
+                ar::util::Rng rng(7000 + rep);
+                const auto observed = src.truth->sampleMany(k, rng);
+
+                const auto pipe =
+                    ar::extract::extractUncertainty(observed);
+                ar::extract::ExtractionConfig kde_cfg;
+                kde_cfg.force_kde = true;
+                const auto kde = ar::extract::extractUncertainty(
+                    observed, kde_cfg);
+
+                pipe_ks += ksToTruth(*pipe.distribution, *src.truth,
+                                     8000 + rep);
+                kde_ks += ksToTruth(*kde.distribution, *src.truth,
+                                    8000 + rep);
+                boxcox_taken +=
+                    pipe.method ==
+                    ar::extract::ExtractionMethod::BoxCoxBootstrap;
+            }
+            pipe_ks /= reps;
+            kde_ks /= reps;
+            table.row({src.label, std::to_string(k),
+                       ar::util::formatFixed(pipe_ks, 4),
+                       ar::util::formatFixed(kde_ks, 4),
+                       std::to_string(boxcox_taken) + "/" +
+                           std::to_string(reps)});
+            if (csv) {
+                csv->row({src.label, std::to_string(k),
+                          ar::util::formatDouble(pipe_ks),
+                          ar::util::formatDouble(kde_ks),
+                          ar::util::formatDouble(
+                              static_cast<double>(boxcox_taken) /
+                              reps)});
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expected shape: the gated pipeline tracks the better branch\n"
+        "per source -- Box-Cox for smooth positively-skewed data,\n"
+        "KDE for the discrete and atom-at-zero sources.\n");
+    return 0;
+}

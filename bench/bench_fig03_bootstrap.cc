@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 3 reproduction: the bootstrapping pipeline on log-normal
+ * samples -- initial histogram, Box-Cox-transformed histogram with
+ * the fitted Gaussian, and the back-transformed (bootstrapped)
+ * distribution laid over the original data.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "dist/lognormal.hh"
+#include "extract/extract.hh"
+#include "report/ascii_plot.hh"
+#include "report/csv.hh"
+#include "stats/histogram.hh"
+#include "stats/quantiles.hh"
+#include "stats/summary.hh"
+#include "util/rng.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("samples", "200", "observed sample count");
+    opts.declare("seed", "1", "random seed");
+    opts.declare("csv", "", "optional CSV output path");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    ar::bench::banner("Figure 3: Box-Cox bootstrapping example",
+                      "LogNormal observations -> transform -> fit -> "
+                      "back-transform");
+
+    const auto n =
+        static_cast<std::size_t>(opts.getInt("samples"));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    // Hidden ground truth (the paper's Figure 3 uses log-normal).
+    ar::dist::LogNormal truth(1.0, 0.5);
+    ar::util::Rng rng(seed);
+    const auto observed = truth.sampleMany(n, rng);
+
+    std::printf("a) initial samples (n=%zu)\n", n);
+    std::printf("%s\n",
+                ar::report::histogramChart(
+                    ar::stats::Histogram::fromData(observed, 12), 40)
+                    .c_str());
+
+    const auto res = ar::extract::extractUncertainty(observed);
+    if (res.method != ar::extract::ExtractionMethod::BoxCoxBootstrap) {
+        std::printf("unexpected: Box-Cox gate failed\n");
+        return 1;
+    }
+    std::printf("Box-Cox lambda = %.4f (normality confidence %.3f)\n",
+                res.boxcox.transform.lambda, res.boxcox.confidence);
+
+    const auto transformed = res.boxcox.transform.apply(observed);
+    std::printf("\nb) transformed samples + fitted Gaussian "
+                "(mu=%.3f, sigma=%.3f)\n",
+                res.gauss.mean, res.gauss.stddev);
+    std::printf("%s\n",
+                ar::report::histogramChart(
+                    ar::stats::Histogram::fromData(transformed, 12),
+                    40)
+                    .c_str());
+
+    ar::util::Rng rng2(seed + 1);
+    const auto bootstrapped =
+        res.distribution->sampleMany(10000, rng2);
+    std::printf("c) bootstrapped distribution (10k draws)\n");
+    std::printf("%s\n",
+                ar::report::histogramChart(
+                    ar::stats::Histogram::fromData(bootstrapped, 12),
+                    40)
+                    .c_str());
+
+    const auto s_obs = ar::stats::summarize(observed);
+    const auto s_boot = ar::stats::summarize(bootstrapped);
+    std::printf("observed      mean %.4f  sd %.4f\n", s_obs.mean,
+                s_obs.stddev);
+    std::printf("bootstrapped  mean %.4f  sd %.4f\n", s_boot.mean,
+                s_boot.stddev);
+    std::printf("truth         mean %.4f  sd %.4f\n", truth.mean(),
+                truth.stddev());
+
+    ar::util::Rng rng3(seed + 2);
+    const auto from_truth = truth.sampleMany(10000, rng3);
+    std::printf("KS(bootstrapped, truth) = %.4f\n",
+                ar::stats::ksStatistic(bootstrapped, from_truth));
+
+    const auto csv_path = opts.getString("csv");
+    if (!csv_path.empty()) {
+        ar::report::CsvWriter csv(csv_path);
+        csv.row({"series", "mean", "stddev"});
+        csv.row("observed", {s_obs.mean, s_obs.stddev});
+        csv.row("bootstrapped", {s_boot.mean, s_boot.stddev});
+        csv.row("truth", {truth.mean(), truth.stddev()});
+    }
+    return 0;
+}

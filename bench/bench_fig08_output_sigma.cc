@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 8 reproduction: output uncertainty (stddev of normalized
+ * performance) versus input uncertainty level, per uncertainty type,
+ * for the paper's three example panels.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "fig_sweep.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "6000");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    ar::bench::banner("Figure 8: uncertainty manifestation on output "
+                      "uncertainty",
+                      "stddev(perf)/certain vs input sigma, per type");
+
+    struct Panel
+    {
+        const char *label;
+        ar::model::CoreConfig config;
+        ar::model::AppParams app;
+    };
+    const Panel panels[] = {
+        {"Sym Cores + HPLC", ar::model::symCores(),
+         ar::model::appHPLC()},
+        {"Asym Cores + HPHC", ar::model::asymCores(),
+         ar::model::appHPHC()},
+        {"Hetero Cores + LPHC", ar::model::heteroCores(),
+         ar::model::appLPHC()},
+    };
+    const std::vector<double> sigmas{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"panel", "legend", "sigma", "output_sigma"});
+    }
+
+    for (const auto &panel : panels) {
+        std::printf("%s\n", panel.label);
+        ar::report::Table table;
+        std::vector<std::string> head{"legend"};
+        for (double s : sigmas)
+            head.push_back("s=" + ar::util::formatDouble(s));
+        table.header(head);
+        for (const auto &legend : ar::bench::figureLegends()) {
+            std::vector<double> row;
+            for (double s : sigmas) {
+                const auto p = ar::bench::evalPoint(
+                    panel.config, panel.app, legend.make(s), trials,
+                    seed);
+                row.push_back(p.stddev);
+                if (csv) {
+                    csv->row({panel.label, legend.name,
+                              ar::util::formatDouble(s),
+                              ar::util::formatDouble(p.stddev)});
+                }
+            }
+            table.rowNumeric(legend.name, row, 4);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("Shape checks vs the paper: output sigma grows with\n"
+                "input sigma, mostly sub-linearly; the heterogeneous\n"
+                "design is the most uncertainty-tolerant.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Figure 10 reproduction: classification of the conventional
+ * (risk-oblivious performance-optimal) design over the
+ * (sigma_app, sigma_arch) grid for all four application classes,
+ * using the quadratic risk function over the full enumerated design
+ * space.
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "common.hh"
+#include "explore/optimality.hh"
+#include "report/csv.hh"
+#include "util/string_utils.hh"
+
+namespace
+{
+
+char
+shortLabel(ar::explore::DesignClass cls)
+{
+    switch (cls) {
+      case ar::explore::DesignClass::Opt:
+        return 'O';
+      case ar::explore::DesignClass::PerfOptOnly:
+        return 'P';
+      case ar::explore::DesignClass::SubOpt:
+        return 'S';
+      case ar::explore::DesignClass::SubOptTradeoff:
+        return 'T';
+    }
+    return '?';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "1000");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    ar::bench::banner(
+        "Figure 10: impact of uncertainty on design optimality",
+        "O=Opt  P=PerfOptOnly  S=SubOpt  T=SubOpt+Tradeoff "
+        "(quadratic risk)");
+
+    const auto designs = ar::explore::enumerateDesigns();
+    std::printf("design space: %zu configurations, %zu MC trials "
+                "per design\n\n",
+                designs.size(), trials);
+    const std::vector<double> sigmas{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"app", "sigma_app", "sigma_arch", "class",
+                  "conventional", "perf_opt", "risk_opt"});
+    }
+
+    ar::risk::QuadraticRisk fn;
+    std::map<char, int> totals;
+
+    for (const auto &app : ar::model::standardApps()) {
+        const std::size_t conv =
+            ar::bench::conventionalIndex(designs, app);
+        const double ref =
+            ar::bench::conventionalReference(designs, app);
+        std::printf("%s (conventional design: %s)\n",
+                    app.name.c_str(),
+                    designs[conv].describe().c_str());
+        std::printf("  sigma_arch rows (top = 1.0), sigma_app "
+                    "columns (left = 0.0)\n");
+
+        for (auto it = sigmas.rbegin(); it != sigmas.rend(); ++it) {
+            const double s_arch = *it;
+            std::printf("  %.1f | ", s_arch);
+            for (double s_app : sigmas) {
+                const auto spec = ar::model::UncertaintySpec::appArch(
+                    s_app, s_arch);
+                ar::explore::SweepConfig cfg;
+                cfg.trials = trials;
+                cfg.seed = seed;
+                ar::explore::DesignSpaceEvaluator eval(designs, app,
+                                                       spec, cfg);
+                const auto outcomes = eval.evaluateAll(fn, ref);
+                const auto res =
+                    ar::explore::classifyDesigns(outcomes, conv);
+                const char label = shortLabel(res.cls);
+                ++totals[label];
+                std::printf("%c ", label);
+                if (csv) {
+                    csv->row({app.name,
+                              ar::util::formatDouble(s_app),
+                              ar::util::formatDouble(s_arch),
+                              std::string(1, label),
+                              designs[conv].describe(),
+                              designs[res.perf_opt].describe(),
+                              designs[res.risk_opt].describe()});
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("       ");
+        for (double s_app : sigmas)
+            std::printf("%.1f ", s_app);
+        std::printf("  <- sigma_app\n\n");
+    }
+
+    std::printf("summary over all grid points:\n");
+    for (const auto &[label, count] : totals)
+        std::printf("  %c: %d\n", label, count);
+    std::printf("\nShape check vs the paper: the conventional design "
+                "stops being optimal\nonce even ~20%% architecture "
+                "uncertainty is present, and a perf/risk\ntrade-off "
+                "space (T) dominates much of the grid.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 11 reproduction: the trade-off space between the
+ * performance-optimal and the risk-optimal design for LPHC --
+ * Pareto curves at several input uncertainty levels, plus the
+ * "mitigate most of the risk for a few percent of performance"
+ * headline numbers.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "explore/optimality.hh"
+#include "explore/pareto.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "3000");
+    opts.declare("app", "LPHC", "application class");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto app = ar::model::appByName(opts.getString("app"));
+
+    ar::bench::banner(
+        "Figure 11: performance-risk trade-off space (" + app.name +
+            ")",
+        "Pareto-optimal designs at several (sigma_app, sigma_arch) "
+        "levels");
+
+    const auto designs = ar::explore::enumerateDesigns();
+    const std::size_t conv =
+        ar::bench::conventionalIndex(designs, app);
+    const double ref = ar::bench::conventionalReference(designs, app);
+    ar::risk::QuadraticRisk fn;
+
+    const std::pair<double, double> levels[] = {
+        {0.2, 0.2}, {0.4, 0.2}, {0.2, 0.4}, {0.6, 0.6}};
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"sigma_app", "sigma_arch", "design", "expected",
+                  "risk_norm"});
+    }
+
+    for (const auto &[s_app, s_arch] : levels) {
+        ar::explore::SweepConfig cfg;
+        cfg.trials = trials;
+        cfg.seed = seed;
+        ar::explore::DesignSpaceEvaluator eval(
+            designs, app,
+            ar::model::UncertaintySpec::appArch(s_app, s_arch), cfg);
+        const auto outcomes = eval.evaluateAll(fn, ref);
+        const auto front = ar::explore::paretoFront(outcomes);
+        const double perf_opt_risk = outcomes[front.front()].risk;
+
+        std::printf("(sigma_app=%.1f, sigma_arch=%.1f)  "
+                    "conventional: E=%.4f R(norm)=1.000\n",
+                    s_app, s_arch, outcomes[conv].expected);
+        ar::report::Table table;
+        table.header({"Pareto design", "E[perf]", "risk/perf-opt",
+                      "risk mitigated", "perf cost"});
+        const auto &best = outcomes[front.front()];
+        for (std::size_t idx : front) {
+            const auto &o = outcomes[idx];
+            // Normalize risk to the performance-optimal design as in
+            // the paper's Figure 11.
+            table.row(
+                {designs[idx].describe(),
+                 ar::util::formatFixed(o.expected, 4),
+                 ar::util::formatFixed(o.risk / perf_opt_risk, 3),
+                 ar::util::formatFixed(
+                     100.0 * (1.0 - o.risk / perf_opt_risk), 1) +
+                     "%",
+                 ar::util::formatFixed(
+                     100.0 * (1.0 - o.expected / best.expected), 2) +
+                     "%"});
+            if (csv) {
+                csv->row({ar::util::formatDouble(s_app),
+                          ar::util::formatDouble(s_arch),
+                          designs[idx].describe(),
+                          ar::util::formatDouble(o.expected),
+                          ar::util::formatDouble(o.risk /
+                                                 perf_opt_risk)});
+            }
+        }
+        std::printf("%s", table.render().c_str());
+
+        const auto &tail = outcomes[front.back()];
+        std::printf("=> risk-optimal design mitigates %.1f%% of the "
+                    "perf-optimal design's risk\n   at a %.2f%% "
+                    "expected-performance cost.\n\n",
+                    100.0 * (1.0 - tail.risk / perf_opt_risk),
+                    100.0 * (1.0 - tail.expected / best.expected));
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 12 reproduction: core configurations of the expected-
+ * performance-optimal and architectural-risk-optimal designs for
+ * LPHC across the (sigma_app, sigma_arch) grid.  Each cell reports
+ * the winning configuration; the paper's histograms are the per-size
+ * core counts of exactly these designs.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "explore/optimality.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "2000");
+    opts.declare("app", "LPHC", "application class");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto app = ar::model::appByName(opts.getString("app"));
+
+    ar::bench::banner(
+        "Figure 12: optimal core configurations (" + app.name + ")",
+        "perf-optimal and risk-optimal designs per grid point");
+
+    const auto designs = ar::explore::enumerateDesigns();
+    const double ref = ar::bench::conventionalReference(designs, app);
+    ar::risk::QuadraticRisk fn;
+    const std::vector<double> sigmas{0.0, 0.5, 1.0};
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"sigma_app", "sigma_arch", "perf_opt", "risk_opt"});
+    }
+
+    ar::report::Table table;
+    table.header({"sigma_app", "sigma_arch", "perf-optimal design",
+                  "risk-optimal design"});
+    // Track asymmetry to verify the paper's two trends.
+    double perf_opt_largest_at_high_app = 0.0;
+    double perf_opt_largest_at_high_arch = 0.0;
+
+    for (double s_arch : sigmas) {
+        for (double s_app : sigmas) {
+            ar::explore::SweepConfig cfg;
+            cfg.trials = trials;
+            cfg.seed = seed;
+            ar::explore::DesignSpaceEvaluator eval(
+                designs, app,
+                ar::model::UncertaintySpec::appArch(s_app, s_arch),
+                cfg);
+            const auto outcomes = eval.evaluateAll(fn, ref);
+            const auto perf_opt =
+                ar::explore::argmaxExpected(outcomes);
+            const auto risk_opt = ar::explore::argminRisk(outcomes);
+            table.row({ar::util::formatFixed(s_app, 1),
+                       ar::util::formatFixed(s_arch, 1),
+                       designs[perf_opt].describe(),
+                       designs[risk_opt].describe()});
+            if (csv) {
+                csv->row({ar::util::formatDouble(s_app),
+                          ar::util::formatDouble(s_arch),
+                          designs[perf_opt].describe(),
+                          designs[risk_opt].describe()});
+            }
+            const double largest =
+                designs[perf_opt].types().front().area;
+            if (s_app == 1.0 && s_arch == 0.0)
+                perf_opt_largest_at_high_app = largest;
+            if (s_app == 0.0 && s_arch == 1.0)
+                perf_opt_largest_at_high_arch = largest;
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf(
+        "Shape checks vs the paper:\n"
+        " - high application uncertainty favours more asymmetric\n"
+        "   perf-optimal designs (largest core %g)\n"
+        " - high architecture uncertainty favours more symmetric,\n"
+        "   spread-out designs (largest core %g)\n"
+        " - risk-optimal designs are generally more symmetric than\n"
+        "   perf-optimal ones.\n",
+        perf_opt_largest_at_high_app,
+        perf_opt_largest_at_high_arch);
+    return 0;
+}

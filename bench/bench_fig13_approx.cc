@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 13 reproduction: quality of the sampled-data approximation.
+ * For each observation budget k, the whole design space is explored
+ * with distributions re-estimated from only k samples per input; the
+ * designs it picks are then re-scored under the hidden ground truth.
+ * Reported: deviation of expected performance and risk of the
+ * approximation's chosen optimal designs versus the true optima.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "explore/optimality.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "1500");
+    opts.declare("app", "LPHC", "application class");
+    opts.declare("full", "", "also run k = 10000", true);
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto app = ar::model::appByName(opts.getString("app"));
+
+    ar::bench::banner(
+        "Figure 13: quality of approximation vs sample size k",
+        "design-space exploration with distributions estimated from "
+        "k observations");
+
+    const auto designs = ar::explore::enumerateDesigns();
+    const double ref = ar::bench::conventionalReference(designs, app);
+    ar::risk::QuadraticRisk fn;
+
+    std::vector<std::size_t> ks{20, 50, 100, 1000};
+    if (opts.getFlag("full"))
+        ks.push_back(10000);
+    const std::pair<double, double> levels[] = {{0.2, 0.2},
+                                                {0.4, 0.4},
+                                                {0.8, 0.8}};
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"k", "sigma", "perf_deviation_pct",
+                  "risk_deviation_pct"});
+    }
+
+    ar::report::Table table;
+    table.header({"k", "sigma", "perf dev (%)", "risk dev (%)",
+                  "approx risk-opt design"});
+
+    for (const auto &[s_app, s_arch] : levels) {
+        const auto spec =
+            ar::model::UncertaintySpec::appArch(s_app, s_arch);
+
+        // Ground-truth exploration (shared across all k).
+        ar::explore::SweepConfig truth_cfg;
+        truth_cfg.trials = trials;
+        truth_cfg.seed = seed;
+        ar::explore::DesignSpaceEvaluator truth_eval(
+            designs, app, spec, truth_cfg);
+        const auto truth = truth_eval.evaluateAll(fn, ref);
+        const auto t_perf_opt = ar::explore::argmaxExpected(truth);
+        const auto t_risk_opt = ar::explore::argminRisk(truth);
+
+        for (const std::size_t k : ks) {
+            // Limited-data exploration.
+            ar::explore::SweepConfig ap_cfg;
+            ap_cfg.trials = trials;
+            ap_cfg.seed = seed + 1;
+            ap_cfg.approx_k = k;
+            ar::explore::DesignSpaceEvaluator ap_eval(designs, app,
+                                                      spec, ap_cfg);
+            const auto approx = ap_eval.evaluateAll(fn, ref);
+            const auto a_perf_opt =
+                ar::explore::argmaxExpected(approx);
+            const auto a_risk_opt = ar::explore::argminRisk(approx);
+
+            // Score the approximation's choices under the truth.
+            const double perf_dev =
+                100.0 *
+                std::fabs(truth[a_perf_opt].expected -
+                          truth[t_perf_opt].expected) /
+                truth[t_perf_opt].expected;
+            const double risk_base =
+                std::max(truth[t_risk_opt].risk, 1e-9);
+            const double risk_dev =
+                100.0 *
+                std::fabs(truth[a_risk_opt].risk -
+                          truth[t_risk_opt].risk) /
+                risk_base;
+
+            table.row(
+                {std::to_string(k),
+                 "(" + ar::util::formatDouble(s_app) + "," +
+                     ar::util::formatDouble(s_arch) + ")",
+                 ar::util::formatFixed(perf_dev, 2),
+                 ar::util::formatFixed(risk_dev, 2),
+                 designs[a_risk_opt].describe()});
+            if (csv) {
+                csv->row({std::to_string(k),
+                          ar::util::formatDouble(s_app),
+                          ar::util::formatDouble(perf_dev),
+                          ar::util::formatDouble(risk_dev)});
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Shape check vs the paper: deviations drop to the "
+                "few-percent range by\nk ~ 50 and stabilize for "
+                "k >= 100.\n");
+    return 0;
+}

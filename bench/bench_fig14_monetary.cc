@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Figure 14 / Table 5 reproduction: from architectural risk to
+ * financial risk.  Compares the risk-oblivious design, the risk-aware
+ * design chosen with the hidden ground truth, and the risk-aware
+ * design chosen from only k = 50 observed samples, all priced with
+ * the Table-5 monetary bins at sigma_app = sigma_arch = 0.2 (LPHC).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "explore/optimality.hh"
+#include "report/ascii_plot.hh"
+#include "report/csv.hh"
+#include "stats/histogram.hh"
+#include "util/string_utils.hh"
+
+namespace
+{
+
+struct Candidate
+{
+    std::string label;
+    std::size_t design = 0;
+    double avg_perf = 0.0;
+    double arch_risk_dollars = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "4000");
+    opts.declare("app", "LPHC", "application class");
+    opts.declare("sigma", "0.2", "sigma_app = sigma_arch level");
+    opts.declare("k", "50", "observed samples for the approximation");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto app = ar::model::appByName(opts.getString("app"));
+    const double sigma = opts.getDouble("sigma");
+    const auto k = static_cast<std::size_t>(opts.getInt("k"));
+
+    ar::bench::banner(
+        "Figure 14: binning of design results under uncertainty "
+        "(Table 5 pricing)",
+        app.name + " at sigma_app = sigma_arch = " +
+            ar::util::formatDouble(sigma));
+
+    const auto designs = ar::explore::enumerateDesigns();
+    const std::size_t conv =
+        ar::bench::conventionalIndex(designs, app);
+    const double ref = ar::bench::conventionalReference(designs, app);
+    const auto money = ar::risk::MonetaryRisk::table5();
+    const auto spec =
+        ar::model::UncertaintySpec::appArch(sigma, sigma);
+
+    // Ground-truth sweep (keep samples so histograms can be drawn).
+    ar::explore::SweepConfig cfg;
+    cfg.trials = trials;
+    cfg.seed = seed;
+    cfg.keep_samples = true;
+    ar::explore::DesignSpaceEvaluator eval(designs, app, spec, cfg);
+    const auto truth = eval.evaluateAll(money, ref);
+
+    // Approximate sweep with k observations per input.
+    ar::explore::SweepConfig ap_cfg;
+    ap_cfg.trials = trials;
+    ap_cfg.seed = seed + 1;
+    ap_cfg.approx_k = k;
+    ar::explore::DesignSpaceEvaluator ap_eval(designs, app, spec,
+                                              ap_cfg);
+    const auto approx = ap_eval.evaluateAll(money, ref);
+
+    std::vector<Candidate> candidates(3);
+    candidates[0].label = "Risk-oblivious";
+    candidates[0].design = conv;
+    candidates[1].label = "Risk-aware (ground truth)";
+    candidates[1].design = ar::explore::argminRisk(truth);
+    candidates[2].label =
+        "Approx risk-aware (k=" + std::to_string(k) + ")";
+    candidates[2].design = ar::explore::argminRisk(approx);
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"candidate", "design", "avg_perf",
+                  "arch_risk_dollars"});
+    }
+
+    for (auto &c : candidates) {
+        // All candidates are scored under the GROUND TRUTH sweep.
+        c.avg_perf = truth[c.design].expected;
+        c.arch_risk_dollars = truth[c.design].risk;
+
+        std::printf("%s: %s\n", c.label.c_str(),
+                    designs[c.design].describe().c_str());
+        std::printf("  Avg. Perf: %.2f   ArchR: $%.2f per chip\n",
+                    c.avg_perf, c.arch_risk_dollars);
+
+        const auto &samples = eval.samples(c.design);
+        ar::stats::Histogram h(0.0, 2.0, 20);
+        h.addAll(samples);
+        std::printf("%s", ar::report::histogramChart(h, 40).c_str());
+
+        // Price-bin mass.
+        std::size_t bins[5] = {0, 0, 0, 0, 0};
+        for (double s : samples) {
+            if (s < 0.6)
+                ++bins[0];
+            else if (s < 0.8)
+                ++bins[1];
+            else if (s < 0.9)
+                ++bins[2];
+            else if (s < 1.0)
+                ++bins[3];
+            else
+                ++bins[4];
+        }
+        const double n = static_cast<double>(samples.size());
+        std::printf("  $100: %.1f%%  $200: %.1f%%  $300: %.1f%%  "
+                    "$600: %.1f%%  $1000: %.1f%%\n\n",
+                    100.0 * bins[0] / n, 100.0 * bins[1] / n,
+                    100.0 * bins[2] / n, 100.0 * bins[3] / n,
+                    100.0 * bins[4] / n);
+        if (csv) {
+            csv->row({c.label, designs[c.design].describe(),
+                      ar::util::formatDouble(c.avg_perf),
+                      ar::util::formatDouble(c.arch_risk_dollars)});
+        }
+    }
+
+    std::printf("=> $%.2f per chip saved by the ground-truth "
+                "risk-aware design;\n   $%.2f per chip saved by the "
+                "k=%zu approximation.\n",
+                candidates[0].arch_risk_dollars -
+                    candidates[1].arch_risk_dollars,
+                candidates[0].arch_risk_dollars -
+                    candidates[2].arch_risk_dollars,
+                k);
+    return 0;
+}

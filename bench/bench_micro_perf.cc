@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the framework's hot paths:
+ * compiled-tape evaluation, distribution sampling, Latin-hypercube
+ * propagation, Box-Cox fitting, and whole-design-space evaluation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/framework.hh"
+#include "dist/discrete.hh"
+#include "dist/lognormal.hh"
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "mc/propagator.hh"
+#include "model/app.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "risk/risk_function.hh"
+#include "stats/boxcox.hh"
+#include "symbolic/compile.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+void
+BM_CompiledTapeEval(benchmark::State &state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto sys = ar::model::buildHillMartySystem(k);
+    ar::symbolic::CompiledExpr fn(sys.resolve("Speedup"));
+    std::vector<double> args(fn.argNames().size(), 2.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fn.eval(args));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledTapeEval)->Arg(1)->Arg(3)->Arg(5);
+
+void
+BM_DirectEvaluator(benchmark::State &state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    std::vector<double> perf(k, 3.0), count(k, 4.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ar::model::HillMartyEvaluator::speedup(0.9, 0.01, perf,
+                                                   count));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectEvaluator)->Arg(1)->Arg(5);
+
+void
+BM_BinomialSample(benchmark::State &state)
+{
+    ar::dist::Binomial dist(
+        static_cast<unsigned>(state.range(0)), 0.9);
+    ar::util::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinomialSample)->Arg(32)->Arg(3600);
+
+void
+BM_LogNormalSample(benchmark::State &state)
+{
+    const auto dist = ar::dist::LogNormal::fromMeanStddev(8.0, 1.6);
+    ar::util::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogNormalSample);
+
+void
+BM_Propagation(benchmark::State &state)
+{
+    const auto config = ar::model::heteroCores();
+    const auto app = ar::model::appLPHC();
+    ar::core::Framework fw(
+        {static_cast<std::size_t>(state.range(0)),
+         "latin-hypercube"});
+    fw.setSystem(ar::model::buildHillMartySystem(config.numTypes()));
+    const auto in = ar::model::groundTruthBindings(
+        config, app, ar::model::UncertaintySpec::all(0.2));
+    std::uint64_t seed = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fw.propagate("Speedup", in, seed++));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Propagation)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BoxCoxFit(benchmark::State &state)
+{
+    ar::dist::LogNormal truth(1.0, 0.5);
+    ar::util::Rng rng(1);
+    const auto xs = truth.sampleMany(
+        static_cast<std::size_t>(state.range(0)), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ar::stats::fitBoxCox(xs));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoxCoxFit)->Arg(50)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DesignSpaceSweep(benchmark::State &state)
+{
+    const auto designs = ar::explore::enumerateDesigns();
+    const auto app = ar::model::appLPHC();
+    const auto spec = ar::model::UncertaintySpec::appArch(0.2, 0.2);
+    ar::risk::QuadraticRisk fn;
+    for (auto _ : state) {
+        ar::explore::SweepConfig cfg;
+        cfg.trials = static_cast<std::size_t>(state.range(0));
+        ar::explore::DesignSpaceEvaluator eval(designs, app, spec,
+                                               cfg);
+        benchmark::DoNotOptimize(eval.evaluateAll(fn, 26.7));
+    }
+    state.SetItemsProcessed(state.iterations() * designs.size() *
+                            state.range(0));
+}
+BENCHMARK(BM_DesignSpaceSweep)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Companion analysis to Figures 7-9: Sobol variance decomposition of
+ * CMP speedup.  Where the paper toggles one uncertainty type at a
+ * time to see which input drives the output, Sobol first-order and
+ * total indices answer the same question in one pass, including the
+ * interaction share the leave-one-out plots can only hint at.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "core/framework.hh"
+#include "mc/sensitivity.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    ar::bench::declareCommonOptions(opts, "4096");
+    opts.declare("sigma", "0.2", "uncertainty level (all types)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto trials =
+        static_cast<std::size_t>(opts.getInt("trials"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const double sigma = opts.getDouble("sigma");
+
+    ar::bench::banner(
+        "Sensitivity: Sobol variance decomposition of speedup",
+        "which input uncertainty drives each design, sigma = " +
+            ar::util::formatDouble(sigma));
+
+    struct Case
+    {
+        const char *label;
+        ar::model::CoreConfig config;
+        ar::model::AppParams app;
+    };
+    const Case cases[] = {
+        {"Sym Cores + HPLC", ar::model::symCores(),
+         ar::model::appHPLC()},
+        {"Asym Cores + LPHC", ar::model::asymCores(),
+         ar::model::appLPHC()},
+        {"Hetero Cores + LPHC", ar::model::heteroCores(),
+         ar::model::appLPHC()},
+    };
+
+    const auto csv_path = opts.getString("csv");
+    std::unique_ptr<ar::report::CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv = std::make_unique<ar::report::CsvWriter>(csv_path);
+        csv->row({"case", "input", "first_order", "total"});
+    }
+
+    for (const auto &c : cases) {
+        ar::core::Framework fw;
+        fw.setSystem(
+            ar::model::buildHillMartySystem(c.config.numTypes()));
+        const auto in = ar::model::groundTruthBindings(
+            c.config, c.app, ar::model::UncertaintySpec::all(sigma));
+
+        ar::util::Rng rng(seed);
+        const auto res = ar::mc::sobolIndices(
+            fw.compiled("Speedup"), in, {trials}, rng);
+
+        std::printf("%s  (E=%.3f, Var=%.3f)\n", c.label,
+                    res.output_mean, res.output_variance);
+        ar::report::Table table;
+        table.header({"input", "first-order S_i", "total ST_i",
+                      "interaction share"});
+        double sum_first = 0.0;
+        for (const auto &idx : res.indices) {
+            table.row({idx.input,
+                       ar::util::formatFixed(idx.first_order, 3),
+                       ar::util::formatFixed(idx.total, 3),
+                       ar::util::formatFixed(
+                           idx.total - idx.first_order, 3)});
+            sum_first += idx.first_order;
+            if (csv) {
+                csv->row({c.label, idx.input,
+                          ar::util::formatDouble(idx.first_order),
+                          ar::util::formatDouble(idx.total)});
+            }
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("sum of first-order indices: %.3f "
+                    "(1 - sum = interaction-driven variance)\n\n",
+                    sum_first);
+    }
+    std::printf(
+        "Shape checks vs Figures 7-9: the big core's P dominates the\n"
+        "asymmetric design; per-type indices flatten out for the\n"
+        "heterogeneous design; interactions (non-additivity, Fig. 9)\n"
+        "appear as total > first-order.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 4 reproduction: yield rates per core size under the
+ * calibrated negative-binomial yield model, compared against the
+ * paper's published (rounded) numbers.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "model/yield.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("csv", "", "optional CSV output path");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    ar::bench::banner(
+        "Table 4: yield rates",
+        "yield(A) = (1 + d*A/alpha)^-alpha, calibrated to the paper");
+
+    const std::vector<double> sizes{8.0, 16.0, 32.0, 64.0, 128.0};
+    const std::vector<double> paper{0.98, 0.96, 0.92, 0.85, 0.75};
+
+    ar::report::Table table;
+    table.header({"core size", "paper yield", "model yield", "delta"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const double y = ar::model::yieldRate(sizes[i]);
+        table.row({ar::util::formatFixed(sizes[i], 0),
+                   ar::util::formatFixed(paper[i], 2),
+                   ar::util::formatFixed(y, 4),
+                   ar::util::formatFixed(y - paper[i], 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const auto csv_path = opts.getString("csv");
+    if (!csv_path.empty()) {
+        ar::report::CsvWriter csv(csv_path);
+        csv.row({"size", "paper", "model"});
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            csv.row(ar::util::formatFixed(sizes[i], 0),
+                    {paper[i], ar::model::yieldRate(sizes[i])});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "common.hh"
+
+#include <cstdio>
+
+#include "model/hill_marty.hh"
+
+namespace ar::bench
+{
+
+void
+declareCommonOptions(ar::util::CliOptions &opts,
+                     const std::string &default_trials)
+{
+    opts.declare("trials", default_trials,
+                 "Monte-Carlo trials per evaluation");
+    opts.declare("seed", "1", "random seed");
+    opts.declare("csv", "", "optional CSV output path");
+}
+
+std::size_t
+conventionalIndex(const std::vector<ar::model::CoreConfig> &designs,
+                  const ar::model::AppParams &app)
+{
+    std::size_t best = 0;
+    double best_s = -1.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const double s = ar::model::HillMartyEvaluator::nominalSpeedup(
+            designs[i], app.f, app.c);
+        if (s > best_s) {
+            best_s = s;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+conventionalReference(
+    const std::vector<ar::model::CoreConfig> &designs,
+    const ar::model::AppParams &app)
+{
+    return ar::model::HillMartyEvaluator::nominalSpeedup(
+        designs[conventionalIndex(designs, app)], app.f, app.c);
+}
+
+void
+banner(const std::string &title, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace ar::bench

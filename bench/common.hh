@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: standard
+ * option sets, the enumerated design space, and conventional-design
+ * lookup.
+ */
+
+#ifndef AR_BENCH_COMMON_HH
+#define AR_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "util/cli.hh"
+
+namespace ar::bench
+{
+
+/** Declare the options shared by every experiment bench. */
+void declareCommonOptions(ar::util::CliOptions &opts,
+                          const std::string &default_trials);
+
+/**
+ * Index of the conventional (risk-oblivious performance-optimal)
+ * design: the arg-max of nominal speedup with no uncertainty.
+ */
+std::size_t conventionalIndex(
+    const std::vector<ar::model::CoreConfig> &designs,
+    const ar::model::AppParams &app);
+
+/** Nominal speedup of the conventional design (the reference P). */
+double conventionalReference(
+    const std::vector<ar::model::CoreConfig> &designs,
+    const ar::model::AppParams &app);
+
+/** Print the standard bench banner. */
+void banner(const std::string &title, const std::string &what);
+
+} // namespace ar::bench
+
+#endif // AR_BENCH_COMMON_HH

@@ -1,0 +1,140 @@
+#include "fig_sweep.hh"
+
+#include "model/hill_marty.hh"
+#include "risk/risk_function.hh"
+
+namespace ar::bench
+{
+
+namespace
+{
+
+using ar::model::UncertaintySpec;
+
+UncertaintySpec
+fOnly(double sigma)
+{
+    UncertaintySpec s;
+    s.sigma_f = sigma;
+    return s;
+}
+
+UncertaintySpec
+cOnly(double sigma)
+{
+    UncertaintySpec s;
+    s.sigma_c = sigma;
+    return s;
+}
+
+UncertaintySpec
+perfOnly(double sigma)
+{
+    UncertaintySpec s;
+    s.sigma_perf = sigma;
+    return s;
+}
+
+UncertaintySpec
+designOnly(double sigma)
+{
+    UncertaintySpec s;
+    s.sigma_design = sigma;
+    return s;
+}
+
+UncertaintySpec
+fabOnly(double sigma)
+{
+    UncertaintySpec s;
+    s.fab = sigma > 0.0;
+    return s;
+}
+
+UncertaintySpec
+allTypes(double sigma)
+{
+    return UncertaintySpec::all(sigma);
+}
+
+UncertaintySpec
+noF(double sigma)
+{
+    auto s = UncertaintySpec::all(sigma);
+    s.sigma_f = 0.0;
+    return s;
+}
+
+UncertaintySpec
+noC(double sigma)
+{
+    auto s = UncertaintySpec::all(sigma);
+    s.sigma_c = 0.0;
+    return s;
+}
+
+UncertaintySpec
+noPerf(double sigma)
+{
+    auto s = UncertaintySpec::all(sigma);
+    s.sigma_perf = 0.0;
+    return s;
+}
+
+UncertaintySpec
+noDesign(double sigma)
+{
+    auto s = UncertaintySpec::all(sigma);
+    s.sigma_design = 0.0;
+    return s;
+}
+
+UncertaintySpec
+noFab(double sigma)
+{
+    auto s = UncertaintySpec::all(sigma);
+    s.fab = false;
+    return s;
+}
+
+} // namespace
+
+std::vector<Legend>
+figureLegends()
+{
+    return {{"f only", fOnly},         {"c only", cOnly},
+            {"perf only", perfOnly},   {"fab only", fabOnly},
+            {"design only", designOnly}, {"all", allTypes}};
+}
+
+std::vector<Legend>
+leaveOneOutLegends()
+{
+    return {{"no f", noF},       {"no c", noC},
+            {"no perf", noPerf}, {"no fab", noFab},
+            {"no design", noDesign}, {"all", allTypes}};
+}
+
+SweepPoint
+evalPoint(const ar::model::CoreConfig &config,
+          const ar::model::AppParams &app,
+          const ar::model::UncertaintySpec &spec, std::size_t trials,
+          std::uint64_t seed)
+{
+    const std::vector<ar::model::CoreConfig> designs{config};
+    ar::explore::SweepConfig cfg;
+    cfg.trials = trials;
+    cfg.seed = seed;
+    ar::explore::DesignSpaceEvaluator eval(designs, app, spec, cfg);
+    ar::risk::QuadraticRisk fn;
+    const double certain =
+        ar::model::HillMartyEvaluator::nominalSpeedup(config, app.f,
+                                                      app.c);
+    const auto outcomes = eval.evaluateAll(fn, certain);
+    SweepPoint p;
+    p.expected = outcomes[0].expected;
+    p.stddev = outcomes[0].stddev;
+    return p;
+}
+
+} // namespace ar::bench

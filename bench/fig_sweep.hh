@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared machinery for the Figure 7/8/9 sweeps: the per-legend
+ * uncertainty configurations ("f only", "c only", ...) and a helper
+ * evaluating one (design, app, spec) point with the pooled evaluator.
+ */
+
+#ifndef AR_BENCH_FIG_SWEEP_HH
+#define AR_BENCH_FIG_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "explore/evaluate.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/uncertainty.hh"
+
+namespace ar::bench
+{
+
+/** One legend entry of Figures 7-9. */
+struct Legend
+{
+    std::string name;
+    /** Build the spec for this legend at input level sigma. */
+    ar::model::UncertaintySpec (*make)(double sigma);
+};
+
+/** The six legends of Figure 7/8 in paper order. */
+std::vector<Legend> figureLegends();
+
+/** The five leave-one-out legends of Figure 9 plus "all". */
+std::vector<Legend> leaveOneOutLegends();
+
+/** Mean and stddev of normalized performance at one sweep point. */
+struct SweepPoint
+{
+    double expected = 0.0; ///< Normalized to certain speedup.
+    double stddev = 0.0;   ///< Normalized to certain speedup.
+};
+
+/**
+ * Evaluate one design under one spec, normalizing by the design's
+ * own certain speedup (the paper's "risk-unaware performance").
+ */
+SweepPoint evalPoint(const ar::model::CoreConfig &config,
+                     const ar::model::AppParams &app,
+                     const ar::model::UncertaintySpec &spec,
+                     std::size_t trials, std::uint64_t seed);
+
+} // namespace ar::bench
+
+#endif // AR_BENCH_FIG_SWEEP_HH

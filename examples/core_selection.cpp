@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Risk-aware CMP core selection -- the paper's Section 4 study in
+ * miniature.  Explores every configuration of a 256-unit chip under
+ * uncertainty, then reports the conventional, performance-optimal,
+ * and risk-optimal designs plus the Pareto frontier between them.
+ *
+ * Try:
+ *   ./build/examples/core_selection --app LPHC --sigma-app 0.2 \
+ *       --sigma-arch 0.2
+ */
+
+#include <cstdio>
+
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "explore/optimality.hh"
+#include "explore/pareto.hh"
+#include "model/app.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "risk/risk_function.hh"
+#include "util/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("app", "LPHC", "application class "
+                                "(HPLC|HPHC|LPLC|LPHC)");
+    opts.declare("sigma-app", "0.2", "application uncertainty level");
+    opts.declare("sigma-arch", "0.2",
+                 "architecture uncertainty level");
+    opts.declare("trials", "3000", "Monte-Carlo trials per design");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    const auto app = ar::model::appByName(opts.getString("app"));
+    const double s_app = opts.getDouble("sigma-app");
+    const double s_arch = opts.getDouble("sigma-arch");
+
+    // Enumerate the full 256-unit design space.
+    const auto designs = ar::explore::enumerateDesigns();
+    std::printf("design space: %zu configurations\n", designs.size());
+
+    // The conventional choice: best nominal speedup, no uncertainty.
+    std::size_t conv = 0;
+    double conv_speedup = -1.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const double s = ar::model::HillMartyEvaluator::nominalSpeedup(
+            designs[i], app.f, app.c);
+        if (s > conv_speedup) {
+            conv_speedup = s;
+            conv = i;
+        }
+    }
+    std::printf("conventional design: %s (nominal speedup %.2f)\n\n",
+                designs[conv].describe().c_str(), conv_speedup);
+
+    // Risk-aware sweep under the ground-truth uncertainty models.
+    ar::explore::SweepConfig cfg;
+    cfg.trials = static_cast<std::size_t>(opts.getInt("trials"));
+    ar::explore::DesignSpaceEvaluator eval(
+        designs, app,
+        ar::model::UncertaintySpec::appArch(s_app, s_arch), cfg);
+    ar::risk::QuadraticRisk risk_fn;
+    const auto outcomes = eval.evaluateAll(risk_fn, conv_speedup);
+
+    const auto cls = ar::explore::classifyDesigns(outcomes, conv);
+    std::printf("under (sigma_app=%.2f, sigma_arch=%.2f) the "
+                "conventional design is: %s\n\n",
+                s_app, s_arch,
+                ar::explore::toString(cls.cls).c_str());
+    std::printf("  conventional : %-34s E=%.4f risk=%.5f\n",
+                designs[conv].describe().c_str(), cls.conv_expected,
+                cls.conv_risk);
+    std::printf("  perf-optimal : %-34s E=%.4f risk=%.5f\n",
+                designs[cls.perf_opt].describe().c_str(),
+                outcomes[cls.perf_opt].expected,
+                outcomes[cls.perf_opt].risk);
+    std::printf("  risk-optimal : %-34s E=%.4f risk=%.5f\n\n",
+                designs[cls.risk_opt].describe().c_str(),
+                outcomes[cls.risk_opt].expected,
+                outcomes[cls.risk_opt].risk);
+
+    std::printf("Pareto frontier (performance vs risk):\n");
+    for (std::size_t idx : ar::explore::paretoFront(outcomes)) {
+        std::printf("  %-40s E=%.4f risk=%.5f\n",
+                    designs[idx].describe().c_str(),
+                    outcomes[idx].expected, outcomes[idx].risk);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of archrisk++.
+ *
+ * 1. Describe an architecture model as plain equation strings.
+ * 2. Mark which inputs are uncertain and attach distributions.
+ * 3. Propagate with Latin-hypercube Monte-Carlo.
+ * 4. Read off the performance distribution and architectural risk.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/framework.hh"
+#include "dist/normal.hh"
+#include "report/ascii_plot.hh"
+#include "risk/risk_function.hh"
+#include "stats/histogram.hh"
+
+int
+main()
+{
+    // --- 1. The model: Amdahl's Law with a parallelizable fraction
+    //        f and a parallel speedup s.
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("T_seq = 1 - f");
+    sys.addEquation("T_par = f / s");
+    sys.addEquation("Speedup = 1 / (T_seq + T_par)");
+
+    // --- 2. f is uncertain: we believe it is about 0.95, give or
+    //        take a few points, and physically bounded by [0, 1].
+    sys.markUncertain("f");
+
+    ar::core::Framework fw; // defaults: N = 10,000 LHS trials
+    fw.setSystem(std::move(sys));
+
+    ar::mc::InputBindings in;
+    in.uncertain["f"] = std::make_shared<ar::dist::TruncatedNormal>(
+        0.95, 0.02, 0.0, 1.0);
+    in.fixed["s"] = 32.0;
+
+    // --- 3/4. Propagate and score risk against the "certain" value.
+    const double certain =
+        fw.evaluateCertain("Speedup", {{"f", 0.95}, {"s", 32.0}});
+    ar::risk::QuadraticRisk risk_fn;
+    const auto res = fw.analyze("Speedup", in, risk_fn, certain);
+
+    std::printf("certain speedup     : %.3f\n", certain);
+    std::printf("expected under risk : %.3f\n", res.expected());
+    std::printf("stddev              : %.3f\n", res.summary.stddev);
+    std::printf("architectural risk  : %.4f (quadratic, ref %.3f)\n\n",
+                res.risk, res.reference);
+
+    ar::stats::Histogram h =
+        ar::stats::Histogram::fromData(res.samples, 12);
+    std::printf("speedup distribution:\n%s",
+                ar::report::histogramChart(h, 40).c_str());
+
+    std::printf("\nTakeaway: a +/-2%% doubt about f turns the point "
+                "estimate %.1f into a\nwide, left-skewed distribution "
+                "-- exactly what risk-aware design quantifies.\n",
+                certain);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * "Where is my risk coming from?" -- Sobol variance decomposition of
+ * an uncertain design's performance, so engineering effort can go to
+ * the input that actually matters.
+ *
+ * Try:
+ *   ./build/examples/sensitivity --config "1x128 + 16x8" --sigma 0.3
+ */
+
+#include <cstdio>
+
+#include "core/framework.hh"
+#include "mc/sensitivity.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "util/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("config", "1x128 + 16x8",
+                 "core configuration, e.g. \"1x128 + 16x8\"");
+    opts.declare("app", "LPHC", "application class");
+    opts.declare("sigma", "0.3", "uncertainty level (all types)");
+    opts.declare("trials", "4096", "Sobol base sample size");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    const auto config =
+        ar::model::CoreConfig::parse(opts.getString("config"));
+    const auto app = ar::model::appByName(opts.getString("app"));
+    const double sigma = opts.getDouble("sigma");
+
+    ar::core::Framework fw;
+    fw.setSystem(ar::model::buildHillMartySystem(config.numTypes()));
+    const auto in = ar::model::groundTruthBindings(
+        config, app, ar::model::UncertaintySpec::all(sigma));
+
+    ar::util::Rng rng(1);
+    const auto res = ar::mc::sobolIndices(
+        fw.compiled("Speedup"), in,
+        {static_cast<std::size_t>(opts.getInt("trials"))}, rng);
+
+    std::printf("design %s, %s, sigma = %.2f\n",
+                config.describe().c_str(), app.name.c_str(), sigma);
+    std::printf("E[Speedup] = %.3f, Var = %.4f\n\n", res.output_mean,
+                res.output_variance);
+    std::printf("%-12s %14s %12s\n", "input", "first-order", "total");
+    for (const auto &idx : res.indices) {
+        std::printf("%-12s %14.3f %12.3f\n", idx.input.c_str(),
+                    idx.first_order, idx.total);
+    }
+    std::printf("\nReading: a large total index marks the input whose "
+                "uncertainty most\ninflates performance variance -- "
+                "the first place to spend measurement\nor engineering "
+                "effort.  total > first-order means the input acts\n"
+                "through interactions (the paper's Figure 9 effect).\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Estimating an uncertainty model from a handful of measurements --
+ * the paper's Figure 2 pipeline as a user would drive it.
+ *
+ * The example plays both roles: a "hidden" process-variation
+ * distribution stands in for the fab's trade-secret data, a few
+ * dozen observed chip-performance points are drawn from it, and the
+ * extraction pipeline rebuilds a usable distribution from just those
+ * points.  Pass --samples to see quality change with budget.
+ */
+
+#include <cstdio>
+
+#include "dist/combinators.hh"
+#include "dist/discrete.hh"
+#include "dist/lognormal.hh"
+#include "extract/extract.hh"
+#include "report/ascii_plot.hh"
+#include "stats/histogram.hh"
+#include "stats/quantiles.hh"
+#include "util/cli.hh"
+#include "util/io.hh"
+#include "util/rng.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("samples", "40",
+                 "measurements available to the analyst");
+    opts.declare("seed", "7", "random seed");
+    opts.declare("file", "",
+                 "read measurements from a text file instead of "
+                 "generating them");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const auto k = static_cast<std::size_t>(opts.getInt("samples"));
+
+    // The hidden truth: a 64-unit core whose performance suffers
+    // both process variation (LogNormal around Pollack's rule) and a
+    // 3% chance of a killer design bug (Table 2, Eq. 14).
+    const auto truth = std::make_shared<ar::dist::Product>(
+        std::make_shared<ar::dist::Bernoulli>(0.97),
+        std::make_shared<ar::dist::LogNormal>(
+            ar::dist::LogNormal::fromMeanStddev(8.0, 1.2)));
+
+    ar::util::Rng rng(static_cast<std::uint64_t>(opts.getInt("seed")));
+    std::vector<double> observed;
+    if (const auto path = opts.getString("file"); !path.empty()) {
+        // Real user data: whitespace/comma separated numbers,
+        // '#' comments allowed.
+        observed = ar::util::readNumbers(path);
+        std::printf("(loaded %zu measurements from %s; the "
+                    "truth-comparison below still refers to the "
+                    "built-in demo distribution)\n\n",
+                    observed.size(), path.c_str());
+    } else {
+        observed = truth->sampleMany(k, rng);
+    }
+
+    std::printf("observed %zu chip-performance measurements:\n%s\n",
+                k,
+                ar::report::histogramChart(
+                    ar::stats::Histogram::fromData(observed, 10), 40)
+                    .c_str());
+
+    const auto res = ar::extract::extractUncertainty(observed);
+    const char *method =
+        res.method == ar::extract::ExtractionMethod::BoxCoxBootstrap
+            ? "Box-Cox bootstrap"
+            : (res.method == ar::extract::ExtractionMethod::Kde
+                   ? "kernel density estimate"
+                   : "degenerate");
+    std::printf("extraction pipeline chose: %s\n", method);
+    if (res.method ==
+        ar::extract::ExtractionMethod::BoxCoxBootstrap) {
+        std::printf("  lambda = %.3f, normality confidence = %.3f\n",
+                    res.boxcox.transform.lambda,
+                    res.boxcox.confidence);
+    }
+
+    std::printf("\n                truth     extracted\n");
+    std::printf("mean          %8.4f    %8.4f\n", truth->mean(),
+                res.distribution->mean());
+    std::printf("stddev        %8.4f    %8.4f\n", truth->stddev(),
+                res.distribution->stddev());
+
+    // Distributional distance on fresh draws.
+    ar::util::Rng rng2(99);
+    const auto a = res.distribution->sampleMany(5000, rng2);
+    const auto b = truth->sampleMany(5000, rng2);
+    std::printf("KS distance   %8.4f\n",
+                ar::stats::ksStatistic(a, b));
+
+    std::printf("\nRe-run with --samples 20 / 200 / 2000 to watch "
+                "the estimate converge\n(the paper's claim: fewer "
+                "than 50 points already support useful analysis).\n");
+    return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Build, test, and regenerate every paper table and figure.
+# Usage: scripts/reproduce_all.sh [extra-cmake-args]
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja "$@"
+cmake --build build
+ctest --test-dir build --output-on-failure
+echo
+echo "=== running all benches ==="
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo
+    echo ">>> $b"
+    "$b"
+done

@@ -1,0 +1,81 @@
+#include "core/framework.hh"
+
+#include "util/logging.hh"
+
+namespace ar::core
+{
+
+Framework::Framework(ar::mc::PropagationConfig cfg)
+    : propagator(std::move(cfg))
+{
+}
+
+void
+Framework::setSystem(ar::symbolic::EquationSystem sys_in)
+{
+    sys = std::make_unique<ar::symbolic::EquationSystem>(
+        std::move(sys_in));
+    cache.clear();
+}
+
+const ar::symbolic::EquationSystem &
+Framework::system() const
+{
+    if (!sys)
+        ar::util::fatal("Framework: no system model installed");
+    return *sys;
+}
+
+const ar::symbolic::CompiledExpr &
+Framework::compiled(const std::string &responsive) const
+{
+    if (auto it = cache.find(responsive); it != cache.end())
+        return it->second;
+    const auto resolved = system().resolve(responsive);
+    auto [it, inserted] = cache.emplace(
+        responsive, ar::symbolic::CompiledExpr(resolved));
+    return it->second;
+}
+
+double
+Framework::evaluateCertain(
+    const std::string &responsive,
+    const std::map<std::string, double> &fixed) const
+{
+    const auto &fn = compiled(responsive);
+    std::vector<double> args;
+    args.reserve(fn.argNames().size());
+    for (const auto &name : fn.argNames()) {
+        auto it = fixed.find(name);
+        if (it == fixed.end())
+            ar::util::fatal("Framework::evaluateCertain: no value for "
+                            "input '", name, "'");
+        args.push_back(it->second);
+    }
+    return fn.eval(args);
+}
+
+AnalysisResult
+Framework::analyze(const std::string &responsive,
+                   const ar::mc::InputBindings &in,
+                   const ar::risk::RiskFunction &fn, double reference,
+                   std::uint64_t seed) const
+{
+    AnalysisResult res;
+    res.samples = propagate(responsive, in, seed);
+    res.summary = ar::stats::summarize(res.samples);
+    res.reference = reference;
+    res.risk = ar::risk::archRisk(res.samples, reference, fn);
+    return res;
+}
+
+std::vector<double>
+Framework::propagate(const std::string &responsive,
+                     const ar::mc::InputBindings &in,
+                     std::uint64_t seed) const
+{
+    ar::util::Rng rng(seed);
+    return propagator.run(compiled(responsive), in, rng);
+}
+
+} // namespace ar::core

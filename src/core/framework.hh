@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The top-level risk-aware analysis framework (Figures 1, 4, 5 of the
+ * paper): an executable architecture model (EquationSystem) plus
+ * input bindings go in; the propagated performance distribution,
+ * expected performance, and architectural risk come out.
+ */
+
+#ifndef AR_CORE_FRAMEWORK_HH
+#define AR_CORE_FRAMEWORK_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mc/propagator.hh"
+#include "risk/arch_risk.hh"
+#include "stats/summary.hh"
+#include "symbolic/system.hh"
+
+namespace ar::core
+{
+
+/** Full output of one risk-aware analysis. */
+struct AnalysisResult
+{
+    std::vector<double> samples;     ///< Responsive-variable draws.
+    ar::stats::Summary summary;      ///< Moments of the samples.
+    double reference = 0.0;          ///< Reference performance P.
+    double risk = 0.0;               ///< Architectural risk (Eq. 2).
+
+    /** @return expected performance under uncertainty. */
+    double expected() const { return summary.mean; }
+};
+
+/** Facade binding the front-end (symbolic) to the back-end (MC). */
+class Framework
+{
+  public:
+    /** @param cfg Monte-Carlo settings (N = 10,000 LHS by default). */
+    explicit Framework(ar::mc::PropagationConfig cfg = {});
+
+    /** Install the system model (replaces any previous one). */
+    void setSystem(ar::symbolic::EquationSystem sys);
+
+    /** @return the installed system; fatal when none is set. */
+    const ar::symbolic::EquationSystem &system() const;
+
+    /**
+     * Resolve + compile a responsive variable (memoized).  This is
+     * the front-end "partial symbolic solving + lamdification" pass.
+     */
+    const ar::symbolic::CompiledExpr &
+    compiled(const std::string &responsive) const;
+
+    /**
+     * Evaluate a responsive variable with every input fixed (the
+     * conventional, uncertainty-oblivious analysis).
+     *
+     * @param responsive Variable to evaluate.
+     * @param fixed Values for every model input.
+     */
+    double evaluateCertain(const std::string &responsive,
+                           const std::map<std::string, double> &fixed)
+        const;
+
+    /**
+     * Propagate uncertainty and compute architectural risk.
+     *
+     * @param responsive Variable to analyze (e.g. "Speedup").
+     * @param in Distribution/value bindings for all inputs.
+     * @param fn Risk function C.
+     * @param reference Reference performance P of Eq. 1.
+     * @param seed Random seed (analyses are reproducible).
+     */
+    AnalysisResult analyze(const std::string &responsive,
+                           const ar::mc::InputBindings &in,
+                           const ar::risk::RiskFunction &fn,
+                           double reference,
+                           std::uint64_t seed = 1) const;
+
+    /**
+     * Propagate only (no risk): returns the raw samples of the
+     * responsive variable.
+     */
+    std::vector<double> propagate(const std::string &responsive,
+                                  const ar::mc::InputBindings &in,
+                                  std::uint64_t seed = 1) const;
+
+    /** @return the Monte-Carlo trial count in use. */
+    std::size_t trials() const { return propagator.trials(); }
+
+  private:
+    ar::mc::Propagator propagator;
+    std::unique_ptr<ar::symbolic::EquationSystem> sys;
+    mutable std::map<std::string, ar::symbolic::CompiledExpr> cache;
+};
+
+} // namespace ar::core
+
+#endif // AR_CORE_FRAMEWORK_HH

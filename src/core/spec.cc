@@ -1,0 +1,233 @@
+#include "core/spec.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "dist/discrete.hh"
+#include "dist/lognormal.hh"
+#include "dist/normal.hh"
+#include "extract/extract.hh"
+#include "util/io.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ar::core
+{
+
+namespace
+{
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream iss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (iss >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+double
+numericToken(const std::vector<std::string> &tokens, std::size_t i,
+             const std::string &line)
+{
+    if (i >= tokens.size())
+        ar::util::fatal("spec: missing numeric argument in '", line,
+                        "'");
+    double v = 0.0;
+    if (!ar::util::parseDouble(tokens[i], v))
+        ar::util::fatal("spec: expected a number, got '", tokens[i],
+                        "' in '", line, "'");
+    return v;
+}
+
+void
+expectArgs(const std::vector<std::string> &tokens, std::size_t n,
+           const std::string &line)
+{
+    if (tokens.size() != n)
+        ar::util::fatal("spec: expected ", n - 1, " arguments in '",
+                        line, "'");
+}
+
+ar::dist::DistPtr
+makeDistribution(const std::vector<std::string> &tokens,
+                 const std::string &line)
+{
+    // tokens: uncertain NAME KIND ARGS...
+    const std::string &kind = tokens[2];
+    auto num = [&](std::size_t i) {
+        return numericToken(tokens, i, line);
+    };
+    if (kind == "normal") {
+        expectArgs(tokens, 5, line);
+        return std::make_shared<ar::dist::Normal>(num(3), num(4));
+    }
+    if (kind == "truncnormal") {
+        expectArgs(tokens, 7, line);
+        return std::make_shared<ar::dist::TruncatedNormal>(
+            num(3), num(4), num(5), num(6));
+    }
+    if (kind == "lognormal") {
+        expectArgs(tokens, 5, line);
+        return std::make_shared<ar::dist::LogNormal>(num(3), num(4));
+    }
+    if (kind == "lognormal-ms") {
+        expectArgs(tokens, 5, line);
+        return std::make_shared<ar::dist::LogNormal>(
+            ar::dist::LogNormal::fromMeanStddev(num(3), num(4)));
+    }
+    if (kind == "uniform") {
+        expectArgs(tokens, 5, line);
+        return std::make_shared<ar::dist::Uniform>(num(3), num(4));
+    }
+    if (kind == "bernoulli") {
+        expectArgs(tokens, 4, line);
+        return std::make_shared<ar::dist::Bernoulli>(num(3));
+    }
+    if (kind == "binomial") {
+        expectArgs(tokens, 5, line);
+        return std::make_shared<ar::dist::Binomial>(
+            static_cast<unsigned>(num(3)), num(4));
+    }
+    if (kind == "normbinomial") {
+        expectArgs(tokens, 5, line);
+        return std::make_shared<ar::dist::NormalizedBinomial>(
+            static_cast<unsigned>(num(3)), num(4));
+    }
+    if (kind == "degenerate") {
+        expectArgs(tokens, 4, line);
+        return std::make_shared<ar::dist::Degenerate>(num(3));
+    }
+    ar::util::fatal("spec: unknown distribution kind '", kind,
+                    "' in '", line, "'");
+}
+
+} // namespace
+
+std::unique_ptr<ar::risk::RiskFunction>
+makeRiskFunction(const std::string &name)
+{
+    if (name == "step")
+        return std::make_unique<ar::risk::StepRisk>();
+    if (name == "linear")
+        return std::make_unique<ar::risk::LinearRisk>();
+    if (name == "quadratic")
+        return std::make_unique<ar::risk::QuadraticRisk>();
+    if (name == "monetary") {
+        return std::make_unique<ar::risk::MonetaryRisk>(
+            ar::risk::MonetaryRisk::table5());
+    }
+    ar::util::fatal("makeRiskFunction: unknown risk function '", name,
+                    "'");
+}
+
+AnalysisSpec
+parseSpec(const std::string &text)
+{
+    AnalysisSpec spec;
+    std::istringstream lines(text);
+    std::string raw;
+    while (std::getline(lines, raw)) {
+        const std::string line = ar::util::trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        if (line.find('=') != std::string::npos) {
+            spec.system.addEquation(line);
+            continue;
+        }
+
+        const auto tokens = tokenize(line);
+        const std::string &cmd = tokens[0];
+        if (cmd == "fixed") {
+            expectArgs(tokens, 3, line);
+            spec.bindings.fixed[tokens[1]] =
+                numericToken(tokens, 2, line);
+        } else if (cmd == "uncertain") {
+            if (tokens.size() < 4)
+                ar::util::fatal("spec: uncertain needs NAME KIND "
+                                "ARGS in '", line, "'");
+            spec.bindings.uncertain[tokens[1]] =
+                makeDistribution(tokens, line);
+            spec.system.markUncertain(tokens[1]);
+        } else if (cmd == "samples") {
+            expectArgs(tokens, 3, line);
+            const auto data = ar::util::readNumbers(tokens[2]);
+            spec.bindings.uncertain[tokens[1]] =
+                ar::extract::extractUncertainty(data).distribution;
+            spec.system.markUncertain(tokens[1]);
+        } else if (cmd == "correlate") {
+            expectArgs(tokens, 4, line);
+            spec.bindings.correlations.push_back(
+                {tokens[1], tokens[2],
+                 numericToken(tokens, 3, line)});
+        } else if (cmd == "output") {
+            expectArgs(tokens, 2, line);
+            spec.output = tokens[1];
+        } else if (cmd == "reference") {
+            expectArgs(tokens, 2, line);
+            spec.reference = numericToken(tokens, 1, line);
+        } else if (cmd == "risk") {
+            expectArgs(tokens, 2, line);
+            spec.risk = tokens[1];
+            makeRiskFunction(spec.risk); // validate eagerly
+        } else if (cmd == "trials") {
+            expectArgs(tokens, 2, line);
+            spec.trials = static_cast<std::size_t>(
+                numericToken(tokens, 1, line));
+        } else if (cmd == "seed") {
+            expectArgs(tokens, 2, line);
+            spec.seed = static_cast<std::uint64_t>(
+                numericToken(tokens, 1, line));
+        } else {
+            ar::util::fatal("spec: unknown directive '", cmd,
+                            "' in '", line, "'");
+        }
+    }
+    if (spec.output.empty())
+        ar::util::fatal("spec: missing 'output' directive");
+    if (!spec.system.defines(spec.output))
+        ar::util::fatal("spec: output variable '", spec.output,
+                        "' has no defining equation");
+    return spec;
+}
+
+AnalysisSpec
+loadSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ar::util::fatal("loadSpecFile: cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseSpec(buffer.str());
+}
+
+AnalysisResult
+runSpec(const AnalysisSpec &spec)
+{
+    Framework fw({spec.trials, "latin-hypercube"});
+
+    // The Framework owns a copy of the system.
+    ar::symbolic::EquationSystem sys = spec.system;
+    fw.setSystem(std::move(sys));
+
+    double reference;
+    if (spec.reference) {
+        reference = *spec.reference;
+    } else {
+        // Certain evaluation: uncertain inputs pinned at their means.
+        std::map<std::string, double> fixed = spec.bindings.fixed;
+        for (const auto &[name, dist] : spec.bindings.uncertain)
+            fixed[name] = dist->mean();
+        reference = fw.evaluateCertain(spec.output, fixed);
+    }
+
+    const auto fn = makeRiskFunction(spec.risk);
+    return fw.analyze(spec.output, spec.bindings, *fn, reference,
+                      spec.seed);
+}
+
+} // namespace ar::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Text-file front end for complete analyses: a spec file declares the
+ * model equations, input bindings (fixed values, named distributions,
+ * or raw data files routed through the extraction pipeline),
+ * correlations, the responsive variable, and the risk function.  This
+ * is the batch interface the original Archrisk tool offers, so a
+ * whole analysis can be driven without writing C++.
+ *
+ * Format (one statement per line, '#' comments):
+ *
+ *   # model equations: any line containing '='
+ *   Speedup = 1 / (1 - f + f / s)
+ *
+ *   fixed s 16
+ *   uncertain f truncnormal 0.95 0.02 0 1
+ *   uncertain A lognormal-ms 10 3
+ *   samples L measurements.txt      # extract from observed data
+ *   correlate f A 0.4
+ *   output Speedup
+ *   reference 12.5                  # optional; default: certain eval
+ *   risk quadratic                  # step|linear|quadratic|monetary
+ *   trials 10000
+ *   seed 7
+ *
+ * Distribution forms for `uncertain`:
+ *   normal MU SIGMA
+ *   truncnormal MU SIGMA LO HI
+ *   lognormal MU SIGMA              (log-space parameters)
+ *   lognormal-ms MEAN SD            (moment parameterization)
+ *   uniform LO HI
+ *   bernoulli P
+ *   binomial N P
+ *   normbinomial M P
+ *   degenerate VALUE
+ */
+
+#ifndef AR_CORE_SPEC_HH
+#define AR_CORE_SPEC_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/framework.hh"
+#include "risk/risk_function.hh"
+
+namespace ar::core
+{
+
+/** A fully parsed analysis specification. */
+struct AnalysisSpec
+{
+    ar::symbolic::EquationSystem system;
+    ar::mc::InputBindings bindings;
+    std::string output;                 ///< Responsive variable.
+    std::optional<double> reference;    ///< Explicit reference P.
+    std::string risk = "quadratic";     ///< Risk-function name.
+    std::size_t trials = 10000;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Parse a spec from text; fatal on malformed statements.  `samples`
+ * directives resolve their file paths relative to the process's
+ * working directory.
+ */
+AnalysisSpec parseSpec(const std::string &text);
+
+/** Read and parse a spec file. */
+AnalysisSpec loadSpecFile(const std::string &path);
+
+/**
+ * Instantiate a risk function by name: "step", "linear",
+ * "quadratic", or "monetary" (Table-5 bins).
+ */
+std::unique_ptr<ar::risk::RiskFunction>
+makeRiskFunction(const std::string &name);
+
+/**
+ * Execute a parsed spec: build the framework, resolve the reference
+ * (certain evaluation with uncertain inputs at their means when no
+ * explicit `reference` was given), propagate, and score risk.
+ */
+AnalysisResult runSpec(const AnalysisSpec &spec);
+
+} // namespace ar::core
+
+#endif // AR_CORE_SPEC_HH

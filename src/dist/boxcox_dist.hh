@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The back-transformed Gaussian distribution produced by the paper's
+ * bootstrapping pipeline (Figure 2, steps 3-5 / Figure 3): a Gaussian
+ * fitted in Box-Cox space, pushed back through the inverse transform.
+ * Because the Box-Cox transform is monotone, the CDF and quantile are
+ * closed-form; moments are computed once by quadrature.
+ */
+
+#ifndef AR_DIST_BOXCOX_DIST_HH
+#define AR_DIST_BOXCOX_DIST_HH
+
+#include "dist/distribution.hh"
+#include "stats/boxcox.hh"
+
+namespace ar::dist
+{
+
+/** Inverse-Box-Cox image of N(mu, sigma^2). */
+class BoxCoxGaussian : public Distribution
+{
+  public:
+    /**
+     * @param transform Fitted Box-Cox parameters.
+     * @param mu Gaussian mean in transformed space.
+     * @param sigma Gaussian stddev in transformed space (> 0).
+     */
+    BoxCoxGaussian(const ar::stats::BoxCoxTransform &transform,
+                   double mu, double sigma);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return mean_; }
+    double stddev() const override { return stddev_; }
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the Box-Cox parameters. */
+    const ar::stats::BoxCoxTransform &transform() const { return t; }
+
+  private:
+    ar::stats::BoxCoxTransform t;
+    double mu;
+    double sigma;
+    double mean_ = 0.0;
+    double stddev_ = 0.0;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_BOXCOX_DIST_HH

@@ -1,0 +1,164 @@
+#include "dist/combinators.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "dist/discrete.hh"
+#include "util/logging.hh"
+
+namespace ar::dist
+{
+
+Affine::Affine(DistPtr base, double scale, double offset)
+    : base(std::move(base)), scale(scale), offset(offset)
+{
+    if (!this->base)
+        ar::util::fatal("Affine: null base distribution");
+    if (scale == 0.0)
+        ar::util::fatal("Affine: scale must be non-zero");
+}
+
+double
+Affine::sample(ar::util::Rng &rng) const
+{
+    return scale * base->sample(rng) + offset;
+}
+
+double
+Affine::mean() const
+{
+    return scale * base->mean() + offset;
+}
+
+double
+Affine::stddev() const
+{
+    return std::fabs(scale) * base->stddev();
+}
+
+double
+Affine::cdf(double x) const
+{
+    const double inner = (x - offset) / scale;
+    if (scale > 0.0)
+        return base->cdf(inner);
+    // Decreasing map: P(aX + b <= x) = P(X >= inner).
+    return 1.0 - base->cdf(inner);
+}
+
+double
+Affine::quantile(double p) const
+{
+    if (scale > 0.0)
+        return scale * base->quantile(p) + offset;
+    return scale * base->quantile(1.0 - p) + offset;
+}
+
+double
+Affine::sampleFromUniform(double u) const
+{
+    if (scale > 0.0)
+        return scale * base->sampleFromUniform(u) + offset;
+    return scale * base->sampleFromUniform(1.0 - u) + offset;
+}
+
+std::string
+Affine::describe() const
+{
+    std::ostringstream oss;
+    oss << scale << " * " << base->describe() << " + " << offset;
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Affine::clone() const
+{
+    return std::make_unique<Affine>(*this);
+}
+
+Product::Product(DistPtr x, DistPtr y)
+    : x(std::move(x)), y(std::move(y))
+{
+    if (!this->x || !this->y)
+        ar::util::fatal("Product: null factor distribution");
+}
+
+double
+Product::sample(ar::util::Rng &rng) const
+{
+    return x->sample(rng) * y->sample(rng);
+}
+
+double
+Product::mean() const
+{
+    return x->mean() * y->mean();
+}
+
+double
+Product::stddev() const
+{
+    const double ex = x->mean();
+    const double ey = y->mean();
+    const double ex2 = x->stddev() * x->stddev() + ex * ex;
+    const double ey2 = y->stddev() * y->stddev() + ey * ey;
+    const double var = ex2 * ey2 - ex * ex * ey * ey;
+    return std::sqrt(std::max(var, 0.0));
+}
+
+double
+Product::cdf(double z) const
+{
+    // Supported when the first factor is discrete with small support.
+    if (const auto *bern = dynamic_cast<const Bernoulli *>(x.get())) {
+        const double p = bern->probability();
+        const double zero_part = (z >= 0.0) ? (1.0 - p) : 0.0;
+        return zero_part + p * y->cdf(z);
+    }
+    if (const auto *bin = dynamic_cast<const Binomial *>(x.get())) {
+        double acc = 0.0;
+        for (unsigned k = 0; k <= bin->trials(); ++k) {
+            const double pk = bin->pmf(k);
+            if (pk <= 0.0)
+                continue;
+            if (k == 0)
+                acc += (z >= 0.0) ? pk : 0.0;
+            else
+                acc += pk * y->cdf(z / static_cast<double>(k));
+        }
+        return acc;
+    }
+    ar::util::fatal("Product::cdf: unsupported factor ", x->describe());
+}
+
+double
+Product::sampleFromUniform(double u) const
+{
+    // Fast exact path for Bernoulli x (positive Y): the bottom
+    // (1 - p) quantile mass is the zero atom, the rest is Y rescaled.
+    if (const auto *bern = dynamic_cast<const Bernoulli *>(x.get())) {
+        if (y->cdf(0.0) == 0.0) {
+            const double q0 = 1.0 - bern->probability();
+            if (u <= q0 || q0 >= 1.0)
+                return 0.0;
+            return y->sampleFromUniform((u - q0) / (1.0 - q0));
+        }
+    }
+    return Distribution::sampleFromUniform(u);
+}
+
+std::string
+Product::describe() const
+{
+    std::ostringstream oss;
+    oss << x->describe() << " * " << y->describe();
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Product::clone() const
+{
+    return std::make_unique<Product>(*this);
+}
+
+} // namespace ar::dist

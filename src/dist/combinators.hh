@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Distribution combinators: affine rescaling a*X + b, and products of
+ * independent variables.  The paper's design-uncertainty model for
+ * core performance is exactly such a product: Bernoulli(p) x
+ * LogNormal(mu, sigma) (Table 2, Eq. 14).
+ */
+
+#ifndef AR_DIST_COMBINATORS_HH
+#define AR_DIST_COMBINATORS_HH
+
+#include "dist/distribution.hh"
+
+namespace ar::dist
+{
+
+/** Affine map of another distribution: Y = scale * X + offset. */
+class Affine : public Distribution
+{
+  public:
+    /**
+     * @param base Underlying distribution.
+     * @param scale Multiplier; must be non-zero.
+     * @param offset Additive shift.
+     */
+    Affine(DistPtr base, double scale, double offset);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override;
+    double stddev() const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    DistPtr base;
+    double scale;
+    double offset;
+};
+
+/**
+ * Product of two independent random variables, Z = X * Y.
+ *
+ * Sampling and moments are exact.  cdf() is available when the first
+ * factor is discrete with small support (Bernoulli or Binomial), which
+ * covers the paper's Bernoulli x LogNormal usage; other combinations
+ * report a fatal error on cdf().
+ */
+class Product : public Distribution
+{
+  public:
+    /** @param x First factor. @param y Second, independent factor. */
+    Product(DistPtr x, DistPtr y);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override;
+    double stddev() const override;
+    double cdf(double z) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    DistPtr x;
+    DistPtr y;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_COMBINATORS_HH

@@ -1,0 +1,253 @@
+#include "dist/discrete.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+#include "util/logging.hh"
+
+namespace ar::dist
+{
+
+Bernoulli::Bernoulli(double p) : p(p)
+{
+    if (p < 0.0 || p > 1.0)
+        ar::util::fatal("Bernoulli: p must lie in [0, 1], got ", p);
+}
+
+double
+Bernoulli::sample(ar::util::Rng &rng) const
+{
+    return rng.uniform() < p ? 1.0 : 0.0;
+}
+
+double
+Bernoulli::stddev() const
+{
+    return std::sqrt(p * (1.0 - p));
+}
+
+double
+Bernoulli::cdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    if (x < 1.0)
+        return 1.0 - p;
+    return 1.0;
+}
+
+double
+Bernoulli::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        ar::util::fatal("Bernoulli::quantile: q out of range: ", q);
+    return q <= 1.0 - p ? 0.0 : 1.0;
+}
+
+double
+Bernoulli::sampleFromUniform(double u) const
+{
+    // Map the top p-fraction of [0,1) to success so the quantile
+    // function stays monotone.
+    return u > 1.0 - p ? 1.0 : 0.0;
+}
+
+std::string
+Bernoulli::describe() const
+{
+    std::ostringstream oss;
+    oss << "Bernoulli(" << p << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Bernoulli::clone() const
+{
+    return std::make_unique<Bernoulli>(*this);
+}
+
+Binomial::Binomial(unsigned n, double p) : n(n), p(p)
+{
+    if (p < 0.0 || p > 1.0)
+        ar::util::fatal("Binomial: p must lie in [0, 1], got ", p);
+    if (n == 0)
+        ar::util::fatal("Binomial: need at least one trial");
+}
+
+double
+Binomial::pmf(unsigned k) const
+{
+    if (k > n)
+        return 0.0;
+    if (p == 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0)
+        return k == n ? 1.0 : 0.0;
+    const double lp = ar::math::logBinomialCoef(n, k) +
+                      k * std::log(p) + (n - k) * std::log1p(-p);
+    return std::exp(lp);
+}
+
+double
+Binomial::mean() const
+{
+    return static_cast<double>(n) * p;
+}
+
+double
+Binomial::stddev() const
+{
+    return std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+}
+
+double
+Binomial::cdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    const double kf = std::floor(x);
+    if (kf >= static_cast<double>(n))
+        return 1.0;
+    const unsigned k = static_cast<unsigned>(kf);
+    if (p == 0.0)
+        return 1.0;
+    if (p == 1.0)
+        return k >= n ? 1.0 : 0.0;
+    // P(X <= k) = I_{1-p}(n - k, k + 1).
+    return ar::math::betaInc(static_cast<double>(n - k),
+                             static_cast<double>(k + 1), 1.0 - p);
+}
+
+unsigned
+Binomial::quantileIndex(double u) const
+{
+    if (p == 0.0)
+        return 0;
+    if (p == 1.0)
+        return n;
+
+    // Anchor at the mode, then walk the CDF in the needed direction.
+    unsigned k = std::min<unsigned>(
+        n, static_cast<unsigned>((n + 1) * p));
+    double c = cdf(static_cast<double>(k));
+    double mass = pmf(k);
+    const double odds = p / (1.0 - p);
+
+    if (u <= c) {
+        // Walk down while removing pmf(k) still keeps CDF above u.
+        while (k > 0 && c - mass >= u) {
+            c -= mass;
+            mass *= static_cast<double>(k) /
+                    (static_cast<double>(n - k + 1) * odds);
+            --k;
+        }
+        return k;
+    }
+    while (k < n) {
+        mass *= static_cast<double>(n - k) /
+                static_cast<double>(k + 1) * odds;
+        ++k;
+        c += mass;
+        if (c >= u)
+            return k;
+    }
+    return n;
+}
+
+double
+Binomial::sample(ar::util::Rng &rng) const
+{
+    return sampleFromUniform(rng.uniform());
+}
+
+double
+Binomial::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        ar::util::fatal("Binomial::quantile: q out of range: ", q);
+    return static_cast<double>(quantileIndex(q));
+}
+
+double
+Binomial::sampleFromUniform(double u) const
+{
+    return static_cast<double>(quantileIndex(u));
+}
+
+std::string
+Binomial::describe() const
+{
+    std::ostringstream oss;
+    oss << "Binomial(" << n << ", " << p << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Binomial::clone() const
+{
+    return std::make_unique<Binomial>(*this);
+}
+
+NormalizedBinomial::NormalizedBinomial(unsigned m, double p)
+    : inner(m, p), m_count(static_cast<double>(m))
+{
+}
+
+NormalizedBinomial
+NormalizedBinomial::fromMeanStddev(double mean, double stddev)
+{
+    if (mean <= 0.0 || mean >= 1.0)
+        ar::util::fatal("NormalizedBinomial::fromMeanStddev: mean must "
+                        "lie in (0, 1), got ", mean);
+    if (stddev <= 0.0)
+        ar::util::fatal("NormalizedBinomial::fromMeanStddev: stddev "
+                        "must be positive, got ", stddev);
+    const double m_real = mean * (1.0 - mean) / (stddev * stddev);
+    const unsigned m = std::max(1u, static_cast<unsigned>(
+        std::lround(m_real)));
+    return NormalizedBinomial(m, mean);
+}
+
+double
+NormalizedBinomial::sample(ar::util::Rng &rng) const
+{
+    return inner.sample(rng) / m_count;
+}
+
+double
+NormalizedBinomial::cdf(double x) const
+{
+    return inner.cdf(x * m_count);
+}
+
+double
+NormalizedBinomial::quantile(double q) const
+{
+    return inner.quantile(q) / m_count;
+}
+
+double
+NormalizedBinomial::sampleFromUniform(double u) const
+{
+    return inner.sampleFromUniform(u) / m_count;
+}
+
+std::string
+NormalizedBinomial::describe() const
+{
+    std::ostringstream oss;
+    oss << "NormalizedBinomial(" << inner.trials() << ", "
+        << inner.probability() << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+NormalizedBinomial::clone() const
+{
+    return std::make_unique<NormalizedBinomial>(*this);
+}
+
+} // namespace ar::dist

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete distributions: Bernoulli, Binomial, and the normalized
+ * binomial Binomial(M, p)/M the paper uses as the hidden ground-truth
+ * model for the application parameters f and c (Table 2, Eqs. 11-12).
+ */
+
+#ifndef AR_DIST_DISCRETE_HH
+#define AR_DIST_DISCRETE_HH
+
+#include "dist/distribution.hh"
+
+namespace ar::dist
+{
+
+/** Bernoulli over {0, 1}. */
+class Bernoulli : public Distribution
+{
+  public:
+    /** @param p Success probability in [0, 1]. */
+    explicit Bernoulli(double p);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return p; }
+    double stddev() const override;
+    double cdf(double x) const override;
+    double quantile(double q) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the success probability. */
+    double probability() const { return p; }
+
+  private:
+    double p;
+};
+
+/** Binomial(n, p) over {0, ..., n}. */
+class Binomial : public Distribution
+{
+  public:
+    /**
+     * @param n Number of trials.
+     * @param p Per-trial success probability in [0, 1].
+     */
+    Binomial(unsigned n, double p);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override;
+    double stddev() const override;
+    double cdf(double x) const override;
+    double quantile(double q) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** Probability mass at integer k. */
+    double pmf(unsigned k) const;
+
+    /** @return the trial count. */
+    unsigned trials() const { return n; }
+
+    /** @return the per-trial success probability. */
+    double probability() const { return p; }
+
+  private:
+    /** Smallest k with CDF(k) >= u (mode-anchored walk, O(stddev)). */
+    unsigned quantileIndex(double u) const;
+
+    unsigned n;
+    double p;
+};
+
+/**
+ * Binomial(M, p) / M: a discrete distribution on [0, 1] with mean p
+ * and stddev sqrt(p (1 - p) / M).
+ */
+class NormalizedBinomial : public Distribution
+{
+  public:
+    /** @param m Trial count M (> 0). @param p Mean in [0, 1]. */
+    NormalizedBinomial(unsigned m, double p);
+
+    /**
+     * Choose M so the distribution has (approximately) the requested
+     * standard deviation, as the paper does to hit a target
+     * uncertainty level ("M ... is computed to satisfy the level of
+     * variance we desire").  Requires 0 < mean < 1.
+     */
+    static NormalizedBinomial fromMeanStddev(double mean, double stddev);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return inner.mean() / m_count; }
+    double stddev() const override { return inner.stddev() / m_count; }
+    double cdf(double x) const override;
+    double quantile(double q) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the trial count M. */
+    unsigned trials() const { return inner.trials(); }
+
+  private:
+    Binomial inner;
+    double m_count;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_DISCRETE_HH

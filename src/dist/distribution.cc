@@ -1,0 +1,138 @@
+#include "dist/distribution.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace ar::dist
+{
+
+double
+Distribution::quantile(double p) const
+{
+    if (p < 0.0 || p > 1.0)
+        ar::util::fatal("quantile: p must lie in [0, 1], got ", p);
+
+    // Build a bracket around the target by expanding from the mean.
+    const double m = mean();
+    const double s = std::max(stddev(), 1e-12);
+    double lo = m - 8.0 * s;
+    double hi = m + 8.0 * s;
+    for (int i = 0; i < 200 && cdf(lo) > p; ++i)
+        lo -= 4.0 * s;
+    for (int i = 0; i < 200 && cdf(hi) < p; ++i)
+        hi += 4.0 * s;
+
+    for (int i = 0; i < 200 && hi - lo > 1e-12 * (1.0 + std::fabs(m));
+         ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+Distribution::pdf(double x) const
+{
+    (void)x;
+    ar::util::fatal("pdf: not available for ", describe());
+}
+
+std::vector<double>
+Distribution::sampleMany(std::size_t count, ar::util::Rng &rng) const
+{
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(sample(rng));
+    return out;
+}
+
+double
+Distribution::sampleFromUniform(double u) const
+{
+    return quantile(ar::math::clamp(u, 1e-12, 1.0 - 1e-12));
+}
+
+std::string
+Degenerate::describe() const
+{
+    std::ostringstream oss;
+    oss << "Degenerate(" << v << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Degenerate::clone() const
+{
+    return std::make_unique<Degenerate>(*this);
+}
+
+Uniform::Uniform(double lo, double hi) : a(lo), b(hi)
+{
+    if (!(hi > lo))
+        ar::util::fatal("Uniform: invalid range [", lo, ", ", hi, "]");
+}
+
+double
+Uniform::sample(ar::util::Rng &rng) const
+{
+    return rng.uniform(a, b);
+}
+
+double
+Uniform::stddev() const
+{
+    return (b - a) / std::sqrt(12.0);
+}
+
+double
+Uniform::cdf(double x) const
+{
+    if (x <= a)
+        return 0.0;
+    if (x >= b)
+        return 1.0;
+    return (x - a) / (b - a);
+}
+
+double
+Uniform::quantile(double p) const
+{
+    if (p < 0.0 || p > 1.0)
+        ar::util::fatal("Uniform::quantile: p out of range: ", p);
+    return a + p * (b - a);
+}
+
+double
+Uniform::sampleFromUniform(double u) const
+{
+    return a + u * (b - a);
+}
+
+double
+Uniform::pdf(double x) const
+{
+    return (x >= a && x <= b) ? 1.0 / (b - a) : 0.0;
+}
+
+std::string
+Uniform::describe() const
+{
+    std::ostringstream oss;
+    oss << "Uniform(" << a << ", " << b << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Uniform::clone() const
+{
+    return std::make_unique<Uniform>(*this);
+}
+
+} // namespace ar::dist

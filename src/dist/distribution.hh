@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Abstract random-variable interface plus the trivial distributions
+ * (degenerate point mass and uniform).  Every uncertain input in the
+ * framework is represented as a Distribution; the Monte-Carlo back-end
+ * only needs sample(), while risk analytics additionally use cdf()
+ * and the moments.
+ */
+
+#ifndef AR_DIST_DISTRIBUTION_HH
+#define AR_DIST_DISTRIBUTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace ar::dist
+{
+
+/** Abstract distribution over the reals. */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample. */
+    virtual double sample(ar::util::Rng &rng) const = 0;
+
+    /** @return the distribution mean. */
+    virtual double mean() const = 0;
+
+    /** @return the distribution standard deviation. */
+    virtual double stddev() const = 0;
+
+    /** @return P(X <= x). */
+    virtual double cdf(double x) const = 0;
+
+    /**
+     * @return the p-quantile.  The default implementation inverts
+     * cdf() by bisection over an automatically expanded bracket.
+     */
+    virtual double quantile(double p) const;
+
+    /**
+     * Density at x for continuous distributions; discrete
+     * distributions report a fatal error.
+     */
+    virtual double pdf(double x) const;
+
+    /** @return a human-readable description. */
+    virtual std::string describe() const = 0;
+
+    /** Deep copy. */
+    virtual std::unique_ptr<Distribution> clone() const = 0;
+
+    /** Convenience: draw @p count samples. */
+    std::vector<double> sampleMany(std::size_t count,
+                                   ar::util::Rng &rng) const;
+
+    /**
+     * Draw one sample via inverse-CDF from a uniform variate.  This is
+     * what the Latin-hypercube engine uses; the default maps through
+     * quantile().  @param u Uniform variate in (0, 1).
+     */
+    virtual double sampleFromUniform(double u) const;
+};
+
+/** Shared handle to an immutable distribution. */
+using DistPtr = std::shared_ptr<const Distribution>;
+
+/** Point mass at a single value. */
+class Degenerate : public Distribution
+{
+  public:
+    explicit Degenerate(double value) : v(value) {}
+
+    double sample(ar::util::Rng &) const override { return v; }
+    double mean() const override { return v; }
+    double stddev() const override { return 0.0; }
+    double cdf(double x) const override { return x >= v ? 1.0 : 0.0; }
+    double quantile(double) const override { return v; }
+    double sampleFromUniform(double) const override { return v; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double v;
+};
+
+/** Continuous uniform on [lo, hi]. */
+class Uniform : public Distribution
+{
+  public:
+    /** @param lo Lower bound. @param hi Upper bound; must exceed lo. */
+    Uniform(double lo, double hi);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return 0.5 * (a + b); }
+    double stddev() const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    double pdf(double x) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double a;
+    double b;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_DISTRIBUTION_HH

@@ -1,0 +1,151 @@
+#include "dist/empirical.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/numeric.hh"
+
+namespace ar::dist
+{
+
+Empirical::Empirical(std::span<const double> xs)
+    : ecdf(xs), summary_(ar::stats::summarize(xs))
+{
+}
+
+double
+Empirical::sample(ar::util::Rng &rng) const
+{
+    const auto &data = ecdf.sorted();
+    return data[rng.uniformInt(data.size())];
+}
+
+double
+Empirical::quantile(double p) const
+{
+    return ecdf.quantile(p);
+}
+
+double
+Empirical::sampleFromUniform(double u) const
+{
+    return ecdf.quantile(ar::math::clamp(u, 0.0, 1.0));
+}
+
+std::string
+Empirical::describe() const
+{
+    std::ostringstream oss;
+    oss << "Empirical(n=" << ecdf.sorted().size()
+        << ", mean=" << summary_.mean << ", sd=" << summary_.stddev
+        << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Empirical::clone() const
+{
+    return std::make_unique<Empirical>(*this);
+}
+
+KdeDistribution::KdeDistribution(std::span<const double> xs,
+                                 double bandwidth)
+    : kde_(xs, bandwidth)
+{
+    const auto &pts = kde_.data();
+    mean_ = ar::math::mean(pts);
+    double ss = 0.0;
+    for (double p : pts)
+        ss += (p - mean_) * (p - mean_);
+    const double pop_var = ss / static_cast<double>(pts.size());
+    stddev_ = std::sqrt(pop_var + kde_.bandwidth() * kde_.bandwidth());
+}
+
+double
+KdeDistribution::sample(ar::util::Rng &rng) const
+{
+    return kde_.sample(rng);
+}
+
+double
+KdeDistribution::mean() const
+{
+    return mean_;
+}
+
+double
+KdeDistribution::stddev() const
+{
+    return stddev_;
+}
+
+double
+KdeDistribution::cdf(double x) const
+{
+    return kde_.cdf(x);
+}
+
+double
+KdeDistribution::pdf(double x) const
+{
+    return kde_.pdf(x);
+}
+
+double
+KdeDistribution::sampleFromUniform(double u) const
+{
+    static constexpr std::size_t table_size = 257;
+    if (qtable.empty()) {
+        qtable.resize(table_size);
+        double lo_bracket =
+            kde_.data().front() - 10.0 * kde_.bandwidth();
+        const double hi_limit =
+            kde_.data().back() + 10.0 * kde_.bandwidth();
+        for (std::size_t i = 0; i < table_size; ++i) {
+            const double p = (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(table_size);
+            // Monotone targets: restart the bisection from the
+            // previous quantile.
+            double lo = lo_bracket, hi = hi_limit;
+            for (int it = 0; it < 60 && hi - lo >
+                                            1e-12 * (1.0 +
+                                                     std::fabs(hi));
+                 ++it) {
+                const double mid = 0.5 * (lo + hi);
+                if (kde_.cdf(mid) < p)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            qtable[i] = 0.5 * (lo + hi);
+            lo_bracket = qtable[i];
+        }
+    }
+    const double pos = ar::math::clamp(u, 0.0, 1.0) *
+                           static_cast<double>(table_size) -
+                       0.5;
+    if (pos <= 0.0)
+        return qtable.front();
+    if (pos >= static_cast<double>(table_size - 1))
+        return qtable.back();
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    return qtable[idx] * (1.0 - frac) + qtable[idx + 1] * frac;
+}
+
+std::string
+KdeDistribution::describe() const
+{
+    std::ostringstream oss;
+    oss << "Kde(n=" << kde_.data().size() << ", h=" << kde_.bandwidth()
+        << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+KdeDistribution::clone() const
+{
+    return std::make_unique<KdeDistribution>(*this);
+}
+
+} // namespace ar::dist

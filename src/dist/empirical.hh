@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Data-backed distributions: the empirical distribution of a sample
+ * (what the Monte-Carlo back-end reconstructs for responsive
+ * variables, Figure 5 step 5) and a KDE-smoothed variant (Figure 2
+ * step 2).
+ */
+
+#ifndef AR_DIST_EMPIRICAL_HH
+#define AR_DIST_EMPIRICAL_HH
+
+#include <span>
+
+#include "dist/distribution.hh"
+#include "stats/kde.hh"
+#include "stats/quantiles.hh"
+#include "stats/summary.hh"
+
+namespace ar::dist
+{
+
+/** Empirical distribution over a fixed sample. */
+class Empirical : public Distribution
+{
+  public:
+    /** @param xs Sample; must be non-empty. */
+    explicit Empirical(std::span<const double> xs);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return summary_.mean; }
+    double stddev() const override { return summary_.stddev; }
+    double cdf(double x) const override { return ecdf(x); }
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the sorted underlying sample. */
+    const std::vector<double> &sorted() const { return ecdf.sorted(); }
+
+    /** @return the full batch summary of the sample. */
+    const ar::stats::Summary &summary() const { return summary_; }
+
+  private:
+    ar::stats::Ecdf ecdf;
+    ar::stats::Summary summary_;
+};
+
+/** Distribution defined by a Gaussian kernel density estimate. */
+class KdeDistribution : public Distribution
+{
+  public:
+    /**
+     * @param xs Source sample.
+     * @param bandwidth Kernel bandwidth; <= 0 selects Silverman.
+     */
+    explicit KdeDistribution(std::span<const double> xs,
+                             double bandwidth = 0.0);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override;
+    double stddev() const override;
+    double cdf(double x) const override;
+    double pdf(double x) const override;
+
+    /**
+     * Inverse-CDF draw via an interpolated quantile table (built
+     * lazily on first use; not thread-safe during that first call).
+     * Keeps Latin-hypercube stratification cheap even for large
+     * source samples.
+     */
+    double sampleFromUniform(double u) const override;
+
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the underlying KDE. */
+    const ar::stats::GaussianKde &kde() const { return kde_; }
+
+  private:
+    ar::stats::GaussianKde kde_;
+    double mean_;
+    double stddev_;
+    mutable std::vector<double> qtable; ///< Lazy quantile table.
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_EMPIRICAL_HH

@@ -1,0 +1,96 @@
+#include "dist/lognormal.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+#include "util/logging.hh"
+
+namespace ar::dist
+{
+
+LogNormal::LogNormal(double mu, double sigma) : mu(mu), sigma(sigma)
+{
+    if (sigma <= 0.0)
+        ar::util::fatal("LogNormal: sigma must be positive, got ",
+                        sigma);
+}
+
+LogNormal
+LogNormal::fromMeanStddev(double mean, double stddev)
+{
+    if (mean <= 0.0 || stddev <= 0.0)
+        ar::util::fatal("LogNormal::fromMeanStddev: mean and stddev "
+                        "must be positive; got mean=", mean,
+                        " stddev=", stddev);
+    const double ratio2 = (stddev / mean) * (stddev / mean);
+    const double sigma2 = std::log1p(ratio2);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return LogNormal(mu, std::sqrt(sigma2));
+}
+
+double
+LogNormal::sample(ar::util::Rng &rng) const
+{
+    return std::exp(rng.gaussian(mu, sigma));
+}
+
+double
+LogNormal::mean() const
+{
+    return std::exp(mu + 0.5 * sigma * sigma);
+}
+
+double
+LogNormal::stddev() const
+{
+    const double s2 = sigma * sigma;
+    return mean() * std::sqrt(std::expm1(s2));
+}
+
+double
+LogNormal::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return ar::math::normalCdf((std::log(x) - mu) / sigma);
+}
+
+double
+LogNormal::quantile(double p) const
+{
+    return std::exp(mu + sigma * ar::math::normalQuantile(
+        ar::math::clamp(p, 1e-15, 1.0 - 1e-15)));
+}
+
+double
+LogNormal::sampleFromUniform(double u) const
+{
+    return quantile(u);
+}
+
+double
+LogNormal::pdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    const double z = (std::log(x) - mu) / sigma;
+    return ar::math::normalPdf(z) / (x * sigma);
+}
+
+std::string
+LogNormal::describe() const
+{
+    std::ostringstream oss;
+    oss << "LogNormal(" << mu << ", " << sigma << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+LogNormal::clone() const
+{
+    return std::make_unique<LogNormal>(*this);
+}
+
+} // namespace ar::dist

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Log-normal distribution.  The paper models fabricated core
+ * performance as LogNormal (Table 2, Eq. 14), parameterized so that
+ * its mean follows Pollack's Rule and its variance hits the desired
+ * uncertainty level; fromMeanStddev() provides exactly that mapping.
+ */
+
+#ifndef AR_DIST_LOGNORMAL_HH
+#define AR_DIST_LOGNORMAL_HH
+
+#include "dist/distribution.hh"
+
+namespace ar::dist
+{
+
+/** Log-normal: exp(N(mu, sigma^2)). */
+class LogNormal : public Distribution
+{
+  public:
+    /**
+     * @param mu Location of the underlying Gaussian.
+     * @param sigma Scale of the underlying Gaussian (> 0).
+     */
+    LogNormal(double mu, double sigma);
+
+    /**
+     * Construct the log-normal with the requested arithmetic mean and
+     * standard deviation.
+     *
+     * @param mean Target mean (> 0).
+     * @param stddev Target standard deviation (> 0).
+     */
+    static LogNormal fromMeanStddev(double mean, double stddev);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override;
+    double stddev() const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    double pdf(double x) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return location parameter of the underlying Gaussian. */
+    double mu_param() const { return mu; }
+
+    /** @return scale parameter of the underlying Gaussian. */
+    double sigma_param() const { return sigma; }
+
+  private:
+    double mu;
+    double sigma;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_LOGNORMAL_HH

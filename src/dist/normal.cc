@@ -1,0 +1,150 @@
+#include "dist/normal.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+#include "util/logging.hh"
+
+namespace ar::dist
+{
+
+Normal::Normal(double mu, double sigma) : mu(mu), sigma(sigma)
+{
+    if (sigma <= 0.0)
+        ar::util::fatal("Normal: sigma must be positive, got ", sigma);
+}
+
+double
+Normal::sample(ar::util::Rng &rng) const
+{
+    return rng.gaussian(mu, sigma);
+}
+
+double
+Normal::cdf(double x) const
+{
+    return ar::math::normalCdf((x - mu) / sigma);
+}
+
+double
+Normal::quantile(double p) const
+{
+    return mu + sigma * ar::math::normalQuantile(p);
+}
+
+double
+Normal::sampleFromUniform(double u) const
+{
+    return quantile(ar::math::clamp(u, 1e-15, 1.0 - 1e-15));
+}
+
+double
+Normal::pdf(double x) const
+{
+    return ar::math::normalPdf((x - mu) / sigma) / sigma;
+}
+
+std::string
+Normal::describe() const
+{
+    std::ostringstream oss;
+    oss << "Normal(" << mu << ", " << sigma << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Normal::clone() const
+{
+    return std::make_unique<Normal>(*this);
+}
+
+TruncatedNormal::TruncatedNormal(double mu, double sigma, double lo,
+                                 double hi)
+    : mu(mu), sigma(sigma), lo(lo), hi(hi)
+{
+    if (sigma <= 0.0)
+        ar::util::fatal("TruncatedNormal: sigma must be positive, got ",
+                        sigma);
+    if (!(hi > lo))
+        ar::util::fatal("TruncatedNormal: invalid range [", lo, ", ",
+                        hi, "]");
+    const double alpha = (lo - mu) / sigma;
+    const double beta = (hi - mu) / sigma;
+    cdf_lo = ar::math::normalCdf(alpha);
+    cdf_hi = ar::math::normalCdf(beta);
+    mass = cdf_hi - cdf_lo;
+    if (mass <= 0.0)
+        ar::util::fatal("TruncatedNormal: no probability mass in [",
+                        lo, ", ", hi, "]");
+
+    const double phi_a = ar::math::normalPdf(alpha);
+    const double phi_b = ar::math::normalPdf(beta);
+    const double ratio = (phi_a - phi_b) / mass;
+    mean_ = mu + sigma * ratio;
+    const double term = (alpha * phi_a - beta * phi_b) / mass;
+    const double var = sigma * sigma * (1.0 + term - ratio * ratio);
+    stddev_ = std::sqrt(std::max(var, 0.0));
+}
+
+double
+TruncatedNormal::sample(ar::util::Rng &rng) const
+{
+    return sampleFromUniform(rng.uniform());
+}
+
+double
+TruncatedNormal::cdf(double x) const
+{
+    if (x <= lo)
+        return 0.0;
+    if (x >= hi)
+        return 1.0;
+    return (ar::math::normalCdf((x - mu) / sigma) - cdf_lo) / mass;
+}
+
+double
+TruncatedNormal::quantile(double p) const
+{
+    if (p <= 0.0)
+        return lo;
+    if (p >= 1.0)
+        return hi;
+    const double u = cdf_lo + p * mass;
+    const double x =
+        mu + sigma * ar::math::normalQuantile(
+            ar::math::clamp(u, 1e-15, 1.0 - 1e-15));
+    return ar::math::clamp(x, lo, hi);
+}
+
+double
+TruncatedNormal::sampleFromUniform(double u) const
+{
+    return quantile(u);
+}
+
+double
+TruncatedNormal::pdf(double x) const
+{
+    if (x < lo || x > hi)
+        return 0.0;
+    return ar::math::normalPdf((x - mu) / sigma) / (sigma * mass);
+}
+
+std::string
+TruncatedNormal::describe() const
+{
+    std::ostringstream oss;
+    oss << "TruncatedNormal(" << mu << ", " << sigma << ", [" << lo
+        << ", " << hi << "])";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+TruncatedNormal::clone() const
+{
+    return std::make_unique<TruncatedNormal>(*this);
+}
+
+} // namespace ar::dist

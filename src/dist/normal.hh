@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Gaussian and truncated-Gaussian distributions.  The truncated form
+ * is used for bounded model inputs such as the parallel fraction f
+ * (domain [0, 1]) when Gaussian uncertainty is injected (Table 3).
+ */
+
+#ifndef AR_DIST_NORMAL_HH
+#define AR_DIST_NORMAL_HH
+
+#include "dist/distribution.hh"
+
+namespace ar::dist
+{
+
+/** Gaussian N(mu, sigma^2). */
+class Normal : public Distribution
+{
+  public:
+    /** @param mu Mean. @param sigma Standard deviation (> 0). */
+    Normal(double mu, double sigma);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return mu; }
+    double stddev() const override { return sigma; }
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    double pdf(double x) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the location parameter. */
+    double mu_param() const { return mu; }
+
+    /** @return the scale parameter. */
+    double sigma_param() const { return sigma; }
+
+  private:
+    double mu;
+    double sigma;
+};
+
+/**
+ * Gaussian truncated to [lo, hi].  Sampling uses exact inverse-CDF so
+ * heavy truncation costs nothing extra.
+ */
+class TruncatedNormal : public Distribution
+{
+  public:
+    /**
+     * @param mu Location of the parent Gaussian.
+     * @param sigma Scale of the parent Gaussian (> 0).
+     * @param lo Lower truncation bound.
+     * @param hi Upper truncation bound (> lo).
+     */
+    TruncatedNormal(double mu, double sigma, double lo, double hi);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override { return mean_; }
+    double stddev() const override { return stddev_; }
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double sampleFromUniform(double u) const override;
+    double pdf(double x) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return lower truncation bound. */
+    double lowerBound() const { return lo; }
+
+    /** @return upper truncation bound. */
+    double upperBound() const { return hi; }
+
+  private:
+    double mu;
+    double sigma;
+    double lo;
+    double hi;
+    double cdf_lo;
+    double cdf_hi;
+    double mass;     ///< cdf_hi - cdf_lo of the parent Gaussian.
+    double mean_;
+    double stddev_;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_NORMAL_HH

@@ -1,0 +1,76 @@
+#include "explore/design_space.hh"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ar::explore
+{
+
+namespace
+{
+
+using ar::model::CoreConfig;
+using ar::model::CoreType;
+
+void
+recurse(const std::vector<double> &sizes, std::size_t next_size,
+        double remaining, std::vector<CoreType> &chosen,
+        std::set<std::string> &seen, std::vector<CoreConfig> &out)
+{
+    // Option 1: stop here; group any remaining area into one core.
+    {
+        std::vector<CoreType> cfg = chosen;
+        if (remaining > 0.0)
+            cfg.push_back({remaining, 1});
+        if (!cfg.empty()) {
+            CoreConfig config(std::move(cfg));
+            if (seen.insert(config.describe()).second)
+                out.push_back(std::move(config));
+        }
+    }
+    // Option 2: add more power-of-two cores (non-increasing sizes to
+    // avoid revisiting permutations).
+    for (std::size_t s = next_size; s < sizes.size(); ++s) {
+        const double size = sizes[s];
+        if (size > remaining)
+            continue;
+        unsigned count = 1;
+        std::vector<CoreType> &mut = chosen;
+        double left = remaining;
+        while (size * count <= remaining) {
+            mut.push_back({size, 1});
+            left = remaining - size * count;
+            recurse(sizes, s + 1, left, mut, seen, out);
+            ++count;
+        }
+        // Undo the pushes for this size.
+        for (unsigned i = 1; i < count; ++i)
+            mut.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<ar::model::CoreConfig>
+enumerateDesigns(const DesignSpaceParams &params)
+{
+    if (params.total_area <= 0.0 || params.min_core <= 0.0 ||
+        params.max_core < params.min_core) {
+        ar::util::fatal("enumerateDesigns: invalid parameters");
+    }
+    // Power-of-two sizes, largest first.
+    std::vector<double> sizes;
+    for (double s = params.max_core; s >= params.min_core; s /= 2.0)
+        sizes.push_back(s);
+
+    std::vector<ar::model::CoreConfig> out;
+    std::set<std::string> seen;
+    std::vector<ar::model::CoreType> chosen;
+    recurse(sizes, 0, params.total_area, chosen, seen, out);
+    return out;
+}
+
+} // namespace ar::explore

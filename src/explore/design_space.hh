@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CMP design-space enumeration (Section 4.2 of the paper): every
+ * configuration filling a fixed chip area with cores of power-of-two
+ * sizes, where leftover area is grouped into one additional core
+ * ("e.g. 8 cores of size 8 plus one core of size 192 is also valid").
+ */
+
+#ifndef AR_EXPLORE_DESIGN_SPACE_HH
+#define AR_EXPLORE_DESIGN_SPACE_HH
+
+#include <vector>
+
+#include "model/core_config.hh"
+
+namespace ar::explore
+{
+
+/** Enumeration bounds. */
+struct DesignSpaceParams
+{
+    double total_area = 256.0; ///< Chip budget (the paper uses 256).
+    double min_core = 8.0;     ///< Smallest power-of-two core size.
+    double max_core = 256.0;   ///< Largest power-of-two core size.
+};
+
+/**
+ * Enumerate all valid configurations: multisets of power-of-two core
+ * sizes in [min_core, max_core] with total at most the chip budget;
+ * any remaining area becomes one extra core.  Duplicates arising from
+ * remainder grouping are removed; every returned configuration
+ * consumes the budget exactly.
+ */
+std::vector<ar::model::CoreConfig>
+enumerateDesigns(const DesignSpaceParams &params = {});
+
+} // namespace ar::explore
+
+#endif // AR_EXPLORE_DESIGN_SPACE_HH

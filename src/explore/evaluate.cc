@@ -1,0 +1,262 @@
+#include "explore/evaluate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dist/discrete.hh"
+#include "extract/extract.hh"
+#include "math/numeric.hh"
+#include "model/hill_marty.hh"
+#include "model/yield.hh"
+#include "risk/arch_risk.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ar::explore
+{
+
+namespace
+{
+
+/** Stratified (one-dimensional Latin hypercube) pool of draws. */
+std::vector<double>
+stratifiedPool(const ar::dist::Distribution &dist, std::size_t trials,
+               ar::util::Rng &rng)
+{
+    std::vector<double> pool(trials);
+    const auto perm = rng.permutation(trials);
+    const double n = static_cast<double>(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+        const double u =
+            (static_cast<double>(perm[t]) + rng.uniform()) / n;
+        pool[t] = dist.sampleFromUniform(u);
+    }
+    return pool;
+}
+
+} // namespace
+
+DesignSpaceEvaluator::DesignSpaceEvaluator(
+    const std::vector<ar::model::CoreConfig> &designs_in,
+    const ar::model::AppParams &app_in,
+    const ar::model::UncertaintySpec &spec_in, const SweepConfig &cfg_in)
+    : designs(designs_in), app(app_in), spec(spec_in), cfg(cfg_in)
+{
+    if (cfg.trials == 0)
+        ar::util::fatal("DesignSpaceEvaluator: trials must be positive");
+    if (designs.empty())
+        ar::util::fatal("DesignSpaceEvaluator: empty design list");
+    if (cfg.approx_k == 1)
+        ar::util::fatal("DesignSpaceEvaluator: approx_k must be 0 "
+                        "(exact) or >= 2");
+    buildPools();
+}
+
+std::vector<double>
+DesignSpaceEvaluator::makePool(const ar::dist::Distribution &truth,
+                               ar::util::Rng &rng, double clamp_lo,
+                               double clamp_hi) const
+{
+    std::vector<double> pool;
+    if (cfg.approx_k == 0) {
+        pool = stratifiedPool(truth, cfg.trials, rng);
+    } else {
+        // Limited-data analyst: observe k samples, re-estimate the
+        // distribution (Figure 2), then sample the estimate.
+        const auto observed = truth.sampleMany(cfg.approx_k, rng);
+        const auto est =
+            ar::extract::extractUncertainty(observed).distribution;
+        pool = stratifiedPool(*est, cfg.trials, rng);
+    }
+    for (auto &v : pool)
+        v = ar::math::clamp(v, clamp_lo, clamp_hi);
+    return pool;
+}
+
+void
+DesignSpaceEvaluator::buildPools()
+{
+    ar::util::Rng rng(cfg.seed);
+    const std::size_t trials = cfg.trials;
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // Application parameter pools.
+    if (spec.sigma_f > 0.0) {
+        f_pool = makePool(*ar::model::groundTruthF(app, spec.sigma_f),
+                          rng, 0.0, 1.0);
+    } else {
+        f_pool.assign(trials, app.f);
+    }
+    if (spec.sigma_c > 0.0) {
+        c_pool = makePool(*ar::model::groundTruthC(app, spec.sigma_c),
+                          rng, 0.0, 1.0);
+    } else {
+        c_pool.assign(trials, app.c);
+    }
+
+    // Distinct core sizes and the largest per-size instance count.
+    for (const auto &config : designs) {
+        for (const auto &t : config.types()) {
+            auto it = std::find(size_values.begin(), size_values.end(),
+                                t.area);
+            std::size_t idx;
+            if (it == size_values.end()) {
+                size_values.push_back(t.area);
+                max_count.push_back(t.count);
+                idx = size_values.size() - 1;
+            } else {
+                idx = static_cast<std::size_t>(it -
+                                               size_values.begin());
+                max_count[idx] = std::max(max_count[idx], t.count);
+            }
+        }
+    }
+
+    // Per-size core-performance pools (one type-level draw per trial).
+    perf_pools.resize(size_values.size());
+    for (std::size_t s = 0; s < size_values.size(); ++s) {
+        const double area = size_values[s];
+        if (spec.sigma_perf > 0.0 || spec.sigma_design > 0.0) {
+            const auto dist = ar::model::groundTruthCorePerf(
+                area, spec.sigma_perf, spec.sigma_design, spec.gamma);
+            perf_pools[s] = makePool(*dist, rng, 0.0, inf);
+        } else {
+            perf_pools[s].assign(trials, std::sqrt(area));
+        }
+    }
+
+    if (!spec.fab)
+        return;
+
+    if (cfg.approx_k == 0) {
+        // Exact mode: per-size, per-instance survival prefix counts.
+        // Summing independent Bernoulli draws reproduces the
+        // Binomial(N, yield) of Table 2 exactly while letting every
+        // design share the same pools.
+        survivor_prefix.resize(size_values.size());
+        for (std::size_t s = 0; s < size_values.size(); ++s) {
+            const double yield = ar::model::yieldRate(size_values[s]);
+            const unsigned m_max = max_count[s];
+            auto &prefix = survivor_prefix[s];
+            prefix.assign(static_cast<std::size_t>(m_max) * trials, 0);
+            for (std::size_t t = 0; t < trials; ++t) {
+                std::uint16_t acc = 0;
+                for (unsigned m = 0; m < m_max; ++m) {
+                    if (rng.uniform() < yield)
+                        ++acc;
+                    prefix[static_cast<std::size_t>(m) * trials + t] =
+                        acc;
+                }
+            }
+        }
+        return;
+    }
+
+    // Approximate mode: the analyst observes working-core counts per
+    // (size, designed count) pair -- the quantity Table 2 actually
+    // models -- and re-estimates each.
+    for (const auto &config : designs) {
+        for (const auto &t : config.types()) {
+            const auto it = std::find(size_values.begin(),
+                                      size_values.end(), t.area);
+            const auto key = std::make_pair(
+                static_cast<std::size_t>(it - size_values.begin()),
+                t.count);
+            if (n_pools.count(key))
+                continue;
+            const auto truth =
+                ar::model::groundTruthCoreCount(t.area, t.count);
+            auto pool = makePool(*truth, rng, 0.0,
+                                 static_cast<double>(t.count));
+            // Working-core counts are physical integers.
+            for (auto &v : pool)
+                v = std::round(v);
+            n_pools.emplace(key, std::move(pool));
+        }
+    }
+}
+
+std::vector<DesignOutcome>
+DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
+                                  double reference_speedup)
+{
+    if (reference_speedup <= 0.0)
+        ar::util::fatal("DesignSpaceEvaluator: reference speedup must "
+                        "be positive, got ", reference_speedup);
+    const std::size_t trials = cfg.trials;
+    std::vector<DesignOutcome> outcomes(designs.size());
+    if (cfg.keep_samples)
+        kept.assign(designs.size(), {});
+
+    std::vector<std::size_t> size_index;
+    std::vector<const double *> n_pool_ptr;
+    std::vector<double> perf_buf;
+    std::vector<double> count_buf;
+    std::vector<double> samples(trials);
+
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        const auto &config = designs[d];
+        const auto &types = config.types();
+        const std::size_t k = types.size();
+
+        size_index.resize(k);
+        n_pool_ptr.assign(k, nullptr);
+        perf_buf.resize(k);
+        count_buf.resize(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto it = std::find(size_values.begin(),
+                                      size_values.end(), types[i].area);
+            size_index[i] = static_cast<std::size_t>(
+                it - size_values.begin());
+            if (spec.fab && cfg.approx_k > 0) {
+                n_pool_ptr[i] =
+                    n_pools.at({size_index[i], types[i].count})
+                        .data();
+            }
+        }
+
+        for (std::size_t t = 0; t < trials; ++t) {
+            for (std::size_t i = 0; i < k; ++i) {
+                const std::size_t s = size_index[i];
+                perf_buf[i] = perf_pools[s][t];
+                if (!spec.fab) {
+                    count_buf[i] =
+                        static_cast<double>(types[i].count);
+                } else if (cfg.approx_k == 0) {
+                    const unsigned m = types[i].count;
+                    count_buf[i] = static_cast<double>(
+                        survivor_prefix[s][static_cast<std::size_t>(
+                                               m - 1) *
+                                               trials +
+                                           t]);
+                } else {
+                    count_buf[i] = n_pool_ptr[i][t];
+                }
+            }
+            const double speedup = ar::model::HillMartyEvaluator::
+                speedup(f_pool[t], c_pool[t], perf_buf, count_buf);
+            samples[t] = speedup / reference_speedup;
+        }
+
+        DesignOutcome &out = outcomes[d];
+        out.design_index = d;
+        out.expected = ar::math::mean(samples);
+        out.stddev = trials > 1 ? ar::math::stddev(samples) : 0.0;
+        out.risk = ar::risk::archRisk(samples, 1.0, fn);
+        if (cfg.keep_samples)
+            kept[d] = samples;
+    }
+    return outcomes;
+}
+
+const std::vector<double> &
+DesignSpaceEvaluator::samples(std::size_t design_index) const
+{
+    if (!cfg.keep_samples)
+        ar::util::fatal("DesignSpaceEvaluator::samples: enable "
+                        "keep_samples in SweepConfig first");
+    return kept.at(design_index);
+}
+
+} // namespace ar::explore

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fast whole-design-space evaluation under the ground-truth
+ * uncertainty models.
+ *
+ * Because the paper's per-type distributions depend only on core size
+ * (never on which configuration the type sits in), sample pools can
+ * be shared across the hundreds of enumerated designs: one f/c pool
+ * per application, one performance pool per distinct core size, and
+ * per-instance survival draws per size for fabrication yield.  Shared
+ * pools are also common-random-number variance reduction, making
+ * cross-design comparisons (arg-max selection) far less noisy than
+ * independent runs.  Tests verify this path agrees with the generic
+ * symbolic Propagator pipeline.
+ */
+
+#ifndef AR_EXPLORE_EVALUATE_HH
+#define AR_EXPLORE_EVALUATE_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/uncertainty.hh"
+#include "risk/risk_function.hh"
+
+namespace ar::explore
+{
+
+/** Per-design evaluation outcome. */
+struct DesignOutcome
+{
+    std::size_t design_index = 0; ///< Index into the design list.
+    double expected = 0.0;        ///< Mean normalized performance.
+    double stddev = 0.0;          ///< Stddev of normalized perf.
+    double risk = 0.0;            ///< Architectural risk (Eq. 2).
+};
+
+/** Settings for one design-space sweep. */
+struct SweepConfig
+{
+    std::size_t trials = 2000;    ///< MC trials per design.
+    std::uint64_t seed = 1;       ///< Pool sampling seed.
+    bool keep_samples = false;    ///< Retain per-design samples.
+
+    /**
+     * When non-zero, run the sweep the way an analyst with limited
+     * data would (Section 4.3 of the paper): each primitive input
+     * distribution is observed only approx_k times and re-estimated
+     * through the Figure-2 extraction pipeline before sampling.
+     */
+    std::size_t approx_k = 0;
+};
+
+/**
+ * Evaluate every design of a list under one (app, uncertainty) point.
+ *
+ * Performance samples are normalized by @p reference_speedup and risk
+ * is computed against normalized reference 1.0, matching the paper's
+ * presentation (performance relative to the conventional design).
+ */
+class DesignSpaceEvaluator
+{
+  public:
+    /**
+     * @param designs Enumerated configurations (borrowed; must
+     *        outlive the evaluator).
+     * @param app Application class.
+     * @param spec Injected uncertainty levels.
+     * @param cfg Trial count / seed / retention.
+     */
+    DesignSpaceEvaluator(const std::vector<ar::model::CoreConfig> &designs,
+                         const ar::model::AppParams &app,
+                         const ar::model::UncertaintySpec &spec,
+                         const SweepConfig &cfg = {});
+
+    /**
+     * Run the sweep.
+     *
+     * @param fn Risk function.
+     * @param reference_speedup Reference performance P in raw speedup
+     *        units (typically the conventional design's certain
+     *        speedup).
+     * @return one outcome per design, same order as the design list.
+     */
+    std::vector<DesignOutcome>
+    evaluateAll(const ar::risk::RiskFunction &fn,
+                double reference_speedup);
+
+    /**
+     * Normalized performance samples of one design from the last
+     * evaluateAll() call; requires cfg.keep_samples.
+     */
+    const std::vector<double> &samples(std::size_t design_index) const;
+
+  private:
+    void buildPools();
+
+    /**
+     * Ground-truth pool, or -- in approximate mode -- a pool drawn
+     * from the distribution extracted from approx_k observations of
+     * the ground truth.
+     */
+    std::vector<double> makePool(const ar::dist::Distribution &truth,
+                                 ar::util::Rng &rng, double clamp_lo,
+                                 double clamp_hi) const;
+
+    const std::vector<ar::model::CoreConfig> &designs;
+    ar::model::AppParams app;
+    ar::model::UncertaintySpec spec;
+    SweepConfig cfg;
+
+    // Shared sample pools, one entry per trial.
+    std::vector<double> f_pool;
+    std::vector<double> c_pool;
+    std::vector<double> size_values;              ///< Distinct sizes.
+    std::vector<std::vector<double>> perf_pools;  ///< [size][trial]
+    /// survivors[size][m * trials + t] = working cores among the
+    /// first (m + 1) instances of this size in trial t (exact mode).
+    std::vector<std::vector<std::uint16_t>> survivor_prefix;
+    std::vector<unsigned> max_count;              ///< Per size.
+    /// Approximate mode: N pools per (size index, designed count).
+    std::map<std::pair<std::size_t, unsigned>, std::vector<double>>
+        n_pools;
+
+    std::vector<std::vector<double>> kept;        ///< Optional samples.
+};
+
+} // namespace ar::explore
+
+#endif // AR_EXPLORE_EVALUATE_HH

@@ -1,0 +1,95 @@
+#include "explore/optimality.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::explore
+{
+
+std::string
+toString(DesignClass cls)
+{
+    switch (cls) {
+      case DesignClass::Opt:
+        return "Opt";
+      case DesignClass::PerfOptOnly:
+        return "PerfOptOnly";
+      case DesignClass::SubOpt:
+        return "SubOpt";
+      case DesignClass::SubOptTradeoff:
+        return "SubOpt+Tradeoff";
+    }
+    ar::util::panic("toString: invalid DesignClass");
+}
+
+std::size_t
+argmaxExpected(const std::vector<DesignOutcome> &outcomes)
+{
+    if (outcomes.empty())
+        ar::util::fatal("argmaxExpected: empty outcome list");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        if (outcomes[i].expected > outcomes[best].expected)
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+argminRisk(const std::vector<DesignOutcome> &outcomes)
+{
+    if (outcomes.empty())
+        ar::util::fatal("argminRisk: empty outcome list");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        if (outcomes[i].risk < outcomes[best].risk)
+            best = i;
+    }
+    return best;
+}
+
+OptimalityResult
+classifyDesigns(const std::vector<DesignOutcome> &outcomes,
+                std::size_t conventional, double rel_tol)
+{
+    if (conventional >= outcomes.size())
+        ar::util::fatal("classifyDesigns: conventional index out of "
+                        "range");
+
+    OptimalityResult res;
+    res.conventional = conventional;
+    res.perf_opt = argmaxExpected(outcomes);
+    res.risk_opt = argminRisk(outcomes);
+    res.conv_expected = outcomes[conventional].expected;
+    res.best_expected = outcomes[res.perf_opt].expected;
+    res.conv_risk = outcomes[conventional].risk;
+    res.best_risk = outcomes[res.risk_opt].risk;
+
+    // Ties within tolerance count as optimal: with common random
+    // numbers most noise cancels, but arg-max over hundreds of
+    // designs still needs a little slack.
+    const bool perf_optimal =
+        res.conv_expected >= res.best_expected * (1.0 - rel_tol);
+    const bool risk_optimal =
+        res.conv_risk <=
+        res.best_risk + rel_tol * std::max(1e-12, res.best_risk) +
+            1e-12;
+    const bool tradeoff =
+        outcomes[res.perf_opt].risk >
+            res.best_risk * (1.0 + rel_tol) + 1e-12 &&
+        res.best_expected >
+            outcomes[res.risk_opt].expected * (1.0 + rel_tol);
+
+    if (perf_optimal && risk_optimal)
+        res.cls = DesignClass::Opt;
+    else if (perf_optimal)
+        res.cls = DesignClass::PerfOptOnly;
+    else if (tradeoff)
+        res.cls = DesignClass::SubOptTradeoff;
+    else
+        res.cls = DesignClass::SubOpt;
+    return res;
+}
+
+} // namespace ar::explore

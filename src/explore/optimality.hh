@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Optimality analysis over a design-space sweep: locate the
+ * conventional (risk-oblivious), expected-performance-optimal, and
+ * risk-optimal designs, and classify the conventional design the way
+ * Figure 10 of the paper does.
+ */
+
+#ifndef AR_EXPLORE_OPTIMALITY_HH
+#define AR_EXPLORE_OPTIMALITY_HH
+
+#include <string>
+#include <vector>
+
+#include "explore/evaluate.hh"
+
+namespace ar::explore
+{
+
+/** Figure-10 classification of the conventional design. */
+enum class DesignClass
+{
+    Opt,            ///< Conventional optimal in perf AND risk.
+    PerfOptOnly,    ///< Conventional optimal only in expected perf.
+    SubOpt,         ///< Strictly sub-optimal, no perf/risk trade-off.
+    SubOptTradeoff, ///< Sub-optimal AND a trade-off space exists.
+};
+
+/** @return a short display label for a classification. */
+std::string toString(DesignClass cls);
+
+/** Result of classifying one (sigma_app, sigma_arch) grid point. */
+struct OptimalityResult
+{
+    std::size_t conventional = 0; ///< Risk-oblivious optimal design.
+    std::size_t perf_opt = 0;     ///< Expected-performance optimum.
+    std::size_t risk_opt = 0;     ///< Architectural-risk optimum.
+    DesignClass cls = DesignClass::Opt;
+    double conv_expected = 0.0;
+    double best_expected = 0.0;
+    double conv_risk = 0.0;
+    double best_risk = 0.0;
+};
+
+/**
+ * Classify the conventional design against a sweep's outcomes.
+ *
+ * @param outcomes Per-design outcomes from DesignSpaceEvaluator.
+ * @param conventional Index of the risk-oblivious optimal design.
+ * @param rel_tol Relative tolerance for treating two designs as tied
+ *        (absorbs residual Monte-Carlo noise).
+ */
+OptimalityResult classifyDesigns(
+    const std::vector<DesignOutcome> &outcomes,
+    std::size_t conventional, double rel_tol = 2e-3);
+
+/**
+ * @return the index of the expected-performance-optimal design.
+ */
+std::size_t argmaxExpected(const std::vector<DesignOutcome> &outcomes);
+
+/** @return the index of the risk-optimal design. */
+std::size_t argminRisk(const std::vector<DesignOutcome> &outcomes);
+
+} // namespace ar::explore
+
+#endif // AR_EXPLORE_OPTIMALITY_HH

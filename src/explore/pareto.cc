@@ -1,0 +1,42 @@
+#include "explore/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ar::explore
+{
+
+bool
+dominates(const DesignOutcome &a, const DesignOutcome &b)
+{
+    const bool no_worse = a.expected >= b.expected && a.risk <= b.risk;
+    const bool better = a.expected > b.expected || a.risk < b.risk;
+    return no_worse && better;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<DesignOutcome> &outcomes)
+{
+    std::vector<std::size_t> order(outcomes.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Sort by expected performance descending, risk ascending.
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (outcomes[a].expected != outcomes[b].expected)
+                      return outcomes[a].expected >
+                             outcomes[b].expected;
+                  return outcomes[a].risk < outcomes[b].risk;
+              });
+    std::vector<std::size_t> front;
+    double best_risk = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : order) {
+        if (outcomes[idx].risk < best_risk) {
+            front.push_back(idx);
+            best_risk = outcomes[idx].risk;
+        }
+    }
+    return front;
+}
+
+} // namespace ar::explore

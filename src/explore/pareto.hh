@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Pareto-front extraction in the (expected performance, risk) plane
+ * (Figure 11 of the paper): a design is Pareto-optimal when no other
+ * design has both higher expected performance and lower risk.
+ */
+
+#ifndef AR_EXPLORE_PARETO_HH
+#define AR_EXPLORE_PARETO_HH
+
+#include <vector>
+
+#include "explore/evaluate.hh"
+
+namespace ar::explore
+{
+
+/**
+ * Indices of the Pareto-optimal outcomes, ordered by descending
+ * expected performance (equivalently ascending risk along the front).
+ *
+ * @param outcomes Design outcomes (expected maximized, risk
+ *        minimized).
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<DesignOutcome> &outcomes);
+
+/**
+ * @return true when outcome @p a dominates @p b (at least as good in
+ * both objectives and strictly better in one).
+ */
+bool dominates(const DesignOutcome &a, const DesignOutcome &b);
+
+} // namespace ar::explore
+
+#endif // AR_EXPLORE_PARETO_HH

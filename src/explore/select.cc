@@ -1,0 +1,77 @@
+#include "explore/select.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "explore/pareto.hh"
+#include "util/logging.hh"
+
+namespace ar::explore
+{
+
+std::optional<std::size_t>
+minRiskWithPerfFloor(const std::vector<DesignOutcome> &outcomes,
+                     double perf_floor)
+{
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].expected < perf_floor)
+            continue;
+        if (!best || outcomes[i].risk < outcomes[*best].risk)
+            best = i;
+    }
+    return best;
+}
+
+std::optional<std::size_t>
+maxPerfWithRiskCap(const std::vector<DesignOutcome> &outcomes,
+                   double risk_cap)
+{
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].risk > risk_cap)
+            continue;
+        if (!best ||
+            outcomes[i].expected > outcomes[*best].expected) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t
+kneePoint(const std::vector<DesignOutcome> &outcomes)
+{
+    if (outcomes.empty())
+        ar::util::fatal("kneePoint: empty outcome list");
+    const auto front = paretoFront(outcomes);
+
+    double best_e = -std::numeric_limits<double>::infinity();
+    double worst_e = std::numeric_limits<double>::infinity();
+    double best_r = std::numeric_limits<double>::infinity();
+    double worst_r = -std::numeric_limits<double>::infinity();
+    for (std::size_t idx : front) {
+        best_e = std::max(best_e, outcomes[idx].expected);
+        worst_e = std::min(worst_e, outcomes[idx].expected);
+        best_r = std::min(best_r, outcomes[idx].risk);
+        worst_r = std::max(worst_r, outcomes[idx].risk);
+    }
+    const double e_span = std::max(best_e - worst_e, 1e-12);
+    const double r_span = std::max(worst_r - best_r, 1e-12);
+
+    std::size_t knee = front.front();
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : front) {
+        const double de =
+            (best_e - outcomes[idx].expected) / e_span;
+        const double dr = (outcomes[idx].risk - best_r) / r_span;
+        const double d = std::sqrt(de * de + dr * dr);
+        if (d < best_d) {
+            best_d = d;
+            knee = idx;
+        }
+    }
+    return knee;
+}
+
+} // namespace ar::explore

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Constrained design selection queries over sweep outcomes: the
+ * questions a project manager actually asks once the performance/
+ * risk plane is populated ("cheapest risk at no more than X%
+ * performance loss", "fastest design under a risk budget").
+ */
+
+#ifndef AR_EXPLORE_SELECT_HH
+#define AR_EXPLORE_SELECT_HH
+
+#include <optional>
+#include <vector>
+
+#include "explore/evaluate.hh"
+
+namespace ar::explore
+{
+
+/**
+ * Minimum-risk design whose expected performance is at least
+ * @p perf_floor.
+ *
+ * @param outcomes Sweep outcomes.
+ * @param perf_floor Expected-performance lower bound (same units as
+ *        DesignOutcome::expected).
+ * @return index of the best design, or std::nullopt when no design
+ *         meets the floor.
+ */
+std::optional<std::size_t>
+minRiskWithPerfFloor(const std::vector<DesignOutcome> &outcomes,
+                     double perf_floor);
+
+/**
+ * Maximum-expected-performance design whose risk does not exceed
+ * @p risk_cap.
+ *
+ * @return index of the best design, or std::nullopt when no design
+ *         fits the budget.
+ */
+std::optional<std::size_t>
+maxPerfWithRiskCap(const std::vector<DesignOutcome> &outcomes,
+                   double risk_cap);
+
+/**
+ * The "knee" of the Pareto front: the front point minimizing
+ * normalized distance to the utopia point (best expected, best
+ * risk).  A reasonable single recommendation when no explicit
+ * constraint is given.
+ *
+ * @param outcomes Sweep outcomes (must be non-empty).
+ */
+std::size_t kneePoint(const std::vector<DesignOutcome> &outcomes);
+
+} // namespace ar::explore
+
+#endif // AR_EXPLORE_SELECT_HH

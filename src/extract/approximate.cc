@@ -1,0 +1,25 @@
+#include "extract/approximate.hh"
+
+#include "util/logging.hh"
+
+namespace ar::extract
+{
+
+ar::mc::InputBindings
+approximateBindings(const ar::mc::InputBindings &truth, std::size_t k,
+                    const ExtractionConfig &cfg, ar::util::Rng &rng)
+{
+    if (k < 2)
+        ar::util::fatal("approximateBindings: need k >= 2 samples per "
+                        "input, got ", k);
+    ar::mc::InputBindings out;
+    out.fixed = truth.fixed;
+    for (const auto &[name, dist] : truth.uncertain) {
+        const auto observed = dist->sampleMany(k, rng);
+        out.uncertain[name] =
+            extractUncertainty(observed, cfg).distribution;
+    }
+    return out;
+}
+
+} // namespace ar::extract

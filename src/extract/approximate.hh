@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Whole-model approximation (Section 4.3 of the paper): replace every
+ * hidden ground-truth input distribution by one extracted from only k
+ * observed samples, producing the bindings an analyst with limited
+ * data would actually work from.
+ */
+
+#ifndef AR_EXTRACT_APPROXIMATE_HH
+#define AR_EXTRACT_APPROXIMATE_HH
+
+#include "extract/extract.hh"
+#include "mc/propagator.hh"
+#include "util/rng.hh"
+
+namespace ar::extract
+{
+
+/**
+ * Approximate a set of input bindings from k samples per input.
+ *
+ * Every uncertain distribution in @p truth is sampled k times and
+ * re-estimated through the extraction pipeline; fixed inputs pass
+ * through unchanged.
+ *
+ * @param truth Ground-truth bindings (the hidden models).
+ * @param k Observed sample count per uncertain input.
+ * @param cfg Extraction settings.
+ * @param rng Random stream for the observation draws.
+ */
+ar::mc::InputBindings approximateBindings(
+    const ar::mc::InputBindings &truth, std::size_t k,
+    const ExtractionConfig &cfg, ar::util::Rng &rng);
+
+} // namespace ar::extract
+
+#endif // AR_EXTRACT_APPROXIMATE_HH

@@ -1,0 +1,72 @@
+#include "extract/extract.hh"
+
+#include <algorithm>
+
+#include "dist/boxcox_dist.hh"
+#include "dist/empirical.hh"
+#include "util/logging.hh"
+
+namespace ar::extract
+{
+
+ExtractionResult
+extractUncertainty(std::span<const double> samples,
+                   const ExtractionConfig &cfg)
+{
+    if (samples.size() < 2)
+        ar::util::fatal("extractUncertainty: need >= 2 samples, got ",
+                        samples.size());
+    if (cfg.force_kde && cfg.force_boxcox)
+        ar::util::fatal("extractUncertainty: force_kde and "
+                        "force_boxcox are mutually exclusive");
+
+    ExtractionResult res;
+
+    const auto [min_it, max_it] =
+        std::minmax_element(samples.begin(), samples.end());
+    if (*min_it == *max_it) {
+        // No spread at all: a point mass is the only sane model.
+        res.method = ExtractionMethod::Degenerate;
+        res.distribution =
+            std::make_shared<ar::dist::Degenerate>(*min_it);
+        return res;
+    }
+
+    bool try_boxcox =
+        !cfg.force_kde && (samples.size() >= 8 || cfg.force_boxcox);
+    if (try_boxcox) {
+        res.boxcox = ar::stats::fitBoxCox(samples,
+                                          cfg.confidence_threshold);
+        if (res.boxcox.passed || cfg.force_boxcox) {
+            const auto transformed = res.boxcox.transform.apply(samples);
+            res.gauss = ar::stats::fitGaussian(transformed);
+            res.method = ExtractionMethod::BoxCoxBootstrap;
+            res.distribution = std::make_shared<ar::dist::BoxCoxGaussian>(
+                res.boxcox.transform, res.gauss.mean,
+                res.gauss.stddev * cfg.stddev_scale);
+            return res;
+        }
+    }
+
+    res.method = ExtractionMethod::Kde;
+    if (cfg.max_kde_points >= 2 &&
+        samples.size() > cfg.max_kde_points) {
+        // Deterministic subsample: evenly strided through the data.
+        std::vector<double> sub;
+        sub.reserve(cfg.max_kde_points);
+        const double step = static_cast<double>(samples.size()) /
+                            static_cast<double>(cfg.max_kde_points);
+        for (std::size_t i = 0; i < cfg.max_kde_points; ++i) {
+            sub.push_back(
+                samples[static_cast<std::size_t>(i * step)]);
+        }
+        res.distribution =
+            std::make_shared<ar::dist::KdeDistribution>(sub);
+    } else {
+        res.distribution =
+            std::make_shared<ar::dist::KdeDistribution>(samples);
+    }
+    return res;
+}
+
+} // namespace ar::extract

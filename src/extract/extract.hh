@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Architecture uncertainty model extraction (Figure 2 of the paper).
+ *
+ * Given a handful of observed data points from an unknown
+ * distribution, produce a sampleable Distribution:
+ *
+ *   1. Box-Cox test: can the data be transformed to normality with
+ *      confidence above the threshold?
+ *   2. If not: fall back to a Gaussian KDE of the raw data.
+ *   3. If yes: Box-Cox transform the data,
+ *   4. fit a Gaussian in the transformed domain (optionally rescaling
+ *      its stddev to hand-tune the uncertainty level), and
+ *   5. back-transform, yielding the bootstrapped distribution.
+ */
+
+#ifndef AR_EXTRACT_EXTRACT_HH
+#define AR_EXTRACT_EXTRACT_HH
+
+#include <span>
+
+#include "dist/distribution.hh"
+#include "stats/boxcox.hh"
+#include "stats/gaussian_fit.hh"
+
+namespace ar::extract
+{
+
+/** Extraction pipeline settings. */
+struct ExtractionConfig
+{
+    /** Box-Cox gate level (the paper uses 0.95). */
+    double confidence_threshold = 0.95;
+
+    /** Multiplier on the fitted stddev in Box-Cox space. */
+    double stddev_scale = 1.0;
+
+    /** Skip the Box-Cox path entirely and always use KDE. */
+    bool force_kde = false;
+
+    /** Skip the KDE fallback and always use Box-Cox (ablations). */
+    bool force_boxcox = false;
+
+    /**
+     * Largest sample fed to the KDE branch; bigger observation sets
+     * are deterministically subsampled first.  KDE accuracy saturates
+     * well below this size while its evaluation cost keeps growing
+     * linearly, so the cap trades nothing measurable for large
+     * constant-factor savings in the Monte-Carlo back-end.
+     */
+    std::size_t max_kde_points = 512;
+};
+
+/** Which branch of the Figure-2 pipeline produced the result. */
+enum class ExtractionMethod
+{
+    BoxCoxBootstrap,
+    Kde,
+    Degenerate, ///< Sample had zero spread.
+};
+
+/** Outcome of the extraction pipeline. */
+struct ExtractionResult
+{
+    ar::dist::DistPtr distribution;
+    ExtractionMethod method = ExtractionMethod::Kde;
+    ar::stats::BoxCoxFit boxcox;   ///< Valid for BoxCoxBootstrap.
+    ar::stats::GaussianFit gauss;  ///< Fit in transformed space.
+};
+
+/**
+ * Run the extraction pipeline on observed samples.
+ *
+ * @param samples Observed data points (>= 8 for the Box-Cox path).
+ * @param cfg Pipeline settings.
+ */
+ExtractionResult extractUncertainty(std::span<const double> samples,
+                                    const ExtractionConfig &cfg = {});
+
+} // namespace ar::extract
+
+#endif // AR_EXTRACT_EXTRACT_HH

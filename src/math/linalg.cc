@@ -1,0 +1,70 @@
+#include "math/linalg.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::math
+{
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+cholesky(const Matrix &a)
+{
+    const std::size_t n = a.size();
+    // Verify symmetry up to round-off.
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = r + 1; c < n; ++c) {
+            if (std::fabs(a.at(r, c) - a.at(c, r)) > 1e-9) {
+                ar::util::fatal("cholesky: matrix is not symmetric "
+                                "at (", r, ", ", c, ")");
+            }
+        }
+    }
+    Matrix l(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+            double acc = a.at(r, c);
+            for (std::size_t k = 0; k < c; ++k)
+                acc -= l.at(r, k) * l.at(c, k);
+            if (r == c) {
+                if (acc <= 1e-12) {
+                    ar::util::fatal("cholesky: matrix is not "
+                                    "positive definite (pivot ", acc,
+                                    " at ", r, ")");
+                }
+                l.at(r, c) = std::sqrt(acc);
+            } else {
+                l.at(r, c) = acc / l.at(c, c);
+            }
+        }
+    }
+    return l;
+}
+
+std::vector<double>
+matVec(const Matrix &m, const std::vector<double> &x)
+{
+    const std::size_t n = m.size();
+    if (x.size() != n)
+        ar::util::fatal("matVec: dimension mismatch (", n, " vs ",
+                        x.size(), ")");
+    std::vector<double> y(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < n; ++c)
+            acc += m.at(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+} // namespace ar::math

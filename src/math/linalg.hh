@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The small amount of dense linear algebra the library needs:
+ * symmetric positive-definite Cholesky factorization (used by the
+ * Gaussian copula for correlated uncertain inputs).
+ */
+
+#ifndef AR_MATH_LINALG_HH
+#define AR_MATH_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ar::math
+{
+
+/** Dense row-major square matrix. */
+class Matrix
+{
+  public:
+    /** Zero-initialized n x n matrix. */
+    explicit Matrix(std::size_t n) : n_(n), data(n * n, 0.0) {}
+
+    /** Mutable element access. */
+    double &at(std::size_t r, std::size_t c)
+    {
+        return data[r * n_ + c];
+    }
+
+    /** Element access. */
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data[r * n_ + c];
+    }
+
+    /** @return matrix dimension. */
+    std::size_t size() const { return n_; }
+
+    /** Identity matrix. */
+    static Matrix identity(std::size_t n);
+
+  private:
+    std::size_t n_;
+    std::vector<double> data;
+};
+
+/**
+ * Cholesky factorization A = L L^T of a symmetric positive-definite
+ * matrix.
+ *
+ * @param a Symmetric positive-definite input.
+ * @return lower-triangular L; fatal when A is not SPD (within a
+ *         small diagonal tolerance).
+ */
+Matrix cholesky(const Matrix &a);
+
+/** y = M x for a square matrix and equal-length vector. */
+std::vector<double> matVec(const Matrix &m,
+                           const std::vector<double> &x);
+
+} // namespace ar::math
+
+#endif // AR_MATH_LINALG_HH

@@ -1,0 +1,92 @@
+#include "math/numeric.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::math
+{
+
+double
+sum(std::span<const double> xs)
+{
+    KahanSum acc;
+    for (double x : xs)
+        acc.add(x);
+    return acc.value();
+}
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        ar::util::fatal("mean: empty input");
+    return sum(xs) / static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        ar::util::fatal("variance: need at least two samples, got ",
+                        xs.size());
+    const double m = mean(xs);
+    KahanSum acc;
+    for (double x : xs)
+        acc.add((x - m) * (x - m));
+    return acc.value() / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    if (n == 0)
+        ar::util::fatal("linspace: need at least one point");
+    std::vector<double> out(n);
+    if (n == 1) {
+        out[0] = lo;
+        return out;
+    }
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;
+    return out;
+}
+
+std::vector<double>
+logspace(double lo, double hi, std::size_t n)
+{
+    if (lo <= 0.0 || hi <= 0.0)
+        ar::util::fatal("logspace: endpoints must be positive");
+    auto grid = linspace(std::log(lo), std::log(hi), n);
+    for (double &g : grid)
+        g = std::exp(g);
+    if (!grid.empty()) {
+        grid.front() = lo;
+        grid.back() = hi;
+    }
+    return grid;
+}
+
+double
+clamp(double v, double lo, double hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+bool
+approxEqual(double a, double b, double rtol, double atol)
+{
+    return std::fabs(a - b) <=
+           atol + rtol * std::max(std::fabs(a), std::fabs(b));
+}
+
+} // namespace ar::math

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Numeric utilities: compensated summation, vector reductions, grids.
+ */
+
+#ifndef AR_MATH_NUMERIC_HH
+#define AR_MATH_NUMERIC_HH
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ar::math
+{
+
+/** Kahan-Neumaier compensated accumulator. */
+class KahanSum
+{
+  public:
+    /** Add one value. */
+    void
+    add(double v)
+    {
+        double t = total + v;
+        if (std::abs(total) >= std::abs(v))
+            comp += (total - t) + v;
+        else
+            comp += (v - t) + total;
+        total = t;
+    }
+
+    /** @return the compensated sum so far. */
+    double value() const { return total + comp; }
+
+  private:
+    double total = 0.0;
+    double comp = 0.0;
+};
+
+/** Compensated sum of a range. */
+double sum(std::span<const double> xs);
+
+/** Arithmetic mean (compensated); fatal on empty input. */
+double mean(std::span<const double> xs);
+
+/**
+ * Sample variance with Bessel's correction (n - 1 denominator);
+ * fatal on input with fewer than two elements.
+ */
+double variance(std::span<const double> xs);
+
+/** Sample standard deviation. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Evenly spaced grid of @p n points covering [lo, hi] inclusive.
+ * n == 1 yields {lo}.
+ */
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/** Geometrically spaced grid between positive endpoints, inclusive. */
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/** Clamp @p v into [lo, hi]. */
+double clamp(double v, double lo, double hi);
+
+/** @return true when |a - b| <= atol + rtol * max(|a|, |b|). */
+bool approxEqual(double a, double b, double rtol = 1e-9,
+                 double atol = 1e-12);
+
+} // namespace ar::math
+
+#endif // AR_MATH_NUMERIC_HH

@@ -1,0 +1,140 @@
+#include "math/optimize.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ar::math
+{
+
+ScalarResult
+goldenSectionMin(const std::function<double(double)> &f, double lo,
+                 double hi, double tol)
+{
+    if (!(lo < hi))
+        ar::util::fatal("goldenSectionMin: invalid bracket [", lo, ", ",
+                        hi, "]");
+    const double invphi = 0.6180339887498948482;
+    double a = lo, b = hi;
+    double c = b - invphi * (b - a);
+    double d = a + invphi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+    ScalarResult res;
+    const int max_iter = 200;
+    int it = 0;
+    while (b - a > tol && it < max_iter) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - invphi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + invphi * (b - a);
+            fd = f(d);
+        }
+        ++it;
+    }
+    res.x = 0.5 * (a + b);
+    res.value = f(res.x);
+    res.iterations = it;
+    res.converged = (b - a) <= tol;
+    return res;
+}
+
+ScalarResult
+brentRoot(const std::function<double(double)> &f, double lo, double hi,
+          double tol)
+{
+    double a = lo, b = hi;
+    double fa = f(a), fb = f(b);
+    if (fa * fb > 0.0)
+        ar::util::fatal("brentRoot: interval does not bracket a root; "
+                        "f(", a, ")=", fa, " f(", b, ")=", fb);
+    if (std::fabs(fa) < std::fabs(fb)) {
+        std::swap(a, b);
+        std::swap(fa, fb);
+    }
+    double c = a, fc = fa;
+    bool mflag = true;
+    double d = 0.0;
+    ScalarResult res;
+    const int max_iter = 200;
+    int it = 0;
+    while (fb != 0.0 && std::fabs(b - a) > tol && it < max_iter) {
+        double s;
+        if (fa != fc && fb != fc) {
+            // Inverse quadratic interpolation.
+            s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+                b * fa * fc / ((fb - fa) * (fb - fc)) +
+                c * fa * fb / ((fc - fa) * (fc - fb));
+        } else {
+            // Secant.
+            s = b - fb * (b - a) / (fb - fa);
+        }
+        const double mid = 0.5 * (a + b);
+        const bool cond1 = (s < std::min(mid, b) || s > std::max(mid, b));
+        const bool cond2 = mflag &&
+            std::fabs(s - b) >= std::fabs(b - c) / 2.0;
+        const bool cond3 = !mflag &&
+            std::fabs(s - b) >= std::fabs(c - d) / 2.0;
+        const bool cond4 = mflag && std::fabs(b - c) < tol;
+        const bool cond5 = !mflag && std::fabs(c - d) < tol;
+        if (cond1 || cond2 || cond3 || cond4 || cond5) {
+            s = mid;
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        const double fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if (fa * fs < 0.0) {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if (std::fabs(fa) < std::fabs(fb)) {
+            std::swap(a, b);
+            std::swap(fa, fb);
+        }
+        ++it;
+    }
+    res.x = b;
+    res.value = fb;
+    res.iterations = it;
+    res.converged = std::fabs(fb) <= 1e-9 || std::fabs(b - a) <= tol;
+    return res;
+}
+
+ScalarResult
+gridThenGoldenMin(const std::function<double(double)> &f, double lo,
+                  double hi, int grid_points, double tol)
+{
+    if (grid_points < 3)
+        ar::util::fatal("gridThenGoldenMin: need >= 3 grid points");
+    double best_x = lo;
+    double best_f = std::numeric_limits<double>::infinity();
+    const double step = (hi - lo) / (grid_points - 1);
+    for (int i = 0; i < grid_points; ++i) {
+        const double x = lo + step * i;
+        const double fx = f(x);
+        if (fx < best_f) {
+            best_f = fx;
+            best_x = x;
+        }
+    }
+    const double a = std::max(lo, best_x - step);
+    const double b = std::min(hi, best_x + step);
+    return goldenSectionMin(f, a, b, tol);
+}
+
+} // namespace ar::math

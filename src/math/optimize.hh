@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Scalar optimization and root finding: golden-section minimization and
+ * Brent's method.  Used by the Box-Cox lambda search and distribution
+ * quantile inversion.
+ */
+
+#ifndef AR_MATH_OPTIMIZE_HH
+#define AR_MATH_OPTIMIZE_HH
+
+#include <functional>
+
+namespace ar::math
+{
+
+/** Result of a scalar optimization. */
+struct ScalarResult
+{
+    double x = 0.0;      ///< Argmin / root location.
+    double value = 0.0;  ///< Function value at x.
+    int iterations = 0;  ///< Iterations consumed.
+    bool converged = false;
+};
+
+/**
+ * Golden-section search for the minimum of a unimodal function.
+ *
+ * @param f Objective.
+ * @param lo Lower bracket.
+ * @param hi Upper bracket.
+ * @param tol Absolute tolerance on x.
+ */
+ScalarResult goldenSectionMin(const std::function<double(double)> &f,
+                              double lo, double hi, double tol = 1e-8);
+
+/**
+ * Brent's method for a root of f on [lo, hi]; f(lo) and f(hi) must
+ * bracket a sign change.
+ */
+ScalarResult brentRoot(const std::function<double(double)> &f,
+                       double lo, double hi, double tol = 1e-12);
+
+/**
+ * Minimize over a coarse grid followed by golden-section refinement
+ * around the best grid cell.  Robust for multi-modal objectives such
+ * as profile likelihoods.
+ *
+ * @param f Objective.
+ * @param lo Lower bound of the search interval.
+ * @param hi Upper bound of the search interval.
+ * @param grid_points Number of coarse samples.
+ */
+ScalarResult gridThenGoldenMin(const std::function<double(double)> &f,
+                               double lo, double hi,
+                               int grid_points = 64, double tol = 1e-8);
+
+} // namespace ar::math
+
+#endif // AR_MATH_OPTIMIZE_HH

@@ -1,0 +1,265 @@
+#include "math/special.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ar::math
+{
+
+double
+erfInv(double x)
+{
+    if (x <= -1.0 || x >= 1.0) {
+        if (x == -1.0 || x == 1.0)
+            return x * std::numeric_limits<double>::infinity();
+        ar::util::fatal("erfInv: argument must lie in (-1, 1), got ", x);
+    }
+
+    // Initial approximation (Giles, 2010), then two Newton steps.
+    double w = -std::log((1.0 - x) * (1.0 + x));
+    double p;
+    if (w < 6.25) {
+        w -= 3.125;
+        p = -3.6444120640178196996e-21;
+        p = -1.685059138182016589e-19 + p * w;
+        p = 1.2858480715256400167e-18 + p * w;
+        p = 1.115787767802518096e-17 + p * w;
+        p = -1.333171662854620906e-16 + p * w;
+        p = 2.0972767875968561637e-17 + p * w;
+        p = 6.6376381343583238325e-15 + p * w;
+        p = -4.0545662729752068639e-14 + p * w;
+        p = -8.1519341976054721522e-14 + p * w;
+        p = 2.6335093153082322977e-12 + p * w;
+        p = -1.2975133253453532498e-11 + p * w;
+        p = -5.4154120542946279317e-11 + p * w;
+        p = 1.051212273321532285e-09 + p * w;
+        p = -4.1126339803469836976e-09 + p * w;
+        p = -2.9070369957882005086e-08 + p * w;
+        p = 4.2347877827932403518e-07 + p * w;
+        p = -1.3654692000834678645e-06 + p * w;
+        p = -1.3882523362786468719e-05 + p * w;
+        p = 0.0001867342080340571352 + p * w;
+        p = -0.00074070253416626697512 + p * w;
+        p = -0.0060336708714301490533 + p * w;
+        p = 0.24015818242558961693 + p * w;
+        p = 1.6536545626831027356 + p * w;
+    } else if (w < 16.0) {
+        w = std::sqrt(w) - 3.25;
+        p = 2.2137376921775787049e-09;
+        p = 9.0756561938885390979e-08 + p * w;
+        p = -2.7517406297064545428e-07 + p * w;
+        p = 1.8239629214389227755e-08 + p * w;
+        p = 1.5027403968909827627e-06 + p * w;
+        p = -4.013867526981545969e-06 + p * w;
+        p = 2.9234449089955446044e-06 + p * w;
+        p = 1.2475304481671778723e-05 + p * w;
+        p = -4.7318229009055733981e-05 + p * w;
+        p = 6.8284851459573175448e-05 + p * w;
+        p = 2.4031110387097893999e-05 + p * w;
+        p = -0.0003550375203628474796 + p * w;
+        p = 0.00095328937973738049703 + p * w;
+        p = -0.0016882755560235047313 + p * w;
+        p = 0.0024914420961078508066 + p * w;
+        p = -0.0037512085075692412107 + p * w;
+        p = 0.005370914553590063617 + p * w;
+        p = 1.0052589676941592334 + p * w;
+        p = 3.0838856104922207635 + p * w;
+    } else {
+        w = std::sqrt(w) - 5.0;
+        p = -2.7109920616438573243e-11;
+        p = -2.5556418169965252055e-10 + p * w;
+        p = 1.5076572693500548083e-09 + p * w;
+        p = -3.7894654401267369937e-09 + p * w;
+        p = 7.6157012080783393804e-09 + p * w;
+        p = -1.4960026627149240478e-08 + p * w;
+        p = 2.9147953450901080826e-08 + p * w;
+        p = -6.7711997758452339498e-08 + p * w;
+        p = 2.2900482228026654717e-07 + p * w;
+        p = -9.9298272942317002539e-07 + p * w;
+        p = 4.5260625972231537039e-06 + p * w;
+        p = -1.9681778105531670567e-05 + p * w;
+        p = 7.5995277030017761139e-05 + p * w;
+        p = -0.00021503011930044477347 + p * w;
+        p = -0.00013871931833623122026 + p * w;
+        p = 1.0103004648645343977 + p * w;
+        p = 4.8499064014085844221 + p * w;
+    }
+    double r = p * x;
+
+    // Newton refinement: solve erf(r) = x.
+    const double two_over_sqrt_pi = 1.1283791670955125739;
+    for (int iter = 0; iter < 2; ++iter) {
+        double err = std::erf(r) - x;
+        r -= err / (two_over_sqrt_pi * std::exp(-r * r));
+    }
+    return r;
+}
+
+double
+normalPdf(double x)
+{
+    static const double inv_sqrt_2pi = 0.3989422804014326779;
+    return inv_sqrt_2pi * std::exp(-0.5 * x * x);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x * 0.70710678118654752440);
+}
+
+double
+normalQuantile(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        ar::util::fatal("normalQuantile: p must lie in (0, 1), got ", p);
+    return 1.4142135623730950488 * erfInv(2.0 * p - 1.0);
+}
+
+namespace
+{
+
+/** Series representation of P(a, x), valid for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    const int max_iter = 500;
+    const double eps = 1e-15;
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int n = 0; n < max_iter; ++n) {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if (std::fabs(del) < std::fabs(sum) * eps)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Continued-fraction representation of Q(a, x), valid for x >= a + 1. */
+double
+gammaQContinued(double a, double x)
+{
+    const int max_iter = 500;
+    const double eps = 1e-15;
+    const double fpmin = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / fpmin;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= max_iter; ++i) {
+        double an = -static_cast<double>(i) * (i - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = b + an / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+/** Continued fraction for the incomplete beta function. */
+double
+betaContinued(double a, double b, double x)
+{
+    const int max_iter = 500;
+    const double eps = 1e-15;
+    const double fpmin = 1e-300;
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+gammaP(double a, double x)
+{
+    if (a <= 0.0 || x < 0.0)
+        ar::util::fatal("gammaP: need a > 0, x >= 0; got a=", a, " x=", x);
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinued(a, x);
+}
+
+double
+gammaQ(double a, double x)
+{
+    return 1.0 - gammaP(a, x);
+}
+
+double
+betaInc(double a, double b, double x)
+{
+    if (a <= 0.0 || b <= 0.0)
+        ar::util::fatal("betaInc: shapes must be positive; got a=", a,
+                        " b=", b);
+    if (x < 0.0 || x > 1.0)
+        ar::util::fatal("betaInc: x must lie in [0, 1]; got ", x);
+    if (x == 0.0)
+        return 0.0;
+    if (x == 1.0)
+        return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                            std::lgamma(b) + a * std::log(x) +
+                            b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinued(a, b, x) / a;
+    return 1.0 - front * betaContinued(b, a, 1.0 - x) / b;
+}
+
+double
+logBinomialCoef(unsigned n, unsigned k)
+{
+    if (k > n)
+        ar::util::fatal("logBinomialCoef: k (", k, ") > n (", n, ")");
+    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+           std::lgamma(n - k + 1.0);
+}
+
+} // namespace ar::math

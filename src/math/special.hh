@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Special mathematical functions needed by the statistics and
+ * distribution layers: inverse error function, Gaussian CDF/quantile,
+ * regularized incomplete gamma and beta functions.
+ *
+ * These are implemented from the standard series/continued-fraction
+ * expansions (Numerical Recipes style) so that the library carries no
+ * external numerical dependency.
+ */
+
+#ifndef AR_MATH_SPECIAL_HH
+#define AR_MATH_SPECIAL_HH
+
+namespace ar::math
+{
+
+/** Inverse error function, accurate to ~1e-12 via Newton refinement. */
+double erfInv(double x);
+
+/** Standard normal probability density. */
+double normalPdf(double x);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double x);
+
+/**
+ * Standard normal quantile (inverse CDF).
+ *
+ * @param p Probability in (0, 1).
+ */
+double normalQuantile(double p);
+
+/**
+ * Regularized lower incomplete gamma function P(a, x).
+ *
+ * @param a Shape, a > 0.
+ * @param x Argument, x >= 0.
+ */
+double gammaP(double a, double x);
+
+/** Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x). */
+double gammaQ(double a, double x);
+
+/**
+ * Regularized incomplete beta function I_x(a, b).
+ *
+ * @param a First shape, a > 0.
+ * @param b Second shape, b > 0.
+ * @param x Argument in [0, 1].
+ */
+double betaInc(double a, double b, double x);
+
+/** Natural log of the binomial coefficient C(n, k). */
+double logBinomialCoef(unsigned n, unsigned k);
+
+} // namespace ar::math
+
+#endif // AR_MATH_SPECIAL_HH

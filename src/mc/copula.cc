@@ -1,0 +1,72 @@
+#include "mc/copula.hh"
+
+#include <algorithm>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+#include "util/logging.hh"
+
+namespace ar::mc
+{
+
+GaussianCopula::GaussianCopula(std::vector<std::string> names,
+                               const std::vector<Correlation> &pairs)
+    : names_(std::move(names)),
+      chol(ar::math::Matrix::identity(names_.size()))
+{
+    if (names_.size() < 2)
+        ar::util::fatal("GaussianCopula: need at least two "
+                        "dimensions");
+
+    ar::math::Matrix corr =
+        ar::math::Matrix::identity(names_.size());
+    auto index_of = [&](const std::string &n) {
+        const auto it = std::find(names_.begin(), names_.end(), n);
+        if (it == names_.end())
+            ar::util::fatal("GaussianCopula: unknown dimension '", n,
+                            "'");
+        return static_cast<std::size_t>(it - names_.begin());
+    };
+    for (const auto &p : pairs) {
+        if (p.rho <= -1.0 || p.rho >= 1.0)
+            ar::util::fatal("GaussianCopula: correlation must lie in "
+                            "(-1, 1), got ", p.rho);
+        const std::size_t i = index_of(p.a);
+        const std::size_t j = index_of(p.b);
+        if (i == j)
+            ar::util::fatal("GaussianCopula: self-correlation for '",
+                            p.a, "'");
+        corr.at(i, j) = p.rho;
+        corr.at(j, i) = p.rho;
+    }
+    chol = ar::math::cholesky(corr);
+}
+
+void
+GaussianCopula::apply(UniformDesign &design,
+                      const std::vector<std::size_t> &dims) const
+{
+    const std::size_t k = names_.size();
+    if (dims.size() != k)
+        ar::util::fatal("GaussianCopula::apply: expected ", k,
+                        " column indices, got ", dims.size());
+    std::vector<double> z(k), zc(k);
+    for (std::size_t t = 0; t < design.trials(); ++t) {
+        for (std::size_t d = 0; d < k; ++d) {
+            const double u = ar::math::clamp(
+                design.at(t, dims[d]), 1e-12, 1.0 - 1e-12);
+            z[d] = ar::math::normalQuantile(u);
+        }
+        // zc = L z: correlated standard normals.
+        for (std::size_t r = 0; r < k; ++r) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c <= r; ++c)
+                acc += chol.at(r, c) * z[c];
+            zc[r] = acc;
+        }
+        for (std::size_t d = 0; d < k; ++d)
+            design.at(t, dims[d]) = ar::math::normalCdf(zc[d]);
+    }
+}
+
+} // namespace ar::mc

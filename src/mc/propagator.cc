@@ -1,0 +1,152 @@
+#include "mc/propagator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ar::mc
+{
+
+Propagator::Propagator(PropagationConfig cfg_in) : cfg(std::move(cfg_in))
+{
+    if (cfg.trials == 0)
+        ar::util::fatal("Propagator: trial count must be positive");
+}
+
+std::vector<double>
+Propagator::run(const ar::symbolic::CompiledExpr &fn,
+                const InputBindings &in, ar::util::Rng &rng) const
+{
+    return runMany({&fn}, in, rng).front();
+}
+
+std::vector<std::vector<double>>
+Propagator::runMany(
+    const std::vector<const ar::symbolic::CompiledExpr *> &fns,
+    const InputBindings &in, ar::util::Rng &rng) const
+{
+    // Union of uncertain variables actually used by any function.
+    std::vector<std::string> used;
+    for (const auto *fn : fns) {
+        if (!fn)
+            ar::util::panic("Propagator::runMany: null function");
+        for (const auto &arg : fn->argNames()) {
+            const bool is_uncertain = in.uncertain.count(arg) > 0;
+            const bool is_fixed = in.fixed.count(arg) > 0;
+            if (is_uncertain && is_fixed) {
+                ar::util::fatal("Propagator: '", arg,
+                                "' bound as both fixed and uncertain");
+            }
+            if (!is_uncertain && !is_fixed) {
+                ar::util::fatal("Propagator: no binding for model "
+                                "input '", arg, "'");
+            }
+            if (is_uncertain &&
+                std::find(used.begin(), used.end(), arg) == used.end()) {
+                used.push_back(arg);
+            }
+        }
+    }
+    std::sort(used.begin(), used.end());
+
+    const auto sampler = makeSampler(cfg.sampler);
+    UniformDesign design =
+        sampler->design(cfg.trials, used.size(), rng);
+
+    if (!in.correlations.empty()) {
+        // Validate names, then keep only the pairs where both sides
+        // are inputs of the evaluated functions (an unused input
+        // cannot influence the outputs, so its correlations are
+        // irrelevant here).
+        std::vector<Correlation> active;
+        for (const auto &corr : in.correlations) {
+            for (const auto &name : {corr.a, corr.b}) {
+                if (!in.uncertain.count(name)) {
+                    ar::util::fatal("Propagator: correlation names "
+                                    "unknown uncertain input '",
+                                    name, "'");
+                }
+            }
+            const bool a_used =
+                std::find(used.begin(), used.end(), corr.a) !=
+                used.end();
+            const bool b_used =
+                std::find(used.begin(), used.end(), corr.b) !=
+                used.end();
+            if (a_used && b_used)
+                active.push_back(corr);
+        }
+        if (!active.empty()) {
+            // Columns of the distinct variables named by the active
+            // pairs, in `used` order.
+            std::vector<std::string> involved;
+            std::vector<std::size_t> dims;
+            for (std::size_t k = 0; k < used.size(); ++k) {
+                for (const auto &corr : active) {
+                    if (corr.a == used[k] || corr.b == used[k]) {
+                        involved.push_back(used[k]);
+                        dims.push_back(k);
+                        break;
+                    }
+                }
+            }
+            const GaussianCopula copula(involved, active);
+            copula.apply(design, dims);
+        }
+    }
+
+    // Per-function argument plumbing: for each argument, either a
+    // fixed value or an index into the uncertain-draws row.
+    struct ArgPlan
+    {
+        bool is_uncertain;
+        std::size_t draw_index;
+        double fixed_value;
+    };
+    std::vector<std::vector<ArgPlan>> plans;
+    plans.reserve(fns.size());
+    for (const auto *fn : fns) {
+        std::vector<ArgPlan> plan;
+        plan.reserve(fn->argNames().size());
+        for (const auto &arg : fn->argNames()) {
+            if (auto it = in.fixed.find(arg); it != in.fixed.end()) {
+                plan.push_back({false, 0, it->second});
+            } else {
+                const auto pos = std::lower_bound(used.begin(),
+                                                  used.end(), arg);
+                plan.push_back(
+                    {true,
+                     static_cast<std::size_t>(pos - used.begin()),
+                     0.0});
+            }
+        }
+        plans.push_back(std::move(plan));
+    }
+
+    std::vector<const ar::dist::Distribution *> dists;
+    dists.reserve(used.size());
+    for (const auto &name : used)
+        dists.push_back(in.uncertain.at(name).get());
+
+    std::vector<std::vector<double>> results(
+        fns.size(), std::vector<double>(cfg.trials, 0.0));
+    std::vector<double> draws(used.size(), 0.0);
+    std::vector<double> argbuf;
+    for (std::size_t t = 0; t < cfg.trials; ++t) {
+        for (std::size_t k = 0; k < used.size(); ++k)
+            draws[k] = dists[k]->sampleFromUniform(design.at(t, k));
+        for (std::size_t f = 0; f < fns.size(); ++f) {
+            const auto &plan = plans[f];
+            argbuf.resize(plan.size());
+            for (std::size_t a = 0; a < plan.size(); ++a) {
+                argbuf[a] = plan[a].is_uncertain
+                                ? draws[plan[a].draw_index]
+                                : plan[a].fixed_value;
+            }
+            results[f][t] = fns[f]->eval(argbuf);
+        }
+    }
+    return results;
+}
+
+} // namespace ar::mc

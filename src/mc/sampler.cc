@@ -1,0 +1,47 @@
+#include "mc/sampler.hh"
+
+#include "util/logging.hh"
+
+namespace ar::mc
+{
+
+UniformDesign
+MonteCarloSampler::design(std::size_t trials, std::size_t dims,
+                          ar::util::Rng &rng) const
+{
+    UniformDesign d(trials, dims);
+    for (std::size_t t = 0; t < trials; ++t)
+        for (std::size_t k = 0; k < dims; ++k)
+            d.at(t, k) = rng.uniform();
+    return d;
+}
+
+UniformDesign
+LatinHypercubeSampler::design(std::size_t trials, std::size_t dims,
+                              ar::util::Rng &rng) const
+{
+    if (trials == 0)
+        ar::util::fatal("LatinHypercubeSampler: need at least 1 trial");
+    UniformDesign d(trials, dims);
+    const double n = static_cast<double>(trials);
+    for (std::size_t k = 0; k < dims; ++k) {
+        const auto perm = rng.permutation(trials);
+        for (std::size_t t = 0; t < trials; ++t) {
+            const double stratum = static_cast<double>(perm[t]);
+            d.at(t, k) = (stratum + rng.uniform()) / n;
+        }
+    }
+    return d;
+}
+
+std::unique_ptr<Sampler>
+makeSampler(const std::string &name)
+{
+    if (name == "monte-carlo")
+        return std::make_unique<MonteCarloSampler>();
+    if (name == "latin-hypercube")
+        return std::make_unique<LatinHypercubeSampler>();
+    ar::util::fatal("makeSampler: unknown sampler '", name, "'");
+}
+
+} // namespace ar::mc

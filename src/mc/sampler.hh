@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sampling plans for Monte-Carlo uncertainty propagation: independent
+ * uniform sampling and Latin-hypercube stratified sampling (the
+ * paper's choice, Figure 5 step 4, after mcerp).
+ */
+
+#ifndef AR_MC_SAMPLER_HH
+#define AR_MC_SAMPLER_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace ar::mc
+{
+
+/** Row-major trials x dims matrix of uniform variates in (0, 1). */
+class UniformDesign
+{
+  public:
+    /** @param trials Row count. @param dims Column count. */
+    UniformDesign(std::size_t trials, std::size_t dims)
+        : trials_(trials), dims_(dims), data(trials * dims, 0.0)
+    {}
+
+    /** Mutable element access. */
+    double &at(std::size_t trial, std::size_t dim)
+    {
+        return data[trial * dims_ + dim];
+    }
+
+    /** Element access. */
+    double at(std::size_t trial, std::size_t dim) const
+    {
+        return data[trial * dims_ + dim];
+    }
+
+    /** @return number of rows (trials). */
+    std::size_t trials() const { return trials_; }
+
+    /** @return number of columns (dimensions). */
+    std::size_t dims() const { return dims_; }
+
+  private:
+    std::size_t trials_;
+    std::size_t dims_;
+    std::vector<double> data;
+};
+
+/** Strategy interface producing a uniform design. */
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+
+    /** Generate a trials x dims design of uniforms in (0, 1). */
+    virtual UniformDesign design(std::size_t trials, std::size_t dims,
+                                 ar::util::Rng &rng) const = 0;
+
+    /** @return a short identifying name. */
+    virtual std::string name() const = 0;
+};
+
+/** Independent uniform sampling (plain Monte-Carlo). */
+class MonteCarloSampler : public Sampler
+{
+  public:
+    UniformDesign design(std::size_t trials, std::size_t dims,
+                         ar::util::Rng &rng) const override;
+    std::string name() const override { return "monte-carlo"; }
+};
+
+/**
+ * Latin-hypercube sampling: each dimension is divided into `trials`
+ * equal strata; every stratum is hit exactly once, with a random
+ * offset inside the stratum and an independent random permutation per
+ * dimension.
+ */
+class LatinHypercubeSampler : public Sampler
+{
+  public:
+    UniformDesign design(std::size_t trials, std::size_t dims,
+                         ar::util::Rng &rng) const override;
+    std::string name() const override { return "latin-hypercube"; }
+};
+
+/** Factory by name ("monte-carlo" or "latin-hypercube"). */
+std::unique_ptr<Sampler> makeSampler(const std::string &name);
+
+} // namespace ar::mc
+
+#endif // AR_MC_SAMPLER_HH

@@ -1,0 +1,151 @@
+#include "mc/sensitivity.hh"
+
+#include <algorithm>
+
+#include "math/numeric.hh"
+#include "mc/sampler.hh"
+#include "util/logging.hh"
+
+namespace ar::mc
+{
+
+const SobolIndex &
+SensitivityResult::of(const std::string &input) const
+{
+    for (const auto &idx : indices) {
+        if (idx.input == input)
+            return idx;
+    }
+    ar::util::fatal("SensitivityResult: no index for input '", input,
+                    "'");
+}
+
+SensitivityResult
+sobolIndices(const ar::symbolic::CompiledExpr &fn,
+             const InputBindings &in, const SensitivityConfig &cfg,
+             ar::util::Rng &rng)
+{
+    if (cfg.trials < 8)
+        ar::util::fatal("sobolIndices: need at least 8 trials");
+
+    // Uncertain inputs actually used by the model, sorted.
+    std::vector<std::string> names;
+    std::vector<const ar::dist::Distribution *> dists;
+    for (const auto &arg : fn.argNames()) {
+        if (auto it = in.uncertain.find(arg);
+            it != in.uncertain.end()) {
+            names.push_back(arg);
+            dists.push_back(it->second.get());
+        } else if (!in.fixed.count(arg)) {
+            ar::util::fatal("sobolIndices: no binding for model "
+                            "input '", arg, "'");
+        }
+    }
+    const std::size_t k = names.size();
+    if (k == 0)
+        ar::util::fatal("sobolIndices: model has no uncertain inputs");
+
+    const auto sampler = makeSampler(cfg.sampler);
+    const std::size_t n = cfg.trials;
+    const UniformDesign ua = sampler->design(n, k, rng);
+    const UniformDesign ub = sampler->design(n, k, rng);
+
+    // Value matrices in input space.
+    auto realize = [&](const UniformDesign &u, std::size_t trial,
+                       std::size_t dim) {
+        return dists[dim]->sampleFromUniform(u.at(trial, dim));
+    };
+
+    // Evaluation plumbing: map compiled argument order onto either a
+    // fixed value or an uncertain dimension.
+    struct ArgPlan
+    {
+        bool is_uncertain;
+        std::size_t dim;
+        double fixed_value;
+    };
+    std::vector<ArgPlan> plan;
+    plan.reserve(fn.argNames().size());
+    for (const auto &arg : fn.argNames()) {
+        const auto pos = std::find(names.begin(), names.end(), arg);
+        if (pos != names.end()) {
+            plan.push_back(
+                {true,
+                 static_cast<std::size_t>(pos - names.begin()),
+                 0.0});
+        } else {
+            plan.push_back({false, 0, in.fixed.at(arg)});
+        }
+    }
+
+    std::vector<double> row_a(k), row_b(k), argbuf(plan.size());
+    auto eval_with = [&](const std::vector<double> &row) {
+        for (std::size_t a = 0; a < plan.size(); ++a) {
+            argbuf[a] = plan[a].is_uncertain
+                            ? row[plan[a].dim]
+                            : plan[a].fixed_value;
+        }
+        return fn.eval(argbuf);
+    };
+
+    std::vector<double> fa(n), fb(n);
+    std::vector<std::vector<double>> fab(k, std::vector<double>(n));
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t d = 0; d < k; ++d) {
+            row_a[d] = realize(ua, t, d);
+            row_b[d] = realize(ub, t, d);
+        }
+        fa[t] = eval_with(row_a);
+        fb[t] = eval_with(row_b);
+        for (std::size_t i = 0; i < k; ++i) {
+            // AB_i: A with column i swapped in from B.
+            const double keep = row_a[i];
+            row_a[i] = row_b[i];
+            fab[i][t] = eval_with(row_a);
+            row_a[i] = keep;
+        }
+    }
+
+    // Output moments over the pooled A and B evaluations.
+    ar::math::KahanSum mean_acc;
+    for (std::size_t t = 0; t < n; ++t) {
+        mean_acc.add(fa[t]);
+        mean_acc.add(fb[t]);
+    }
+    const double mean = mean_acc.value() / (2.0 * n);
+    ar::math::KahanSum var_acc;
+    for (std::size_t t = 0; t < n; ++t) {
+        var_acc.add((fa[t] - mean) * (fa[t] - mean));
+        var_acc.add((fb[t] - mean) * (fb[t] - mean));
+    }
+    const double variance = var_acc.value() / (2.0 * n - 1.0);
+
+    SensitivityResult res;
+    res.output_mean = mean;
+    res.output_variance = variance;
+    res.trials = n;
+    res.indices.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        ar::math::KahanSum first_acc, total_acc;
+        for (std::size_t t = 0; t < n; ++t) {
+            const double db = fb[t] - fab[i][t];
+            const double da = fa[t] - fab[i][t];
+            first_acc.add(db * db);
+            total_acc.add(da * da);
+        }
+        SobolIndex &idx = res.indices[i];
+        idx.input = names[i];
+        if (variance > 0.0) {
+            // Jansen estimators.
+            idx.first_order =
+                1.0 - first_acc.value() / (2.0 * n * variance);
+            idx.total = total_acc.value() / (2.0 * n * variance);
+            idx.first_order =
+                ar::math::clamp(idx.first_order, 0.0, 1.0);
+            idx.total = ar::math::clamp(idx.total, 0.0, 1.5);
+        }
+    }
+    return res;
+}
+
+} // namespace ar::mc

@@ -1,0 +1,49 @@
+#include "model/app.hh"
+
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+AppParams
+appHPLC()
+{
+    return {"HPLC", 0.999, 0.001};
+}
+
+AppParams
+appHPHC()
+{
+    return {"HPHC", 0.999, 0.01};
+}
+
+AppParams
+appLPLC()
+{
+    return {"LPLC", 0.9, 0.001};
+}
+
+AppParams
+appLPHC()
+{
+    return {"LPHC", 0.9, 0.01};
+}
+
+std::vector<AppParams>
+standardApps()
+{
+    return {appHPLC(), appHPHC(), appLPLC(), appLPHC()};
+}
+
+AppParams
+appByName(const std::string &name)
+{
+    for (const auto &app : standardApps()) {
+        if (app.name == name)
+            return app;
+    }
+    ar::util::fatal("appByName: unknown application class '", name,
+                    "' (expected HPLC, HPHC, LPLC, or LPHC)");
+}
+
+} // namespace ar::model

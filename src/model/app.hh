@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Application workload classes.  The paper characterizes applications
+ * by the parallelizable fraction f and the unit communication
+ * overhead c, and studies the four corner classes HPLC / HPHC / LPLC /
+ * LPHC (Section 4.1).
+ */
+
+#ifndef AR_MODEL_APP_HH
+#define AR_MODEL_APP_HH
+
+#include <string>
+#include <vector>
+
+namespace ar::model
+{
+
+/** Application characteristics for the Hill-Marty model. */
+struct AppParams
+{
+    std::string name;
+    double f = 0.9;   ///< Parallelizable fraction (Amdahl's f).
+    double c = 0.001; ///< Unit communication overhead.
+};
+
+/** High parallelism (f = 0.999), low communication (c = 0.001). */
+AppParams appHPLC();
+
+/** High parallelism (f = 0.999), high communication (c = 0.01). */
+AppParams appHPHC();
+
+/** Low parallelism (f = 0.9), low communication (c = 0.001). */
+AppParams appLPLC();
+
+/** Low parallelism (f = 0.9), high communication (c = 0.01). */
+AppParams appLPHC();
+
+/** The four paper classes in presentation order. */
+std::vector<AppParams> standardApps();
+
+/** Lookup by class name; fatal on unknown names. */
+AppParams appByName(const std::string &name);
+
+} // namespace ar::model
+
+#endif // AR_MODEL_APP_HH

@@ -1,0 +1,137 @@
+#include "model/core_config.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ar::model
+{
+
+CoreConfig::CoreConfig(std::vector<CoreType> types)
+{
+    for (const auto &t : types) {
+        if (t.count == 0)
+            continue;
+        if (t.area <= 0.0)
+            ar::util::fatal("CoreConfig: core area must be positive, "
+                            "got ", t.area);
+        bool merged = false;
+        for (auto &existing : types_) {
+            if (existing.area == t.area) {
+                existing.count += t.count;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            types_.push_back(t);
+    }
+    std::sort(types_.begin(), types_.end(),
+              [](const CoreType &a, const CoreType &b) {
+                  return a.area > b.area;
+              });
+}
+
+unsigned
+CoreConfig::totalCores() const
+{
+    unsigned n = 0;
+    for (const auto &t : types_)
+        n += t.count;
+    return n;
+}
+
+double
+CoreConfig::totalArea() const
+{
+    double a = 0.0;
+    for (const auto &t : types_)
+        a += t.area * static_cast<double>(t.count);
+    return a;
+}
+
+std::string
+CoreConfig::describe() const
+{
+    if (types_.empty())
+        return "(empty)";
+    std::ostringstream oss;
+    bool first = true;
+    for (const auto &t : types_) {
+        if (!first)
+            oss << " + ";
+        oss << t.count << "x" << ar::util::formatDouble(t.area);
+        first = false;
+    }
+    return oss.str();
+}
+
+CoreConfig
+CoreConfig::parse(const std::string &text)
+{
+    std::vector<CoreType> types;
+    for (const auto &part : ar::util::split(text, '+')) {
+        const std::string item = ar::util::trim(part);
+        if (item.empty())
+            ar::util::fatal("CoreConfig::parse: empty term in '", text,
+                            "'");
+        const auto x_pos = item.find('x');
+        if (x_pos == std::string::npos)
+            ar::util::fatal("CoreConfig::parse: expected COUNTxAREA in "
+                            "'", item, "'");
+        double count = 0.0, area = 0.0;
+        if (!ar::util::parseDouble(item.substr(0, x_pos), count) ||
+            !ar::util::parseDouble(item.substr(x_pos + 1), area)) {
+            ar::util::fatal("CoreConfig::parse: malformed term '", item,
+                            "'");
+        }
+        if (count < 1.0 || count != static_cast<unsigned>(count))
+            ar::util::fatal("CoreConfig::parse: count must be a "
+                            "positive integer in '", item, "'");
+        types.push_back({area, static_cast<unsigned>(count)});
+    }
+    return CoreConfig(std::move(types));
+}
+
+CoreConfig
+CoreConfig::symmetric(unsigned count, double area)
+{
+    return CoreConfig({{area, count}});
+}
+
+bool
+CoreConfig::operator==(const CoreConfig &other) const
+{
+    if (types_.size() != other.types_.size())
+        return false;
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+        if (types_[i].area != other.types_[i].area ||
+            types_[i].count != other.types_[i].count) {
+            return false;
+        }
+    }
+    return true;
+}
+
+CoreConfig
+symCores()
+{
+    return CoreConfig::symmetric(32, 8.0);
+}
+
+CoreConfig
+asymCores()
+{
+    return CoreConfig({{128.0, 1}, {8.0, 16}});
+}
+
+CoreConfig
+heteroCores()
+{
+    return CoreConfig({{128.0, 1}, {64.0, 1}, {32.0, 1}, {16.0, 1},
+                       {8.0, 2}});
+}
+
+} // namespace ar::model

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CMP core configurations: multisets of (core area, count) pairs under
+ * a total chip-area budget.  The canonical form (sorted by area
+ * descending, equal areas merged) makes configurations comparable and
+ * hashable for design-space enumeration.
+ */
+
+#ifndef AR_MODEL_CORE_CONFIG_HH
+#define AR_MODEL_CORE_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace ar::model
+{
+
+/** One core type: a size (area in resource units) and a count. */
+struct CoreType
+{
+    double area = 0.0;
+    unsigned count = 0;
+};
+
+/** A chip configuration: a canonical multiset of core types. */
+class CoreConfig
+{
+  public:
+    CoreConfig() = default;
+
+    /**
+     * Build from raw (area, count) pairs; merges equal areas, drops
+     * zero counts, and sorts by area descending.
+     */
+    explicit CoreConfig(std::vector<CoreType> types);
+
+    /** @return the canonical core-type list (area descending). */
+    const std::vector<CoreType> &types() const { return types_; }
+
+    /** @return number of distinct core types. */
+    std::size_t numTypes() const { return types_.size(); }
+
+    /** @return total core count. */
+    unsigned totalCores() const;
+
+    /** @return total consumed area. */
+    double totalArea() const;
+
+    /**
+     * Render as e.g. "1x128 + 16x8" (count x area, area descending).
+     * This string is the canonical key of the configuration.
+     */
+    std::string describe() const;
+
+    /**
+     * Parse "1x128 + 16x8" (whitespace optional).  Fatal on syntax
+     * errors.
+     */
+    static CoreConfig parse(const std::string &text);
+
+    /** n identical cores of the given area. */
+    static CoreConfig symmetric(unsigned count, double area);
+
+    /** Equality on canonical form. */
+    bool operator==(const CoreConfig &other) const;
+
+  private:
+    std::vector<CoreType> types_;
+};
+
+/** The paper's three running examples (Figure 6). */
+CoreConfig symCores();    ///< 32x8
+CoreConfig asymCores();   ///< 1x128 + 16x8
+CoreConfig heteroCores(); ///< 1x128 + 1x64 + 1x32 + 1x16 + 2x8
+
+} // namespace ar::model
+
+#endif // AR_MODEL_CORE_CONFIG_HH

@@ -1,0 +1,150 @@
+#include "model/hill_marty.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+namespace names
+{
+
+std::string
+corePerf(std::size_t i)
+{
+    std::ostringstream oss;
+    oss << "P_core" << i;
+    return oss.str();
+}
+
+std::string
+coreCount(std::size_t i)
+{
+    std::ostringstream oss;
+    oss << "N_core" << i;
+    return oss.str();
+}
+
+std::string
+coreArea(std::size_t i)
+{
+    std::ostringstream oss;
+    oss << "A_core" << i;
+    return oss.str();
+}
+
+} // namespace names
+
+ar::symbolic::EquationSystem
+buildHillMartySystem(std::size_t num_types)
+{
+    using ar::symbolic::Expr;
+    using ar::symbolic::ExprPtr;
+
+    if (num_types == 0)
+        ar::util::fatal("buildHillMartySystem: need at least one core "
+                        "type");
+
+    ar::symbolic::EquationSystem sys;
+
+    std::vector<ExprPtr> perf_terms;   // N_i * P_i
+    std::vector<ExprPtr> count_terms;  // N_i
+    std::vector<ExprPtr> area_terms;   // N_i * A_i
+    std::vector<ExprPtr> serial_terms; // P_i * gtz(N_i)
+    for (std::size_t i = 0; i < num_types; ++i) {
+        const ExprPtr p = Expr::symbol(names::corePerf(i));
+        const ExprPtr n = Expr::symbol(names::coreCount(i));
+        const ExprPtr a = Expr::symbol(names::coreArea(i));
+
+        // Pollack's Rule nominal performance (Eq. 9); kept as the
+        // definition of the uncertain variable so the back-end can
+        // centre distributions on it.
+        sys.addEquation({p, Expr::sqrt(a)});
+        sys.markUncertain(names::corePerf(i));
+        sys.markUncertain(names::coreCount(i));
+
+        perf_terms.push_back(n * p);
+        count_terms.push_back(n);
+        area_terms.push_back(n * a);
+        serial_terms.push_back(p * Expr::func("gtz", n));
+    }
+
+    const ExprPtr f = Expr::symbol("f");
+    const ExprPtr c = Expr::symbol("c");
+    sys.markUncertain("f");
+    sys.markUncertain("c");
+
+    sys.addEquation({Expr::symbol("P_parallel"),
+                     Expr::add(perf_terms)});
+    sys.addEquation({Expr::symbol("N_total"),
+                     Expr::add(count_terms)});
+    sys.addEquation({Expr::symbol("A_total"), Expr::add(area_terms)});
+    sys.addEquation({Expr::symbol("P_serial"),
+                     Expr::max(serial_terms)});
+    sys.addEquation({Expr::symbol("T_seq"),
+                     (1.0 - f + c * Expr::symbol("N_total")) /
+                         Expr::symbol("P_serial")});
+    sys.addEquation({Expr::symbol("T_par"),
+                     f / Expr::symbol("P_parallel")});
+    sys.addEquation({Expr::symbol("Speedup"),
+                     1.0 / (Expr::symbol("T_seq") +
+                            Expr::symbol("T_par"))});
+    return sys;
+}
+
+double
+HillMartyEvaluator::speedup(double f, double c,
+                            std::span<const double> core_perf,
+                            std::span<const double> core_count)
+{
+    if (core_perf.size() != core_count.size())
+        ar::util::fatal("HillMartyEvaluator::speedup: mismatched type "
+                        "counts");
+    if (core_perf.empty())
+        ar::util::fatal("HillMartyEvaluator::speedup: no core types");
+
+    double p_serial = 0.0;
+    double p_parallel = 0.0;
+    double n_total = 0.0;
+    for (std::size_t i = 0; i < core_perf.size(); ++i) {
+        const double n = core_count[i];
+        const double p = core_perf[i];
+        if (n > 0.0 && p > p_serial)
+            p_serial = p;
+        p_parallel += n * p;
+        n_total += n;
+    }
+    if (p_serial <= 0.0)
+        return 0.0;
+
+    const double t_seq = (1.0 - f + c * n_total) / p_serial;
+    double t_par = 0.0;
+    if (f > 0.0) {
+        if (p_parallel <= 0.0)
+            return 0.0;
+        t_par = f / p_parallel;
+    }
+    const double total = t_seq + t_par;
+    if (total <= 0.0)
+        return 0.0;
+    return 1.0 / total;
+}
+
+double
+HillMartyEvaluator::nominalSpeedup(const CoreConfig &config, double f,
+                                   double c)
+{
+    std::vector<double> perf;
+    std::vector<double> count;
+    perf.reserve(config.numTypes());
+    count.reserve(config.numTypes());
+    for (const auto &t : config.types()) {
+        perf.push_back(std::sqrt(t.area));
+        count.push_back(static_cast<double>(t.count));
+    }
+    return speedup(f, c, perf, count);
+}
+
+} // namespace ar::model

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Hill-Marty heterogeneous CMP performance model extended with
+ * communication overhead (Table 1 of the paper, Eqs. 3-10):
+ *
+ *   Speedup     = 1 / (T_seq + T_par)                            (3)
+ *   T_seq       = (1 - f + c * N_total) / P_serial               (4)
+ *   T_par       = f / P_parallel                                 (5)
+ *   P_serial    = max{ P_core_i | N_core_i > 0 }                 (6)
+ *   P_parallel  = sum_i N_core_i * P_core_i                      (7)
+ *   N_total     = sum_i N_core_i                                 (8)
+ *   P_core_i    = sqrt(A_core_i)        (Pollack's Rule)         (9)
+ *   A_total     = sum_i N_core_i * A_core_i                      (10)
+ *
+ * Provided in two forms that tests prove agree: a symbolic
+ * EquationSystem (what the framework front-end consumes) and a
+ * hand-written closed-form evaluator (used by the design-space
+ * exploration benches for speed).
+ */
+
+#ifndef AR_MODEL_HILL_MARTY_HH
+#define AR_MODEL_HILL_MARTY_HH
+
+#include <span>
+#include <string>
+
+#include "model/core_config.hh"
+#include "symbolic/system.hh"
+
+namespace ar::model
+{
+
+/** Variable-name helpers shared by the symbolic and direct paths. */
+namespace names
+{
+
+/** @return "P_core<i>". */
+std::string corePerf(std::size_t i);
+
+/** @return "N_core<i>". */
+std::string coreCount(std::size_t i);
+
+/** @return "A_core<i>". */
+std::string coreArea(std::size_t i);
+
+} // namespace names
+
+/**
+ * Build the symbolic Hill-Marty equation system for a configuration
+ * with k core types.  Free inputs: f, c, A_core_i; the per-type core
+ * performance P_core_i and working count N_core_i are added as
+ * defined variables (Pollack nominal / designed count) and marked
+ * uncertain so distributions can be injected over them.
+ *
+ * @param num_types Number of distinct core types k (> 0).
+ */
+ar::symbolic::EquationSystem buildHillMartySystem(std::size_t num_types);
+
+/** Direct closed-form evaluator over one trial's sampled inputs. */
+class HillMartyEvaluator
+{
+  public:
+    /**
+     * Compute the speedup of one sampled chip.
+     *
+     * @param f Parallel fraction for this trial.
+     * @param c Unit communication overhead for this trial.
+     * @param core_perf Per-type core performance draws.
+     * @param core_count Per-type working-core counts.
+     * @return speedup; 0 when no usable serial or parallel capacity
+     *         remains (matching the symbolic model's 1/inf -> 0).
+     */
+    static double speedup(double f, double c,
+                          std::span<const double> core_perf,
+                          std::span<const double> core_count);
+
+    /**
+     * Nominal ("certain") speedup of a configuration: Pollack-rule
+     * performance, designed core counts, no uncertainty.
+     */
+    static double nominalSpeedup(const CoreConfig &config, double f,
+                                 double c);
+};
+
+} // namespace ar::model
+
+#endif // AR_MODEL_HILL_MARTY_HH

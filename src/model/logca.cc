@@ -1,0 +1,84 @@
+#include "model/logca.hh"
+
+#include <cmath>
+
+#include "math/optimize.hh"
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+ar::symbolic::EquationSystem
+buildLogCaSystem()
+{
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("T_host = C * g ^ beta");
+    sys.addEquation("T_accel = o + L * g + T_host / A");
+    sys.addEquation("Speedup = T_host / T_accel");
+    sys.markUncertain("A");
+    sys.markUncertain("L");
+    return sys;
+}
+
+namespace
+{
+
+void
+validate(const LogCaParams &p, double g)
+{
+    if (g <= 0.0)
+        ar::util::fatal("LogCaEvaluator: granularity must be "
+                        "positive, got ", g);
+    if (p.compute <= 0.0 || p.accel <= 0.0 || p.beta < 0.0 ||
+        p.latency < 0.0 || p.overhead < 0.0) {
+        ar::util::fatal("LogCaEvaluator: invalid parameters (C=",
+                        p.compute, " A=", p.accel, " beta=", p.beta,
+                        " L=", p.latency, " o=", p.overhead, ")");
+    }
+}
+
+} // namespace
+
+double
+LogCaEvaluator::hostTime(const LogCaParams &p, double g)
+{
+    validate(p, g);
+    return p.compute * std::pow(g, p.beta);
+}
+
+double
+LogCaEvaluator::accelTime(const LogCaParams &p, double g)
+{
+    validate(p, g);
+    return p.overhead + p.latency * g + hostTime(p, g) / p.accel;
+}
+
+double
+LogCaEvaluator::speedup(const LogCaParams &p, double g)
+{
+    return hostTime(p, g) / accelTime(p, g);
+}
+
+double
+LogCaEvaluator::breakEvenGranularity(const LogCaParams &p,
+                                     double g_max)
+{
+    validate(p, 1.0);
+    const auto gap = [&](double g) {
+        return speedup(p, g) - 1.0;
+    };
+    // The speedup is monotone increasing toward its asymptote for
+    // beta >= 1; scan for a bracket then bisect with Brent.
+    double lo = 1e-9;
+    if (gap(lo) >= 0.0)
+        return lo;
+    double hi = 1.0;
+    while (hi <= g_max && gap(hi) < 0.0)
+        hi *= 2.0;
+    if (hi > g_max)
+        ar::util::fatal("LogCaEvaluator: accelerator never breaks "
+                        "even below g_max = ", g_max);
+    return ar::math::brentRoot(gap, lo, hi, 1e-10).x;
+}
+
+} // namespace ar::model

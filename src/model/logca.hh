@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LogCA-style accelerator performance model (Altaf & Wood, ISCA'17 --
+ * reference [2] of the paper, called out in Section 2.1 as a direct
+ * application target for the framework).
+ *
+ * A kernel of granularity g (bytes/elements offloaded) runs either on
+ * the host or on an accelerator:
+ *
+ *   T_host(g)  = C * g^beta              (computational index)
+ *   T_accel(g) = o + L * g + T_host(g)/A (overhead, link, kernel)
+ *   Speedup(g) = T_host(g) / T_accel(g)
+ *
+ * with o the fixed offload overhead, L the per-unit interface
+ * latency, A the peak acceleration, and beta the algorithmic
+ * complexity exponent.  A and L are natural carriers of projection
+ * uncertainty for an accelerator that only exists as a datasheet.
+ */
+
+#ifndef AR_MODEL_LOGCA_HH
+#define AR_MODEL_LOGCA_HH
+
+#include "symbolic/system.hh"
+
+namespace ar::model
+{
+
+/** LogCA model parameters. */
+struct LogCaParams
+{
+    double latency = 0.01;  ///< L: per-unit interface latency.
+    double overhead = 1.0;  ///< o: fixed offload overhead.
+    double compute = 1.0;   ///< C: computational-index coefficient.
+    double accel = 10.0;    ///< A: peak acceleration.
+    double beta = 1.0;      ///< Complexity exponent (>= 0).
+};
+
+/**
+ * Build the symbolic LogCA system.  Free input: g (granularity) and
+ * the certain parameters; uncertain variables: A and L.
+ * Responsive variables: T_host, T_accel, Speedup.
+ */
+ar::symbolic::EquationSystem buildLogCaSystem();
+
+/** Direct closed-form evaluator (cross-checked against symbolic). */
+class LogCaEvaluator
+{
+  public:
+    /** Host-only execution time at granularity g. */
+    static double hostTime(const LogCaParams &p, double g);
+
+    /** Accelerated execution time at granularity g. */
+    static double accelTime(const LogCaParams &p, double g);
+
+    /** Speedup of offloading at granularity g. */
+    static double speedup(const LogCaParams &p, double g);
+
+    /**
+     * Break-even granularity g1 (smallest g with speedup >= 1), found
+     * numerically; fatal when the accelerator never breaks even on
+     * (0, g_max].
+     */
+    static double breakEvenGranularity(const LogCaParams &p,
+                                       double g_max = 1e12);
+};
+
+} // namespace ar::model
+
+#endif // AR_MODEL_LOGCA_HH

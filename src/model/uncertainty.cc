@@ -1,0 +1,133 @@
+#include "model/uncertainty.hh"
+
+#include <cmath>
+
+#include "dist/combinators.hh"
+#include "dist/discrete.hh"
+#include "dist/lognormal.hh"
+#include "model/hill_marty.hh"
+#include "model/yield.hh"
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+UncertaintySpec
+UncertaintySpec::all(double sigma, double gamma)
+{
+    UncertaintySpec s;
+    s.sigma_f = s.sigma_c = s.sigma_perf = s.sigma_design = sigma;
+    s.fab = sigma > 0.0;
+    s.gamma = gamma;
+    return s;
+}
+
+UncertaintySpec
+UncertaintySpec::appArch(double sigma_app, double sigma_arch,
+                         double gamma)
+{
+    UncertaintySpec s;
+    s.sigma_f = s.sigma_c = sigma_app;
+    s.sigma_perf = s.sigma_design = sigma_arch;
+    s.fab = sigma_arch > 0.0;
+    s.gamma = gamma;
+    return s;
+}
+
+UncertaintySpec
+UncertaintySpec::none()
+{
+    return UncertaintySpec{};
+}
+
+ar::dist::DistPtr
+groundTruthF(const AppParams &app, double sigma_f)
+{
+    if (sigma_f <= 0.0)
+        ar::util::fatal("groundTruthF: sigma_f must be positive");
+    const double sd = sigma_f * (1.0 - app.f);
+    return std::make_shared<ar::dist::NormalizedBinomial>(
+        ar::dist::NormalizedBinomial::fromMeanStddev(app.f, sd));
+}
+
+ar::dist::DistPtr
+groundTruthC(const AppParams &app, double sigma_c)
+{
+    if (sigma_c <= 0.0)
+        ar::util::fatal("groundTruthC: sigma_c must be positive");
+    const double sd = sigma_c * app.c;
+    return std::make_shared<ar::dist::NormalizedBinomial>(
+        ar::dist::NormalizedBinomial::fromMeanStddev(app.c, sd));
+}
+
+ar::dist::DistPtr
+groundTruthCorePerf(double area, double sigma_perf, double sigma_design,
+                    double gamma)
+{
+    const double nominal = std::sqrt(area);
+    ar::dist::DistPtr base;
+    if (sigma_perf > 0.0) {
+        base = std::make_shared<ar::dist::LogNormal>(
+            ar::dist::LogNormal::fromMeanStddev(nominal,
+                                                sigma_perf * nominal));
+    } else {
+        base = std::make_shared<ar::dist::Degenerate>(nominal);
+    }
+    const double fail_prob = sigma_design * gamma;
+    if (fail_prob <= 0.0)
+        return base;
+    if (fail_prob > 1.0)
+        ar::util::fatal("groundTruthCorePerf: failure probability ",
+                        fail_prob, " exceeds 1");
+    auto survives =
+        std::make_shared<ar::dist::Bernoulli>(1.0 - fail_prob);
+    return std::make_shared<ar::dist::Product>(std::move(survives),
+                                               std::move(base));
+}
+
+ar::dist::DistPtr
+groundTruthCoreCount(double area, unsigned count)
+{
+    return std::make_shared<ar::dist::Binomial>(count, yieldRate(area));
+}
+
+ar::mc::InputBindings
+groundTruthBindings(const CoreConfig &config, const AppParams &app,
+                    const UncertaintySpec &spec)
+{
+    ar::mc::InputBindings in;
+
+    if (spec.sigma_f > 0.0)
+        in.uncertain["f"] = groundTruthF(app, spec.sigma_f);
+    else
+        in.fixed["f"] = app.f;
+
+    if (spec.sigma_c > 0.0)
+        in.uncertain["c"] = groundTruthC(app, spec.sigma_c);
+    else
+        in.fixed["c"] = app.c;
+
+    const auto &types = config.types();
+    for (std::size_t i = 0; i < types.size(); ++i) {
+        const auto &t = types[i];
+        in.fixed[names::coreArea(i)] = t.area;
+
+        if (spec.sigma_perf > 0.0 || spec.sigma_design > 0.0) {
+            in.uncertain[names::corePerf(i)] = groundTruthCorePerf(
+                t.area, spec.sigma_perf, spec.sigma_design, spec.gamma);
+        } else {
+            in.fixed[names::corePerf(i)] = std::sqrt(t.area);
+        }
+
+        if (spec.fab) {
+            in.uncertain[names::coreCount(i)] =
+                groundTruthCoreCount(t.area, t.count);
+        } else {
+            in.fixed[names::coreCount(i)] =
+                static_cast<double>(t.count);
+        }
+    }
+    return in;
+}
+
+} // namespace ar::model

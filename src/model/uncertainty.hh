@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The paper's injected-uncertainty specification (Table 3) realized
+ * by the hidden ground-truth models (Table 2):
+ *
+ *   f       ~ Binomial(M, p)/M    mean f,  stddev sigma*(1-f)
+ *   c       ~ Binomial(M, p)/M    mean c,  stddev sigma*c
+ *   P_core  ~ Bernoulli(1 - sigma*gamma) x LogNormal(mean P, sd sigma*P)
+ *   N_core  ~ Binomial(N_designed, yield(area))
+ *
+ * The Bernoulli factor is the severe-design-bug model (the core type
+ * works with probability 1 - sigma*gamma); the LogNormal factor is
+ * intra-die process variation centred on Pollack's Rule; the Binomial
+ * on N is fabrication yield and depends only on core size, not sigma.
+ */
+
+#ifndef AR_MODEL_UNCERTAINTY_HH
+#define AR_MODEL_UNCERTAINTY_HH
+
+#include "mc/propagator.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+
+namespace ar::model
+{
+
+/** Which uncertainties are injected and how strongly (Table 3). */
+struct UncertaintySpec
+{
+    double sigma_f = 0.0;      ///< f stddev scale: sd = sigma_f*(1-f).
+    double sigma_c = 0.0;      ///< c stddev scale: sd = sigma_c*c.
+    double sigma_perf = 0.0;   ///< P stddev scale: sd = sigma_perf*P.
+    double sigma_design = 0.0; ///< Failure prob = sigma_design*gamma.
+    bool fab = false;          ///< Yield-driven Binomial on N_core.
+    double gamma = 0.15;       ///< Intrinsic design-bug probability.
+
+    /** All five types at one level (Figures 7-9 x-axis). */
+    static UncertaintySpec all(double sigma, double gamma = 0.15);
+
+    /**
+     * Split application vs architecture axes (Figures 10-12):
+     * sigma_app drives f and c; sigma_arch drives perf and design and
+     * enables fabrication uncertainty when positive.
+     */
+    static UncertaintySpec appArch(double sigma_app, double sigma_arch,
+                                   double gamma = 0.15);
+
+    /** No uncertainty at all (the conventional "certain" analysis). */
+    static UncertaintySpec none();
+};
+
+/**
+ * Build propagation bindings for a configuration under the hidden
+ * ground-truth models.  Variables with zero injected uncertainty are
+ * bound as fixed values.
+ *
+ * @param config Chip configuration (defines the per-type variables).
+ * @param app Application class providing nominal f and c.
+ * @param spec Injection levels.
+ */
+ar::mc::InputBindings groundTruthBindings(const CoreConfig &config,
+                                          const AppParams &app,
+                                          const UncertaintySpec &spec);
+
+/**
+ * Ground-truth distribution for the parallel fraction f (Table 2
+ * Eq. 11); requires sigma_f > 0.
+ */
+ar::dist::DistPtr groundTruthF(const AppParams &app, double sigma_f);
+
+/**
+ * Ground-truth distribution for the communication overhead c
+ * (Table 2 Eq. 12); requires sigma_c > 0.
+ */
+ar::dist::DistPtr groundTruthC(const AppParams &app, double sigma_c);
+
+/**
+ * Ground-truth distribution for one core type's performance (Table 2
+ * Eq. 14): LogNormal process variation times Bernoulli design
+ * survival.  Either factor degenerates when its sigma is zero.
+ *
+ * @param area Core area (Pollack nominal performance = sqrt(area)).
+ * @param sigma_perf Process-variation scale.
+ * @param sigma_design Design-failure scale.
+ * @param gamma Intrinsic design-bug probability.
+ */
+ar::dist::DistPtr groundTruthCorePerf(double area, double sigma_perf,
+                                      double sigma_design,
+                                      double gamma);
+
+/**
+ * Ground-truth distribution for one core type's working count
+ * (Table 2 Eq. 13): Binomial(designed count, yield(area)).
+ */
+ar::dist::DistPtr groundTruthCoreCount(double area, unsigned count);
+
+} // namespace ar::model
+
+#endif // AR_MODEL_UNCERTAINTY_HH

@@ -1,0 +1,58 @@
+#include "model/woo_lee.hh"
+
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+ar::symbolic::EquationSystem
+buildWooLeeSystem()
+{
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("T = (1 - f) + f / N");
+    sys.addEquation("E = (1 - f) * (1 + (N - 1) * k) + f");
+    sys.addEquation("Perf = 1 / T");
+    sys.addEquation("PerfPerW = 1 / E");
+    sys.addEquation("PerfPerJ = Perf * PerfPerW");
+    sys.markUncertain("f");
+    sys.markUncertain("k");
+    return sys;
+}
+
+double
+WooLeeEvaluator::execTime(double f, double n)
+{
+    if (n <= 0.0)
+        ar::util::fatal("WooLeeEvaluator: core count must be "
+                        "positive, got ", n);
+    return (1.0 - f) + f / n;
+}
+
+double
+WooLeeEvaluator::energy(double f, double k, double n)
+{
+    if (n <= 0.0)
+        ar::util::fatal("WooLeeEvaluator: core count must be "
+                        "positive, got ", n);
+    return (1.0 - f) * (1.0 + (n - 1.0) * k) + f;
+}
+
+double
+WooLeeEvaluator::perf(double f, double n)
+{
+    return 1.0 / execTime(f, n);
+}
+
+double
+WooLeeEvaluator::perfPerWatt(double f, double k, double n)
+{
+    return 1.0 / energy(f, k, n);
+}
+
+double
+WooLeeEvaluator::perfPerJoule(double f, double k, double n)
+{
+    return perf(f, n) * perfPerWatt(f, k, n);
+}
+
+} // namespace ar::model

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Energy-efficiency extension: the Woo-Lee many-core power model
+ * (reference [52] of the paper, "Extending Amdahl's Law for
+ * Energy-Efficient Computing in the Many-Core Era").  Section 2.1 of
+ * the paper calls out power-efficiency objectives as a direct
+ * application of the framework; this module provides that model in
+ * the same dual (symbolic + direct) form as Hill-Marty.
+ *
+ * For a symmetric CMP of N cores where an idle core draws fraction k
+ * of an active core's power:
+ *
+ *   T      = (1 - f) + f / N                 (normalized exec time)
+ *   E      = (1 - f) * (1 + (N - 1) * k) + f (normalized energy)
+ *   Perf   = 1 / T
+ *   PerfPerW = 1 / E                          (J per op inverted)
+ *   PerfPerJ = Perf * PerfPerW                (throughput per joule)
+ *
+ * Uncertain inputs: f (application) and k (technology projection --
+ * how well power gating works in the target node).
+ */
+
+#ifndef AR_MODEL_WOO_LEE_HH
+#define AR_MODEL_WOO_LEE_HH
+
+#include "symbolic/system.hh"
+
+namespace ar::model
+{
+
+/**
+ * Build the symbolic Woo-Lee system.  Free inputs: N (core count).
+ * Uncertain variables: f (parallel fraction), k (idle-power ratio).
+ * Responsive variables: Perf, PerfPerW, PerfPerJ.
+ */
+ar::symbolic::EquationSystem buildWooLeeSystem();
+
+/** Direct closed-form evaluator (cross-checked against symbolic). */
+class WooLeeEvaluator
+{
+  public:
+    /** Normalized execution time. */
+    static double execTime(double f, double n);
+
+    /** Normalized energy consumption. */
+    static double energy(double f, double k, double n);
+
+    /** Performance (1 / time). */
+    static double perf(double f, double n);
+
+    /** Performance per watt (W = E / T, so Perf/W = T / E / T = 1/E). */
+    static double perfPerWatt(double f, double k, double n);
+
+    /** Performance per joule: Perf * Perf/W. */
+    static double perfPerJoule(double f, double k, double n);
+};
+
+} // namespace ar::model
+
+#endif // AR_MODEL_WOO_LEE_HH

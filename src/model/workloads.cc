@@ -1,0 +1,67 @@
+#include "model/workloads.hh"
+
+#include "dist/discrete.hh"
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+std::vector<BenchmarkProfile>
+syntheticSuite()
+{
+    // Names follow the PARSEC convention; the (f, c) values are
+    // synthetic but span the published characterization range.
+    return {
+        {"blackscholes-like", 0.999, 0.001},
+        {"bodytrack-like", 0.98, 0.008},
+        {"canneal-like", 0.93, 0.012},
+        {"dedup-like", 0.95, 0.02},
+        {"facesim-like", 0.97, 0.01},
+        {"ferret-like", 0.96, 0.015},
+        {"fluidanimate-like", 0.975, 0.012},
+        {"freqmine-like", 0.985, 0.004},
+        {"raytrace-like", 0.99, 0.003},
+        {"streamcluster-like", 0.94, 0.025},
+        {"swaptions-like", 0.998, 0.001},
+        {"vips-like", 0.92, 0.01},
+        {"x264-like", 0.60, 0.03},
+    };
+}
+
+BenchmarkProfile
+profileByName(const std::string &name)
+{
+    for (const auto &p : syntheticSuite()) {
+        if (p.name == name)
+            return p;
+    }
+    ar::util::fatal("profileByName: unknown benchmark '", name, "'");
+}
+
+std::vector<double>
+observeParallelFraction(const BenchmarkProfile &profile,
+                        std::size_t runs, double sigma,
+                        ar::util::Rng &rng)
+{
+    if (sigma <= 0.0)
+        ar::util::fatal("observeParallelFraction: sigma must be "
+                        "positive, got ", sigma);
+    const double sd = sigma * (1.0 - profile.f);
+    const auto dist = ar::dist::NormalizedBinomial::fromMeanStddev(
+        profile.f, sd);
+    return dist.sampleMany(runs, rng);
+}
+
+std::vector<double>
+observeCommOverhead(const BenchmarkProfile &profile, std::size_t runs,
+                    double sigma, ar::util::Rng &rng)
+{
+    if (sigma <= 0.0)
+        ar::util::fatal("observeCommOverhead: sigma must be "
+                        "positive, got ", sigma);
+    const auto dist = ar::dist::NormalizedBinomial::fromMeanStddev(
+        profile.c, sigma * profile.c);
+    return dist.sampleMany(runs, rng);
+}
+
+} // namespace ar::model

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic multi-threaded workload suite.
+ *
+ * The paper calibrates its f/c uncertainty models against PARSEC
+ * characterization data [5], which this repository cannot ship; this
+ * module provides the synthetic equivalent: a suite of benchmark
+ * profiles whose parallel fractions and communication overheads span
+ * the same range the PARSEC study reports, plus a measurement model
+ * producing noisy per-run observations.  Feeding those observations
+ * to the extraction pipeline reproduces the paper's workflow of
+ * inferring application uncertainty models from benchmark data.
+ */
+
+#ifndef AR_MODEL_WORKLOADS_HH
+#define AR_MODEL_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace ar::model
+{
+
+/** One benchmark's hidden characterization. */
+struct BenchmarkProfile
+{
+    std::string name;
+    double f = 0.9;  ///< True parallel fraction.
+    double c = 0.01; ///< True unit communication overhead.
+};
+
+/**
+ * A 13-entry suite patterned on the published PARSEC span: parallel
+ * fractions from ~0.6 (pipeline-limited) to ~0.999 (data parallel)
+ * and communication overheads over two orders of magnitude.
+ */
+std::vector<BenchmarkProfile> syntheticSuite();
+
+/** Lookup a profile by name; fatal when absent. */
+BenchmarkProfile profileByName(const std::string &name);
+
+/**
+ * Observed parallel fractions over repeated measurements of one
+ * benchmark.  Run-to-run variation follows the paper's Table-2 shape
+ * (normalized binomial around the true f); measurement noise scale
+ * is sigma * (1 - f) as in Table 3.
+ *
+ * @param profile Benchmark to measure.
+ * @param runs Number of measurement runs.
+ * @param sigma Run-to-run variability level.
+ * @param rng Random stream.
+ */
+std::vector<double> observeParallelFraction(
+    const BenchmarkProfile &profile, std::size_t runs, double sigma,
+    ar::util::Rng &rng);
+
+/** Observed communication overheads (sd = sigma * c). */
+std::vector<double> observeCommOverhead(
+    const BenchmarkProfile &profile, std::size_t runs, double sigma,
+    ar::util::Rng &rng);
+
+} // namespace ar::model
+
+#endif // AR_MODEL_WORKLOADS_HH

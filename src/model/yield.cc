@@ -1,0 +1,21 @@
+#include "model/yield.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::model
+{
+
+double
+yieldRate(double area, double d, double alpha)
+{
+    if (area <= 0.0)
+        ar::util::fatal("yieldRate: area must be positive, got ", area);
+    if (d < 0.0 || alpha <= 0.0)
+        ar::util::fatal("yieldRate: need d >= 0 and alpha > 0; got d=",
+                        d, " alpha=", alpha);
+    return std::pow(1.0 + d * area / alpha, -alpha);
+}
+
+} // namespace ar::model

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Chip yield model (Table 2 Eq. 15 / Table 4 of the paper): the
+ * negative-binomial yield formula
+ *
+ *     yield(A) = (1 + d * A / alpha)^(-alpha)
+ *
+ * with defect density d and clustering parameter alpha calibrated so
+ * that the produced rates match the paper's Table 4
+ * (8 -> 98%, 16 -> 96%, 32 -> 92%, 64 -> 85%, 128 -> 75%).
+ */
+
+#ifndef AR_MODEL_YIELD_HH
+#define AR_MODEL_YIELD_HH
+
+namespace ar::model
+{
+
+/**
+ * Calibrated defect density per resource unit.  Solves
+ * yield(8) = 0.98 with alpha = 1: d = (1/0.98 - 1) / 8.
+ */
+constexpr double kDefectDensity = 0.02040816326530612 / 8.0;
+
+/** Calibrated clustering parameter (alpha = 1 fits Table 4 best). */
+constexpr double kYieldAlpha = 1.0;
+
+/**
+ * Yield rate for a core of the given area.
+ *
+ * @param area Core area in resource units (> 0).
+ * @param d Defect density per unit area.
+ * @param alpha Defect clustering parameter.
+ */
+double yieldRate(double area, double d = kDefectDensity,
+                 double alpha = kYieldAlpha);
+
+} // namespace ar::model
+
+#endif // AR_MODEL_YIELD_HH

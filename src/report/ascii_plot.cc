@@ -1,0 +1,58 @@
+#include "report/ascii_plot.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_utils.hh"
+
+namespace ar::report
+{
+
+std::string
+histogramChart(const ar::stats::Histogram &h, std::size_t width)
+{
+    std::size_t max_count = 1;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        max_count = std::max(max_count, h.count(i));
+
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+        const std::size_t bar =
+            (h.count(i) * width + max_count - 1) / max_count;
+        oss << "[" << ar::util::formatFixed(h.binLo(i), 3) << ", "
+            << ar::util::formatFixed(h.binHi(i), 3) << ") "
+            << std::string(h.count(i) ? std::max<std::size_t>(bar, 1)
+                                      : 0,
+                           '#')
+            << " " << h.count(i) << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+sparkline(std::span<const double> values)
+{
+    static const char *levels[] = {"▁", "▂", "▃",
+                                   "▄", "▅", "▆",
+                                   "▇", "█"};
+    if (values.empty())
+        return "";
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    const double span = hi - lo;
+    for (double v : values) {
+        int idx = 0;
+        if (span > 0.0) {
+            idx = static_cast<int>((v - lo) / span * 7.999);
+            idx = std::clamp(idx, 0, 7);
+        }
+        out += levels[idx];
+    }
+    return out;
+}
+
+} // namespace ar::report

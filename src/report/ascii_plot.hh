@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lightweight ASCII visualizations: horizontal-bar histograms (the
+ * repo's stand-in for the paper's distribution plots) and one-line
+ * sparklines for series.
+ */
+
+#ifndef AR_REPORT_ASCII_PLOT_HH
+#define AR_REPORT_ASCII_PLOT_HH
+
+#include <span>
+#include <string>
+
+#include "stats/histogram.hh"
+
+namespace ar::report
+{
+
+/**
+ * Render a histogram as rows of `#` bars.
+ *
+ * @param h Histogram to draw.
+ * @param width Maximum bar width in characters.
+ */
+std::string histogramChart(const ar::stats::Histogram &h,
+                           std::size_t width = 50);
+
+/**
+ * Render a numeric series as a single line using eight block levels,
+ * e.g. "▁▂▅▇█▆▂▁".  Empty input yields an empty string.
+ */
+std::string sparkline(std::span<const double> values);
+
+} // namespace ar::report
+
+#endif // AR_REPORT_ASCII_PLOT_HH

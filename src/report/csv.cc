@@ -1,0 +1,59 @@
+#include "report/csv.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ar::report
+{
+
+CsvWriter::CsvWriter(const std::string &path) : out(path)
+{
+    if (!out)
+        ar::util::fatal("CsvWriter: cannot open '", path, "'");
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        out << quote(cells[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::row(const std::string &label,
+               const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(ar::util::formatDouble(v));
+    row(cells);
+}
+
+void
+CsvWriter::close()
+{
+    out.close();
+}
+
+} // namespace ar::report

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV emission so every bench can dump machine-readable
+ * series next to its human-readable tables.
+ */
+
+#ifndef AR_REPORT_CSV_HH
+#define AR_REPORT_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ar::report
+{
+
+/** Streaming CSV writer with RFC-4180-style quoting. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of string cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Write a label followed by numeric cells. */
+    void row(const std::string &label,
+             const std::vector<double> &values);
+
+    /** Flush and close. */
+    void close();
+
+  private:
+    static std::string quote(const std::string &cell);
+
+    std::ofstream out;
+};
+
+} // namespace ar::report
+
+#endif // AR_REPORT_CSV_HH

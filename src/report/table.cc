@@ -1,0 +1,78 @@
+#include "report/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_utils.hh"
+
+namespace ar::report
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    data.push_back(std::move(cells));
+}
+
+void
+Table::rowNumeric(const std::string &label,
+                  const std::vector<double> &values, int digits)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(ar::util::formatFixed(v, digits));
+    row(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!head.empty())
+        grow(head);
+    for (const auto &r : data)
+        grow(r);
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                oss << "  ";
+            oss << cells[i];
+            if (i + 1 < cells.size()) {
+                for (std::size_t p = cells[i].size(); p < widths[i];
+                     ++p) {
+                    oss << ' ';
+                }
+            }
+        }
+        oss << "\n";
+    };
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i > 0 ? 2 : 0);
+        oss << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : data)
+        emit(r);
+    return oss.str();
+}
+
+} // namespace ar::report

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table rendering for bench and example output.
+ */
+
+#ifndef AR_REPORT_TABLE_HH
+#define AR_REPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ar::report
+{
+
+/** Column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: append a row of doubles at fixed precision. */
+    void rowNumeric(const std::string &label,
+                    const std::vector<double> &values, int digits = 4);
+
+    /** @return the rendered table (trailing newline included). */
+    std::string render() const;
+
+    /** @return number of data rows. */
+    std::size_t rows() const { return data.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> data;
+};
+
+} // namespace ar::report
+
+#endif // AR_REPORT_TABLE_HH

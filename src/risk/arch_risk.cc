@@ -1,0 +1,36 @@
+#include "risk/arch_risk.hh"
+
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace ar::risk
+{
+
+double
+archRisk(std::span<const double> perf_samples, double reference,
+         const RiskFunction &fn)
+{
+    if (perf_samples.empty())
+        ar::util::fatal("archRisk: empty performance sample");
+    ar::math::KahanSum acc;
+    for (double pe : perf_samples)
+        acc.add(fn.cost(pe, reference));
+    return acc.value() / static_cast<double>(perf_samples.size());
+}
+
+double
+archRisk(const ar::dist::Distribution &perf, double reference,
+         const RiskFunction &fn, std::size_t grid)
+{
+    if (grid == 0)
+        ar::util::fatal("archRisk: grid must be positive");
+    ar::math::KahanSum acc;
+    for (std::size_t i = 0; i < grid; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) /
+                         static_cast<double>(grid);
+        acc.add(fn.cost(perf.quantile(u), reference));
+    }
+    return acc.value() / static_cast<double>(grid);
+}
+
+} // namespace ar::risk

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Architectural risk aggregation (Eqs. 1-2 of the paper): the average
+ * cost C(Pe, P) over all realizations of the performance distribution.
+ */
+
+#ifndef AR_RISK_ARCH_RISK_HH
+#define AR_RISK_ARCH_RISK_HH
+
+#include <span>
+
+#include "dist/distribution.hh"
+#include "risk/risk_function.hh"
+
+namespace ar::risk
+{
+
+/**
+ * Architectural risk of a sampled performance distribution.
+ *
+ * @param perf_samples Monte-Carlo samples of realized performance.
+ * @param reference Reference (target) performance P.
+ * @param fn Risk function C.
+ * @return mean of C(sample, reference) over the samples (Eq. 2).
+ */
+double archRisk(std::span<const double> perf_samples, double reference,
+                const RiskFunction &fn);
+
+/**
+ * Architectural risk of an analytic performance distribution,
+ * computed by quantile-grid quadrature.
+ *
+ * @param perf Performance distribution.
+ * @param reference Reference performance P.
+ * @param fn Risk function C.
+ * @param grid Number of quadrature points.
+ */
+double archRisk(const ar::dist::Distribution &perf, double reference,
+                const RiskFunction &fn, std::size_t grid = 2048);
+
+} // namespace ar::risk
+
+#endif // AR_RISK_ARCH_RISK_HH

@@ -1,0 +1,157 @@
+#include "risk/risk_function.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ar::risk
+{
+
+double
+StepRisk::cost(double pe, double p) const
+{
+    return pe < p ? 1.0 : 0.0;
+}
+
+std::unique_ptr<RiskFunction>
+StepRisk::clone() const
+{
+    return std::make_unique<StepRisk>(*this);
+}
+
+double
+LinearRisk::cost(double pe, double p) const
+{
+    return std::max(0.0, p - pe);
+}
+
+std::unique_ptr<RiskFunction>
+LinearRisk::clone() const
+{
+    return std::make_unique<LinearRisk>(*this);
+}
+
+double
+QuadraticRisk::cost(double pe, double p) const
+{
+    const double short_fall = std::max(0.0, p - pe);
+    return short_fall * short_fall;
+}
+
+std::unique_ptr<RiskFunction>
+QuadraticRisk::clone() const
+{
+    return std::make_unique<QuadraticRisk>(*this);
+}
+
+PiecewiseRisk::PiecewiseRisk(std::vector<Step> steps_in)
+    : steps(std::move(steps_in))
+{
+    if (steps.empty())
+        ar::util::fatal("PiecewiseRisk: need at least one step");
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+        if (steps[i].shortfall <= steps[i - 1].shortfall)
+            ar::util::fatal("PiecewiseRisk: thresholds must be "
+                            "strictly ascending");
+    }
+    for (const auto &s : steps) {
+        if (s.shortfall < 0.0)
+            ar::util::fatal("PiecewiseRisk: shortfall thresholds must "
+                            "be non-negative");
+    }
+}
+
+double
+PiecewiseRisk::cost(double pe, double p) const
+{
+    if (pe >= p)
+        return 0.0;
+    const double depth = p - pe;
+    double out = 0.0;
+    for (const auto &s : steps) {
+        if (depth >= s.shortfall)
+            out = s.cost;
+        else
+            break;
+    }
+    return out;
+}
+
+std::string
+PiecewiseRisk::describe() const
+{
+    std::ostringstream oss;
+    oss << "piecewise(" << steps.size() << " steps)";
+    return oss.str();
+}
+
+std::unique_ptr<RiskFunction>
+PiecewiseRisk::clone() const
+{
+    return std::make_unique<PiecewiseRisk>(*this);
+}
+
+MonetaryRisk::MonetaryRisk(std::vector<Bin> bins_in)
+    : bins(std::move(bins_in))
+{
+    if (bins.empty())
+        ar::util::fatal("MonetaryRisk: need at least one bin");
+    for (std::size_t i = 1; i < bins.size(); ++i) {
+        if (bins[i].min_perf <= bins[i - 1].min_perf)
+            ar::util::fatal("MonetaryRisk: bins must be strictly "
+                            "ascending in min_perf");
+        if (bins[i].dollars < bins[i - 1].dollars)
+            ar::util::fatal("MonetaryRisk: bin values must be "
+                            "non-decreasing");
+    }
+}
+
+MonetaryRisk
+MonetaryRisk::table5()
+{
+    // Table 5: perf <0.6 -> $100, [0.6,0.8) -> $200, [0.8,0.9) ->
+    // $300, [0.9,1.0) -> $600, >= 1.0 -> $1000.
+    return MonetaryRisk({{0.0, 100.0},
+                         {0.6, 200.0},
+                         {0.8, 300.0},
+                         {0.9, 600.0},
+                         {1.0, 1000.0}});
+}
+
+double
+MonetaryRisk::value(double perf) const
+{
+    double out = bins.front().dollars;
+    for (const auto &b : bins) {
+        if (perf >= b.min_perf)
+            out = b.dollars;
+        else
+            break;
+    }
+    return out;
+}
+
+double
+MonetaryRisk::cost(double pe, double p) const
+{
+    if (pe >= p)
+        return 0.0;
+    return std::max(0.0, value(p) - value(pe));
+}
+
+std::string
+MonetaryRisk::describe() const
+{
+    std::ostringstream oss;
+    oss << "monetary(" << bins.size() << " bins)";
+    return oss.str();
+}
+
+std::unique_ptr<RiskFunction>
+MonetaryRisk::clone() const
+{
+    return std::make_unique<MonetaryRisk>(*this);
+}
+
+} // namespace ar::risk

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Risk (cost) functions C(Pe, P) from Section 2 of the paper: the
+ * subjective mapping from a performance shortfall to a scalar cost.
+ * Provided forms: step, linear, quadratic (the paper's DSE choice),
+ * piecewise thresholds, and the monetary bin table of Table 5.
+ */
+
+#ifndef AR_RISK_RISK_FUNCTION_HH
+#define AR_RISK_RISK_FUNCTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ar::risk
+{
+
+/** Cost of realized performance pe against reference performance p. */
+class RiskFunction
+{
+  public:
+    virtual ~RiskFunction() = default;
+
+    /**
+     * @param pe Realized performance.
+     * @param p Reference (target) performance.
+     * @return the cost; must be 0 whenever pe >= p (Eq. 1 only
+     *         penalizes under-performance).
+     */
+    virtual double cost(double pe, double p) const = 0;
+
+    /** @return a human-readable description. */
+    virtual std::string describe() const = 0;
+
+    /** Deep copy. */
+    virtual std::unique_ptr<RiskFunction> clone() const = 0;
+};
+
+/** 1 when pe < p, else 0: the probability-of-shortfall risk. */
+class StepRisk : public RiskFunction
+{
+  public:
+    double cost(double pe, double p) const override;
+    std::string describe() const override { return "step"; }
+    std::unique_ptr<RiskFunction> clone() const override;
+};
+
+/** max(0, p - pe): expected shortfall magnitude. */
+class LinearRisk : public RiskFunction
+{
+  public:
+    double cost(double pe, double p) const override;
+    std::string describe() const override { return "linear"; }
+    std::unique_ptr<RiskFunction> clone() const override;
+};
+
+/**
+ * max(0, p - pe)^2: the paper's design-space-exploration choice --
+ * "performance well below expectation is much worse than performance
+ * just below expectation".
+ */
+class QuadraticRisk : public RiskFunction
+{
+  public:
+    double cost(double pe, double p) const override;
+    std::string describe() const override { return "quadratic"; }
+    std::unique_ptr<RiskFunction> clone() const override;
+};
+
+/**
+ * Piecewise-constant cost on shortfall thresholds: cost_i is charged
+ * when pe < p - threshold_i (thresholds ascending).
+ */
+class PiecewiseRisk : public RiskFunction
+{
+  public:
+    /** One threshold step. */
+    struct Step
+    {
+        double shortfall; ///< Shortfall depth p - pe activating this.
+        double cost;      ///< Cost charged at or beyond that depth.
+    };
+
+    /** @param steps Thresholds in strictly ascending shortfall. */
+    explicit PiecewiseRisk(std::vector<Step> steps);
+
+    double cost(double pe, double p) const override;
+    std::string describe() const override;
+    std::unique_ptr<RiskFunction> clone() const override;
+
+  private:
+    std::vector<Step> steps;
+};
+
+/**
+ * Monetary risk from a price-bin table (Table 5 of the paper): cost
+ * is the dollar difference between the bin of the reference
+ * performance and the bin of the realized performance.
+ */
+class MonetaryRisk : public RiskFunction
+{
+  public:
+    /** One price bin: performance at least @p min_perf sells at $. */
+    struct Bin
+    {
+        double min_perf;
+        double dollars;
+    };
+
+    /** @param bins Ascending by min_perf; first bin is the floor. */
+    explicit MonetaryRisk(std::vector<Bin> bins);
+
+    /** The paper's Table 5 (Intel price-list derived) bins. */
+    static MonetaryRisk table5();
+
+    /** @return the market value of a chip at this performance. */
+    double value(double perf) const;
+
+    double cost(double pe, double p) const override;
+    std::string describe() const override;
+    std::unique_ptr<RiskFunction> clone() const override;
+
+  private:
+    std::vector<Bin> bins;
+};
+
+} // namespace ar::risk
+
+#endif // AR_RISK_RISK_FUNCTION_HH

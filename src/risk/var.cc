@@ -1,0 +1,56 @@
+#include "risk/var.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "math/numeric.hh"
+#include "stats/quantiles.hh"
+#include "util/logging.hh"
+
+namespace ar::risk
+{
+
+double
+valueAtRisk(std::span<const double> perf_samples, double alpha)
+{
+    if (alpha <= 0.0 || alpha >= 1.0)
+        ar::util::fatal("valueAtRisk: alpha must lie in (0, 1), got ",
+                        alpha);
+    return ar::stats::quantile(perf_samples, alpha);
+}
+
+double
+conditionalValueAtRisk(std::span<const double> perf_samples,
+                       double alpha)
+{
+    if (alpha <= 0.0 || alpha >= 1.0)
+        ar::util::fatal("conditionalValueAtRisk: alpha must lie in "
+                        "(0, 1), got ", alpha);
+    if (perf_samples.empty())
+        ar::util::fatal("conditionalValueAtRisk: empty sample");
+    std::vector<double> sorted(perf_samples.begin(),
+                               perf_samples.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t tail = std::max<std::size_t>(
+        1, static_cast<std::size_t>(alpha *
+                                    static_cast<double>(sorted.size())));
+    ar::math::KahanSum acc;
+    for (std::size_t i = 0; i < tail; ++i)
+        acc.add(sorted[i]);
+    return acc.value() / static_cast<double>(tail);
+}
+
+double
+shortfallProbability(std::span<const double> perf_samples,
+                     double reference)
+{
+    if (perf_samples.empty())
+        ar::util::fatal("shortfallProbability: empty sample");
+    std::size_t below = 0;
+    for (double p : perf_samples)
+        below += p < reference;
+    return static_cast<double>(below) /
+           static_cast<double>(perf_samples.size());
+}
+
+} // namespace ar::risk

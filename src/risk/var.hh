@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tail-risk metrics borrowed directly from the financial risk
+ * toolbox the paper draws its framing from (Section 2): value at
+ * risk and conditional value at risk (expected shortfall) of a
+ * performance distribution relative to a reference.
+ */
+
+#ifndef AR_RISK_VAR_HH
+#define AR_RISK_VAR_HH
+
+#include <span>
+
+namespace ar::risk
+{
+
+/**
+ * Performance value at risk: the alpha-quantile of realized
+ * performance.  "With probability 1 - alpha the design performs at
+ * least this well."
+ *
+ * @param perf_samples Monte-Carlo performance samples.
+ * @param alpha Tail probability in (0, 1), e.g. 0.05.
+ */
+double valueAtRisk(std::span<const double> perf_samples, double alpha);
+
+/**
+ * Conditional value at risk (expected shortfall): the mean
+ * performance over the worst alpha-fraction of outcomes.  Always at
+ * most valueAtRisk for the same alpha.
+ *
+ * @param perf_samples Monte-Carlo performance samples.
+ * @param alpha Tail probability in (0, 1).
+ */
+double conditionalValueAtRisk(std::span<const double> perf_samples,
+                              double alpha);
+
+/**
+ * Shortfall probability: P(perf < reference), i.e. the step-risk
+ * aggregate written as a direct helper.
+ */
+double shortfallProbability(std::span<const double> perf_samples,
+                            double reference);
+
+} // namespace ar::risk
+
+#endif // AR_RISK_VAR_HH

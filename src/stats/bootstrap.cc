@@ -1,0 +1,34 @@
+#include "stats/bootstrap.hh"
+
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+std::vector<double>
+resample(std::span<const double> xs, std::size_t count,
+         ar::util::Rng &rng)
+{
+    if (xs.empty())
+        ar::util::fatal("resample: empty source sample");
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(xs[rng.uniformInt(xs.size())]);
+    return out;
+}
+
+std::vector<double>
+gaussianBootstrap(const GaussianFit &fit, std::size_t count,
+                  ar::util::Rng &rng, double stddev_scale)
+{
+    if (stddev_scale < 0.0)
+        ar::util::fatal("gaussianBootstrap: negative stddev scale");
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(rng.gaussian(fit.mean, fit.stddev * stddev_scale));
+    return out;
+}
+
+} // namespace ar::stats

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bootstrap resampling (Figure 2, step 5): non-parametric resampling
+ * with replacement and parametric resampling from a fitted Gaussian,
+ * optionally rescaled to a hand-tuned uncertainty level.
+ */
+
+#ifndef AR_STATS_BOOTSTRAP_HH
+#define AR_STATS_BOOTSTRAP_HH
+
+#include <span>
+#include <vector>
+
+#include "stats/gaussian_fit.hh"
+#include "util/rng.hh"
+
+namespace ar::stats
+{
+
+/**
+ * Non-parametric bootstrap: draw @p count samples with replacement.
+ *
+ * @param xs Source sample; must be non-empty.
+ * @param count Number of draws.
+ * @param rng Random stream.
+ */
+std::vector<double> resample(std::span<const double> xs,
+                             std::size_t count, ar::util::Rng &rng);
+
+/**
+ * Parametric bootstrap from a fitted Gaussian.
+ *
+ * @param fit Gaussian parameters (typically fit in Box-Cox space).
+ * @param count Number of draws.
+ * @param rng Random stream.
+ * @param stddev_scale Multiplier on the fitted stddev; the paper uses
+ *        this knob to "hand tune the desired uncertainty level".
+ */
+std::vector<double> gaussianBootstrap(const GaussianFit &fit,
+                                      std::size_t count,
+                                      ar::util::Rng &rng,
+                                      double stddev_scale = 1.0);
+
+} // namespace ar::stats
+
+#endif // AR_STATS_BOOTSTRAP_HH

@@ -1,0 +1,124 @@
+#include "stats/boxcox.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/numeric.hh"
+#include "math/optimize.hh"
+#include "stats/normality.hh"
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+double
+BoxCoxTransform::apply(double x) const
+{
+    const double v = x + shift;
+    if (v <= 0.0)
+        ar::util::fatal("BoxCoxTransform::apply: value ", x,
+                        " not positive after shift ", shift);
+    if (std::fabs(lambda) < 1e-12)
+        return std::log(v);
+    return (std::pow(v, lambda) - 1.0) / lambda;
+}
+
+double
+BoxCoxTransform::invert(double y) const
+{
+    double v;
+    if (std::fabs(lambda) < 1e-12) {
+        v = std::exp(y);
+    } else {
+        const double base = lambda * y + 1.0;
+        if (base <= 0.0) {
+            // Out of the transform's image: clamp to the domain edge.
+            v = 0.0;
+        } else {
+            v = std::pow(base, 1.0 / lambda);
+        }
+    }
+    return v - shift;
+}
+
+std::vector<double>
+BoxCoxTransform::apply(std::span<const double> xs) const
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs)
+        out.push_back(apply(x));
+    return out;
+}
+
+std::vector<double>
+BoxCoxTransform::invert(std::span<const double> ys) const
+{
+    std::vector<double> out;
+    out.reserve(ys.size());
+    for (double y : ys)
+        out.push_back(invert(y));
+    return out;
+}
+
+double
+boxCoxLogLikelihood(std::span<const double> xs, double lambda,
+                    double shift)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        ar::util::fatal("boxCoxLogLikelihood: need >= 2 samples");
+    BoxCoxTransform t{lambda, shift};
+    std::vector<double> ys = t.apply(xs);
+
+    const double mean_y = ar::math::mean(ys);
+    double ss = 0.0;
+    for (double y : ys)
+        ss += (y - mean_y) * (y - mean_y);
+    const double var = ss / static_cast<double>(n);
+    if (var <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+
+    double log_jacobian = 0.0;
+    for (double x : xs)
+        log_jacobian += std::log(x + shift);
+
+    const double nn = static_cast<double>(n);
+    return -0.5 * nn * std::log(var) + (lambda - 1.0) * log_jacobian;
+}
+
+BoxCoxFit
+fitBoxCox(std::span<const double> xs, double confidence_threshold,
+          double lambda_lo, double lambda_hi)
+{
+    if (xs.size() < 8)
+        ar::util::fatal("fitBoxCox: need >= 8 samples, got ", xs.size());
+
+    BoxCoxFit fit;
+
+    // Choose a shift making all data strictly positive.
+    const double min_x = *std::min_element(xs.begin(), xs.end());
+    const double max_x = *std::max_element(xs.begin(), xs.end());
+    double shift = 0.0;
+    if (min_x <= 0.0) {
+        const double span = std::max(max_x - min_x, 1e-9);
+        shift = -min_x + 0.01 * span;
+    }
+    fit.transform.shift = shift;
+
+    const auto neg_ll = [&](double lambda) {
+        return -boxCoxLogLikelihood(xs, lambda, shift);
+    };
+    const auto opt = ar::math::gridThenGoldenMin(neg_ll, lambda_lo,
+                                                 lambda_hi, 81, 1e-6);
+    fit.transform.lambda = opt.x;
+    fit.log_likelihood = -opt.value;
+
+    const auto transformed = fit.transform.apply(xs);
+    fit.confidence = normalityConfidence(transformed);
+    fit.passed = fit.confidence >= confidence_threshold;
+    return fit;
+}
+
+} // namespace ar::stats

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Box-Cox power transform: profile-likelihood lambda estimation, the
+ * forward/inverse transforms, and the "can this data be transformed to
+ * normality?" gate used by the paper's uncertainty-extraction pipeline
+ * (Figure 2, steps 1 and 3).
+ */
+
+#ifndef AR_STATS_BOXCOX_HH
+#define AR_STATS_BOXCOX_HH
+
+#include <span>
+#include <vector>
+
+namespace ar::stats
+{
+
+/** Fitted Box-Cox transform parameters. */
+struct BoxCoxTransform
+{
+    double lambda = 1.0; ///< Power parameter.
+    double shift = 0.0;  ///< Additive shift making data positive.
+
+    /** Forward transform of one value (value + shift must be > 0). */
+    double apply(double x) const;
+
+    /**
+     * Inverse transform of one value.  Transformed values that map
+     * outside the original domain (lambda * y + 1 <= 0) clamp to the
+     * domain edge, matching the truncated-Gaussian back-transform in
+     * the paper's bootstrapping step.
+     */
+    double invert(double y) const;
+
+    /** Forward transform of a sample. */
+    std::vector<double> apply(std::span<const double> xs) const;
+
+    /** Inverse transform of a sample. */
+    std::vector<double> invert(std::span<const double> ys) const;
+};
+
+/** Result of fitting a Box-Cox transform to data. */
+struct BoxCoxFit
+{
+    BoxCoxTransform transform;
+    double log_likelihood = 0.0; ///< Profile log-likelihood at lambda.
+    double confidence = 0.0;     ///< Normality confidence post-transform.
+    bool passed = false;         ///< confidence >= threshold?
+};
+
+/**
+ * Fit lambda by profile likelihood and evaluate the normality gate.
+ *
+ * @param xs Sample (any sign; a shift is chosen automatically).
+ * @param confidence_threshold Gate level; the paper uses 0.95.
+ * @param lambda_lo Lower bound of the lambda search window.
+ * @param lambda_hi Upper bound of the lambda search window.
+ */
+BoxCoxFit fitBoxCox(std::span<const double> xs,
+                    double confidence_threshold = 0.95,
+                    double lambda_lo = -5.0, double lambda_hi = 5.0);
+
+/**
+ * Profile log-likelihood of lambda for a (shifted-positive) sample.
+ * Exposed for tests and diagnostics.
+ */
+double boxCoxLogLikelihood(std::span<const double> xs, double lambda,
+                           double shift = 0.0);
+
+} // namespace ar::stats
+
+#endif // AR_STATS_BOXCOX_HH

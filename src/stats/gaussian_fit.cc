@@ -1,0 +1,33 @@
+#include "stats/gaussian_fit.hh"
+
+#include <cmath>
+
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+GaussianFit
+fitGaussian(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        ar::util::fatal("fitGaussian: need >= 2 samples, got ", n);
+
+    GaussianFit fit;
+    fit.mean = ar::math::mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - fit.mean) * (x - fit.mean);
+    const double nn = static_cast<double>(n);
+    const double var = ss / nn;
+    if (var <= 0.0)
+        ar::util::fatal("fitGaussian: degenerate sample (zero variance)");
+    fit.stddev = std::sqrt(var);
+    fit.log_likelihood =
+        -0.5 * nn * (std::log(2.0 * M_PI * var) + 1.0);
+    return fit;
+}
+
+} // namespace ar::stats

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Maximum-likelihood Gaussian fitting (Figure 2, step 4).
+ */
+
+#ifndef AR_STATS_GAUSSIAN_FIT_HH
+#define AR_STATS_GAUSSIAN_FIT_HH
+
+#include <span>
+
+namespace ar::stats
+{
+
+/** Parameters of a fitted Gaussian. */
+struct GaussianFit
+{
+    double mean = 0.0;
+    double stddev = 0.0;     ///< MLE (n denominator).
+    double log_likelihood = 0.0;
+};
+
+/**
+ * Fit a Gaussian to data by maximum likelihood.
+ *
+ * @param xs Sample; needs at least two distinct values.
+ */
+GaussianFit fitGaussian(std::span<const double> xs);
+
+} // namespace ar::stats
+
+#endif // AR_STATS_GAUSSIAN_FIT_HH

@@ -1,0 +1,97 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (bins == 0)
+        ar::util::fatal("Histogram: need at least one bin");
+    if (!(hi > lo))
+        ar::util::fatal("Histogram: invalid range [", lo, ", ", hi, "]");
+}
+
+Histogram
+Histogram::fromData(std::span<const double> xs, std::size_t bins)
+{
+    if (xs.empty())
+        ar::util::fatal("Histogram::fromData: empty sample");
+    double lo = *std::min_element(xs.begin(), xs.end());
+    double hi = *std::max_element(xs.begin(), xs.end());
+    if (lo == hi) {
+        // Degenerate sample: give it a tiny symmetric range.
+        const double pad = std::max(1e-12, std::fabs(lo) * 1e-9);
+        lo -= pad;
+        hi += pad;
+    }
+    Histogram h(lo, hi, bins);
+    h.addAll(xs);
+    return h;
+}
+
+void
+Histogram::add(double x)
+{
+    std::size_t idx;
+    if (x <= lo_) {
+        idx = 0;
+    } else if (x >= hi_) {
+        idx = counts_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((x - lo_) / width);
+        idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+    ++total_;
+}
+
+void
+Histogram::addAll(std::span<const double> xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return (i + 1 == counts_.size()) ? hi_ : binLo(i + 1);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return 0.5 * (binLo(i) + binHi(i));
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return fraction(i) / width;
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+} // namespace ar::stats

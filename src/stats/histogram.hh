@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-bin histograms over double samples.
+ */
+
+#ifndef AR_STATS_HISTOGRAM_HH
+#define AR_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ar::stats
+{
+
+/** Equal-width histogram with explicit range. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must exceed lo.
+     * @param bins Number of bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Build a histogram sized to the sample range with @p bins bins. */
+    static Histogram fromData(std::span<const double> xs,
+                              std::size_t bins);
+
+    /** Accumulate one value; out-of-range values clamp to edge bins. */
+    void add(double x);
+
+    /** Accumulate a whole sample. */
+    void addAll(std::span<const double> xs);
+
+    /** @return count in bin @p i. */
+    std::size_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** @return all bin counts. */
+    const std::vector<std::size_t> &counts() const { return counts_; }
+
+    /** @return number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** @return total number of accumulated values. */
+    std::size_t total() const { return total_; }
+
+    /** @return lower edge of bin @p i. */
+    double binLo(std::size_t i) const;
+
+    /** @return upper edge of bin @p i. */
+    double binHi(std::size_t i) const;
+
+    /** @return center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** @return probability-density estimate for bin @p i. */
+    double density(std::size_t i) const;
+
+    /** @return fraction of mass in bin @p i. */
+    double fraction(std::size_t i) const;
+
+    /** @return histogram range lower bound. */
+    double lo() const { return lo_; }
+
+    /** @return histogram range upper bound. */
+    double hi() const { return hi_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace ar::stats
+
+#endif // AR_STATS_HISTOGRAM_HH

@@ -1,0 +1,85 @@
+#include "stats/kde.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+#include "stats/quantiles.hh"
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+double
+GaussianKde::silvermanBandwidth(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        ar::util::fatal("silvermanBandwidth: need >= 2 samples");
+    const double sd = ar::math::stddev(xs);
+    const double iqr = quantile(xs, 0.75) - quantile(xs, 0.25);
+    double spread = sd;
+    if (iqr > 0.0)
+        spread = std::min(sd, iqr / 1.349);
+    if (spread <= 0.0)
+        spread = std::max(sd, 1e-9);
+    const double n = static_cast<double>(xs.size());
+    return 0.9 * spread * std::pow(n, -0.2);
+}
+
+GaussianKde::GaussianKde(std::span<const double> xs, double bandwidth)
+    : points(xs.begin(), xs.end())
+{
+    if (points.size() < 2)
+        ar::util::fatal("GaussianKde: need >= 2 samples");
+    h = bandwidth > 0.0 ? bandwidth : silvermanBandwidth(points);
+    if (h <= 0.0)
+        h = 1e-9;
+    // Points are kept sorted so pdf/cdf can restrict evaluation to
+    // the +-8h window where the Gaussian kernel is non-negligible.
+    std::sort(points.begin(), points.end());
+}
+
+double
+GaussianKde::pdf(double x) const
+{
+    const auto lo = std::lower_bound(points.begin(), points.end(),
+                                     x - 8.0 * h);
+    const auto hi = std::upper_bound(lo, points.end(), x + 8.0 * h);
+    double acc = 0.0;
+    for (auto it = lo; it != hi; ++it)
+        acc += ar::math::normalPdf((x - *it) / h);
+    return acc / (static_cast<double>(points.size()) * h);
+}
+
+double
+GaussianKde::cdf(double x) const
+{
+    const auto lo = std::lower_bound(points.begin(), points.end(),
+                                     x - 8.0 * h);
+    const auto hi = std::upper_bound(lo, points.end(), x + 8.0 * h);
+    // Kernels entirely below the window contribute ~1 each.
+    double acc = static_cast<double>(lo - points.begin());
+    for (auto it = lo; it != hi; ++it)
+        acc += ar::math::normalCdf((x - *it) / h);
+    return acc / static_cast<double>(points.size());
+}
+
+double
+GaussianKde::sample(ar::util::Rng &rng) const
+{
+    const double center = points[rng.uniformInt(points.size())];
+    return center + h * rng.gaussian();
+}
+
+std::vector<double>
+GaussianKde::sample(std::size_t count, ar::util::Rng &rng) const
+{
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(sample(rng));
+    return out;
+}
+
+} // namespace ar::stats

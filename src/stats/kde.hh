@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Gaussian kernel density estimation (Figure 2, step 2): the fallback
+ * when data cannot be transformed to normality.  Provides density,
+ * CDF, and a sampling function for uncertainty propagation.
+ */
+
+#ifndef AR_STATS_KDE_HH
+#define AR_STATS_KDE_HH
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace ar::stats
+{
+
+/** Gaussian-kernel density estimate over a fixed sample. */
+class GaussianKde
+{
+  public:
+    /**
+     * @param xs Source sample; must hold at least two distinct values.
+     * @param bandwidth Kernel bandwidth; <= 0 selects Silverman's rule.
+     */
+    explicit GaussianKde(std::span<const double> xs,
+                         double bandwidth = 0.0);
+
+    /** @return estimated density at x. */
+    double pdf(double x) const;
+
+    /** @return estimated CDF at x. */
+    double cdf(double x) const;
+
+    /** Draw one sample (random kernel + Gaussian jitter). */
+    double sample(ar::util::Rng &rng) const;
+
+    /** Draw @p count samples. */
+    std::vector<double> sample(std::size_t count,
+                               ar::util::Rng &rng) const;
+
+    /** @return the bandwidth in use. */
+    double bandwidth() const { return h; }
+
+    /** @return the underlying data points. */
+    const std::vector<double> &data() const { return points; }
+
+    /** Silverman's rule-of-thumb bandwidth for a sample. */
+    static double silvermanBandwidth(std::span<const double> xs);
+
+  private:
+    std::vector<double> points;
+    double h = 1.0;
+};
+
+} // namespace ar::stats
+
+#endif // AR_STATS_KDE_HH

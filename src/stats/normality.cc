@@ -1,0 +1,180 @@
+#include "stats/normality.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ar::stats
+{
+
+namespace
+{
+
+/** Filliben's normal order-statistic medians for a sample of size n. */
+std::vector<double>
+orderStatisticMedians(std::size_t n)
+{
+    std::vector<double> m(n);
+    const double nn = static_cast<double>(n);
+    for (std::size_t i = 1; i <= n; ++i) {
+        double u;
+        if (i == 1)
+            u = 1.0 - std::pow(0.5, 1.0 / nn);
+        else if (i == n)
+            u = std::pow(0.5, 1.0 / nn);
+        else
+            u = (static_cast<double>(i) - 0.3175) / (nn + 0.365);
+        m[i - 1] = ar::math::normalQuantile(u);
+    }
+    return m;
+}
+
+/** Pearson correlation between two equal-length vectors. */
+double
+correlation(std::span<const double> a, std::span<const double> b)
+{
+    const double ma = ar::math::mean(a);
+    const double mb = ar::math::mean(b);
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa <= 0.0 || sbb <= 0.0)
+        return 0.0;
+    return sab / std::sqrt(saa * sbb);
+}
+
+/**
+ * Null-distribution quantile of the normal PPCC statistic for sample
+ * size n, estimated once per (n, q) by Monte-Carlo with a fixed seed
+ * and cached.  Self-contained replacement for Filliben's tables.
+ */
+double
+ppccNullQuantile(std::size_t n, double q)
+{
+    static std::map<std::pair<std::size_t, int>, double> cache;
+    const int qkey = static_cast<int>(q * 1000.0 + 0.5);
+    const auto key = std::make_pair(n, qkey);
+    if (auto it = cache.find(key); it != cache.end())
+        return it->second;
+
+    const int reps = 400;
+    ar::util::Rng rng(0xf1111b37u + n);
+    const auto medians = orderStatisticMedians(n);
+    std::vector<double> rs(reps);
+    std::vector<double> sample(n);
+    for (int r = 0; r < reps; ++r) {
+        for (auto &x : sample)
+            x = rng.gaussian();
+        std::sort(sample.begin(), sample.end());
+        rs[r] = correlation(sample, medians);
+    }
+    std::sort(rs.begin(), rs.end());
+    const double pos = q * (reps - 1);
+    const std::size_t idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    const double val = (idx + 1 < rs.size())
+        ? rs[idx] * (1.0 - frac) + rs[idx + 1] * frac
+        : rs.back();
+    cache[key] = val;
+    return val;
+}
+
+} // namespace
+
+AndersonDarlingResult
+andersonDarling(std::span<const double> xs)
+{
+    AndersonDarlingResult res;
+    const std::size_t n = xs.size();
+    if (n < 3)
+        ar::util::fatal("andersonDarling: need >= 3 samples, got ", n);
+
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double m = ar::math::mean(sorted);
+    const double s = ar::math::stddev(sorted);
+    if (s <= 0.0) {
+        // Degenerate sample: definitely not continuous-normal.
+        res.a2 = res.a2_star = 1e9;
+        res.p_value = 0.0;
+        return res;
+    }
+
+    const double nn = static_cast<double>(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double zi = (sorted[i] - m) / s;
+        const double zr = (sorted[n - 1 - i] - m) / s;
+        double cdf_i = ar::math::normalCdf(zi);
+        double cdf_r = ar::math::normalCdf(zr);
+        cdf_i = ar::math::clamp(cdf_i, 1e-300, 1.0 - 1e-16);
+        cdf_r = ar::math::clamp(cdf_r, 1e-300, 1.0 - 1e-16);
+        acc += (2.0 * static_cast<double>(i) + 1.0) *
+               (std::log(cdf_i) + std::log1p(-cdf_r));
+    }
+    res.a2 = -nn - acc / nn;
+    res.a2_star = res.a2 * (1.0 + 0.75 / nn + 2.25 / (nn * nn));
+
+    // D'Agostino & Stephens (1986), case with both parameters estimated.
+    const double a = res.a2_star;
+    double p;
+    if (a >= 0.6)
+        p = std::exp(1.2937 - 5.709 * a + 0.0186 * a * a);
+    else if (a > 0.34)
+        p = std::exp(0.9177 - 4.279 * a - 1.38 * a * a);
+    else if (a > 0.2)
+        p = 1.0 - std::exp(-8.318 + 42.796 * a - 59.938 * a * a);
+    else
+        p = 1.0 - std::exp(-13.436 + 101.14 * a - 223.73 * a * a);
+    res.p_value = ar::math::clamp(p, 0.0, 1.0);
+    return res;
+}
+
+double
+ppcc(std::span<const double> xs)
+{
+    if (xs.size() < 3)
+        ar::util::fatal("ppcc: need >= 3 samples, got ", xs.size());
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto medians = orderStatisticMedians(sorted.size());
+    return correlation(sorted, medians);
+}
+
+double
+normalityConfidence(std::span<const double> xs)
+{
+    if (xs.size() < 8)
+        return 0.0;
+
+    const auto ad = andersonDarling(xs);
+    // Full marks for any p-value at which the 5% AD test cannot reject;
+    // linear ramp below that.
+    const double ad_score = std::min(1.0, ad.p_value / 0.05);
+
+    const double r = ppcc(xs);
+    const double r05 = ppccNullQuantile(xs.size(), 0.05);
+    const double r50 = ppccNullQuantile(xs.size(), 0.50);
+    double ppcc_score;
+    if (r >= r05) {
+        ppcc_score = 1.0;
+    } else {
+        // Ramp down over the same width as the r05..r50 spread.
+        const double width = std::max(1e-6, r50 - r05);
+        ppcc_score = std::max(0.0, 1.0 - (r05 - r) / width);
+    }
+    return 0.5 * ad_score + 0.5 * ppcc_score;
+}
+
+} // namespace ar::stats

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Normality diagnostics: Anderson-Darling test (composite hypothesis,
+ * D'Agostino p-value approximation) and Filliben's probability-plot
+ * correlation coefficient.  These back the Box-Cox "can this data be
+ * transformed to normality?" decision in the extraction pipeline
+ * (Figure 2 of the paper).
+ */
+
+#ifndef AR_STATS_NORMALITY_HH
+#define AR_STATS_NORMALITY_HH
+
+#include <span>
+
+namespace ar::stats
+{
+
+/** Outcome of an Anderson-Darling normality test. */
+struct AndersonDarlingResult
+{
+    double a2 = 0.0;      ///< Raw A^2 statistic.
+    double a2_star = 0.0; ///< Small-sample adjusted statistic.
+    double p_value = 0.0; ///< Approximate p-value (composite case).
+};
+
+/**
+ * Anderson-Darling test for normality with estimated mean/stddev.
+ *
+ * @param xs Sample; needs at least 8 points for a meaningful p-value.
+ */
+AndersonDarlingResult andersonDarling(std::span<const double> xs);
+
+/**
+ * Filliben probability-plot correlation coefficient against normal
+ * order-statistic medians.  Values near 1 indicate normality.
+ */
+double ppcc(std::span<const double> xs);
+
+/**
+ * Scalar "confidence that the data is normal" in [0, 1], the quantity
+ * thresholded (> 0.95 in the paper) by the Box-Cox gate.  Defined as a
+ * blend of the Anderson-Darling acceptance and the PPCC: a sample that
+ * the AD test cannot reject at 5% and whose PPCC exceeds the n-dependent
+ * critical value scores above 0.95.
+ */
+double normalityConfidence(std::span<const double> xs);
+
+} // namespace ar::stats
+
+#endif // AR_STATS_NORMALITY_HH

@@ -1,0 +1,88 @@
+#include "stats/quantiles.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+double
+quantileSorted(std::span<const double> sorted, double q)
+{
+    if (sorted.empty())
+        ar::util::fatal("quantileSorted: empty sample");
+    if (q < 0.0 || q > 1.0)
+        ar::util::fatal("quantileSorted: q must lie in [0, 1], got ", q);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double
+quantile(std::span<const double> xs, double q)
+{
+    std::vector<double> copy(xs.begin(), xs.end());
+    std::sort(copy.begin(), copy.end());
+    return quantileSorted(copy, q);
+}
+
+double
+median(std::span<const double> xs)
+{
+    return quantile(xs, 0.5);
+}
+
+Ecdf::Ecdf(std::span<const double> xs)
+    : data(xs.begin(), xs.end())
+{
+    if (data.empty())
+        ar::util::fatal("Ecdf: empty sample");
+    std::sort(data.begin(), data.end());
+}
+
+double
+Ecdf::operator()(double x) const
+{
+    const auto it = std::upper_bound(data.begin(), data.end(), x);
+    return static_cast<double>(it - data.begin()) /
+           static_cast<double>(data.size());
+}
+
+double
+Ecdf::quantile(double q) const
+{
+    return quantileSorted(data, q);
+}
+
+double
+ksStatistic(std::span<const double> a, std::span<const double> b)
+{
+    if (a.empty() || b.empty())
+        ar::util::fatal("ksStatistic: empty sample");
+    std::vector<double> sa(a.begin(), a.end());
+    std::vector<double> sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    std::size_t i = 0, j = 0;
+    double d = 0.0;
+    while (i < sa.size() && j < sb.size()) {
+        const double x = std::min(sa[i], sb[j]);
+        while (i < sa.size() && sa[i] <= x)
+            ++i;
+        while (j < sb.size() && sb[j] <= x)
+            ++j;
+        const double fa = static_cast<double>(i) /
+                          static_cast<double>(sa.size());
+        const double fb = static_cast<double>(j) /
+                          static_cast<double>(sb.size());
+        d = std::max(d, std::fabs(fa - fb));
+    }
+    return d;
+}
+
+} // namespace ar::stats

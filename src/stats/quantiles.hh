@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quantile estimation and the empirical CDF.
+ */
+
+#ifndef AR_STATS_QUANTILES_HH
+#define AR_STATS_QUANTILES_HH
+
+#include <span>
+#include <vector>
+
+namespace ar::stats
+{
+
+/**
+ * Linear-interpolation quantile (R type-7) of an unsorted sample.
+ *
+ * @param xs Sample; must be non-empty.
+ * @param q Quantile in [0, 1].
+ */
+double quantile(std::span<const double> xs, double q);
+
+/** Quantile of a sample already sorted ascending (no copy). */
+double quantileSorted(std::span<const double> sorted, double q);
+
+/** Median shortcut. */
+double median(std::span<const double> xs);
+
+/**
+ * Empirical cumulative distribution function over a fixed sample.
+ * Construction sorts a copy once; evaluation is O(log n).
+ */
+class Ecdf
+{
+  public:
+    /** @param xs Sample; must be non-empty. */
+    explicit Ecdf(std::span<const double> xs);
+
+    /** @return fraction of the sample <= x. */
+    double operator()(double x) const;
+
+    /** @return the q-quantile of the stored sample. */
+    double quantile(double q) const;
+
+    /** @return the sorted sample. */
+    const std::vector<double> &sorted() const { return data; }
+
+  private:
+    std::vector<double> data;
+};
+
+/**
+ * Two-sample Kolmogorov-Smirnov statistic (max CDF distance).  Used in
+ * tests and extraction-quality metrics to compare distributions.
+ */
+double ksStatistic(std::span<const double> a, std::span<const double> b);
+
+} // namespace ar::stats
+
+#endif // AR_STATS_QUANTILES_HH

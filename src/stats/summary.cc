@@ -1,0 +1,113 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace ar::stats
+{
+
+Summary
+summarize(std::span<const double> xs)
+{
+    if (xs.empty())
+        ar::util::fatal("summarize: empty sample");
+    Summary s;
+    s.n = xs.size();
+    s.mean = ar::math::mean(xs);
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+
+    ar::math::KahanSum m2, m3, m4;
+    for (double x : xs) {
+        const double d = x - s.mean;
+        m2.add(d * d);
+        m3.add(d * d * d);
+        m4.add(d * d * d * d);
+    }
+    const double n = static_cast<double>(s.n);
+    if (s.n > 1) {
+        s.variance = m2.value() / (n - 1.0);
+        s.stddev = std::sqrt(s.variance);
+    }
+    const double pop_var = m2.value() / n;
+    if (pop_var > 0.0 && s.n > 2) {
+        const double g1 = (m3.value() / n) / std::pow(pop_var, 1.5);
+        s.skewness = std::sqrt(n * (n - 1.0)) / (n - 2.0) * g1;
+    }
+    if (pop_var > 0.0 && s.n > 3) {
+        const double g2 = (m4.value() / n) / (pop_var * pop_var) - 3.0;
+        s.kurtosis = ((n + 1.0) * g2 + 6.0) * (n - 1.0) /
+                     ((n - 2.0) * (n - 3.0));
+    }
+    return s;
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        ar::util::fatal("RunningStats::variance: need >= 2 samples");
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    if (n == 0)
+        ar::util::fatal("RunningStats::min: empty");
+    return lo;
+}
+
+double
+RunningStats::max() const
+{
+    if (n == 0)
+        ar::util::fatal("RunningStats::max: empty");
+    return hi;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.m - m;
+    const double total = na + nb;
+    m += delta * nb / total;
+    m2 += other.m2 + delta * delta * na * nb / total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    n += other.n;
+}
+
+} // namespace ar::stats

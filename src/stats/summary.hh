@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Descriptive statistics: batch summaries and Welford-style running
+ * accumulation.
+ */
+
+#ifndef AR_STATS_SUMMARY_HH
+#define AR_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <span>
+
+namespace ar::stats
+{
+
+/** Moments and extrema of a sample. */
+struct Summary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;   ///< Sample stddev (n - 1 denominator).
+    double variance = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double skewness = 0.0; ///< Adjusted Fisher-Pearson coefficient.
+    double kurtosis = 0.0; ///< Excess kurtosis.
+};
+
+/**
+ * Compute a full Summary over a sample.
+ *
+ * @param xs Sample; must be non-empty.
+ */
+Summary summarize(std::span<const double> xs);
+
+/**
+ * Online mean/variance accumulator (Welford).  Numerically stable and
+ * usable when samples arrive one at a time (e.g. Monte-Carlo loops).
+ */
+class RunningStats
+{
+  public:
+    /** Fold in one observation. */
+    void add(double x);
+
+    /** @return number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** @return running mean (0 when empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** @return sample variance; fatal with fewer than two samples. */
+    double variance() const;
+
+    /** @return sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest observation; fatal when empty. */
+    double min() const;
+
+    /** @return largest observation; fatal when empty. */
+    double max() const;
+
+    /** Merge another accumulator (parallel reduction). */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+} // namespace ar::stats
+
+#endif // AR_STATS_SUMMARY_HH

@@ -1,0 +1,192 @@
+#include "symbolic/compile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+CompiledExpr::CompiledExpr(const ExprPtr &e)
+{
+    if (!e)
+        ar::util::panic("CompiledExpr: null expression");
+    const auto syms = e->freeSymbols();
+    args_.assign(syms.begin(), syms.end()); // std::set is sorted
+    emit(e);
+
+    // Compute the maximum stack depth for the scratch buffer.
+    std::size_t depth = 0;
+    for (const auto &op : ops) {
+        switch (op.code) {
+          case OpCode::PushConst:
+          case OpCode::PushArg:
+            ++depth;
+            break;
+          case OpCode::Add:
+          case OpCode::Mul:
+          case OpCode::Max:
+          case OpCode::Min:
+            depth -= op.n - 1;
+            break;
+          case OpCode::Pow:
+            --depth;
+            break;
+          default:
+            break; // unary ops keep depth unchanged
+        }
+        max_stack = std::max(max_stack, depth);
+    }
+    if (depth != 1)
+        ar::util::panic("CompiledExpr: unbalanced tape");
+}
+
+void
+CompiledExpr::emit(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Constant:
+        ops.push_back({OpCode::PushConst, 0, e->value()});
+        return;
+      case ExprKind::Symbol:
+        {
+            const auto it =
+                std::lower_bound(args_.begin(), args_.end(), e->name());
+            ops.push_back(
+                {OpCode::PushArg,
+                 static_cast<std::uint32_t>(it - args_.begin()), 0.0});
+            return;
+        }
+      default:
+        break;
+    }
+    for (const auto &op : e->operands())
+        emit(op);
+    const auto n = static_cast<std::uint32_t>(e->operands().size());
+    switch (e->kind()) {
+      case ExprKind::Add:
+        ops.push_back({OpCode::Add, n, 0.0});
+        return;
+      case ExprKind::Mul:
+        ops.push_back({OpCode::Mul, n, 0.0});
+        return;
+      case ExprKind::Pow:
+        ops.push_back({OpCode::Pow, 2, 0.0});
+        return;
+      case ExprKind::Max:
+        ops.push_back({OpCode::Max, n, 0.0});
+        return;
+      case ExprKind::Min:
+        ops.push_back({OpCode::Min, n, 0.0});
+        return;
+      case ExprKind::Func:
+        if (e->name() == "log")
+            ops.push_back({OpCode::Log, 1, 0.0});
+        else if (e->name() == "exp")
+            ops.push_back({OpCode::Exp, 1, 0.0});
+        else if (e->name() == "gtz")
+            ops.push_back({OpCode::Gtz, 1, 0.0});
+        else
+            ar::util::panic("CompiledExpr: unknown function ",
+                            e->name());
+        return;
+      default:
+        ar::util::panic("CompiledExpr: unhandled expression kind");
+    }
+}
+
+std::size_t
+CompiledExpr::argIndex(const std::string &name) const
+{
+    const auto it = std::lower_bound(args_.begin(), args_.end(), name);
+    if (it == args_.end() || *it != name)
+        ar::util::fatal("CompiledExpr: no argument named '", name, "'");
+    return static_cast<std::size_t>(it - args_.begin());
+}
+
+double
+CompiledExpr::eval(std::span<const double> args) const
+{
+    if (args.size() != args_.size()) {
+        ar::util::fatal("CompiledExpr::eval: expected ", args_.size(),
+                        " arguments, got ", args.size());
+    }
+    thread_local std::vector<double> stack;
+    stack.clear();
+    stack.reserve(max_stack);
+
+    for (const auto &op : ops) {
+        switch (op.code) {
+          case OpCode::PushConst:
+            stack.push_back(op.value);
+            break;
+          case OpCode::PushArg:
+            stack.push_back(args[op.n]);
+            break;
+          case OpCode::Add:
+            {
+                double acc = 0.0;
+                for (std::uint32_t i = 0; i < op.n; ++i) {
+                    acc += stack.back();
+                    stack.pop_back();
+                }
+                stack.push_back(acc);
+                break;
+            }
+          case OpCode::Mul:
+            {
+                double acc = 1.0;
+                for (std::uint32_t i = 0; i < op.n; ++i) {
+                    acc *= stack.back();
+                    stack.pop_back();
+                }
+                stack.push_back(acc);
+                break;
+            }
+          case OpCode::Pow:
+            {
+                const double exp = stack.back();
+                stack.pop_back();
+                const double base = stack.back();
+                stack.back() = std::pow(base, exp);
+                break;
+            }
+          case OpCode::Max:
+            {
+                double acc = stack.back();
+                stack.pop_back();
+                for (std::uint32_t i = 1; i < op.n; ++i) {
+                    acc = std::max(acc, stack.back());
+                    stack.pop_back();
+                }
+                stack.push_back(acc);
+                break;
+            }
+          case OpCode::Min:
+            {
+                double acc = stack.back();
+                stack.pop_back();
+                for (std::uint32_t i = 1; i < op.n; ++i) {
+                    acc = std::min(acc, stack.back());
+                    stack.pop_back();
+                }
+                stack.push_back(acc);
+                break;
+            }
+          case OpCode::Log:
+            stack.back() = std::log(stack.back());
+            break;
+          case OpCode::Exp:
+            stack.back() = std::exp(stack.back());
+            break;
+          case OpCode::Gtz:
+            stack.back() = stack.back() > 0.0 ? 1.0 : 0.0;
+            break;
+        }
+    }
+    return stack.back();
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Expression compilation ("lamdification", Figure 4 step 3): an
+ * expression tree is flattened once into a postorder tape of stack
+ * operations with a fixed, sorted argument ordering.  Evaluation is
+ * then allocation-free and fast enough for millions of Monte-Carlo
+ * trials.
+ */
+
+#ifndef AR_SYMBOLIC_COMPILE_HH
+#define AR_SYMBOLIC_COMPILE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** A compiled, callable form of an expression. */
+class CompiledExpr
+{
+  public:
+    /**
+     * Compile an expression.  Argument order is the sorted list of
+     * free symbol names (the "fixed argument ordering" the paper
+     * enforces during lamdification).
+     */
+    explicit CompiledExpr(const ExprPtr &e);
+
+    /**
+     * Evaluate with positional arguments.
+     *
+     * @param args One value per argName(), in order.
+     */
+    double eval(std::span<const double> args) const;
+
+    /** @return argument names in positional order. */
+    const std::vector<std::string> &argNames() const { return args_; }
+
+    /** @return index of a named argument; fatal when absent. */
+    std::size_t argIndex(const std::string &name) const;
+
+    /** @return number of tape instructions (diagnostics). */
+    std::size_t tapeLength() const { return ops.size(); }
+
+  private:
+    enum class OpCode : std::uint8_t
+    {
+        PushConst,
+        PushArg,
+        Add,  // pops n, pushes sum
+        Mul,  // pops n, pushes product
+        Pow,  // pops 2
+        Max,  // pops n
+        Min,  // pops n
+        Log,
+        Exp,
+        Gtz,
+    };
+
+    struct Op
+    {
+        OpCode code;
+        std::uint32_t n = 0;   ///< operand count / argument index
+        double value = 0.0;    ///< constant payload
+    };
+
+    void emit(const ExprPtr &e);
+
+    std::vector<Op> ops;
+    std::vector<std::string> args_;
+    std::size_t max_stack = 0;
+};
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_COMPILE_HH

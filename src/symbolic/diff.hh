@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Symbolic differentiation.  Primarily used by the equation solver to
+ * recognize and solve equations that are linear in the target
+ * variable; also useful for sensitivity analysis of closed-form
+ * architecture models.
+ */
+
+#ifndef AR_SYMBOLIC_DIFF_HH
+#define AR_SYMBOLIC_DIFF_HH
+
+#include <optional>
+#include <string>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/**
+ * Differentiate an expression with respect to a symbol.
+ *
+ * @param e Expression to differentiate.
+ * @param sym Symbol name.
+ * @return the simplified derivative, or std::nullopt when the
+ *         expression is not differentiable in closed form (contains
+ *         max/min/gtz of the symbol).
+ */
+std::optional<ExprPtr> diff(const ExprPtr &e, const std::string &sym);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_DIFF_HH

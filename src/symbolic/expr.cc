@@ -1,0 +1,340 @@
+#include "symbolic/expr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+Expr::Expr(ExprKind kind, double value, std::string name,
+           std::vector<ExprPtr> ops)
+    : kind_(kind), value_(value), name_(std::move(name)),
+      ops(std::move(ops))
+{
+}
+
+ExprPtr
+Expr::make(ExprKind kind, double value, std::string name,
+           std::vector<ExprPtr> ops)
+{
+    return ExprPtr(new Expr(kind, value, std::move(name),
+                            std::move(ops)));
+}
+
+double
+Expr::value() const
+{
+    if (kind_ != ExprKind::Constant)
+        ar::util::panic("Expr::value on non-constant node");
+    return value_;
+}
+
+const std::string &
+Expr::name() const
+{
+    if (kind_ != ExprKind::Symbol && kind_ != ExprKind::Func)
+        ar::util::panic("Expr::name on node without a name");
+    return name_;
+}
+
+bool
+Expr::isConstant(double v) const
+{
+    return kind_ == ExprKind::Constant && value_ == v;
+}
+
+std::set<std::string>
+Expr::freeSymbols() const
+{
+    std::set<std::string> out;
+    if (kind_ == ExprKind::Symbol) {
+        out.insert(name_);
+        return out;
+    }
+    for (const auto &op : ops) {
+        auto sub = op->freeSymbols();
+        out.insert(sub.begin(), sub.end());
+    }
+    return out;
+}
+
+std::size_t
+Expr::countSymbol(const std::string &sym) const
+{
+    if (kind_ == ExprKind::Symbol)
+        return name_ == sym ? 1 : 0;
+    std::size_t n = 0;
+    for (const auto &op : ops)
+        n += op->countSymbol(sym);
+    return n;
+}
+
+bool
+Expr::equal(const ExprPtr &a, const ExprPtr &b)
+{
+    return compare(a, b) == 0;
+}
+
+int
+Expr::compare(const ExprPtr &a, const ExprPtr &b)
+{
+    if (a.get() == b.get())
+        return 0;
+    const int ka = static_cast<int>(a->kind_);
+    const int kb = static_cast<int>(b->kind_);
+    if (ka != kb)
+        return ka < kb ? -1 : 1;
+    switch (a->kind_) {
+      case ExprKind::Constant:
+        {
+            // NaN constants (from folding out-of-domain arithmetic)
+            // must compare equal to themselves so canonicalization
+            // and idempotence hold.
+            const bool a_nan = std::isnan(a->value_);
+            const bool b_nan = std::isnan(b->value_);
+            if (a_nan || b_nan)
+                return a_nan && b_nan ? 0 : (a_nan ? 1 : -1);
+            if (a->value_ != b->value_)
+                return a->value_ < b->value_ ? -1 : 1;
+            return 0;
+        }
+      case ExprKind::Symbol:
+        return a->name_.compare(b->name_);
+      case ExprKind::Func:
+        if (int c = a->name_.compare(b->name_); c != 0)
+            return c;
+        break;
+      default:
+        break;
+    }
+    if (a->ops.size() != b->ops.size())
+        return a->ops.size() < b->ops.size() ? -1 : 1;
+    for (std::size_t i = 0; i < a->ops.size(); ++i) {
+        if (int c = compare(a->ops[i], b->ops[i]); c != 0)
+            return c;
+    }
+    return 0;
+}
+
+ExprPtr
+Expr::constant(double v)
+{
+    return make(ExprKind::Constant, v, "", {});
+}
+
+ExprPtr
+Expr::symbol(const std::string &name)
+{
+    if (name.empty())
+        ar::util::fatal("Expr::symbol: empty name");
+    return make(ExprKind::Symbol, 0.0, name, {});
+}
+
+namespace
+{
+
+/** Flatten same-kind children into the operand list and sort. */
+std::vector<ExprPtr>
+flattenSorted(ExprKind kind, std::vector<ExprPtr> xs)
+{
+    std::vector<ExprPtr> flat;
+    flat.reserve(xs.size());
+    for (auto &x : xs) {
+        if (!x)
+            ar::util::panic("Expr factory received a null operand");
+        if (x->kind() == kind) {
+            for (const auto &sub : x->operands())
+                flat.push_back(sub);
+        } else {
+            flat.push_back(std::move(x));
+        }
+    }
+    std::stable_sort(flat.begin(), flat.end(),
+                     [](const ExprPtr &a, const ExprPtr &b) {
+                         return Expr::compare(a, b) < 0;
+                     });
+    return flat;
+}
+
+} // namespace
+
+ExprPtr
+Expr::add(std::vector<ExprPtr> terms)
+{
+    auto flat = flattenSorted(ExprKind::Add, std::move(terms));
+    if (flat.empty())
+        return constant(0.0);
+    if (flat.size() == 1)
+        return flat[0];
+    return make(ExprKind::Add, 0.0, "", std::move(flat));
+}
+
+ExprPtr
+Expr::add(ExprPtr a, ExprPtr b)
+{
+    return add(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+ExprPtr
+Expr::sub(ExprPtr a, ExprPtr b)
+{
+    return add(std::move(a), neg(std::move(b)));
+}
+
+ExprPtr
+Expr::mul(std::vector<ExprPtr> factors)
+{
+    auto flat = flattenSorted(ExprKind::Mul, std::move(factors));
+    if (flat.empty())
+        return constant(1.0);
+    if (flat.size() == 1)
+        return flat[0];
+    return make(ExprKind::Mul, 0.0, "", std::move(flat));
+}
+
+ExprPtr
+Expr::mul(ExprPtr a, ExprPtr b)
+{
+    return mul(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+ExprPtr
+Expr::div(ExprPtr a, ExprPtr b)
+{
+    return mul(std::move(a), pow(std::move(b), constant(-1.0)));
+}
+
+ExprPtr
+Expr::pow(ExprPtr base, ExprPtr exponent)
+{
+    if (!base || !exponent)
+        ar::util::panic("Expr::pow received a null operand");
+    return make(ExprKind::Pow, 0.0, "",
+                {std::move(base), std::move(exponent)});
+}
+
+ExprPtr
+Expr::sqrt(ExprPtr x)
+{
+    return pow(std::move(x), constant(0.5));
+}
+
+ExprPtr
+Expr::neg(ExprPtr x)
+{
+    return mul(constant(-1.0), std::move(x));
+}
+
+ExprPtr
+Expr::max(std::vector<ExprPtr> xs)
+{
+    auto flat = flattenSorted(ExprKind::Max, std::move(xs));
+    if (flat.empty())
+        ar::util::fatal("Expr::max: needs at least one operand");
+    if (flat.size() == 1)
+        return flat[0];
+    return make(ExprKind::Max, 0.0, "", std::move(flat));
+}
+
+ExprPtr
+Expr::min(std::vector<ExprPtr> xs)
+{
+    auto flat = flattenSorted(ExprKind::Min, std::move(xs));
+    if (flat.empty())
+        ar::util::fatal("Expr::min: needs at least one operand");
+    if (flat.size() == 1)
+        return flat[0];
+    return make(ExprKind::Min, 0.0, "", std::move(flat));
+}
+
+ExprPtr
+Expr::func(const std::string &name, ExprPtr arg)
+{
+    if (name != "log" && name != "exp" && name != "gtz")
+        ar::util::fatal("Expr::func: unknown function '", name, "'");
+    if (!arg)
+        ar::util::panic("Expr::func received a null operand");
+    return make(ExprKind::Func, 0.0, name, {std::move(arg)});
+}
+
+ExprPtr
+operator+(const ExprPtr &a, const ExprPtr &b)
+{
+    return Expr::add(a, b);
+}
+
+ExprPtr
+operator-(const ExprPtr &a, const ExprPtr &b)
+{
+    return Expr::sub(a, b);
+}
+
+ExprPtr
+operator*(const ExprPtr &a, const ExprPtr &b)
+{
+    return Expr::mul(a, b);
+}
+
+ExprPtr
+operator/(const ExprPtr &a, const ExprPtr &b)
+{
+    return Expr::div(a, b);
+}
+
+ExprPtr
+operator+(const ExprPtr &a, double b)
+{
+    return Expr::add(a, Expr::constant(b));
+}
+
+ExprPtr
+operator-(const ExprPtr &a, double b)
+{
+    return Expr::sub(a, Expr::constant(b));
+}
+
+ExprPtr
+operator*(const ExprPtr &a, double b)
+{
+    return Expr::mul(a, Expr::constant(b));
+}
+
+ExprPtr
+operator/(const ExprPtr &a, double b)
+{
+    return Expr::div(a, Expr::constant(b));
+}
+
+ExprPtr
+operator+(double a, const ExprPtr &b)
+{
+    return Expr::add(Expr::constant(a), b);
+}
+
+ExprPtr
+operator-(double a, const ExprPtr &b)
+{
+    return Expr::sub(Expr::constant(a), b);
+}
+
+ExprPtr
+operator*(double a, const ExprPtr &b)
+{
+    return Expr::mul(Expr::constant(a), b);
+}
+
+ExprPtr
+operator/(double a, const ExprPtr &b)
+{
+    return Expr::div(Expr::constant(a), b);
+}
+
+ExprPtr
+operator-(const ExprPtr &a)
+{
+    return Expr::neg(a);
+}
+
+} // namespace ar::symbolic

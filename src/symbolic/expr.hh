@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Immutable symbolic expression trees.
+ *
+ * This is the core of the "symbolic algebra" substrate that replaces
+ * SymPy in the original Archrisk tool.  Expressions are built either
+ * programmatically (operator overloads below) or by parsing equation
+ * strings (parser.hh), then simplified, solved, substituted, and
+ * finally compiled to flat evaluation tapes (compile.hh).
+ *
+ * Node kinds:
+ *  - Constant: a double literal
+ *  - Symbol: a named free variable
+ *  - Add / Mul: n-ary, flattened by the factories
+ *  - Pow: base ^ exponent (division and sqrt canonicalize to Pow)
+ *  - Max / Min: n-ary extrema (Hill-Marty serial-core selection)
+ *  - Func: unary named functions (log, exp, gtz)
+ *
+ * `gtz(x)` is the unit step (1 when x > 0 else 0) used to express
+ * conditional structure such as "cores with at least one working
+ * instance" (Eq. 6 of the paper).
+ */
+
+#ifndef AR_SYMBOLIC_EXPR_HH
+#define AR_SYMBOLIC_EXPR_HH
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ar::symbolic
+{
+
+class Expr;
+
+/** Shared handle to an immutable expression node. */
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Discriminator for expression node kinds. */
+enum class ExprKind
+{
+    Constant,
+    Symbol,
+    Add,
+    Mul,
+    Pow,
+    Max,
+    Min,
+    Func,
+};
+
+/** A single immutable node in an expression tree. */
+class Expr
+{
+  public:
+    /** @return the node kind. */
+    ExprKind kind() const { return kind_; }
+
+    /** @return the literal value; valid only for Constant nodes. */
+    double value() const;
+
+    /** @return the symbol or function name. */
+    const std::string &name() const;
+
+    /** @return child expressions. */
+    const std::vector<ExprPtr> &operands() const { return ops; }
+
+    /** @return true for Constant nodes. */
+    bool isConstant() const { return kind_ == ExprKind::Constant; }
+
+    /** @return true for a Constant equal to v. */
+    bool isConstant(double v) const;
+
+    /** @return true for Symbol nodes. */
+    bool isSymbol() const { return kind_ == ExprKind::Symbol; }
+
+    /** @return all distinct symbol names in the tree. */
+    std::set<std::string> freeSymbols() const;
+
+    /** @return number of occurrences of the named symbol. */
+    std::size_t countSymbol(const std::string &sym) const;
+
+    /** Structural equality. */
+    static bool equal(const ExprPtr &a, const ExprPtr &b);
+
+    /**
+     * Deterministic structural ordering (used to canonicalize operand
+     * order inside commutative nodes).
+     *
+     * @return negative / zero / positive like strcmp.
+     */
+    static int compare(const ExprPtr &a, const ExprPtr &b);
+
+    // Factories -- the only way to create nodes.  They perform light
+    // canonicalization (flattening, operand sorting); deep rewriting
+    // lives in simplify().
+
+    /** Literal constant. */
+    static ExprPtr constant(double v);
+
+    /** Named free variable. */
+    static ExprPtr symbol(const std::string &name);
+
+    /** n-ary sum; flattens nested Adds. */
+    static ExprPtr add(std::vector<ExprPtr> terms);
+
+    /** Binary convenience sum. */
+    static ExprPtr add(ExprPtr a, ExprPtr b);
+
+    /** a - b, canonicalized to a + (-1)*b. */
+    static ExprPtr sub(ExprPtr a, ExprPtr b);
+
+    /** n-ary product; flattens nested Muls. */
+    static ExprPtr mul(std::vector<ExprPtr> factors);
+
+    /** Binary convenience product. */
+    static ExprPtr mul(ExprPtr a, ExprPtr b);
+
+    /** a / b, canonicalized to a * b^-1. */
+    static ExprPtr div(ExprPtr a, ExprPtr b);
+
+    /** base ^ exponent. */
+    static ExprPtr pow(ExprPtr base, ExprPtr exponent);
+
+    /** sqrt(x), canonicalized to x^0.5. */
+    static ExprPtr sqrt(ExprPtr x);
+
+    /** -x, canonicalized to (-1)*x. */
+    static ExprPtr neg(ExprPtr x);
+
+    /** n-ary maximum. */
+    static ExprPtr max(std::vector<ExprPtr> xs);
+
+    /** n-ary minimum. */
+    static ExprPtr min(std::vector<ExprPtr> xs);
+
+    /** Unary named function: log, exp, gtz. */
+    static ExprPtr func(const std::string &name, ExprPtr arg);
+
+  private:
+    Expr(ExprKind kind, double value, std::string name,
+         std::vector<ExprPtr> ops);
+
+    static ExprPtr make(ExprKind kind, double value, std::string name,
+                        std::vector<ExprPtr> ops);
+
+    ExprKind kind_;
+    double value_;
+    std::string name_;
+    std::vector<ExprPtr> ops;
+};
+
+/** An equation lhs = rhs. */
+struct Equation
+{
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+// Expression-building operators for a readable model-definition DSL.
+
+ExprPtr operator+(const ExprPtr &a, const ExprPtr &b);
+ExprPtr operator-(const ExprPtr &a, const ExprPtr &b);
+ExprPtr operator*(const ExprPtr &a, const ExprPtr &b);
+ExprPtr operator/(const ExprPtr &a, const ExprPtr &b);
+ExprPtr operator+(const ExprPtr &a, double b);
+ExprPtr operator-(const ExprPtr &a, double b);
+ExprPtr operator*(const ExprPtr &a, double b);
+ExprPtr operator/(const ExprPtr &a, double b);
+ExprPtr operator+(double a, const ExprPtr &b);
+ExprPtr operator-(double a, const ExprPtr &b);
+ExprPtr operator*(double a, const ExprPtr &b);
+ExprPtr operator/(double a, const ExprPtr &b);
+ExprPtr operator-(const ExprPtr &a);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_EXPR_HH

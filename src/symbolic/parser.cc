@@ -1,0 +1,215 @@
+#include "symbolic/parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+/** Hand-written tokenizer + recursive-descent parser. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : src(text) {}
+
+    ExprPtr
+    parseFull()
+    {
+        ExprPtr e = expr();
+        skipSpace();
+        if (pos != src.size())
+            fail("unexpected trailing input");
+        return e;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        ar::util::fatal("parse error at position ", pos, " in \"",
+                        std::string(src), "\": ", msg);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos < src.size() && src[pos] == c;
+    }
+
+    bool
+    accept(char c)
+    {
+        if (peek(c)) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!accept(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    ExprPtr
+    expr()
+    {
+        ExprPtr lhs = term();
+        for (;;) {
+            if (accept('+'))
+                lhs = Expr::add(lhs, term());
+            else if (accept('-'))
+                lhs = Expr::sub(lhs, term());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    term()
+    {
+        ExprPtr lhs = unary();
+        for (;;) {
+            if (accept('*'))
+                lhs = Expr::mul(lhs, unary());
+            else if (accept('/'))
+                lhs = Expr::div(lhs, unary());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    unary()
+    {
+        if (accept('-'))
+            return Expr::neg(unary());
+        return power();
+    }
+
+    ExprPtr
+    power()
+    {
+        ExprPtr base = primary();
+        if (accept('^'))
+            return Expr::pow(base, unary());
+        return base;
+    }
+
+    ExprPtr
+    primary()
+    {
+        skipSpace();
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        const char c = src[pos];
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.')
+            return number();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return identifier();
+        if (accept('(')) {
+            ExprPtr e = expr();
+            expect(')');
+            return e;
+        }
+        fail("expected a number, name, or '('");
+    }
+
+    ExprPtr
+    number()
+    {
+        const char *begin = src.data() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(begin, &end);
+        if (end == begin)
+            fail("malformed number");
+        pos += static_cast<std::size_t>(end - begin);
+        return Expr::constant(v);
+    }
+
+    ExprPtr
+    identifier()
+    {
+        const std::size_t start = pos;
+        while (pos < src.size() &&
+               (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '_')) {
+            ++pos;
+        }
+        std::string name(src.substr(start, pos - start));
+        if (!peek('('))
+            return Expr::symbol(name);
+
+        expect('(');
+        std::vector<ExprPtr> args;
+        if (!peek(')')) {
+            args.push_back(expr());
+            while (accept(','))
+                args.push_back(expr());
+        }
+        expect(')');
+
+        if (name == "sqrt" || name == "log" || name == "exp" ||
+            name == "gtz") {
+            if (args.size() != 1)
+                fail(name + " takes exactly one argument");
+            if (name == "sqrt")
+                return Expr::sqrt(args[0]);
+            return Expr::func(name, args[0]);
+        }
+        if (name == "max" || name == "min") {
+            if (args.empty())
+                fail(name + " needs at least one argument");
+            return name == "max" ? Expr::max(std::move(args))
+                                 : Expr::min(std::move(args));
+        }
+        fail("unknown function '" + name + "'");
+    }
+
+    std::string_view src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+ExprPtr
+parseExpr(std::string_view text)
+{
+    return Parser(text).parseFull();
+}
+
+Equation
+parseEquation(std::string_view text)
+{
+    const auto eq_pos = text.find('=');
+    if (eq_pos == std::string_view::npos)
+        ar::util::fatal("parseEquation: missing '=' in \"",
+                        std::string(text), "\"");
+    if (text.find('=', eq_pos + 1) != std::string_view::npos)
+        ar::util::fatal("parseEquation: multiple '=' in \"",
+                        std::string(text), "\"");
+    Equation eq;
+    eq.lhs = parseExpr(text.substr(0, eq_pos));
+    eq.rhs = parseExpr(text.substr(eq_pos + 1));
+    return eq;
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Recursive-descent parser turning equation strings into expression
+ * trees.  This is the "plain string-formatted equations" entry point
+ * of the framework front-end (Figure 4, step 2 of the paper).
+ *
+ * Grammar:
+ *   equation :=  expr '=' expr
+ *   expr     :=  term (('+' | '-') term)*
+ *   term     :=  unary (('*' | '/') unary)*
+ *   unary    :=  '-' unary | power
+ *   power    :=  primary ('^' unary)?          (right associative)
+ *   primary  :=  number | ident ['(' expr (',' expr)* ')'] |
+ *                '(' expr ')'
+ *
+ * Recognized functions: sqrt, log, exp, gtz (unary); max, min (n-ary).
+ */
+
+#ifndef AR_SYMBOLIC_PARSER_HH
+#define AR_SYMBOLIC_PARSER_HH
+
+#include <string_view>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** Parse a single expression; fatal on syntax errors. */
+ExprPtr parseExpr(std::string_view text);
+
+/** Parse "lhs = rhs"; fatal when no '=' is present. */
+Equation parseEquation(std::string_view text);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_PARSER_HH

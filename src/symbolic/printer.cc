@@ -1,0 +1,119 @@
+#include "symbolic/printer.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+// Precedence levels: Add=1, Mul=2, unary-/Pow=3, atoms=4.
+int
+precedence(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Add:
+        return 1;
+      case ExprKind::Mul:
+        return 2;
+      case ExprKind::Pow:
+        return 3;
+      default:
+        return 4;
+    }
+}
+
+std::string render(const ExprPtr &e);
+
+std::string
+renderChild(const ExprPtr &child, int parent_prec)
+{
+    std::string s = render(child);
+    if (precedence(child) < parent_prec)
+        return "(" + s + ")";
+    return s;
+}
+
+std::string
+render(const ExprPtr &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Constant:
+        {
+            const double v = e->value();
+            if (v < 0.0)
+                return "(" + ar::util::formatDouble(v) + ")";
+            return ar::util::formatDouble(v);
+        }
+      case ExprKind::Symbol:
+        return e->name();
+      case ExprKind::Add:
+        {
+            std::ostringstream oss;
+            bool first = true;
+            for (const auto &op : e->operands()) {
+                if (!first)
+                    oss << " + ";
+                oss << renderChild(op, 1);
+                first = false;
+            }
+            return oss.str();
+        }
+      case ExprKind::Mul:
+        {
+            std::ostringstream oss;
+            bool first = true;
+            for (const auto &op : e->operands()) {
+                if (!first)
+                    oss << " * ";
+                oss << renderChild(op, 2);
+                first = false;
+            }
+            return oss.str();
+        }
+      case ExprKind::Pow:
+        return renderChild(e->operands()[0], 4) + "^" +
+               renderChild(e->operands()[1], 4);
+      case ExprKind::Max:
+      case ExprKind::Min:
+        {
+            std::ostringstream oss;
+            oss << (e->kind() == ExprKind::Max ? "max(" : "min(");
+            bool first = true;
+            for (const auto &op : e->operands()) {
+                if (!first)
+                    oss << ", ";
+                oss << render(op);
+                first = false;
+            }
+            oss << ")";
+            return oss.str();
+        }
+      case ExprKind::Func:
+        return e->name() + "(" + render(e->operands()[0]) + ")";
+      default:
+        ar::util::panic("toString: unhandled expression kind");
+    }
+}
+
+} // namespace
+
+std::string
+toString(const ExprPtr &e)
+{
+    if (!e)
+        ar::util::panic("toString: null expression");
+    return render(e);
+}
+
+std::string
+toString(const Equation &eq)
+{
+    return toString(eq.lhs) + " = " + toString(eq.rhs);
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Infix pretty-printing of expressions and equations.
+ */
+
+#ifndef AR_SYMBOLIC_PRINTER_HH
+#define AR_SYMBOLIC_PRINTER_HH
+
+#include <string>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** Render an expression as an infix string (parses back to itself). */
+std::string toString(const ExprPtr &e);
+
+/** Render an equation as "lhs = rhs". */
+std::string toString(const Equation &eq);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_PRINTER_HH

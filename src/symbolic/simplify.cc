@@ -1,0 +1,277 @@
+#include "symbolic/simplify.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+/**
+ * Split a term into (constant coefficient, symbolic rest), e.g.
+ * 3*x*y -> (3, x*y) and x -> (1, x).
+ */
+std::pair<double, ExprPtr>
+splitCoefficient(const ExprPtr &term)
+{
+    if (term->kind() != ExprKind::Mul)
+        return {1.0, term};
+    double coef = 1.0;
+    std::vector<ExprPtr> rest;
+    for (const auto &f : term->operands()) {
+        if (f->isConstant())
+            coef *= f->value();
+        else
+            rest.push_back(f);
+    }
+    return {coef, Expr::mul(std::move(rest))};
+}
+
+/** Flatten already-simplified same-kind children into one list. */
+std::vector<ExprPtr>
+flattenKind(ExprKind kind, const std::vector<ExprPtr> &ops)
+{
+    std::vector<ExprPtr> flat;
+    flat.reserve(ops.size());
+    for (const auto &op : ops) {
+        if (op->kind() == kind) {
+            for (const auto &sub : op->operands())
+                flat.push_back(sub);
+        } else {
+            flat.push_back(op);
+        }
+    }
+    return flat;
+}
+
+ExprPtr
+simplifyAdd(const std::vector<ExprPtr> &raw_ops)
+{
+    const auto ops = flattenKind(ExprKind::Add, raw_ops);
+    double const_acc = 0.0;
+    // Collect like terms: coefficient per distinct symbolic part.
+    std::vector<std::pair<ExprPtr, double>> groups;
+    for (const auto &op : ops) {
+        if (op->isConstant()) {
+            const_acc += op->value();
+            continue;
+        }
+        auto [coef, rest] = splitCoefficient(op);
+        bool merged = false;
+        for (auto &g : groups) {
+            if (Expr::equal(g.first, rest)) {
+                g.second += coef;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            groups.emplace_back(rest, coef);
+    }
+    std::vector<ExprPtr> terms;
+    for (const auto &[rest, coef] : groups) {
+        if (coef == 0.0)
+            continue;
+        if (coef == 1.0)
+            terms.push_back(rest);
+        else
+            terms.push_back(Expr::mul(Expr::constant(coef), rest));
+    }
+    if (const_acc != 0.0 || terms.empty())
+        terms.push_back(Expr::constant(const_acc));
+    return Expr::add(std::move(terms));
+}
+
+ExprPtr
+simplifyMul(const std::vector<ExprPtr> &raw_ops)
+{
+    const auto ops = flattenKind(ExprKind::Mul, raw_ops);
+    double const_acc = 1.0;
+    // Merge repeated base factors into powers: x * x -> x^2, and
+    // x^a * x^b -> x^(a+b) when a, b are constants.
+    struct Entry
+    {
+        ExprPtr base;
+        double const_exp = 0.0;
+        std::vector<ExprPtr> sym_exps;
+    };
+    std::vector<Entry> entries;
+
+    auto fold_factor = [&](const ExprPtr &base, const ExprPtr &exp) {
+        for (auto &e : entries) {
+            if (Expr::equal(e.base, base)) {
+                if (exp->isConstant())
+                    e.const_exp += exp->value();
+                else
+                    e.sym_exps.push_back(exp);
+                return;
+            }
+        }
+        Entry e;
+        e.base = base;
+        if (exp->isConstant())
+            e.const_exp = exp->value();
+        else
+            e.sym_exps.push_back(exp);
+        entries.push_back(std::move(e));
+    };
+
+    for (const auto &op : ops) {
+        if (op->isConstant()) {
+            const_acc *= op->value();
+        } else if (op->kind() == ExprKind::Pow) {
+            fold_factor(op->operands()[0], op->operands()[1]);
+        } else {
+            fold_factor(op, Expr::constant(1.0));
+        }
+    }
+    if (const_acc == 0.0)
+        return Expr::constant(0.0);
+
+    std::vector<ExprPtr> rest;
+    for (auto &e : entries) {
+        std::vector<ExprPtr> exps = std::move(e.sym_exps);
+        if (e.const_exp != 0.0 || exps.empty())
+            exps.push_back(Expr::constant(e.const_exp));
+        ExprPtr total_exp = Expr::add(std::move(exps));
+        if (total_exp->isConstant(0.0))
+            continue;
+        if (total_exp->isConstant(1.0))
+            rest.push_back(e.base);
+        else if (e.base->isConstant() && total_exp->isConstant())
+            const_acc *= std::pow(e.base->value(), total_exp->value());
+        else
+            rest.push_back(Expr::pow(e.base, total_exp));
+    }
+    if (const_acc != 1.0 || rest.empty())
+        rest.push_back(Expr::constant(const_acc));
+    return Expr::mul(std::move(rest));
+}
+
+ExprPtr
+simplifyPow(const ExprPtr &base, const ExprPtr &exp)
+{
+    if (exp->isConstant(0.0))
+        return Expr::constant(1.0);
+    if (exp->isConstant(1.0))
+        return base;
+    if (base->isConstant(1.0))
+        return Expr::constant(1.0);
+    if (base->isConstant(0.0) && exp->isConstant() &&
+        exp->value() > 0.0) {
+        return Expr::constant(0.0);
+    }
+    if (base->isConstant() && exp->isConstant())
+        return Expr::constant(std::pow(base->value(), exp->value()));
+    // (x^a)^b -> x^(a*b) for constant exponents (safe for positive
+    // bases, which is the regime of all architectural quantities).
+    // Re-simplify: the collapsed exponent may enable further rules
+    // (x^1, x^0, constant folding).
+    if (base->kind() == ExprKind::Pow && exp->isConstant() &&
+        base->operands()[1]->isConstant()) {
+        return simplifyPow(
+            base->operands()[0],
+            Expr::constant(base->operands()[1]->value() *
+                           exp->value()));
+    }
+    return Expr::pow(base, exp);
+}
+
+ExprPtr
+simplifyExtremum(ExprKind kind, std::vector<ExprPtr> raw_ops)
+{
+    auto ops = flattenKind(kind, raw_ops);
+    // Fold all constants into a single representative.
+    bool has_const = false;
+    double folded = 0.0;
+    std::vector<ExprPtr> rest;
+    for (auto &op : ops) {
+        if (op->isConstant()) {
+            if (!has_const) {
+                folded = op->value();
+                has_const = true;
+            } else {
+                folded = kind == ExprKind::Max
+                             ? std::max(folded, op->value())
+                             : std::min(folded, op->value());
+            }
+        } else {
+            rest.push_back(std::move(op));
+        }
+    }
+    if (has_const)
+        rest.push_back(Expr::constant(folded));
+    return kind == ExprKind::Max ? Expr::max(std::move(rest))
+                                 : Expr::min(std::move(rest));
+}
+
+ExprPtr
+simplifyFunc(const std::string &name, const ExprPtr &arg)
+{
+    if (arg->isConstant()) {
+        const double v = arg->value();
+        if (name == "log")
+            return Expr::constant(std::log(v));
+        if (name == "exp")
+            return Expr::constant(std::exp(v));
+        if (name == "gtz")
+            return Expr::constant(v > 0.0 ? 1.0 : 0.0);
+    }
+    return Expr::func(name, arg);
+}
+
+} // namespace
+
+ExprPtr
+simplify(const ExprPtr &e)
+{
+    if (!e)
+        ar::util::panic("simplify: null expression");
+
+    switch (e->kind()) {
+      case ExprKind::Constant:
+      case ExprKind::Symbol:
+        return e;
+      default:
+        break;
+    }
+
+    std::vector<ExprPtr> ops;
+    ops.reserve(e->operands().size());
+    for (const auto &op : e->operands())
+        ops.push_back(simplify(op));
+
+    switch (e->kind()) {
+      case ExprKind::Add:
+        return simplifyAdd(ops);
+      case ExprKind::Mul:
+        return simplifyMul(ops);
+      case ExprKind::Pow:
+        return simplifyPow(ops[0], ops[1]);
+      case ExprKind::Max:
+      case ExprKind::Min:
+        return simplifyExtremum(e->kind(), std::move(ops));
+      case ExprKind::Func:
+        return simplifyFunc(e->name(), ops[0]);
+      default:
+        ar::util::panic("simplify: unhandled kind");
+    }
+}
+
+double
+evalConstant(const ExprPtr &e)
+{
+    const ExprPtr s = simplify(e);
+    if (!s->isConstant()) {
+        ar::util::fatal("evalConstant: expression is not closed; free "
+                        "symbols remain");
+    }
+    return s->value();
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Recursive algebraic simplification: constant folding, identity
+ * elimination, and like-term collection sufficient for the closed-form
+ * architecture models the framework targets.
+ */
+
+#ifndef AR_SYMBOLIC_SIMPLIFY_HH
+#define AR_SYMBOLIC_SIMPLIFY_HH
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/**
+ * Simplify an expression bottom-up.
+ *
+ * Rules applied: full constant folding; x+0, x*1, x*0, x^0, x^1, 1^x
+ * identities; flattening of nested sums/products (factory-level);
+ * folding of constant max/min/log/exp/gtz; merging of repeated
+ * multiplicative factors into powers.
+ */
+ExprPtr simplify(const ExprPtr &e);
+
+/**
+ * Evaluate a closed expression to a double.
+ *
+ * @param e Expression with no free symbols (fatal otherwise).
+ */
+double evalConstant(const ExprPtr &e);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_SIMPLIFY_HH

@@ -1,0 +1,150 @@
+#include "symbolic/solve.hh"
+
+#include "symbolic/diff.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/substitute.hh"
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+/**
+ * Solve cur == other for @p target when cur is affine in the target:
+ * cur = d * target + g0  =>  target = (other - g0) / d.
+ * Affineness is established by symbolic differentiation: d must not
+ * itself contain the target.
+ */
+std::optional<ExprPtr>
+linearSolve(const ExprPtr &cur, const ExprPtr &other,
+            const std::string &target)
+{
+    auto d = diff(cur, target);
+    if (!d || (*d)->countSymbol(target) > 0 || (*d)->isConstant(0.0))
+        return std::nullopt;
+    Bindings at_zero;
+    at_zero[target] = Expr::constant(0.0);
+    const ExprPtr g0 = substitute(cur, at_zero);
+    return simplify(Expr::div(Expr::sub(other, g0), *d));
+}
+
+/**
+ * Isolate the target inside cur, given cur == other, by inverting
+ * operations while all occurrences stay confined to one operand;
+ * fall back to a linear solve when they split or an operation is not
+ * structurally invertible.
+ */
+std::optional<ExprPtr>
+isolate(ExprPtr cur, ExprPtr other, const std::string &target)
+{
+    while (true) {
+        if (cur->isSymbol() && cur->name() == target)
+            return simplify(other);
+
+        switch (cur->kind()) {
+          case ExprKind::Add:
+          case ExprKind::Mul:
+            {
+                ExprPtr with;
+                std::size_t holders = 0;
+                std::vector<ExprPtr> rest;
+                for (const auto &op : cur->operands()) {
+                    if (op->countSymbol(target) > 0) {
+                        ++holders;
+                        with = op;
+                    } else {
+                        rest.push_back(op);
+                    }
+                }
+                if (holders != 1)
+                    return linearSolve(cur, other, target);
+                if (cur->kind() == ExprKind::Add) {
+                    other =
+                        Expr::sub(other, Expr::add(std::move(rest)));
+                } else {
+                    other =
+                        Expr::div(other, Expr::mul(std::move(rest)));
+                }
+                cur = with;
+                break;
+            }
+          case ExprKind::Pow:
+            {
+                const ExprPtr &base = cur->operands()[0];
+                const ExprPtr &exp = cur->operands()[1];
+                const bool base_has = base->countSymbol(target) > 0;
+                const bool exp_has = exp->countSymbol(target) > 0;
+                if (base_has && exp_has)
+                    return linearSolve(cur, other, target);
+                if (base_has) {
+                    // base^exp = other  =>  base = other^(1/exp).
+                    other = Expr::pow(
+                        other, Expr::div(Expr::constant(1.0), exp));
+                    cur = base;
+                } else {
+                    // base^exp = other => exp = log(other)/log(base).
+                    other = Expr::div(Expr::func("log", other),
+                                      Expr::func("log", base));
+                    cur = exp;
+                }
+                break;
+            }
+          case ExprKind::Func:
+            {
+                const std::string &fn = cur->name();
+                if (fn == "log") {
+                    other = Expr::func("exp", other);
+                } else if (fn == "exp") {
+                    other = Expr::func("log", other);
+                } else {
+                    return std::nullopt; // gtz is not invertible
+                }
+                cur = cur->operands()[0];
+                break;
+            }
+          case ExprKind::Max:
+          case ExprKind::Min:
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+    }
+}
+
+} // namespace
+
+std::optional<ExprPtr>
+solveFor(const Equation &eq, const std::string &target)
+{
+    if (!eq.lhs || !eq.rhs)
+        ar::util::panic("solveFor: null equation side");
+    const std::size_t n_l = eq.lhs->countSymbol(target);
+    const std::size_t n_r = eq.rhs->countSymbol(target);
+    if (n_l + n_r == 0)
+        return std::nullopt;
+    if (n_l > 0 && n_r > 0) {
+        // Occurrences on both sides: move everything to one side and
+        // attempt a linear solve of (lhs - rhs) == 0.
+        return linearSolve(Expr::sub(eq.lhs, eq.rhs),
+                           Expr::constant(0.0), target);
+    }
+    if (n_l > 0)
+        return isolate(eq.lhs, eq.rhs, target);
+    return isolate(eq.rhs, eq.lhs, target);
+}
+
+ExprPtr
+solveForOrDie(const Equation &eq, const std::string &target)
+{
+    auto res = solveFor(eq, target);
+    if (!res) {
+        ar::util::fatal("solveFor: cannot isolate '", target, "' in ",
+                        toString(eq));
+    }
+    return *res;
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Single-variable equation solving by inverse-operation isolation.
+ *
+ * Covers the algebra needed for closed-form architecture models:
+ * the target may sit under sums, products, powers with constant
+ * exponents, exponents over constant bases, and log/exp.  Equations
+ * where the target appears more than once, or under non-invertible
+ * operators (max/min/gtz), are reported as unsolvable.
+ */
+
+#ifndef AR_SYMBOLIC_SOLVE_HH
+#define AR_SYMBOLIC_SOLVE_HH
+
+#include <optional>
+#include <string>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/**
+ * Solve an equation for a symbol.
+ *
+ * @param eq Equation containing exactly one occurrence of @p target.
+ * @param target Symbol name to isolate.
+ * @return the simplified right-hand side of "target = ...", or
+ *         std::nullopt when the equation cannot be inverted.
+ */
+std::optional<ExprPtr> solveFor(const Equation &eq,
+                                const std::string &target);
+
+/**
+ * Like solveFor() but fatal on failure; use when solvability is an
+ * invariant of the caller.
+ */
+ExprPtr solveForOrDie(const Equation &eq, const std::string &target);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_SOLVE_HH

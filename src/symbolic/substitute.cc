@@ -1,0 +1,73 @@
+#include "symbolic/substitute.hh"
+
+#include "symbolic/simplify.hh"
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+ExprPtr
+replace(const ExprPtr &e, const Bindings &bindings)
+{
+    switch (e->kind()) {
+      case ExprKind::Constant:
+        return e;
+      case ExprKind::Symbol:
+        {
+            auto it = bindings.find(e->name());
+            return it != bindings.end() ? it->second : e;
+        }
+      default:
+        break;
+    }
+    std::vector<ExprPtr> ops;
+    ops.reserve(e->operands().size());
+    bool changed = false;
+    for (const auto &op : e->operands()) {
+        ExprPtr r = replace(op, bindings);
+        changed = changed || r.get() != op.get();
+        ops.push_back(std::move(r));
+    }
+    if (!changed)
+        return e;
+    switch (e->kind()) {
+      case ExprKind::Add:
+        return Expr::add(std::move(ops));
+      case ExprKind::Mul:
+        return Expr::mul(std::move(ops));
+      case ExprKind::Pow:
+        return Expr::pow(ops[0], ops[1]);
+      case ExprKind::Max:
+        return Expr::max(std::move(ops));
+      case ExprKind::Min:
+        return Expr::min(std::move(ops));
+      case ExprKind::Func:
+        return Expr::func(e->name(), ops[0]);
+      default:
+        ar::util::panic("substitute: unhandled expression kind");
+    }
+}
+
+} // namespace
+
+ExprPtr
+substitute(const ExprPtr &e, const Bindings &bindings)
+{
+    if (!e)
+        ar::util::panic("substitute: null expression");
+    return simplify(replace(e, bindings));
+}
+
+ExprPtr
+substitute(const ExprPtr &e, const std::map<std::string, double> &values)
+{
+    Bindings b;
+    for (const auto &[name, v] : values)
+        b[name] = Expr::constant(v);
+    return substitute(e, b);
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Symbol substitution.
+ */
+
+#ifndef AR_SYMBOLIC_SUBSTITUTE_HH
+#define AR_SYMBOLIC_SUBSTITUTE_HH
+
+#include <map>
+#include <string>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** Mapping from symbol names to replacement expressions. */
+using Bindings = std::map<std::string, ExprPtr>;
+
+/**
+ * Replace every occurrence of the bound symbols and simplify.
+ *
+ * @param e Expression to rewrite.
+ * @param bindings Replacements; symbols not bound stay free.
+ */
+ExprPtr substitute(const ExprPtr &e, const Bindings &bindings);
+
+/** Convenience: bind symbols to numeric values. */
+ExprPtr substitute(const ExprPtr &e,
+                   const std::map<std::string, double> &values);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_SUBSTITUTE_HH

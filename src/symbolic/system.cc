@@ -1,0 +1,129 @@
+#include "symbolic/system.hh"
+
+#include "symbolic/parser.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/solve.hh"
+#include "symbolic/substitute.hh"
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+void
+EquationSystem::addEquation(const Equation &eq)
+{
+    memo.clear();
+    if (eq.lhs->isSymbol()) {
+        const std::string &name = eq.lhs->name();
+        if (defs.count(name)) {
+            ar::util::fatal("EquationSystem: variable '", name,
+                            "' defined twice");
+        }
+        defs[name] = simplify(eq.rhs);
+        return;
+    }
+
+    // General form: solve for the unique not-yet-defined symbol.
+    std::set<std::string> syms = eq.lhs->freeSymbols();
+    const auto rhs_syms = eq.rhs->freeSymbols();
+    syms.insert(rhs_syms.begin(), rhs_syms.end());
+    std::vector<std::string> candidates;
+    for (const auto &s : syms) {
+        if (!defs.count(s))
+            candidates.push_back(s);
+    }
+    for (const auto &cand : candidates) {
+        if (auto solved = solveFor(eq, cand)) {
+            defs[cand] = *solved;
+            return;
+        }
+    }
+    ar::util::fatal("EquationSystem: cannot determine the variable "
+                    "defined by ", toString(eq));
+}
+
+void
+EquationSystem::addEquation(std::string_view text)
+{
+    addEquation(parseEquation(text));
+}
+
+void
+EquationSystem::markUncertain(const std::string &name)
+{
+    memo.clear();
+    uncertain_.insert(name);
+}
+
+bool
+EquationSystem::defines(const std::string &name) const
+{
+    return defs.count(name) > 0;
+}
+
+ExprPtr
+EquationSystem::definitionOf(const std::string &name) const
+{
+    auto it = defs.find(name);
+    if (it == defs.end())
+        ar::util::fatal("EquationSystem: no definition for '", name,
+                        "'");
+    return it->second;
+}
+
+std::vector<std::string>
+EquationSystem::definedNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(defs.size());
+    for (const auto &[name, expr] : defs)
+        out.push_back(name);
+    return out;
+}
+
+ExprPtr
+EquationSystem::resolveImpl(const std::string &name,
+                            std::set<std::string> &in_progress) const
+{
+    if (auto it = memo.find(name); it != memo.end())
+        return it->second;
+    auto def_it = defs.find(name);
+    if (def_it == defs.end())
+        ar::util::fatal("EquationSystem: no definition for '", name,
+                        "'");
+    if (in_progress.count(name)) {
+        ar::util::fatal("EquationSystem: cyclic definition involving '",
+                        name, "'");
+    }
+    in_progress.insert(name);
+
+    Bindings bindings;
+    for (const auto &sym : def_it->second->freeSymbols()) {
+        if (uncertain_.count(sym) || !defs.count(sym))
+            continue; // leave uncertain vars and inputs as leaves
+        bindings[sym] = resolveImpl(sym, in_progress);
+    }
+    ExprPtr resolved = bindings.empty()
+        ? simplify(def_it->second)
+        : substitute(def_it->second, bindings);
+
+    in_progress.erase(name);
+    memo[name] = resolved;
+    return resolved;
+}
+
+ExprPtr
+EquationSystem::resolve(const std::string &name) const
+{
+    std::set<std::string> in_progress;
+    return resolveImpl(name, in_progress);
+}
+
+std::set<std::string>
+EquationSystem::resolvedInputs(const std::string &name) const
+{
+    return resolve(name)->freeSymbols();
+}
+
+} // namespace ar::symbolic

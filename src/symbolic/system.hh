@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Systems of mutually dependent closed-form equations and the partial
+ * symbolic solving step of the framework front-end (Figure 4): every
+ * derived variable is expanded down to model inputs and uncertain
+ * variables, which are deliberately left unresolved so the back-end
+ * can inject distributions for them.
+ */
+
+#ifndef AR_SYMBOLIC_SYSTEM_HH
+#define AR_SYMBOLIC_SYSTEM_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** A set of equations with designated uncertain variables. */
+class EquationSystem
+{
+  public:
+    /**
+     * Add one equation.  The defined variable is the bare symbol on
+     * the left-hand side; if the LHS is not a bare symbol the
+     * equation is solved for the (unique) symbol not yet defined
+     * elsewhere.
+     */
+    void addEquation(const Equation &eq);
+
+    /** Parse and add an equation string such as "P = sqrt(A)". */
+    void addEquation(std::string_view text);
+
+    /**
+     * Mark a variable as uncertain: it is never expanded during
+     * resolution even when a defining equation exists (its definition
+     * remains available through definitionOf() so the back-end can
+     * centre a distribution on the nominal value, Figure 5 step 2).
+     */
+    void markUncertain(const std::string &name);
+
+    /** @return the set of uncertain variable names. */
+    const std::set<std::string> &uncertain() const { return uncertain_; }
+
+    /** @return true if a defining equation exists for the name. */
+    bool defines(const std::string &name) const;
+
+    /** @return the raw (unexpanded) definition; fatal when missing. */
+    ExprPtr definitionOf(const std::string &name) const;
+
+    /** @return all defined variable names. */
+    std::vector<std::string> definedNames() const;
+
+    /**
+     * Fully expand a variable down to inputs and uncertain leaves
+     * ("partial symbolic solving").  Results are memoized; cyclic
+     * definitions are fatal.
+     */
+    ExprPtr resolve(const std::string &name) const;
+
+    /**
+     * @return the free symbols (inputs + uncertain variables) of the
+     * resolved form of @p name.
+     */
+    std::set<std::string> resolvedInputs(const std::string &name) const;
+
+  private:
+    ExprPtr resolveImpl(const std::string &name,
+                        std::set<std::string> &in_progress) const;
+
+    std::map<std::string, ExprPtr> defs;
+    std::set<std::string> uncertain_;
+    mutable std::map<std::string, ExprPtr> memo;
+};
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_SYSTEM_HH

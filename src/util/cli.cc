@@ -1,0 +1,118 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ar::util
+{
+
+void
+CliOptions::declare(const std::string &name, const std::string &def,
+                    const std::string &help, bool is_flag)
+{
+    Option opt;
+    opt.value = def;
+    opt.help = help;
+    opt.is_flag = is_flag;
+    opts[name] = opt;
+}
+
+bool
+CliOptions::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage(argv[0]).c_str(), stdout);
+            return false;
+        }
+        if (!startsWith(arg, "--")) {
+            pos_args.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = opts.find(name);
+        if (it == opts.end())
+            fatal("unknown option --", name);
+        Option &opt = it->second;
+        if (opt.is_flag) {
+            if (has_value)
+                fatal("flag --", name, " does not take a value");
+            opt.value = "1";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    fatal("option --", name, " requires a value");
+                value = argv[++i];
+            }
+            opt.value = value;
+        }
+        opt.seen = true;
+    }
+    return true;
+}
+
+const CliOptions::Option &
+CliOptions::find(const std::string &name) const
+{
+    auto it = opts.find(name);
+    if (it == opts.end())
+        panic("undeclared option queried: ", name);
+    return it->second;
+}
+
+std::string
+CliOptions::getString(const std::string &name) const
+{
+    return find(name).value;
+}
+
+double
+CliOptions::getDouble(const std::string &name) const
+{
+    double out = 0.0;
+    if (!parseDouble(find(name).value, out))
+        fatal("option --", name, " is not a number: ", find(name).value);
+    return out;
+}
+
+long
+CliOptions::getInt(const std::string &name) const
+{
+    return static_cast<long>(getDouble(name));
+}
+
+bool
+CliOptions::getFlag(const std::string &name) const
+{
+    return find(name).value == "1";
+}
+
+std::string
+CliOptions::usage(const std::string &prog) const
+{
+    std::ostringstream oss;
+    oss << "usage: " << prog << " [options]\n";
+    for (const auto &[name, opt] : opts) {
+        oss << "  --" << name;
+        if (!opt.is_flag)
+            oss << " <value>";
+        oss << "  " << opt.help;
+        if (!opt.is_flag && !opt.value.empty())
+            oss << " (default: " << opt.value << ")";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace ar::util

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line option parser used by examples and benches.
+ *
+ * Supports `--name value`, `--name=value` and boolean `--flag` options.
+ * Unknown options are fatal; positional arguments are collected.
+ */
+
+#ifndef AR_UTIL_CLI_HH
+#define AR_UTIL_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ar::util
+{
+
+/** Parsed command line with typed accessors and defaults. */
+class CliOptions
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     *
+     * @param name Option name without leading dashes.
+     * @param def Default value (empty string for none).
+     * @param help One-line description for usage output.
+     * @param is_flag True for boolean options taking no value.
+     */
+    void declare(const std::string &name, const std::string &def,
+                 const std::string &help, bool is_flag = false);
+
+    /**
+     * Parse argv.  `--help` prints usage and returns false.
+     *
+     * @return true when execution should continue.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** @return string value of an option (declared default if unset). */
+    std::string getString(const std::string &name) const;
+
+    /** @return option parsed as double. */
+    double getDouble(const std::string &name) const;
+
+    /** @return option parsed as long. */
+    long getInt(const std::string &name) const;
+
+    /** @return true when a boolean flag was passed. */
+    bool getFlag(const std::string &name) const;
+
+    /** @return positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const { return pos_args; }
+
+    /** Render a usage message for all declared options. */
+    std::string usage(const std::string &prog) const;
+
+  private:
+    struct Option
+    {
+        std::string value;
+        std::string help;
+        bool is_flag = false;
+        bool seen = false;
+    };
+
+    const Option &find(const std::string &name) const;
+
+    std::map<std::string, Option> opts;
+    std::vector<std::string> pos_args;
+};
+
+} // namespace ar::util
+
+#endif // AR_UTIL_CLI_HH

@@ -1,0 +1,58 @@
+#include "util/io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ar::util
+{
+
+std::vector<double>
+parseNumbers(const std::string &text)
+{
+    std::vector<double> out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+        for (const auto &field : split(stripped, ',')) {
+            std::istringstream tokens(field);
+            std::string token;
+            while (tokens >> token) {
+                double v = 0.0;
+                if (!parseDouble(token, v))
+                    fatal("parseNumbers: non-numeric token '", token,
+                          "'");
+                out.push_back(v);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+readNumbers(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readNumbers: cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseNumbers(buffer.str());
+}
+
+void
+writeNumbers(const std::string &path, const std::vector<double> &values)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeNumbers: cannot open '", path, "'");
+    for (double v : values)
+        out << formatDouble(v) << "\n";
+}
+
+} // namespace ar::util

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small file-IO helpers: reading whitespace/comma/newline separated
+ * numeric samples (the form measurement data usually arrives in for
+ * the extraction pipeline).
+ */
+
+#ifndef AR_UTIL_IO_HH
+#define AR_UTIL_IO_HH
+
+#include <string>
+#include <vector>
+
+namespace ar::util
+{
+
+/**
+ * Read all numbers from a text file.  Values may be separated by
+ * whitespace, commas, or newlines; lines starting with '#' are
+ * comments.  Fatal on unreadable files or non-numeric tokens.
+ *
+ * @param path File to read.
+ */
+std::vector<double> readNumbers(const std::string &path);
+
+/** Parse numbers from a string with the same rules as readNumbers. */
+std::vector<double> parseNumbers(const std::string &text);
+
+/** Write one number per line; fatal when the file cannot be opened. */
+void writeNumbers(const std::string &path,
+                  const std::vector<double> &values);
+
+} // namespace ar::util
+
+#endif // AR_UTIL_IO_HH

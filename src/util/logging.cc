@@ -1,0 +1,42 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace ar::util
+{
+
+namespace
+{
+
+std::atomic<bool> quiet_flag{false};
+
+} // namespace
+
+void
+warnStr(const std::string &msg)
+{
+    if (!quiet_flag.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (!quiet_flag.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+} // namespace ar::util

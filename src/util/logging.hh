@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Error-reporting and logging primitives for archrisk++.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad input,
+ * impossible configuration) and panic() is for internal invariant
+ * violations (library bugs).  Both throw exceptions rather than abort so
+ * that library users and tests can recover.
+ */
+
+#ifndef AR_UTIL_LOGGING_HH
+#define AR_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ar::util
+{
+
+/** Exception raised by fatal(): the caller supplied invalid input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception raised by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user-level error.
+ *
+ * @param args Streamable message fragments.
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal library bug.
+ *
+ * @param args Streamable message fragments.
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Emit a non-fatal warning on stderr.
+ *
+ * @param args Streamable message fragments.
+ */
+void warnStr(const std::string &msg);
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    warnStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Emit an informational message on stderr.
+ *
+ * @param args Streamable message fragments.
+ */
+void informStr(const std::string &msg);
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    informStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool isQuiet();
+
+} // namespace ar::util
+
+#endif // AR_UTIL_LOGGING_HH

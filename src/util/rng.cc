@@ -1,0 +1,114 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ar::util
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::uniformInt: bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+    std::uint64_t draw;
+    do {
+        draw = nextU64();
+    } while (draw >= limit);
+    return draw % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (have_spare) {
+        have_spare = false;
+        return spare;
+    }
+    double u, v, r2;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        r2 = u * u + v * v;
+    } while (r2 >= 1.0 || r2 == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(r2) / r2);
+    spare = v * scale;
+    have_spare = true;
+    return u * scale;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+Rng
+Rng::fork()
+{
+    // Seed the child from two fresh draws mixed through SplitMix64.
+    SplitMix64 sm(nextU64() ^ rotl(nextU64(), 29));
+    return Rng(sm.next());
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    shuffle(idx);
+    return idx;
+}
+
+} // namespace ar::util

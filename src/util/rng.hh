@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in archrisk++ flows through ar::util::Rng so
+ * that every experiment is exactly reproducible from a seed.  The core
+ * generator is xoshiro256++ seeded via SplitMix64; both are implemented
+ * here rather than relying on <random> engines whose stream definitions
+ * (for the distributions) vary across standard libraries.
+ */
+
+#ifndef AR_UTIL_RNG_HH
+#define AR_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ar::util
+{
+
+/**
+ * SplitMix64 generator.  Used for seeding and as a cheap stateless
+ * mixing function.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** @return the next 64-bit value in the stream. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * xoshiro256++ pseudo-random generator with convenience draws for the
+ * distributions the library needs internally (uniform, Gaussian,
+ * integers, permutations).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9d2c5680u);
+
+    /** @return next raw 64-bit draw. */
+    std::uint64_t nextU64();
+
+    /** @return a double uniform on [0, 1). */
+    double uniform();
+
+    /** @return a double uniform on [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /**
+     * @param n Exclusive upper bound; must be > 0.
+     * @return an integer uniform on [0, n).
+     */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** @return a standard Gaussian draw (Marsaglia polar method). */
+    double gaussian();
+
+    /** @return a Gaussian draw with the given mean and stddev. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Derive an independent child generator.  Streams of parent and
+     * child do not overlap for any practical draw count.
+     */
+    Rng fork();
+
+    /** Fisher-Yates shuffle of an index vector [0, n). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s[4];
+    bool have_spare = false;
+    double spare = 0.0;
+};
+
+} // namespace ar::util
+
+#endif // AR_UTIL_RNG_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef AR_UTIL_STRING_UTILS_HH
+#define AR_UTIL_STRING_UTILS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ar::util
+{
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** @return true when @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** @return true when @p s ends with @p suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Render a double compactly (%.6g). */
+std::string formatDouble(double v);
+
+/**
+ * Render a double with fixed precision.
+ *
+ * @param v Value to render.
+ * @param digits Digits after the decimal point.
+ */
+std::string formatFixed(double v, int digits);
+
+/** @return true when the string parses fully as a double. */
+bool parseDouble(std::string_view s, double &out);
+
+} // namespace ar::util
+
+#endif // AR_UTIL_STRING_UTILS_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the Framework facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hh"
+#include "dist/normal.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "risk/risk_function.hh"
+#include "util/logging.hh"
+
+namespace c = ar::core;
+namespace m = ar::model;
+
+namespace
+{
+
+ar::symbolic::EquationSystem
+simpleSystem()
+{
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("y = 2 * x + b");
+    sys.markUncertain("x");
+    return sys;
+}
+
+} // namespace
+
+TEST(Framework, NoSystemIsFatal)
+{
+    c::Framework fw;
+    EXPECT_THROW(fw.system(), ar::util::FatalError);
+    EXPECT_THROW(fw.compiled("y"), ar::util::FatalError);
+}
+
+TEST(Framework, EvaluateCertain)
+{
+    c::Framework fw;
+    fw.setSystem(simpleSystem());
+    EXPECT_DOUBLE_EQ(
+        fw.evaluateCertain("y", {{"x", 3.0}, {"b", 1.0}}), 7.0);
+}
+
+TEST(Framework, EvaluateCertainMissingInputIsFatal)
+{
+    c::Framework fw;
+    fw.setSystem(simpleSystem());
+    EXPECT_THROW(fw.evaluateCertain("y", {{"x", 3.0}}),
+                 ar::util::FatalError);
+}
+
+TEST(Framework, AnalyzeLinearModel)
+{
+    c::Framework fw({20000, "latin-hypercube"});
+    fw.setSystem(simpleSystem());
+    ar::mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<ar::dist::Normal>(1.0, 0.25);
+    in.fixed["b"] = 0.0;
+    ar::risk::QuadraticRisk fn;
+    const auto res = fw.analyze("y", in, fn, 2.0, 5);
+    // y ~ N(2, 0.5): expected 2, risk = E[max(0, 2-y)^2] = var/2.
+    EXPECT_NEAR(res.expected(), 2.0, 0.01);
+    EXPECT_NEAR(res.summary.stddev, 0.5, 0.01);
+    EXPECT_NEAR(res.risk, 0.125, 0.01);
+    EXPECT_DOUBLE_EQ(res.reference, 2.0);
+    EXPECT_EQ(res.samples.size(), 20000u);
+}
+
+TEST(Framework, AnalyzeIsSeedReproducible)
+{
+    c::Framework fw({500, "latin-hypercube"});
+    fw.setSystem(simpleSystem());
+    ar::mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<ar::dist::Normal>(0.0, 1.0);
+    in.fixed["b"] = 1.0;
+    ar::risk::StepRisk fn;
+    const auto a = fw.analyze("y", in, fn, 1.0, 42);
+    const auto b = fw.analyze("y", in, fn, 1.0, 42);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_DOUBLE_EQ(a.risk, b.risk);
+}
+
+TEST(Framework, CompiledIsMemoized)
+{
+    c::Framework fw;
+    fw.setSystem(simpleSystem());
+    const auto &a = fw.compiled("y");
+    const auto &b = fw.compiled("y");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Framework, SetSystemInvalidatesCache)
+{
+    c::Framework fw;
+    fw.setSystem(simpleSystem());
+    EXPECT_DOUBLE_EQ(
+        fw.evaluateCertain("y", {{"x", 1.0}, {"b", 0.0}}), 2.0);
+    ar::symbolic::EquationSystem sys2;
+    sys2.addEquation("y = 10 * x");
+    fw.setSystem(std::move(sys2));
+    EXPECT_DOUBLE_EQ(fw.evaluateCertain("y", {{"x", 1.0}}), 10.0);
+}
+
+TEST(Framework, HillMartyCertainMatchesDirectEvaluator)
+{
+    const auto config = m::asymCores();
+    const auto app = m::appLPHC();
+    c::Framework fw;
+    fw.setSystem(m::buildHillMartySystem(config.numTypes()));
+    const auto in = m::groundTruthBindings(
+        config, app, m::UncertaintySpec::none());
+    const double sym = fw.evaluateCertain("Speedup", in.fixed);
+    const double direct =
+        m::HillMartyEvaluator::nominalSpeedup(config, app.f, app.c);
+    EXPECT_NEAR(sym, direct, 1e-9);
+}
+
+TEST(Framework, HillMartyUncertainAnalysisEndToEnd)
+{
+    const auto config = m::heteroCores();
+    const auto app = m::appLPHC();
+    c::Framework fw({4000, "latin-hypercube"});
+    fw.setSystem(m::buildHillMartySystem(config.numTypes()));
+    const auto in = m::groundTruthBindings(
+        config, app, m::UncertaintySpec::all(0.2));
+    ar::risk::QuadraticRisk fn;
+    const double ref =
+        m::HillMartyEvaluator::nominalSpeedup(config, app.f, app.c);
+    const auto res = fw.analyze("Speedup", in, fn, ref, 11);
+    EXPECT_GT(res.expected(), 0.0);
+    EXPECT_GT(res.summary.stddev, 0.0);
+    EXPECT_GT(res.risk, 0.0);
+    // Speedup can never exceed total-area Pollack performance.
+    EXPECT_LT(res.summary.max, 256.0);
+}
+
+TEST(Framework, PropagateReturnsRawSamples)
+{
+    c::Framework fw({100, "monte-carlo"});
+    fw.setSystem(simpleSystem());
+    ar::mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<ar::dist::Normal>(0.0, 1.0);
+    in.fixed["b"] = 0.0;
+    EXPECT_EQ(fw.propagate("y", in, 1).size(), 100u);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the analysis-spec front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/spec.hh"
+#include "util/io.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace c = ar::core;
+
+namespace
+{
+
+const char *kAmdahl = R"(
+# comment line
+Speedup = 1 / (1 - f + f / s)
+fixed s 16
+uncertain f truncnormal 0.9 0.02 0 1
+output Speedup
+risk quadratic
+trials 2000
+seed 3
+)";
+
+} // namespace
+
+TEST(Spec, ParsesEquationsAndDirectives)
+{
+    const auto spec = c::parseSpec(kAmdahl);
+    EXPECT_EQ(spec.output, "Speedup");
+    EXPECT_EQ(spec.trials, 2000u);
+    EXPECT_EQ(spec.seed, 3u);
+    EXPECT_EQ(spec.risk, "quadratic");
+    EXPECT_DOUBLE_EQ(spec.bindings.fixed.at("s"), 16.0);
+    ASSERT_TRUE(spec.bindings.uncertain.count("f"));
+    EXPECT_NEAR(spec.bindings.uncertain.at("f")->mean(), 0.9, 0.01);
+    EXPECT_TRUE(spec.system.uncertain().count("f"));
+}
+
+TEST(Spec, RunSpecProducesAnalysis)
+{
+    const auto spec = c::parseSpec(kAmdahl);
+    const auto res = c::runSpec(spec);
+    EXPECT_EQ(res.samples.size(), 2000u);
+    // Default reference: certain evaluation at the f mean.
+    const double certain = 1.0 / (1.0 - 0.9 + 0.9 / 16.0);
+    EXPECT_NEAR(res.reference, certain, 0.01);
+    EXPECT_GT(res.risk, 0.0);
+}
+
+TEST(Spec, ExplicitReferenceIsHonoured)
+{
+    std::string text(kAmdahl);
+    text += "\nreference 5.5\n";
+    const auto res = c::runSpec(c::parseSpec(text));
+    EXPECT_DOUBLE_EQ(res.reference, 5.5);
+}
+
+TEST(Spec, AllDistributionKindsParse)
+{
+    const char *text = R"(
+y = a + b + cc + d + e + f2 + g2 + h + i
+uncertain a normal 0 1
+uncertain b truncnormal 0 1 -1 1
+uncertain cc lognormal 0 0.5
+uncertain d lognormal-ms 10 2
+uncertain e uniform 0 1
+uncertain f2 bernoulli 0.5
+uncertain g2 binomial 8 0.5
+uncertain h normbinomial 100 0.9
+uncertain i degenerate 3
+output y
+)";
+    const auto spec = c::parseSpec(text);
+    EXPECT_EQ(spec.bindings.uncertain.size(), 9u);
+    EXPECT_DOUBLE_EQ(spec.bindings.uncertain.at("i")->mean(), 3.0);
+    EXPECT_NEAR(spec.bindings.uncertain.at("d")->mean(), 10.0, 1e-9);
+}
+
+TEST(Spec, CorrelationDirective)
+{
+    std::string text(kAmdahl);
+    text += "uncertain g2 normal 0 1\ncorrelate f g2 0.5\n";
+    const auto spec = c::parseSpec(text);
+    ASSERT_EQ(spec.bindings.correlations.size(), 1u);
+    EXPECT_EQ(spec.bindings.correlations[0].a, "f");
+    EXPECT_DOUBLE_EQ(spec.bindings.correlations[0].rho, 0.5);
+}
+
+TEST(Spec, SamplesDirectiveExtractsFromFile)
+{
+    const std::string path = "/tmp/ar_test_spec_samples.txt";
+    {
+        ar::util::Rng rng(4);
+        std::vector<double> xs(100);
+        for (auto &x : xs)
+            x = std::exp(rng.gaussian(0.0, 0.3));
+        ar::util::writeNumbers(path, xs);
+    }
+    std::string text = R"(
+y = 2 * m
+samples m /tmp/ar_test_spec_samples.txt
+output y
+)";
+    const auto spec = c::parseSpec(text);
+    ASSERT_TRUE(spec.bindings.uncertain.count("m"));
+    EXPECT_NEAR(spec.bindings.uncertain.at("m")->mean(), 1.05, 0.15);
+    std::remove(path.c_str());
+}
+
+TEST(Spec, MissingOutputIsFatal)
+{
+    EXPECT_THROW(c::parseSpec("y = 2 * x\n"), ar::util::FatalError);
+}
+
+TEST(Spec, UndefinedOutputIsFatal)
+{
+    EXPECT_THROW(c::parseSpec("y = 2 * x\noutput z\n"),
+                 ar::util::FatalError);
+}
+
+TEST(Spec, UnknownDirectiveIsFatal)
+{
+    EXPECT_THROW(c::parseSpec("y = x\nfrobnicate y\noutput y\n"),
+                 ar::util::FatalError);
+}
+
+TEST(Spec, UnknownDistributionIsFatal)
+{
+    EXPECT_THROW(
+        c::parseSpec("y = x\nuncertain x cauchy 0 1\noutput y\n"),
+        ar::util::FatalError);
+}
+
+TEST(Spec, BadArityIsFatal)
+{
+    EXPECT_THROW(
+        c::parseSpec("y = x\nuncertain x normal 0\noutput y\n"),
+        ar::util::FatalError);
+    EXPECT_THROW(c::parseSpec("y = x\nfixed x\noutput y\n"),
+                 ar::util::FatalError);
+}
+
+TEST(Spec, InvalidRiskNameIsFatal)
+{
+    std::string text(kAmdahl);
+    text += "risk exotic\n";
+    EXPECT_THROW(c::parseSpec(text), ar::util::FatalError);
+}
+
+TEST(Spec, MakeRiskFunctionFactory)
+{
+    EXPECT_DOUBLE_EQ(c::makeRiskFunction("step")->cost(0.5, 1.0),
+                     1.0);
+    EXPECT_DOUBLE_EQ(c::makeRiskFunction("linear")->cost(0.5, 1.0),
+                     0.5);
+    EXPECT_DOUBLE_EQ(
+        c::makeRiskFunction("quadratic")->cost(0.5, 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(
+        c::makeRiskFunction("monetary")->cost(0.85, 1.0), 700.0);
+    EXPECT_THROW(c::makeRiskFunction("nope"), ar::util::FatalError);
+}
+
+TEST(Spec, LoadSpecFileMissingIsFatal)
+{
+    EXPECT_THROW(c::loadSpecFile("/nonexistent/x.spec"),
+                 ar::util::FatalError);
+}
+
+TEST(Spec, LoadSpecFileRoundTrip)
+{
+    const std::string path = "/tmp/ar_test_spec_file.spec";
+    {
+        std::ofstream out(path);
+        out << kAmdahl;
+    }
+    const auto spec = c::loadSpecFile(path);
+    EXPECT_EQ(spec.output, "Speedup");
+    std::remove(path.c_str());
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the back-transformed Box-Cox Gaussian distribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/boxcox_dist.hh"
+#include "math/numeric.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace d = ar::dist;
+using ar::stats::BoxCoxTransform;
+
+TEST(BoxCoxGaussian, LambdaZeroIsLogNormal)
+{
+    // With lambda = 0 the distribution is exactly LogNormal(mu,
+    // sigma).
+    d::BoxCoxGaussian dist(BoxCoxTransform{0.0, 0.0}, 0.5, 0.3);
+    EXPECT_NEAR(dist.mean(), std::exp(0.5 + 0.5 * 0.09), 0.01);
+    EXPECT_NEAR(dist.quantile(0.5), std::exp(0.5), 1e-9);
+    EXPECT_NEAR(dist.cdf(std::exp(0.5)), 0.5, 1e-9);
+}
+
+TEST(BoxCoxGaussian, LambdaOneIsShiftedGaussian)
+{
+    // lambda = 1: y = x - 1, so x = y + 1 ~ N(mu + 1, sigma).
+    d::BoxCoxGaussian dist(BoxCoxTransform{1.0, 0.0}, 2.0, 0.5);
+    EXPECT_NEAR(dist.mean(), 3.0, 1e-6);
+    EXPECT_NEAR(dist.stddev(), 0.5, 1e-3);
+    EXPECT_NEAR(dist.quantile(0.5), 3.0, 1e-9);
+}
+
+TEST(BoxCoxGaussian, CdfQuantileRoundTrip)
+{
+    d::BoxCoxGaussian dist(BoxCoxTransform{0.4, 0.0}, 1.5, 0.4);
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95})
+        EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-9);
+}
+
+TEST(BoxCoxGaussian, SampleMomentsMatchQuadratureMoments)
+{
+    d::BoxCoxGaussian dist(BoxCoxTransform{0.25, 0.0}, 2.0, 0.3);
+    ar::util::Rng rng(111);
+    const auto xs = dist.sampleMany(200000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), dist.mean(),
+                0.01 * dist.mean());
+    EXPECT_NEAR(ar::math::stddev(xs), dist.stddev(),
+                0.05 * dist.stddev());
+}
+
+TEST(BoxCoxGaussian, SamplesRespectDomain)
+{
+    // With a shift, the support floor is -shift.
+    d::BoxCoxGaussian dist(BoxCoxTransform{0.5, 2.0}, 1.0, 1.0);
+    ar::util::Rng rng(112);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_GE(dist.sample(rng), -2.0);
+}
+
+TEST(BoxCoxGaussian, CdfZeroBelowSupport)
+{
+    d::BoxCoxGaussian dist(BoxCoxTransform{0.0, 0.0}, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+}
+
+TEST(BoxCoxGaussian, EdgeAtomForPositiveLambda)
+{
+    // lambda = 2 with large sigma: some Gaussian mass maps below the
+    // image floor and clamps to x = 0.
+    d::BoxCoxGaussian dist(BoxCoxTransform{2.0, 0.0}, 0.0, 2.0);
+    EXPECT_GT(dist.cdf(0.0), 0.0);
+    EXPECT_LT(dist.cdf(0.0), 1.0);
+}
+
+TEST(BoxCoxGaussian, InvalidSigmaIsFatal)
+{
+    EXPECT_THROW(
+        d::BoxCoxGaussian(BoxCoxTransform{1.0, 0.0}, 0.0, 0.0),
+        ar::util::FatalError);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for Affine and Product combinators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/combinators.hh"
+#include "dist/discrete.hh"
+#include "dist/lognormal.hh"
+#include "dist/normal.hh"
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace d = ar::dist;
+
+TEST(Affine, MomentsTransform)
+{
+    auto base = std::make_shared<d::Normal>(1.0, 2.0);
+    d::Affine dist(base, 3.0, -4.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), -1.0);
+    EXPECT_DOUBLE_EQ(dist.stddev(), 6.0);
+}
+
+TEST(Affine, NegativeScaleFlipsCdf)
+{
+    auto base = std::make_shared<d::Normal>(0.0, 1.0);
+    d::Affine dist(base, -1.0, 0.0);
+    EXPECT_NEAR(dist.cdf(1.0), base->cdf(1.0), 1e-12);
+    EXPECT_NEAR(dist.cdf(0.0), 0.5, 1e-12);
+    // quantile_{-X}(p) = -quantile_X(1 - p); for the symmetric
+    // standard normal that equals quantile_X(p).
+    EXPECT_NEAR(dist.quantile(0.9), -base->quantile(0.1), 1e-9);
+    EXPECT_NEAR(dist.quantile(0.9), base->quantile(0.9), 1e-9);
+}
+
+TEST(Affine, SampleMomentsMatch)
+{
+    auto base = std::make_shared<d::Uniform>(0.0, 1.0);
+    d::Affine dist(base, 10.0, 5.0);
+    ar::util::Rng rng(91);
+    const auto xs = dist.sampleMany(50000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), 10.0, 0.05);
+}
+
+TEST(Affine, ZeroScaleIsFatal)
+{
+    auto base = std::make_shared<d::Normal>(0.0, 1.0);
+    EXPECT_THROW(d::Affine(base, 0.0, 1.0), ar::util::FatalError);
+}
+
+TEST(Affine, NullBaseIsFatal)
+{
+    EXPECT_THROW(d::Affine(nullptr, 1.0, 0.0), ar::util::FatalError);
+}
+
+TEST(Product, MeanIsProductOfMeans)
+{
+    auto a = std::make_shared<d::Bernoulli>(0.8);
+    auto b = std::make_shared<d::LogNormal>(
+        d::LogNormal::fromMeanStddev(10.0, 2.0));
+    d::Product dist(a, b);
+    EXPECT_NEAR(dist.mean(), 8.0, 1e-9);
+}
+
+TEST(Product, VarianceFormula)
+{
+    auto a = std::make_shared<d::Bernoulli>(0.5);
+    auto b = std::make_shared<d::Degenerate>(4.0);
+    d::Product dist(a, b);
+    // 0 or 4 with equal probability: var = 4.
+    EXPECT_NEAR(dist.stddev(), 2.0, 1e-9);
+}
+
+TEST(Product, SampleMomentsMatchAnalytic)
+{
+    auto a = std::make_shared<d::Bernoulli>(0.9);
+    auto b = std::make_shared<d::LogNormal>(
+        d::LogNormal::fromMeanStddev(5.0, 1.0));
+    d::Product dist(a, b);
+    ar::util::Rng rng(92);
+    const auto xs = dist.sampleMany(200000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), dist.mean(), 0.03);
+    EXPECT_NEAR(ar::math::stddev(xs), dist.stddev(), 0.03);
+}
+
+TEST(Product, BernoulliTimesPositiveCdf)
+{
+    // This is the paper's design-bug model: Bernoulli x LogNormal.
+    auto a = std::make_shared<d::Bernoulli>(0.7);
+    auto b = std::make_shared<d::LogNormal>(0.0, 0.5);
+    d::Product dist(a, b);
+    // Atom at zero carries mass 0.3.
+    EXPECT_NEAR(dist.cdf(0.0), 0.3, 1e-12);
+    EXPECT_NEAR(dist.cdf(1e9), 1.0, 1e-9);
+    // Median of the continuous part: cdf = 0.3 + 0.7*F_Y.
+    EXPECT_NEAR(dist.cdf(1.0), 0.3 + 0.7 * 0.5, 1e-9);
+}
+
+TEST(Product, BinomialFirstFactorCdf)
+{
+    auto a = std::make_shared<d::Binomial>(2, 0.5);
+    auto b = std::make_shared<d::Degenerate>(3.0);
+    d::Product dist(a, b);
+    // Values {0, 3, 6} with probs {0.25, 0.5, 0.25}.
+    EXPECT_NEAR(dist.cdf(0.0), 0.25, 1e-12);
+    EXPECT_NEAR(dist.cdf(3.0), 0.75, 1e-12);
+    EXPECT_NEAR(dist.cdf(6.0), 1.0, 1e-12);
+}
+
+TEST(Product, UnsupportedCdfIsFatal)
+{
+    auto a = std::make_shared<d::Normal>(0.0, 1.0);
+    auto b = std::make_shared<d::Normal>(0.0, 1.0);
+    d::Product dist(a, b);
+    EXPECT_THROW(dist.cdf(0.0), ar::util::FatalError);
+}
+
+TEST(Product, SampleFromUniformFastPathMatchesCdf)
+{
+    auto a = std::make_shared<d::Bernoulli>(0.6);
+    auto b = std::make_shared<d::LogNormal>(0.0, 0.4);
+    d::Product dist(a, b);
+    // Bottom 40% of quantile mass is the zero atom.
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.2), 0.0);
+    const double x = dist.sampleFromUniform(0.8);
+    EXPECT_GT(x, 0.0);
+    EXPECT_NEAR(dist.cdf(x), 0.8, 1e-6);
+}
+
+TEST(Product, SampleFromUniformIsMonotone)
+{
+    auto a = std::make_shared<d::Bernoulli>(0.5);
+    auto b = std::make_shared<d::LogNormal>(0.0, 1.0);
+    d::Product dist(a, b);
+    double prev = -1.0;
+    for (double u = 0.05; u < 1.0; u += 0.05) {
+        const double x = dist.sampleFromUniform(u);
+        EXPECT_GE(x, prev);
+        prev = x;
+    }
+}

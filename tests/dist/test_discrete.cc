@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit and property tests for Bernoulli, Binomial, and
+ * NormalizedBinomial.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/discrete.hh"
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace d = ar::dist;
+
+TEST(Bernoulli, MomentsAndSupport)
+{
+    d::Bernoulli dist(0.3);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.3);
+    EXPECT_NEAR(dist.stddev(), std::sqrt(0.21), 1e-12);
+    ar::util::Rng rng(81);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = dist.sample(rng);
+        ASSERT_TRUE(x == 0.0 || x == 1.0);
+    }
+}
+
+TEST(Bernoulli, SampleFrequencyMatchesP)
+{
+    d::Bernoulli dist(0.7);
+    ar::util::Rng rng(82);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += dist.sample(rng);
+    EXPECT_NEAR(acc / n, 0.7, 0.01);
+}
+
+TEST(Bernoulli, CdfSteps)
+{
+    d::Bernoulli dist(0.25);
+    EXPECT_DOUBLE_EQ(dist.cdf(-0.1), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.75);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.9), 0.75);
+    EXPECT_DOUBLE_EQ(dist.cdf(1.0), 1.0);
+}
+
+TEST(Bernoulli, SampleFromUniformMonotone)
+{
+    d::Bernoulli dist(0.4);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.1), 0.0);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.59), 0.0);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.61), 1.0);
+}
+
+TEST(Bernoulli, DegenerateEndpoints)
+{
+    ar::util::Rng rng(83);
+    d::Bernoulli never(0.0), always(1.0);
+    EXPECT_DOUBLE_EQ(never.sample(rng), 0.0);
+    EXPECT_DOUBLE_EQ(always.sample(rng), 1.0);
+}
+
+TEST(Bernoulli, InvalidPIsFatal)
+{
+    EXPECT_THROW(d::Bernoulli(-0.1), ar::util::FatalError);
+    EXPECT_THROW(d::Bernoulli(1.1), ar::util::FatalError);
+}
+
+TEST(Binomial, PmfSumsToOne)
+{
+    d::Binomial dist(20, 0.35);
+    double total = 0.0;
+    for (unsigned k = 0; k <= 20; ++k)
+        total += dist.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Binomial, CdfMatchesPmfPrefixSums)
+{
+    d::Binomial dist(15, 0.6);
+    double acc = 0.0;
+    for (unsigned k = 0; k <= 15; ++k) {
+        acc += dist.pmf(k);
+        EXPECT_NEAR(dist.cdf(static_cast<double>(k)), acc, 1e-10)
+            << "k=" << k;
+    }
+}
+
+TEST(Binomial, QuantileIsInverseOfCdf)
+{
+    d::Binomial dist(30, 0.4);
+    for (double q : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+        const double k = dist.quantile(q);
+        // Smallest k with CDF(k) >= q.
+        EXPECT_GE(dist.cdf(k), q - 1e-9);
+        if (k >= 1.0) {
+            EXPECT_LT(dist.cdf(k - 1.0), q + 1e-9);
+        }
+    }
+}
+
+TEST(Binomial, SampleMomentsMatch)
+{
+    d::Binomial dist(50, 0.3);
+    ar::util::Rng rng(84);
+    const auto xs = dist.sampleMany(100000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), 15.0, 0.05);
+    EXPECT_NEAR(ar::math::stddev(xs), std::sqrt(50 * 0.3 * 0.7), 0.05);
+}
+
+TEST(Binomial, LargeTrialCountStillSamplesAccurately)
+{
+    // The regime of the paper's f model: M in the thousands.
+    d::Binomial dist(3600, 0.9);
+    ar::util::Rng rng(85);
+    const auto xs = dist.sampleMany(50000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), 3240.0, 1.0);
+    EXPECT_NEAR(ar::math::stddev(xs), std::sqrt(3600 * 0.09), 0.3);
+}
+
+TEST(Binomial, ExtremePValues)
+{
+    ar::util::Rng rng(86);
+    d::Binomial zero(10, 0.0), one(10, 1.0);
+    EXPECT_DOUBLE_EQ(zero.sample(rng), 0.0);
+    EXPECT_DOUBLE_EQ(one.sample(rng), 10.0);
+    EXPECT_DOUBLE_EQ(zero.cdf(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(one.cdf(9.0), 0.0);
+}
+
+TEST(Binomial, SamplesStayInSupport)
+{
+    d::Binomial dist(12, 0.5);
+    ar::util::Rng rng(87);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = dist.sample(rng);
+        ASSERT_GE(x, 0.0);
+        ASSERT_LE(x, 12.0);
+        ASSERT_DOUBLE_EQ(x, std::floor(x));
+    }
+}
+
+TEST(Binomial, ZeroTrialsIsFatal)
+{
+    EXPECT_THROW(d::Binomial(0, 0.5), ar::util::FatalError);
+}
+
+TEST(NormalizedBinomial, SupportIsUnitInterval)
+{
+    d::NormalizedBinomial dist(50, 0.9);
+    ar::util::Rng rng(88);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = dist.sample(rng);
+        ASSERT_GE(x, 0.0);
+        ASSERT_LE(x, 1.0);
+    }
+}
+
+TEST(NormalizedBinomial, MomentsAreScaled)
+{
+    d::NormalizedBinomial dist(100, 0.4);
+    EXPECT_NEAR(dist.mean(), 0.4, 1e-12);
+    EXPECT_NEAR(dist.stddev(), std::sqrt(0.4 * 0.6 / 100.0), 1e-12);
+}
+
+TEST(NormalizedBinomial, FromMeanStddevHitsTargets)
+{
+    // Table 3: f centred on 0.9 with sd sigma*(1-f), sigma = 0.2.
+    const auto dist =
+        d::NormalizedBinomial::fromMeanStddev(0.9, 0.2 * 0.1);
+    EXPECT_NEAR(dist.mean(), 0.9, 1e-12);
+    EXPECT_NEAR(dist.stddev(), 0.02, 0.002);
+}
+
+TEST(NormalizedBinomial, FromMeanStddevInvalidIsFatal)
+{
+    EXPECT_THROW(d::NormalizedBinomial::fromMeanStddev(0.0, 0.1),
+                 ar::util::FatalError);
+    EXPECT_THROW(d::NormalizedBinomial::fromMeanStddev(1.0, 0.1),
+                 ar::util::FatalError);
+    EXPECT_THROW(d::NormalizedBinomial::fromMeanStddev(0.5, 0.0),
+                 ar::util::FatalError);
+}
+
+class BinomialQuantileSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>>
+{
+};
+
+TEST_P(BinomialQuantileSweep, CdfOfQuantileCoversU)
+{
+    const auto [n, p] = GetParam();
+    d::Binomial dist(n, p);
+    for (double u = 0.05; u < 1.0; u += 0.1) {
+        const double k = dist.sampleFromUniform(u);
+        EXPECT_GE(dist.cdf(k), u - 1e-9)
+            << "n=" << n << " p=" << p << " u=" << u;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialQuantileSweep,
+    ::testing::Combine(::testing::Values(1u, 8u, 32u, 500u),
+                       ::testing::Values(0.05, 0.5, 0.92)));

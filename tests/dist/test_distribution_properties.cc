@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Property-based tests that every concrete Distribution must satisfy:
+ * CDF monotonicity, quantile/CDF consistency, monotone inverse-CDF
+ * sampling, and sample moments matching the analytic moments.
+ * Parameterized across the whole distribution zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "dist/boxcox_dist.hh"
+#include "dist/combinators.hh"
+#include "dist/discrete.hh"
+#include "dist/distribution.hh"
+#include "dist/empirical.hh"
+#include "dist/lognormal.hh"
+#include "dist/normal.hh"
+#include "math/numeric.hh"
+#include "util/rng.hh"
+
+namespace d = ar::dist;
+
+namespace
+{
+
+struct Maker
+{
+    std::string name;
+    std::function<d::DistPtr()> make;
+};
+
+d::DistPtr
+makeEmpirical()
+{
+    ar::util::Rng rng(555);
+    d::Normal src(2.0, 0.7);
+    const auto xs = src.sampleMany(500, rng);
+    return std::make_shared<d::Empirical>(xs);
+}
+
+d::DistPtr
+makeKde()
+{
+    ar::util::Rng rng(556);
+    d::LogNormal src(0.3, 0.4);
+    const auto xs = src.sampleMany(400, rng);
+    return std::make_shared<d::KdeDistribution>(xs);
+}
+
+std::vector<Maker>
+zoo()
+{
+    return {
+        {"Degenerate",
+         [] { return std::make_shared<d::Degenerate>(3.0); }},
+        {"Uniform",
+         [] { return std::make_shared<d::Uniform>(-1.0, 2.0); }},
+        {"Normal",
+         [] { return std::make_shared<d::Normal>(1.0, 0.5); }},
+        {"TruncatedNormal",
+         [] {
+             return std::make_shared<d::TruncatedNormal>(0.9, 0.1,
+                                                         0.0, 1.0);
+         }},
+        {"LogNormal",
+         [] { return std::make_shared<d::LogNormal>(0.5, 0.6); }},
+        {"Bernoulli",
+         [] { return std::make_shared<d::Bernoulli>(0.35); }},
+        {"Binomial",
+         [] { return std::make_shared<d::Binomial>(24u, 0.8); }},
+        {"NormalizedBinomial",
+         [] {
+             return std::make_shared<d::NormalizedBinomial>(225u,
+                                                            0.9);
+         }},
+        {"Affine",
+         [] {
+             return std::make_shared<d::Affine>(
+                 std::make_shared<d::Normal>(0.0, 1.0), 2.5, -1.0);
+         }},
+        {"Product",
+         [] {
+             return std::make_shared<d::Product>(
+                 std::make_shared<d::Bernoulli>(0.85),
+                 std::make_shared<d::LogNormal>(
+                     d::LogNormal::fromMeanStddev(8.0, 1.6)));
+         }},
+        {"BoxCoxGaussian",
+         [] {
+             return std::make_shared<d::BoxCoxGaussian>(
+                 ar::stats::BoxCoxTransform{0.3, 0.0}, 1.5, 0.4);
+         }},
+        {"Empirical", makeEmpirical},
+        {"Kde", makeKde},
+    };
+}
+
+} // namespace
+
+class DistributionProperty : public ::testing::TestWithParam<Maker>
+{
+};
+
+TEST_P(DistributionProperty, CdfIsMonotoneWithLimits)
+{
+    const auto dist = GetParam().make();
+    const double m = dist->mean();
+    const double s = std::max(dist->stddev(), 0.1);
+    double prev = 0.0;
+    for (double x = m - 10.0 * s; x <= m + 10.0 * s; x += s / 4.0) {
+        const double cur = dist->cdf(x);
+        ASSERT_GE(cur, prev - 1e-12) << "at x=" << x;
+        ASSERT_GE(cur, 0.0);
+        ASSERT_LE(cur, 1.0);
+        prev = cur;
+    }
+    EXPECT_LT(dist->cdf(m - 100.0 * s - 1.0), 0.02);
+    EXPECT_GT(dist->cdf(m + 100.0 * s + 1.0), 0.98);
+}
+
+TEST_P(DistributionProperty, SampleFromUniformIsMonotone)
+{
+    const auto dist = GetParam().make();
+    double prev = dist->sampleFromUniform(0.01);
+    for (double u = 0.05; u <= 0.99; u += 0.02) {
+        const double cur = dist->sampleFromUniform(u);
+        ASSERT_GE(cur, prev - 1e-9) << "at u=" << u;
+        prev = cur;
+    }
+}
+
+TEST_P(DistributionProperty, SampleMomentsMatchAnalytic)
+{
+    const auto dist = GetParam().make();
+    ar::util::Rng rng(777);
+    const auto xs = dist->sampleMany(60000, rng);
+    const double mean = ar::math::mean(xs);
+    const double sd = ar::math::stddev(xs);
+    const double tol_mean =
+        0.03 * std::max({std::fabs(dist->mean()), dist->stddev(),
+                         0.05});
+    EXPECT_NEAR(mean, dist->mean(), tol_mean);
+    if (dist->stddev() > 0.0) {
+        EXPECT_NEAR(sd, dist->stddev(),
+                    0.06 * dist->stddev() + 0.01);
+    }
+}
+
+TEST_P(DistributionProperty, StratifiedSamplingMatchesMoments)
+{
+    // The quantity the LHS engine relies on: averaging
+    // sampleFromUniform over stratified u must reproduce the mean.
+    const auto dist = GetParam().make();
+    const std::size_t n = 20000;
+    ar::math::KahanSum acc;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) /
+                         static_cast<double>(n);
+        acc.add(dist->sampleFromUniform(u));
+    }
+    const double mean = acc.value() / static_cast<double>(n);
+    const double tol =
+        0.02 * std::max({std::fabs(dist->mean()), dist->stddev(),
+                         0.05});
+    EXPECT_NEAR(mean, dist->mean(), tol);
+}
+
+TEST_P(DistributionProperty, QuantileInvertsCdf)
+{
+    const auto dist = GetParam().make();
+    if (dist->stddev() == 0.0)
+        return; // point mass: quantile is constant
+    for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const double x = dist->quantile(p);
+        // For continuous parts: cdf(quantile(p)) ~ p.  For atoms the
+        // CDF can jump past p, so only require it is not below.
+        EXPECT_GE(dist->cdf(x + 1e-9), p - 2e-3) << "p=" << p;
+    }
+}
+
+TEST_P(DistributionProperty, CloneBehavesIdentically)
+{
+    const auto dist = GetParam().make();
+    const auto copy = dist->clone();
+    EXPECT_DOUBLE_EQ(copy->mean(), dist->mean());
+    EXPECT_DOUBLE_EQ(copy->stddev(), dist->stddev());
+    for (double u : {0.2, 0.5, 0.8}) {
+        EXPECT_DOUBLE_EQ(copy->sampleFromUniform(u),
+                         dist->sampleFromUniform(u));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, DistributionProperty, ::testing::ValuesIn(zoo()),
+    [](const ::testing::TestParamInfo<Maker> &info) {
+        return info.param.name;
+    });

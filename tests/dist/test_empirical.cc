@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for Empirical and KdeDistribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "dist/empirical.hh"
+#include "math/numeric.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace d = ar::dist;
+
+TEST(Empirical, MomentsComeFromData)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    d::Empirical dist(xs);
+    EXPECT_DOUBLE_EQ(dist.mean(), 2.5);
+    EXPECT_NEAR(dist.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Empirical, SamplesDrawOnlyDataValues)
+{
+    const std::vector<double> xs{1.5, 2.5, 3.5};
+    d::Empirical dist(xs);
+    ar::util::Rng rng(101);
+    for (int i = 0; i < 500; ++i) {
+        const double v = dist.sample(rng);
+        EXPECT_TRUE(v == 1.5 || v == 2.5 || v == 3.5);
+    }
+}
+
+TEST(Empirical, CdfIsEcdf)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    d::Empirical dist(xs);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(dist.cdf(10.0), 1.0);
+}
+
+TEST(Empirical, QuantileInterpolates)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    d::Empirical dist(xs);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.5), 5.0);
+}
+
+TEST(Empirical, EmptyIsFatal)
+{
+    const std::vector<double> xs;
+    EXPECT_THROW(d::Empirical{xs}, ar::util::FatalError);
+}
+
+TEST(Empirical, SummaryAccessible)
+{
+    const std::vector<double> xs{2.0, 6.0};
+    d::Empirical dist(xs);
+    EXPECT_EQ(dist.summary().n, 2u);
+    EXPECT_DOUBLE_EQ(dist.summary().min, 2.0);
+    EXPECT_DOUBLE_EQ(dist.summary().max, 6.0);
+}
+
+TEST(KdeDistribution, MomentsIncludeBandwidthInflation)
+{
+    ar::util::Rng rng(102);
+    std::vector<double> xs(2000);
+    for (auto &x : xs)
+        x = rng.gaussian(3.0, 1.0);
+    d::KdeDistribution dist(xs);
+    EXPECT_NEAR(dist.mean(), 3.0, 0.1);
+    EXPECT_GT(dist.stddev(), 0.9);
+}
+
+TEST(KdeDistribution, CdfMonotone)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+    d::KdeDistribution dist(xs);
+    double prev = 0.0;
+    for (double x = -3.0; x <= 6.0; x += 0.2) {
+        const double cur = dist.cdf(x);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(KdeDistribution, SamplesConcentrateNearData)
+{
+    const std::vector<double> xs{5.0, 5.1, 4.9, 5.05};
+    d::KdeDistribution dist(xs);
+    ar::util::Rng rng(103);
+    const auto draws = dist.sampleMany(10000, rng);
+    EXPECT_NEAR(ar::math::mean(draws), 5.0, 0.05);
+}
+
+TEST(KdeDistribution, PdfAvailable)
+{
+    const std::vector<double> xs{0.0, 1.0};
+    d::KdeDistribution dist(xs);
+    EXPECT_GT(dist.pdf(0.5), 0.0);
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for LogNormal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/lognormal.hh"
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace d = ar::dist;
+
+TEST(LogNormal, AnalyticMoments)
+{
+    d::LogNormal dist(0.0, 1.0);
+    EXPECT_NEAR(dist.mean(), std::exp(0.5), 1e-12);
+    EXPECT_NEAR(dist.stddev(),
+                std::exp(0.5) * std::sqrt(std::exp(1.0) - 1.0), 1e-12);
+}
+
+TEST(LogNormal, FromMeanStddevRoundTrip)
+{
+    const auto dist = d::LogNormal::fromMeanStddev(11.3, 2.26);
+    EXPECT_NEAR(dist.mean(), 11.3, 1e-9);
+    EXPECT_NEAR(dist.stddev(), 2.26, 1e-9);
+}
+
+TEST(LogNormal, FromMeanStddevPollackUseCase)
+{
+    // The paper's use: mean follows Pollack's Rule sqrt(area).
+    const double area = 64.0;
+    const double p = std::sqrt(area);
+    const auto dist = d::LogNormal::fromMeanStddev(p, 0.2 * p);
+    EXPECT_NEAR(dist.mean(), 8.0, 1e-9);
+    EXPECT_NEAR(dist.stddev(), 1.6, 1e-9);
+}
+
+TEST(LogNormal, SamplesArePositive)
+{
+    d::LogNormal dist(1.0, 2.0);
+    ar::util::Rng rng(71);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_GT(dist.sample(rng), 0.0);
+}
+
+TEST(LogNormal, SampleMomentsMatch)
+{
+    const auto dist = d::LogNormal::fromMeanStddev(5.0, 1.0);
+    ar::util::Rng rng(72);
+    const auto xs = dist.sampleMany(200000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), 5.0, 0.02);
+    EXPECT_NEAR(ar::math::stddev(xs), 1.0, 0.02);
+}
+
+TEST(LogNormal, CdfQuantileRoundTrip)
+{
+    d::LogNormal dist(0.5, 0.7);
+    for (double p : {0.01, 0.25, 0.5, 0.75, 0.99})
+        EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-10);
+}
+
+TEST(LogNormal, MedianIsExpMu)
+{
+    d::LogNormal dist(1.3, 0.4);
+    EXPECT_NEAR(dist.quantile(0.5), std::exp(1.3), 1e-9);
+}
+
+TEST(LogNormal, CdfZeroForNonPositive)
+{
+    d::LogNormal dist(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.pdf(0.0), 0.0);
+}
+
+TEST(LogNormal, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(d::LogNormal(0.0, 0.0), ar::util::FatalError);
+    EXPECT_THROW(d::LogNormal::fromMeanStddev(-1.0, 1.0),
+                 ar::util::FatalError);
+    EXPECT_THROW(d::LogNormal::fromMeanStddev(1.0, 0.0),
+                 ar::util::FatalError);
+}

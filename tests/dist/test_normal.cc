@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for Normal and TruncatedNormal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/normal.hh"
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace d = ar::dist;
+
+TEST(Normal, Moments)
+{
+    d::Normal dist(3.0, 2.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(dist.stddev(), 2.0);
+}
+
+TEST(Normal, SampleMomentsMatch)
+{
+    d::Normal dist(-1.0, 0.5);
+    ar::util::Rng rng(61);
+    const auto xs = dist.sampleMany(100000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), -1.0, 0.01);
+    EXPECT_NEAR(ar::math::stddev(xs), 0.5, 0.01);
+}
+
+TEST(Normal, CdfQuantileRoundTrip)
+{
+    d::Normal dist(5.0, 3.0);
+    for (double p : {0.01, 0.2, 0.5, 0.8, 0.99})
+        EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-10);
+}
+
+TEST(Normal, PdfSymmetricAboutMean)
+{
+    d::Normal dist(2.0, 1.0);
+    EXPECT_NEAR(dist.pdf(1.0), dist.pdf(3.0), 1e-15);
+}
+
+TEST(Normal, NonPositiveSigmaIsFatal)
+{
+    EXPECT_THROW(d::Normal(0.0, 0.0), ar::util::FatalError);
+    EXPECT_THROW(d::Normal(0.0, -1.0), ar::util::FatalError);
+}
+
+TEST(TruncatedNormal, SamplesRespectBounds)
+{
+    d::TruncatedNormal dist(0.0, 1.0, -0.5, 2.0);
+    ar::util::Rng rng(62);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = dist.sample(rng);
+        ASSERT_GE(x, -0.5);
+        ASSERT_LE(x, 2.0);
+    }
+}
+
+TEST(TruncatedNormal, ClosedFormMomentsMatchSamples)
+{
+    d::TruncatedNormal dist(1.0, 2.0, 0.0, 3.0);
+    ar::util::Rng rng(63);
+    const auto xs = dist.sampleMany(200000, rng);
+    EXPECT_NEAR(ar::math::mean(xs), dist.mean(), 0.01);
+    EXPECT_NEAR(ar::math::stddev(xs), dist.stddev(), 0.01);
+}
+
+TEST(TruncatedNormal, MildTruncationKeepsParentMoments)
+{
+    d::TruncatedNormal dist(0.0, 1.0, -50.0, 50.0);
+    EXPECT_NEAR(dist.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(dist.stddev(), 1.0, 1e-9);
+}
+
+TEST(TruncatedNormal, OneSidedTruncationShiftsMean)
+{
+    d::TruncatedNormal dist(0.0, 1.0, 0.0, 100.0);
+    // Half-normal mean = sqrt(2/pi).
+    EXPECT_NEAR(dist.mean(), std::sqrt(2.0 / M_PI), 1e-6);
+}
+
+TEST(TruncatedNormal, CdfAtBounds)
+{
+    d::TruncatedNormal dist(0.0, 1.0, -1.0, 1.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(1.0), 1.0);
+    EXPECT_NEAR(dist.cdf(0.0), 0.5, 1e-12);
+}
+
+TEST(TruncatedNormal, QuantileRoundTrip)
+{
+    d::TruncatedNormal dist(2.0, 1.5, 0.5, 4.0);
+    for (double p : {0.05, 0.3, 0.5, 0.7, 0.95})
+        EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-9);
+}
+
+TEST(TruncatedNormal, PdfZeroOutsideSupport)
+{
+    d::TruncatedNormal dist(0.0, 1.0, -1.0, 1.0);
+    EXPECT_DOUBLE_EQ(dist.pdf(-2.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.pdf(2.0), 0.0);
+    EXPECT_GT(dist.pdf(0.0), 0.0);
+}
+
+TEST(TruncatedNormal, NoMassRangeIsFatal)
+{
+    // [50, 60] sigma away: numerically zero mass.
+    EXPECT_THROW(d::TruncatedNormal(0.0, 1.0, 50.0, 60.0),
+                 ar::util::FatalError);
+}
+
+TEST(TruncatedNormal, InvalidArgsAreFatal)
+{
+    EXPECT_THROW(d::TruncatedNormal(0.0, -1.0, 0.0, 1.0),
+                 ar::util::FatalError);
+    EXPECT_THROW(d::TruncatedNormal(0.0, 1.0, 1.0, 0.0),
+                 ar::util::FatalError);
+}

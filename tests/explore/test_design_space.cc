@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for design-space enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "explore/design_space.hh"
+#include "util/logging.hh"
+
+namespace x = ar::explore;
+
+namespace
+{
+
+bool
+isPowerOfTwo(double v)
+{
+    const double l = std::log2(v);
+    return std::fabs(l - std::round(l)) < 1e-12;
+}
+
+} // namespace
+
+TEST(DesignSpace, AllDesignsConsumeFullBudget)
+{
+    const auto designs = x::enumerateDesigns();
+    ASSERT_FALSE(designs.empty());
+    for (const auto &d : designs)
+        ASSERT_DOUBLE_EQ(d.totalArea(), 256.0);
+}
+
+TEST(DesignSpace, NoDuplicates)
+{
+    const auto designs = x::enumerateDesigns();
+    std::set<std::string> keys;
+    for (const auto &d : designs)
+        ASSERT_TRUE(keys.insert(d.describe()).second)
+            << "duplicate " << d.describe();
+}
+
+TEST(DesignSpace, ContainsPaperExampleConfigs)
+{
+    const auto designs = x::enumerateDesigns();
+    std::set<std::string> keys;
+    for (const auto &d : designs)
+        keys.insert(d.describe());
+    EXPECT_TRUE(keys.count("32x8"));
+    EXPECT_TRUE(keys.count("1x128 + 16x8"));
+    EXPECT_TRUE(keys.count("1x256"));
+    EXPECT_TRUE(keys.count("1x128 + 1x64 + 1x32 + 1x16 + 2x8"));
+    // The paper's explicit remainder example.
+    EXPECT_TRUE(keys.count("1x192 + 8x8"));
+}
+
+TEST(DesignSpace, AtMostOneNonPowerOfTwoType)
+{
+    const auto designs = x::enumerateDesigns();
+    for (const auto &d : designs) {
+        int odd = 0;
+        for (const auto &t : d.types()) {
+            if (!isPowerOfTwo(t.area))
+                odd += t.count;
+        }
+        ASSERT_LE(odd, 1) << d.describe();
+    }
+}
+
+TEST(DesignSpace, CoreSizesWithinBounds)
+{
+    const auto designs = x::enumerateDesigns();
+    for (const auto &d : designs) {
+        for (const auto &t : d.types()) {
+            ASSERT_GE(t.area, 8.0) << d.describe();
+            ASSERT_LE(t.area, 256.0) << d.describe();
+        }
+    }
+}
+
+TEST(DesignSpace, CountIsSubstantial)
+{
+    // The 256-unit space holds hundreds of configurations.
+    const auto designs = x::enumerateDesigns();
+    EXPECT_GT(designs.size(), 150u);
+    EXPECT_LT(designs.size(), 5000u);
+}
+
+TEST(DesignSpace, SmallerBudgetEnumeratesByHand)
+{
+    // Budget 16, cores 8..16: {1x16}, {2x8}, {1x8 + 1x8rem}
+    // -> canonical {1x16, 2x8} only.
+    x::DesignSpaceParams p;
+    p.total_area = 16.0;
+    p.min_core = 8.0;
+    p.max_core = 16.0;
+    const auto designs = x::enumerateDesigns(p);
+    std::set<std::string> keys;
+    for (const auto &d : designs)
+        keys.insert(d.describe());
+    EXPECT_EQ(keys.size(), 2u);
+    EXPECT_TRUE(keys.count("1x16"));
+    EXPECT_TRUE(keys.count("2x8"));
+}
+
+TEST(DesignSpace, Budget32EnumeratesByHand)
+{
+    x::DesignSpaceParams p;
+    p.total_area = 32.0;
+    p.min_core = 8.0;
+    p.max_core = 32.0;
+    const auto designs = x::enumerateDesigns(p);
+    std::set<std::string> keys;
+    for (const auto &d : designs)
+        keys.insert(d.describe());
+    // {1x32}, {2x16}, {1x16+2x8}, {4x8}, {1x24+1x8}, {1x16 + 1x16}
+    // canonical: 1x32, 2x16, 1x16+2x8, 4x8, 1x24+1x8.
+    EXPECT_EQ(keys.size(), 5u);
+    EXPECT_TRUE(keys.count("1x24 + 1x8"));
+}
+
+TEST(DesignSpace, InvalidParamsAreFatal)
+{
+    x::DesignSpaceParams p;
+    p.total_area = 0.0;
+    EXPECT_THROW(x::enumerateDesigns(p), ar::util::FatalError);
+    p = {};
+    p.max_core = 4.0;
+    p.min_core = 8.0;
+    EXPECT_THROW(x::enumerateDesigns(p), ar::util::FatalError);
+}

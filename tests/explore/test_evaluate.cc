@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the pooled design-space evaluator, including its
+ * agreement with the generic symbolic propagation pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hh"
+#include "explore/evaluate.hh"
+#include "math/numeric.hh"
+#include "model/hill_marty.hh"
+#include "risk/risk_function.hh"
+#include "util/logging.hh"
+
+namespace x = ar::explore;
+namespace m = ar::model;
+
+namespace
+{
+
+std::vector<m::CoreConfig>
+threePaperDesigns()
+{
+    return {m::symCores(), m::asymCores(), m::heteroCores()};
+}
+
+} // namespace
+
+TEST(Evaluate, CertainSpecReproducesNominalSpeedup)
+{
+    const auto designs = threePaperDesigns();
+    const auto app = m::appLPHC();
+    x::SweepConfig cfg;
+    cfg.trials = 64;
+    x::DesignSpaceEvaluator eval(designs, app,
+                                 m::UncertaintySpec::none(), cfg);
+    ar::risk::QuadraticRisk fn;
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        designs[0], app.f, app.c);
+    const auto outcomes = eval.evaluateAll(fn, ref);
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        const double nominal = m::HillMartyEvaluator::nominalSpeedup(
+            designs[d], app.f, app.c);
+        EXPECT_NEAR(outcomes[d].expected, nominal / ref, 1e-12);
+        EXPECT_DOUBLE_EQ(outcomes[d].stddev, 0.0);
+    }
+}
+
+TEST(Evaluate, UncertaintyWidensDistribution)
+{
+    const auto designs = threePaperDesigns();
+    const auto app = m::appLPHC();
+    x::SweepConfig cfg;
+    cfg.trials = 2000;
+    x::DesignSpaceEvaluator eval(
+        designs, app, m::UncertaintySpec::all(0.3), cfg);
+    ar::risk::QuadraticRisk fn;
+    const auto outcomes = eval.evaluateAll(fn, 30.0);
+    for (const auto &o : outcomes) {
+        EXPECT_GT(o.stddev, 0.0);
+        EXPECT_GT(o.risk, 0.0);
+    }
+}
+
+TEST(Evaluate, KeepSamplesRetainsPerDesignData)
+{
+    const auto designs = threePaperDesigns();
+    x::SweepConfig cfg;
+    cfg.trials = 128;
+    cfg.keep_samples = true;
+    x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                 m::UncertaintySpec::all(0.2), cfg);
+    ar::risk::QuadraticRisk fn;
+    const auto outcomes = eval.evaluateAll(fn, 30.0);
+    const auto &samples = eval.samples(1);
+    ASSERT_EQ(samples.size(), 128u);
+    EXPECT_NEAR(ar::math::mean(samples), outcomes[1].expected,
+                1e-12);
+}
+
+TEST(Evaluate, SamplesWithoutKeepIsFatal)
+{
+    const auto designs = threePaperDesigns();
+    x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                 m::UncertaintySpec::all(0.2), {});
+    EXPECT_THROW(eval.samples(0), ar::util::FatalError);
+}
+
+TEST(Evaluate, InvalidConfigsAreFatal)
+{
+    const auto designs = threePaperDesigns();
+    x::SweepConfig cfg;
+    cfg.trials = 0;
+    EXPECT_THROW(x::DesignSpaceEvaluator(designs, m::appLPHC(),
+                                         m::UncertaintySpec::none(),
+                                         cfg),
+                 ar::util::FatalError);
+    const std::vector<m::CoreConfig> none;
+    EXPECT_THROW(x::DesignSpaceEvaluator(none, m::appLPHC(),
+                                         m::UncertaintySpec::none(),
+                                         {}),
+                 ar::util::FatalError);
+
+    x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                 m::UncertaintySpec::none(), {});
+    ar::risk::QuadraticRisk fn;
+    EXPECT_THROW(eval.evaluateAll(fn, 0.0), ar::util::FatalError);
+}
+
+TEST(Evaluate, SameSeedIsReproducible)
+{
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 500;
+    cfg.seed = 99;
+    x::DesignSpaceEvaluator a(designs, m::appLPHC(),
+                              m::UncertaintySpec::all(0.2), cfg);
+    x::DesignSpaceEvaluator b(designs, m::appLPHC(),
+                              m::UncertaintySpec::all(0.2), cfg);
+    const auto oa = a.evaluateAll(fn, 30.0);
+    const auto ob = b.evaluateAll(fn, 30.0);
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+        EXPECT_DOUBLE_EQ(oa[i].expected, ob[i].expected);
+        EXPECT_DOUBLE_EQ(oa[i].risk, ob[i].risk);
+    }
+}
+
+TEST(Evaluate, ApproxModeRejectsKOfOne)
+{
+    const auto designs = threePaperDesigns();
+    x::SweepConfig cfg;
+    cfg.approx_k = 1;
+    EXPECT_THROW(x::DesignSpaceEvaluator(designs, m::appLPHC(),
+                                         m::UncertaintySpec::all(0.2),
+                                         cfg),
+                 ar::util::FatalError);
+}
+
+TEST(Evaluate, ApproxModeIsReproducible)
+{
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 400;
+    cfg.seed = 5;
+    cfg.approx_k = 30;
+    x::DesignSpaceEvaluator a(designs, m::appLPHC(),
+                              m::UncertaintySpec::all(0.2), cfg);
+    x::DesignSpaceEvaluator b(designs, m::appLPHC(),
+                              m::UncertaintySpec::all(0.2), cfg);
+    const auto oa = a.evaluateAll(fn, 30.0);
+    const auto ob = b.evaluateAll(fn, 30.0);
+    for (std::size_t i = 0; i < oa.size(); ++i)
+        EXPECT_DOUBLE_EQ(oa[i].expected, ob[i].expected);
+}
+
+TEST(Evaluate, ApproxModeConvergesToTruthWithLargeK)
+{
+    const auto designs = threePaperDesigns();
+    const auto app = m::appLPHC();
+    const auto spec = m::UncertaintySpec::appArch(0.3, 0.3);
+    ar::risk::QuadraticRisk fn;
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        designs[1], app.f, app.c);
+
+    x::SweepConfig truth_cfg;
+    truth_cfg.trials = 4000;
+    truth_cfg.seed = 9;
+    x::DesignSpaceEvaluator truth_eval(designs, app, spec,
+                                       truth_cfg);
+    const auto truth = truth_eval.evaluateAll(fn, ref);
+
+    x::SweepConfig ap_cfg = truth_cfg;
+    ap_cfg.seed = 10;
+    ap_cfg.approx_k = 4000;
+    x::DesignSpaceEvaluator ap_eval(designs, app, spec, ap_cfg);
+    const auto approx = ap_eval.evaluateAll(fn, ref);
+
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_NEAR(approx[i].expected, truth[i].expected,
+                    0.05 * truth[i].expected)
+            << designs[i].describe();
+    }
+}
+
+TEST(Evaluate, ApproxModeStaysInPhysicalBounds)
+{
+    // Extracted distributions can overshoot; pools must be clamped
+    // so f stays in [0, 1] and speedups stay non-negative.
+    const auto designs = threePaperDesigns();
+    x::SweepConfig cfg;
+    cfg.trials = 1000;
+    cfg.seed = 11;
+    cfg.approx_k = 20;
+    cfg.keep_samples = true;
+    x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                 m::UncertaintySpec::all(0.8), cfg);
+    ar::risk::QuadraticRisk fn;
+    eval.evaluateAll(fn, 30.0);
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        for (double s : eval.samples(d))
+            ASSERT_GE(s, 0.0);
+    }
+}
+
+TEST(Evaluate, AgreesWithSymbolicPropagatorOnMoments)
+{
+    // Cross-validation of the fast pooled path against the generic
+    // framework pipeline for the asymmetric design.
+    const auto app = m::appLPHC();
+    const auto spec = m::UncertaintySpec::all(0.2);
+    const std::vector<m::CoreConfig> designs{m::asymCores()};
+
+    x::SweepConfig cfg;
+    cfg.trials = 20000;
+    cfg.seed = 7;
+    x::DesignSpaceEvaluator eval(designs, app, spec, cfg);
+    ar::risk::QuadraticRisk fn;
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        designs[0], app.f, app.c);
+    const auto fast = eval.evaluateAll(fn, ref);
+
+    ar::core::Framework fw({20000, "latin-hypercube"});
+    fw.setSystem(m::buildHillMartySystem(designs[0].numTypes()));
+    const auto in = m::groundTruthBindings(designs[0], app, spec);
+    const auto slow = fw.analyze("Speedup", in, fn, ref, 8);
+
+    // Same distributions, different sampling plumbing: moments agree
+    // statistically.
+    EXPECT_NEAR(fast[0].expected, slow.expected() / ref, 0.01);
+    EXPECT_NEAR(fast[0].stddev, slow.summary.stddev / ref, 0.01);
+    // Risk of normalized samples vs normalized risk of raw samples.
+    const double slow_risk_norm =
+        ar::risk::archRisk(
+            [&] {
+                std::vector<double> norm;
+                for (double s : slow.samples)
+                    norm.push_back(s / ref);
+                return norm;
+            }(),
+            1.0, fn);
+    EXPECT_NEAR(fast[0].risk, slow_risk_norm, 0.01);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for Figure-10 style optimality classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "explore/optimality.hh"
+#include "util/logging.hh"
+
+namespace x = ar::explore;
+
+namespace
+{
+
+x::DesignOutcome
+outcome(std::size_t idx, double expected, double risk)
+{
+    x::DesignOutcome o;
+    o.design_index = idx;
+    o.expected = expected;
+    o.risk = risk;
+    return o;
+}
+
+} // namespace
+
+TEST(Optimality, ArgmaxAndArgmin)
+{
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.0, 0.5), outcome(1, 1.2, 0.8),
+        outcome(2, 0.9, 0.1)};
+    EXPECT_EQ(x::argmaxExpected(outs), 1u);
+    EXPECT_EQ(x::argminRisk(outs), 2u);
+}
+
+TEST(Optimality, EmptyListIsFatal)
+{
+    const std::vector<x::DesignOutcome> none;
+    EXPECT_THROW(x::argmaxExpected(none), ar::util::FatalError);
+    EXPECT_THROW(x::argminRisk(none), ar::util::FatalError);
+}
+
+TEST(Optimality, OptWhenConventionalWinsBoth)
+{
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.2, 0.1), outcome(1, 1.0, 0.5)};
+    const auto res = x::classifyDesigns(outs, 0);
+    EXPECT_EQ(res.cls, x::DesignClass::Opt);
+    EXPECT_EQ(res.perf_opt, 0u);
+    EXPECT_EQ(res.risk_opt, 0u);
+}
+
+TEST(Optimality, PerfOptOnly)
+{
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.2, 0.5), outcome(1, 1.0, 0.1)};
+    const auto res = x::classifyDesigns(outs, 0);
+    EXPECT_EQ(res.cls, x::DesignClass::PerfOptOnly);
+}
+
+TEST(Optimality, SubOptNoTradeoff)
+{
+    // Another design beats conventional in BOTH objectives.
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.0, 0.5), outcome(1, 1.2, 0.1)};
+    const auto res = x::classifyDesigns(outs, 0);
+    EXPECT_EQ(res.cls, x::DesignClass::SubOpt);
+}
+
+TEST(Optimality, SubOptWithTradeoff)
+{
+    // Conventional loses; perf-opt and risk-opt are different
+    // designs with a genuine trade-off between them.
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.0, 0.5), outcome(1, 1.3, 0.3),
+        outcome(2, 1.1, 0.05)};
+    const auto res = x::classifyDesigns(outs, 0);
+    EXPECT_EQ(res.cls, x::DesignClass::SubOptTradeoff);
+    EXPECT_EQ(res.perf_opt, 1u);
+    EXPECT_EQ(res.risk_opt, 2u);
+}
+
+TEST(Optimality, ToleranceAbsorbsNoise)
+{
+    // Conventional within 0.1% of the best: counts as optimal.
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 0.9995, 0.1), outcome(1, 1.0, 0.1)};
+    const auto res = x::classifyDesigns(outs, 0, 2e-3);
+    EXPECT_EQ(res.cls, x::DesignClass::Opt);
+}
+
+TEST(Optimality, OutOfRangeConventionalIsFatal)
+{
+    const std::vector<x::DesignOutcome> outs{outcome(0, 1.0, 0.1)};
+    EXPECT_THROW(x::classifyDesigns(outs, 5), ar::util::FatalError);
+}
+
+TEST(Optimality, ZeroRiskEverywhereIsOptWhenPerfOptimal)
+{
+    // The sigma = 0 corner of Figure 10.
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.0, 0.0), outcome(1, 0.8, 0.0)};
+    const auto res = x::classifyDesigns(outs, 0);
+    EXPECT_EQ(res.cls, x::DesignClass::Opt);
+}
+
+TEST(Optimality, LabelsRender)
+{
+    EXPECT_EQ(x::toString(x::DesignClass::Opt), "Opt");
+    EXPECT_EQ(x::toString(x::DesignClass::PerfOptOnly),
+              "PerfOptOnly");
+    EXPECT_EQ(x::toString(x::DesignClass::SubOpt), "SubOpt");
+    EXPECT_EQ(x::toString(x::DesignClass::SubOptTradeoff),
+              "SubOpt+Tradeoff");
+}

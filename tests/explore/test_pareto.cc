@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for Pareto-front extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "explore/pareto.hh"
+
+namespace x = ar::explore;
+
+namespace
+{
+
+x::DesignOutcome
+outcome(std::size_t idx, double expected, double risk)
+{
+    x::DesignOutcome o;
+    o.design_index = idx;
+    o.expected = expected;
+    o.risk = risk;
+    return o;
+}
+
+} // namespace
+
+TEST(Pareto, DominatesBasics)
+{
+    EXPECT_TRUE(x::dominates(outcome(0, 1.0, 0.1),
+                             outcome(1, 0.9, 0.2)));
+    EXPECT_TRUE(x::dominates(outcome(0, 1.0, 0.1),
+                             outcome(1, 1.0, 0.2)));
+    EXPECT_FALSE(x::dominates(outcome(0, 1.0, 0.1),
+                              outcome(1, 1.0, 0.1)));
+    EXPECT_FALSE(x::dominates(outcome(0, 1.2, 0.3),
+                              outcome(1, 1.0, 0.1)));
+}
+
+TEST(Pareto, SinglePointIsTheFront)
+{
+    const std::vector<x::DesignOutcome> outs{outcome(0, 1.0, 0.5)};
+    const auto front = x::paretoFront(outs);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST(Pareto, DominatedPointsExcluded)
+{
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 1.0, 0.5),  // dominated by 1
+        outcome(1, 1.2, 0.3),
+        outcome(2, 0.8, 0.1)}; // keeps lowest risk
+    const auto front = x::paretoFront(outs);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0], 1u);
+    EXPECT_EQ(front[1], 2u);
+}
+
+TEST(Pareto, FrontOrderedByDescendingPerformance)
+{
+    const std::vector<x::DesignOutcome> outs{
+        outcome(0, 0.8, 0.05), outcome(1, 1.2, 0.5),
+        outcome(2, 1.0, 0.2)};
+    const auto front = x::paretoFront(outs);
+    ASSERT_EQ(front.size(), 3u);
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_GE(outs[front[i - 1]].expected,
+                  outs[front[i]].expected);
+        EXPECT_LE(outs[front[i]].risk, outs[front[i - 1]].risk);
+    }
+}
+
+TEST(Pareto, FrontIsMutuallyNonDominating)
+{
+    std::vector<x::DesignOutcome> outs;
+    for (int i = 0; i < 50; ++i) {
+        const double e = (i * 7919 % 100) / 100.0;
+        const double r = (i * 104729 % 100) / 100.0;
+        outs.push_back(outcome(i, e, r));
+    }
+    const auto front = x::paretoFront(outs);
+    for (std::size_t a : front) {
+        for (std::size_t b : front) {
+            if (a != b)
+                ASSERT_FALSE(x::dominates(outs[a], outs[b]));
+        }
+    }
+}
+
+TEST(Pareto, EveryPointIsDominatedByOrOnTheFront)
+{
+    std::vector<x::DesignOutcome> outs;
+    for (int i = 0; i < 30; ++i) {
+        outs.push_back(outcome(i, (i % 7) / 7.0, (i % 5) / 5.0));
+    }
+    const auto front = x::paretoFront(outs);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        bool on_front = false;
+        for (std::size_t f : front)
+            on_front = on_front || f == i;
+        if (on_front)
+            continue;
+        bool dominated = false;
+        for (std::size_t f : front)
+            dominated = dominated || x::dominates(outs[f], outs[i]);
+        // Ties (equal in both objectives) also count as covered.
+        bool tied = false;
+        for (std::size_t f : front) {
+            tied = tied || (outs[f].expected == outs[i].expected &&
+                            outs[f].risk == outs[i].risk);
+        }
+        ASSERT_TRUE(dominated || tied) << "point " << i;
+    }
+}
+
+TEST(Pareto, EmptyInputGivesEmptyFront)
+{
+    const std::vector<x::DesignOutcome> none;
+    EXPECT_TRUE(x::paretoFront(none).empty());
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for constrained design selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "explore/select.hh"
+#include "util/logging.hh"
+
+namespace x = ar::explore;
+
+namespace
+{
+
+x::DesignOutcome
+outcome(std::size_t idx, double expected, double risk)
+{
+    x::DesignOutcome o;
+    o.design_index = idx;
+    o.expected = expected;
+    o.risk = risk;
+    return o;
+}
+
+std::vector<x::DesignOutcome>
+sampleSpace()
+{
+    return {
+        outcome(0, 1.00, 0.50), // fast, risky
+        outcome(1, 0.95, 0.20),
+        outcome(2, 0.90, 0.05), // safe
+        outcome(3, 0.80, 0.40), // dominated
+        outcome(4, 0.70, 0.01), // very safe, slow
+    };
+}
+
+} // namespace
+
+TEST(Select, MinRiskWithPerfFloorPicksSafestFeasible)
+{
+    const auto outs = sampleSpace();
+    const auto pick = x::minRiskWithPerfFloor(outs, 0.9);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 2u);
+}
+
+TEST(Select, MinRiskWithHighFloorPicksFastest)
+{
+    const auto outs = sampleSpace();
+    const auto pick = x::minRiskWithPerfFloor(outs, 0.99);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0u);
+}
+
+TEST(Select, InfeasibleFloorReturnsNullopt)
+{
+    const auto outs = sampleSpace();
+    EXPECT_FALSE(x::minRiskWithPerfFloor(outs, 1.5).has_value());
+}
+
+TEST(Select, MaxPerfWithRiskCapPicksFastestFeasible)
+{
+    const auto outs = sampleSpace();
+    const auto pick = x::maxPerfWithRiskCap(outs, 0.25);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Select, TightRiskCapPicksSafest)
+{
+    const auto outs = sampleSpace();
+    const auto pick = x::maxPerfWithRiskCap(outs, 0.02);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 4u);
+}
+
+TEST(Select, InfeasibleCapReturnsNullopt)
+{
+    const auto outs = sampleSpace();
+    EXPECT_FALSE(x::maxPerfWithRiskCap(outs, 0.005).has_value());
+}
+
+TEST(Select, KneePointBalancesObjectives)
+{
+    const auto outs = sampleSpace();
+    const auto knee = x::kneePoint(outs);
+    // Design 2 is the balanced front point: near-best performance
+    // with near-best risk.
+    EXPECT_EQ(knee, 2u);
+}
+
+TEST(Select, KneeOfSinglePoint)
+{
+    const std::vector<x::DesignOutcome> one{outcome(0, 1.0, 0.1)};
+    EXPECT_EQ(x::kneePoint(one), 0u);
+}
+
+TEST(Select, KneeEmptyIsFatal)
+{
+    const std::vector<x::DesignOutcome> none;
+    EXPECT_THROW(x::kneePoint(none), ar::util::FatalError);
+}

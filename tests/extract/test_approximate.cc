@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for whole-model approximation from k samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "extract/approximate.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/uncertainty.hh"
+#include "util/logging.hh"
+
+namespace e = ar::extract;
+namespace m = ar::model;
+
+TEST(Approximate, PreservesStructure)
+{
+    const auto truth = m::groundTruthBindings(
+        m::asymCores(), m::appLPHC(), m::UncertaintySpec::all(0.2));
+    ar::util::Rng rng(151);
+    const auto approx =
+        e::approximateBindings(truth, 50, {}, rng);
+    EXPECT_EQ(approx.uncertain.size(), truth.uncertain.size());
+    EXPECT_EQ(approx.fixed.size(), truth.fixed.size());
+    for (const auto &[name, dist] : truth.uncertain)
+        EXPECT_TRUE(approx.uncertain.count(name)) << name;
+}
+
+TEST(Approximate, FixedValuesPassThrough)
+{
+    const auto truth = m::groundTruthBindings(
+        m::symCores(), m::appHPLC(), m::UncertaintySpec::all(0.1));
+    ar::util::Rng rng(152);
+    const auto approx = e::approximateBindings(truth, 30, {}, rng);
+    EXPECT_DOUBLE_EQ(approx.fixed.at("A_core0"), 8.0);
+}
+
+TEST(Approximate, MeansCloseToTruthAtModerateK)
+{
+    const auto truth = m::groundTruthBindings(
+        m::asymCores(), m::appLPHC(), m::UncertaintySpec::all(0.2));
+    ar::util::Rng rng(153);
+    const auto approx =
+        e::approximateBindings(truth, 200, {}, rng);
+    for (const auto &[name, dist] : truth.uncertain) {
+        const double t = dist->mean();
+        const double a = approx.uncertain.at(name)->mean();
+        EXPECT_NEAR(a, t, 0.15 * std::max(std::abs(t), 0.01))
+            << name;
+    }
+}
+
+TEST(Approximate, TooFewSamplesIsFatal)
+{
+    const auto truth = m::groundTruthBindings(
+        m::symCores(), m::appHPLC(), m::UncertaintySpec::all(0.2));
+    ar::util::Rng rng(154);
+    EXPECT_THROW(e::approximateBindings(truth, 1, {}, rng),
+                 ar::util::FatalError);
+}
+
+TEST(Approximate, NoUncertaintyIsNoop)
+{
+    const auto truth = m::groundTruthBindings(
+        m::symCores(), m::appHPLC(), m::UncertaintySpec::none());
+    ar::util::Rng rng(155);
+    const auto approx = e::approximateBindings(truth, 10, {}, rng);
+    EXPECT_TRUE(approx.uncertain.empty());
+    EXPECT_EQ(approx.fixed, truth.fixed);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the Figure-2 uncertainty extraction pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dist/lognormal.hh"
+#include "extract/extract.hh"
+#include "stats/quantiles.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace e = ar::extract;
+
+namespace
+{
+
+std::vector<double>
+lognormalSample(std::size_t n, std::uint64_t seed)
+{
+    ar::dist::LogNormal dist(1.0, 0.5);
+    ar::util::Rng rng(seed);
+    return dist.sampleMany(n, rng);
+}
+
+} // namespace
+
+TEST(Extract, LognormalDataTakesBoxCoxPath)
+{
+    const auto xs = lognormalSample(200, 141);
+    const auto res = e::extractUncertainty(xs);
+    EXPECT_EQ(res.method, e::ExtractionMethod::BoxCoxBootstrap);
+    EXPECT_TRUE(res.boxcox.passed);
+}
+
+TEST(Extract, RecoveredDistributionMatchesTruthMoments)
+{
+    ar::dist::LogNormal truth(1.0, 0.4);
+    ar::util::Rng rng(142);
+    const auto xs = truth.sampleMany(500, rng);
+    const auto res = e::extractUncertainty(xs);
+    EXPECT_NEAR(res.distribution->mean(), truth.mean(),
+                0.1 * truth.mean());
+    EXPECT_NEAR(res.distribution->stddev(), truth.stddev(),
+                0.25 * truth.stddev());
+}
+
+TEST(Extract, RecoveredDistributionMatchesTruthByKs)
+{
+    ar::dist::LogNormal truth(0.5, 0.3);
+    ar::util::Rng rng(143);
+    const auto xs = truth.sampleMany(1000, rng);
+    const auto res = e::extractUncertainty(xs);
+    ar::util::Rng rng2(144);
+    const auto approx = res.distribution->sampleMany(5000, rng2);
+    const auto from_truth = truth.sampleMany(5000, rng2);
+    EXPECT_LT(ar::stats::ksStatistic(approx, from_truth), 0.06);
+}
+
+TEST(Extract, BimodalDataFallsBackToKde)
+{
+    ar::util::Rng rng(145);
+    std::vector<double> xs;
+    for (int i = 0; i < 150; ++i) {
+        xs.push_back(rng.gaussian(1.0, 0.05));
+        xs.push_back(rng.gaussian(10.0, 0.05));
+    }
+    const auto res = e::extractUncertainty(xs);
+    EXPECT_EQ(res.method, e::ExtractionMethod::Kde);
+    // KDE must keep both modes.
+    EXPECT_GT(res.distribution->pdf(1.0),
+              res.distribution->pdf(5.0));
+    EXPECT_GT(res.distribution->pdf(10.0),
+              res.distribution->pdf(5.0));
+}
+
+TEST(Extract, DegenerateSampleGivesPointMass)
+{
+    const std::vector<double> xs{3.0, 3.0, 3.0, 3.0};
+    const auto res = e::extractUncertainty(xs);
+    EXPECT_EQ(res.method, e::ExtractionMethod::Degenerate);
+    EXPECT_DOUBLE_EQ(res.distribution->mean(), 3.0);
+    EXPECT_DOUBLE_EQ(res.distribution->stddev(), 0.0);
+}
+
+TEST(Extract, TinySampleUsesKde)
+{
+    // Below the Box-Cox minimum (8) but still estimable.
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const auto res = e::extractUncertainty(xs);
+    EXPECT_EQ(res.method, e::ExtractionMethod::Kde);
+}
+
+TEST(Extract, ForceKdeSkipsBoxCox)
+{
+    const auto xs = lognormalSample(200, 146);
+    e::ExtractionConfig cfg;
+    cfg.force_kde = true;
+    const auto res = e::extractUncertainty(xs, cfg);
+    EXPECT_EQ(res.method, e::ExtractionMethod::Kde);
+}
+
+TEST(Extract, ForceBoxCoxOverridesGate)
+{
+    ar::util::Rng rng(147);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) {
+        xs.push_back(rng.gaussian(1.0, 0.05));
+        xs.push_back(rng.gaussian(10.0, 0.05));
+    }
+    e::ExtractionConfig cfg;
+    cfg.force_boxcox = true;
+    const auto res = e::extractUncertainty(xs, cfg);
+    EXPECT_EQ(res.method, e::ExtractionMethod::BoxCoxBootstrap);
+}
+
+TEST(Extract, ConflictingForcesAreFatal)
+{
+    const auto xs = lognormalSample(50, 148);
+    e::ExtractionConfig cfg;
+    cfg.force_kde = cfg.force_boxcox = true;
+    EXPECT_THROW(e::extractUncertainty(xs, cfg),
+                 ar::util::FatalError);
+}
+
+TEST(Extract, StddevScaleTunesSpread)
+{
+    const auto xs = lognormalSample(300, 149);
+    e::ExtractionConfig half;
+    half.stddev_scale = 0.5;
+    const auto scaled = e::extractUncertainty(xs, half);
+    const auto normal = e::extractUncertainty(xs);
+    EXPECT_LT(scaled.distribution->stddev(),
+              normal.distribution->stddev());
+}
+
+TEST(Extract, OneSampleIsFatal)
+{
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(e::extractUncertainty(xs), ar::util::FatalError);
+}
+
+TEST(Extract, FiftySamplesGoodEnough)
+{
+    // The paper's headline: < 50 samples suffice.  Mean within 10%.
+    ar::dist::LogNormal truth(2.0, 0.3);
+    int good = 0;
+    for (int rep = 0; rep < 10; ++rep) {
+        ar::util::Rng rng(150 + rep);
+        const auto xs = truth.sampleMany(50, rng);
+        const auto res = e::extractUncertainty(xs);
+        const double err =
+            std::fabs(res.distribution->mean() - truth.mean()) /
+            truth.mean();
+        good += err < 0.10;
+    }
+    EXPECT_GE(good, 8);
+}

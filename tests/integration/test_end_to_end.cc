@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Integration tests: full pipelines reproducing the paper's headline
+ * behaviours at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hh"
+#include "dist/normal.hh"
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "explore/optimality.hh"
+#include "explore/pareto.hh"
+#include "extract/approximate.hh"
+#include "model/app.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "risk/arch_risk.hh"
+#include "risk/risk_function.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+namespace x = ar::explore;
+
+namespace
+{
+
+std::size_t
+conventionalIndex(const std::vector<m::CoreConfig> &designs,
+                  const m::AppParams &app)
+{
+    std::size_t best = 0;
+    double best_s = -1.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const double s = m::HillMartyEvaluator::nominalSpeedup(
+            designs[i], app.f, app.c);
+        if (s > best_s) {
+            best_s = s;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+TEST(EndToEnd, StringModelThroughFramework)
+{
+    // A user-authored Amdahl model, parsed from strings, propagated,
+    // and risk-scored -- the full front-to-back path of Figure 4/5.
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("Speedup = 1 / (1 - f + f / s)");
+    sys.markUncertain("f");
+    ar::core::Framework fw({10000, "latin-hypercube"});
+    fw.setSystem(std::move(sys));
+
+    ar::mc::InputBindings in;
+    in.uncertain["f"] = std::make_shared<ar::dist::TruncatedNormal>(
+        0.9, 0.05, 0.0, 1.0);
+    in.fixed["s"] = 16.0;
+    ar::risk::QuadraticRisk fn;
+    const double ref = 1.0 / (1.0 - 0.9 + 0.9 / 16.0);
+    const auto res = fw.analyze("Speedup", in, fn, ref, 3);
+
+    // Speedup is convex in f around 0.9, so uncertainty raises the
+    // mean (Jensen) while still creating real downside risk.
+    EXPECT_GT(res.expected(), ref);
+    EXPECT_LT(res.expected(), ref * 1.25);
+    EXPECT_GT(res.risk, 0.0);
+}
+
+TEST(EndToEnd, ConventionalDesignNotRiskOptimalAtModerateSigma)
+{
+    // Implication 4 at the (0.2, 0.2) grid point with LPHC.
+    const auto app = m::appLPHC();
+    const auto designs = x::enumerateDesigns();
+    const std::size_t conv = conventionalIndex(designs, app);
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        designs[conv], app.f, app.c);
+
+    x::SweepConfig cfg;
+    cfg.trials = 3000;
+    cfg.seed = 17;
+    x::DesignSpaceEvaluator eval(designs, app,
+                                 m::UncertaintySpec::appArch(0.2, 0.2),
+                                 cfg);
+    ar::risk::QuadraticRisk fn;
+    const auto outcomes = eval.evaluateAll(fn, ref);
+    const auto res = x::classifyDesigns(outcomes, conv);
+
+    EXPECT_NE(res.risk_opt, conv);
+    EXPECT_LT(res.best_risk, res.conv_risk);
+}
+
+TEST(EndToEnd, RiskCanBeMitigatedCheaply)
+{
+    // Implication 6: along the Pareto front, a large risk reduction
+    // costs only a small performance loss.
+    const auto app = m::appLPHC();
+    const auto designs = x::enumerateDesigns();
+    const std::size_t conv = conventionalIndex(designs, app);
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        designs[conv], app.f, app.c);
+
+    x::SweepConfig cfg;
+    cfg.trials = 3000;
+    cfg.seed = 23;
+    x::DesignSpaceEvaluator eval(designs, app,
+                                 m::UncertaintySpec::appArch(0.2, 0.2),
+                                 cfg);
+    ar::risk::QuadraticRisk fn;
+    const auto outcomes = eval.evaluateAll(fn, ref);
+    const auto front = x::paretoFront(outcomes);
+    ASSERT_GE(front.size(), 2u);
+
+    const auto &perf_opt = outcomes[front.front()];
+    const auto &conv_o = outcomes[conv];
+    // A front point must exist that (a) keeps >= 97% of the best
+    // expected performance while cutting >= 25% of its risk, and
+    // (b) dominates the conventional design outright with less than
+    // half its risk (the paper's "mitigate most of the risk at a
+    // small performance cost").
+    bool found = false;
+    for (std::size_t idx : front) {
+        const auto &o = outcomes[idx];
+        if (o.expected >= 0.97 * perf_opt.expected &&
+            o.risk <= 0.75 * perf_opt.risk &&
+            o.expected >= conv_o.expected &&
+            o.risk <= 0.5 * conv_o.risk) {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(EndToEnd, ApproximationFromFiftySamplesIsNearOptimal)
+{
+    // Section 4.3: with k = 50 observed samples per input, the
+    // chosen risk-optimal design performs close to the one chosen
+    // with full ground-truth knowledge.
+    const auto app = m::appLPHC();
+    const auto spec = m::UncertaintySpec::appArch(0.2, 0.2);
+    const auto config = m::asymCores();
+
+    ar::core::Framework fw({4000, "latin-hypercube"});
+    fw.setSystem(m::buildHillMartySystem(config.numTypes()));
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        config, app.f, app.c);
+    ar::risk::QuadraticRisk fn;
+
+    const auto truth_in = m::groundTruthBindings(config, app, spec);
+    const auto truth = fw.analyze("Speedup", truth_in, fn, ref, 31);
+
+    ar::util::Rng obs_rng(32);
+    const auto approx_in = ar::extract::approximateBindings(
+        truth_in, 50, {}, obs_rng);
+    const auto approx = fw.analyze("Speedup", approx_in, fn, ref, 31);
+
+    // Expected performance and risk deviations stay bounded (the
+    // paper reports <= 5% typical; allow slack at this sample size).
+    EXPECT_NEAR(approx.expected(), truth.expected(),
+                0.10 * truth.expected());
+}
+
+TEST(EndToEnd, MonetaryRiskAwareBeatsObliviousInDollars)
+{
+    // Section 4.4 shape: picking the design that minimizes Table-5
+    // monetary risk saves dollars per chip vs the risk-oblivious
+    // choice, without sacrificing expected performance much.
+    const auto app = m::appLPHC();
+    const auto designs = x::enumerateDesigns();
+    const std::size_t conv = conventionalIndex(designs, app);
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        designs[conv], app.f, app.c);
+
+    x::SweepConfig cfg;
+    cfg.trials = 3000;
+    cfg.seed = 37;
+    x::DesignSpaceEvaluator eval(designs, app,
+                                 m::UncertaintySpec::appArch(0.2, 0.2),
+                                 cfg);
+    const auto money = ar::risk::MonetaryRisk::table5();
+    const auto outcomes = eval.evaluateAll(money, ref);
+
+    const std::size_t risk_opt = x::argminRisk(outcomes);
+    EXPECT_LT(outcomes[risk_opt].risk, outcomes[conv].risk);
+    // Risk-aware design keeps competitive expected performance
+    // (the paper even finds it better).
+    EXPECT_GT(outcomes[risk_opt].expected,
+              0.9 * outcomes[conv].expected);
+}
+
+TEST(EndToEnd, HeterogeneousChipsAreMoreRobust)
+{
+    // Implication 3: output stddev (relative) shrinks as the chip
+    // gets more heterogeneous under full uncertainty.
+    const auto app = m::appLPHC();
+    const std::vector<m::CoreConfig> designs{
+        m::symCores(), m::asymCores(), m::heteroCores()};
+    x::SweepConfig cfg;
+    cfg.trials = 6000;
+    cfg.seed = 41;
+    x::DesignSpaceEvaluator eval(designs, app,
+                                 m::UncertaintySpec::all(0.5), cfg);
+    ar::risk::QuadraticRisk fn;
+    const auto outcomes = eval.evaluateAll(fn, 1.0);
+    const double cv_asym =
+        outcomes[1].stddev / outcomes[1].expected;
+    const double cv_hetero =
+        outcomes[2].stddev / outcomes[2].expected;
+    EXPECT_LT(cv_hetero, cv_asym);
+}

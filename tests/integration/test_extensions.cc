@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Integration tests for the extension features working together:
+ * correlated inputs, Sobol sensitivity, constrained selection, tail
+ * metrics, and the spec-driven pipeline on the Hill-Marty model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hh"
+#include "core/spec.hh"
+#include "dist/normal.hh"
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "explore/optimality.hh"
+#include "explore/select.hh"
+#include "mc/sensitivity.hh"
+#include "model/app.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "risk/var.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+namespace x = ar::explore;
+
+TEST(Extensions, SobolFindsTheBigCoreOnAsymmetricDesign)
+{
+    // Under architecture uncertainty the asymmetric design's fate
+    // hangs on its single big core: its P and N indices must beat
+    // the small cores' by a wide margin.
+    const auto config = m::asymCores();
+    ar::core::Framework fw;
+    fw.setSystem(m::buildHillMartySystem(config.numTypes()));
+    const auto in = m::groundTruthBindings(
+        config, m::appLPHC(), m::UncertaintySpec::all(0.2));
+    ar::util::Rng rng(21);
+    const auto res = ar::mc::sobolIndices(fw.compiled("Speedup"), in,
+                                          {4096}, rng);
+    // Types are ordered area-descending: core0 is the big core.
+    // Whether it survives fabrication (N_core0 is Binomial(1, 0.75))
+    // is the single largest variance source, far ahead of the herd
+    // of small cores whose failures average out.
+    EXPECT_GT(res.of("N_core0").total,
+              2.0 * res.of("N_core1").total);
+    double max_total = 0.0;
+    std::string max_input;
+    for (const auto &idx : res.indices) {
+        if (idx.total > max_total) {
+            max_total = idx.total;
+            max_input = idx.input;
+        }
+    }
+    EXPECT_EQ(max_input, "N_core0");
+}
+
+TEST(Extensions, CorrelatedFCChangesRiskMonotonically)
+{
+    const auto config = m::asymCores();
+    ar::core::Framework fw({8000, "latin-hypercube"});
+    fw.setSystem(m::buildHillMartySystem(config.numTypes()));
+    m::UncertaintySpec spec;
+    spec.sigma_f = spec.sigma_c = 0.4;
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        config, 0.9, 0.01);
+    ar::risk::QuadraticRisk fn;
+
+    double prev_risk = -1.0;
+    for (double rho : {-0.6, 0.0, 0.6}) {
+        auto in = m::groundTruthBindings(config, m::appLPHC(), spec);
+        if (rho != 0.0)
+            in.correlations.push_back({"f", "c", rho});
+        const auto res = fw.analyze("Speedup", in, fn, ref, 31);
+        if (prev_risk >= 0.0)
+            EXPECT_LT(res.risk, prev_risk) << "rho=" << rho;
+        prev_risk = res.risk;
+    }
+}
+
+TEST(Extensions, SelectionQueriesOnRealSweep)
+{
+    const auto app = m::appLPHC();
+    const auto designs = x::enumerateDesigns();
+    std::size_t conv = 0;
+    double ref = -1.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const double s = m::HillMartyEvaluator::nominalSpeedup(
+            designs[i], app.f, app.c);
+        if (s > ref) {
+            ref = s;
+            conv = i;
+        }
+    }
+    x::SweepConfig cfg;
+    cfg.trials = 2000;
+    cfg.seed = 41;
+    x::DesignSpaceEvaluator eval(designs, app,
+                                 m::UncertaintySpec::appArch(0.2, 0.2),
+                                 cfg);
+    ar::risk::QuadraticRisk fn;
+    const auto outcomes = eval.evaluateAll(fn, ref);
+
+    const auto perf_opt = x::argmaxExpected(outcomes);
+    const auto floor_pick = x::minRiskWithPerfFloor(
+        outcomes, 0.97 * outcomes[perf_opt].expected);
+    ASSERT_TRUE(floor_pick.has_value());
+    EXPECT_LE(outcomes[*floor_pick].risk, outcomes[perf_opt].risk);
+    EXPECT_GE(outcomes[*floor_pick].expected,
+              0.97 * outcomes[perf_opt].expected);
+
+    const auto cap_pick =
+        x::maxPerfWithRiskCap(outcomes, outcomes[conv].risk);
+    ASSERT_TRUE(cap_pick.has_value());
+    EXPECT_GE(outcomes[*cap_pick].expected,
+              outcomes[conv].expected);
+
+    const auto knee = x::kneePoint(outcomes);
+    EXPECT_GE(outcomes[knee].expected,
+              0.9 * outcomes[perf_opt].expected);
+}
+
+TEST(Extensions, TailMetricsConsistentWithRisk)
+{
+    const auto config = m::heteroCores();
+    ar::core::Framework fw({6000, "latin-hypercube"});
+    fw.setSystem(m::buildHillMartySystem(config.numTypes()));
+    const auto in = m::groundTruthBindings(
+        config, m::appLPHC(), m::UncertaintySpec::all(0.3));
+    ar::risk::QuadraticRisk fn;
+    const double ref = m::HillMartyEvaluator::nominalSpeedup(
+        config, 0.9, 0.01);
+    const auto res = fw.analyze("Speedup", in, fn, ref, 51);
+
+    const double var5 = ar::risk::valueAtRisk(res.samples, 0.05);
+    const double cvar5 =
+        ar::risk::conditionalValueAtRisk(res.samples, 0.05);
+    EXPECT_LT(cvar5, var5);
+    EXPECT_LT(var5, res.expected());
+    const double sp =
+        ar::risk::shortfallProbability(res.samples, ref);
+    EXPECT_GT(sp, 0.0);
+    EXPECT_LT(sp, 1.0);
+}
+
+TEST(Extensions, SpecPipelineMatchesProgrammaticPipeline)
+{
+    // The same Amdahl analysis built via the spec front end and via
+    // the C++ API must agree exactly (same seed, same machinery).
+    const char *text = R"(
+Speedup = 1 / (1 - f + f / s)
+fixed s 16
+uncertain f truncnormal 0.9 0.02 0 1
+output Speedup
+risk quadratic
+trials 3000
+seed 77
+reference 6.4
+)";
+    const auto spec_res = ar::core::runSpec(ar::core::parseSpec(text));
+
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("Speedup = 1 / (1 - f + f / s)");
+    sys.markUncertain("f");
+    ar::core::Framework fw({3000, "latin-hypercube"});
+    fw.setSystem(std::move(sys));
+    ar::mc::InputBindings in;
+    in.uncertain["f"] = std::make_shared<ar::dist::TruncatedNormal>(
+        0.9, 0.02, 0.0, 1.0);
+    in.fixed["s"] = 16.0;
+    ar::risk::QuadraticRisk fn;
+    const auto api_res = fw.analyze("Speedup", in, fn, 6.4, 77);
+
+    ASSERT_EQ(spec_res.samples.size(), api_res.samples.size());
+    for (std::size_t i = 0; i < api_res.samples.size(); ++i)
+        ASSERT_DOUBLE_EQ(spec_res.samples[i], api_res.samples[i]);
+    EXPECT_DOUBLE_EQ(spec_res.risk, api_res.risk);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the dense linear-algebra helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/linalg.hh"
+#include "util/logging.hh"
+
+namespace m = ar::math;
+
+TEST(Matrix, IdentityAndAccess)
+{
+    auto eye = m::Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(eye.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(eye.at(0, 1), 0.0);
+    eye.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(eye.at(1, 2), 5.0);
+    EXPECT_EQ(eye.size(), 3u);
+}
+
+TEST(Cholesky, IdentityFactorsToItself)
+{
+    const auto l = m::cholesky(m::Matrix::identity(4));
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(l.at(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Cholesky, KnownFactorization)
+{
+    // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+    m::Matrix a(2);
+    a.at(0, 0) = 4.0;
+    a.at(0, 1) = a.at(1, 0) = 2.0;
+    a.at(1, 1) = 3.0;
+    const auto l = m::cholesky(a);
+    EXPECT_NEAR(l.at(0, 0), 2.0, 1e-12);
+    EXPECT_NEAR(l.at(1, 0), 1.0, 1e-12);
+    EXPECT_NEAR(l.at(1, 1), std::sqrt(2.0), 1e-12);
+    EXPECT_DOUBLE_EQ(l.at(0, 1), 0.0);
+}
+
+TEST(Cholesky, ReconstructsInput)
+{
+    m::Matrix a(3);
+    const double vals[3][3] = {
+        {2.0, 0.5, 0.2}, {0.5, 1.5, 0.3}, {0.2, 0.3, 1.0}};
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a.at(r, c) = vals[r][c];
+    const auto l = m::cholesky(a);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < 3; ++k)
+                acc += l.at(r, k) * l.at(c, k);
+            EXPECT_NEAR(acc, vals[r][c], 1e-12)
+                << "(" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(Cholesky, NonSymmetricIsFatal)
+{
+    m::Matrix a = m::Matrix::identity(2);
+    a.at(0, 1) = 0.3;
+    EXPECT_THROW(m::cholesky(a), ar::util::FatalError);
+}
+
+TEST(Cholesky, NotPositiveDefiniteIsFatal)
+{
+    m::Matrix a = m::Matrix::identity(2);
+    a.at(0, 1) = a.at(1, 0) = 1.5; // |rho| > 1
+    EXPECT_THROW(m::cholesky(a), ar::util::FatalError);
+}
+
+TEST(MatVec, Basics)
+{
+    m::Matrix a(2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 3.0;
+    a.at(1, 1) = 4.0;
+    const auto y = m::matVec(a, {1.0, 1.0});
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatVec, DimensionMismatchIsFatal)
+{
+    m::Matrix a(2);
+    EXPECT_THROW(m::matVec(a, {1.0}), ar::util::FatalError);
+}

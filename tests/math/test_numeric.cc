@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for numeric utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/numeric.hh"
+#include "util/logging.hh"
+
+namespace m = ar::math;
+
+TEST(KahanSum, RecoversSmallTermsNextToLarge)
+{
+    m::KahanSum acc;
+    acc.add(1e16);
+    for (int i = 0; i < 10; ++i)
+        acc.add(1.0);
+    acc.add(-1e16);
+    EXPECT_DOUBLE_EQ(acc.value(), 10.0);
+}
+
+TEST(KahanSum, EmptyIsZero)
+{
+    m::KahanSum acc;
+    EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(Sum, MatchesNaiveOnBenignData)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.5, -1.5};
+    EXPECT_DOUBLE_EQ(m::sum(xs), 5.0);
+}
+
+TEST(Mean, SimpleAverage)
+{
+    const std::vector<double> xs{2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(m::mean(xs), 4.0);
+}
+
+TEST(Mean, EmptyIsFatal)
+{
+    const std::vector<double> xs;
+    EXPECT_THROW(m::mean(xs), ar::util::FatalError);
+}
+
+TEST(Variance, KnownSample)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                 9.0};
+    // Population variance 4; sample variance 32/7.
+    EXPECT_NEAR(m::variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Variance, SingleSampleIsFatal)
+{
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(m::variance(xs), ar::util::FatalError);
+}
+
+TEST(Stddev, SqrtOfVariance)
+{
+    const std::vector<double> xs{1.0, 3.0};
+    EXPECT_NEAR(m::stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Linspace, EndpointsExact)
+{
+    const auto g = m::linspace(0.0, 1.0, 11);
+    ASSERT_EQ(g.size(), 11u);
+    EXPECT_DOUBLE_EQ(g.front(), 0.0);
+    EXPECT_DOUBLE_EQ(g.back(), 1.0);
+    EXPECT_NEAR(g[5], 0.5, 1e-12);
+}
+
+TEST(Linspace, SinglePoint)
+{
+    const auto g = m::linspace(3.0, 9.0, 1);
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_DOUBLE_EQ(g[0], 3.0);
+}
+
+TEST(Linspace, ZeroPointsIsFatal)
+{
+    EXPECT_THROW(m::linspace(0.0, 1.0, 0), ar::util::FatalError);
+}
+
+TEST(Logspace, GeometricSpacing)
+{
+    const auto g = m::logspace(1.0, 100.0, 3);
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_DOUBLE_EQ(g[0], 1.0);
+    EXPECT_NEAR(g[1], 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(g[2], 100.0);
+}
+
+TEST(Logspace, NonPositiveEndpointIsFatal)
+{
+    EXPECT_THROW(m::logspace(0.0, 1.0, 3), ar::util::FatalError);
+}
+
+TEST(Clamp, Basics)
+{
+    EXPECT_DOUBLE_EQ(m::clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(m::clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(m::clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute)
+{
+    EXPECT_TRUE(m::approxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_TRUE(m::approxEqual(0.0, 1e-13));
+    EXPECT_FALSE(m::approxEqual(1.0, 1.001));
+    EXPECT_TRUE(m::approxEqual(1.0, 1.001, 1e-2));
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for scalar optimization and root finding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/optimize.hh"
+#include "util/logging.hh"
+
+namespace m = ar::math;
+
+TEST(GoldenSection, QuadraticMinimum)
+{
+    const auto res = m::goldenSectionMin(
+        [](double x) { return (x - 2.0) * (x - 2.0) + 1.0; }, -10.0,
+        10.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, 2.0, 1e-6);
+    EXPECT_NEAR(res.value, 1.0, 1e-10);
+}
+
+TEST(GoldenSection, AsymmetricFunction)
+{
+    const auto res = m::goldenSectionMin(
+        [](double x) { return std::exp(x) - 2.0 * x; }, 0.0, 3.0);
+    EXPECT_NEAR(res.x, std::log(2.0), 1e-6);
+}
+
+TEST(GoldenSection, InvalidBracketIsFatal)
+{
+    EXPECT_THROW(
+        m::goldenSectionMin([](double x) { return x; }, 1.0, 0.0),
+        ar::util::FatalError);
+}
+
+TEST(BrentRoot, FindsCosineRoot)
+{
+    const auto res =
+        m::brentRoot([](double x) { return std::cos(x); }, 1.0, 2.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, M_PI / 2.0, 1e-9);
+}
+
+TEST(BrentRoot, LinearFunction)
+{
+    const auto res = m::brentRoot(
+        [](double x) { return 3.0 * x - 6.0; }, -100.0, 100.0);
+    EXPECT_NEAR(res.x, 2.0, 1e-9);
+}
+
+TEST(BrentRoot, NonBracketingIntervalIsFatal)
+{
+    EXPECT_THROW(m::brentRoot([](double x) { return x * x + 1.0; },
+                              -1.0, 1.0),
+                 ar::util::FatalError);
+}
+
+TEST(GridThenGolden, EscapesLocalMinimum)
+{
+    // f has a local min near x=-1.7 and global min near x=1.9.
+    auto f = [](double x) {
+        return std::sin(3.0 * x) + 0.1 * (x - 2.0) * (x - 2.0);
+    };
+    const auto res = m::gridThenGoldenMin(f, -3.0, 3.0, 128);
+    EXPECT_NEAR(res.x, 1.55, 0.2);
+}
+
+TEST(GridThenGolden, TooFewGridPointsIsFatal)
+{
+    EXPECT_THROW(
+        m::gridThenGoldenMin([](double x) { return x; }, 0.0, 1.0, 2),
+        ar::util::FatalError);
+}

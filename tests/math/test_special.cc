@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit and property tests for the special functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/special.hh"
+#include "util/logging.hh"
+
+namespace m = ar::math;
+
+TEST(ErfInv, InvertsErf)
+{
+    for (double x : {-0.99, -0.5, -0.1, 0.0, 0.1, 0.5, 0.99}) {
+        EXPECT_NEAR(std::erf(m::erfInv(x)), x, 1e-12)
+            << "at x=" << x;
+    }
+}
+
+TEST(ErfInv, ExtremeArgumentsStillInvert)
+{
+    for (double x : {-0.999999, 0.999999}) {
+        EXPECT_NEAR(std::erf(m::erfInv(x)), x, 1e-9);
+    }
+}
+
+TEST(ErfInv, OutOfDomainIsFatal)
+{
+    EXPECT_THROW(m::erfInv(1.5), ar::util::FatalError);
+    EXPECT_THROW(m::erfInv(-2.0), ar::util::FatalError);
+}
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(m::normalCdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(m::normalCdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(m::normalCdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(NormalPdf, PeakAndSymmetry)
+{
+    EXPECT_NEAR(m::normalPdf(0.0), 0.3989422804014327, 1e-15);
+    EXPECT_DOUBLE_EQ(m::normalPdf(1.3), m::normalPdf(-1.3));
+}
+
+TEST(NormalQuantile, InvertsCdf)
+{
+    for (double p : {0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999}) {
+        EXPECT_NEAR(m::normalCdf(m::normalQuantile(p)), p, 1e-10)
+            << "at p=" << p;
+    }
+}
+
+TEST(NormalQuantile, BoundaryIsFatal)
+{
+    EXPECT_THROW(m::normalQuantile(0.0), ar::util::FatalError);
+    EXPECT_THROW(m::normalQuantile(1.0), ar::util::FatalError);
+}
+
+TEST(GammaP, MatchesExponentialCdf)
+{
+    // P(1, x) = 1 - exp(-x).
+    for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+        EXPECT_NEAR(m::gammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+    }
+}
+
+TEST(GammaP, ChiSquareMedianNearHalf)
+{
+    // Chi^2_k median ~ k(1 - 2/(9k))^3; P at the median ~ 0.5.
+    const double k = 5.0;
+    const double median = k * std::pow(1.0 - 2.0 / (9.0 * k), 3.0);
+    EXPECT_NEAR(m::gammaP(k / 2.0, median / 2.0), 0.5, 0.01);
+}
+
+TEST(GammaP, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(m::gammaP(2.0, 0.0), 0.0);
+    EXPECT_NEAR(m::gammaP(2.0, 1000.0), 1.0, 1e-12);
+    EXPECT_THROW(m::gammaP(-1.0, 1.0), ar::util::FatalError);
+    EXPECT_THROW(m::gammaP(1.0, -1.0), ar::util::FatalError);
+}
+
+TEST(GammaQ, ComplementsGammaP)
+{
+    for (double x : {0.5, 2.0, 7.0}) {
+        EXPECT_NEAR(m::gammaP(3.0, x) + m::gammaQ(3.0, x), 1.0, 1e-12);
+    }
+}
+
+TEST(BetaInc, UniformSpecialCase)
+{
+    // I_x(1, 1) = x.
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_NEAR(m::betaInc(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(BetaInc, SymmetryRelation)
+{
+    // I_x(a, b) = 1 - I_{1-x}(b, a).
+    EXPECT_NEAR(m::betaInc(2.5, 4.0, 0.3),
+                1.0 - m::betaInc(4.0, 2.5, 0.7), 1e-12);
+}
+
+TEST(BetaInc, BinomialIdentity)
+{
+    // P(Bin(5, 0.3) <= 2) = I_{0.7}(3, 3).
+    double direct = 0.0;
+    const double p = 0.3;
+    for (int k = 0; k <= 2; ++k) {
+        double coef = 1.0;
+        for (int j = 0; j < k; ++j)
+            coef *= (5.0 - j) / (j + 1.0);
+        direct += coef * std::pow(p, k) * std::pow(1 - p, 5 - k);
+    }
+    EXPECT_NEAR(m::betaInc(3.0, 3.0, 0.7), direct, 1e-12);
+}
+
+TEST(BetaInc, DomainErrorsAreFatal)
+{
+    EXPECT_THROW(m::betaInc(0.0, 1.0, 0.5), ar::util::FatalError);
+    EXPECT_THROW(m::betaInc(1.0, 1.0, 1.5), ar::util::FatalError);
+}
+
+TEST(LogBinomialCoef, SmallValues)
+{
+    EXPECT_NEAR(m::logBinomialCoef(5, 2), std::log(10.0), 1e-12);
+    EXPECT_NEAR(m::logBinomialCoef(10, 0), 0.0, 1e-12);
+    EXPECT_NEAR(m::logBinomialCoef(10, 10), 0.0, 1e-12);
+}
+
+TEST(LogBinomialCoef, KGreaterThanNIsFatal)
+{
+    EXPECT_THROW(m::logBinomialCoef(3, 4), ar::util::FatalError);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NormalQuantileRoundTrip, QuantileThenCdf)
+{
+    const double p = GetParam();
+    EXPECT_NEAR(m::normalCdf(m::normalQuantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NormalQuantileRoundTrip,
+    ::testing::Values(1e-8, 1e-4, 0.01, 0.2, 0.5, 0.8, 0.99, 0.9999,
+                      1.0 - 1e-8));

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the Gaussian copula and correlated propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/normal.hh"
+#include "dist/lognormal.hh"
+#include "math/numeric.hh"
+#include "mc/copula.hh"
+#include "mc/propagator.hh"
+#include "symbolic/parser.hh"
+#include "util/logging.hh"
+
+namespace mc = ar::mc;
+namespace d = ar::dist;
+
+namespace
+{
+
+double
+correlation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const double ma = ar::math::mean(a);
+    const double mb = ar::math::mean(b);
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sab += (a[i] - ma) * (b[i] - mb);
+        saa += (a[i] - ma) * (a[i] - ma);
+        sbb += (b[i] - mb) * (b[i] - mb);
+    }
+    return sab / std::sqrt(saa * sbb);
+}
+
+} // namespace
+
+TEST(Copula, ImposesTargetCorrelationOnUniforms)
+{
+    mc::GaussianCopula copula({"u", "v"}, {{"u", "v", 0.8}});
+    ar::util::Rng rng(1);
+    mc::LatinHypercubeSampler sampler;
+    auto design = sampler.design(20000, 2, rng);
+    copula.apply(design, {0, 1});
+
+    std::vector<double> u(20000), v(20000);
+    for (std::size_t t = 0; t < 20000; ++t) {
+        u[t] = design.at(t, 0);
+        v[t] = design.at(t, 1);
+    }
+    // Spearman-like: correlation of the uniforms tracks rho closely.
+    EXPECT_NEAR(correlation(u, v), 0.79, 0.03);
+    // Marginals stay uniform.
+    EXPECT_NEAR(ar::math::mean(u), 0.5, 0.01);
+    EXPECT_NEAR(ar::math::stddev(u), 1.0 / std::sqrt(12.0), 0.01);
+}
+
+TEST(Copula, NegativeCorrelation)
+{
+    mc::GaussianCopula copula({"u", "v"}, {{"u", "v", -0.6}});
+    ar::util::Rng rng(2);
+    mc::MonteCarloSampler sampler;
+    auto design = sampler.design(20000, 2, rng);
+    copula.apply(design, {0, 1});
+    std::vector<double> u(20000), v(20000);
+    for (std::size_t t = 0; t < 20000; ++t) {
+        u[t] = design.at(t, 0);
+        v[t] = design.at(t, 1);
+    }
+    EXPECT_NEAR(correlation(u, v), -0.59, 0.03);
+}
+
+TEST(Copula, InvalidSpecsAreFatal)
+{
+    EXPECT_THROW(mc::GaussianCopula({"a"}, {}), ar::util::FatalError);
+    EXPECT_THROW(
+        mc::GaussianCopula({"a", "b"}, {{"a", "c", 0.5}}),
+        ar::util::FatalError);
+    EXPECT_THROW(
+        mc::GaussianCopula({"a", "b"}, {{"a", "a", 0.5}}),
+        ar::util::FatalError);
+    EXPECT_THROW(
+        mc::GaussianCopula({"a", "b"}, {{"a", "b", 1.0}}),
+        ar::util::FatalError);
+}
+
+TEST(Copula, InconsistentTriangleIsFatal)
+{
+    // rho(ab) = rho(bc) = 0.9, rho(ac) = -0.9 is not a valid
+    // correlation matrix.
+    EXPECT_THROW(mc::GaussianCopula({"a", "b", "c"},
+                                    {{"a", "b", 0.9},
+                                     {"b", "c", 0.9},
+                                     {"a", "c", -0.9}}),
+                 ar::util::FatalError);
+}
+
+TEST(Copula, PropagatorHonoursCorrelations)
+{
+    // y = x1 + x2 with unit-variance gaussians: Var = 2(1 + rho).
+    ar::symbolic::CompiledExpr fn(
+        ar::symbolic::parseExpr("x1 + x2"));
+    mc::Propagator prop({40000, "latin-hypercube"});
+
+    mc::InputBindings indep;
+    indep.uncertain["x1"] = std::make_shared<d::Normal>(0.0, 1.0);
+    indep.uncertain["x2"] = std::make_shared<d::Normal>(0.0, 1.0);
+
+    auto correlated = indep;
+    correlated.correlations.push_back({"x1", "x2", 0.7});
+
+    ar::util::Rng r1(3), r2(3);
+    const auto s_indep = prop.run(fn, indep, r1);
+    const auto s_corr = prop.run(fn, correlated, r2);
+    EXPECT_NEAR(ar::math::variance(s_indep), 2.0, 0.05);
+    EXPECT_NEAR(ar::math::variance(s_corr), 3.4, 0.08);
+    // Marginal means unchanged.
+    EXPECT_NEAR(ar::math::mean(s_corr), 0.0, 0.02);
+}
+
+TEST(Copula, PropagatorPreservesMarginals)
+{
+    ar::symbolic::CompiledExpr fn(ar::symbolic::parseExpr("x1"));
+    mc::Propagator prop({30000, "latin-hypercube"});
+    mc::InputBindings in;
+    in.uncertain["x1"] = std::make_shared<d::LogNormal>(0.0, 0.5);
+    in.uncertain["x2"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.correlations.push_back({"x1", "x2", 0.9});
+    ar::util::Rng rng(4);
+    const auto xs = prop.run(fn, in, rng);
+    d::LogNormal truth(0.0, 0.5);
+    EXPECT_NEAR(ar::math::mean(xs), truth.mean(), 0.01);
+    EXPECT_NEAR(ar::math::stddev(xs), truth.stddev(), 0.02);
+}
+
+TEST(Copula, UnknownCorrelationNameIsFatal)
+{
+    ar::symbolic::CompiledExpr fn(
+        ar::symbolic::parseExpr("x1 + x2"));
+    mc::Propagator prop({100, "latin-hypercube"});
+    mc::InputBindings in;
+    in.uncertain["x1"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["x2"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.correlations.push_back({"x1", "zz", 0.5});
+    ar::util::Rng rng(5);
+    EXPECT_THROW(prop.run(fn, in, rng), ar::util::FatalError);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for Monte-Carlo uncertainty propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/normal.hh"
+#include "dist/distribution.hh"
+#include "math/numeric.hh"
+#include "mc/propagator.hh"
+#include "symbolic/parser.hh"
+#include "util/logging.hh"
+
+namespace mc = ar::mc;
+namespace d = ar::dist;
+using ar::symbolic::CompiledExpr;
+using ar::symbolic::parseExpr;
+
+namespace
+{
+
+mc::InputBindings
+gaussianXPlusFixedY()
+{
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(2.0, 0.5);
+    in.fixed["y"] = 10.0;
+    return in;
+}
+
+} // namespace
+
+TEST(Propagator, LinearModelPropagatesExactMoments)
+{
+    CompiledExpr fn(parseExpr("3 * x + y"));
+    mc::Propagator prop({20000, "latin-hypercube"});
+    ar::util::Rng rng(1);
+    const auto samples = prop.run(fn, gaussianXPlusFixedY(), rng);
+    ASSERT_EQ(samples.size(), 20000u);
+    EXPECT_NEAR(ar::math::mean(samples), 16.0, 0.02);
+    EXPECT_NEAR(ar::math::stddev(samples), 1.5, 0.02);
+}
+
+TEST(Propagator, FixedInputsAreConstantAcrossTrials)
+{
+    CompiledExpr fn(parseExpr("y"));
+    mc::Propagator prop({100, "latin-hypercube"});
+    ar::util::Rng rng(2);
+    const auto samples = prop.run(fn, gaussianXPlusFixedY(), rng);
+    for (double s : samples)
+        ASSERT_DOUBLE_EQ(s, 10.0);
+}
+
+TEST(Propagator, MissingBindingIsFatal)
+{
+    CompiledExpr fn(parseExpr("x + z"));
+    mc::Propagator prop({10, "latin-hypercube"});
+    ar::util::Rng rng(3);
+    EXPECT_THROW(prop.run(fn, gaussianXPlusFixedY(), rng),
+                 ar::util::FatalError);
+}
+
+TEST(Propagator, DoubleBindingIsFatal)
+{
+    CompiledExpr fn(parseExpr("x"));
+    auto in = gaussianXPlusFixedY();
+    in.fixed["x"] = 1.0;
+    mc::Propagator prop({10, "latin-hypercube"});
+    ar::util::Rng rng(4);
+    EXPECT_THROW(prop.run(fn, in, rng), ar::util::FatalError);
+}
+
+TEST(Propagator, ZeroTrialsIsFatal)
+{
+    EXPECT_THROW(mc::Propagator({0, "latin-hypercube"}),
+                 ar::util::FatalError);
+}
+
+TEST(Propagator, RunManySharesDrawsAcrossFunctions)
+{
+    CompiledExpr f1(parseExpr("x"));
+    CompiledExpr f2(parseExpr("2 * x"));
+    mc::Propagator prop({500, "latin-hypercube"});
+    ar::util::Rng rng(5);
+    const auto results = prop.runMany({&f1, &f2},
+                                      gaussianXPlusFixedY(), rng);
+    ASSERT_EQ(results.size(), 2u);
+    for (std::size_t t = 0; t < 500; ++t)
+        ASSERT_DOUBLE_EQ(results[1][t], 2.0 * results[0][t]);
+}
+
+TEST(Propagator, SameSeedReproduces)
+{
+    CompiledExpr fn(parseExpr("x * x"));
+    mc::Propagator prop({200, "latin-hypercube"});
+    ar::util::Rng rng_a(6), rng_b(6);
+    const auto a = prop.run(fn, gaussianXPlusFixedY(), rng_a);
+    const auto b = prop.run(fn, gaussianXPlusFixedY(), rng_b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Propagator, LhsBeatsPlainMcOnMeanError)
+{
+    // Classic LHS property: stratification reduces the variance of
+    // the sample mean for monotone functions.  Compare mean errors
+    // over repeated runs.
+    CompiledExpr fn(parseExpr("exp(x)"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    const double truth = std::exp(0.5);
+
+    double lhs_err = 0.0, mc_err = 0.0;
+    for (int rep = 0; rep < 20; ++rep) {
+        mc::Propagator lhs({200, "latin-hypercube"});
+        mc::Propagator pmc({200, "monte-carlo"});
+        ar::util::Rng r1(100 + rep), r2(100 + rep);
+        lhs_err += std::fabs(
+            ar::math::mean(lhs.run(fn, in, r1)) - truth);
+        mc_err += std::fabs(
+            ar::math::mean(pmc.run(fn, in, r2)) - truth);
+    }
+    EXPECT_LT(lhs_err, mc_err);
+}
+
+TEST(Propagator, NonlinearInteractionMatchesAnalytic)
+{
+    // z = x * y with independent gaussians: E[z] = mu_x * mu_y.
+    CompiledExpr fn(parseExpr("x * y"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(3.0, 0.2);
+    in.uncertain["y"] = std::make_shared<d::Normal>(-2.0, 0.4);
+    mc::Propagator prop({50000, "latin-hypercube"});
+    ar::util::Rng rng(7);
+    const auto samples = prop.run(fn, in, rng);
+    EXPECT_NEAR(ar::math::mean(samples), -6.0, 0.03);
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for sampling plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mc/sampler.hh"
+#include "util/logging.hh"
+
+namespace mc = ar::mc;
+
+TEST(MonteCarloSampler, ValuesInUnitInterval)
+{
+    ar::util::Rng rng(1);
+    mc::MonteCarloSampler sampler;
+    const auto d = sampler.design(100, 3, rng);
+    for (std::size_t t = 0; t < d.trials(); ++t) {
+        for (std::size_t k = 0; k < d.dims(); ++k) {
+            ASSERT_GE(d.at(t, k), 0.0);
+            ASSERT_LT(d.at(t, k), 1.0);
+        }
+    }
+}
+
+TEST(LatinHypercube, EveryStratumHitExactlyOnce)
+{
+    ar::util::Rng rng(2);
+    mc::LatinHypercubeSampler sampler;
+    const std::size_t n = 64;
+    const auto d = sampler.design(n, 4, rng);
+    for (std::size_t k = 0; k < 4; ++k) {
+        std::vector<bool> hit(n, false);
+        for (std::size_t t = 0; t < n; ++t) {
+            const auto stratum = static_cast<std::size_t>(
+                d.at(t, k) * static_cast<double>(n));
+            ASSERT_LT(stratum, n);
+            ASSERT_FALSE(hit[stratum])
+                << "stratum " << stratum << " hit twice in dim " << k;
+            hit[stratum] = true;
+        }
+    }
+}
+
+TEST(LatinHypercube, DimensionsArePermutedIndependently)
+{
+    ar::util::Rng rng(3);
+    mc::LatinHypercubeSampler sampler;
+    const auto d = sampler.design(256, 2, rng);
+    // If dims shared a permutation, the columns would be identical up
+    // to the intra-stratum jitter.
+    std::size_t same_stratum = 0;
+    for (std::size_t t = 0; t < 256; ++t) {
+        const auto s0 =
+            static_cast<std::size_t>(d.at(t, 0) * 256.0);
+        const auto s1 =
+            static_cast<std::size_t>(d.at(t, 1) * 256.0);
+        same_stratum += s0 == s1;
+    }
+    EXPECT_LT(same_stratum, 32u);
+}
+
+TEST(LatinHypercube, MeanIsCloseToHalfEvenForFewTrials)
+{
+    ar::util::Rng rng(4);
+    mc::LatinHypercubeSampler sampler;
+    const auto d = sampler.design(16, 1, rng);
+    double acc = 0.0;
+    for (std::size_t t = 0; t < 16; ++t)
+        acc += d.at(t, 0);
+    // Stratification bounds the mean error by 1/(2*16).
+    EXPECT_NEAR(acc / 16.0, 0.5, 1.0 / 32.0 + 1e-12);
+}
+
+TEST(LatinHypercube, ZeroTrialsIsFatal)
+{
+    ar::util::Rng rng(5);
+    mc::LatinHypercubeSampler sampler;
+    EXPECT_THROW(sampler.design(0, 1, rng), ar::util::FatalError);
+}
+
+TEST(MakeSampler, FactoryByName)
+{
+    EXPECT_EQ(mc::makeSampler("monte-carlo")->name(), "monte-carlo");
+    EXPECT_EQ(mc::makeSampler("latin-hypercube")->name(),
+              "latin-hypercube");
+    EXPECT_THROW(mc::makeSampler("sobol"), ar::util::FatalError);
+}
+
+TEST(UniformDesign, RowMajorAccess)
+{
+    mc::UniformDesign d(2, 3);
+    d.at(1, 2) = 0.7;
+    EXPECT_DOUBLE_EQ(d.at(1, 2), 0.7);
+    EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+    EXPECT_EQ(d.trials(), 2u);
+    EXPECT_EQ(d.dims(), 3u);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unit tests for application classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/app.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+
+TEST(App, PaperParameterValues)
+{
+    EXPECT_DOUBLE_EQ(m::appHPLC().f, 0.999);
+    EXPECT_DOUBLE_EQ(m::appHPLC().c, 0.001);
+    EXPECT_DOUBLE_EQ(m::appHPHC().f, 0.999);
+    EXPECT_DOUBLE_EQ(m::appHPHC().c, 0.01);
+    EXPECT_DOUBLE_EQ(m::appLPLC().f, 0.9);
+    EXPECT_DOUBLE_EQ(m::appLPLC().c, 0.001);
+    EXPECT_DOUBLE_EQ(m::appLPHC().f, 0.9);
+    EXPECT_DOUBLE_EQ(m::appLPHC().c, 0.01);
+}
+
+TEST(App, StandardAppsHasFourClasses)
+{
+    const auto apps = m::standardApps();
+    ASSERT_EQ(apps.size(), 4u);
+    EXPECT_EQ(apps[0].name, "HPLC");
+    EXPECT_EQ(apps[3].name, "LPHC");
+}
+
+TEST(App, LookupByName)
+{
+    EXPECT_DOUBLE_EQ(m::appByName("LPHC").c, 0.01);
+    EXPECT_DOUBLE_EQ(m::appByName("HPLC").f, 0.999);
+}
+
+TEST(App, UnknownNameIsFatal)
+{
+    EXPECT_THROW(m::appByName("XXXX"), ar::util::FatalError);
+}

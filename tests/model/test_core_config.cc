@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for core configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/core_config.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+
+TEST(CoreConfig, CanonicalFormMergesAndSorts)
+{
+    m::CoreConfig cfg({{8.0, 4}, {128.0, 1}, {8.0, 2}});
+    ASSERT_EQ(cfg.numTypes(), 2u);
+    EXPECT_DOUBLE_EQ(cfg.types()[0].area, 128.0);
+    EXPECT_EQ(cfg.types()[0].count, 1u);
+    EXPECT_DOUBLE_EQ(cfg.types()[1].area, 8.0);
+    EXPECT_EQ(cfg.types()[1].count, 6u);
+}
+
+TEST(CoreConfig, ZeroCountsDropped)
+{
+    m::CoreConfig cfg({{16.0, 0}, {8.0, 2}});
+    EXPECT_EQ(cfg.numTypes(), 1u);
+}
+
+TEST(CoreConfig, NonPositiveAreaIsFatal)
+{
+    EXPECT_THROW(m::CoreConfig({{0.0, 1}}), ar::util::FatalError);
+    EXPECT_THROW(m::CoreConfig({{-8.0, 1}}), ar::util::FatalError);
+}
+
+TEST(CoreConfig, Totals)
+{
+    const auto cfg = m::asymCores();
+    EXPECT_EQ(cfg.totalCores(), 17u);
+    EXPECT_DOUBLE_EQ(cfg.totalArea(), 256.0);
+}
+
+TEST(CoreConfig, DescribeFormat)
+{
+    EXPECT_EQ(m::asymCores().describe(), "1x128 + 16x8");
+    EXPECT_EQ(m::symCores().describe(), "32x8");
+}
+
+TEST(CoreConfig, ParseRoundTrip)
+{
+    for (const auto &cfg :
+         {m::symCores(), m::asymCores(), m::heteroCores()}) {
+        const auto parsed = m::CoreConfig::parse(cfg.describe());
+        EXPECT_TRUE(parsed == cfg) << cfg.describe();
+    }
+}
+
+TEST(CoreConfig, ParseToleratesWhitespace)
+{
+    const auto cfg = m::CoreConfig::parse(" 2x8+ 1x16 ");
+    EXPECT_EQ(cfg.numTypes(), 2u);
+    EXPECT_DOUBLE_EQ(cfg.totalArea(), 32.0);
+}
+
+TEST(CoreConfig, ParseErrorsAreFatal)
+{
+    EXPECT_THROW(m::CoreConfig::parse(""), ar::util::FatalError);
+    EXPECT_THROW(m::CoreConfig::parse("8"), ar::util::FatalError);
+    EXPECT_THROW(m::CoreConfig::parse("ax8"), ar::util::FatalError);
+    EXPECT_THROW(m::CoreConfig::parse("1.5x8"), ar::util::FatalError);
+    EXPECT_THROW(m::CoreConfig::parse("0x8"), ar::util::FatalError);
+}
+
+TEST(CoreConfig, PaperExampleConfigs)
+{
+    EXPECT_DOUBLE_EQ(m::symCores().totalArea(), 256.0);
+    EXPECT_DOUBLE_EQ(m::asymCores().totalArea(), 256.0);
+    EXPECT_DOUBLE_EQ(m::heteroCores().totalArea(), 256.0);
+    EXPECT_EQ(m::heteroCores().numTypes(), 5u);
+    EXPECT_EQ(m::heteroCores().totalCores(), 6u);
+}
+
+TEST(CoreConfig, EqualityIsCanonical)
+{
+    const auto a = m::CoreConfig::parse("16x8 + 1x128");
+    const auto b = m::CoreConfig::parse("1x128 + 8x8 + 8x8");
+    EXPECT_TRUE(a == b);
+}
+
+TEST(CoreConfig, SymmetricFactory)
+{
+    const auto cfg = m::CoreConfig::symmetric(4, 64.0);
+    EXPECT_EQ(cfg.describe(), "4x64");
+}

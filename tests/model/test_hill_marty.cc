@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the Hill-Marty model: the direct evaluator, the
+ * symbolic system, and their agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/hill_marty.hh"
+#include "symbolic/compile.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace m = ar::model;
+using Eval = m::HillMartyEvaluator;
+
+TEST(HillMartyNames, Formatting)
+{
+    EXPECT_EQ(m::names::corePerf(0), "P_core0");
+    EXPECT_EQ(m::names::coreCount(3), "N_core3");
+    EXPECT_EQ(m::names::coreArea(12), "A_core12");
+}
+
+TEST(HillMartyEvaluator, SingleBigCoreIsAmdahl)
+{
+    // One core of size 256, f = 0.5, c = 0: speedup = P (serial and
+    // parallel both run on the single core).
+    const std::vector<double> perf{16.0};
+    const std::vector<double> count{1.0};
+    const double s = Eval::speedup(0.5, 0.0, perf, count);
+    EXPECT_NEAR(s, 16.0, 1e-12);
+}
+
+TEST(HillMartyEvaluator, SymmetricClosedForm)
+{
+    // 32 cores of size 8: P = sqrt(8), N = 32.
+    const double p = std::sqrt(8.0);
+    const std::vector<double> perf{p};
+    const std::vector<double> count{32.0};
+    const double f = 0.9, c = 0.001;
+    const double expect =
+        1.0 / ((1.0 - f + c * 32.0) / p + f / (32.0 * p));
+    EXPECT_NEAR(Eval::speedup(f, c, perf, count), expect, 1e-12);
+}
+
+TEST(HillMartyEvaluator, SerialUsesBestWorkingCore)
+{
+    // Big core dead (count 0): serial must fall back to small cores.
+    const std::vector<double> perf{std::sqrt(128.0), std::sqrt(8.0)};
+    const std::vector<double> alive{1.0, 16.0};
+    const std::vector<double> dead{0.0, 16.0};
+    EXPECT_GT(Eval::speedup(0.9, 0.001, perf, alive),
+              Eval::speedup(0.9, 0.001, perf, dead));
+}
+
+TEST(HillMartyEvaluator, AllCoresDeadIsZero)
+{
+    const std::vector<double> perf{2.0, 3.0};
+    const std::vector<double> count{0.0, 0.0};
+    EXPECT_DOUBLE_EQ(Eval::speedup(0.9, 0.001, perf, count), 0.0);
+}
+
+TEST(HillMartyEvaluator, AllPerfZeroIsZero)
+{
+    const std::vector<double> perf{0.0};
+    const std::vector<double> count{32.0};
+    EXPECT_DOUBLE_EQ(Eval::speedup(0.9, 0.001, perf, count), 0.0);
+}
+
+TEST(HillMartyEvaluator, CommunicationOverheadPenalizesManyCores)
+{
+    // With heavy c, fewer/larger cores should win for serial-ish
+    // workloads.
+    const double s_many = Eval::nominalSpeedup(m::symCores(), 0.9,
+                                               0.05);
+    const double s_few = Eval::nominalSpeedup(
+        m::CoreConfig::symmetric(2, 128.0), 0.9, 0.05);
+    EXPECT_GT(s_few, s_many);
+}
+
+TEST(HillMartyEvaluator, MismatchedSpansAreFatal)
+{
+    const std::vector<double> perf{1.0, 2.0};
+    const std::vector<double> count{1.0};
+    EXPECT_THROW(Eval::speedup(0.5, 0.0, perf, count),
+                 ar::util::FatalError);
+}
+
+TEST(HillMartyEvaluator, EmptyConfigIsFatal)
+{
+    const std::vector<double> none;
+    EXPECT_THROW(Eval::speedup(0.5, 0.0, none, none),
+                 ar::util::FatalError);
+}
+
+TEST(HillMartyEvaluator, NominalSpeedupPaperBallpark)
+{
+    // Hill-Marty: symmetric 32x8 with HP-ish app beats one huge core.
+    const double sym = Eval::nominalSpeedup(m::symCores(), 0.999,
+                                            0.0);
+    const double mono = Eval::nominalSpeedup(
+        m::CoreConfig::symmetric(1, 256.0), 0.999, 0.0);
+    EXPECT_GT(sym, mono);
+}
+
+TEST(HillMartySystem, ResolvesSpeedup)
+{
+    auto sys = m::buildHillMartySystem(2);
+    const auto resolved = sys.resolve("Speedup");
+    const auto inputs = resolved->freeSymbols();
+    EXPECT_TRUE(inputs.count("f"));
+    EXPECT_TRUE(inputs.count("c"));
+    EXPECT_TRUE(inputs.count("P_core0"));
+    EXPECT_TRUE(inputs.count("N_core1"));
+    // Intermediates must be fully substituted away.
+    EXPECT_FALSE(inputs.count("T_seq"));
+    EXPECT_FALSE(inputs.count("P_parallel"));
+}
+
+TEST(HillMartySystem, UncertainSetMatchesPaper)
+{
+    auto sys = m::buildHillMartySystem(1);
+    const auto &unc = sys.uncertain();
+    EXPECT_TRUE(unc.count("f"));
+    EXPECT_TRUE(unc.count("c"));
+    EXPECT_TRUE(unc.count("P_core0"));
+    EXPECT_TRUE(unc.count("N_core0"));
+}
+
+TEST(HillMartySystem, PollackDefinitionRetained)
+{
+    auto sys = m::buildHillMartySystem(1);
+    // P_core0's nominal definition sqrt(A_core0) stays available for
+    // centring distributions.
+    const auto def = sys.definitionOf("P_core0");
+    EXPECT_EQ(def->freeSymbols().count("A_core0"), 1u);
+}
+
+TEST(HillMartySystem, ZeroTypesIsFatal)
+{
+    EXPECT_THROW(m::buildHillMartySystem(0), ar::util::FatalError);
+}
+
+TEST(HillMartyAgreement, SymbolicMatchesDirectOnRandomInputs)
+{
+    // The central cross-check: compiled symbolic Speedup equals the
+    // hand-written evaluator over random inputs for 1-5 core types.
+    for (std::size_t k = 1; k <= 5; ++k) {
+        auto sys = m::buildHillMartySystem(k);
+        ar::symbolic::CompiledExpr fn(sys.resolve("Speedup"));
+        ar::util::Rng rng(1000 + k);
+
+        for (int trial = 0; trial < 200; ++trial) {
+            std::vector<double> perf(k), count(k);
+            std::map<std::string, double> vals;
+            const double f = rng.uniform(0.5, 0.999);
+            const double c = rng.uniform(0.0, 0.02);
+            vals["f"] = f;
+            vals["c"] = c;
+            for (std::size_t i = 0; i < k; ++i) {
+                perf[i] = rng.uniform() < 0.1
+                              ? 0.0
+                              : rng.uniform(0.5, 16.0);
+                count[i] = std::floor(rng.uniform(0.0, 33.0));
+                vals[m::names::corePerf(i)] = perf[i];
+                vals[m::names::coreCount(i)] = count[i];
+                vals[m::names::coreArea(i)] = 8.0; // unused by eval
+            }
+            std::vector<double> args;
+            for (const auto &name : fn.argNames())
+                args.push_back(vals.at(name));
+            const double sym = fn.eval(args);
+            const double direct = Eval::speedup(f, c, perf, count);
+            ASSERT_NEAR(sym, direct,
+                        1e-9 * std::max(1.0, std::fabs(direct)))
+                << "k=" << k << " trial=" << trial;
+        }
+    }
+}

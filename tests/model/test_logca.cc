@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the LogCA accelerator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "model/logca.hh"
+#include "symbolic/compile.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace m = ar::model;
+using Eval = m::LogCaEvaluator;
+
+TEST(LogCa, SpeedupApproachesPeakAcceleration)
+{
+    m::LogCaParams p;
+    p.latency = 0.0;
+    p.overhead = 1.0;
+    p.accel = 16.0;
+    EXPECT_NEAR(Eval::speedup(p, 1e9), 16.0, 0.01);
+}
+
+TEST(LogCa, LatencyCapsAsymptoticSpeedup)
+{
+    // With L > 0 and beta = 1 the asymptote is C/(L + C/A) < A.
+    m::LogCaParams p;
+    p.latency = 0.05;
+    p.compute = 1.0;
+    p.accel = 16.0;
+    const double cap = 1.0 / (0.05 + 1.0 / 16.0);
+    EXPECT_NEAR(Eval::speedup(p, 1e9), cap, 0.01);
+    EXPECT_LT(cap, p.accel);
+}
+
+TEST(LogCa, TinyGranularityLoses)
+{
+    m::LogCaParams p;
+    EXPECT_LT(Eval::speedup(p, 1e-3), 1.0);
+}
+
+TEST(LogCa, SpeedupMonotoneInGranularityForBetaOne)
+{
+    m::LogCaParams p;
+    double prev = 0.0;
+    for (double g = 0.01; g < 1e6; g *= 10.0) {
+        const double s = Eval::speedup(p, g);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(LogCa, BreakEvenGranularityIsBreakEven)
+{
+    m::LogCaParams p;
+    p.overhead = 2.0;
+    p.latency = 0.01;
+    p.accel = 8.0;
+    const double g1 = Eval::breakEvenGranularity(p);
+    EXPECT_NEAR(Eval::speedup(p, g1), 1.0, 1e-6);
+    EXPECT_LT(Eval::speedup(p, g1 * 0.5), 1.0);
+    EXPECT_GT(Eval::speedup(p, g1 * 2.0), 1.0);
+}
+
+TEST(LogCa, HigherOverheadRaisesBreakEven)
+{
+    m::LogCaParams cheap, costly;
+    costly.overhead = 10.0 * cheap.overhead;
+    EXPECT_GT(Eval::breakEvenGranularity(costly),
+              Eval::breakEvenGranularity(cheap));
+}
+
+TEST(LogCa, NeverBreakingEvenIsFatal)
+{
+    // Acceleration below 1 with latency never wins.
+    m::LogCaParams p;
+    p.accel = 0.5;
+    EXPECT_THROW(Eval::breakEvenGranularity(p, 1e6),
+                 ar::util::FatalError);
+}
+
+TEST(LogCa, InvalidParamsAreFatal)
+{
+    m::LogCaParams p;
+    EXPECT_THROW(Eval::speedup(p, 0.0), ar::util::FatalError);
+    p.accel = -1.0;
+    EXPECT_THROW(Eval::speedup(p, 1.0), ar::util::FatalError);
+}
+
+TEST(LogCa, SymbolicMatchesDirectOnRandomInputs)
+{
+    auto sys = m::buildLogCaSystem();
+    ar::symbolic::CompiledExpr fn(sys.resolve("Speedup"));
+    ar::util::Rng rng(31337);
+    for (int i = 0; i < 200; ++i) {
+        m::LogCaParams p;
+        p.latency = rng.uniform(0.0, 0.1);
+        p.overhead = rng.uniform(0.0, 5.0);
+        p.compute = rng.uniform(0.1, 3.0);
+        p.accel = rng.uniform(1.0, 64.0);
+        p.beta = rng.uniform(0.5, 2.0);
+        const double g = std::exp(rng.uniform(-2.0, 8.0));
+        std::map<std::string, double> vals{
+            {"L", p.latency}, {"o", p.overhead}, {"C", p.compute},
+            {"A", p.accel},   {"beta", p.beta},  {"g", g}};
+        std::vector<double> args;
+        for (const auto &name : fn.argNames())
+            args.push_back(vals.at(name));
+        EXPECT_NEAR(fn.eval(args), Eval::speedup(p, g),
+                    1e-9 * std::max(1.0, Eval::speedup(p, g)))
+            << "trial " << i;
+    }
+}
+
+TEST(LogCa, UncertainVariablesAreAccelAndLatency)
+{
+    auto sys = m::buildLogCaSystem();
+    EXPECT_TRUE(sys.uncertain().count("A"));
+    EXPECT_TRUE(sys.uncertain().count("L"));
+    const auto inputs = sys.resolvedInputs("Speedup");
+    EXPECT_TRUE(inputs.count("g"));
+    EXPECT_FALSE(inputs.count("T_host"));
+}

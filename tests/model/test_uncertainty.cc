@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the ground-truth uncertainty models (Tables 2-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/numeric.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/hill_marty.hh"
+#include "model/uncertainty.hh"
+#include "model/yield.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+
+TEST(UncertaintySpec, AllSetsEveryAxis)
+{
+    const auto s = m::UncertaintySpec::all(0.4);
+    EXPECT_DOUBLE_EQ(s.sigma_f, 0.4);
+    EXPECT_DOUBLE_EQ(s.sigma_c, 0.4);
+    EXPECT_DOUBLE_EQ(s.sigma_perf, 0.4);
+    EXPECT_DOUBLE_EQ(s.sigma_design, 0.4);
+    EXPECT_TRUE(s.fab);
+}
+
+TEST(UncertaintySpec, AllZeroDisablesFab)
+{
+    EXPECT_FALSE(m::UncertaintySpec::all(0.0).fab);
+}
+
+TEST(UncertaintySpec, AppArchSplitsAxes)
+{
+    const auto s = m::UncertaintySpec::appArch(0.2, 0.6);
+    EXPECT_DOUBLE_EQ(s.sigma_f, 0.2);
+    EXPECT_DOUBLE_EQ(s.sigma_c, 0.2);
+    EXPECT_DOUBLE_EQ(s.sigma_perf, 0.6);
+    EXPECT_DOUBLE_EQ(s.sigma_design, 0.6);
+    EXPECT_TRUE(s.fab);
+}
+
+TEST(GroundTruthF, MeanAndStdMatchTable3)
+{
+    const auto app = m::appLPHC(); // f = 0.9
+    const double sigma = 0.3;
+    const auto dist = m::groundTruthF(app, sigma);
+    EXPECT_NEAR(dist->mean(), 0.9, 1e-9);
+    // Table 3: sd = sigma * (1 - f); M rounding makes it approximate.
+    EXPECT_NEAR(dist->stddev(), sigma * 0.1, 0.005);
+}
+
+TEST(GroundTruthF, SupportIsUnitInterval)
+{
+    const auto dist = m::groundTruthF(m::appLPHC(), 1.0);
+    ar::util::Rng rng(131);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = dist->sample(rng);
+        ASSERT_GE(x, 0.0);
+        ASSERT_LE(x, 1.0);
+    }
+}
+
+TEST(GroundTruthC, MeanAndStdMatchTable3)
+{
+    const auto app = m::appLPHC(); // c = 0.01
+    const auto dist = m::groundTruthC(app, 0.5);
+    EXPECT_NEAR(dist->mean(), 0.01, 1e-9);
+    EXPECT_NEAR(dist->stddev(), 0.005, 0.0005);
+}
+
+TEST(GroundTruthF, ZeroSigmaIsFatal)
+{
+    EXPECT_THROW(m::groundTruthF(m::appLPHC(), 0.0),
+                 ar::util::FatalError);
+    EXPECT_THROW(m::groundTruthC(m::appLPHC(), 0.0),
+                 ar::util::FatalError);
+}
+
+TEST(GroundTruthCorePerf, MeanFollowsPollackWithoutDesignRisk)
+{
+    const auto dist = m::groundTruthCorePerf(64.0, 0.2, 0.0, 0.15);
+    EXPECT_NEAR(dist->mean(), 8.0, 1e-9);
+    EXPECT_NEAR(dist->stddev(), 1.6, 1e-9);
+}
+
+TEST(GroundTruthCorePerf, DesignRiskScalesMean)
+{
+    // Survival probability 1 - sigma*gamma = 1 - 0.5*0.2 = 0.9.
+    const auto dist = m::groundTruthCorePerf(64.0, 0.0, 0.5, 0.2);
+    EXPECT_NEAR(dist->mean(), 8.0 * 0.9, 1e-9);
+}
+
+TEST(GroundTruthCorePerf, ZeroSigmasIsDegenerate)
+{
+    const auto dist = m::groundTruthCorePerf(64.0, 0.0, 0.0, 0.15);
+    EXPECT_DOUBLE_EQ(dist->mean(), 8.0);
+    EXPECT_DOUBLE_EQ(dist->stddev(), 0.0);
+}
+
+TEST(GroundTruthCorePerf, FailureAboveOneIsFatal)
+{
+    EXPECT_THROW(m::groundTruthCorePerf(64.0, 0.1, 2.0, 0.6),
+                 ar::util::FatalError);
+}
+
+TEST(GroundTruthCoreCount, BinomialWithYield)
+{
+    const auto dist = m::groundTruthCoreCount(8.0, 32);
+    const double y = m::yieldRate(8.0);
+    EXPECT_NEAR(dist->mean(), 32.0 * y, 1e-9);
+    EXPECT_NEAR(dist->stddev(), std::sqrt(32.0 * y * (1.0 - y)),
+                1e-9);
+}
+
+TEST(GroundTruthBindings, CertainSpecFixesEverything)
+{
+    const auto in = m::groundTruthBindings(
+        m::asymCores(), m::appLPHC(), m::UncertaintySpec::none());
+    EXPECT_TRUE(in.uncertain.empty());
+    EXPECT_DOUBLE_EQ(in.fixed.at("f"), 0.9);
+    EXPECT_DOUBLE_EQ(in.fixed.at("c"), 0.01);
+    EXPECT_DOUBLE_EQ(in.fixed.at("P_core0"), std::sqrt(128.0));
+    EXPECT_DOUBLE_EQ(in.fixed.at("N_core1"), 16.0);
+}
+
+TEST(GroundTruthBindings, FullSpecInjectsAllFiveTypes)
+{
+    const auto in = m::groundTruthBindings(
+        m::asymCores(), m::appLPHC(), m::UncertaintySpec::all(0.2));
+    // f, c plus per-type P and N for two types = 6 uncertain vars.
+    EXPECT_EQ(in.uncertain.size(), 6u);
+    EXPECT_TRUE(in.uncertain.count("f"));
+    EXPECT_TRUE(in.uncertain.count("c"));
+    EXPECT_TRUE(in.uncertain.count("P_core0"));
+    EXPECT_TRUE(in.uncertain.count("N_core0"));
+    // Areas remain fixed inputs.
+    EXPECT_DOUBLE_EQ(in.fixed.at("A_core0"), 128.0);
+}
+
+TEST(GroundTruthBindings, PartialSpecMixes)
+{
+    m::UncertaintySpec spec;
+    spec.sigma_f = 0.3; // only f uncertain
+    const auto in = m::groundTruthBindings(m::symCores(),
+                                           m::appHPLC(), spec);
+    EXPECT_EQ(in.uncertain.size(), 1u);
+    EXPECT_TRUE(in.uncertain.count("f"));
+    EXPECT_DOUBLE_EQ(in.fixed.at("c"), 0.001);
+    EXPECT_DOUBLE_EQ(in.fixed.at("N_core0"), 32.0);
+}

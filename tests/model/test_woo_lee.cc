@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the Woo-Lee energy-efficiency extension model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "model/woo_lee.hh"
+#include "symbolic/compile.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace m = ar::model;
+using Eval = m::WooLeeEvaluator;
+
+TEST(WooLee, SingleCoreBaseline)
+{
+    // N = 1: time 1, energy 1 regardless of f and k.
+    EXPECT_DOUBLE_EQ(Eval::execTime(0.7, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(Eval::energy(0.7, 0.3, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(Eval::perfPerJoule(0.7, 0.3, 1.0), 1.0);
+}
+
+TEST(WooLee, PerfectGatingMakesEnergyFlat)
+{
+    // k = 0: idle cores are free, energy = 1 for all N.
+    for (double n : {2.0, 16.0, 256.0})
+        EXPECT_DOUBLE_EQ(Eval::energy(0.9, 0.0, n), 1.0);
+}
+
+TEST(WooLee, NoGatingPenalizesManyCores)
+{
+    // k = 1: serial phase burns all N cores.
+    const double e = Eval::energy(0.5, 1.0, 16.0);
+    EXPECT_DOUBLE_EQ(e, 0.5 * 16.0 + 0.5);
+    EXPECT_LT(Eval::perfPerWatt(0.5, 1.0, 16.0),
+              Eval::perfPerWatt(0.5, 1.0, 2.0));
+}
+
+TEST(WooLee, AmdahlLimitOnPerf)
+{
+    // Perf approaches 1/(1-f) as N grows.
+    EXPECT_NEAR(Eval::perf(0.9, 1e9), 10.0, 1e-6);
+}
+
+TEST(WooLee, PerfPerJouleHasInteriorOptimumInN)
+{
+    // With imperfect gating, Perf/J rises then falls in N.
+    const double f = 0.95, k = 0.2;
+    const double small = Eval::perfPerJoule(f, k, 2.0);
+    const double mid = Eval::perfPerJoule(f, k, 8.0);
+    const double large = Eval::perfPerJoule(f, k, 256.0);
+    EXPECT_GT(mid, small);
+    EXPECT_GT(mid, large);
+}
+
+TEST(WooLee, InvalidCoreCountIsFatal)
+{
+    EXPECT_THROW(Eval::execTime(0.5, 0.0), ar::util::FatalError);
+    EXPECT_THROW(Eval::energy(0.5, 0.1, -1.0), ar::util::FatalError);
+}
+
+TEST(WooLee, SymbolicMatchesDirectOnRandomInputs)
+{
+    auto sys = m::buildWooLeeSystem();
+    ar::symbolic::CompiledExpr perf_j(sys.resolve("PerfPerJ"));
+    ar::symbolic::CompiledExpr perf_w(sys.resolve("PerfPerW"));
+    ar::util::Rng rng(2026);
+    for (int i = 0; i < 200; ++i) {
+        const double f = rng.uniform(0.0, 1.0);
+        const double k = rng.uniform(0.0, 1.0);
+        const double n = std::floor(rng.uniform(1.0, 257.0));
+        std::map<std::string, double> vals{
+            {"f", f}, {"k", k}, {"N", n}};
+        std::vector<double> args;
+        for (const auto &name : perf_j.argNames())
+            args.push_back(vals.at(name));
+        EXPECT_NEAR(perf_j.eval(args),
+                    Eval::perfPerJoule(f, k, n), 1e-9);
+        args.clear();
+        for (const auto &name : perf_w.argNames())
+            args.push_back(vals.at(name));
+        EXPECT_NEAR(perf_w.eval(args),
+                    Eval::perfPerWatt(f, k, n), 1e-9);
+    }
+}
+
+TEST(WooLee, UncertainVariablesAreFAndK)
+{
+    auto sys = m::buildWooLeeSystem();
+    EXPECT_TRUE(sys.uncertain().count("f"));
+    EXPECT_TRUE(sys.uncertain().count("k"));
+    const auto inputs = sys.resolvedInputs("PerfPerJ");
+    EXPECT_TRUE(inputs.count("N"));
+    EXPECT_FALSE(inputs.count("T"));
+    EXPECT_FALSE(inputs.count("E"));
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload suite, including the
+ * paper-workflow round trip: measure -> extract -> compare to truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "extract/extract.hh"
+#include "math/numeric.hh"
+#include "model/workloads.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+
+TEST(Workloads, SuiteSpansTheParsecRange)
+{
+    const auto suite = m::syntheticSuite();
+    ASSERT_GE(suite.size(), 10u);
+    double min_f = 1.0, max_f = 0.0;
+    for (const auto &p : suite) {
+        EXPECT_GT(p.f, 0.0);
+        EXPECT_LT(p.f, 1.0);
+        EXPECT_GT(p.c, 0.0);
+        EXPECT_LT(p.c, 0.1);
+        min_f = std::min(min_f, p.f);
+        max_f = std::max(max_f, p.f);
+    }
+    EXPECT_LT(min_f, 0.7);  // a pipeline-limited outlier exists
+    EXPECT_GT(max_f, 0.99); // and a data-parallel one
+}
+
+TEST(Workloads, ProfileLookup)
+{
+    const auto p = m::profileByName("x264-like");
+    EXPECT_DOUBLE_EQ(p.f, 0.60);
+    EXPECT_THROW(m::profileByName("doom-like"), ar::util::FatalError);
+}
+
+TEST(Workloads, ObservationsCenterOnTruth)
+{
+    const auto p = m::profileByName("dedup-like");
+    ar::util::Rng rng(61);
+    const auto obs = m::observeParallelFraction(p, 5000, 0.2, rng);
+    EXPECT_NEAR(ar::math::mean(obs), p.f, 0.005);
+    EXPECT_NEAR(ar::math::stddev(obs), 0.2 * (1.0 - p.f), 0.003);
+}
+
+TEST(Workloads, ObservationsAreValidFractions)
+{
+    const auto p = m::profileByName("canneal-like");
+    ar::util::Rng rng(62);
+    for (double x : m::observeParallelFraction(p, 1000, 1.0, rng)) {
+        ASSERT_GE(x, 0.0);
+        ASSERT_LE(x, 1.0);
+    }
+}
+
+TEST(Workloads, CommOverheadObservations)
+{
+    const auto p = m::profileByName("streamcluster-like");
+    ar::util::Rng rng(63);
+    const auto obs = m::observeCommOverhead(p, 5000, 0.3, rng);
+    EXPECT_NEAR(ar::math::mean(obs), p.c, 0.002);
+}
+
+TEST(Workloads, ZeroSigmaIsFatal)
+{
+    const auto p = m::syntheticSuite().front();
+    ar::util::Rng rng(64);
+    EXPECT_THROW(m::observeParallelFraction(p, 10, 0.0, rng),
+                 ar::util::FatalError);
+    EXPECT_THROW(m::observeCommOverhead(p, 10, 0.0, rng),
+                 ar::util::FatalError);
+}
+
+TEST(Workloads, PaperWorkflowRoundTrip)
+{
+    // Measure a benchmark 40 times, extract a distribution from the
+    // runs, and verify the estimate matches the hidden truth -- the
+    // full Figure-2 loop on workload data.
+    const auto p = m::profileByName("ferret-like");
+    ar::util::Rng rng(65);
+    const auto obs = m::observeParallelFraction(p, 40, 0.3, rng);
+    const auto est = ar::extract::extractUncertainty(obs);
+    EXPECT_NEAR(est.distribution->mean(), p.f, 0.01);
+    EXPECT_NEAR(est.distribution->stddev(), 0.3 * (1.0 - p.f),
+                0.01);
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the yield model against the paper's Table 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/yield.hh"
+#include "util/logging.hh"
+
+namespace m = ar::model;
+
+TEST(Yield, Table4RatesReproduced)
+{
+    // Table 4: size -> yield (98%, 96%, 92%, 85%, 75%).  The paper's
+    // published numbers are rounded; the calibrated model reproduces
+    // them to within a point.
+    EXPECT_NEAR(m::yieldRate(8.0), 0.98, 0.005);
+    EXPECT_NEAR(m::yieldRate(16.0), 0.96, 0.005);
+    EXPECT_NEAR(m::yieldRate(32.0), 0.92, 0.006);
+    EXPECT_NEAR(m::yieldRate(64.0), 0.85, 0.011);
+    EXPECT_NEAR(m::yieldRate(128.0), 0.75, 0.01);
+}
+
+TEST(Yield, AnchorPointIsExact)
+{
+    // Calibration solves yield(8) = 0.98 exactly.
+    EXPECT_NEAR(m::yieldRate(8.0), 0.98, 1e-12);
+}
+
+TEST(Yield, MonotoneDecreasingInArea)
+{
+    double prev = 1.0;
+    for (double a = 1.0; a <= 512.0; a *= 2.0) {
+        const double y = m::yieldRate(a);
+        EXPECT_LT(y, prev);
+        prev = y;
+    }
+}
+
+TEST(Yield, BoundedInUnitInterval)
+{
+    for (double a : {0.001, 1.0, 256.0, 1e6}) {
+        const double y = m::yieldRate(a);
+        EXPECT_GT(y, 0.0);
+        EXPECT_LE(y, 1.0);
+    }
+}
+
+TEST(Yield, ZeroDefectDensityIsPerfect)
+{
+    EXPECT_DOUBLE_EQ(m::yieldRate(128.0, 0.0), 1.0);
+}
+
+TEST(Yield, InvalidArgumentsAreFatal)
+{
+    EXPECT_THROW(m::yieldRate(0.0), ar::util::FatalError);
+    EXPECT_THROW(m::yieldRate(-1.0), ar::util::FatalError);
+    EXPECT_THROW(m::yieldRate(8.0, -0.1), ar::util::FatalError);
+    EXPECT_THROW(m::yieldRate(8.0, 0.1, 0.0), ar::util::FatalError);
+}
+
+TEST(Yield, HigherClusteringRaisesYield)
+{
+    // For a fixed defect density, more clustering (higher alpha in
+    // the negative-binomial model) lowers yield toward Poisson.
+    const double d = m::kDefectDensity;
+    EXPECT_GT(m::yieldRate(128.0, d, 1.0),
+              m::yieldRate(128.0, d, 10.0));
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for tables, ASCII plots, and CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/ascii_plot.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "util/logging.hh"
+
+namespace rp = ar::report;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    rp::Table t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"beta", "22"});
+    const auto text = t.render();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    rp::Table t;
+    t.header({"k", "value"});
+    t.row({"looooong", "1"});
+    const auto text = t.render();
+    std::istringstream iss(text);
+    std::string header, sep, row;
+    std::getline(iss, header);
+    std::getline(iss, sep);
+    std::getline(iss, row);
+    // "value" must start at the same column in header and row.
+    EXPECT_EQ(header.find("value"), 10u);
+    EXPECT_NE(row.find("looooong"), std::string::npos);
+}
+
+TEST(Table, RowNumericFormatsDigits)
+{
+    rp::Table t;
+    t.rowNumeric("pi", {3.14159}, 2);
+    EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+TEST(AsciiPlot, HistogramChartShowsBars)
+{
+    ar::stats::Histogram h(0.0, 1.0, 2);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.25);
+    h.add(0.75);
+    const auto text = rp::histogramChart(h, 20);
+    EXPECT_NE(text.find("####"), std::string::npos);
+    EXPECT_NE(text.find(" 10"), std::string::npos);
+}
+
+TEST(AsciiPlot, SparklineLengthMatchesInput)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 2.0, 1.0};
+    const auto line = rp::sparkline(v);
+    // Each level glyph is 3 bytes of UTF-8.
+    EXPECT_EQ(line.size(), 5u * 3u);
+}
+
+TEST(AsciiPlot, SparklineEmptyInput)
+{
+    const std::vector<double> v;
+    EXPECT_TRUE(rp::sparkline(v).empty());
+}
+
+TEST(AsciiPlot, SparklineConstantSeriesUsesLowestLevel)
+{
+    const std::vector<double> v{2.0, 2.0};
+    const auto line = rp::sparkline(v);
+    EXPECT_EQ(line, "▁▁");
+}
+
+TEST(Csv, WritesRowsAndQuotes)
+{
+    const std::string path = "/tmp/ar_test_csv_output.csv";
+    {
+        rp::CsvWriter csv(path);
+        csv.row({"a", "b,with,commas", "c\"quoted\""});
+        csv.row("nums", {1.5, 2.0});
+        csv.close();
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,\"b,with,commas\",\"c\"\"quoted\"\"\"");
+    EXPECT_EQ(line2, "nums,1.5,2");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(rp::CsvWriter("/nonexistent-dir/file.csv"),
+                 ar::util::FatalError);
+}

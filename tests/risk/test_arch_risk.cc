@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for architectural risk aggregation (Eqs. 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/normal.hh"
+#include "risk/arch_risk.hh"
+#include "util/logging.hh"
+
+namespace r = ar::risk;
+
+TEST(ArchRisk, AverageOverSamples)
+{
+    const std::vector<double> perf{0.5, 1.0, 1.5, 0.9};
+    r::QuadraticRisk fn;
+    // Costs: 0.25, 0, 0, 0.01 -> mean 0.065.
+    EXPECT_NEAR(r::archRisk(perf, 1.0, fn), 0.065, 1e-12);
+}
+
+TEST(ArchRisk, ZeroWhenAllMeetReference)
+{
+    const std::vector<double> perf{1.0, 1.2, 2.0};
+    r::QuadraticRisk fn;
+    EXPECT_DOUBLE_EQ(r::archRisk(perf, 1.0, fn), 0.0);
+}
+
+TEST(ArchRisk, StepRiskIsShortfallProbability)
+{
+    const std::vector<double> perf{0.5, 0.9, 1.1, 1.2};
+    r::StepRisk fn;
+    EXPECT_DOUBLE_EQ(r::archRisk(perf, 1.0, fn), 0.5);
+}
+
+TEST(ArchRisk, EmptySampleIsFatal)
+{
+    const std::vector<double> none;
+    r::StepRisk fn;
+    EXPECT_THROW(r::archRisk(none, 1.0, fn), ar::util::FatalError);
+}
+
+TEST(ArchRisk, MonotoneInReference)
+{
+    const std::vector<double> perf{0.8, 0.9, 1.0, 1.1};
+    r::LinearRisk fn;
+    EXPECT_LE(r::archRisk(perf, 0.9, fn), r::archRisk(perf, 1.0, fn));
+    EXPECT_LE(r::archRisk(perf, 1.0, fn), r::archRisk(perf, 1.5, fn));
+}
+
+TEST(ArchRisk, DistributionQuadratureMatchesSampling)
+{
+    ar::dist::Normal perf(1.0, 0.1);
+    r::QuadraticRisk fn;
+    const double analytic = r::archRisk(perf, 1.0, fn, 8192);
+    // E[max(0, 1-X)^2] for X ~ N(1, 0.1): half of E[(X-1)^2] = 0.005.
+    EXPECT_NEAR(analytic, 0.005, 1e-4);
+}
+
+TEST(ArchRisk, QuadratureGridZeroIsFatal)
+{
+    ar::dist::Normal perf(1.0, 0.1);
+    r::StepRisk fn;
+    EXPECT_THROW(r::archRisk(perf, 1.0, fn, 0), ar::util::FatalError);
+}
+
+TEST(ArchRisk, StepOnDistributionIsCdf)
+{
+    ar::dist::Normal perf(1.0, 0.2);
+    r::StepRisk fn;
+    EXPECT_NEAR(r::archRisk(perf, 1.0, fn, 4096), 0.5, 1e-3);
+    EXPECT_NEAR(r::archRisk(perf, 0.8, fn, 4096), perf.cdf(0.8),
+                2e-3);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for risk functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "risk/risk_function.hh"
+#include "util/logging.hh"
+
+namespace r = ar::risk;
+
+TEST(StepRisk, IndicatorBehaviour)
+{
+    r::StepRisk fn;
+    EXPECT_DOUBLE_EQ(fn.cost(0.5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(fn.cost(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(fn.cost(1.5, 1.0), 0.0);
+}
+
+TEST(LinearRisk, ShortfallMagnitude)
+{
+    r::LinearRisk fn;
+    EXPECT_DOUBLE_EQ(fn.cost(0.7, 1.0), 0.3);
+    EXPECT_DOUBLE_EQ(fn.cost(1.2, 1.0), 0.0);
+}
+
+TEST(QuadraticRisk, SquaredShortfall)
+{
+    r::QuadraticRisk fn;
+    EXPECT_DOUBLE_EQ(fn.cost(0.5, 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(fn.cost(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(fn.cost(2.0, 1.0), 0.0);
+}
+
+TEST(QuadraticRisk, DeepShortfallDominates)
+{
+    // The paper's rationale: performance well below expectation is
+    // much worse than just below.
+    r::QuadraticRisk fn;
+    EXPECT_GT(fn.cost(0.0, 1.0), 4.0 * fn.cost(0.5, 1.0) - 1e-12);
+}
+
+TEST(PiecewiseRisk, StepsActivateByDepth)
+{
+    r::PiecewiseRisk fn({{0.0, 1.0}, {0.2, 5.0}, {0.5, 20.0}});
+    EXPECT_DOUBLE_EQ(fn.cost(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(fn.cost(0.95, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(fn.cost(0.75, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(fn.cost(0.3, 1.0), 20.0);
+}
+
+TEST(PiecewiseRisk, InvalidStepsAreFatal)
+{
+    EXPECT_THROW(r::PiecewiseRisk({}), ar::util::FatalError);
+    EXPECT_THROW(r::PiecewiseRisk({{0.5, 1.0}, {0.2, 2.0}}),
+                 ar::util::FatalError);
+    EXPECT_THROW(r::PiecewiseRisk({{-0.1, 1.0}}),
+                 ar::util::FatalError);
+}
+
+TEST(MonetaryRisk, Table5Values)
+{
+    const auto fn = r::MonetaryRisk::table5();
+    EXPECT_DOUBLE_EQ(fn.value(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(fn.value(0.6), 200.0);
+    EXPECT_DOUBLE_EQ(fn.value(0.79), 200.0);
+    EXPECT_DOUBLE_EQ(fn.value(0.85), 300.0);
+    EXPECT_DOUBLE_EQ(fn.value(0.95), 600.0);
+    EXPECT_DOUBLE_EQ(fn.value(1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(fn.value(1.7), 1000.0);
+}
+
+TEST(MonetaryRisk, CostIsDollarGap)
+{
+    const auto fn = r::MonetaryRisk::table5();
+    // Reference at 1.0 ($1000); realized 0.85 ($300) -> $700 lost.
+    EXPECT_DOUBLE_EQ(fn.cost(0.85, 1.0), 700.0);
+    EXPECT_DOUBLE_EQ(fn.cost(0.99, 1.0), 400.0);
+    EXPECT_DOUBLE_EQ(fn.cost(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(fn.cost(1.2, 1.0), 0.0);
+}
+
+TEST(MonetaryRisk, NoCostWhenMeetingReference)
+{
+    const auto fn = r::MonetaryRisk::table5();
+    EXPECT_DOUBLE_EQ(fn.cost(0.95, 0.95), 0.0);
+}
+
+TEST(MonetaryRisk, InvalidBinsAreFatal)
+{
+    EXPECT_THROW(r::MonetaryRisk({}), ar::util::FatalError);
+    EXPECT_THROW(
+        r::MonetaryRisk({{0.0, 100.0}, {0.0, 200.0}}),
+        ar::util::FatalError);
+    EXPECT_THROW(
+        r::MonetaryRisk({{0.0, 100.0}, {0.5, 50.0}}),
+        ar::util::FatalError);
+}
+
+TEST(RiskFunctions, ClonePreservesBehaviour)
+{
+    const auto fn = r::MonetaryRisk::table5();
+    const auto copy = fn.clone();
+    EXPECT_DOUBLE_EQ(copy->cost(0.85, 1.0), fn.cost(0.85, 1.0));
+    r::QuadraticRisk q;
+    EXPECT_DOUBLE_EQ(q.clone()->cost(0.5, 1.0), 0.25);
+}
+
+TEST(RiskFunctions, NeverChargeAtOrAboveReference)
+{
+    // Property required by Eq. 1: cost(pe, p) = 0 for pe >= p.
+    const r::StepRisk step;
+    const r::LinearRisk lin;
+    const r::QuadraticRisk quad;
+    const auto money = r::MonetaryRisk::table5();
+    const r::PiecewiseRisk piece({{0.0, 1.0}});
+    for (double p : {0.5, 1.0, 2.0}) {
+        for (double delta : {0.0, 0.1, 1.0}) {
+            const double pe = p + delta;
+            EXPECT_DOUBLE_EQ(step.cost(pe, p), 0.0);
+            EXPECT_DOUBLE_EQ(lin.cost(pe, p), 0.0);
+            EXPECT_DOUBLE_EQ(quad.cost(pe, p), 0.0);
+            EXPECT_DOUBLE_EQ(money.cost(pe, p), 0.0);
+            EXPECT_DOUBLE_EQ(piece.cost(pe, p), 0.0);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for VaR / CVaR / shortfall probability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/normal.hh"
+#include "risk/var.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace r = ar::risk;
+
+namespace
+{
+
+std::vector<double>
+ladder()
+{
+    // 1..100.
+    std::vector<double> xs(100);
+    for (std::size_t i = 0; i < 100; ++i)
+        xs[i] = static_cast<double>(i + 1);
+    return xs;
+}
+
+} // namespace
+
+TEST(ValueAtRisk, QuantileOfLadder)
+{
+    const auto xs = ladder();
+    EXPECT_NEAR(r::valueAtRisk(xs, 0.05), 5.95, 1e-9);
+    EXPECT_NEAR(r::valueAtRisk(xs, 0.5), 50.5, 1e-9);
+}
+
+TEST(ValueAtRisk, InvalidAlphaIsFatal)
+{
+    const auto xs = ladder();
+    EXPECT_THROW(r::valueAtRisk(xs, 0.0), ar::util::FatalError);
+    EXPECT_THROW(r::valueAtRisk(xs, 1.0), ar::util::FatalError);
+}
+
+TEST(Cvar, MeanOfWorstTail)
+{
+    const auto xs = ladder();
+    // Worst 5% of 100 samples = {1..5}; mean 3.
+    EXPECT_NEAR(r::conditionalValueAtRisk(xs, 0.05), 3.0, 1e-9);
+}
+
+TEST(Cvar, NeverExceedsVar)
+{
+    ar::util::Rng rng(1);
+    ar::dist::Normal dist(1.0, 0.3);
+    const auto xs = dist.sampleMany(20000, rng);
+    for (double alpha : {0.01, 0.05, 0.25}) {
+        EXPECT_LE(r::conditionalValueAtRisk(xs, alpha),
+                  r::valueAtRisk(xs, alpha) + 1e-9)
+            << alpha;
+    }
+}
+
+TEST(Cvar, GaussianClosedFormCheck)
+{
+    // For N(mu, sd): CVaR_alpha = mu - sd * phi(z_alpha) / alpha.
+    ar::util::Rng rng(2);
+    ar::dist::Normal dist(0.0, 1.0);
+    const auto xs = dist.sampleMany(200000, rng);
+    const double expected = -2.0627; // alpha = 0.05
+    EXPECT_NEAR(r::conditionalValueAtRisk(xs, 0.05), expected, 0.03);
+}
+
+TEST(Cvar, TinyAlphaUsesAtLeastOneSample)
+{
+    const std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(r::conditionalValueAtRisk(xs, 0.01), 1.0);
+}
+
+TEST(Cvar, EmptyIsFatal)
+{
+    const std::vector<double> none;
+    EXPECT_THROW(r::conditionalValueAtRisk(none, 0.05),
+                 ar::util::FatalError);
+}
+
+TEST(ShortfallProbability, CountsBelowReference)
+{
+    const std::vector<double> xs{0.5, 0.9, 1.0, 1.5};
+    EXPECT_DOUBLE_EQ(r::shortfallProbability(xs, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(r::shortfallProbability(xs, 0.4), 0.0);
+    EXPECT_DOUBLE_EQ(r::shortfallProbability(xs, 2.0), 1.0);
+}
+
+TEST(ShortfallProbability, EmptyIsFatal)
+{
+    const std::vector<double> none;
+    EXPECT_THROW(r::shortfallProbability(none, 1.0),
+                 ar::util::FatalError);
+}

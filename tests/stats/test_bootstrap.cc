@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for bootstrap resampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "math/numeric.hh"
+#include "stats/bootstrap.hh"
+#include "util/logging.hh"
+
+namespace s = ar::stats;
+
+TEST(Resample, DrawsOnlySourceValues)
+{
+    ar::util::Rng rng(41);
+    const std::vector<double> src{1.0, 2.0, 3.0};
+    const auto out = s::resample(src, 500, rng);
+    ASSERT_EQ(out.size(), 500u);
+    for (double v : out) {
+        EXPECT_TRUE(v == 1.0 || v == 2.0 || v == 3.0);
+    }
+}
+
+TEST(Resample, EventuallyDrawsEveryValue)
+{
+    ar::util::Rng rng(42);
+    const std::vector<double> src{1.0, 2.0, 3.0, 4.0};
+    const auto out = s::resample(src, 200, rng);
+    const std::set<double> seen(out.begin(), out.end());
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Resample, PreservesMeanApproximately)
+{
+    ar::util::Rng rng(43);
+    std::vector<double> src(100);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<double>(i);
+    const auto out = s::resample(src, 100000, rng);
+    EXPECT_NEAR(ar::math::mean(out), ar::math::mean(src), 0.5);
+}
+
+TEST(Resample, EmptySourceIsFatal)
+{
+    ar::util::Rng rng(44);
+    const std::vector<double> src;
+    EXPECT_THROW(s::resample(src, 10, rng), ar::util::FatalError);
+}
+
+TEST(GaussianBootstrap, MatchesFitMoments)
+{
+    ar::util::Rng rng(45);
+    s::GaussianFit fit;
+    fit.mean = 2.0;
+    fit.stddev = 0.5;
+    const auto out = s::gaussianBootstrap(fit, 100000, rng);
+    EXPECT_NEAR(ar::math::mean(out), 2.0, 0.01);
+    EXPECT_NEAR(ar::math::stddev(out), 0.5, 0.01);
+}
+
+TEST(GaussianBootstrap, StddevScaleTunesSpread)
+{
+    ar::util::Rng rng(46);
+    s::GaussianFit fit;
+    fit.mean = 0.0;
+    fit.stddev = 1.0;
+    const auto half = s::gaussianBootstrap(fit, 50000, rng, 0.5);
+    EXPECT_NEAR(ar::math::stddev(half), 0.5, 0.02);
+}
+
+TEST(GaussianBootstrap, ZeroScaleIsDegenerate)
+{
+    ar::util::Rng rng(47);
+    s::GaussianFit fit;
+    fit.mean = 3.0;
+    fit.stddev = 1.0;
+    const auto out = s::gaussianBootstrap(fit, 10, rng, 0.0);
+    for (double v : out)
+        EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(GaussianBootstrap, NegativeScaleIsFatal)
+{
+    ar::util::Rng rng(48);
+    s::GaussianFit fit;
+    EXPECT_THROW(s::gaussianBootstrap(fit, 10, rng, -1.0),
+                 ar::util::FatalError);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit and property tests for the Box-Cox transform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/boxcox.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace s = ar::stats;
+
+namespace
+{
+
+std::vector<double>
+lognormalSample(std::size_t n, std::uint64_t seed, double mu = 0.0,
+                double sigma = 0.5)
+{
+    ar::util::Rng rng(seed);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = std::exp(rng.gaussian(mu, sigma));
+    return xs;
+}
+
+} // namespace
+
+TEST(BoxCoxTransform, LambdaOneIsShiftByMinusOne)
+{
+    s::BoxCoxTransform t{1.0, 0.0};
+    EXPECT_DOUBLE_EQ(t.apply(5.0), 4.0);
+    EXPECT_DOUBLE_EQ(t.invert(4.0), 5.0);
+}
+
+TEST(BoxCoxTransform, LambdaZeroIsLog)
+{
+    s::BoxCoxTransform t{0.0, 0.0};
+    EXPECT_DOUBLE_EQ(t.apply(std::exp(2.0)), 2.0);
+    EXPECT_NEAR(t.invert(2.0), std::exp(2.0), 1e-12);
+}
+
+TEST(BoxCoxTransform, RoundTripAcrossLambdas)
+{
+    for (double lambda : {-2.0, -0.5, 0.0, 0.33, 1.0, 2.5}) {
+        s::BoxCoxTransform t{lambda, 0.0};
+        for (double x : {0.1, 1.0, 7.3, 100.0}) {
+            EXPECT_NEAR(t.invert(t.apply(x)), x,
+                        1e-9 * std::max(1.0, x))
+                << "lambda=" << lambda << " x=" << x;
+        }
+    }
+}
+
+TEST(BoxCoxTransform, ShiftHandlesNonPositiveData)
+{
+    s::BoxCoxTransform t{0.5, 3.0};
+    EXPECT_NO_THROW(t.apply(-2.0));
+    EXPECT_NEAR(t.invert(t.apply(-2.0)), -2.0, 1e-9);
+}
+
+TEST(BoxCoxTransform, NonPositiveAfterShiftIsFatal)
+{
+    s::BoxCoxTransform t{1.0, 0.0};
+    EXPECT_THROW(t.apply(0.0), ar::util::FatalError);
+    EXPECT_THROW(t.apply(-1.0), ar::util::FatalError);
+}
+
+TEST(BoxCoxTransform, InversionClampsOutOfImageValues)
+{
+    // lambda = 2: image is y >= -1/2.  Values below map to the edge.
+    s::BoxCoxTransform t{2.0, 0.0};
+    EXPECT_DOUBLE_EQ(t.invert(-10.0), 0.0);
+}
+
+TEST(BoxCoxTransform, MonotoneIncreasing)
+{
+    for (double lambda : {-1.0, 0.0, 0.5, 2.0}) {
+        s::BoxCoxTransform t{lambda, 0.0};
+        double prev = t.apply(0.01);
+        for (double x = 0.1; x < 20.0; x += 0.5) {
+            const double cur = t.apply(x);
+            EXPECT_GT(cur, prev) << "lambda=" << lambda;
+            prev = cur;
+        }
+    }
+}
+
+TEST(FitBoxCox, RecoversLogForLognormalData)
+{
+    const auto xs = lognormalSample(400, 21, 1.0, 0.8);
+    const auto fit = s::fitBoxCox(xs);
+    // True normalizing lambda is 0 (log transform).
+    EXPECT_NEAR(fit.transform.lambda, 0.0, 0.25);
+    EXPECT_TRUE(fit.passed);
+}
+
+TEST(FitBoxCox, IdentityForGaussianData)
+{
+    ar::util::Rng rng(22);
+    std::vector<double> xs(400);
+    for (auto &x : xs)
+        x = rng.gaussian(50.0, 2.0);
+    const auto fit = s::fitBoxCox(xs);
+    EXPECT_TRUE(fit.passed);
+    // Gaussian data far from zero: any lambda fits well, and the
+    // transformed data must still be normal.
+    EXPECT_GE(fit.confidence, 0.95);
+}
+
+TEST(FitBoxCox, SquareRootLawData)
+{
+    // x = z^2 with z gaussian-positive: lambda ~ 0.5 normalizes.
+    ar::util::Rng rng(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 400; ++i) {
+        const double z = rng.gaussian(10.0, 1.0);
+        xs.push_back(z * z);
+    }
+    const auto fit = s::fitBoxCox(xs);
+    EXPECT_TRUE(fit.passed);
+    EXPECT_NEAR(fit.transform.lambda, 0.5, 0.5);
+}
+
+TEST(FitBoxCox, BimodalDataFailsGate)
+{
+    ar::util::Rng rng(24);
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i) {
+        xs.push_back(rng.gaussian(1.0, 0.05));
+        xs.push_back(rng.gaussian(10.0, 0.05));
+    }
+    const auto fit = s::fitBoxCox(xs);
+    EXPECT_FALSE(fit.passed);
+}
+
+TEST(FitBoxCox, TooFewSamplesIsFatal)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_THROW(s::fitBoxCox(xs), ar::util::FatalError);
+}
+
+TEST(BoxCoxLogLikelihood, PeaksNearTrueLambda)
+{
+    const auto xs = lognormalSample(1000, 25, 0.0, 0.6);
+    const double ll_zero = s::boxCoxLogLikelihood(xs, 0.0);
+    const double ll_two = s::boxCoxLogLikelihood(xs, 2.0);
+    const double ll_neg = s::boxCoxLogLikelihood(xs, -2.0);
+    EXPECT_GT(ll_zero, ll_two);
+    EXPECT_GT(ll_zero, ll_neg);
+}

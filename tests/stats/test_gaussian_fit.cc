@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for Gaussian MLE fitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/gaussian_fit.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace s = ar::stats;
+
+TEST(FitGaussian, RecoversParameters)
+{
+    ar::util::Rng rng(31);
+    std::vector<double> xs(20000);
+    for (auto &x : xs)
+        x = rng.gaussian(4.0, 1.5);
+    const auto fit = s::fitGaussian(xs);
+    EXPECT_NEAR(fit.mean, 4.0, 0.05);
+    EXPECT_NEAR(fit.stddev, 1.5, 0.05);
+}
+
+TEST(FitGaussian, MleUsesPopulationDenominator)
+{
+    const std::vector<double> xs{0.0, 2.0};
+    const auto fit = s::fitGaussian(xs);
+    EXPECT_DOUBLE_EQ(fit.mean, 1.0);
+    EXPECT_DOUBLE_EQ(fit.stddev, 1.0); // sqrt(((1)^2+(1)^2)/2)
+}
+
+TEST(FitGaussian, LogLikelihoodIsHigherForBetterFit)
+{
+    ar::util::Rng rng(32);
+    std::vector<double> tight(500), wide(500);
+    for (int i = 0; i < 500; ++i) {
+        tight[i] = rng.gaussian(0.0, 0.1);
+        wide[i] = rng.gaussian(0.0, 10.0);
+    }
+    EXPECT_GT(s::fitGaussian(tight).log_likelihood,
+              s::fitGaussian(wide).log_likelihood);
+}
+
+TEST(FitGaussian, DegenerateSampleIsFatal)
+{
+    const std::vector<double> xs{3.0, 3.0, 3.0};
+    EXPECT_THROW(s::fitGaussian(xs), ar::util::FatalError);
+}
+
+TEST(FitGaussian, SingleSampleIsFatal)
+{
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(s::fitGaussian(xs), ar::util::FatalError);
+}

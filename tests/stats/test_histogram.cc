@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "util/logging.hh"
+
+using ar::stats::Histogram;
+
+TEST(Histogram, CountsLandInCorrectBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.5);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(1.0);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 5);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 100.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        total += h.fraction(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    Histogram h(0.0, 2.0, 8);
+    for (int i = 0; i < 64; ++i)
+        h.add(2.0 * i / 64.0);
+    double integral = 0.0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        integral += h.density(i) * (h.binHi(i) - h.binLo(i));
+    EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinEdgesConsistent)
+{
+    Histogram h(1.0, 3.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 3.0);
+    for (std::size_t i = 0; i + 1 < h.bins(); ++i)
+        EXPECT_DOUBLE_EQ(h.binHi(i), h.binLo(i + 1));
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.25);
+}
+
+TEST(Histogram, FromDataSpansSample)
+{
+    const std::vector<double> xs{3.0, 7.0, 5.0};
+    const auto h = Histogram::fromData(xs, 4);
+    EXPECT_DOUBLE_EQ(h.lo(), 3.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 7.0);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FromDataDegenerateSample)
+{
+    const std::vector<double> xs{2.0, 2.0, 2.0};
+    const auto h = Histogram::fromData(xs, 3);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_LT(h.lo(), 2.0);
+    EXPECT_GT(h.hi(), 2.0);
+}
+
+TEST(Histogram, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ar::util::FatalError);
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), ar::util::FatalError);
+    const std::vector<double> empty;
+    EXPECT_THROW(Histogram::fromData(empty, 4), ar::util::FatalError);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for Gaussian kernel density estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/numeric.hh"
+#include "stats/kde.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using ar::stats::GaussianKde;
+
+namespace
+{
+
+std::vector<double>
+gaussianSample(std::size_t n, std::uint64_t seed)
+{
+    ar::util::Rng rng(seed);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = rng.gaussian();
+    return xs;
+}
+
+} // namespace
+
+TEST(Kde, PdfIsNonNegativeAndPeaksNearData)
+{
+    const std::vector<double> xs{0.0, 0.1, -0.1, 0.05};
+    GaussianKde kde(xs);
+    EXPECT_GT(kde.pdf(0.0), kde.pdf(3.0));
+    EXPECT_GE(kde.pdf(10.0), 0.0);
+}
+
+TEST(Kde, CdfIsMonotoneFromZeroToOne)
+{
+    const auto xs = gaussianSample(300, 51);
+    GaussianKde kde(xs);
+    EXPECT_LT(kde.cdf(-10.0), 0.01);
+    EXPECT_GT(kde.cdf(10.0), 0.99);
+    double prev = 0.0;
+    for (double x = -4.0; x <= 4.0; x += 0.25) {
+        const double cur = kde.cdf(x);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(Kde, PdfIntegratesToOne)
+{
+    const auto xs = gaussianSample(100, 52);
+    GaussianKde kde(xs);
+    double integral = 0.0;
+    const double dx = 0.01;
+    for (double x = -8.0; x <= 8.0; x += dx)
+        integral += kde.pdf(x) * dx;
+    EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Kde, SamplesFollowSourceDistribution)
+{
+    const auto xs = gaussianSample(2000, 53);
+    GaussianKde kde(xs);
+    ar::util::Rng rng(54);
+    const auto draws = kde.sample(20000, rng);
+    EXPECT_NEAR(ar::math::mean(draws), 0.0, 0.05);
+    // KDE inflates variance by h^2.
+    EXPECT_NEAR(ar::math::stddev(draws),
+                std::sqrt(1.0 + kde.bandwidth() * kde.bandwidth()),
+                0.05);
+}
+
+TEST(Kde, SilvermanBandwidthShrinksWithN)
+{
+    const auto small = gaussianSample(50, 55);
+    const auto large = gaussianSample(5000, 55);
+    EXPECT_GT(GaussianKde::silvermanBandwidth(small),
+              GaussianKde::silvermanBandwidth(large));
+}
+
+TEST(Kde, ExplicitBandwidthIsUsed)
+{
+    const std::vector<double> xs{0.0, 1.0};
+    GaussianKde kde(xs, 0.37);
+    EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.37);
+}
+
+TEST(Kde, TooFewSamplesIsFatal)
+{
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(GaussianKde{xs}, ar::util::FatalError);
+}
+
+TEST(Kde, BimodalDataKeepsBothModes)
+{
+    ar::util::Rng rng(56);
+    std::vector<double> xs;
+    for (int i = 0; i < 300; ++i) {
+        xs.push_back(rng.gaussian(-5.0, 0.3));
+        xs.push_back(rng.gaussian(5.0, 0.3));
+    }
+    GaussianKde kde(xs);
+    EXPECT_GT(kde.pdf(-5.0), kde.pdf(0.0) * 5.0);
+    EXPECT_GT(kde.pdf(5.0), kde.pdf(0.0) * 5.0);
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for normality diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/normality.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace s = ar::stats;
+
+namespace
+{
+
+std::vector<double>
+gaussianSample(std::size_t n, std::uint64_t seed, double mu = 0.0,
+               double sd = 1.0)
+{
+    ar::util::Rng rng(seed);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = rng.gaussian(mu, sd);
+    return xs;
+}
+
+std::vector<double>
+exponentialSample(std::size_t n, std::uint64_t seed)
+{
+    ar::util::Rng rng(seed);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = -std::log(1.0 - rng.uniform());
+    return xs;
+}
+
+} // namespace
+
+TEST(AndersonDarling, AcceptsGaussianData)
+{
+    const auto xs = gaussianSample(500, 11);
+    const auto res = s::andersonDarling(xs);
+    EXPECT_LT(res.a2_star, 1.0);
+    EXPECT_GT(res.p_value, 0.05);
+}
+
+TEST(AndersonDarling, RejectsExponentialData)
+{
+    const auto xs = exponentialSample(500, 12);
+    const auto res = s::andersonDarling(xs);
+    EXPECT_LT(res.p_value, 0.01);
+}
+
+TEST(AndersonDarling, RejectsBimodalData)
+{
+    ar::util::Rng rng(13);
+    std::vector<double> xs;
+    for (int i = 0; i < 250; ++i) {
+        xs.push_back(rng.gaussian(-4.0, 0.5));
+        xs.push_back(rng.gaussian(4.0, 0.5));
+    }
+    EXPECT_LT(s::andersonDarling(xs).p_value, 0.01);
+}
+
+TEST(AndersonDarling, DegenerateSampleHasZeroPValue)
+{
+    const std::vector<double> xs{1.0, 1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(s::andersonDarling(xs).p_value, 0.0);
+}
+
+TEST(AndersonDarling, TooFewSamplesIsFatal)
+{
+    const std::vector<double> xs{1.0, 2.0};
+    EXPECT_THROW(s::andersonDarling(xs), ar::util::FatalError);
+}
+
+TEST(Ppcc, NearOneForGaussian)
+{
+    EXPECT_GT(s::ppcc(gaussianSample(200, 14)), 0.99);
+}
+
+TEST(Ppcc, LowerForExponential)
+{
+    const double r_exp = s::ppcc(exponentialSample(200, 15));
+    const double r_gauss = s::ppcc(gaussianSample(200, 15));
+    EXPECT_LT(r_exp, r_gauss);
+    EXPECT_LT(r_exp, 0.97);
+}
+
+TEST(Ppcc, ScaleAndShiftInvariant)
+{
+    const auto xs = gaussianSample(100, 16);
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(5.0 * x - 3.0);
+    EXPECT_NEAR(s::ppcc(xs), s::ppcc(ys), 1e-12);
+}
+
+TEST(NormalityConfidence, HighForGaussian)
+{
+    EXPECT_GE(s::normalityConfidence(gaussianSample(300, 17)), 0.95);
+}
+
+TEST(NormalityConfidence, LowForExponential)
+{
+    EXPECT_LT(s::normalityConfidence(exponentialSample(300, 18)),
+              0.5);
+}
+
+TEST(NormalityConfidence, TinySampleReturnsZero)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(s::normalityConfidence(xs), 0.0);
+}
+
+class NormalityAcrossSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NormalityAcrossSizes, GaussianUsuallyPasses)
+{
+    // Majority vote over independent samples: a correct test accepts
+    // most truly Gaussian samples at any size.
+    const int n = GetParam();
+    int passed = 0;
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto xs = gaussianSample(n, 100 + rep * 7 + n);
+        passed += s::normalityConfidence(xs) >= 0.95;
+    }
+    EXPECT_GE(passed, 6) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalityAcrossSizes,
+                         ::testing::Values(20, 50, 100, 500));

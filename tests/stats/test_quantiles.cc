@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for quantile estimation, the ECDF, and the KS statistic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/quantiles.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace s = ar::stats;
+
+TEST(Quantile, MedianOfOddSample)
+{
+    const std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(s::median(xs), 2.0);
+}
+
+TEST(Quantile, MedianOfEvenSampleInterpolates)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(s::median(xs), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax)
+{
+    const std::vector<double> xs{5.0, -1.0, 3.0};
+    EXPECT_DOUBLE_EQ(s::quantile(xs, 0.0), -1.0);
+    EXPECT_DOUBLE_EQ(s::quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, Type7Interpolation)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(s::quantile(xs, 0.25), 20.0);
+    EXPECT_DOUBLE_EQ(s::quantile(xs, 0.125), 15.0);
+}
+
+TEST(Quantile, OutOfRangeIsFatal)
+{
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(s::quantile(xs, 1.5), ar::util::FatalError);
+    EXPECT_THROW(s::quantile(xs, -0.1), ar::util::FatalError);
+}
+
+TEST(Quantile, EmptyIsFatal)
+{
+    const std::vector<double> xs;
+    EXPECT_THROW(s::quantile(xs, 0.5), ar::util::FatalError);
+}
+
+TEST(Ecdf, StepValues)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    s::Ecdf ecdf(xs);
+    EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+    EXPECT_NEAR(ecdf(1.0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(ecdf(2.5), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(ecdf(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf(99.0), 1.0);
+}
+
+TEST(Ecdf, QuantileAgreesWithFreeFunction)
+{
+    const std::vector<double> xs{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+    s::Ecdf ecdf(xs);
+    for (double q : {0.0, 0.3, 0.5, 0.8, 1.0})
+        EXPECT_DOUBLE_EQ(ecdf.quantile(q), s::quantile(xs, q));
+}
+
+TEST(KsStatistic, IdenticalSamplesGiveZero)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(s::ksStatistic(xs, xs), 0.0);
+}
+
+TEST(KsStatistic, DisjointSamplesGiveOne)
+{
+    const std::vector<double> a{1.0, 2.0};
+    const std::vector<double> b{10.0, 20.0};
+    EXPECT_DOUBLE_EQ(s::ksStatistic(a, b), 1.0);
+}
+
+TEST(KsStatistic, SymmetricInArguments)
+{
+    ar::util::Rng rng(3);
+    std::vector<double> a(100), b(150);
+    for (auto &x : a)
+        x = rng.gaussian();
+    for (auto &x : b)
+        x = rng.gaussian(0.5, 1.0);
+    EXPECT_DOUBLE_EQ(s::ksStatistic(a, b), s::ksStatistic(b, a));
+}
+
+TEST(KsStatistic, SmallForSameDistribution)
+{
+    ar::util::Rng rng(5);
+    std::vector<double> a(5000), b(5000);
+    for (auto &x : a)
+        x = rng.gaussian();
+    for (auto &x : b)
+        x = rng.gaussian();
+    EXPECT_LT(s::ksStatistic(a, b), 0.05);
+}

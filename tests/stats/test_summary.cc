@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for batch and running statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace s = ar::stats;
+
+TEST(Summarize, MomentsOfKnownSample)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                 9.0};
+    const auto sum = s::summarize(xs);
+    EXPECT_EQ(sum.n, 8u);
+    EXPECT_DOUBLE_EQ(sum.mean, 5.0);
+    EXPECT_NEAR(sum.variance, 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(sum.min, 2.0);
+    EXPECT_DOUBLE_EQ(sum.max, 9.0);
+}
+
+TEST(Summarize, EmptyIsFatal)
+{
+    const std::vector<double> xs;
+    EXPECT_THROW(s::summarize(xs), ar::util::FatalError);
+}
+
+TEST(Summarize, SymmetricSampleHasZeroSkew)
+{
+    const std::vector<double> xs{-2.0, -1.0, 0.0, 1.0, 2.0};
+    EXPECT_NEAR(s::summarize(xs).skewness, 0.0, 1e-12);
+}
+
+TEST(Summarize, RightSkewedSampleHasPositiveSkew)
+{
+    const std::vector<double> xs{1.0, 1.0, 1.0, 1.0, 10.0};
+    EXPECT_GT(s::summarize(xs).skewness, 0.5);
+}
+
+TEST(Summarize, GaussianSkewKurtNearZero)
+{
+    ar::util::Rng rng(13);
+    std::vector<double> xs(50000);
+    for (auto &x : xs)
+        x = rng.gaussian();
+    const auto sum = s::summarize(xs);
+    EXPECT_NEAR(sum.skewness, 0.0, 0.05);
+    EXPECT_NEAR(sum.kurtosis, 0.0, 0.1);
+}
+
+TEST(Summarize, SingleValue)
+{
+    const std::vector<double> xs{7.5};
+    const auto sum = s::summarize(xs);
+    EXPECT_DOUBLE_EQ(sum.mean, 7.5);
+    EXPECT_DOUBLE_EQ(sum.stddev, 0.0);
+}
+
+TEST(RunningStats, MatchesBatchSummary)
+{
+    ar::util::Rng rng(17);
+    std::vector<double> xs(1000);
+    s::RunningStats rs;
+    for (auto &x : xs) {
+        x = rng.gaussian(3.0, 2.0);
+        rs.add(x);
+    }
+    const auto sum = s::summarize(xs);
+    EXPECT_EQ(rs.count(), sum.n);
+    EXPECT_NEAR(rs.mean(), sum.mean, 1e-10);
+    EXPECT_NEAR(rs.variance(), sum.variance, 1e-8);
+    EXPECT_DOUBLE_EQ(rs.min(), sum.min);
+    EXPECT_DOUBLE_EQ(rs.max(), sum.max);
+}
+
+TEST(RunningStats, EmptyAccessorsAreFatal)
+{
+    s::RunningStats rs;
+    EXPECT_THROW(rs.min(), ar::util::FatalError);
+    EXPECT_THROW(rs.max(), ar::util::FatalError);
+    EXPECT_THROW(rs.variance(), ar::util::FatalError);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    ar::util::Rng rng(19);
+    s::RunningStats whole, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(-1.0, 5.0);
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop)
+{
+    s::RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}

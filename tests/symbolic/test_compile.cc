@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for expression compilation and tape evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "symbolic/compile.hh"
+#include "symbolic/parser.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using namespace ar::symbolic;
+
+TEST(Compile, ArgumentOrderIsSorted)
+{
+    CompiledExpr fn(parseExpr("zeta + alpha * mid"));
+    const auto &args = fn.argNames();
+    ASSERT_EQ(args.size(), 3u);
+    EXPECT_EQ(args[0], "alpha");
+    EXPECT_EQ(args[1], "mid");
+    EXPECT_EQ(args[2], "zeta");
+}
+
+TEST(Compile, ArgIndexLookup)
+{
+    CompiledExpr fn(parseExpr("b + a"));
+    EXPECT_EQ(fn.argIndex("a"), 0u);
+    EXPECT_EQ(fn.argIndex("b"), 1u);
+    EXPECT_THROW(fn.argIndex("c"), ar::util::FatalError);
+}
+
+TEST(Compile, EvaluatesArithmetic)
+{
+    CompiledExpr fn(parseExpr("a * 2 + b / 4"));
+    const std::vector<double> args{3.0, 8.0}; // a=3, b=8
+    EXPECT_DOUBLE_EQ(fn.eval(args), 8.0);
+}
+
+TEST(Compile, EvaluatesPowerAndSqrt)
+{
+    CompiledExpr fn(parseExpr("sqrt(a) + a ^ 2"));
+    const std::vector<double> args{4.0};
+    EXPECT_DOUBLE_EQ(fn.eval(args), 18.0);
+}
+
+TEST(Compile, EvaluatesMaxMin)
+{
+    CompiledExpr fn(parseExpr("max(a, b, 2) + min(a, b)"));
+    EXPECT_DOUBLE_EQ(fn.eval(std::vector<double>{1.0, 5.0}), 6.0);
+}
+
+TEST(Compile, EvaluatesFunctions)
+{
+    CompiledExpr fn(parseExpr("exp(log(a)) + gtz(b)"));
+    EXPECT_DOUBLE_EQ(fn.eval(std::vector<double>{3.0, -1.0}), 3.0);
+    EXPECT_DOUBLE_EQ(fn.eval(std::vector<double>{3.0, 0.5}), 4.0);
+}
+
+TEST(Compile, ConstantExpressionNeedsNoArgs)
+{
+    CompiledExpr fn(parseExpr("2 + 3 * 4"));
+    EXPECT_TRUE(fn.argNames().empty());
+    EXPECT_DOUBLE_EQ(fn.eval({}), 14.0);
+}
+
+TEST(Compile, WrongArgCountIsFatal)
+{
+    CompiledExpr fn(parseExpr("a + b"));
+    const std::vector<double> one{1.0};
+    EXPECT_THROW(fn.eval(one), ar::util::FatalError);
+}
+
+TEST(Compile, DivisionByZeroYieldsInfNotCrash)
+{
+    CompiledExpr fn(parseExpr("1 / x"));
+    const std::vector<double> zero{0.0};
+    EXPECT_TRUE(std::isinf(fn.eval(zero)));
+}
+
+TEST(Compile, RepeatedEvalIsConsistent)
+{
+    CompiledExpr fn(parseExpr("a * a - b"));
+    const std::vector<double> args{3.0, 4.0};
+    for (int i = 0; i < 100; ++i)
+        ASSERT_DOUBLE_EQ(fn.eval(args), 5.0);
+}
+
+TEST(Compile, MatchesRecursiveEvaluationOnRandomInputs)
+{
+    // Property: the tape must agree with a direct recursive
+    // evaluation for a non-trivial expression across random inputs.
+    const char *text =
+        "1 / ((1 - f + c * (n0 + n1)) / max(p0 * gtz(n0), "
+        "p1 * gtz(n1)) + f / (n0 * p0 + n1 * p1))";
+    CompiledExpr fn(parseExpr(text));
+    ar::util::Rng rng(121);
+    for (int i = 0; i < 200; ++i) {
+        const double f = rng.uniform(0.5, 0.999);
+        const double c = rng.uniform(0.0, 0.02);
+        const double n0 = std::floor(rng.uniform(0.0, 17.0));
+        const double n1 = std::floor(rng.uniform(0.0, 3.0));
+        const double p0 = rng.uniform(0.0, 4.0);
+        const double p1 = rng.uniform(0.0, 12.0);
+
+        // args sorted: c, f, n0, n1, p0, p1
+        const std::vector<double> args{c, f, n0, n1, p0, p1};
+        const double got = fn.eval(args);
+
+        const double p_ser =
+            std::max(p0 * (n0 > 0 ? 1.0 : 0.0),
+                     p1 * (n1 > 0 ? 1.0 : 0.0));
+        const double denom =
+            (1.0 - f + c * (n0 + n1)) / p_ser +
+            f / (n0 * p0 + n1 * p1);
+        const double expect = 1.0 / denom;
+        if (std::isfinite(expect)) {
+            ASSERT_NEAR(got, expect, 1e-9 * std::max(1.0, expect))
+                << "trial " << i;
+        }
+    }
+}
+
+TEST(Compile, TapeLengthIsReported)
+{
+    CompiledExpr fn(parseExpr("a + b * c"));
+    EXPECT_GT(fn.tapeLength(), 3u);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for symbolic differentiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "symbolic/diff.hh"
+#include "symbolic/parser.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/substitute.hh"
+#include "util/logging.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+double
+derivAt(const char *text, const std::map<std::string, double> &vals)
+{
+    const auto d = diff(parseExpr(text), "x");
+    EXPECT_TRUE(d.has_value()) << text;
+    return evalConstant(substitute(*d, vals));
+}
+
+} // namespace
+
+TEST(Diff, ConstantsAndForeignSymbols)
+{
+    EXPECT_TRUE((*diff(parseExpr("5"), "x"))->isConstant(0.0));
+    EXPECT_TRUE((*diff(parseExpr("y"), "x"))->isConstant(0.0));
+    EXPECT_TRUE((*diff(parseExpr("x"), "x"))->isConstant(1.0));
+}
+
+TEST(Diff, Polynomial)
+{
+    // d/dx (3x^2 + 2x + 7) = 6x + 2.
+    EXPECT_NEAR(derivAt("3 * x^2 + 2 * x + 7", {{"x", 4.0}}), 26.0,
+                1e-12);
+}
+
+TEST(Diff, ProductRule)
+{
+    // d/dx (x * y * x) = 2xy.
+    EXPECT_NEAR(derivAt("x * y * x", {{"x", 3.0}, {"y", 5.0}}), 30.0,
+                1e-12);
+}
+
+TEST(Diff, QuotientViaPow)
+{
+    // d/dx (1/x) = -1/x^2.
+    EXPECT_NEAR(derivAt("1 / x", {{"x", 2.0}}), -0.25, 1e-12);
+}
+
+TEST(Diff, SqrtRule)
+{
+    EXPECT_NEAR(derivAt("sqrt(x)", {{"x", 16.0}}), 0.125, 1e-12);
+}
+
+TEST(Diff, ExponentTarget)
+{
+    // d/dx (2^x) = 2^x log 2.
+    EXPECT_NEAR(derivAt("2 ^ x", {{"x", 3.0}}),
+                8.0 * std::log(2.0), 1e-12);
+}
+
+TEST(Diff, GeneralPower)
+{
+    // d/dx (x^x) = x^x (log x + 1).
+    EXPECT_NEAR(derivAt("x ^ x", {{"x", 2.0}}),
+                4.0 * (std::log(2.0) + 1.0), 1e-12);
+}
+
+TEST(Diff, LogAndExpChain)
+{
+    EXPECT_NEAR(derivAt("log(x^2)", {{"x", 3.0}}), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(derivAt("exp(2 * x)", {{"x", 1.0}}),
+                2.0 * std::exp(2.0), 1e-12);
+}
+
+TEST(Diff, AmdahlSensitivity)
+{
+    // d/df of 1/((1-f) + f/s) at f=0.9, s=16 (sensitivity of speedup
+    // to parallel fraction): (1 - 1/s) / ((1-f) + f/s)^2.
+    const double f = 0.9, s = 16.0;
+    const double denom = (1.0 - f) + f / s;
+    const double expect = (1.0 - 1.0 / s) / (denom * denom);
+    const auto d = diff(parseExpr("1 / ((1 - f) + f / s)"), "f");
+    ASSERT_TRUE(d.has_value());
+    const double got = evalConstant(substitute(
+        *d, std::map<std::string, double>{{"f", f}, {"s", s}}));
+    EXPECT_NEAR(got, expect, 1e-12);
+}
+
+TEST(Diff, NonDifferentiableReturnsNullopt)
+{
+    EXPECT_FALSE(diff(parseExpr("max(x, 1)"), "x").has_value());
+    EXPECT_FALSE(diff(parseExpr("min(x, 1)"), "x").has_value());
+    EXPECT_FALSE(diff(parseExpr("gtz(x)"), "x").has_value());
+}
+
+TEST(Diff, MaxOfForeignSymbolsIsFine)
+{
+    // max over expressions not involving x differentiates to 0.
+    EXPECT_TRUE((*diff(parseExpr("max(a, b)"), "x"))
+                    ->isConstant(0.0));
+}
+
+TEST(Diff, NumericalCrossCheck)
+{
+    // Central-difference check on a composite expression.
+    const char *text = "x^3 / (1 + x) + sqrt(x) * exp(-x)";
+    const auto expr = parseExpr(text);
+    const auto d = diff(expr, "x");
+    ASSERT_TRUE(d.has_value());
+    for (double x : {0.5, 1.0, 2.5, 7.0}) {
+        const double h = 1e-6 * std::max(1.0, x);
+        const auto at = [&](double v) {
+            return evalConstant(substitute(
+                expr, std::map<std::string, double>{{"x", v}}));
+        };
+        const double numeric = (at(x + h) - at(x - h)) / (2.0 * h);
+        const double symbolic = evalConstant(substitute(
+            *d, std::map<std::string, double>{{"x", x}}));
+        EXPECT_NEAR(symbolic, numeric,
+                    1e-5 * std::max(1.0, std::fabs(numeric)))
+            << "x=" << x;
+    }
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for expression construction and inspection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "symbolic/expr.hh"
+#include "symbolic/printer.hh"
+#include "util/logging.hh"
+
+using namespace ar::symbolic;
+
+TEST(Expr, ConstantValue)
+{
+    const auto c = Expr::constant(2.5);
+    EXPECT_TRUE(c->isConstant());
+    EXPECT_TRUE(c->isConstant(2.5));
+    EXPECT_FALSE(c->isConstant(2.0));
+    EXPECT_DOUBLE_EQ(c->value(), 2.5);
+}
+
+TEST(Expr, SymbolName)
+{
+    const auto s = Expr::symbol("f");
+    EXPECT_TRUE(s->isSymbol());
+    EXPECT_EQ(s->name(), "f");
+}
+
+TEST(Expr, EmptySymbolNameIsFatal)
+{
+    EXPECT_THROW(Expr::symbol(""), ar::util::FatalError);
+}
+
+TEST(Expr, ValueOnNonConstantIsPanic)
+{
+    EXPECT_THROW(Expr::symbol("x")->value(), ar::util::PanicError);
+}
+
+TEST(Expr, AddFlattensNested)
+{
+    const auto x = Expr::symbol("x");
+    const auto y = Expr::symbol("y");
+    const auto z = Expr::symbol("z");
+    const auto nested = Expr::add(Expr::add(x, y), z);
+    EXPECT_EQ(nested->kind(), ExprKind::Add);
+    EXPECT_EQ(nested->operands().size(), 3u);
+}
+
+TEST(Expr, MulFlattensNested)
+{
+    const auto x = Expr::symbol("x");
+    const auto m = Expr::mul({Expr::mul(x, x), x});
+    EXPECT_EQ(m->operands().size(), 3u);
+}
+
+TEST(Expr, SingleOperandCollapses)
+{
+    const auto x = Expr::symbol("x");
+    EXPECT_TRUE(Expr::equal(Expr::add({x}), x));
+    EXPECT_TRUE(Expr::equal(Expr::mul({x}), x));
+    EXPECT_TRUE(Expr::equal(Expr::max({x}), x));
+}
+
+TEST(Expr, EmptyAddIsZeroEmptyMulIsOne)
+{
+    EXPECT_TRUE(Expr::add({})->isConstant(0.0));
+    EXPECT_TRUE(Expr::mul({})->isConstant(1.0));
+}
+
+TEST(Expr, EmptyMaxIsFatal)
+{
+    EXPECT_THROW(Expr::max({}), ar::util::FatalError);
+}
+
+TEST(Expr, FreeSymbols)
+{
+    const auto e = Expr::add(
+        Expr::mul(Expr::symbol("a"), Expr::symbol("b")),
+        Expr::pow(Expr::symbol("a"), Expr::constant(2.0)));
+    const auto syms = e->freeSymbols();
+    EXPECT_EQ(syms.size(), 2u);
+    EXPECT_TRUE(syms.count("a"));
+    EXPECT_TRUE(syms.count("b"));
+}
+
+TEST(Expr, CountSymbol)
+{
+    const auto a = Expr::symbol("a");
+    const auto e = Expr::add(Expr::mul(a, a), a);
+    EXPECT_EQ(e->countSymbol("a"), 3u);
+    EXPECT_EQ(e->countSymbol("b"), 0u);
+}
+
+TEST(Expr, StructuralEqualityIgnoresOperandOrder)
+{
+    const auto ab =
+        Expr::add(Expr::symbol("a"), Expr::symbol("b"));
+    const auto ba =
+        Expr::add(Expr::symbol("b"), Expr::symbol("a"));
+    EXPECT_TRUE(Expr::equal(ab, ba));
+}
+
+TEST(Expr, CompareDistinguishesKinds)
+{
+    EXPECT_NE(Expr::compare(Expr::constant(1.0), Expr::symbol("x")),
+              0);
+}
+
+TEST(Expr, OperatorDsl)
+{
+    const auto x = Expr::symbol("x");
+    const auto e = 2.0 * x + 1.0;
+    EXPECT_EQ(e->kind(), ExprKind::Add);
+    EXPECT_EQ(e->countSymbol("x"), 1u);
+}
+
+TEST(Expr, DivisionCanonicalizesToPow)
+{
+    const auto x = Expr::symbol("x");
+    const auto y = Expr::symbol("y");
+    const auto q = x / y;
+    EXPECT_EQ(q->kind(), ExprKind::Mul);
+    // One factor must be y^-1.
+    bool found = false;
+    for (const auto &op : q->operands()) {
+        if (op->kind() == ExprKind::Pow &&
+            op->operands()[1]->isConstant(-1.0)) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Expr, SqrtIsPowHalf)
+{
+    const auto s = Expr::sqrt(Expr::symbol("a"));
+    EXPECT_EQ(s->kind(), ExprKind::Pow);
+    EXPECT_TRUE(s->operands()[1]->isConstant(0.5));
+}
+
+TEST(Expr, UnknownFunctionIsFatal)
+{
+    EXPECT_THROW(Expr::func("sin", Expr::symbol("x")),
+                 ar::util::FatalError);
+}
+
+TEST(Printer, RendersReadableInfix)
+{
+    const auto x = Expr::symbol("x");
+    const auto e = (x + 1.0) * Expr::symbol("y");
+    const auto text = toString(e);
+    EXPECT_NE(text.find("x"), std::string::npos);
+    EXPECT_NE(text.find("y"), std::string::npos);
+    EXPECT_NE(text.find("("), std::string::npos);
+}
+
+TEST(Printer, EquationFormat)
+{
+    Equation eq{Expr::symbol("y"), Expr::constant(2.0)};
+    EXPECT_EQ(toString(eq), "y = 2");
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the expression/equation parser, including round
+ * trips through the printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "symbolic/parser.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/substitute.hh"
+#include "util/logging.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+double
+evalAt(const ExprPtr &e, const std::map<std::string, double> &vals)
+{
+    return evalConstant(substitute(e, vals));
+}
+
+} // namespace
+
+TEST(Parser, NumberLiteral)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("3.25")), 3.25);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("1e-3")), 1e-3);
+}
+
+TEST(Parser, ArithmeticPrecedence)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("2 + 3 * 4")), 14.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("(2 + 3) * 4")), 20.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("10 - 4 - 3")), 3.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("12 / 4 / 3")), 1.0);
+}
+
+TEST(Parser, PowerIsRightAssociative)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("2 ^ 3 ^ 2")), 512.0);
+}
+
+TEST(Parser, PowerBindsTighterThanUnaryMinusOnRight)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("2 ^ -1")), 0.5);
+}
+
+TEST(Parser, UnaryMinus)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("-3 + 5")), 2.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("--4")), 4.0);
+}
+
+TEST(Parser, Functions)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("sqrt(16)")), 4.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("log(exp(2))")), 2.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("max(1, 5, 3)")), 5.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("min(4, 2, 9)")), 2.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("gtz(0.5)")), 1.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("gtz(0)")), 0.0);
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("gtz(-2)")), 0.0);
+}
+
+TEST(Parser, SymbolsWithUnderscoresAndDigits)
+{
+    const auto e = parseExpr("P_core0 * N_core0");
+    const auto syms = e->freeSymbols();
+    EXPECT_TRUE(syms.count("P_core0"));
+    EXPECT_TRUE(syms.count("N_core0"));
+}
+
+TEST(Parser, HillMartySpeedupExpression)
+{
+    const auto e = parseExpr(
+        "1 / ((1 - f + c * N) / P_ser + f / P_par)");
+    const double v = evalAt(e, {{"f", 0.9},
+                                {"c", 0.01},
+                                {"N", 16.0},
+                                {"P_ser", 4.0},
+                                {"P_par", 45.25}});
+    const double expect =
+        1.0 / ((1.0 - 0.9 + 0.01 * 16.0) / 4.0 + 0.9 / 45.25);
+    EXPECT_NEAR(v, expect, 1e-12);
+}
+
+TEST(Parser, EquationSplitsOnEquals)
+{
+    const auto eq = parseEquation("y = x + 1");
+    EXPECT_TRUE(eq.lhs->isSymbol());
+    EXPECT_EQ(eq.lhs->name(), "y");
+    EXPECT_EQ(eq.rhs->countSymbol("x"), 1u);
+}
+
+TEST(Parser, MissingEqualsIsFatal)
+{
+    EXPECT_THROW(parseEquation("x + 1"), ar::util::FatalError);
+}
+
+TEST(Parser, DoubleEqualsIsFatal)
+{
+    EXPECT_THROW(parseEquation("a = b = c"), ar::util::FatalError);
+}
+
+TEST(Parser, SyntaxErrorsAreFatal)
+{
+    EXPECT_THROW(parseExpr("2 +"), ar::util::FatalError);
+    EXPECT_THROW(parseExpr("(1 + 2"), ar::util::FatalError);
+    EXPECT_THROW(parseExpr("foo(1)"), ar::util::FatalError);
+    EXPECT_THROW(parseExpr("1 2"), ar::util::FatalError);
+    EXPECT_THROW(parseExpr(""), ar::util::FatalError);
+    EXPECT_THROW(parseExpr("sqrt(1, 2)"), ar::util::FatalError);
+    EXPECT_THROW(parseExpr("max()"), ar::util::FatalError);
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PrinterRoundTrip, ParsePrintParseIsStable)
+{
+    const auto e1 = simplify(parseExpr(GetParam()));
+    const auto e2 = simplify(parseExpr(toString(e1)));
+    EXPECT_TRUE(Expr::equal(e1, e2))
+        << GetParam() << " -> " << toString(e1) << " -> "
+        << toString(e2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrinterRoundTrip,
+    ::testing::Values("x + y * z", "(a + b)^2 / c", "-x * 3 + 4",
+                      "max(a, b * 2, sqrt(c))", "1/(x + 1/(y + 1))",
+                      "gtz(n) * p + exp(log(q))",
+                      "f / (1 - f + c * n)"));

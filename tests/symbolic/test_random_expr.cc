@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Randomized property tests over the whole symbolic stack: generated
+ * expression trees must survive print -> parse round trips, agree
+ * between compiled-tape and substitution evaluation, and keep
+ * agreeing after simplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "symbolic/compile.hh"
+#include "symbolic/parser.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/substitute.hh"
+#include "util/rng.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+/** Random expression generator over a fixed symbol pool. */
+class ExprGen
+{
+  public:
+    explicit ExprGen(ar::util::Rng &rng) : rng(rng) {}
+
+    ExprPtr
+    gen(int depth)
+    {
+        if (depth <= 0 || rng.uniform() < 0.3)
+            return leaf();
+        switch (rng.uniformInt(6)) {
+          case 0:
+            return Expr::add(gen(depth - 1), gen(depth - 1));
+          case 1:
+            return Expr::sub(gen(depth - 1), gen(depth - 1));
+          case 2:
+            return Expr::mul(gen(depth - 1), gen(depth - 1));
+          case 3:
+            return Expr::div(gen(depth - 1), gen(depth - 1));
+          case 4:
+            // Constant exponent keeps values real.
+            return Expr::pow(gen(depth - 1),
+                             Expr::constant(smallExponent()));
+          default:
+            return Expr::max(
+                {gen(depth - 1), gen(depth - 1)});
+        }
+    }
+
+    std::map<std::string, double>
+    randomValues()
+    {
+        std::map<std::string, double> vals;
+        for (const char *name : {"a", "b", "x", "y"})
+            vals[name] = rng.uniform(0.2, 3.0); // positive domain
+        return vals;
+    }
+
+  private:
+    ExprPtr
+    leaf()
+    {
+        if (rng.uniform() < 0.5) {
+            static const char *names[] = {"a", "b", "x", "y"};
+            return Expr::symbol(names[rng.uniformInt(4)]);
+        }
+        // Positive constants keep pow() real-valued.
+        return Expr::constant(
+            std::round(rng.uniform(0.25, 4.0) * 4.0) / 4.0);
+    }
+
+    double
+    smallExponent()
+    {
+        static const double exps[] = {-2.0, -1.0, 0.5, 1.0, 2.0,
+                                      3.0};
+        return exps[rng.uniformInt(6)];
+    }
+
+    ar::util::Rng &rng;
+};
+
+double
+evalVia(const ExprPtr &e, const std::map<std::string, double> &vals)
+{
+    return evalConstant(substitute(e, vals));
+}
+
+/**
+ * Literal recursive evaluation with IEEE semantics -- no algebraic
+ * rewriting, so it defines exactly what the compiled tape must
+ * compute (simplify() may legally differ where intermediates leave
+ * the real domain, e.g. (x - y)^0.5 squared).
+ */
+double
+literalEval(const ExprPtr &e,
+            const std::map<std::string, double> &vals)
+{
+    switch (e->kind()) {
+      case ExprKind::Constant:
+        return e->value();
+      case ExprKind::Symbol:
+        return vals.at(e->name());
+      case ExprKind::Add:
+        {
+            double acc = 0.0;
+            for (const auto &op : e->operands())
+                acc += literalEval(op, vals);
+            return acc;
+        }
+      case ExprKind::Mul:
+        {
+            double acc = 1.0;
+            for (const auto &op : e->operands())
+                acc *= literalEval(op, vals);
+            return acc;
+        }
+      case ExprKind::Pow:
+        return std::pow(literalEval(e->operands()[0], vals),
+                        literalEval(e->operands()[1], vals));
+      case ExprKind::Max:
+        {
+            // Fold right-to-left to mirror the tape's stack pops:
+            // std::max/min are order-sensitive when NaNs appear.
+            const auto &ops = e->operands();
+            double acc = literalEval(ops.back(), vals);
+            for (std::size_t i = ops.size() - 1; i-- > 0;)
+                acc = std::max(acc, literalEval(ops[i], vals));
+            return acc;
+        }
+      case ExprKind::Min:
+        {
+            const auto &ops = e->operands();
+            double acc = literalEval(ops.back(), vals);
+            for (std::size_t i = ops.size() - 1; i-- > 0;)
+                acc = std::min(acc, literalEval(ops[i], vals));
+            return acc;
+        }
+      case ExprKind::Func:
+        {
+            const double a = literalEval(e->operands()[0], vals);
+            if (e->name() == "log")
+                return std::log(a);
+            if (e->name() == "exp")
+                return std::exp(a);
+            return a > 0.0 ? 1.0 : 0.0;
+        }
+      default:
+        return 0.0;
+    }
+}
+
+} // namespace
+
+TEST(RandomExpr, PrintParseRoundTripPreservesValue)
+{
+    ar::util::Rng rng(0xabcd);
+    ExprGen gen(rng);
+    int checked = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto e = gen.gen(4);
+        const auto vals = gen.randomValues();
+        const double direct = evalVia(e, vals);
+        if (!std::isfinite(direct))
+            continue;
+        const auto reparsed = parseExpr(toString(e));
+        const double roundtrip = evalVia(reparsed, vals);
+        ASSERT_NEAR(roundtrip, direct,
+                    1e-9 * std::max(1.0, std::fabs(direct)))
+            << toString(e);
+        ++checked;
+    }
+    EXPECT_GT(checked, 200);
+}
+
+TEST(RandomExpr, CompiledTapeMatchesLiteralEvaluation)
+{
+    ar::util::Rng rng(0xbeef);
+    ExprGen gen(rng);
+    int checked = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto e = gen.gen(4);
+        const auto vals = gen.randomValues();
+        const double direct = literalEval(e, vals);
+        if (!std::isfinite(direct))
+            continue;
+        CompiledExpr fn(e);
+        std::vector<double> args;
+        for (const auto &name : fn.argNames())
+            args.push_back(vals.at(name));
+        ASSERT_NEAR(fn.eval(args), direct,
+                    1e-9 * std::max(1.0, std::fabs(direct)))
+            << toString(e);
+        ++checked;
+    }
+    EXPECT_GT(checked, 200);
+}
+
+TEST(RandomExpr, SimplifyPreservesValue)
+{
+    ar::util::Rng rng(0xcafe);
+    ExprGen gen(rng);
+    int checked = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto e = gen.gen(4);
+        const auto vals = gen.randomValues();
+        const double direct = evalVia(e, vals);
+        if (!std::isfinite(direct))
+            continue;
+        const double simplified = evalVia(simplify(e), vals);
+        ASSERT_NEAR(simplified, direct,
+                    1e-8 * std::max(1.0, std::fabs(direct)))
+            << toString(e);
+        ++checked;
+    }
+    EXPECT_GT(checked, 200);
+}
+
+TEST(RandomExpr, SimplifyIsIdempotent)
+{
+    ar::util::Rng rng(0xdead);
+    ExprGen gen(rng);
+    for (int i = 0; i < 200; ++i) {
+        const auto once = simplify(gen.gen(4));
+        const auto twice = simplify(once);
+        ASSERT_TRUE(Expr::equal(once, twice)) << toString(once);
+    }
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for algebraic simplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "symbolic/parser.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/simplify.hh"
+#include "util/logging.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+ExprPtr
+simp(const char *text)
+{
+    return simplify(parseExpr(text));
+}
+
+} // namespace
+
+TEST(Simplify, ConstantFolding)
+{
+    EXPECT_TRUE(simp("2 + 3")->isConstant(5.0));
+    EXPECT_TRUE(simp("2 * 3 + 4 * 5")->isConstant(26.0));
+    EXPECT_TRUE(simp("2 ^ 10")->isConstant(1024.0));
+}
+
+TEST(Simplify, AdditiveIdentity)
+{
+    const auto e = simp("x + 0");
+    EXPECT_TRUE(e->isSymbol());
+    EXPECT_EQ(e->name(), "x");
+}
+
+TEST(Simplify, MultiplicativeIdentity)
+{
+    const auto e = simp("1 * x");
+    EXPECT_TRUE(e->isSymbol());
+}
+
+TEST(Simplify, MultiplicationByZero)
+{
+    EXPECT_TRUE(simp("0 * x * y")->isConstant(0.0));
+}
+
+TEST(Simplify, PowIdentities)
+{
+    EXPECT_TRUE(simp("x ^ 0")->isConstant(1.0));
+    EXPECT_TRUE(simp("x ^ 1")->isSymbol());
+    EXPECT_TRUE(simp("1 ^ x")->isConstant(1.0));
+    EXPECT_TRUE(simp("0 ^ 2")->isConstant(0.0));
+}
+
+TEST(Simplify, MergesRepeatedFactors)
+{
+    const auto e = simp("x * x");
+    EXPECT_EQ(e->kind(), ExprKind::Pow);
+    EXPECT_TRUE(e->operands()[1]->isConstant(2.0));
+}
+
+TEST(Simplify, MergesPowersOfSameBase)
+{
+    const auto e = simp("x^2 * x^3");
+    EXPECT_EQ(e->kind(), ExprKind::Pow);
+    EXPECT_TRUE(e->operands()[1]->isConstant(5.0));
+}
+
+TEST(Simplify, CancelsInverseFactors)
+{
+    EXPECT_TRUE(simp("x / x")->isConstant(1.0));
+}
+
+TEST(Simplify, NestedPowCollapses)
+{
+    const auto e = simp("(x^2)^3");
+    EXPECT_EQ(e->kind(), ExprKind::Pow);
+    EXPECT_TRUE(e->operands()[1]->isConstant(6.0));
+}
+
+TEST(Simplify, MaxMinConstantFolding)
+{
+    EXPECT_TRUE(simp("max(1, 2, 3)")->isConstant(3.0));
+    EXPECT_TRUE(simp("min(1, 2, 3)")->isConstant(1.0));
+}
+
+TEST(Simplify, MaxPartialFold)
+{
+    const auto e = simp("max(x, 2, 5)");
+    EXPECT_EQ(e->kind(), ExprKind::Max);
+    EXPECT_EQ(e->operands().size(), 2u);
+}
+
+TEST(Simplify, FunctionFolding)
+{
+    EXPECT_NEAR(simp("log(exp(3))")->value(), 3.0, 1e-12);
+    EXPECT_TRUE(simp("gtz(5)")->isConstant(1.0));
+    EXPECT_TRUE(simp("gtz(-1)")->isConstant(0.0));
+    EXPECT_TRUE(simp("sqrt(49)")->isConstant(7.0));
+}
+
+TEST(Simplify, SubtractionOfSelfIsZero)
+{
+    EXPECT_TRUE(simp("x - x")->isConstant(0.0));
+}
+
+TEST(Simplify, IdempotentOnFixedPoint)
+{
+    const auto e1 = simp("a * b + c / d - max(a, 2)");
+    const auto e2 = simplify(e1);
+    EXPECT_TRUE(Expr::equal(e1, e2));
+}
+
+TEST(EvalConstant, ClosedExpression)
+{
+    EXPECT_DOUBLE_EQ(evalConstant(parseExpr("3 * (4 + 1)")), 15.0);
+}
+
+TEST(EvalConstant, FreeSymbolIsFatal)
+{
+    EXPECT_THROW(evalConstant(parseExpr("x + 1")),
+                 ar::util::FatalError);
+}

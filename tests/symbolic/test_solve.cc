@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for single-variable equation solving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "symbolic/parser.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/solve.hh"
+#include "symbolic/substitute.hh"
+#include "util/logging.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+double
+solveAndEval(const char *equation, const std::string &target,
+             const std::map<std::string, double> &vals)
+{
+    const auto solved = solveForOrDie(parseEquation(equation), target);
+    return evalConstant(substitute(solved, vals));
+}
+
+} // namespace
+
+TEST(Solve, LinearIsolation)
+{
+    // y = 2x + 3 solved for x at y = 11 -> 4.
+    EXPECT_NEAR(solveAndEval("y = 2 * x + 3", "x", {{"y", 11.0}}),
+                4.0, 1e-12);
+}
+
+TEST(Solve, TargetOnLeftSide)
+{
+    EXPECT_NEAR(solveAndEval("2 * x + 3 = y", "x", {{"y", 11.0}}),
+                4.0, 1e-12);
+}
+
+TEST(Solve, DivisionIsolation)
+{
+    // s = f / p solved for p.
+    EXPECT_NEAR(solveAndEval("s = f / p", "p",
+                             {{"s", 2.0}, {"f", 10.0}}),
+                5.0, 1e-12);
+}
+
+TEST(Solve, PowerWithConstantExponent)
+{
+    // p = a^0.5 solved for a (Pollack's Rule inverted).
+    EXPECT_NEAR(solveAndEval("p = a ^ 0.5", "a", {{"p", 8.0}}), 64.0,
+                1e-9);
+}
+
+TEST(Solve, ExponentTarget)
+{
+    // y = 2^x solved for x at y = 32 -> 5.
+    EXPECT_NEAR(solveAndEval("y = 2 ^ x", "x", {{"y", 32.0}}), 5.0,
+                1e-12);
+}
+
+TEST(Solve, LogIsolation)
+{
+    EXPECT_NEAR(solveAndEval("y = log(x)", "x", {{"y", 2.0}}),
+                std::exp(2.0), 1e-12);
+}
+
+TEST(Solve, ExpIsolation)
+{
+    EXPECT_NEAR(solveAndEval("y = exp(x)", "x", {{"y", 7.389056}}),
+                2.0, 1e-5);
+}
+
+TEST(Solve, DeeplyNestedTarget)
+{
+    // y = 1 / (a + 2 * sqrt(x)): solve for x.
+    const double y = 0.1, a = 4.0;
+    const double x_expected = std::pow((1.0 / y - a) / 2.0, 2.0);
+    EXPECT_NEAR(solveAndEval("y = 1 / (a + 2 * sqrt(x))", "x",
+                             {{"y", y}, {"a", a}}),
+                x_expected, 1e-9);
+}
+
+TEST(Solve, AmdahlForF)
+{
+    // speedup = 1/((1-f) + f/s): isolate f.
+    const double s = 16.0, sp = 4.0;
+    const double f_expected =
+        (1.0 - 1.0 / sp) / (1.0 - 1.0 / s);
+    EXPECT_NEAR(solveAndEval("sp = 1 / ((1 - f) + f / s)", "f",
+                             {{"sp", sp}, {"s", s}}),
+                f_expected, 1e-9);
+}
+
+TEST(Solve, LinearWithRepeatedTarget)
+{
+    // y = 3x + 2x - 4: x = (y + 4) / 5.
+    EXPECT_NEAR(solveAndEval("y = 3 * x + 2 * x - 4", "x",
+                             {{"y", 6.0}}),
+                2.0, 1e-12);
+}
+
+TEST(Solve, TargetOnBothSides)
+{
+    // 2x + 1 = x + y: x = y - 1.
+    EXPECT_NEAR(solveAndEval("2 * x + 1 = x + y", "x", {{"y", 5.0}}),
+                4.0, 1e-12);
+}
+
+TEST(Solve, NonlinearMultipleOccurrencesReturnsNullopt)
+{
+    const auto eq = parseEquation("y = x + x ^ 2");
+    EXPECT_FALSE(solveFor(eq, "x").has_value());
+}
+
+TEST(Solve, AbsentSymbolReturnsNullopt)
+{
+    const auto eq = parseEquation("y = 2 * x");
+    EXPECT_FALSE(solveFor(eq, "z").has_value());
+}
+
+TEST(Solve, MaxIsNotInvertible)
+{
+    const auto eq = parseEquation("y = max(x, 2)");
+    EXPECT_FALSE(solveFor(eq, "x").has_value());
+}
+
+TEST(Solve, GtzIsNotInvertible)
+{
+    const auto eq = parseEquation("y = gtz(x)");
+    EXPECT_FALSE(solveFor(eq, "x").has_value());
+}
+
+TEST(Solve, SolveForOrDieThrowsOnFailure)
+{
+    const auto eq = parseEquation("y = x + x");
+    // x + x canonicalizes to a product with a single occurrence, so
+    // use a genuinely unsolvable form.
+    const auto eq2 = parseEquation("y = max(x, x ^ 2)");
+    EXPECT_THROW(solveForOrDie(eq2, "x"), ar::util::FatalError);
+}
+
+TEST(Solve, RoundTripPropertyOnRandomLinears)
+{
+    // For y = a*x + b over several (a, b), solving and substituting
+    // back must reproduce the original y.
+    for (double a : {-3.0, 0.5, 2.0}) {
+        for (double b : {-1.0, 0.0, 4.0}) {
+            const double x = 1.7;
+            const double y = a * x + b;
+            const auto solved = solveForOrDie(
+                parseEquation("y = a * x + b"), "x");
+            const double x_back = evalConstant(substitute(
+                solved, std::map<std::string, double>{
+                            {"y", y}, {"a", a}, {"b", b}}));
+            EXPECT_NEAR(x_back, x, 1e-9)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for EquationSystem partial symbolic solving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "symbolic/parser.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/substitute.hh"
+#include "symbolic/system.hh"
+#include "util/logging.hh"
+
+using namespace ar::symbolic;
+
+TEST(System, ResolvesChainOfDefinitions)
+{
+    EquationSystem sys;
+    sys.addEquation("a = 2");
+    sys.addEquation("b = a + 3");
+    sys.addEquation("c = b * b");
+    EXPECT_TRUE(sys.resolve("c")->isConstant(25.0));
+}
+
+TEST(System, LeavesInputsFree)
+{
+    EquationSystem sys;
+    sys.addEquation("y = 2 * x + 1");
+    const auto r = sys.resolve("y");
+    EXPECT_EQ(r->freeSymbols().count("x"), 1u);
+}
+
+TEST(System, UncertainVariablesStayUnresolved)
+{
+    // The Figure-4 example: z is uncertain so it remains symbolic
+    // even though a definition exists; y is resolved through.
+    EquationSystem sys;
+    sys.addEquation("z = x + 1");
+    sys.addEquation("y = 2 * x");
+    sys.addEquation("out = z * y");
+    sys.markUncertain("z");
+    const auto r = sys.resolve("out");
+    const auto syms = r->freeSymbols();
+    EXPECT_TRUE(syms.count("z"));
+    EXPECT_TRUE(syms.count("x"));
+    EXPECT_FALSE(syms.count("y"));
+}
+
+TEST(System, UncertainDefinitionStillAccessible)
+{
+    EquationSystem sys;
+    sys.addEquation("z = x + 1");
+    sys.markUncertain("z");
+    const auto def = sys.definitionOf("z");
+    EXPECT_EQ(def->countSymbol("x"), 1u);
+}
+
+TEST(System, NonSymbolLhsIsSolved)
+{
+    // 2*x + 1 = y defines x (y is defined elsewhere first).
+    EquationSystem sys;
+    sys.addEquation("y = 9");
+    sys.addEquation("2 * x + 1 = y");
+    EXPECT_TRUE(sys.resolve("x")->isConstant(4.0));
+}
+
+TEST(System, DuplicateDefinitionIsFatal)
+{
+    EquationSystem sys;
+    sys.addEquation("a = 1");
+    EXPECT_THROW(sys.addEquation("a = 2"), ar::util::FatalError);
+}
+
+TEST(System, CyclicDefinitionIsFatal)
+{
+    EquationSystem sys;
+    sys.addEquation("a = b + 1");
+    sys.addEquation("b = a + 1");
+    EXPECT_THROW(sys.resolve("a"), ar::util::FatalError);
+}
+
+TEST(System, UnknownVariableIsFatal)
+{
+    EquationSystem sys;
+    sys.addEquation("a = 1");
+    EXPECT_THROW(sys.resolve("nope"), ar::util::FatalError);
+    EXPECT_THROW(sys.definitionOf("nope"), ar::util::FatalError);
+}
+
+TEST(System, DefinesAndDefinedNames)
+{
+    EquationSystem sys;
+    sys.addEquation("a = 1");
+    sys.addEquation("b = a");
+    EXPECT_TRUE(sys.defines("a"));
+    EXPECT_FALSE(sys.defines("x"));
+    EXPECT_EQ(sys.definedNames().size(), 2u);
+}
+
+TEST(System, ResolvedInputsListsLeaves)
+{
+    EquationSystem sys;
+    sys.addEquation("mid = p * q");
+    sys.addEquation("out = mid + r");
+    sys.markUncertain("p");
+    const auto inputs = sys.resolvedInputs("out");
+    EXPECT_TRUE(inputs.count("p"));
+    EXPECT_TRUE(inputs.count("q"));
+    EXPECT_TRUE(inputs.count("r"));
+    EXPECT_FALSE(inputs.count("mid"));
+}
+
+TEST(System, DiamondDependencyResolvesOnce)
+{
+    EquationSystem sys;
+    sys.addEquation("base = x + 1");
+    sys.addEquation("l = base * 2");
+    sys.addEquation("r = base * 3");
+    sys.addEquation("top = l + r");
+    const auto resolved = sys.resolve("top");
+    // top = 5 * (x + 1): check numerically.
+    const double v = evalConstant(
+        substitute(resolved, std::map<std::string, double>{{"x", 2.0}}));
+    EXPECT_DOUBLE_EQ(v, 15.0);
+}
+
+TEST(System, MemoInvalidatedByNewEquations)
+{
+    EquationSystem sys;
+    sys.addEquation("a = x");
+    const auto r1 = sys.resolve("a");
+    EXPECT_TRUE(r1->isSymbol());
+    sys.addEquation("x = 7");
+    EXPECT_TRUE(sys.resolve("a")->isConstant(7.0));
+}

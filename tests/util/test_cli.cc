@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the CLI option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using ar::util::CliOptions;
+
+namespace
+{
+
+bool
+parseArgs(CliOptions &opts, std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return opts.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Cli, DefaultsApplyWhenUnset)
+{
+    CliOptions opts;
+    opts.declare("trials", "100", "trial count");
+    ASSERT_TRUE(parseArgs(opts, {}));
+    EXPECT_EQ(opts.getInt("trials"), 100);
+}
+
+TEST(Cli, SpaceSeparatedValue)
+{
+    CliOptions opts;
+    opts.declare("sigma", "0", "sigma");
+    ASSERT_TRUE(parseArgs(opts, {"--sigma", "0.4"}));
+    EXPECT_DOUBLE_EQ(opts.getDouble("sigma"), 0.4);
+}
+
+TEST(Cli, EqualsSeparatedValue)
+{
+    CliOptions opts;
+    opts.declare("app", "LPHC", "app class");
+    ASSERT_TRUE(parseArgs(opts, {"--app=HPLC"}));
+    EXPECT_EQ(opts.getString("app"), "HPLC");
+}
+
+TEST(Cli, FlagsDefaultFalse)
+{
+    CliOptions opts;
+    opts.declare("verbose", "", "verbosity", true);
+    ASSERT_TRUE(parseArgs(opts, {}));
+    EXPECT_FALSE(opts.getFlag("verbose"));
+}
+
+TEST(Cli, FlagSetWhenPassed)
+{
+    CliOptions opts;
+    opts.declare("verbose", "", "verbosity", true);
+    ASSERT_TRUE(parseArgs(opts, {"--verbose"}));
+    EXPECT_TRUE(opts.getFlag("verbose"));
+}
+
+TEST(Cli, UnknownOptionIsFatal)
+{
+    CliOptions opts;
+    EXPECT_THROW(parseArgs(opts, {"--nope"}), ar::util::FatalError);
+}
+
+TEST(Cli, MissingValueIsFatal)
+{
+    CliOptions opts;
+    opts.declare("k", "1", "k");
+    EXPECT_THROW(parseArgs(opts, {"--k"}), ar::util::FatalError);
+}
+
+TEST(Cli, NonNumericValueIsFatalOnGetDouble)
+{
+    CliOptions opts;
+    opts.declare("k", "1", "k");
+    ASSERT_TRUE(parseArgs(opts, {"--k", "abc"}));
+    EXPECT_THROW(opts.getDouble("k"), ar::util::FatalError);
+}
+
+TEST(Cli, PositionalArgumentsCollected)
+{
+    CliOptions opts;
+    opts.declare("k", "1", "k");
+    ASSERT_TRUE(parseArgs(opts, {"pos1", "--k", "3", "pos2"}));
+    ASSERT_EQ(opts.positional().size(), 2u);
+    EXPECT_EQ(opts.positional()[0], "pos1");
+    EXPECT_EQ(opts.positional()[1], "pos2");
+}
+
+TEST(Cli, HelpReturnsFalse)
+{
+    CliOptions opts;
+    opts.declare("k", "1", "k");
+    EXPECT_FALSE(parseArgs(opts, {"--help"}));
+}
+
+TEST(Cli, UsageMentionsDeclaredOptions)
+{
+    CliOptions opts;
+    opts.declare("trials", "100", "number of MC trials");
+    const auto text = opts.usage("prog");
+    EXPECT_NE(text.find("--trials"), std::string::npos);
+    EXPECT_NE(text.find("number of MC trials"), std::string::npos);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for numeric file IO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/io.hh"
+#include "util/logging.hh"
+
+namespace u = ar::util;
+
+TEST(ParseNumbers, WhitespaceSeparated)
+{
+    const auto xs = u::parseNumbers("1.5 2.5\n3.5");
+    ASSERT_EQ(xs.size(), 3u);
+    EXPECT_DOUBLE_EQ(xs[0], 1.5);
+    EXPECT_DOUBLE_EQ(xs[2], 3.5);
+}
+
+TEST(ParseNumbers, CommaSeparated)
+{
+    const auto xs = u::parseNumbers("1,2,3\n4,5");
+    ASSERT_EQ(xs.size(), 5u);
+    EXPECT_DOUBLE_EQ(xs[4], 5.0);
+}
+
+TEST(ParseNumbers, CommentsAndBlankLinesSkipped)
+{
+    const auto xs = u::parseNumbers("# header\n\n1.0\n# more\n2.0\n");
+    ASSERT_EQ(xs.size(), 2u);
+}
+
+TEST(ParseNumbers, ScientificNotation)
+{
+    const auto xs = u::parseNumbers("1e-3, -2.5E2");
+    ASSERT_EQ(xs.size(), 2u);
+    EXPECT_DOUBLE_EQ(xs[0], 1e-3);
+    EXPECT_DOUBLE_EQ(xs[1], -250.0);
+}
+
+TEST(ParseNumbers, GarbageIsFatal)
+{
+    EXPECT_THROW(u::parseNumbers("1.0 banana"), u::FatalError);
+}
+
+TEST(ParseNumbers, EmptyInputGivesEmptyVector)
+{
+    EXPECT_TRUE(u::parseNumbers("").empty());
+    EXPECT_TRUE(u::parseNumbers("# only a comment\n").empty());
+}
+
+TEST(ReadWriteNumbers, RoundTrip)
+{
+    const std::string path = "/tmp/ar_test_io_numbers.txt";
+    const std::vector<double> xs{3.25, -1.0, 1e-6};
+    u::writeNumbers(path, xs);
+    const auto back = u::readNumbers(path);
+    ASSERT_EQ(back.size(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_DOUBLE_EQ(back[i], xs[i]);
+    std::remove(path.c_str());
+}
+
+TEST(ReadNumbers, MissingFileIsFatal)
+{
+    EXPECT_THROW(u::readNumbers("/nonexistent/nope.txt"),
+                 u::FatalError);
+}
+
+TEST(WriteNumbers, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(u::writeNumbers("/nonexistent-dir/x.txt", {1.0}),
+                 u::FatalError);
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit tests for error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace u = ar::util;
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(u::fatal("bad ", 42), u::FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(u::panic("bug"), u::PanicError);
+}
+
+TEST(Logging, FatalMessageConcatenatesFragments)
+{
+    try {
+        u::fatal("value=", 3, " name=", "x");
+        FAIL() << "fatal did not throw";
+    } catch (const u::FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=3 name=x");
+    }
+}
+
+TEST(Logging, FatalIsNotCatchableAsPanic)
+{
+    bool caught_logic = false;
+    try {
+        u::fatal("boom");
+    } catch (const std::logic_error &) {
+        caught_logic = true;
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_FALSE(caught_logic);
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    u::setQuiet(true);
+    EXPECT_TRUE(u::isQuiet());
+    u::setQuiet(false);
+    EXPECT_FALSE(u::isQuiet());
+}

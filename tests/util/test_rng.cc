@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using ar::util::Rng;
+using ar::util::SplitMix64;
+
+TEST(SplitMix64, KnownStreamIsDeterministic)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(2);
+    double acc = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 4.0);
+        ASSERT_GE(u, -2.5);
+        ASSERT_LT(u, 4.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntZeroBoundIsFatal)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.uniformInt(0), ar::util::PanicError);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(6);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaledMoments)
+{
+    Rng rng(7);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(8);
+    Rng child = parent.fork();
+    // The child stream should not simply mirror the parent.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.nextU64() == child.nextU64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(9);
+    const auto perm = rng.permutation(100);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationShuffles)
+{
+    Rng rng(10);
+    const auto perm = rng.permutation(100);
+    std::vector<std::size_t> sorted(perm);
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_NE(perm, sorted);
+}
+
+TEST(Rng, ShuffleKeepsElements)
+{
+    Rng rng(11);
+    std::vector<int> v{1, 2, 3, 4, 5};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}

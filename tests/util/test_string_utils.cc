@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/string_utils.hh"
+
+namespace u = ar::util;
+
+TEST(Trim, StripsBothEnds)
+{
+    EXPECT_EQ(u::trim("  hi \t\n"), "hi");
+}
+
+TEST(Trim, EmptyAndAllSpace)
+{
+    EXPECT_EQ(u::trim(""), "");
+    EXPECT_EQ(u::trim("   "), "");
+}
+
+TEST(Trim, InteriorSpacePreserved)
+{
+    EXPECT_EQ(u::trim(" a b "), "a b");
+}
+
+TEST(Split, BasicFields)
+{
+    const auto parts = u::split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields)
+{
+    const auto parts = u::split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole)
+{
+    const auto parts = u::split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Join, RoundTripsWithSplit)
+{
+    const std::vector<std::string> v{"a", "b", "c"};
+    EXPECT_EQ(u::join(v, ","), "a,b,c");
+    EXPECT_EQ(u::split(u::join(v, ","), ','), v);
+}
+
+TEST(Join, EmptyVector)
+{
+    EXPECT_EQ(u::join({}, ","), "");
+}
+
+TEST(StartsEndsWith, Basics)
+{
+    EXPECT_TRUE(u::startsWith("prefix_rest", "prefix"));
+    EXPECT_FALSE(u::startsWith("pre", "prefix"));
+    EXPECT_TRUE(u::endsWith("file.csv", ".csv"));
+    EXPECT_FALSE(u::endsWith("csv", ".csv"));
+}
+
+TEST(FormatDouble, CompactRendering)
+{
+    EXPECT_EQ(u::formatDouble(0.5), "0.5");
+    EXPECT_EQ(u::formatDouble(1234567.0), "1.23457e+06");
+}
+
+TEST(FormatFixed, DigitControl)
+{
+    EXPECT_EQ(u::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(u::formatFixed(2.0, 0), "2");
+}
+
+TEST(ParseDouble, ValidInputs)
+{
+    double v = 0.0;
+    EXPECT_TRUE(u::parseDouble("3.5", v));
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    EXPECT_TRUE(u::parseDouble(" -1e-3 ", v));
+    EXPECT_DOUBLE_EQ(v, -1e-3);
+}
+
+TEST(ParseDouble, RejectsGarbage)
+{
+    double v = 0.0;
+    EXPECT_FALSE(u::parseDouble("3.5x", v));
+    EXPECT_FALSE(u::parseDouble("", v));
+    EXPECT_FALSE(u::parseDouble("abc", v));
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * archrisk: the batch command-line interface.  Runs a complete
+ * risk-aware analysis from a spec file (see core/spec.hh for the
+ * format) and prints the performance distribution, tail metrics, and
+ * architectural risk.
+ *
+ *   ./build/tools/archrisk examples/specs/amdahl.spec
+ */
+
+#include <cstdio>
+
+#include "core/spec.hh"
+#include "report/ascii_plot.hh"
+#include "risk/var.hh"
+#include "stats/histogram.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("bins", "14", "histogram bins");
+    opts.declare("alpha", "0.05", "tail level for VaR/CVaR");
+    opts.declare("quiet", "", "suppress the histogram", true);
+    if (!opts.parse(argc, argv))
+        return 0;
+    if (opts.positional().size() != 1) {
+        std::fprintf(stderr,
+                     "usage: archrisk [options] <spec-file>\n");
+        return 2;
+    }
+
+    try {
+        const auto spec =
+            ar::core::loadSpecFile(opts.positional()[0]);
+        const auto res = ar::core::runSpec(spec);
+        const double alpha = opts.getDouble("alpha");
+
+        std::printf("output variable     : %s\n", spec.output.c_str());
+        std::printf("trials              : %zu (LHS)\n", spec.trials);
+        std::printf("reference P         : %.6g\n", res.reference);
+        std::printf("expected            : %.6g\n", res.expected());
+        std::printf("stddev              : %.6g\n",
+                    res.summary.stddev);
+        std::printf("min / max           : %.6g / %.6g\n",
+                    res.summary.min, res.summary.max);
+        std::printf("VaR(%.0f%%)            : %.6g\n",
+                    100.0 * alpha,
+                    ar::risk::valueAtRisk(res.samples, alpha));
+        std::printf("CVaR(%.0f%%)           : %.6g\n",
+                    100.0 * alpha,
+                    ar::risk::conditionalValueAtRisk(res.samples,
+                                                     alpha));
+        std::printf("P(below reference)  : %.2f%%\n",
+                    100.0 * ar::risk::shortfallProbability(
+                                res.samples, res.reference));
+        std::printf("architectural risk  : %.6g (%s)\n", res.risk,
+                    spec.risk.c_str());
+
+        if (!opts.getFlag("quiet")) {
+            std::printf("\n%s",
+                        ar::report::histogramChart(
+                            ar::stats::Histogram::fromData(
+                                res.samples,
+                                static_cast<std::size_t>(
+                                    opts.getInt("bins"))),
+                            44)
+                            .c_str());
+        }
+        return 0;
+    } catch (const ar::util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
