@@ -27,6 +27,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
     const auto app = ar::model::appByName(opts.getString("app"));
     const double sigma = opts.getDouble("sigma");
 
@@ -72,6 +74,7 @@ main(int argc, char **argv)
         ar::explore::SweepConfig cfg;
         cfg.trials = trials;
         cfg.seed = seed;
+        cfg.threads = threads;
         ar::explore::DesignSpaceEvaluator eval(designs, app, spec,
                                                cfg);
         const auto outcomes = eval.evaluateAll(*entry.fn, ref);

@@ -24,6 +24,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
 
     ar::bench::banner("Figure 7: uncertainty manifestation on "
                       "expected performance",
@@ -62,7 +64,7 @@ main(int argc, char **argv)
                 for (double s : sigmas) {
                     const auto spec = legend.make(s);
                     const auto p = ar::bench::evalPoint(
-                        design.config, app, spec, trials, seed);
+                        design.config, app, spec, trials, seed, threads);
                     row.push_back(p.expected);
                     if (csv) {
                         csv->row({design.label, app.name, legend.name,

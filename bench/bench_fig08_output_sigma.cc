@@ -24,6 +24,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
 
     ar::bench::banner("Figure 8: uncertainty manifestation on output "
                       "uncertainty",
@@ -64,7 +66,7 @@ main(int argc, char **argv)
             for (double s : sigmas) {
                 const auto p = ar::bench::evalPoint(
                     panel.config, panel.app, legend.make(s), trials,
-                    seed);
+                    seed, threads);
                 row.push_back(p.stddev);
                 if (csv) {
                     csv->row({panel.label, legend.name,

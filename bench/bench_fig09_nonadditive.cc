@@ -25,6 +25,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
 
     ar::bench::banner("Figure 9: non-accumulative output uncertainty "
                       "(asymmetric cores)",
@@ -56,7 +58,7 @@ main(int argc, char **argv)
             std::vector<double> row;
             for (double s : sigmas) {
                 const auto p = ar::bench::evalPoint(
-                    config, app, legend.make(s), trials, seed);
+                    config, app, legend.make(s), trials, seed, threads);
                 row.push_back(p.stddev);
                 if (csv) {
                     csv->row({app.name, legend.name,

@@ -47,6 +47,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
 
     ar::bench::banner(
         "Figure 10: impact of uncertainty on design optimality",
@@ -90,6 +92,7 @@ main(int argc, char **argv)
                 ar::explore::SweepConfig cfg;
                 cfg.trials = trials;
                 cfg.seed = seed;
+                cfg.threads = threads;
                 ar::explore::DesignSpaceEvaluator eval(designs, app,
                                                        spec, cfg);
                 const auto outcomes = eval.evaluateAll(fn, ref);

@@ -28,6 +28,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
     const auto app = ar::model::appByName(opts.getString("app"));
 
     ar::bench::banner(
@@ -57,6 +59,7 @@ main(int argc, char **argv)
         ar::explore::SweepConfig cfg;
         cfg.trials = trials;
         cfg.seed = seed;
+        cfg.threads = threads;
         ar::explore::DesignSpaceEvaluator eval(
             designs, app,
             ar::model::UncertaintySpec::appArch(s_app, s_arch), cfg);

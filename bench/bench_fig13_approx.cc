@@ -30,6 +30,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
     const auto app = ar::model::appByName(opts.getString("app"));
 
     ar::bench::banner(
@@ -68,6 +70,7 @@ main(int argc, char **argv)
         ar::explore::SweepConfig truth_cfg;
         truth_cfg.trials = trials;
         truth_cfg.seed = seed;
+        truth_cfg.threads = threads;
         ar::explore::DesignSpaceEvaluator truth_eval(
             designs, app, spec, truth_cfg);
         const auto truth = truth_eval.evaluateAll(fn, ref);
@@ -79,6 +82,7 @@ main(int argc, char **argv)
             ar::explore::SweepConfig ap_cfg;
             ap_cfg.trials = trials;
             ap_cfg.seed = seed + 1;
+            ap_cfg.threads = threads;
             ap_cfg.approx_k = k;
             ar::explore::DesignSpaceEvaluator ap_eval(designs, app,
                                                       spec, ap_cfg);

@@ -43,6 +43,8 @@ main(int argc, char **argv)
     const auto trials =
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
     const auto app = ar::model::appByName(opts.getString("app"));
     const double sigma = opts.getDouble("sigma");
     const auto k = static_cast<std::size_t>(opts.getInt("k"));
@@ -65,6 +67,7 @@ main(int argc, char **argv)
     ar::explore::SweepConfig cfg;
     cfg.trials = trials;
     cfg.seed = seed;
+    cfg.threads = threads;
     cfg.keep_samples = true;
     ar::explore::DesignSpaceEvaluator eval(designs, app, spec, cfg);
     const auto truth = eval.evaluateAll(money, ref);

@@ -38,6 +38,30 @@ BM_CompiledTapeEval(benchmark::State &state)
 BENCHMARK(BM_CompiledTapeEval)->Arg(1)->Arg(3)->Arg(5);
 
 void
+BM_CompiledTapeEvalBatch(benchmark::State &state)
+{
+    // Same tape as BM_CompiledTapeEval, evaluated 256 trials at a
+    // time; items/s is directly comparable with the scalar case.
+    constexpr std::size_t kBlock = 256;
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto sys = ar::model::buildHillMartySystem(k);
+    ar::symbolic::CompiledExpr fn(sys.resolve("Speedup"));
+    const std::size_t n_args = fn.argNames().size();
+    std::vector<std::vector<double>> columns(
+        n_args, std::vector<double>(kBlock, 2.0));
+    std::vector<ar::symbolic::BatchArg> args;
+    for (const auto &col : columns)
+        args.push_back({col.data(), false});
+    std::vector<double> out(kBlock, 0.0);
+    for (auto _ : state) {
+        fn.evalBatch(args, kBlock, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_CompiledTapeEvalBatch)->Arg(1)->Arg(3)->Arg(5);
+
+void
 BM_DirectEvaluator(benchmark::State &state)
 {
     const auto k = static_cast<std::size_t>(state.range(0));
@@ -77,11 +101,12 @@ BENCHMARK(BM_LogNormalSample);
 void
 BM_Propagation(benchmark::State &state)
 {
+    // range(0) = trials, range(1) = worker threads.
     const auto config = ar::model::heteroCores();
     const auto app = ar::model::appLPHC();
     ar::core::Framework fw(
-        {static_cast<std::size_t>(state.range(0)),
-         "latin-hypercube"});
+        {static_cast<std::size_t>(state.range(0)), "latin-hypercube",
+         static_cast<std::size_t>(state.range(1))});
     fw.setSystem(ar::model::buildHillMartySystem(config.numTypes()));
     const auto in = ar::model::groundTruthBindings(
         config, app, ar::model::UncertaintySpec::all(0.2));
@@ -90,7 +115,12 @@ BM_Propagation(benchmark::State &state)
         benchmark::DoNotOptimize(fw.propagate("Speedup", in, seed++));
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Propagation)->Arg(1000)->Arg(10000)
+BENCHMARK(BM_Propagation)
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void
@@ -110,6 +140,7 @@ BENCHMARK(BM_BoxCoxFit)->Arg(50)->Arg(1000)
 void
 BM_DesignSpaceSweep(benchmark::State &state)
 {
+    // range(0) = trials per design, range(1) = worker threads.
     const auto designs = ar::explore::enumerateDesigns();
     const auto app = ar::model::appLPHC();
     const auto spec = ar::model::UncertaintySpec::appArch(0.2, 0.2);
@@ -117,6 +148,7 @@ BM_DesignSpaceSweep(benchmark::State &state)
     for (auto _ : state) {
         ar::explore::SweepConfig cfg;
         cfg.trials = static_cast<std::size_t>(state.range(0));
+        cfg.threads = static_cast<std::size_t>(state.range(1));
         ar::explore::DesignSpaceEvaluator eval(designs, app, spec,
                                                cfg);
         benchmark::DoNotOptimize(eval.evaluateAll(fn, 26.7));
@@ -124,7 +156,11 @@ BM_DesignSpaceSweep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * designs.size() *
                             state.range(0));
 }
-BENCHMARK(BM_DesignSpaceSweep)->Arg(500)
+BENCHMARK(BM_DesignSpaceSweep)
+    ->Args({500, 1})
+    ->Args({500, 2})
+    ->Args({500, 4})
+    ->Args({500, 8})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

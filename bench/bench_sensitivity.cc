@@ -31,6 +31,8 @@ main(int argc, char **argv)
         static_cast<std::size_t>(opts.getInt("trials"));
     const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
     const double sigma = opts.getDouble("sigma");
+    const auto threads =
+        static_cast<std::size_t>(opts.getInt("threads"));
 
     ar::bench::banner(
         "Sensitivity: Sobol variance decomposition of speedup",
@@ -67,8 +69,11 @@ main(int argc, char **argv)
             c.config, c.app, ar::model::UncertaintySpec::all(sigma));
 
         ar::util::Rng rng(seed);
-        const auto res = ar::mc::sobolIndices(
-            fw.compiled("Speedup"), in, {trials}, rng);
+        ar::mc::SensitivityConfig scfg;
+        scfg.trials = trials;
+        scfg.threads = threads;
+        const auto res = ar::mc::sobolIndices(fw.compiled("Speedup"),
+                                              in, scfg, rng);
 
         std::printf("%s  (E=%.3f, Var=%.3f)\n", c.label,
                     res.output_mean, res.output_variance);

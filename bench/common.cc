@@ -14,6 +14,9 @@ declareCommonOptions(ar::util::CliOptions &opts,
     opts.declare("trials", default_trials,
                  "Monte-Carlo trials per evaluation");
     opts.declare("seed", "1", "random seed");
+    opts.declare("threads", "0",
+                 "worker threads (0 = all cores); results are "
+                 "identical for any value");
     opts.declare("csv", "", "optional CSV output path");
 }
 

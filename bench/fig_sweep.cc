@@ -119,12 +119,13 @@ SweepPoint
 evalPoint(const ar::model::CoreConfig &config,
           const ar::model::AppParams &app,
           const ar::model::UncertaintySpec &spec, std::size_t trials,
-          std::uint64_t seed)
+          std::uint64_t seed, std::size_t threads)
 {
     const std::vector<ar::model::CoreConfig> designs{config};
     ar::explore::SweepConfig cfg;
     cfg.trials = trials;
     cfg.seed = seed;
+    cfg.threads = threads;
     ar::explore::DesignSpaceEvaluator eval(designs, app, spec, cfg);
     ar::risk::QuadraticRisk fn;
     const double certain =

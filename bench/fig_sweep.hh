@@ -43,11 +43,14 @@ struct SweepPoint
 /**
  * Evaluate one design under one spec, normalizing by the design's
  * own certain speedup (the paper's "risk-unaware performance").
+ *
+ * @param threads Worker threads (0 = all cores).
  */
 SweepPoint evalPoint(const ar::model::CoreConfig &config,
                      const ar::model::AppParams &app,
                      const ar::model::UncertaintySpec &spec,
-                     std::size_t trials, std::uint64_t seed);
+                     std::size_t trials, std::uint64_t seed,
+                     std::size_t threads = 0);
 
 } // namespace ar::bench
 

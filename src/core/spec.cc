@@ -181,6 +181,10 @@ parseSpec(const std::string &text)
             expectArgs(tokens, 2, line);
             spec.seed = static_cast<std::uint64_t>(
                 numericToken(tokens, 1, line));
+        } else if (cmd == "threads") {
+            expectArgs(tokens, 2, line);
+            spec.threads = static_cast<std::size_t>(
+                numericToken(tokens, 1, line));
         } else {
             ar::util::fatal("spec: unknown directive '", cmd,
                             "' in '", line, "'");
@@ -208,7 +212,7 @@ loadSpecFile(const std::string &path)
 AnalysisResult
 runSpec(const AnalysisSpec &spec)
 {
-    Framework fw({spec.trials, "latin-hypercube"});
+    Framework fw({spec.trials, "latin-hypercube", spec.threads});
 
     // The Framework owns a copy of the system.
     ar::symbolic::EquationSystem sys = spec.system;

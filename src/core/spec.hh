@@ -22,6 +22,7 @@
  *   risk quadratic                  # step|linear|quadratic|monetary
  *   trials 10000
  *   seed 7
+ *   threads 4                       # workers; 0 = all cores
  *
  * Distribution forms for `uncertain`:
  *   normal MU SIGMA
@@ -58,6 +59,7 @@ struct AnalysisSpec
     std::string risk = "quadratic";     ///< Risk-function name.
     std::size_t trials = 10000;
     std::uint64_t seed = 1;
+    std::size_t threads = 0;            ///< 0 = hardware concurrency.
 };
 
 /**

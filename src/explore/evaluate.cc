@@ -12,6 +12,7 @@
 #include "risk/arch_risk.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace ar::explore
 {
@@ -133,7 +134,10 @@ DesignSpaceEvaluator::buildPools()
         // Exact mode: per-size, per-instance survival prefix counts.
         // Summing independent Bernoulli draws reproduces the
         // Binomial(N, yield) of Table 2 exactly while letting every
-        // design share the same pools.
+        // design share the same pools.  Pool construction stays on
+        // the master stream (draw-for-draw reproducible across
+        // versions); the parallel phase is evaluateAll(), which only
+        // reads the finished pools.
         survivor_prefix.resize(size_values.size());
         for (std::size_t s = 0; s < size_values.size(); ++s) {
             const double yield = ar::model::yieldRate(size_values[s]);
@@ -189,13 +193,16 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     if (cfg.keep_samples)
         kept.assign(designs.size(), {});
 
-    std::vector<std::size_t> size_index;
-    std::vector<const double *> n_pool_ptr;
-    std::vector<double> perf_buf;
-    std::vector<double> count_buf;
-    std::vector<double> samples(trials);
+    // Designs only read the shared pools, so the sweep parallelizes
+    // over designs; every buffer below is per-design.
+    ar::util::parallelFor(cfg.threads, designs.size(),
+                          [&](std::size_t d) {
+        std::vector<std::size_t> size_index;
+        std::vector<const double *> n_pool_ptr;
+        std::vector<double> perf_buf;
+        std::vector<double> count_buf;
+        std::vector<double> samples(trials);
 
-    for (std::size_t d = 0; d < designs.size(); ++d) {
         const auto &config = designs[d];
         const auto &types = config.types();
         const std::size_t k = types.size();
@@ -245,8 +252,8 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
         out.stddev = trials > 1 ? ar::math::stddev(samples) : 0.0;
         out.risk = ar::risk::archRisk(samples, 1.0, fn);
         if (cfg.keep_samples)
-            kept[d] = samples;
-    }
+            kept[d] = std::move(samples);
+    });
     return outcomes;
 }
 

@@ -53,6 +53,13 @@ struct SweepConfig
      * through the Figure-2 extraction pipeline before sampling.
      */
     std::size_t approx_k = 0;
+
+    /**
+     * Worker threads for pool construction and the per-design loop;
+     * 0 means hardware concurrency.  Outcomes are bit-identical for
+     * any value (parallel draws use counter-derived RNG substreams).
+     */
+    std::size_t threads = 0;
 };
 
 /**

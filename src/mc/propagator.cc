@@ -1,11 +1,25 @@
 #include "mc/propagator.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ar::mc
 {
+
+namespace
+{
+
+/**
+ * Trials per parallel work unit.  Large enough that each tape op runs
+ * as a vectorizable loop over a cache-resident block, small enough
+ * that a 10k-trial run still load-balances across many workers.
+ */
+constexpr std::size_t kBlockTrials = 256;
+
+} // namespace
 
 Propagator::Propagator(PropagationConfig cfg_in) : cfg(std::move(cfg_in))
 {
@@ -26,7 +40,7 @@ Propagator::runMany(
     const InputBindings &in, ar::util::Rng &rng) const
 {
     // Union of uncertain variables actually used by any function.
-    std::vector<std::string> used;
+    std::set<std::string> used_set;
     for (const auto *fn : fns) {
         if (!fn)
             ar::util::panic("Propagator::runMany: null function");
@@ -41,13 +55,12 @@ Propagator::runMany(
                 ar::util::fatal("Propagator: no binding for model "
                                 "input '", arg, "'");
             }
-            if (is_uncertain &&
-                std::find(used.begin(), used.end(), arg) == used.end()) {
-                used.push_back(arg);
-            }
+            if (is_uncertain)
+                used_set.insert(arg);
         }
     }
-    std::sort(used.begin(), used.end());
+    const std::vector<std::string> used(used_set.begin(),
+                                        used_set.end());
 
     const auto sampler = makeSampler(cfg.sampler);
     UniformDesign design =
@@ -67,12 +80,8 @@ Propagator::runMany(
                                     name, "'");
                 }
             }
-            const bool a_used =
-                std::find(used.begin(), used.end(), corr.a) !=
-                used.end();
-            const bool b_used =
-                std::find(used.begin(), used.end(), corr.b) !=
-                used.end();
+            const bool a_used = used_set.count(corr.a) > 0;
+            const bool b_used = used_set.count(corr.b) > 0;
             if (a_used && b_used)
                 active.push_back(corr);
         }
@@ -96,7 +105,7 @@ Propagator::runMany(
     }
 
     // Per-function argument plumbing: for each argument, either a
-    // fixed value or an index into the uncertain-draws row.
+    // fixed value or an index into the uncertain-draws columns.
     struct ArgPlan
     {
         bool is_uncertain;
@@ -127,25 +136,52 @@ Propagator::runMany(
     dists.reserve(used.size());
     for (const auto &name : used)
         dists.push_back(in.uncertain.at(name).get());
+    // Prime lazily-built inversion tables (e.g. KDE quantile caches)
+    // on this thread before the columns are filled concurrently.
+    for (const auto *dist : dists)
+        dist->sampleFromUniform(0.5);
 
+    const std::size_t trials = cfg.trials;
+    std::vector<std::vector<double>> columns(
+        used.size(), std::vector<double>(trials, 0.0));
     std::vector<std::vector<double>> results(
-        fns.size(), std::vector<double>(cfg.trials, 0.0));
-    std::vector<double> draws(used.size(), 0.0);
-    std::vector<double> argbuf;
-    for (std::size_t t = 0; t < cfg.trials; ++t) {
-        for (std::size_t k = 0; k < used.size(); ++k)
-            draws[k] = dists[k]->sampleFromUniform(design.at(t, k));
+        fns.size(), std::vector<double>(trials, 0.0));
+
+    // Blocked SoA evaluation: each block materializes its slice of
+    // every sampled draw column, then runs each function's tape once
+    // over the whole slice.  Block b is a pure function of the design
+    // matrix, so any thread count yields bit-identical results.
+    const std::size_t n_blocks =
+        (trials + kBlockTrials - 1) / kBlockTrials;
+    ar::util::parallelFor(cfg.threads, n_blocks, [&](std::size_t b) {
+        const std::size_t t0 = b * kBlockTrials;
+        const std::size_t t1 =
+            std::min(trials, t0 + kBlockTrials);
+        const std::size_t len = t1 - t0;
+
+        for (std::size_t t = t0; t < t1; ++t) {
+            for (std::size_t k = 0; k < used.size(); ++k) {
+                columns[k][t] =
+                    dists[k]->sampleFromUniform(design.at(t, k));
+            }
+        }
+
+        std::vector<ar::symbolic::BatchArg> bargs;
         for (std::size_t f = 0; f < fns.size(); ++f) {
             const auto &plan = plans[f];
-            argbuf.resize(plan.size());
+            bargs.resize(plan.size());
             for (std::size_t a = 0; a < plan.size(); ++a) {
-                argbuf[a] = plan[a].is_uncertain
-                                ? draws[plan[a].draw_index]
-                                : plan[a].fixed_value;
+                if (plan[a].is_uncertain) {
+                    bargs[a] = {columns[plan[a].draw_index].data() +
+                                    t0,
+                                false};
+                } else {
+                    bargs[a] = {&plan[a].fixed_value, true};
+                }
             }
-            results[f][t] = fns[f]->eval(argbuf);
+            fns[f]->evalBatch(bargs, len, results[f].data() + t0);
         }
-    }
+    });
     return results;
 }
 

@@ -27,6 +27,12 @@ struct PropagationConfig
 {
     std::size_t trials = 10000;          ///< Paper default N = 10,000.
     std::string sampler = "latin-hypercube";
+
+    /**
+     * Worker threads for the trial loop; 0 means hardware
+     * concurrency.  Results are bit-identical for any value.
+     */
+    std::size_t threads = 0;
 };
 
 /** Named inputs for one propagation run. */

@@ -5,6 +5,7 @@
 #include "math/numeric.hh"
 #include "mc/sampler.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ar::mc
 {
@@ -78,33 +79,41 @@ sobolIndices(const ar::symbolic::CompiledExpr &fn,
         }
     }
 
-    std::vector<double> row_a(k), row_b(k), argbuf(plan.size());
-    auto eval_with = [&](const std::vector<double> &row) {
-        for (std::size_t a = 0; a < plan.size(); ++a) {
-            argbuf[a] = plan[a].is_uncertain
-                            ? row[plan[a].dim]
-                            : plan[a].fixed_value;
-        }
-        return fn.eval(argbuf);
-    };
-
     std::vector<double> fa(n), fb(n);
     std::vector<std::vector<double>> fab(k, std::vector<double>(n));
-    for (std::size_t t = 0; t < n; ++t) {
-        for (std::size_t d = 0; d < k; ++d) {
-            row_a[d] = realize(ua, t, d);
-            row_b[d] = realize(ub, t, d);
+    // The evaluation sweep is a pure function of the two design
+    // matrices, so trial blocks parallelize with bit-identical
+    // results for any thread count.
+    constexpr std::size_t kBlock = 256;
+    const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+    ar::util::parallelFor(cfg.threads, n_blocks, [&](std::size_t b) {
+        std::vector<double> row_a(k), row_b(k),
+            argbuf(plan.size());
+        auto eval_with = [&](const std::vector<double> &row) {
+            for (std::size_t a = 0; a < plan.size(); ++a) {
+                argbuf[a] = plan[a].is_uncertain
+                                ? row[plan[a].dim]
+                                : plan[a].fixed_value;
+            }
+            return fn.eval(argbuf);
+        };
+        const std::size_t t1 = std::min(n, (b + 1) * kBlock);
+        for (std::size_t t = b * kBlock; t < t1; ++t) {
+            for (std::size_t d = 0; d < k; ++d) {
+                row_a[d] = realize(ua, t, d);
+                row_b[d] = realize(ub, t, d);
+            }
+            fa[t] = eval_with(row_a);
+            fb[t] = eval_with(row_b);
+            for (std::size_t i = 0; i < k; ++i) {
+                // AB_i: A with column i swapped in from B.
+                const double keep = row_a[i];
+                row_a[i] = row_b[i];
+                fab[i][t] = eval_with(row_a);
+                row_a[i] = keep;
+            }
         }
-        fa[t] = eval_with(row_a);
-        fb[t] = eval_with(row_b);
-        for (std::size_t i = 0; i < k; ++i) {
-            // AB_i: A with column i swapped in from B.
-            const double keep = row_a[i];
-            row_a[i] = row_b[i];
-            fab[i][t] = eval_with(row_a);
-            row_a[i] = keep;
-        }
-    }
+    });
 
     // Output moments over the pooled A and B evaluations.
     ar::math::KahanSum mean_acc;

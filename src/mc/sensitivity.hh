@@ -52,6 +52,12 @@ struct SensitivityConfig
 {
     std::size_t trials = 4096;  ///< N; total evals = N * (k + 2).
     std::string sampler = "latin-hypercube";
+
+    /**
+     * Worker threads for the evaluation loop; 0 means hardware
+     * concurrency.  Indices are bit-identical for any value.
+     */
+    std::size_t threads = 0;
 };
 
 /**

@@ -106,6 +106,19 @@ CompiledExpr::argIndex(const std::string &name) const
     return static_cast<std::size_t>(it - args_.begin());
 }
 
+namespace
+{
+
+/**
+ * Per-thread scratch shared by eval() and evalBatch().  Callers
+ * reserve a window at the current end and restore the previous size
+ * on exit, so nested evaluations on the same thread (e.g. a pool
+ * worker whose job body evaluates another expression) never alias.
+ */
+thread_local std::vector<double> tl_scratch;
+
+} // namespace
+
 double
 CompiledExpr::eval(std::span<const double> args) const
 {
@@ -113,80 +126,196 @@ CompiledExpr::eval(std::span<const double> args) const
         ar::util::fatal("CompiledExpr::eval: expected ", args_.size(),
                         " arguments, got ", args.size());
     }
-    thread_local std::vector<double> stack;
-    stack.clear();
-    stack.reserve(max_stack);
+    auto &scratch = tl_scratch;
+    const std::size_t saved = scratch.size();
+    scratch.resize(saved + max_stack);
+    double *sp = scratch.data() + saved;
+    std::size_t top = 0;
 
     for (const auto &op : ops) {
         switch (op.code) {
           case OpCode::PushConst:
-            stack.push_back(op.value);
+            sp[top++] = op.value;
             break;
           case OpCode::PushArg:
-            stack.push_back(args[op.n]);
+            sp[top++] = args[op.n];
             break;
           case OpCode::Add:
             {
-                double acc = 0.0;
-                for (std::uint32_t i = 0; i < op.n; ++i) {
-                    acc += stack.back();
-                    stack.pop_back();
-                }
-                stack.push_back(acc);
+                // Fold from the top of the stack downward; evalBatch
+                // uses the same order so results are bit-identical.
+                double acc = sp[top - 1];
+                for (std::uint32_t i = 1; i < op.n; ++i)
+                    acc += sp[top - 1 - i];
+                top -= op.n;
+                sp[top++] = acc;
                 break;
             }
           case OpCode::Mul:
             {
-                double acc = 1.0;
-                for (std::uint32_t i = 0; i < op.n; ++i) {
-                    acc *= stack.back();
-                    stack.pop_back();
-                }
-                stack.push_back(acc);
+                double acc = sp[top - 1];
+                for (std::uint32_t i = 1; i < op.n; ++i)
+                    acc *= sp[top - 1 - i];
+                top -= op.n;
+                sp[top++] = acc;
                 break;
             }
           case OpCode::Pow:
             {
-                const double exp = stack.back();
-                stack.pop_back();
-                const double base = stack.back();
-                stack.back() = std::pow(base, exp);
+                const double exp = sp[--top];
+                sp[top - 1] = std::pow(sp[top - 1], exp);
                 break;
             }
           case OpCode::Max:
             {
-                double acc = stack.back();
-                stack.pop_back();
-                for (std::uint32_t i = 1; i < op.n; ++i) {
-                    acc = std::max(acc, stack.back());
-                    stack.pop_back();
-                }
-                stack.push_back(acc);
+                double acc = sp[top - 1];
+                for (std::uint32_t i = 1; i < op.n; ++i)
+                    acc = std::max(acc, sp[top - 1 - i]);
+                top -= op.n;
+                sp[top++] = acc;
                 break;
             }
           case OpCode::Min:
             {
-                double acc = stack.back();
-                stack.pop_back();
-                for (std::uint32_t i = 1; i < op.n; ++i) {
-                    acc = std::min(acc, stack.back());
-                    stack.pop_back();
-                }
-                stack.push_back(acc);
+                double acc = sp[top - 1];
+                for (std::uint32_t i = 1; i < op.n; ++i)
+                    acc = std::min(acc, sp[top - 1 - i]);
+                top -= op.n;
+                sp[top++] = acc;
                 break;
             }
           case OpCode::Log:
-            stack.back() = std::log(stack.back());
+            sp[top - 1] = std::log(sp[top - 1]);
             break;
           case OpCode::Exp:
-            stack.back() = std::exp(stack.back());
+            sp[top - 1] = std::exp(sp[top - 1]);
             break;
           case OpCode::Gtz:
-            stack.back() = stack.back() > 0.0 ? 1.0 : 0.0;
+            sp[top - 1] = sp[top - 1] > 0.0 ? 1.0 : 0.0;
             break;
         }
     }
-    return stack.back();
+    const double result = sp[top - 1];
+    scratch.resize(saved);
+    return result;
+}
+
+void
+CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
+                        double *out) const
+{
+    if (args.size() != args_.size()) {
+        ar::util::fatal("CompiledExpr::evalBatch: expected ",
+                        args_.size(), " arguments, got ", args.size());
+    }
+    if (n == 0)
+        return;
+    auto &scratch = tl_scratch;
+    const std::size_t saved = scratch.size();
+    scratch.resize(saved + max_stack * n);
+    // Stack of rows: row r lives at sp + r * n and holds one value
+    // per trial of the block.
+    double *sp = scratch.data() + saved;
+    std::size_t top = 0;
+
+    for (const auto &op : ops) {
+        switch (op.code) {
+          case OpCode::PushConst:
+            {
+                double *row = sp + top++ * n;
+                std::fill(row, row + n, op.value);
+                break;
+            }
+          case OpCode::PushArg:
+            {
+                double *row = sp + top++ * n;
+                const BatchArg &arg = args[op.n];
+                if (arg.broadcast)
+                    std::fill(row, row + n, arg.values[0]);
+                else
+                    std::copy(arg.values, arg.values + n, row);
+                break;
+            }
+          case OpCode::Add:
+            {
+                // Same top-down fold as eval(): row j accumulates
+                // row j+1 (the running value) plus itself.
+                for (std::size_t j = top - 1; j-- > top - op.n;) {
+                    const double *acc = sp + (j + 1) * n;
+                    double *row = sp + j * n;
+                    for (std::size_t t = 0; t < n; ++t)
+                        row[t] = acc[t] + row[t];
+                }
+                top -= op.n - 1;
+                break;
+            }
+          case OpCode::Mul:
+            {
+                for (std::size_t j = top - 1; j-- > top - op.n;) {
+                    const double *acc = sp + (j + 1) * n;
+                    double *row = sp + j * n;
+                    for (std::size_t t = 0; t < n; ++t)
+                        row[t] = acc[t] * row[t];
+                }
+                top -= op.n - 1;
+                break;
+            }
+          case OpCode::Pow:
+            {
+                const double *exp = sp + (top - 1) * n;
+                double *base = sp + (top - 2) * n;
+                for (std::size_t t = 0; t < n; ++t)
+                    base[t] = std::pow(base[t], exp[t]);
+                --top;
+                break;
+            }
+          case OpCode::Max:
+            {
+                for (std::size_t j = top - 1; j-- > top - op.n;) {
+                    const double *acc = sp + (j + 1) * n;
+                    double *row = sp + j * n;
+                    for (std::size_t t = 0; t < n; ++t)
+                        row[t] = std::max(acc[t], row[t]);
+                }
+                top -= op.n - 1;
+                break;
+            }
+          case OpCode::Min:
+            {
+                for (std::size_t j = top - 1; j-- > top - op.n;) {
+                    const double *acc = sp + (j + 1) * n;
+                    double *row = sp + j * n;
+                    for (std::size_t t = 0; t < n; ++t)
+                        row[t] = std::min(acc[t], row[t]);
+                }
+                top -= op.n - 1;
+                break;
+            }
+          case OpCode::Log:
+            {
+                double *row = sp + (top - 1) * n;
+                for (std::size_t t = 0; t < n; ++t)
+                    row[t] = std::log(row[t]);
+                break;
+            }
+          case OpCode::Exp:
+            {
+                double *row = sp + (top - 1) * n;
+                for (std::size_t t = 0; t < n; ++t)
+                    row[t] = std::exp(row[t]);
+                break;
+            }
+          case OpCode::Gtz:
+            {
+                double *row = sp + (top - 1) * n;
+                for (std::size_t t = 0; t < n; ++t)
+                    row[t] = row[t] > 0.0 ? 1.0 : 0.0;
+                break;
+            }
+        }
+    }
+    std::copy(sp, sp + n, out);
+    scratch.resize(saved);
 }
 
 } // namespace ar::symbolic

@@ -20,6 +20,17 @@
 namespace ar::symbolic
 {
 
+/**
+ * One positional argument of a batched evaluation: either a column of
+ * per-trial values (SoA layout, one value per trial) or a single
+ * value broadcast to every trial.
+ */
+struct BatchArg
+{
+    const double *values = nullptr; ///< Column base, or one value.
+    bool broadcast = false;         ///< values[0] applies to all trials.
+};
+
 /** A compiled, callable form of an expression. */
 class CompiledExpr
 {
@@ -37,6 +48,23 @@ class CompiledExpr
      * @param args One value per argName(), in order.
      */
     double eval(std::span<const double> args) const;
+
+    /**
+     * Evaluate a contiguous block of trials in one tape pass.
+     *
+     * Each tape op runs as a tight loop over the block (the scratch
+     * is a block x max_stack plane of rows), so the per-trial dispatch
+     * of eval() becomes per-op loops the compiler can vectorize.  The
+     * per-trial operation order is identical to eval(), making the
+     * results bit-identical to n scalar calls.
+     *
+     * @param args One BatchArg per argName(), in order; column args
+     *        must hold at least @p n values.
+     * @param n Number of trials in the block.
+     * @param out Receives n results.
+     */
+    void evalBatch(std::span<const BatchArg> args, std::size_t n,
+                   double *out) const;
 
     /** @return argument names in positional order. */
     const std::vector<std::string> &argNames() const { return args_; }

@@ -102,6 +102,43 @@ Rng::fork()
     return Rng(sm.next());
 }
 
+void
+Rng::jump()
+{
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (std::uint64_t{1} << b)) {
+                s0 ^= s[0];
+                s1 ^= s[1];
+                s2 ^= s[2];
+                s3 ^= s[3];
+            }
+            nextU64();
+        }
+    }
+    s[0] = s0;
+    s[1] = s1;
+    s[2] = s2;
+    s[3] = s3;
+    have_spare = false;
+}
+
+Rng
+Rng::substream(std::uint64_t master_seed, std::uint64_t index)
+{
+    // Lift the master seed out of the user's seed domain, then spread
+    // the counter with an odd multiplier; the Rng constructor mixes
+    // the combination through SplitMix64 into the full 256-bit state.
+    SplitMix64 mix(master_seed);
+    const std::uint64_t base = mix.next();
+    return Rng(base ^ ((index + 1) * 0xd1342543de82ef95ULL));
+}
+
 std::vector<std::size_t>
 Rng::permutation(std::size_t n)
 {

@@ -79,6 +79,23 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Advance the state by 2^128 steps (the canonical xoshiro256++
+     * jump polynomial), yielding a stream disjoint from the original
+     * for any practical draw count.
+     */
+    void jump();
+
+    /**
+     * The @p index -th independent substream of a master seed,
+     * derived purely by counter: the stream depends only on
+     * (master_seed, index), never on call order or thread count.
+     * This is what parallel code uses to stay bit-reproducible for
+     * any degree of concurrency.
+     */
+    static Rng substream(std::uint64_t master_seed,
+                         std::uint64_t index);
+
     /** Fisher-Yates shuffle of an index vector [0, n). */
     std::vector<std::size_t> permutation(std::size_t n);
 

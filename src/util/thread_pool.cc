@@ -1,0 +1,158 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace ar::util
+{
+
+namespace
+{
+
+/// Set while a thread executes a job body; nested parallelFor calls
+/// detect it and run inline instead of re-entering the pool.
+thread_local bool tl_in_job = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t total = resolveThreads(threads);
+    workers.reserve(total - 1);
+    for (std::size_t i = 0; i + 1 < total; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        shutting_down = true;
+    }
+    cv_start.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+ThreadPool::resolveThreads(std::size_t requested)
+{
+    return requested == 0 ? hardwareThreads() : requested;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+void
+ThreadPool::runJob()
+{
+    tl_in_job = true;
+    for (;;) {
+        const std::size_t i =
+            next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_n || aborted.load(std::memory_order_relaxed))
+            break;
+        try {
+            (*job_body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(err_m);
+            if (!first_error)
+                first_error = std::current_exception();
+            aborted.store(true, std::memory_order_relaxed);
+        }
+    }
+    tl_in_job = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(m);
+    std::uint64_t seen = 0;
+    for (;;) {
+        cv_start.wait(lk, [&] {
+            return shutting_down || generation != seen;
+        });
+        if (shutting_down)
+            return;
+        seen = generation;
+        if (workers_joined >= workers_wanted)
+            continue; // this job already has enough hands
+        ++workers_joined;
+        ++workers_active;
+        lk.unlock();
+        runJob();
+        lk.lock();
+        --workers_active;
+        cv_done.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body,
+                        std::size_t max_concurrency)
+{
+    if (n == 0)
+        return;
+    std::size_t effective = size();
+    if (max_concurrency != 0)
+        effective = std::min(effective, max_concurrency);
+    effective = std::min(effective, n);
+
+    if (effective <= 1 || tl_in_job) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // One job at a time per pool; callers queue here.
+    std::lock_guard<std::mutex> serial(job_serial_m);
+    {
+        std::lock_guard<std::mutex> lk(m);
+        job_body = &body;
+        job_n = n;
+        workers_wanted = effective - 1;
+        workers_joined = 0;
+        workers_active = 0;
+        next_index.store(0, std::memory_order_relaxed);
+        aborted.store(false, std::memory_order_relaxed);
+        first_error = nullptr;
+        ++generation;
+    }
+    cv_start.notify_all();
+    runJob(); // the caller is one of the job's threads
+
+    std::unique_lock<std::mutex> lk(m);
+    cv_done.wait(lk, [&] {
+        return workers_joined == workers_wanted &&
+               workers_active == 0;
+    });
+    job_body = nullptr;
+    if (first_error) {
+        std::exception_ptr err = first_error;
+        first_error = nullptr;
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+parallelFor(std::size_t threads, std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    ThreadPool::global().parallelFor(
+        n, body, ThreadPool::resolveThreads(threads));
+}
+
+} // namespace ar::util

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small reusable worker pool for deterministic data parallelism.
+ *
+ * The pool only runs index-based jobs: parallelFor(n, body) invokes
+ * body(i) exactly once for every i in [0, n), with dynamic load
+ * balancing over a shared atomic counter.  Determinism is a property
+ * of the decomposition, not the scheduler: as long as body(i) depends
+ * only on i (per-block RNG substreams, disjoint output slices), the
+ * result is bit-identical for any thread count, including 1.
+ *
+ * The calling thread always participates, so a pool adds
+ * (workers - 1) threads of concurrency.  Nested parallelFor calls
+ * from inside a job body run inline on the worker that issued them,
+ * which keeps the pool deadlock-free under composition.
+ */
+
+#ifndef AR_UTIL_THREAD_POOL_HH
+#define AR_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ar::util
+{
+
+/** Persistent worker pool executing index-based parallel loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total concurrency including the caller;
+     *        0 means hardware concurrency.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return total concurrency (workers plus the calling thread). */
+    std::size_t size() const { return workers.size() + 1; }
+
+    /**
+     * Run body(i) once for every i in [0, n); blocks until all
+     * indices completed.  The first exception thrown by any body is
+     * rethrown on the calling thread (remaining indices are skipped).
+     *
+     * @param n Number of indices.
+     * @param body Job body; must be safe to call concurrently for
+     *        distinct indices.
+     * @param max_concurrency Cap on threads used for this job
+     *        (0 = pool size).  The cap changes scheduling only, never
+     *        results.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body,
+                     std::size_t max_concurrency = 0);
+
+    /** @return the process-wide pool (hardware concurrency). */
+    static ThreadPool &global();
+
+    /** @return hardware concurrency, at least 1. */
+    static std::size_t hardwareThreads();
+
+    /** Map a user-facing threads knob (0 = all cores) to a count. */
+    static std::size_t resolveThreads(std::size_t requested);
+
+  private:
+    void workerLoop();
+    void runJob();
+
+    std::vector<std::thread> workers;
+
+    std::mutex m;
+    std::condition_variable cv_start;
+    std::condition_variable cv_done;
+    std::uint64_t generation = 0;
+    bool shutting_down = false;
+
+    // State of the in-flight job; guarded by m except the counters.
+    const std::function<void(std::size_t)> *job_body = nullptr;
+    std::size_t job_n = 0;
+    std::size_t workers_wanted = 0;
+    std::size_t workers_joined = 0;
+    std::size_t workers_active = 0;
+    std::atomic<std::size_t> next_index{0};
+    std::atomic<bool> aborted{false};
+
+    std::mutex err_m;
+    std::exception_ptr first_error;
+
+    /// Serializes concurrent parallelFor() calls on one pool.
+    std::mutex job_serial_m;
+};
+
+/**
+ * Convenience wrapper over the global pool: run body(i) for
+ * i in [0, n) with at most @p threads threads (0 = all cores).
+ */
+void parallelFor(std::size_t threads, std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace ar::util
+
+#endif // AR_UTIL_THREAD_POOL_HH

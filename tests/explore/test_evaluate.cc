@@ -130,6 +130,46 @@ TEST(Evaluate, SameSeedIsReproducible)
     }
 }
 
+TEST(Evaluate, ThreadCountDoesNotChangeOutcomes)
+{
+    // The sweep parallelizes over designs reading shared pools, so
+    // every thread count must give bit-identical outcomes -- in both
+    // the fab (survivor-pool) and non-fab configurations.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    for (const auto &spec : {m::UncertaintySpec::all(0.2),
+                             m::UncertaintySpec::appArch(0.2, 0.2)}) {
+        auto run = [&](std::size_t threads) {
+            x::SweepConfig cfg;
+            cfg.trials = 600;
+            cfg.seed = 99;
+            cfg.threads = threads;
+            cfg.keep_samples = true;
+            x::DesignSpaceEvaluator eval(designs, m::appLPHC(), spec,
+                                         cfg);
+            auto outcomes = eval.evaluateAll(fn, 30.0);
+            std::vector<std::vector<double>> samples;
+            for (std::size_t d = 0; d < designs.size(); ++d)
+                samples.push_back(eval.samples(d));
+            return std::make_pair(std::move(outcomes),
+                                  std::move(samples));
+        };
+        const auto serial = run(1);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+            const auto parallel = run(threads);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                ASSERT_EQ(parallel.first[d].expected,
+                          serial.first[d].expected);
+                ASSERT_EQ(parallel.first[d].stddev,
+                          serial.first[d].stddev);
+                ASSERT_EQ(parallel.first[d].risk,
+                          serial.first[d].risk);
+                ASSERT_EQ(parallel.second[d], serial.second[d]);
+            }
+        }
+    }
+}
+
 TEST(Evaluate, ApproxModeRejectsKOfOne)
 {
     const auto designs = threePaperDesigns();

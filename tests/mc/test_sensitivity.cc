@@ -34,6 +34,38 @@ TEST(Sobol, LinearModelMatchesAnalyticIndices)
     EXPECT_NEAR(res.output_variance, 8.0, 0.3);
 }
 
+TEST(Sobol, ThreadCountDoesNotChangeIndices)
+{
+    // The evaluation sweep parallelizes over trial blocks of the
+    // pre-sampled design matrices, so indices must be bit-identical
+    // for any thread count.
+    CompiledExpr fn(parseExpr("2 * x + z + x * z"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 2.0);
+
+    auto run = [&](std::size_t threads) {
+        mc::SensitivityConfig cfg;
+        cfg.trials = 2048;
+        cfg.threads = threads;
+        ar::util::Rng rng(17);
+        return mc::sobolIndices(fn, in, cfg, rng);
+    };
+    const auto serial = run(1);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        const auto parallel = run(threads);
+        ASSERT_EQ(parallel.output_mean, serial.output_mean);
+        ASSERT_EQ(parallel.output_variance, serial.output_variance);
+        ASSERT_EQ(parallel.indices.size(), serial.indices.size());
+        for (std::size_t i = 0; i < serial.indices.size(); ++i) {
+            ASSERT_EQ(parallel.indices[i].first_order,
+                      serial.indices[i].first_order);
+            ASSERT_EQ(parallel.indices[i].total,
+                      serial.indices[i].total);
+        }
+    }
+}
+
 TEST(Sobol, UnequalWeightsShiftIndices)
 {
     // y = 3x + z: S_x = 9/10.

@@ -129,3 +129,74 @@ TEST(Compile, TapeLengthIsReported)
     CompiledExpr fn(parseExpr("a + b * c"));
     EXPECT_GT(fn.tapeLength(), 3u);
 }
+
+TEST(Compile, BatchMatchesScalarExactly)
+{
+    CompiledExpr fn(parseExpr(
+        "max(a, b) * exp(log(a)) + b ^ 2 - min(a, b, 1.5)"));
+    constexpr std::size_t n = 300;
+    ar::util::Rng rng(77);
+    std::vector<double> col_a(n), col_b(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        col_a[t] = rng.uniform(0.2, 3.0);
+        col_b[t] = rng.uniform(0.2, 3.0);
+    }
+    const std::vector<BatchArg> args{{col_a.data(), false},
+                                     {col_b.data(), false}};
+    std::vector<double> out(n);
+    fn.evalBatch(args, n, out.data());
+    for (std::size_t t = 0; t < n; ++t) {
+        const std::vector<double> scalar_args{col_a[t], col_b[t]};
+        ASSERT_EQ(out[t], fn.eval(scalar_args)) << "trial " << t;
+    }
+}
+
+TEST(Compile, BatchBroadcastsFixedArguments)
+{
+    CompiledExpr fn(parseExpr("x * k + k"));
+    constexpr std::size_t n = 64;
+    std::vector<double> col_x(n);
+    for (std::size_t t = 0; t < n; ++t)
+        col_x[t] = static_cast<double>(t);
+    const double k = 2.5;
+    // args sorted: k, x
+    const std::vector<BatchArg> args{{&k, true},
+                                     {col_x.data(), false}};
+    std::vector<double> out(n);
+    fn.evalBatch(args, n, out.data());
+    for (std::size_t t = 0; t < n; ++t)
+        ASSERT_DOUBLE_EQ(out[t], col_x[t] * k + k);
+}
+
+TEST(Compile, BatchHandlesZeroTrials)
+{
+    CompiledExpr fn(parseExpr("a + 1"));
+    const double a = 1.0;
+    const std::vector<BatchArg> args{{&a, true}};
+    fn.evalBatch(args, 0, nullptr);
+}
+
+TEST(Compile, BatchOfConstantExpression)
+{
+    CompiledExpr fn(parseExpr("2 + 3 * 4"));
+    std::vector<double> out(8, 0.0);
+    fn.evalBatch({}, out.size(), out.data());
+    for (double v : out)
+        ASSERT_DOUBLE_EQ(v, 14.0);
+}
+
+TEST(Compile, BatchPropagatesNonFiniteValuesLikeScalar)
+{
+    CompiledExpr fn(parseExpr("1 / x + log(x)"));
+    const std::vector<double> col_x{0.0, -1.0, 2.0};
+    const std::vector<BatchArg> args{{col_x.data(), false}};
+    std::vector<double> out(col_x.size());
+    fn.evalBatch(args, col_x.size(), out.data());
+    for (std::size_t t = 0; t < col_x.size(); ++t) {
+        const double want = fn.eval(std::vector<double>{col_x[t]});
+        if (std::isnan(want))
+            ASSERT_TRUE(std::isnan(out[t]));
+        else
+            ASSERT_EQ(out[t], want);
+    }
+}

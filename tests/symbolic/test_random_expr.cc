@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 
 #include "symbolic/compile.hh"
@@ -221,6 +222,94 @@ TEST(RandomExpr, SimplifyPreservesValue)
         ++checked;
     }
     EXPECT_GT(checked, 200);
+}
+
+TEST(RandomExpr, BatchEvaluationIsBitIdenticalToScalar)
+{
+    // The batched tape must reproduce the scalar tape bit-for-bit on
+    // every trial -- including non-finite results -- because the
+    // propagator's determinism guarantee rests on this equivalence.
+    ar::util::Rng rng(0xfeed);
+    ExprGen gen(rng);
+    constexpr std::size_t kTrials = 64;
+    int checked = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto e = gen.gen(4);
+        CompiledExpr fn(e);
+        const std::size_t n_args = fn.argNames().size();
+
+        std::vector<std::vector<double>> columns(
+            n_args, std::vector<double>(kTrials));
+        for (auto &col : columns)
+            for (auto &v : col)
+                v = rng.uniform(0.2, 3.0);
+        std::vector<BatchArg> bargs;
+        for (const auto &col : columns)
+            bargs.push_back({col.data(), false});
+
+        std::vector<double> batch(kTrials);
+        fn.evalBatch(bargs, kTrials, batch.data());
+
+        std::vector<double> scalar_args(n_args);
+        for (std::size_t t = 0; t < kTrials; ++t) {
+            for (std::size_t a = 0; a < n_args; ++a)
+                scalar_args[a] = columns[a][t];
+            const double want = fn.eval(scalar_args);
+            std::uint64_t want_bits, got_bits;
+            std::memcpy(&want_bits, &want, sizeof want);
+            std::memcpy(&got_bits, &batch[t], sizeof want);
+            ASSERT_EQ(got_bits, want_bits)
+                << toString(e) << " trial " << t << ": batch "
+                << batch[t] << " vs scalar " << want;
+        }
+        ++checked;
+    }
+    EXPECT_EQ(checked, 300);
+}
+
+TEST(RandomExpr, BatchBroadcastMatchesScalarOnMixedArgs)
+{
+    // Half the arguments broadcast a fixed value (the propagator's
+    // certain-input path), the rest vary per trial.
+    ar::util::Rng rng(0xf00d);
+    ExprGen gen(rng);
+    constexpr std::size_t kTrials = 32;
+    for (int i = 0; i < 150; ++i) {
+        const auto e = gen.gen(4);
+        CompiledExpr fn(e);
+        const std::size_t n_args = fn.argNames().size();
+
+        std::vector<std::vector<double>> columns(
+            n_args, std::vector<double>(kTrials));
+        std::vector<double> fixed(n_args);
+        std::vector<bool> is_fixed(n_args);
+        std::vector<BatchArg> bargs(n_args);
+        for (std::size_t a = 0; a < n_args; ++a) {
+            is_fixed[a] = rng.uniform() < 0.5;
+            fixed[a] = rng.uniform(0.2, 3.0);
+            for (auto &v : columns[a])
+                v = rng.uniform(0.2, 3.0);
+            bargs[a] = is_fixed[a]
+                           ? BatchArg{&fixed[a], true}
+                           : BatchArg{columns[a].data(), false};
+        }
+
+        std::vector<double> batch(kTrials);
+        fn.evalBatch(bargs, kTrials, batch.data());
+
+        std::vector<double> scalar_args(n_args);
+        for (std::size_t t = 0; t < kTrials; ++t) {
+            for (std::size_t a = 0; a < n_args; ++a)
+                scalar_args[a] =
+                    is_fixed[a] ? fixed[a] : columns[a][t];
+            const double want = fn.eval(scalar_args);
+            std::uint64_t want_bits, got_bits;
+            std::memcpy(&want_bits, &want, sizeof want);
+            std::memcpy(&got_bits, &batch[t], sizeof want);
+            ASSERT_EQ(got_bits, want_bits)
+                << toString(e) << " trial " << t;
+        }
+    }
 }
 
 TEST(RandomExpr, SimplifyIsIdempotent)

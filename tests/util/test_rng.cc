@@ -126,6 +126,67 @@ TEST(Rng, ForkProducesIndependentStream)
     EXPECT_EQ(same, 0);
 }
 
+TEST(Rng, JumpIsDeterministic)
+{
+    Rng a(12), b(12);
+    a.jump();
+    b.jump();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, JumpLeavesTheLocalStream)
+{
+    Rng plain(13), jumped(13);
+    jumped.jump();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += plain.nextU64() == jumped.nextU64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SubstreamIsAPureFunctionOfSeedAndIndex)
+{
+    Rng a = Rng::substream(99, 5);
+    Rng b = Rng::substream(99, 5);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, SubstreamsWithDifferentIndicesDiverge)
+{
+    // Counter-derived forks must not collide across nearby indices
+    // or with the master stream itself.
+    Rng master(99);
+    std::set<std::uint64_t> firsts;
+    firsts.insert(master.nextU64());
+    for (std::uint64_t idx = 0; idx < 64; ++idx) {
+        Rng sub = Rng::substream(99, idx);
+        firsts.insert(sub.nextU64());
+    }
+    EXPECT_EQ(firsts.size(), 65u);
+}
+
+TEST(Rng, SubstreamsFromDifferentSeedsDiverge)
+{
+    Rng a = Rng::substream(1, 0);
+    Rng b = Rng::substream(2, 0);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SubstreamUniformsLookUniform)
+{
+    Rng sub = Rng::substream(7, 3);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += sub.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
 TEST(Rng, PermutationIsAPermutation)
 {
     Rng rng(9);

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the deterministic thread pool and parallelFor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+using ar::util::ThreadPool;
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardware)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(0),
+              ThreadPool::hardwareThreads());
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    std::vector<int> hits(10000, 0);
+    ar::util::parallelFor(4, hits.size(),
+                          [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, DisjointWritesMatchSerialRun)
+{
+    // Each index owns its output slot, so any thread count must
+    // produce the identical vector.
+    auto run = [](std::size_t threads) {
+        std::vector<double> out(5000);
+        ar::util::parallelFor(threads, out.size(), [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * 1.5 + 0.25;
+        });
+        return out;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(4), serial);
+    EXPECT_EQ(run(0), serial);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp)
+{
+    std::atomic<int> calls{0};
+    ar::util::parallelFor(4, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleTaskRunsInline)
+{
+    std::atomic<int> calls{0};
+    ar::util::parallelFor(8, 1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller)
+{
+    EXPECT_THROW(ar::util::parallelFor(4, 100,
+                                       [&](std::size_t i) {
+                                           if (i == 37)
+                                               throw std::runtime_error(
+                                                   "boom");
+                                       }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException)
+{
+    ThreadPool &pool = ThreadPool::global();
+    try {
+        pool.parallelFor(
+            50, [](std::size_t) { throw std::runtime_error("x"); }, 4);
+    } catch (const std::runtime_error &) {
+    }
+    std::atomic<long> sum{0};
+    pool.parallelFor(
+        100, [&](std::size_t i) { sum += static_cast<long>(i); }, 4);
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    // A body that itself calls parallelFor must not deadlock; the
+    // inner loop degrades to the serial path.
+    std::vector<long> out(64, 0);
+    ar::util::parallelFor(4, out.size(), [&](std::size_t i) {
+        long acc = 0;
+        ar::util::parallelFor(4, 10, [&](std::size_t j) {
+            acc += static_cast<long>(j);
+        });
+        out[i] = acc;
+    });
+    for (long v : out)
+        ASSERT_EQ(v, 45);
+}
+
+TEST(ThreadPool, ConcurrentSumMatchesClosedForm)
+{
+    std::atomic<long> sum{0};
+    const std::size_t n = 20000;
+    ar::util::parallelFor(0, n, [&](std::size_t i) {
+        sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(),
+              static_cast<long>(n) * (static_cast<long>(n) - 1) / 2);
+}

@@ -24,6 +24,8 @@ main(int argc, char **argv)
     ar::util::CliOptions opts;
     opts.declare("bins", "14", "histogram bins");
     opts.declare("alpha", "0.05", "tail level for VaR/CVaR");
+    opts.declare("threads", "",
+                 "worker threads (0 = all cores; overrides the spec)");
     opts.declare("quiet", "", "suppress the histogram", true);
     if (!opts.parse(argc, argv))
         return 0;
@@ -34,8 +36,11 @@ main(int argc, char **argv)
     }
 
     try {
-        const auto spec =
-            ar::core::loadSpecFile(opts.positional()[0]);
+        auto spec = ar::core::loadSpecFile(opts.positional()[0]);
+        if (!opts.getString("threads").empty()) {
+            spec.threads = static_cast<std::size_t>(
+                opts.getInt("threads"));
+        }
         const auto res = ar::core::runSpec(spec);
         const double alpha = opts.getDouble("alpha");
 
