@@ -16,6 +16,7 @@
 #include "model/app.hh"
 #include "model/hill_marty.hh"
 #include "model/uncertainty.hh"
+#include "util/fault.hh"
 #include "risk/risk_function.hh"
 #include "stats/boxcox.hh"
 #include "symbolic/compile.hh"
@@ -60,6 +61,34 @@ BM_CompiledTapeEvalBatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kBlock);
 }
 BENCHMARK(BM_CompiledTapeEvalBatch)->Arg(1)->Arg(3)->Arg(5);
+
+void
+BM_CompiledTapeEvalBatchGuarded(benchmark::State &state)
+{
+    // The fault-containment hot path: a batch evaluation followed by
+    // the countNonFinite() output scan the Propagator runs per block.
+    // Compare items/s with BM_CompiledTapeEvalBatch to read off the
+    // guard overhead (the precise scalar re-diagnosis only runs on
+    // faulty trials, which a clean model never has).
+    constexpr std::size_t kBlock = 256;
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto sys = ar::model::buildHillMartySystem(k);
+    ar::symbolic::CompiledExpr fn(sys.resolve("Speedup"));
+    const std::size_t n_args = fn.argNames().size();
+    std::vector<std::vector<double>> columns(
+        n_args, std::vector<double>(kBlock, 2.0));
+    std::vector<ar::symbolic::BatchArg> args;
+    for (const auto &col : columns)
+        args.push_back({col.data(), false});
+    std::vector<double> out(kBlock, 0.0);
+    for (auto _ : state) {
+        fn.evalBatch(args, kBlock, out.data());
+        benchmark::DoNotOptimize(ar::util::countNonFinite(out));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_CompiledTapeEvalBatchGuarded)->Arg(1)->Arg(3)->Arg(5);
 
 void
 BM_DirectEvaluator(benchmark::State &state)

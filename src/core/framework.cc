@@ -62,7 +62,11 @@ Framework::analyze(const std::string &responsive,
                    std::uint64_t seed) const
 {
     AnalysisResult res;
-    res.samples = propagate(responsive, in, seed);
+    ar::util::Rng rng(seed);
+    auto prop = propagator.runManyReport({&compiled(responsive)}, in,
+                                         rng);
+    res.samples = std::move(prop.samples.front());
+    res.faults = std::move(prop.faults);
     res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
     res.risk = ar::risk::archRisk(res.samples, reference, fn);

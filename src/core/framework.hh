@@ -24,10 +24,17 @@ namespace ar::core
 /** Full output of one risk-aware analysis. */
 struct AnalysisResult
 {
-    std::vector<double> samples;     ///< Responsive-variable draws.
+    std::vector<double> samples;     ///< Post-policy draws.
     ar::stats::Summary summary;      ///< Moments of the samples.
     double reference = 0.0;          ///< Reference performance P.
     double risk = 0.0;               ///< Architectural risk (Eq. 2).
+
+    /**
+     * Fault accounting of the propagation (see PropagationConfig::
+     * fault_policy).  Statistics above cover effective_trials
+     * samples.
+     */
+    ar::util::FaultReport faults;
 
     /** @return expected performance under uncertainty. */
     double expected() const { return summary.mean; }

@@ -1,5 +1,7 @@
 #include "core/spec.hh"
 
+#include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,6 +9,8 @@
 #include "dist/lognormal.hh"
 #include "dist/normal.hh"
 #include "extract/extract.hh"
+#include "symbolic/parser.hh"
+#include "util/diagnostics.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -17,91 +21,138 @@ namespace ar::core
 namespace
 {
 
-std::vector<std::string>
+/** One whitespace-separated token and its 1-based source column. */
+struct Token
+{
+    std::string text;
+    std::size_t col = 0;
+};
+
+/** Parse context of the line under examination. */
+struct LineCtx
+{
+    std::size_t line_no;     ///< 1-based.
+    const std::string &line; ///< Comment-stripped source line.
+};
+
+[[noreturn]] void
+failAt(const LineCtx &ctx, std::size_t col, const std::string &msg)
+{
+    ar::util::raiseParse("spec error: " + msg, ctx.line_no, col,
+                         ctx.line);
+}
+
+std::vector<Token>
 tokenize(const std::string &line)
 {
-    std::istringstream iss(line);
-    std::vector<std::string> tokens;
-    std::string tok;
-    while (iss >> tok)
-        tokens.push_back(tok);
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (std::isspace(static_cast<unsigned char>(line[i]))) {
+            ++i;
+            continue;
+        }
+        const std::size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i]))) {
+            ++i;
+        }
+        tokens.push_back({line.substr(start, i - start), start + 1});
+    }
     return tokens;
 }
 
 double
-numericToken(const std::vector<std::string> &tokens, std::size_t i,
-             const std::string &line)
+numericToken(const std::vector<Token> &tokens, std::size_t i,
+             const LineCtx &ctx)
 {
     if (i >= tokens.size())
-        ar::util::fatal("spec: missing numeric argument in '", line,
-                        "'");
+        failAt(ctx, ctx.line.size() + 1, "missing numeric argument");
     double v = 0.0;
-    if (!ar::util::parseDouble(tokens[i], v))
-        ar::util::fatal("spec: expected a number, got '", tokens[i],
-                        "' in '", line, "'");
+    if (!ar::util::parseDouble(tokens[i].text, v)) {
+        failAt(ctx, tokens[i].col,
+               "expected a number, got '" + tokens[i].text + "'");
+    }
     return v;
 }
 
-void
-expectArgs(const std::vector<std::string> &tokens, std::size_t n,
-           const std::string &line)
+/** Numeric token that must be an integer with value >= @p min. */
+std::size_t
+integerToken(const std::vector<Token> &tokens, std::size_t i,
+             const LineCtx &ctx, double min, const char *what)
 {
-    if (tokens.size() != n)
-        ar::util::fatal("spec: expected ", n - 1, " arguments in '",
-                        line, "'");
+    const double v = numericToken(tokens, i, ctx);
+    if (v != std::trunc(v) || v < min) {
+        failAt(ctx, tokens[i].col,
+               std::string(what) + " must be an integer >= " +
+                   std::to_string(static_cast<long long>(min)));
+    }
+    return static_cast<std::size_t>(v);
+}
+
+void
+expectArgs(const std::vector<Token> &tokens, std::size_t n,
+           const LineCtx &ctx)
+{
+    if (tokens.size() == n)
+        return;
+    const std::size_t col = tokens.size() > n ? tokens[n].col
+                                              : ctx.line.size() + 1;
+    failAt(ctx, col,
+           "'" + tokens[0].text + "' expects " + std::to_string(n - 1) +
+               " argument(s), got " + std::to_string(tokens.size() - 1));
 }
 
 ar::dist::DistPtr
-makeDistribution(const std::vector<std::string> &tokens,
-                 const std::string &line)
+makeDistribution(const std::vector<Token> &tokens, const LineCtx &ctx)
 {
     // tokens: uncertain NAME KIND ARGS...
-    const std::string &kind = tokens[2];
+    const std::string &kind = tokens[2].text;
     auto num = [&](std::size_t i) {
-        return numericToken(tokens, i, line);
+        return numericToken(tokens, i, ctx);
     };
     if (kind == "normal") {
-        expectArgs(tokens, 5, line);
+        expectArgs(tokens, 5, ctx);
         return std::make_shared<ar::dist::Normal>(num(3), num(4));
     }
     if (kind == "truncnormal") {
-        expectArgs(tokens, 7, line);
+        expectArgs(tokens, 7, ctx);
         return std::make_shared<ar::dist::TruncatedNormal>(
             num(3), num(4), num(5), num(6));
     }
     if (kind == "lognormal") {
-        expectArgs(tokens, 5, line);
+        expectArgs(tokens, 5, ctx);
         return std::make_shared<ar::dist::LogNormal>(num(3), num(4));
     }
     if (kind == "lognormal-ms") {
-        expectArgs(tokens, 5, line);
+        expectArgs(tokens, 5, ctx);
         return std::make_shared<ar::dist::LogNormal>(
             ar::dist::LogNormal::fromMeanStddev(num(3), num(4)));
     }
     if (kind == "uniform") {
-        expectArgs(tokens, 5, line);
+        expectArgs(tokens, 5, ctx);
         return std::make_shared<ar::dist::Uniform>(num(3), num(4));
     }
     if (kind == "bernoulli") {
-        expectArgs(tokens, 4, line);
+        expectArgs(tokens, 4, ctx);
         return std::make_shared<ar::dist::Bernoulli>(num(3));
     }
     if (kind == "binomial") {
-        expectArgs(tokens, 5, line);
+        expectArgs(tokens, 5, ctx);
         return std::make_shared<ar::dist::Binomial>(
             static_cast<unsigned>(num(3)), num(4));
     }
     if (kind == "normbinomial") {
-        expectArgs(tokens, 5, line);
+        expectArgs(tokens, 5, ctx);
         return std::make_shared<ar::dist::NormalizedBinomial>(
             static_cast<unsigned>(num(3)), num(4));
     }
     if (kind == "degenerate") {
-        expectArgs(tokens, 4, line);
+        expectArgs(tokens, 4, ctx);
         return std::make_shared<ar::dist::Degenerate>(num(3));
     }
-    ar::util::fatal("spec: unknown distribution kind '", kind,
-                    "' in '", line, "'");
+    failAt(ctx, tokens[2].col,
+           "unknown distribution kind '" + kind + "'");
 }
 
 } // namespace
@@ -129,72 +180,107 @@ parseSpec(const std::string &text)
     AnalysisSpec spec;
     std::istringstream lines(text);
     std::string raw;
+    std::size_t line_no = 0;
     while (std::getline(lines, raw)) {
-        const std::string line = ar::util::trim(raw);
-        if (line.empty() || line[0] == '#')
+        ++line_no;
+        // '#' starts a comment anywhere on the line.
+        const std::string line = raw.substr(0, raw.find('#'));
+        if (ar::util::trim(line).empty())
             continue;
+        const LineCtx ctx{line_no, line};
 
         if (line.find('=') != std::string::npos) {
-            spec.system.addEquation(line);
+            // Columns of equation diagnostics refer to the raw line
+            // (the parser skips leading whitespace itself).  Semantic
+            // errors raised while installing the equation (defined
+            // twice, unsolvable) carry no location; stamp this line.
+            try {
+                spec.system.addEquation(
+                    ar::symbolic::parseEquation(line, line_no));
+            } catch (const ar::util::ParseError &e) {
+                if (e.diagnostic().line != 0)
+                    throw;
+                auto d = e.diagnostic();
+                d.line = line_no;
+                throw ar::util::ParseError(std::move(d));
+            }
             continue;
         }
 
         const auto tokens = tokenize(line);
-        const std::string &cmd = tokens[0];
+        const std::string &cmd = tokens[0].text;
         if (cmd == "fixed") {
-            expectArgs(tokens, 3, line);
-            spec.bindings.fixed[tokens[1]] =
-                numericToken(tokens, 2, line);
+            expectArgs(tokens, 3, ctx);
+            spec.bindings.fixed[tokens[1].text] =
+                numericToken(tokens, 2, ctx);
         } else if (cmd == "uncertain") {
-            if (tokens.size() < 4)
-                ar::util::fatal("spec: uncertain needs NAME KIND "
-                                "ARGS in '", line, "'");
-            spec.bindings.uncertain[tokens[1]] =
-                makeDistribution(tokens, line);
-            spec.system.markUncertain(tokens[1]);
+            if (tokens.size() < 4) {
+                failAt(ctx, line.size() + 1,
+                       "'uncertain' needs NAME KIND ARGS...");
+            }
+            spec.bindings.uncertain[tokens[1].text] =
+                makeDistribution(tokens, ctx);
+            spec.system.markUncertain(tokens[1].text);
         } else if (cmd == "samples") {
-            expectArgs(tokens, 3, line);
-            const auto data = ar::util::readNumbers(tokens[2]);
-            spec.bindings.uncertain[tokens[1]] =
+            expectArgs(tokens, 3, ctx);
+            const auto data = ar::util::readNumbers(tokens[2].text);
+            spec.bindings.uncertain[tokens[1].text] =
                 ar::extract::extractUncertainty(data).distribution;
-            spec.system.markUncertain(tokens[1]);
+            spec.system.markUncertain(tokens[1].text);
         } else if (cmd == "correlate") {
-            expectArgs(tokens, 4, line);
+            expectArgs(tokens, 4, ctx);
             spec.bindings.correlations.push_back(
-                {tokens[1], tokens[2],
-                 numericToken(tokens, 3, line)});
+                {tokens[1].text, tokens[2].text,
+                 numericToken(tokens, 3, ctx)});
         } else if (cmd == "output") {
-            expectArgs(tokens, 2, line);
-            spec.output = tokens[1];
+            expectArgs(tokens, 2, ctx);
+            spec.output = tokens[1].text;
         } else if (cmd == "reference") {
-            expectArgs(tokens, 2, line);
-            spec.reference = numericToken(tokens, 1, line);
+            expectArgs(tokens, 2, ctx);
+            spec.reference = numericToken(tokens, 1, ctx);
         } else if (cmd == "risk") {
-            expectArgs(tokens, 2, line);
-            spec.risk = tokens[1];
-            makeRiskFunction(spec.risk); // validate eagerly
+            expectArgs(tokens, 2, ctx);
+            spec.risk = tokens[1].text;
+            try {
+                makeRiskFunction(spec.risk); // validate eagerly
+            } catch (const ar::util::FatalError &) {
+                failAt(ctx, tokens[1].col,
+                       "unknown risk function '" + spec.risk +
+                           "' (step|linear|quadratic|monetary)");
+            }
         } else if (cmd == "trials") {
-            expectArgs(tokens, 2, line);
-            spec.trials = static_cast<std::size_t>(
-                numericToken(tokens, 1, line));
+            expectArgs(tokens, 2, ctx);
+            spec.trials = integerToken(tokens, 1, ctx, 1, "trials");
         } else if (cmd == "seed") {
-            expectArgs(tokens, 2, line);
+            expectArgs(tokens, 2, ctx);
             spec.seed = static_cast<std::uint64_t>(
-                numericToken(tokens, 1, line));
+                integerToken(tokens, 1, ctx, 0, "seed"));
         } else if (cmd == "threads") {
-            expectArgs(tokens, 2, line);
-            spec.threads = static_cast<std::size_t>(
-                numericToken(tokens, 1, line));
+            expectArgs(tokens, 2, ctx);
+            spec.threads = integerToken(tokens, 1, ctx, 0, "threads");
+        } else if (cmd == "fault_policy") {
+            expectArgs(tokens, 2, ctx);
+            if (!ar::util::parseFaultPolicy(tokens[1].text,
+                                            spec.fault_policy)) {
+                failAt(ctx, tokens[1].col,
+                       "unknown fault policy '" + tokens[1].text +
+                           "' (fail_fast|discard|saturate)");
+            }
         } else {
-            ar::util::fatal("spec: unknown directive '", cmd,
-                            "' in '", line, "'");
+            failAt(ctx, tokens[0].col,
+                   "unknown directive '" + cmd + "'");
         }
     }
-    if (spec.output.empty())
-        ar::util::fatal("spec: missing 'output' directive");
-    if (!spec.system.defines(spec.output))
-        ar::util::fatal("spec: output variable '", spec.output,
-                        "' has no defining equation");
+    if (spec.output.empty()) {
+        ar::util::raiseParse("spec error: missing 'output' directive",
+                             0, 0, "");
+    }
+    if (!spec.system.defines(spec.output)) {
+        ar::util::raiseParse("spec error: output variable '" +
+                                 spec.output +
+                                 "' has no defining equation",
+                             0, 0, "output " + spec.output);
+    }
     return spec;
 }
 
@@ -206,13 +292,21 @@ loadSpecFile(const std::string &path)
         ar::util::fatal("loadSpecFile: cannot open '", path, "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parseSpec(buffer.str());
+    try {
+        return parseSpec(buffer.str());
+    } catch (const ar::util::ParseError &e) {
+        // Prefix the file path so batch users can locate the spec.
+        auto d = e.diagnostic();
+        d.message = path + ": " + d.message;
+        throw ar::util::ParseError(std::move(d));
+    }
 }
 
 AnalysisResult
 runSpec(const AnalysisSpec &spec)
 {
-    Framework fw({spec.trials, "latin-hypercube", spec.threads});
+    Framework fw({spec.trials, "latin-hypercube", spec.threads,
+                  spec.fault_policy});
 
     // The Framework owns a copy of the system.
     ar::symbolic::EquationSystem sys = spec.system;

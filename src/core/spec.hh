@@ -23,6 +23,9 @@
  *   trials 10000
  *   seed 7
  *   threads 4                       # workers; 0 = all cores
+ *   fault_policy fail_fast          # fail_fast|discard|saturate
+ *
+ * '#' starts a comment anywhere on a line (inline comments included).
  *
  * Distribution forms for `uncertain`:
  *   normal MU SIGMA
@@ -60,12 +63,18 @@ struct AnalysisSpec
     std::size_t trials = 10000;
     std::uint64_t seed = 1;
     std::size_t threads = 0;            ///< 0 = hardware concurrency.
+
+    /** Handling of trials with non-finite outputs. */
+    ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
 };
 
 /**
- * Parse a spec from text; fatal on malformed statements.  `samples`
- * directives resolve their file paths relative to the process's
- * working directory.
+ * Parse a spec from text.
+ *
+ * @throws ar::util::ParseError on malformed statements, carrying the
+ *         1-based line and column plus the offending line for caret
+ *         rendering.  `samples` directives resolve their file paths
+ *         relative to the process's working directory.
  */
 AnalysisSpec parseSpec(const std::string &text);
 

@@ -1,0 +1,102 @@
+#include "dist/fault_injection.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ar::dist
+{
+
+FaultInjectingDistribution::FaultInjectingDistribution(
+    DistPtr base, double rate, std::uint64_t seed, Mode mode)
+    : base_(std::move(base)), rate_(rate), seed_(seed), mode_(mode)
+{
+    if (!base_)
+        ar::util::panic("FaultInjectingDistribution: null base");
+    if (rate_ < 0.0 || rate_ > 1.0) {
+        ar::util::fatal("FaultInjectingDistribution: rate must be in "
+                        "[0, 1], got ", rate_);
+    }
+}
+
+bool
+FaultInjectingDistribution::corrupts(double u) const
+{
+    // Decision is a hash of (seed, u) only: stateless, so the same
+    // variate faults no matter which thread or call order draws it.
+    ar::util::SplitMix64 mix(seed_ ^ std::bit_cast<std::uint64_t>(u));
+    const double roll =
+        static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    return roll < rate_;
+}
+
+double
+FaultInjectingDistribution::corruptValue(double clean) const
+{
+    switch (mode_) {
+      case Mode::QuietNaN:
+        return std::numeric_limits<double>::quiet_NaN();
+      case Mode::PosInf:
+        return std::numeric_limits<double>::infinity();
+      case Mode::NegInf:
+        return -std::numeric_limits<double>::infinity();
+      case Mode::Negate:
+        return -std::fabs(clean) - 1.0;
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+FaultInjectingDistribution::sampleFromUniform(double u) const
+{
+    const double clean = base_->sampleFromUniform(u);
+    return corrupts(u) ? corruptValue(clean) : clean;
+}
+
+double
+FaultInjectingDistribution::sample(ar::util::Rng &rng) const
+{
+    return sampleFromUniform(rng.uniform());
+}
+
+double
+FaultInjectingDistribution::quantile(double p) const
+{
+    return base_->quantile(p);
+}
+
+std::string
+FaultInjectingDistribution::describe() const
+{
+    const char *mode_name = "nan";
+    switch (mode_) {
+      case Mode::QuietNaN:
+        mode_name = "nan";
+        break;
+      case Mode::PosInf:
+        mode_name = "+inf";
+        break;
+      case Mode::NegInf:
+        mode_name = "-inf";
+        break;
+      case Mode::Negate:
+        mode_name = "negate";
+        break;
+    }
+    std::ostringstream oss;
+    oss << "FaultInjecting(" << base_->describe() << ", rate=" << rate_
+        << ", mode=" << mode_name << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+FaultInjectingDistribution::clone() const
+{
+    return std::make_unique<FaultInjectingDistribution>(base_, rate_,
+                                                        seed_, mode_);
+}
+
+} // namespace ar::dist

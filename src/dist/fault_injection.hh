@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic fault-injection harness for testing fault containment.
+ *
+ * FaultInjectingDistribution decorates any Distribution and corrupts a
+ * configurable fraction of its draws with NaN, infinities, or
+ * out-of-domain values.  The fault decision is a pure function of the
+ * uniform variate u (hashed with an injection seed), NOT of any shared
+ * mutable state, so a corrupted trial is the SAME trial for any thread
+ * count -- exactly what the FaultReport bit-identity tests need.
+ */
+
+#ifndef AR_DIST_FAULT_INJECTION_HH
+#define AR_DIST_FAULT_INJECTION_HH
+
+#include <cstdint>
+
+#include "dist/distribution.hh"
+
+namespace ar::dist
+{
+
+/** Decorator corrupting a deterministic fraction of draws. */
+class FaultInjectingDistribution : public Distribution
+{
+  public:
+    /** What a corrupted draw turns into. */
+    enum class Mode : std::uint8_t
+    {
+        QuietNaN, ///< std::numeric_limits<double>::quiet_NaN().
+        PosInf,   ///< +infinity.
+        NegInf,   ///< -infinity.
+
+        /**
+         * An out-of-domain finite value: -|base draw| - 1, guaranteed
+         * negative.  Feeds domain faults (sqrt/log of a negative) to
+         * models instead of already-poisoned values.
+         */
+        Negate,
+    };
+
+    /**
+     * @param base Decorated distribution (shared, immutable).
+     * @param rate Fraction of draws to corrupt in [0, 1].
+     * @param seed Injection stream seed; same (seed, u) always makes
+     *        the same corrupt-or-not decision.
+     * @param mode Corruption value.
+     */
+    FaultInjectingDistribution(DistPtr base, double rate,
+                               std::uint64_t seed,
+                               Mode mode = Mode::QuietNaN);
+
+    double sample(ar::util::Rng &rng) const override;
+    double sampleFromUniform(double u) const override;
+
+    // Moments and shape delegate to the base distribution: the
+    // decorator models *evaluation* faults, not a different random
+    // variable.
+    double mean() const override { return base_->mean(); }
+    double stddev() const override { return base_->stddev(); }
+    double cdf(double x) const override { return base_->cdf(x); }
+    double quantile(double p) const override;
+    double pdf(double x) const override { return base_->pdf(x); }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return true when variate @p u would be corrupted. */
+    bool corrupts(double u) const;
+
+  private:
+    double corruptValue(double clean) const;
+
+    DistPtr base_;
+    double rate_;
+    std::uint64_t seed_;
+    Mode mode_;
+};
+
+} // namespace ar::dist
+
+#endif // AR_DIST_FAULT_INJECTION_HH

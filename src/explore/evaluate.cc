@@ -193,6 +193,12 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     if (cfg.keep_samples)
         kept.assign(designs.size(), {});
 
+    // Faulty designs park their raw samples here; stats for them are
+    // deferred to the serial post-pass so policy application and the
+    // report are independent of thread scheduling.
+    std::vector<std::vector<double>> deferred(designs.size());
+    std::vector<std::vector<std::size_t>> bad_trials(designs.size());
+
     // Designs only read the shared pools, so the sweep parallelizes
     // over designs; every buffer below is per-design.
     ar::util::parallelFor(cfg.threads, designs.size(),
@@ -248,12 +254,91 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
 
         DesignOutcome &out = outcomes[d];
         out.design_index = d;
+        out.effective_trials = trials;
+        for (std::size_t t = 0; t < trials; ++t) {
+            if (!std::isfinite(samples[t]))
+                bad_trials[d].push_back(t);
+        }
+        if (!bad_trials[d].empty()) {
+            // Stats deferred to the serial fault post-pass.
+            deferred[d] = std::move(samples);
+            return;
+        }
         out.expected = ar::math::mean(samples);
         out.stddev = trials > 1 ? ar::math::stddev(samples) : 0.0;
         out.risk = ar::risk::archRisk(samples, 1.0, fn);
         if (cfg.keep_samples)
             kept[d] = std::move(samples);
     });
+
+    // Serial fault post-pass: assemble the report in (trial, design)
+    // order from the materialized per-design results, then apply the
+    // policy per design.
+    report_ = {};
+    report_.policy = cfg.fault_policy;
+    report_.trials = trials;
+    report_.by_output.assign(designs.size(), 0);
+    report_.effective_trials = trials;
+
+    struct Event
+    {
+        std::size_t trial;
+        std::size_t design;
+        ar::util::FaultKind kind;
+    };
+    std::vector<Event> events;
+    std::vector<std::size_t> distinct_trials;
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        for (std::size_t t : bad_trials[d]) {
+            events.push_back(
+                {t, d, ar::util::classifyNonFinite(deferred[d][t])});
+            distinct_trials.push_back(t);
+        }
+    }
+    if (events.empty())
+        return outcomes;
+
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.trial != b.trial ? a.trial < b.trial
+                                            : a.design < b.design;
+              });
+    for (const auto &ev : events)
+        report_.record(ev.trial, ev.design, ev.kind, "hill-marty speedup");
+    std::sort(distinct_trials.begin(), distinct_trials.end());
+    distinct_trials.erase(
+        std::unique(distinct_trials.begin(), distinct_trials.end()),
+        distinct_trials.end());
+    report_.faulty_trials = distinct_trials.size();
+
+    if (cfg.fault_policy == ar::util::FaultPolicy::FailFast) {
+        report_.effective_trials = trials - report_.faulty_trials;
+        throw ar::util::FaultError(report_);
+    }
+
+    std::size_t min_effective = trials;
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        if (bad_trials[d].empty())
+            continue;
+        auto &samples = deferred[d];
+        if (cfg.fault_policy == ar::util::FaultPolicy::Discard)
+            ar::util::discardSamples(samples, bad_trials[d]);
+        else
+            ar::util::saturateSamples(samples, report_);
+        if (samples.empty())
+            throw ar::util::FaultError(report_);
+        DesignOutcome &out = outcomes[d];
+        out.faults = bad_trials[d].size();
+        out.effective_trials = samples.size();
+        min_effective = std::min(min_effective, samples.size());
+        out.expected = ar::math::mean(samples);
+        out.stddev = samples.size() > 1 ? ar::math::stddev(samples)
+                                        : 0.0;
+        out.risk = ar::risk::archRisk(samples, 1.0, fn);
+        if (cfg.keep_samples)
+            kept[d] = std::move(samples);
+    }
+    report_.effective_trials = min_effective;
     return outcomes;
 }
 

@@ -26,6 +26,7 @@
 #include "model/core_config.hh"
 #include "model/uncertainty.hh"
 #include "risk/risk_function.hh"
+#include "util/fault.hh"
 
 namespace ar::explore
 {
@@ -37,6 +38,9 @@ struct DesignOutcome
     double expected = 0.0;        ///< Mean normalized performance.
     double stddev = 0.0;          ///< Stddev of normalized perf.
     double risk = 0.0;            ///< Architectural risk (Eq. 2).
+
+    std::size_t faults = 0;       ///< Trials with a non-finite sample.
+    std::size_t effective_trials = 0; ///< Trials behind the stats.
 };
 
 /** Settings for one design-space sweep. */
@@ -60,6 +64,15 @@ struct SweepConfig
      * any value (parallel draws use counter-derived RNG substreams).
      */
     std::size_t threads = 0;
+
+    /**
+     * Handling of trials whose normalized speedup is non-finite.
+     * Policies apply per design (pools are shared, so trial t can
+     * fault for one design and not another); the sweep-level report
+     * is assembled serially in (trial, design) order after the
+     * parallel phase, hence bit-identical for any thread count.
+     */
+    ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
 };
 
 /**
@@ -99,9 +112,18 @@ class DesignSpaceEvaluator
 
     /**
      * Normalized performance samples of one design from the last
-     * evaluateAll() call; requires cfg.keep_samples.
+     * evaluateAll() call; requires cfg.keep_samples.  Post-policy:
+     * discarded trials are absent, saturated trials hold the clamped
+     * values.
      */
     const std::vector<double> &samples(std::size_t design_index) const;
+
+    /**
+     * Fault accounting of the last evaluateAll() call.  Output index
+     * is the design index; effective_trials is the minimum surviving
+     * trial count across designs.
+     */
+    const ar::util::FaultReport &faultReport() const { return report_; }
 
   private:
     void buildPools();
@@ -134,6 +156,7 @@ class DesignSpaceEvaluator
         n_pools;
 
     std::vector<std::vector<double>> kept;        ///< Optional samples.
+    ar::util::FaultReport report_;                ///< Last sweep.
 };
 
 } // namespace ar::explore

@@ -39,6 +39,14 @@ Propagator::runMany(
     const std::vector<const ar::symbolic::CompiledExpr *> &fns,
     const InputBindings &in, ar::util::Rng &rng) const
 {
+    return runManyReport(fns, in, rng).samples;
+}
+
+Propagation
+Propagator::runManyReport(
+    const std::vector<const ar::symbolic::CompiledExpr *> &fns,
+    const InputBindings &in, ar::util::Rng &rng) const
+{
     // Union of uncertain variables actually used by any function.
     std::set<std::string> used_set;
     for (const auto *fn : fns) {
@@ -182,7 +190,67 @@ Propagator::runMany(
             fns[f]->evalBatch(bargs, len, results[f].data() + t0);
         }
     });
-    return results;
+
+    // Fault containment: a serial post-pass over the fully
+    // materialized results, so detection order -- and therefore the
+    // report -- is a pure function of the design matrix, independent
+    // of how blocks were scheduled across threads.  The cheap tier
+    // scans outputs for non-finite values; the precise scalar tape
+    // re-runs only the rare faulting trials to attribute each fault
+    // to its first offending op.
+    Propagation out;
+    out.faults.policy = cfg.fault_policy;
+    out.faults.trials = trials;
+    out.faults.by_output.assign(fns.size(), 0);
+    std::vector<std::size_t> faulty;
+    std::vector<double> scalar_args;
+    for (std::size_t t = 0; t < trials; ++t) {
+        bool trial_faulty = false;
+        for (std::size_t f = 0; f < fns.size(); ++f) {
+            if (std::isfinite(results[f][t]))
+                continue;
+            trial_faulty = true;
+            const auto &plan = plans[f];
+            scalar_args.resize(plan.size());
+            for (std::size_t a = 0; a < plan.size(); ++a) {
+                scalar_args[a] = plan[a].is_uncertain
+                                     ? columns[plan[a].draw_index][t]
+                                     : plan[a].fixed_value;
+            }
+            ar::symbolic::EvalFault fault;
+            fns[f]->evalDiagnosed(scalar_args, fault);
+            out.faults.record(
+                t, f,
+                fault.faulted
+                    ? fault.kind
+                    : ar::util::classifyNonFinite(results[f][t]),
+                fault.faulted ? fault.op : std::string());
+        }
+        if (trial_faulty)
+            faulty.push_back(t);
+    }
+    out.faults.faulty_trials = faulty.size();
+    out.faults.effective_trials = trials;
+    if (!faulty.empty()) {
+        switch (cfg.fault_policy) {
+          case ar::util::FaultPolicy::FailFast:
+            out.faults.effective_trials = trials - faulty.size();
+            throw ar::util::FaultError(out.faults);
+          case ar::util::FaultPolicy::Discard:
+            for (auto &samples : results)
+                ar::util::discardSamples(samples, faulty);
+            out.faults.effective_trials = trials - faulty.size();
+            break;
+          case ar::util::FaultPolicy::Saturate:
+            for (auto &samples : results) {
+                if (ar::util::countNonFinite(samples) > 0)
+                    ar::util::saturateSamples(samples, out.faults);
+            }
+            break;
+        }
+    }
+    out.samples = std::move(results);
+    return out;
 }
 
 } // namespace ar::mc

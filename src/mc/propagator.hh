@@ -18,6 +18,7 @@
 #include "mc/copula.hh"
 #include "mc/sampler.hh"
 #include "symbolic/compile.hh"
+#include "util/fault.hh"
 
 namespace ar::mc
 {
@@ -33,6 +34,23 @@ struct PropagationConfig
      * concurrency.  Results are bit-identical for any value.
      */
     std::size_t threads = 0;
+
+    /**
+     * What to do with trials whose output is non-finite (NaN/Inf from
+     * a domain violation or overflow).  See ar::util::FaultPolicy.
+     */
+    ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
+};
+
+/** Samples plus the fault accounting of one propagation run. */
+struct Propagation
+{
+    /** One sample vector per function, aligned by trial (after any
+     * discard the alignment across functions is still preserved). */
+    std::vector<std::vector<double>> samples;
+
+    /** Deterministic fault report (bit-identical for any threads). */
+    ar::util::FaultReport faults;
 };
 
 /** Named inputs for one propagation run. */
@@ -84,6 +102,23 @@ class Propagator
     std::vector<std::vector<double>>
     runMany(const std::vector<const ar::symbolic::CompiledExpr *> &fns,
             const InputBindings &in, ar::util::Rng &rng) const;
+
+    /**
+     * Like runMany() but with explicit fault containment: every trial
+     * whose output is non-finite is detected (cheap output scan),
+     * re-diagnosed on the scalar tape for attribution (op + kind),
+     * and handled per the configured FaultPolicy.  The report is a
+     * pure function of the sampled design matrix, hence bit-identical
+     * for any thread count.
+     *
+     * @throws ar::util::FaultError under FaultPolicy::FailFast when
+     *         any trial faults (the report rides on the exception),
+     *         or under Saturate when an output has no finite sample.
+     */
+    Propagation
+    runManyReport(
+        const std::vector<const ar::symbolic::CompiledExpr *> &fns,
+        const InputBindings &in, ar::util::Rng &rng) const;
 
     /** @return the configured trial count. */
     std::size_t trials() const { return cfg.trials; }

@@ -115,28 +115,110 @@ sobolIndices(const ar::symbolic::CompiledExpr &fn,
         }
     });
 
+    // Fault containment: serial post-pass in trial order (hence
+    // thread-count independent).  A trial is faulty when any of its
+    // k + 2 evaluations is non-finite; the policy then applies to the
+    // whole trial so pick-freeze pairs stay aligned.
+    SensitivityResult res;
+    res.faults.policy = cfg.fault_policy;
+    res.faults.trials = n;
+    res.faults.by_output.assign(k + 2, 0);
+    std::vector<std::size_t> faulty;
+    {
+        std::vector<double> row_a(k), row_b(k), argbuf(plan.size());
+        auto diagnose = [&](std::size_t t, std::size_t output,
+                            const std::vector<double> &row,
+                            double observed) {
+            for (std::size_t a = 0; a < plan.size(); ++a) {
+                argbuf[a] = plan[a].is_uncertain
+                                ? row[plan[a].dim]
+                                : plan[a].fixed_value;
+            }
+            ar::symbolic::EvalFault fault;
+            fn.evalDiagnosed(argbuf, fault);
+            res.faults.record(
+                t, output,
+                fault.faulted ? fault.kind
+                              : ar::util::classifyNonFinite(observed),
+                fault.faulted ? fault.op : std::string());
+        };
+        for (std::size_t t = 0; t < n; ++t) {
+            bool bad =
+                !std::isfinite(fa[t]) || !std::isfinite(fb[t]);
+            for (std::size_t i = 0; !bad && i < k; ++i)
+                bad = !std::isfinite(fab[i][t]);
+            if (!bad)
+                continue;
+            faulty.push_back(t);
+            for (std::size_t d = 0; d < k; ++d) {
+                row_a[d] = realize(ua, t, d);
+                row_b[d] = realize(ub, t, d);
+            }
+            if (!std::isfinite(fa[t]))
+                diagnose(t, 0, row_a, fa[t]);
+            if (!std::isfinite(fb[t]))
+                diagnose(t, 1, row_b, fb[t]);
+            for (std::size_t i = 0; i < k; ++i) {
+                if (std::isfinite(fab[i][t]))
+                    continue;
+                const double keep = row_a[i];
+                row_a[i] = row_b[i];
+                diagnose(t, 2 + i, row_a, fab[i][t]);
+                row_a[i] = keep;
+            }
+        }
+    }
+    res.faults.faulty_trials = faulty.size();
+    res.faults.effective_trials = n;
+    if (!faulty.empty()) {
+        switch (cfg.fault_policy) {
+          case ar::util::FaultPolicy::FailFast:
+            res.faults.effective_trials = n - faulty.size();
+            throw ar::util::FaultError(res.faults);
+          case ar::util::FaultPolicy::Discard:
+            ar::util::discardSamples(fa, faulty);
+            ar::util::discardSamples(fb, faulty);
+            for (auto &col : fab)
+                ar::util::discardSamples(col, faulty);
+            res.faults.effective_trials = n - faulty.size();
+            break;
+          case ar::util::FaultPolicy::Saturate:
+            for (auto *vec : {&fa, &fb}) {
+                if (ar::util::countNonFinite(*vec) > 0)
+                    ar::util::saturateSamples(*vec, res.faults);
+            }
+            for (auto &col : fab) {
+                if (ar::util::countNonFinite(col) > 0)
+                    ar::util::saturateSamples(col, res.faults);
+            }
+            break;
+        }
+    }
+    const std::size_t m = fa.size(); // surviving trials
+    if (m < 2)
+        throw ar::util::FaultError(res.faults);
+
     // Output moments over the pooled A and B evaluations.
     ar::math::KahanSum mean_acc;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t t = 0; t < m; ++t) {
         mean_acc.add(fa[t]);
         mean_acc.add(fb[t]);
     }
-    const double mean = mean_acc.value() / (2.0 * n);
+    const double mean = mean_acc.value() / (2.0 * m);
     ar::math::KahanSum var_acc;
-    for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t t = 0; t < m; ++t) {
         var_acc.add((fa[t] - mean) * (fa[t] - mean));
         var_acc.add((fb[t] - mean) * (fb[t] - mean));
     }
-    const double variance = var_acc.value() / (2.0 * n - 1.0);
+    const double variance = var_acc.value() / (2.0 * m - 1.0);
 
-    SensitivityResult res;
     res.output_mean = mean;
     res.output_variance = variance;
     res.trials = n;
     res.indices.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
         ar::math::KahanSum first_acc, total_acc;
-        for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t t = 0; t < m; ++t) {
             const double db = fb[t] - fab[i][t];
             const double da = fa[t] - fab[i][t];
             first_acc.add(db * db);
@@ -145,10 +227,10 @@ sobolIndices(const ar::symbolic::CompiledExpr &fn,
         SobolIndex &idx = res.indices[i];
         idx.input = names[i];
         if (variance > 0.0) {
-            // Jansen estimators.
+            // Jansen estimators over the surviving trials.
             idx.first_order =
-                1.0 - first_acc.value() / (2.0 * n * variance);
-            idx.total = total_acc.value() / (2.0 * n * variance);
+                1.0 - first_acc.value() / (2.0 * m * variance);
+            idx.total = total_acc.value() / (2.0 * m * variance);
             idx.first_order =
                 ar::math::clamp(idx.first_order, 0.0, 1.0);
             idx.total = ar::math::clamp(idx.total, 0.0, 1.5);

@@ -41,7 +41,16 @@ struct SensitivityResult
     std::vector<SobolIndex> indices; ///< One per uncertain input.
     double output_mean = 0.0;
     double output_variance = 0.0;
-    std::size_t trials = 0;          ///< N per matrix.
+    std::size_t trials = 0;          ///< Requested N per matrix.
+
+    /**
+     * Fault accounting over the N * (k + 2) evaluations.  Outputs are
+     * numbered 0 = f(A), 1 = f(B), 2 + i = f(AB_i); a trial is faulty
+     * when any of its k + 2 evaluations is non-finite, and the policy
+     * applies to the whole trial so the pick-freeze pairing stays
+     * aligned.  effective_trials is the N the estimators used.
+     */
+    ar::util::FaultReport faults;
 
     /** @return the index entry for a named input (fatal if absent). */
     const SobolIndex &of(const std::string &input) const;
@@ -58,6 +67,9 @@ struct SensitivityConfig
      * concurrency.  Indices are bit-identical for any value.
      */
     std::size_t threads = 0;
+
+    /** Handling of trials with non-finite evaluations. */
+    ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include "math/numeric.hh"
 #include "math/optimize.hh"
 #include "stats/normality.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::stats
@@ -16,9 +17,11 @@ double
 BoxCoxTransform::apply(double x) const
 {
     const double v = x + shift;
-    if (v <= 0.0)
-        ar::util::fatal("BoxCoxTransform::apply: value ", x,
-                        " not positive after shift ", shift);
+    if (v <= 0.0) {
+        ar::util::raiseDiagnostic(
+            "BoxCoxTransform::apply: value " + std::to_string(x) +
+            " not positive after shift " + std::to_string(shift));
+    }
     if (std::fabs(lambda) < 1e-12)
         return std::log(v);
     return (std::pow(v, lambda) - 1.0) / lambda;
@@ -67,8 +70,10 @@ boxCoxLogLikelihood(std::span<const double> xs, double lambda,
                     double shift)
 {
     const std::size_t n = xs.size();
-    if (n < 2)
-        ar::util::fatal("boxCoxLogLikelihood: need >= 2 samples");
+    if (n < 2) {
+        ar::util::raiseDiagnostic("boxCoxLogLikelihood: need >= 2 "
+                                  "samples, got " + std::to_string(n));
+    }
     BoxCoxTransform t{lambda, shift};
     std::vector<double> ys = t.apply(xs);
 
@@ -92,8 +97,10 @@ BoxCoxFit
 fitBoxCox(std::span<const double> xs, double confidence_threshold,
           double lambda_lo, double lambda_hi)
 {
-    if (xs.size() < 8)
-        ar::util::fatal("fitBoxCox: need >= 8 samples, got ", xs.size());
+    if (xs.size() < 8) {
+        ar::util::raiseDiagnostic("fitBoxCox: need >= 8 samples, got " +
+                                  std::to_string(xs.size()));
+    }
 
     BoxCoxFit fit;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "math/numeric.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::stats
@@ -12,8 +13,10 @@ GaussianFit
 fitGaussian(std::span<const double> xs)
 {
     const std::size_t n = xs.size();
-    if (n < 2)
-        ar::util::fatal("fitGaussian: need >= 2 samples, got ", n);
+    if (n < 2) {
+        ar::util::raiseDiagnostic("fitGaussian: need >= 2 samples, "
+                                  "got " + std::to_string(n));
+    }
 
     GaussianFit fit;
     fit.mean = ar::math::mean(xs);
@@ -22,8 +25,10 @@ fitGaussian(std::span<const double> xs)
         ss += (x - fit.mean) * (x - fit.mean);
     const double nn = static_cast<double>(n);
     const double var = ss / nn;
-    if (var <= 0.0)
-        ar::util::fatal("fitGaussian: degenerate sample (zero variance)");
+    if (var <= 0.0) {
+        ar::util::raiseDiagnostic("fitGaussian: degenerate sample "
+                                  "(zero variance)");
+    }
     fit.stddev = std::sqrt(var);
     fit.log_likelihood =
         -0.5 * nn * (std::log(2.0 * M_PI * var) + 1.0);

@@ -6,6 +6,7 @@
 #include "math/numeric.hh"
 #include "math/special.hh"
 #include "stats/quantiles.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::stats
@@ -14,8 +15,11 @@ namespace ar::stats
 double
 GaussianKde::silvermanBandwidth(std::span<const double> xs)
 {
-    if (xs.size() < 2)
-        ar::util::fatal("silvermanBandwidth: need >= 2 samples");
+    if (xs.size() < 2) {
+        ar::util::raiseDiagnostic(
+            "silvermanBandwidth: need >= 2 samples, got " +
+            std::to_string(xs.size()));
+    }
     const double sd = ar::math::stddev(xs);
     const double iqr = quantile(xs, 0.75) - quantile(xs, 0.25);
     double spread = sd;
@@ -30,8 +34,11 @@ GaussianKde::silvermanBandwidth(std::span<const double> xs)
 GaussianKde::GaussianKde(std::span<const double> xs, double bandwidth)
     : points(xs.begin(), xs.end())
 {
-    if (points.size() < 2)
-        ar::util::fatal("GaussianKde: need >= 2 samples");
+    if (points.size() < 2) {
+        ar::util::raiseDiagnostic(
+            "GaussianKde: need >= 2 samples, got " +
+            std::to_string(points.size()));
+    }
     h = bandwidth > 0.0 ? bandwidth : silvermanBandwidth(points);
     if (h <= 0.0)
         h = 1e-9;

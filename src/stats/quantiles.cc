@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::stats
@@ -12,9 +13,12 @@ double
 quantileSorted(std::span<const double> sorted, double q)
 {
     if (sorted.empty())
-        ar::util::fatal("quantileSorted: empty sample");
-    if (q < 0.0 || q > 1.0)
-        ar::util::fatal("quantileSorted: q must lie in [0, 1], got ", q);
+        ar::util::raiseDiagnostic("quantileSorted: empty sample");
+    if (q < 0.0 || q > 1.0) {
+        ar::util::raiseDiagnostic(
+            "quantileSorted: q must lie in [0, 1], got " +
+            std::to_string(q));
+    }
     const double pos = q * static_cast<double>(sorted.size() - 1);
     const std::size_t idx = static_cast<std::size_t>(pos);
     const double frac = pos - static_cast<double>(idx);
@@ -41,7 +45,7 @@ Ecdf::Ecdf(std::span<const double> xs)
     : data(xs.begin(), xs.end())
 {
     if (data.empty())
-        ar::util::fatal("Ecdf: empty sample");
+        ar::util::raiseDiagnostic("Ecdf: empty sample");
     std::sort(data.begin(), data.end());
 }
 
@@ -63,7 +67,7 @@ double
 ksStatistic(std::span<const double> a, std::span<const double> b)
 {
     if (a.empty() || b.empty())
-        ar::util::fatal("ksStatistic: empty sample");
+        ar::util::raiseDiagnostic("ksStatistic: empty sample");
     std::vector<double> sa(a.begin(), a.end());
     std::vector<double> sb(b.begin(), b.end());
     std::sort(sa.begin(), sa.end());

@@ -4,10 +4,29 @@
 #include <cmath>
 #include <map>
 
+#include "symbolic/printer.hh"
 #include "util/logging.hh"
 
 namespace ar::symbolic
 {
+
+namespace
+{
+
+/** Render a subexpression as a display label, truncated for reports. */
+std::string
+shortLabel(const ExprPtr &e)
+{
+    constexpr std::size_t kMaxLabel = 48;
+    std::string s = toString(e);
+    if (s.size() > kMaxLabel) {
+        s.resize(kMaxLabel - 3);
+        s += "...";
+    }
+    return s;
+}
+
+} // namespace
 
 CompiledExpr::CompiledExpr(const ExprPtr &e)
 {
@@ -46,9 +65,13 @@ CompiledExpr::CompiledExpr(const ExprPtr &e)
 void
 CompiledExpr::emit(const ExprPtr &e)
 {
+    // Each op carries a label of the subexpression it computes so
+    // fault diagnostics can name the offending operation; labels are
+    // built once at compile time and never touched on the hot path.
     switch (e->kind()) {
       case ExprKind::Constant:
         ops.push_back({OpCode::PushConst, 0, e->value()});
+        labels.push_back(shortLabel(e));
         return;
       case ExprKind::Symbol:
         {
@@ -57,6 +80,7 @@ CompiledExpr::emit(const ExprPtr &e)
             ops.push_back(
                 {OpCode::PushArg,
                  static_cast<std::uint32_t>(it - args_.begin()), 0.0});
+            labels.push_back(e->name());
             return;
         }
       default:
@@ -68,19 +92,19 @@ CompiledExpr::emit(const ExprPtr &e)
     switch (e->kind()) {
       case ExprKind::Add:
         ops.push_back({OpCode::Add, n, 0.0});
-        return;
+        break;
       case ExprKind::Mul:
         ops.push_back({OpCode::Mul, n, 0.0});
-        return;
+        break;
       case ExprKind::Pow:
         ops.push_back({OpCode::Pow, 2, 0.0});
-        return;
+        break;
       case ExprKind::Max:
         ops.push_back({OpCode::Max, n, 0.0});
-        return;
+        break;
       case ExprKind::Min:
         ops.push_back({OpCode::Min, n, 0.0});
-        return;
+        break;
       case ExprKind::Func:
         if (e->name() == "log")
             ops.push_back({OpCode::Log, 1, 0.0});
@@ -91,10 +115,11 @@ CompiledExpr::emit(const ExprPtr &e)
         else
             ar::util::panic("CompiledExpr: unknown function ",
                             e->name());
-        return;
+        break;
       default:
         ar::util::panic("CompiledExpr: unhandled expression kind");
     }
+    labels.push_back(shortLabel(e));
 }
 
 std::size_t
@@ -194,6 +219,116 @@ CompiledExpr::eval(std::span<const double> args) const
             sp[top - 1] = sp[top - 1] > 0.0 ? 1.0 : 0.0;
             break;
         }
+    }
+    const double result = sp[top - 1];
+    scratch.resize(saved);
+    return result;
+}
+
+const std::string &
+CompiledExpr::opLabel(std::size_t i) const
+{
+    if (i >= labels.size())
+        ar::util::panic("CompiledExpr::opLabel: index ", i,
+                        " out of range");
+    return labels[i];
+}
+
+double
+CompiledExpr::evalDiagnosed(std::span<const double> args,
+                            EvalFault &fault) const
+{
+    using ar::util::FaultKind;
+    if (args.size() != args_.size()) {
+        ar::util::fatal("CompiledExpr::evalDiagnosed: expected ",
+                        args_.size(), " arguments, got ", args.size());
+    }
+    fault = EvalFault{};
+    auto &scratch = tl_scratch;
+    const std::size_t saved = scratch.size();
+    scratch.resize(saved + max_stack);
+    double *sp = scratch.data() + saved;
+    std::size_t top = 0;
+
+    const auto flag = [&](std::uint32_t i, FaultKind kind) {
+        if (fault.faulted)
+            return;
+        fault.faulted = true;
+        fault.kind = kind;
+        fault.op_index = i;
+        fault.op = labels[i];
+    };
+
+    for (std::uint32_t i = 0; i < ops.size(); ++i) {
+        const auto &op = ops[i];
+        switch (op.code) {
+          case OpCode::PushConst:
+            sp[top++] = op.value;
+            break;
+          case OpCode::PushArg:
+            sp[top++] = args[op.n];
+            break;
+          case OpCode::Add:
+            {
+                double acc = sp[top - 1];
+                for (std::uint32_t j = 1; j < op.n; ++j)
+                    acc += sp[top - 1 - j];
+                top -= op.n;
+                sp[top++] = acc;
+                break;
+            }
+          case OpCode::Mul:
+            {
+                double acc = sp[top - 1];
+                for (std::uint32_t j = 1; j < op.n; ++j)
+                    acc *= sp[top - 1 - j];
+                top -= op.n;
+                sp[top++] = acc;
+                break;
+            }
+          case OpCode::Pow:
+            {
+                const double exp = sp[--top];
+                const double base = sp[top - 1];
+                if (base < 0.0 && exp != std::trunc(exp))
+                    flag(i, FaultKind::PowDomain);
+                else if (base == 0.0 && exp < 0.0)
+                    flag(i, FaultKind::DivByZero);
+                sp[top - 1] = std::pow(base, exp);
+                break;
+            }
+          case OpCode::Max:
+            {
+                double acc = sp[top - 1];
+                for (std::uint32_t j = 1; j < op.n; ++j)
+                    acc = std::max(acc, sp[top - 1 - j]);
+                top -= op.n;
+                sp[top++] = acc;
+                break;
+            }
+          case OpCode::Min:
+            {
+                double acc = sp[top - 1];
+                for (std::uint32_t j = 1; j < op.n; ++j)
+                    acc = std::min(acc, sp[top - 1 - j]);
+                top -= op.n;
+                sp[top++] = acc;
+                break;
+            }
+          case OpCode::Log:
+            if (std::isfinite(sp[top - 1]) && sp[top - 1] <= 0.0)
+                flag(i, FaultKind::LogDomain);
+            sp[top - 1] = std::log(sp[top - 1]);
+            break;
+          case OpCode::Exp:
+            sp[top - 1] = std::exp(sp[top - 1]);
+            break;
+          case OpCode::Gtz:
+            sp[top - 1] = sp[top - 1] > 0.0 ? 1.0 : 0.0;
+            break;
+        }
+        if (!std::isfinite(sp[top - 1]))
+            flag(i, ar::util::classifyNonFinite(sp[top - 1]));
     }
     const double result = sp[top - 1];
     scratch.resize(saved);

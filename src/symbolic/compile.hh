@@ -16,9 +16,23 @@
 #include <vector>
 
 #include "symbolic/expr.hh"
+#include "util/fault.hh"
 
 namespace ar::symbolic
 {
+
+/**
+ * Outcome of a diagnosed evaluation: the first tape op whose result
+ * was non-finite (or whose input violated a domain precondition),
+ * classified and labelled with the source subexpression.
+ */
+struct EvalFault
+{
+    bool faulted = false;
+    ar::util::FaultKind kind = ar::util::FaultKind::Nan;
+    std::uint32_t op_index = 0; ///< Tape position of the fault.
+    std::string op;             ///< Label of the faulting op.
+};
 
 /**
  * One positional argument of a batched evaluation: either a column of
@@ -66,6 +80,33 @@ class CompiledExpr
     void evalBatch(std::span<const BatchArg> args, std::size_t n,
                    double *out) const;
 
+    /**
+     * Evaluate one trial like eval(), additionally diagnosing the
+     * first faulting op: a log of a non-positive value, a negative
+     * base under a fractional exponent (sqrt), a zero base under a
+     * negative exponent (division by zero), or any op whose result is
+     * non-finite (including a non-finite argument, attributed to its
+     * PushArg op, i.e. the variable itself).  Evaluation always runs
+     * to completion -- the fault may be masked downstream (gtz, max),
+     * in which case the returned value is still finite.
+     *
+     * This is the slow, precise tier of fault containment: engines
+     * scan batched outputs for non-finite values (cheap) and call
+     * this only for the rare faulting trials to attribute the fault.
+     *
+     * @param args One value per argName(), in order.
+     * @param fault Receives the first fault (reset on entry).
+     * @return the evaluation result (possibly non-finite).
+     */
+    double evalDiagnosed(std::span<const double> args,
+                         EvalFault &fault) const;
+
+    /**
+     * @return human-readable label of tape op @p i (the source
+     * subexpression it computes, truncated for display).
+     */
+    const std::string &opLabel(std::size_t i) const;
+
     /** @return argument names in positional order. */
     const std::vector<std::string> &argNames() const { return args_; }
 
@@ -100,6 +141,7 @@ class CompiledExpr
     void emit(const ExprPtr &e);
 
     std::vector<Op> ops;
+    std::vector<std::string> labels; ///< Per-op source labels.
     std::vector<std::string> args_;
     std::size_t max_stack = 0;
 };

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::symbolic
@@ -16,7 +17,18 @@ namespace
 class Parser
 {
   public:
-    explicit Parser(std::string_view text) : src(text) {}
+    /**
+     * @param text The slice to parse.
+     * @param line 1-based diagnostic line (0 = unknown).
+     * @param full The full source line for the caret snippet (equal
+     *        to @p text unless parsing a slice of a larger line).
+     * @param col_offset Offset of @p text within @p full.
+     */
+    Parser(std::string_view text, std::size_t line,
+           std::string_view full, std::size_t col_offset)
+        : src(text), full_src(full), line_(line), col_offset(col_offset)
+    {
+    }
 
     ExprPtr
     parseFull()
@@ -32,8 +44,9 @@ class Parser
     [[noreturn]] void
     fail(const std::string &msg) const
     {
-        ar::util::fatal("parse error at position ", pos, " in \"",
-                        std::string(src), "\": ", msg);
+        ar::util::raiseParse("parse error: " + msg, line_,
+                             col_offset + pos + 1,
+                             std::string(full_src));
     }
 
     void
@@ -167,48 +180,62 @@ class Parser
         }
         expect(')');
 
+        // Function-level complaints point at the name, not at the
+        // closing paren the cursor has already consumed.
         if (name == "sqrt" || name == "log" || name == "exp" ||
             name == "gtz") {
-            if (args.size() != 1)
+            if (args.size() != 1) {
+                pos = start;
                 fail(name + " takes exactly one argument");
+            }
             if (name == "sqrt")
                 return Expr::sqrt(args[0]);
             return Expr::func(name, args[0]);
         }
         if (name == "max" || name == "min") {
-            if (args.empty())
+            if (args.empty()) {
+                pos = start;
                 fail(name + " needs at least one argument");
+            }
             return name == "max" ? Expr::max(std::move(args))
                                  : Expr::min(std::move(args));
         }
+        pos = start;
         fail("unknown function '" + name + "'");
     }
 
     std::string_view src;
+    std::string_view full_src;
+    std::size_t line_ = 0;
+    std::size_t col_offset = 0;
     std::size_t pos = 0;
 };
 
 } // namespace
 
 ExprPtr
-parseExpr(std::string_view text)
+parseExpr(std::string_view text, std::size_t line)
 {
-    return Parser(text).parseFull();
+    return Parser(text, line, text, 0).parseFull();
 }
 
 Equation
-parseEquation(std::string_view text)
+parseEquation(std::string_view text, std::size_t line)
 {
     const auto eq_pos = text.find('=');
-    if (eq_pos == std::string_view::npos)
-        ar::util::fatal("parseEquation: missing '=' in \"",
-                        std::string(text), "\"");
-    if (text.find('=', eq_pos + 1) != std::string_view::npos)
-        ar::util::fatal("parseEquation: multiple '=' in \"",
-                        std::string(text), "\"");
+    if (eq_pos == std::string_view::npos) {
+        ar::util::raiseParse("parse error: equation is missing '='",
+                             line, text.size() + 1, std::string(text));
+    }
+    const auto second = text.find('=', eq_pos + 1);
+    if (second != std::string_view::npos) {
+        ar::util::raiseParse("parse error: multiple '=' in equation",
+                             line, second + 1, std::string(text));
+    }
     Equation eq;
-    eq.lhs = parseExpr(text.substr(0, eq_pos));
-    eq.rhs = parseExpr(text.substr(eq_pos + 1));
+    eq.lhs = Parser(text.substr(0, eq_pos), line, text, 0).parseFull();
+    eq.rhs = Parser(text.substr(eq_pos + 1), line, text, eq_pos + 1)
+                 .parseFull();
     return eq;
 }
 

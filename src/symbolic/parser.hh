@@ -19,6 +19,7 @@
 #ifndef AR_SYMBOLIC_PARSER_HH
 #define AR_SYMBOLIC_PARSER_HH
 
+#include <cstddef>
 #include <string_view>
 
 #include "symbolic/expr.hh"
@@ -26,11 +27,25 @@
 namespace ar::symbolic
 {
 
-/** Parse a single expression; fatal on syntax errors. */
-ExprPtr parseExpr(std::string_view text);
+/**
+ * Parse a single expression.
+ *
+ * @param text The expression source (one line).
+ * @param line 1-based source line for diagnostics (0 = unknown), used
+ *        by callers parsing multi-line inputs (the spec loader).
+ * @throws ar::util::ParseError on syntax errors, carrying the line,
+ *         the 1-based column, and the offending source line.
+ */
+ExprPtr parseExpr(std::string_view text, std::size_t line = 0);
 
-/** Parse "lhs = rhs"; fatal when no '=' is present. */
-Equation parseEquation(std::string_view text);
+/**
+ * Parse "lhs = rhs".
+ *
+ * @throws ar::util::ParseError when no '=' (or more than one) is
+ *         present, or either side fails to parse; columns refer to
+ *         @p text as a whole.
+ */
+Equation parseEquation(std::string_view text, std::size_t line = 0);
 
 } // namespace ar::symbolic
 

@@ -4,6 +4,7 @@
 #include "symbolic/printer.hh"
 #include "symbolic/simplify.hh"
 #include "symbolic/substitute.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::symbolic
@@ -141,8 +142,9 @@ solveForOrDie(const Equation &eq, const std::string &target)
 {
     auto res = solveFor(eq, target);
     if (!res) {
-        ar::util::fatal("solveFor: cannot isolate '", target, "' in ",
-                        toString(eq));
+        throw ar::util::ParseError(
+            {"cannot isolate '" + target + "' in this equation", 0, 0,
+             toString(eq)});
     }
     return *res;
 }

@@ -5,6 +5,7 @@
 #include "symbolic/simplify.hh"
 #include "symbolic/solve.hh"
 #include "symbolic/substitute.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace ar::symbolic
@@ -17,8 +18,9 @@ EquationSystem::addEquation(const Equation &eq)
     if (eq.lhs->isSymbol()) {
         const std::string &name = eq.lhs->name();
         if (defs.count(name)) {
-            ar::util::fatal("EquationSystem: variable '", name,
-                            "' defined twice");
+            throw ar::util::ParseError({"variable '" + name +
+                                            "' defined twice",
+                                        0, 0, toString(eq)});
         }
         defs[name] = simplify(eq.rhs);
         return;
@@ -39,8 +41,9 @@ EquationSystem::addEquation(const Equation &eq)
             return;
         }
     }
-    ar::util::fatal("EquationSystem: cannot determine the variable "
-                    "defined by ", toString(eq));
+    throw ar::util::ParseError(
+        {"cannot determine the variable defined by this equation", 0, 0,
+         toString(eq)});
 }
 
 void

@@ -1,0 +1,46 @@
+#include "util/diagnostics.hh"
+
+#include <sstream>
+
+namespace ar::util
+{
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream oss;
+    if (line > 0 && column > 0)
+        oss << "line " << line << ", column " << column << ": ";
+    else if (line > 0)
+        oss << "line " << line << ": ";
+    oss << message;
+    if (!source.empty()) {
+        oss << "\n  " << source;
+        if (column > 0 && column <= source.size() + 1) {
+            oss << "\n  ";
+            // The caret aligns under 1-based `column`; tabs in the
+            // source keep their width so the caret stays under the
+            // offending character.
+            for (std::size_t i = 0; i + 1 < column; ++i)
+                oss << (source[i] == '\t' ? '\t' : ' ');
+            oss << '^';
+        }
+    }
+    return oss.str();
+}
+
+void
+raiseDiagnostic(std::string message)
+{
+    throw DiagnosticError(Diagnostic{std::move(message), 0, 0, {}});
+}
+
+void
+raiseParse(std::string message, std::size_t line, std::size_t column,
+           std::string source)
+{
+    throw ParseError(
+        Diagnostic{std::move(message), line, column, std::move(source)});
+}
+
+} // namespace ar::util

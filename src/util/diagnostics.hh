@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Recoverable, source-located diagnostics.
+ *
+ * fatal()/FatalError (logging.hh) carry only a flat message, which is
+ * fine for programmatic misuse but not for user *input*: a malformed
+ * equation or spec file should come back to library embedders with
+ * the offending line, column, and a caret snippet, so the host can
+ * render it, log it, or retry -- never die.  Diagnostic is that
+ * carrier; DiagnosticError/ParseError are the exceptions that wrap it.
+ *
+ * Both derive from FatalError, so every existing catch site (the CLI,
+ * tests, embedders) keeps working; new code can catch the narrower
+ * types to access the structured payload.
+ */
+
+#ifndef AR_UTIL_DIAGNOSTICS_HH
+#define AR_UTIL_DIAGNOSTICS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ar::util
+{
+
+/**
+ * One structured, user-facing problem report.  line/column are
+ * 1-based; 0 means unknown.  `source` holds the offending input line
+ * verbatim so render() can show a caret snippet.
+ */
+struct Diagnostic
+{
+    std::string message;     ///< What went wrong.
+    std::size_t line = 0;    ///< 1-based source line; 0 = unknown.
+    std::size_t column = 0;  ///< 1-based source column; 0 = unknown.
+    std::string source;      ///< Offending source line text.
+
+    /**
+     * Render for humans:
+     *
+     *   line 3, column 14: unknown function 'sqqt'
+     *     Speedup = 1 / sqqt(s)
+     *                   ^
+     */
+    std::string render() const;
+};
+
+/**
+ * Recoverable user-input error carrying a structured Diagnostic.
+ * what() is the rendered diagnostic.
+ */
+class DiagnosticError : public FatalError
+{
+  public:
+    explicit DiagnosticError(Diagnostic d)
+        : FatalError(d.render()), diag_(std::move(d))
+    {}
+
+    /** @return the structured payload. */
+    const Diagnostic &diagnostic() const { return diag_; }
+
+  private:
+    Diagnostic diag_;
+};
+
+/** A syntax/semantic error in parsed user input (equations, specs). */
+class ParseError : public DiagnosticError
+{
+  public:
+    using DiagnosticError::DiagnosticError;
+};
+
+/** Shorthand: throw a DiagnosticError with just a message. */
+[[noreturn]] void raiseDiagnostic(std::string message);
+
+/** Shorthand: throw a ParseError locating @p column in @p source. */
+[[noreturn]] void raiseParse(std::string message, std::size_t line,
+                             std::size_t column, std::string source);
+
+} // namespace ar::util
+
+#endif // AR_UTIL_DIAGNOSTICS_HH

@@ -1,0 +1,197 @@
+#include "util/fault.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace ar::util
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Nan:
+        return "nan";
+      case FaultKind::PosInf:
+        return "+inf";
+      case FaultKind::NegInf:
+        return "-inf";
+      case FaultKind::LogDomain:
+        return "log-domain";
+      case FaultKind::PowDomain:
+        return "pow-domain";
+      case FaultKind::DivByZero:
+        return "div-by-zero";
+    }
+    return "unknown";
+}
+
+std::size_t
+countNonFinite(std::span<const double> xs)
+{
+    std::size_t n = 0;
+    for (double x : xs)
+        n += std::isfinite(x) ? 0 : 1;
+    return n;
+}
+
+const char *
+faultPolicyName(FaultPolicy policy)
+{
+    switch (policy) {
+      case FaultPolicy::FailFast:
+        return "fail_fast";
+      case FaultPolicy::Discard:
+        return "discard";
+      case FaultPolicy::Saturate:
+        return "saturate";
+    }
+    return "unknown";
+}
+
+bool
+parseFaultPolicy(const std::string &name, FaultPolicy &out)
+{
+    if (name == "fail_fast") {
+        out = FaultPolicy::FailFast;
+        return true;
+    }
+    if (name == "discard") {
+        out = FaultPolicy::Discard;
+        return true;
+    }
+    if (name == "saturate") {
+        out = FaultPolicy::Saturate;
+        return true;
+    }
+    return false;
+}
+
+std::string
+FaultRecord::describe() const
+{
+    std::ostringstream oss;
+    oss << "trial " << trial << ", output " << output << ": "
+        << faultKindName(kind);
+    if (!op.empty())
+        oss << " in " << op;
+    return oss.str();
+}
+
+void
+FaultReport::record(std::size_t trial, std::size_t output,
+                    FaultKind kind, std::string op)
+{
+    by_kind[static_cast<std::size_t>(kind)] += 1;
+    if (output >= by_output.size())
+        by_output.resize(output + 1, 0);
+    by_output[output] += 1;
+    if (examples.size() < kMaxExamples)
+        examples.push_back({trial, output, kind, std::move(op)});
+}
+
+std::size_t
+FaultReport::totalFaults() const
+{
+    std::size_t total = 0;
+    for (std::size_t n : by_kind)
+        total += n;
+    return total;
+}
+
+double
+FaultReport::faultRate() const
+{
+    if (trials == 0)
+        return 0.0;
+    return static_cast<double>(faulty_trials) /
+           static_cast<double>(trials);
+}
+
+std::string
+FaultReport::summary() const
+{
+    std::ostringstream oss;
+    oss << faulty_trials << "/" << trials << " trials faulty";
+    if (totalFaults() > 0) {
+        oss << " (";
+        bool first = true;
+        for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+            if (by_kind[k] == 0)
+                continue;
+            if (!first)
+                oss << ", ";
+            first = false;
+            oss << faultKindName(static_cast<FaultKind>(k)) << ": "
+                << by_kind[k];
+        }
+        oss << ")";
+    }
+    oss << ", policy " << faultPolicyName(policy) << ", effective N "
+        << effective_trials;
+    return oss.str();
+}
+
+namespace
+{
+
+std::string
+faultErrorMessage(const FaultReport &report)
+{
+    std::ostringstream oss;
+    oss << "numeric fault: " << report.summary();
+    if (!report.examples.empty())
+        oss << "; first: " << report.examples.front().describe();
+    return oss.str();
+}
+
+} // namespace
+
+FaultError::FaultError(FaultReport report)
+    : FatalError(faultErrorMessage(report)), report_(std::move(report))
+{
+}
+
+void
+saturateSamples(std::vector<double> &samples, const FaultReport &report)
+{
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (double s : samples) {
+        if (std::isfinite(s)) {
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+    }
+    if (lo > hi)
+        throw FaultError(report); // no finite sample to saturate to
+    for (double &s : samples) {
+        if (std::isfinite(s))
+            continue;
+        // +Inf clamps to the finite maximum; NaN and -Inf clamp to
+        // the finite minimum (the pessimistic edge for metrics where
+        // higher is better, e.g. speedup).
+        s = (std::isinf(s) && s > 0.0) ? hi : lo;
+    }
+}
+
+void
+discardSamples(std::vector<double> &samples,
+               std::span<const std::size_t> faulty)
+{
+    if (faulty.empty())
+        return;
+    std::size_t write = 0;
+    std::size_t next = 0;
+    for (std::size_t read = 0; read < samples.size(); ++read) {
+        if (next < faulty.size() && faulty[next] == read) {
+            ++next;
+            continue;
+        }
+        samples[write++] = samples[read];
+    }
+    samples.resize(write);
+}
+
+} // namespace ar::util

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Numeric fault-containment vocabulary shared by the whole stack.
+ *
+ * A Monte-Carlo *fault* is a trial whose evaluated output is not a
+ * finite double: a NaN or infinity injected by a domain violation
+ * (log of a non-positive value, a negative base raised to a fractional
+ * power, division by zero) or by overflow.  A single such trial
+ * silently corrupts every downstream statistic -- mean, sigma, KDE,
+ * and Box-Cox (which hard-requires positive data) -- so the engines
+ * detect faults per trial and apply a configurable FaultPolicy instead
+ * of letting poison values through.
+ *
+ * Everything here is policy and bookkeeping; detection lives next to
+ * the evaluators (symbolic/compile.hh, mc/propagator.cc, ...).  The
+ * resulting FaultReport is bit-identical for any thread count: faults
+ * are collected from deterministic per-trial results in trial order,
+ * never from scheduler-dependent state.
+ */
+
+#ifndef AR_UTIL_FAULT_HH
+#define AR_UTIL_FAULT_HH
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ar::util
+{
+
+/** Classification of one numeric fault. */
+enum class FaultKind : std::uint8_t
+{
+    Nan,       ///< Result is NaN (unclassified domain violation).
+    PosInf,    ///< Result is +infinity (overflow / division by ~0).
+    NegInf,    ///< Result is -infinity.
+    LogDomain, ///< log of a non-positive value.
+    PowDomain, ///< Negative base with a fractional exponent (sqrt).
+    DivByZero, ///< Zero base with a negative exponent (x / 0).
+};
+
+/** Number of FaultKind values (for count arrays). */
+inline constexpr std::size_t kFaultKindCount = 6;
+
+/** @return short stable name of a kind ("nan", "log-domain", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Coarse classification of a non-finite value (NaN / +-Inf). */
+inline FaultKind
+classifyNonFinite(double v)
+{
+    if (std::isnan(v))
+        return FaultKind::Nan;
+    return v > 0.0 ? FaultKind::PosInf : FaultKind::NegInf;
+}
+
+/** @return the number of non-finite entries in @p xs. */
+std::size_t countNonFinite(std::span<const double> xs);
+
+/** What an engine does with faulting trials. */
+enum class FaultPolicy : std::uint8_t
+{
+    /** Raise a FaultError on the first faulting trial (default). */
+    FailFast,
+
+    /**
+     * Drop faulting trials from every output vector (trial alignment
+     * across outputs is preserved), shrinking the effective N.
+     */
+    Discard,
+
+    /**
+     * Replace each non-finite sample with the nearest finite sample
+     * of the same output: +Inf maps to the finite maximum, -Inf and
+     * NaN to the finite minimum (the pessimistic edge for
+     * "higher is better" metrics).  Sample counts are preserved.
+     */
+    Saturate,
+};
+
+/** @return the spec/CLI name of a policy ("fail_fast", ...). */
+const char *faultPolicyName(FaultPolicy policy);
+
+/**
+ * Parse a spec/CLI policy name.
+ *
+ * @throws DiagnosticError (via the caller-facing helpers) -- this
+ * low-level form reports success through the return value.
+ * @return true and set @p out when @p name is valid.
+ */
+bool parseFaultPolicy(const std::string &name, FaultPolicy &out);
+
+/** One recorded fault event. */
+struct FaultRecord
+{
+    std::size_t trial = 0;  ///< Trial index within the run.
+    std::size_t output = 0; ///< Output (function / design) index.
+    FaultKind kind = FaultKind::Nan;
+    std::string op;         ///< Faulting op label ("log(x - 1)").
+
+    /** @return "trial 17, output 0: log-domain in log(x - 1)". */
+    std::string describe() const;
+};
+
+/**
+ * Deterministic per-run fault accounting.  Counts cover every
+ * (trial, output) fault event; `examples` keeps the first few events
+ * in (trial, output) order for diagnostics.
+ */
+struct FaultReport
+{
+    /** Cap on retained example records. */
+    static constexpr std::size_t kMaxExamples = 8;
+
+    FaultPolicy policy = FaultPolicy::FailFast;
+    std::size_t trials = 0;           ///< Requested trials per output.
+    std::size_t faulty_trials = 0;    ///< Trials with >= 1 fault.
+    std::size_t effective_trials = 0; ///< Surviving trials (min over
+                                      ///< outputs when they differ).
+
+    /** Fault events by kind, indexed by FaultKind. */
+    std::array<std::size_t, kFaultKindCount> by_kind{};
+
+    /** Fault events per output (function / design). */
+    std::vector<std::size_t> by_output;
+
+    /** First kMaxExamples events in (trial, output) order. */
+    std::vector<FaultRecord> examples;
+
+    /** Record one event (updates counts and examples). */
+    void record(std::size_t trial, std::size_t output, FaultKind kind,
+                std::string op);
+
+    /** @return total fault events across all outputs. */
+    std::size_t totalFaults() const;
+
+    /** @return true when no fault was recorded. */
+    bool clean() const { return faulty_trials == 0; }
+
+    /** @return faulty_trials / trials (0 when trials == 0). */
+    double faultRate() const;
+
+    /** One-line summary: "3/1000 trials faulty (nan: 2, ...)". */
+    std::string summary() const;
+};
+
+/** Raised by FaultPolicy::FailFast when a trial faults. */
+class FaultError : public FatalError
+{
+  public:
+    explicit FaultError(FaultReport report);
+
+    /** @return the (partial) report at the moment of failure. */
+    const FaultReport &report() const { return report_; }
+
+  private:
+    FaultReport report_;
+};
+
+/**
+ * Saturate @p samples in place: non-finite entries are replaced with
+ * the finite min (NaN, -Inf) or finite max (+Inf) of the vector.
+ *
+ * @throws FaultError when the vector holds no finite value at all
+ *         (saturation would be meaningless); @p report is attached.
+ */
+void saturateSamples(std::vector<double> &samples,
+                     const FaultReport &report);
+
+/**
+ * Remove the entries of @p samples whose indices appear in the sorted
+ * list @p faulty (stable compaction).
+ */
+void discardSamples(std::vector<double> &samples,
+                    std::span<const std::size_t> faulty);
+
+} // namespace ar::util
+
+#endif // AR_UTIL_FAULT_HH

@@ -10,6 +10,8 @@
 #include <fstream>
 
 #include "core/spec.hh"
+#include "util/diagnostics.hh"
+#include "util/fault.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -154,6 +156,145 @@ TEST(Spec, InvalidRiskNameIsFatal)
     std::string text(kAmdahl);
     text += "risk exotic\n";
     EXPECT_THROW(c::parseSpec(text), ar::util::FatalError);
+}
+
+namespace
+{
+
+/** Parse @p text expecting failure; return the structured payload. */
+ar::util::Diagnostic
+specDiagnosticOf(const std::string &text)
+{
+    try {
+        c::parseSpec(text);
+    } catch (const ar::util::ParseError &e) {
+        return e.diagnostic();
+    }
+    ADD_FAILURE() << "spec parsed successfully:\n" << text;
+    return {};
+}
+
+} // namespace
+
+TEST(Spec, MalformedEquationReportsSpecLineAndColumn)
+{
+    // Unbalanced paren on line 2 of the spec text.
+    const auto d = specDiagnosticOf(
+        "# header\nSpeedup = 1 / ((1 - f + f / s)\noutput Speedup\n");
+    EXPECT_NE(d.message.find("expected ')'"), std::string::npos);
+    EXPECT_EQ(d.line, 2u);
+    EXPECT_EQ(d.column, 31u); // one past the end of the equation
+    EXPECT_EQ(d.source, "Speedup = 1 / ((1 - f + f / s)");
+}
+
+TEST(Spec, SemanticEquationErrorsAreStampedWithTheLine)
+{
+    const auto d = specDiagnosticOf("y = x\ny = 2 * x\noutput y\n");
+    EXPECT_NE(d.message.find("defined twice"), std::string::npos);
+    EXPECT_EQ(d.line, 2u);
+}
+
+TEST(Spec, UnknownDirectiveReportsColumnOne)
+{
+    const auto d =
+        specDiagnosticOf("y = x\nfrobnicate y\noutput y\n");
+    EXPECT_NE(d.message.find("unknown directive 'frobnicate'"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 2u);
+    EXPECT_EQ(d.column, 1u);
+}
+
+TEST(Spec, UnknownDistributionPointsAtTheKindToken)
+{
+    const auto d = specDiagnosticOf(
+        "y = x\nuncertain x cauchy 0 1\noutput y\n");
+    EXPECT_NE(d.message.find("unknown distribution kind 'cauchy'"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 2u);
+    EXPECT_EQ(d.column, 13u); // column of 'cauchy'
+}
+
+TEST(Spec, ExtraArgumentPointsAtTheFirstExtraToken)
+{
+    const auto d = specDiagnosticOf("y = x\noutput y stray\n");
+    EXPECT_NE(d.message.find("'output' expects 1 argument(s), got 2"),
+              std::string::npos);
+    EXPECT_EQ(d.column, 10u); // column of 'stray'
+}
+
+TEST(Spec, NonNumericArgumentPointsAtTheToken)
+{
+    const auto d = specDiagnosticOf("y = x\nfixed x many\noutput y\n");
+    EXPECT_NE(d.message.find("expected a number, got 'many'"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 2u);
+    EXPECT_EQ(d.column, 9u);
+}
+
+TEST(Spec, TrialsMustBeAPositiveInteger)
+{
+    for (const char *bad : {"trials 0", "trials -5", "trials 2.5",
+                            "trials lots"}) {
+        const auto d = specDiagnosticOf(
+            std::string("y = x\n") + bad + "\noutput y\n");
+        EXPECT_EQ(d.line, 2u) << bad;
+        EXPECT_EQ(d.column, 8u) << bad;
+    }
+}
+
+TEST(Spec, FaultPolicyDirectiveRoundTrips)
+{
+    EXPECT_EQ(c::parseSpec("y = x\noutput y\n").fault_policy,
+              ar::util::FaultPolicy::FailFast); // the default
+    EXPECT_EQ(c::parseSpec("y = x\noutput y\nfault_policy discard\n")
+                  .fault_policy,
+              ar::util::FaultPolicy::Discard);
+    EXPECT_EQ(c::parseSpec("y = x\noutput y\nfault_policy saturate\n")
+                  .fault_policy,
+              ar::util::FaultPolicy::Saturate);
+}
+
+TEST(Spec, UnknownFaultPolicyPointsAtTheName)
+{
+    const auto d = specDiagnosticOf(
+        "y = x\noutput y\nfault_policy lenient\n");
+    EXPECT_NE(d.message.find(
+                  "unknown fault policy 'lenient' "
+                  "(fail_fast|discard|saturate)"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 3u);
+    EXPECT_EQ(d.column, 14u);
+}
+
+TEST(Spec, InlineCommentsAreStripped)
+{
+    const auto spec = c::parseSpec(
+        "Speedup = 1 / (1 - f + f / s)  # Amdahl\n"
+        "fixed s 16        # cores\n"
+        "uncertain f normal 0.9 0.02   # parallel fraction\n"
+        "trials 500 # plenty\n"
+        "output Speedup\n");
+    EXPECT_DOUBLE_EQ(spec.bindings.fixed.at("s"), 16.0);
+    EXPECT_EQ(spec.trials, 500u);
+    EXPECT_EQ(spec.output, "Speedup");
+}
+
+TEST(Spec, LoadSpecFilePrefixesThePathOnParseErrors)
+{
+    const std::string path = "/tmp/ar_test_spec_bad.spec";
+    {
+        std::ofstream out(path);
+        out << "y = x\ntrials zero\noutput y\n";
+    }
+    try {
+        c::loadSpecFile(path);
+        FAIL() << "malformed spec loaded successfully";
+    } catch (const ar::util::ParseError &e) {
+        EXPECT_NE(e.diagnostic().message.find(path),
+                  std::string::npos);
+        EXPECT_EQ(e.diagnostic().line, 2u);
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Spec, MakeRiskFunctionFactory)

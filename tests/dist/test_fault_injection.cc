@@ -1,0 +1,134 @@
+/** @file Tests for the FaultInjectingDistribution test harness. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "dist/fault_injection.hh"
+#include "dist/normal.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using ar::dist::Distribution;
+using ar::dist::FaultInjectingDistribution;
+using ar::dist::Normal;
+using Mode = FaultInjectingDistribution::Mode;
+
+std::shared_ptr<const Normal>
+base()
+{
+    return std::make_shared<Normal>(10.0, 2.0);
+}
+
+TEST(FaultInjection, RateZeroNeverCorrupts)
+{
+    const FaultInjectingDistribution d(base(), 0.0, 42);
+    for (int i = 1; i < 100; ++i) {
+        const double u = i / 100.0;
+        EXPECT_FALSE(d.corrupts(u));
+        EXPECT_TRUE(std::isfinite(d.sampleFromUniform(u)));
+    }
+}
+
+TEST(FaultInjection, RateOneAlwaysCorrupts)
+{
+    const FaultInjectingDistribution d(base(), 1.0, 42);
+    for (int i = 1; i < 100; ++i) {
+        const double u = i / 100.0;
+        EXPECT_TRUE(d.corrupts(u));
+        EXPECT_TRUE(std::isnan(d.sampleFromUniform(u)));
+    }
+}
+
+TEST(FaultInjection, CorruptDecisionIsPureInU)
+{
+    // Same (seed, u) -> same decision, independent of call order or
+    // how many other draws happened in between; different seeds give
+    // different fault sets.
+    const FaultInjectingDistribution d1(base(), 0.3, 7);
+    const FaultInjectingDistribution d2(base(), 0.3, 7);
+    const FaultInjectingDistribution other(base(), 0.3, 8);
+    int corrupted = 0;
+    int seed_diffs = 0;
+    for (int i = 1; i < 1000; ++i) {
+        const double u = i / 1000.0;
+        EXPECT_EQ(d1.corrupts(u), d2.corrupts(u));
+        corrupted += d1.corrupts(u) ? 1 : 0;
+        seed_diffs += d1.corrupts(u) != other.corrupts(u) ? 1 : 0;
+    }
+    // ~30% of 999 draws; allow generous slack for the hash.
+    EXPECT_GT(corrupted, 200);
+    EXPECT_LT(corrupted, 400);
+    EXPECT_GT(seed_diffs, 0);
+}
+
+TEST(FaultInjection, ModesProduceTheAdvertisedPoison)
+{
+    const double u = 0.5;
+    const FaultInjectingDistribution nan_d(base(), 1.0, 1,
+                                           Mode::QuietNaN);
+    const FaultInjectingDistribution pos_d(base(), 1.0, 1,
+                                           Mode::PosInf);
+    const FaultInjectingDistribution neg_d(base(), 1.0, 1,
+                                           Mode::NegInf);
+    const FaultInjectingDistribution flip_d(base(), 1.0, 1,
+                                            Mode::Negate);
+    EXPECT_TRUE(std::isnan(nan_d.sampleFromUniform(u)));
+    EXPECT_EQ(pos_d.sampleFromUniform(u),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(neg_d.sampleFromUniform(u),
+              -std::numeric_limits<double>::infinity());
+    // Negate yields a *finite* but out-of-domain (negative) value.
+    const double flipped = flip_d.sampleFromUniform(u);
+    EXPECT_TRUE(std::isfinite(flipped));
+    EXPECT_LT(flipped, 0.0);
+}
+
+TEST(FaultInjection, MomentsAndShapeDelegateToBase)
+{
+    const auto b = base();
+    const FaultInjectingDistribution d(b, 0.5, 3);
+    EXPECT_DOUBLE_EQ(d.mean(), b->mean());
+    EXPECT_DOUBLE_EQ(d.stddev(), b->stddev());
+    EXPECT_DOUBLE_EQ(d.cdf(11.0), b->cdf(11.0));
+    EXPECT_DOUBLE_EQ(d.pdf(11.0), b->pdf(11.0));
+    EXPECT_DOUBLE_EQ(d.quantile(0.25), b->quantile(0.25));
+    EXPECT_NE(d.describe().find("FaultInjecting"), std::string::npos);
+    EXPECT_NE(d.describe().find(b->describe()), std::string::npos);
+}
+
+TEST(FaultInjection, CloneReplicatesInjectionBehavior)
+{
+    const FaultInjectingDistribution d(base(), 0.4, 11, Mode::PosInf);
+    const auto copy = d.clone();
+    for (int i = 1; i < 200; ++i) {
+        const double u = i / 200.0;
+        const double a = d.sampleFromUniform(u);
+        const double b = copy->sampleFromUniform(u);
+        // Bit-identical including the corrupted draws.
+        EXPECT_TRUE(a == b || (std::isnan(a) && std::isnan(b)));
+    }
+}
+
+TEST(FaultInjection, SampleDrawsThroughTheRng)
+{
+    const FaultInjectingDistribution d(base(), 0.0, 5);
+    ar::util::Rng rng(99);
+    const double x = d.sample(rng);
+    EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(FaultInjection, RejectsBadRate)
+{
+    EXPECT_THROW(FaultInjectingDistribution(base(), -0.1, 0),
+                 ar::util::FatalError);
+    EXPECT_THROW(FaultInjectingDistribution(base(), 1.5, 0),
+                 ar::util::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fault-report plumbing tests for the pooled design-space evaluator.
+ *
+ * The Hill-Marty speedup model guards its own degenerate corners
+ * (zero serial/parallel throughput yields speedup 0, not Inf), and
+ * the lognormal pools are mean-parameterized, so the explore hot path
+ * cannot naturally emit a non-finite sample.  These tests therefore
+ * pin the *clean-path* contract: an all-finite sweep reports zero
+ * faults with full effective N, for every policy and thread count.
+ * Harness-driven fault behavior is exercised at the mc layer
+ * (tests/mc/test_fault_containment.cc), which shares the FaultReport
+ * vocabulary and policy code paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "explore/evaluate.hh"
+#include "model/app.hh"
+#include "model/core_config.hh"
+#include "model/hill_marty.hh"
+#include "risk/risk_function.hh"
+
+namespace x = ar::explore;
+namespace m = ar::model;
+
+namespace
+{
+
+std::vector<m::CoreConfig>
+threePaperDesigns()
+{
+    return {m::symCores(), m::asymCores(), m::heteroCores()};
+}
+
+} // namespace
+
+TEST(SweepFaults, CleanSweepReportsZeroFaultsForAllPolicies)
+{
+    const auto designs = threePaperDesigns();
+    for (ar::util::FaultPolicy policy :
+         {ar::util::FaultPolicy::FailFast,
+          ar::util::FaultPolicy::Discard,
+          ar::util::FaultPolicy::Saturate}) {
+        x::SweepConfig cfg;
+        cfg.trials = 500;
+        cfg.fault_policy = policy;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                     m::UncertaintySpec::all(0.3),
+                                     cfg);
+        ar::risk::QuadraticRisk fn;
+        const auto outcomes = eval.evaluateAll(fn, 30.0);
+        const auto &report = eval.faultReport();
+        EXPECT_TRUE(report.clean());
+        EXPECT_EQ(report.policy, policy);
+        EXPECT_EQ(report.trials, 500u);
+        EXPECT_EQ(report.effective_trials, 500u);
+        for (const auto &o : outcomes) {
+            EXPECT_EQ(o.faults, 0u);
+            EXPECT_EQ(o.effective_trials, 500u);
+        }
+    }
+}
+
+TEST(SweepFaults, ReportAndOutcomesBitIdenticalAcrossThreads)
+{
+    const auto designs = threePaperDesigns();
+    auto run = [&](std::size_t threads) {
+        x::SweepConfig cfg;
+        cfg.trials = 1000;
+        cfg.threads = threads;
+        cfg.fault_policy = ar::util::FaultPolicy::Discard;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                     m::UncertaintySpec::all(0.3),
+                                     cfg);
+        ar::risk::QuadraticRisk fn;
+        return std::make_pair(eval.evaluateAll(fn, 30.0),
+                              eval.faultReport());
+    };
+    const auto [serial_outcomes, serial_report] = run(1);
+    for (std::size_t threads : {2u, 8u}) {
+        const auto [outcomes, report] = run(threads);
+        EXPECT_EQ(report.faulty_trials, serial_report.faulty_trials);
+        EXPECT_EQ(report.effective_trials,
+                  serial_report.effective_trials);
+        EXPECT_EQ(report.by_kind, serial_report.by_kind);
+        EXPECT_EQ(report.by_output, serial_report.by_output);
+        ASSERT_EQ(outcomes.size(), serial_outcomes.size());
+        for (std::size_t d = 0; d < outcomes.size(); ++d) {
+            EXPECT_EQ(outcomes[d].expected,
+                      serial_outcomes[d].expected);
+            EXPECT_EQ(outcomes[d].stddev, serial_outcomes[d].stddev);
+            EXPECT_EQ(outcomes[d].risk, serial_outcomes[d].risk);
+            EXPECT_EQ(outcomes[d].effective_trials,
+                      serial_outcomes[d].effective_trials);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Fault-containment acceptance tests: deterministic injection via
+ * FaultInjectingDistribution, per-policy behavior of the propagation
+ * and Sobol engines, and bit-identical FaultReports for any thread
+ * count (the ISSUE acceptance criterion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "dist/fault_injection.hh"
+#include "dist/normal.hh"
+#include "mc/propagator.hh"
+#include "mc/sensitivity.hh"
+#include "symbolic/parser.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace mc = ar::mc;
+namespace d = ar::dist;
+using ar::dist::FaultInjectingDistribution;
+using ar::symbolic::CompiledExpr;
+using ar::symbolic::parseExpr;
+using ar::util::FaultError;
+using ar::util::FaultKind;
+using ar::util::FaultPolicy;
+using ar::util::FaultReport;
+
+namespace
+{
+
+constexpr std::uint64_t kInjectSeed = 0xfa17ed;
+
+/** x ~ Normal(10, 2) with ~5% of draws negated out of log's domain. */
+mc::InputBindings
+poisonedLogInput(double rate = 0.05,
+                 FaultInjectingDistribution::Mode mode =
+                     FaultInjectingDistribution::Mode::Negate)
+{
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<FaultInjectingDistribution>(
+        std::make_shared<d::Normal>(10.0, 2.0), rate, kInjectSeed,
+        mode);
+    in.uncertain["y"] = std::make_shared<d::Normal>(1.0, 0.25);
+    return in;
+}
+
+/** Full structural equality of two fault reports. */
+void
+expectReportsIdentical(const FaultReport &a, const FaultReport &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.faulty_trials, b.faulty_trials);
+    EXPECT_EQ(a.effective_trials, b.effective_trials);
+    EXPECT_EQ(a.by_kind, b.by_kind);
+    EXPECT_EQ(a.by_output, b.by_output);
+    ASSERT_EQ(a.examples.size(), b.examples.size());
+    for (std::size_t i = 0; i < a.examples.size(); ++i) {
+        EXPECT_EQ(a.examples[i].trial, b.examples[i].trial);
+        EXPECT_EQ(a.examples[i].output, b.examples[i].output);
+        EXPECT_EQ(a.examples[i].kind, b.examples[i].kind);
+        EXPECT_EQ(a.examples[i].op, b.examples[i].op);
+    }
+}
+
+mc::Propagation
+propagate(FaultPolicy policy, std::size_t threads,
+          std::size_t trials = 600)
+{
+    CompiledExpr f_log(parseExpr("log(x) + y"));
+    CompiledExpr f_id(parseExpr("x"));
+    mc::PropagationConfig cfg;
+    cfg.trials = trials;
+    cfg.sampler = "latin-hypercube";
+    cfg.threads = threads;
+    cfg.fault_policy = policy;
+    mc::Propagator prop(cfg);
+    ar::util::Rng rng(42);
+    return prop.runManyReport({&f_log, &f_id}, poisonedLogInput(),
+                              rng);
+}
+
+} // namespace
+
+TEST(FaultContainment, CleanRunMatchesLegacyRunMany)
+{
+    CompiledExpr fn(parseExpr("exp(x / 20) * y"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(10.0, 2.0);
+    in.uncertain["y"] = std::make_shared<d::Normal>(1.0, 0.25);
+    mc::Propagator prop({1000, "latin-hypercube"});
+    ar::util::Rng rng_a(7), rng_b(7);
+    const auto legacy = prop.runMany({&fn}, in, rng_a);
+    const auto reported = prop.runManyReport({&fn}, in, rng_b);
+    EXPECT_EQ(reported.samples, legacy);
+    EXPECT_TRUE(reported.faults.clean());
+    EXPECT_EQ(reported.faults.effective_trials, 1000u);
+    EXPECT_EQ(reported.faults.trials, 1000u);
+}
+
+TEST(FaultContainment, FailFastThrowsWithAttributedReport)
+{
+    try {
+        propagate(FaultPolicy::FailFast, 1);
+        FAIL() << "expected FaultError";
+    } catch (const FaultError &e) {
+        const FaultReport &report = e.report();
+        EXPECT_EQ(report.policy, FaultPolicy::FailFast);
+        EXPECT_EQ(report.trials, 600u);
+        EXPECT_GT(report.faulty_trials, 0u);
+        EXPECT_EQ(report.effective_trials,
+                  report.trials - report.faulty_trials);
+        // The negated input breaks log's domain: attribution must
+        // name the op and classify the fault precisely.
+        EXPECT_GT(report.by_kind[static_cast<std::size_t>(
+                      FaultKind::LogDomain)],
+                  0u);
+        ASSERT_FALSE(report.examples.empty());
+        EXPECT_NE(report.examples.front().op.find("log"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("log-domain"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultContainment, LegacyRunManyAlsoFailsFastByDefault)
+{
+    CompiledExpr fn(parseExpr("log(x)"));
+    mc::Propagator prop({600, "latin-hypercube"});
+    ar::util::Rng rng(42);
+    EXPECT_THROW(prop.runMany({&fn}, poisonedLogInput(), rng),
+                 FaultError);
+}
+
+TEST(FaultContainment, DiscardDropsFaultyTrialsKeepingAlignment)
+{
+    const auto out = propagate(FaultPolicy::Discard, 1);
+    const FaultReport &report = out.faults;
+    EXPECT_GT(report.faulty_trials, 0u);
+    EXPECT_EQ(report.effective_trials,
+              report.trials - report.faulty_trials);
+    ASSERT_EQ(out.samples.size(), 2u);
+    for (const auto &column : out.samples) {
+        ASSERT_EQ(column.size(), report.effective_trials);
+        for (double s : column)
+            ASSERT_TRUE(std::isfinite(s));
+    }
+    // A faulty trial is dropped from EVERY output, so the surviving
+    // rows still line up: output 0 is log(output 1) + y.
+    for (std::size_t t = 0; t < report.effective_trials; ++t) {
+        ASSERT_GT(out.samples[1][t], 0.0) << "trial " << t;
+        const double y = out.samples[0][t] -
+                         std::log(out.samples[1][t]);
+        ASSERT_TRUE(std::isfinite(y));
+    }
+}
+
+TEST(FaultContainment, SaturatePreservesCountsAndFiniteness)
+{
+    const auto out = propagate(FaultPolicy::Saturate, 1);
+    EXPECT_GT(out.faults.faulty_trials, 0u);
+    EXPECT_EQ(out.faults.effective_trials, 600u);
+    ASSERT_EQ(out.samples.size(), 2u);
+    for (const auto &column : out.samples) {
+        ASSERT_EQ(column.size(), 600u);
+        for (double s : column)
+            ASSERT_TRUE(std::isfinite(s));
+    }
+}
+
+TEST(FaultContainment, NanInjectionIsClassifiedAsNan)
+{
+    CompiledExpr fn(parseExpr("x + 1"));
+    mc::PropagationConfig cfg;
+    cfg.trials = 400;
+    cfg.fault_policy = FaultPolicy::Discard;
+    mc::Propagator prop(cfg);
+    ar::util::Rng rng(3);
+    const auto out = prop.runManyReport(
+        {&fn},
+        poisonedLogInput(0.05, FaultInjectingDistribution::Mode::
+                                   QuietNaN),
+        rng);
+    EXPECT_GT(out.faults.by_kind[static_cast<std::size_t>(
+                  FaultKind::Nan)],
+              0u);
+    EXPECT_EQ(out.faults.by_kind[static_cast<std::size_t>(
+                  FaultKind::LogDomain)],
+              0u);
+}
+
+TEST(FaultContainment, ReportBitIdenticalAcrossThreadCounts)
+{
+    // ISSUE acceptance: FaultReport (and the surviving samples) are
+    // bit-identical for 1, 2, and 8 worker threads under all three
+    // policies.
+    for (FaultPolicy policy :
+         {FaultPolicy::Discard, FaultPolicy::Saturate}) {
+        const auto serial = propagate(policy, 1);
+        for (std::size_t threads : {2u, 8u}) {
+            const auto parallel = propagate(policy, threads);
+            expectReportsIdentical(parallel.faults, serial.faults);
+            ASSERT_EQ(parallel.samples, serial.samples)
+                << ar::util::faultPolicyName(policy) << ", "
+                << threads << " threads";
+        }
+    }
+    // FailFast: compare the reports riding on the exceptions.
+    auto failFastReport = [&](std::size_t threads) {
+        try {
+            propagate(FaultPolicy::FailFast, threads);
+        } catch (const FaultError &e) {
+            return e.report();
+        }
+        ADD_FAILURE() << "expected FaultError at " << threads
+                      << " threads";
+        return FaultReport{};
+    };
+    const auto serial = failFastReport(1);
+    expectReportsIdentical(failFastReport(2), serial);
+    expectReportsIdentical(failFastReport(8), serial);
+}
+
+TEST(FaultContainment, SobolFailFastThrows)
+{
+    CompiledExpr fn(parseExpr("log(x) * y"));
+    mc::SensitivityConfig cfg;
+    cfg.trials = 256;
+    ar::util::Rng rng(11);
+    EXPECT_THROW(
+        mc::sobolIndices(fn, poisonedLogInput(0.1), cfg, rng),
+        FaultError);
+}
+
+TEST(FaultContainment, SobolDiscardKeepsPairsAlignedAndFinite)
+{
+    CompiledExpr fn(parseExpr("log(x) * y"));
+    mc::SensitivityConfig cfg;
+    cfg.trials = 512;
+    cfg.fault_policy = FaultPolicy::Discard;
+    ar::util::Rng rng(11);
+    const auto res = mc::sobolIndices(fn, poisonedLogInput(0.1), cfg,
+                                      rng);
+    EXPECT_GT(res.faults.faulty_trials, 0u);
+    EXPECT_LT(res.faults.effective_trials, 512u);
+    EXPECT_TRUE(std::isfinite(res.output_mean));
+    EXPECT_TRUE(std::isfinite(res.output_variance));
+    for (const auto &index : res.indices) {
+        EXPECT_TRUE(std::isfinite(index.first_order)) << index.input;
+        EXPECT_TRUE(std::isfinite(index.total)) << index.input;
+    }
+    // Outputs are numbered 0 = f(A), 1 = f(B), 2 + i = f(AB_i).
+    EXPECT_LE(res.faults.by_output.size(), 2 + res.indices.size());
+}
+
+TEST(FaultContainment, SobolReportBitIdenticalAcrossThreads)
+{
+    CompiledExpr fn(parseExpr("log(x) * y"));
+    auto run = [&](FaultPolicy policy, std::size_t threads) {
+        mc::SensitivityConfig cfg;
+        cfg.trials = 512;
+        cfg.threads = threads;
+        cfg.fault_policy = policy;
+        ar::util::Rng rng(11);
+        return mc::sobolIndices(fn, poisonedLogInput(0.1), cfg, rng);
+    };
+    for (FaultPolicy policy :
+         {FaultPolicy::Discard, FaultPolicy::Saturate}) {
+        const auto serial = run(policy, 1);
+        for (std::size_t threads : {2u, 8u}) {
+            const auto parallel = run(policy, threads);
+            expectReportsIdentical(parallel.faults, serial.faults);
+            ASSERT_EQ(parallel.indices.size(), serial.indices.size());
+            for (std::size_t i = 0; i < serial.indices.size(); ++i) {
+                EXPECT_EQ(parallel.indices[i].first_order,
+                          serial.indices[i].first_order);
+                EXPECT_EQ(parallel.indices[i].total,
+                          serial.indices[i].total);
+            }
+            EXPECT_EQ(parallel.output_mean, serial.output_mean);
+            EXPECT_EQ(parallel.output_variance,
+                      serial.output_variance);
+        }
+    }
+}
+
+TEST(FaultContainment, SaturateWithNoFiniteSamplesThrows)
+{
+    // rate = 1.0: every draw is NaN, saturation has no finite edge.
+    CompiledExpr fn(parseExpr("x"));
+    mc::PropagationConfig cfg;
+    cfg.trials = 64;
+    cfg.fault_policy = FaultPolicy::Saturate;
+    mc::Propagator prop(cfg);
+    ar::util::Rng rng(5);
+    EXPECT_THROW(
+        prop.runManyReport(
+            {&fn},
+            poisonedLogInput(1.0,
+                             FaultInjectingDistribution::Mode::
+                                 QuietNaN),
+            rng),
+        FaultError);
+}

@@ -12,6 +12,7 @@
 #include "symbolic/printer.hh"
 #include "symbolic/simplify.hh"
 #include "symbolic/substitute.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 using namespace ar::symbolic;
@@ -117,6 +118,100 @@ TEST(Parser, SyntaxErrorsAreFatal)
     EXPECT_THROW(parseExpr(""), ar::util::FatalError);
     EXPECT_THROW(parseExpr("sqrt(1, 2)"), ar::util::FatalError);
     EXPECT_THROW(parseExpr("max()"), ar::util::FatalError);
+}
+
+namespace
+{
+
+/** Parse @p text expecting failure; return the structured payload. */
+ar::util::Diagnostic
+diagnosticOf(const char *text, std::size_t line = 0)
+{
+    try {
+        parseExpr(text, line);
+    } catch (const ar::util::ParseError &e) {
+        return e.diagnostic();
+    }
+    ADD_FAILURE() << "'" << text << "' parsed successfully";
+    return {};
+}
+
+} // namespace
+
+TEST(Parser, UnbalancedParenPointsAtMissingParen)
+{
+    const auto d = diagnosticOf("(1 + 2", 7);
+    EXPECT_NE(d.message.find("expected ')'"), std::string::npos);
+    EXPECT_EQ(d.line, 7u);
+    EXPECT_EQ(d.column, 7u); // one past the end of the input
+    EXPECT_EQ(d.source, "(1 + 2");
+}
+
+TEST(Parser, DanglingOperatorPointsAtEndOfInput)
+{
+    const auto d = diagnosticOf("2 +", 1);
+    EXPECT_NE(d.message.find("unexpected end of input"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 1u);
+    EXPECT_EQ(d.column, 4u);
+}
+
+TEST(Parser, TrailingInputPointsAtFirstExtraToken)
+{
+    const auto d = diagnosticOf("1 2");
+    EXPECT_NE(d.message.find("unexpected trailing input"),
+              std::string::npos);
+    EXPECT_EQ(d.column, 3u);
+}
+
+TEST(Parser, StrayTokenPointsAtTheToken)
+{
+    const auto d = diagnosticOf("a + )");
+    EXPECT_NE(d.message.find("expected a number, name, or '('"),
+              std::string::npos);
+    EXPECT_EQ(d.column, 5u);
+}
+
+TEST(Parser, UnknownFunctionPointsAtTheName)
+{
+    try {
+        parseEquation("y = sqqt(s)", 3);
+        FAIL() << "parsed an unknown function";
+    } catch (const ar::util::ParseError &e) {
+        const auto &d = e.diagnostic();
+        EXPECT_NE(d.message.find("unknown function 'sqqt'"),
+                  std::string::npos);
+        EXPECT_EQ(d.line, 3u);
+        EXPECT_EQ(d.column, 5u); // column of 'sqqt' in the full line
+        EXPECT_EQ(d.source, "y = sqqt(s)");
+        // The rendered what() shows the caret snippet.
+        EXPECT_NE(std::string(e.what()).find('^'), std::string::npos);
+    }
+}
+
+TEST(Parser, MissingEqualsPointsPastTheLine)
+{
+    try {
+        parseEquation("x + 1", 9);
+        FAIL() << "parsed an equation without '='";
+    } catch (const ar::util::ParseError &e) {
+        EXPECT_NE(e.diagnostic().message.find("missing '='"),
+                  std::string::npos);
+        EXPECT_EQ(e.diagnostic().line, 9u);
+        EXPECT_EQ(e.diagnostic().column, 6u);
+    }
+}
+
+TEST(Parser, SecondEqualsPointsAtTheSecondSign)
+{
+    try {
+        parseEquation("a = b = c", 2);
+        FAIL() << "parsed an equation with two '='";
+    } catch (const ar::util::ParseError &e) {
+        EXPECT_NE(e.diagnostic().message.find("multiple '='"),
+                  std::string::npos);
+        EXPECT_EQ(e.diagnostic().column, 7u);
+    }
 }
 
 class PrinterRoundTrip : public ::testing::TestWithParam<const char *>

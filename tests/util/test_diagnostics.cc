@@ -1,0 +1,68 @@
+/** @file Tests for structured diagnostics (util/diagnostics.hh). */
+
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.hh"
+
+namespace
+{
+
+using namespace ar::util;
+
+TEST(Diagnostics, RenderPlacesCaretUnderColumn)
+{
+    const Diagnostic d{"unknown function 'sqqt'", 3, 15,
+                       "Speedup = 1 / sqqt(s)"};
+    const std::string text = d.render();
+    EXPECT_NE(text.find("line 3, column 15: unknown function 'sqqt'"),
+              std::string::npos);
+    // The caret line pads with (column - 1) spaces past the 2-space
+    // snippet indent, so the '^' sits under 's' of 'sqqt'.
+    EXPECT_NE(text.find("  Speedup = 1 / sqqt(s)"), std::string::npos);
+    const auto caret = text.rfind('^');
+    ASSERT_NE(caret, std::string::npos);
+    const auto caret_line_start = text.rfind('\n', caret) + 1;
+    EXPECT_EQ(caret - caret_line_start, 2u + 14u);
+}
+
+TEST(Diagnostics, RenderWithoutLocationIsJustTheMessage)
+{
+    const Diagnostic d{"KDE needs at least 2 samples, got 1", 0, 0, ""};
+    EXPECT_EQ(d.render(), "KDE needs at least 2 samples, got 1");
+}
+
+TEST(Diagnostics, DiagnosticErrorCatchableAsFatalError)
+{
+    try {
+        raiseDiagnostic("degenerate input");
+        FAIL() << "raiseDiagnostic returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "degenerate input");
+    }
+}
+
+TEST(Diagnostics, RaiseParseCarriesStructuredPayload)
+{
+    try {
+        raiseParse("unexpected ')'", 7, 4, "a + )");
+        FAIL() << "raiseParse returned";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.diagnostic().message, "unexpected ')'");
+        EXPECT_EQ(e.diagnostic().line, 7u);
+        EXPECT_EQ(e.diagnostic().column, 4u);
+        EXPECT_EQ(e.diagnostic().source, "a + )");
+        // what() is the rendered diagnostic.
+        EXPECT_EQ(std::string(e.what()), e.diagnostic().render());
+    }
+}
+
+TEST(Diagnostics, ParseErrorIsDiagnosticError)
+{
+    // ParseError -> DiagnosticError -> FatalError, so legacy catch
+    // sites written against either base keep working.
+    EXPECT_THROW(raiseParse("x", 1, 1, "y"), DiagnosticError);
+    EXPECT_THROW(raiseParse("x", 1, 1, "y"), FatalError);
+    EXPECT_THROW(raiseDiagnostic("x"), FatalError);
+}
+
+} // namespace

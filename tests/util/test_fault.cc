@@ -1,0 +1,144 @@
+/** @file Tests for the fault vocabulary (util/fault.hh). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/fault.hh"
+
+namespace
+{
+
+using namespace ar::util;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Fault, ClassifyNonFinite)
+{
+    EXPECT_EQ(classifyNonFinite(kNan), FaultKind::Nan);
+    EXPECT_EQ(classifyNonFinite(kInf), FaultKind::PosInf);
+    EXPECT_EQ(classifyNonFinite(-kInf), FaultKind::NegInf);
+}
+
+TEST(Fault, CountNonFinite)
+{
+    const std::vector<double> xs{1.0, kNan, 2.0, kInf, -kInf, 3.0};
+    EXPECT_EQ(countNonFinite(xs), 3u);
+    EXPECT_EQ(countNonFinite(std::vector<double>{}), 0u);
+}
+
+TEST(Fault, KindAndPolicyNamesRoundTrip)
+{
+    for (std::size_t k = 0; k < kFaultKindCount; ++k)
+        EXPECT_STRNE(faultKindName(static_cast<FaultKind>(k)), "unknown");
+
+    for (FaultPolicy p : {FaultPolicy::FailFast, FaultPolicy::Discard,
+                          FaultPolicy::Saturate}) {
+        FaultPolicy parsed;
+        ASSERT_TRUE(parseFaultPolicy(faultPolicyName(p), parsed));
+        EXPECT_EQ(parsed, p);
+    }
+    FaultPolicy out;
+    EXPECT_FALSE(parseFaultPolicy("bogus", out));
+    EXPECT_FALSE(parseFaultPolicy("", out));
+}
+
+TEST(Fault, ReportRecordsCountsAndExamples)
+{
+    FaultReport report;
+    report.trials = 100;
+    report.record(3, 0, FaultKind::LogDomain, "log(x)");
+    report.record(3, 1, FaultKind::Nan, "");
+    report.record(7, 0, FaultKind::PosInf, "1 / x");
+    report.faulty_trials = 2;
+    report.effective_trials = 98;
+
+    EXPECT_EQ(report.totalFaults(), 3u);
+    EXPECT_FALSE(report.clean());
+    EXPECT_DOUBLE_EQ(report.faultRate(), 0.02);
+    ASSERT_EQ(report.by_output.size(), 2u);
+    EXPECT_EQ(report.by_output[0], 2u);
+    EXPECT_EQ(report.by_output[1], 1u);
+    EXPECT_EQ(report.by_kind[static_cast<std::size_t>(
+                  FaultKind::LogDomain)],
+              1u);
+    ASSERT_EQ(report.examples.size(), 3u);
+    EXPECT_EQ(report.examples[0].trial, 3u);
+    EXPECT_EQ(report.examples[0].op, "log(x)");
+    EXPECT_NE(report.summary().find("2/100 trials faulty"),
+              std::string::npos);
+    EXPECT_NE(report.summary().find("log-domain: 1"), std::string::npos);
+}
+
+TEST(Fault, ReportCapsExamples)
+{
+    FaultReport report;
+    for (std::size_t t = 0; t < 3 * FaultReport::kMaxExamples; ++t)
+        report.record(t, 0, FaultKind::Nan, "");
+    EXPECT_EQ(report.examples.size(), FaultReport::kMaxExamples);
+    EXPECT_EQ(report.totalFaults(), 3 * FaultReport::kMaxExamples);
+}
+
+TEST(Fault, CleanReportSummary)
+{
+    FaultReport report;
+    report.trials = 10;
+    report.effective_trials = 10;
+    EXPECT_TRUE(report.clean());
+    EXPECT_DOUBLE_EQ(report.faultRate(), 0.0);
+    EXPECT_NE(report.summary().find("0/10 trials faulty"),
+              std::string::npos);
+}
+
+TEST(Fault, FaultErrorCarriesReportAndIsFatalError)
+{
+    FaultReport report;
+    report.trials = 5;
+    report.record(2, 0, FaultKind::DivByZero, "x ^ -1");
+    report.faulty_trials = 1;
+    try {
+        throw FaultError(report);
+    } catch (const FatalError &e) {
+        // Catchable as the base type; message carries the first record.
+        EXPECT_NE(std::string(e.what()).find("div-by-zero"),
+                  std::string::npos);
+    }
+    try {
+        throw FaultError(report);
+    } catch (const FaultError &e) {
+        EXPECT_EQ(e.report().faulty_trials, 1u);
+        EXPECT_EQ(e.report().examples.front().trial, 2u);
+    }
+}
+
+TEST(Fault, SaturateSamplesClampsToFiniteEdges)
+{
+    std::vector<double> xs{2.0, kInf, -1.0, kNan, 5.0, -kInf};
+    FaultReport report;
+    saturateSamples(xs, report);
+    EXPECT_EQ(xs, (std::vector<double>{2.0, 5.0, -1.0, -1.0, 5.0,
+                                       -1.0}));
+}
+
+TEST(Fault, SaturateSamplesThrowsWithoutFiniteValues)
+{
+    std::vector<double> xs{kNan, kInf};
+    FaultReport report;
+    EXPECT_THROW(saturateSamples(xs, report), FaultError);
+}
+
+TEST(Fault, DiscardSamplesCompactsStably)
+{
+    std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<std::size_t> faulty{1, 4};
+    discardSamples(xs, faulty);
+    EXPECT_EQ(xs, (std::vector<double>{0.0, 2.0, 3.0, 5.0}));
+
+    std::vector<double> untouched{1.0, 2.0};
+    discardSamples(untouched, {});
+    EXPECT_EQ(untouched.size(), 2u);
+}
+
+} // namespace

@@ -15,6 +15,8 @@
 #include "risk/var.hh"
 #include "stats/histogram.hh"
 #include "util/cli.hh"
+#include "util/diagnostics.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 
@@ -26,6 +28,8 @@ main(int argc, char **argv)
     opts.declare("alpha", "0.05", "tail level for VaR/CVaR");
     opts.declare("threads", "",
                  "worker threads (0 = all cores; overrides the spec)");
+    opts.declare("fault-policy", "",
+                 "fail_fast|discard|saturate (overrides the spec)");
     opts.declare("quiet", "", "suppress the histogram", true);
     if (!opts.parse(argc, argv))
         return 0;
@@ -40,6 +44,17 @@ main(int argc, char **argv)
         if (!opts.getString("threads").empty()) {
             spec.threads = static_cast<std::size_t>(
                 opts.getInt("threads"));
+        }
+        if (!opts.getString("fault-policy").empty()) {
+            const auto name = opts.getString("fault-policy");
+            if (!ar::util::parseFaultPolicy(name,
+                                            spec.fault_policy)) {
+                std::fprintf(stderr,
+                             "error: unknown fault policy '%s' "
+                             "(fail_fast|discard|saturate)\n",
+                             name.c_str());
+                return 2;
+            }
         }
         const auto res = ar::core::runSpec(spec);
         const double alpha = opts.getDouble("alpha");
@@ -64,6 +79,19 @@ main(int argc, char **argv)
                                 res.samples, res.reference));
         std::printf("architectural risk  : %.6g (%s)\n", res.risk,
                     spec.risk.c_str());
+        std::printf("fault policy        : %s\n",
+                    ar::util::faultPolicyName(spec.fault_policy));
+        std::printf("effective trials    : %zu\n",
+                    res.faults.clean() ? spec.trials
+                                       : res.faults.effective_trials);
+        if (!res.faults.clean()) {
+            std::printf("faults              : %s\n",
+                        res.faults.summary().c_str());
+            for (const auto &record : res.faults.examples) {
+                std::printf("  %s\n",
+                            record.describe().c_str());
+            }
+        }
 
         if (!opts.getFlag("quiet")) {
             std::printf("\n%s",
@@ -76,6 +104,18 @@ main(int argc, char **argv)
                             .c_str());
         }
         return 0;
+    } catch (const ar::util::ParseError &e) {
+        // what() is the rendered diagnostic (line, column, caret).
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const ar::util::FaultError &e) {
+        std::fprintf(stderr,
+                     "error: %s\n"
+                     "hint: rerun with --fault-policy discard or "
+                     "saturate, or add 'fault_policy ...' to the "
+                     "spec\n",
+                     e.what());
+        return 1;
     } catch (const ar::util::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
