@@ -7,12 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <map>
+
 #include "core/framework.hh"
 #include "dist/discrete.hh"
 #include "dist/lognormal.hh"
+#include "dist/normal.hh"
 #include "explore/design_space.hh"
 #include "explore/evaluate.hh"
 #include "mc/propagator.hh"
+#include "mc/sensitivity.hh"
 #include "model/app.hh"
 #include "model/hill_marty.hh"
 #include "model/uncertainty.hh"
@@ -20,6 +25,8 @@
 #include "risk/risk_function.hh"
 #include "stats/boxcox.hh"
 #include "symbolic/compile.hh"
+#include "symbolic/program.hh"
+#include "symbolic/substitute.hh"
 #include "util/rng.hh"
 
 namespace
@@ -89,6 +96,278 @@ BM_CompiledTapeEvalBatchGuarded(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kBlock);
 }
 BENCHMARK(BM_CompiledTapeEvalBatchGuarded)->Arg(1)->Arg(3)->Arg(5);
+
+/**
+ * The pick-freeze forest of one Sobol analysis: f(A), f(B), and one
+ * f(AB_i) per input -- the workload sobolIndices() evaluates per
+ * trial, and the one with the most cross-output redundancy.
+ */
+std::vector<ar::symbolic::ExprPtr>
+pickFreezeForest(std::size_t k)
+{
+    auto sys = ar::model::buildHillMartySystem(k);
+    const auto base = sys.resolve("Speedup");
+    const ar::symbolic::CompiledExpr fn(base);
+    std::map<std::string, std::string> all;
+    for (const auto &name : fn.argNames())
+        all[name] = name + "!B";
+    std::vector<ar::symbolic::ExprPtr> forest{
+        base, ar::symbolic::renameSymbols(base, all)};
+    for (const auto &name : fn.argNames()) {
+        forest.push_back(ar::symbolic::renameSymbols(
+            base, {{name, name + "!B"}}));
+    }
+    return forest;
+}
+
+void
+BM_ProgramEvalBatchUnfused(benchmark::State &state)
+{
+    // Baseline for BM_ProgramEvalBatchFused: the same output forest
+    // walked as independent per-output CompiledExpr tapes.
+    constexpr std::size_t kBlock = 256;
+    const auto forest =
+        pickFreezeForest(static_cast<std::size_t>(state.range(0)));
+    std::vector<ar::symbolic::CompiledExpr> fns;
+    fns.reserve(forest.size());
+    for (const auto &e : forest)
+        fns.emplace_back(e);
+
+    std::map<std::string, std::vector<double>> columns;
+    for (const auto &fn : fns) {
+        for (const auto &name : fn.argNames())
+            columns.emplace(name, std::vector<double>(kBlock, 2.0));
+    }
+    std::vector<std::vector<ar::symbolic::BatchArg>> args(fns.size());
+    for (std::size_t o = 0; o < fns.size(); ++o) {
+        for (const auto &name : fns[o].argNames())
+            args[o].push_back({columns.at(name).data(), false});
+    }
+    std::vector<std::vector<double>> outs(
+        fns.size(), std::vector<double>(kBlock, 0.0));
+    for (auto _ : state) {
+        for (std::size_t o = 0; o < fns.size(); ++o)
+            fns[o].evalBatch(args[o], kBlock, outs[o].data());
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock *
+                            fns.size());
+}
+BENCHMARK(BM_ProgramEvalBatchUnfused)->Arg(3)->Arg(5);
+
+void
+BM_ProgramEvalBatchFused(benchmark::State &state)
+{
+    // The same forest as BM_ProgramEvalBatchUnfused through one
+    // CompiledProgram: CSE runs shared subtrees once per trial.
+    constexpr std::size_t kBlock = 256;
+    const auto forest =
+        pickFreezeForest(static_cast<std::size_t>(state.range(0)));
+    const ar::symbolic::CompiledProgram prog(forest);
+
+    std::map<std::string, std::vector<double>> columns;
+    std::vector<ar::symbolic::BatchArg> args;
+    for (const auto &name : prog.argNames()) {
+        auto [it, ins] =
+            columns.emplace(name, std::vector<double>(kBlock, 2.0));
+        args.push_back({it->second.data(), false});
+    }
+    std::vector<std::vector<double>> outs(
+        prog.numOutputs(), std::vector<double>(kBlock, 0.0));
+    std::vector<double *> out_ptrs;
+    for (auto &o : outs)
+        out_ptrs.push_back(o.data());
+    for (auto _ : state) {
+        prog.evalBatch(args, kBlock, out_ptrs);
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock *
+                            prog.numOutputs());
+}
+BENCHMARK(BM_ProgramEvalBatchFused)->Arg(3)->Arg(5);
+
+void
+BM_PropagationMultiUnfused(benchmark::State &state)
+{
+    // Four responsive variables of the same Hill-Marty system
+    // propagated as four independent tapes (runMany).  range(0) =
+    // trials, range(1) = threads.
+    const auto config = ar::model::heteroCores();
+    auto sys = ar::model::buildHillMartySystem(config.numTypes());
+    const std::vector<std::string> outputs{"Speedup", "T_seq",
+                                           "T_par", "P_parallel"};
+    std::vector<ar::symbolic::CompiledExpr> fns;
+    std::vector<const ar::symbolic::CompiledExpr *> ptrs;
+    for (const auto &name : outputs)
+        fns.emplace_back(sys.resolve(name));
+    for (const auto &fn : fns)
+        ptrs.push_back(&fn);
+    const auto in = ar::model::groundTruthBindings(
+        config, ar::model::appLPHC(),
+        ar::model::UncertaintySpec::all(0.2));
+    // Saturate: rare all-cores-fail trials (P_serial = 0) must not
+    // abort the timing loop.
+    const ar::mc::Propagator prop(
+        {static_cast<std::size_t>(state.range(0)), "latin-hypercube",
+         static_cast<std::size_t>(state.range(1)),
+         ar::util::FaultPolicy::Saturate});
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ar::util::Rng rng(seed++);
+        benchmark::DoNotOptimize(prop.runMany(ptrs, in, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<long>(outputs.size()));
+}
+BENCHMARK(BM_PropagationMultiUnfused)
+    ->Args({10000, 1})
+    ->Args({10000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PropagationMultiFused(benchmark::State &state)
+{
+    // The same four outputs through one CompiledProgram (runMulti):
+    // Speedup subsumes T_seq/T_par/P_parallel, so the fused tape is
+    // barely longer than Speedup's alone.
+    const auto config = ar::model::heteroCores();
+    auto sys = ar::model::buildHillMartySystem(config.numTypes());
+    const std::vector<std::string> outputs{"Speedup", "T_seq",
+                                           "T_par", "P_parallel"};
+    std::vector<ar::symbolic::ExprPtr> forest;
+    for (const auto &name : outputs)
+        forest.push_back(sys.resolve(name));
+    const ar::symbolic::CompiledProgram prog(forest);
+    const auto in = ar::model::groundTruthBindings(
+        config, ar::model::appLPHC(),
+        ar::model::UncertaintySpec::all(0.2));
+    // Saturate: rare all-cores-fail trials (P_serial = 0) must not
+    // abort the timing loop.
+    const ar::mc::Propagator prop(
+        {static_cast<std::size_t>(state.range(0)), "latin-hypercube",
+         static_cast<std::size_t>(state.range(1)),
+         ar::util::FaultPolicy::Saturate});
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ar::util::Rng rng(seed++);
+        benchmark::DoNotOptimize(prop.runMulti(prog, in, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<long>(outputs.size()));
+}
+BENCHMARK(BM_PropagationMultiFused)
+    ->Args({10000, 1})
+    ->Args({10000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Sobol-analysis bindings for a k-type Hill-Marty system, matching
+ * the paper's ground-truth model shapes.  Note the erfInv-based
+ * quantile draws (LogNormal, TruncatedNormal) cost ~110 ns each and
+ * form a sampling floor both sweeps share, so the end-to-end
+ * fused/unfused ratio understates the pure evaluation win (see
+ * BM_ProgramEvalBatch* for the eval-only comparison).
+ */
+ar::mc::InputBindings
+sobolBindings(std::size_t k)
+{
+    ar::mc::InputBindings in;
+    in.uncertain["f"] = std::make_shared<ar::dist::TruncatedNormal>(
+        0.95, 0.02, 0.0, 1.0);
+    in.uncertain["c"] = std::make_shared<ar::dist::TruncatedNormal>(
+        0.005, 0.002, 0.0, 1.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        const double area = std::pow(2.0, static_cast<double>(i));
+        in.fixed[ar::model::names::coreArea(i)] = area;
+        in.uncertain[ar::model::names::corePerf(i)] =
+            std::make_shared<ar::dist::LogNormal>(
+                ar::dist::LogNormal::fromMeanStddev(
+                    std::sqrt(area), 0.2 * std::sqrt(area)));
+        in.uncertain[ar::model::names::coreCount(i)] =
+            std::make_shared<ar::dist::Binomial>(16, 0.9);
+    }
+    return in;
+}
+
+void
+BM_SobolUnfused(benchmark::State &state)
+{
+    // 2k + 4 pick-freeze variants as scalar tape walks per trial.
+    // range(0) = core types k, range(1) = trials.
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto sys = ar::model::buildHillMartySystem(k);
+    const auto expr = sys.resolve("Speedup");
+    const auto in = sobolBindings(k);
+    ar::mc::SensitivityConfig cfg;
+    cfg.trials = static_cast<std::size_t>(state.range(1));
+    cfg.threads = 1;
+    cfg.fused = false;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ar::util::Rng rng(seed++);
+        benchmark::DoNotOptimize(
+            ar::mc::sobolIndices(expr, in, cfg, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_SobolUnfused)
+    ->Args({2, 2048})
+    ->Args({5, 2048})
+    ->Args({8, 2048})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SobolFused(benchmark::State &state)
+{
+    // The same analysis with the variant forest compiled into one
+    // program, evaluated in SoA blocks.
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto sys = ar::model::buildHillMartySystem(k);
+    const auto expr = sys.resolve("Speedup");
+    const auto in = sobolBindings(k);
+    ar::mc::SensitivityConfig cfg;
+    cfg.trials = static_cast<std::size_t>(state.range(1));
+    cfg.threads = 1;
+    cfg.fused = true;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ar::util::Rng rng(seed++);
+        benchmark::DoNotOptimize(
+            ar::mc::sobolIndices(expr, in, cfg, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_SobolFused)
+    ->Args({2, 2048})
+    ->Args({5, 2048})
+    ->Args({8, 2048})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DesignSpaceSweepFused(benchmark::State &state)
+{
+    // BM_DesignSpaceSweep with SweepBackend::FusedProgram: every
+    // enumerated design is one output of a single fused program.
+    const auto designs = ar::explore::enumerateDesigns();
+    const auto app = ar::model::appLPHC();
+    const auto spec = ar::model::UncertaintySpec::appArch(0.2, 0.2);
+    ar::risk::QuadraticRisk fn;
+    for (auto _ : state) {
+        ar::explore::SweepConfig cfg;
+        cfg.trials = static_cast<std::size_t>(state.range(0));
+        cfg.threads = static_cast<std::size_t>(state.range(1));
+        cfg.backend = ar::explore::SweepBackend::FusedProgram;
+        ar::explore::DesignSpaceEvaluator eval(designs, app, spec,
+                                               cfg);
+        benchmark::DoNotOptimize(eval.evaluateAll(fn, 26.7));
+    }
+    state.SetItemsProcessed(state.iterations() * designs.size() *
+                            state.range(0));
+}
+BENCHMARK(BM_DesignSpaceSweepFused)
+    ->Args({500, 1})
+    ->Args({500, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_DirectEvaluator(benchmark::State &state)

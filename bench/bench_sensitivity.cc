@@ -72,8 +72,8 @@ main(int argc, char **argv)
         ar::mc::SensitivityConfig scfg;
         scfg.trials = trials;
         scfg.threads = threads;
-        const auto res = ar::mc::sobolIndices(fw.compiled("Speedup"),
-                                              in, scfg, rng);
+        const auto res = ar::mc::sobolIndices(
+            fw.system().resolve("Speedup"), in, scfg, rng);
 
         std::printf("%s  (E=%.3f, Var=%.3f)\n", c.label,
                     res.output_mean, res.output_variance);

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a recorded baseline.
+
+Two kinds of checks, both driven by files produced with
+``--benchmark_out=... --benchmark_out_format=json``:
+
+* **Regression check** (needs ``--baseline``): every benchmark present
+  in both files must not be slower than ``(1 + threshold)`` times its
+  baseline cpu_time.  Benchmarks that exist on only one side are
+  reported but never fail the run (the suite is allowed to grow).
+
+* **Speedup assertions** (``--speedup SLOW:FAST:MIN_RATIO``,
+  repeatable): within the *current* run, cpu_time(SLOW) /
+  cpu_time(FAST) must be at least MIN_RATIO.  SLOW and FAST are exact
+  benchmark names (which contain ``/``, hence the ``:`` separator):
+  ``--speedup 'BM_SobolUnfused/8/2048:BM_SobolFused/8/2048:1.3'``.
+
+Absolute times are machine-dependent, so CI runs this with
+``--warn-only``: every violation is printed but the exit code stays 0.
+Run without ``--warn-only`` locally (same machine as the baseline) to
+enforce.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> cpu_time in nanoseconds."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        out[name] = bench["cpu_time"] * scale[bench.get("time_unit", "ns")]
+    return out
+
+
+def fmt_ns(ns):
+    if ns >= 1e6:
+        return "%.2f ms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.2f us" % (ns / 1e3)
+    return "%.0f ns" % ns
+
+
+def parse_speedup(spec):
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            "expected SLOW:FAST:MIN_RATIO, got %r" % spec)
+    try:
+        ratio = float(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "MIN_RATIO must be a number in %r" % spec)
+    return parts[0], parts[1], ratio
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("current", help="JSON output of the run under test")
+    ap.add_argument("--baseline",
+                    help="recorded baseline JSON (e.g. BENCH_BASELINE.json)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional slowdown vs baseline "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--speedup", action="append", type=parse_speedup,
+                    default=[], metavar="SLOW:FAST:MIN_RATIO",
+                    help="assert cpu_time(SLOW)/cpu_time(FAST) >= "
+                         "MIN_RATIO in the current run (repeatable)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="print violations but always exit 0")
+    args = ap.parse_args(argv)
+
+    current = load_benchmarks(args.current)
+    failures = []
+
+    if args.baseline:
+        baseline = load_benchmarks(args.baseline)
+        shared = sorted(set(baseline) & set(current))
+        if not shared:
+            failures.append("no benchmark names shared with baseline")
+        for name in shared:
+            old, new = baseline[name], current[name]
+            rel = (new - old) / old
+            status = "ok"
+            if rel > args.threshold:
+                status = "REGRESSION"
+                failures.append(
+                    "%s: %s -> %s (%+.1f%% > %+.1f%% allowed)"
+                    % (name, fmt_ns(old), fmt_ns(new), 100 * rel,
+                       100 * args.threshold))
+            print("%-44s %10s -> %10s  %+6.1f%%  %s"
+                  % (name, fmt_ns(old), fmt_ns(new), 100 * rel, status))
+        for name in sorted(set(current) - set(baseline)):
+            print("%-44s (new, no baseline)" % name)
+        for name in sorted(set(baseline) - set(current)):
+            print("%-44s (in baseline only)" % name)
+
+    for slow, fast, min_ratio in args.speedup:
+        missing = [n for n in (slow, fast) if n not in current]
+        if missing:
+            failures.append("speedup check: missing benchmark(s) %s"
+                            % ", ".join(missing))
+            continue
+        ratio = current[slow] / current[fast]
+        ok = ratio >= min_ratio
+        print("speedup %s / %s = %.2fx (want >= %.2fx)  %s"
+              % (slow, fast, ratio, min_ratio,
+                 "ok" if ok else "TOO SLOW"))
+        if not ok:
+            failures.append("speedup %s/%s = %.2fx < %.2fx"
+                            % (slow, fast, ratio, min_ratio))
+
+    if failures:
+        print("\n%d violation(s):" % len(failures), file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        if not args.warn_only:
+            return 1
+        print("(--warn-only: exiting 0)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

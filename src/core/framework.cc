@@ -16,6 +16,7 @@ Framework::setSystem(ar::symbolic::EquationSystem sys_in)
     sys = std::make_unique<ar::symbolic::EquationSystem>(
         std::move(sys_in));
     cache.clear();
+    prog_cache.clear();
 }
 
 const ar::symbolic::EquationSystem &
@@ -34,6 +35,23 @@ Framework::compiled(const std::string &responsive) const
     const auto resolved = system().resolve(responsive);
     auto [it, inserted] = cache.emplace(
         responsive, ar::symbolic::CompiledExpr(resolved));
+    return it->second;
+}
+
+const ar::symbolic::CompiledProgram &
+Framework::program(const std::vector<std::string> &responsives) const
+{
+    if (responsives.empty())
+        ar::util::fatal("Framework::program: no responsive variables");
+    if (auto it = prog_cache.find(responsives);
+        it != prog_cache.end())
+        return it->second;
+    std::vector<ar::symbolic::ExprPtr> forest;
+    forest.reserve(responsives.size());
+    for (const auto &responsive : responsives)
+        forest.push_back(system().resolve(responsive));
+    auto [it, inserted] = prog_cache.emplace(
+        responsives, ar::symbolic::CompiledProgram(forest));
     return it->second;
 }
 
@@ -70,6 +88,32 @@ Framework::analyze(const std::string &responsive,
     res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
     res.risk = ar::risk::archRisk(res.samples, reference, fn);
+    return res;
+}
+
+AnalysisResult
+Framework::analyzeMulti(const std::vector<std::string> &responsives,
+                        const ar::mc::InputBindings &in,
+                        const ar::risk::RiskFunction &fn,
+                        double reference, std::uint64_t seed) const
+{
+    AnalysisResult res;
+    ar::util::Rng rng(seed);
+    auto prop = propagator.runMultiReport(program(responsives), in,
+                                          rng);
+    res.samples = std::move(prop.samples.front());
+    res.faults = std::move(prop.faults);
+    res.summary = ar::stats::summarize(res.samples);
+    res.reference = reference;
+    res.risk = ar::risk::archRisk(res.samples, reference, fn);
+    res.co_outputs.reserve(responsives.size() - 1);
+    for (std::size_t o = 1; o < responsives.size(); ++o) {
+        CoOutput co;
+        co.name = responsives[o];
+        co.samples = std::move(prop.samples[o]);
+        co.summary = ar::stats::summarize(co.samples);
+        res.co_outputs.push_back(std::move(co));
+    }
     return res;
 }
 

@@ -21,6 +21,14 @@
 namespace ar::core
 {
 
+/** One secondary output propagated alongside the responsive one. */
+struct CoOutput
+{
+    std::string name;                ///< Responsive-variable name.
+    std::vector<double> samples;     ///< Post-policy draws.
+    ar::stats::Summary summary;      ///< Moments of the samples.
+};
+
 /** Full output of one risk-aware analysis. */
 struct AnalysisResult
 {
@@ -28,6 +36,13 @@ struct AnalysisResult
     ar::stats::Summary summary;      ///< Moments of the samples.
     double reference = 0.0;          ///< Reference performance P.
     double risk = 0.0;               ///< Architectural risk (Eq. 2).
+
+    /**
+     * Secondary outputs from analyzeMulti(), aligned trial-for-trial
+     * with `samples` (one fused propagation produced them all).
+     * Empty for single-output analyze().
+     */
+    std::vector<CoOutput> co_outputs;
 
     /**
      * Fault accounting of the propagation (see PropagationConfig::
@@ -61,6 +76,16 @@ class Framework
     compiled(const std::string &responsive) const;
 
     /**
+     * Resolve + compile several responsive variables into one fused
+     * CompiledProgram (memoized per output list).  Subexpressions the
+     * outputs share -- common in equation systems, where responsive
+     * variables sit on one dependency trunk -- are evaluated once per
+     * trial instead of once per output.
+     */
+    const ar::symbolic::CompiledProgram &
+    program(const std::vector<std::string> &responsives) const;
+
+    /**
      * Evaluate a responsive variable with every input fixed (the
      * conventional, uncertainty-oblivious analysis).
      *
@@ -87,6 +112,20 @@ class Framework
                            std::uint64_t seed = 1) const;
 
     /**
+     * analyze() over several responsive variables in one fused
+     * propagation.  The first variable is the risk-analyzed one
+     * (samples/summary/risk of the result refer to it); the rest
+     * come back in co_outputs, trial-aligned with it.  Samples of
+     * every output are bit-identical to what a single-output
+     * analyze() of that variable would produce with the same seed.
+     */
+    AnalysisResult analyzeMulti(const std::vector<std::string> &responsives,
+                                const ar::mc::InputBindings &in,
+                                const ar::risk::RiskFunction &fn,
+                                double reference,
+                                std::uint64_t seed = 1) const;
+
+    /**
      * Propagate only (no risk): returns the raw samples of the
      * responsive variable.
      */
@@ -101,6 +140,8 @@ class Framework
     ar::mc::Propagator propagator;
     std::unique_ptr<ar::symbolic::EquationSystem> sys;
     mutable std::map<std::string, ar::symbolic::CompiledExpr> cache;
+    mutable std::map<std::vector<std::string>,
+                     ar::symbolic::CompiledProgram> prog_cache;
 };
 
 } // namespace ar::core

@@ -1,5 +1,6 @@
 #include "core/spec.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <fstream>
@@ -233,8 +234,27 @@ parseSpec(const std::string &text)
                 {tokens[1].text, tokens[2].text,
                  numericToken(tokens, 3, ctx)});
         } else if (cmd == "output") {
-            expectArgs(tokens, 2, ctx);
-            spec.output = tokens[1].text;
+            // One or more responsive variables; the first is
+            // risk-analyzed, the rest propagate alongside it through
+            // one fused program.
+            if (tokens.size() < 2) {
+                failAt(ctx, ctx.line.size() + 1,
+                       "'output' expects at least 1 argument, got 0");
+            }
+            spec.outputs.clear();
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                if (std::find_if(spec.outputs.begin(),
+                                 spec.outputs.end(),
+                                 [&](const std::string &o) {
+                                     return o == tokens[i].text;
+                                 }) != spec.outputs.end()) {
+                    failAt(ctx, tokens[i].col,
+                           "duplicate output variable '" +
+                               tokens[i].text + "'");
+                }
+                spec.outputs.push_back(tokens[i].text);
+            }
+            spec.output = spec.outputs.front();
         } else if (cmd == "reference") {
             expectArgs(tokens, 2, ctx);
             spec.reference = numericToken(tokens, 1, ctx);
@@ -275,11 +295,13 @@ parseSpec(const std::string &text)
         ar::util::raiseParse("spec error: missing 'output' directive",
                              0, 0, "");
     }
-    if (!spec.system.defines(spec.output)) {
-        ar::util::raiseParse("spec error: output variable '" +
-                                 spec.output +
-                                 "' has no defining equation",
-                             0, 0, "output " + spec.output);
+    for (const auto &output : spec.outputs) {
+        if (!spec.system.defines(output)) {
+            ar::util::raiseParse("spec error: output variable '" +
+                                     output +
+                                     "' has no defining equation",
+                                 0, 0, "output " + output);
+        }
     }
     return spec;
 }
@@ -324,6 +346,12 @@ runSpec(const AnalysisSpec &spec)
     }
 
     const auto fn = makeRiskFunction(spec.risk);
+    if (spec.outputs.size() > 1) {
+        // All declared outputs in one fused propagation; samples of
+        // each are bit-identical to a single-output analysis.
+        return fw.analyzeMulti(spec.outputs, spec.bindings, *fn,
+                               reference, spec.seed);
+    }
     return fw.analyze(spec.output, spec.bindings, *fn, reference,
                       spec.seed);
 }

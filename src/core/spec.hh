@@ -17,7 +17,7 @@
  *   uncertain A lognormal-ms 10 3
  *   samples L measurements.txt      # extract from observed data
  *   correlate f A 0.4
- *   output Speedup
+ *   output Speedup                  # more names co-propagate fused
  *   reference 12.5                  # optional; default: certain eval
  *   risk quadratic                  # step|linear|quadratic|monetary
  *   trials 10000
@@ -58,6 +58,14 @@ struct AnalysisSpec
     ar::symbolic::EquationSystem system;
     ar::mc::InputBindings bindings;
     std::string output;                 ///< Responsive variable.
+
+    /**
+     * Every declared output, in directive order; outputs[0] ==
+     * output.  With more than one, runSpec() propagates them all
+     * through one fused CompiledProgram (the first is risk-analyzed,
+     * the rest land in AnalysisResult::co_outputs).
+     */
+    std::vector<std::string> outputs;
     std::optional<double> reference;    ///< Explicit reference P.
     std::string risk = "quadratic";     ///< Risk-function name.
     std::size_t trials = 10000;

@@ -75,6 +75,12 @@ Binomial::Binomial(unsigned n, double p) : n(n), p(p)
         ar::util::fatal("Binomial: p must lie in [0, 1], got ", p);
     if (n == 0)
         ar::util::fatal("Binomial: need at least one trial");
+    if (p > 0.0 && p < 1.0) {
+        anchor_k = std::min<unsigned>(
+            n, static_cast<unsigned>((n + 1) * p));
+        anchor_cdf = cdf(static_cast<double>(anchor_k));
+        anchor_pmf = pmf(anchor_k);
+    }
 }
 
 double
@@ -129,11 +135,11 @@ Binomial::quantileIndex(double u) const
     if (p == 1.0)
         return n;
 
-    // Anchor at the mode, then walk the CDF in the needed direction.
-    unsigned k = std::min<unsigned>(
-        n, static_cast<unsigned>((n + 1) * p));
-    double c = cdf(static_cast<double>(k));
-    double mass = pmf(k);
+    // Anchor at the mode (precomputed in the constructor), then walk
+    // the CDF in the needed direction.
+    unsigned k = anchor_k;
+    double c = anchor_cdf;
+    double mass = anchor_pmf;
     const double odds = p / (1.0 - p);
 
     if (u <= c) {

@@ -70,6 +70,14 @@ class Binomial : public Distribution
 
     unsigned n;
     double p;
+
+    // The walk's anchor (mode index, CDF and pmf there) only depends
+    // on (n, p), so it is computed once at construction; re-deriving
+    // the CDF anchor per draw costs an incomplete-beta evaluation and
+    // dominated sampling time.
+    unsigned anchor_k = 0;
+    double anchor_cdf = 0.0;
+    double anchor_pmf = 0.0;
 };
 
 /**

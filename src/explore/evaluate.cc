@@ -10,6 +10,7 @@
 #include "model/hill_marty.hh"
 #include "model/yield.hh"
 #include "risk/arch_risk.hh"
+#include "symbolic/substitute.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
@@ -181,6 +182,84 @@ DesignSpaceEvaluator::buildPools()
     }
 }
 
+const std::vector<double> &
+DesignSpaceEvaluator::countColumn(std::size_t s, unsigned m)
+{
+    const auto key = std::make_pair(s, m);
+    const auto it = fused_count_cols_.find(key);
+    if (it != fused_count_cols_.end())
+        return it->second;
+
+    std::vector<double> col(cfg.trials);
+    if (!spec.fab) {
+        std::fill(col.begin(), col.end(), static_cast<double>(m));
+    } else if (cfg.approx_k == 0) {
+        const auto &prefix = survivor_prefix[s];
+        for (std::size_t t = 0; t < cfg.trials; ++t) {
+            col[t] = static_cast<double>(
+                prefix[static_cast<std::size_t>(m - 1) * cfg.trials +
+                       t]);
+        }
+    } else {
+        col = n_pools.at(key);
+    }
+    return fused_count_cols_.emplace(key, std::move(col))
+        .first->second;
+}
+
+void
+DesignSpaceEvaluator::buildFusedProgram()
+{
+    if (fused_prog_)
+        return;
+
+    // Resolved symbolic speedup per distinct type count; designs
+    // with the same k share the resolved tree and differ only in
+    // which shared columns their symbols are renamed onto.
+    std::map<std::size_t, ar::symbolic::ExprPtr> resolved_by_k;
+    std::map<std::string, const std::vector<double> *> column_of;
+    column_of["f"] = &f_pool;
+    column_of["c"] = &c_pool;
+
+    std::vector<ar::symbolic::ExprPtr> forest;
+    forest.reserve(designs.size());
+    for (const auto &config : designs) {
+        const auto &types = config.types();
+        const std::size_t k = types.size();
+        auto rit = resolved_by_k.find(k);
+        if (rit == resolved_by_k.end()) {
+            rit = resolved_by_k
+                      .emplace(k, ar::model::buildHillMartySystem(k)
+                                      .resolve("Speedup"))
+                      .first;
+        }
+        std::map<std::string, std::string> renames;
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto it = std::find(size_values.begin(),
+                                      size_values.end(),
+                                      types[i].area);
+            const std::size_t s = static_cast<std::size_t>(
+                it - size_values.begin());
+            const std::string p_name = "P@" + std::to_string(s);
+            const std::string n_name =
+                "N@" + std::to_string(s) + "x" +
+                std::to_string(types[i].count);
+            renames[ar::model::names::corePerf(i)] = p_name;
+            renames[ar::model::names::coreCount(i)] = n_name;
+            column_of[p_name] = &perf_pools[s];
+            column_of[n_name] = &countColumn(s, types[i].count);
+        }
+        forest.push_back(
+            ar::symbolic::renameSymbols(rit->second, renames));
+    }
+    fused_prog_ = std::make_unique<ar::symbolic::CompiledProgram>(
+        std::move(forest));
+    fused_cols_.clear();
+    fused_cols_.reserve(fused_prog_->argNames().size());
+    for (const auto &name : fused_prog_->argNames())
+        fused_cols_.push_back(column_of.at(name)->data());
+}
+
 std::vector<DesignOutcome>
 DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
                                   double reference_speedup)
@@ -199,59 +278,100 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     std::vector<std::vector<double>> deferred(designs.size());
     std::vector<std::vector<std::size_t>> bad_trials(designs.size());
 
-    // Designs only read the shared pools, so the sweep parallelizes
-    // over designs; every buffer below is per-design.
-    ar::util::parallelFor(cfg.threads, designs.size(),
-                          [&](std::size_t d) {
-        std::vector<std::size_t> size_index;
-        std::vector<const double *> n_pool_ptr;
-        std::vector<double> perf_buf;
-        std::vector<double> count_buf;
-        std::vector<double> samples(trials);
+    // Phase 1: normalized speedup samples per design.
+    std::vector<std::vector<double>> all(designs.size());
+    if (cfg.backend == SweepBackend::FusedProgram) {
+        buildFusedProgram();
+        for (auto &samples : all)
+            samples.resize(trials);
+        // One fused pass per trial block computes every design; the
+        // sweep parallelizes over blocks (each writes a disjoint
+        // slice of every design's column).
+        constexpr std::size_t kBlock = 256;
+        const std::size_t n_blocks = (trials + kBlock - 1) / kBlock;
+        ar::util::parallelFor(
+            cfg.threads, n_blocks, [&](std::size_t b) {
+                const std::size_t t0 = b * kBlock;
+                const std::size_t t1 = std::min(trials, t0 + kBlock);
+                const std::size_t len = t1 - t0;
+                std::vector<ar::symbolic::BatchArg> bargs(
+                    fused_cols_.size());
+                for (std::size_t a = 0; a < fused_cols_.size(); ++a)
+                    bargs[a] = {fused_cols_[a] + t0, false};
+                std::vector<double *> outs(designs.size());
+                for (std::size_t d = 0; d < designs.size(); ++d)
+                    outs[d] = all[d].data() + t0;
+                fused_prog_->evalBatch(bargs, len, outs);
+                for (std::size_t d = 0; d < designs.size(); ++d) {
+                    for (std::size_t t = t0; t < t1; ++t)
+                        all[d][t] /= reference_speedup;
+                }
+            });
+    } else {
+        // Designs only read the shared pools, so the sweep
+        // parallelizes over designs; every buffer is per-design.
+        ar::util::parallelFor(cfg.threads, designs.size(),
+                              [&](std::size_t d) {
+            std::vector<std::size_t> size_index;
+            std::vector<const double *> n_pool_ptr;
+            std::vector<double> perf_buf;
+            std::vector<double> count_buf;
+            std::vector<double> samples(trials);
 
-        const auto &config = designs[d];
-        const auto &types = config.types();
-        const std::size_t k = types.size();
+            const auto &config = designs[d];
+            const auto &types = config.types();
+            const std::size_t k = types.size();
 
-        size_index.resize(k);
-        n_pool_ptr.assign(k, nullptr);
-        perf_buf.resize(k);
-        count_buf.resize(k);
-        for (std::size_t i = 0; i < k; ++i) {
-            const auto it = std::find(size_values.begin(),
-                                      size_values.end(), types[i].area);
-            size_index[i] = static_cast<std::size_t>(
-                it - size_values.begin());
-            if (spec.fab && cfg.approx_k > 0) {
-                n_pool_ptr[i] =
-                    n_pools.at({size_index[i], types[i].count})
-                        .data();
-            }
-        }
-
-        for (std::size_t t = 0; t < trials; ++t) {
+            size_index.resize(k);
+            n_pool_ptr.assign(k, nullptr);
+            perf_buf.resize(k);
+            count_buf.resize(k);
             for (std::size_t i = 0; i < k; ++i) {
-                const std::size_t s = size_index[i];
-                perf_buf[i] = perf_pools[s][t];
-                if (!spec.fab) {
-                    count_buf[i] =
-                        static_cast<double>(types[i].count);
-                } else if (cfg.approx_k == 0) {
-                    const unsigned m = types[i].count;
-                    count_buf[i] = static_cast<double>(
-                        survivor_prefix[s][static_cast<std::size_t>(
-                                               m - 1) *
-                                               trials +
-                                           t]);
-                } else {
-                    count_buf[i] = n_pool_ptr[i][t];
+                const auto it = std::find(size_values.begin(),
+                                          size_values.end(),
+                                          types[i].area);
+                size_index[i] = static_cast<std::size_t>(
+                    it - size_values.begin());
+                if (spec.fab && cfg.approx_k > 0) {
+                    n_pool_ptr[i] =
+                        n_pools.at({size_index[i], types[i].count})
+                            .data();
                 }
             }
-            const double speedup = ar::model::HillMartyEvaluator::
-                speedup(f_pool[t], c_pool[t], perf_buf, count_buf);
-            samples[t] = speedup / reference_speedup;
-        }
 
+            for (std::size_t t = 0; t < trials; ++t) {
+                for (std::size_t i = 0; i < k; ++i) {
+                    const std::size_t s = size_index[i];
+                    perf_buf[i] = perf_pools[s][t];
+                    if (!spec.fab) {
+                        count_buf[i] =
+                            static_cast<double>(types[i].count);
+                    } else if (cfg.approx_k == 0) {
+                        const unsigned m = types[i].count;
+                        count_buf[i] = static_cast<double>(
+                            survivor_prefix[s]
+                                           [static_cast<std::size_t>(
+                                                m - 1) *
+                                                trials +
+                                            t]);
+                    } else {
+                        count_buf[i] = n_pool_ptr[i][t];
+                    }
+                }
+                const double speedup =
+                    ar::model::HillMartyEvaluator::speedup(
+                        f_pool[t], c_pool[t], perf_buf, count_buf);
+                samples[t] = speedup / reference_speedup;
+            }
+            all[d] = std::move(samples);
+        });
+    }
+
+    // Phase 2: per-design fault scan and statistics (shared by both
+    // backends).
+    ar::util::parallelFor(cfg.threads, designs.size(),
+                          [&](std::size_t d) {
+        auto &samples = all[d];
         DesignOutcome &out = outcomes[d];
         out.design_index = d;
         out.effective_trials = trials;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "model/core_config.hh"
 #include "model/uncertainty.hh"
 #include "risk/risk_function.hh"
+#include "symbolic/program.hh"
 #include "util/fault.hh"
 
 namespace ar::explore
@@ -41,6 +43,25 @@ struct DesignOutcome
 
     std::size_t faults = 0;       ///< Trials with a non-finite sample.
     std::size_t effective_trials = 0; ///< Trials behind the stats.
+};
+
+/** How the per-trial speedup samples are computed. */
+enum class SweepBackend
+{
+    /** Hand-written closed-form Hill-Marty evaluator per trial. */
+    Direct,
+
+    /**
+     * All designs compiled into one fused CompiledProgram (one
+     * output per design) evaluated in trial blocks.  Per-size
+     * performance and per-(size, count) survivor columns are bound
+     * once and shared across every design that references them, and
+     * the optimizer CSEs any structure the designs have in common.
+     * Agrees with Direct to floating-point reassociation (the
+     * symbolic model folds in a different order than the closed
+     * form); tests pin the agreement.
+     */
+    FusedProgram,
 };
 
 /** Settings for one design-space sweep. */
@@ -73,6 +94,10 @@ struct SweepConfig
      * parallel phase, hence bit-identical for any thread count.
      */
     ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
+
+    /** Sample-computation backend; outcomes are bit-identical for
+     * any thread count under either. */
+    SweepBackend backend = SweepBackend::Direct;
 };
 
 /**
@@ -129,6 +154,20 @@ class DesignSpaceEvaluator
     void buildPools();
 
     /**
+     * Compile every design's symbolic speedup into one fused program
+     * (memoized; SweepBackend::FusedProgram only).  Per-type symbols
+     * are renamed onto shared pool columns -- "P@<size idx>" for core
+     * performance and "N@<size idx>x<designed count>" for working
+     * counts -- so designs sharing a core type share its columns and
+     * any common subexpressions.
+     */
+    void buildFusedProgram();
+
+    /** Materialized double column of working counts for one
+     * (size index, designed count) pair (memoized). */
+    const std::vector<double> &countColumn(std::size_t s, unsigned m);
+
+    /**
      * Ground-truth pool, or -- in approximate mode -- a pool drawn
      * from the distribution extracted from approx_k observations of
      * the ground truth.
@@ -157,6 +196,12 @@ class DesignSpaceEvaluator
 
     std::vector<std::vector<double>> kept;        ///< Optional samples.
     ar::util::FaultReport report_;                ///< Last sweep.
+
+    // Fused-program backend state (built lazily, memoized).
+    std::unique_ptr<ar::symbolic::CompiledProgram> fused_prog_;
+    std::vector<const double *> fused_cols_;      ///< Per program arg.
+    std::map<std::pair<std::size_t, unsigned>, std::vector<double>>
+        fused_count_cols_;
 };
 
 } // namespace ar::explore

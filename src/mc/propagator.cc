@@ -19,6 +19,158 @@ namespace
  */
 constexpr std::size_t kBlockTrials = 256;
 
+/**
+ * Check the bindings cover one argument list, and collect the
+ * uncertain arguments into @p used_set.
+ */
+void
+validateBindings(const std::vector<std::string> &arg_names,
+                 const InputBindings &in,
+                 std::set<std::string> &used_set)
+{
+    for (const auto &arg : arg_names) {
+        const bool is_uncertain = in.uncertain.count(arg) > 0;
+        const bool is_fixed = in.fixed.count(arg) > 0;
+        if (is_uncertain && is_fixed) {
+            ar::util::fatal("Propagator: '", arg,
+                            "' bound as both fixed and uncertain");
+        }
+        if (!is_uncertain && !is_fixed) {
+            ar::util::fatal("Propagator: no binding for model "
+                            "input '", arg, "'");
+        }
+        if (is_uncertain)
+            used_set.insert(arg);
+    }
+}
+
+/**
+ * Realize the requested pairwise correlations on the columns of the
+ * design matrix that correspond to inputs the evaluated functions
+ * actually use (an unused input cannot influence the outputs, so its
+ * correlations are irrelevant here).
+ */
+void
+applyCorrelations(UniformDesign &design,
+                  const std::vector<std::string> &used,
+                  const std::set<std::string> &used_set,
+                  const InputBindings &in)
+{
+    if (in.correlations.empty())
+        return;
+    std::vector<Correlation> active;
+    for (const auto &corr : in.correlations) {
+        for (const auto &name : {corr.a, corr.b}) {
+            if (!in.uncertain.count(name)) {
+                ar::util::fatal("Propagator: correlation names "
+                                "unknown uncertain input '",
+                                name, "'");
+            }
+        }
+        const bool a_used = used_set.count(corr.a) > 0;
+        const bool b_used = used_set.count(corr.b) > 0;
+        if (a_used && b_used)
+            active.push_back(corr);
+    }
+    if (active.empty())
+        return;
+    // Columns of the distinct variables named by the active pairs,
+    // in `used` order.
+    std::vector<std::string> involved;
+    std::vector<std::size_t> dims;
+    for (std::size_t k = 0; k < used.size(); ++k) {
+        for (const auto &corr : active) {
+            if (corr.a == used[k] || corr.b == used[k]) {
+                involved.push_back(used[k]);
+                dims.push_back(k);
+                break;
+            }
+        }
+    }
+    const GaussianCopula copula(involved, active);
+    copula.apply(design, dims);
+}
+
+/**
+ * Per-argument plumbing: either a fixed value or an index into the
+ * uncertain-draws columns.
+ */
+struct ArgPlan
+{
+    bool is_uncertain;
+    std::size_t draw_index;
+    double fixed_value;
+};
+
+std::vector<ArgPlan>
+buildPlan(const std::vector<std::string> &arg_names,
+          const InputBindings &in,
+          const std::vector<std::string> &used)
+{
+    std::vector<ArgPlan> plan;
+    plan.reserve(arg_names.size());
+    for (const auto &arg : arg_names) {
+        if (auto it = in.fixed.find(arg); it != in.fixed.end()) {
+            plan.push_back({false, 0, it->second});
+        } else {
+            const auto pos =
+                std::lower_bound(used.begin(), used.end(), arg);
+            plan.push_back(
+                {true, static_cast<std::size_t>(pos - used.begin()),
+                 0.0});
+        }
+    }
+    return plan;
+}
+
+/** Look up the distributions of the used columns and prime their
+ * lazily-built inversion tables (e.g. KDE quantile caches) on this
+ * thread before the columns are filled concurrently. */
+std::vector<const ar::dist::Distribution *>
+primedDists(const std::vector<std::string> &used,
+            const InputBindings &in)
+{
+    std::vector<const ar::dist::Distribution *> dists;
+    dists.reserve(used.size());
+    for (const auto &name : used)
+        dists.push_back(in.uncertain.at(name).get());
+    for (const auto *dist : dists)
+        dist->sampleFromUniform(0.5);
+    return dists;
+}
+
+/**
+ * Apply the configured policy to the fully-built fault report.
+ * FailFast throws with the report attached; Discard drops the faulty
+ * trials from every output (alignment preserved); Saturate clamps
+ * non-finite samples in place.
+ */
+void
+applyFaultPolicy(std::vector<std::vector<double>> &results,
+                 const std::vector<std::size_t> &faulty,
+                 ar::util::FaultPolicy policy,
+                 ar::util::FaultReport &faults)
+{
+    if (faulty.empty())
+        return;
+    switch (policy) {
+      case ar::util::FaultPolicy::FailFast:
+        faults.effective_trials = faults.trials - faulty.size();
+        throw ar::util::FaultError(faults);
+      case ar::util::FaultPolicy::Discard:
+        for (auto &samples : results)
+            ar::util::discardSamples(samples, faulty);
+        faults.effective_trials = faults.trials - faulty.size();
+        break;
+      case ar::util::FaultPolicy::Saturate:
+        for (auto &samples : results) {
+            if (ar::util::countNonFinite(samples) > 0)
+                ar::util::saturateSamples(samples, faults);
+        }
+        break;
+    }
+}
+
 } // namespace
 
 Propagator::Propagator(PropagationConfig cfg_in) : cfg(std::move(cfg_in))
@@ -42,6 +194,14 @@ Propagator::runMany(
     return runManyReport(fns, in, rng).samples;
 }
 
+std::vector<std::vector<double>>
+Propagator::runMulti(const ar::symbolic::CompiledProgram &prog,
+                     const InputBindings &in,
+                     ar::util::Rng &rng) const
+{
+    return runMultiReport(prog, in, rng).samples;
+}
+
 Propagation
 Propagator::runManyReport(
     const std::vector<const ar::symbolic::CompiledExpr *> &fns,
@@ -52,20 +212,7 @@ Propagator::runManyReport(
     for (const auto *fn : fns) {
         if (!fn)
             ar::util::panic("Propagator::runMany: null function");
-        for (const auto &arg : fn->argNames()) {
-            const bool is_uncertain = in.uncertain.count(arg) > 0;
-            const bool is_fixed = in.fixed.count(arg) > 0;
-            if (is_uncertain && is_fixed) {
-                ar::util::fatal("Propagator: '", arg,
-                                "' bound as both fixed and uncertain");
-            }
-            if (!is_uncertain && !is_fixed) {
-                ar::util::fatal("Propagator: no binding for model "
-                                "input '", arg, "'");
-            }
-            if (is_uncertain)
-                used_set.insert(arg);
-        }
+        validateBindings(fn->argNames(), in, used_set);
     }
     const std::vector<std::string> used(used_set.begin(),
                                         used_set.end());
@@ -73,81 +220,14 @@ Propagator::runManyReport(
     const auto sampler = makeSampler(cfg.sampler);
     UniformDesign design =
         sampler->design(cfg.trials, used.size(), rng);
+    applyCorrelations(design, used, used_set, in);
 
-    if (!in.correlations.empty()) {
-        // Validate names, then keep only the pairs where both sides
-        // are inputs of the evaluated functions (an unused input
-        // cannot influence the outputs, so its correlations are
-        // irrelevant here).
-        std::vector<Correlation> active;
-        for (const auto &corr : in.correlations) {
-            for (const auto &name : {corr.a, corr.b}) {
-                if (!in.uncertain.count(name)) {
-                    ar::util::fatal("Propagator: correlation names "
-                                    "unknown uncertain input '",
-                                    name, "'");
-                }
-            }
-            const bool a_used = used_set.count(corr.a) > 0;
-            const bool b_used = used_set.count(corr.b) > 0;
-            if (a_used && b_used)
-                active.push_back(corr);
-        }
-        if (!active.empty()) {
-            // Columns of the distinct variables named by the active
-            // pairs, in `used` order.
-            std::vector<std::string> involved;
-            std::vector<std::size_t> dims;
-            for (std::size_t k = 0; k < used.size(); ++k) {
-                for (const auto &corr : active) {
-                    if (corr.a == used[k] || corr.b == used[k]) {
-                        involved.push_back(used[k]);
-                        dims.push_back(k);
-                        break;
-                    }
-                }
-            }
-            const GaussianCopula copula(involved, active);
-            copula.apply(design, dims);
-        }
-    }
-
-    // Per-function argument plumbing: for each argument, either a
-    // fixed value or an index into the uncertain-draws columns.
-    struct ArgPlan
-    {
-        bool is_uncertain;
-        std::size_t draw_index;
-        double fixed_value;
-    };
     std::vector<std::vector<ArgPlan>> plans;
     plans.reserve(fns.size());
-    for (const auto *fn : fns) {
-        std::vector<ArgPlan> plan;
-        plan.reserve(fn->argNames().size());
-        for (const auto &arg : fn->argNames()) {
-            if (auto it = in.fixed.find(arg); it != in.fixed.end()) {
-                plan.push_back({false, 0, it->second});
-            } else {
-                const auto pos = std::lower_bound(used.begin(),
-                                                  used.end(), arg);
-                plan.push_back(
-                    {true,
-                     static_cast<std::size_t>(pos - used.begin()),
-                     0.0});
-            }
-        }
-        plans.push_back(std::move(plan));
-    }
+    for (const auto *fn : fns)
+        plans.push_back(buildPlan(fn->argNames(), in, used));
 
-    std::vector<const ar::dist::Distribution *> dists;
-    dists.reserve(used.size());
-    for (const auto &name : used)
-        dists.push_back(in.uncertain.at(name).get());
-    // Prime lazily-built inversion tables (e.g. KDE quantile caches)
-    // on this thread before the columns are filled concurrently.
-    for (const auto *dist : dists)
-        dist->sampleFromUniform(0.5);
+    const auto dists = primedDists(used, in);
 
     const std::size_t trials = cfg.trials;
     std::vector<std::vector<double>> columns(
@@ -231,24 +311,107 @@ Propagator::runManyReport(
     }
     out.faults.faulty_trials = faulty.size();
     out.faults.effective_trials = trials;
-    if (!faulty.empty()) {
-        switch (cfg.fault_policy) {
-          case ar::util::FaultPolicy::FailFast:
-            out.faults.effective_trials = trials - faulty.size();
-            throw ar::util::FaultError(out.faults);
-          case ar::util::FaultPolicy::Discard:
-            for (auto &samples : results)
-                ar::util::discardSamples(samples, faulty);
-            out.faults.effective_trials = trials - faulty.size();
-            break;
-          case ar::util::FaultPolicy::Saturate:
-            for (auto &samples : results) {
-                if (ar::util::countNonFinite(samples) > 0)
-                    ar::util::saturateSamples(samples, out.faults);
+    applyFaultPolicy(results, faulty, cfg.fault_policy, out.faults);
+    out.samples = std::move(results);
+    return out;
+}
+
+Propagation
+Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
+                           const InputBindings &in,
+                           ar::util::Rng &rng) const
+{
+    // The program's arguments are the union of its outputs' free
+    // symbols, so the uncertain set -- and with it the design
+    // matrix, the copula, and every sampled draw -- matches
+    // runManyReport() over the same expressions exactly.
+    std::set<std::string> used_set;
+    validateBindings(prog.argNames(), in, used_set);
+    const std::vector<std::string> used(used_set.begin(),
+                                        used_set.end());
+
+    const auto sampler = makeSampler(cfg.sampler);
+    UniformDesign design =
+        sampler->design(cfg.trials, used.size(), rng);
+    applyCorrelations(design, used, used_set, in);
+
+    const auto plan = buildPlan(prog.argNames(), in, used);
+    const auto dists = primedDists(used, in);
+
+    const std::size_t trials = cfg.trials;
+    const std::size_t n_out = prog.numOutputs();
+    std::vector<std::vector<double>> columns(
+        used.size(), std::vector<double>(trials, 0.0));
+    std::vector<std::vector<double>> results(
+        n_out, std::vector<double>(trials, 0.0));
+
+    // Same blocked SoA scheme as runManyReport(), but one fused tape
+    // pass computes every output of the block.
+    const std::size_t n_blocks =
+        (trials + kBlockTrials - 1) / kBlockTrials;
+    ar::util::parallelFor(cfg.threads, n_blocks, [&](std::size_t b) {
+        const std::size_t t0 = b * kBlockTrials;
+        const std::size_t t1 =
+            std::min(trials, t0 + kBlockTrials);
+        const std::size_t len = t1 - t0;
+
+        for (std::size_t t = t0; t < t1; ++t) {
+            for (std::size_t k = 0; k < used.size(); ++k) {
+                columns[k][t] =
+                    dists[k]->sampleFromUniform(design.at(t, k));
             }
-            break;
         }
+
+        std::vector<ar::symbolic::BatchArg> bargs(plan.size());
+        for (std::size_t a = 0; a < plan.size(); ++a) {
+            if (plan[a].is_uncertain) {
+                bargs[a] = {columns[plan[a].draw_index].data() + t0,
+                            false};
+            } else {
+                bargs[a] = {&plan[a].fixed_value, true};
+            }
+        }
+        std::vector<double *> outs(n_out);
+        for (std::size_t o = 0; o < n_out; ++o)
+            outs[o] = results[o].data() + t0;
+        prog.evalBatch(bargs, len, outs);
+    });
+
+    // Identical serial fault post-pass; attribution replays the
+    // faulting trial on the per-output tape the program keeps for
+    // diagnosis, so kinds and labels match the unfused path.
+    Propagation out;
+    out.faults.policy = cfg.fault_policy;
+    out.faults.trials = trials;
+    out.faults.by_output.assign(n_out, 0);
+    std::vector<std::size_t> faulty;
+    std::vector<double> scalar_args(plan.size());
+    for (std::size_t t = 0; t < trials; ++t) {
+        bool trial_faulty = false;
+        for (std::size_t o = 0; o < n_out; ++o) {
+            if (std::isfinite(results[o][t]))
+                continue;
+            trial_faulty = true;
+            for (std::size_t a = 0; a < plan.size(); ++a) {
+                scalar_args[a] = plan[a].is_uncertain
+                                     ? columns[plan[a].draw_index][t]
+                                     : plan[a].fixed_value;
+            }
+            ar::symbolic::EvalFault fault;
+            prog.evalDiagnosed(o, scalar_args, fault);
+            out.faults.record(
+                t, o,
+                fault.faulted
+                    ? fault.kind
+                    : ar::util::classifyNonFinite(results[o][t]),
+                fault.faulted ? fault.op : std::string());
+        }
+        if (trial_faulty)
+            faulty.push_back(t);
     }
+    out.faults.faulty_trials = faulty.size();
+    out.faults.effective_trials = trials;
+    applyFaultPolicy(results, faulty, cfg.fault_policy, out.faults);
     out.samples = std::move(results);
     return out;
 }

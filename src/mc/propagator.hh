@@ -18,6 +18,7 @@
 #include "mc/copula.hh"
 #include "mc/sampler.hh"
 #include "symbolic/compile.hh"
+#include "symbolic/program.hh"
 #include "util/fault.hh"
 
 namespace ar::mc
@@ -119,6 +120,23 @@ class Propagator
     runManyReport(
         const std::vector<const ar::symbolic::CompiledExpr *> &fns,
         const InputBindings &in, ar::util::Rng &rng) const;
+
+    /**
+     * Like runMany() but evaluating every output through one fused
+     * CompiledProgram: subexpressions shared between outputs run
+     * once per trial instead of once per output.  Given the same
+     * rng state, the samples are bit-identical to runMany() over
+     * per-output tapes of the same expressions, for every fault
+     * policy and thread count.
+     */
+    std::vector<std::vector<double>>
+    runMulti(const ar::symbolic::CompiledProgram &prog,
+             const InputBindings &in, ar::util::Rng &rng) const;
+
+    /** runMulti() with the runManyReport() fault accounting. */
+    Propagation
+    runMultiReport(const ar::symbolic::CompiledProgram &prog,
+                   const InputBindings &in, ar::util::Rng &rng) const;
 
     /** @return the configured trial count. */
     std::size_t trials() const { return cfg.trials; }

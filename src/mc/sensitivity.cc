@@ -4,27 +4,39 @@
 
 #include "math/numeric.hh"
 #include "mc/sampler.hh"
+#include "symbolic/substitute.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace ar::mc
 {
 
-const SobolIndex &
-SensitivityResult::of(const std::string &input) const
+namespace
 {
-    for (const auto &idx : indices) {
-        if (idx.input == input)
-            return idx;
-    }
-    ar::util::fatal("SensitivityResult: no index for input '", input,
-                    "'");
-}
 
+/** Suffix appended to uncertain-input names for the B-matrix copy of
+ * a pick-freeze variant.  '!' sorts before every identifier
+ * character, so "name!B" keeps the lexicographic position of "name"
+ * relative to all other symbols -- renameSymbols() therefore
+ * preserves operand order and the variant tapes stay bit-identical
+ * to the base tape. */
+constexpr const char *kBSuffix = "!B";
+
+/**
+ * Core Saltelli/Jansen estimator.  When @p prog is non-null it holds
+ * the fused variant forest (outputs 0 = f(A), 1 = f(B), 2+i =
+ * f(AB_i)) and the evaluation sweep runs one batched program pass
+ * per trial block; otherwise each variant is a scalar walk of
+ * @p fn's tape.  Everything else -- sampling, fault containment,
+ * estimators -- is shared, so the two modes differ only in how the
+ * f-matrices are filled (bit-identically, per the CompiledProgram
+ * equivalence contract).
+ */
 SensitivityResult
-sobolIndices(const ar::symbolic::CompiledExpr &fn,
-             const InputBindings &in, const SensitivityConfig &cfg,
-             ar::util::Rng &rng)
+sobolImpl(const ar::symbolic::CompiledExpr &fn,
+          const ar::symbolic::CompiledProgram *prog,
+          const InputBindings &in, const SensitivityConfig &cfg,
+          ar::util::Rng &rng)
 {
     if (cfg.trials < 8)
         ar::util::fatal("sobolIndices: need at least 8 trials");
@@ -50,6 +62,11 @@ sobolIndices(const ar::symbolic::CompiledExpr &fn,
     const std::size_t n = cfg.trials;
     const UniformDesign ua = sampler->design(n, k, rng);
     const UniformDesign ub = sampler->design(n, k, rng);
+
+    // Prime lazily-built inversion tables (e.g. KDE quantile caches)
+    // on this thread before the sweep samples concurrently.
+    for (const auto *dist : dists)
+        dist->sampleFromUniform(0.5);
 
     // Value matrices in input space.
     auto realize = [&](const UniformDesign &u, std::size_t trial,
@@ -86,39 +103,123 @@ sobolIndices(const ar::symbolic::CompiledExpr &fn,
     // results for any thread count.
     constexpr std::size_t kBlock = 256;
     const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
-    ar::util::parallelFor(cfg.threads, n_blocks, [&](std::size_t b) {
-        std::vector<double> row_a(k), row_b(k),
-            argbuf(plan.size());
-        auto eval_with = [&](const std::vector<double> &row) {
-            for (std::size_t a = 0; a < plan.size(); ++a) {
-                argbuf[a] = plan[a].is_uncertain
-                                ? row[plan[a].dim]
-                                : plan[a].fixed_value;
-            }
-            return fn.eval(argbuf);
+    if (prog) {
+        // Fused sweep: the program's arguments are the fixed inputs
+        // plus two copies of every uncertain input -- "name" bound
+        // to the A column and "name!B" to the B column.  One batched
+        // pass per block computes all k + 2 variants of the block.
+        struct ProgArg
+        {
+            enum { A, B, Fixed } src;
+            std::size_t dim;
+            double fixed_value;
         };
-        const std::size_t t1 = std::min(n, (b + 1) * kBlock);
-        for (std::size_t t = b * kBlock; t < t1; ++t) {
-            for (std::size_t d = 0; d < k; ++d) {
-                row_a[d] = realize(ua, t, d);
-                row_b[d] = realize(ub, t, d);
-            }
-            fa[t] = eval_with(row_a);
-            fb[t] = eval_with(row_b);
-            for (std::size_t i = 0; i < k; ++i) {
-                // AB_i: A with column i swapped in from B.
-                const double keep = row_a[i];
-                row_a[i] = row_b[i];
-                fab[i][t] = eval_with(row_a);
-                row_a[i] = keep;
+        std::vector<ProgArg> pplan;
+        pplan.reserve(prog->argNames().size());
+        const std::string suffix = kBSuffix;
+        for (const auto &arg : prog->argNames()) {
+            if (arg.size() > suffix.size() &&
+                arg.compare(arg.size() - suffix.size(),
+                            suffix.size(), suffix) == 0) {
+                const auto base =
+                    arg.substr(0, arg.size() - suffix.size());
+                const auto pos =
+                    std::find(names.begin(), names.end(), base);
+                if (pos == names.end())
+                    ar::util::panic("sobolIndices: unplanned "
+                                    "variant input '", arg, "'");
+                pplan.push_back(
+                    {ProgArg::B,
+                     static_cast<std::size_t>(pos - names.begin()),
+                     0.0});
+            } else if (const auto pos = std::find(
+                           names.begin(), names.end(), arg);
+                       pos != names.end()) {
+                pplan.push_back(
+                    {ProgArg::A,
+                     static_cast<std::size_t>(pos - names.begin()),
+                     0.0});
+            } else {
+                pplan.push_back({ProgArg::Fixed, 0, in.fixed.at(arg)});
             }
         }
-    });
+        std::vector<std::vector<double>> acols(
+            k, std::vector<double>(n));
+        std::vector<std::vector<double>> bcols(
+            k, std::vector<double>(n));
+        ar::util::parallelFor(
+            cfg.threads, n_blocks, [&](std::size_t b) {
+                const std::size_t t0 = b * kBlock;
+                const std::size_t t1 = std::min(n, t0 + kBlock);
+                const std::size_t len = t1 - t0;
+                for (std::size_t t = t0; t < t1; ++t) {
+                    for (std::size_t d = 0; d < k; ++d) {
+                        acols[d][t] = realize(ua, t, d);
+                        bcols[d][t] = realize(ub, t, d);
+                    }
+                }
+                std::vector<ar::symbolic::BatchArg> bargs(
+                    pplan.size());
+                for (std::size_t a = 0; a < pplan.size(); ++a) {
+                    switch (pplan[a].src) {
+                      case ProgArg::A:
+                        bargs[a] = {acols[pplan[a].dim].data() + t0,
+                                    false};
+                        break;
+                      case ProgArg::B:
+                        bargs[a] = {bcols[pplan[a].dim].data() + t0,
+                                    false};
+                        break;
+                      case ProgArg::Fixed:
+                        bargs[a] = {&pplan[a].fixed_value, true};
+                        break;
+                    }
+                }
+                std::vector<double *> outs(k + 2);
+                outs[0] = fa.data() + t0;
+                outs[1] = fb.data() + t0;
+                for (std::size_t i = 0; i < k; ++i)
+                    outs[2 + i] = fab[i].data() + t0;
+                prog->evalBatch(bargs, len, outs);
+            });
+    } else {
+        ar::util::parallelFor(
+            cfg.threads, n_blocks, [&](std::size_t b) {
+                std::vector<double> row_a(k), row_b(k),
+                    argbuf(plan.size());
+                auto eval_with = [&](const std::vector<double> &row) {
+                    for (std::size_t a = 0; a < plan.size(); ++a) {
+                        argbuf[a] = plan[a].is_uncertain
+                                        ? row[plan[a].dim]
+                                        : plan[a].fixed_value;
+                    }
+                    return fn.eval(argbuf);
+                };
+                const std::size_t t1 = std::min(n, (b + 1) * kBlock);
+                for (std::size_t t = b * kBlock; t < t1; ++t) {
+                    for (std::size_t d = 0; d < k; ++d) {
+                        row_a[d] = realize(ua, t, d);
+                        row_b[d] = realize(ub, t, d);
+                    }
+                    fa[t] = eval_with(row_a);
+                    fb[t] = eval_with(row_b);
+                    for (std::size_t i = 0; i < k; ++i) {
+                        // AB_i: A with column i swapped in from B.
+                        const double keep = row_a[i];
+                        row_a[i] = row_b[i];
+                        fab[i][t] = eval_with(row_a);
+                        row_a[i] = keep;
+                    }
+                }
+            });
+    }
 
     // Fault containment: serial post-pass in trial order (hence
     // thread-count independent).  A trial is faulty when any of its
     // k + 2 evaluations is non-finite; the policy then applies to the
-    // whole trial so pick-freeze pairs stay aligned.
+    // whole trial so pick-freeze pairs stay aligned.  Diagnosis
+    // always replays the base tape, so attribution is identical for
+    // the fused and unfused sweeps.
     SensitivityResult res;
     res.faults.policy = cfg.fault_policy;
     res.faults.trials = n;
@@ -237,6 +338,70 @@ sobolIndices(const ar::symbolic::CompiledExpr &fn,
         }
     }
     return res;
+}
+
+} // namespace
+
+const SobolIndex &
+SensitivityResult::of(const std::string &input) const
+{
+    for (const auto &idx : indices) {
+        if (idx.input == input)
+            return idx;
+    }
+    ar::util::fatal("SensitivityResult: no index for input '", input,
+                    "'");
+}
+
+SensitivityResult
+sobolIndices(const ar::symbolic::CompiledExpr &fn,
+             const InputBindings &in, const SensitivityConfig &cfg,
+             ar::util::Rng &rng)
+{
+    return sobolImpl(fn, nullptr, in, cfg, rng);
+}
+
+SensitivityResult
+sobolIndices(const ar::symbolic::ExprPtr &expr,
+             const InputBindings &in, const SensitivityConfig &cfg,
+             ar::util::Rng &rng)
+{
+    const ar::symbolic::CompiledExpr fn(expr);
+    if (!cfg.fused)
+        return sobolImpl(fn, nullptr, in, cfg, rng);
+
+    // Uncertain inputs in tape argument order, as sobolImpl sees
+    // them; the suffix-renamed variants below bind dimension i of
+    // the B matrix to "names[i]!B".
+    std::vector<std::string> names;
+    for (const auto &arg : fn.argNames()) {
+        if (in.uncertain.count(arg))
+            names.push_back(arg);
+    }
+    for (const auto &name : names) {
+        if (name.find('!') != std::string::npos) {
+            ar::util::fatal("sobolIndices: input name '", name,
+                            "' collides with the pick-freeze "
+                            "renaming scheme");
+        }
+    }
+    if (names.empty()) // let sobolImpl produce the standard error
+        return sobolImpl(fn, nullptr, in, cfg, rng);
+
+    std::map<std::string, std::string> all_b;
+    for (const auto &name : names)
+        all_b[name] = name + kBSuffix;
+    std::vector<ar::symbolic::ExprPtr> forest;
+    forest.reserve(names.size() + 2);
+    forest.push_back(expr);                                // f(A)
+    forest.push_back(
+        ar::symbolic::renameSymbols(expr, all_b));         // f(B)
+    for (const auto &name : names) {
+        forest.push_back(ar::symbolic::renameSymbols(
+            expr, {{name, name + kBSuffix}}));             // f(AB_i)
+    }
+    const ar::symbolic::CompiledProgram prog(forest);
+    return sobolImpl(fn, &prog, in, cfg, rng);
 }
 
 } // namespace ar::mc

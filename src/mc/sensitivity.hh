@@ -70,6 +70,16 @@ struct SensitivityConfig
 
     /** Handling of trials with non-finite evaluations. */
     ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
+
+    /**
+     * Evaluate the k + 2 pick-freeze variants through one fused
+     * CompiledProgram instead of k + 2 scalar tape walks per trial
+     * (subtrees not touching the swapped column are computed once
+     * and shared).  Only honored by the ExprPtr overload, which can
+     * build the variant forest; results are bit-identical either
+     * way.
+     */
+    bool fused = true;
 };
 
 /**
@@ -82,6 +92,20 @@ struct SensitivityConfig
  * @param rng Random stream.
  */
 SensitivityResult sobolIndices(const ar::symbolic::CompiledExpr &fn,
+                               const InputBindings &in,
+                               const SensitivityConfig &cfg,
+                               ar::util::Rng &rng);
+
+/**
+ * Estimate Sobol indices from the source expression.  When
+ * cfg.fused is set (the default), the base model and every
+ * pick-freeze variant (B-matrix columns suffix-renamed "name!B")
+ * are compiled into one fused CompiledProgram so their shared trunk
+ * is evaluated once per trial; otherwise this is exactly the
+ * CompiledExpr overload.  Both paths are bit-identical for every
+ * fault policy and thread count.
+ */
+SensitivityResult sobolIndices(const ar::symbolic::ExprPtr &expr,
                                const InputBindings &in,
                                const SensitivityConfig &cfg,
                                ar::util::Rng &rng);

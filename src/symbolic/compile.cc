@@ -86,6 +86,28 @@ CompiledExpr::emit(const ExprPtr &e)
       default:
         break;
     }
+    if (e->kind() == ExprKind::Pow &&
+        e->operands()[1]->kind() == ExprKind::Constant) {
+        // Literal-exponent strength reduction.  glibc's pow() is not
+        // correctly rounded, so x*x and 1.0/x are NOT bit-identical
+        // to pow(x, 2.0) and pow(x, -1.0) (roughly 1 in 2400 and 1 in
+        // 600 random inputs differ by 1 ulp).  Lowering here, in the
+        // reference tape, keeps the whole stack -- CompiledExpr,
+        // CompiledProgram, and their batch kernels -- on one shared
+        // definition of these powers.  Only literal exponents are
+        // lowered: a computed exponent that merely happens to equal
+        // 2.0 at runtime still goes through pow().
+        const double ex = e->operands()[1]->value();
+        if (ex == 1.0 || ex == 2.0 || ex == -1.0) {
+            emit(e->operands()[0]);
+            if (ex == 1.0)
+                return; // pow(x, 1) == x, bit for bit
+            ops.push_back(
+                {ex == 2.0 ? OpCode::Sq : OpCode::Recip, 1, 0.0});
+            labels.push_back(shortLabel(e));
+            return;
+        }
+    }
     for (const auto &op : e->operands())
         emit(op);
     const auto n = static_cast<std::uint32_t>(e->operands().size());
@@ -131,30 +153,23 @@ CompiledExpr::argIndex(const std::string &name) const
     return static_cast<std::size_t>(it - args_.begin());
 }
 
-namespace
-{
-
-/**
- * Per-thread scratch shared by eval() and evalBatch().  Callers
- * reserve a window at the current end and restore the previous size
- * on exit, so nested evaluations on the same thread (e.g. a pool
- * worker whose job body evaluates another expression) never alias.
- */
-thread_local std::vector<double> tl_scratch;
-
-} // namespace
-
 double
 CompiledExpr::eval(std::span<const double> args) const
+{
+    return eval(args, threadEvalWorkspace());
+}
+
+double
+CompiledExpr::eval(std::span<const double> args,
+                   EvalWorkspace &ws) const
 {
     if (args.size() != args_.size()) {
         ar::util::fatal("CompiledExpr::eval: expected ", args_.size(),
                         " arguments, got ", args.size());
     }
-    auto &scratch = tl_scratch;
-    const std::size_t saved = scratch.size();
-    scratch.resize(saved + max_stack);
-    double *sp = scratch.data() + saved;
+    // Scratch windows nest LIFO, so evaluations triggered while an
+    // outer evaluation is between blocks never alias its rows.
+    double *sp = ws.acquire(max_stack);
     std::size_t top = 0;
 
     for (const auto &op : ops) {
@@ -191,6 +206,12 @@ CompiledExpr::eval(std::span<const double> args) const
                 sp[top - 1] = std::pow(sp[top - 1], exp);
                 break;
             }
+          case OpCode::Sq:
+            sp[top - 1] = sp[top - 1] * sp[top - 1];
+            break;
+          case OpCode::Recip:
+            sp[top - 1] = 1.0 / sp[top - 1];
+            break;
           case OpCode::Max:
             {
                 double acc = sp[top - 1];
@@ -221,7 +242,7 @@ CompiledExpr::eval(std::span<const double> args) const
         }
     }
     const double result = sp[top - 1];
-    scratch.resize(saved);
+    ws.release(max_stack);
     return result;
 }
 
@@ -238,16 +259,20 @@ double
 CompiledExpr::evalDiagnosed(std::span<const double> args,
                             EvalFault &fault) const
 {
+    return evalDiagnosed(args, fault, threadEvalWorkspace());
+}
+
+double
+CompiledExpr::evalDiagnosed(std::span<const double> args,
+                            EvalFault &fault, EvalWorkspace &ws) const
+{
     using ar::util::FaultKind;
     if (args.size() != args_.size()) {
         ar::util::fatal("CompiledExpr::evalDiagnosed: expected ",
                         args_.size(), " arguments, got ", args.size());
     }
     fault = EvalFault{};
-    auto &scratch = tl_scratch;
-    const std::size_t saved = scratch.size();
-    scratch.resize(saved + max_stack);
-    double *sp = scratch.data() + saved;
+    double *sp = ws.acquire(max_stack);
     std::size_t top = 0;
 
     const auto flag = [&](std::uint32_t i, FaultKind kind) {
@@ -297,6 +322,15 @@ CompiledExpr::evalDiagnosed(std::span<const double> args,
                 sp[top - 1] = std::pow(base, exp);
                 break;
             }
+          case OpCode::Sq:
+            sp[top - 1] = sp[top - 1] * sp[top - 1];
+            break;
+          case OpCode::Recip:
+            // Same precondition pow(0, -1) would have tripped.
+            if (sp[top - 1] == 0.0)
+                flag(i, FaultKind::DivByZero);
+            sp[top - 1] = 1.0 / sp[top - 1];
+            break;
           case OpCode::Max:
             {
                 double acc = sp[top - 1];
@@ -331,7 +365,7 @@ CompiledExpr::evalDiagnosed(std::span<const double> args,
             flag(i, ar::util::classifyNonFinite(sp[top - 1]));
     }
     const double result = sp[top - 1];
-    scratch.resize(saved);
+    ws.release(max_stack);
     return result;
 }
 
@@ -339,18 +373,23 @@ void
 CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
                         double *out) const
 {
+    evalBatch(args, n, out, threadEvalWorkspace());
+}
+
+void
+CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
+                        double *out, EvalWorkspace &ws) const
+{
     if (args.size() != args_.size()) {
         ar::util::fatal("CompiledExpr::evalBatch: expected ",
                         args_.size(), " arguments, got ", args.size());
     }
     if (n == 0)
         return;
-    auto &scratch = tl_scratch;
-    const std::size_t saved = scratch.size();
-    scratch.resize(saved + max_stack * n);
     // Stack of rows: row r lives at sp + r * n and holds one value
-    // per trial of the block.
-    double *sp = scratch.data() + saved;
+    // per trial of the block.  The workspace window is uninitialised;
+    // every row is fully written by a push before it is read.
+    double *sp = ws.acquire(max_stack * n);
     std::size_t top = 0;
 
     for (const auto &op : ops) {
@@ -404,6 +443,20 @@ CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
                 --top;
                 break;
             }
+          case OpCode::Sq:
+            {
+                double *row = sp + (top - 1) * n;
+                for (std::size_t t = 0; t < n; ++t)
+                    row[t] = row[t] * row[t];
+                break;
+            }
+          case OpCode::Recip:
+            {
+                double *row = sp + (top - 1) * n;
+                for (std::size_t t = 0; t < n; ++t)
+                    row[t] = 1.0 / row[t];
+                break;
+            }
           case OpCode::Max:
             {
                 for (std::size_t j = top - 1; j-- > top - op.n;) {
@@ -450,7 +503,7 @@ CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
         }
     }
     std::copy(sp, sp + n, out);
-    scratch.resize(saved);
+    ws.release(max_stack * n);
 }
 
 } // namespace ar::symbolic

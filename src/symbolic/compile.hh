@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "symbolic/expr.hh"
+#include "symbolic/workspace.hh"
 #include "util/fault.hh"
 
 namespace ar::symbolic
@@ -63,6 +64,9 @@ class CompiledExpr
      */
     double eval(std::span<const double> args) const;
 
+    /** eval() drawing scratch from an explicit workspace. */
+    double eval(std::span<const double> args, EvalWorkspace &ws) const;
+
     /**
      * Evaluate a contiguous block of trials in one tape pass.
      *
@@ -79,6 +83,10 @@ class CompiledExpr
      */
     void evalBatch(std::span<const BatchArg> args, std::size_t n,
                    double *out) const;
+
+    /** evalBatch() drawing scratch from an explicit workspace. */
+    void evalBatch(std::span<const BatchArg> args, std::size_t n,
+                   double *out, EvalWorkspace &ws) const;
 
     /**
      * Evaluate one trial like eval(), additionally diagnosing the
@@ -101,6 +109,10 @@ class CompiledExpr
     double evalDiagnosed(std::span<const double> args,
                          EvalFault &fault) const;
 
+    /** evalDiagnosed() drawing scratch from an explicit workspace. */
+    double evalDiagnosed(std::span<const double> args, EvalFault &fault,
+                         EvalWorkspace &ws) const;
+
     /**
      * @return human-readable label of tape op @p i (the source
      * subexpression it computes, truncated for display).
@@ -121,11 +133,13 @@ class CompiledExpr
     {
         PushConst,
         PushArg,
-        Add,  // pops n, pushes sum
-        Mul,  // pops n, pushes product
-        Pow,  // pops 2
-        Max,  // pops n
-        Min,  // pops n
+        Add,   // pops n, pushes sum
+        Mul,   // pops n, pushes product
+        Pow,   // pops 2
+        Sq,    // x^2 with a literal exponent: top = top * top
+        Recip, // x^-1 with a literal exponent: top = 1.0 / top
+        Max,   // pops n
+        Min,   // pops n
         Log,
         Exp,
         Gtz,

@@ -1,0 +1,936 @@
+#include "symbolic/program.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "symbolic/printer.hh"
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+/**
+ * DAG node kinds, mirroring CompiledProgram's op codes.  The builder
+ * lives outside the class, so it uses its own enum and the
+ * constructor translates when laying down the tape.
+ */
+enum class NK : std::uint8_t
+{
+    Const,
+    Arg,
+    Add,
+    Mul,
+    Pow,
+    Recip,
+    Max,
+    Min,
+    Log,
+    Exp,
+    Gtz,
+};
+
+struct Node
+{
+    NK kind;
+    double value = 0.0;    ///< Const payload.
+    std::uint32_t arg = 0; ///< Arg index.
+    std::vector<std::uint32_t> kids;
+};
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/**
+ * Fold operand values with exactly CompiledExpr's operand order: the
+ * accumulator seeds from the last operand (top of stack) and folds
+ * the remaining operands from high index to low with the accumulator
+ * on the left.  Used for compile-time constant folding so a folded
+ * constant is bit-identical to what the naive tape would compute.
+ */
+double
+foldNode(NK kind, std::span<const double> v, double payload)
+{
+    switch (kind) {
+      case NK::Const:
+        return payload;
+      case NK::Add:
+        {
+            double acc = v[v.size() - 1];
+            for (std::size_t j = v.size() - 1; j-- > 0;)
+                acc = acc + v[j];
+            return acc;
+        }
+      case NK::Mul:
+        {
+            double acc = v[v.size() - 1];
+            for (std::size_t j = v.size() - 1; j-- > 0;)
+                acc = acc * v[j];
+            return acc;
+        }
+      case NK::Max:
+        {
+            double acc = v[v.size() - 1];
+            for (std::size_t j = v.size() - 1; j-- > 0;)
+                acc = std::max(acc, v[j]);
+            return acc;
+        }
+      case NK::Min:
+        {
+            double acc = v[v.size() - 1];
+            for (std::size_t j = v.size() - 1; j-- > 0;)
+                acc = std::min(acc, v[j]);
+            return acc;
+        }
+      case NK::Pow:
+        return std::pow(v[0], v[1]);
+      case NK::Recip:
+        return 1.0 / v[0];
+      case NK::Log:
+        return std::log(v[0]);
+      case NK::Exp:
+        return std::exp(v[0]);
+      case NK::Gtz:
+        return v[0] > 0.0 ? 1.0 : 0.0;
+      case NK::Arg:
+        break;
+    }
+    ar::util::panic("CompiledProgram: cannot fold an argument node");
+}
+
+struct NodeKey
+{
+    std::uint8_t kind;
+    std::uint64_t payload; ///< Constant bits or argument index.
+    std::vector<std::uint32_t> kids;
+    bool operator==(const NodeKey &o) const = default;
+};
+
+struct NodeKeyHash
+{
+    std::size_t operator()(const NodeKey &k) const
+    {
+        std::size_t h = std::hash<std::uint64_t>{}(
+            (static_cast<std::uint64_t>(k.kind) << 56) ^ k.payload);
+        for (const auto id : k.kids)
+            h = h * 1000003u ^ id;
+        return h;
+    }
+};
+
+/**
+ * Hash-consing expression-to-DAG builder.  Structurally identical
+ * subtrees intern to one node (CSE); the rewrite rules below only
+ * fire when the rewritten form is bit-identical to the naive tape on
+ * IEEE-754 doubles (DESIGN.md section 5.3 has the case analysis).
+ */
+struct Builder
+{
+    const std::vector<std::string> &args;
+    std::vector<Node> nodes;
+    std::unordered_map<NodeKey, std::uint32_t, NodeKeyHash> interned;
+
+    std::uint32_t intern(Node n)
+    {
+        NodeKey key{static_cast<std::uint8_t>(n.kind),
+                    n.kind == NK::Const
+                        ? bitsOf(n.value)
+                        : static_cast<std::uint64_t>(n.arg),
+                    n.kids};
+        const auto [it, fresh] = interned.try_emplace(
+            std::move(key), static_cast<std::uint32_t>(nodes.size()));
+        if (fresh)
+            nodes.push_back(std::move(n));
+        return it->second;
+    }
+
+    std::uint32_t constant(double v)
+    {
+        return intern({NK::Const, v, 0, {}});
+    }
+
+    bool isConst(std::uint32_t id) const
+    {
+        return nodes[id].kind == NK::Const;
+    }
+
+    bool allConst(const std::vector<std::uint32_t> &kids) const
+    {
+        return std::all_of(kids.begin(), kids.end(),
+                           [&](std::uint32_t k) { return isConst(k); });
+    }
+
+    std::uint32_t foldAll(NK kind,
+                          const std::vector<std::uint32_t> &kids)
+    {
+        std::vector<double> v;
+        v.reserve(kids.size());
+        for (const auto k : kids)
+            v.push_back(nodes[k].value);
+        return constant(foldNode(kind, v, 0.0));
+    }
+
+    std::uint32_t addNode(std::vector<std::uint32_t> kids)
+    {
+        if (allConst(kids))
+            return foldAll(NK::Add, kids);
+        // Neutral-element pruning.  -0.0 is the exact additive
+        // identity (x + -0.0 is bitwise x for every x), so it drops
+        // freely.  +0.0 is an identity except that it rewrites a
+        // -0.0 sum to +0.0; dropping k of them and folding a single
+        // + 0.0 *last* reproduces that canonicalisation exactly.
+        std::vector<std::uint32_t> pruned;
+        bool dropped_pos = false;
+        for (const auto k : kids) {
+            if (isConst(k)) {
+                const auto b = bitsOf(nodes[k].value);
+                if (b == bitsOf(-0.0))
+                    continue;
+                if (b == bitsOf(0.0)) {
+                    dropped_pos = true;
+                    continue;
+                }
+            }
+            pruned.push_back(k);
+        }
+        if (dropped_pos) {
+            // Operands fold from last to first, so position 0 folds
+            // last: acc = fold(rest) + 0.0.
+            pruned.insert(pruned.begin(), constant(0.0));
+        }
+        if (pruned.size() == 1)
+            return pruned[0];
+        return intern({NK::Add, 0.0, 0, std::move(pruned)});
+    }
+
+    std::uint32_t mulNode(std::vector<std::uint32_t> kids)
+    {
+        if (allConst(kids))
+            return foldAll(NK::Mul, kids);
+        // 1.0 is the exact multiplicative identity (x * 1.0 is
+        // bitwise x for every x, NaN and signed zeros included).
+        std::vector<std::uint32_t> pruned;
+        for (const auto k : kids)
+            if (!(isConst(k) && bitsOf(nodes[k].value) == bitsOf(1.0)))
+                pruned.push_back(k);
+        if (pruned.size() == 1)
+            return pruned[0];
+        return intern({NK::Mul, 0.0, 0, std::move(pruned)});
+    }
+
+    std::uint32_t powNode(std::uint32_t base, std::uint32_t exp,
+                          bool literal_exp)
+    {
+        // Strength reduction, mirroring the lowering CompiledExpr::
+        // emit applies to the same source shapes so the fused and
+        // per-output tapes stay bit-identical.  pow(x, +-0) == 1.0
+        // and pow(x, 1) == x hold exactly for every x (NaN included),
+        // so those fire for any constant-valued exponent; but glibc's
+        // pow() is not correctly rounded, so x*x and 1.0/x differ
+        // from pow(x, 2) / pow(x, -1) by 1 ulp on roughly 1 in 2400
+        // and 1 in 600 random inputs -- those two fire only for
+        // literal exponents, exactly where the reference tape lowers
+        // too.  They also run before the all-const fold so a constant
+        // square folds as c*c, matching the Sq kernel, not pow().
+        if (literal_exp && isConst(exp)) {
+            const double e = nodes[exp].value;
+            if (e == 2.0)
+                return mulNode({base, base});
+            if (e == -1.0) {
+                if (isConst(base))
+                    return constant(1.0 / nodes[base].value);
+                return intern({NK::Recip, 0.0, 0, {base}});
+            }
+        }
+        if (isConst(exp)) {
+            const double e = nodes[exp].value;
+            if (e == 0.0)
+                return constant(1.0);
+            if (e == 1.0)
+                return base;
+        }
+        if (isConst(base) && isConst(exp)) {
+            return constant(
+                std::pow(nodes[base].value, nodes[exp].value));
+        }
+        return intern({NK::Pow, 0.0, 0, {base, exp}});
+    }
+
+    std::uint32_t extremumNode(NK kind,
+                               std::vector<std::uint32_t> kids)
+    {
+        if (allConst(kids))
+            return foldAll(kind, kids);
+        if (kids.size() == 1)
+            return kids[0];
+        return intern({kind, 0.0, 0, std::move(kids)});
+    }
+
+    std::uint32_t funcNode(NK kind, std::uint32_t kid)
+    {
+        if (isConst(kid)) {
+            const double v[1] = {nodes[kid].value};
+            return constant(foldNode(kind, v, 0.0));
+        }
+        return intern({kind, 0.0, 0, {kid}});
+    }
+
+    std::uint32_t build(const ExprPtr &e)
+    {
+        switch (e->kind()) {
+          case ExprKind::Constant:
+            return constant(e->value());
+          case ExprKind::Symbol:
+            {
+                const auto it = std::lower_bound(
+                    args.begin(), args.end(), e->name());
+                return intern(
+                    {NK::Arg, 0.0,
+                     static_cast<std::uint32_t>(it - args.begin()),
+                     {}});
+            }
+          default:
+            break;
+        }
+        std::vector<std::uint32_t> kids;
+        kids.reserve(e->operands().size());
+        for (const auto &op : e->operands())
+            kids.push_back(build(op));
+        switch (e->kind()) {
+          case ExprKind::Add:
+            return addNode(std::move(kids));
+          case ExprKind::Mul:
+            return mulNode(std::move(kids));
+          case ExprKind::Pow:
+            return powNode(kids[0], kids[1],
+                           e->operands()[1]->kind() ==
+                               ExprKind::Constant);
+          case ExprKind::Max:
+            return extremumNode(NK::Max, std::move(kids));
+          case ExprKind::Min:
+            return extremumNode(NK::Min, std::move(kids));
+          case ExprKind::Func:
+            if (e->name() == "log")
+                return funcNode(NK::Log, kids[0]);
+            if (e->name() == "exp")
+                return funcNode(NK::Exp, kids[0]);
+            if (e->name() == "gtz")
+                return funcNode(NK::Gtz, kids[0]);
+            ar::util::panic("CompiledProgram: unknown function ",
+                            e->name());
+          default:
+            ar::util::panic(
+                "CompiledProgram: unhandled expression kind");
+        }
+    }
+};
+
+/** Truncate a display label like CompiledExpr's shortLabel. */
+std::string
+clipLabel(std::string s)
+{
+    constexpr std::size_t kMaxLabel = 48;
+    if (s.size() > kMaxLabel) {
+        s.resize(kMaxLabel - 3);
+        s += "...";
+    }
+    return s;
+}
+
+std::string
+joinLabels(const std::vector<std::string> &parts,
+           const std::vector<std::uint32_t> &kids, const char *sep,
+           const char *open, const char *close)
+{
+    std::string s = open;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (i > 0)
+            s += sep;
+        s += parts[kids[i]];
+    }
+    s += close;
+    return clipLabel(std::move(s));
+}
+
+} // namespace
+
+CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
+{
+    if (outputs.empty())
+        ar::util::panic("CompiledProgram: no outputs");
+    for (const auto &e : outputs)
+        if (!e)
+            ar::util::panic("CompiledProgram: null output expression");
+    sources_ = std::move(outputs);
+
+    // Fixed argument ordering: the sorted union of free symbols.
+    std::set<std::string> all;
+    for (const auto &e : sources_) {
+        const auto syms = e->freeSymbols();
+        all.insert(syms.begin(), syms.end());
+    }
+    args_.assign(all.begin(), all.end());
+
+    // Per-output diagnostic tapes (also the "naive" op-count
+    // baseline the optimizer is measured against).
+    diag_.reserve(sources_.size());
+    diag_args_.reserve(sources_.size());
+    for (const auto &e : sources_) {
+        diag_.emplace_back(e);
+        const auto &names = diag_.back().argNames();
+        std::vector<std::uint32_t> map;
+        map.reserve(names.size());
+        for (const auto &name : names) {
+            const auto it = std::lower_bound(args_.begin(),
+                                             args_.end(), name);
+            map.push_back(
+                static_cast<std::uint32_t>(it - args_.begin()));
+        }
+        diag_args_.push_back(std::move(map));
+        stats_.naive_ops += diag_.back().tapeLength();
+    }
+
+    // Intern the forest into a DAG with the bit-safe rewrites.
+    Builder b{args_, {}, {}};
+    std::vector<std::uint32_t> roots;
+    roots.reserve(sources_.size());
+    for (const auto &e : sources_)
+        roots.push_back(b.build(e));
+
+    // Linearize: DFS postorder from each root in output order,
+    // emitting every reachable node exactly once.  Nodes orphaned by
+    // the rewrites are simply never reached (dead-op elimination).
+    const std::size_t nn = b.nodes.size();
+    std::vector<std::uint32_t> order;
+    order.reserve(nn);
+    std::vector<std::uint8_t> seen(nn, 0);
+    const std::function<void(std::uint32_t)> emitNode =
+        [&](std::uint32_t id) {
+            if (seen[id])
+                return;
+            seen[id] = 1;
+            for (const auto kid : b.nodes[id].kids)
+                emitNode(kid);
+            order.push_back(id);
+        };
+    for (const auto r : roots)
+        emitNode(r);
+
+    // Liveness: last tape position reading each node.  Output roots
+    // stay live to the end (their value is the result).
+    constexpr std::size_t kLive = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> last(nn, 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        for (const auto kid : b.nodes[order[i]].kids)
+            last[kid] = i;
+    for (const auto r : roots)
+        last[r] = kLive;
+
+    // Linear-scan register allocation.  Argument registers are
+    // pinned (in batch mode they may alias caller-owned columns, so
+    // no op may ever write them); an accumulating op may reuse its
+    // seed operand's dying register in place, but only when that
+    // operand does not also appear among the remaining operands.
+    std::vector<std::uint32_t> reg_of(nn, 0);
+    std::vector<std::uint32_t> free_regs;
+    num_regs_ = 0;
+    // Argument registers are assigned up front and never recycled.
+    // In batch mode the caller's input columns are aliased to these
+    // registers for the WHOLE tape (the alias is installed at setup,
+    // not at the Arg op's tape position), so no other op may ever
+    // claim one -- not even in the gap before the Arg op executes.
+    for (const auto id : order) {
+        if (b.nodes[id].kind == NK::Arg)
+            reg_of[id] = static_cast<std::uint32_t>(num_regs_++);
+    }
+    const auto alloc = [&]() -> std::uint32_t {
+        if (!free_regs.empty()) {
+            const auto r = free_regs.back();
+            free_regs.pop_back();
+            return r;
+        }
+        return static_cast<std::uint32_t>(num_regs_++);
+    };
+    const auto dying = [&](std::uint32_t kid, std::size_t i) {
+        return last[kid] == i && b.nodes[kid].kind != NK::Arg;
+    };
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const auto id = order[i];
+        const auto &nd = b.nodes[id];
+        bool inplace = false;
+        std::uint32_t dst = 0;
+        switch (nd.kind) {
+          case NK::Add:
+          case NK::Mul:
+          case NK::Max:
+          case NK::Min:
+            {
+                // The seed (last operand) may be accumulated in
+                // place; other operands are read mid-fold, after the
+                // destination row has already been overwritten.
+                const auto seed = nd.kids.back();
+                if (dying(seed, i) &&
+                    std::find(nd.kids.begin(), nd.kids.end() - 1,
+                              seed) == nd.kids.end() - 1) {
+                    dst = reg_of[seed];
+                    inplace = true;
+                }
+                break;
+            }
+          case NK::Pow:
+          case NK::Recip:
+          case NK::Log:
+          case NK::Exp:
+          case NK::Gtz:
+            // Element-wise ops read every operand at trial t before
+            // writing trial t, so the destination may alias any
+            // dying operand.
+            for (const auto kid : nd.kids) {
+                if (dying(kid, i)) {
+                    dst = reg_of[kid];
+                    inplace = true;
+                    break;
+                }
+            }
+            break;
+          default:
+            break;
+        }
+        if (nd.kind == NK::Arg)
+            dst = reg_of[id]; // pre-assigned, pinned
+        else if (!inplace)
+            dst = alloc();
+        reg_of[id] = dst;
+        for (const auto kid : nd.kids) {
+            if (dying(kid, i) && reg_of[kid] != dst) {
+                free_regs.push_back(reg_of[kid]);
+                last[kid] = kLive; // freed once even if repeated
+            }
+        }
+    }
+
+    // Lay down the tape, operand registers, and display labels.
+    std::vector<std::string> nlabel(nn);
+    const auto toOp = [](NK k) {
+        switch (k) {
+          case NK::Const: return OpCode::Const;
+          case NK::Arg: return OpCode::Arg;
+          case NK::Add: return OpCode::Add;
+          case NK::Mul: return OpCode::Mul;
+          case NK::Pow: return OpCode::Pow;
+          case NK::Recip: return OpCode::Recip;
+          case NK::Max: return OpCode::Max;
+          case NK::Min: return OpCode::Min;
+          case NK::Log: return OpCode::Log;
+          case NK::Exp: return OpCode::Exp;
+          case NK::Gtz: return OpCode::Gtz;
+        }
+        ar::util::panic("CompiledProgram: bad node kind");
+    };
+    ops_.reserve(order.size());
+    labels_.reserve(order.size());
+    for (const auto id : order) {
+        const auto &nd = b.nodes[id];
+        Op op;
+        op.code = toOp(nd.kind);
+        op.dst = reg_of[id];
+        switch (nd.kind) {
+          case NK::Const:
+            op.value = nd.value;
+            nlabel[id] = clipLabel(toString(Expr::constant(nd.value)));
+            break;
+          case NK::Arg:
+            op.first = nd.arg;
+            arg_regs_.emplace_back(op.dst, nd.arg);
+            nlabel[id] = args_[nd.arg];
+            break;
+          default:
+            op.first = static_cast<std::uint32_t>(
+                operand_regs_.size());
+            op.n = static_cast<std::uint32_t>(nd.kids.size());
+            for (const auto kid : nd.kids)
+                operand_regs_.push_back(reg_of[kid]);
+            switch (nd.kind) {
+              case NK::Add:
+                nlabel[id] = joinLabels(nlabel, nd.kids, " + ", "(", ")");
+                break;
+              case NK::Mul:
+                nlabel[id] = joinLabels(nlabel, nd.kids, " * ", "(", ")");
+                break;
+              case NK::Pow:
+                nlabel[id] = joinLabels(nlabel, nd.kids, " ^ ", "(", ")");
+                break;
+              case NK::Recip:
+                nlabel[id] = clipLabel("1 / " + nlabel[nd.kids[0]]);
+                break;
+              case NK::Max:
+                nlabel[id] = joinLabels(nlabel, nd.kids, ", ", "max(", ")");
+                break;
+              case NK::Min:
+                nlabel[id] = joinLabels(nlabel, nd.kids, ", ", "min(", ")");
+                break;
+              case NK::Log:
+                nlabel[id] = joinLabels(nlabel, nd.kids, ", ", "log(", ")");
+                break;
+              case NK::Exp:
+                nlabel[id] = joinLabels(nlabel, nd.kids, ", ", "exp(", ")");
+                break;
+              case NK::Gtz:
+                nlabel[id] = joinLabels(nlabel, nd.kids, ", ", "gtz(", ")");
+                break;
+              default:
+                break;
+            }
+            break;
+        }
+        ops_.push_back(op);
+        labels_.push_back(nlabel[id]);
+    }
+
+    // Output plumbing: each root either writes its destination
+    // column directly (first claimant, non-argument) or is copied
+    // out in the epilogue.
+    root_regs_.reserve(roots.size());
+    std::vector<std::uint8_t> claimed(num_regs_, 0);
+    for (std::size_t o = 0; o < roots.size(); ++o) {
+        const auto reg = reg_of[roots[o]];
+        root_regs_.push_back(reg);
+        if (b.nodes[roots[o]].kind != NK::Arg && !claimed[reg]) {
+            claimed[reg] = 1;
+            root_direct_.emplace_back(
+                reg, static_cast<std::uint32_t>(o));
+        } else {
+            root_copy_.emplace_back(static_cast<std::uint32_t>(o),
+                                    reg);
+        }
+    }
+
+    stats_.program_ops = ops_.size();
+    stats_.registers = num_regs_;
+}
+
+std::size_t
+CompiledProgram::argIndex(const std::string &name) const
+{
+    const auto it = std::lower_bound(args_.begin(), args_.end(), name);
+    if (it == args_.end() || *it != name) {
+        ar::util::fatal("CompiledProgram: no argument named '", name,
+                        "'");
+    }
+    return static_cast<std::size_t>(it - args_.begin());
+}
+
+const std::string &
+CompiledProgram::opLabel(std::size_t i) const
+{
+    if (i >= labels_.size())
+        ar::util::panic("CompiledProgram::opLabel: index ", i,
+                        " out of range");
+    return labels_[i];
+}
+
+const ExprPtr &
+CompiledProgram::source(std::size_t o) const
+{
+    if (o >= sources_.size())
+        ar::util::panic("CompiledProgram::source: output ", o,
+                        " out of range");
+    return sources_[o];
+}
+
+const CompiledExpr &
+CompiledProgram::diagTape(std::size_t o) const
+{
+    if (o >= diag_.size())
+        ar::util::panic("CompiledProgram::diagTape: output ", o,
+                        " out of range");
+    return diag_[o];
+}
+
+void
+CompiledProgram::eval(std::span<const double> args,
+                      std::span<double> out) const
+{
+    eval(args, out, threadEvalWorkspace());
+}
+
+void
+CompiledProgram::eval(std::span<const double> args,
+                      std::span<double> out, EvalWorkspace &ws) const
+{
+    if (args.size() != args_.size()) {
+        ar::util::fatal("CompiledProgram::eval: expected ",
+                        args_.size(), " arguments, got ", args.size());
+    }
+    if (out.size() != root_regs_.size()) {
+        ar::util::fatal("CompiledProgram::eval: expected ",
+                        root_regs_.size(), " outputs, got ",
+                        out.size());
+    }
+    double *regs = ws.acquire(num_regs_);
+    for (const auto &op : ops_) {
+        const std::uint32_t *k = operand_regs_.data() + op.first;
+        switch (op.code) {
+          case OpCode::Const:
+            regs[op.dst] = op.value;
+            break;
+          case OpCode::Arg:
+            regs[op.dst] = args[op.first];
+            break;
+          case OpCode::Add:
+            {
+                double acc = regs[k[op.n - 1]];
+                for (std::uint32_t j = op.n - 1; j-- > 0;)
+                    acc = acc + regs[k[j]];
+                regs[op.dst] = acc;
+                break;
+            }
+          case OpCode::Mul:
+            {
+                double acc = regs[k[op.n - 1]];
+                for (std::uint32_t j = op.n - 1; j-- > 0;)
+                    acc = acc * regs[k[j]];
+                regs[op.dst] = acc;
+                break;
+            }
+          case OpCode::Pow:
+            regs[op.dst] = std::pow(regs[k[0]], regs[k[1]]);
+            break;
+          case OpCode::Recip:
+            regs[op.dst] = 1.0 / regs[k[0]];
+            break;
+          case OpCode::Max:
+            {
+                double acc = regs[k[op.n - 1]];
+                for (std::uint32_t j = op.n - 1; j-- > 0;)
+                    acc = std::max(acc, regs[k[j]]);
+                regs[op.dst] = acc;
+                break;
+            }
+          case OpCode::Min:
+            {
+                double acc = regs[k[op.n - 1]];
+                for (std::uint32_t j = op.n - 1; j-- > 0;)
+                    acc = std::min(acc, regs[k[j]]);
+                regs[op.dst] = acc;
+                break;
+            }
+          case OpCode::Log:
+            regs[op.dst] = std::log(regs[k[0]]);
+            break;
+          case OpCode::Exp:
+            regs[op.dst] = std::exp(regs[k[0]]);
+            break;
+          case OpCode::Gtz:
+            regs[op.dst] = regs[k[0]] > 0.0 ? 1.0 : 0.0;
+            break;
+        }
+    }
+    for (std::size_t o = 0; o < root_regs_.size(); ++o)
+        out[o] = regs[root_regs_[o]];
+    ws.release(num_regs_);
+}
+
+void
+CompiledProgram::evalBatch(std::span<const BatchArg> args,
+                           std::size_t n,
+                           std::span<double *const> out) const
+{
+    evalBatch(args, n, out, threadEvalWorkspace());
+}
+
+void
+CompiledProgram::evalBatch(std::span<const BatchArg> args,
+                           std::size_t n,
+                           std::span<double *const> out,
+                           EvalWorkspace &ws) const
+{
+    if (args.size() != args_.size()) {
+        ar::util::fatal("CompiledProgram::evalBatch: expected ",
+                        args_.size(), " arguments, got ", args.size());
+    }
+    if (out.size() != root_regs_.size()) {
+        ar::util::fatal("CompiledProgram::evalBatch: expected ",
+                        root_regs_.size(), " outputs, got ",
+                        out.size());
+    }
+    if (n == 0)
+        return;
+    double *scratch = ws.acquire(num_regs_ * n);
+
+    // Register -> row pointer indirection.  Non-broadcast argument
+    // registers alias the caller's input columns (no copy) and each
+    // first-claimant root writes its result column directly; both
+    // kinds of register are excluded from reuse by the allocator, so
+    // no other op ever writes through those pointers.  The vector is
+    // thread-local so steady-state blocks allocate nothing.
+    static thread_local std::vector<double *> rowptr_store;
+    auto &rowptr = rowptr_store;
+    rowptr.resize(num_regs_);
+    for (std::size_t r = 0; r < num_regs_; ++r)
+        rowptr[r] = scratch + r * n;
+    for (const auto &[reg, a] : arg_regs_) {
+        if (!args[a].broadcast)
+            rowptr[reg] = const_cast<double *>(args[a].values);
+    }
+    for (const auto &[reg, o] : root_direct_)
+        rowptr[reg] = out[o];
+
+    for (const auto &op : ops_) {
+        const std::uint32_t *k = operand_regs_.data() + op.first;
+        switch (op.code) {
+          case OpCode::Const:
+            {
+                double *row = rowptr[op.dst];
+                std::fill(row, row + n, op.value);
+                break;
+            }
+          case OpCode::Arg:
+            {
+                // Column arguments are aliased by rowptr; only a
+                // broadcast value needs materialising.
+                if (args[op.first].broadcast) {
+                    double *row = rowptr[op.dst];
+                    std::fill(row, row + n,
+                              args[op.first].values[0]);
+                }
+                break;
+            }
+          case OpCode::Add:
+            {
+                double *dst = rowptr[op.dst];
+                const double *seed = rowptr[k[op.n - 1]];
+                if (dst != seed)
+                    std::copy(seed, seed + n, dst);
+                for (std::uint32_t j = op.n - 1; j-- > 0;) {
+                    const double *src = rowptr[k[j]];
+                    for (std::size_t t = 0; t < n; ++t)
+                        dst[t] = dst[t] + src[t];
+                }
+                break;
+            }
+          case OpCode::Mul:
+            {
+                double *dst = rowptr[op.dst];
+                const double *seed = rowptr[k[op.n - 1]];
+                if (dst != seed)
+                    std::copy(seed, seed + n, dst);
+                for (std::uint32_t j = op.n - 1; j-- > 0;) {
+                    const double *src = rowptr[k[j]];
+                    for (std::size_t t = 0; t < n; ++t)
+                        dst[t] = dst[t] * src[t];
+                }
+                break;
+            }
+          case OpCode::Pow:
+            {
+                double *dst = rowptr[op.dst];
+                const double *base = rowptr[k[0]];
+                const double *exp = rowptr[k[1]];
+                for (std::size_t t = 0; t < n; ++t)
+                    dst[t] = std::pow(base[t], exp[t]);
+                break;
+            }
+          case OpCode::Recip:
+            {
+                double *dst = rowptr[op.dst];
+                const double *src = rowptr[k[0]];
+                for (std::size_t t = 0; t < n; ++t)
+                    dst[t] = 1.0 / src[t];
+                break;
+            }
+          case OpCode::Max:
+            {
+                double *dst = rowptr[op.dst];
+                const double *seed = rowptr[k[op.n - 1]];
+                if (dst != seed)
+                    std::copy(seed, seed + n, dst);
+                for (std::uint32_t j = op.n - 1; j-- > 0;) {
+                    const double *src = rowptr[k[j]];
+                    for (std::size_t t = 0; t < n; ++t)
+                        dst[t] = std::max(dst[t], src[t]);
+                }
+                break;
+            }
+          case OpCode::Min:
+            {
+                double *dst = rowptr[op.dst];
+                const double *seed = rowptr[k[op.n - 1]];
+                if (dst != seed)
+                    std::copy(seed, seed + n, dst);
+                for (std::uint32_t j = op.n - 1; j-- > 0;) {
+                    const double *src = rowptr[k[j]];
+                    for (std::size_t t = 0; t < n; ++t)
+                        dst[t] = std::min(dst[t], src[t]);
+                }
+                break;
+            }
+          case OpCode::Log:
+            {
+                double *dst = rowptr[op.dst];
+                const double *src = rowptr[k[0]];
+                for (std::size_t t = 0; t < n; ++t)
+                    dst[t] = std::log(src[t]);
+                break;
+            }
+          case OpCode::Exp:
+            {
+                double *dst = rowptr[op.dst];
+                const double *src = rowptr[k[0]];
+                for (std::size_t t = 0; t < n; ++t)
+                    dst[t] = std::exp(src[t]);
+                break;
+            }
+          case OpCode::Gtz:
+            {
+                double *dst = rowptr[op.dst];
+                const double *src = rowptr[k[0]];
+                for (std::size_t t = 0; t < n; ++t)
+                    dst[t] = src[t] > 0.0 ? 1.0 : 0.0;
+                break;
+            }
+        }
+    }
+    for (const auto &[o, reg] : root_copy_) {
+        const double *src = rowptr[reg];
+        if (src != out[o])
+            std::copy(src, src + n, out[o]);
+    }
+    ws.release(num_regs_ * n);
+}
+
+double
+CompiledProgram::evalDiagnosed(std::size_t o,
+                               std::span<const double> args,
+                               EvalFault &fault) const
+{
+    if (o >= diag_.size())
+        ar::util::panic("CompiledProgram::evalDiagnosed: output ", o,
+                        " out of range");
+    if (args.size() != args_.size()) {
+        ar::util::fatal("CompiledProgram::evalDiagnosed: expected ",
+                        args_.size(), " arguments, got ", args.size());
+    }
+    // Diagnosis is the cold tier: gather the output's argument
+    // subset and replay its own CompiledExpr tape so attribution
+    // (op order, labels) matches the unfused path exactly.
+    const auto &map = diag_args_[o];
+    std::vector<double> sub(map.size());
+    for (std::size_t i = 0; i < map.size(); ++i)
+        sub[i] = args[map[i]];
+    return diag_[o].evalDiagnosed(sub, fault);
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Multi-output tape compilation.  Where CompiledExpr flattens one
+ * expression into a stack tape, CompiledProgram compiles a whole
+ * forest of resolved outputs at once into a register tape with
+ * hash-consed common-subexpression elimination, constant folding,
+ * algebraic strength reduction, and dead-op elimination -- so the
+ * Hill-Marty trunk shared by every output (or every Sobol pick/freeze
+ * variant) is computed once per trial instead of once per output.
+ *
+ * The optimizer only applies rewrites that are bit-exact on this
+ * platform's IEEE-754 doubles (see DESIGN.md section 5.3), so program
+ * results are bit-identical to evaluating each output through its own
+ * CompiledExpr -- the property the fault-containment and determinism
+ * guarantees of the Monte-Carlo engines are built on.
+ */
+
+#ifndef AR_SYMBOLIC_PROGRAM_HH
+#define AR_SYMBOLIC_PROGRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "symbolic/compile.hh"
+#include "symbolic/expr.hh"
+#include "symbolic/workspace.hh"
+
+namespace ar::symbolic
+{
+
+/** Compile-time effect of the optimizer (for tests and reports). */
+struct ProgramStats
+{
+    std::size_t naive_ops = 0;   ///< Sum of per-output CompiledExpr tapes.
+    std::size_t program_ops = 0; ///< Ops in the fused, optimized tape.
+    std::size_t registers = 0;   ///< Scratch rows after linear scan.
+};
+
+/**
+ * A forest of expressions compiled into one optimized register tape.
+ *
+ * Argument order is the sorted union of the outputs' free symbols.
+ * Evaluation semantics (operand fold order, std function choice) are
+ * exactly CompiledExpr's, so for every output, every argument vector
+ * and every trial-block decomposition the results match the
+ * per-output CompiledExpr path to the last bit.
+ */
+class CompiledProgram
+{
+  public:
+    /** Compile @p outputs (at least one, all non-null). */
+    explicit CompiledProgram(std::vector<ExprPtr> outputs);
+
+    /** @return argument names in positional order (sorted union). */
+    const std::vector<std::string> &argNames() const { return args_; }
+
+    /** @return index of a named argument; fatal when absent. */
+    std::size_t argIndex(const std::string &name) const;
+
+    /** @return number of compiled outputs. */
+    std::size_t numOutputs() const { return root_regs_.size(); }
+
+    /** @return ops in the optimized tape (diagnostics/tests). */
+    std::size_t tapeLength() const { return ops_.size(); }
+
+    /** @return optimizer statistics. */
+    const ProgramStats &stats() const { return stats_; }
+
+    /** @return human-readable label of tape op @p i. */
+    const std::string &opLabel(std::size_t i) const;
+
+    /** @return the source expression of output @p o. */
+    const ExprPtr &source(std::size_t o) const;
+
+    /**
+     * Evaluate one trial.
+     *
+     * @param args One value per argName(), in order.
+     * @param out Receives numOutputs() results.
+     */
+    void eval(std::span<const double> args, std::span<double> out) const;
+
+    /** eval() drawing scratch from an explicit workspace. */
+    void eval(std::span<const double> args, std::span<double> out,
+              EvalWorkspace &ws) const;
+
+    /**
+     * Evaluate a contiguous block of trials in one tape pass (SoA
+     * layout, mirroring CompiledExpr::evalBatch).  Column arguments
+     * are consumed in place (no copy into scratch) and each output's
+     * root writes straight into its destination column.
+     *
+     * @param args One BatchArg per argName(), in order; column args
+     *        must hold at least @p n values.
+     * @param n Number of trials in the block.
+     * @param out One destination column of @p n doubles per output.
+     */
+    void evalBatch(std::span<const BatchArg> args, std::size_t n,
+                   std::span<double *const> out) const;
+
+    /** evalBatch() drawing scratch from an explicit workspace. */
+    void evalBatch(std::span<const BatchArg> args, std::size_t n,
+                   std::span<double *const> out,
+                   EvalWorkspace &ws) const;
+
+    /**
+     * Diagnose output @p o for one trial: delegates to that output's
+     * own CompiledExpr tape so fault attribution (first faulting op,
+     * op label, tape index) is identical to the unfused path.
+     *
+     * @param args One value per argName() of the *program*; the
+     *        subset the output uses is forwarded automatically.
+     * @param fault Receives the first fault (reset on entry).
+     * @return the output's value (possibly non-finite).
+     */
+    double evalDiagnosed(std::size_t o, std::span<const double> args,
+                         EvalFault &fault) const;
+
+    /** @return the per-output diagnostic tape (labels, op order). */
+    const CompiledExpr &diagTape(std::size_t o) const;
+
+  private:
+    enum class OpCode : std::uint8_t
+    {
+        Const, ///< dst = value
+        Arg,   ///< dst = args[first]
+        Add,   ///< dst = fold(+) over operands, last operand first
+        Mul,   ///< dst = fold(*) over operands, last operand first
+        Pow,   ///< dst = pow(operand0, operand1)
+        Recip, ///< dst = 1.0 / operand0  (strength-reduced x^-1)
+        Max,   ///< dst = fold(max) over operands, last operand first
+        Min,   ///< dst = fold(min) over operands, last operand first
+        Log,
+        Exp,
+        Gtz,
+    };
+
+    struct Op
+    {
+        OpCode code;
+        std::uint32_t dst = 0;   ///< destination register
+        std::uint32_t first = 0; ///< operand list start / arg index
+        std::uint32_t n = 0;     ///< operand count
+        double value = 0.0;      ///< constant payload
+    };
+
+    std::vector<Op> ops_;
+    std::vector<std::uint32_t> operand_regs_; ///< flattened operands
+    std::vector<std::string> labels_;
+    std::vector<std::string> args_;
+    std::vector<ExprPtr> sources_;
+    std::size_t num_regs_ = 0;
+
+    std::vector<std::uint32_t> root_regs_; ///< per output
+    /// Roots whose op writes its destination column directly.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> root_direct_;
+    /// Roots copied out in an epilogue (shared or argument roots).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> root_copy_;
+    /// (register, argument index) of every Arg op, for column aliasing.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> arg_regs_;
+
+    ProgramStats stats_;
+
+    /// Per-output diagnostic tapes + program-arg index per tape arg.
+    std::vector<CompiledExpr> diag_;
+    std::vector<std::vector<std::uint32_t>> diag_args_;
+};
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_PROGRAM_HH

@@ -32,7 +32,16 @@ splitCoefficient(const ExprPtr &term)
     return {coef, Expr::mul(std::move(rest))};
 }
 
-/** Flatten already-simplified same-kind children into one list. */
+/**
+ * Flatten already-simplified same-kind children into one list, in
+ * canonical order.  The factories sort operands at construction, but
+ * simplifying a child can change its sort position (e.g. Mul(0.1, 1)
+ * collapses to the constant 0.1), so the list is re-sorted here.
+ * Without this, the order constants are folded in -- and hence the
+ * rounded result -- depends on how the input happened to be
+ * associated, and algebraically-equal inputs simplify to trees with
+ * different constants.
+ */
 std::vector<ExprPtr>
 flattenKind(ExprKind kind, const std::vector<ExprPtr> &ops)
 {
@@ -46,6 +55,10 @@ flattenKind(ExprKind kind, const std::vector<ExprPtr> &ops)
             flat.push_back(op);
         }
     }
+    std::stable_sort(flat.begin(), flat.end(),
+                     [](const ExprPtr &a, const ExprPtr &b) {
+                         return Expr::compare(a, b) < 0;
+                     });
     return flat;
 }
 
@@ -86,6 +99,8 @@ simplifyAdd(const std::vector<ExprPtr> &raw_ops)
         terms.push_back(Expr::constant(const_acc));
     return Expr::add(std::move(terms));
 }
+
+ExprPtr simplifyPow(const ExprPtr &base, const ExprPtr &exp);
 
 ExprPtr
 simplifyMul(const std::vector<ExprPtr> &raw_ops)
@@ -138,15 +153,17 @@ simplifyMul(const std::vector<ExprPtr> &raw_ops)
         std::vector<ExprPtr> exps = std::move(e.sym_exps);
         if (e.const_exp != 0.0 || exps.empty())
             exps.push_back(Expr::constant(e.const_exp));
-        ExprPtr total_exp = Expr::add(std::move(exps));
+        // The merged exponent and the rebuilt factor are themselves
+        // simplified so x^a * x^a becomes x^(2*a) in one pass
+        // (simplify stays idempotent).
+        const ExprPtr total_exp = simplifyAdd(exps);
         if (total_exp->isConstant(0.0))
             continue;
-        if (total_exp->isConstant(1.0))
-            rest.push_back(e.base);
-        else if (e.base->isConstant() && total_exp->isConstant())
-            const_acc *= std::pow(e.base->value(), total_exp->value());
+        const ExprPtr factor = simplifyPow(e.base, total_exp);
+        if (factor->isConstant())
+            const_acc *= factor->value();
         else
-            rest.push_back(Expr::pow(e.base, total_exp));
+            rest.push_back(factor);
     }
     if (const_acc != 1.0 || rest.empty())
         rest.push_back(Expr::constant(const_acc));

@@ -70,4 +70,20 @@ substitute(const ExprPtr &e, const std::map<std::string, double> &values)
     return substitute(e, b);
 }
 
+ExprPtr
+renameSymbols(const ExprPtr &e,
+              const std::map<std::string, std::string> &renames)
+{
+    if (!e)
+        ar::util::panic("renameSymbols: null expression");
+    Bindings b;
+    for (const auto &[from, to] : renames)
+        b[from] = Expr::symbol(to);
+    // replace() rebuilds through the factories without simplifying;
+    // a symbol-for-symbol swap cannot create foldable constants, so
+    // the only structural effect is the factories re-sorting operand
+    // lists under the new names.
+    return replace(e, b);
+}
+
 } // namespace ar::symbolic

@@ -29,6 +29,24 @@ ExprPtr substitute(const ExprPtr &e, const Bindings &bindings);
 ExprPtr substitute(const ExprPtr &e,
                    const std::map<std::string, double> &values);
 
+/**
+ * Rename free symbols WITHOUT simplifying.
+ *
+ * Unlike substitute(), which runs the simplifier and may therefore
+ * re-fold constants and change evaluation order, this rebuilds the
+ * tree through the raw factories only.  When every new name keeps
+ * the lexicographic order of the old ones relative to all other
+ * symbols in the expression (e.g. appending a suffix that starts
+ * with '!', which sorts before every identifier character), the
+ * renamed tree has the same shape and operand order as the source,
+ * so its compiled tape computes bit-identical values.
+ *
+ * @param e Expression to rewrite.
+ * @param renames Old name to new name; unlisted symbols stay.
+ */
+ExprPtr renameSymbols(const ExprPtr &e,
+                      const std::map<std::string, std::string> &renames);
+
 } // namespace ar::symbolic
 
 #endif // AR_SYMBOLIC_SUBSTITUTE_HH

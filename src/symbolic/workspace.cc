@@ -1,0 +1,27 @@
+#include "symbolic/workspace.hh"
+
+#include <algorithm>
+
+namespace ar::symbolic
+{
+
+void
+EvalWorkspace::grow(std::size_t need)
+{
+    const std::size_t cap = std::max(need, cap_ * 2);
+    auto next = std::make_unique_for_overwrite<double[]>(cap);
+    // Preserve windows still in use so nested acquires that trigger
+    // growth do not corrupt their callers' live scratch.
+    std::copy(buf_.get(), buf_.get() + used_, next.get());
+    buf_ = std::move(next);
+    cap_ = cap;
+}
+
+EvalWorkspace &
+threadEvalWorkspace()
+{
+    thread_local EvalWorkspace ws;
+    return ws;
+}
+
+} // namespace ar::symbolic

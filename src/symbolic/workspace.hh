@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reusable evaluation scratch.  Every tape evaluation needs a plane
+ * of scratch rows; resizing a zero-initialising container per call
+ * puts an allocation and a memset in the Monte-Carlo hot loop.  An
+ * EvalWorkspace is a grow-only, uninitialised buffer from which
+ * evaluations borrow stack-ordered windows: steady state does no
+ * allocation and no clearing (tape ops fully overwrite every row
+ * before reading it, so uninitialised memory is never observed).
+ */
+
+#ifndef AR_SYMBOLIC_WORKSPACE_HH
+#define AR_SYMBOLIC_WORKSPACE_HH
+
+#include <cstddef>
+#include <memory>
+
+namespace ar::symbolic
+{
+
+/**
+ * A stack of scratch windows backed by one grow-only allocation.
+ *
+ * acquire()/release() must nest (LIFO), mirroring nested evaluations
+ * on one thread.  Growth preserves the bytes of windows still in use,
+ * but callers must not hold pointers from an *outer* window across an
+ * inner acquire() -- the buffer may move.  The evaluators respect
+ * this: a tape never re-enters user code mid-pass.
+ */
+class EvalWorkspace
+{
+  public:
+    /** Borrow @p n doubles (uninitialised) at the current top. */
+    double *acquire(std::size_t n)
+    {
+        const std::size_t base = used_;
+        if (base + n > cap_)
+            grow(base + n);
+        used_ = base + n;
+        return buf_.get() + base;
+    }
+
+    /** Return the most recent @p n doubles (LIFO order). */
+    void release(std::size_t n) { used_ -= n; }
+
+    /** @return doubles currently borrowed (diagnostics/tests). */
+    std::size_t inUse() const { return used_; }
+
+    /** @return doubles allocated so far (diagnostics/tests). */
+    std::size_t capacity() const { return cap_; }
+
+  private:
+    void grow(std::size_t need);
+
+    std::unique_ptr<double[]> buf_;
+    std::size_t cap_ = 0;
+    std::size_t used_ = 0;
+};
+
+/**
+ * The calling thread's default workspace.  Engines that evaluate in
+ * a loop pass this (or a workspace of their own) so every block after
+ * the first reuses the same warm allocation.
+ */
+EvalWorkspace &threadEvalWorkspace();
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_WORKSPACE_HH

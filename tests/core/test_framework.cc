@@ -150,3 +150,80 @@ TEST(Framework, PropagateReturnsRawSamples)
     in.fixed["b"] = 0.0;
     EXPECT_EQ(fw.propagate("y", in, 1).size(), 100u);
 }
+
+namespace
+{
+
+/** Two-output system sharing structure: y and z both read x. */
+ar::symbolic::EquationSystem
+twoOutputSystem()
+{
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("y = 2 * x + b");
+    sys.addEquation("z = x * x + b");
+    sys.markUncertain("x");
+    return sys;
+}
+
+ar::mc::InputBindings
+xNormalBindings()
+{
+    ar::mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<ar::dist::Normal>(1.0, 0.25);
+    in.fixed["b"] = 0.5;
+    return in;
+}
+
+} // namespace
+
+TEST(Framework, AnalyzeMultiFirstOutputMatchesAnalyze)
+{
+    // Fused multi-output propagation must not change the primary
+    // analysis: output 0 of analyzeMulti is bit-identical to a
+    // single-output analyze() of the same variable.
+    c::Framework fw({2000, "latin-hypercube"});
+    fw.setSystem(twoOutputSystem());
+    const auto in = xNormalBindings();
+    ar::risk::QuadraticRisk fn;
+    const auto single = fw.analyze("y", in, fn, 2.5, 7);
+    const auto multi = fw.analyzeMulti({"y", "z"}, in, fn, 2.5, 7);
+    EXPECT_EQ(multi.samples, single.samples);
+    EXPECT_DOUBLE_EQ(multi.risk, single.risk);
+    EXPECT_DOUBLE_EQ(multi.reference, single.reference);
+
+    // The co-output matches its own single-output propagation.
+    ASSERT_EQ(multi.co_outputs.size(), 1u);
+    EXPECT_EQ(multi.co_outputs[0].name, "z");
+    const auto z_alone = fw.analyze("z", in, fn, 1.5, 7);
+    EXPECT_EQ(multi.co_outputs[0].samples, z_alone.samples);
+    EXPECT_DOUBLE_EQ(multi.co_outputs[0].summary.mean,
+                     z_alone.summary.mean);
+}
+
+TEST(Framework, ProgramIsMemoizedAndInvalidated)
+{
+    c::Framework fw;
+    fw.setSystem(twoOutputSystem());
+    const auto &a = fw.program({"y", "z"});
+    const auto &b = fw.program({"y", "z"});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.numOutputs(), 2u);
+
+    // A new system must drop the cached program (compare behaviour,
+    // not addresses -- the allocator may reuse the node).
+    ar::symbolic::EquationSystem sys2;
+    sys2.addEquation("y = 10 * x");
+    fw.setSystem(std::move(sys2));
+    const auto &c2 = fw.program({"y"});
+    const double arg = 3.0;
+    double out = 0.0;
+    c2.eval(std::span<const double>(&arg, 1), std::span<double>(&out, 1));
+    EXPECT_DOUBLE_EQ(out, 30.0);
+}
+
+TEST(Framework, ProgramWithNoOutputsIsFatal)
+{
+    c::Framework fw;
+    fw.setSystem(twoOutputSystem());
+    EXPECT_THROW(fw.program({}), ar::util::FatalError);
+}

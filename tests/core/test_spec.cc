@@ -216,10 +216,12 @@ TEST(Spec, UnknownDistributionPointsAtTheKindToken)
 
 TEST(Spec, ExtraArgumentPointsAtTheFirstExtraToken)
 {
-    const auto d = specDiagnosticOf("y = x\noutput y stray\n");
-    EXPECT_NE(d.message.find("'output' expects 1 argument(s), got 2"),
+    // ('output' is variadic now, so use a fixed-arity directive.)
+    const auto d =
+        specDiagnosticOf("y = x\nreference 1 stray\noutput y\n");
+    EXPECT_NE(d.message.find("'reference' expects 1 argument(s), got 2"),
               std::string::npos);
-    EXPECT_EQ(d.column, 10u); // column of 'stray'
+    EXPECT_EQ(d.column, 13u); // column of 'stray'
 }
 
 TEST(Spec, NonNumericArgumentPointsAtTheToken)
@@ -326,4 +328,77 @@ TEST(Spec, LoadSpecFileRoundTrip)
     const auto spec = c::loadSpecFile(path);
     EXPECT_EQ(spec.output, "Speedup");
     std::remove(path.c_str());
+}
+
+TEST(Spec, MultiOutputDirectiveParsesAndRuns)
+{
+    const char *text = R"(
+Speedup = 1 / (1 - f + f / s)
+Slowdown = 1 / Speedup
+fixed s 16
+uncertain f truncnormal 0.9 0.02 0 1
+output Speedup Slowdown
+risk quadratic
+trials 500
+seed 3
+)";
+    const auto spec = c::parseSpec(text);
+    EXPECT_EQ(spec.output, "Speedup");
+    ASSERT_EQ(spec.outputs.size(), 2u);
+    EXPECT_EQ(spec.outputs[1], "Slowdown");
+
+    const auto res = c::runSpec(spec);
+    EXPECT_EQ(res.samples.size(), 500u);
+    ASSERT_EQ(res.co_outputs.size(), 1u);
+    EXPECT_EQ(res.co_outputs[0].name, "Slowdown");
+    ASSERT_EQ(res.co_outputs[0].samples.size(), 500u);
+    // Both outputs come out of ONE fused program over the same
+    // trials, so the algebraic relation holds sample-for-sample.
+    for (std::size_t t = 0; t < 500; ++t) {
+        EXPECT_NEAR(res.co_outputs[0].samples[t],
+                    1.0 / res.samples[t], 1e-12);
+    }
+
+    // The primary analysis is unchanged by co-propagation.
+    std::string single(text);
+    single.replace(single.find("output Speedup Slowdown"),
+                   std::string("output Speedup Slowdown").size(),
+                   "output Speedup");
+    const auto res1 = c::runSpec(c::parseSpec(single));
+    EXPECT_EQ(res.samples, res1.samples);
+    EXPECT_DOUBLE_EQ(res.risk, res1.risk);
+}
+
+TEST(Spec, DuplicateOutputIsaParseError)
+{
+    const char *text = R"(
+Speedup = 1 / (1 - f + f / s)
+fixed s 16
+uncertain f truncnormal 0.9 0.02 0 1
+output Speedup Speedup
+)";
+    try {
+        c::parseSpec(text);
+        FAIL() << "expected ParseError";
+    } catch (const ar::util::ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate output"),
+                  std::string::npos);
+    }
+}
+
+TEST(Spec, EveryMultiOutputMustBeDefined)
+{
+    const char *text = R"(
+Speedup = 1 / (1 - f + f / s)
+fixed s 16
+uncertain f truncnormal 0.9 0.02 0 1
+output Speedup Latency
+)";
+    try {
+        c::parseSpec(text);
+        FAIL() << "expected ParseError";
+    } catch (const ar::util::ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("Latency"),
+                  std::string::npos);
+    }
 }

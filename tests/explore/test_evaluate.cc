@@ -286,3 +286,89 @@ TEST(Evaluate, AgreesWithSymbolicPropagatorOnMoments)
             1.0, fn);
     EXPECT_NEAR(fast[0].risk, slow_risk_norm, 0.01);
 }
+
+TEST(Evaluate, FusedBackendAgreesWithDirect)
+{
+    // Same shared pools, two sample computations: the closed-form
+    // evaluator and one fused CompiledProgram with one output per
+    // design.  The symbolic model folds in a different order than
+    // the closed form, so agreement is to floating-point
+    // reassociation, not bit-exact.
+    const auto designs = threePaperDesigns();
+    const auto app = m::appLPHC();
+    ar::risk::QuadraticRisk fn;
+    for (const auto &spec : {m::UncertaintySpec::none(),
+                             m::UncertaintySpec::all(0.2),
+                             m::UncertaintySpec::appArch(0.2, 0.2)}) {
+        for (std::size_t approx_k :
+             {std::size_t{0}, std::size_t{20}}) {
+            auto run = [&](x::SweepBackend backend) {
+                x::SweepConfig cfg;
+                cfg.trials = 600;
+                cfg.seed = 99;
+                cfg.approx_k = approx_k;
+                cfg.keep_samples = true;
+                cfg.backend = backend;
+                x::DesignSpaceEvaluator eval(designs, app, spec,
+                                             cfg);
+                auto outcomes = eval.evaluateAll(fn, 30.0);
+                std::vector<std::vector<double>> samples;
+                for (std::size_t d = 0; d < designs.size(); ++d)
+                    samples.push_back(eval.samples(d));
+                return std::make_pair(std::move(outcomes),
+                                      std::move(samples));
+            };
+            const auto direct = run(x::SweepBackend::Direct);
+            const auto fused = run(x::SweepBackend::FusedProgram);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                for (std::size_t t = 0; t < 600; ++t) {
+                    const double want = direct.second[d][t];
+                    ASSERT_NEAR(fused.second[d][t], want,
+                                1e-9 * std::max(1.0, std::abs(want)))
+                        << "design " << d << " trial " << t;
+                }
+                EXPECT_NEAR(fused.first[d].expected,
+                            direct.first[d].expected, 1e-9);
+                EXPECT_NEAR(fused.first[d].stddev,
+                            direct.first[d].stddev, 1e-9);
+                EXPECT_NEAR(fused.first[d].risk,
+                            direct.first[d].risk, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Evaluate, FusedBackendThreadCountBitIdentical)
+{
+    // Within the fused backend, trial blocks are disjoint slices of
+    // fixed pools, so any thread count gives bit-identical samples.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    auto run = [&](std::size_t threads) {
+        x::SweepConfig cfg;
+        cfg.trials = 700; // Not a multiple of the 256-trial block.
+        cfg.seed = 5;
+        cfg.threads = threads;
+        cfg.keep_samples = true;
+        cfg.backend = x::SweepBackend::FusedProgram;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                     m::UncertaintySpec::all(0.2),
+                                     cfg);
+        auto outcomes = eval.evaluateAll(fn, 30.0);
+        std::vector<std::vector<double>> samples;
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            samples.push_back(eval.samples(d));
+        return std::make_pair(std::move(outcomes),
+                              std::move(samples));
+    };
+    const auto serial = run(1);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        const auto parallel = run(threads);
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            ASSERT_EQ(parallel.second[d], serial.second[d]);
+            ASSERT_EQ(parallel.first[d].expected,
+                      serial.first[d].expected);
+            ASSERT_EQ(parallel.first[d].risk, serial.first[d].risk);
+        }
+    }
+}

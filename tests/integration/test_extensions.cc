@@ -37,8 +37,8 @@ TEST(Extensions, SobolFindsTheBigCoreOnAsymmetricDesign)
     const auto in = m::groundTruthBindings(
         config, m::appLPHC(), m::UncertaintySpec::all(0.2));
     ar::util::Rng rng(21);
-    const auto res = ar::mc::sobolIndices(fw.compiled("Speedup"), in,
-                                          {4096}, rng);
+    const auto res = ar::mc::sobolIndices(
+        fw.system().resolve("Speedup"), in, {4096}, rng);
     // Types are ordered area-descending: core0 is the big core.
     // Whether it survives fabrication (N_core0 is Binomial(1, 0.75))
     // is the single largest variance source, far ahead of the herd

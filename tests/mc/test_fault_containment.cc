@@ -307,3 +307,94 @@ TEST(FaultContainment, SaturateWithNoFiniteSamplesThrows)
             rng),
         FaultError);
 }
+
+TEST(FaultContainment, FusedPropagationMatchesUnfusedPerPolicy)
+{
+    // The fused program path must reproduce the unfused samples AND
+    // the unfused fault report bit-for-bit under every policy.
+    CompiledExpr f_log(parseExpr("log(x) + y"));
+    CompiledExpr f_id(parseExpr("x"));
+    const ar::symbolic::CompiledProgram prog(
+        {parseExpr("log(x) + y"), parseExpr("x")});
+
+    auto run = [&](FaultPolicy policy, std::size_t threads,
+                   bool fused) {
+        mc::PropagationConfig cfg;
+        cfg.trials = 600;
+        cfg.sampler = "latin-hypercube";
+        cfg.threads = threads;
+        cfg.fault_policy = policy;
+        mc::Propagator prop(cfg);
+        ar::util::Rng rng(42);
+        return fused
+                   ? prop.runMultiReport(prog, poisonedLogInput(),
+                                         rng)
+                   : prop.runManyReport({&f_log, &f_id},
+                                        poisonedLogInput(), rng);
+    };
+
+    for (const auto policy :
+         {FaultPolicy::Discard, FaultPolicy::Saturate}) {
+        const auto want = run(policy, 1, false);
+        for (const std::size_t threads : {1u, 4u}) {
+            const auto got = run(policy, threads, true);
+            EXPECT_EQ(got.samples, want.samples)
+                << faultPolicyName(policy) << ", " << threads
+                << " threads";
+            expectReportsIdentical(got.faults, want.faults);
+        }
+    }
+
+    // FailFast: both paths throw, with identical attributed reports.
+    FaultReport want_report, got_report;
+    try {
+        run(FaultPolicy::FailFast, 1, false);
+        FAIL() << "expected FaultError";
+    } catch (const FaultError &e) {
+        want_report = e.report();
+    }
+    try {
+        run(FaultPolicy::FailFast, 4, true);
+        FAIL() << "expected FaultError";
+    } catch (const FaultError &e) {
+        got_report = e.report();
+    }
+    expectReportsIdentical(got_report, want_report);
+}
+
+TEST(FaultContainment, FusedSobolMatchesUnfusedPerPolicy)
+{
+    // Same contract for the fused pick-freeze sweep: indices,
+    // moments, and the fault report all match the scalar path.
+    const auto expr = parseExpr("log(x) * y + x / (y + 4)");
+    auto run = [&](FaultPolicy policy, std::size_t threads,
+                   bool fused) {
+        mc::SensitivityConfig cfg;
+        cfg.trials = 512;
+        cfg.threads = threads;
+        cfg.fault_policy = policy;
+        cfg.fused = fused;
+        ar::util::Rng rng(7);
+        return mc::sobolIndices(expr, poisonedLogInput(0.1), cfg,
+                                rng);
+    };
+    for (const auto policy :
+         {FaultPolicy::Discard, FaultPolicy::Saturate}) {
+        const auto want = run(policy, 1, false);
+        for (const std::size_t threads : {1u, 4u}) {
+            const auto got = run(policy, threads, true);
+            ASSERT_EQ(got.indices.size(), want.indices.size());
+            for (std::size_t i = 0; i < want.indices.size(); ++i) {
+                EXPECT_EQ(got.indices[i].input,
+                          want.indices[i].input);
+                EXPECT_EQ(got.indices[i].first_order,
+                          want.indices[i].first_order);
+                EXPECT_EQ(got.indices[i].total,
+                          want.indices[i].total);
+            }
+            EXPECT_EQ(got.output_mean, want.output_mean);
+            EXPECT_EQ(got.output_variance, want.output_variance);
+            expectReportsIdentical(got.faults, want.faults);
+        }
+    }
+}

@@ -160,3 +160,64 @@ TEST(Sobol, FirstOrderNeverExceedsTotal)
     for (const auto &idx : res.indices)
         EXPECT_LE(idx.first_order, idx.total + 0.05) << idx.input;
 }
+
+TEST(Sobol, FusedVariantProgramMatchesScalarSweep)
+{
+    // The fused pick-freeze program (base + suffix-renamed variants
+    // compiled together) must reproduce the scalar sweep exactly:
+    // identical indices, moments, and trial evaluations for every
+    // thread count.
+    const auto expr =
+        parseExpr("exp(x / 4) * w + max(y, z) * (x + y) + z / w");
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["y"] = std::make_shared<d::Normal>(1.0, 0.5);
+    in.uncertain["z"] = std::make_shared<d::Normal>(-2.0, 0.25);
+    in.fixed["w"] = 3.0;
+
+    auto run = [&](bool fused, std::size_t threads) {
+        mc::SensitivityConfig cfg;
+        cfg.trials = 1024;
+        cfg.threads = threads;
+        cfg.fused = fused;
+        ar::util::Rng rng(5);
+        return mc::sobolIndices(expr, in, cfg, rng);
+    };
+    const auto want = run(false, 1);
+    for (const std::size_t threads : {1u, 4u}) {
+        const auto got = run(true, threads);
+        ASSERT_EQ(got.indices.size(), want.indices.size());
+        for (std::size_t i = 0; i < want.indices.size(); ++i) {
+            EXPECT_EQ(got.indices[i].input, want.indices[i].input);
+            EXPECT_EQ(got.indices[i].first_order,
+                      want.indices[i].first_order)
+                << got.indices[i].input;
+            EXPECT_EQ(got.indices[i].total, want.indices[i].total)
+                << got.indices[i].input;
+        }
+        EXPECT_EQ(got.output_mean, want.output_mean);
+        EXPECT_EQ(got.output_variance, want.output_variance);
+    }
+}
+
+TEST(Sobol, ExprOverloadUnfusedMatchesCompiledExprOverload)
+{
+    // cfg.fused = false routes the ExprPtr overload through the
+    // exact code path of the CompiledExpr overload.
+    const auto expr = parseExpr("2 * x + z * z");
+    CompiledExpr fn(expr);
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 2.0);
+    mc::SensitivityConfig cfg;
+    cfg.trials = 512;
+    cfg.fused = false;
+    ar::util::Rng rng_a(11), rng_b(11);
+    const auto a = mc::sobolIndices(fn, in, cfg, rng_a);
+    const auto b = mc::sobolIndices(expr, in, cfg, rng_b);
+    ASSERT_EQ(a.indices.size(), b.indices.size());
+    for (std::size_t i = 0; i < a.indices.size(); ++i) {
+        EXPECT_EQ(a.indices[i].first_order, b.indices[i].first_order);
+        EXPECT_EQ(a.indices[i].total, b.indices[i].total);
+    }
+}

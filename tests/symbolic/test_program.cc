@@ -1,0 +1,590 @@
+/**
+ * @file
+ * CompiledProgram tests: the fused multi-output tape must be
+ * bit-identical (0 ULP) to evaluating each output through its own
+ * CompiledExpr -- on random expression forests (including NaN/Inf
+ * and signed-zero inputs), on the full Hill-Marty model, and through
+ * the diagnostic tier -- while the optimizer's op-count reductions
+ * on Hill-Marty are pinned so CSE regressions are caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "model/hill_marty.hh"
+#include "symbolic/compile.hh"
+#include "symbolic/parser.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/program.hh"
+#include "symbolic/workspace.hh"
+#include "util/rng.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/**
+ * The program's equivalence contract: bit-identical, NaN payloads
+ * included.  CompiledExpr lowers literal-exponent powers exactly
+ * like the program's optimizer (glibc's pow is not correctly
+ * rounded, so x*x and 1.0/x are not interchangeable with pow at the
+ * last ulp), which keeps the fused and per-output tapes on one
+ * shared definition of every operation.
+ */
+#define ASSERT_BITEQ(got, want, msg)                                   \
+    ASSERT_EQ(bits(got), bits(want))                                   \
+        << msg << ": got " << (got) << " want " << (want)
+
+/** Random expression generator over a fixed symbol pool (mirrors
+ * test_random_expr.cc, plus exponents eligible for strength
+ * reduction and explicit neutral elements to exercise pruning). */
+class ForestGen
+{
+  public:
+    explicit ForestGen(ar::util::Rng &rng) : rng(rng) {}
+
+    ExprPtr
+    gen(int depth)
+    {
+        if (depth <= 0 || rng.uniform() < 0.3)
+            return leaf();
+        switch (rng.uniformInt(8)) {
+          case 0:
+            return Expr::add(gen(depth - 1), gen(depth - 1));
+          case 1:
+            return Expr::sub(gen(depth - 1), gen(depth - 1));
+          case 2:
+            return Expr::mul(gen(depth - 1), gen(depth - 1));
+          case 3:
+            return Expr::div(gen(depth - 1), gen(depth - 1));
+          case 4:
+            return Expr::pow(gen(depth - 1),
+                             Expr::constant(smallExponent()));
+          case 5:
+            return Expr::max({gen(depth - 1), gen(depth - 1)});
+          case 6:
+            return Expr::min({gen(depth - 1), gen(depth - 1)});
+          default:
+            // Explicit neutral elements so the pruning rules fire.
+            return rng.uniform() < 0.5
+                       ? Expr::add(gen(depth - 1),
+                                   Expr::constant(0.0))
+                       : Expr::mul(gen(depth - 1),
+                                   Expr::constant(1.0));
+        }
+    }
+
+    /** A forest sharing the symbol pool (and thus subexpressions). */
+    std::vector<ExprPtr>
+    forest(std::size_t outputs, int depth)
+    {
+        std::vector<ExprPtr> f;
+        for (std::size_t i = 0; i < outputs; ++i)
+            f.push_back(gen(depth));
+        return f;
+    }
+
+    double
+    value(bool specials)
+    {
+        if (specials && rng.uniform() < 0.15) {
+            static const double kSpecials[] = {
+                std::numeric_limits<double>::quiet_NaN(),
+                std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity(),
+                0.0,
+                -0.0,
+            };
+            return kSpecials[rng.uniformInt(5)];
+        }
+        return rng.uniform(-3.0, 3.0);
+    }
+
+  private:
+    ExprPtr
+    leaf()
+    {
+        if (rng.uniform() < 0.55) {
+            static const char *names[] = {"a", "b", "x", "y"};
+            return Expr::symbol(names[rng.uniformInt(4)]);
+        }
+        return Expr::constant(
+            std::round(rng.uniform(-2.0, 4.0) * 4.0) / 4.0);
+    }
+
+    double
+    smallExponent()
+    {
+        static const double exps[] = {-2.0, -1.0, 0.0,
+                                      0.5,  1.0,  2.0, 3.0};
+        return exps[rng.uniformInt(7)];
+    }
+
+    ar::util::Rng &rng;
+};
+
+/** Evaluate every output of @p forest per-output via CompiledExpr
+ * and fused via CompiledProgram (scalar and batch), asserting
+ * bitwise agreement on every trial. */
+void
+expectForestBitIdentical(const std::vector<ExprPtr> &forest,
+                         ForestGen &gen, std::size_t trials,
+                         bool specials)
+{
+    CompiledProgram prog(forest);
+    const auto &names = prog.argNames();
+
+    std::vector<std::vector<double>> columns(
+        names.size(), std::vector<double>(trials));
+    for (auto &col : columns)
+        for (auto &v : col)
+            v = gen.value(specials);
+    std::vector<BatchArg> bargs;
+    for (const auto &col : columns)
+        bargs.push_back({col.data(), false});
+
+    std::vector<std::vector<double>> fused(
+        forest.size(), std::vector<double>(trials));
+    std::vector<double *> outs;
+    for (auto &row : fused)
+        outs.push_back(row.data());
+    prog.evalBatch(bargs, trials, outs);
+
+    std::vector<CompiledExpr> naive;
+    for (const auto &e : forest)
+        naive.emplace_back(e);
+
+    std::vector<double> args(names.size());
+    std::vector<double> scalar_out(forest.size());
+    for (std::size_t t = 0; t < trials; ++t) {
+        for (std::size_t a = 0; a < names.size(); ++a)
+            args[a] = columns[a][t];
+        prog.eval(args, scalar_out);
+        for (std::size_t o = 0; o < forest.size(); ++o) {
+            std::vector<double> sub;
+            for (const auto &name : naive[o].argNames())
+                sub.push_back(args[prog.argIndex(name)]);
+            const double want = naive[o].eval(sub);
+            ASSERT_BITEQ(scalar_out[o], want,
+                         "scalar output " << o << " trial " << t
+                                          << " of "
+                                          << toString(forest[o]));
+            ASSERT_BITEQ(fused[o][t], want,
+                         "batch output " << o << " trial " << t
+                                         << " of "
+                                         << toString(forest[o]));
+        }
+    }
+}
+
+} // namespace
+
+TEST(CompiledProgram, MatchesPerOutputTapeOnRandomForests)
+{
+    // The headline property: fused evaluation is 0 ULP from the
+    // per-output tapes on ~1k random argument vectors per phase.
+    ar::util::Rng rng(0x5eed);
+    ForestGen gen(rng);
+    for (int i = 0; i < 40; ++i) {
+        const auto forest = gen.forest(1 + i % 5, 4);
+        expectForestBitIdentical(forest, gen, 32, false);
+    }
+}
+
+TEST(CompiledProgram, MatchesPerOutputTapeWithNaNAndInfInputs)
+{
+    // Same property with NaN, +-Inf and signed-zero inputs: the
+    // optimizer may only rewrite where IEEE special cases agree
+    // bitwise (this is what rules out pow(x,0.5) -> sqrt(x)).
+    ar::util::Rng rng(0x0ddb);
+    ForestGen gen(rng);
+    for (int i = 0; i < 40; ++i) {
+        const auto forest = gen.forest(1 + i % 5, 4);
+        expectForestBitIdentical(forest, gen, 32, true);
+    }
+}
+
+TEST(CompiledProgram, BitIdenticalOnFullHillMarty)
+{
+    // Every derived quantity of the Hill-Marty system, fused into
+    // one program, against its own tape -- the model the Monte-Carlo
+    // acceptance guarantees are stated on.
+    static const char *kOutputs[] = {"Speedup",     "T_seq",
+                                     "T_par",       "P_serial",
+                                     "P_parallel",  "N_total",
+                                     "A_total"};
+    for (const std::size_t k : {1u, 4u}) {
+        auto sys = ar::model::buildHillMartySystem(k);
+        std::vector<ExprPtr> forest;
+        for (const char *name : kOutputs)
+            forest.push_back(sys.resolve(name));
+        ar::util::Rng rng(0x417 + k);
+        ForestGen gen(rng);
+        expectForestBitIdentical(forest, gen, 64, false);
+    }
+}
+
+TEST(CompiledProgram, DiagnosisMatchesPerOutputTape)
+{
+    // The diagnostic tier must attribute faults exactly like the
+    // unfused path: same fault kind, same op index, same label,
+    // same (possibly non-finite) value.
+    ar::util::Rng rng(0xd1a6);
+    ForestGen gen(rng);
+    int faulted = 0;
+    for (int i = 0; i < 150; ++i) {
+        const auto forest = gen.forest(3, 4);
+        CompiledProgram prog(forest);
+        std::vector<double> args(prog.argNames().size());
+        for (auto &v : args)
+            v = gen.value(true);
+        for (std::size_t o = 0; o < forest.size(); ++o) {
+            CompiledExpr naive(forest[o]);
+            std::vector<double> sub;
+            for (const auto &name : naive.argNames())
+                sub.push_back(args[prog.argIndex(name)]);
+            EvalFault want_fault, got_fault;
+            const double want = naive.evalDiagnosed(sub, want_fault);
+            const double got =
+                prog.evalDiagnosed(o, args, got_fault);
+            ASSERT_BITEQ(got, want, toString(forest[o]));
+            ASSERT_EQ(got_fault.faulted, want_fault.faulted);
+            if (want_fault.faulted) {
+                ++faulted;
+                EXPECT_EQ(got_fault.kind, want_fault.kind);
+                EXPECT_EQ(got_fault.op_index, want_fault.op_index);
+                EXPECT_EQ(got_fault.op, want_fault.op);
+            }
+        }
+    }
+    EXPECT_GT(faulted, 20); // the special values must actually bite
+}
+
+TEST(CompiledProgram, CsePinnedOnHillMartySpeedup)
+{
+    // Single output: CSE folds the repeated argument pushes and the
+    // strength reduction turns the three x^-1 divisions into
+    // reciprocals.  Pinned so optimizer regressions are loud.
+    auto sys = ar::model::buildHillMartySystem(4);
+    CompiledProgram prog({sys.resolve("Speedup")});
+    EXPECT_EQ(prog.numOutputs(), 1u);
+    // The naive tape pushes every leaf once per use; the fused tape
+    // materialises each argument and each shared subtree once.
+    EXPECT_EQ(prog.stats().naive_ops, 49u);
+    EXPECT_EQ(prog.tapeLength(), 36u);
+    EXPECT_LE(prog.stats().registers, 16u);
+}
+
+TEST(CompiledProgram, CsePinnedOnHillMartyForest)
+{
+    // Multi-output: T_seq/T_par/P_* are literal subtrees of Speedup,
+    // so fusing all seven outputs should cost only a handful of ops
+    // beyond Speedup alone.
+    static const char *kOutputs[] = {"Speedup",     "T_seq",
+                                     "T_par",       "P_serial",
+                                     "P_parallel",  "N_total",
+                                     "A_total"};
+    auto sys = ar::model::buildHillMartySystem(4);
+    std::vector<ExprPtr> forest;
+    for (const char *name : kOutputs)
+        forest.push_back(sys.resolve(name));
+    CompiledProgram fused(forest);
+    CompiledProgram speedup_only({sys.resolve("Speedup")});
+    EXPECT_EQ(fused.stats().naive_ops, 144u);
+    EXPECT_EQ(fused.tapeLength(), 45u);
+    // A_total is the only subtree Speedup does not embed; everything
+    // else must come from sharing, not recompilation.
+    EXPECT_LE(fused.tapeLength(),
+              speedup_only.tapeLength() + 2 * 4 + 6);
+}
+
+TEST(CompiledProgram, StrengthReductionRules)
+{
+    // pow(x, 0) folds to exactly 1.0 and pow(x, 1) to x for every
+    // input, NaN included -- IEEE 754 mandates both, so they are
+    // checked against std::pow directly.  pow(x, 2) and pow(x, -1)
+    // lower to x*x and 1/x; glibc's pow is NOT correctly rounded
+    // (~1 in 2400 / ~1 in 600 random inputs differ by 1 ulp from the
+    // lowered form), so those are checked against the reference
+    // tape, which lowers the same literal-exponent shapes.
+    const auto x = Expr::symbol("x");
+    CompiledProgram prog({Expr::pow(x, Expr::constant(0.0)),
+                          Expr::pow(x, Expr::constant(1.0)),
+                          Expr::pow(x, Expr::constant(2.0)),
+                          Expr::pow(x, Expr::constant(-1.0)),
+                          Expr::pow(x, Expr::constant(0.5))});
+    static const double kInputs[] = {
+        3.0, -2.5, 0.0, -0.0, 1e300, -1e300,
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+    };
+    std::vector<double> out(5);
+    for (const double v : kInputs) {
+        prog.eval(std::vector<double>{v}, out);
+        ASSERT_BITEQ(out[0], std::pow(v, 0.0), "pow(x,0) at " << v);
+        if (!std::isnan(v)) // payload aside, pow(NaN,1) is NaN
+            ASSERT_BITEQ(out[1], std::pow(v, 1.0),
+                         "pow(x,1) at " << v);
+        for (std::size_t o = 0; o < 5; ++o) {
+            CompiledExpr naive(prog.source(o));
+            const double want =
+                naive.argNames().empty()
+                    ? naive.eval({})
+                    : naive.eval(std::vector<double>{v});
+            ASSERT_BITEQ(out[o], want,
+                         "output " << o << " at " << v);
+        }
+    }
+
+    // A computed exponent that merely equals 2.0 at run time must
+    // keep pow() semantics: the lowering is keyed on the source
+    // shape, not the folded value.
+    CompiledProgram computed(
+        {Expr::pow(x, Expr::add(Expr::constant(1.0),
+                                Expr::constant(1.0)))});
+    std::vector<double> cout(1);
+    for (const double v : kInputs) {
+        computed.eval(std::vector<double>{v}, cout);
+        if (!std::isnan(v))
+            ASSERT_BITEQ(cout[0], std::pow(v, 2.0),
+                         "computed exponent at " << v);
+    }
+}
+
+TEST(CompiledProgram, NeutralElementPruningPreservesZeroSigns)
+{
+    // x + 0.0 canonicalises -0.0 to +0.0; x + -0.0 and x * 1.0 are
+    // exact identities.  The pruner must preserve all three.
+    const auto x = Expr::symbol("x");
+    CompiledProgram prog({
+        parseExpr("x + 0.0"),
+        Expr::add(x, Expr::constant(-0.0)),
+        parseExpr("x * 1.0"),
+        Expr::add({x, Expr::constant(0.0), Expr::symbol("y"),
+                   Expr::constant(-0.0)}),
+    });
+    CompiledExpr n0(prog.source(0)), n1(prog.source(1)),
+        n2(prog.source(2)), n3(prog.source(3));
+    for (const double v : {1.5, -0.0, 0.0, -2.0}) {
+        for (const double w : {-0.0, 0.0, 2.0}) {
+            const double args[] = {v, w};
+            std::vector<double> out(4);
+            prog.eval(args, out);
+            ASSERT_BITEQ(out[0], n0.eval({args, 1}), "x+0 " << v);
+            ASSERT_BITEQ(out[1], n1.eval({args, 1}), "x+-0 " << v);
+            ASSERT_BITEQ(out[2], n2.eval({args, 1}), "x*1 " << v);
+            ASSERT_BITEQ(out[3], n3.eval({args, 2}),
+                         "x+0+y+-0 " << v << "," << w);
+        }
+    }
+}
+
+TEST(CompiledProgram, HandlesDegenerateOutputs)
+{
+    // Bare symbols, constants, and duplicate outputs exercise the
+    // root-plumbing epilogue (argument roots and shared roots are
+    // copied, everything else writes its column directly).
+    const auto e = parseExpr("x * y + 2");
+    CompiledProgram prog({Expr::symbol("x"), Expr::constant(7.5), e,
+                          e, Expr::symbol("x")});
+    ASSERT_EQ(prog.numOutputs(), 5u);
+    ASSERT_EQ(prog.argNames(),
+              (std::vector<std::string>{"x", "y"}));
+
+    constexpr std::size_t kTrials = 9;
+    std::vector<double> xs(kTrials), ys(kTrials);
+    for (std::size_t t = 0; t < kTrials; ++t) {
+        xs[t] = 0.5 * static_cast<double>(t);
+        ys[t] = 2.0 - static_cast<double>(t);
+    }
+    const std::vector<BatchArg> bargs{{xs.data(), false},
+                                      {ys.data(), false}};
+    std::vector<std::vector<double>> rows(
+        5, std::vector<double>(kTrials));
+    std::vector<double *> outs;
+    for (auto &row : rows)
+        outs.push_back(row.data());
+    prog.evalBatch(bargs, kTrials, outs);
+    for (std::size_t t = 0; t < kTrials; ++t) {
+        EXPECT_EQ(rows[0][t], xs[t]);
+        EXPECT_EQ(rows[1][t], 7.5);
+        EXPECT_EQ(rows[2][t], xs[t] * ys[t] + 2.0);
+        EXPECT_EQ(rows[3][t], rows[2][t]);
+        EXPECT_EQ(rows[4][t], xs[t]);
+    }
+
+    // Zero trials is a no-op, not an error.
+    prog.evalBatch(bargs, 0, outs);
+}
+
+TEST(CompiledProgram, BroadcastArgumentsMatchColumns)
+{
+    const auto forest = std::vector<ExprPtr>{
+        parseExpr("a * x + b"), parseExpr("max(a, x) / b")};
+    CompiledProgram prog(forest);
+    constexpr std::size_t kTrials = 16;
+    const double a_fixed = 1.25, b_fixed = -2.0;
+    std::vector<double> xs(kTrials);
+    for (std::size_t t = 0; t < kTrials; ++t)
+        xs[t] = 0.3 * static_cast<double>(t) - 1.0;
+
+    const std::vector<BatchArg> bargs{{&a_fixed, true},
+                                      {&b_fixed, true},
+                                      {xs.data(), false}};
+    std::vector<std::vector<double>> rows(
+        2, std::vector<double>(kTrials));
+    prog.evalBatch(bargs, kTrials,
+                   std::vector<double *>{rows[0].data(),
+                                         rows[1].data()});
+    for (std::size_t t = 0; t < kTrials; ++t) {
+        const std::vector<double> args{a_fixed, b_fixed, xs[t]};
+        std::vector<double> want(2);
+        prog.eval(args, want);
+        ASSERT_BITEQ(rows[0][t], want[0], "broadcast trial " << t);
+        ASSERT_BITEQ(rows[1][t], want[1], "broadcast trial " << t);
+    }
+}
+
+/**
+ * Regression: batch evaluation aliases non-broadcast argument
+ * registers to the caller's input columns for the WHOLE tape, so the
+ * register allocator must never hand an argument's register to a
+ * scratch value -- not even in the gap before the Arg op's tape
+ * position.  This forest (the Sobol pick-freeze shape) used to place
+ * an intermediate product in x!B's register, clobbering the caller's
+ * column and corrupting every output that read x!B afterwards.
+ */
+TEST(CompiledProgram, BatchNeverWritesCallerInputColumns)
+{
+    const auto forest = std::vector<ExprPtr>{
+        parseExpr("log(x) * y + x / (y + 4)"),
+        parseExpr("log(xB) * yB + xB / (yB + 4)"),
+        parseExpr("log(xB) * y + xB / (y + 4)"),
+        parseExpr("log(x) * yB + x / (yB + 4)")};
+    CompiledProgram prog(forest);
+    ASSERT_EQ(prog.argNames(),
+              (std::vector<std::string>{"x", "xB", "y", "yB"}));
+
+    constexpr std::size_t kTrials = 64;
+    std::vector<std::vector<double>> cols(
+        4, std::vector<double>(kTrials));
+    ar::util::Rng rng(99);
+    for (auto &col : cols)
+        for (auto &v : col)
+            v = rng.uniform(0.5, 12.0);
+    const auto saved = cols;
+
+    std::vector<BatchArg> bargs;
+    for (const auto &col : cols)
+        bargs.push_back({col.data(), false});
+    std::vector<std::vector<double>> rows(
+        4, std::vector<double>(kTrials));
+    prog.evalBatch(bargs, kTrials,
+                   std::vector<double *>{rows[0].data(),
+                                         rows[1].data(),
+                                         rows[2].data(),
+                                         rows[3].data()});
+
+    // Input columns must be untouched ...
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_EQ(cols[d], saved[d]) << "input column " << d;
+    // ... and every output must match the scalar tier computed from
+    // the original values.
+    for (std::size_t t = 0; t < kTrials; ++t) {
+        const std::vector<double> args{saved[0][t], saved[1][t],
+                                       saved[2][t], saved[3][t]};
+        std::vector<double> want(4);
+        prog.eval(args, want);
+        for (std::size_t o = 0; o < 4; ++o)
+            ASSERT_BITEQ(rows[o][t], want[o],
+                         "output " << o << " trial " << t);
+    }
+}
+
+TEST(CompiledProgram, ExplicitWorkspaceReusesAllocation)
+{
+    auto sys = ar::model::buildHillMartySystem(3);
+    CompiledProgram prog({sys.resolve("Speedup"),
+                          sys.resolve("T_seq")});
+    constexpr std::size_t kTrials = 64;
+    std::vector<std::vector<double>> columns(
+        prog.argNames().size(),
+        std::vector<double>(kTrials, 2.0));
+    std::vector<BatchArg> bargs;
+    for (const auto &col : columns)
+        bargs.push_back({col.data(), false});
+    std::vector<std::vector<double>> rows(
+        2, std::vector<double>(kTrials));
+    const std::vector<double *> outs{rows[0].data(),
+                                     rows[1].data()};
+
+    EvalWorkspace ws;
+    prog.evalBatch(bargs, kTrials, outs, ws);
+    EXPECT_EQ(ws.inUse(), 0u);
+    const auto cap = ws.capacity();
+    EXPECT_GT(cap, 0u);
+    const auto first = rows[0];
+    for (int i = 0; i < 10; ++i)
+        prog.evalBatch(bargs, kTrials, outs, ws);
+    EXPECT_EQ(ws.capacity(), cap); // steady state: no growth
+    EXPECT_EQ(rows[0], first);
+}
+
+TEST(EvalWorkspace, WindowsNestAndSurviveGrowth)
+{
+    EvalWorkspace ws;
+    double *outer = ws.acquire(4);
+    for (int i = 0; i < 4; ++i)
+        outer[i] = 10.0 + i;
+    // A much larger inner window forces reallocation; the outer
+    // window's contents must survive (the evaluators rely on this
+    // for nested evaluation on one thread).
+    double *inner = ws.acquire(4096);
+    inner[0] = -1.0;
+    ws.release(4096);
+    outer = ws.acquire(0) - 4; // current top is the outer window end
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(outer[i], 10.0 + i);
+    ws.release(0);
+    ws.release(4);
+    EXPECT_EQ(ws.inUse(), 0u);
+}
+
+TEST(CompiledExpr, ExplicitWorkspaceMatchesDefault)
+{
+    auto sys = ar::model::buildHillMartySystem(2);
+    CompiledExpr fn(sys.resolve("Speedup"));
+    std::vector<double> args(fn.argNames().size(), 2.0);
+    EvalWorkspace ws;
+    const double a = fn.eval(args);
+    const double b = fn.eval(args, ws);
+    ASSERT_BITEQ(a, b, "workspace eval");
+    EXPECT_EQ(ws.inUse(), 0u);
+
+    constexpr std::size_t kTrials = 32;
+    std::vector<std::vector<double>> columns(
+        args.size(), std::vector<double>(kTrials, 2.0));
+    std::vector<BatchArg> bargs;
+    for (const auto &col : columns)
+        bargs.push_back({col.data(), false});
+    std::vector<double> out1(kTrials), out2(kTrials);
+    fn.evalBatch(bargs, kTrials, out1.data());
+    fn.evalBatch(bargs, kTrials, out2.data(), ws);
+    EXPECT_EQ(out1, out2);
+    EXPECT_EQ(ws.inUse(), 0u);
+}

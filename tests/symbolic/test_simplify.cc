@@ -127,3 +127,59 @@ TEST(EvalConstant, FreeSymbolIsFatal)
     EXPECT_THROW(evalConstant(parseExpr("x + 1")),
                  ar::util::FatalError);
 }
+
+TEST(Simplify, ConstantFoldOrderIsCanonical)
+{
+    // Pre-fix repro: the factory sorts Mul(0.1, 1) behind the plain
+    // constants, so simplify folded 0.2 + 0.7 before + 0.1 and got
+    // 0.99999999999999989 while the flat spelling got 1.  Folding
+    // must re-sort the simplified operands so algebraically-equal
+    // inputs produce bit-identical constants.
+    const auto x = Expr::symbol("x");
+    const auto assoc = Expr::add(
+        {x, Expr::mul(Expr::constant(0.1), Expr::constant(1.0)),
+         Expr::constant(0.2), Expr::constant(0.7)});
+    const auto flat = Expr::add({x, Expr::constant(0.1),
+                                 Expr::constant(0.2),
+                                 Expr::constant(0.7)});
+    EXPECT_TRUE(Expr::equal(simplify(assoc), simplify(flat)))
+        << toString(simplify(assoc)) << " vs "
+        << toString(simplify(flat));
+
+    // Nested spelling of the same sum.
+    const auto nested = Expr::add(
+        Expr::mul(Expr::constant(1.0),
+                  Expr::add({x, Expr::constant(0.1),
+                             Expr::constant(0.2)})),
+        Expr::constant(0.7));
+    EXPECT_TRUE(Expr::equal(simplify(nested), simplify(flat)));
+}
+
+TEST(Simplify, MulConstantFoldOrderIsCanonical)
+{
+    const auto x = Expr::symbol("x");
+    const auto assoc = Expr::mul(
+        {x, Expr::add(Expr::constant(0.1), Expr::constant(0.0)),
+         Expr::constant(0.2), Expr::constant(0.7)});
+    const auto flat = Expr::mul({x, Expr::constant(0.1),
+                                 Expr::constant(0.2),
+                                 Expr::constant(0.7)});
+    EXPECT_TRUE(Expr::equal(simplify(assoc), simplify(flat)));
+}
+
+TEST(Simplify, RepeatedSymbolicExponentsFoldInOnePass)
+{
+    // x^a * x^a must reach x^(2*a) directly; it used to stop at
+    // x^(a + a), so simplify was not idempotent.
+    const auto e = simp("x^a * x^a");
+    EXPECT_EQ(toString(e), "x^(2 * a)");
+    EXPECT_TRUE(Expr::equal(e, simplify(e)));
+}
+
+TEST(Simplify, MergedConstantBasePowersFold)
+{
+    // 2^a-style merges whose exponent folds to a constant must land
+    // in the constant accumulator, not survive as 2^3.
+    const auto e = simp("2^x * 2^(3 - x) * y");
+    EXPECT_EQ(toString(e), "8 * y");
+}

@@ -93,6 +93,17 @@ main(int argc, char **argv)
             }
         }
 
+        if (!res.co_outputs.empty()) {
+            std::printf("co-outputs (fused propagation):\n");
+            for (const auto &co : res.co_outputs) {
+                std::printf("  %-17s : mean %.6g, stddev %.6g, "
+                            "range [%.6g, %.6g]\n",
+                            co.name.c_str(), co.summary.mean,
+                            co.summary.stddev, co.summary.min,
+                            co.summary.max);
+            }
+        }
+
         if (!opts.getFlag("quiet")) {
             std::printf("\n%s",
                         ar::report::histogramChart(
