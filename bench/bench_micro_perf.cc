@@ -21,6 +21,8 @@
 #include "model/app.hh"
 #include "model/hill_marty.hh"
 #include "model/uncertainty.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/fault.hh"
 #include "risk/risk_function.hh"
 #include "stats/boxcox.hh"
@@ -469,6 +471,56 @@ BENCHMARK(BM_DesignSpaceSweep)
     ->Args({500, 2})
     ->Args({500, 4})
     ->Args({500, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TelemetryDisabledOverhead(benchmark::State &state)
+{
+    // The acceptance bar for ar::obs: with telemetry off, a fully
+    // instrumented propagation is the same propagation plus one
+    // relaxed atomic load and a predicted branch per hook.  Compare
+    // against BM_Propagation/10000/1 in BENCH_BASELINE.json.
+    ar::obs::setMetricsEnabled(false);
+    ar::obs::setTracingEnabled(false);
+    const auto config = ar::model::heteroCores();
+    const auto app = ar::model::appLPHC();
+    ar::core::Framework fw({10000, "latin-hypercube", 1});
+    fw.setSystem(ar::model::buildHillMartySystem(config.numTypes()));
+    const auto in = ar::model::groundTruthBindings(
+        config, app, ar::model::UncertaintySpec::all(0.2));
+    std::uint64_t seed = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fw.propagate("Speedup", in, seed++));
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TelemetryDisabledOverhead)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TelemetryEnabledOverhead(benchmark::State &state)
+{
+    // Same workload with both sinks hot, to quantify the enabled
+    // cost (per-thread shard bumps + per-phase clock reads).
+    ar::obs::setMetricsEnabled(true);
+    ar::obs::setTracingEnabled(true);
+    const auto config = ar::model::heteroCores();
+    const auto app = ar::model::appLPHC();
+    ar::core::Framework fw({10000, "latin-hypercube", 1});
+    fw.setSystem(ar::model::buildHillMartySystem(config.numTypes()));
+    const auto in = ar::model::groundTruthBindings(
+        config, app, ar::model::UncertaintySpec::all(0.2));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fw.propagate("Speedup", in, seed++));
+        ar::obs::clearTrace(); // don't let the span buffer hit cap
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+    ar::obs::setMetricsEnabled(false);
+    ar::obs::setTracingEnabled(false);
+    ar::obs::MetricsRegistry::global().reset();
+    ar::obs::clearTrace();
+}
+BENCHMARK(BM_TelemetryEnabledOverhead)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -6,8 +6,11 @@ Two kinds of checks, both driven by files produced with
 
 * **Regression check** (needs ``--baseline``): every benchmark present
   in both files must not be slower than ``(1 + threshold)`` times its
-  baseline cpu_time.  Benchmarks that exist on only one side are
-  reported but never fail the run (the suite is allowed to grow).
+  baseline cpu_time.  Benchmarks that exist on only one side never
+  fail the run: new names are informational (the suite is allowed to
+  grow) and baseline names missing from the current run (renamed or
+  removed benches) are downgraded to a ``missing-from-current``
+  warning, counted in the summary line.
 
 * **Speedup assertions** (``--speedup SLOW:FAST:MIN_RATIO``,
   repeatable): within the *current* run, cpu_time(SLOW) /
@@ -84,6 +87,9 @@ def main(argv=None):
 
     current = load_benchmarks(args.current)
     failures = []
+    warnings = []
+    compared = regressions = new_names = 0
+    missing_from_current = []
 
     if args.baseline:
         baseline = load_benchmarks(args.baseline)
@@ -93,9 +99,11 @@ def main(argv=None):
         for name in shared:
             old, new = baseline[name], current[name]
             rel = (new - old) / old
+            compared += 1
             status = "ok"
             if rel > args.threshold:
                 status = "REGRESSION"
+                regressions += 1
                 failures.append(
                     "%s: %s -> %s (%+.1f%% > %+.1f%% allowed)"
                     % (name, fmt_ns(old), fmt_ns(new), 100 * rel,
@@ -103,15 +111,21 @@ def main(argv=None):
             print("%-44s %10s -> %10s  %+6.1f%%  %s"
                   % (name, fmt_ns(old), fmt_ns(new), 100 * rel, status))
         for name in sorted(set(current) - set(baseline)):
+            new_names += 1
             print("%-44s (new, no baseline)" % name)
-        for name in sorted(set(baseline) - set(current)):
-            print("%-44s (in baseline only)" % name)
+        missing_from_current = sorted(set(baseline) - set(current))
+        for name in missing_from_current:
+            print("%-44s (in baseline only)  WARNING" % name)
+            warnings.append(
+                "missing-from-current: %s (in baseline, not in this "
+                "run; renamed or removed?)" % name)
 
     for slow, fast, min_ratio in args.speedup:
         missing = [n for n in (slow, fast) if n not in current]
         if missing:
-            failures.append("speedup check: missing benchmark(s) %s"
-                            % ", ".join(missing))
+            warnings.append(
+                "missing-from-current: speedup check %s/%s skipped "
+                "(missing %s)" % (slow, fast, ", ".join(missing)))
             continue
         ratio = current[slow] / current[fast]
         ok = ratio >= min_ratio
@@ -122,6 +136,15 @@ def main(argv=None):
             failures.append("speedup %s/%s = %.2fx < %.2fx"
                             % (slow, fast, ratio, min_ratio))
 
+    print("summary: %d compared, %d regression(s), %d "
+          "missing-from-current (warned), %d new"
+          % (compared, regressions, len(missing_from_current),
+             new_names))
+
+    if warnings:
+        print("\n%d warning(s):" % len(warnings), file=sys.stderr)
+        for w in warnings:
+            print("  " + w, file=sys.stderr)
     if failures:
         print("\n%d violation(s):" % len(failures), file=sys.stderr)
         for f in failures:

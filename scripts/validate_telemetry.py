@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts produced by the archrisk CLI.
+
+Usage:
+    validate_telemetry.py --metrics METRICS.json [--schema SCHEMA.json]
+                          [--trace TRACE.json]
+
+Checks the --metrics-json output against scripts/metrics_schema.json
+and sanity-checks the --trace-out file as a Chrome trace_event
+document.  Stdlib only -- no jsonschema dependency: this implements
+exactly the subset of JSON Schema draft-07 that metrics_schema.json
+uses (type / const / minimum / required / properties /
+additionalProperties / items / minItems).
+
+Exit code 0 on success, 1 on any validation failure.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, names):
+    if isinstance(names, str):
+        names = [names]
+    for name in names:
+        py = _TYPES[name]
+        if isinstance(value, py):
+            # bool is an int subclass; don't let True pass as integer.
+            if name in ("integer", "number") and isinstance(value, bool):
+                continue
+            return True
+    return False
+
+
+def validate(value, schema, path, errors):
+    """Recursively check *value* against *schema*, appending messages
+    for every violation to *errors*."""
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(
+            "%s: expected %s, got %s"
+            % (path, schema["type"], type(value).__name__)
+        )
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(
+            "%s: expected %r, got %r" % (path, schema["const"], value)
+        )
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(
+                "%s: %r below minimum %r"
+                % (path, value, schema["minimum"])
+            )
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required key '%s'" % (path, key))
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            sub_path = "%s.%s" % (path, key)
+            if key in props:
+                validate(sub, props[key], sub_path, errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, sub_path, errors)
+            elif extra is False:
+                errors.append("%s: unexpected key" % sub_path)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                "%s: %d item(s), expected at least %d"
+                % (path, len(value), schema["minItems"])
+            )
+        item_schema = schema.get("items")
+        if isinstance(item_schema, dict):
+            for i, item in enumerate(value):
+                validate(item, item_schema, "%s[%d]" % (path, i), errors)
+
+
+def check_metrics(metrics_path, schema_path, errors):
+    with open(metrics_path) as fh:
+        metrics = json.load(fh)
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    validate(metrics, schema, "metrics", errors)
+    if not errors and not metrics.get("counters"):
+        errors.append("metrics.counters: empty -- no hook ever fired")
+    # Internal consistency: a histogram's count is the bucket total.
+    for name, hist in metrics.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            continue
+        counts = hist.get("counts", [])
+        bounds = hist.get("bounds", [])
+        if len(counts) != len(bounds) + 1:
+            errors.append(
+                "metrics.histograms.%s: %d counts for %d bounds "
+                "(want bounds+1)" % (name, len(counts), len(bounds))
+            )
+        if all(isinstance(c, int) for c in counts) and sum(
+            counts
+        ) != hist.get("count"):
+            errors.append(
+                "metrics.histograms.%s: count %r != bucket sum %d"
+                % (name, hist.get("count"), sum(counts))
+            )
+    return metrics
+
+
+def check_trace(trace_path, errors):
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    if not isinstance(trace, dict):
+        errors.append("trace: top level must be an object")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("trace.traceEvents: missing or not an array")
+        return
+    if not events:
+        errors.append("trace.traceEvents: empty -- no span recorded")
+    for i, ev in enumerate(events):
+        where = "trace.traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for key, kind in (
+            ("name", str),
+            ("ph", str),
+            ("pid", int),
+            ("tid", int),
+            ("ts", (int, float)),
+            ("dur", (int, float)),
+        ):
+            if not isinstance(ev.get(key), kind):
+                errors.append("%s: bad or missing '%s'" % (where, key))
+        if ev.get("ph") != "X":
+            errors.append("%s: expected complete event ph 'X'" % where)
+    dropped = trace.get("droppedEvents", 0)
+    if dropped:
+        errors.append("trace: %r events were dropped" % dropped)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", required=True)
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "metrics_schema.json",
+        ),
+    )
+    parser.add_argument("--trace")
+    args = parser.parse_args(argv)
+
+    errors = []
+    metrics = check_metrics(args.metrics, args.schema, errors)
+    if args.trace:
+        check_trace(args.trace, errors)
+
+    if errors:
+        for message in errors:
+            print("FAIL %s" % message, file=sys.stderr)
+        return 1
+    n_hist = len(metrics.get("histograms", {}))
+    print(
+        "ok: %d counters, %d gauges, %d histograms%s"
+        % (
+            len(metrics.get("counters", {})),
+            len(metrics.get("gauges", {})),
+            n_hist,
+            " + trace valid" if args.trace else "",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,9 +1,43 @@
 #include "core/framework.hh"
 
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace ar::core
 {
+
+namespace
+{
+
+struct CoreMetrics
+{
+    obs::Counter expr_cache_hits = obs::MetricsRegistry::global()
+                                       .counter("core.expr_cache.hits");
+    obs::Counter expr_cache_misses =
+        obs::MetricsRegistry::global().counter(
+            "core.expr_cache.misses");
+    obs::Counter prog_cache_hits = obs::MetricsRegistry::global()
+                                       .counter("core.prog_cache.hits");
+    obs::Counter prog_cache_misses =
+        obs::MetricsRegistry::global().counter(
+            "core.prog_cache.misses");
+    obs::Counter analyses =
+        obs::MetricsRegistry::global().counter("core.analyses");
+    obs::Counter compile_ns =
+        obs::MetricsRegistry::global().counter("core.compile_ns");
+    obs::Counter reduce_ns =
+        obs::MetricsRegistry::global().counter("core.reduce_ns");
+};
+
+CoreMetrics &
+coreMetrics()
+{
+    static CoreMetrics m;
+    return m;
+}
+
+} // namespace
 
 Framework::Framework(ar::mc::PropagationConfig cfg)
     : propagator(std::move(cfg))
@@ -30,8 +64,14 @@ Framework::system() const
 const ar::symbolic::CompiledExpr &
 Framework::compiled(const std::string &responsive) const
 {
-    if (auto it = cache.find(responsive); it != cache.end())
+    if (auto it = cache.find(responsive); it != cache.end()) {
+        if (obs::metricsEnabled())
+            coreMetrics().expr_cache_hits.add();
         return it->second;
+    }
+    if (obs::metricsEnabled())
+        coreMetrics().expr_cache_misses.add();
+    obs::ScopedPhase phase("core.compile", coreMetrics().compile_ns);
     const auto resolved = system().resolve(responsive);
     auto [it, inserted] = cache.emplace(
         responsive, ar::symbolic::CompiledExpr(resolved));
@@ -44,8 +84,14 @@ Framework::program(const std::vector<std::string> &responsives) const
     if (responsives.empty())
         ar::util::fatal("Framework::program: no responsive variables");
     if (auto it = prog_cache.find(responsives);
-        it != prog_cache.end())
+        it != prog_cache.end()) {
+        if (obs::metricsEnabled())
+            coreMetrics().prog_cache_hits.add();
         return it->second;
+    }
+    if (obs::metricsEnabled())
+        coreMetrics().prog_cache_misses.add();
+    obs::ScopedPhase phase("core.compile", coreMetrics().compile_ns);
     std::vector<ar::symbolic::ExprPtr> forest;
     forest.reserve(responsives.size());
     for (const auto &responsive : responsives)
@@ -79,12 +125,16 @@ Framework::analyze(const std::string &responsive,
                    const ar::risk::RiskFunction &fn, double reference,
                    std::uint64_t seed) const
 {
+    obs::TraceSpan span("core.analyze");
+    if (obs::metricsEnabled())
+        coreMetrics().analyses.add();
     AnalysisResult res;
     ar::util::Rng rng(seed);
     auto prop = propagator.runManyReport({&compiled(responsive)}, in,
                                          rng);
     res.samples = std::move(prop.samples.front());
     res.faults = std::move(prop.faults);
+    obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
     res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
     res.risk = ar::risk::archRisk(res.samples, reference, fn);
@@ -97,12 +147,16 @@ Framework::analyzeMulti(const std::vector<std::string> &responsives,
                         const ar::risk::RiskFunction &fn,
                         double reference, std::uint64_t seed) const
 {
+    obs::TraceSpan span("core.analyze_multi");
+    if (obs::metricsEnabled())
+        coreMetrics().analyses.add();
     AnalysisResult res;
     ar::util::Rng rng(seed);
     auto prop = propagator.runMultiReport(program(responsives), in,
                                           rng);
     res.samples = std::move(prop.samples.front());
     res.faults = std::move(prop.faults);
+    obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
     res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
     res.risk = ar::risk::archRisk(res.samples, reference, fn);

@@ -10,6 +10,7 @@
 #include "dist/lognormal.hh"
 #include "dist/normal.hh"
 #include "extract/extract.hh"
+#include "obs/telemetry.hh"
 #include "symbolic/parser.hh"
 #include "util/diagnostics.hh"
 #include "util/io.hh"
@@ -286,6 +287,24 @@ parseSpec(const std::string &text)
                        "unknown fault policy '" + tokens[1].text +
                            "' (fail_fast|discard|saturate)");
             }
+        } else if (cmd == "telemetry") {
+            expectArgs(tokens, 2, ctx);
+            const std::string &mode = tokens[1].text;
+            if (mode == "off") {
+                spec.telemetry_metrics = false;
+                spec.telemetry_trace = false;
+            } else if (mode == "metrics") {
+                spec.telemetry_metrics = true;
+            } else if (mode == "trace") {
+                spec.telemetry_trace = true;
+            } else if (mode == "all") {
+                spec.telemetry_metrics = true;
+                spec.telemetry_trace = true;
+            } else {
+                failAt(ctx, tokens[1].col,
+                       "unknown telemetry mode '" + mode +
+                           "' (off|metrics|trace|all)");
+            }
         } else {
             failAt(ctx, tokens[0].col,
                    "unknown directive '" + cmd + "'");
@@ -327,6 +346,13 @@ loadSpecFile(const std::string &path)
 AnalysisResult
 runSpec(const AnalysisSpec &spec)
 {
+    // The spec can opt *in* to telemetry but never turns it off:
+    // the CLI / embedding application owns the flag lifecycle.
+    if (spec.telemetry_metrics)
+        ar::obs::setMetricsEnabled(true);
+    if (spec.telemetry_trace)
+        ar::obs::setTracingEnabled(true);
+
     Framework fw({spec.trials, "latin-hypercube", spec.threads,
                   spec.fault_policy});
 

@@ -24,6 +24,7 @@
  *   seed 7
  *   threads 4                       # workers; 0 = all cores
  *   fault_policy fail_fast          # fail_fast|discard|saturate
+ *   telemetry metrics               # off|metrics|trace|all
  *
  * '#' starts a comment anywhere on a line (inline comments included).
  *
@@ -74,6 +75,15 @@ struct AnalysisSpec
 
     /** Handling of trials with non-finite outputs. */
     ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
+
+    /**
+     * Telemetry requested by the spec's `telemetry` directive.
+     * runSpec() only ever *enables* the corresponding sinks -- the
+     * CLI (or embedding application) owns the flag lifecycle and
+     * decides where scraped data goes.
+     */
+    bool telemetry_metrics = false;
+    bool telemetry_trace = false;
 };
 
 /**

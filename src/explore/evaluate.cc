@@ -9,6 +9,8 @@
 #include "math/numeric.hh"
 #include "model/hill_marty.hh"
 #include "model/yield.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "risk/arch_risk.hh"
 #include "symbolic/substitute.hh"
 #include "util/logging.hh"
@@ -20,6 +22,37 @@ namespace ar::explore
 
 namespace
 {
+
+struct SweepMetrics
+{
+    obs::Counter runs =
+        obs::MetricsRegistry::global().counter("sweep.runs");
+    obs::Counter designs =
+        obs::MetricsRegistry::global().counter("sweep.designs");
+    obs::Counter designs_done =
+        obs::MetricsRegistry::global().counter("sweep.designs_done");
+    obs::Counter trials =
+        obs::MetricsRegistry::global().counter("sweep.trials");
+    obs::Counter program_ops =
+        obs::MetricsRegistry::global().counter("sweep.program_ops");
+    obs::Counter cse_saved_ops =
+        obs::MetricsRegistry::global().counter("sweep.cse_saved_ops");
+    obs::Counter pools_ns =
+        obs::MetricsRegistry::global().counter("sweep.pools_ns");
+    obs::Counter compile_ns =
+        obs::MetricsRegistry::global().counter("sweep.compile_ns");
+    obs::Counter eval_ns =
+        obs::MetricsRegistry::global().counter("sweep.eval_ns");
+    obs::Counter stats_ns =
+        obs::MetricsRegistry::global().counter("sweep.stats_ns");
+};
+
+SweepMetrics &
+sweepMetrics()
+{
+    static SweepMetrics m;
+    return m;
+}
 
 /** Stratified (one-dimensional Latin hypercube) pool of draws. */
 std::vector<double>
@@ -79,6 +112,7 @@ DesignSpaceEvaluator::makePool(const ar::dist::Distribution &truth,
 void
 DesignSpaceEvaluator::buildPools()
 {
+    obs::ScopedPhase phase("sweep.pools", sweepMetrics().pools_ns);
     ar::util::Rng rng(cfg.seed);
     const std::size_t trials = cfg.trials;
     const double inf = std::numeric_limits<double>::infinity();
@@ -212,6 +246,8 @@ DesignSpaceEvaluator::buildFusedProgram()
 {
     if (fused_prog_)
         return;
+    obs::ScopedPhase phase("sweep.compile",
+                           sweepMetrics().compile_ns);
 
     // Resolved symbolic speedup per distinct type count; designs
     // with the same k share the resolved tree and differ only in
@@ -254,6 +290,12 @@ DesignSpaceEvaluator::buildFusedProgram()
     }
     fused_prog_ = std::make_unique<ar::symbolic::CompiledProgram>(
         std::move(forest));
+    if (obs::metricsEnabled()) {
+        const auto &stats = fused_prog_->stats();
+        sweepMetrics().program_ops.add(stats.program_ops);
+        sweepMetrics().cse_saved_ops.add(stats.naive_ops -
+                                         stats.program_ops);
+    }
     fused_cols_.clear();
     fused_cols_.reserve(fused_prog_->argNames().size());
     for (const auto &name : fused_prog_->argNames())
@@ -267,6 +309,12 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     if (reference_speedup <= 0.0)
         ar::util::fatal("DesignSpaceEvaluator: reference speedup must "
                         "be positive, got ", reference_speedup);
+    obs::TraceSpan run_span("sweep.evaluate_all");
+    if (obs::metricsEnabled()) {
+        sweepMetrics().runs.add();
+        sweepMetrics().designs.add(designs.size());
+        sweepMetrics().trials.add(cfg.trials);
+    }
     const std::size_t trials = cfg.trials;
     std::vector<DesignOutcome> outcomes(designs.size());
     if (cfg.keep_samples)
@@ -282,6 +330,7 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     std::vector<std::vector<double>> all(designs.size());
     if (cfg.backend == SweepBackend::FusedProgram) {
         buildFusedProgram();
+        obs::ScopedPhase phase("sweep.eval", sweepMetrics().eval_ns);
         for (auto &samples : all)
             samples.resize(trials);
         // One fused pass per trial block computes every design; the
@@ -310,6 +359,7 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     } else {
         // Designs only read the shared pools, so the sweep
         // parallelizes over designs; every buffer is per-design.
+        obs::ScopedPhase phase("sweep.eval", sweepMetrics().eval_ns);
         ar::util::parallelFor(cfg.threads, designs.size(),
                               [&](std::size_t d) {
             std::vector<std::size_t> size_index;
@@ -369,27 +419,33 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
 
     // Phase 2: per-design fault scan and statistics (shared by both
     // backends).
-    ar::util::parallelFor(cfg.threads, designs.size(),
-                          [&](std::size_t d) {
-        auto &samples = all[d];
-        DesignOutcome &out = outcomes[d];
-        out.design_index = d;
-        out.effective_trials = trials;
-        for (std::size_t t = 0; t < trials; ++t) {
-            if (!std::isfinite(samples[t]))
-                bad_trials[d].push_back(t);
-        }
-        if (!bad_trials[d].empty()) {
-            // Stats deferred to the serial fault post-pass.
-            deferred[d] = std::move(samples);
-            return;
-        }
-        out.expected = ar::math::mean(samples);
-        out.stddev = trials > 1 ? ar::math::stddev(samples) : 0.0;
-        out.risk = ar::risk::archRisk(samples, 1.0, fn);
-        if (cfg.keep_samples)
-            kept[d] = std::move(samples);
-    });
+    {
+        obs::ScopedPhase phase("sweep.stats",
+                               sweepMetrics().stats_ns);
+        ar::util::parallelFor(cfg.threads, designs.size(),
+                              [&](std::size_t d) {
+            auto &samples = all[d];
+            DesignOutcome &out = outcomes[d];
+            out.design_index = d;
+            out.effective_trials = trials;
+            for (std::size_t t = 0; t < trials; ++t) {
+                if (!std::isfinite(samples[t]))
+                    bad_trials[d].push_back(t);
+            }
+            if (obs::metricsEnabled())
+                sweepMetrics().designs_done.add();
+            if (!bad_trials[d].empty()) {
+                // Stats deferred to the serial fault post-pass.
+                deferred[d] = std::move(samples);
+                return;
+            }
+            out.expected = ar::math::mean(samples);
+            out.stddev = trials > 1 ? ar::math::stddev(samples) : 0.0;
+            out.risk = ar::risk::archRisk(samples, 1.0, fn);
+            if (cfg.keep_samples)
+                kept[d] = std::move(samples);
+        });
+    }
 
     // Serial fault post-pass: assemble the report in (trial, design)
     // order from the materialized per-design results, then apply the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -11,6 +13,31 @@ namespace ar::mc
 
 namespace
 {
+
+struct McMetrics
+{
+    obs::Counter propagations =
+        obs::MetricsRegistry::global().counter("mc.propagations");
+    obs::Counter trials =
+        obs::MetricsRegistry::global().counter("mc.trials");
+    obs::Counter faulty_trials =
+        obs::MetricsRegistry::global().counter("mc.faulty_trials");
+    obs::Counter discarded_trials =
+        obs::MetricsRegistry::global().counter("mc.discarded_trials");
+    obs::Counter sample_ns =
+        obs::MetricsRegistry::global().counter("mc.sample_ns");
+    obs::Counter eval_ns =
+        obs::MetricsRegistry::global().counter("mc.eval_ns");
+    obs::Counter fault_ns =
+        obs::MetricsRegistry::global().counter("mc.fault_ns");
+};
+
+McMetrics &
+mcMetrics()
+{
+    static McMetrics m;
+    return m;
+}
 
 /**
  * Trials per parallel work unit.  Large enough that each tape op runs
@@ -207,6 +234,12 @@ Propagator::runManyReport(
     const std::vector<const ar::symbolic::CompiledExpr *> &fns,
     const InputBindings &in, ar::util::Rng &rng) const
 {
+    obs::TraceSpan run_span("mc.run_many");
+    if (obs::metricsEnabled()) {
+        mcMetrics().propagations.add();
+        mcMetrics().trials.add(cfg.trials);
+    }
+
     // Union of uncertain variables actually used by any function.
     std::set<std::string> used_set;
     for (const auto *fn : fns) {
@@ -247,13 +280,18 @@ Propagator::runManyReport(
             std::min(trials, t0 + kBlockTrials);
         const std::size_t len = t1 - t0;
 
-        for (std::size_t t = t0; t < t1; ++t) {
-            for (std::size_t k = 0; k < used.size(); ++k) {
-                columns[k][t] =
-                    dists[k]->sampleFromUniform(design.at(t, k));
+        {
+            obs::ScopedPhase phase("mc.sample",
+                                   mcMetrics().sample_ns);
+            for (std::size_t t = t0; t < t1; ++t) {
+                for (std::size_t k = 0; k < used.size(); ++k) {
+                    columns[k][t] =
+                        dists[k]->sampleFromUniform(design.at(t, k));
+                }
             }
         }
 
+        obs::ScopedPhase phase("mc.eval", mcMetrics().eval_ns);
         std::vector<ar::symbolic::BatchArg> bargs;
         for (std::size_t f = 0; f < fns.size(); ++f) {
             const auto &plan = plans[f];
@@ -284,33 +322,42 @@ Propagator::runManyReport(
     out.faults.by_output.assign(fns.size(), 0);
     std::vector<std::size_t> faulty;
     std::vector<double> scalar_args;
-    for (std::size_t t = 0; t < trials; ++t) {
-        bool trial_faulty = false;
-        for (std::size_t f = 0; f < fns.size(); ++f) {
-            if (std::isfinite(results[f][t]))
-                continue;
-            trial_faulty = true;
-            const auto &plan = plans[f];
-            scalar_args.resize(plan.size());
-            for (std::size_t a = 0; a < plan.size(); ++a) {
-                scalar_args[a] = plan[a].is_uncertain
-                                     ? columns[plan[a].draw_index][t]
-                                     : plan[a].fixed_value;
+    {
+        obs::ScopedPhase phase("mc.faults", mcMetrics().fault_ns);
+        for (std::size_t t = 0; t < trials; ++t) {
+            bool trial_faulty = false;
+            for (std::size_t f = 0; f < fns.size(); ++f) {
+                if (std::isfinite(results[f][t]))
+                    continue;
+                trial_faulty = true;
+                const auto &plan = plans[f];
+                scalar_args.resize(plan.size());
+                for (std::size_t a = 0; a < plan.size(); ++a) {
+                    scalar_args[a] =
+                        plan[a].is_uncertain
+                            ? columns[plan[a].draw_index][t]
+                            : plan[a].fixed_value;
+                }
+                ar::symbolic::EvalFault fault;
+                fns[f]->evalDiagnosed(scalar_args, fault);
+                out.faults.record(
+                    t, f,
+                    fault.faulted
+                        ? fault.kind
+                        : ar::util::classifyNonFinite(results[f][t]),
+                    fault.faulted ? fault.op : std::string());
             }
-            ar::symbolic::EvalFault fault;
-            fns[f]->evalDiagnosed(scalar_args, fault);
-            out.faults.record(
-                t, f,
-                fault.faulted
-                    ? fault.kind
-                    : ar::util::classifyNonFinite(results[f][t]),
-                fault.faulted ? fault.op : std::string());
+            if (trial_faulty)
+                faulty.push_back(t);
         }
-        if (trial_faulty)
-            faulty.push_back(t);
     }
     out.faults.faulty_trials = faulty.size();
     out.faults.effective_trials = trials;
+    if (obs::metricsEnabled()) {
+        mcMetrics().faulty_trials.add(faulty.size());
+        if (cfg.fault_policy == ar::util::FaultPolicy::Discard)
+            mcMetrics().discarded_trials.add(faulty.size());
+    }
     applyFaultPolicy(results, faulty, cfg.fault_policy, out.faults);
     out.samples = std::move(results);
     return out;
@@ -321,6 +368,12 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
                            const InputBindings &in,
                            ar::util::Rng &rng) const
 {
+    obs::TraceSpan run_span("mc.run_multi");
+    if (obs::metricsEnabled()) {
+        mcMetrics().propagations.add();
+        mcMetrics().trials.add(cfg.trials);
+    }
+
     // The program's arguments are the union of its outputs' free
     // symbols, so the uncertain set -- and with it the design
     // matrix, the copula, and every sampled draw -- matches
@@ -355,13 +408,18 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
             std::min(trials, t0 + kBlockTrials);
         const std::size_t len = t1 - t0;
 
-        for (std::size_t t = t0; t < t1; ++t) {
-            for (std::size_t k = 0; k < used.size(); ++k) {
-                columns[k][t] =
-                    dists[k]->sampleFromUniform(design.at(t, k));
+        {
+            obs::ScopedPhase phase("mc.sample",
+                                   mcMetrics().sample_ns);
+            for (std::size_t t = t0; t < t1; ++t) {
+                for (std::size_t k = 0; k < used.size(); ++k) {
+                    columns[k][t] =
+                        dists[k]->sampleFromUniform(design.at(t, k));
+                }
             }
         }
 
+        obs::ScopedPhase phase("mc.eval", mcMetrics().eval_ns);
         std::vector<ar::symbolic::BatchArg> bargs(plan.size());
         for (std::size_t a = 0; a < plan.size(); ++a) {
             if (plan[a].is_uncertain) {
@@ -386,31 +444,40 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
     out.faults.by_output.assign(n_out, 0);
     std::vector<std::size_t> faulty;
     std::vector<double> scalar_args(plan.size());
-    for (std::size_t t = 0; t < trials; ++t) {
-        bool trial_faulty = false;
-        for (std::size_t o = 0; o < n_out; ++o) {
-            if (std::isfinite(results[o][t]))
-                continue;
-            trial_faulty = true;
-            for (std::size_t a = 0; a < plan.size(); ++a) {
-                scalar_args[a] = plan[a].is_uncertain
-                                     ? columns[plan[a].draw_index][t]
-                                     : plan[a].fixed_value;
+    {
+        obs::ScopedPhase phase("mc.faults", mcMetrics().fault_ns);
+        for (std::size_t t = 0; t < trials; ++t) {
+            bool trial_faulty = false;
+            for (std::size_t o = 0; o < n_out; ++o) {
+                if (std::isfinite(results[o][t]))
+                    continue;
+                trial_faulty = true;
+                for (std::size_t a = 0; a < plan.size(); ++a) {
+                    scalar_args[a] =
+                        plan[a].is_uncertain
+                            ? columns[plan[a].draw_index][t]
+                            : plan[a].fixed_value;
+                }
+                ar::symbolic::EvalFault fault;
+                prog.evalDiagnosed(o, scalar_args, fault);
+                out.faults.record(
+                    t, o,
+                    fault.faulted
+                        ? fault.kind
+                        : ar::util::classifyNonFinite(results[o][t]),
+                    fault.faulted ? fault.op : std::string());
             }
-            ar::symbolic::EvalFault fault;
-            prog.evalDiagnosed(o, scalar_args, fault);
-            out.faults.record(
-                t, o,
-                fault.faulted
-                    ? fault.kind
-                    : ar::util::classifyNonFinite(results[o][t]),
-                fault.faulted ? fault.op : std::string());
+            if (trial_faulty)
+                faulty.push_back(t);
         }
-        if (trial_faulty)
-            faulty.push_back(t);
     }
     out.faults.faulty_trials = faulty.size();
     out.faults.effective_trials = trials;
+    if (obs::metricsEnabled()) {
+        mcMetrics().faulty_trials.add(faulty.size());
+        if (cfg.fault_policy == ar::util::FaultPolicy::Discard)
+            mcMetrics().discarded_trials.add(faulty.size());
+    }
     applyFaultPolicy(results, faulty, cfg.fault_policy, out.faults);
     out.samples = std::move(results);
     return out;

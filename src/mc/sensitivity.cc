@@ -4,6 +4,8 @@
 
 #include "math/numeric.hh"
 #include "mc/sampler.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "symbolic/substitute.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -13,6 +15,23 @@ namespace ar::mc
 
 namespace
 {
+
+struct SobolMetrics
+{
+    obs::Counter runs =
+        obs::MetricsRegistry::global().counter("mc.sobol.runs");
+    obs::Counter evals =
+        obs::MetricsRegistry::global().counter("mc.sobol.evals");
+    obs::Counter sweep_ns =
+        obs::MetricsRegistry::global().counter("mc.sobol.sweep_ns");
+};
+
+SobolMetrics &
+sobolMetrics()
+{
+    static SobolMetrics m;
+    return m;
+}
 
 /** Suffix appended to uncertain-input names for the B-matrix copy of
  * a pick-freeze variant.  '!' sorts before every identifier
@@ -40,6 +59,8 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
 {
     if (cfg.trials < 8)
         ar::util::fatal("sobolIndices: need at least 8 trials");
+
+    obs::TraceSpan run_span("mc.sobol");
 
     // Uncertain inputs actually used by the model, sorted.
     std::vector<std::string> names;
@@ -96,6 +117,13 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
         }
     }
 
+    if (obs::metricsEnabled()) {
+        // Pick-freeze evaluates f(A), f(B), and one f(AB_i) per
+        // uncertain input for every trial.
+        sobolMetrics().runs.add();
+        sobolMetrics().evals.add(n * (k + 2));
+    }
+
     std::vector<double> fa(n), fb(n);
     std::vector<std::vector<double>> fab(k, std::vector<double>(n));
     // The evaluation sweep is a pure function of the two design
@@ -104,6 +132,8 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
     constexpr std::size_t kBlock = 256;
     const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
     if (prog) {
+        obs::ScopedPhase sweep_phase("mc.sobol.sweep_fused",
+                                     sobolMetrics().sweep_ns);
         // Fused sweep: the program's arguments are the fixed inputs
         // plus two copies of every uncertain input -- "name" bound
         // to the A column and "name!B" to the B column.  One batched
@@ -183,6 +213,8 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
                 prog->evalBatch(bargs, len, outs);
             });
     } else {
+        obs::ScopedPhase sweep_phase("mc.sobol.sweep",
+                                     sobolMetrics().sweep_ns);
         ar::util::parallelFor(
             cfg.threads, n_blocks, [&](std::size_t b) {
                 std::vector<double> row_a(k), row_b(k),

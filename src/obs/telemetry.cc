@@ -1,0 +1,472 @@
+#include "obs/telemetry.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/trace.hh"
+#include "util/logging.hh"
+
+namespace ar::obs
+{
+
+namespace
+{
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+double
+doubleOf(std::uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof b);
+    return v;
+}
+
+} // namespace
+
+namespace detail
+{
+
+/**
+ * One thread's slice of every sharded metric.  Only the owning
+ * thread writes (relaxed read-modify-write of its own slots); the
+ * scraper reads concurrently without tearing thanks to the atomics.
+ * Capacity is fixed so a slot index assigned after this shard was
+ * created still lands inside it.
+ */
+struct Shard
+{
+    static constexpr std::size_t kSlots = 1024;
+    std::array<std::atomic<std::uint64_t>, kSlots> slots{};
+};
+
+} // namespace detail
+
+namespace
+{
+
+struct MetricInfo
+{
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+    Kind kind;
+    std::uint32_t slot = 0;  ///< Shard slot / gauge cell index.
+    /// Histogram bucket bounds; shared so handles can point at it.
+    std::shared_ptr<const std::vector<double>> bounds;
+};
+
+const char *
+kindName(MetricInfo::Kind kind)
+{
+    switch (kind) {
+      case MetricInfo::Kind::Counter:
+        return "counter";
+      case MetricInfo::Kind::Gauge:
+        return "gauge";
+      case MetricInfo::Kind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+struct RegistryState
+{
+    std::mutex m;
+    std::map<std::string, MetricInfo> metrics;
+    std::vector<std::shared_ptr<detail::Shard>> shards;
+    /// Gauge cells (double bits); deque keeps addresses stable.
+    std::deque<std::atomic<std::uint64_t>> gauge_cells;
+    std::uint32_t next_slot = 0;
+};
+
+RegistryState &
+state()
+{
+    static RegistryState s;
+    return s;
+}
+
+std::uint32_t
+allocSlots(RegistryState &s, std::size_t n, const std::string &name)
+{
+    if (s.next_slot + n > detail::Shard::kSlots) {
+        ar::util::fatal("MetricsRegistry: out of metric slots "
+                        "registering '", name, "' (", detail::Shard::kSlots,
+                        " max)");
+    }
+    const std::uint32_t first = s.next_slot;
+    s.next_slot += static_cast<std::uint32_t>(n);
+    return first;
+}
+
+void
+checkName(const std::string &name)
+{
+    if (name.empty())
+        ar::util::fatal("MetricsRegistry: empty metric name");
+}
+
+/** Minimal JSON string escaping (names are code-controlled). */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+appendJsonDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+namespace detail
+{
+
+Shard &
+localShard()
+{
+    thread_local Shard *cached = nullptr;
+    // The shared_ptr keeps the shard alive past either of the
+    // registry-vs-TLS destruction orders.
+    thread_local std::shared_ptr<Shard> keepalive;
+    if (!cached) {
+        keepalive = std::make_shared<Shard>();
+        auto &s = state();
+        std::lock_guard<std::mutex> lk(s.m);
+        s.shards.push_back(keepalive);
+        cached = keepalive.get();
+    }
+    return *cached;
+}
+
+void
+shardAdd(std::uint32_t slot, std::uint64_t delta)
+{
+    auto &cell = localShard().slots[slot];
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+}
+
+void
+shardAddDouble(std::uint32_t slot, double delta)
+{
+    auto &cell = localShard().slots[slot];
+    const double cur = doubleOf(cell.load(std::memory_order_relaxed));
+    cell.store(bitsOf(cur + delta), std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+setMetricsEnabled(bool on)
+{
+    if (on) {
+        detail::g_flags.fetch_or(detail::kMetricsBit,
+                                 std::memory_order_relaxed);
+    } else {
+        detail::g_flags.fetch_and(~detail::kMetricsBit,
+                                  std::memory_order_relaxed);
+    }
+}
+
+void
+Gauge::set(double v) const
+{
+    if (metricsEnabled())
+        cell_->store(bitsOf(v), std::memory_order_relaxed);
+}
+
+void
+Gauge::toMax(double v) const
+{
+    if (!metricsEnabled())
+        return;
+    std::uint64_t cur = cell_->load(std::memory_order_relaxed);
+    while (doubleOf(cur) < v &&
+           !cell_->compare_exchange_weak(cur, bitsOf(v),
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::observe(double v) const
+{
+    if (!metricsEnabled())
+        return;
+    const auto &bounds = *bounds_;
+    std::size_t bucket = 0;
+    while (bucket < bounds.size() && v > bounds[bucket])
+        ++bucket;
+    detail::shardAdd(first_slot_ + static_cast<std::uint32_t>(bucket),
+                     1);
+    detail::shardAddDouble(
+        first_slot_ + static_cast<std::uint32_t>(bounds.size()) + 1, v);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    checkName(name);
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.metrics.find(name);
+    if (it == s.metrics.end()) {
+        MetricInfo info;
+        info.kind = MetricInfo::Kind::Counter;
+        info.slot = allocSlots(s, 1, name);
+        it = s.metrics.emplace(name, std::move(info)).first;
+    } else if (it->second.kind != MetricInfo::Kind::Counter) {
+        ar::util::fatal("MetricsRegistry: '", name, "' is a ",
+                        kindName(it->second.kind), ", not a counter");
+    }
+    return Counter(it->second.slot);
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    checkName(name);
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.metrics.find(name);
+    if (it == s.metrics.end()) {
+        MetricInfo info;
+        info.kind = MetricInfo::Kind::Gauge;
+        info.slot = static_cast<std::uint32_t>(s.gauge_cells.size());
+        s.gauge_cells.emplace_back(bitsOf(0.0));
+        it = s.metrics.emplace(name, std::move(info)).first;
+    } else if (it->second.kind != MetricInfo::Kind::Gauge) {
+        ar::util::fatal("MetricsRegistry: '", name, "' is a ",
+                        kindName(it->second.kind), ", not a gauge");
+    }
+    return Gauge(&s.gauge_cells[it->second.slot]);
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    checkName(name);
+    if (bounds.empty())
+        ar::util::fatal("MetricsRegistry: histogram '", name,
+                        "' needs at least one bucket bound");
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (!std::isfinite(bounds[i]) ||
+            (i > 0 && bounds[i] <= bounds[i - 1])) {
+            ar::util::fatal("MetricsRegistry: histogram '", name,
+                            "' bounds must be finite and strictly "
+                            "ascending");
+        }
+    }
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.metrics.find(name);
+    if (it == s.metrics.end()) {
+        MetricInfo info;
+        info.kind = MetricInfo::Kind::Histogram;
+        // Layout: bounds.size() + 1 bucket counts, then a double-bits
+        // sum slot.
+        info.slot = allocSlots(s, bounds.size() + 2, name);
+        info.bounds = std::make_shared<const std::vector<double>>(
+            std::move(bounds));
+        it = s.metrics.emplace(name, std::move(info)).first;
+    } else if (it->second.kind != MetricInfo::Kind::Histogram) {
+        ar::util::fatal("MetricsRegistry: '", name, "' is a ",
+                        kindName(it->second.kind), ", not a histogram");
+    } else if (*it->second.bounds != bounds) {
+        ar::util::fatal("MetricsRegistry: histogram '", name,
+                        "' re-registered with different bounds");
+    }
+    return Histogram(it->second.slot, it->second.bounds.get());
+}
+
+MetricsSnapshot
+MetricsRegistry::scrape() const
+{
+    MetricsSnapshot snap;
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    // Shards merge in registration order: integer counts are exact
+    // commutative sums, and the double-valued histogram sums fold in
+    // this fixed order, so repeated scrapes of quiesced data are
+    // byte-identical.
+    auto sumSlot = [&](std::uint32_t slot) {
+        std::uint64_t total = 0;
+        for (const auto &shard : s.shards) {
+            total += shard->slots[slot].load(std::memory_order_relaxed);
+        }
+        return total;
+    };
+    auto sumSlotDouble = [&](std::uint32_t slot) {
+        double total = 0.0;
+        for (const auto &shard : s.shards) {
+            total += doubleOf(
+                shard->slots[slot].load(std::memory_order_relaxed));
+        }
+        return total;
+    };
+    for (const auto &[name, info] : s.metrics) {
+        switch (info.kind) {
+          case MetricInfo::Kind::Counter:
+            snap.counters[name] = sumSlot(info.slot);
+            break;
+          case MetricInfo::Kind::Gauge:
+            snap.gauges[name] = doubleOf(
+                s.gauge_cells[info.slot].load(
+                    std::memory_order_relaxed));
+            break;
+          case MetricInfo::Kind::Histogram:
+            {
+                HistogramData h;
+                h.bounds = *info.bounds;
+                h.counts.resize(h.bounds.size() + 1);
+                for (std::size_t b = 0; b < h.counts.size(); ++b) {
+                    h.counts[b] = sumSlot(
+                        info.slot + static_cast<std::uint32_t>(b));
+                    h.count += h.counts[b];
+                }
+                h.sum = sumSlotDouble(
+                    info.slot +
+                    static_cast<std::uint32_t>(h.bounds.size()) + 1);
+                snap.histograms.emplace(name, std::move(h));
+                break;
+            }
+        }
+    }
+    return snap;
+}
+
+std::string
+MetricsRegistry::scrapeJson() const
+{
+    return scrape().toJson();
+}
+
+void
+MetricsRegistry::reset()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    for (const auto &shard : s.shards) {
+        for (auto &slot : shard->slots)
+            slot.store(0, std::memory_order_relaxed);
+    }
+    for (auto &cell : s.gauge_cells)
+        cell.store(bitsOf(0.0), std::memory_order_relaxed);
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out;
+    out += "{\n  \"version\": 1,\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(name) +
+               "\": " + std::to_string(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(name) + "\": ";
+        appendJsonDouble(out, value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(name) + "\": {\"bounds\": [";
+        for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+            if (i)
+                out += ", ";
+            appendJsonDouble(out, hist.bounds[i]);
+        }
+        out += "], \"counts\": [";
+        for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += std::to_string(hist.counts[i]);
+        }
+        out += "], \"count\": " + std::to_string(hist.count) +
+               ", \"sum\": ";
+        appendJsonDouble(out, hist.sum);
+        out += "}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+writeMetricsJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        ar::util::fatal("writeMetricsJson: cannot open '", path, "'");
+    out << MetricsRegistry::global().scrapeJson();
+    if (!out)
+        ar::util::fatal("writeMetricsJson: write to '", path,
+                        "' failed");
+}
+
+ScopedPhase::ScopedPhase(const char *name, const Counter &ns_total)
+    : name_(name), ns_total_(ns_total),
+      flags_(detail::g_flags.load(std::memory_order_relaxed)),
+      start_ns_(flags_ ? detail::nowNs() : 0)
+{
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (!flags_)
+        return;
+    const std::uint64_t end = detail::nowNs();
+    if (flags_ & detail::kMetricsBit)
+        detail::shardAdd(ns_total_.slot_, end - start_ns_);
+    if (flags_ & detail::kTraceBit)
+        detail::traceRecord(name_, start_ns_, end);
+}
+
+} // namespace ar::obs

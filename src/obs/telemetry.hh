@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Runtime telemetry: process-wide named counters, gauges, and
+ * fixed-bucket histograms with lock-free per-thread shards.
+ *
+ * The design goal is an observability layer that is *free* when off
+ * and cheap when on, so it can stay compiled into the hot paths
+ * (Monte-Carlo trial loops, fused tape evaluation, the thread pool):
+ *
+ *  - Every hook is gated on one process-wide atomic word
+ *    (detail::g_flags).  With telemetry disabled, a hook costs one
+ *    relaxed load plus a predictable branch -- no clock reads, no
+ *    shared-cache-line writes, no allocation.
+ *
+ *  - When enabled, counters and histogram observations go to a
+ *    per-thread shard (plain relaxed atomics written only by the
+ *    owning thread), so concurrent workers never contend on a
+ *    metric cache line.
+ *
+ *  - scrape() merges the shards deterministically: integer counts are
+ *    exact commutative sums (scheduler-independent by construction)
+ *    and double-valued sums fold in shard-registration order, which
+ *    is stable for the lifetime of the process.  Metrics never feed
+ *    back into computation, so results are bit-identical with
+ *    telemetry on or off.
+ *
+ * Metric names are dot-separated lowercase paths ("mc.trials",
+ * "pool.task_us").  Registration is idempotent: asking for the same
+ * name and kind returns a handle to the same metric; a kind mismatch
+ * is fatal (it is a programming error in instrumentation code).
+ */
+
+#ifndef AR_OBS_TELEMETRY_HH
+#define AR_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ar::obs
+{
+
+namespace detail
+{
+
+/// Process-wide enable word: bit 0 gates metrics, bit 1 gates
+/// tracing.  One relaxed load of this word is the entire
+/// disabled-path cost of every telemetry hook in the codebase.
+inline std::atomic<std::uint32_t> g_flags{0};
+
+inline constexpr std::uint32_t kMetricsBit = 1u;
+inline constexpr std::uint32_t kTraceBit = 2u;
+
+void shardAdd(std::uint32_t slot, std::uint64_t delta);
+void shardAddDouble(std::uint32_t slot, double delta);
+
+} // namespace detail
+
+/** @return true when metric recording is enabled. */
+inline bool
+metricsEnabled()
+{
+    return (detail::g_flags.load(std::memory_order_relaxed) &
+            detail::kMetricsBit) != 0;
+}
+
+/** @return true when trace-span recording is enabled. */
+inline bool
+tracingEnabled()
+{
+    return (detail::g_flags.load(std::memory_order_relaxed) &
+            detail::kTraceBit) != 0;
+}
+
+/** @return true when any telemetry sink is enabled. */
+inline bool
+telemetryEnabled()
+{
+    return detail::g_flags.load(std::memory_order_relaxed) != 0;
+}
+
+/** Turn metric recording on or off (process-wide). */
+void setMetricsEnabled(bool on);
+
+/**
+ * Turn trace-span recording on or off (process-wide).  Enabling
+ * stamps the trace epoch on first use, so span timestamps are
+ * relative to the first enable.
+ */
+void setTracingEnabled(bool on);
+
+/**
+ * Monotonically increasing event count.  add() is safe from any
+ * thread (per-thread shard, no contention) and is a no-op while
+ * metrics are disabled.
+ */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1) const
+    {
+        if (metricsEnabled())
+            detail::shardAdd(slot_, delta);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    friend class ScopedPhase;
+    explicit Counter(std::uint32_t slot) : slot_(slot) {}
+    std::uint32_t slot_;
+};
+
+/**
+ * Last-written instantaneous value (thread count, queue depth).
+ * Writes go to one central atomic; intended for control-plane code,
+ * not per-trial loops.
+ */
+class Gauge
+{
+  public:
+    /** Set the value (no-op while metrics are disabled). */
+    void set(double v) const;
+
+    /** Raise the value to @p v if larger (high-water mark). */
+    void toMax(double v) const;
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<std::uint64_t> *cell) : cell_(cell) {}
+    std::atomic<std::uint64_t> *cell_;
+};
+
+/**
+ * Fixed-bucket histogram.  Bucket i counts observations <=
+ * bounds[i]; one extra overflow bucket counts the rest.  observe()
+ * additionally accumulates count and sum so scrapes can report a
+ * mean.  No-op while metrics are disabled.
+ */
+class Histogram
+{
+  public:
+    void observe(double v) const;
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(std::uint32_t first_slot, const std::vector<double> *bounds)
+        : first_slot_(first_slot), bounds_(bounds)
+    {}
+    std::uint32_t first_slot_;
+    const std::vector<double> *bounds_;
+};
+
+/** Merged view of one histogram at scrape time. */
+struct HistogramData
+{
+    std::vector<double> bounds;        ///< Ascending upper bounds.
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 buckets.
+    std::uint64_t count = 0;           ///< Total observations.
+    double sum = 0.0;                  ///< Sum of observed values.
+};
+
+/** Deterministically merged snapshot of every registered metric. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+
+    /** Render as stable, schema-conforming JSON (sorted keys). */
+    std::string toJson() const;
+};
+
+/**
+ * The process-wide metric namespace.  Thread-safe; handles returned
+ * by counter()/gauge()/histogram() stay valid for the process
+ * lifetime and are cheap to copy.
+ */
+class MetricsRegistry
+{
+  public:
+    /** @return the singleton registry. */
+    static MetricsRegistry &global();
+
+    /** Register (or look up) a counter. */
+    Counter counter(const std::string &name);
+
+    /** Register (or look up) a gauge. */
+    Gauge gauge(const std::string &name);
+
+    /**
+     * Register (or look up) a histogram.
+     *
+     * @param bounds Strictly ascending bucket upper bounds; must be
+     *        non-empty and must match any previous registration of
+     *        the same name.
+     */
+    Histogram histogram(const std::string &name,
+                        std::vector<double> bounds);
+
+    /** Merge all shards into a snapshot (see file comment). */
+    MetricsSnapshot scrape() const;
+
+    /** scrape().toJson() convenience. */
+    std::string scrapeJson() const;
+
+    /** Zero every counter, gauge, and histogram (tests). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+};
+
+/** Write scrapeJson() of the global registry to @p path (fatal on
+ * I/O failure). */
+void writeMetricsJson(const std::string &path);
+
+/**
+ * RAII phase timer: on destruction adds the elapsed nanoseconds to
+ * @p ns_total (when metrics are enabled) and emits a trace span
+ * named @p name (when tracing is enabled).  The enable word is
+ * sampled once at construction, so a flag flip mid-phase cannot
+ * unbalance anything.  Cost when disabled: one relaxed load and a
+ * branch.
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(const char *name, const Counter &ns_total);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    const char *name_;
+    Counter ns_total_;
+    std::uint32_t flags_;
+    std::uint64_t start_ns_;
+};
+
+} // namespace ar::obs
+
+#endif // AR_OBS_TELEMETRY_HH

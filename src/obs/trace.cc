@@ -1,0 +1,216 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ar::obs
+{
+
+namespace
+{
+
+/** One recorded complete span. */
+struct TraceEvent
+{
+    const char *name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+};
+
+/// Per-thread cap so a runaway loop cannot exhaust memory; excess
+/// spans are counted in dropped_ instead.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct TraceBuffer
+{
+    // The mutex is only ever contended by the scraper; the owning
+    // thread takes it uncontended on each record.
+    std::mutex m;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+};
+
+struct TraceState
+{
+    std::mutex m;
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    std::atomic<std::uint64_t> epoch_ns{0};
+    std::atomic<std::uint64_t> dropped{0};
+};
+
+TraceState &
+state()
+{
+    static TraceState s;
+    return s;
+}
+
+TraceBuffer &
+localBuffer()
+{
+    thread_local TraceBuffer *cached = nullptr;
+    thread_local std::shared_ptr<TraceBuffer> keepalive;
+    if (!cached) {
+        keepalive = std::make_shared<TraceBuffer>();
+        auto &s = state();
+        std::lock_guard<std::mutex> lk(s.m);
+        keepalive->tid = static_cast<std::uint32_t>(s.buffers.size());
+        s.buffers.push_back(keepalive);
+        cached = keepalive.get();
+    }
+    return *cached;
+}
+
+std::string
+jsonEscape(const char *in)
+{
+    std::string out;
+    for (; *in; ++in) {
+        char c = *in;
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+appendMicros(std::string &out, std::uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    out += buf;
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+traceRecord(const char *name, std::uint64_t start_ns,
+            std::uint64_t end_ns)
+{
+    auto &buf = localBuffer();
+    std::lock_guard<std::mutex> lk(buf.m);
+    if (buf.events.size() >= kMaxEventsPerThread) {
+        state().dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf.events.push_back({name, start_ns, end_ns - start_ns});
+}
+
+} // namespace detail
+
+void
+setTracingEnabled(bool on)
+{
+    if (on) {
+        // Stamp the epoch exactly once so span timestamps are
+        // relative to the first enable.
+        std::uint64_t expected = 0;
+        state().epoch_ns.compare_exchange_strong(
+            expected, detail::nowNs(), std::memory_order_relaxed);
+        detail::g_flags.fetch_or(detail::kTraceBit,
+                                 std::memory_order_relaxed);
+    } else {
+        detail::g_flags.fetch_and(~detail::kTraceBit,
+                                  std::memory_order_relaxed);
+    }
+}
+
+std::string
+traceJson()
+{
+    auto &s = state();
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    std::uint64_t epoch;
+    {
+        std::lock_guard<std::mutex> lk(s.m);
+        buffers = s.buffers;
+        epoch = s.epoch_ns.load(std::memory_order_relaxed);
+    }
+    std::string out;
+    out += "{\"traceEvents\": [";
+    bool first = true;
+    for (const auto &buf : buffers) {
+        std::vector<TraceEvent> events;
+        {
+            std::lock_guard<std::mutex> lk(buf->m);
+            events = buf->events;
+        }
+        for (const auto &ev : events) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            const std::uint64_t rel =
+                ev.start_ns >= epoch ? ev.start_ns - epoch : 0;
+            out += " {\"name\": \"" + jsonEscape(ev.name) +
+                   "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+                   std::to_string(buf->tid) + ", \"ts\": ";
+            appendMicros(out, rel);
+            out += ", \"dur\": ";
+            appendMicros(out, ev.dur_ns);
+            out += "}";
+        }
+    }
+    out += first ? "]" : "\n]";
+    out += ", \"displayTimeUnit\": \"ms\", \"droppedEvents\": " +
+           std::to_string(
+               s.dropped.load(std::memory_order_relaxed)) +
+           "}\n";
+    return out;
+}
+
+void
+writeTraceJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        ar::util::fatal("writeTraceJson: cannot open '", path, "'");
+    out << traceJson();
+    if (!out)
+        ar::util::fatal("writeTraceJson: write to '", path,
+                        "' failed");
+}
+
+void
+clearTrace()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    for (const auto &buf : s.buffers) {
+        std::lock_guard<std::mutex> blk(buf->m);
+        buf->events.clear();
+    }
+    s.dropped.store(0, std::memory_order_relaxed);
+    s.epoch_ns.store(tracingEnabled() ? detail::nowNs() : 0,
+                     std::memory_order_relaxed);
+}
+
+std::uint64_t
+traceDroppedEvents()
+{
+    return state().dropped.load(std::memory_order_relaxed);
+}
+
+} // namespace ar::obs

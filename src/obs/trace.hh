@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight tracing: RAII spans collected into per-thread buffers
+ * and exported as Chrome trace_event JSON (load the file at
+ * chrome://tracing or https://ui.perfetto.dev).
+ *
+ * A TraceSpan costs one relaxed atomic load when tracing is disabled.
+ * When enabled, it reads the steady clock twice and appends one
+ * 24-byte event to a buffer owned by the recording thread (guarded by
+ * a per-buffer mutex that only the scraper ever contends on).  Span
+ * names must be string literals or otherwise outlive the trace
+ * session -- buffers store the pointer, not a copy.
+ */
+
+#ifndef AR_OBS_TRACE_HH
+#define AR_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/telemetry.hh"
+
+namespace ar::obs
+{
+
+namespace detail
+{
+
+/** @return steady-clock nanoseconds (monotonic, epoch arbitrary). */
+std::uint64_t nowNs();
+
+void traceRecord(const char *name, std::uint64_t start_ns,
+                 std::uint64_t end_ns);
+
+} // namespace detail
+
+/**
+ * RAII scope exported as one complete ("ph":"X") trace event from
+ * construction to destruction.  Safe on any thread, including pool
+ * workers; each thread's events carry its own tid.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+        : name_(tracingEnabled() ? name : nullptr),
+          start_ns_(name_ ? detail::nowNs() : 0)
+    {}
+
+    ~TraceSpan()
+    {
+        if (name_)
+            detail::traceRecord(name_, start_ns_, detail::nowNs());
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name_;
+    std::uint64_t start_ns_;
+};
+
+/**
+ * Render every recorded span as Chrome trace_event JSON:
+ * {"traceEvents": [{"name": ..., "ph": "X", "pid": 1, "tid": N,
+ * "ts": microseconds, "dur": microseconds}, ...]}.  Timestamps are
+ * relative to the first setTracingEnabled(true).
+ */
+std::string traceJson();
+
+/** Write traceJson() to @p path (fatal on I/O failure). */
+void writeTraceJson(const std::string &path);
+
+/** Drop all recorded spans and reset the trace epoch (tests). */
+void clearTrace();
+
+/** @return spans dropped because a thread buffer hit its cap. */
+std::uint64_t traceDroppedEvents();
+
+} // namespace ar::obs
+
+#endif // AR_OBS_TRACE_HH

@@ -14,7 +14,9 @@ quantileSorted(std::span<const double> sorted, double q)
 {
     if (sorted.empty())
         ar::util::raiseDiagnostic("quantileSorted: empty sample");
-    if (q < 0.0 || q > 1.0) {
+    // Negated so a NaN q is rejected too; `q < 0.0 || q > 1.0` lets
+    // NaN through to an out-of-range size_t cast (UB).
+    if (!(q >= 0.0 && q <= 1.0)) {
         ar::util::raiseDiagnostic(
             "quantileSorted: q must lie in [0, 1], got " +
             std::to_string(q));

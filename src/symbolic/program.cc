@@ -8,6 +8,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/telemetry.hh"
 #include "symbolic/printer.hh"
 #include "util/logging.hh"
 
@@ -16,6 +17,25 @@ namespace ar::symbolic
 
 namespace
 {
+
+struct ProgMetrics
+{
+    obs::Counter batches =
+        obs::MetricsRegistry::global().counter("prog.batches");
+    obs::Counter trials =
+        obs::MetricsRegistry::global().counter("prog.trials");
+    obs::Counter ops =
+        obs::MetricsRegistry::global().counter("prog.ops");
+    obs::Counter cse_saved_ops =
+        obs::MetricsRegistry::global().counter("prog.cse_saved_ops");
+};
+
+ProgMetrics &
+progMetrics()
+{
+    static ProgMetrics m;
+    return m;
+}
 
 /**
  * DAG node kinds, mirroring CompiledProgram's op codes.  The builder
@@ -768,6 +788,13 @@ CompiledProgram::evalBatch(std::span<const BatchArg> args,
     }
     if (n == 0)
         return;
+    if (obs::metricsEnabled()) {
+        auto &pm = progMetrics();
+        pm.batches.add();
+        pm.trials.add(n);
+        pm.ops.add(ops_.size());
+        pm.cse_saved_ops.add(stats_.naive_ops - stats_.program_ops);
+    }
     double *scratch = ws.acquire(num_regs_ * n);
 
     // Register -> row pointer indirection.  Non-broadcast argument

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace ar::util
 {
@@ -11,20 +12,46 @@ namespace
 
 std::atomic<bool> quiet_flag{false};
 
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/**
+ * Compose the whole line first, then emit it as a single insertion
+ * under a mutex.  warn()/inform() are called from parallelFor worker
+ * threads (e.g. degenerate-stats guards), and unsynchronized
+ * multi-part stream insertions interleave mid-line.
+ */
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::string line;
+    line.reserve(std::char_traits<char>::length(prefix) + msg.size() +
+                 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lk(emitMutex());
+    std::cerr << line;
+}
+
 } // namespace
 
 void
 warnStr(const std::string &msg)
 {
-    if (!quiet_flag.load(std::memory_order_relaxed))
-        std::cerr << "warn: " << msg << "\n";
+    emitLine("warn: ", msg);
 }
 
 void
 informStr(const std::string &msg)
 {
-    if (!quiet_flag.load(std::memory_order_relaxed))
-        std::cerr << "info: " << msg << "\n";
+    emitLine("info: ", msg);
 }
 
 void

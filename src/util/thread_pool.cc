@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
+
 namespace ar::util
 {
 
@@ -11,6 +14,63 @@ namespace
 /// Set while a thread executes a job body; nested parallelFor calls
 /// detect it and run inline instead of re-entering the pool.
 thread_local bool tl_in_job = false;
+
+struct PoolMetrics
+{
+    obs::Counter jobs =
+        obs::MetricsRegistry::global().counter("pool.jobs");
+    obs::Counter indices =
+        obs::MetricsRegistry::global().counter("pool.indices");
+    obs::Histogram task_us = obs::MetricsRegistry::global().histogram(
+        "pool.task_us",
+        {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 50000.0,
+         100000.0});
+    obs::Gauge queue_depth =
+        obs::MetricsRegistry::global().gauge("pool.queue_depth");
+    obs::Gauge threads =
+        obs::MetricsRegistry::global().gauge("pool.threads");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+/// Jobs submitted but not yet finished (waiting on job_serial_m or
+/// running); feeds the pool.queue_depth gauge.
+std::atomic<std::int64_t> g_pool_queue{0};
+
+/// Balances g_pool_queue even when the job body throws.  Armed only
+/// when metrics were enabled at submit time, so a flag flip mid-job
+/// cannot unbalance the count.
+struct QueueDepthGuard
+{
+    bool armed;
+
+    explicit QueueDepthGuard(bool on) : armed(on)
+    {
+        if (armed) {
+            const auto depth =
+                g_pool_queue.fetch_add(1, std::memory_order_relaxed) +
+                1;
+            poolMetrics().queue_depth.set(
+                static_cast<double>(depth));
+        }
+    }
+
+    ~QueueDepthGuard()
+    {
+        if (armed) {
+            const auto depth =
+                g_pool_queue.fetch_sub(1, std::memory_order_relaxed) -
+                1;
+            poolMetrics().queue_depth.set(
+                static_cast<double>(depth));
+        }
+    }
+};
 
 } // namespace
 
@@ -57,11 +117,13 @@ void
 ThreadPool::runJob()
 {
     tl_in_job = true;
+    const bool metrics = obs::metricsEnabled();
     for (;;) {
         const std::size_t i =
             next_index.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_n || aborted.load(std::memory_order_relaxed))
             break;
+        const std::uint64_t t0 = metrics ? obs::detail::nowNs() : 0;
         try {
             (*job_body)(i);
         } catch (...) {
@@ -69,6 +131,11 @@ ThreadPool::runJob()
             if (!first_error)
                 first_error = std::current_exception();
             aborted.store(true, std::memory_order_relaxed);
+        }
+        if (metrics) {
+            poolMetrics().task_us.observe(
+                static_cast<double>(obs::detail::nowNs() - t0) /
+                1000.0);
         }
     }
     tl_in_job = false;
@@ -115,6 +182,16 @@ ThreadPool::parallelFor(std::size_t n,
             body(i);
         return;
     }
+
+    const bool metrics = obs::metricsEnabled();
+    if (metrics) {
+        auto &pm = poolMetrics();
+        pm.jobs.add();
+        pm.indices.add(n);
+        pm.threads.set(static_cast<double>(size()));
+    }
+    QueueDepthGuard depth_guard(metrics);
+    obs::TraceSpan span("pool.parallel_for");
 
     // One job at a time per pool; callers queue here.
     std::lock_guard<std::mutex> serial(job_serial_m);

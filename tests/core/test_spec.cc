@@ -268,6 +268,44 @@ TEST(Spec, UnknownFaultPolicyPointsAtTheName)
     EXPECT_EQ(d.column, 14u);
 }
 
+TEST(Spec, TelemetryDirectiveRoundTrips)
+{
+    const auto off = c::parseSpec("y = x\noutput y\n");
+    EXPECT_FALSE(off.telemetry_metrics); // the default
+    EXPECT_FALSE(off.telemetry_trace);
+
+    const auto metrics =
+        c::parseSpec("y = x\noutput y\ntelemetry metrics\n");
+    EXPECT_TRUE(metrics.telemetry_metrics);
+    EXPECT_FALSE(metrics.telemetry_trace);
+
+    const auto trace =
+        c::parseSpec("y = x\noutput y\ntelemetry trace\n");
+    EXPECT_FALSE(trace.telemetry_metrics);
+    EXPECT_TRUE(trace.telemetry_trace);
+
+    const auto all =
+        c::parseSpec("y = x\noutput y\ntelemetry all\n");
+    EXPECT_TRUE(all.telemetry_metrics);
+    EXPECT_TRUE(all.telemetry_trace);
+
+    const auto explicit_off =
+        c::parseSpec("y = x\noutput y\ntelemetry off\n");
+    EXPECT_FALSE(explicit_off.telemetry_metrics);
+    EXPECT_FALSE(explicit_off.telemetry_trace);
+}
+
+TEST(Spec, UnknownTelemetryModePointsAtTheMode)
+{
+    const auto d =
+        specDiagnosticOf("y = x\noutput y\ntelemetry verbose\n");
+    EXPECT_NE(d.message.find("unknown telemetry mode 'verbose' "
+                             "(off|metrics|trace|all)"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 3u);
+    EXPECT_EQ(d.column, 11u);
+}
+
 TEST(Spec, InlineCommentsAreStripped)
 {
     const auto spec = c::parseSpec(

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the ar::obs metrics registry: handle semantics,
+ * shard merging, enable gating, and JSON rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace obs = ar::obs;
+
+namespace
+{
+
+/** Every test starts from zeroed metrics with recording on, and
+ * leaves the process-wide flag off for the other suites. */
+class Metrics : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::MetricsRegistry::global().reset();
+        obs::setMetricsEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::setMetricsEnabled(false);
+        obs::MetricsRegistry::global().reset();
+    }
+};
+
+} // namespace
+
+TEST_F(Metrics, CounterAccumulates)
+{
+    auto c = obs::MetricsRegistry::global().counter("test.counter");
+    c.add();
+    c.add(41);
+    const auto snap = obs::MetricsRegistry::global().scrape();
+    EXPECT_EQ(snap.counters.at("test.counter"), 42u);
+}
+
+TEST_F(Metrics, DisabledCounterIsNoop)
+{
+    auto c = obs::MetricsRegistry::global().counter("test.gated");
+    obs::setMetricsEnabled(false);
+    c.add(7);
+    EXPECT_EQ(obs::MetricsRegistry::global().scrape().counters.at(
+                  "test.gated"),
+              0u);
+    obs::setMetricsEnabled(true);
+    c.add(7);
+    EXPECT_EQ(obs::MetricsRegistry::global().scrape().counters.at(
+                  "test.gated"),
+              7u);
+}
+
+TEST_F(Metrics, RegistrationIsIdempotent)
+{
+    auto a = obs::MetricsRegistry::global().counter("test.same");
+    auto b = obs::MetricsRegistry::global().counter("test.same");
+    a.add(1);
+    b.add(2);
+    EXPECT_EQ(obs::MetricsRegistry::global().scrape().counters.at(
+                  "test.same"),
+              3u);
+}
+
+TEST_F(Metrics, KindMismatchIsFatal)
+{
+    obs::MetricsRegistry::global().counter("test.kind");
+    EXPECT_THROW(obs::MetricsRegistry::global().gauge("test.kind"),
+                 ar::util::FatalError);
+    EXPECT_THROW(obs::MetricsRegistry::global().histogram("test.kind",
+                                                          {1.0}),
+                 ar::util::FatalError);
+}
+
+TEST_F(Metrics, EmptyNameIsFatal)
+{
+    EXPECT_THROW(obs::MetricsRegistry::global().counter(""),
+                 ar::util::FatalError);
+}
+
+TEST_F(Metrics, GaugeSetAndToMax)
+{
+    auto g = obs::MetricsRegistry::global().gauge("test.gauge");
+    g.set(4.0);
+    EXPECT_DOUBLE_EQ(
+        obs::MetricsRegistry::global().scrape().gauges.at(
+            "test.gauge"),
+        4.0);
+    g.toMax(2.0); // lower: no change
+    EXPECT_DOUBLE_EQ(
+        obs::MetricsRegistry::global().scrape().gauges.at(
+            "test.gauge"),
+        4.0);
+    g.toMax(9.5);
+    EXPECT_DOUBLE_EQ(
+        obs::MetricsRegistry::global().scrape().gauges.at(
+            "test.gauge"),
+        9.5);
+}
+
+TEST_F(Metrics, HistogramBucketsCountAndSum)
+{
+    auto h = obs::MetricsRegistry::global().histogram(
+        "test.hist", {1.0, 10.0, 100.0});
+    for (double v : {0.5, 1.0, 5.0, 50.0, 1000.0})
+        h.observe(v);
+    const auto snap = obs::MetricsRegistry::global().scrape();
+    const auto &data = snap.histograms.at("test.hist");
+    ASSERT_EQ(data.bounds.size(), 3u);
+    ASSERT_EQ(data.counts.size(), 4u);
+    EXPECT_EQ(data.counts[0], 2u); // 0.5, 1.0 (bucket is <= bound)
+    EXPECT_EQ(data.counts[1], 1u); // 5.0
+    EXPECT_EQ(data.counts[2], 1u); // 50.0
+    EXPECT_EQ(data.counts[3], 1u); // 1000.0 overflow
+    EXPECT_EQ(data.count, 5u);
+    EXPECT_DOUBLE_EQ(data.sum, 0.5 + 1.0 + 5.0 + 50.0 + 1000.0);
+}
+
+TEST_F(Metrics, HistogramBadBoundsAreFatal)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    EXPECT_THROW(reg.histogram("test.hb1", {}),
+                 ar::util::FatalError);
+    EXPECT_THROW(reg.histogram("test.hb2", {2.0, 1.0}),
+                 ar::util::FatalError);
+    reg.histogram("test.hb3", {1.0, 2.0});
+    EXPECT_THROW(reg.histogram("test.hb3", {1.0, 3.0}),
+                 ar::util::FatalError);
+}
+
+TEST_F(Metrics, ConcurrentAddsSumExactly)
+{
+    auto c = obs::MetricsRegistry::global().counter("test.mt");
+    constexpr std::size_t kN = 10000;
+    ar::util::ThreadPool pool(4);
+    pool.parallelFor(kN, [&](std::size_t) { c.add(); });
+    EXPECT_EQ(obs::MetricsRegistry::global().scrape().counters.at(
+                  "test.mt"),
+              kN);
+}
+
+TEST_F(Metrics, ScrapeIsDeterministicOnQuiescedData)
+{
+    auto c = obs::MetricsRegistry::global().counter("test.det");
+    auto h = obs::MetricsRegistry::global().histogram("test.det_h",
+                                                      {1.0, 2.0});
+    ar::util::ThreadPool pool(4);
+    pool.parallelFor(1000, [&](std::size_t i) {
+        c.add(i % 3);
+        h.observe(static_cast<double>(i % 4));
+    });
+    const std::string a =
+        obs::MetricsRegistry::global().scrapeJson();
+    const std::string b =
+        obs::MetricsRegistry::global().scrapeJson();
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(Metrics, ScopedPhaseAccumulatesElapsedTime)
+{
+    auto ns = obs::MetricsRegistry::global().counter("test.phase_ns");
+    {
+        obs::ScopedPhase phase("test.phase", ns);
+        volatile double sink = 0.0;
+        for (int i = 0; i < 10000; ++i)
+            sink = sink + 1.0;
+    }
+    EXPECT_GT(obs::MetricsRegistry::global().scrape().counters.at(
+                  "test.phase_ns"),
+              0u);
+}
+
+TEST_F(Metrics, ScopedPhaseDisabledRecordsNothing)
+{
+    auto ns = obs::MetricsRegistry::global().counter("test.off_ns");
+    obs::setMetricsEnabled(false);
+    {
+        obs::ScopedPhase phase("test.off", ns);
+    }
+    obs::setMetricsEnabled(true);
+    EXPECT_EQ(obs::MetricsRegistry::global().scrape().counters.at(
+                  "test.off_ns"),
+              0u);
+}
+
+TEST_F(Metrics, ResetZeroesEverything)
+{
+    auto c = obs::MetricsRegistry::global().counter("test.rst");
+    auto g = obs::MetricsRegistry::global().gauge("test.rst_g");
+    c.add(5);
+    g.set(5.0);
+    obs::MetricsRegistry::global().reset();
+    const auto snap = obs::MetricsRegistry::global().scrape();
+    EXPECT_EQ(snap.counters.at("test.rst"), 0u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("test.rst_g"), 0.0);
+}
+
+TEST_F(Metrics, JsonHasStableShape)
+{
+    obs::MetricsRegistry::global().counter("test.json").add(3);
+    const std::string json =
+        obs::MetricsRegistry::global().scrapeJson();
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json\": 3"), std::string::npos);
+}

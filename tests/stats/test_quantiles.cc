@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "stats/quantiles.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -46,10 +48,52 @@ TEST(Quantile, OutOfRangeIsFatal)
     EXPECT_THROW(s::quantile(xs, -0.1), ar::util::FatalError);
 }
 
+TEST(Quantile, OutOfRangeRaisesDiagnosticError)
+{
+    // Recoverable, message-bearing error -- not a bare FatalError.
+    const std::vector<double> xs{1.0, 2.0};
+    EXPECT_THROW(s::quantile(xs, 1.0000001),
+                 ar::util::DiagnosticError);
+    EXPECT_THROW(s::quantile(xs, -1e-9), ar::util::DiagnosticError);
+    EXPECT_THROW(s::quantileSorted(xs, 2.0),
+                 ar::util::DiagnosticError);
+}
+
+TEST(Quantile, NanQIsRejectedNotUndefined)
+{
+    // A NaN q used to slip past the `q < 0 || q > 1` guard and reach
+    // an out-of-range double -> size_t cast (undefined behavior).
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(s::quantile(xs, nan), ar::util::DiagnosticError);
+    EXPECT_THROW(s::quantileSorted(xs, nan),
+                 ar::util::DiagnosticError);
+}
+
 TEST(Quantile, EmptyIsFatal)
 {
     const std::vector<double> xs;
     EXPECT_THROW(s::quantile(xs, 0.5), ar::util::FatalError);
+    EXPECT_THROW(s::quantile(xs, 0.5), ar::util::DiagnosticError);
+    EXPECT_THROW(s::quantileSorted(xs, 0.5),
+                 ar::util::DiagnosticError);
+}
+
+TEST(Quantile, SingleElementSpanIsThatElementForAnyQ)
+{
+    const std::vector<double> xs{42.0};
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        EXPECT_DOUBLE_EQ(s::quantile(xs, q), 42.0) << "q=" << q;
+        EXPECT_DOUBLE_EQ(s::quantileSorted(xs, q), 42.0)
+            << "q=" << q;
+    }
+}
+
+TEST(Quantile, SortedExtremesAreEndpoints)
+{
+    const std::vector<double> xs{-3.0, 0.0, 7.0, 11.0};
+    EXPECT_DOUBLE_EQ(s::quantileSorted(xs, 0.0), -3.0);
+    EXPECT_DOUBLE_EQ(s::quantileSorted(xs, 1.0), 11.0);
 }
 
 TEST(Ecdf, StepValues)

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <sstream>
+#include <string>
+
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace u = ar::util;
 
@@ -47,4 +52,47 @@ TEST(Logging, QuietFlagRoundTrips)
     EXPECT_TRUE(u::isQuiet());
     u::setQuiet(false);
     EXPECT_FALSE(u::isQuiet());
+}
+
+/**
+ * Regression test: warn()/inform() used to emit prefix, message, and
+ * newline as separate stream insertions with no lock, so warnings
+ * from parallelFor workers could interleave mid-line.  Hammer stderr
+ * from a pool (TSan exercises the emission path too) and check every
+ * captured line is intact.
+ */
+TEST(Logging, ConcurrentWarningsDoNotInterleave)
+{
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+
+    constexpr std::size_t kMessages = 400;
+    u::ThreadPool pool(4);
+    pool.parallelFor(kMessages, [&](std::size_t i) {
+        if (i % 2 == 0)
+            u::warn("message-", i, "-end");
+        else
+            u::inform("message-", i, "-end");
+    });
+
+    std::cerr.rdbuf(old);
+
+    std::istringstream lines(captured.str());
+    std::string line;
+    std::size_t n_lines = 0;
+    while (std::getline(lines, line)) {
+        ++n_lines;
+        const bool warn_line = line.rfind("warn: message-", 0) == 0;
+        const bool info_line = line.rfind("info: message-", 0) == 0;
+        EXPECT_TRUE(warn_line || info_line)
+            << "interleaved line: '" << line << "'";
+        EXPECT_EQ(line.find("-end"), line.size() - 4)
+            << "truncated line: '" << line << "'";
+        // Exactly one message per line: a second prefix in the same
+        // line means two emissions interleaved.
+        EXPECT_EQ(line.find("message-", line.find("message-") + 1),
+                  std::string::npos)
+            << "merged line: '" << line << "'";
+    }
+    EXPECT_EQ(n_lines, kMessages);
 }

@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "core/spec.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "report/ascii_plot.hh"
 #include "risk/var.hh"
 #include "stats/histogram.hh"
@@ -30,6 +32,10 @@ main(int argc, char **argv)
                  "worker threads (0 = all cores; overrides the spec)");
     opts.declare("fault-policy", "",
                  "fail_fast|discard|saturate (overrides the spec)");
+    opts.declare("metrics-json", "",
+                 "enable metrics and write the scraped JSON here");
+    opts.declare("trace-out", "",
+                 "enable tracing and write Chrome trace JSON here");
     opts.declare("quiet", "", "suppress the histogram", true);
     if (!opts.parse(argc, argv))
         return 0;
@@ -38,6 +44,25 @@ main(int argc, char **argv)
                      "usage: archrisk [options] <spec-file>\n");
         return 2;
     }
+
+    const std::string metrics_path = opts.getString("metrics-json");
+    const std::string trace_path = opts.getString("trace-out");
+    if (!metrics_path.empty())
+        ar::obs::setMetricsEnabled(true);
+    if (!trace_path.empty())
+        ar::obs::setTracingEnabled(true);
+    // Telemetry of a faulting run is often the most interesting, so
+    // the files are written on both the success and the error paths.
+    const auto write_telemetry = [&]() {
+        try {
+            if (!metrics_path.empty())
+                ar::obs::writeMetricsJson(metrics_path);
+            if (!trace_path.empty())
+                ar::obs::writeTraceJson(trace_path);
+        } catch (const ar::util::FatalError &e) {
+            std::fprintf(stderr, "warning: %s\n", e.what());
+        }
+    };
 
     try {
         auto spec = ar::core::loadSpecFile(opts.positional()[0]);
@@ -114,6 +139,7 @@ main(int argc, char **argv)
                             44)
                             .c_str());
         }
+        write_telemetry();
         return 0;
     } catch (const ar::util::ParseError &e) {
         // what() is the rendered diagnostic (line, column, caret).
@@ -126,6 +152,7 @@ main(int argc, char **argv)
                      "saturate, or add 'fault_policy ...' to the "
                      "spec\n",
                      e.what());
+        write_telemetry();
         return 1;
     } catch (const ar::util::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
