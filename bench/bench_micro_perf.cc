@@ -27,7 +27,10 @@
 #include "risk/risk_function.hh"
 #include "stats/boxcox.hh"
 #include "symbolic/compile.hh"
+#include "symbolic/parser.hh"
 #include "symbolic/program.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/solve.hh"
 #include "symbolic/substitute.hh"
 #include "util/rng.hh"
 
@@ -522,6 +525,85 @@ BM_TelemetryEnabledOverhead(benchmark::State &state)
 }
 BENCHMARK(BM_TelemetryEnabledOverhead)
     ->Unit(benchmark::kMillisecond);
+
+ar::symbolic::ExprPtr
+pickSpeedupExpr(std::size_t k)
+{
+    auto sys = ar::model::buildHillMartySystem(k);
+    return sys.resolve("Speedup");
+}
+
+void
+BM_Simplify(benchmark::State &state)
+{
+    // Re-canonicalize e*e + e for the resolved k-type Speedup
+    // expression.  simplifyAdd/simplifyMul group like terms with
+    // Expr::equal, so this is the equality-heaviest pass in the
+    // symbolic stack.
+    const auto e =
+        pickSpeedupExpr(static_cast<std::size_t>(state.range(0)));
+    const auto big = e * e + e;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ar::symbolic::simplify(big));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Simplify)->Arg(3)->Arg(5)->Unit(benchmark::kMicrosecond);
+
+void
+BM_Substitute(benchmark::State &state)
+{
+    // Bind every other free symbol of the resolved Speedup to a
+    // constant; substitute() rewrites the tree and re-simplifies.
+    const auto e =
+        pickSpeedupExpr(static_cast<std::size_t>(state.range(0)));
+    std::map<std::string, double> values;
+    std::size_t i = 0;
+    for (const auto &name : e->freeSymbols()) {
+        if (i++ % 2 == 0)
+            values.emplace(name, 2.0);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ar::symbolic::substitute(e, values));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Substitute)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SystemSolve(benchmark::State &state)
+{
+    // Inverse-operation isolation through nested sums, products,
+    // powers, and a log -- the shape of rearranging a closed-form
+    // architecture model for a design parameter.
+    const auto eq = ar::symbolic::parseEquation(
+        "Speedup = 1 / ((1 - F) / P_serial + F / (P_par * N) "
+        "+ Q * log(M))");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ar::symbolic::solveFor(eq, "P_serial"));
+        benchmark::DoNotOptimize(ar::symbolic::solveFor(eq, "M"));
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SystemSolve)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ModelBuild(benchmark::State &state)
+{
+    // End to end: build the k-type Hill-Marty equation system and
+    // resolve Speedup down to its inputs.  Exercises the parser,
+    // substitution, simplification, and the system memo together --
+    // the full model-build path a Framework user pays before the
+    // first trial runs.
+    const auto k = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto sys = ar::model::buildHillMartySystem(k);
+        benchmark::DoNotOptimize(sys.resolve("Speedup"));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelBuild)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

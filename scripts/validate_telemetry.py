@@ -115,6 +115,23 @@ def check_metrics(metrics_path, schema_path, errors):
                 "metrics.histograms.%s: count %r != bucket sum %d"
                 % (name, hist.get("count"), sum(counts))
             )
+    # Intern-table consistency: every live pool node was interned via
+    # exactly one miss, so the pool-size gauge can never exceed the
+    # miss counter.  (purge() only shrinks the pool, and hits never
+    # create nodes.)
+    pool_nodes = metrics.get("gauges", {}).get("symbolic.pool.nodes")
+    if pool_nodes is not None:
+        misses = metrics.get("counters", {}).get("symbolic.intern.misses")
+        if misses is None:
+            errors.append(
+                "metrics: symbolic.pool.nodes gauge present but "
+                "symbolic.intern.misses counter missing"
+            )
+        elif pool_nodes > misses:
+            errors.append(
+                "metrics: symbolic.pool.nodes %r exceeds "
+                "symbolic.intern.misses %r" % (pool_nodes, misses)
+            )
     return metrics
 
 

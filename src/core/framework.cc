@@ -49,7 +49,9 @@ Framework::setSystem(ar::symbolic::EquationSystem sys_in)
 {
     sys = std::make_unique<ar::symbolic::EquationSystem>(
         std::move(sys_in));
+    expr_ids.clear();
     cache.clear();
+    prog_ids.clear();
     prog_cache.clear();
 }
 
@@ -64,7 +66,19 @@ Framework::system() const
 const ar::symbolic::CompiledExpr &
 Framework::compiled(const std::string &responsive) const
 {
-    if (auto it = cache.find(responsive); it != cache.end()) {
+    if (auto nit = expr_ids.find(responsive);
+        nit != expr_ids.end()) {
+        if (obs::metricsEnabled())
+            coreMetrics().expr_cache_hits.add();
+        return cache.at(nit->second);
+    }
+    // Unknown name: resolve it, then key the tape on the interned id
+    // of the resolved root so an aliasing name (one that resolves to
+    // the same hash-consed expression) reuses the existing tape.
+    const auto resolved = system().resolve(responsive);
+    const std::uint64_t id = resolved->id();
+    expr_ids.emplace(responsive, id);
+    if (auto it = cache.find(id); it != cache.end()) {
         if (obs::metricsEnabled())
             coreMetrics().expr_cache_hits.add();
         return it->second;
@@ -72,9 +86,8 @@ Framework::compiled(const std::string &responsive) const
     if (obs::metricsEnabled())
         coreMetrics().expr_cache_misses.add();
     obs::ScopedPhase phase("core.compile", coreMetrics().compile_ns);
-    const auto resolved = system().resolve(responsive);
-    auto [it, inserted] = cache.emplace(
-        responsive, ar::symbolic::CompiledExpr(resolved));
+    auto [it, inserted] =
+        cache.emplace(id, ar::symbolic::CompiledExpr(resolved));
     return it->second;
 }
 
@@ -83,8 +96,25 @@ Framework::program(const std::vector<std::string> &responsives) const
 {
     if (responsives.empty())
         ar::util::fatal("Framework::program: no responsive variables");
-    if (auto it = prog_cache.find(responsives);
-        it != prog_cache.end()) {
+    if (auto nit = prog_ids.find(responsives);
+        nit != prog_ids.end()) {
+        if (obs::metricsEnabled())
+            coreMetrics().prog_cache_hits.add();
+        return prog_cache.at(nit->second);
+    }
+    // Unknown name list: resolve it, then key the fused program on
+    // the interned ids of the resolved roots so two output lists
+    // naming the same expressions (under aliases) share one program.
+    std::vector<ar::symbolic::ExprPtr> forest;
+    forest.reserve(responsives.size());
+    std::vector<std::uint64_t> ids;
+    ids.reserve(responsives.size());
+    for (const auto &responsive : responsives) {
+        forest.push_back(system().resolve(responsive));
+        ids.push_back(forest.back()->id());
+    }
+    prog_ids.emplace(responsives, ids);
+    if (auto it = prog_cache.find(ids); it != prog_cache.end()) {
         if (obs::metricsEnabled())
             coreMetrics().prog_cache_hits.add();
         return it->second;
@@ -92,12 +122,8 @@ Framework::program(const std::vector<std::string> &responsives) const
     if (obs::metricsEnabled())
         coreMetrics().prog_cache_misses.add();
     obs::ScopedPhase phase("core.compile", coreMetrics().compile_ns);
-    std::vector<ar::symbolic::ExprPtr> forest;
-    forest.reserve(responsives.size());
-    for (const auto &responsive : responsives)
-        forest.push_back(system().resolve(responsive));
     auto [it, inserted] = prog_cache.emplace(
-        responsives, ar::symbolic::CompiledProgram(forest));
+        std::move(ids), ar::symbolic::CompiledProgram(forest));
     return it->second;
 }
 

@@ -9,9 +9,11 @@
 #ifndef AR_CORE_FRAMEWORK_HH
 #define AR_CORE_FRAMEWORK_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mc/propagator.hh"
 #include "risk/arch_risk.hh"
@@ -139,8 +141,17 @@ class Framework
   private:
     ar::mc::Propagator propagator;
     std::unique_ptr<ar::symbolic::EquationSystem> sys;
-    mutable std::map<std::string, ar::symbolic::CompiledExpr> cache;
+
+    // Compilation caches are keyed on the interned id of the resolved
+    // root expression, not on the responsive-variable name: two names
+    // that resolve to the same (hash-consed) expression share one
+    // tape.  The name maps are a front-side memo so repeat lookups by
+    // name skip resolution entirely.
+    mutable std::map<std::string, std::uint64_t> expr_ids;
+    mutable std::map<std::uint64_t, ar::symbolic::CompiledExpr> cache;
     mutable std::map<std::vector<std::string>,
+                     std::vector<std::uint64_t>> prog_ids;
+    mutable std::map<std::vector<std::uint64_t>,
                      ar::symbolic::CompiledProgram> prog_cache;
 };
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <functional>
+#include <unordered_map>
 
-#include "symbolic/printer.hh"
 #include "util/logging.hh"
+#include "util/string_utils.hh"
 
 namespace ar::symbolic
 {
@@ -13,17 +14,33 @@ namespace ar::symbolic
 namespace
 {
 
-/** Render a subexpression as a display label, truncated for reports. */
+/** Truncate a display label for reports. */
 std::string
-shortLabel(const ExprPtr &e)
+clipLabel(std::string s)
 {
     constexpr std::size_t kMaxLabel = 48;
-    std::string s = toString(e);
     if (s.size() > kMaxLabel) {
         s.resize(kMaxLabel - 3);
         s += "...";
     }
     return s;
+}
+
+// Printer precedence levels (Add=1, Mul=2, Pow=3, atoms=4), used to
+// parenthesize label joins exactly like toString() does.
+int
+labelPrec(const Expr &e)
+{
+    switch (e.kind()) {
+      case ExprKind::Add:
+        return 1;
+      case ExprKind::Mul:
+        return 2;
+      case ExprKind::Pow:
+        return 3;
+      default:
+        return 4;
+    }
 }
 
 } // namespace
@@ -32,7 +49,7 @@ CompiledExpr::CompiledExpr(const ExprPtr &e)
 {
     if (!e)
         ar::util::panic("CompiledExpr: null expression");
-    const auto syms = e->freeSymbols();
+    const auto &syms = e->freeSymbols(); // memoized, not rebuilt
     args_.assign(syms.begin(), syms.end()); // std::set is sorted
     emit(e);
 
@@ -63,85 +80,195 @@ CompiledExpr::CompiledExpr(const ExprPtr &e)
 }
 
 void
-CompiledExpr::emit(const ExprPtr &e)
+CompiledExpr::emit(const ExprPtr &root)
 {
     // Each op carries a label of the subexpression it computes so
     // fault diagnostics can name the offending operation; labels are
     // built once at compile time and never touched on the hot path.
-    switch (e->kind()) {
-      case ExprKind::Constant:
-        ops.push_back({OpCode::PushConst, 0, e->value()});
-        labels.push_back(shortLabel(e));
-        return;
-      case ExprKind::Symbol:
-        {
-            const auto it =
-                std::lower_bound(args_.begin(), args_.end(), e->name());
-            ops.push_back(
-                {OpCode::PushArg,
-                 static_cast<std::uint32_t>(it - args_.begin()), 0.0});
-            labels.push_back(e->name());
-            return;
+    //
+    // Labels are assembled from the children's already-clipped labels
+    // (memoized per node) rather than by rendering each subexpression
+    // in full -- a full render per op is quadratic in expression
+    // depth.  For any subexpression whose rendering fits the clip
+    // limit the result is byte-identical to clipping toString(e); the
+    // parenthesization rules below mirror the printer's.  Lookups
+    // recurse only into nodes emission skipped (atoms, x^1), so the
+    // recursion depth stays shallow.
+    std::unordered_map<const Expr *, std::string> lmemo;
+    const std::function<const std::string &(const ExprPtr &)>
+        labelOf = [&](const ExprPtr &e) -> const std::string & {
+        if (const auto it = lmemo.find(e.get()); it != lmemo.end())
+            return it->second;
+        const auto child = [&](const ExprPtr &op,
+                               int parent_prec) -> std::string {
+            const std::string &s = labelOf(op);
+            if (labelPrec(*op) < parent_prec)
+                return "(" + s + ")";
+            return s;
+        };
+        std::string s;
+        switch (e->kind()) {
+          case ExprKind::Constant:
+            s = e->value() < 0.0
+                    ? "(" + ar::util::formatDouble(e->value()) + ")"
+                    : ar::util::formatDouble(e->value());
+            break;
+          case ExprKind::Symbol:
+            s = e->name();
+            break;
+          case ExprKind::Add:
+          case ExprKind::Mul:
+            {
+                const bool add = e->kind() == ExprKind::Add;
+                bool first = true;
+                for (const auto &op : e->operands()) {
+                    if (!first)
+                        s += add ? " + " : " * ";
+                    s += child(op, add ? 1 : 2);
+                    first = false;
+                }
+                break;
+            }
+          case ExprKind::Pow:
+            s = child(e->operands()[0], 4) + "^" +
+                child(e->operands()[1], 4);
+            break;
+          case ExprKind::Max:
+          case ExprKind::Min:
+            {
+                s = e->kind() == ExprKind::Max ? "max(" : "min(";
+                bool first = true;
+                for (const auto &op : e->operands()) {
+                    if (!first)
+                        s += ", ";
+                    s += labelOf(op);
+                    first = false;
+                }
+                s += ")";
+                break;
+            }
+          case ExprKind::Func:
+            s = e->name() + "(" + labelOf(e->operands()[0]) + ")";
+            break;
+          default:
+            ar::util::panic("CompiledExpr: unhandled expression kind");
         }
-      default:
-        break;
-    }
-    if (e->kind() == ExprKind::Pow &&
-        e->operands()[1]->kind() == ExprKind::Constant) {
-        // Literal-exponent strength reduction.  glibc's pow() is not
-        // correctly rounded, so x*x and 1.0/x are NOT bit-identical
-        // to pow(x, 2.0) and pow(x, -1.0) (roughly 1 in 2400 and 1 in
-        // 600 random inputs differ by 1 ulp).  Lowering here, in the
-        // reference tape, keeps the whole stack -- CompiledExpr,
-        // CompiledProgram, and their batch kernels -- on one shared
-        // definition of these powers.  Only literal exponents are
-        // lowered: a computed exponent that merely happens to equal
-        // 2.0 at runtime still goes through pow().
-        const double ex = e->operands()[1]->value();
-        if (ex == 1.0 || ex == 2.0 || ex == -1.0) {
-            emit(e->operands()[0]);
-            if (ex == 1.0)
-                return; // pow(x, 1) == x, bit for bit
-            ops.push_back(
-                {ex == 2.0 ? OpCode::Sq : OpCode::Recip, 1, 0.0});
-            labels.push_back(shortLabel(e));
-            return;
+        return lmemo.emplace(e.get(), clipLabel(std::move(s)))
+            .first->second;
+    };
+
+    // The node's own op, pushed after its children have been emitted.
+    const auto emitOp = [&](const ExprPtr &e) {
+        const auto n =
+            static_cast<std::uint32_t>(e->operands().size());
+        switch (e->kind()) {
+          case ExprKind::Add:
+            ops.push_back({OpCode::Add, n, 0.0});
+            break;
+          case ExprKind::Mul:
+            ops.push_back({OpCode::Mul, n, 0.0});
+            break;
+          case ExprKind::Pow:
+            {
+                // A literal exponent of exactly 2.0 / -1.0 can only
+                // arrive here via the strength-reduced dispatch below
+                // (which pushed just the base); every other Pow went
+                // the generic two-child route.
+                const ExprPtr &ex = e->operands()[1];
+                if (ex->isConstant() &&
+                    (ex->value() == 2.0 || ex->value() == -1.0)) {
+                    ops.push_back({ex->value() == 2.0 ? OpCode::Sq
+                                                      : OpCode::Recip,
+                                   1, 0.0});
+                } else {
+                    ops.push_back({OpCode::Pow, 2, 0.0});
+                }
+                break;
+            }
+          case ExprKind::Max:
+            ops.push_back({OpCode::Max, n, 0.0});
+            break;
+          case ExprKind::Min:
+            ops.push_back({OpCode::Min, n, 0.0});
+            break;
+          case ExprKind::Func:
+            if (e->name() == "log")
+                ops.push_back({OpCode::Log, 1, 0.0});
+            else if (e->name() == "exp")
+                ops.push_back({OpCode::Exp, 1, 0.0});
+            else if (e->name() == "gtz")
+                ops.push_back({OpCode::Gtz, 1, 0.0});
+            else
+                ar::util::panic("CompiledExpr: unknown function ",
+                                e->name());
+            break;
+          default:
+            ar::util::panic("CompiledExpr: unhandled expression kind");
         }
+        labels.push_back(labelOf(e));
+    };
+
+    // Explicit postorder worklist (children first, then the node's
+    // own op) so deep chains cannot overflow the call stack.  The
+    // emitted tape is identical to the recursive formulation's.
+    struct Item
+    {
+        const ExprPtr *node;
+        bool emit_op; ///< children done; emit the node's own op
+    };
+    std::vector<Item> stack{{&root, false}};
+    while (!stack.empty()) {
+        const auto [pe, emit_op] = stack.back();
+        stack.pop_back();
+        const ExprPtr &e = *pe;
+        if (emit_op) {
+            emitOp(e);
+            continue;
+        }
+        switch (e->kind()) {
+          case ExprKind::Constant:
+            ops.push_back({OpCode::PushConst, 0, e->value()});
+            labels.push_back(labelOf(e));
+            continue;
+          case ExprKind::Symbol:
+            {
+                const auto it = std::lower_bound(
+                    args_.begin(), args_.end(), e->name());
+                ops.push_back(
+                    {OpCode::PushArg,
+                     static_cast<std::uint32_t>(it - args_.begin()),
+                     0.0});
+                labels.push_back(e->name());
+                continue;
+            }
+          default:
+            break;
+        }
+        if (e->kind() == ExprKind::Pow &&
+            e->operands()[1]->kind() == ExprKind::Constant) {
+            // Literal-exponent strength reduction.  glibc's pow() is
+            // not correctly rounded, so x*x and 1.0/x are NOT
+            // bit-identical to pow(x, 2.0) and pow(x, -1.0) (roughly
+            // 1 in 2400 and 1 in 600 random inputs differ by 1 ulp).
+            // Lowering here, in the reference tape, keeps the whole
+            // stack -- CompiledExpr, CompiledProgram, and their batch
+            // kernels -- on one shared definition of these powers.
+            // Only literal exponents are lowered: a computed exponent
+            // that merely happens to equal 2.0 at runtime still goes
+            // through pow().
+            const double ex = e->operands()[1]->value();
+            if (ex == 1.0 || ex == 2.0 || ex == -1.0) {
+                if (ex != 1.0) // pow(x, 1) == x, bit for bit: no op
+                    stack.push_back({pe, true});
+                stack.push_back({&e->operands()[0], false});
+                continue;
+            }
+        }
+        stack.push_back({pe, true});
+        const auto &kids = e->operands();
+        for (std::size_t i = kids.size(); i-- > 0;)
+            stack.push_back({&kids[i], false});
     }
-    for (const auto &op : e->operands())
-        emit(op);
-    const auto n = static_cast<std::uint32_t>(e->operands().size());
-    switch (e->kind()) {
-      case ExprKind::Add:
-        ops.push_back({OpCode::Add, n, 0.0});
-        break;
-      case ExprKind::Mul:
-        ops.push_back({OpCode::Mul, n, 0.0});
-        break;
-      case ExprKind::Pow:
-        ops.push_back({OpCode::Pow, 2, 0.0});
-        break;
-      case ExprKind::Max:
-        ops.push_back({OpCode::Max, n, 0.0});
-        break;
-      case ExprKind::Min:
-        ops.push_back({OpCode::Min, n, 0.0});
-        break;
-      case ExprKind::Func:
-        if (e->name() == "log")
-            ops.push_back({OpCode::Log, 1, 0.0});
-        else if (e->name() == "exp")
-            ops.push_back({OpCode::Exp, 1, 0.0});
-        else if (e->name() == "gtz")
-            ops.push_back({OpCode::Gtz, 1, 0.0});
-        else
-            ar::util::panic("CompiledExpr: unknown function ",
-                            e->name());
-        break;
-      default:
-        ar::util::panic("CompiledExpr: unhandled expression kind");
-    }
-    labels.push_back(shortLabel(e));
 }
 
 std::size_t

@@ -1,5 +1,7 @@
 #include "symbolic/diff.hh"
 
+#include <unordered_map>
+
 #include "symbolic/simplify.hh"
 #include "util/logging.hh"
 
@@ -9,100 +11,120 @@ namespace ar::symbolic
 namespace
 {
 
-std::optional<ExprPtr>
-diffImpl(const ExprPtr &e, const std::string &sym)
-{
-    if (e->countSymbol(sym) == 0)
-        return Expr::constant(0.0);
+/**
+ * Per-call derivative memo, keyed on node identity: a subexpression
+ * shared n ways is differentiated once.  An empty optional in the
+ * memo records "not differentiable" so failing subtrees are also
+ * visited only once.
+ */
+using DiffMemo =
+    std::unordered_map<const Expr *, std::optional<ExprPtr>>;
 
-    switch (e->kind()) {
-      case ExprKind::Symbol:
-        return Expr::constant(1.0);
-      case ExprKind::Add:
-        {
-            std::vector<ExprPtr> terms;
-            for (const auto &op : e->operands()) {
-                auto d = diffImpl(op, sym);
-                if (!d)
-                    return std::nullopt;
-                terms.push_back(*d);
-            }
-            return Expr::add(std::move(terms));
-        }
-      case ExprKind::Mul:
-        {
-            // n-ary product rule: sum_i d(op_i) * prod_{j != i} op_j.
-            const auto &ops = e->operands();
-            std::vector<ExprPtr> terms;
-            for (std::size_t i = 0; i < ops.size(); ++i) {
-                if (ops[i]->countSymbol(sym) == 0)
-                    continue;
-                auto d = diffImpl(ops[i], sym);
-                if (!d)
-                    return std::nullopt;
-                std::vector<ExprPtr> factors{*d};
-                for (std::size_t j = 0; j < ops.size(); ++j) {
-                    if (j != i)
-                        factors.push_back(ops[j]);
+std::optional<ExprPtr>
+diffImpl(const ExprPtr &e, const std::string &sym, DiffMemo &memo)
+{
+    // The memoized free-symbol set answers the "constant w.r.t. sym"
+    // case -- by far the most common in wide products -- without any
+    // walk or allocation.
+    if (!e->containsSymbol(sym))
+        return Expr::constant(0.0);
+    if (const auto it = memo.find(e.get()); it != memo.end())
+        return it->second;
+
+    const auto result = [&]() -> std::optional<ExprPtr> {
+        switch (e->kind()) {
+          case ExprKind::Symbol:
+            return Expr::constant(1.0);
+          case ExprKind::Add:
+            {
+                std::vector<ExprPtr> terms;
+                for (const auto &op : e->operands()) {
+                    auto d = diffImpl(op, sym, memo);
+                    if (!d)
+                        return std::nullopt;
+                    terms.push_back(*d);
                 }
-                terms.push_back(Expr::mul(std::move(factors)));
+                return Expr::add(std::move(terms));
             }
-            return Expr::add(std::move(terms));
-        }
-      case ExprKind::Pow:
-        {
-            const ExprPtr &base = e->operands()[0];
-            const ExprPtr &exp = e->operands()[1];
-            const bool base_has = base->countSymbol(sym) > 0;
-            const bool exp_has = exp->countSymbol(sym) > 0;
-            if (base_has && !exp_has) {
-                // d(b^e) = e * b^(e-1) * db.
-                auto db = diffImpl(base, sym);
-                if (!db)
+          case ExprKind::Mul:
+            {
+                // n-ary product rule:
+                // sum_i d(op_i) * prod_{j != i} op_j.
+                const auto &ops = e->operands();
+                std::vector<ExprPtr> terms;
+                for (std::size_t i = 0; i < ops.size(); ++i) {
+                    if (!ops[i]->containsSymbol(sym))
+                        continue;
+                    auto d = diffImpl(ops[i], sym, memo);
+                    if (!d)
+                        return std::nullopt;
+                    std::vector<ExprPtr> factors{*d};
+                    for (std::size_t j = 0; j < ops.size(); ++j) {
+                        if (j != i)
+                            factors.push_back(ops[j]);
+                    }
+                    terms.push_back(Expr::mul(std::move(factors)));
+                }
+                return Expr::add(std::move(terms));
+            }
+          case ExprKind::Pow:
+            {
+                const ExprPtr &base = e->operands()[0];
+                const ExprPtr &exp = e->operands()[1];
+                const bool base_has = base->containsSymbol(sym);
+                const bool exp_has = exp->containsSymbol(sym);
+                if (base_has && !exp_has) {
+                    // d(b^e) = e * b^(e-1) * db.
+                    auto db = diffImpl(base, sym, memo);
+                    if (!db)
+                        return std::nullopt;
+                    return Expr::mul(
+                        {exp,
+                         Expr::pow(base, Expr::sub(
+                                             exp, Expr::constant(1.0))),
+                         *db});
+                }
+                if (!base_has && exp_has) {
+                    // d(b^e) = b^e * log(b) * de.
+                    auto de = diffImpl(exp, sym, memo);
+                    if (!de)
+                        return std::nullopt;
+                    return Expr::mul(
+                        {e, Expr::func("log", base), *de});
+                }
+                // Both vary: b^e * (de*log(b) + e*db/b).
+                auto db = diffImpl(base, sym, memo);
+                auto de = diffImpl(exp, sym, memo);
+                if (!db || !de)
                     return std::nullopt;
                 return Expr::mul(
-                    {exp,
-                     Expr::pow(base,
-                               Expr::sub(exp, Expr::constant(1.0))),
-                     *db});
+                    {e,
+                     Expr::add(Expr::mul(*de, Expr::func("log", base)),
+                               Expr::mul(exp, Expr::div(*db, base)))});
             }
-            if (!base_has && exp_has) {
-                // d(b^e) = b^e * log(b) * de.
-                auto de = diffImpl(exp, sym);
-                if (!de)
+          case ExprKind::Func:
+            {
+                const std::string &fn = e->name();
+                const ExprPtr &arg = e->operands()[0];
+                auto da = diffImpl(arg, sym, memo);
+                if (!da)
                     return std::nullopt;
-                return Expr::mul({e, Expr::func("log", base), *de});
+                if (fn == "log")
+                    return Expr::mul(
+                        *da, Expr::div(Expr::constant(1.0), arg));
+                if (fn == "exp")
+                    return Expr::mul(*da, e);
+                return std::nullopt; // gtz: not differentiable
             }
-            // Both vary: b^e * (de*log(b) + e*db/b).
-            auto db = diffImpl(base, sym);
-            auto de = diffImpl(exp, sym);
-            if (!db || !de)
-                return std::nullopt;
-            return Expr::mul(
-                {e, Expr::add(Expr::mul(*de, Expr::func("log", base)),
-                              Expr::mul(exp,
-                                        Expr::div(*db, base)))});
+          case ExprKind::Max:
+          case ExprKind::Min:
+            return std::nullopt;
+          default:
+            ar::util::panic("diff: unhandled expression kind");
         }
-      case ExprKind::Func:
-        {
-            const std::string &fn = e->name();
-            const ExprPtr &arg = e->operands()[0];
-            auto da = diffImpl(arg, sym);
-            if (!da)
-                return std::nullopt;
-            if (fn == "log")
-                return Expr::mul(*da, Expr::div(Expr::constant(1.0),
-                                                arg));
-            if (fn == "exp")
-                return Expr::mul(*da, e);
-            return std::nullopt; // gtz: not differentiable
-        }
-      case ExprKind::Max:
-      case ExprKind::Min:
-        return std::nullopt;
-      default:
-        ar::util::panic("diff: unhandled expression kind");
-    }
+    }();
+    memo.emplace(e.get(), result);
+    return result;
 }
 
 } // namespace
@@ -112,7 +134,8 @@ diff(const ExprPtr &e, const std::string &sym)
 {
     if (!e)
         ar::util::panic("diff: null expression");
-    auto d = diffImpl(e, sym);
+    DiffMemo memo;
+    auto d = diffImpl(e, sym, memo);
     if (!d)
         return std::nullopt;
     return simplify(*d);

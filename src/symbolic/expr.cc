@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
+#include "symbolic/expr_pool.hh"
 #include "util/logging.hh"
 
 namespace ar::symbolic
@@ -19,8 +22,8 @@ ExprPtr
 Expr::make(ExprKind kind, double value, std::string name,
            std::vector<ExprPtr> ops)
 {
-    return ExprPtr(new Expr(kind, value, std::move(name),
-                            std::move(ops)));
+    return ExprPool::global().intern(kind, value, std::move(name),
+                                     std::move(ops));
 }
 
 double
@@ -45,75 +48,116 @@ Expr::isConstant(double v) const
     return kind_ == ExprKind::Constant && value_ == v;
 }
 
-std::set<std::string>
-Expr::freeSymbols() const
-{
-    std::set<std::string> out;
-    if (kind_ == ExprKind::Symbol) {
-        out.insert(name_);
-        return out;
-    }
-    for (const auto &op : ops) {
-        auto sub = op->freeSymbols();
-        out.insert(sub.begin(), sub.end());
-    }
-    return out;
-}
-
 std::size_t
 Expr::countSymbol(const std::string &sym) const
 {
+    // The memoized free-symbol set answers the common "not present"
+    // case without any walk, and prunes whole subDAGs below.
+    if (!containsSymbol(sym))
+        return 0;
     if (kind_ == ExprKind::Symbol)
-        return name_ == sym ? 1 : 0;
-    std::size_t n = 0;
-    for (const auto &op : ops)
-        n += op->countSymbol(sym);
-    return n;
-}
+        return 1;
 
-bool
-Expr::equal(const ExprPtr &a, const ExprPtr &b)
-{
-    return compare(a, b) == 0;
+    // Iterative post-order with a per-call memo: each unique node is
+    // counted once, then its count is reused at every reference, so
+    // the tree-occurrence total of a heavily shared DAG costs O(DAG)
+    // instead of O(tree).
+    std::unordered_map<const Expr *, std::size_t> memo;
+    std::vector<const Expr *> stack{this};
+    while (!stack.empty()) {
+        const Expr *e = stack.back();
+        if (memo.count(e)) {
+            stack.pop_back();
+            continue;
+        }
+        if (e->kind_ == ExprKind::Symbol) {
+            memo.emplace(e, e->name_ == sym ? 1 : 0);
+            stack.pop_back();
+            continue;
+        }
+        if (!e->containsSymbol(sym)) {
+            memo.emplace(e, 0);
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (const auto &op : e->ops) {
+            if (op->containsSymbol(sym) && !memo.count(op.get())) {
+                stack.push_back(op.get());
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+        std::size_t n = 0;
+        for (const auto &op : e->ops) {
+            if (op->containsSymbol(sym))
+                n += memo.at(op.get());
+        }
+        memo.emplace(e, n);
+        stack.pop_back();
+    }
+    return memo.at(this);
 }
 
 int
 Expr::compare(const ExprPtr &a, const ExprPtr &b)
 {
-    if (a.get() == b.get())
-        return 0;
-    const int ka = static_cast<int>(a->kind_);
-    const int kb = static_cast<int>(b->kind_);
-    if (ka != kb)
-        return ka < kb ? -1 : 1;
-    switch (a->kind_) {
-      case ExprKind::Constant:
-        {
-            // NaN constants (from folding out-of-domain arithmetic)
-            // must compare equal to themselves so canonicalization
-            // and idempotence hold.
-            const bool a_nan = std::isnan(a->value_);
-            const bool b_nan = std::isnan(b->value_);
-            if (a_nan || b_nan)
-                return a_nan && b_nan ? 0 : (a_nan ? 1 : -1);
-            if (a->value_ != b->value_)
-                return a->value_ < b->value_ ? -1 : 1;
-            return 0;
+    // Same total order as the original recursive comparator: (kind,
+    // payload, arity, children lexicographically).  The walk is an
+    // explicit stack so pathologically deep chains cannot overflow,
+    // and every shared (pointer-identical) pair prunes immediately --
+    // with interned nodes that makes the cost proportional to the
+    // path to the first difference, not to the subtree size.
+    std::vector<std::pair<const Expr *, const Expr *>> stack;
+    stack.emplace_back(a.get(), b.get());
+    while (!stack.empty()) {
+        const auto [x, y] = stack.back();
+        stack.pop_back();
+        if (x == y)
+            continue;
+        const int kx = static_cast<int>(x->kind_);
+        const int ky = static_cast<int>(y->kind_);
+        if (kx != ky)
+            return kx < ky ? -1 : 1;
+        switch (x->kind_) {
+          case ExprKind::Constant:
+            {
+                // NaN constants (from folding out-of-domain
+                // arithmetic) must compare equal to themselves so
+                // canonicalization and idempotence hold.  (The pool
+                // interns all NaNs to one node, so this arm is kept
+                // for the +0/-0 pair and future-proofing.)
+                const bool x_nan = std::isnan(x->value_);
+                const bool y_nan = std::isnan(y->value_);
+                if (x_nan || y_nan) {
+                    if (x_nan && y_nan)
+                        continue;
+                    return x_nan ? 1 : -1;
+                }
+                if (x->value_ != y->value_)
+                    return x->value_ < y->value_ ? -1 : 1;
+                continue;
+            }
+          case ExprKind::Symbol:
+            {
+                if (int c = x->name_.compare(y->name_); c != 0)
+                    return c;
+                continue;
+            }
+          case ExprKind::Func:
+            if (int c = x->name_.compare(y->name_); c != 0)
+                return c;
+            break;
+          default:
+            break;
         }
-      case ExprKind::Symbol:
-        return a->name_.compare(b->name_);
-      case ExprKind::Func:
-        if (int c = a->name_.compare(b->name_); c != 0)
-            return c;
-        break;
-      default:
-        break;
-    }
-    if (a->ops.size() != b->ops.size())
-        return a->ops.size() < b->ops.size() ? -1 : 1;
-    for (std::size_t i = 0; i < a->ops.size(); ++i) {
-        if (int c = compare(a->ops[i], b->ops[i]); c != 0)
-            return c;
+        if (x->ops.size() != y->ops.size())
+            return x->ops.size() < y->ops.size() ? -1 : 1;
+        // Children compare left to right: push right to left so the
+        // leftmost pair pops first.
+        for (std::size_t i = x->ops.size(); i-- > 0;)
+            stack.emplace_back(x->ops[i].get(), y->ops[i].get());
     }
     return 0;
 }
@@ -224,6 +268,14 @@ Expr::sqrt(ExprPtr x)
 ExprPtr
 Expr::neg(ExprPtr x)
 {
+    if (!x)
+        ar::util::panic("Expr::neg received a null operand");
+    // Fold a negated nonzero constant (see the header for why zeros
+    // are excluded).  Negation is exact in IEEE-754, and simplify()
+    // folds Mul(-1, c) to the identical constant, so downstream
+    // canonical forms are unchanged.
+    if (x->isConstant() && !x->isConstant(0.0))
+        return constant(-x->value());
     return mul(constant(-1.0), std::move(x));
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Immutable symbolic expression trees.
+ * Immutable symbolic expression DAGs.
  *
  * This is the core of the "symbolic algebra" substrate that replaces
  * SymPy in the original Archrisk tool.  Expressions are built either
@@ -19,11 +19,23 @@
  * `gtz(x)` is the unit step (1 when x > 0 else 0) used to express
  * conditional structure such as "cores with at least one working
  * instance" (Eq. 6 of the paper).
+ *
+ * Every node is hash-consed through ExprPool (expr_pool.hh):
+ * structurally identical expressions are the SAME heap object, so
+ * equal() is a pointer check, shared subtrees are stored once, and
+ * per-node metadata -- free-symbol set, depth, structural hash, the
+ * simplifier's canonical-form flag -- is computed once per unique
+ * node and memoized for the node's lifetime.  The only equal-but-
+ * distinct pair the pool keeps is +0.0 / -0.0 (their bits must stay
+ * distinguishable for bit-exact tape lowering); equal() handles that
+ * one case through the structural comparator.
  */
 
 #ifndef AR_SYMBOLIC_EXPR_HH
 #define AR_SYMBOLIC_EXPR_HH
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -33,6 +45,7 @@ namespace ar::symbolic
 {
 
 class Expr;
+class ExprPool;
 
 /** Shared handle to an immutable expression node. */
 using ExprPtr = std::shared_ptr<const Expr>;
@@ -50,7 +63,7 @@ enum class ExprKind
     Func,
 };
 
-/** A single immutable node in an expression tree. */
+/** A single immutable, interned node in an expression DAG. */
 class Expr
 {
   public:
@@ -75,18 +88,73 @@ class Expr
     /** @return true for Symbol nodes. */
     bool isSymbol() const { return kind_ == ExprKind::Symbol; }
 
-    /** @return all distinct symbol names in the tree. */
-    std::set<std::string> freeSymbols() const;
+    /**
+     * All distinct symbol names in the expression.  Memoized at
+     * intern time; repeat queries return the same set object and
+     * allocate nothing.  Nodes sharing the same symbol set share one
+     * set object.
+     */
+    const std::set<std::string> &freeSymbols() const { return *free_; }
 
-    /** @return number of occurrences of the named symbol. */
+    /** @return true when the named symbol occurs in the expression. */
+    bool
+    containsSymbol(const std::string &sym) const
+    {
+        return free_->count(sym) > 0;
+    }
+
+    /**
+     * Number of occurrences of the named symbol, counted over the
+     * expression TREE (a subexpression referenced through n parents
+     * contributes n times, exactly as the pre-interning trees did).
+     */
     std::size_t countSymbol(const std::string &sym) const;
 
-    /** Structural equality. */
-    static bool equal(const ExprPtr &a, const ExprPtr &b);
+    /** @return unique id of this interned node (children < parents). */
+    std::uint64_t id() const { return id_; }
+
+    /** @return the structural hash the pool interned this node under. */
+    std::size_t hash() const { return hash_; }
+
+    /** @return longest root-to-leaf path length (leaves have depth 1). */
+    std::size_t depth() const { return depth_; }
+
+    /**
+     * @return true when this node is a known fixpoint of simplify().
+     * Maintained by simplify(); sticky for the node's lifetime
+     * (canonical form is context-free and immutable).
+     */
+    bool
+    isSimplified() const
+    {
+        return simplified_.load(std::memory_order_relaxed);
+    }
+
+    /** Record that simplify() returned this node unchanged. */
+    void
+    markSimplified() const
+    {
+        simplified_.store(true, std::memory_order_relaxed);
+    }
+
+    /**
+     * Structural equality.  Interned nodes make this a pointer check
+     * except for the deliberate +0.0 / -0.0 double-entry, which
+     * falls through to compare().
+     */
+    static bool
+    equal(const ExprPtr &a, const ExprPtr &b)
+    {
+        return a.get() == b.get() || compare(a, b) == 0;
+    }
 
     /**
      * Deterministic structural ordering (used to canonicalize operand
-     * order inside commutative nodes).
+     * order inside commutative nodes).  The order is exactly the
+     * seed comparator's -- (kind, payload, arity, children
+     * lexicographically) -- so canonical forms are unchanged; what
+     * interning buys is that recursion prunes at the first shared
+     * (pointer-identical) pair.
      *
      * @return negative / zero / positive like strcmp.
      */
@@ -126,7 +194,14 @@ class Expr
     /** sqrt(x), canonicalized to x^0.5. */
     static ExprPtr sqrt(ExprPtr x);
 
-    /** -x, canonicalized to (-1)*x. */
+    /**
+     * -x, canonicalized to (-1)*x.  A nonzero constant folds to the
+     * negated constant directly (exact in IEEE-754), which makes
+     * printing a fixpoint: "(-c)" parses back to the same Constant
+     * node instead of a fresh Mul(-1, c).  Zeros keep the Mul form:
+     * simplify() canonicalizes Mul(-1, 0) to +0.0, and folding here
+     * to -0.0 would flip that sign bit.
+     */
     static ExprPtr neg(ExprPtr x);
 
     /** n-ary maximum. */
@@ -139,9 +214,12 @@ class Expr
     static ExprPtr func(const std::string &name, ExprPtr arg);
 
   private:
+    friend class ExprPool;
+
     Expr(ExprKind kind, double value, std::string name,
          std::vector<ExprPtr> ops);
 
+    /** Intern through ExprPool::global(). */
     static ExprPtr make(ExprKind kind, double value, std::string name,
                         std::vector<ExprPtr> ops);
 
@@ -149,6 +227,15 @@ class Expr
     double value_;
     std::string name_;
     std::vector<ExprPtr> ops;
+
+    // Interning metadata, written once by ExprPool before the node
+    // is published and immutable afterwards (simplified_ excepted:
+    // it flips false -> true at most once, under a relaxed atomic).
+    std::uint64_t id_ = 0;
+    std::size_t hash_ = 0;
+    std::uint32_t depth_ = 1;
+    std::shared_ptr<const std::set<std::string>> free_;
+    mutable std::atomic<bool> simplified_{false};
 };
 
 /** An equation lhs = rhs. */

@@ -1,0 +1,254 @@
+#include "symbolic/expr_pool.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+
+#include "obs/telemetry.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+struct InternMetrics
+{
+    obs::Counter hits = obs::MetricsRegistry::global().counter(
+        "symbolic.intern.hits");
+    obs::Counter misses = obs::MetricsRegistry::global().counter(
+        "symbolic.intern.misses");
+    obs::Gauge nodes =
+        obs::MetricsRegistry::global().gauge("symbolic.pool.nodes");
+};
+
+InternMetrics &
+internMetrics()
+{
+    static InternMetrics m;
+    return m;
+}
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/** FNV-1a over the structural identity of a prospective node. */
+std::size_t
+hashNode(ExprKind kind, double value, const std::string &name,
+         const std::vector<ExprPtr> &ops)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t w) {
+        h ^= w;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(kind) + 1);
+    if (kind == ExprKind::Constant)
+        mix(bitsOf(value));
+    if (!name.empty())
+        mix(std::hash<std::string>{}(name));
+    for (const auto &op : ops)
+        mix(reinterpret_cast<std::uintptr_t>(op.get()));
+    return static_cast<std::size_t>(h);
+}
+
+/**
+ * Structural identity against an interned candidate.  Children are
+ * themselves interned, so child comparison is pointer equality;
+ * constants compare by bit pattern (NaNs were canonicalized before
+ * hashing, and +0.0 / -0.0 stay deliberately distinct nodes).
+ */
+bool
+matches(const Expr &c, ExprKind kind, double value,
+        const std::string &name, const std::vector<ExprPtr> &ops)
+{
+    if (c.kind() != kind)
+        return false;
+    if (kind == ExprKind::Constant)
+        return bitsOf(c.value()) == bitsOf(value);
+    if (kind == ExprKind::Symbol || kind == ExprKind::Func) {
+        if (c.name() != name)
+            return false;
+    }
+    const auto &cops = c.operands();
+    if (cops.size() != ops.size())
+        return false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (cops[i].get() != ops[i].get())
+            return false;
+    }
+    return true;
+}
+
+using FreeSet = std::shared_ptr<const std::set<std::string>>;
+
+const FreeSet &
+emptyFreeSet()
+{
+    static const FreeSet empty =
+        std::make_shared<const std::set<std::string>>();
+    return empty;
+}
+
+} // namespace
+
+/**
+ * Memoized free-symbol set for a node under construction.  Shares a
+ * child's set object whenever the union adds nothing to it, which
+ * covers the overwhelmingly common shapes (Pow with a constant
+ * exponent, Mul with a coefficient, n-ary nodes over one variable).
+ */
+FreeSet
+ExprPool::freeSetOf(ExprKind kind, const std::string &name,
+                    const std::vector<ExprPtr> &ops)
+{
+    if (kind == ExprKind::Symbol)
+        return std::make_shared<const std::set<std::string>>(
+            std::set<std::string>{name});
+    if (ops.empty())
+        return emptyFreeSet();
+
+    const FreeSet *first = nullptr;
+    bool all_same = true;
+    for (const auto &op : ops) {
+        const FreeSet &f = op->free_;
+        if (f->empty())
+            continue;
+        if (!first)
+            first = &f;
+        else if (f != *first)
+            all_same = false;
+    }
+    if (!first)
+        return emptyFreeSet();
+    if (all_same)
+        return *first;
+
+    std::set<std::string> merged;
+    const FreeSet *largest = nullptr;
+    for (const auto &op : ops) {
+        const FreeSet &f = op->free_;
+        merged.insert(f->begin(), f->end());
+        if (!largest || f->size() > (*largest)->size())
+            largest = &f;
+    }
+    if (merged.size() == (*largest)->size())
+        return *largest; // the union IS the largest child's set
+    return std::make_shared<const std::set<std::string>>(
+        std::move(merged));
+}
+
+ExprPool &
+ExprPool::global()
+{
+    static ExprPool pool;
+    return pool;
+}
+
+ExprPtr
+ExprPool::intern(ExprKind kind, double value, std::string name,
+                 std::vector<ExprPtr> ops)
+{
+    // One canonical NaN constant: Expr::compare treats every NaN as
+    // equal, so distinct NaN payloads must not produce distinct
+    // "equal" nodes.
+    if (kind == ExprKind::Constant && std::isnan(value))
+        value = std::numeric_limits<double>::quiet_NaN();
+
+    const std::size_t h = hashNode(kind, value, name, ops);
+    Shard &shard = shards_[h % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto &chain = shard.chains[h];
+    for (const auto &c : chain) {
+        if (matches(*c, kind, value, name, ops)) {
+            if (obs::metricsEnabled())
+                internMetrics().hits.add();
+            return c;
+        }
+    }
+
+    Expr *raw =
+        new Expr(kind, value, std::move(name), std::move(ops));
+    raw->hash_ = h;
+    raw->id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t depth = 1;
+    for (const auto &op : raw->ops)
+        depth = std::max(depth, op->depth_ + 1);
+    raw->depth_ = depth;
+    raw->free_ = freeSetOf(raw->kind_, raw->name_, raw->ops);
+
+    ExprPtr node(raw);
+    chain.push_back(node);
+    const std::size_t live =
+        size_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (obs::metricsEnabled()) {
+        internMetrics().misses.add();
+        internMetrics().nodes.set(static_cast<double>(live));
+    }
+    return node;
+}
+
+std::size_t
+ExprPool::purge()
+{
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(kShards);
+    for (auto &shard : shards_)
+        locks.emplace_back(shard.mu);
+
+    // Snapshot raw pointers sorted by descending id: every parent
+    // precedes its children, so releasing a dying parent's operand
+    // references happens before those children are examined, and one
+    // sweep evicts entire dead subDAGs.
+    struct Ref
+    {
+        std::uint64_t id;
+        Shard *shard;
+        std::size_t hash;
+        const Expr *node;
+    };
+    std::vector<Ref> refs;
+    refs.reserve(size_.load(std::memory_order_relaxed));
+    for (auto &shard : shards_) {
+        for (const auto &[hash, chain] : shard.chains) {
+            for (const auto &c : chain)
+                refs.push_back({c->id(), &shard, hash, c.get()});
+        }
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](const Ref &a, const Ref &b) { return a.id > b.id; });
+
+    std::size_t evicted = 0;
+    for (const auto &ref : refs) {
+        auto chain_it = ref.shard->chains.find(ref.hash);
+        auto &chain = chain_it->second;
+        for (auto it = chain.begin(); it != chain.end(); ++it) {
+            if (it->get() != ref.node)
+                continue;
+            // use_count() == 1 means the pool holds the only
+            // reference: with every shard locked, nobody can copy it
+            // concurrently, so eviction is race-free.
+            if (it->use_count() == 1) {
+                chain.erase(it);
+                ++evicted;
+            }
+            break;
+        }
+        if (chain.empty())
+            ref.shard->chains.erase(chain_it);
+    }
+    const std::size_t live =
+        size_.fetch_sub(evicted, std::memory_order_relaxed) - evicted;
+    if (obs::metricsEnabled())
+        internMetrics().nodes.set(static_cast<double>(live));
+    return evicted;
+}
+
+} // namespace ar::symbolic

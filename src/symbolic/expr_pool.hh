@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Hash-consing arena for expression nodes.
+ *
+ * Every Expr is interned here at construction: the pool keeps one
+ * canonical node per structural value, so structurally identical
+ * expressions are pointer-identical (GiNaC-style hash consing).  That
+ * single invariant is what turns the tree passes of the symbolic
+ * stack into DAG passes: Expr::equal degenerates to a pointer check,
+ * per-call memo tables can key on node identity, and per-node
+ * metadata (free symbols, depth, canonical-form flag) is computed
+ * once per unique node instead of once per reference.
+ *
+ * Threading model: one process-wide pool, sharded 16 ways by
+ * structural hash, one mutex per shard.  An intern takes one shard
+ * lock for one hash lookup; distinct worker threads building
+ * disjoint expressions almost never touch the same shard.  This was
+ * chosen over a per-Framework pool because expressions flow freely
+ * across Framework, EquationSystem, and compiled-tape boundaries
+ * (and between test fixtures); a single identity domain keeps
+ * pointer equality globally valid.
+ *
+ * Ownership: the pool holds a strong reference to every interned
+ * node.  Nodes therefore live until purge() explicitly evicts the
+ * ones no longer referenced anywhere else.  Strong ownership (rather
+ * than weak entries) avoids the classic hash-cons resurrection race
+ * and guarantees that destroying any user expression never cascades:
+ * a dying parent's children are still pool-held, so destruction is
+ * O(1) deep no matter how deep the expression is.
+ *
+ * Telemetry: "symbolic.intern.hits" / "symbolic.intern.misses"
+ * counters and a "symbolic.pool.nodes" gauge (see
+ * scripts/metrics_schema.json).
+ */
+
+#ifndef AR_SYMBOLIC_EXPR_POOL_HH
+#define AR_SYMBOLIC_EXPR_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** Process-wide hash-consing arena (see file comment). */
+class ExprPool
+{
+  public:
+    /** @return the singleton pool. */
+    static ExprPool &global();
+
+    /**
+     * Return the canonical node for the given structural value,
+     * creating it on first sight.  Children must already be interned
+     * (they are, by construction: factories are the only way to make
+     * nodes).  NaN constant payloads are canonicalized to one quiet
+     * NaN so every NaN constant interns to the same node, matching
+     * Expr::compare, which treats all NaNs as equal.
+     */
+    ExprPtr intern(ExprKind kind, double value, std::string name,
+                   std::vector<ExprPtr> ops);
+
+    /** @return number of live unique nodes. */
+    std::size_t size() const
+    {
+        return size_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Evict every node referenced only by the pool itself.  A single
+     * sweep in descending node id suffices: ids are assigned
+     * monotonically at intern time, so every parent has a larger id
+     * than its children and is visited (and possibly evicted,
+     * releasing its child references) first.
+     *
+     * @return number of nodes evicted.
+     */
+    std::size_t purge();
+
+  private:
+    ExprPool() = default;
+
+    /** Memoized free-symbol set for a node under construction. */
+    static std::shared_ptr<const std::set<std::string>>
+    freeSetOf(ExprKind kind, const std::string &name,
+              const std::vector<ExprPtr> &ops);
+
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /// Structural hash -> nodes with that hash (chains are
+        /// almost always length 1).
+        std::unordered_map<std::size_t, std::vector<ExprPtr>> chains;
+    };
+
+    Shard shards_[kShards];
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_EXPR_POOL_HH

@@ -1,6 +1,8 @@
 #include "symbolic/printer.hh"
 
 #include <sstream>
+#include <unordered_map>
+#include <vector>
 
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -13,9 +15,9 @@ namespace
 
 // Precedence levels: Add=1, Mul=2, unary-/Pow=3, atoms=4.
 int
-precedence(const ExprPtr &e)
+precedence(const Expr &e)
 {
-    switch (e->kind()) {
+    switch (e.kind()) {
       case ExprKind::Add:
         return 1;
       case ExprKind::Mul:
@@ -27,38 +29,49 @@ precedence(const ExprPtr &e)
     }
 }
 
-std::string render(const ExprPtr &e);
-
-std::string
-renderChild(const ExprPtr &child, int parent_prec)
+bool
+isAtom(const Expr &e)
 {
-    std::string s = render(child);
-    if (precedence(child) < parent_prec)
-        return "(" + s + ")";
-    return s;
+    return e.isConstant() || e.isSymbol();
 }
 
 std::string
-render(const ExprPtr &e)
+renderAtom(const Expr &e)
 {
-    switch (e->kind()) {
-      case ExprKind::Constant:
-        {
-            const double v = e->value();
-            if (v < 0.0)
-                return "(" + ar::util::formatDouble(v) + ")";
-            return ar::util::formatDouble(v);
-        }
-      case ExprKind::Symbol:
-        return e->name();
+    if (e.isConstant()) {
+        const double v = e.value();
+        if (v < 0.0)
+            return "(" + ar::util::formatDouble(v) + ")";
+        return ar::util::formatDouble(v);
+    }
+    return e.name(); // Symbol
+}
+
+/**
+ * Join already-rendered children into this node's string, adding
+ * parentheses where a child binds looser than its context.
+ */
+std::string
+renderNode(const Expr &e,
+           const std::unordered_map<const Expr *, std::string> &memo)
+{
+    const auto child = [&](const ExprPtr &op,
+                           int parent_prec) -> std::string {
+        const std::string &s = memo.at(op.get());
+        if (precedence(*op) < parent_prec)
+            return "(" + s + ")";
+        return s;
+    };
+
+    switch (e.kind()) {
       case ExprKind::Add:
         {
             std::ostringstream oss;
             bool first = true;
-            for (const auto &op : e->operands()) {
+            for (const auto &op : e.operands()) {
                 if (!first)
                     oss << " + ";
-                oss << renderChild(op, 1);
+                oss << child(op, 1);
                 first = false;
             }
             return oss.str();
@@ -67,37 +80,80 @@ render(const ExprPtr &e)
         {
             std::ostringstream oss;
             bool first = true;
-            for (const auto &op : e->operands()) {
+            for (const auto &op : e.operands()) {
                 if (!first)
                     oss << " * ";
-                oss << renderChild(op, 2);
+                oss << child(op, 2);
                 first = false;
             }
             return oss.str();
         }
       case ExprKind::Pow:
-        return renderChild(e->operands()[0], 4) + "^" +
-               renderChild(e->operands()[1], 4);
+        return child(e.operands()[0], 4) + "^" +
+               child(e.operands()[1], 4);
       case ExprKind::Max:
       case ExprKind::Min:
         {
             std::ostringstream oss;
-            oss << (e->kind() == ExprKind::Max ? "max(" : "min(");
+            oss << (e.kind() == ExprKind::Max ? "max(" : "min(");
             bool first = true;
-            for (const auto &op : e->operands()) {
+            for (const auto &op : e.operands()) {
                 if (!first)
                     oss << ", ";
-                oss << render(op);
+                oss << memo.at(op.get());
                 first = false;
             }
             oss << ")";
             return oss.str();
         }
       case ExprKind::Func:
-        return e->name() + "(" + render(e->operands()[0]) + ")";
+        return e.name() + "(" + memo.at(e.operands()[0].get()) + ")";
       default:
         ar::util::panic("toString: unhandled expression kind");
     }
+}
+
+/**
+ * Iterative post-order render with a per-call memo keyed on node
+ * identity: a shared subexpression is stringified once, and printing
+ * a 10k-deep chain never recurses.
+ */
+std::string
+render(const ExprPtr &root)
+{
+    if (isAtom(*root))
+        return renderAtom(*root);
+
+    std::unordered_map<const Expr *, std::string> memo;
+    const auto done = [&](const ExprPtr &x) {
+        if (!memo.count(x.get())) {
+            if (!isAtom(*x))
+                return false;
+            memo.emplace(x.get(), renderAtom(*x));
+        }
+        return true;
+    };
+
+    std::vector<const ExprPtr *> stack{&root};
+    while (!stack.empty()) {
+        const ExprPtr &cur = *stack.back();
+        if (memo.count(cur.get())) {
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (const auto &op : cur->operands()) {
+            if (!done(op)) {
+                stack.push_back(&op);
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+        memo.emplace(cur.get(), renderNode(*cur, memo));
+        stack.pop_back();
+    }
+    return memo.at(root.get());
 }
 
 } // namespace

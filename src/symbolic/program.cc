@@ -155,12 +155,21 @@ struct NodeKeyHash
  * subtrees intern to one node (CSE); the rewrite rules below only
  * fire when the rewritten form is bit-identical to the naive tape on
  * IEEE-754 doubles (DESIGN.md section 5.3 has the case analysis).
+ *
+ * Two levels of interning cooperate here.  Source expressions are
+ * already hash-consed by ExprPool, so expr_memo -- keyed on node
+ * identity and shared across every output of the program -- lowers a
+ * subexpression referenced n times (including from other outputs)
+ * exactly once.  The NodeKey map is still needed on top of it: the
+ * rewrites create NK nodes with no source counterpart (x^2 becomes
+ * Mul(x, x)), and those must dedup structurally.
  */
 struct Builder
 {
     const std::vector<std::string> &args;
     std::vector<Node> nodes;
     std::unordered_map<NodeKey, std::uint32_t, NodeKeyHash> interned;
+    std::unordered_map<const Expr *, std::uint32_t> expr_memo;
 
     std::uint32_t intern(Node n)
     {
@@ -307,53 +316,86 @@ struct Builder
         return intern({kind, 0.0, 0, {kid}});
     }
 
-    std::uint32_t build(const ExprPtr &e)
+    /** Lower a leaf or a node whose children are already lowered. */
+    std::uint32_t buildNode(const Expr &e,
+                            std::vector<std::uint32_t> kids)
     {
-        switch (e->kind()) {
+        switch (e.kind()) {
           case ExprKind::Constant:
-            return constant(e->value());
+            return constant(e.value());
           case ExprKind::Symbol:
             {
                 const auto it = std::lower_bound(
-                    args.begin(), args.end(), e->name());
+                    args.begin(), args.end(), e.name());
                 return intern(
                     {NK::Arg, 0.0,
                      static_cast<std::uint32_t>(it - args.begin()),
                      {}});
             }
-          default:
-            break;
-        }
-        std::vector<std::uint32_t> kids;
-        kids.reserve(e->operands().size());
-        for (const auto &op : e->operands())
-            kids.push_back(build(op));
-        switch (e->kind()) {
           case ExprKind::Add:
             return addNode(std::move(kids));
           case ExprKind::Mul:
             return mulNode(std::move(kids));
           case ExprKind::Pow:
             return powNode(kids[0], kids[1],
-                           e->operands()[1]->kind() ==
+                           e.operands()[1]->kind() ==
                                ExprKind::Constant);
           case ExprKind::Max:
             return extremumNode(NK::Max, std::move(kids));
           case ExprKind::Min:
             return extremumNode(NK::Min, std::move(kids));
           case ExprKind::Func:
-            if (e->name() == "log")
+            if (e.name() == "log")
                 return funcNode(NK::Log, kids[0]);
-            if (e->name() == "exp")
+            if (e.name() == "exp")
                 return funcNode(NK::Exp, kids[0]);
-            if (e->name() == "gtz")
+            if (e.name() == "gtz")
                 return funcNode(NK::Gtz, kids[0]);
             ar::util::panic("CompiledProgram: unknown function ",
-                            e->name());
+                            e.name());
           default:
             ar::util::panic(
                 "CompiledProgram: unhandled expression kind");
         }
+    }
+
+    std::uint32_t build(const ExprPtr &root)
+    {
+        // Iterative post-order over the expression DAG.  Children
+        // are pushed in reverse so they lower left-to-right, keeping
+        // node creation order -- and hence the final tape layout --
+        // identical to the recursive formulation's.
+        std::vector<const ExprPtr *> stack{&root};
+        while (!stack.empty()) {
+            const ExprPtr &e = *stack.back();
+            if (expr_memo.count(e.get())) {
+                stack.pop_back();
+                continue;
+            }
+            if (e->operands().empty()) {
+                expr_memo.emplace(e.get(), buildNode(*e, {}));
+                stack.pop_back();
+                continue;
+            }
+            bool ready = true;
+            const auto &ops = e->operands();
+            for (std::size_t i = ops.size(); i-- > 0;) {
+                if (!expr_memo.count(ops[i].get())) {
+                    stack.push_back(&ops[i]);
+                    ready = false;
+                }
+            }
+            if (!ready)
+                continue;
+            std::vector<std::uint32_t> kids;
+            kids.reserve(ops.size());
+            for (const auto &op : ops)
+                kids.push_back(expr_memo.at(op.get()));
+            expr_memo.emplace(e.get(),
+                              buildNode(*e, std::move(kids)));
+            stack.pop_back();
+        }
+        return expr_memo.at(root.get());
     }
 };
 
@@ -398,7 +440,7 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
     // Fixed argument ordering: the sorted union of free symbols.
     std::set<std::string> all;
     for (const auto &e : sources_) {
-        const auto syms = e->freeSymbols();
+        const auto &syms = e->freeSymbols(); // memoized, not rebuilt
         all.insert(syms.begin(), syms.end());
     }
     args_.assign(all.begin(), all.end());
@@ -423,7 +465,7 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
     }
 
     // Intern the forest into a DAG with the bit-safe rewrites.
-    Builder b{args_, {}, {}};
+    Builder b{args_, {}, {}, {}};
     std::vector<std::uint32_t> roots;
     roots.reserve(sources_.size());
     for (const auto &e : sources_)
@@ -432,21 +474,38 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
     // Linearize: DFS postorder from each root in output order,
     // emitting every reachable node exactly once.  Nodes orphaned by
     // the rewrites are simply never reached (dead-op elimination).
+    // The walk is an explicit two-phase stack (visit children, then a
+    // post-marker emits the node) so arbitrarily deep programs cannot
+    // overflow the call stack; the emission order is exactly the
+    // recursive formulation's.
     const std::size_t nn = b.nodes.size();
     std::vector<std::uint32_t> order;
     order.reserve(nn);
     std::vector<std::uint8_t> seen(nn, 0);
-    const std::function<void(std::uint32_t)> emitNode =
-        [&](std::uint32_t id) {
+    struct LinItem
+    {
+        std::uint32_t id;
+        bool post;
+    };
+    std::vector<LinItem> lstack;
+    for (const auto r : roots) {
+        lstack.push_back({r, false});
+        while (!lstack.empty()) {
+            const auto [id, post] = lstack.back();
+            lstack.pop_back();
+            if (post) {
+                order.push_back(id);
+                continue;
+            }
             if (seen[id])
-                return;
+                continue;
             seen[id] = 1;
-            for (const auto kid : b.nodes[id].kids)
-                emitNode(kid);
-            order.push_back(id);
-        };
-    for (const auto r : roots)
-        emitNode(r);
+            lstack.push_back({id, true});
+            const auto &kids = b.nodes[id].kids;
+            for (std::size_t i = kids.size(); i-- > 0;)
+                lstack.push_back({kids[i], false});
+        }
+    }
 
     // Liveness: last tape position reading each node.  Output roots
     // stay live to the end (their value is the result).

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <unordered_map>
 
 #include "util/logging.hh"
 
@@ -68,6 +68,8 @@ simplifyAdd(const std::vector<ExprPtr> &raw_ops)
     const auto ops = flattenKind(ExprKind::Add, raw_ops);
     double const_acc = 0.0;
     // Collect like terms: coefficient per distinct symbolic part.
+    // With interned nodes, Expr::equal is (almost always) a pointer
+    // check, so grouping is cheap even for wide sums.
     std::vector<std::pair<ExprPtr, double>> groups;
     for (const auto &op : ops) {
         if (op->isConstant()) {
@@ -100,7 +102,40 @@ simplifyAdd(const std::vector<ExprPtr> &raw_ops)
     return Expr::add(std::move(terms));
 }
 
-ExprPtr simplifyPow(const ExprPtr &base, const ExprPtr &exp);
+ExprPtr
+simplifyPow(ExprPtr base, ExprPtr exp)
+{
+    // The (x^a)^b collapse re-enters at the top (the merged exponent
+    // may enable further rules), as a loop rather than recursion so
+    // towers of powers cannot deepen the stack.
+    while (true) {
+        if (exp->isConstant(0.0))
+            return Expr::constant(1.0);
+        if (exp->isConstant(1.0))
+            return base;
+        if (base->isConstant(1.0))
+            return Expr::constant(1.0);
+        if (base->isConstant(0.0) && exp->isConstant() &&
+            exp->value() > 0.0) {
+            return Expr::constant(0.0);
+        }
+        if (base->isConstant() && exp->isConstant()) {
+            return Expr::constant(
+                std::pow(base->value(), exp->value()));
+        }
+        // (x^a)^b -> x^(a*b) for constant exponents (safe for
+        // positive bases, which is the regime of all architectural
+        // quantities).
+        if (base->kind() == ExprKind::Pow && exp->isConstant() &&
+            base->operands()[1]->isConstant()) {
+            exp = Expr::constant(base->operands()[1]->value() *
+                                 exp->value());
+            base = base->operands()[0];
+            continue;
+        }
+        return Expr::pow(std::move(base), std::move(exp));
+    }
+}
 
 ExprPtr
 simplifyMul(const std::vector<ExprPtr> &raw_ops)
@@ -171,35 +206,6 @@ simplifyMul(const std::vector<ExprPtr> &raw_ops)
 }
 
 ExprPtr
-simplifyPow(const ExprPtr &base, const ExprPtr &exp)
-{
-    if (exp->isConstant(0.0))
-        return Expr::constant(1.0);
-    if (exp->isConstant(1.0))
-        return base;
-    if (base->isConstant(1.0))
-        return Expr::constant(1.0);
-    if (base->isConstant(0.0) && exp->isConstant() &&
-        exp->value() > 0.0) {
-        return Expr::constant(0.0);
-    }
-    if (base->isConstant() && exp->isConstant())
-        return Expr::constant(std::pow(base->value(), exp->value()));
-    // (x^a)^b -> x^(a*b) for constant exponents (safe for positive
-    // bases, which is the regime of all architectural quantities).
-    // Re-simplify: the collapsed exponent may enable further rules
-    // (x^1, x^0, constant folding).
-    if (base->kind() == ExprKind::Pow && exp->isConstant() &&
-        base->operands()[1]->isConstant()) {
-        return simplifyPow(
-            base->operands()[0],
-            Expr::constant(base->operands()[1]->value() *
-                           exp->value()));
-    }
-    return Expr::pow(base, exp);
-}
-
-ExprPtr
 simplifyExtremum(ExprKind kind, std::vector<ExprPtr> raw_ops)
 {
     auto ops = flattenKind(kind, raw_ops);
@@ -242,28 +248,11 @@ simplifyFunc(const std::string &name, const ExprPtr &arg)
     return Expr::func(name, arg);
 }
 
-} // namespace
-
+/** Canonicalize one node whose children are already simplified. */
 ExprPtr
-simplify(const ExprPtr &e)
+simplifyNode(const Expr &e, std::vector<ExprPtr> ops)
 {
-    if (!e)
-        ar::util::panic("simplify: null expression");
-
-    switch (e->kind()) {
-      case ExprKind::Constant:
-      case ExprKind::Symbol:
-        return e;
-      default:
-        break;
-    }
-
-    std::vector<ExprPtr> ops;
-    ops.reserve(e->operands().size());
-    for (const auto &op : e->operands())
-        ops.push_back(simplify(op));
-
-    switch (e->kind()) {
+    switch (e.kind()) {
       case ExprKind::Add:
         return simplifyAdd(ops);
       case ExprKind::Mul:
@@ -272,12 +261,69 @@ simplify(const ExprPtr &e)
         return simplifyPow(ops[0], ops[1]);
       case ExprKind::Max:
       case ExprKind::Min:
-        return simplifyExtremum(e->kind(), std::move(ops));
+        return simplifyExtremum(e.kind(), std::move(ops));
       case ExprKind::Func:
-        return simplifyFunc(e->name(), ops[0]);
+        return simplifyFunc(e.name(), ops[0]);
       default:
         ar::util::panic("simplify: unhandled kind");
     }
+}
+
+} // namespace
+
+ExprPtr
+simplify(const ExprPtr &e)
+{
+    if (!e)
+        ar::util::panic("simplify: null expression");
+
+    // Fast path: the node is a known fixpoint (atoms, or anything a
+    // previous simplify() produced).  Because canonical form is
+    // context-free, the flag is valid wherever the node appears.
+    if (e->isSimplified() || e->isConstant() || e->isSymbol()) {
+        e->markSimplified();
+        return e;
+    }
+
+    // Explicit post-order worklist over the DAG with a per-call
+    // memo, so a subexpression shared n ways is canonicalized once,
+    // and a 10k-deep chain does not recurse 10k frames.  Stack
+    // entries point into the operand vectors of live ancestors
+    // (rooted at e), so the pointees cannot go away mid-walk.
+    std::unordered_map<const Expr *, ExprPtr> memo;
+    const auto lookup = [&memo](const ExprPtr &x) -> const ExprPtr * {
+        if (x->isSimplified() || x->isConstant() || x->isSymbol())
+            return &x;
+        const auto it = memo.find(x.get());
+        return it == memo.end() ? nullptr : &it->second;
+    };
+
+    std::vector<const ExprPtr *> stack{&e};
+    while (!stack.empty()) {
+        const ExprPtr &cur = *stack.back();
+        if (lookup(cur)) {
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (const auto &op : cur->operands()) {
+            if (!lookup(op)) {
+                stack.push_back(&op);
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+        std::vector<ExprPtr> ops;
+        ops.reserve(cur->operands().size());
+        for (const auto &op : cur->operands())
+            ops.push_back(*lookup(op));
+        ExprPtr s = simplifyNode(*cur, std::move(ops));
+        s->markSimplified();
+        memo.emplace(cur.get(), std::move(s));
+        stack.pop_back();
+    }
+    return memo.at(e.get());
 }
 
 double

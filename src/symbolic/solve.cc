@@ -24,7 +24,7 @@ linearSolve(const ExprPtr &cur, const ExprPtr &other,
             const std::string &target)
 {
     auto d = diff(cur, target);
-    if (!d || (*d)->countSymbol(target) > 0 || (*d)->isConstant(0.0))
+    if (!d || (*d)->containsSymbol(target) || (*d)->isConstant(0.0))
         return std::nullopt;
     Bindings at_zero;
     at_zero[target] = Expr::constant(0.0);
@@ -36,7 +36,9 @@ linearSolve(const ExprPtr &cur, const ExprPtr &other,
  * Isolate the target inside cur, given cur == other, by inverting
  * operations while all occurrences stay confined to one operand;
  * fall back to a linear solve when they split or an operation is not
- * structurally invertible.
+ * structurally invertible.  All occurrence tests are one lookup in
+ * the node's memoized free-symbol set, so the walk down is linear in
+ * the isolation path rather than quadratic in the tree.
  */
 std::optional<ExprPtr>
 isolate(ExprPtr cur, ExprPtr other, const std::string &target)
@@ -53,7 +55,7 @@ isolate(ExprPtr cur, ExprPtr other, const std::string &target)
                 std::size_t holders = 0;
                 std::vector<ExprPtr> rest;
                 for (const auto &op : cur->operands()) {
-                    if (op->countSymbol(target) > 0) {
+                    if (op->containsSymbol(target)) {
                         ++holders;
                         with = op;
                     } else {
@@ -76,8 +78,8 @@ isolate(ExprPtr cur, ExprPtr other, const std::string &target)
             {
                 const ExprPtr &base = cur->operands()[0];
                 const ExprPtr &exp = cur->operands()[1];
-                const bool base_has = base->countSymbol(target) > 0;
-                const bool exp_has = exp->countSymbol(target) > 0;
+                const bool base_has = base->containsSymbol(target);
+                const bool exp_has = exp->containsSymbol(target);
                 if (base_has && exp_has)
                     return linearSolve(cur, other, target);
                 if (base_has) {
@@ -122,17 +124,17 @@ solveFor(const Equation &eq, const std::string &target)
 {
     if (!eq.lhs || !eq.rhs)
         ar::util::panic("solveFor: null equation side");
-    const std::size_t n_l = eq.lhs->countSymbol(target);
-    const std::size_t n_r = eq.rhs->countSymbol(target);
-    if (n_l + n_r == 0)
+    const bool in_l = eq.lhs->containsSymbol(target);
+    const bool in_r = eq.rhs->containsSymbol(target);
+    if (!in_l && !in_r)
         return std::nullopt;
-    if (n_l > 0 && n_r > 0) {
+    if (in_l && in_r) {
         // Occurrences on both sides: move everything to one side and
         // attempt a linear solve of (lhs - rhs) == 0.
         return linearSolve(Expr::sub(eq.lhs, eq.rhs),
                            Expr::constant(0.0), target);
     }
-    if (n_l > 0)
+    if (in_l)
         return isolate(eq.lhs, eq.rhs, target);
     return isolate(eq.rhs, eq.lhs, target);
 }

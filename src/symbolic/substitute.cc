@@ -1,5 +1,7 @@
 #include "symbolic/substitute.hh"
 
+#include <unordered_map>
+
 #include "symbolic/simplify.hh"
 #include "util/logging.hh"
 
@@ -9,31 +11,27 @@ namespace ar::symbolic
 namespace
 {
 
-ExprPtr
-replace(const ExprPtr &e, const Bindings &bindings)
+/** @return true when any bound symbol occurs in @p e. */
+bool
+touches(const Expr &e, const Bindings &bindings)
 {
-    switch (e->kind()) {
-      case ExprKind::Constant:
-        return e;
-      case ExprKind::Symbol:
-        {
-            auto it = bindings.find(e->name());
-            return it != bindings.end() ? it->second : e;
-        }
-      default:
-        break;
+    const auto &free = e.freeSymbols();
+    if (free.size() <= bindings.size()) {
+        for (const auto &s : free)
+            if (bindings.count(s))
+                return true;
+    } else {
+        for (const auto &[name, repl] : bindings)
+            if (free.count(name))
+                return true;
     }
-    std::vector<ExprPtr> ops;
-    ops.reserve(e->operands().size());
-    bool changed = false;
-    for (const auto &op : e->operands()) {
-        ExprPtr r = replace(op, bindings);
-        changed = changed || r.get() != op.get();
-        ops.push_back(std::move(r));
-    }
-    if (!changed)
-        return e;
-    switch (e->kind()) {
+    return false;
+}
+
+ExprPtr
+rebuild(const Expr &e, std::vector<ExprPtr> ops)
+{
+    switch (e.kind()) {
       case ExprKind::Add:
         return Expr::add(std::move(ops));
       case ExprKind::Mul:
@@ -45,10 +43,59 @@ replace(const ExprPtr &e, const Bindings &bindings)
       case ExprKind::Min:
         return Expr::min(std::move(ops));
       case ExprKind::Func:
-        return Expr::func(e->name(), ops[0]);
+        return Expr::func(e.name(), ops[0]);
       default:
         ar::util::panic("substitute: unhandled expression kind");
     }
+}
+
+ExprPtr
+replace(const ExprPtr &root, const Bindings &bindings)
+{
+    if (!touches(*root, bindings))
+        return root;
+    if (root->isSymbol())
+        return bindings.at(root->name());
+
+    // DAG-aware rewrite: an explicit post-order worklist with a
+    // per-call memo keyed on node identity.  Subtrees free of every
+    // bound symbol (the memoized free-symbol set answers that in one
+    // lookup) are returned as-is without being walked at all.
+    std::unordered_map<const Expr *, ExprPtr> memo;
+    const auto lookup =
+        [&](const ExprPtr &x) -> const ExprPtr * {
+        if (!touches(*x, bindings))
+            return &x;
+        if (x->isSymbol())
+            return &bindings.at(x->name());
+        const auto it = memo.find(x.get());
+        return it == memo.end() ? nullptr : &it->second;
+    };
+
+    std::vector<const ExprPtr *> stack{&root};
+    while (!stack.empty()) {
+        const ExprPtr &cur = *stack.back();
+        if (lookup(cur)) {
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (const auto &op : cur->operands()) {
+            if (!lookup(op)) {
+                stack.push_back(&op);
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+        std::vector<ExprPtr> ops;
+        ops.reserve(cur->operands().size());
+        for (const auto &op : cur->operands())
+            ops.push_back(*lookup(op));
+        memo.emplace(cur.get(), rebuild(*cur, std::move(ops)));
+        stack.pop_back();
+    }
+    return memo.at(root.get());
 }
 
 } // namespace

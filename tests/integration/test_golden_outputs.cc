@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Golden-output comparison: every example-spec analysis (propagation,
+ * sensitivity, design-space sweep) must stay bit-identical across
+ * refactors of the symbolic stack, at 1, 2, and 8 worker threads.
+ *
+ * The checked-in golden file (tests/golden/golden_outputs.txt) holds
+ * one FNV-1a hash of the raw IEEE-754 sample/summary bits per
+ * (workload, thread-count) pair.  A hash mismatch means some output
+ * bit changed -- which the interned-IR refactor, the fused backends,
+ * and the multithreaded propagator all promise never to do.
+ *
+ * Regenerate (e.g. when an intentional numeric change lands) with:
+ *   AR_REGEN_GOLDENS=1 ./build/tests/test_integration \
+ *       --gtest_filter='GoldenOutputs.*'
+ * which rewrites the golden file in the source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/spec.hh"
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "mc/sensitivity.hh"
+#include "model/app.hh"
+#include "model/uncertainty.hh"
+#include "util/io.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+#ifndef AR_SOURCE_DIR
+#error "AR_SOURCE_DIR must point at the repository root"
+#endif
+
+const std::string kSourceDir = AR_SOURCE_DIR;
+const std::string kGoldenPath =
+    kSourceDir + "/tests/golden/golden_outputs.txt";
+
+/** Incremental FNV-1a over raw double bits. */
+class BitHash
+{
+  public:
+    void
+    fold(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        foldWord(bits);
+    }
+
+    void
+    fold(const std::vector<double> &vs)
+    {
+        for (const double v : vs)
+            fold(v);
+    }
+
+    void foldWord(std::uint64_t w)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (w >> (8 * i)) & 0xffu;
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** All golden entries, keyed "workload:threads[:variant]". */
+std::map<std::string, std::string>
+computeEntries()
+{
+    std::map<std::string, std::string> out;
+    const std::size_t kThreads[] = {1, 2, 8};
+
+    // Propagation: run every example spec end to end.
+    const char *kSpecs[] = {"amdahl", "accelerator",
+                            "hill_marty_asym"};
+    for (const char *name : kSpecs) {
+        const auto spec_path =
+            kSourceDir + "/examples/specs/" + name + ".spec";
+        for (const std::size_t t : kThreads) {
+            auto spec = ar::core::loadSpecFile(spec_path);
+            spec.threads = t;
+            const auto res = ar::core::runSpec(spec);
+            BitHash h;
+            h.fold(res.samples);
+            h.fold(res.summary.mean);
+            h.fold(res.summary.stddev);
+            h.fold(res.reference);
+            h.fold(res.risk);
+            for (const auto &co : res.co_outputs) {
+                h.fold(co.samples);
+                h.fold(co.summary.mean);
+            }
+            h.foldWord(res.faults.faulty_trials);
+            out["prop:" + std::string(name) + ":t" +
+                std::to_string(t)] = hex(h.value());
+        }
+    }
+
+    // Sensitivity: Sobol indices over the independent-input specs,
+    // fused and unfused.
+    const char *kSobolSpecs[] = {"amdahl", "accelerator"};
+    for (const char *name : kSobolSpecs) {
+        const auto spec_path =
+            kSourceDir + "/examples/specs/" + name + ".spec";
+        for (const std::size_t t : kThreads) {
+            for (const bool fused : {false, true}) {
+                const auto spec = ar::core::loadSpecFile(spec_path);
+                ar::mc::SensitivityConfig cfg;
+                cfg.trials = 2048;
+                cfg.threads = t;
+                cfg.fused = fused;
+                ar::util::Rng rng(99);
+                const auto res = ar::mc::sobolIndices(
+                    spec.system.resolve(spec.output), spec.bindings,
+                    cfg, rng);
+                BitHash h;
+                h.fold(res.output_mean);
+                h.fold(res.output_variance);
+                for (const auto &ix : res.indices) {
+                    h.fold(ix.first_order);
+                    h.fold(ix.total);
+                }
+                out["sobol:" + std::string(name) + ":t" +
+                    std::to_string(t) +
+                    (fused ? ":fused" : ":unfused")] = hex(h.value());
+            }
+        }
+    }
+
+    // Design-space sweep, both backends.
+    const auto designs = ar::explore::enumerateDesigns();
+    const auto app = ar::model::appLPHC();
+    for (const std::size_t t : kThreads) {
+        for (const bool fused : {false, true}) {
+            ar::explore::SweepConfig cfg;
+            cfg.trials = 500;
+            cfg.seed = 17;
+            cfg.threads = t;
+            cfg.backend = fused
+                              ? ar::explore::SweepBackend::FusedProgram
+                              : ar::explore::SweepBackend::Direct;
+            ar::explore::DesignSpaceEvaluator eval(
+                designs, app,
+                ar::model::UncertaintySpec::appArch(0.2, 0.2), cfg);
+            ar::risk::QuadraticRisk fn;
+            const auto outcomes = eval.evaluateAll(fn, 10.0);
+            BitHash h;
+            for (const auto &o : outcomes) {
+                h.fold(o.expected);
+                h.fold(o.stddev);
+                h.fold(o.risk);
+                h.foldWord(o.effective_trials);
+            }
+            out["sweep:t" + std::to_string(t) +
+                (fused ? ":fused" : ":direct")] = hex(h.value());
+        }
+    }
+    return out;
+}
+
+std::map<std::string, std::string>
+loadGoldens()
+{
+    std::map<std::string, std::string> out;
+    std::ifstream in(kGoldenPath);
+    std::string key, value;
+    while (in >> key >> value)
+        out[key] = value;
+    return out;
+}
+
+} // namespace
+
+TEST(GoldenOutputs, ExampleAnalysesAreBitIdentical)
+{
+    const auto entries = computeEntries();
+
+    if (std::getenv("AR_REGEN_GOLDENS") != nullptr) {
+        std::ostringstream oss;
+        for (const auto &[key, value] : entries)
+            oss << key << " " << value << "\n";
+        std::ofstream of(kGoldenPath);
+        ASSERT_TRUE(of.good()) << "cannot write " << kGoldenPath;
+        of << oss.str();
+        GTEST_SKIP() << "regenerated " << kGoldenPath << " with "
+                     << entries.size() << " entries";
+    }
+
+    const auto goldens = loadGoldens();
+    ASSERT_FALSE(goldens.empty())
+        << "missing golden file " << kGoldenPath
+        << " (regenerate with AR_REGEN_GOLDENS=1)";
+    // Thread counts must not change any bit: all three per-workload
+    // hashes are present and each equals its golden.
+    for (const auto &[key, value] : entries) {
+        const auto it = goldens.find(key);
+        ASSERT_NE(it, goldens.end()) << "no golden entry for " << key;
+        EXPECT_EQ(it->second, value) << "output bits changed: " << key;
+    }
+    EXPECT_EQ(goldens.size(), entries.size());
+}

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * The hash-consing arena: interned identity, memoized per-node
+ * metadata, telemetry, purge semantics, thread safety under the
+ * worker pool, and the worklist passes' deep-chain guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "obs/telemetry.hh"
+#include "symbolic/compile.hh"
+#include "symbolic/expr_pool.hh"
+#include "symbolic/parser.hh"
+#include "symbolic/printer.hh"
+#include "symbolic/simplify.hh"
+#include "symbolic/substitute.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+/** A moderately shaped expression with every operator kind. */
+ExprPtr
+sampleExpr()
+{
+    const auto x = Expr::symbol("x");
+    const auto y = Expr::symbol("y");
+    return Expr::add(
+        {Expr::mul(x, y), Expr::pow(x, Expr::constant(2.0)),
+         Expr::max({x, y, Expr::constant(1.5)}),
+         Expr::func("gtz", Expr::sub(x, y))});
+}
+
+} // namespace
+
+TEST(ExprPool, StructurallyEqualConstructionsArePointerIdentical)
+{
+    const auto a = sampleExpr();
+    const auto b = sampleExpr();
+    ASSERT_EQ(a.get(), b.get());
+    EXPECT_TRUE(Expr::equal(a, b));
+
+    // Atoms too, including constants with identical bit patterns.
+    EXPECT_EQ(Expr::symbol("q").get(), Expr::symbol("q").get());
+    EXPECT_EQ(Expr::constant(0.25).get(), Expr::constant(0.25).get());
+    EXPECT_NE(Expr::constant(0.25).get(), Expr::constant(0.5).get());
+}
+
+TEST(ExprPool, EqualIsPointerIdentityOnInternedNodes)
+{
+    // Structural equality implies pointer identity: any two equal
+    // expressions built through the factories are the same node.
+    const auto e1 = parseExpr("1 / ((1 - f) + f / n)");
+    const auto e2 = parseExpr("1 / ((1 - f) + f / n)");
+    ASSERT_TRUE(Expr::equal(e1, e2));
+    EXPECT_EQ(e1.get(), e2.get());
+    EXPECT_EQ(Expr::compare(e1, e2), 0);
+}
+
+TEST(ExprPool, NanConstantsInternToOneNode)
+{
+    const double nan1 = std::nan("1");
+    const double nan2 = std::nan("0x42");
+    const auto a = Expr::constant(nan1);
+    const auto b = Expr::constant(nan2);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_TRUE(std::isnan(a->value()));
+}
+
+TEST(ExprPool, SignedZeroConstantsStayDistinctButCompareEqual)
+{
+    const auto pos = Expr::constant(0.0);
+    const auto neg = Expr::constant(-0.0);
+    EXPECT_NE(pos.get(), neg.get()); // bit patterns differ
+    EXPECT_EQ(Expr::compare(pos, neg), 0);
+    EXPECT_TRUE(Expr::equal(pos, neg));
+}
+
+TEST(ExprPool, FreeSymbolsIsMemoizedPerNode)
+{
+    const auto e = sampleExpr();
+    const auto *first = &e->freeSymbols();
+    const auto *second = &e->freeSymbols();
+    // Repeat queries return the same set object -- no per-call
+    // allocation or recomputation.
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first->size(), 2u);
+    EXPECT_TRUE(first->count("x"));
+    EXPECT_TRUE(first->count("y"));
+}
+
+TEST(ExprPool, FreeSymbolSetsAreSharedAcrossNodes)
+{
+    // Pow(x, 2) adds nothing to x's free set, so the parent shares
+    // the child's set object outright.
+    const auto x = Expr::symbol("x");
+    const auto p = Expr::pow(x, Expr::constant(2.0));
+    EXPECT_EQ(&p->freeSymbols(), &x->freeSymbols());
+}
+
+TEST(ExprPool, MetadataIsConsistent)
+{
+    const auto x = Expr::symbol("x");
+    const auto e = Expr::add(x, Expr::constant(1.0));
+    EXPECT_GT(e->id(), x->id()); // children intern first
+    EXPECT_EQ(x->depth(), 1u);
+    EXPECT_EQ(e->depth(), 2u);
+    EXPECT_TRUE(e->containsSymbol("x"));
+    EXPECT_FALSE(e->containsSymbol("z"));
+}
+
+TEST(ExprPool, InternTelemetryCountsHitsAndMisses)
+{
+    auto &reg = ar::obs::MetricsRegistry::global();
+    ar::obs::setMetricsEnabled(true);
+    reg.reset();
+
+    // A fresh, never-before-interned shape is a miss...
+    const auto a = Expr::add(Expr::symbol("pool_t1"),
+                             Expr::symbol("pool_t2"));
+    // ...and rebuilding the identical shape is a hit.
+    const auto b = Expr::add(Expr::symbol("pool_t1"),
+                             Expr::symbol("pool_t2"));
+    ASSERT_EQ(a.get(), b.get());
+
+    const auto snap = reg.scrape();
+    ar::obs::setMetricsEnabled(false);
+
+    ASSERT_TRUE(snap.counters.count("symbolic.intern.misses"));
+    ASSERT_TRUE(snap.counters.count("symbolic.intern.hits"));
+    EXPECT_GE(snap.counters.at("symbolic.intern.misses"), 1u);
+    EXPECT_GE(snap.counters.at("symbolic.intern.hits"), 3u);
+
+    ASSERT_TRUE(snap.gauges.count("symbolic.pool.nodes"));
+    EXPECT_EQ(snap.gauges.at("symbolic.pool.nodes"),
+              static_cast<double>(ExprPool::global().size()));
+}
+
+TEST(ExprPool, PurgeEvictsOnlyUnreferencedNodes)
+{
+    // A distinctive subtree no test shares, so its eviction is ours
+    // to observe.
+    auto keep = Expr::mul(Expr::symbol("purge_keep"),
+                          Expr::constant(7.25));
+    std::uint64_t dead_id = 0;
+    {
+        const auto dead = Expr::add(keep, Expr::symbol("purge_drop"));
+        dead_id = dead->id();
+    } // `dead` is now pool-only
+
+    const Expr *keep_raw = keep.get();
+    ExprPool::global().purge();
+
+    // The still-referenced node survived purge...
+    const auto keep2 = Expr::mul(Expr::symbol("purge_keep"),
+                                 Expr::constant(7.25));
+    EXPECT_EQ(keep2.get(), keep_raw);
+
+    // ...and the dead parent was evicted: rebuilding it mints a
+    // fresh node instead of handing back the old id.
+    const auto rebuilt =
+        Expr::add(keep, Expr::symbol("purge_drop"));
+    EXPECT_GT(rebuilt->id(), dead_id);
+}
+
+TEST(ExprPool, ConcurrentInterningYieldsOneIdentity)
+{
+    // Many workers race to intern the same shapes; every thread must
+    // come back with the same canonical pointers.
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 64;
+    std::vector<const Expr *> roots(kThreads, nullptr);
+    std::atomic<bool> mismatch{false};
+
+    ar::util::parallelFor(kThreads, kThreads, [&](std::size_t t) {
+        const Expr *local = nullptr;
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+            // Extra varying traffic so the shards see concurrent
+            // inserts beyond the fixed shape checked below.
+            const auto churn = Expr::add(
+                Expr::symbol("race_churn"),
+                Expr::constant(static_cast<double>(i % 4)));
+            if (!churn->containsSymbol("race_churn"))
+                mismatch.store(true);
+            const auto e = Expr::add(
+                {Expr::mul(Expr::symbol("race_a"),
+                           Expr::symbol("race_b")),
+                 Expr::pow(Expr::symbol("race_a"),
+                           Expr::constant(2.0)),
+                 Expr::constant(3.0)});
+            const auto s = simplify(e);
+            if (!local)
+                local = e.get();
+            else if (local != e.get())
+                mismatch.store(true);
+            if (!Expr::equal(s, simplify(e)))
+                mismatch.store(true);
+        }
+        roots[t] = local;
+    });
+
+    EXPECT_FALSE(mismatch.load());
+    for (std::size_t t = 1; t < kThreads; ++t)
+        EXPECT_EQ(roots[t], roots[0]);
+}
+
+TEST(ExprPool, ParsePrintParseYieldsInternedIdentity)
+{
+    // Print -> parse is a fixpoint on parsed expressions: with the
+    // pool, "the same expression" is one pointer, so the property is
+    // exact identity, not approximate value agreement.
+    const char *exprs[] = {
+        "x + y * z",
+        "(a + b)^2 / c",
+        "-x * 3 + 4",
+        "max(a, b * 2, c^0.5)",
+        "min(a + 1, b)",
+        "gtz(n) * p + exp(log(q))",
+        "f / (1 - f + c * n)",
+        "1/(x + 1/(y + 1))",
+    };
+    for (const char *src : exprs) {
+        const auto p1 = parseExpr(src);
+        const auto p2 = parseExpr(toString(p1));
+        ASSERT_EQ(p1.get(), p2.get()) << src;
+    }
+}
+
+TEST(ExprPool, RandomRoundTripIsInternedIdentity)
+{
+    // Randomized version over every node kind (gtz/log/exp included).
+    ar::util::Rng rng(0x9137);
+    static const char *names[] = {"a", "b", "x", "y"};
+    static const char *fns[] = {"log", "exp", "gtz"};
+    const std::function<ExprPtr(int)> gen = [&](int depth) -> ExprPtr {
+        if (depth <= 0 || rng.uniform() < 0.3) {
+            if (rng.uniform() < 0.5)
+                return Expr::symbol(names[rng.uniformInt(4)]);
+            return Expr::constant(
+                std::round(rng.uniform(-4.0, 4.0) * 4.0) / 4.0);
+        }
+        switch (rng.uniformInt(7)) {
+          case 0:
+            return Expr::add(gen(depth - 1), gen(depth - 1));
+          case 1:
+            return Expr::sub(gen(depth - 1), gen(depth - 1));
+          case 2:
+            return Expr::mul(gen(depth - 1), gen(depth - 1));
+          case 3:
+            return Expr::div(gen(depth - 1), gen(depth - 1));
+          case 4:
+            return Expr::pow(gen(depth - 1),
+                             Expr::constant(
+                                 double(rng.uniformInt(5)) - 2.0));
+          case 5:
+            return rng.uniform() < 0.5
+                       ? Expr::max({gen(depth - 1), gen(depth - 1)})
+                       : Expr::min({gen(depth - 1), gen(depth - 1)});
+          default:
+            return Expr::func(fns[rng.uniformInt(3)], gen(depth - 1));
+        }
+    };
+    for (int i = 0; i < 300; ++i) {
+        // One print->parse first: the generator can produce shapes no
+        // parse yields (e.g. a raw negative constant), and the printed
+        // form is the canonical grammar. From there the round trip
+        // must be exact interned identity.
+        const auto p1 = parseExpr(toString(gen(4)));
+        const auto p2 = parseExpr(toString(p1));
+        ASSERT_EQ(p1.get(), p2.get()) << toString(p1);
+    }
+}
+
+TEST(ExprPool, DeepChainsDoNotOverflowTheStack)
+{
+    // Regression for the worklist rewrites: a 10k-node comb (chain of
+    // alternating Add/Mul with a fresh leaf at each level) used to
+    // recurse once per level in simplify/compile/print/substitute.
+    constexpr int kDepth = 10000;
+    const auto x = Expr::symbol("deep_x");
+    ExprPtr e = x;
+    for (int i = 0; i < kDepth; ++i) {
+        // Alternating Add/Mul so the factories' same-kind flattening
+        // never collapses a level; sub-unity factors and small
+        // addends keep the value finite across 10k ops.
+        e = (i % 2 == 0)
+                ? Expr::add(e, Expr::constant(
+                                   1.0 +
+                                   static_cast<double>(i % 7) / 8.0))
+                : Expr::mul(e, Expr::constant(
+                                   0.5 +
+                                   static_cast<double>(i % 4) / 16.0));
+    }
+    ASSERT_GE(e->depth(), static_cast<std::size_t>(kDepth));
+
+    // freeSymbols: computed incrementally at intern, shared all the
+    // way up (the chain adds no symbol after the leaf).
+    EXPECT_EQ(&e->freeSymbols(), &x->freeSymbols());
+
+    // countSymbol / containsSymbol / compare walk iteratively.
+    EXPECT_TRUE(e->containsSymbol("deep_x"));
+    EXPECT_EQ(e->countSymbol("deep_x"), 1u);
+    EXPECT_EQ(Expr::compare(e, e), 0);
+
+    // simplify and substitute walk iteratively.
+    const auto s = simplify(e);
+    EXPECT_TRUE(s->containsSymbol("deep_x"));
+    const auto bound = substitute(e, {{"deep_x", 2.0}});
+    ASSERT_TRUE(bound->isConstant());
+
+    // The printer memoizes a rendered string per node, so on a chain
+    // the intermediate strings grow with depth (quadratic bytes
+    // overall); exercise its worklist on a shorter chain instead of
+    // the full 10k comb.
+    ExprPtr shallow = x;
+    for (int i = 0; i < 2000; ++i)
+        shallow = (i % 2 == 0)
+                      ? Expr::add(shallow, Expr::constant(1.0))
+                      : Expr::mul(shallow, Expr::constant(0.5));
+    EXPECT_FALSE(toString(shallow).empty());
+
+    // compile: tape emission and evaluation.
+    CompiledExpr fn(e);
+    const double direct[] = {2.0};
+    EXPECT_EQ(fn.eval(direct), bound->value());
+}
+
+TEST(ExprPool, DeepSharedDagSimplifiesOnce)
+{
+    // A DAG with 2^200 leaves when viewed as a tree: each level
+    // references the previous one twice through distinct Mul wrappers
+    // (Mul of an Add does not flatten).  Per-node memoization in
+    // simplify/substitute is what makes this finish at all.
+    ExprPtr e = Expr::add(Expr::symbol("dag_a"), Expr::symbol("dag_b"));
+    for (int i = 0; i < 200; ++i) {
+        e = Expr::add(Expr::mul(e, Expr::constant(0.5)),
+                      Expr::mul(e, Expr::constant(0.25)));
+    }
+    const auto s = simplify(e);
+    EXPECT_TRUE(s->containsSymbol("dag_a"));
+    const auto r = substitute(e, {{"dag_a", 1.0}, {"dag_b", 0.0}});
+    ASSERT_TRUE(r->isConstant());
+    EXPECT_GT(r->value(), 0.0);
+    EXPECT_TRUE(std::isfinite(r->value()));
+}
