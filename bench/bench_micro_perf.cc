@@ -23,6 +23,7 @@
 #include "model/uncertainty.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "simd/dispatch.hh"
 #include "util/fault.hh"
 #include "risk/risk_function.hh"
 #include "stats/boxcox.hh"
@@ -192,6 +193,40 @@ BM_ProgramEvalBatchFused(benchmark::State &state)
 BENCHMARK(BM_ProgramEvalBatchFused)->Arg(3)->Arg(5);
 
 void
+BM_ProgramEvalBatchSimdOff(benchmark::State &state)
+{
+    // BM_ProgramEvalBatchFused pinned to the scalar kernel table:
+    // the pre-SIMD per-opcode loops.  The ratio against the fused
+    // run at the host's native level is the vectorization speedup
+    // gated in CI (scripts/bench_compare.py --speedup).
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
+    constexpr std::size_t kBlock = 256;
+    const auto forest =
+        pickFreezeForest(static_cast<std::size_t>(state.range(0)));
+    const ar::symbolic::CompiledProgram prog(forest);
+
+    std::map<std::string, std::vector<double>> columns;
+    std::vector<ar::symbolic::BatchArg> args;
+    for (const auto &name : prog.argNames()) {
+        auto [it, ins] =
+            columns.emplace(name, std::vector<double>(kBlock, 2.0));
+        args.push_back({it->second.data(), false});
+    }
+    std::vector<std::vector<double>> outs(
+        prog.numOutputs(), std::vector<double>(kBlock, 0.0));
+    std::vector<double *> out_ptrs;
+    for (auto &o : outs)
+        out_ptrs.push_back(o.data());
+    for (auto _ : state) {
+        prog.evalBatch(args, kBlock, out_ptrs);
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock *
+                            prog.numOutputs());
+}
+BENCHMARK(BM_ProgramEvalBatchSimdOff)->Arg(3)->Arg(5);
+
+void
 BM_PropagationMultiUnfused(benchmark::State &state)
 {
     // Four responsive variables of the same Hill-Marty system
@@ -263,6 +298,41 @@ BM_PropagationMultiFused(benchmark::State &state)
 BENCHMARK(BM_PropagationMultiFused)
     ->Args({10000, 1})
     ->Args({10000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PropagationMultiSimdOff(benchmark::State &state)
+{
+    // BM_PropagationMultiFused pinned to the scalar kernel table:
+    // end-to-end propagation (design generation, quantile sampling,
+    // tape evaluation) without vector kernels, for the CI speedup
+    // gate against the native-level fused run.
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
+    const auto config = ar::model::heteroCores();
+    auto sys = ar::model::buildHillMartySystem(config.numTypes());
+    const std::vector<std::string> outputs{"Speedup", "T_seq",
+                                           "T_par", "P_parallel"};
+    std::vector<ar::symbolic::ExprPtr> forest;
+    for (const auto &name : outputs)
+        forest.push_back(sys.resolve(name));
+    const ar::symbolic::CompiledProgram prog(forest);
+    const auto in = ar::model::groundTruthBindings(
+        config, ar::model::appLPHC(),
+        ar::model::UncertaintySpec::all(0.2));
+    const ar::mc::Propagator prop(
+        {static_cast<std::size_t>(state.range(0)), "latin-hypercube",
+         static_cast<std::size_t>(state.range(1)),
+         ar::util::FaultPolicy::Saturate});
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        ar::util::Rng rng(seed++);
+        benchmark::DoNotOptimize(prop.runMulti(prog, in, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<long>(outputs.size()));
+}
+BENCHMARK(BM_PropagationMultiSimdOff)
+    ->Args({10000, 1})
     ->Unit(benchmark::kMillisecond);
 
 /**
@@ -607,4 +677,19 @@ BENCHMARK(BM_ModelBuild)->Arg(3)->Arg(5)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Stamp the SIMD dispatch level into the JSON context so a
+    // recorded baseline says which kernel table produced it (an
+    // AR_SIMD override or a different host changes the numbers).
+    benchmark::AddCustomContext(
+        "simd_dispatch_level",
+        ar::simd::levelName(ar::simd::activeLevel()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -132,6 +132,22 @@ def check_metrics(metrics_path, schema_path, errors):
                 "metrics: symbolic.pool.nodes %r exceeds "
                 "symbolic.intern.misses %r" % (pool_nodes, misses)
             )
+    # SIMD dispatch consistency: the gauge mirrors ar::simd::Level
+    # (0 scalar, 1 neon, 2 avx2, 3 avx512) and is (re)published by
+    # every recordBatch call, so whenever batch work ran (simd.ops
+    # nonzero) the gauge must be present and hold a valid level.
+    dispatch_level = metrics.get("gauges", {}).get("simd.dispatch_level")
+    simd_ops = metrics.get("counters", {}).get("simd.ops")
+    if dispatch_level is not None and dispatch_level not in (0, 1, 2, 3):
+        errors.append(
+            "metrics: simd.dispatch_level %r not a Level ordinal "
+            "(want 0..3)" % (dispatch_level,)
+        )
+    if simd_ops is not None and simd_ops > 0 and dispatch_level is None:
+        errors.append(
+            "metrics: simd.ops %r counted batches but the "
+            "simd.dispatch_level gauge is missing" % (simd_ops,)
+        )
     return metrics
 
 

@@ -1,7 +1,9 @@
 #include "dist/combinators.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "dist/discrete.hh"
 #include "util/logging.hh"
@@ -60,6 +62,26 @@ Affine::sampleFromUniform(double u) const
     if (scale > 0.0)
         return scale * base->sampleFromUniform(u) + offset;
     return scale * base->sampleFromUniform(1.0 - u) + offset;
+}
+
+void
+Affine::sampleFromUniformBatch(const double *u, double *out,
+                               std::size_t n) const
+{
+    // Delegate to the base batch path (vectorized for Normal and
+    // LogNormal), then apply the affine map with the same per-element
+    // expression as sampleFromUniform so both paths round alike.
+    if (scale > 0.0) {
+        base->sampleFromUniformBatch(u, out, n);
+    } else {
+        static thread_local std::vector<double> flipped;
+        flipped.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            flipped[i] = 1.0 - u[i];
+        base->sampleFromUniformBatch(flipped.data(), out, n);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = scale * out[i] + offset;
 }
 
 std::string
@@ -145,6 +167,37 @@ Product::sampleFromUniform(double u) const
         }
     }
     return Distribution::sampleFromUniform(u);
+}
+
+void
+Product::sampleFromUniformBatch(const double *u, double *out,
+                                std::size_t n) const
+{
+    // Batch form of the Bernoulli fast path above.  The factor probe
+    // (dynamic_cast + the y support check) dominated the per-draw
+    // scalar cost, so it is hoisted out of the loop; the surviving
+    // draws then reach y's vectorized batch quantile in one call.
+    const auto *bern = dynamic_cast<const Bernoulli *>(x.get());
+    if (bern == nullptr || y->cdf(0.0) != 0.0) {
+        Distribution::sampleFromUniformBatch(u, out, n);
+        return;
+    }
+    const double q0 = 1.0 - bern->probability();
+    if (q0 >= 1.0) {
+        std::fill(out, out + n, 0.0);
+        return;
+    }
+    static thread_local std::vector<double> rescaled;
+    rescaled.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rescaled[i] = (u[i] - q0) / (1.0 - q0);
+    y->sampleFromUniformBatch(rescaled.data(), out, n);
+    // The bottom (1 - p) quantile mass is the zero atom.  Rescaled
+    // values for those lanes pass through y's clamp harmlessly and
+    // are overwritten here, matching the scalar branch order.
+    for (std::size_t i = 0; i < n; ++i)
+        if (u[i] <= q0)
+            out[i] = 0.0;
 }
 
 std::string

@@ -31,6 +31,8 @@ class Affine : public Distribution
     double cdf(double x) const override;
     double quantile(double p) const override;
     double sampleFromUniform(double u) const override;
+    void sampleFromUniformBatch(const double *u, double *out,
+                                std::size_t n) const override;
     std::string describe() const override;
     std::unique_ptr<Distribution> clone() const override;
 
@@ -59,6 +61,8 @@ class Product : public Distribution
     double stddev() const override;
     double cdf(double z) const override;
     double sampleFromUniform(double u) const override;
+    void sampleFromUniformBatch(const double *u, double *out,
+                                std::size_t n) const override;
     std::string describe() const override;
     std::unique_ptr<Distribution> clone() const override;
 

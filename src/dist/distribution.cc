@@ -59,6 +59,14 @@ Distribution::sampleFromUniform(double u) const
     return quantile(ar::math::clamp(u, 1e-12, 1.0 - 1e-12));
 }
 
+void
+Distribution::sampleFromUniformBatch(const double *u, double *out,
+                                     std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = sampleFromUniform(u[i]);
+}
+
 std::string
 Degenerate::describe() const
 {

@@ -10,6 +10,7 @@
 #ifndef AR_DIST_DISTRIBUTION_HH
 #define AR_DIST_DISTRIBUTION_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,20 @@ class Distribution
      * quantile().  @param u Uniform variate in (0, 1).
      */
     virtual double sampleFromUniform(double u) const;
+
+    /**
+     * Vector form of sampleFromUniform(): transform @p n uniform
+     * variates into @p n samples.  The default loops over
+     * sampleFromUniform(); Normal and LogNormal override it with
+     * ar::simd quantile kernels (bit-identical to the scalar path at
+     * Level::Scalar, DESIGN.md 5.6 ULP policy at vector levels).
+     *
+     * @param u @p n uniform variates in (0, 1).
+     * @param out Receives @p n samples; may not alias @p u.
+     * @param n Number of variates.
+     */
+    virtual void sampleFromUniformBatch(const double *u, double *out,
+                                        std::size_t n) const;
 };
 
 /** Shared handle to an immutable distribution. */

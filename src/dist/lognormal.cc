@@ -5,6 +5,7 @@
 
 #include "math/numeric.hh"
 #include "math/special.hh"
+#include "simd/dispatch.hh"
 #include "util/logging.hh"
 
 namespace ar::dist
@@ -68,6 +69,13 @@ double
 LogNormal::sampleFromUniform(double u) const
 {
     return quantile(u);
+}
+
+void
+LogNormal::sampleFromUniformBatch(const double *u, double *out,
+                                  std::size_t n) const
+{
+    ar::simd::kernels().lognormal_quantile(u, out, n, mu, sigma);
 }
 
 double

@@ -39,6 +39,8 @@ class LogNormal : public Distribution
     double cdf(double x) const override;
     double quantile(double p) const override;
     double sampleFromUniform(double u) const override;
+    void sampleFromUniformBatch(const double *u, double *out,
+                                std::size_t n) const override;
     double pdf(double x) const override;
     std::string describe() const override;
     std::unique_ptr<Distribution> clone() const override;

@@ -5,6 +5,7 @@
 
 #include "math/numeric.hh"
 #include "math/special.hh"
+#include "simd/dispatch.hh"
 #include "util/logging.hh"
 
 namespace ar::dist
@@ -38,6 +39,13 @@ double
 Normal::sampleFromUniform(double u) const
 {
     return quantile(ar::math::clamp(u, 1e-15, 1.0 - 1e-15));
+}
+
+void
+Normal::sampleFromUniformBatch(const double *u, double *out,
+                               std::size_t n) const
+{
+    ar::simd::kernels().normal_quantile(u, out, n, mu, sigma);
 }
 
 double

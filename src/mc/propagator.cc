@@ -283,11 +283,15 @@ Propagator::runManyReport(
         {
             obs::ScopedPhase phase("mc.sample",
                                    mcMetrics().sample_ns);
-            for (std::size_t t = t0; t < t1; ++t) {
-                for (std::size_t k = 0; k < used.size(); ++k) {
-                    columns[k][t] =
-                        dists[k]->sampleFromUniform(design.at(t, k));
-                }
+            // The design is column-major, so each dimension's
+            // slice of uniforms feeds the distribution's batched
+            // inverse-CDF directly (one ar::simd quantile-kernel
+            // call for Normal and LogNormal, a scalar loop
+            // otherwise), no gather needed.
+            for (std::size_t k = 0; k < used.size(); ++k) {
+                dists[k]->sampleFromUniformBatch(
+                    design.column(k) + t0,
+                    columns[k].data() + t0, len);
             }
         }
 
@@ -411,11 +415,12 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
         {
             obs::ScopedPhase phase("mc.sample",
                                    mcMetrics().sample_ns);
-            for (std::size_t t = t0; t < t1; ++t) {
-                for (std::size_t k = 0; k < used.size(); ++k) {
-                    columns[k][t] =
-                        dists[k]->sampleFromUniform(design.at(t, k));
-                }
+            // Per-dimension batched inverse-CDF straight off the
+            // column-major design, exactly as in runManyReport().
+            for (std::size_t k = 0; k < used.size(); ++k) {
+                dists[k]->sampleFromUniformBatch(
+                    design.column(k) + t0,
+                    columns[k].data() + t0, len);
             }
         }
 

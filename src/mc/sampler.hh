@@ -30,13 +30,23 @@ class UniformDesign
     /** Mutable element access. */
     double &at(std::size_t trial, std::size_t dim)
     {
-        return data[trial * dims_ + dim];
+        return data[dim * trials_ + trial];
     }
 
     /** Element access. */
     double at(std::size_t trial, std::size_t dim) const
     {
-        return data[trial * dims_ + dim];
+        return data[dim * trials_ + trial];
+    }
+
+    /**
+     * Contiguous storage of one dimension's column, trials() values.
+     * Storage is column-major precisely so the per-dimension batch
+     * quantile transform reads its uniforms without a strided gather.
+     */
+    const double *column(std::size_t dim) const
+    {
+        return data.data() + dim * trials_;
     }
 
     /** @return number of rows (trials). */

@@ -182,11 +182,16 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
                 const std::size_t t0 = b * kBlock;
                 const std::size_t t1 = std::min(n, t0 + kBlock);
                 const std::size_t len = t1 - t0;
-                for (std::size_t t = t0; t < t1; ++t) {
-                    for (std::size_t d = 0; d < k; ++d) {
-                        acols[d][t] = realize(ua, t, d);
-                        bcols[d][t] = realize(ub, t, d);
-                    }
+                // One batched inverse-CDF (ar::simd quantile
+                // kernel for Normal/LogNormal) per column slice,
+                // straight off the column-major designs.
+                for (std::size_t d = 0; d < k; ++d) {
+                    dists[d]->sampleFromUniformBatch(
+                        ua.column(d) + t0, acols[d].data() + t0,
+                        len);
+                    dists[d]->sampleFromUniformBatch(
+                        ub.column(d) + t0, bcols[d].data() + t0,
+                        len);
                 }
                 std::vector<ar::symbolic::BatchArg> bargs(
                     pplan.size());

@@ -1,0 +1,220 @@
+#include "simd/dispatch.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "obs/telemetry.hh"
+#include "util/logging.hh"
+
+namespace ar::simd
+{
+
+namespace
+{
+
+struct SimdMetrics
+{
+    obs::Counter ops =
+        obs::MetricsRegistry::global().counter("simd.ops");
+    obs::Gauge dispatch_level =
+        obs::MetricsRegistry::global().gauge("simd.dispatch_level");
+};
+
+SimdMetrics &
+simdMetrics()
+{
+    static SimdMetrics m;
+    return m;
+}
+
+/// Published dispatch level; -1 until resolveInitialLevel() ran.
+std::atomic<int> g_active{-1};
+
+bool
+hostSupports(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return true;
+      case Level::Neon:
+#ifdef AR_SIMD_HAVE_NEON
+        return true; // NEON is baseline on aarch64.
+#else
+        return false;
+#endif
+      case Level::Avx2:
+#ifdef AR_SIMD_HAVE_AVX2
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+#else
+        return false;
+#endif
+      case Level::Avx512:
+#ifdef AR_SIMD_HAVE_AVX512
+        return __builtin_cpu_supports("avx512f");
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Level
+bestAvailable()
+{
+    for (Level l : {Level::Avx512, Level::Avx2, Level::Neon})
+        if (hostSupports(l))
+            return l;
+    return Level::Scalar;
+}
+
+void
+publish(Level level)
+{
+    g_active.store(static_cast<int>(level),
+                   std::memory_order_relaxed);
+    simdMetrics().dispatch_level.set(
+        static_cast<double>(static_cast<int>(level)));
+}
+
+Level
+resolveInitialLevel()
+{
+    Level chosen = bestAvailable();
+    if (const char *env = std::getenv("AR_SIMD")) {
+        const std::string want(env);
+        bool known = false;
+        for (Level l : {Level::Scalar, Level::Neon, Level::Avx2,
+                        Level::Avx512}) {
+            if (want == levelName(l)) {
+                known = true;
+                if (hostSupports(l))
+                    chosen = l;
+                else
+                    ar::util::warn("AR_SIMD=", want,
+                                   " not available on this host/"
+                                   "build; using ",
+                                   levelName(chosen));
+                break;
+            }
+        }
+        if (!known)
+            ar::util::warn("AR_SIMD=", want,
+                           " not recognized (want scalar|neon|avx2|"
+                           "avx512); using ",
+                           levelName(chosen));
+    }
+    publish(chosen);
+    return chosen;
+}
+
+const KernelTable &
+tableFor(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return kernelsScalar();
+      case Level::Neon:
+#ifdef AR_SIMD_HAVE_NEON
+        return kernelsNeon();
+#else
+        break;
+#endif
+      case Level::Avx2:
+#ifdef AR_SIMD_HAVE_AVX2
+        return kernelsAvx2();
+#else
+        break;
+#endif
+      case Level::Avx512:
+#ifdef AR_SIMD_HAVE_AVX512
+        return kernelsAvx512();
+#else
+        break;
+#endif
+    }
+    ar::util::fatal("simd: no kernel table built for level ",
+                    static_cast<int>(level));
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return "scalar";
+      case Level::Neon:
+        return "neon";
+      case Level::Avx2:
+        return "avx2";
+      case Level::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+std::vector<Level>
+availableLevels()
+{
+    std::vector<Level> out;
+    for (Level l : {Level::Scalar, Level::Neon, Level::Avx2,
+                    Level::Avx512})
+        if (hostSupports(l))
+            out.push_back(l);
+    return out;
+}
+
+Level
+activeLevel()
+{
+    const int v = g_active.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return static_cast<Level>(v);
+    // Magic-static guard: exactly one thread resolves; racers block
+    // here until the level is published.
+    static const Level initial = resolveInitialLevel();
+    (void)initial;
+    return static_cast<Level>(
+        g_active.load(std::memory_order_relaxed));
+}
+
+void
+setActiveLevel(Level level)
+{
+    if (!hostSupports(level))
+        ar::util::fatal("simd: setActiveLevel(", levelName(level),
+                        ") not available on this host/build");
+    publish(level);
+}
+
+ScopedLevel::ScopedLevel(Level level) : prev_(activeLevel())
+{
+    setActiveLevel(level);
+}
+
+ScopedLevel::~ScopedLevel()
+{
+    setActiveLevel(prev_);
+}
+
+const KernelTable &
+kernels()
+{
+    return tableFor(activeLevel());
+}
+
+void
+recordBatch(std::uint64_t ops)
+{
+    auto &m = simdMetrics();
+    m.ops.add(ops);
+    // Re-publish the gauge: metrics may have been enabled after the
+    // level was first resolved, which would have dropped the set().
+    m.dispatch_level.set(
+        static_cast<double>(static_cast<int>(activeLevel())));
+}
+
+} // namespace ar::simd

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Runtime SIMD dispatch.  The process picks one dispatch level at
+ * startup — the widest ISA the CPU supports among the backends this
+ * binary was built with — and every batch kernel call goes through
+ * the KernelTable for that level.
+ *
+ * Selection order (first match wins):
+ *  1. The AR_SIMD environment variable ("scalar", "neon", "avx2",
+ *     "avx512"), read once on first use.  Requesting a level the
+ *     host or build cannot provide logs a warning and falls back to
+ *     auto-detection; an unrecognized value does the same.
+ *  2. CPU feature detection (__builtin_cpu_supports on x86-64; NEON
+ *     is architecturally guaranteed on aarch64).
+ *
+ * setActiveLevel()/ScopedLevel exist so tests and benchmarks can
+ * pin a level mid-process; they accept only levels reported by
+ * availableLevels().
+ *
+ * Determinism: at a fixed dispatch level, results are bit-identical
+ * across runs and thread counts.  All vector levels produce
+ * bit-identical results to each other (tails run one-lane versions
+ * of the same generic kernels); Level::Scalar is the pre-SIMD
+ * std::-exact path and may differ from the vector levels within the
+ * ULP policy of DESIGN.md section 5.6.
+ */
+
+#ifndef AR_SIMD_DISPATCH_HH
+#define AR_SIMD_DISPATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "simd/kernels.hh"
+
+namespace ar::simd
+{
+
+/** Dispatch levels, ordered by preference (higher = wider). */
+enum class Level : int
+{
+    Scalar = 0,
+    Neon = 1,
+    Avx2 = 2,
+    Avx512 = 3,
+};
+
+/** @return lowercase name ("scalar", "neon", "avx2", "avx512"). */
+const char *levelName(Level level);
+
+/**
+ * @return every level this binary can run on this host, ascending;
+ * always contains Level::Scalar.
+ */
+std::vector<Level> availableLevels();
+
+/**
+ * @return the level kernels() dispatches to.  First call resolves
+ * AR_SIMD / CPU detection and publishes the simd.dispatch_level
+ * gauge.
+ */
+Level activeLevel();
+
+/**
+ * Pin the dispatch level (tests, benchmarks, the AR_SIMD=scalar CI
+ * job).  Fatal if @p level is not in availableLevels().
+ */
+void setActiveLevel(Level level);
+
+/** RAII level pin: restores the previous level on destruction. */
+class ScopedLevel
+{
+  public:
+    explicit ScopedLevel(Level level);
+    ~ScopedLevel();
+
+    ScopedLevel(const ScopedLevel &) = delete;
+    ScopedLevel &operator=(const ScopedLevel &) = delete;
+
+  private:
+    Level prev_;
+};
+
+/** @return the kernel table for activeLevel(). */
+const KernelTable &kernels();
+
+/**
+ * Telemetry hook for batch callers: adds @p ops to the simd.ops
+ * counter and refreshes the simd.dispatch_level gauge.  Call once
+ * per evalBatch when obs::metricsEnabled().
+ */
+void recordBatch(std::uint64_t ops);
+
+} // namespace ar::simd
+
+#endif // AR_SIMD_DISPATCH_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Batch kernel table: one function pointer per tape/sampling
+ * operation, populated per dispatch level (scalar, NEON, AVX2,
+ * AVX-512).  The tape interpreters and the distribution sampling
+ * paths call through the table returned by ar::simd::kernels(), so
+ * the ISA choice is made once at dispatch time, not per op.
+ *
+ * Contracts every backend must honor:
+ *
+ *  - dst may alias a or b (the interpreters evaluate in place on the
+ *    operand rows), but kernels process lanes strictly left to right
+ *    in non-overlapping stores, so aliasing dst == a or dst == b is
+ *    safe.
+ *  - No kernel reads or writes outside [p, p + n) for any pointer
+ *    argument; tails shorter than the vector width run through
+ *    one-lane code (no masked over-reads).
+ *  - The scalar table is a plain std:: loop per op and is
+ *    bit-identical to the pre-SIMD interpreter loops.
+ *  - Vector tables are bit-identical to each other at every width
+ *    (see simd/math_inl.hh) and within the ULP policy of DESIGN.md
+ *    section 5.6 relative to the scalar table.
+ */
+
+#ifndef AR_SIMD_KERNELS_HH
+#define AR_SIMD_KERNELS_HH
+
+#include <cstddef>
+
+namespace ar::simd
+{
+
+/** Elementwise dst[i] = f(a[i]). */
+using UnaryKernel = void (*)(const double *a, double *dst,
+                             std::size_t n);
+
+/** Elementwise dst[i] = f(a[i], b[i]). */
+using BinaryKernel = void (*)(const double *a, const double *b,
+                              double *dst, std::size_t n);
+
+/** dst[i] = quantile(clamp(u[i])) scaled by (mu, sigma). */
+using QuantileKernel = void (*)(const double *u, double *dst,
+                                std::size_t n, double mu,
+                                double sigma);
+
+struct KernelTable
+{
+    const char *name;  ///< "scalar", "neon", "avx2", "avx512".
+    std::size_t width; ///< Vector lane count (1 for scalar).
+
+    // Tape arithmetic (dst may alias a or b).
+    BinaryKernel add;
+    BinaryKernel mul;
+    BinaryKernel pow; ///< std::pow per lane at every level.
+    BinaryKernel max; ///< std::max semantics (first wins on NaN/tie).
+    BinaryKernel min;
+    UnaryKernel sq;
+    UnaryKernel recip;
+    UnaryKernel gtz; ///< dst = a > 0 ? 1 : 0.
+    UnaryKernel pow_half; ///< pow(a, 0.5): sqrt with IEEE pow specials.
+
+    // Transcendentals.
+    UnaryKernel log;
+    UnaryKernel exp;
+    UnaryKernel sqrt;
+    UnaryKernel erf;
+    UnaryKernel erfc;
+    UnaryKernel erfinv;
+
+    // Sampling transforms: uniform u in (0, 1) -> distribution draw.
+    QuantileKernel normal_quantile;    ///< mu + sigma * Phi^-1(u).
+    QuantileKernel lognormal_quantile; ///< exp(mu + sigma * Phi^-1(u)).
+};
+
+/** The scalar reference table (always available). */
+const KernelTable &kernelsScalar();
+
+#ifdef AR_SIMD_HAVE_AVX2
+const KernelTable &kernelsAvx2();
+#endif
+#ifdef AR_SIMD_HAVE_AVX512
+const KernelTable &kernelsAvx512();
+#endif
+#ifdef AR_SIMD_HAVE_NEON
+const KernelTable &kernelsNeon();
+#endif
+
+} // namespace ar::simd
+
+#endif // AR_SIMD_KERNELS_HH

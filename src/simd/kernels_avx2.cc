@@ -1,0 +1,21 @@
+/**
+ * @file
+ * AVX2 + FMA kernel table.  This TU (alone) is compiled with
+ * -mavx2 -mfma (and -ffp-contract=off like all kernel TUs); nothing
+ * here may be called unless runtime dispatch confirmed AVX2 support.
+ */
+
+#include "simd/kernels_impl.hh"
+
+namespace ar::simd
+{
+
+const KernelTable &
+kernelsAvx2()
+{
+    static const KernelTable t =
+        detail::makeVectorTable<detail::Vec4>("avx2");
+    return t;
+}
+
+} // namespace ar::simd

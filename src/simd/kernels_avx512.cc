@@ -1,0 +1,23 @@
+/**
+ * @file
+ * AVX-512F kernel table.  This TU (alone) is compiled with
+ * -mavx512f (and -ffp-contract=off like all kernel TUs); nothing
+ * here may be called unless runtime dispatch confirmed AVX-512F
+ * support.  Only foundation (F) intrinsics are used, so the table
+ * works on every AVX-512 part including Knights Landing.
+ */
+
+#include "simd/kernels_impl.hh"
+
+namespace ar::simd
+{
+
+const KernelTable &
+kernelsAvx512()
+{
+    static const KernelTable t =
+        detail::makeVectorTable<detail::Vec8>("avx512");
+    return t;
+}
+
+} // namespace ar::simd

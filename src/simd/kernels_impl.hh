@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Width-generic kernel bodies.  Included ONLY by the per-ISA kernel
+ * translation units (kernels_avx2.cc, kernels_avx512.cc,
+ * kernels_neon.cc), each of which is compiled with its own -m flags
+ * plus -ffp-contract=off, and instantiates makeVectorTable<V> for
+ * its lane type.
+ *
+ * Every kernel runs a full-width main loop followed by a Vec1 tail
+ * that instantiates the SAME generic template, so tail lanes compute
+ * bit-identically to vector lanes (Vec1 uses std::fma and scalar
+ * IEEE ops; contraction is disabled so the compiler cannot fuse what
+ * the intrinsics would not fuse).  Consequently results do not
+ * depend on where the vector/tail boundary falls, and all vector
+ * widths agree bit-for-bit.
+ */
+
+#ifndef AR_SIMD_KERNELS_IMPL_HH
+#define AR_SIMD_KERNELS_IMPL_HH
+
+#include <cmath>
+#include <cstddef>
+
+#include "simd/kernels.hh"
+#include "simd/math_inl.hh"
+#include "simd/vec.hh"
+
+namespace ar::simd::detail
+{
+
+template <class V, class F>
+inline void
+unaryLoop(const double *a, double *dst, std::size_t n, F f)
+{
+    std::size_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth)
+        f(V::load(a + i)).store(dst + i);
+    for (; i < n; ++i)
+        f(Vec1::load(a + i)).store(dst + i);
+}
+
+template <class V, class F>
+inline void
+binaryLoop(const double *a, const double *b, double *dst,
+           std::size_t n, F f)
+{
+    std::size_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth)
+        f(V::load(a + i), V::load(b + i)).store(dst + i);
+    for (; i < n; ++i)
+        f(Vec1::load(a + i), Vec1::load(b + i)).store(dst + i);
+}
+
+template <class V>
+void
+addK(const double *a, const double *b, double *dst, std::size_t n)
+{
+    binaryLoop<V>(a, b, dst, n,
+                  [](auto x, auto y) { return x + y; });
+}
+
+template <class V>
+void
+mulK(const double *a, const double *b, double *dst, std::size_t n)
+{
+    binaryLoop<V>(a, b, dst, n,
+                  [](auto x, auto y) { return x * y; });
+}
+
+/** Per-lane std::pow at every level: general pow stays exact. */
+template <class V>
+void
+powK(const double *a, const double *b, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::pow(a[i], b[i]);
+}
+
+template <class V>
+void
+maxK(const double *a, const double *b, double *dst, std::size_t n)
+{
+    binaryLoop<V>(a, b, dst, n, [](auto x, auto y) {
+        using T = decltype(x);
+        return T::max(x, y);
+    });
+}
+
+template <class V>
+void
+minK(const double *a, const double *b, double *dst, std::size_t n)
+{
+    binaryLoop<V>(a, b, dst, n, [](auto x, auto y) {
+        using T = decltype(x);
+        return T::min(x, y);
+    });
+}
+
+template <class V>
+void
+sqK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return x * x; });
+}
+
+template <class V>
+void
+recipK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) {
+        using T = decltype(x);
+        return T::bcast(1.0) / x;
+    });
+}
+
+template <class V>
+void
+gtzK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) {
+        using T = decltype(x);
+        return T::select(T::cmpGT(x, T::bcast(0.0)), T::bcast(1.0),
+                         T::bcast(0.0));
+    });
+}
+
+template <class V>
+void
+powHalfK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return vpowHalf(x); });
+}
+
+template <class V>
+void
+logK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return vlog(x); });
+}
+
+template <class V>
+void
+expK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return vexp(x); });
+}
+
+template <class V>
+void
+sqrtK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) {
+        using T = decltype(x);
+        return T::sqrt(x);
+    });
+}
+
+template <class V>
+void
+erfK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return verf(x); });
+}
+
+template <class V>
+void
+erfcK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return verfc(x); });
+}
+
+template <class V>
+void
+erfinvK(const double *a, double *dst, std::size_t n)
+{
+    unaryLoop<V>(a, dst, n, [](auto x) { return verfinv(x); });
+}
+
+/**
+ * mu + sigma * Phi^-1(u) with the propagator's (1e-15, 1 - 1e-15)
+ * clamp; Phi^-1(u) = sqrt(2) * erfinv(2u - 1).
+ */
+template <class V>
+inline V
+normalQuantileLane(V u, V mu, V sigma)
+{
+    const V p = V::min(V::max(u, V::bcast(1e-15)),
+                       V::bcast(1.0 - 1e-15));
+    const V z = V::bcast(1.4142135623730950488) *
+                verfinv(V::bcast(2.0) * p - V::bcast(1.0));
+    return V::fma(sigma, z, mu);
+}
+
+template <class V>
+void
+normalQuantileK(const double *u, double *dst, std::size_t n,
+                double mu, double sigma)
+{
+    std::size_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth)
+        normalQuantileLane(V::load(u + i), V::bcast(mu),
+                           V::bcast(sigma))
+            .store(dst + i);
+    for (; i < n; ++i)
+        normalQuantileLane(Vec1::load(u + i), Vec1::bcast(mu),
+                           Vec1::bcast(sigma))
+            .store(dst + i);
+}
+
+template <class V>
+void
+lognormalQuantileK(const double *u, double *dst, std::size_t n,
+                   double mu, double sigma)
+{
+    std::size_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth)
+        vexp(normalQuantileLane(V::load(u + i), V::bcast(mu),
+                                V::bcast(sigma)))
+            .store(dst + i);
+    for (; i < n; ++i)
+        vexp(normalQuantileLane(Vec1::load(u + i), Vec1::bcast(mu),
+                                Vec1::bcast(sigma)))
+            .store(dst + i);
+}
+
+template <class V>
+KernelTable
+makeVectorTable(const char *name)
+{
+    KernelTable t;
+    t.name = name;
+    t.width = V::kWidth;
+    t.add = &addK<V>;
+    t.mul = &mulK<V>;
+    t.pow = &powK<V>;
+    t.max = &maxK<V>;
+    t.min = &minK<V>;
+    t.sq = &sqK<V>;
+    t.recip = &recipK<V>;
+    t.gtz = &gtzK<V>;
+    t.pow_half = &powHalfK<V>;
+    t.log = &logK<V>;
+    t.exp = &expK<V>;
+    t.sqrt = &sqrtK<V>;
+    t.erf = &erfK<V>;
+    t.erfc = &erfcK<V>;
+    t.erfinv = &erfinvK<V>;
+    t.normal_quantile = &normalQuantileK<V>;
+    t.lognormal_quantile = &lognormalQuantileK<V>;
+    return t;
+}
+
+} // namespace ar::simd::detail
+
+#endif // AR_SIMD_KERNELS_IMPL_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * ARMv8 NEON (AdvSIMD) kernel table.  Compiled only on aarch64,
+ * where NEON is architecturally guaranteed; no extra -m flags are
+ * needed (but -ffp-contract=off still applies, like all kernel TUs).
+ */
+
+#include "simd/kernels_impl.hh"
+
+namespace ar::simd
+{
+
+const KernelTable &
+kernelsNeon()
+{
+    static const KernelTable t =
+        detail::makeVectorTable<detail::Vec2>("neon");
+    return t;
+}
+
+} // namespace ar::simd

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Scalar reference kernel table.  These are the exact loops the tape
+ * interpreters ran before the SIMD layer existed (plain std:: calls,
+ * no polynomial approximations), so Level::Scalar reproduces the
+ * pre-SIMD results bit-for-bit — that equivalence is pinned by the
+ * original golden_outputs.txt and by the AR_SIMD=scalar CI job.
+ */
+
+#include "simd/kernels.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "math/numeric.hh"
+#include "math/special.hh"
+
+namespace ar::simd
+{
+
+namespace
+{
+
+void
+addS(const double *a, const double *b, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] + b[i];
+}
+
+void
+mulS(const double *a, const double *b, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] * b[i];
+}
+
+void
+powS(const double *a, const double *b, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::pow(a[i], b[i]);
+}
+
+void
+maxS(const double *a, const double *b, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::max(a[i], b[i]);
+}
+
+void
+minS(const double *a, const double *b, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::min(a[i], b[i]);
+}
+
+void
+sqS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] * a[i];
+}
+
+void
+recipS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = 1.0 / a[i];
+}
+
+void
+gtzS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] > 0.0 ? 1.0 : 0.0;
+}
+
+void
+powHalfS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::pow(a[i], 0.5);
+}
+
+void
+logS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::log(a[i]);
+}
+
+void
+expS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::exp(a[i]);
+}
+
+void
+sqrtS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::sqrt(a[i]);
+}
+
+void
+erfS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::erf(a[i]);
+}
+
+void
+erfcS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::erfc(a[i]);
+}
+
+void
+erfinvS(const double *a, double *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        // ar::math::erfInv fatals outside [-1, 1]; a kernel must
+        // yield NaN instead (matching the vector backends).
+        if (a[i] < -1.0 || a[i] > 1.0)
+            dst[i] = std::numeric_limits<double>::quiet_NaN();
+        else
+            dst[i] = ar::math::erfInv(a[i]);
+    }
+}
+
+void
+normalQuantileS(const double *u, double *dst, std::size_t n,
+                double mu, double sigma)
+{
+    // Must match Normal::sampleFromUniform's scalar path exactly.
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = mu + sigma * ar::math::normalQuantile(
+                                  ar::math::clamp(u[i], 1e-15,
+                                                  1.0 - 1e-15));
+}
+
+void
+lognormalQuantileS(const double *u, double *dst, std::size_t n,
+                   double mu, double sigma)
+{
+    // Must match LogNormal::quantile's scalar path exactly.
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::exp(
+            mu + sigma * ar::math::normalQuantile(
+                             ar::math::clamp(u[i], 1e-15,
+                                             1.0 - 1e-15)));
+}
+
+} // namespace
+
+const KernelTable &
+kernelsScalar()
+{
+    static const KernelTable t = [] {
+        KernelTable k;
+        k.name = "scalar";
+        k.width = 1;
+        k.add = &addS;
+        k.mul = &mulS;
+        k.pow = &powS;
+        k.max = &maxS;
+        k.min = &minS;
+        k.sq = &sqS;
+        k.recip = &recipS;
+        k.gtz = &gtzS;
+        k.pow_half = &powHalfS;
+        k.log = &logS;
+        k.exp = &expS;
+        k.sqrt = &sqrtS;
+        k.erf = &erfS;
+        k.erfc = &erfcS;
+        k.erfinv = &erfinvS;
+        k.normal_quantile = &normalQuantileS;
+        k.lognormal_quantile = &lognormalQuantileS;
+        return k;
+    }();
+    return t;
+}
+
+} // namespace ar::simd

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Fixed-width SIMD lane wrappers over double.  Each wrapper exposes
+ * the same static interface (the "Vec concept" consumed by
+ * simd/math_inl.hh), so one set of polynomial kernels instantiates at
+ * every lane width:
+ *
+ *  - Vec1: one lane, plain scalar code.  Always available; it is the
+ *    tail type of every vector backend, and the ops below are chosen
+ *    so a Vec1 lane computes bit-identically to the same lane of a
+ *    wide vector (std::fma is correctly rounded like vfmadd, bitwise
+ *    select mirrors blendv, and so on).
+ *  - Vec4: __m256d, compiled only into the AVX2 kernel TU.
+ *  - Vec8: __m512d, compiled only into the AVX-512 kernel TU.
+ *  - Vec2: float64x2_t, compiled only into the NEON kernel TU.
+ *
+ * Semantics contracts shared by all widths (the cross-width
+ * bit-identity of golden_outputs_simd.txt rests on these):
+ *
+ *  - max/min follow std::max/std::min exactly: max(a, b) returns b
+ *    only when a < b, so a NaN or matching-magnitude zero in `a` wins.
+ *    On x86 this is _mm*_max_pd with SWAPPED operands (maxpd returns
+ *    its second operand on NaN/equal); NEON and Vec1 use an explicit
+ *    compare + select.
+ *  - Comparisons are ordered and quiet (NaN compares false) and
+ *    return an all-ones/all-zeros double mask.
+ *  - roundNearest rounds half to even (the default FP environment).
+ *  - pow2k(k) builds 2^k from exponent bits for integer-valued k in
+ *    [-1022, 1023]; exact at every width.
+ *
+ * The kernel TUs that include this header are compiled with
+ * -ffp-contract=off so the compiler cannot fuse Vec1's separate
+ * multiply and add into an FMA the intrinsic lanes would not have
+ * performed.
+ */
+
+#ifndef AR_SIMD_VEC_HH
+#define AR_SIMD_VEC_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(AR_SIMD_BUILD_AVX2) || defined(AR_SIMD_BUILD_AVX512)
+#include <immintrin.h>
+#endif
+#if defined(AR_SIMD_BUILD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace ar::simd::detail
+{
+
+inline std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+inline double
+fromBits(std::uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof v);
+    return v;
+}
+
+/** One scalar lane.  Reference semantics for every vector backend. */
+struct Vec1
+{
+    double v;
+
+    static constexpr std::size_t kWidth = 1;
+
+    static Vec1 load(const double *p) { return {*p}; }
+    static Vec1 bcast(double x) { return {x}; }
+    void store(double *p) const { *p = v; }
+
+    friend Vec1 operator+(Vec1 a, Vec1 b) { return {a.v + b.v}; }
+    friend Vec1 operator-(Vec1 a, Vec1 b) { return {a.v - b.v}; }
+    friend Vec1 operator*(Vec1 a, Vec1 b) { return {a.v * b.v}; }
+    friend Vec1 operator/(Vec1 a, Vec1 b) { return {a.v / b.v}; }
+
+    static Vec1 fma(Vec1 a, Vec1 b, Vec1 c)
+    {
+        return {std::fma(a.v, b.v, c.v)};
+    }
+
+    static Vec1 max(Vec1 a, Vec1 b) { return {a.v < b.v ? b.v : a.v}; }
+    static Vec1 min(Vec1 a, Vec1 b) { return {b.v < a.v ? b.v : a.v}; }
+    static Vec1 sqrt(Vec1 a) { return {std::sqrt(a.v)}; }
+    static Vec1 abs(Vec1 a) { return {fromBits(bitsOf(a.v) & ~(1ull << 63))}; }
+    static Vec1 roundNearest(Vec1 a) { return {std::nearbyint(a.v)}; }
+
+    static Vec1 maskAll() { return {fromBits(~0ull)}; }
+    static Vec1 cmpLT(Vec1 a, Vec1 b) { return {fromBits(a.v < b.v ? ~0ull : 0)}; }
+    static Vec1 cmpLE(Vec1 a, Vec1 b) { return {fromBits(a.v <= b.v ? ~0ull : 0)}; }
+    static Vec1 cmpGT(Vec1 a, Vec1 b) { return {fromBits(a.v > b.v ? ~0ull : 0)}; }
+    static Vec1 cmpGE(Vec1 a, Vec1 b) { return {fromBits(a.v >= b.v ? ~0ull : 0)}; }
+    static Vec1 cmpEQ(Vec1 a, Vec1 b) { return {fromBits(a.v == b.v ? ~0ull : 0)}; }
+    static Vec1 isNaN(Vec1 a) { return {fromBits(a.v != a.v ? ~0ull : 0)}; }
+
+    /** mask ? a : b, bitwise per lane (mask lanes are all-ones/zeros). */
+    static Vec1 select(Vec1 mask, Vec1 a, Vec1 b)
+    {
+        const std::uint64_t m = bitsOf(mask.v);
+        return {fromBits((bitsOf(a.v) & m) | (bitsOf(b.v) & ~m))};
+    }
+
+    static Vec1 bitAnd(Vec1 a, Vec1 b)
+    {
+        return {fromBits(bitsOf(a.v) & bitsOf(b.v))};
+    }
+
+    static bool anyTrue(Vec1 mask) { return bitsOf(mask.v) != 0; }
+
+    /** Biased exponent field as a double: (bits >> 52) & 0x7ff. */
+    static Vec1 biasedExponent(Vec1 a)
+    {
+        return {static_cast<double>((bitsOf(a.v) >> 52) & 0x7ff)};
+    }
+
+    /** Replace the exponent so the mantissa lands in [1, 2). */
+    static Vec1 mantissaToOne(Vec1 a)
+    {
+        return {fromBits((bitsOf(a.v) & 0x000fffffffffffffull) |
+                         0x3ff0000000000000ull)};
+    }
+
+    /** 2^k for integer-valued k in [-1022, 1023]. */
+    static Vec1 pow2k(Vec1 k)
+    {
+        const auto i = static_cast<std::int64_t>(k.v);
+        return {fromBits(static_cast<std::uint64_t>(i + 1023) << 52)};
+    }
+
+    /** Zero the low 32 mantissa bits (fdlibm's erfc splitting). */
+    static Vec1 clearLow32(Vec1 a)
+    {
+        return {fromBits(bitsOf(a.v) & 0xffffffff00000000ull)};
+    }
+};
+
+#if defined(AR_SIMD_BUILD_AVX2)
+
+/** Four lanes: AVX2 + FMA. */
+struct Vec4
+{
+    __m256d v;
+
+    static constexpr std::size_t kWidth = 4;
+
+    static Vec4 load(const double *p) { return {_mm256_loadu_pd(p)}; }
+    static Vec4 bcast(double x) { return {_mm256_set1_pd(x)}; }
+    void store(double *p) const { _mm256_storeu_pd(p, v); }
+
+    friend Vec4 operator+(Vec4 a, Vec4 b) { return {_mm256_add_pd(a.v, b.v)}; }
+    friend Vec4 operator-(Vec4 a, Vec4 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+    friend Vec4 operator*(Vec4 a, Vec4 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+    friend Vec4 operator/(Vec4 a, Vec4 b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+    static Vec4 fma(Vec4 a, Vec4 b, Vec4 c)
+    {
+        return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+    }
+
+    // maxpd/minpd return their SECOND operand on NaN or equal values;
+    // swapping the operands reproduces std::max/std::min exactly.
+    static Vec4 max(Vec4 a, Vec4 b) { return {_mm256_max_pd(b.v, a.v)}; }
+    static Vec4 min(Vec4 a, Vec4 b) { return {_mm256_min_pd(b.v, a.v)}; }
+    static Vec4 sqrt(Vec4 a) { return {_mm256_sqrt_pd(a.v)}; }
+    static Vec4 abs(Vec4 a)
+    {
+        return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+    }
+    static Vec4 roundNearest(Vec4 a)
+    {
+        return {_mm256_round_pd(
+            a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+    }
+
+    static Vec4 cmpLT(Vec4 a, Vec4 b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)}; }
+    static Vec4 cmpLE(Vec4 a, Vec4 b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)}; }
+    static Vec4 cmpGT(Vec4 a, Vec4 b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)}; }
+    static Vec4 cmpGE(Vec4 a, Vec4 b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)}; }
+    static Vec4 cmpEQ(Vec4 a, Vec4 b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)}; }
+    static Vec4 isNaN(Vec4 a) { return {_mm256_cmp_pd(a.v, a.v, _CMP_UNORD_Q)}; }
+
+    static Vec4 select(Vec4 mask, Vec4 a, Vec4 b)
+    {
+        return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+    }
+
+    static Vec4 bitAnd(Vec4 a, Vec4 b) { return {_mm256_and_pd(a.v, b.v)}; }
+
+    static bool anyTrue(Vec4 mask)
+    {
+        return _mm256_movemask_pd(mask.v) != 0;
+    }
+
+    static Vec4 biasedExponent(Vec4 a)
+    {
+        const __m256i e = _mm256_srli_epi64(_mm256_castpd_si256(a.v), 52);
+        const __m256i masked =
+            _mm256_and_si256(e, _mm256_set1_epi64x(0x7ff));
+        // Exact int -> double for 0 <= v < 2^52: set the 2^52
+        // exponent onto the integer bits and subtract 2^52.
+        const __m256d biased = _mm256_castsi256_pd(_mm256_or_si256(
+            masked, _mm256_set1_epi64x(0x4330000000000000ll)));
+        return {_mm256_sub_pd(biased, _mm256_set1_pd(0x1p52))};
+    }
+
+    static Vec4 mantissaToOne(Vec4 a)
+    {
+        const __m256i m = _mm256_and_si256(
+            _mm256_castpd_si256(a.v),
+            _mm256_set1_epi64x(0x000fffffffffffffll));
+        return {_mm256_castsi256_pd(_mm256_or_si256(
+            m, _mm256_set1_epi64x(0x3ff0000000000000ll)))};
+    }
+
+    static Vec4 pow2k(Vec4 k)
+    {
+        // Round-trip double -> int64 via the 1.5 * 2^52 magic-number
+        // trick (valid for |k| < 2^51, far beyond the exponent range).
+        const __m256d magic = _mm256_set1_pd(0x1.8p52);
+        const __m256i ik = _mm256_sub_epi64(
+            _mm256_castpd_si256(_mm256_add_pd(k.v, magic)),
+            _mm256_castpd_si256(magic));
+        const __m256i bits = _mm256_slli_epi64(
+            _mm256_add_epi64(ik, _mm256_set1_epi64x(1023)), 52);
+        return {_mm256_castsi256_pd(bits)};
+    }
+
+    static Vec4 clearLow32(Vec4 a)
+    {
+        return {_mm256_castsi256_pd(_mm256_and_si256(
+            _mm256_castpd_si256(a.v),
+            _mm256_set1_epi64x(
+                static_cast<long long>(0xffffffff00000000ull))))};
+    }
+};
+
+#endif // AR_SIMD_BUILD_AVX2
+
+#if defined(AR_SIMD_BUILD_AVX512)
+
+/** Eight lanes: AVX-512F. */
+struct Vec8
+{
+    __m512d v;
+
+    static constexpr std::size_t kWidth = 8;
+
+    static Vec8 load(const double *p) { return {_mm512_loadu_pd(p)}; }
+    static Vec8 bcast(double x) { return {_mm512_set1_pd(x)}; }
+    void store(double *p) const { _mm512_storeu_pd(p, v); }
+
+    friend Vec8 operator+(Vec8 a, Vec8 b) { return {_mm512_add_pd(a.v, b.v)}; }
+    friend Vec8 operator-(Vec8 a, Vec8 b) { return {_mm512_sub_pd(a.v, b.v)}; }
+    friend Vec8 operator*(Vec8 a, Vec8 b) { return {_mm512_mul_pd(a.v, b.v)}; }
+    friend Vec8 operator/(Vec8 a, Vec8 b) { return {_mm512_div_pd(a.v, b.v)}; }
+
+    static Vec8 fma(Vec8 a, Vec8 b, Vec8 c)
+    {
+        return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+    }
+
+    static Vec8 max(Vec8 a, Vec8 b) { return {_mm512_max_pd(b.v, a.v)}; }
+    static Vec8 min(Vec8 a, Vec8 b) { return {_mm512_min_pd(b.v, a.v)}; }
+    static Vec8 sqrt(Vec8 a) { return {_mm512_sqrt_pd(a.v)}; }
+    static Vec8 abs(Vec8 a) { return {_mm512_abs_pd(a.v)}; }
+    static Vec8 roundNearest(Vec8 a)
+    {
+        return {_mm512_roundscale_pd(
+            a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+    }
+
+    static Vec8 maskFrom(__mmask8 m)
+    {
+        return {_mm512_castsi512_pd(
+            _mm512_maskz_set1_epi64(m, -1ll))};
+    }
+    static Vec8 cmpLT(Vec8 a, Vec8 b)
+    {
+        return maskFrom(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ));
+    }
+    static Vec8 cmpLE(Vec8 a, Vec8 b)
+    {
+        return maskFrom(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LE_OQ));
+    }
+    static Vec8 cmpGT(Vec8 a, Vec8 b)
+    {
+        return maskFrom(_mm512_cmp_pd_mask(a.v, b.v, _CMP_GT_OQ));
+    }
+    static Vec8 cmpGE(Vec8 a, Vec8 b)
+    {
+        return maskFrom(_mm512_cmp_pd_mask(a.v, b.v, _CMP_GE_OQ));
+    }
+    static Vec8 cmpEQ(Vec8 a, Vec8 b)
+    {
+        return maskFrom(_mm512_cmp_pd_mask(a.v, b.v, _CMP_EQ_OQ));
+    }
+    static Vec8 isNaN(Vec8 a)
+    {
+        return maskFrom(_mm512_cmp_pd_mask(a.v, a.v, _CMP_UNORD_Q));
+    }
+
+    static Vec8 select(Vec8 mask, Vec8 a, Vec8 b)
+    {
+        const __m512i m = _mm512_castpd_si512(mask.v);
+        return {_mm512_castsi512_pd(_mm512_or_si512(
+            _mm512_and_si512(m, _mm512_castpd_si512(a.v)),
+            _mm512_andnot_si512(m, _mm512_castpd_si512(b.v))))};
+    }
+
+    static Vec8 bitAnd(Vec8 a, Vec8 b)
+    {
+        return {_mm512_castsi512_pd(
+            _mm512_and_si512(_mm512_castpd_si512(a.v),
+                             _mm512_castpd_si512(b.v)))};
+    }
+
+    static bool anyTrue(Vec8 mask)
+    {
+        return _mm512_cmpneq_epi64_mask(_mm512_castpd_si512(mask.v),
+                                        _mm512_setzero_si512()) != 0;
+    }
+
+    static Vec8 biasedExponent(Vec8 a)
+    {
+        const __m512i e = _mm512_srli_epi64(_mm512_castpd_si512(a.v), 52);
+        const __m512i masked =
+            _mm512_and_si512(e, _mm512_set1_epi64(0x7ff));
+        const __m512d biased = _mm512_castsi512_pd(_mm512_or_si512(
+            masked, _mm512_set1_epi64(0x4330000000000000ll)));
+        return {_mm512_sub_pd(biased, _mm512_set1_pd(0x1p52))};
+    }
+
+    static Vec8 mantissaToOne(Vec8 a)
+    {
+        const __m512i m = _mm512_and_si512(
+            _mm512_castpd_si512(a.v),
+            _mm512_set1_epi64(0x000fffffffffffffll));
+        return {_mm512_castsi512_pd(_mm512_or_si512(
+            m, _mm512_set1_epi64(0x3ff0000000000000ll)))};
+    }
+
+    static Vec8 pow2k(Vec8 k)
+    {
+        const __m512d magic = _mm512_set1_pd(0x1.8p52);
+        const __m512i ik = _mm512_sub_epi64(
+            _mm512_castpd_si512(_mm512_add_pd(k.v, magic)),
+            _mm512_castpd_si512(magic));
+        const __m512i bits = _mm512_slli_epi64(
+            _mm512_add_epi64(ik, _mm512_set1_epi64(1023)), 52);
+        return {_mm512_castsi512_pd(bits)};
+    }
+
+    static Vec8 clearLow32(Vec8 a)
+    {
+        return {_mm512_castsi512_pd(_mm512_and_si512(
+            _mm512_castpd_si512(a.v),
+            _mm512_set1_epi64(
+                static_cast<long long>(0xffffffff00000000ull))))};
+    }
+};
+
+#endif // AR_SIMD_BUILD_AVX512
+
+#if defined(AR_SIMD_BUILD_NEON)
+
+/** Two lanes: ARMv8 NEON (AdvSIMD). */
+struct Vec2
+{
+    float64x2_t v;
+
+    static constexpr std::size_t kWidth = 2;
+
+    static Vec2 load(const double *p) { return {vld1q_f64(p)}; }
+    static Vec2 bcast(double x) { return {vdupq_n_f64(x)}; }
+    void store(double *p) const { vst1q_f64(p, v); }
+
+    friend Vec2 operator+(Vec2 a, Vec2 b) { return {vaddq_f64(a.v, b.v)}; }
+    friend Vec2 operator-(Vec2 a, Vec2 b) { return {vsubq_f64(a.v, b.v)}; }
+    friend Vec2 operator*(Vec2 a, Vec2 b) { return {vmulq_f64(a.v, b.v)}; }
+    friend Vec2 operator/(Vec2 a, Vec2 b) { return {vdivq_f64(a.v, b.v)}; }
+
+    static Vec2 fma(Vec2 a, Vec2 b, Vec2 c)
+    {
+        return {vfmaq_f64(c.v, a.v, b.v)};
+    }
+
+    // vmaxq propagates NaN from either operand, unlike std::max; use
+    // the explicit compare + select formulation instead.
+    static Vec2 max(Vec2 a, Vec2 b)
+    {
+        return {vbslq_f64(vcltq_f64(a.v, b.v), b.v, a.v)};
+    }
+    static Vec2 min(Vec2 a, Vec2 b)
+    {
+        return {vbslq_f64(vcltq_f64(b.v, a.v), b.v, a.v)};
+    }
+    static Vec2 sqrt(Vec2 a) { return {vsqrtq_f64(a.v)}; }
+    static Vec2 abs(Vec2 a) { return {vabsq_f64(a.v)}; }
+    static Vec2 roundNearest(Vec2 a) { return {vrndnq_f64(a.v)}; }
+
+    static Vec2 maskFrom(uint64x2_t m)
+    {
+        return {vreinterpretq_f64_u64(m)};
+    }
+    static Vec2 cmpLT(Vec2 a, Vec2 b) { return maskFrom(vcltq_f64(a.v, b.v)); }
+    static Vec2 cmpLE(Vec2 a, Vec2 b) { return maskFrom(vcleq_f64(a.v, b.v)); }
+    static Vec2 cmpGT(Vec2 a, Vec2 b) { return maskFrom(vcgtq_f64(a.v, b.v)); }
+    static Vec2 cmpGE(Vec2 a, Vec2 b) { return maskFrom(vcgeq_f64(a.v, b.v)); }
+    static Vec2 cmpEQ(Vec2 a, Vec2 b) { return maskFrom(vceqq_f64(a.v, b.v)); }
+    static Vec2 isNaN(Vec2 a)
+    {
+        // NaN is the only value not equal to itself.
+        return maskFrom(vmvnq_u32_as_u64(vceqq_f64(a.v, a.v)));
+    }
+    static uint64x2_t vmvnq_u32_as_u64(uint64x2_t m)
+    {
+        return vreinterpretq_u64_u32(
+            vmvnq_u32(vreinterpretq_u32_u64(m)));
+    }
+
+    static Vec2 select(Vec2 mask, Vec2 a, Vec2 b)
+    {
+        return {vbslq_f64(vreinterpretq_u64_f64(mask.v), a.v, b.v)};
+    }
+
+    static Vec2 bitAnd(Vec2 a, Vec2 b)
+    {
+        return {vreinterpretq_f64_u64(
+            vandq_u64(vreinterpretq_u64_f64(a.v),
+                      vreinterpretq_u64_f64(b.v)))};
+    }
+
+    static bool anyTrue(Vec2 mask)
+    {
+        const uint64x2_t m = vreinterpretq_u64_f64(mask.v);
+        return (vgetq_lane_u64(m, 0) | vgetq_lane_u64(m, 1)) != 0;
+    }
+
+    static Vec2 biasedExponent(Vec2 a)
+    {
+        const uint64x2_t e = vandq_u64(
+            vshrq_n_u64(vreinterpretq_u64_f64(a.v), 52),
+            vdupq_n_u64(0x7ff));
+        return {vcvtq_f64_u64(e)};
+    }
+
+    static Vec2 mantissaToOne(Vec2 a)
+    {
+        const uint64x2_t m = vorrq_u64(
+            vandq_u64(vreinterpretq_u64_f64(a.v),
+                      vdupq_n_u64(0x000fffffffffffffull)),
+            vdupq_n_u64(0x3ff0000000000000ull));
+        return {vreinterpretq_f64_u64(m)};
+    }
+
+    static Vec2 pow2k(Vec2 k)
+    {
+        const int64x2_t ik = vcvtnq_s64_f64(k.v);
+        const uint64x2_t bits = vshlq_n_u64(
+            vreinterpretq_u64_s64(
+                vaddq_s64(ik, vdupq_n_s64(1023))),
+            52);
+        return {vreinterpretq_f64_u64(bits)};
+    }
+
+    static Vec2 clearLow32(Vec2 a)
+    {
+        return {vreinterpretq_f64_u64(
+            vandq_u64(vreinterpretq_u64_f64(a.v),
+                      vdupq_n_u64(0xffffffff00000000ull)))};
+    }
+};
+
+#endif // AR_SIMD_BUILD_NEON
+
+} // namespace ar::simd::detail
+
+#endif // AR_SIMD_VEC_HH

@@ -5,6 +5,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/telemetry.hh"
+#include "simd/dispatch.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 
@@ -170,15 +172,18 @@ CompiledExpr::emit(const ExprPtr &root)
             break;
           case ExprKind::Pow:
             {
-                // A literal exponent of exactly 2.0 / -1.0 can only
-                // arrive here via the strength-reduced dispatch below
-                // (which pushed just the base); every other Pow went
-                // the generic two-child route.
+                // A literal exponent of exactly 2.0 / -1.0 / 0.5 can
+                // only arrive here via the strength-reduced dispatch
+                // below (which pushed just the base); every other Pow
+                // went the generic two-child route.
                 const ExprPtr &ex = e->operands()[1];
                 if (ex->isConstant() &&
-                    (ex->value() == 2.0 || ex->value() == -1.0)) {
+                    (ex->value() == 2.0 || ex->value() == -1.0 ||
+                     ex->value() == 0.5)) {
                     ops.push_back({ex->value() == 2.0 ? OpCode::Sq
-                                                      : OpCode::Recip,
+                                   : ex->value() == -1.0
+                                       ? OpCode::Recip
+                                       : OpCode::PowHalf,
                                    1, 0.0});
                 } else {
                     ops.push_back({OpCode::Pow, 2, 0.0});
@@ -255,9 +260,12 @@ CompiledExpr::emit(const ExprPtr &root)
             // kernels -- on one shared definition of these powers.
             // Only literal exponents are lowered: a computed exponent
             // that merely happens to equal 2.0 at runtime still goes
-            // through pow().
+            // through pow().  x^0.5 (the canonical form of sqrt())
+            // lowers to PowHalf, which keeps std::pow(x, 0.5)
+            // semantics scalar-side but lets the vector backends use
+            // hardware sqrt instead of a per-lane pow() call.
             const double ex = e->operands()[1]->value();
-            if (ex == 1.0 || ex == 2.0 || ex == -1.0) {
+            if (ex == 1.0 || ex == 2.0 || ex == -1.0 || ex == 0.5) {
                 if (ex != 1.0) // pow(x, 1) == x, bit for bit: no op
                     stack.push_back({pe, true});
                 stack.push_back({&e->operands()[0], false});
@@ -338,6 +346,9 @@ CompiledExpr::eval(std::span<const double> args,
             break;
           case OpCode::Recip:
             sp[top - 1] = 1.0 / sp[top - 1];
+            break;
+          case OpCode::PowHalf:
+            sp[top - 1] = std::pow(sp[top - 1], 0.5);
             break;
           case OpCode::Max:
             {
@@ -458,6 +469,13 @@ CompiledExpr::evalDiagnosed(std::span<const double> args,
                 flag(i, FaultKind::DivByZero);
             sp[top - 1] = 1.0 / sp[top - 1];
             break;
+          case OpCode::PowHalf:
+            // Same precondition pow(x, 0.5) would have tripped: a
+            // fractional exponent over any negative base.
+            if (sp[top - 1] < 0.0)
+                flag(i, FaultKind::PowDomain);
+            sp[top - 1] = std::pow(sp[top - 1], 0.5);
+            break;
           case OpCode::Max:
             {
                 double acc = sp[top - 1];
@@ -513,28 +531,46 @@ CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
     }
     if (n == 0)
         return;
+    // Every per-trial loop below is one ar::simd kernel call,
+    // dispatched once per batch to the active SIMD level.  Kernels
+    // are alias-safe for in-place operand rows (dst == a or b).
+    const ar::simd::KernelTable &kt = ar::simd::kernels();
+    if (obs::metricsEnabled())
+        ar::simd::recordBatch(ops.size());
     // Stack of rows: row r lives at sp + r * n and holds one value
     // per trial of the block.  The workspace window is uninitialised;
     // every row is fully written by a push before it is read.
     double *sp = ws.acquire(max_stack * n);
-    std::size_t top = 0;
 
+    // Column tiles keep the live stack rows L1-resident (see the
+    // matching comment in CompiledProgram::evalBatch); each tile
+    // replays the full tape over its slice of the trial axis, which
+    // is bit-exact because every kernel is elementwise.
+    constexpr std::size_t kTileDoubles = 3072; // 24KB hot window
+    std::size_t tile = n;
+    if (max_stack * n > kTileDoubles)
+        tile = std::max<std::size_t>(64, kTileDoubles / max_stack);
+
+    for (std::size_t t0 = 0; t0 < n; t0 += tile) {
+    const std::size_t tn = std::min(tile, n - t0);
+    std::size_t top = 0;
     for (const auto &op : ops) {
         switch (op.code) {
           case OpCode::PushConst:
             {
-                double *row = sp + top++ * n;
-                std::fill(row, row + n, op.value);
+                double *row = sp + top++ * n + t0;
+                std::fill(row, row + tn, op.value);
                 break;
             }
           case OpCode::PushArg:
             {
-                double *row = sp + top++ * n;
+                double *row = sp + top++ * n + t0;
                 const BatchArg &arg = args[op.n];
                 if (arg.broadcast)
-                    std::fill(row, row + n, arg.values[0]);
+                    std::fill(row, row + tn, arg.values[0]);
                 else
-                    std::copy(arg.values, arg.values + n, row);
+                    std::copy(arg.values + t0, arg.values + t0 + tn,
+                              row);
                 break;
             }
           case OpCode::Add:
@@ -542,10 +578,9 @@ CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
                 // Same top-down fold as eval(): row j accumulates
                 // row j+1 (the running value) plus itself.
                 for (std::size_t j = top - 1; j-- > top - op.n;) {
-                    const double *acc = sp + (j + 1) * n;
-                    double *row = sp + j * n;
-                    for (std::size_t t = 0; t < n; ++t)
-                        row[t] = acc[t] + row[t];
+                    const double *acc = sp + (j + 1) * n + t0;
+                    double *row = sp + j * n + t0;
+                    kt.add(acc, row, row, tn);
                 }
                 top -= op.n - 1;
                 break;
@@ -553,44 +588,39 @@ CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
           case OpCode::Mul:
             {
                 for (std::size_t j = top - 1; j-- > top - op.n;) {
-                    const double *acc = sp + (j + 1) * n;
-                    double *row = sp + j * n;
-                    for (std::size_t t = 0; t < n; ++t)
-                        row[t] = acc[t] * row[t];
+                    const double *acc = sp + (j + 1) * n + t0;
+                    double *row = sp + j * n + t0;
+                    kt.mul(acc, row, row, tn);
                 }
                 top -= op.n - 1;
                 break;
             }
           case OpCode::Pow:
             {
-                const double *exp = sp + (top - 1) * n;
-                double *base = sp + (top - 2) * n;
-                for (std::size_t t = 0; t < n; ++t)
-                    base[t] = std::pow(base[t], exp[t]);
+                const double *exp = sp + (top - 1) * n + t0;
+                double *base = sp + (top - 2) * n + t0;
+                kt.pow(base, exp, base, tn);
                 --top;
                 break;
             }
           case OpCode::Sq:
-            {
-                double *row = sp + (top - 1) * n;
-                for (std::size_t t = 0; t < n; ++t)
-                    row[t] = row[t] * row[t];
-                break;
-            }
+            kt.sq(sp + (top - 1) * n + t0,
+                  sp + (top - 1) * n + t0, tn);
+            break;
           case OpCode::Recip:
-            {
-                double *row = sp + (top - 1) * n;
-                for (std::size_t t = 0; t < n; ++t)
-                    row[t] = 1.0 / row[t];
-                break;
-            }
+            kt.recip(sp + (top - 1) * n + t0,
+                     sp + (top - 1) * n + t0, tn);
+            break;
+          case OpCode::PowHalf:
+            kt.pow_half(sp + (top - 1) * n + t0,
+                        sp + (top - 1) * n + t0, tn);
+            break;
           case OpCode::Max:
             {
                 for (std::size_t j = top - 1; j-- > top - op.n;) {
-                    const double *acc = sp + (j + 1) * n;
-                    double *row = sp + j * n;
-                    for (std::size_t t = 0; t < n; ++t)
-                        row[t] = std::max(acc[t], row[t]);
+                    const double *acc = sp + (j + 1) * n + t0;
+                    double *row = sp + j * n + t0;
+                    kt.max(acc, row, row, tn);
                 }
                 top -= op.n - 1;
                 break;
@@ -598,36 +628,27 @@ CompiledExpr::evalBatch(std::span<const BatchArg> args, std::size_t n,
           case OpCode::Min:
             {
                 for (std::size_t j = top - 1; j-- > top - op.n;) {
-                    const double *acc = sp + (j + 1) * n;
-                    double *row = sp + j * n;
-                    for (std::size_t t = 0; t < n; ++t)
-                        row[t] = std::min(acc[t], row[t]);
+                    const double *acc = sp + (j + 1) * n + t0;
+                    double *row = sp + j * n + t0;
+                    kt.min(acc, row, row, tn);
                 }
                 top -= op.n - 1;
                 break;
             }
           case OpCode::Log:
-            {
-                double *row = sp + (top - 1) * n;
-                for (std::size_t t = 0; t < n; ++t)
-                    row[t] = std::log(row[t]);
-                break;
-            }
+            kt.log(sp + (top - 1) * n + t0,
+                   sp + (top - 1) * n + t0, tn);
+            break;
           case OpCode::Exp:
-            {
-                double *row = sp + (top - 1) * n;
-                for (std::size_t t = 0; t < n; ++t)
-                    row[t] = std::exp(row[t]);
-                break;
-            }
+            kt.exp(sp + (top - 1) * n + t0,
+                   sp + (top - 1) * n + t0, tn);
+            break;
           case OpCode::Gtz:
-            {
-                double *row = sp + (top - 1) * n;
-                for (std::size_t t = 0; t < n; ++t)
-                    row[t] = row[t] > 0.0 ? 1.0 : 0.0;
-                break;
-            }
+            kt.gtz(sp + (top - 1) * n + t0,
+                   sp + (top - 1) * n + t0, tn);
+            break;
         }
+    }
     }
     std::copy(sp, sp + n, out);
     ws.release(max_stack * n);

@@ -70,11 +70,14 @@ class CompiledExpr
     /**
      * Evaluate a contiguous block of trials in one tape pass.
      *
-     * Each tape op runs as a tight loop over the block (the scratch
-     * is a block x max_stack plane of rows), so the per-trial dispatch
-     * of eval() becomes per-op loops the compiler can vectorize.  The
-     * per-trial operation order is identical to eval(), making the
-     * results bit-identical to n scalar calls.
+     * Each tape op runs as one ar::simd kernel call over the block
+     * (the scratch is a block x max_stack plane of rows), dispatched
+     * to the active SIMD level.  At Level::Scalar the per-trial
+     * operation order is identical to eval(), making the results
+     * bit-identical to n scalar calls; at vector levels results are
+     * deterministic (bit-identical across runs, thread counts, and
+     * vector widths) but transcendentals may differ from eval()
+     * within the ULP policy of DESIGN.md section 5.6.
      *
      * @param args One BatchArg per argName(), in order; column args
      *        must hold at least @p n values.
@@ -135,9 +138,10 @@ class CompiledExpr
         PushArg,
         Add,   // pops n, pushes sum
         Mul,   // pops n, pushes product
-        Pow,   // pops 2
-        Sq,    // x^2 with a literal exponent: top = top * top
-        Recip, // x^-1 with a literal exponent: top = 1.0 / top
+        Pow,     // pops 2
+        Sq,      // x^2 with a literal exponent: top = top * top
+        Recip,   // x^-1 with a literal exponent: top = 1.0 / top
+        PowHalf, // x^0.5 with a literal exponent (sqrt canonical form)
         Max,   // pops n
         Min,   // pops n
         Log,

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "obs/telemetry.hh"
+#include "simd/dispatch.hh"
 #include "symbolic/printer.hh"
 #include "util/logging.hh"
 
@@ -50,6 +51,7 @@ enum class NK : std::uint8_t
     Mul,
     Pow,
     Recip,
+    PowHalf,
     Max,
     Min,
     Log,
@@ -118,6 +120,8 @@ foldNode(NK kind, std::span<const double> v, double payload)
         return std::pow(v[0], v[1]);
       case NK::Recip:
         return 1.0 / v[0];
+      case NK::PowHalf:
+        return std::pow(v[0], 0.5);
       case NK::Log:
         return std::log(v[0]);
       case NK::Exp:
@@ -281,6 +285,14 @@ struct Builder
                 if (isConst(base))
                     return constant(1.0 / nodes[base].value);
                 return intern({NK::Recip, 0.0, 0, {base}});
+            }
+            if (e == 0.5) {
+                // x^0.5 (sqrt's canonical form) keeps pow(x, 0.5)
+                // semantics scalar-side; the vector backends lower
+                // it to hardware sqrt.
+                if (isConst(base))
+                    return constant(std::pow(nodes[base].value, 0.5));
+                return intern({NK::PowHalf, 0.0, 0, {base}});
             }
         }
         if (isConst(exp)) {
@@ -570,6 +582,7 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
             }
           case NK::Pow:
           case NK::Recip:
+          case NK::PowHalf:
           case NK::Log:
           case NK::Exp:
           case NK::Gtz:
@@ -610,6 +623,7 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
           case NK::Mul: return OpCode::Mul;
           case NK::Pow: return OpCode::Pow;
           case NK::Recip: return OpCode::Recip;
+          case NK::PowHalf: return OpCode::PowHalf;
           case NK::Max: return OpCode::Max;
           case NK::Min: return OpCode::Min;
           case NK::Log: return OpCode::Log;
@@ -653,6 +667,10 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
                 break;
               case NK::Recip:
                 nlabel[id] = clipLabel("1 / " + nlabel[nd.kids[0]]);
+                break;
+              case NK::PowHalf:
+                nlabel[id] =
+                    clipLabel("(" + nlabel[nd.kids[0]] + " ^ 0.5)");
                 break;
               case NK::Max:
                 nlabel[id] = joinLabels(nlabel, nd.kids, ", ", "max(", ")");
@@ -790,6 +808,9 @@ CompiledProgram::eval(std::span<const double> args,
           case OpCode::Recip:
             regs[op.dst] = 1.0 / regs[k[0]];
             break;
+          case OpCode::PowHalf:
+            regs[op.dst] = std::pow(regs[k[0]], 0.5);
+            break;
           case OpCode::Max:
             {
                 double acc = regs[k[op.n - 1]];
@@ -853,7 +874,11 @@ CompiledProgram::evalBatch(std::span<const BatchArg> args,
         pm.trials.add(n);
         pm.ops.add(ops_.size());
         pm.cse_saved_ops.add(stats_.naive_ops - stats_.program_ops);
+        ar::simd::recordBatch(ops_.size());
     }
+    // Every per-trial loop below is one ar::simd kernel call,
+    // dispatched once per batch to the active SIMD level.
+    const ar::simd::KernelTable &kt = ar::simd::kernels();
     double *scratch = ws.acquire(num_regs_ * n);
 
     // Register -> row pointer indirection.  Non-broadcast argument
@@ -874,13 +899,25 @@ CompiledProgram::evalBatch(std::span<const BatchArg> args,
     for (const auto &[reg, o] : root_direct_)
         rowptr[reg] = out[o];
 
+    // Column tiles keep the live scratch rows L1-resident: a
+    // 61-register program over a 256-trial block spans 122KB, so an
+    // untiled sweep streams every operand row through L2.  Kernels
+    // are elementwise, so splitting the trial axis is bit-exact; the
+    // 64-trial floor bounds per-op dispatch overhead.
+    constexpr std::size_t kTileDoubles = 3072; // 24KB hot window
+    std::size_t tile = n;
+    if (num_regs_ * n > kTileDoubles)
+        tile = std::max<std::size_t>(64, kTileDoubles / num_regs_);
+
+    for (std::size_t t0 = 0; t0 < n; t0 += tile) {
+    const std::size_t tn = std::min(tile, n - t0);
     for (const auto &op : ops_) {
         const std::uint32_t *k = operand_regs_.data() + op.first;
         switch (op.code) {
           case OpCode::Const:
             {
-                double *row = rowptr[op.dst];
-                std::fill(row, row + n, op.value);
+                double *row = rowptr[op.dst] + t0;
+                std::fill(row, row + tn, op.value);
                 break;
             }
           case OpCode::Arg:
@@ -888,106 +925,92 @@ CompiledProgram::evalBatch(std::span<const BatchArg> args,
                 // Column arguments are aliased by rowptr; only a
                 // broadcast value needs materialising.
                 if (args[op.first].broadcast) {
-                    double *row = rowptr[op.dst];
-                    std::fill(row, row + n,
+                    double *row = rowptr[op.dst] + t0;
+                    std::fill(row, row + tn,
                               args[op.first].values[0]);
                 }
                 break;
             }
           case OpCode::Add:
             {
-                double *dst = rowptr[op.dst];
-                const double *seed = rowptr[k[op.n - 1]];
-                if (dst != seed)
-                    std::copy(seed, seed + n, dst);
-                for (std::uint32_t j = op.n - 1; j-- > 0;) {
-                    const double *src = rowptr[k[j]];
-                    for (std::size_t t = 0; t < n; ++t)
-                        dst[t] = dst[t] + src[t];
+                // Seed the fold with a direct two-operand call
+                // instead of copy-then-accumulate: same operand
+                // order per lane, one less pass over the row.
+                double *dst = rowptr[op.dst] + t0;
+                const double *seed = rowptr[k[op.n - 1]] + t0;
+                if (op.n == 1) {
+                    if (dst != seed)
+                        std::copy(seed, seed + tn, dst);
+                    break;
                 }
+                kt.add(seed, rowptr[k[op.n - 2]] + t0, dst, tn);
+                for (std::uint32_t j = op.n - 2; j-- > 0;)
+                    kt.add(dst, rowptr[k[j]] + t0, dst, tn);
                 break;
             }
           case OpCode::Mul:
             {
-                double *dst = rowptr[op.dst];
-                const double *seed = rowptr[k[op.n - 1]];
-                if (dst != seed)
-                    std::copy(seed, seed + n, dst);
-                for (std::uint32_t j = op.n - 1; j-- > 0;) {
-                    const double *src = rowptr[k[j]];
-                    for (std::size_t t = 0; t < n; ++t)
-                        dst[t] = dst[t] * src[t];
+                double *dst = rowptr[op.dst] + t0;
+                const double *seed = rowptr[k[op.n - 1]] + t0;
+                if (op.n == 1) {
+                    if (dst != seed)
+                        std::copy(seed, seed + tn, dst);
+                    break;
                 }
+                kt.mul(seed, rowptr[k[op.n - 2]] + t0, dst, tn);
+                for (std::uint32_t j = op.n - 2; j-- > 0;)
+                    kt.mul(dst, rowptr[k[j]] + t0, dst, tn);
                 break;
             }
           case OpCode::Pow:
-            {
-                double *dst = rowptr[op.dst];
-                const double *base = rowptr[k[0]];
-                const double *exp = rowptr[k[1]];
-                for (std::size_t t = 0; t < n; ++t)
-                    dst[t] = std::pow(base[t], exp[t]);
-                break;
-            }
+            kt.pow(rowptr[k[0]] + t0, rowptr[k[1]] + t0,
+                   rowptr[op.dst] + t0, tn);
+            break;
           case OpCode::Recip:
-            {
-                double *dst = rowptr[op.dst];
-                const double *src = rowptr[k[0]];
-                for (std::size_t t = 0; t < n; ++t)
-                    dst[t] = 1.0 / src[t];
-                break;
-            }
+            kt.recip(rowptr[k[0]] + t0, rowptr[op.dst] + t0, tn);
+            break;
+          case OpCode::PowHalf:
+            kt.pow_half(rowptr[k[0]] + t0, rowptr[op.dst] + t0, tn);
+            break;
           case OpCode::Max:
             {
-                double *dst = rowptr[op.dst];
-                const double *seed = rowptr[k[op.n - 1]];
-                if (dst != seed)
-                    std::copy(seed, seed + n, dst);
-                for (std::uint32_t j = op.n - 1; j-- > 0;) {
-                    const double *src = rowptr[k[j]];
-                    for (std::size_t t = 0; t < n; ++t)
-                        dst[t] = std::max(dst[t], src[t]);
+                double *dst = rowptr[op.dst] + t0;
+                const double *seed = rowptr[k[op.n - 1]] + t0;
+                if (op.n == 1) {
+                    if (dst != seed)
+                        std::copy(seed, seed + tn, dst);
+                    break;
                 }
+                kt.max(seed, rowptr[k[op.n - 2]] + t0, dst, tn);
+                for (std::uint32_t j = op.n - 2; j-- > 0;)
+                    kt.max(dst, rowptr[k[j]] + t0, dst, tn);
                 break;
             }
           case OpCode::Min:
             {
-                double *dst = rowptr[op.dst];
-                const double *seed = rowptr[k[op.n - 1]];
-                if (dst != seed)
-                    std::copy(seed, seed + n, dst);
-                for (std::uint32_t j = op.n - 1; j-- > 0;) {
-                    const double *src = rowptr[k[j]];
-                    for (std::size_t t = 0; t < n; ++t)
-                        dst[t] = std::min(dst[t], src[t]);
+                double *dst = rowptr[op.dst] + t0;
+                const double *seed = rowptr[k[op.n - 1]] + t0;
+                if (op.n == 1) {
+                    if (dst != seed)
+                        std::copy(seed, seed + tn, dst);
+                    break;
                 }
+                kt.min(seed, rowptr[k[op.n - 2]] + t0, dst, tn);
+                for (std::uint32_t j = op.n - 2; j-- > 0;)
+                    kt.min(dst, rowptr[k[j]] + t0, dst, tn);
                 break;
             }
           case OpCode::Log:
-            {
-                double *dst = rowptr[op.dst];
-                const double *src = rowptr[k[0]];
-                for (std::size_t t = 0; t < n; ++t)
-                    dst[t] = std::log(src[t]);
-                break;
-            }
+            kt.log(rowptr[k[0]] + t0, rowptr[op.dst] + t0, tn);
+            break;
           case OpCode::Exp:
-            {
-                double *dst = rowptr[op.dst];
-                const double *src = rowptr[k[0]];
-                for (std::size_t t = 0; t < n; ++t)
-                    dst[t] = std::exp(src[t]);
-                break;
-            }
+            kt.exp(rowptr[k[0]] + t0, rowptr[op.dst] + t0, tn);
+            break;
           case OpCode::Gtz:
-            {
-                double *dst = rowptr[op.dst];
-                const double *src = rowptr[k[0]];
-                for (std::size_t t = 0; t < n; ++t)
-                    dst[t] = src[t] > 0.0 ? 1.0 : 0.0;
-                break;
-            }
+            kt.gtz(rowptr[k[0]] + t0, rowptr[op.dst] + t0, tn);
+            break;
         }
+    }
     }
     for (const auto &[o, reg] : root_copy_) {
         const double *src = rowptr[reg];

@@ -90,7 +90,10 @@ class CompiledProgram
      * Evaluate a contiguous block of trials in one tape pass (SoA
      * layout, mirroring CompiledExpr::evalBatch).  Column arguments
      * are consumed in place (no copy into scratch) and each output's
-     * root writes straight into its destination column.
+     * root writes straight into its destination column.  Each tape
+     * op dispatches to one ar::simd kernel call; at Level::Scalar
+     * results are bit-identical to eval() per trial, at vector
+     * levels they follow the ULP policy of DESIGN.md section 5.6.
      *
      * @param args One BatchArg per argName(), in order; column args
      *        must hold at least @p n values.
@@ -128,8 +131,9 @@ class CompiledProgram
         Arg,   ///< dst = args[first]
         Add,   ///< dst = fold(+) over operands, last operand first
         Mul,   ///< dst = fold(*) over operands, last operand first
-        Pow,   ///< dst = pow(operand0, operand1)
-        Recip, ///< dst = 1.0 / operand0  (strength-reduced x^-1)
+        Pow,     ///< dst = pow(operand0, operand1)
+        Recip,   ///< dst = 1.0 / operand0  (strength-reduced x^-1)
+        PowHalf, ///< dst = pow(operand0, 0.5)  (strength-reduced x^0.5)
         Max,   ///< dst = fold(max) over operands, last operand first
         Min,   ///< dst = fold(min) over operands, last operand first
         Log,

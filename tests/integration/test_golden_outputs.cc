@@ -33,6 +33,7 @@
 #include "mc/sensitivity.hh"
 #include "model/app.hh"
 #include "model/uncertainty.hh"
+#include "simd/dispatch.hh"
 #include "util/io.hh"
 #include "util/rng.hh"
 
@@ -46,6 +47,8 @@ namespace
 const std::string kSourceDir = AR_SOURCE_DIR;
 const std::string kGoldenPath =
     kSourceDir + "/tests/golden/golden_outputs.txt";
+const std::string kSimdGoldenPath =
+    kSourceDir + "/tests/golden/golden_outputs_simd.txt";
 
 /** Incremental FNV-1a over raw double bits. */
 class BitHash
@@ -185,43 +188,82 @@ computeEntries()
 }
 
 std::map<std::string, std::string>
-loadGoldens()
+loadGoldens(const std::string &path)
 {
     std::map<std::string, std::string> out;
-    std::ifstream in(kGoldenPath);
+    std::ifstream in(path);
     std::string key, value;
     while (in >> key >> value)
         out[key] = value;
     return out;
 }
 
-} // namespace
-
-TEST(GoldenOutputs, ExampleAnalysesAreBitIdentical)
+/** Regenerate-or-compare @p entries against the file at @p path. */
+void
+checkAgainstGoldenFile(
+    const std::map<std::string, std::string> &entries,
+    const std::string &path)
 {
-    const auto entries = computeEntries();
-
     if (std::getenv("AR_REGEN_GOLDENS") != nullptr) {
         std::ostringstream oss;
         for (const auto &[key, value] : entries)
             oss << key << " " << value << "\n";
-        std::ofstream of(kGoldenPath);
-        ASSERT_TRUE(of.good()) << "cannot write " << kGoldenPath;
+        std::ofstream of(path);
+        ASSERT_TRUE(of.good()) << "cannot write " << path;
         of << oss.str();
-        GTEST_SKIP() << "regenerated " << kGoldenPath << " with "
+        GTEST_SKIP() << "regenerated " << path << " with "
                      << entries.size() << " entries";
     }
 
-    const auto goldens = loadGoldens();
+    const auto goldens = loadGoldens(path);
     ASSERT_FALSE(goldens.empty())
-        << "missing golden file " << kGoldenPath
+        << "missing golden file " << path
         << " (regenerate with AR_REGEN_GOLDENS=1)";
-    // Thread counts must not change any bit: all three per-workload
-    // hashes are present and each equals its golden.
     for (const auto &[key, value] : entries) {
         const auto it = goldens.find(key);
         ASSERT_NE(it, goldens.end()) << "no golden entry for " << key;
         EXPECT_EQ(it->second, value) << "output bits changed: " << key;
     }
     EXPECT_EQ(goldens.size(), entries.size());
+}
+
+} // namespace
+
+TEST(GoldenOutputs, ExampleAnalysesAreBitIdentical)
+{
+    // Pinned to Level::Scalar: these hashes predate the SIMD backend
+    // and pin the scalar tape semantics bit-for-bit.  Vector-level
+    // hashes are pinned separately by golden_outputs_simd.txt below.
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
+    // Thread counts must not change any bit: all three per-workload
+    // hashes are present and each equals its golden.
+    checkAgainstGoldenFile(computeEntries(), kGoldenPath);
+}
+
+TEST(GoldenOutputs, VectorLevelsAreBitIdenticalAndPinned)
+{
+    // Vector determinism: every available vector level (AVX2,
+    // AVX-512, NEON) must produce the same bits -- the tail lanes run
+    // the same generic kernels one lane wide, so width never shows --
+    // and those bits are pinned by golden_outputs_simd.txt.
+    namespace simd = ar::simd;
+    std::vector<simd::Level> vec_levels;
+    for (const simd::Level l : simd::availableLevels())
+        if (l != simd::Level::Scalar)
+            vec_levels.push_back(l);
+    if (vec_levels.empty())
+        GTEST_SKIP() << "no vector SIMD level available on this host";
+
+    std::map<std::string, std::string> entries;
+    for (const simd::Level l : vec_levels) {
+        simd::ScopedLevel pin(l);
+        const auto got = computeEntries();
+        if (entries.empty())
+            entries = got;
+        else
+            EXPECT_EQ(entries, got)
+                << "vector levels disagree at "
+                << simd::levelName(l);
+    }
+    checkAgainstGoldenFile(entries, kSimdGoldenPath);
 }

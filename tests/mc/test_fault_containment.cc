@@ -16,6 +16,7 @@
 #include "dist/normal.hh"
 #include "mc/propagator.hh"
 #include "mc/sensitivity.hh"
+#include "simd/dispatch.hh"
 #include "symbolic/parser.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -366,6 +367,9 @@ TEST(FaultContainment, FusedSobolMatchesUnfusedPerPolicy)
 {
     // Same contract for the fused pick-freeze sweep: indices,
     // moments, and the fault report all match the scalar path.
+    // Pinned scalar: fused-vs-unfused bitwise equality is a
+    // Level::Scalar contract (DESIGN.md 5.6).
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
     const auto expr = parseExpr("log(x) * y + x / (y + 4)");
     auto run = [&](FaultPolicy policy, std::size_t threads,
                    bool fused) {

@@ -9,6 +9,7 @@
 #include "dist/normal.hh"
 #include "dist/distribution.hh"
 #include "mc/sensitivity.hh"
+#include "simd/dispatch.hh"
 #include "symbolic/parser.hh"
 #include "util/logging.hh"
 
@@ -166,7 +167,9 @@ TEST(Sobol, FusedVariantProgramMatchesScalarSweep)
     // The fused pick-freeze program (base + suffix-renamed variants
     // compiled together) must reproduce the scalar sweep exactly:
     // identical indices, moments, and trial evaluations for every
-    // thread count.
+    // thread count.  Pinned scalar: the unfused sweep evaluates
+    // per trial, so exact equality is a Level::Scalar contract.
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
     const auto expr =
         parseExpr("exp(x / 4) * w + max(y, z) * (x + y) + z / w");
     mc::InputBindings in;

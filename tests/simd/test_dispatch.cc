@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Runtime SIMD dispatch tests: level enumeration, pinning via
+ * setActiveLevel()/ScopedLevel, kernel-table consistency, and the
+ * simd.ops / simd.dispatch_level telemetry contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+#include "simd/dispatch.hh"
+
+namespace simd = ar::simd;
+namespace obs = ar::obs;
+
+TEST(SimdDispatch, AvailableLevelsAscendAndContainScalar)
+{
+    const auto levels = simd::availableLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), simd::Level::Scalar);
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_LT(static_cast<int>(levels[i - 1]),
+                  static_cast<int>(levels[i]));
+}
+
+TEST(SimdDispatch, ActiveLevelIsAvailable)
+{
+    const auto levels = simd::availableLevels();
+    const auto active = simd::activeLevel();
+    bool found = false;
+    for (const auto l : levels)
+        found = found || l == active;
+    EXPECT_TRUE(found) << simd::levelName(active);
+}
+
+TEST(SimdDispatch, LevelNamesAreStable)
+{
+    EXPECT_STREQ(simd::levelName(simd::Level::Scalar), "scalar");
+    EXPECT_STREQ(simd::levelName(simd::Level::Neon), "neon");
+    EXPECT_STREQ(simd::levelName(simd::Level::Avx2), "avx2");
+    EXPECT_STREQ(simd::levelName(simd::Level::Avx512), "avx512");
+}
+
+TEST(SimdDispatch, KernelTableMatchesActiveLevel)
+{
+    for (const auto l : simd::availableLevels()) {
+        simd::ScopedLevel pin(l);
+        EXPECT_EQ(simd::activeLevel(), l);
+        const auto &kt = simd::kernels();
+        EXPECT_STREQ(kt.name, simd::levelName(l));
+        switch (l) {
+          case simd::Level::Scalar:
+            EXPECT_EQ(kt.width, 1u);
+            break;
+          case simd::Level::Neon:
+            EXPECT_EQ(kt.width, 2u);
+            break;
+          case simd::Level::Avx2:
+            EXPECT_EQ(kt.width, 4u);
+            break;
+          case simd::Level::Avx512:
+            EXPECT_EQ(kt.width, 8u);
+            break;
+        }
+    }
+}
+
+TEST(SimdDispatch, ScopedLevelRestoresOnExit)
+{
+    const auto before = simd::activeLevel();
+    {
+        simd::ScopedLevel pin(simd::Level::Scalar);
+        EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+        EXPECT_EQ(simd::kernels().width, 1u);
+    }
+    EXPECT_EQ(simd::activeLevel(), before);
+}
+
+TEST(SimdDispatch, ScopedLevelsNest)
+{
+    const auto levels = simd::availableLevels();
+    const auto before = simd::activeLevel();
+    {
+        simd::ScopedLevel outer(levels.back());
+        {
+            simd::ScopedLevel inner(simd::Level::Scalar);
+            EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+        }
+        EXPECT_EQ(simd::activeLevel(), levels.back());
+    }
+    EXPECT_EQ(simd::activeLevel(), before);
+}
+
+TEST(SimdDispatch, RecordBatchFeedsTelemetry)
+{
+    obs::MetricsRegistry::global().reset();
+    obs::setMetricsEnabled(true);
+    simd::recordBatch(17);
+    simd::recordBatch(25);
+    const auto snap = obs::MetricsRegistry::global().scrape();
+    obs::setMetricsEnabled(false);
+    obs::MetricsRegistry::global().reset();
+
+    EXPECT_EQ(snap.counters.at("simd.ops"), 42u);
+    EXPECT_EQ(snap.gauges.at("simd.dispatch_level"),
+              static_cast<double>(simd::activeLevel()));
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Kernel-table contract tests: elementwise arithmetic kernels are
+ * bit-identical at every dispatch level, in-place aliasing is safe,
+ * tails shorter than the vector width never write outside the block,
+ * and the quantile kernels reproduce the distribution scalar path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "dist/lognormal.hh"
+#include "dist/normal.hh"
+#include "simd/dispatch.hh"
+#include "util/rng.hh"
+
+namespace simd = ar::simd;
+
+namespace
+{
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kDenorm = 5e-324;
+
+/** Mixed magnitudes plus IEEE specials.  Both-NaN pairs are the one
+ * case vector add/mul may not reproduce scalar propagation order
+ * (the compiler may commute commutative intrinsics), so the operand
+ * grid pairs NaN against non-NaN values only. */
+std::vector<double>
+operandGrid(bool with_nan)
+{
+    std::vector<double> vals{0.0,     -0.0,  1.0,    -1.0,  0.5,
+                             -2.75,   1e300, -1e300, 1e-300, kDenorm,
+                             -kDenorm, kInf,  -kInf};
+    vals.push_back(with_nan ? kNaN : 3.5); // keep grids equal-sized
+    ar::util::Rng rng(0x51a9d);
+    for (int i = 0; i < 40; ++i)
+        vals.push_back(rng.uniform(-50.0, 50.0));
+    return vals;
+}
+
+} // namespace
+
+TEST(SimdKernels, BinaryArithmeticBitIdenticalAcrossLevels)
+{
+    const auto &ref = simd::kernelsScalar();
+    const auto a_vals = operandGrid(true);
+    const auto b_vals = operandGrid(false);
+    const std::size_t n = a_vals.size();
+    ASSERT_EQ(n, b_vals.size());
+
+    for (const auto l : simd::availableLevels()) {
+        simd::ScopedLevel pin(l);
+        const auto &kt = simd::kernels();
+        const struct
+        {
+            const char *name;
+            simd::BinaryKernel got;
+            simd::BinaryKernel want;
+        } kernels[] = {
+            {"add", kt.add, ref.add}, {"mul", kt.mul, ref.mul},
+            {"pow", kt.pow, ref.pow}, {"max", kt.max, ref.max},
+            {"min", kt.min, ref.min},
+        };
+        for (const auto &k : kernels) {
+            std::vector<double> got(n), want(n);
+            k.got(a_vals.data(), b_vals.data(), got.data(), n);
+            k.want(a_vals.data(), b_vals.data(), want.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(bitsOf(got[i]), bitsOf(want[i]))
+                    << k.name << "(" << a_vals[i] << ", "
+                    << b_vals[i] << ") at " << kt.name;
+            // Swapped operands cover the NaN-vs-value order too.
+            k.got(b_vals.data(), a_vals.data(), got.data(), n);
+            k.want(b_vals.data(), a_vals.data(), want.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(bitsOf(got[i]), bitsOf(want[i]))
+                    << k.name << "(" << b_vals[i] << ", "
+                    << a_vals[i] << ") at " << kt.name;
+        }
+    }
+}
+
+TEST(SimdKernels, UnaryArithmeticBitIdenticalAcrossLevels)
+{
+    const auto &ref = simd::kernelsScalar();
+    const auto vals = operandGrid(true);
+    const std::size_t n = vals.size();
+
+    for (const auto l : simd::availableLevels()) {
+        simd::ScopedLevel pin(l);
+        const auto &kt = simd::kernels();
+        const struct
+        {
+            const char *name;
+            simd::UnaryKernel got;
+            simd::UnaryKernel want;
+        } kernels[] = {
+            {"sq", kt.sq, ref.sq},
+            {"recip", kt.recip, ref.recip},
+            {"gtz", kt.gtz, ref.gtz},
+            {"sqrt", kt.sqrt, ref.sqrt},
+        };
+        for (const auto &k : kernels) {
+            std::vector<double> got(n), want(n);
+            k.got(vals.data(), got.data(), n);
+            k.want(vals.data(), want.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(bitsOf(got[i]), bitsOf(want[i]))
+                    << k.name << "(" << vals[i] << ") at "
+                    << kt.name;
+        }
+    }
+}
+
+TEST(SimdKernels, InPlaceAliasingMatchesOutOfPlace)
+{
+    const auto vals = operandGrid(true);
+    const auto other = operandGrid(false);
+    const std::size_t n = vals.size();
+
+    for (const auto l : simd::availableLevels()) {
+        simd::ScopedLevel pin(l);
+        const auto &kt = simd::kernels();
+
+        std::vector<double> fresh(n);
+        kt.add(vals.data(), other.data(), fresh.data(), n);
+        auto in_place = vals;
+        kt.add(in_place.data(), other.data(), in_place.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(in_place[i]), bitsOf(fresh[i]))
+                << "add dst==a lane " << i << " at " << kt.name;
+
+        kt.mul(vals.data(), other.data(), fresh.data(), n);
+        auto in_place_b = other;
+        kt.mul(vals.data(), in_place_b.data(), in_place_b.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(in_place_b[i]), bitsOf(fresh[i]))
+                << "mul dst==b lane " << i << " at " << kt.name;
+
+        kt.exp(vals.data(), fresh.data(), n);
+        auto in_place_u = vals;
+        kt.exp(in_place_u.data(), in_place_u.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(in_place_u[i]), bitsOf(fresh[i]))
+                << "exp dst==a lane " << i << " at " << kt.name;
+    }
+}
+
+TEST(SimdKernels, TailsNeverWriteOutsideTheBlock)
+{
+    // Every n from 1 to 2x the widest vector, with sentinel guards
+    // after the block: the kernel must fill exactly [0, n) and leave
+    // the guard region untouched (satellite: masked-tail contract).
+    constexpr double kSentinel = -777.25;
+    constexpr std::size_t kGuard = 16;
+    ar::util::Rng rng(0xbeef);
+
+    for (const auto l : simd::availableLevels()) {
+        simd::ScopedLevel pin(l);
+        const auto &kt = simd::kernels();
+        for (std::size_t n = 1; n <= 2 * kt.width + 3; ++n) {
+            std::vector<double> a(n + kGuard, kSentinel);
+            std::vector<double> b(n + kGuard, kSentinel);
+            std::vector<double> dst(n + kGuard, kSentinel);
+            for (std::size_t i = 0; i < n; ++i) {
+                a[i] = rng.uniform(0.1, 9.0);
+                b[i] = rng.uniform(0.1, 9.0);
+            }
+            kt.add(a.data(), b.data(), dst.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(dst[i], a[i] + b[i])
+                    << kt.name << " n=" << n << " lane " << i;
+            for (std::size_t i = n; i < n + kGuard; ++i)
+                ASSERT_EQ(dst[i], kSentinel)
+                    << kt.name << " n=" << n
+                    << " wrote past the block at " << i;
+
+            std::fill(dst.begin(), dst.end(), kSentinel);
+            kt.exp(a.data(), dst.data(), n);
+            for (std::size_t i = n; i < n + kGuard; ++i)
+                ASSERT_EQ(dst[i], kSentinel)
+                    << kt.name << " exp n=" << n
+                    << " wrote past the block at " << i;
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_TRUE(std::isfinite(dst[i]));
+        }
+    }
+}
+
+TEST(SimdKernels, QuantileKernelsMatchDistributionScalarPath)
+{
+    const ar::dist::Normal normal(1.5, 0.75);
+    const ar::dist::LogNormal lognormal(-0.25, 0.5);
+    std::vector<double> us{1e-300, 1e-16, 1e-15, 0.001, 0.25, 0.5,
+                           0.75,   0.999, 1.0 - 1e-15, 1.0 - 1e-16};
+    ar::util::Rng rng(0xd15c);
+    for (int i = 0; i < 60; ++i)
+        us.push_back(rng.uniform(1e-6, 1.0 - 1e-6));
+    const std::size_t n = us.size();
+
+    // Scalar table == sampleFromUniform exactly, per lane.
+    {
+        simd::ScopedLevel pin(simd::Level::Scalar);
+        std::vector<double> got(n);
+        simd::kernels().normal_quantile(us.data(), got.data(), n,
+                                        1.5, 0.75);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(got[i]),
+                      bitsOf(normal.sampleFromUniform(us[i])))
+                << "normal u=" << us[i];
+        simd::kernels().lognormal_quantile(us.data(), got.data(), n,
+                                           -0.25, 0.5);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(got[i]),
+                      bitsOf(lognormal.sampleFromUniform(us[i])))
+                << "lognormal u=" << us[i];
+    }
+
+    // Vector tables: finite, monotone-consistent, and within a few
+    // ULP of the scalar path (DESIGN.md 5.6).
+    for (const auto l : simd::availableLevels()) {
+        if (l == simd::Level::Scalar)
+            continue;
+        simd::ScopedLevel pin(l);
+        std::vector<double> got(n);
+        simd::kernels().normal_quantile(us.data(), got.data(), n,
+                                        1.5, 0.75);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double want = normal.sampleFromUniform(us[i]);
+            ASSERT_TRUE(std::isfinite(got[i])) << "u=" << us[i];
+            ASSERT_NEAR(got[i], want,
+                        8e-16 * std::max(1.0, std::fabs(want)))
+                << simd::levelName(l) << " normal u=" << us[i];
+        }
+    }
+}
+
+TEST(SimdKernels, BatchedSamplingIsBitIdenticalAcrossVectorLevels)
+{
+    // Vector widths must agree bit-for-bit (the determinism pillar
+    // behind golden_outputs_simd.txt).
+    std::vector<simd::Level> vec;
+    for (const auto l : simd::availableLevels())
+        if (l != simd::Level::Scalar)
+            vec.push_back(l);
+    if (vec.size() < 2)
+        GTEST_SKIP() << "fewer than two vector levels built";
+
+    const ar::dist::Normal normal(0.0, 1.0);
+    ar::util::Rng rng(0xacc1);
+    constexpr std::size_t n = 257; // deliberately odd
+    std::vector<double> us(n);
+    for (auto &u : us)
+        u = rng.uniform(1e-9, 1.0 - 1e-9);
+
+    std::vector<double> first(n);
+    {
+        simd::ScopedLevel pin(vec.front());
+        normal.sampleFromUniformBatch(us.data(), first.data(), n);
+    }
+    for (std::size_t v = 1; v < vec.size(); ++v) {
+        simd::ScopedLevel pin(vec[v]);
+        std::vector<double> got(n);
+        normal.sampleFromUniformBatch(us.data(), got.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(got[i]), bitsOf(first[i]))
+                << simd::levelName(vec[v]) << " lane " << i;
+    }
+}

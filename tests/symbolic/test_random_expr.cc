@@ -13,6 +13,7 @@
 #include <cstring>
 #include <map>
 
+#include "simd/dispatch.hh"
 #include "symbolic/compile.hh"
 #include "symbolic/parser.hh"
 #include "symbolic/printer.hh"
@@ -229,6 +230,7 @@ TEST(RandomExpr, BatchEvaluationIsBitIdenticalToScalar)
     // The batched tape must reproduce the scalar tape bit-for-bit on
     // every trial -- including non-finite results -- because the
     // propagator's determinism guarantee rests on this equivalence.
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
     ar::util::Rng rng(0xfeed);
     ExprGen gen(rng);
     constexpr std::size_t kTrials = 64;
@@ -271,6 +273,7 @@ TEST(RandomExpr, BatchBroadcastMatchesScalarOnMixedArgs)
 {
     // Half the arguments broadcast a fixed value (the propagator's
     // certain-input path), the rest vary per trial.
+    ar::simd::ScopedLevel pin(ar::simd::Level::Scalar);
     ar::util::Rng rng(0xf00d);
     ExprGen gen(rng);
     constexpr std::size_t kTrials = 32;
