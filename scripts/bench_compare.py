@@ -31,10 +31,37 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """Map benchmark name -> cpu_time in nanoseconds."""
-    with open(path) as fh:
-        doc = json.load(fh)
+class BenchFileError(Exception):
+    """A benchmark JSON file that cannot be used, with a clear reason."""
+
+
+def load_benchmarks(path, role):
+    """Map benchmark name -> cpu_time in nanoseconds.
+
+    Raises BenchFileError (not a traceback) when the file is missing,
+    unreadable, not JSON, or holds no benchmark rows.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise BenchFileError(
+            "%s file '%s' does not exist%s" % (
+                role, path,
+                "; record one with --benchmark_out=%s "
+                "--benchmark_out_format=json" % path
+                if role == "baseline" else ""))
+    except OSError as exc:
+        raise BenchFileError(
+            "cannot read %s file '%s': %s" % (role, path, exc))
+    except json.JSONDecodeError as exc:
+        raise BenchFileError(
+            "%s file '%s' is not valid JSON (%s); was the benchmark "
+            "run interrupted?" % (role, path, exc))
+    if not isinstance(doc, dict):
+        raise BenchFileError(
+            "%s file '%s' is not a google-benchmark JSON document"
+            % (role, path))
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     out = {}
     for bench in doc.get("benchmarks", []):
@@ -43,6 +70,10 @@ def load_benchmarks(path):
             continue
         name = bench["name"]
         out[name] = bench["cpu_time"] * scale[bench.get("time_unit", "ns")]
+    if not out:
+        raise BenchFileError(
+            "%s file '%s' holds no benchmark entries; was it produced "
+            "with --benchmark_out_format=json?" % (role, path))
     return out
 
 
@@ -85,14 +116,20 @@ def main(argv=None):
                     help="print violations but always exit 0")
     args = ap.parse_args(argv)
 
-    current = load_benchmarks(args.current)
+    try:
+        current = load_benchmarks(args.current, "current")
+        baseline = (load_benchmarks(args.baseline, "baseline")
+                    if args.baseline else None)
+    except BenchFileError as exc:
+        print("bench_compare: %s" % exc, file=sys.stderr)
+        return 2
+
     failures = []
     warnings = []
     compared = regressions = new_names = 0
     missing_from_current = []
 
-    if args.baseline:
-        baseline = load_benchmarks(args.baseline)
+    if baseline is not None:
         shared = sorted(set(baseline) & set(current))
         if not shared:
             failures.append("no benchmark names shared with baseline")

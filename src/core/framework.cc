@@ -146,20 +146,20 @@ Framework::evaluateCertain(
 }
 
 AnalysisResult
-Framework::analyze(const std::string &responsive,
-                   const ar::mc::InputBindings &in,
-                   const ar::risk::RiskFunction &fn, double reference,
-                   std::uint64_t seed) const
+Framework::analyzeWith(const ar::mc::Propagator &prop,
+                       const std::string &responsive,
+                       const ar::mc::InputBindings &in,
+                       const ar::risk::RiskFunction &fn,
+                       double reference, std::uint64_t seed) const
 {
     obs::TraceSpan span("core.analyze");
     if (obs::metricsEnabled())
         coreMetrics().analyses.add();
     AnalysisResult res;
     ar::util::Rng rng(seed);
-    auto prop = propagator.runManyReport({&compiled(responsive)}, in,
-                                         rng);
-    res.samples = std::move(prop.samples.front());
-    res.faults = std::move(prop.faults);
+    auto out = prop.runManyReport({&compiled(responsive)}, in, rng);
+    res.samples = std::move(out.samples.front());
+    res.faults = std::move(out.faults);
     obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
     res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
@@ -168,20 +168,20 @@ Framework::analyze(const std::string &responsive,
 }
 
 AnalysisResult
-Framework::analyzeMulti(const std::vector<std::string> &responsives,
-                        const ar::mc::InputBindings &in,
-                        const ar::risk::RiskFunction &fn,
-                        double reference, std::uint64_t seed) const
+Framework::analyzeMultiWith(
+    const ar::mc::Propagator &prop,
+    const std::vector<std::string> &responsives,
+    const ar::mc::InputBindings &in, const ar::risk::RiskFunction &fn,
+    double reference, std::uint64_t seed) const
 {
     obs::TraceSpan span("core.analyze_multi");
     if (obs::metricsEnabled())
         coreMetrics().analyses.add();
     AnalysisResult res;
     ar::util::Rng rng(seed);
-    auto prop = propagator.runMultiReport(program(responsives), in,
-                                          rng);
-    res.samples = std::move(prop.samples.front());
-    res.faults = std::move(prop.faults);
+    auto out = prop.runMultiReport(program(responsives), in, rng);
+    res.samples = std::move(out.samples.front());
+    res.faults = std::move(out.faults);
     obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
     res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
@@ -190,11 +190,53 @@ Framework::analyzeMulti(const std::vector<std::string> &responsives,
     for (std::size_t o = 1; o < responsives.size(); ++o) {
         CoOutput co;
         co.name = responsives[o];
-        co.samples = std::move(prop.samples[o]);
+        co.samples = std::move(out.samples[o]);
         co.summary = ar::stats::summarize(co.samples);
         res.co_outputs.push_back(std::move(co));
     }
     return res;
+}
+
+AnalysisResult
+Framework::analyze(const std::string &responsive,
+                   const ar::mc::InputBindings &in,
+                   const ar::risk::RiskFunction &fn, double reference,
+                   std::uint64_t seed) const
+{
+    return analyzeWith(propagator, responsive, in, fn, reference,
+                       seed);
+}
+
+AnalysisResult
+Framework::analyze(const std::string &responsive,
+                   const ar::mc::InputBindings &in,
+                   const ar::risk::RiskFunction &fn, double reference,
+                   std::uint64_t seed,
+                   const ar::mc::PropagationConfig &cfg) const
+{
+    return analyzeWith(ar::mc::Propagator(cfg), responsive, in, fn,
+                       reference, seed);
+}
+
+AnalysisResult
+Framework::analyzeMulti(const std::vector<std::string> &responsives,
+                        const ar::mc::InputBindings &in,
+                        const ar::risk::RiskFunction &fn,
+                        double reference, std::uint64_t seed) const
+{
+    return analyzeMultiWith(propagator, responsives, in, fn,
+                            reference, seed);
+}
+
+AnalysisResult
+Framework::analyzeMulti(const std::vector<std::string> &responsives,
+                        const ar::mc::InputBindings &in,
+                        const ar::risk::RiskFunction &fn,
+                        double reference, std::uint64_t seed,
+                        const ar::mc::PropagationConfig &cfg) const
+{
+    return analyzeMultiWith(ar::mc::Propagator(cfg), responsives, in,
+                            fn, reference, seed);
 }
 
 std::vector<double>

@@ -114,6 +114,20 @@ class Framework
                            std::uint64_t seed = 1) const;
 
     /**
+     * analyze() under an explicit per-call propagation config,
+     * overriding the framework-level one.  Serving uses this to give
+     * each request its own trial budget, fault policy, and
+     * cancellation token while sharing the compiled-expression
+     * caches.  Same seed + same config => bit-identical result to
+     * a Framework constructed with that config.
+     */
+    AnalysisResult analyze(const std::string &responsive,
+                           const ar::mc::InputBindings &in,
+                           const ar::risk::RiskFunction &fn,
+                           double reference, std::uint64_t seed,
+                           const ar::mc::PropagationConfig &cfg) const;
+
+    /**
      * analyze() over several responsive variables in one fused
      * propagation.  The first variable is the risk-analyzed one
      * (samples/summary/risk of the result refer to it); the rest
@@ -127,6 +141,15 @@ class Framework
                                 double reference,
                                 std::uint64_t seed = 1) const;
 
+    /** analyzeMulti() under an explicit per-call propagation config
+     * (see the analyze() overload). */
+    AnalysisResult analyzeMulti(const std::vector<std::string> &responsives,
+                                const ar::mc::InputBindings &in,
+                                const ar::risk::RiskFunction &fn,
+                                double reference, std::uint64_t seed,
+                                const ar::mc::PropagationConfig &cfg)
+        const;
+
     /**
      * Propagate only (no risk): returns the raw samples of the
      * responsive variable.
@@ -139,6 +162,19 @@ class Framework
     std::size_t trials() const { return propagator.trials(); }
 
   private:
+    AnalysisResult analyzeWith(const ar::mc::Propagator &prop,
+                               const std::string &responsive,
+                               const ar::mc::InputBindings &in,
+                               const ar::risk::RiskFunction &fn,
+                               double reference,
+                               std::uint64_t seed) const;
+    AnalysisResult
+    analyzeMultiWith(const ar::mc::Propagator &prop,
+                     const std::vector<std::string> &responsives,
+                     const ar::mc::InputBindings &in,
+                     const ar::risk::RiskFunction &fn, double reference,
+                     std::uint64_t seed) const;
+
     ar::mc::Propagator propagator;
     std::unique_ptr<ar::symbolic::EquationSystem> sys;
 

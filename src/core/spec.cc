@@ -344,7 +344,7 @@ loadSpecFile(const std::string &path)
 }
 
 AnalysisResult
-runSpec(const AnalysisSpec &spec)
+runSpec(const AnalysisSpec &spec, ar::util::CancelToken cancel)
 {
     // The spec can opt *in* to telemetry but never turns it off:
     // the CLI / embedding application owns the flag lifecycle.
@@ -354,7 +354,7 @@ runSpec(const AnalysisSpec &spec)
         ar::obs::setTracingEnabled(true);
 
     Framework fw({spec.trials, "latin-hypercube", spec.threads,
-                  spec.fault_policy});
+                  spec.fault_policy, std::move(cancel)});
 
     // The Framework owns a copy of the system.
     ar::symbolic::EquationSystem sys = spec.system;

@@ -110,8 +110,15 @@ makeRiskFunction(const std::string &name);
  * Execute a parsed spec: build the framework, resolve the reference
  * (certain evaluation with uncertain inputs at their means when no
  * explicit `reference` was given), propagate, and score risk.
+ *
+ * @param cancel Optional cancellation / deadline token threaded into
+ *        the propagation (see PropagationConfig::cancel); a tripped
+ *        token raises ar::util::CancelledError within one trial
+ *        block.  Re-running the same spec afterwards is bit-identical
+ *        to a run that was never cancelled.
  */
-AnalysisResult runSpec(const AnalysisSpec &spec);
+AnalysisResult runSpec(const AnalysisSpec &spec,
+                       ar::util::CancelToken cancel = {});
 
 } // namespace ar::core
 

@@ -310,6 +310,7 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
         ar::util::fatal("DesignSpaceEvaluator: reference speedup must "
                         "be positive, got ", reference_speedup);
     obs::TraceSpan run_span("sweep.evaluate_all");
+    cfg.cancel.throwIfExpired("design sweep");
     if (obs::metricsEnabled()) {
         sweepMetrics().runs.add();
         sweepMetrics().designs.add(designs.size());
@@ -355,7 +356,7 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
                     for (std::size_t t = t0; t < t1; ++t)
                         all[d][t] /= reference_speedup;
                 }
-            });
+            }, cfg.cancel);
     } else {
         // Designs only read the shared pools, so the sweep
         // parallelizes over designs; every buffer is per-design.
@@ -414,7 +415,7 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
                 samples[t] = speedup / reference_speedup;
             }
             all[d] = std::move(samples);
-        });
+        }, cfg.cancel);
     }
 
     // Phase 2: per-design fault scan and statistics (shared by both
@@ -444,12 +445,13 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
             out.risk = ar::risk::archRisk(samples, 1.0, fn);
             if (cfg.keep_samples)
                 kept[d] = std::move(samples);
-        });
+        }, cfg.cancel);
     }
 
     // Serial fault post-pass: assemble the report in (trial, design)
     // order from the materialized per-design results, then apply the
     // policy per design.
+    cfg.cancel.throwIfExpired("design sweep");
     report_ = {};
     report_.policy = cfg.fault_policy;
     report_.trials = trials;

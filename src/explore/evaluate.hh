@@ -28,6 +28,7 @@
 #include "model/uncertainty.hh"
 #include "risk/risk_function.hh"
 #include "symbolic/program.hh"
+#include "util/cancel.hh"
 #include "util/fault.hh"
 
 namespace ar::explore
@@ -98,6 +99,15 @@ struct SweepConfig
     /** Sample-computation backend; outcomes are bit-identical for
      * any thread count under either. */
     SweepBackend backend = SweepBackend::Direct;
+
+    /**
+     * Cooperative cancellation / deadline token, polled at block
+     * boundaries of the evaluateAll() loops; a tripped token raises
+     * ar::util::CancelledError within one block.  Cancellation has no
+     * effect on the RNG contract: re-running the same seed afterwards
+     * is bit-identical.  Null by default.
+     */
+    ar::util::CancelToken cancel{};
 };
 
 /**

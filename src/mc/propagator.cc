@@ -235,6 +235,7 @@ Propagator::runManyReport(
     const InputBindings &in, ar::util::Rng &rng) const
 {
     obs::TraceSpan run_span("mc.run_many");
+    cfg.cancel.throwIfExpired("propagation");
     if (obs::metricsEnabled()) {
         mcMetrics().propagations.add();
         mcMetrics().trials.add(cfg.trials);
@@ -311,7 +312,7 @@ Propagator::runManyReport(
             }
             fns[f]->evalBatch(bargs, len, results[f].data() + t0);
         }
-    });
+    }, cfg.cancel);
 
     // Fault containment: a serial post-pass over the fully
     // materialized results, so detection order -- and therefore the
@@ -328,7 +329,10 @@ Propagator::runManyReport(
     std::vector<double> scalar_args;
     {
         obs::ScopedPhase phase("mc.faults", mcMetrics().fault_ns);
+        const bool cancellable = cfg.cancel.cancellable();
         for (std::size_t t = 0; t < trials; ++t) {
+            if (cancellable && (t & 4095u) == 0)
+                cfg.cancel.throwIfExpired("fault scan");
             bool trial_faulty = false;
             for (std::size_t f = 0; f < fns.size(); ++f) {
                 if (std::isfinite(results[f][t]))
@@ -373,6 +377,7 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
                            ar::util::Rng &rng) const
 {
     obs::TraceSpan run_span("mc.run_multi");
+    cfg.cancel.throwIfExpired("propagation");
     if (obs::metricsEnabled()) {
         mcMetrics().propagations.add();
         mcMetrics().trials.add(cfg.trials);
@@ -438,7 +443,7 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
         for (std::size_t o = 0; o < n_out; ++o)
             outs[o] = results[o].data() + t0;
         prog.evalBatch(bargs, len, outs);
-    });
+    }, cfg.cancel);
 
     // Identical serial fault post-pass; attribution replays the
     // faulting trial on the per-output tape the program keeps for
@@ -451,7 +456,10 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
     std::vector<double> scalar_args(plan.size());
     {
         obs::ScopedPhase phase("mc.faults", mcMetrics().fault_ns);
+        const bool cancellable = cfg.cancel.cancellable();
         for (std::size_t t = 0; t < trials; ++t) {
+            if (cancellable && (t & 4095u) == 0)
+                cfg.cancel.throwIfExpired("fault scan");
             bool trial_faulty = false;
             for (std::size_t o = 0; o < n_out; ++o) {
                 if (std::isfinite(results[o][t]))

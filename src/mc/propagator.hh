@@ -19,6 +19,7 @@
 #include "mc/sampler.hh"
 #include "symbolic/compile.hh"
 #include "symbolic/program.hh"
+#include "util/cancel.hh"
 #include "util/fault.hh"
 
 namespace ar::mc
@@ -41,6 +42,17 @@ struct PropagationConfig
      * a domain violation or overflow).  See ar::util::FaultPolicy.
      */
     ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
+
+    /**
+     * Cooperative cancellation / deadline token, polled at trial-block
+     * boundaries of the evaluation loop and periodically during the
+     * fault post-pass.  When it trips, the run stops within one block
+     * and throws ar::util::CancelledError.  Cancellation has no RNG
+     * side effects: re-running the same seed afterwards is
+     * bit-identical to a run that was never cancelled.  The default
+     * (null) token costs one pointer test per block.
+     */
+    ar::util::CancelToken cancel{};
 };
 
 /** Samples plus the fault accounting of one propagation run. */

@@ -61,6 +61,7 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
         ar::util::fatal("sobolIndices: need at least 8 trials");
 
     obs::TraceSpan run_span("mc.sobol");
+    cfg.cancel.throwIfExpired("sensitivity analysis");
 
     // Uncertain inputs actually used by the model, sorted.
     std::vector<std::string> names;
@@ -216,7 +217,7 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
                 for (std::size_t i = 0; i < k; ++i)
                     outs[2 + i] = fab[i].data() + t0;
                 prog->evalBatch(bargs, len, outs);
-            });
+            }, cfg.cancel);
     } else {
         obs::ScopedPhase sweep_phase("mc.sobol.sweep",
                                      sobolMetrics().sweep_ns);
@@ -248,7 +249,7 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
                         row_a[i] = keep;
                     }
                 }
-            });
+            }, cfg.cancel);
     }
 
     // Fault containment: serial post-pass in trial order (hence
@@ -280,7 +281,10 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
                               : ar::util::classifyNonFinite(observed),
                 fault.faulted ? fault.op : std::string());
         };
+        const bool cancellable = cfg.cancel.cancellable();
         for (std::size_t t = 0; t < n; ++t) {
+            if (cancellable && (t & 4095u) == 0)
+                cfg.cancel.throwIfExpired("fault scan");
             bool bad =
                 !std::isfinite(fa[t]) || !std::isfinite(fb[t]);
             for (std::size_t i = 0; !bad && i < k; ++i)

@@ -72,6 +72,13 @@ struct SensitivityConfig
     ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
 
     /**
+     * Cooperative cancellation / deadline token, polled at trial-block
+     * boundaries of the pick-freeze sweep; a tripped token raises
+     * ar::util::CancelledError within one block.  Null by default.
+     */
+    ar::util::CancelToken cancel{};
+
+    /**
      * Evaluate the k + 2 pick-freeze variants through one fused
      * CompiledProgram instead of k + 2 scalar tape walks per trial
      * (subtrees not touching the swapped column are computed once

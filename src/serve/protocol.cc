@@ -1,0 +1,162 @@
+#include "serve/protocol.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ar::serve
+{
+
+namespace
+{
+
+const char *const kVerbs[] = {"PING",    "UPLOAD", "RUN",
+                              "SWEEP",   "SENS",   "METRICS",
+                              "STALL",   "QUIT"};
+
+bool
+knownVerb(const std::string &verb)
+{
+    for (const char *v : kVerbs)
+        if (verb == v)
+            return true;
+    return false;
+}
+
+} // namespace
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::BadRequest:      return "BAD_REQUEST";
+      case ErrCode::TooLarge:        return "TOO_LARGE";
+      case ErrCode::Parse:           return "PARSE";
+      case ErrCode::UnknownModel:    return "UNKNOWN_MODEL";
+      case ErrCode::Overloaded:      return "OVERLOADED";
+      case ErrCode::DeadlineExpired: return "DEADLINE_EXPIRED";
+      case ErrCode::Cancelled:       return "CANCELLED";
+      case ErrCode::Fault:           return "FAULT";
+      case ErrCode::ShuttingDown:    return "SHUTTING_DOWN";
+      case ErrCode::Internal:        return "INTERNAL";
+    }
+    return "INTERNAL";
+}
+
+bool
+Request::has(const std::string &key) const
+{
+    return params.find(key) != params.end();
+}
+
+std::string
+Request::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+}
+
+std::uint64_t
+Request::getU64(const std::string &key, std::uint64_t fallback) const
+{
+    auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    const std::string &text = it->second;
+    if (text.empty() ||
+        !std::all_of(text.begin(), text.end(),
+                     [](unsigned char c) { return std::isdigit(c); }))
+        throw ProtocolError(ErrCode::BadRequest,
+                            "parameter '" + key +
+                                "' expects a non-negative integer, "
+                                "got '" + sanitize(text) + "'");
+    try {
+        return std::stoull(text);
+    } catch (const std::exception &) {
+        throw ProtocolError(ErrCode::BadRequest, "parameter '" + key +
+                                                     "' out of range");
+    }
+}
+
+double
+Request::getDouble(const std::string &key, double fallback) const
+{
+    auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument("trailing junk");
+        return v;
+    } catch (const std::exception &) {
+        throw ProtocolError(ErrCode::BadRequest,
+                            "parameter '" + key +
+                                "' expects a number, got '" +
+                                sanitize(it->second) + "'");
+    }
+}
+
+Request
+parseRequestLine(const std::string &line)
+{
+    std::istringstream in(line);
+    Request req;
+    std::string token;
+    if (!(in >> token))
+        throw ProtocolError(ErrCode::BadRequest, "empty request");
+    std::transform(token.begin(), token.end(), token.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    req.verb = token;
+    if (!knownVerb(req.verb))
+        throw ProtocolError(ErrCode::BadRequest,
+                            "unknown verb '" + sanitize(token) + "'");
+    while (in >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            req.args.push_back(token);
+            continue;
+        }
+        req.params[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    return req;
+}
+
+std::string
+errLine(ErrCode code, const std::string &detail)
+{
+    std::string line = "ERR ";
+    line += errCodeName(code);
+    if (!detail.empty()) {
+        line += ' ';
+        line += sanitize(detail);
+    }
+    line += '\n';
+    return line;
+}
+
+std::string
+okLine(const std::string &payload)
+{
+    std::string line = "OK";
+    if (!payload.empty()) {
+        line += ' ';
+        line += sanitize(payload);
+    }
+    line += '\n';
+    return line;
+}
+
+std::string
+sanitize(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out) {
+        if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f)
+            c = ' ';
+    }
+    return out;
+}
+
+} // namespace ar::serve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The archriskd line protocol: a newline-delimited request/response
+ * grammar small enough to drive with netcat yet typed enough that a
+ * client can react to failure modes programmatically.
+ *
+ * Requests (one line, '\n'-terminated, optional trailing '\r'):
+ *
+ *   PING
+ *   UPLOAD <model> <nbytes>        # <nbytes> of spec text follow
+ *   RUN <model> [key=value ...]    # trials= seed= deadline_ms=
+ *                                  # policy=fail_fast|discard|saturate
+ *   SWEEP [key=value ...]          # app= sigma= area= trials= seed=
+ *                                  # fab= deadline_ms=
+ *   SENS <model> [key=value ...]   # trials= seed= deadline_ms=
+ *   METRICS                        # byte-counted JSON body follows
+ *   STALL <ms>                     # test-only; sleeps cooperatively
+ *   QUIT
+ *
+ * Responses are a single "OK <verb> key=value ..." line, except
+ * METRICS which replies "OK metrics nbytes=<n>" followed by exactly
+ * n bytes of JSON.  Every failure is one typed line:
+ *
+ *   ERR <CODE> <human-readable detail>
+ *
+ * so a faulting, malformed, late, or shed request is always a
+ * structured answer, never a hang or a dropped connection.
+ */
+
+#ifndef AR_SERVE_PROTOCOL_HH
+#define AR_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ar::serve
+{
+
+/** Typed failure classes of the wire protocol. */
+enum class ErrCode : std::uint8_t
+{
+    BadRequest,      ///< Malformed request line or parameter.
+    TooLarge,        ///< Frame exceeds the configured byte bound.
+    Parse,           ///< Spec body failed to parse/compile.
+    UnknownModel,    ///< RUN/SENS names a model never uploaded.
+    Overloaded,      ///< Admission control shed the request.
+    DeadlineExpired, ///< The per-request deadline tripped mid-run.
+    Cancelled,       ///< Cancelled for a non-deadline reason (drain).
+    Fault,           ///< Propagation faulted (NaN/Inf under FailFast).
+    ShuttingDown,    ///< Daemon is draining; no new work accepted.
+    Internal,        ///< Unexpected server-side error.
+};
+
+/** @return the wire token of @p code (e.g. "OVERLOADED"). */
+const char *errCodeName(ErrCode code);
+
+/**
+ * A protocol-level failure that should become one "ERR <CODE> ..."
+ * line on the wire.  Thrown by request parsing and by handlers.
+ */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    ProtocolError(ErrCode code, const std::string &detail)
+        : std::runtime_error(detail), code_(code)
+    {}
+
+    ErrCode code() const { return code_; }
+
+  private:
+    ErrCode code_;
+};
+
+/** One parsed request line. */
+struct Request
+{
+    std::string verb;                ///< Uppercased verb token.
+    std::vector<std::string> args;   ///< Positional (non key=value).
+    std::map<std::string, std::string> params; ///< key=value tokens.
+    std::string body;                ///< UPLOAD payload (else empty).
+
+    /** @return whether key=value was present. */
+    bool has(const std::string &key) const;
+
+    /** @return string value of @p key or @p fallback. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /**
+     * @return numeric value of @p key, or @p fallback when absent.
+     * @throws ProtocolError(BadRequest) on a malformed number.
+     */
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+};
+
+/**
+ * Parse one request line (terminator already stripped).
+ *
+ * @throws ProtocolError(BadRequest) on an empty line, an unknown
+ *         verb, or malformed tokens.
+ */
+Request parseRequestLine(const std::string &line);
+
+/** Render "ERR <CODE> <sanitized detail>\n". */
+std::string errLine(ErrCode code, const std::string &detail);
+
+/** Render "OK <sanitized payload>\n". */
+std::string okLine(const std::string &payload);
+
+/**
+ * Collapse control characters (including newlines) to spaces so a
+ * message always stays a single protocol line.
+ */
+std::string sanitize(const std::string &text);
+
+} // namespace ar::serve
+
+#endif // AR_SERVE_PROTOCOL_HH

@@ -1,0 +1,1025 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "explore/design_space.hh"
+#include "explore/evaluate.hh"
+#include "explore/select.hh"
+#include "mc/sensitivity.hh"
+#include "model/app.hh"
+#include "model/hill_marty.hh"
+#include "obs/telemetry.hh"
+#include "util/diagnostics.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ar::serve
+{
+
+namespace
+{
+
+struct ServeMetrics
+{
+    obs::Counter accepted =
+        obs::MetricsRegistry::global().counter("serve.accepted");
+    obs::Counter requests =
+        obs::MetricsRegistry::global().counter("serve.requests");
+    obs::Counter rejected_overload =
+        obs::MetricsRegistry::global().counter(
+            "serve.rejected_overload");
+    obs::Counter deadline_expired =
+        obs::MetricsRegistry::global().counter(
+            "serve.deadline_expired");
+    obs::Counter cancelled =
+        obs::MetricsRegistry::global().counter("serve.cancelled");
+    obs::Counter faults =
+        obs::MetricsRegistry::global().counter("serve.faults");
+    obs::Counter parse_errors =
+        obs::MetricsRegistry::global().counter("serve.parse_errors");
+    obs::Counter degraded =
+        obs::MetricsRegistry::global().counter("serve.degraded");
+    obs::Counter idle_timeouts =
+        obs::MetricsRegistry::global().counter("serve.idle_timeouts");
+    obs::Counter drain_ns =
+        obs::MetricsRegistry::global().counter("serve.drain_ns");
+    obs::Gauge inflight =
+        obs::MetricsRegistry::global().gauge("serve.inflight");
+    obs::Gauge queue_depth =
+        obs::MetricsRegistry::global().gauge("serve.queue_depth");
+};
+
+ServeMetrics &
+serveMetrics()
+{
+    static ServeMetrics m;
+    return m;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** describe() with the spaces removed ("1x128 + 16x8" -> "1x128+16x8")
+ * so a configuration stays one key=value token on the wire; the form
+ * still round-trips through CoreConfig::parse. */
+std::string
+wireConfig(const ar::model::CoreConfig &config)
+{
+    std::string s = config.describe();
+    s.erase(std::remove(s.begin(), s.end(), ' '), s.end());
+    return s;
+}
+
+bool
+validModelName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+        return std::isalnum(c) || c == '_' || c == '-' || c == '.';
+    });
+}
+
+ar::util::FaultPolicy
+policyParam(const Request &req, ar::util::FaultPolicy fallback)
+{
+    const std::string name = req.get("policy");
+    if (name.empty())
+        return fallback;
+    ar::util::FaultPolicy policy;
+    if (!ar::util::parseFaultPolicy(name, policy))
+        throw ProtocolError(ErrCode::BadRequest,
+                            "unknown fault policy '" + name +
+                                "' (fail_fast|discard|saturate)");
+    return policy;
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+/** One client connection.  The event loop owns fd lifecycle and all
+ * reads; a worker executing the connection's in-flight request only
+ * writes (under write_m) and flips state back via finishRequest. */
+struct Server::Conn
+{
+    enum class State : std::uint8_t
+    {
+        Line, ///< Reading a request line.
+        Body, ///< Reading an UPLOAD body.
+        Busy, ///< Request executing on a worker; fd not polled.
+        Close ///< To be closed by the loop.
+    };
+
+    int fd = -1;
+    State state = State::Line;          ///< Guarded by Server::m_.
+    std::string inbuf;                  ///< Loop thread only.
+    Request pending;                    ///< Loop thread only.
+    std::size_t body_needed = 0;        ///< Loop thread only.
+    std::chrono::steady_clock::time_point last_activity;
+    std::mutex write_m;                 ///< Serializes fd writes.
+    ar::util::CancelToken cancel;       ///< Guarded by Server::m_.
+};
+
+/** One uploaded model: parsed spec + Framework with every expression
+ * cache prewarmed at upload time, so concurrent RUNs are read-only
+ * cache hits.  compile_m serializes the (rare) operations that touch
+ * shared compilation state. */
+struct Server::Model
+{
+    ar::core::AnalysisSpec spec;
+    std::unique_ptr<ar::core::Framework> fw;
+    double reference = 0.0;
+    std::mutex compile_m;
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      // +1: the pool counts the calling thread, which for a server is
+      // the event loop and never runs tasks.
+      pool_(ar::util::ThreadPool::resolveThreads(cfg_.workers) + 1)
+{
+    pool_.setTaskCapacity(cfg_.queue_capacity);
+}
+
+Server::~Server()
+{
+    if (started_.load()) {
+        requestStop();
+        awaitTermination();
+    }
+    if (wake_r_ >= 0)
+        ::close(wake_r_);
+    if (wake_w_ >= 0)
+        ::close(wake_w_);
+}
+
+void
+Server::start()
+{
+    if (started_.exchange(true))
+        ar::util::fatal("Server::start: already started");
+
+    // A peer that disappears mid-write must be an EPIPE errno, not a
+    // process-killing SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    // A daemon always records its own operational counters; the
+    // METRICS verb and the drain-time flush scrape them.
+    obs::setMetricsEnabled(true);
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        ar::util::fatal("Server: pipe failed: ",
+                        std::strerror(errno));
+    wake_r_ = pipefd[0];
+    wake_w_ = pipefd[1];
+    setNonBlocking(wake_r_);
+    setNonBlocking(wake_w_);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        ar::util::fatal("Server: socket failed: ",
+                        std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1)
+        ar::util::fatal("Server: bad host '", cfg_.host, "'");
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        ar::util::fatal("Server: bind ", cfg_.host, ":", cfg_.port,
+                        " failed: ", std::strerror(errno));
+    if (::listen(listen_fd_, 64) != 0)
+        ar::util::fatal("Server: listen failed: ",
+                        std::strerror(errno));
+    setNonBlocking(listen_fd_);
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+
+    loop_ = std::thread([this] { loopThread(); });
+}
+
+void
+Server::requestStop()
+{
+    // Async-signal-safe: one relaxed store plus one pipe write.
+    stop_.store(true, std::memory_order_relaxed);
+    if (wake_w_ >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] ssize_t n = ::write(wake_w_, &byte, 1);
+    }
+}
+
+int
+Server::awaitTermination()
+{
+    if (loop_.joinable())
+        loop_.join();
+    return 0;
+}
+
+std::size_t
+Server::inflight() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return inflight_;
+}
+
+void
+Server::wake()
+{
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &byte, 1);
+}
+
+void
+Server::loopThread()
+{
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Conn>> polled;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        fds.clear();
+        polled.clear();
+        fds.push_back({wake_r_, POLLIN, 0});
+        fds.push_back({listen_fd_, POLLIN, 0});
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            for (auto &[fd, c] : conns_) {
+                if (c->state == Conn::State::Line ||
+                    c->state == Conn::State::Body) {
+                    fds.push_back({fd, POLLIN, 0});
+                    polled.push_back(c);
+                }
+            }
+        }
+
+        const int timeout_ms =
+            cfg_.idle_timeout.count() > 0
+                ? static_cast<int>(std::min<long long>(
+                      cfg_.idle_timeout.count(), 1000))
+                : 1000;
+        const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+        if (stop_.load(std::memory_order_relaxed))
+            break;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            ar::util::warn("Server: poll failed: ",
+                           std::strerror(errno));
+            break;
+        }
+
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+            }
+        }
+        if (fds[1].revents & POLLIN)
+            acceptReady();
+        for (std::size_t i = 2; i < fds.size(); ++i) {
+            auto &c = polled[i - 2];
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                readReady(c);
+        }
+
+        // A request that finished while we polled may have left
+        // pipelined bytes in its connection's buffer.
+        {
+            std::vector<std::shared_ptr<Conn>> ready;
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                for (auto &[fd, c] : conns_) {
+                    if (c->state == Conn::State::Line &&
+                        !c->inbuf.empty())
+                        ready.push_back(c);
+                }
+            }
+            for (auto &c : ready)
+                processInput(c);
+        }
+
+        // Reap idle and close-marked connections.
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<std::shared_ptr<Conn>> dead;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            for (auto &[fd, c] : conns_) {
+                if (c->state == Conn::State::Close) {
+                    dead.push_back(c);
+                } else if (cfg_.idle_timeout.count() > 0 &&
+                           c->state != Conn::State::Busy &&
+                           now - c->last_activity >
+                               cfg_.idle_timeout) {
+                    serveMetrics().idle_timeouts.add();
+                    c->state = Conn::State::Close;
+                    dead.push_back(c);
+                }
+            }
+        }
+        for (auto &c : dead)
+            closeConn(c);
+    }
+    drain();
+}
+
+void
+Server::acceptReady()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        setNonBlocking(fd);
+        auto c = std::make_shared<Conn>();
+        c->fd = fd;
+        c->last_activity = std::chrono::steady_clock::now();
+        serveMetrics().accepted.add();
+        std::lock_guard<std::mutex> lk(m_);
+        conns_[fd] = std::move(c);
+    }
+}
+
+void
+Server::closeConn(const std::shared_ptr<Conn> &c)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        conns_.erase(c->fd);
+    }
+    std::lock_guard<std::mutex> wlk(c->write_m);
+    if (c->fd >= 0) {
+        ::close(c->fd);
+        c->fd = -1;
+    }
+}
+
+bool
+Server::writeConn(const std::shared_ptr<Conn> &c,
+                  const std::string &data)
+{
+    std::lock_guard<std::mutex> lk(c->write_m);
+    if (c->fd < 0)
+        return false;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(c->fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{c->fd, POLLOUT, 0};
+            ::poll(&pfd, 1, 1000);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // Peer gone; caller marks the conn closed.
+    }
+    return true;
+}
+
+void
+Server::readReady(const std::shared_ptr<Conn> &c)
+{
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            c->inbuf.append(buf, static_cast<std::size_t>(n));
+            c->last_activity = std::chrono::steady_clock::now();
+            if (n < static_cast<ssize_t>(sizeof(buf)))
+                break;
+            continue;
+        }
+        if (n == 0) {
+            // Peer closed.  Any half-read frame dies with it; an
+            // in-flight request would have kept state Busy, so we
+            // only ever get here between requests.
+            std::lock_guard<std::mutex> lk(m_);
+            c->state = Conn::State::Close;
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        std::lock_guard<std::mutex> lk(m_);
+        c->state = Conn::State::Close;
+        return;
+    }
+    processInput(c);
+}
+
+void
+Server::processInput(const std::shared_ptr<Conn> &c)
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (c->state == Conn::State::Busy ||
+                c->state == Conn::State::Close)
+                return;
+        }
+        const bool reading_body = c->body_needed > 0;
+        if (reading_body) {
+            if (c->inbuf.size() < c->body_needed)
+                return; // Wait for more bytes.
+            c->pending.body = c->inbuf.substr(0, c->body_needed);
+            c->inbuf.erase(0, c->body_needed);
+            c->body_needed = 0;
+            Request req = std::move(c->pending);
+            c->pending = Request();
+            dispatch(c, std::move(req));
+            continue;
+        }
+
+        const auto nl = c->inbuf.find('\n');
+        if (nl == std::string::npos) {
+            if (c->inbuf.size() > cfg_.max_request_bytes) {
+                writeConn(c, errLine(ErrCode::TooLarge,
+                                     "request line exceeds " +
+                                         std::to_string(
+                                             cfg_.max_request_bytes) +
+                                         " bytes"));
+                std::lock_guard<std::mutex> lk(m_);
+                c->state = Conn::State::Close;
+            }
+            return;
+        }
+        std::string line = c->inbuf.substr(0, nl);
+        c->inbuf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue; // Blank keep-alive line.
+
+        Request req;
+        try {
+            req = parseRequestLine(line);
+        } catch (const ProtocolError &e) {
+            if (!writeConn(c, errLine(e.code(), e.what()))) {
+                std::lock_guard<std::mutex> lk(m_);
+                c->state = Conn::State::Close;
+                return;
+            }
+            continue;
+        }
+
+        if (req.verb == "UPLOAD") {
+            if (req.args.size() != 2) {
+                writeConn(c, errLine(ErrCode::BadRequest,
+                                     "usage: UPLOAD <model> "
+                                     "<nbytes>"));
+                continue;
+            }
+            std::uint64_t nbytes = 0;
+            try {
+                Request size_probe;
+                size_probe.params["nbytes"] = req.args[1];
+                nbytes = size_probe.getU64("nbytes", 0);
+            } catch (const ProtocolError &e) {
+                writeConn(c, errLine(e.code(), e.what()));
+                continue;
+            }
+            if (nbytes > cfg_.max_request_bytes) {
+                writeConn(c, errLine(ErrCode::TooLarge,
+                                     "spec body of " +
+                                         std::to_string(nbytes) +
+                                         " bytes exceeds limit of " +
+                                         std::to_string(
+                                             cfg_.max_request_bytes)));
+                std::lock_guard<std::mutex> lk(m_);
+                c->state = Conn::State::Close;
+                return;
+            }
+            c->pending = std::move(req);
+            c->body_needed = static_cast<std::size_t>(nbytes);
+            continue;
+        }
+
+        dispatch(c, std::move(req));
+    }
+}
+
+void
+Server::dispatch(const std::shared_ptr<Conn> &c, Request req)
+{
+    serveMetrics().requests.add();
+
+    // Verbs cheap enough for the loop thread itself.
+    if (req.verb == "PING") {
+        if (!writeConn(c, okLine("pong"))) {
+            std::lock_guard<std::mutex> lk(m_);
+            c->state = Conn::State::Close;
+        }
+        return;
+    }
+    if (req.verb == "QUIT") {
+        writeConn(c, okLine("bye"));
+        std::lock_guard<std::mutex> lk(m_);
+        c->state = Conn::State::Close;
+        return;
+    }
+    if (req.verb == "METRICS") {
+        if (!writeConn(c, handleMetrics())) {
+            std::lock_guard<std::mutex> lk(m_);
+            c->state = Conn::State::Close;
+        }
+        return;
+    }
+    if (req.verb == "STALL" && !cfg_.test_verbs) {
+        writeConn(c, errLine(ErrCode::BadRequest,
+                             "STALL requires --test-verbs"));
+        return;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+        writeConn(c, errLine(ErrCode::ShuttingDown, "draining"));
+        return;
+    }
+
+    // Compute-bearing verbs go through bounded admission.
+    const std::size_t pending = pool_.pendingTasks();
+    serveMetrics().queue_depth.set(static_cast<double>(pending));
+    const bool degraded = cfg_.degrade_watermark > 0 &&
+                          pending >= cfg_.degrade_watermark;
+
+    ar::util::CancelToken tok;
+    std::uint64_t deadline_ms = 0;
+    try {
+        deadline_ms = req.getU64(
+            "deadline_ms",
+            static_cast<std::uint64_t>(
+                cfg_.default_deadline.count()));
+    } catch (const ProtocolError &e) {
+        writeConn(c, errLine(e.code(), e.what()));
+        return;
+    }
+    tok = deadline_ms > 0
+              ? ar::util::CancelToken::withTimeout(
+                    std::chrono::milliseconds(deadline_ms))
+              : ar::util::CancelToken::create();
+
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        c->state = Conn::State::Busy;
+        c->cancel = tok;
+        ++inflight_;
+        serveMetrics().inflight.set(static_cast<double>(inflight_));
+    }
+
+    auto task = [this, c, req = std::move(req), tok, degraded]() {
+        std::string response;
+        bool close = false;
+        try {
+            response = execute(req, tok, degraded);
+        } catch (const ProtocolError &e) {
+            if (e.code() == ErrCode::Parse)
+                serveMetrics().parse_errors.add();
+            response = errLine(e.code(), e.what());
+        } catch (const ar::util::CancelledError &e) {
+            if (e.reason() ==
+                ar::util::CancelReason::DeadlineExpired) {
+                serveMetrics().deadline_expired.add();
+                response =
+                    errLine(ErrCode::DeadlineExpired, e.what());
+            } else {
+                serveMetrics().cancelled.add();
+                response = errLine(ErrCode::Cancelled, e.what());
+            }
+        } catch (const ar::util::FaultError &e) {
+            serveMetrics().faults.add();
+            response = errLine(ErrCode::Fault,
+                               e.report().summary());
+        } catch (const ar::util::DiagnosticError &e) {
+            serveMetrics().parse_errors.add();
+            response =
+                errLine(ErrCode::Parse, e.diagnostic().message);
+        } catch (const std::exception &e) {
+            response = errLine(ErrCode::Internal, e.what());
+        } catch (...) {
+            response = errLine(ErrCode::Internal,
+                               "non-standard exception");
+        }
+        finishRequest(c, response, close);
+    };
+
+    switch (pool_.trySubmit(std::move(task))) {
+      case ar::util::ThreadPool::Submit::Queued:
+        return;
+      case ar::util::ThreadPool::Submit::Overloaded:
+        serveMetrics().rejected_overload.add();
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            c->state = Conn::State::Line;
+            c->cancel = ar::util::CancelToken();
+            --inflight_;
+            serveMetrics().inflight.set(
+                static_cast<double>(inflight_));
+        }
+        writeConn(c, errLine(ErrCode::Overloaded,
+                             "request queue full (" +
+                                 std::to_string(
+                                     cfg_.queue_capacity) +
+                                 "); retry later"));
+        return;
+      case ar::util::ThreadPool::Submit::ShuttingDown:
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            c->state = Conn::State::Line;
+            c->cancel = ar::util::CancelToken();
+            --inflight_;
+            serveMetrics().inflight.set(
+                static_cast<double>(inflight_));
+        }
+        writeConn(c, errLine(ErrCode::ShuttingDown, "draining"));
+        return;
+    }
+}
+
+void
+Server::finishRequest(const std::shared_ptr<Conn> &c,
+                      const std::string &response, bool close)
+{
+    if (!writeConn(c, response))
+        close = true;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (c->state == Conn::State::Busy)
+            c->state =
+                close ? Conn::State::Close : Conn::State::Line;
+        c->cancel = ar::util::CancelToken();
+        --inflight_;
+        serveMetrics().inflight.set(static_cast<double>(inflight_));
+    }
+    cv_drain_.notify_all();
+    wake(); // Loop must re-add the fd to its poll set.
+}
+
+std::string
+Server::execute(const Request &req, const ar::util::CancelToken &tok,
+                bool degraded)
+{
+    tok.throwIfExpired("request");
+    if (degraded)
+        serveMetrics().degraded.add();
+    if (req.verb == "UPLOAD")
+        return handleUpload(req);
+    if (req.verb == "RUN")
+        return handleRun(req, tok, degraded);
+    if (req.verb == "SWEEP")
+        return handleSweep(req, tok, degraded);
+    if (req.verb == "SENS")
+        return handleSens(req, tok, degraded);
+    if (req.verb == "STALL")
+        return handleStall(req, tok);
+    throw ProtocolError(ErrCode::BadRequest,
+                        "verb '" + req.verb + "' not executable");
+}
+
+std::shared_ptr<Server::Model>
+Server::findModel(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(models_m_);
+    auto it = models_.find(name);
+    if (it == models_.end())
+        throw ProtocolError(ErrCode::UnknownModel,
+                            "model '" + sanitize(name) +
+                                "' was never uploaded");
+    return it->second;
+}
+
+std::size_t
+Server::clampTrials(std::uint64_t requested, bool degraded) const
+{
+    std::size_t trials = static_cast<std::size_t>(
+        std::min<std::uint64_t>(requested, cfg_.max_trials));
+    if (degraded)
+        trials = std::min(trials, cfg_.degrade_trials);
+    return std::max<std::size_t>(trials, 8);
+}
+
+std::string
+Server::handleUpload(const Request &req)
+{
+    const std::string &name = req.args[0];
+    if (!validModelName(name))
+        throw ProtocolError(ErrCode::BadRequest,
+                            "model names are [A-Za-z0-9._-]{1,64}");
+
+    auto model = std::make_shared<Model>();
+    model->spec = ar::core::parseSpec(req.body);
+    auto &spec = model->spec;
+
+    // Prewarm every compilation cache now, under this model's own
+    // lock, so queries never write shared Framework state
+    // concurrently.
+    std::lock_guard<std::mutex> lk(model->compile_m);
+    model->fw = std::make_unique<ar::core::Framework>(
+        ar::mc::PropagationConfig{spec.trials, "latin-hypercube",
+                                  spec.threads, spec.fault_policy});
+    model->fw->setSystem(spec.system);
+    for (const auto &output : spec.outputs)
+        model->fw->compiled(output);
+    if (spec.outputs.size() > 1)
+        model->fw->program(spec.outputs);
+
+    if (spec.reference) {
+        model->reference = *spec.reference;
+    } else {
+        std::map<std::string, double> fixed = spec.bindings.fixed;
+        for (const auto &[input, dist] : spec.bindings.uncertain)
+            fixed[input] = dist->mean();
+        model->reference =
+            model->fw->evaluateCertain(spec.output, fixed);
+    }
+
+    {
+        std::lock_guard<std::mutex> mlk(models_m_);
+        models_[name] = model; // Replaces; old model lives on in
+                               // any request still holding it.
+    }
+    return okLine("uploaded model=" + name +
+                  " outputs=" + std::to_string(spec.outputs.size()) +
+                  " trials=" + std::to_string(spec.trials) +
+                  " reference=" + fmtDouble(model->reference));
+}
+
+std::string
+Server::handleRun(const Request &req,
+                  const ar::util::CancelToken &tok, bool degraded)
+{
+    if (req.args.size() != 1)
+        throw ProtocolError(ErrCode::BadRequest,
+                            "usage: RUN <model> [trials= seed= "
+                            "deadline_ms= policy=]");
+    auto model = findModel(req.args[0]);
+    const auto &spec = model->spec;
+
+    ar::mc::PropagationConfig pc;
+    pc.trials = clampTrials(req.getU64("trials", spec.trials),
+                            degraded);
+    pc.sampler = "latin-hypercube";
+    pc.threads = 1; // Requests parallelize across, not within.
+    pc.fault_policy = policyParam(req, spec.fault_policy);
+    pc.cancel = tok;
+    const std::uint64_t seed = req.getU64("seed", spec.seed);
+
+    const auto fn = ar::core::makeRiskFunction(spec.risk);
+    const ar::core::AnalysisResult res =
+        spec.outputs.size() > 1
+            ? model->fw->analyzeMulti(spec.outputs, spec.bindings,
+                                      *fn, model->reference, seed,
+                                      pc)
+            : model->fw->analyze(spec.output, spec.bindings, *fn,
+                                 model->reference, seed, pc);
+
+    return okLine(
+        "run model=" + req.args[0] + " output=" + spec.output +
+        " trials=" + std::to_string(pc.trials) +
+        " effective=" + std::to_string(res.faults.effective_trials) +
+        " faults=" + std::to_string(res.faults.faulty_trials) +
+        " mean=" + fmtDouble(res.summary.mean) +
+        " stddev=" + fmtDouble(res.summary.stddev) +
+        " reference=" + fmtDouble(res.reference) +
+        " risk=" + fmtDouble(res.risk) +
+        " degraded=" + (degraded ? "1" : "0"));
+}
+
+std::string
+Server::handleSweep(const Request &req,
+                    const ar::util::CancelToken &tok, bool degraded)
+{
+    ar::model::AppParams app;
+    try {
+        app = ar::model::appByName(req.get("app", "HPLC"));
+    } catch (const ar::util::FatalError &) {
+        throw ProtocolError(ErrCode::BadRequest,
+                            "unknown app '" + req.get("app") +
+                                "' (HPLC|HPHC|LPLC|LPHC)");
+    }
+    const double sigma = req.getDouble("sigma", 0.3);
+    if (!(sigma >= 0.0) || sigma > 1.0)
+        throw ProtocolError(ErrCode::BadRequest,
+                            "sigma must be in [0, 1]");
+
+    ar::explore::DesignSpaceParams dp;
+    dp.total_area = req.getDouble("area", 256.0);
+    if (!(dp.total_area >= dp.min_core) || dp.total_area > 4096.0)
+        throw ProtocolError(ErrCode::BadRequest,
+                            "area must be in [8, 4096]");
+    const auto designs = ar::explore::enumerateDesigns(dp);
+
+    ar::explore::SweepConfig sc;
+    sc.trials = clampTrials(req.getU64("trials", 2000), degraded);
+    sc.seed = req.getU64("seed", 1);
+    sc.threads = 1;
+    sc.fault_policy =
+        policyParam(req, ar::util::FaultPolicy::Discard);
+    sc.cancel = tok;
+
+    auto uspec = ar::model::UncertaintySpec::all(sigma);
+    uspec.fab = req.getU64("fab", uspec.fab ? 1 : 0) != 0;
+
+    const auto fn =
+        ar::core::makeRiskFunction(req.get("risk", "quadratic"));
+
+    // Reference: the conventional design, one core of the full area.
+    const ar::model::CoreConfig conventional(
+        {{dp.total_area, 1}});
+    const double ref = ar::model::HillMartyEvaluator::nominalSpeedup(
+        conventional, app.f, app.c);
+
+    ar::explore::DesignSpaceEvaluator eval(designs, app, uspec, sc);
+    const auto outcomes = eval.evaluateAll(*fn, ref);
+
+    const std::size_t knee = ar::explore::kneePoint(outcomes);
+    std::size_t best_perf = 0, min_risk = 0;
+    for (std::size_t d = 1; d < outcomes.size(); ++d) {
+        if (outcomes[d].expected > outcomes[best_perf].expected)
+            best_perf = d;
+        if (outcomes[d].risk < outcomes[min_risk].risk)
+            min_risk = d;
+    }
+
+    return okLine(
+        "sweep app=" + app.name + " sigma=" + fmtDouble(sigma) +
+        " designs=" + std::to_string(designs.size()) +
+        " trials=" + std::to_string(sc.trials) +
+        " knee=" + wireConfig(designs[knee]) +
+        " knee_expected=" + fmtDouble(outcomes[knee].expected) +
+        " knee_risk=" + fmtDouble(outcomes[knee].risk) +
+        " best_perf=" + wireConfig(designs[best_perf]) +
+        " min_risk=" + wireConfig(designs[min_risk]) +
+        " degraded=" + (degraded ? "1" : "0"));
+}
+
+std::string
+Server::handleSens(const Request &req,
+                   const ar::util::CancelToken &tok, bool degraded)
+{
+    if (req.args.size() != 1)
+        throw ProtocolError(ErrCode::BadRequest,
+                            "usage: SENS <model> [trials= seed= "
+                            "deadline_ms= policy=]");
+    auto model = findModel(req.args[0]);
+    const auto &spec = model->spec;
+    if (spec.bindings.uncertain.empty())
+        throw ProtocolError(ErrCode::BadRequest,
+                            "model has no uncertain inputs");
+
+    ar::mc::SensitivityConfig sc;
+    sc.trials = clampTrials(req.getU64("trials", 4096), degraded);
+    sc.threads = 1;
+    sc.fault_policy = policyParam(req, spec.fault_policy);
+    sc.cancel = tok;
+    const std::uint64_t seed = req.getU64("seed", spec.seed);
+
+    ar::util::Rng rng(seed);
+    // The CompiledExpr overload reads the prewarmed cache only; no
+    // shared compilation state is touched on the query path.
+    const auto res = ar::mc::sobolIndices(
+        model->fw->compiled(spec.output), spec.bindings, sc, rng);
+
+    std::string line =
+        "sens model=" + req.args[0] + " output=" + spec.output +
+        " trials=" + std::to_string(sc.trials) +
+        " mean=" + fmtDouble(res.output_mean) +
+        " variance=" + fmtDouble(res.output_variance) +
+        " indices=" + std::to_string(res.indices.size());
+    for (const auto &index : res.indices) {
+        line += ' ' + index.input + '=' +
+                fmtDouble(index.first_order) + ':' +
+                fmtDouble(index.total);
+    }
+    line += " degraded=";
+    line += degraded ? '1' : '0';
+    return okLine(line);
+}
+
+std::string
+Server::handleStall(const Request &req,
+                    const ar::util::CancelToken &tok)
+{
+    if (req.args.size() != 1)
+        throw ProtocolError(ErrCode::BadRequest,
+                            "usage: STALL <ms>");
+    Request ms_probe;
+    ms_probe.params["ms"] = req.args[0];
+    const std::uint64_t ms = ms_probe.getU64("ms", 0);
+    if (ms > 60000)
+        throw ProtocolError(ErrCode::BadRequest,
+                            "stall capped at 60000 ms");
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+    // Cooperative stall: sleeps in small slices and polls the token
+    // exactly like a trial loop polls at block boundaries, so
+    // deadline/cancellation tests get deterministic latency bounds.
+    while (std::chrono::steady_clock::now() < until) {
+        tok.throwIfExpired("stall");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    tok.throwIfExpired("stall");
+    return okLine("stalled ms=" + std::to_string(ms));
+}
+
+std::string
+Server::handleMetrics()
+{
+    const std::string json =
+        obs::MetricsRegistry::global().scrapeJson();
+    return "OK metrics nbytes=" + std::to_string(json.size()) +
+           "\n" + json;
+}
+
+void
+Server::drain()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+
+    // Answer pipelined requests already buffered on idle connections
+    // with a typed refusal, then close everything that is not busy.
+    std::vector<std::shared_ptr<Conn>> idle, busy;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (auto &[fd, c] : conns_) {
+            if (c->state == Conn::State::Busy)
+                busy.push_back(c);
+            else
+                idle.push_back(c);
+        }
+    }
+    for (auto &c : idle) {
+        writeConn(c, errLine(ErrCode::ShuttingDown, "draining"));
+        closeConn(c);
+    }
+
+    // Give in-flight requests drain_timeout to finish naturally...
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_drain_.wait_for(lk, cfg_.drain_timeout,
+                           [&] { return inflight_ == 0; });
+        if (inflight_ > 0) {
+            // ...then cancel their tokens; every trial loop stops at
+            // its next block boundary and answers ERR CANCELLED.
+            for (auto &[fd, c] : conns_)
+                c->cancel.cancel();
+            cv_drain_.wait(lk, [&] { return inflight_ == 0; });
+        }
+    }
+    pool_.waitTasksIdle();
+
+    {
+        std::vector<std::shared_ptr<Conn>> rest;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            for (auto &[fd, c] : conns_)
+                rest.push_back(c);
+        }
+        for (auto &c : rest)
+            closeConn(c);
+    }
+
+    serveMetrics().drain_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+}
+
+} // namespace ar::serve

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * archriskd: a fault-isolated, back-pressured risk-analysis daemon.
+ *
+ * One event-loop thread owns the listening socket and every
+ * connection's read side; a bounded ThreadPool task queue executes
+ * requests.  The robustness properties are structural:
+ *
+ *  - Admission control: a request only enters the system through
+ *    ThreadPool::trySubmit on a bounded queue.  When the queue is
+ *    full the client gets "ERR OVERLOADED" immediately -- the
+ *    acceptor never blocks and never buffers unbounded work.
+ *  - Per-request deadlines: every request carries a CancelToken
+ *    (explicit deadline_ms parameter or the configured default)
+ *    threaded through PropagationConfig / SweepConfig /
+ *    SensitivityConfig, so a late request stops at the next trial
+ *    block and answers "ERR DEADLINE_EXPIRED" instead of hogging a
+ *    worker.
+ *  - Fault isolation: a request that faults (NaN/Inf under
+ *    FailFast), fails to parse, or exceeds its deadline produces one
+ *    typed ERR line; the worker, the connection, and every
+ *    concurrent request are unaffected.  Results of concurrent
+ *    healthy requests are bit-identical to an unloaded run.
+ *  - Graceful degradation: above a queue-depth watermark, trial
+ *    counts are clamped before requests are rejected outright
+ *    (responses carry degraded=1).
+ *  - Bounded framing: request lines and UPLOAD bodies larger than
+ *    max_request_bytes answer "ERR TOO_LARGE"; idle connections are
+ *    reaped after idle_timeout.
+ *  - Clean drain: requestStop() (async-signal-safe) stops accepting,
+ *    lets in-flight requests finish within drain_timeout, then
+ *    cancels their tokens; awaitTermination() returns once the pool
+ *    is idle and every socket is closed.
+ *
+ * Models are uploaded once (spec text compiled into a Framework with
+ * prewarmed expression caches) and queried many times; concurrent
+ * RUNs on one model only read the caches.
+ */
+
+#ifndef AR_SERVE_SERVER_HH
+#define AR_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spec.hh"
+#include "serve/protocol.hh"
+#include "util/cancel.hh"
+#include "util/thread_pool.hh"
+
+namespace ar::serve
+{
+
+/** Daemon tuning knobs. */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;        ///< 0 = ephemeral (see port()).
+
+    /** Request worker threads; 0 = hardware concurrency. */
+    std::size_t workers = 0;
+
+    /** Bounded request queue; admission control sheds beyond it. */
+    std::size_t queue_capacity = 64;
+
+    /** Largest request line or UPLOAD body accepted. */
+    std::size_t max_request_bytes = 1 << 20;
+
+    /** Hard cap on trials any single request may ask for. */
+    std::size_t max_trials = 1000000;
+
+    /** Reap connections idle longer than this; 0 disables. */
+    std::chrono::milliseconds idle_timeout{30000};
+
+    /** Deadline applied to requests that carry none; 0 = none. */
+    std::chrono::milliseconds default_deadline{0};
+
+    /** How long a drain waits before cancelling in-flight work. */
+    std::chrono::milliseconds drain_timeout{5000};
+
+    /**
+     * Graceful degradation: when the queue holds at least this many
+     * pending requests, clamp trial counts to degrade_trials instead
+     * of running full-size.  0 disables degradation.
+     */
+    std::size_t degrade_watermark = 0;
+    std::size_t degrade_trials = 1000;
+
+    /** Enable test-only verbs (STALL).  Never set in production. */
+    bool test_verbs = false;
+};
+
+/** The archriskd server.  start() to run, requestStop() to drain. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and spawn the event-loop thread.  Fatal when the
+     * address cannot be bound.  After start(), port() reports the
+     * actual port (useful with cfg.port = 0).
+     */
+    void start();
+
+    /** @return the bound port; valid after start(). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Begin a graceful drain: stop accepting, finish in-flight
+     * requests (up to drain_timeout, then cancel their tokens), shut
+     * the loop down.  Async-signal-safe (an atomic store plus one
+     * pipe write), so it can be called from a SIGTERM handler.
+     * Idempotent.
+     */
+    void requestStop();
+
+    /**
+     * Block until the event loop has fully drained and exited.
+     * @return 0 on a clean drain.
+     */
+    int awaitTermination();
+
+    /** @return requests currently queued or executing (for tests). */
+    std::size_t inflight() const;
+
+  private:
+    struct Conn;
+    struct Model;
+
+    void loopThread();
+    void acceptReady();
+    void readReady(const std::shared_ptr<Conn> &c);
+    void processInput(const std::shared_ptr<Conn> &c);
+    void dispatch(const std::shared_ptr<Conn> &c, Request req);
+    void finishRequest(const std::shared_ptr<Conn> &c,
+                       const std::string &response, bool close);
+    bool writeConn(const std::shared_ptr<Conn> &c,
+                   const std::string &data);
+    void closeConn(const std::shared_ptr<Conn> &c);
+    void wake();
+    void drain();
+
+    std::string execute(const Request &req,
+                        const ar::util::CancelToken &tok,
+                        bool degraded);
+    std::string handleUpload(const Request &req);
+    std::string handleRun(const Request &req,
+                          const ar::util::CancelToken &tok,
+                          bool degraded);
+    std::string handleSweep(const Request &req,
+                            const ar::util::CancelToken &tok,
+                            bool degraded);
+    std::string handleSens(const Request &req,
+                           const ar::util::CancelToken &tok,
+                           bool degraded);
+    std::string handleStall(const Request &req,
+                            const ar::util::CancelToken &tok);
+    std::string handleMetrics();
+
+    std::shared_ptr<Model> findModel(const std::string &name);
+    std::size_t clampTrials(std::uint64_t requested,
+                            bool degraded) const;
+
+    ServerConfig cfg_;
+    ar::util::ThreadPool pool_;
+    std::uint16_t port_ = 0;
+
+    int listen_fd_ = -1;
+    int wake_r_ = -1, wake_w_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> started_{false};
+    std::thread loop_;
+
+    mutable std::mutex m_;       ///< Conn states + inflight count.
+    std::condition_variable cv_drain_;
+    std::map<int, std::shared_ptr<Conn>> conns_;
+    std::size_t inflight_ = 0;
+
+    std::mutex models_m_;
+    std::map<std::string, std::shared_ptr<Model>> models_;
+};
+
+} // namespace ar::serve
+
+#endif // AR_SERVE_SERVER_HH

@@ -1,0 +1,60 @@
+#include "util/cancel.hh"
+
+namespace ar::util
+{
+
+const char *
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::None:
+        return "none";
+      case CancelReason::Cancelled:
+        return "cancelled";
+      case CancelReason::DeadlineExpired:
+        return "deadline-expired";
+    }
+    return "unknown";
+}
+
+CancelledError::CancelledError(CancelReason reason,
+                               const std::string &detail)
+    : FatalError(detail), reason_(reason)
+{
+}
+
+void
+CancelToken::throwIfExpired(const char *what) const
+{
+    const CancelReason reason = check();
+    if (reason == CancelReason::None)
+        return;
+    throw CancelledError(
+        reason, std::string(what) + ": " +
+                    (reason == CancelReason::DeadlineExpired
+                         ? "deadline expired"
+                         : "cancelled"));
+}
+
+CancelToken
+CancelToken::create()
+{
+    return CancelToken(std::make_shared<State>());
+}
+
+CancelToken
+CancelToken::withDeadline(Clock::time_point deadline)
+{
+    auto state = std::make_shared<State>();
+    state->has_deadline = true;
+    state->deadline = deadline;
+    return CancelToken(std::move(state));
+}
+
+CancelToken
+CancelToken::withTimeout(std::chrono::nanoseconds budget)
+{
+    return withDeadline(Clock::now() + budget);
+}
+
+} // namespace ar::util

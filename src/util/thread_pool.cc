@@ -1,9 +1,11 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "util/logging.hh"
 
 namespace ar::util
 {
@@ -11,8 +13,8 @@ namespace ar::util
 namespace
 {
 
-/// Set while a thread executes a job body; nested parallelFor calls
-/// detect it and run inline instead of re-entering the pool.
+/// Set while a thread executes a job or task body; nested parallelFor
+/// calls detect it and run inline instead of re-entering the pool.
 thread_local bool tl_in_job = false;
 
 struct PoolMetrics
@@ -21,6 +23,10 @@ struct PoolMetrics
         obs::MetricsRegistry::global().counter("pool.jobs");
     obs::Counter indices =
         obs::MetricsRegistry::global().counter("pool.indices");
+    obs::Counter tasks =
+        obs::MetricsRegistry::global().counter("pool.tasks");
+    obs::Counter task_errors =
+        obs::MetricsRegistry::global().counter("pool.task_errors");
     obs::Histogram task_us = obs::MetricsRegistry::global().histogram(
         "pool.task_us",
         {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 50000.0,
@@ -84,9 +90,16 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    std::size_t dropped = 0;
     {
         std::lock_guard<std::mutex> lk(m);
         shutting_down = true;
+        dropped = tasks.size();
+        tasks.clear();
+    }
+    if (dropped > 0) {
+        warn("ThreadPool: destroyed with ", dropped,
+             " queued task(s) never run");
     }
     cv_start.notify_all();
     for (auto &w : workers)
@@ -114,11 +127,38 @@ ThreadPool::global()
 }
 
 void
+ThreadPool::recordCancellation(CancelReason reason)
+{
+    const std::size_t done =
+        done_count.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(err_m);
+    if (!first_error) {
+        first_error = std::make_exception_ptr(CancelledError(
+            reason,
+            std::string("parallel loop ") +
+                (reason == CancelReason::DeadlineExpired
+                     ? "deadline expired"
+                     : "cancelled") +
+                " after " + std::to_string(done) + " of " +
+                std::to_string(job_n) + " work items"));
+    }
+    aborted.store(true, std::memory_order_relaxed);
+}
+
+void
 ThreadPool::runJob()
 {
     tl_in_job = true;
     const bool metrics = obs::metricsEnabled();
+    const bool cancellable = job_cancel.cancellable();
     for (;;) {
+        if (cancellable) {
+            const CancelReason reason = job_cancel.check();
+            if (reason != CancelReason::None) {
+                recordCancellation(reason);
+                break;
+            }
+        }
         const std::size_t i =
             next_index.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_n || aborted.load(std::memory_order_relaxed))
@@ -126,6 +166,8 @@ ThreadPool::runJob()
         const std::uint64_t t0 = metrics ? obs::detail::nowNs() : 0;
         try {
             (*job_body)(i);
+            if (cancellable)
+                done_count.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
             std::lock_guard<std::mutex> lk(err_m);
             if (!first_error)
@@ -142,33 +184,75 @@ ThreadPool::runJob()
 }
 
 void
+ThreadPool::runTask(std::function<void()> &task)
+{
+    // Submitted tasks are independent units of work (e.g. server
+    // requests); nothing upstream can catch what they throw, so the
+    // pool contains escaping exceptions instead of letting them
+    // std::terminate the process.  Tasks that care about errors must
+    // handle them internally.
+    tl_in_job = true;
+    if (obs::metricsEnabled())
+        poolMetrics().tasks.add();
+    try {
+        task();
+    } catch (const std::exception &e) {
+        if (obs::metricsEnabled())
+            poolMetrics().task_errors.add();
+        warn("ThreadPool: submitted task failed: ", e.what());
+    } catch (...) {
+        if (obs::metricsEnabled())
+            poolMetrics().task_errors.add();
+        warn("ThreadPool: submitted task failed with a non-standard "
+             "exception");
+    }
+    tl_in_job = false;
+}
+
+void
 ThreadPool::workerLoop()
 {
     std::unique_lock<std::mutex> lk(m);
     std::uint64_t seen = 0;
     for (;;) {
         cv_start.wait(lk, [&] {
-            return shutting_down || generation != seen;
+            return shutting_down ||
+                   (job_open && generation != seen &&
+                    workers_joined < workers_wanted) ||
+                   !tasks.empty();
         });
         if (shutting_down)
             return;
-        seen = generation;
-        if (workers_joined >= workers_wanted)
-            continue; // this job already has enough hands
-        ++workers_joined;
-        ++workers_active;
-        lk.unlock();
-        runJob();
-        lk.lock();
-        --workers_active;
-        cv_done.notify_all();
+        if (job_open && generation != seen &&
+            workers_joined < workers_wanted) {
+            seen = generation;
+            ++workers_joined;
+            ++workers_active;
+            lk.unlock();
+            runJob();
+            lk.lock();
+            --workers_active;
+            cv_done.notify_all();
+            continue;
+        }
+        if (!tasks.empty()) {
+            std::function<void()> task = std::move(tasks.front());
+            tasks.pop_front();
+            ++tasks_running;
+            lk.unlock();
+            runTask(task);
+            lk.lock();
+            --tasks_running;
+            cv_tasks.notify_all();
+        }
     }
 }
 
 void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body,
-                        std::size_t max_concurrency)
+                        std::size_t max_concurrency,
+                        CancelToken cancel)
 {
     if (n == 0)
         return;
@@ -178,8 +262,24 @@ ThreadPool::parallelFor(std::size_t n,
     effective = std::min(effective, n);
 
     if (effective <= 1 || tl_in_job) {
-        for (std::size_t i = 0; i < n; ++i)
+        const bool cancellable = cancel.cancellable();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cancellable) {
+                const CancelReason reason = cancel.check();
+                if (reason != CancelReason::None) {
+                    throw CancelledError(
+                        reason,
+                        std::string("parallel loop ") +
+                            (reason ==
+                                     CancelReason::DeadlineExpired
+                                 ? "deadline expired"
+                                 : "cancelled") +
+                            " after " + std::to_string(i) + " of " +
+                            std::to_string(n) + " work items");
+                }
+            }
             body(i);
+        }
         return;
     }
 
@@ -197,12 +297,15 @@ ThreadPool::parallelFor(std::size_t n,
     std::lock_guard<std::mutex> serial(job_serial_m);
     {
         std::lock_guard<std::mutex> lk(m);
+        job_open = true;
         job_body = &body;
         job_n = n;
+        job_cancel = cancel;
         workers_wanted = effective - 1;
         workers_joined = 0;
         workers_active = 0;
         next_index.store(0, std::memory_order_relaxed);
+        done_count.store(0, std::memory_order_relaxed);
         aborted.store(false, std::memory_order_relaxed);
         first_error = nullptr;
         ++generation;
@@ -210,12 +313,21 @@ ThreadPool::parallelFor(std::size_t n,
     cv_start.notify_all();
     runJob(); // the caller is one of the job's threads
 
+    // Workers that were busy with queued tasks when the job opened
+    // may never join; completion is "every index claimed (or the job
+    // aborted) and no joined worker still running", not "all wanted
+    // workers joined".  A straggler that joins afterwards sees
+    // job_open false (or an exhausted index counter) and backs off
+    // without touching stale job state.
     std::unique_lock<std::mutex> lk(m);
     cv_done.wait(lk, [&] {
-        return workers_joined == workers_wanted &&
+        return (aborted.load(std::memory_order_relaxed) ||
+                next_index.load(std::memory_order_relaxed) >= job_n) &&
                workers_active == 0;
     });
+    job_open = false;
     job_body = nullptr;
+    job_cancel = CancelToken();
     if (first_error) {
         std::exception_ptr err = first_error;
         first_error = nullptr;
@@ -224,12 +336,81 @@ ThreadPool::parallelFor(std::size_t n,
     }
 }
 
+ThreadPool::Submit
+ThreadPool::trySubmit(std::function<void()> task)
+{
+    if (workers.empty()) {
+        fatal("ThreadPool::trySubmit: pool has no worker threads "
+              "(size() must be >= 2), task would never run");
+    }
+    {
+        std::lock_guard<std::mutex> lk(m);
+        if (shutting_down)
+            return Submit::ShuttingDown;
+        if (tasks.size() >= task_capacity)
+            return Submit::Overloaded;
+        tasks.push_back(std::move(task));
+    }
+    cv_start.notify_one();
+    return Submit::Queued;
+}
+
+void
+ThreadPool::setTaskCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lk(m);
+    task_capacity = capacity == 0 ? 1 : capacity;
+}
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return tasks.size();
+}
+
+std::size_t
+ThreadPool::runningTasks() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return tasks_running;
+}
+
+std::size_t
+ThreadPool::cancelPendingTasks()
+{
+    std::lock_guard<std::mutex> lk(m);
+    const std::size_t dropped = tasks.size();
+    tasks.clear();
+    cv_tasks.notify_all();
+    return dropped;
+}
+
+void
+ThreadPool::waitTasksIdle()
+{
+    std::unique_lock<std::mutex> lk(m);
+    cv_tasks.wait(lk, [&] {
+        return tasks.empty() && tasks_running == 0;
+    });
+}
+
 void
 parallelFor(std::size_t threads, std::size_t n,
             const std::function<void(std::size_t)> &body)
 {
     ThreadPool::global().parallelFor(
         n, body, ThreadPool::resolveThreads(threads));
+}
+
+void
+parallelFor(std::size_t threads, std::size_t n,
+            const std::function<void(std::size_t)> &body,
+            CancelToken cancel)
+{
+    ThreadPool::global().parallelFor(
+        n, body, ThreadPool::resolveThreads(threads),
+        std::move(cancel));
 }
 
 } // namespace ar::util

@@ -1,18 +1,37 @@
 /**
  * @file
- * A small reusable worker pool for deterministic data parallelism.
+ * A small reusable worker pool for deterministic data parallelism
+ * and bounded asynchronous task execution.
  *
- * The pool only runs index-based jobs: parallelFor(n, body) invokes
- * body(i) exactly once for every i in [0, n), with dynamic load
- * balancing over a shared atomic counter.  Determinism is a property
- * of the decomposition, not the scheduler: as long as body(i) depends
- * only on i (per-block RNG substreams, disjoint output slices), the
- * result is bit-identical for any thread count, including 1.
+ * Two modes share one set of worker threads:
  *
- * The calling thread always participates, so a pool adds
- * (workers - 1) threads of concurrency.  Nested parallelFor calls
- * from inside a job body run inline on the worker that issued them,
- * which keeps the pool deadlock-free under composition.
+ *  - parallelFor(n, body) invokes body(i) exactly once for every i in
+ *    [0, n), with dynamic load balancing over a shared atomic
+ *    counter.  Determinism is a property of the decomposition, not
+ *    the scheduler: as long as body(i) depends only on i (per-block
+ *    RNG substreams, disjoint output slices), the result is
+ *    bit-identical for any thread count, including 1.  An optional
+ *    CancelToken is polled as indices are claimed, so a cancelled or
+ *    deadline-expired loop stops within one work item and rethrows
+ *    CancelledError on the caller.
+ *
+ *  - trySubmit(task) enqueues an independent task on a *bounded*
+ *    queue.  When the queue is full the call returns Overloaded
+ *    immediately instead of blocking -- the admission-control
+ *    primitive a server needs to shed load before it degrades.  A
+ *    task that throws never kills its worker (or the process): the
+ *    exception is contained, reported through warn(), and the worker
+ *    moves on.  Tasks run with the nested-parallelism flag set, so a
+ *    task body calling parallelFor runs that loop inline -- requests
+ *    parallelize across each other, not within themselves.
+ *
+ * The calling thread always participates in parallelFor, so a pool
+ * adds (workers - 1) threads of concurrency.  Nested parallelFor
+ * calls from inside a job or task body run inline on the worker that
+ * issued them, which keeps the pool deadlock-free under composition.
+ * The first exception thrown by any parallelFor body is rethrown on
+ * the calling thread (remaining indices are skipped); an escaping
+ * exception never terminates the process.
  */
 
 #ifndef AR_UTIL_THREAD_POOL_HH
@@ -21,19 +40,30 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hh"
+
 namespace ar::util
 {
 
-/** Persistent worker pool executing index-based parallel loops. */
+/** Persistent worker pool: parallel loops + bounded async tasks. */
 class ThreadPool
 {
   public:
+    /** Outcome of a trySubmit() admission attempt. */
+    enum class Submit : std::uint8_t
+    {
+        Queued,       ///< Task accepted and will run.
+        Overloaded,   ///< Task queue at capacity; caller must shed.
+        ShuttingDown, ///< Pool is being destroyed.
+    };
+
     /**
      * @param threads Total concurrency including the caller;
      *        0 means hardware concurrency.
@@ -59,10 +89,46 @@ class ThreadPool
      * @param max_concurrency Cap on threads used for this job
      *        (0 = pool size).  The cap changes scheduling only, never
      *        results.
+     * @param cancel Optional token polled as indices are claimed;
+     *        when it trips, no further index starts and
+     *        CancelledError is thrown on the calling thread.
+     *        Indices already running are not interrupted, so
+     *        cancellation latency is one work item.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body,
-                     std::size_t max_concurrency = 0);
+                     std::size_t max_concurrency = 0,
+                     CancelToken cancel = {});
+
+    /**
+     * Bounded, non-blocking task submission (see file comment).
+     * Requires a pool with at least one worker thread (size() >= 2);
+     * submitting to a single-threaded pool is fatal, because nothing
+     * would ever run the task.
+     *
+     * @param task Independent unit of work; exceptions it throws are
+     *        contained and reported, never propagated.
+     * @return Queued, or Overloaded / ShuttingDown without queuing.
+     */
+    Submit trySubmit(std::function<void()> task);
+
+    /** Cap on queued (not yet running) tasks; default 1024. */
+    void setTaskCapacity(std::size_t capacity);
+
+    /** @return tasks queued and not yet picked up by a worker. */
+    std::size_t pendingTasks() const;
+
+    /** @return tasks currently executing on workers. */
+    std::size_t runningTasks() const;
+
+    /**
+     * Drop every queued (not yet running) task.
+     * @return how many were dropped.
+     */
+    std::size_t cancelPendingTasks();
+
+    /** Block until the task queue is empty and no task is running. */
+    void waitTasksIdle();
 
     /** @return the process-wide pool (hardware concurrency). */
     static ThreadPool &global();
@@ -76,23 +142,34 @@ class ThreadPool
   private:
     void workerLoop();
     void runJob();
+    void runTask(std::function<void()> &task);
+    void recordCancellation(CancelReason reason);
 
     std::vector<std::thread> workers;
 
-    std::mutex m;
+    mutable std::mutex m;
     std::condition_variable cv_start;
     std::condition_variable cv_done;
+    std::condition_variable cv_tasks;
     std::uint64_t generation = 0;
     bool shutting_down = false;
 
     // State of the in-flight job; guarded by m except the counters.
+    bool job_open = false;
     const std::function<void(std::size_t)> *job_body = nullptr;
     std::size_t job_n = 0;
     std::size_t workers_wanted = 0;
     std::size_t workers_joined = 0;
     std::size_t workers_active = 0;
+    CancelToken job_cancel;
     std::atomic<std::size_t> next_index{0};
+    std::atomic<std::size_t> done_count{0};
     std::atomic<bool> aborted{false};
+
+    // Bounded async task queue; guarded by m.
+    std::deque<std::function<void()>> tasks;
+    std::size_t task_capacity = 1024;
+    std::size_t tasks_running = 0;
 
     std::mutex err_m;
     std::exception_ptr first_error;
@@ -107,6 +184,11 @@ class ThreadPool
  */
 void parallelFor(std::size_t threads, std::size_t n,
                  const std::function<void(std::size_t)> &body);
+
+/** As above, with a cancellation token polled between work items. */
+void parallelFor(std::size_t threads, std::size_t n,
+                 const std::function<void(std::size_t)> &body,
+                 CancelToken cancel);
 
 } // namespace ar::util
 

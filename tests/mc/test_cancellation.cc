@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Cancellation semantics of the Monte-Carlo engines: a cancelled or
+ * deadline-expired run throws CancelledError without corrupting
+ * anything, and -- the determinism contract -- re-running the same
+ * seed afterwards with a fresh Rng is bit-identical to a run that was
+ * never cancelled, at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "dist/distribution.hh"
+#include "dist/normal.hh"
+#include "mc/propagator.hh"
+#include "mc/sensitivity.hh"
+#include "symbolic/parser.hh"
+#include "util/cancel.hh"
+
+namespace mc = ar::mc;
+namespace d = ar::dist;
+using ar::symbolic::CompiledExpr;
+using ar::symbolic::parseExpr;
+using ar::util::CancelledError;
+using ar::util::CancelReason;
+using ar::util::CancelToken;
+
+namespace
+{
+
+/**
+ * Forwards every call to an inner distribution but trips a
+ * CancelToken once a fixed number of draws has been made -- a
+ * deterministic way to cancel a propagation "mid-flight" regardless
+ * of machine speed.
+ */
+class CancelAfterDraws : public d::Distribution
+{
+  public:
+    CancelAfterDraws(d::DistPtr inner, CancelToken tok,
+                     std::size_t after)
+        : inner_(std::move(inner)), tok_(std::move(tok)),
+          after_(after)
+    {}
+
+    double
+    sample(ar::util::Rng &rng) const override
+    {
+        bump(1);
+        return inner_->sample(rng);
+    }
+
+    double
+    sampleFromUniform(double u) const override
+    {
+        bump(1);
+        return inner_->sampleFromUniform(u);
+    }
+
+    void
+    sampleFromUniformBatch(const double *u, double *out,
+                           std::size_t n) const override
+    {
+        bump(n);
+        inner_->sampleFromUniformBatch(u, out, n);
+    }
+
+    double mean() const override { return inner_->mean(); }
+    double stddev() const override { return inner_->stddev(); }
+    double cdf(double x) const override { return inner_->cdf(x); }
+    double quantile(double p) const override
+    {
+        return inner_->quantile(p);
+    }
+    std::string describe() const override
+    {
+        return inner_->describe();
+    }
+    std::unique_ptr<Distribution> clone() const override
+    {
+        return std::make_unique<CancelAfterDraws>(inner_, tok_,
+                                                  after_);
+    }
+
+  private:
+    void
+    bump(std::size_t n) const
+    {
+        if (draws_.fetch_add(n) + n >= after_)
+            tok_.cancel();
+    }
+
+    d::DistPtr inner_;
+    CancelToken tok_;
+    std::size_t after_;
+    mutable std::atomic<std::size_t> draws_{0};
+};
+
+mc::InputBindings
+bindingsWith(d::DistPtr x_dist)
+{
+    mc::InputBindings in;
+    in.uncertain["x"] = std::move(x_dist);
+    in.fixed["y"] = 10.0;
+    return in;
+}
+
+} // namespace
+
+class CancelDeterminism : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Threads, CancelDeterminism,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST_P(CancelDeterminism, CancelledRunRetriesBitIdentical)
+{
+    const std::size_t threads = GetParam();
+    const std::uint64_t seed = 42;
+    const std::size_t trials = 4096;
+    CompiledExpr fn(parseExpr("3 * x + y"));
+    const auto normal = std::make_shared<d::Normal>(2.0, 0.5);
+
+    // Reference: never cancelled.
+    mc::PropagationConfig ref_cfg;
+    ref_cfg.trials = trials;
+    ref_cfg.threads = threads;
+    std::vector<double> reference;
+    {
+        ar::util::Rng rng(seed);
+        reference = mc::Propagator(ref_cfg).run(
+            fn, bindingsWith(normal), rng);
+    }
+
+    // First attempt: the x distribution cancels the token after 100
+    // draws, so the run dies mid-flight.
+    CancelToken tok = CancelToken::create();
+    mc::PropagationConfig cancel_cfg = ref_cfg;
+    cancel_cfg.cancel = tok;
+    {
+        ar::util::Rng rng(seed);
+        const auto cancelling = std::make_shared<CancelAfterDraws>(
+            normal, tok, 100);
+        EXPECT_THROW(mc::Propagator(cancel_cfg)
+                         .run(fn, bindingsWith(cancelling), rng),
+                     CancelledError);
+    }
+
+    // Retry: fresh Rng from the same seed, clean token.  The
+    // cancelled attempt must have left no trace -- the retry is
+    // bit-identical to the never-cancelled reference.
+    {
+        ar::util::Rng rng(seed);
+        const auto retry = mc::Propagator(ref_cfg).run(
+            fn, bindingsWith(normal), rng);
+        ASSERT_EQ(retry.size(), reference.size());
+        for (std::size_t t = 0; t < retry.size(); ++t)
+            ASSERT_EQ(retry[t], reference[t])
+                << "trial " << t << " differs after retry";
+    }
+}
+
+TEST_P(CancelDeterminism, DeadlineExpiryRetriesBitIdentical)
+{
+    const std::size_t threads = GetParam();
+    const std::uint64_t seed = 7;
+    CompiledExpr fn(parseExpr("3 * x + y"));
+    const auto normal = std::make_shared<d::Normal>(2.0, 0.5);
+
+    mc::PropagationConfig cfg;
+    cfg.trials = 2048;
+    cfg.threads = threads;
+    std::vector<double> reference;
+    {
+        ar::util::Rng rng(seed);
+        reference =
+            mc::Propagator(cfg).run(fn, bindingsWith(normal), rng);
+    }
+
+    // An already-expired deadline: the run must throw with the
+    // deadline reason before completing.
+    mc::PropagationConfig late = cfg;
+    late.cancel = CancelToken::withDeadline(
+        CancelToken::Clock::now() - std::chrono::milliseconds(1));
+    {
+        ar::util::Rng rng(seed);
+        try {
+            mc::Propagator(late).run(fn, bindingsWith(normal), rng);
+            FAIL() << "expected CancelledError";
+        } catch (const CancelledError &e) {
+            EXPECT_EQ(e.reason(), CancelReason::DeadlineExpired);
+        }
+    }
+
+    {
+        ar::util::Rng rng(seed);
+        const auto retry =
+            mc::Propagator(cfg).run(fn, bindingsWith(normal), rng);
+        ASSERT_EQ(retry.size(), reference.size());
+        for (std::size_t t = 0; t < retry.size(); ++t)
+            ASSERT_EQ(retry[t], reference[t]);
+    }
+}
+
+TEST(SensitivityCancel, PreExpiredDeadlineThrows)
+{
+    CompiledExpr fn(parseExpr("3 * x + y"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(2.0, 0.5);
+    in.uncertain["y"] = std::make_shared<d::Normal>(5.0, 1.0);
+
+    mc::SensitivityConfig cfg;
+    cfg.trials = 512;
+    cfg.cancel = CancelToken::withDeadline(
+        CancelToken::Clock::now() - std::chrono::milliseconds(1));
+    ar::util::Rng rng(3);
+    EXPECT_THROW(mc::sobolIndices(fn, in, cfg, rng),
+                 CancelledError);
+
+    // And the engine still works with a live token afterwards.
+    mc::SensitivityConfig ok = cfg;
+    ok.cancel = CancelToken();
+    ar::util::Rng rng2(3);
+    const auto res = mc::sobolIndices(fn, in, ok, rng2);
+    EXPECT_EQ(res.indices.size(), 2u);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the archriskd line protocol: request parsing, typed
+ * error rendering, and the sanitization that keeps every response a
+ * single line.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hh"
+
+using ar::serve::ErrCode;
+using ar::serve::errCodeName;
+using ar::serve::errLine;
+using ar::serve::okLine;
+using ar::serve::parseRequestLine;
+using ar::serve::ProtocolError;
+using ar::serve::Request;
+using ar::serve::sanitize;
+
+TEST(ParseRequestLine, PlainVerb)
+{
+    const Request req = parseRequestLine("PING");
+    EXPECT_EQ(req.verb, "PING");
+    EXPECT_TRUE(req.args.empty());
+    EXPECT_TRUE(req.params.empty());
+}
+
+TEST(ParseRequestLine, VerbIsCaseInsensitive)
+{
+    EXPECT_EQ(parseRequestLine("ping").verb, "PING");
+    EXPECT_EQ(parseRequestLine("Run m").verb, "RUN");
+}
+
+TEST(ParseRequestLine, PositionalsAndParamsSeparate)
+{
+    const Request req =
+        parseRequestLine("RUN mymodel trials=5000 seed=42");
+    EXPECT_EQ(req.verb, "RUN");
+    ASSERT_EQ(req.args.size(), 1u);
+    EXPECT_EQ(req.args[0], "mymodel");
+    EXPECT_EQ(req.get("trials"), "5000");
+    EXPECT_EQ(req.get("seed"), "42");
+    EXPECT_TRUE(req.has("trials"));
+    EXPECT_FALSE(req.has("deadline_ms"));
+}
+
+TEST(ParseRequestLine, ValueMayContainEquals)
+{
+    const Request req = parseRequestLine("SWEEP app=a=b");
+    EXPECT_EQ(req.get("app"), "a=b");
+}
+
+TEST(ParseRequestLine, LeadingEqualsIsPositional)
+{
+    // "=x" has no key; it is a positional token, not a parameter.
+    const Request req = parseRequestLine("RUN =x");
+    ASSERT_EQ(req.args.size(), 1u);
+    EXPECT_EQ(req.args[0], "=x");
+}
+
+TEST(ParseRequestLine, RepeatedWhitespaceCollapses)
+{
+    const Request req =
+        parseRequestLine("RUN   model   trials=10");
+    ASSERT_EQ(req.args.size(), 1u);
+    EXPECT_EQ(req.args[0], "model");
+    EXPECT_EQ(req.get("trials"), "10");
+}
+
+TEST(ParseRequestLine, EmptyLineThrowsBadRequest)
+{
+    try {
+        parseRequestLine("");
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadRequest);
+    }
+}
+
+TEST(ParseRequestLine, UnknownVerbThrowsBadRequest)
+{
+    try {
+        parseRequestLine("FROBNICATE now");
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadRequest);
+    }
+}
+
+TEST(RequestNumbers, GetU64ParsesAndFallsBack)
+{
+    const Request req = parseRequestLine("RUN m trials=5000");
+    EXPECT_EQ(req.getU64("trials", 1), 5000u);
+    EXPECT_EQ(req.getU64("seed", 7), 7u);
+}
+
+TEST(RequestNumbers, MalformedU64ThrowsBadRequest)
+{
+    for (const char *line :
+         {"RUN m trials=abc", "RUN m trials=-3", "RUN m trials=1.5",
+          "RUN m trials="}) {
+        const Request req = parseRequestLine(line);
+        try {
+            req.getU64("trials", 1);
+            FAIL() << "expected ProtocolError for: " << line;
+        } catch (const ProtocolError &e) {
+            EXPECT_EQ(e.code(), ErrCode::BadRequest);
+        }
+    }
+}
+
+TEST(RequestNumbers, GetDoubleParsesAndFallsBack)
+{
+    const Request req = parseRequestLine("SWEEP sigma=0.25");
+    EXPECT_DOUBLE_EQ(req.getDouble("sigma", 0.1), 0.25);
+    EXPECT_DOUBLE_EQ(req.getDouble("absent", 0.5), 0.5);
+}
+
+TEST(RequestNumbers, MalformedDoubleThrowsBadRequest)
+{
+    for (const char *line :
+         {"SWEEP sigma=zero", "SWEEP sigma=0.1x", "SWEEP sigma="}) {
+        const Request req = parseRequestLine(line);
+        try {
+            req.getDouble("sigma", 0.1);
+            FAIL() << "expected ProtocolError for: " << line;
+        } catch (const ProtocolError &e) {
+            EXPECT_EQ(e.code(), ErrCode::BadRequest);
+        }
+    }
+}
+
+TEST(ErrCodeNames, WireTokensAreStable)
+{
+    EXPECT_STREQ(errCodeName(ErrCode::BadRequest), "BAD_REQUEST");
+    EXPECT_STREQ(errCodeName(ErrCode::TooLarge), "TOO_LARGE");
+    EXPECT_STREQ(errCodeName(ErrCode::Parse), "PARSE");
+    EXPECT_STREQ(errCodeName(ErrCode::UnknownModel),
+                 "UNKNOWN_MODEL");
+    EXPECT_STREQ(errCodeName(ErrCode::Overloaded), "OVERLOADED");
+    EXPECT_STREQ(errCodeName(ErrCode::DeadlineExpired),
+                 "DEADLINE_EXPIRED");
+    EXPECT_STREQ(errCodeName(ErrCode::Cancelled), "CANCELLED");
+    EXPECT_STREQ(errCodeName(ErrCode::Fault), "FAULT");
+    EXPECT_STREQ(errCodeName(ErrCode::ShuttingDown),
+                 "SHUTTING_DOWN");
+    EXPECT_STREQ(errCodeName(ErrCode::Internal), "INTERNAL");
+}
+
+TEST(Rendering, ErrLineFormat)
+{
+    EXPECT_EQ(errLine(ErrCode::Overloaded, "queue full"),
+              "ERR OVERLOADED queue full\n");
+}
+
+TEST(Rendering, OkLineFormat)
+{
+    EXPECT_EQ(okLine("run mean=1.5"), "OK run mean=1.5\n");
+}
+
+TEST(Rendering, ControlCharactersNeverSplitTheLine)
+{
+    // A spec parse diagnostic contains newlines and a caret line;
+    // the wire rendering must stay one line.
+    const std::string msg = errLine(
+        ErrCode::Parse, "line 2:\n  bad token\n  ^~~\ttab");
+    EXPECT_EQ(msg.find('\n'), msg.size() - 1);
+    EXPECT_EQ(msg.find('\t'), std::string::npos);
+    EXPECT_EQ(msg.find('\r'), std::string::npos);
+}
+
+TEST(Rendering, SanitizeReplacesControlsWithSpaces)
+{
+    EXPECT_EQ(sanitize("a\nb\rc\td"), "a b c d");
+    EXPECT_EQ(sanitize("plain text"), "plain text");
+    EXPECT_EQ(sanitize(std::string("x\x7f") + "y"), "x y");
+}

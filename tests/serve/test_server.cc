@@ -1,0 +1,622 @@
+/**
+ * @file
+ * In-process integration tests for archriskd: a real Server on an
+ * ephemeral port, driven through real sockets.  The fault-injection
+ * matrix (overload, deadline, faulting request, garbage frames,
+ * drain) runs at 1, 2, and 8 workers; every failure mode must be a
+ * typed one-line answer, never a hang, and a faulting request must
+ * not perturb the bit-identical result of a concurrent healthy one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/framework.hh"
+#include "core/spec.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+using ar::serve::Server;
+using ar::serve::ServerConfig;
+
+namespace
+{
+
+const char *const kHealthySpec =
+    "Speedup = 1 / (1 - f + f / s)\n"
+    "fixed s 32\n"
+    "uncertain f truncnormal 0.95 0.02 0 1\n"
+    "output Speedup\n"
+    "risk quadratic\n"
+    "trials 2000\n"
+    "seed 7\n";
+
+/** 1 / (x - x) is Inf on every trial: FailFast raises FaultError. */
+const char *const kFaultySpec =
+    "R = 1 / (x - x)\n"
+    "uncertain x normal 1 0.1\n"
+    "output R\n"
+    "risk quadratic\n"
+    "trials 256\n"
+    "seed 3\n";
+
+/** Minimal blocking line-protocol client against 127.0.0.1:port. */
+class Client
+{
+  public:
+    explicit Client(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            throw std::runtime_error(std::string("socket: ") +
+                                     std::strerror(errno));
+        timeval tv{15, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0)
+            throw std::runtime_error(std::string("connect: ") +
+                                     std::strerror(errno));
+    }
+
+    ~Client()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    void
+    send(const std::string &data)
+    {
+        std::size_t off = 0;
+        while (off < data.size()) {
+            const ssize_t n =
+                ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+            ASSERT_GT(n, 0) << std::strerror(errno);
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** @return the next line (terminator stripped), "" on EOF. */
+    std::string
+    readLine()
+    {
+        for (;;) {
+            const auto nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                return line;
+            }
+            if (!fill())
+                return "";
+        }
+    }
+
+    std::string
+    readBytes(std::size_t n)
+    {
+        while (buf_.size() < n) {
+            if (!fill())
+                break;
+        }
+        std::string out = buf_.substr(0, n);
+        buf_.erase(0, std::min(n, buf_.size()));
+        return out;
+    }
+
+    /** @return true when the server closed the connection. */
+    bool
+    atEof()
+    {
+        if (!buf_.empty())
+            return false;
+        return !fill();
+    }
+
+  private:
+    bool
+    fill()
+    {
+        char tmp[4096];
+        const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            return false;
+        buf_.append(tmp, static_cast<std::size_t>(n));
+        return true;
+    }
+
+    int fd_ = -1;
+    std::string buf_;
+};
+
+/** Send an UPLOAD frame and return the response line. */
+std::string
+upload(Client &c, const std::string &name, const std::string &spec)
+{
+    c.send("UPLOAD " + name + " " + std::to_string(spec.size()) +
+           "\n" + spec);
+    return c.readLine();
+}
+
+/** @return the value of " key=..." in a response line ("" absent). */
+std::string
+field(const std::string &line, const std::string &key)
+{
+    const std::string token = " " + key + "=";
+    const auto pos = line.find(token);
+    if (pos == std::string::npos)
+        return "";
+    const auto start = pos + token.size();
+    const auto end = line.find(' ', start);
+    return line.substr(start, end == std::string::npos
+                                  ? std::string::npos
+                                  : end - start);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** The server-side RUN computation, replicated through the public
+ * API: %.17g-formatted mean that the wire response must match
+ * bit-for-bit. */
+std::string
+directMean(const std::string &spec_text)
+{
+    const auto spec = ar::core::parseSpec(spec_text);
+    ar::core::Framework fw(ar::mc::PropagationConfig{
+        spec.trials, "latin-hypercube", 1, spec.fault_policy});
+    fw.setSystem(spec.system);
+    std::map<std::string, double> fixed = spec.bindings.fixed;
+    for (const auto &[input, dist] : spec.bindings.uncertain)
+        fixed[input] = dist->mean();
+    const double ref = fw.evaluateCertain(spec.output, fixed);
+    const auto fn = ar::core::makeRiskFunction(spec.risk);
+    ar::mc::PropagationConfig pc;
+    pc.trials = spec.trials;
+    pc.threads = 1;
+    pc.fault_policy = spec.fault_policy;
+    const auto res = fw.analyze(spec.output, spec.bindings, *fn, ref,
+                                spec.seed, pc);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", res.summary.mean);
+    return buf;
+}
+
+} // namespace
+
+/** Fixture: one live server per test, workers swept over 1/2/8. */
+class ServeTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServerConfig cfg;
+        cfg.workers = GetParam();
+        cfg.test_verbs = true;
+        server_ = std::make_unique<Server>(cfg);
+        server_->start();
+        ASSERT_GT(server_->port(), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_) {
+            server_->requestStop();
+            EXPECT_EQ(server_->awaitTermination(), 0);
+        }
+    }
+
+    std::unique_ptr<Server> server_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, ServeTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST_P(ServeTest, PingPipelinesAndQuits)
+{
+    Client c(server_->port());
+    c.send("PING\n\nping\nQUIT\n");
+    EXPECT_EQ(c.readLine(), "OK pong");
+    EXPECT_EQ(c.readLine(), "OK pong"); // Blank line skipped.
+    EXPECT_EQ(c.readLine(), "OK bye");
+    EXPECT_TRUE(c.atEof());
+}
+
+TEST_P(ServeTest, UploadRunMatchesDirectAnalysisBitForBit)
+{
+    Client c(server_->port());
+    const std::string up = upload(c, "amdahl", kHealthySpec);
+    ASSERT_TRUE(startsWith(up, "OK uploaded")) << up;
+    EXPECT_EQ(field(up, "outputs"), "1");
+
+    c.send("RUN amdahl\n");
+    const std::string r1 = c.readLine();
+    ASSERT_TRUE(startsWith(r1, "OK run")) << r1;
+    EXPECT_EQ(field(r1, "mean"), directMean(kHealthySpec));
+    EXPECT_EQ(field(r1, "faults"), "0");
+    EXPECT_EQ(field(r1, "degraded"), "0");
+
+    // Same seed, same answer: the whole line repeats verbatim.
+    c.send("RUN amdahl\n");
+    EXPECT_EQ(c.readLine(), r1);
+
+    // A different seed changes the estimate.
+    c.send("RUN amdahl seed=99\n");
+    const std::string r3 = c.readLine();
+    ASSERT_TRUE(startsWith(r3, "OK run")) << r3;
+    EXPECT_NE(field(r3, "mean"), field(r1, "mean"));
+}
+
+TEST_P(ServeTest, FaultingRequestIsIsolatedFromHealthyOne)
+{
+    Client healthy(server_->port());
+    Client faulty(server_->port());
+    ASSERT_TRUE(startsWith(upload(healthy, "good", kHealthySpec),
+                           "OK uploaded"));
+    ASSERT_TRUE(startsWith(upload(faulty, "bad", kFaultySpec),
+                           "OK uploaded"));
+
+    // Baseline: the healthy answer with nothing else in the system.
+    healthy.send("RUN good\n");
+    const std::string baseline = healthy.readLine();
+    ASSERT_TRUE(startsWith(baseline, "OK run")) << baseline;
+
+    // Fire both concurrently; the faulting run must answer one typed
+    // ERR line and must not perturb the healthy result by one bit.
+    faulty.send("RUN bad\n");
+    healthy.send("RUN good\n");
+    const std::string fault_resp = faulty.readLine();
+    const std::string healthy_resp = healthy.readLine();
+    EXPECT_TRUE(startsWith(fault_resp, "ERR FAULT")) << fault_resp;
+    EXPECT_EQ(healthy_resp, baseline);
+
+    // The faulting connection (and its worker) both survived.
+    faulty.send("PING\n");
+    EXPECT_EQ(faulty.readLine(), "OK pong");
+    // Discard works as a policy override on the same model; every
+    // trial faults, so Discard leaves nothing and Saturate-free
+    // accounting shows up in the typed response.
+    faulty.send("RUN bad policy=discard\n");
+    const std::string disc = faulty.readLine();
+    // All trials fault: discard leaves an empty sample set, which
+    // handleRun surfaces as either a typed FAULT or a run with zero
+    // effective trials; both are structured, neither is a hang.
+    EXPECT_TRUE(startsWith(disc, "ERR ") ||
+                startsWith(disc, "OK run"))
+        << disc;
+}
+
+TEST_P(ServeTest, DeadlineExpiresWithinOneBlockNotAtCompletion)
+{
+    Client c(server_->port());
+    const auto t0 = std::chrono::steady_clock::now();
+    c.send("STALL 10000 deadline_ms=50\n");
+    const std::string resp = c.readLine();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_TRUE(startsWith(resp, "ERR DEADLINE_EXPIRED")) << resp;
+    // Far below the 10 s the stall asked for: the deadline cut it.
+    EXPECT_LT(elapsed.count(), 5000) << "deadline did not cut the "
+                                        "stall short";
+
+    // The connection answers normally afterwards.
+    c.send("PING\n");
+    EXPECT_EQ(c.readLine(), "OK pong");
+}
+
+TEST_P(ServeTest, RunHonorsDeadline)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    // A million trials cannot finish in a millisecond; the trial
+    // loop must notice at a block boundary and answer typed.
+    c.send("RUN amdahl trials=1000000 deadline_ms=1\n");
+    const std::string resp = c.readLine();
+    EXPECT_TRUE(startsWith(resp, "ERR DEADLINE_EXPIRED")) << resp;
+}
+
+TEST_P(ServeTest, GarbageFramesGetTypedErrorsAndConnSurvives)
+{
+    Client c(server_->port());
+    c.send("FROBNICATE the server\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+
+    c.send("RUN nosuch\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR UNKNOWN_MODEL"));
+
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("RUN amdahl trials=abc\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+    c.send("RUN amdahl deadline_ms=soon\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+    c.send("STALL\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+
+    // After all that abuse the connection still works.
+    c.send("RUN amdahl\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "OK run"));
+}
+
+TEST_P(ServeTest, BadSpecBodyIsAParseError)
+{
+    Client c(server_->port());
+    const std::string resp =
+        upload(c, "broken", "Speedup = 1 / (1 -\noutput Speedup\n");
+    EXPECT_TRUE(startsWith(resp, "ERR PARSE")) << resp;
+    // One line only: embedded diagnostics must not split the frame.
+    c.send("PING\n");
+    EXPECT_EQ(c.readLine(), "OK pong");
+}
+
+TEST_P(ServeTest, MetricsScrapeIsByteCounted)
+{
+    Client c(server_->port());
+    c.send("PING\n");
+    ASSERT_EQ(c.readLine(), "OK pong");
+    c.send("METRICS\n");
+    const std::string head = c.readLine();
+    ASSERT_TRUE(startsWith(head, "OK metrics nbytes=")) << head;
+    const std::size_t nbytes =
+        std::stoul(head.substr(std::string("OK metrics nbytes=")
+                                   .size()));
+    ASSERT_GT(nbytes, 0u);
+    const std::string json = c.readBytes(nbytes);
+    ASSERT_EQ(json.size(), nbytes);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("serve.requests"), std::string::npos);
+    EXPECT_NE(json.find("serve.accepted"), std::string::npos);
+}
+
+TEST_P(ServeTest, SweepAnswersWithKneeAndExtremes)
+{
+    Client c(server_->port());
+    c.send("SWEEP area=32 trials=200 seed=3\n");
+    const std::string resp = c.readLine();
+    ASSERT_TRUE(startsWith(resp, "OK sweep")) << resp;
+    EXPECT_FALSE(field(resp, "designs").empty());
+    EXPECT_FALSE(field(resp, "knee").empty());
+    EXPECT_FALSE(field(resp, "best_perf").empty());
+    EXPECT_FALSE(field(resp, "min_risk").empty());
+
+    c.send("SWEEP sigma=7\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+    c.send("SWEEP app=NOPE\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+}
+
+TEST_P(ServeTest, SensReportsIndicesPerUncertainInput)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("SENS amdahl trials=256\n");
+    const std::string resp = c.readLine();
+    ASSERT_TRUE(startsWith(resp, "OK sens")) << resp;
+    EXPECT_EQ(field(resp, "indices"), "1");
+    // The lone uncertain input f carries Si:STi.
+    EXPECT_NE(field(resp, "f").find(':'), std::string::npos);
+
+    // Same seed twice: bit-identical sensitivity answers too.
+    c.send("SENS amdahl trials=256\n");
+    EXPECT_EQ(c.readLine(), resp);
+}
+
+TEST_P(ServeTest, DrainFinishesInflightWorkThenExitsZero)
+{
+    Client c(server_->port());
+    c.send("STALL 300\n");
+    // Give the request time to reach a worker, then pull the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server_->requestStop();
+    EXPECT_EQ(server_->awaitTermination(), 0);
+    // The in-flight stall completed and was answered before close.
+    EXPECT_EQ(c.readLine(), "OK stalled ms=300");
+    EXPECT_TRUE(c.atEof());
+    server_.reset();
+}
+
+// ---------------------------------------------------------------
+// Non-parameterized tests pinning configs the sweep cannot vary.
+// ---------------------------------------------------------------
+
+TEST(ServeOverload, QueueFullIsATypedRejectionNotAHang)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    cfg.test_verbs = true;
+    Server server(cfg);
+    server.start();
+
+    Client a(server.port());
+    Client b(server.port());
+    Client c(server.port());
+
+    // a occupies the single worker...
+    a.send("STALL 800\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // ...b fills the queue slot...
+    b.send("STALL 10\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // ...so c must be shed immediately with a typed answer.
+    const auto t0 = std::chrono::steady_clock::now();
+    c.send("STALL 10\n");
+    const std::string shed = c.readLine();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_TRUE(startsWith(shed, "ERR OVERLOADED")) << shed;
+    EXPECT_LT(elapsed.count(), 500) << "rejection was not prompt";
+
+    // The queued and running requests were unaffected by the shed.
+    EXPECT_EQ(a.readLine(), "OK stalled ms=800");
+    EXPECT_EQ(b.readLine(), "OK stalled ms=10");
+    // And the shed connection is still usable.
+    c.send("PING\n");
+    EXPECT_EQ(c.readLine(), "OK pong");
+
+    server.requestStop();
+    EXPECT_EQ(server.awaitTermination(), 0);
+}
+
+TEST(ServeFraming, OversizedFramesAreRefused)
+{
+    ServerConfig cfg;
+    cfg.max_request_bytes = 256;
+    Server server(cfg);
+    server.start();
+
+    {
+        Client c(server.port());
+        c.send("UPLOAD big 100000\n");
+        EXPECT_TRUE(startsWith(c.readLine(), "ERR TOO_LARGE"));
+        EXPECT_TRUE(c.atEof()); // Cannot resync; conn closed.
+    }
+    {
+        Client c(server.port());
+        c.send(std::string(600, 'x')); // Line with no terminator.
+        EXPECT_TRUE(startsWith(c.readLine(), "ERR TOO_LARGE"));
+        EXPECT_TRUE(c.atEof());
+    }
+    {
+        // A partial frame the client abandons: the server must not
+        // leak the connection or stall on it.
+        Client c(server.port());
+        c.send("UPLOAD part 100\nonly twenty bytes...");
+    }
+
+    server.requestStop();
+    EXPECT_EQ(server.awaitTermination(), 0);
+}
+
+TEST(ServeIdle, IdleConnectionsAreReaped)
+{
+    ServerConfig cfg;
+    cfg.idle_timeout = std::chrono::milliseconds(50);
+    Server server(cfg);
+    server.start();
+
+    Client c(server.port());
+    c.send("PING\n");
+    EXPECT_EQ(c.readLine(), "OK pong");
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    EXPECT_TRUE(c.atEof());
+
+    server.requestStop();
+    EXPECT_EQ(server.awaitTermination(), 0);
+}
+
+TEST(ServeDrain, SlowRequestIsCancelledAtDrainTimeout)
+{
+    ServerConfig cfg;
+    cfg.test_verbs = true;
+    cfg.drain_timeout = std::chrono::milliseconds(50);
+    Server server(cfg);
+    server.start();
+
+    Client c(server.port());
+    c.send("STALL 30000\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    server.requestStop();
+    EXPECT_EQ(server.awaitTermination(), 0);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    // Far below the 30 s stall: the drain cancelled its token.
+    EXPECT_LT(elapsed.count(), 10000);
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR CANCELLED"));
+}
+
+TEST(ServeDegrade, WatermarkClampsTrialsInsteadOfRejecting)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 8;
+    cfg.degrade_watermark = 1;
+    cfg.degrade_trials = 64;
+    cfg.test_verbs = true;
+    Server server(cfg);
+    server.start();
+
+    Client stall(server.port());
+    Client filler(server.port());
+    Client probe(server.port());
+    ASSERT_TRUE(startsWith(upload(probe, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+
+    // Occupy the worker, then park one request in the queue so the
+    // watermark (pending >= 1) is met for the probe.
+    stall.send("STALL 600\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    filler.send("STALL 10\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    probe.send("RUN amdahl trials=100000\n");
+
+    const std::string resp = probe.readLine();
+    ASSERT_TRUE(startsWith(resp, "OK run")) << resp;
+    EXPECT_EQ(field(resp, "degraded"), "1");
+    EXPECT_EQ(field(resp, "trials"), "64");
+
+    EXPECT_EQ(stall.readLine(), "OK stalled ms=600");
+    EXPECT_EQ(filler.readLine(), "OK stalled ms=10");
+    server.requestStop();
+    EXPECT_EQ(server.awaitTermination(), 0);
+}
+
+TEST(ServeShutdown, NewRequestsRefusedWhileDraining)
+{
+    ServerConfig cfg;
+    cfg.test_verbs = true;
+    Server server(cfg);
+    server.start();
+    const std::uint16_t port = server.port();
+
+    Client c(port);
+    c.send("PING\n");
+    ASSERT_EQ(c.readLine(), "OK pong");
+
+    server.requestStop();
+    EXPECT_EQ(server.awaitTermination(), 0);
+    // Stopped server: the port no longer accepts.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_NE(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    ::close(fd);
+}

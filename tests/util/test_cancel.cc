@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for cooperative cancellation (CancelToken) and the
+ * ThreadPool's bounded task mode: admission control, exception
+ * containment, and cancellable parallel loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.hh"
+#include "util/thread_pool.hh"
+
+using ar::util::CancelledError;
+using ar::util::CancelReason;
+using ar::util::CancelToken;
+using ar::util::ThreadPool;
+
+TEST(CancelToken, NullTokenNeverCancels)
+{
+    CancelToken tok;
+    EXPECT_FALSE(tok.cancellable());
+    EXPECT_EQ(tok.check(), CancelReason::None);
+    EXPECT_FALSE(tok.expired());
+    EXPECT_FALSE(tok.hasDeadline());
+    tok.cancel(); // Must be a safe no-op.
+    EXPECT_EQ(tok.check(), CancelReason::None);
+    EXPECT_NO_THROW(tok.throwIfExpired("test"));
+}
+
+TEST(CancelToken, ExplicitCancelTrips)
+{
+    CancelToken tok = CancelToken::create();
+    EXPECT_TRUE(tok.cancellable());
+    EXPECT_EQ(tok.check(), CancelReason::None);
+    tok.cancel();
+    EXPECT_EQ(tok.check(), CancelReason::Cancelled);
+    EXPECT_TRUE(tok.expired());
+    try {
+        tok.throwIfExpired("unit");
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        EXPECT_EQ(e.reason(), CancelReason::Cancelled);
+        EXPECT_NE(std::string(e.what()).find("unit"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancelToken, CopiesShareState)
+{
+    CancelToken a = CancelToken::create();
+    CancelToken b = a;
+    b.cancel();
+    EXPECT_EQ(a.check(), CancelReason::Cancelled);
+}
+
+TEST(CancelToken, DeadlineExpires)
+{
+    CancelToken tok =
+        CancelToken::withTimeout(std::chrono::milliseconds(1));
+    EXPECT_TRUE(tok.hasDeadline());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(tok.check(), CancelReason::DeadlineExpired);
+}
+
+TEST(CancelToken, FarDeadlineStaysLive)
+{
+    CancelToken tok =
+        CancelToken::withTimeout(std::chrono::hours(1));
+    EXPECT_EQ(tok.check(), CancelReason::None);
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverDeadline)
+{
+    CancelToken tok =
+        CancelToken::withTimeout(std::chrono::milliseconds(1));
+    tok.cancel();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(tok.check(), CancelReason::Cancelled);
+}
+
+TEST(CancelToken, ReasonNamesAreStable)
+{
+    EXPECT_STREQ(cancelReasonName(CancelReason::None), "none");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Cancelled),
+                 "cancelled");
+    EXPECT_STREQ(cancelReasonName(CancelReason::DeadlineExpired),
+                 "deadline-expired");
+}
+
+TEST(ParallelForCancel, PreCancelledTokenThrowsImmediately)
+{
+    ThreadPool pool(4);
+    CancelToken tok = CancelToken::create();
+    tok.cancel();
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(
+            1000, [&](std::size_t) { ran.fetch_add(1); }, 0, tok),
+        CancelledError);
+    EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ParallelForCancel, MidLoopCancelStopsEarly)
+{
+    ThreadPool pool(4);
+    CancelToken tok = CancelToken::create();
+    std::atomic<std::size_t> ran{0};
+    try {
+        pool.parallelFor(
+            100000,
+            [&](std::size_t i) {
+                if (i == 10)
+                    tok.cancel();
+                ran.fetch_add(1);
+            },
+            0, tok);
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        EXPECT_EQ(e.reason(), CancelReason::Cancelled);
+    }
+    // Latency bound: at most one in-flight index per thread after
+    // the cancel, not the whole loop.
+    EXPECT_LT(ran.load(), 100000u);
+}
+
+TEST(ParallelForCancel, InlinePathAlsoCancels)
+{
+    ThreadPool pool(1); // Single-threaded: the inline path.
+    CancelToken tok = CancelToken::create();
+    std::size_t ran = 0;
+    try {
+        pool.parallelFor(
+            1000,
+            [&](std::size_t i) {
+                if (i == 9)
+                    tok.cancel();
+                ++ran;
+            },
+            0, tok);
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        EXPECT_EQ(e.reason(), CancelReason::Cancelled);
+    }
+    EXPECT_EQ(ran, 10u); // Cancels before index 10 starts.
+}
+
+TEST(ParallelForCancel, DeadlineReportsDeadlineReason)
+{
+    ThreadPool pool(2);
+    CancelToken tok =
+        CancelToken::withTimeout(std::chrono::milliseconds(5));
+    try {
+        pool.parallelFor(
+            1 << 20,
+            [&](std::size_t) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            },
+            0, tok);
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        EXPECT_EQ(e.reason(), CancelReason::DeadlineExpired);
+    }
+}
+
+TEST(ParallelForCancel, PoolIsReusableAfterCancellation)
+{
+    ThreadPool pool(4);
+    CancelToken tok = CancelToken::create();
+    tok.cancel();
+    EXPECT_THROW(
+        pool.parallelFor(100, [](std::size_t) {}, 0, tok),
+        CancelledError);
+    std::atomic<std::size_t> ran{0};
+    pool.parallelFor(100, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(ParallelForCancel, NullTokenCostsNothingAndCompletes)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> ran{0};
+    pool.parallelFor(
+        1000, [&](std::size_t) { ran.fetch_add(1); }, 0,
+        CancelToken());
+    EXPECT_EQ(ran.load(), 1000u);
+}
+
+TEST(TaskQueue, SubmittedTasksRun)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_EQ(pool.trySubmit([&] { ran.fetch_add(1); }),
+                  ThreadPool::Submit::Queued);
+    }
+    pool.waitTasksIdle();
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskQueue, BoundedQueueRejectsWithOverloaded)
+{
+    ThreadPool pool(2); // One worker thread.
+    pool.setTaskCapacity(2);
+
+    // Occupy the single worker so queued tasks cannot drain.
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false, running = false;
+    ASSERT_EQ(pool.trySubmit([&] {
+                  std::unique_lock<std::mutex> lk(m);
+                  running = true;
+                  cv.notify_all();
+                  cv.wait(lk, [&] { return release; });
+              }),
+              ThreadPool::Submit::Queued);
+    {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return running; });
+    }
+
+    // Fill the queue to capacity, then overflow it.
+    EXPECT_EQ(pool.trySubmit([] {}), ThreadPool::Submit::Queued);
+    EXPECT_EQ(pool.trySubmit([] {}), ThreadPool::Submit::Queued);
+    EXPECT_EQ(pool.pendingTasks(), 2u);
+    EXPECT_EQ(pool.trySubmit([] {}),
+              ThreadPool::Submit::Overloaded);
+
+    {
+        std::lock_guard<std::mutex> lk(m);
+        release = true;
+    }
+    cv.notify_all();
+    pool.waitTasksIdle();
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+    // Capacity frees up again after the drain.
+    EXPECT_EQ(pool.trySubmit([] {}), ThreadPool::Submit::Queued);
+    pool.waitTasksIdle();
+}
+
+TEST(TaskQueue, ThrowingTaskIsContainedAndWorkerSurvives)
+{
+    ThreadPool pool(2);
+    ASSERT_EQ(pool.trySubmit(
+                  [] { throw std::runtime_error("task boom"); }),
+              ThreadPool::Submit::Queued);
+    pool.waitTasksIdle();
+
+    // The worker that ran the throwing task still serves new work.
+    std::atomic<int> ran{0};
+    ASSERT_EQ(pool.trySubmit([&] { ran.fetch_add(1); }),
+              ThreadPool::Submit::Queued);
+    pool.waitTasksIdle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskQueue, NonStandardExceptionIsContained)
+{
+    ThreadPool pool(2);
+    ASSERT_EQ(pool.trySubmit([] { throw 42; }),
+              ThreadPool::Submit::Queued);
+    pool.waitTasksIdle();
+    std::atomic<int> ran{0};
+    ASSERT_EQ(pool.trySubmit([&] { ran.fetch_add(1); }),
+              ThreadPool::Submit::Queued);
+    pool.waitTasksIdle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskQueue, CancelPendingDropsOnlyQueuedTasks)
+{
+    ThreadPool pool(2);
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false, running = false;
+    ASSERT_EQ(pool.trySubmit([&] {
+                  std::unique_lock<std::mutex> lk(m);
+                  running = true;
+                  cv.notify_all();
+                  cv.wait(lk, [&] { return release; });
+              }),
+              ThreadPool::Submit::Queued);
+    {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return running; });
+    }
+    std::atomic<int> ran{0};
+    ASSERT_EQ(pool.trySubmit([&] { ran.fetch_add(1); }),
+              ThreadPool::Submit::Queued);
+    ASSERT_EQ(pool.trySubmit([&] { ran.fetch_add(1); }),
+              ThreadPool::Submit::Queued);
+    EXPECT_EQ(pool.cancelPendingTasks(), 2u);
+    {
+        std::lock_guard<std::mutex> lk(m);
+        release = true;
+    }
+    cv.notify_all();
+    pool.waitTasksIdle();
+    EXPECT_EQ(ran.load(), 0); // Dropped tasks never ran.
+}
+
+TEST(TaskQueue, ParallelForInsideTaskRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    std::atomic<bool> done{false};
+    ASSERT_EQ(pool.trySubmit([&] {
+                  // Nested loop must run inline on this worker, not
+                  // re-enter the pool (which could deadlock).
+                  pool.parallelFor(100, [&](std::size_t) {
+                      total.fetch_add(1);
+                  });
+                  done.store(true);
+              }),
+              ThreadPool::Submit::Queued);
+    pool.waitTasksIdle();
+    EXPECT_TRUE(done.load());
+    EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(TaskQueue, TasksAndParallelForCoexist)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> task_ran{0};
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_EQ(pool.trySubmit([&] {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(2));
+                      task_ran.fetch_add(1);
+                  }),
+                  ThreadPool::Submit::Queued);
+    }
+    // A parallelFor issued while tasks occupy workers must still
+    // complete (the caller participates; busy workers need not).
+    std::atomic<std::size_t> loop_ran{0};
+    pool.parallelFor(1000,
+                     [&](std::size_t) { loop_ran.fetch_add(1); });
+    EXPECT_EQ(loop_ran.load(), 1000u);
+    pool.waitTasksIdle();
+    EXPECT_EQ(task_ran.load(), 8u);
+}

@@ -8,6 +8,7 @@
  *   ./build/tools/archrisk examples/specs/amdahl.spec
  */
 
+#include <csignal>
 #include <cstdio>
 
 #include "core/spec.hh"
@@ -21,6 +22,22 @@
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
+
+namespace
+{
+
+/** Tripped by SIGINT; the propagation loops poll it at trial-block
+ * boundaries, so Ctrl-C unwinds cleanly through the flush path
+ * instead of killing the process with telemetry unwritten. */
+ar::util::CancelToken g_interrupt;
+
+void
+onInterrupt(int)
+{
+    g_interrupt.cancel(); // Async-signal-safe: one relaxed store.
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -64,6 +81,11 @@ main(int argc, char **argv)
         }
     };
 
+    g_interrupt = ar::util::CancelToken::create();
+    struct sigaction sa{};
+    sa.sa_handler = onInterrupt;
+    ::sigaction(SIGINT, &sa, nullptr);
+
     try {
         auto spec = ar::core::loadSpecFile(opts.positional()[0]);
         if (!opts.getString("threads").empty()) {
@@ -81,7 +103,7 @@ main(int argc, char **argv)
                 return 2;
             }
         }
-        const auto res = ar::core::runSpec(spec);
+        const auto res = ar::core::runSpec(spec, g_interrupt);
         const double alpha = opts.getDouble("alpha");
 
         std::printf("output variable     : %s\n", spec.output.c_str());
@@ -141,6 +163,12 @@ main(int argc, char **argv)
         }
         write_telemetry();
         return 0;
+    } catch (const ar::util::CancelledError &e) {
+        // Interrupted mid-run: flush whatever telemetry accumulated
+        // and exit with the conventional SIGINT status.
+        std::fprintf(stderr, "interrupted: %s\n", e.what());
+        write_telemetry();
+        return 130;
     } catch (const ar::util::ParseError &e) {
         // what() is the rendered diagnostic (line, column, caret).
         std::fprintf(stderr, "error: %s\n", e.what());

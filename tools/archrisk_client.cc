@@ -1,0 +1,222 @@
+/**
+ * @file
+ * archrisk-client: a small line-protocol client for archriskd.
+ *
+ *   archrisk-client <host> <port> ping
+ *   archrisk-client <host> <port> upload <model> <spec-file>
+ *   archrisk-client <host> <port> run <model> [key=value ...]
+ *   archrisk-client <host> <port> sweep [key=value ...]
+ *   archrisk-client <host> <port> sens <model> [key=value ...]
+ *   archrisk-client <host> <port> metrics
+ *   archrisk-client <host> <port> stall <ms> [key=value ...]
+ *   archrisk-client <host> <port> raw '<request line>'
+ *
+ * Prints the server's response verbatim.  Exit status: 0 on an OK
+ * response, 1 on an ERR response, 2 on usage/connection errors --
+ * so shell scripts can assert typed failures without parsing.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: archrisk-client <host> <port> <command> [args...]\n"
+        "commands: ping | upload <model> <spec-file> |\n"
+        "          run <model> [key=value ...] |\n"
+        "          sweep [key=value ...] |\n"
+        "          sens <model> [key=value ...] |\n"
+        "          metrics | stall <ms> [key=value ...] |\n"
+        "          raw '<request line>'\n");
+    return 2;
+}
+
+int
+connectTo(const std::string &host, int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read one '\n'-terminated line (the response header). */
+bool
+readLine(int fd, std::string &line, std::string &rest)
+{
+    line.clear();
+    char c;
+    for (;;) {
+        if (!rest.empty()) {
+            c = rest.front();
+            rest.erase(0, 1);
+        } else {
+            const ssize_t n = ::recv(fd, &c, 1, 0);
+            if (n <= 0)
+                return false;
+        }
+        if (c == '\n')
+            return true;
+        line.push_back(c);
+    }
+}
+
+bool
+readExact(int fd, std::size_t nbytes, std::string &out,
+          std::string &rest)
+{
+    out.clear();
+    while (out.size() < nbytes) {
+        if (!rest.empty()) {
+            const std::size_t take =
+                std::min(rest.size(), nbytes - out.size());
+            out.append(rest, 0, take);
+            rest.erase(0, take);
+            continue;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(
+            fd, buf, std::min(sizeof(buf), nbytes - out.size()), 0);
+        if (n <= 0)
+            return false;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string host = argv[1];
+    const int port = std::atoi(argv[2]);
+    const std::string command = argv[3];
+    std::vector<std::string> args(argv + 4, argv + argc);
+
+    std::string request;
+    std::string body;
+    if (command == "ping" && args.empty()) {
+        request = "PING\n";
+    } else if (command == "metrics" && args.empty()) {
+        request = "METRICS\n";
+    } else if (command == "upload" && args.size() == 2) {
+        std::ifstream in(args[1], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read spec file '%s'\n",
+                         args[1].c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        body = text.str();
+        request = "UPLOAD " + args[0] + ' ' +
+                  std::to_string(body.size()) + '\n' + body;
+    } else if ((command == "run" || command == "sens") &&
+               !args.empty()) {
+        request = command == "run" ? "RUN" : "SENS";
+        for (const auto &arg : args)
+            request += ' ' + arg;
+        request += '\n';
+    } else if (command == "sweep") {
+        request = "SWEEP";
+        for (const auto &arg : args)
+            request += ' ' + arg;
+        request += '\n';
+    } else if (command == "stall" && !args.empty()) {
+        request = "STALL";
+        for (const auto &arg : args)
+            request += ' ' + arg;
+        request += '\n';
+    } else if (command == "raw" && args.size() == 1) {
+        request = args[0] + '\n';
+    } else {
+        return usage();
+    }
+
+    const int fd = connectTo(host, port);
+    if (fd < 0) {
+        std::fprintf(stderr, "cannot connect to %s:%d: %s\n",
+                     host.c_str(), port, std::strerror(errno));
+        return 2;
+    }
+    if (!sendAll(fd, request)) {
+        std::fprintf(stderr, "send failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+
+    std::string line, rest;
+    if (!readLine(fd, line, rest)) {
+        std::fprintf(stderr, "connection closed by server\n");
+        ::close(fd);
+        return 2;
+    }
+    std::printf("%s\n", line.c_str());
+
+    // "OK metrics nbytes=N" is followed by exactly N bytes of JSON.
+    const std::string marker = " nbytes=";
+    const auto at = line.find(marker);
+    if (line.rfind("OK ", 0) == 0 && at != std::string::npos) {
+        const std::size_t nbytes = static_cast<std::size_t>(
+            std::strtoull(line.c_str() + at + marker.size(),
+                          nullptr, 10));
+        std::string payload;
+        if (!readExact(fd, nbytes, payload, rest)) {
+            std::fprintf(stderr, "truncated body\n");
+            ::close(fd);
+            return 2;
+        }
+        std::fwrite(payload.data(), 1, payload.size(), stdout);
+    }
+    ::close(fd);
+    return line.rfind("ERR", 0) == 0 ? 1 : 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * archriskd: the risk-analysis service daemon.  Binds a TCP port,
+ * accepts line-protocol requests (see serve/protocol.hh), and serves
+ * propagate / sweep / sensitivity queries from a bounded worker pool
+ * with per-request deadlines and typed failure responses.
+ *
+ *   ./build/tools/archriskd --port 7433 &
+ *   ./build/tools/archrisk-client 127.0.0.1 7433 \
+ *       upload amdahl examples/specs/amdahl.spec
+ *   ./build/tools/archrisk-client 127.0.0.1 7433 run amdahl
+ *
+ * On SIGTERM/SIGINT the daemon drains: in-flight requests finish (or
+ * are cancelled after --drain-timeout-ms), telemetry is flushed, and
+ * the process exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "obs/telemetry.hh"
+#include "serve/server.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+ar::serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop(); // Async-signal-safe.
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ar::util::CliOptions opts;
+    opts.declare("host", "127.0.0.1", "address to bind (IPv4)");
+    opts.declare("port", "0", "TCP port (0 = ephemeral)");
+    opts.declare("workers", "0",
+                 "request worker threads (0 = all cores)");
+    opts.declare("queue-cap", "64",
+                 "bounded request queue; beyond it requests get "
+                 "ERR OVERLOADED");
+    opts.declare("max-request-bytes", "1048576",
+                 "largest request line / UPLOAD body accepted");
+    opts.declare("max-trials", "1000000",
+                 "hard cap on trials per request");
+    opts.declare("idle-timeout-ms", "30000",
+                 "reap connections idle this long (0 = never)");
+    opts.declare("deadline-ms", "0",
+                 "default per-request deadline (0 = none)");
+    opts.declare("drain-timeout-ms", "5000",
+                 "drain grace before in-flight work is cancelled");
+    opts.declare("degrade-watermark", "0",
+                 "queue depth beyond which trial counts are clamped "
+                 "(0 = off)");
+    opts.declare("degrade-trials", "1000",
+                 "trial clamp applied while degraded");
+    opts.declare("metrics-json", "",
+                 "write scraped metrics JSON here on exit");
+    opts.declare("test-verbs", "",
+                 "enable test-only verbs (STALL); never in "
+                 "production", true);
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    ar::serve::ServerConfig cfg;
+    cfg.host = opts.getString("host");
+    cfg.port = static_cast<std::uint16_t>(opts.getInt("port"));
+    cfg.workers = static_cast<std::size_t>(opts.getInt("workers"));
+    cfg.queue_capacity =
+        static_cast<std::size_t>(opts.getInt("queue-cap"));
+    cfg.max_request_bytes = static_cast<std::size_t>(
+        opts.getInt("max-request-bytes"));
+    cfg.max_trials =
+        static_cast<std::size_t>(opts.getInt("max-trials"));
+    cfg.idle_timeout =
+        std::chrono::milliseconds(opts.getInt("idle-timeout-ms"));
+    cfg.default_deadline =
+        std::chrono::milliseconds(opts.getInt("deadline-ms"));
+    cfg.drain_timeout =
+        std::chrono::milliseconds(opts.getInt("drain-timeout-ms"));
+    cfg.degrade_watermark = static_cast<std::size_t>(
+        opts.getInt("degrade-watermark"));
+    cfg.degrade_trials =
+        static_cast<std::size_t>(opts.getInt("degrade-trials"));
+    cfg.test_verbs = opts.getFlag("test-verbs");
+
+    ar::serve::Server server(cfg);
+    try {
+        server.start();
+    } catch (const ar::util::FatalError &e) {
+        std::fprintf(stderr, "archriskd: %s\n", e.what());
+        return 1;
+    }
+
+    g_server = &server;
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    // Scripts scrape this exact line for the (possibly ephemeral)
+    // port.
+    std::printf("listening on %s:%u\n", cfg.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    const int rc = server.awaitTermination();
+    g_server = nullptr;
+
+    const std::string metrics_path = opts.getString("metrics-json");
+    if (!metrics_path.empty()) {
+        try {
+            ar::obs::writeMetricsJson(metrics_path);
+        } catch (const ar::util::FatalError &e) {
+            std::fprintf(stderr, "archriskd: %s\n", e.what());
+        }
+    }
+    std::printf("drained; exiting\n");
+    return rc;
+}
