@@ -445,6 +445,69 @@ BENCHMARK(BM_DesignSpaceSweepFused)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_FullRebuildEditSweep(benchmark::State &state)
+{
+    // Baseline for BM_IncrementalEditSweep: every what-if edit pays
+    // a fresh evaluator -- symbolic model build and fused compile
+    // over all ~1.2k designs plus full pool draws -- before the
+    // sweep itself runs.  One design is flipped between two
+    // configurations per iteration, exactly as in the incremental
+    // bench, so the pair differ only in how the edit is absorbed.
+    const auto designs = ar::explore::enumerateDesigns();
+    const auto app = ar::model::appLPHC();
+    const auto spec = ar::model::UncertaintySpec::appArch(0.2, 0.2);
+    ar::risk::QuadraticRisk fn;
+    bool flip = false;
+    for (auto _ : state) {
+        auto edited = designs;
+        edited[0] = designs[flip ? 1 : 2];
+        flip = !flip;
+        ar::explore::SweepConfig cfg;
+        cfg.trials = 256;
+        cfg.threads = 1;
+        cfg.backend = ar::explore::SweepBackend::FusedProgram;
+        ar::explore::DesignSpaceEvaluator eval(edited, app, spec,
+                                               cfg);
+        benchmark::DoNotOptimize(eval.evaluateAll(fn, 26.7));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(designs.size()) * 256);
+}
+BENCHMARK(BM_FullRebuildEditSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_IncrementalEditSweep(benchmark::State &state)
+{
+    // The loop the incremental engine exists for: one warm evaluator
+    // held across iterations, a single-knob design edit, then a full
+    // re-sweep.  Both alternating configurations use core sizes and
+    // counts the shared pools already cover, so each edit stays on
+    // the fast path: every pool and every unedited design's cached
+    // outcome is reused, and only the edited design recomputes.  The
+    // ratio against BM_FullRebuildEditSweep is the what-if speedup
+    // gated in CI (scripts/bench_compare.py --speedup).
+    const auto designs = ar::explore::enumerateDesigns();
+    const auto app = ar::model::appLPHC();
+    const auto spec = ar::model::UncertaintySpec::appArch(0.2, 0.2);
+    ar::risk::QuadraticRisk fn;
+    ar::explore::SweepConfig cfg;
+    cfg.trials = 256;
+    cfg.threads = 1;
+    cfg.backend = ar::explore::SweepBackend::FusedProgram;
+    ar::explore::DesignSpaceEvaluator eval(designs, app, spec, cfg);
+    benchmark::DoNotOptimize(eval.evaluateAll(fn, 26.7)); // Warm.
+    bool flip = false;
+    for (auto _ : state) {
+        eval.editDesign(0, designs[flip ? 1 : 2]);
+        flip = !flip;
+        benchmark::DoNotOptimize(eval.evaluateAll(fn, 26.7));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(designs.size()) * 256);
+}
+BENCHMARK(BM_IncrementalEditSweep)->Unit(benchmark::kMillisecond);
+
+void
 BM_DirectEvaluator(benchmark::State &state)
 {
     const auto k = static_cast<std::size_t>(state.range(0));

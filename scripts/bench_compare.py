@@ -23,6 +23,13 @@ Absolute times are machine-dependent, so CI runs this with
 Run without ``--warn-only`` locally (same machine as the baseline) to
 enforce.
 
+A third mode, ``--write-baseline PATH``, regenerates the recorded
+baseline from the current run instead of checking anything: the run's
+context block and its non-aggregate benchmark rows are written to PATH
+(typically BENCH_BASELINE.json), so refreshing the baseline after an
+intentional performance change is one flag on the same command instead
+of a hand-edited JSON file.
+
 Only the Python standard library is used.
 """
 
@@ -77,6 +84,48 @@ def load_benchmarks(path, role):
     return out
 
 
+def write_baseline(current_path, baseline_path):
+    """Regenerate a baseline file from a benchmark run.
+
+    Keeps the run's context block verbatim and every non-aggregate
+    benchmark row, dropping mean/median/stddev aggregates so the
+    baseline holds exactly the rows load_benchmarks() would read back.
+    Raises BenchFileError on an unusable input file.
+    """
+    try:
+        with open(current_path) as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise BenchFileError(
+            "current file '%s' does not exist" % current_path)
+    except OSError as exc:
+        raise BenchFileError(
+            "cannot read current file '%s': %s" % (current_path, exc))
+    except json.JSONDecodeError as exc:
+        raise BenchFileError(
+            "current file '%s' is not valid JSON (%s); was the "
+            "benchmark run interrupted?" % (current_path, exc))
+    if not isinstance(doc, dict):
+        raise BenchFileError(
+            "current file '%s' is not a google-benchmark JSON document"
+            % current_path)
+    rows = [bench for bench in doc.get("benchmarks", [])
+            if bench.get("run_type") != "aggregate"]
+    if not rows:
+        raise BenchFileError(
+            "current file '%s' holds no benchmark entries; was it "
+            "produced with --benchmark_out_format=json?" % current_path)
+    baseline = {"context": doc.get("context", {}), "benchmarks": rows}
+    try:
+        with open(baseline_path, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+    except OSError as exc:
+        raise BenchFileError(
+            "cannot write baseline file '%s': %s" % (baseline_path, exc))
+    return len(rows)
+
+
 def fmt_ns(ns):
     if ns >= 1e6:
         return "%.2f ms" % (ns / 1e6)
@@ -114,7 +163,20 @@ def main(argv=None):
                          "MIN_RATIO in the current run (repeatable)")
     ap.add_argument("--warn-only", action="store_true",
                     help="print violations but always exit 0")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write a fresh baseline JSON built from the "
+                         "current run to PATH and exit (no checks run)")
     args = ap.parse_args(argv)
+
+    if args.write_baseline:
+        try:
+            rows = write_baseline(args.current, args.write_baseline)
+        except BenchFileError as exc:
+            print("bench_compare: %s" % exc, file=sys.stderr)
+            return 2
+        print("wrote %d benchmark row(s) from '%s' to '%s'"
+              % (rows, args.current, args.write_baseline))
+        return 0
 
     try:
         current = load_benchmarks(args.current, "current")

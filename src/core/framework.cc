@@ -1,7 +1,10 @@
 #include "core/framework.hh"
 
+#include <set>
+
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "symbolic/parser.hh"
 #include "util/logging.hh"
 
 namespace ar::core
@@ -28,6 +31,12 @@ struct CoreMetrics
         obs::MetricsRegistry::global().counter("core.compile_ns");
     obs::Counter reduce_ns =
         obs::MetricsRegistry::global().counter("core.reduce_ns");
+    obs::Counter edits =
+        obs::MetricsRegistry::global().counter("framework.edits");
+    obs::Counter patch_hits =
+        obs::MetricsRegistry::global().counter("framework.patch.hits");
+    obs::Counter patch_misses = obs::MetricsRegistry::global().counter(
+        "framework.patch.misses");
 };
 
 CoreMetrics &
@@ -61,6 +70,109 @@ Framework::system() const
     if (!sys)
         ar::util::fatal("Framework: no system model installed");
     return *sys;
+}
+
+EditOutcome
+Framework::updateEquation(const ar::symbolic::Equation &eq)
+{
+    if (!sys)
+        ar::util::fatal("Framework: no system model installed");
+    EditOutcome out;
+    out.invalidated = sys->replaceEquation(eq);
+    if (obs::metricsEnabled())
+        coreMetrics().edits.add();
+
+    // Revalidate the per-name expression cache.  Re-resolving is
+    // cheap for names outside the edited cone (their memo entries
+    // survived), and the interned id tells us exactly whether the
+    // cached tape is still the right one.
+    std::set<std::uint64_t> live;
+    for (auto &[name, id] : expr_ids) {
+        const auto resolved = sys->resolve(name);
+        const std::uint64_t nid = resolved->id();
+        if (nid == id) {
+            ++out.revalidated;
+        } else {
+            id = nid;
+            if (cache.count(nid)) {
+                ++out.revalidated; // an alias already rebuilt it
+            } else {
+                obs::ScopedPhase phase("core.compile",
+                                       coreMetrics().compile_ns);
+                cache.emplace(nid,
+                              ar::symbolic::CompiledExpr(resolved));
+                ++out.recompiled;
+            }
+        }
+        live.insert(nid);
+    }
+    for (auto it = cache.begin(); it != cache.end();) {
+        if (live.count(it->first))
+            ++it;
+        else
+            it = cache.erase(it); // no name resolves here any more
+    }
+
+    // Revalidate the fused-program cache.  Programs are updated in
+    // place -- Const-slot patch when the edit only moved constants,
+    // dirty-cone recompile through the warm builder otherwise -- and
+    // rekeyed under the re-resolved interned ids.
+    std::map<std::vector<std::uint64_t>, ar::symbolic::CompiledProgram>
+        new_prog_cache;
+    for (auto &[names, ids] : prog_ids) {
+        std::vector<ar::symbolic::ExprPtr> forest;
+        std::vector<std::uint64_t> nids;
+        forest.reserve(names.size());
+        nids.reserve(names.size());
+        for (const auto &name : names) {
+            forest.push_back(sys->resolve(name));
+            nids.push_back(forest.back()->id());
+        }
+        if (new_prog_cache.count(nids)) {
+            ids = std::move(nids); // an aliasing list already updated it
+            continue;
+        }
+        auto old_it = prog_cache.find(ids);
+        if (old_it == prog_cache.end()) {
+            // The old key was shared with a list that diverged under
+            // the edit and consumed the program: compile fresh.
+            obs::ScopedPhase phase("core.compile",
+                                   coreMetrics().compile_ns);
+            new_prog_cache.emplace(
+                nids, ar::symbolic::CompiledProgram(forest));
+            ++out.recompiled;
+            if (obs::metricsEnabled())
+                coreMetrics().patch_misses.add();
+            ids = std::move(nids);
+            continue;
+        }
+        auto node = prog_cache.extract(old_it);
+        if (nids == ids) {
+            ++out.revalidated;
+        } else if (node.mapped().tryPatch(forest)) {
+            ++out.patched;
+            if (obs::metricsEnabled())
+                coreMetrics().patch_hits.add();
+        } else {
+            obs::ScopedPhase phase("core.compile",
+                                   coreMetrics().compile_ns);
+            out.cone_nodes += node.mapped().recompile(forest);
+            ++out.recompiled;
+            if (obs::metricsEnabled())
+                coreMetrics().patch_misses.add();
+        }
+        node.key() = nids;
+        new_prog_cache.insert(std::move(node));
+        ids = std::move(nids);
+    }
+    prog_cache = std::move(new_prog_cache);
+    return out;
+}
+
+EditOutcome
+Framework::updateEquation(std::string_view text)
+{
+    return updateEquation(ar::symbolic::parseEquation(text));
 }
 
 const ar::symbolic::CompiledExpr &

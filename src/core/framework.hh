@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mc/propagator.hh"
@@ -57,6 +58,16 @@ struct AnalysisResult
     double expected() const { return summary.mean; }
 };
 
+/** What happened to the compiled caches on one incremental edit. */
+struct EditOutcome
+{
+    std::size_t invalidated = 0; ///< Memoized resolutions discarded.
+    std::size_t revalidated = 0; ///< Cached tapes proven outside the cone.
+    std::size_t patched = 0;     ///< Programs updated by Const-slot patch.
+    std::size_t recompiled = 0;  ///< Tapes rebuilt (warm builder or fresh).
+    std::size_t cone_nodes = 0;  ///< Fresh DAG nodes across recompiles.
+};
+
 /** Facade binding the front-end (symbolic) to the back-end (MC). */
 class Framework
 {
@@ -69,6 +80,27 @@ class Framework
 
     /** @return the installed system; fatal when none is set. */
     const ar::symbolic::EquationSystem &system() const;
+
+    /**
+     * Incrementally replace one equation of the installed system and
+     * revalidate the compiled caches instead of discarding them.
+     * Resolution is re-done only inside the edited variable's cone
+     * (EquationSystem::replaceEquation); every cached tape is then
+     * checked against its re-resolved root -- an unchanged interned
+     * id proves the tape untouched, a constants-only change patches
+     * the fused program's Const slots in place, and anything else
+     * recompiles through the program's warm builder DAG.  After the
+     * call the caches behave exactly as if the framework had been
+     * rebuilt from scratch on the edited system.
+     *
+     * @return per-cache accounting of the edit.
+     * @throws ar::util::ParseError when the equation's LHS is not a
+     *         bare symbol.
+     */
+    EditOutcome updateEquation(const ar::symbolic::Equation &eq);
+
+    /** Parse and apply, e.g. updateEquation("P = 2 * sqrt(A)"). */
+    EditOutcome updateEquation(std::string_view text);
 
     /**
      * Resolve + compile a responsive variable (memoized).  This is

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "symbolic/program.hh"
 #include "util/cancel.hh"
 #include "util/fault.hh"
+#include "util/rng.hh"
 
 namespace ar::explore
 {
@@ -121,8 +124,9 @@ class DesignSpaceEvaluator
 {
   public:
     /**
-     * @param designs Enumerated configurations (borrowed; must
-     *        outlive the evaluator).
+     * @param designs Enumerated configurations (copied; the
+     *        evaluator owns its design list so what-if edits can
+     *        mutate it).
      * @param app Application class.
      * @param spec Injected uncertainty levels.
      * @param cfg Trial count / seed / retention.
@@ -133,7 +137,58 @@ class DesignSpaceEvaluator
                          const SweepConfig &cfg = {});
 
     /**
+     * What-if edit: new application parameters.  Only the pool
+     * stages the change actually feeds (f and/or c) are marked
+     * dirty; the next evaluateAll() rebuilds exactly those and
+     * replays every later stage from its RNG checkpoint, so results
+     * are bit-identical to a fresh evaluator built on @p new_app.
+     */
+    void editApp(const ar::model::AppParams &new_app);
+
+    /**
+     * What-if edit: new uncertainty levels.  Stage dirtying follows
+     * the fields that changed (sigma_f -> f pool, sigma_c -> c pool,
+     * sigma_perf / sigma_design / gamma -> performance pools,
+     * fab -> fabrication pools); results are bit-identical to a
+     * fresh evaluator built on @p new_spec.
+     */
+    void editUncertainty(const ar::model::UncertaintySpec &new_spec);
+
+    /**
+     * What-if edit: replace one design.  When the new configuration
+     * only uses core sizes (and, under fabrication uncertainty,
+     * instance counts) the shared pools already cover, the edit is
+     * applied without touching any pool: the fused program, if
+     * built, recompiles just the edited output's cone through its
+     * warm builder.  Otherwise the affected pool stages are marked
+     * dirty and the fused program is rebuilt on the next
+     * evaluateAll().  Shared pools are preserved either way
+     * (common-random-number semantics: unchanged designs keep their
+     * exact samples); outputs match a fresh evaluator bit-for-bit
+     * whenever the edit preserves the pool layout (same size set,
+     * first-occurrence order, and per-size maximum count).
+     */
+    void editDesign(std::size_t design_index,
+                    const ar::model::CoreConfig &config);
+
+    /** Replace the cancellation token for subsequent evaluateAll()
+     * calls (a tripped token never untrips, so a retry after a
+     * cancelled sweep installs a fresh one here). */
+    void setCancel(ar::util::CancelToken cancel);
+
+    /**
      * Run the sweep.
+     *
+     * Per-design outcomes of the last fault-free pass are cached:
+     * when no pool stage is dirty and the call repeats the previous
+     * risk-function object and reference, only designs touched by
+     * editDesign() since that pass are recomputed (through the same
+     * backend, so the bits match a full sweep) and everything else
+     * is served from the cache.  The cache keys on the risk
+     * function's object identity (address and dynamic type), so pass
+     * the same object across what-if iterations to hit it; a
+     * different object -- even an equal-valued one -- forces a full
+     * resweep, never a wrong answer from a stale key.
      *
      * @param fn Risk function.
      * @param reference_speedup Reference performance P in raw speedup
@@ -161,7 +216,35 @@ class DesignSpaceEvaluator
     const ar::util::FaultReport &faultReport() const { return report_; }
 
   private:
+    /// Pool construction is staged so what-if edits can rebuild one
+    /// stage and replay the rest.  Stages are ordered by the master
+    /// RNG stream: f pool, c pool, per-size performance pools,
+    /// fabrication pools.
+    enum Stage : std::size_t
+    {
+        StageF = 0,
+        StageC = 1,
+        StagePerf = 2,
+        StageFab = 3,
+        kNumStages = 4,
+    };
+
+    /**
+     * RNG stream checkpoint around one pool stage.  A stage may be
+     * skipped when it is not dirty and the master stream arrives at
+     * the same state as last time (proving every earlier stage
+     * consumed an identical segment); the stream then jumps to the
+     * recorded exit, exactly as if the stage had re-drawn its pools.
+     */
+    struct StageCkpt
+    {
+        ar::util::Rng entry{0};
+        ar::util::Rng exit{0};
+        bool valid = false;
+    };
+
     void buildPools();
+    void buildStage(std::size_t stage, ar::util::Rng &rng);
 
     /**
      * Compile every design's symbolic speedup into one fused program
@@ -186,10 +269,56 @@ class DesignSpaceEvaluator
                                  ar::util::Rng &rng, double clamp_lo,
                                  double clamp_hi) const;
 
-    const std::vector<ar::model::CoreConfig> &designs;
+    /** Re-point fused_cols_ at the current pool storage (pool
+     * rebuilds may reallocate the vectors the program reads). */
+    void rebindFusedColumns();
+
+    /** Pool column a program argument name refers to ("f", "c",
+     * "P@<size>", "N@<size>x<count>"); fatal on anything else. */
+    const double *columnFor(const std::string &name);
+
+    /**
+     * Recompute one design's normalized samples in isolation,
+     * bit-identical to the column a full sweep would produce for it.
+     * The Direct backend re-runs the closed form; the fused backend
+     * compiles a one-output tape from the same renamed expression
+     * (every tape op is elementwise, so dropping the other outputs
+     * and the block structure cannot change the bits).
+     */
+    void computeDesignSamples(std::size_t d, double reference_speedup,
+                              std::vector<double> &samples);
+
+    /**
+     * Serve a sweep from the outcome cache, recomputing only the
+     * designs edited since the last full pass.  Returns nullopt when
+     * a recomputed design faults: fault accounting is arbitrated
+     * across designs, so the full pass must run.
+     */
+    std::optional<std::vector<DesignOutcome>>
+    tryIncrementalSweep(const ar::risk::RiskFunction &fn,
+                        double reference_speedup);
+
+    /** Record a completed full pass in the outcome cache. */
+    void rememberOutcomes(const std::vector<DesignOutcome> &outcomes,
+                          const ar::risk::RiskFunction &fn,
+                          double reference_speedup, bool fault_free);
+
+    /** Resolved + renamed symbolic speedup of one configuration,
+     * mapping its per-type symbols onto the shared pool columns. */
+    ar::symbolic::ExprPtr
+    designExpr(const ar::model::CoreConfig &config);
+
+    /** @return true when the shared pools already cover every
+     * (size, count) the configuration needs. */
+    bool poolsCover(const ar::model::CoreConfig &config) const;
+
+    std::vector<ar::model::CoreConfig> designs;
     ar::model::AppParams app;
     ar::model::UncertaintySpec spec;
     SweepConfig cfg;
+
+    StageCkpt ckpt_[kNumStages];
+    bool dirty_[kNumStages] = {true, true, true, true};
 
     // Shared sample pools, one entry per trial.
     std::vector<double> f_pool;
@@ -209,9 +338,26 @@ class DesignSpaceEvaluator
 
     // Fused-program backend state (built lazily, memoized).
     std::unique_ptr<ar::symbolic::CompiledProgram> fused_prog_;
+    /// Design outputs edited since the program last compiled; the
+    /// cone recompile is deferred to the next full pass (incremental
+    /// sweeps read a one-output tape and never touch the program).
+    std::set<std::size_t> fused_pending_;
     std::vector<const double *> fused_cols_;      ///< Per program arg.
     std::map<std::pair<std::size_t, unsigned>, std::vector<double>>
         fused_count_cols_;
+    /// Resolved symbolic speedup per distinct type count (k-keyed;
+    /// survives design edits, which only change the renaming).
+    std::map<std::size_t, ar::symbolic::ExprPtr> resolved_by_k_;
+
+    // What-if outcome cache: per-design results of the last full
+    // pass, served back when only a subset of designs changed.
+    std::vector<DesignOutcome> cached_outcomes_;
+    std::vector<bool> design_dirty_;    ///< Edited since last pass.
+    bool outcomes_valid_ = false;
+    bool last_fault_free_ = false;
+    const void *last_fn_ = nullptr;     ///< Risk-function identity...
+    std::size_t last_fn_type_ = 0;      ///< ...address + dynamic type.
+    std::uint64_t last_ref_bits_ = 0;   ///< Reference, bit pattern.
 };
 
 } // namespace ar::explore

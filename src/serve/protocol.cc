@@ -12,7 +12,8 @@ namespace
 
 const char *const kVerbs[] = {"PING",    "UPLOAD", "RUN",
                               "SWEEP",   "SENS",   "METRICS",
-                              "STALL",   "QUIT"};
+                              "STALL",   "QUIT",   "EDIT",
+                              "RERUN"};
 
 bool
 knownVerb(const std::string &verb)

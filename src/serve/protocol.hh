@@ -8,8 +8,16 @@
  *
  *   PING
  *   UPLOAD <model> <nbytes>        # <nbytes> of spec text follow
+ *   EDIT <model> <nbytes>          # <nbytes> of spec-patch lines
+ *                                  # follow; applied in place to the
+ *                                  # stored spec (equations replace
+ *                                  # by defined name, directives by
+ *                                  # bound name), caches revalidated
+ *                                  # incrementally
  *   RUN <model> [key=value ...]    # trials= seed= deadline_ms=
  *                                  # policy=fail_fast|discard|saturate
+ *   RERUN <model> [key=value ...]  # RUN against the post-EDIT model;
+ *                                  # same keys, answers "OK rerun"
  *   SWEEP [key=value ...]          # app= sigma= area= trials= seed=
  *                                  # fab= deadline_ms=
  *   SENS <model> [key=value ...]   # trials= seed= deadline_ms=
@@ -80,7 +88,7 @@ struct Request
     std::string verb;                ///< Uppercased verb token.
     std::vector<std::string> args;   ///< Positional (non key=value).
     std::map<std::string, std::string> params; ///< key=value tokens.
-    std::string body;                ///< UPLOAD payload (else empty).
+    std::string body;                ///< UPLOAD/EDIT payload.
 
     /** @return whether key=value was present. */
     bool has(const std::string &key) const;

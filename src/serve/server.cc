@@ -13,6 +13,9 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <set>
+#include <shared_mutex>
+#include <sstream>
 
 #include "explore/design_space.hh"
 #include "explore/evaluate.hh"
@@ -25,6 +28,7 @@
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/string_utils.hh"
 
 namespace ar::serve
 {
@@ -54,6 +58,8 @@ struct ServeMetrics
         obs::MetricsRegistry::global().counter("serve.degraded");
     obs::Counter idle_timeouts =
         obs::MetricsRegistry::global().counter("serve.idle_timeouts");
+    obs::Counter edits =
+        obs::MetricsRegistry::global().counter("serve.edits");
     obs::Counter drain_ns =
         obs::MetricsRegistry::global().counter("serve.drain_ns");
     obs::Gauge inflight =
@@ -112,6 +118,81 @@ policyParam(const Request &req, ar::util::FaultPolicy fallback)
     return policy;
 }
 
+/**
+ * Classification key of one spec line for EDIT patching: an empty
+ * key marks a blank / comment-only line.  Equations key on the
+ * defined name; the value-binding directives (fixed / uncertain /
+ * samples) all key on the bound name, so an edit can move an input
+ * between certain and uncertain by replacing its one binding line;
+ * correlate keys on the input pair; every scalar directive keys on
+ * the directive word itself.
+ */
+std::string
+specLineKey(const std::string &raw)
+{
+    const std::string text =
+        ar::util::trim(raw.substr(0, raw.find('#')));
+    if (text.empty())
+        return "";
+    if (const auto eq = text.find('=');
+        eq != std::string::npos)
+        return "= " + ar::util::trim(text.substr(0, eq));
+    std::istringstream in(text);
+    std::string cmd, a, b;
+    in >> cmd;
+    if (cmd == "fixed" || cmd == "uncertain" || cmd == "samples") {
+        in >> a;
+        return "bind " + a;
+    }
+    if (cmd == "correlate") {
+        in >> a >> b;
+        return "correlate " + a + ' ' + b;
+    }
+    return cmd;
+}
+
+/**
+ * Apply EDIT patch lines to a stored spec body.  Each meaningful
+ * patch line replaces the first base line with the same key, or is
+ * appended when no base line matches; blank and comment-only patch
+ * lines are inert.  Untouched base lines are preserved byte for
+ * byte, so re-parsing the patched text yields exactly the spec a
+ * fresh UPLOAD of it would.
+ */
+std::string
+applySpecPatch(const std::string &base, const std::string &patch)
+{
+    std::vector<std::string> lines;
+    std::istringstream bin(base);
+    std::string raw;
+    while (std::getline(bin, raw))
+        lines.push_back(raw);
+
+    std::istringstream pin(patch);
+    while (std::getline(pin, raw)) {
+        const std::string key = specLineKey(raw);
+        if (key.empty())
+            continue;
+        bool replaced = false;
+        for (auto &line : lines) {
+            if (specLineKey(line) == key) {
+                line = raw;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced)
+            lines.push_back(raw);
+    }
+
+    std::string out;
+    for (const auto &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
 void
 setNonBlocking(int fd)
 {
@@ -130,7 +211,7 @@ struct Server::Conn
     enum class State : std::uint8_t
     {
         Line, ///< Reading a request line.
-        Body, ///< Reading an UPLOAD body.
+        Body, ///< Reading an UPLOAD/EDIT body.
         Busy, ///< Request executing on a worker; fd not polled.
         Close ///< To be closed by the loop.
     };
@@ -147,14 +228,16 @@ struct Server::Conn
 
 /** One uploaded model: parsed spec + Framework with every expression
  * cache prewarmed at upload time, so concurrent RUNs are read-only
- * cache hits.  compile_m serializes the (rare) operations that touch
- * shared compilation state. */
+ * cache hits.  rw serializes the (rare) operations that mutate
+ * shared compilation state -- UPLOAD prewarming and EDIT's in-place
+ * revalidation hold it exclusively; RUN/RERUN/SENS hold it shared. */
 struct Server::Model
 {
     ar::core::AnalysisSpec spec;
+    std::string spec_text;   ///< Verbatim upload body; EDIT patches it.
     std::unique_ptr<ar::core::Framework> fw;
     double reference = 0.0;
-    std::mutex compile_m;
+    std::shared_mutex rw;
 };
 
 Server::Server(ServerConfig cfg)
@@ -500,11 +583,11 @@ Server::processInput(const std::shared_ptr<Conn> &c)
             continue;
         }
 
-        if (req.verb == "UPLOAD") {
+        if (req.verb == "UPLOAD" || req.verb == "EDIT") {
             if (req.args.size() != 2) {
                 writeConn(c, errLine(ErrCode::BadRequest,
-                                     "usage: UPLOAD <model> "
-                                     "<nbytes>"));
+                                     "usage: " + req.verb +
+                                         " <model> <nbytes>"));
                 continue;
             }
             std::uint64_t nbytes = 0;
@@ -699,7 +782,9 @@ Server::execute(const Request &req, const ar::util::CancelToken &tok,
         serveMetrics().degraded.add();
     if (req.verb == "UPLOAD")
         return handleUpload(req);
-    if (req.verb == "RUN")
+    if (req.verb == "EDIT")
+        return handleEdit(req);
+    if (req.verb == "RUN" || req.verb == "RERUN")
         return handleRun(req, tok, degraded);
     if (req.verb == "SWEEP")
         return handleSweep(req, tok, degraded);
@@ -743,12 +828,13 @@ Server::handleUpload(const Request &req)
 
     auto model = std::make_shared<Model>();
     model->spec = ar::core::parseSpec(req.body);
+    model->spec_text = req.body;
     auto &spec = model->spec;
 
     // Prewarm every compilation cache now, under this model's own
-    // lock, so queries never write shared Framework state
+    // writer lock, so queries never write shared Framework state
     // concurrently.
-    std::lock_guard<std::mutex> lk(model->compile_m);
+    std::unique_lock<std::shared_mutex> lk(model->rw);
     model->fw = std::make_unique<ar::core::Framework>(
         ar::mc::PropagationConfig{spec.trials, "latin-hypercube",
                                   spec.threads, spec.fault_policy});
@@ -780,14 +866,120 @@ Server::handleUpload(const Request &req)
 }
 
 std::string
+Server::handleEdit(const Request &req)
+{
+    const std::string &name = req.args[0];
+    auto model = findModel(name);
+    serveMetrics().edits.add();
+
+    std::unique_lock<std::shared_mutex> lk(model->rw);
+    const std::string text =
+        applySpecPatch(model->spec_text, req.body);
+    // Re-parsing the whole patched text is the single source of
+    // truth: a RERUN after this EDIT answers exactly what a fresh
+    // UPLOAD of the same text would, and a bad patch is a typed
+    // ERR PARSE with the model untouched.
+    ar::core::AnalysisSpec spec = ar::core::parseSpec(text);
+
+    // The edit is absorbed incrementally iff the output list and
+    // the uncertain-input set survived: then every changed line is
+    // either a pure binding/directive update (no compiled state
+    // involved) or an equation replacement the Framework can take
+    // through updateEquation's cone-bounded revalidation.
+    auto keysOf = [](const auto &m) {
+        std::set<std::string> keys;
+        for (const auto &kv : m)
+            keys.insert(kv.first);
+        return keys;
+    };
+    const bool incremental =
+        spec.outputs == model->spec.outputs &&
+        keysOf(spec.bindings.uncertain) ==
+            keysOf(model->spec.bindings.uncertain);
+
+    ar::core::EditOutcome out;
+    bool rebuilt = !incremental;
+    if (incremental) {
+        std::istringstream pin(req.body);
+        std::string raw;
+        while (std::getline(pin, raw)) {
+            const std::string line = raw.substr(0, raw.find('#'));
+            if (ar::util::trim(line).empty() ||
+                line.find('=') == std::string::npos)
+                continue;
+            try {
+                const auto r = model->fw->updateEquation(line);
+                out.invalidated += r.invalidated;
+                out.revalidated += r.revalidated;
+                out.patched += r.patched;
+                out.recompiled += r.recompiled;
+                out.cone_nodes += r.cone_nodes;
+            } catch (const ar::util::ParseError &) {
+                // An equation form parseSpec accepts but the
+                // in-place path cannot (non-symbol left side):
+                // discard any partial revalidation and rebuild.
+                rebuilt = true;
+                out = {};
+                break;
+            }
+        }
+    }
+    model->spec = std::move(spec);
+    if (rebuilt) {
+        auto &s = model->spec;
+        model->fw = std::make_unique<ar::core::Framework>(
+            ar::mc::PropagationConfig{s.trials, "latin-hypercube",
+                                      s.threads, s.fault_policy});
+        model->fw->setSystem(s.system);
+    }
+    model->spec_text = text;
+
+    // Re-prewarm the query path.  After an incremental edit these
+    // are revalidation no-ops for everything outside the edited
+    // cone; after a rebuild they compile the new caches.
+    auto &spec_now = model->spec;
+    for (const auto &output : spec_now.outputs)
+        model->fw->compiled(output);
+    if (spec_now.outputs.size() > 1)
+        model->fw->program(spec_now.outputs);
+
+    if (spec_now.reference) {
+        model->reference = *spec_now.reference;
+    } else {
+        std::map<std::string, double> fixed =
+            spec_now.bindings.fixed;
+        for (const auto &[input, dist] : spec_now.bindings.uncertain)
+            fixed[input] = dist->mean();
+        model->reference =
+            model->fw->evaluateCertain(spec_now.output, fixed);
+    }
+
+    return okLine(
+        "edit model=" + name +
+        " invalidated=" + std::to_string(out.invalidated) +
+        " revalidated=" + std::to_string(out.revalidated) +
+        " patched=" + std::to_string(out.patched) +
+        " recompiled=" + std::to_string(out.recompiled) +
+        " cone_nodes=" + std::to_string(out.cone_nodes) +
+        " rebuilt=" + (rebuilt ? "1" : "0") +
+        " reference=" + fmtDouble(model->reference));
+}
+
+std::string
 Server::handleRun(const Request &req,
                   const ar::util::CancelToken &tok, bool degraded)
 {
+    // RERUN is RUN against the post-EDIT model; it exists so a
+    // client can say "re-ask the question I already asked" and a
+    // transcript shows which answers followed an edit.
+    const bool rerun = req.verb == "RERUN";
     if (req.args.size() != 1)
         throw ProtocolError(ErrCode::BadRequest,
-                            "usage: RUN <model> [trials= seed= "
-                            "deadline_ms= policy=]");
+                            "usage: " + req.verb +
+                                " <model> [trials= seed= "
+                                "deadline_ms= policy=]");
     auto model = findModel(req.args[0]);
+    std::shared_lock<std::shared_mutex> model_lk(model->rw);
     const auto &spec = model->spec;
 
     ar::mc::PropagationConfig pc;
@@ -809,7 +1001,8 @@ Server::handleRun(const Request &req,
                                  model->reference, seed, pc);
 
     return okLine(
-        "run model=" + req.args[0] + " output=" + spec.output +
+        std::string(rerun ? "rerun" : "run") +
+        " model=" + req.args[0] + " output=" + spec.output +
         " trials=" + std::to_string(pc.trials) +
         " effective=" + std::to_string(res.faults.effective_trials) +
         " faults=" + std::to_string(res.faults.faulty_trials) +
@@ -897,6 +1090,7 @@ Server::handleSens(const Request &req,
                             "usage: SENS <model> [trials= seed= "
                             "deadline_ms= policy=]");
     auto model = findModel(req.args[0]);
+    std::shared_lock<std::shared_mutex> model_lk(model->rw);
     const auto &spec = model->spec;
     if (spec.bindings.uncertain.empty())
         throw ProtocolError(ErrCode::BadRequest,

@@ -34,7 +34,12 @@
  *
  * Models are uploaded once (spec text compiled into a Framework with
  * prewarmed expression caches) and queried many times; concurrent
- * RUNs on one model only read the caches.
+ * RUNs on one model only read the caches.  EDIT mutates a model in
+ * place under a writer lock -- the stored spec text is patched line
+ * by line, re-parsed, and the Framework's caches are revalidated
+ * incrementally (Const-slot patch or dirty-cone recompile) instead
+ * of being rebuilt -- so a RERUN after an EDIT answers exactly what
+ * a fresh UPLOAD + RUN of the edited spec would.
  */
 
 #ifndef AR_SERVE_SERVER_HH
@@ -157,6 +162,7 @@ class Server
                         const ar::util::CancelToken &tok,
                         bool degraded);
     std::string handleUpload(const Request &req);
+    std::string handleEdit(const Request &req);
     std::string handleRun(const Request &req,
                           const ar::util::CancelToken &tok,
                           bool degraded);

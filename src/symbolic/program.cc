@@ -170,10 +170,17 @@ struct NodeKeyHash
  */
 struct Builder
 {
-    const std::vector<std::string> &args;
+    /// Program argument names; re-pointed at args_ on every compile
+    /// (the builder outlives single compiles and the owning program
+    /// may move).
+    const std::vector<std::string> *args = nullptr;
     std::vector<Node> nodes;
     std::unordered_map<NodeKey, std::uint32_t, NodeKeyHash> interned;
     std::unordered_map<const Expr *, std::uint32_t> expr_memo;
+    /// Strong references backing expr_memo's raw keys: the builder
+    /// persists across recompiles, so memoized subtrees must not be
+    /// freed (and their addresses reused) between compiles.
+    std::vector<ExprPtr> pinned;
 
     std::uint32_t intern(Node n)
     {
@@ -338,10 +345,10 @@ struct Builder
           case ExprKind::Symbol:
             {
                 const auto it = std::lower_bound(
-                    args.begin(), args.end(), e.name());
+                    args->begin(), args->end(), e.name());
                 return intern(
                     {NK::Arg, 0.0,
-                     static_cast<std::uint32_t>(it - args.begin()),
+                     static_cast<std::uint32_t>(it - args->begin()),
                      {}});
             }
           case ExprKind::Add:
@@ -386,6 +393,7 @@ struct Builder
             }
             if (e->operands().empty()) {
                 expr_memo.emplace(e.get(), buildNode(*e, {}));
+                pinned.push_back(e);
                 stack.pop_back();
                 continue;
             }
@@ -405,6 +413,7 @@ struct Builder
                 kids.push_back(expr_memo.at(op.get()));
             expr_memo.emplace(e.get(),
                               buildNode(*e, std::move(kids)));
+            pinned.push_back(e);
             stack.pop_back();
         }
         return expr_memo.at(root.get());
@@ -440,7 +449,27 @@ joinLabels(const std::vector<std::string> &parts,
 
 } // namespace
 
+/**
+ * Persistent compile state.  The hash-consed builder DAG survives
+ * across recompiles so re-lowering an edited forest only pays for
+ * the dirty cone: every subtree pointer-identical to a previously
+ * compiled expression memo-hits in expr_memo and is never walked.
+ */
+struct CompiledProgram::BuildState
+{
+    Builder b;
+    /// Reachable node count of the last compile; recompile() resets
+    /// the builder when dead nodes from past edits dominate.
+    std::size_t last_emitted = 0;
+};
+
+CompiledProgram::~CompiledProgram() = default;
+CompiledProgram::CompiledProgram(CompiledProgram &&) noexcept = default;
+CompiledProgram &
+CompiledProgram::operator=(CompiledProgram &&) noexcept = default;
+
 CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
+    : state_(std::make_unique<BuildState>())
 {
     if (outputs.empty())
         ar::util::panic("CompiledProgram: no outputs");
@@ -448,7 +477,14 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
         if (!e)
             ar::util::panic("CompiledProgram: null output expression");
     sources_ = std::move(outputs);
+    initArgs();
+    rebuildDiag(nullptr);
+    compile();
+}
 
+void
+CompiledProgram::initArgs()
+{
     // Fixed argument ordering: the sorted union of free symbols.
     std::set<std::string> all;
     for (const auto &e : sources_) {
@@ -456,14 +492,31 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
         all.insert(syms.begin(), syms.end());
     }
     args_.assign(all.begin(), all.end());
+}
 
+void
+CompiledProgram::rebuildDiag(const std::vector<ExprPtr> *old_sources)
+{
     // Per-output diagnostic tapes (also the "naive" op-count
-    // baseline the optimizer is measured against).
-    diag_.reserve(sources_.size());
+    // baseline the optimizer is measured against).  On recompile,
+    // outputs whose source is pointer-identical keep their tape; the
+    // arg-index maps are always recomputed because args_ may have
+    // been reordered by the edit.
+    std::vector<CompiledExpr> fresh;
+    fresh.reserve(sources_.size());
+    for (std::size_t o = 0; o < sources_.size(); ++o) {
+        if (old_sources && o < old_sources->size() &&
+            (*old_sources)[o].get() == sources_[o].get())
+            fresh.push_back(std::move(diag_[o]));
+        else
+            fresh.emplace_back(sources_[o]);
+    }
+    diag_ = std::move(fresh);
+    diag_args_.clear();
     diag_args_.reserve(sources_.size());
-    for (const auto &e : sources_) {
-        diag_.emplace_back(e);
-        const auto &names = diag_.back().argNames();
+    stats_.naive_ops = 0;
+    for (const auto &d : diag_) {
+        const auto &names = d.argNames();
         std::vector<std::uint32_t> map;
         map.reserve(names.size());
         for (const auto &name : names) {
@@ -473,11 +526,33 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
                 static_cast<std::uint32_t>(it - args_.begin()));
         }
         diag_args_.push_back(std::move(map));
-        stats_.naive_ops += diag_.back().tapeLength();
+        stats_.naive_ops += d.tapeLength();
     }
+}
 
-    // Intern the forest into a DAG with the bit-safe rewrites.
-    Builder b{args_, {}, {}, {}};
+std::size_t
+CompiledProgram::compile()
+{
+    ops_.clear();
+    operand_regs_.clear();
+    labels_.clear();
+    root_regs_.clear();
+    root_direct_.clear();
+    root_copy_.clear();
+    arg_regs_.clear();
+    num_regs_ = 0;
+
+    // Intern the forest into a DAG with the bit-safe rewrites.  The
+    // builder is persistent: node ids from earlier compiles remain
+    // valid, and freshly interned nodes (the dirty cone on a
+    // recompile) append past nodes_before.  Everything downstream --
+    // emission order, liveness, register assignment -- is a function
+    // of program *structure* reached from the roots, never of node
+    // ids, so a recompile through a warm builder lays down a tape
+    // op-for-op identical to a cold compile of the same forest.
+    Builder &b = state_->b;
+    b.args = &args_;
+    const std::size_t nodes_before = b.nodes.size();
     std::vector<std::uint32_t> roots;
     roots.reserve(sources_.size());
     for (const auto &e : sources_)
@@ -716,6 +791,168 @@ CompiledProgram::CompiledProgram(std::vector<ExprPtr> outputs)
 
     stats_.program_ops = ops_.size();
     stats_.registers = num_regs_;
+    state_->last_emitted = order.size();
+    return b.nodes.size() - nodes_before;
+}
+
+bool
+CompiledProgram::tryPatch(const std::vector<ExprPtr> &new_outputs)
+{
+    if (new_outputs.size() != sources_.size())
+        return false;
+    for (const auto &e : new_outputs)
+        if (!e)
+            ar::util::panic("CompiledProgram: null output expression");
+
+    // Paired structural walk over (old, new).  Pointer-identical
+    // pairs are descended too (the pair memo keeps this linear): the
+    // retained region then contributes an identity entry for every
+    // constant it still uses, which is what catches a hash-consed
+    // constant that one edit site changes and another still needs --
+    // the two targets conflict and the patch is refused.
+    std::unordered_map<std::uint64_t, std::uint64_t> edits;
+    std::set<std::pair<const Expr *, const Expr *>> visited;
+    std::vector<std::pair<const Expr *, const Expr *>> stack;
+    for (std::size_t o = 0; o < sources_.size(); ++o)
+        stack.emplace_back(sources_[o].get(), new_outputs[o].get());
+    while (!stack.empty()) {
+        const auto [oe, ne] = stack.back();
+        stack.pop_back();
+        if (!visited.insert({oe, ne}).second)
+            continue;
+        if (oe->kind() != ne->kind())
+            return false; // structural edit
+        if (oe->kind() == ExprKind::Constant) {
+            const auto ob = bitsOf(oe->value());
+            const auto nb = bitsOf(ne->value());
+            const auto [it, fresh] = edits.try_emplace(ob, nb);
+            if (!fresh && it->second != nb)
+                return false; // two targets for one shared constant
+            continue;
+        }
+        if (oe->kind() == ExprKind::Symbol) {
+            if (oe->name() != ne->name())
+                return false; // argument set would change
+            continue;
+        }
+        if (oe->kind() == ExprKind::Func && oe->name() != ne->name())
+            return false;
+        const auto &ok = oe->operands();
+        const auto &nk = ne->operands();
+        if (ok.size() != nk.size())
+            return false;
+        // Value-sensitive rewrite guards: when the old or new value
+        // of a changed constant participates in neutral-element
+        // pruning, literal-exponent strength reduction, or would
+        // newly enable compile-time folding, a fresh compile yields
+        // a different tape shape -- the slot write cannot represent
+        // the edit and the caller must recompile.
+        bool any_changed = false;
+        bool all_new_const = true;
+        for (std::size_t i = 0; i < ok.size(); ++i) {
+            const Expr *oc = ok[i].get();
+            const Expr *nc = nk[i].get();
+            if (nc->kind() != ExprKind::Constant)
+                all_new_const = false;
+            if (oc != nc && oc->kind() == ExprKind::Constant &&
+                nc->kind() == ExprKind::Constant) {
+                any_changed = true;
+                const double ov = oc->value();
+                const double nv = nc->value();
+                switch (oe->kind()) {
+                  case ExprKind::Add:
+                    if (ov == 0.0 || nv == 0.0) // +-0.0 pruning
+                        return false;
+                    break;
+                  case ExprKind::Mul:
+                    if (ov == 1.0 || nv == 1.0) // identity pruning
+                        return false;
+                    break;
+                  case ExprKind::Pow:
+                    if (i == 1) {
+                        for (const double m :
+                             {0.0, 1.0, 2.0, -1.0, 0.5})
+                            if (ov == m || nv == m)
+                                return false;
+                    }
+                    break;
+                  default:
+                    break;
+                }
+            }
+            stack.emplace_back(oc, nc);
+        }
+        if (any_changed && all_new_const)
+            return false; // fresh compile would constant-fold here
+    }
+
+    // Locate every Const slot per edit *before* mutating: a new
+    // value may equal another edit's old value, and patching in
+    // sequence would then corrupt the already-patched slot.  A tape
+    // op's value always matches the source constants it serves (the
+    // invariant each successful patch re-establishes by updating
+    // sources_), so value-bits lookup is exact; repeated patches can
+    // leave several slots holding the same value, and all of them
+    // belong to the edit.
+    std::vector<std::pair<std::size_t, double>> slots;
+    for (const auto &[ob, nb] : edits) {
+        if (ob == nb)
+            continue;
+        double nv;
+        std::memcpy(&nv, &nb, sizeof nv);
+        bool found = false;
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+            if (ops_[i].code == OpCode::Const &&
+                bitsOf(ops_[i].value) == ob) {
+                slots.emplace_back(i, nv);
+                found = true;
+            }
+        }
+        if (!found)
+            return false; // constant was folded or pruned away
+    }
+    for (const auto &[i, nv] : slots) {
+        ops_[i].value = nv;
+        labels_[i] = clipLabel(toString(Expr::constant(nv)));
+    }
+    const std::vector<ExprPtr> old = std::move(sources_);
+    sources_ = new_outputs;
+    rebuildDiag(&old);
+    return true;
+}
+
+std::size_t
+CompiledProgram::recompile(std::vector<ExprPtr> new_outputs)
+{
+    if (new_outputs.empty())
+        ar::util::panic("CompiledProgram::recompile: no outputs");
+    for (const auto &e : new_outputs)
+        if (!e)
+            ar::util::panic("CompiledProgram: null output expression");
+
+    std::set<std::string> all;
+    for (const auto &e : new_outputs) {
+        const auto &syms = e->freeSymbols();
+        all.insert(syms.begin(), syms.end());
+    }
+    std::vector<std::string> new_args(all.begin(), all.end());
+
+    Builder &b = state_->b;
+    if (new_args != args_) {
+        // Argument indices are baked into interned Arg nodes, so a
+        // changed argument set invalidates the whole builder DAG.
+        b = Builder{};
+    } else if (b.nodes.size() > 4 * state_->last_emitted + 1024) {
+        // Dead nodes from past edits dominate; rebuild from scratch
+        // rather than let the DAG grow without bound.
+        b = Builder{};
+    }
+
+    const std::vector<ExprPtr> old = std::move(sources_);
+    sources_ = std::move(new_outputs);
+    args_ = std::move(new_args);
+    rebuildDiag(&old);
+    return compile();
 }
 
 std::size_t

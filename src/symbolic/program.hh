@@ -19,6 +19,7 @@
 #define AR_SYMBOLIC_PROGRAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,6 +53,44 @@ class CompiledProgram
   public:
     /** Compile @p outputs (at least one, all non-null). */
     explicit CompiledProgram(std::vector<ExprPtr> outputs);
+
+    ~CompiledProgram();
+    CompiledProgram(CompiledProgram &&) noexcept;
+    CompiledProgram &operator=(CompiledProgram &&) noexcept;
+    CompiledProgram(const CompiledProgram &) = delete;
+    CompiledProgram &operator=(const CompiledProgram &) = delete;
+
+    /**
+     * Constant-slot tape patch.  When @p new_outputs differ from the
+     * current sources only in the values of constant leaves, the edit
+     * is applied by overwriting the affected Const slots in place --
+     * no rebuild, no register movement, and the patched tape is
+     * bit-identical to compiling @p new_outputs from scratch.
+     *
+     * The patch is refused (returns false, program untouched) when
+     * the edit is structural, when an old/new constant participates
+     * in a value-sensitive rewrite (additive zero, multiplicative
+     * one, literal-exponent strength reduction) so that a fresh
+     * compile would produce a different tape shape, when the edit
+     * would newly enable compile-time folding, or when a changed
+     * constant was folded out of the tape entirely.  Callers fall
+     * back to recompile() in that case.
+     */
+    bool tryPatch(const std::vector<ExprPtr> &new_outputs);
+
+    /**
+     * Dirty-region recompile.  Rebuilds the tape for @p new_outputs
+     * while reusing the persistent hash-consed builder DAG: subtrees
+     * pointer-identical to previously compiled expressions are
+     * recognised in O(1) and never re-lowered, so the cost of the
+     * rebuild is proportional to the edited cone, not the forest.
+     * Linearization and register allocation depend only on program
+     * structure, so the result is bit-identical to a fresh compile.
+     *
+     * @return the number of freshly interned DAG nodes (the dirty
+     *         cone; 0 when the new forest reuses everything).
+     */
+    std::size_t recompile(std::vector<ExprPtr> new_outputs);
 
     /** @return argument names in positional order (sorted union). */
     const std::vector<std::string> &argNames() const { return args_; }
@@ -170,6 +209,14 @@ class CompiledProgram
     /// Per-output diagnostic tapes + program-arg index per tape arg.
     std::vector<CompiledExpr> diag_;
     std::vector<std::vector<std::uint32_t>> diag_args_;
+
+    /// Persistent hash-consed builder DAG reused across recompiles.
+    struct BuildState;
+    std::unique_ptr<BuildState> state_;
+
+    void initArgs();
+    void rebuildDiag(const std::vector<ExprPtr> *old_sources);
+    std::size_t compile();
 };
 
 } // namespace ar::symbolic

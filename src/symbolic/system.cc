@@ -15,6 +15,7 @@ void
 EquationSystem::addEquation(const Equation &eq)
 {
     memo.clear();
+    memo_deps.clear();
     if (eq.lhs->isSymbol()) {
         const std::string &name = eq.lhs->name();
         if (defs.count(name)) {
@@ -56,7 +57,54 @@ void
 EquationSystem::markUncertain(const std::string &name)
 {
     memo.clear();
+    memo_deps.clear();
     uncertain_.insert(name);
+}
+
+std::size_t
+EquationSystem::replaceEquation(const Equation &eq)
+{
+    if (!eq.lhs->isSymbol()) {
+        throw ar::util::ParseError(
+            {"replaceEquation requires a bare symbol on the "
+             "left-hand side",
+             0, 0, toString(eq)});
+    }
+    const std::string &name = eq.lhs->name();
+    const bool existed = defs.count(name) > 0;
+    defs[name] = simplify(eq.rhs);
+
+    if (!existed) {
+        // A brand-new definition can turn what every memo entry
+        // treated as an input leaf into an expandable variable, so
+        // nothing memoized is trustworthy.
+        const std::size_t n = memo.size();
+        memo.clear();
+        memo_deps.clear();
+        return n;
+    }
+
+    // Dirty cone: the entry for the edited name itself plus every
+    // entry whose expansion pulled it in (memo_deps is transitive).
+    std::size_t invalidated = 0;
+    for (auto it = memo.begin(); it != memo.end();) {
+        const bool dirty =
+            it->first == name || memo_deps[it->first].count(name) > 0;
+        if (dirty) {
+            memo_deps.erase(it->first);
+            it = memo.erase(it);
+            ++invalidated;
+        } else {
+            ++it;
+        }
+    }
+    return invalidated;
+}
+
+std::size_t
+EquationSystem::replaceEquation(std::string_view text)
+{
+    return replaceEquation(parseEquation(text));
 }
 
 bool
@@ -102,10 +150,14 @@ EquationSystem::resolveImpl(const std::string &name,
     in_progress.insert(name);
 
     Bindings bindings;
+    std::set<std::string> deps;
     for (const auto &sym : def_it->second->freeSymbols()) {
         if (uncertain_.count(sym) || !defs.count(sym))
             continue; // leave uncertain vars and inputs as leaves
         bindings[sym] = resolveImpl(sym, in_progress);
+        deps.insert(sym);
+        const auto &sub = memo_deps[sym]; // filled by the recursion
+        deps.insert(sub.begin(), sub.end());
     }
     ExprPtr resolved = bindings.empty()
         ? simplify(def_it->second)
@@ -113,6 +165,7 @@ EquationSystem::resolveImpl(const std::string &name,
 
     in_progress.erase(name);
     memo[name] = resolved;
+    memo_deps[name] = std::move(deps);
     return resolved;
 }
 

@@ -57,6 +57,22 @@ class EquationSystem
     std::vector<std::string> definedNames() const;
 
     /**
+     * Replace (or add) the defining equation of one variable without
+     * discarding unrelated resolution work.  The LHS must be a bare
+     * symbol.  Resolution results are memoized together with their
+     * transitive dependency sets, so only the memo entries in the
+     * edited variable's cone (the entries whose expansion used it)
+     * are invalidated; everything outside the cone stays resolved.
+     *
+     * @return the number of memoized resolutions invalidated.
+     * @throws ar::util::ParseError when the LHS is not a bare symbol.
+     */
+    std::size_t replaceEquation(const Equation &eq);
+
+    /** Parse and replace, e.g. replaceEquation("P = 2 * sqrt(A)"). */
+    std::size_t replaceEquation(std::string_view text);
+
+    /**
      * Fully expand a variable down to inputs and uncertain leaves
      * ("partial symbolic solving").  Results are memoized; cyclic
      * definitions are fatal.
@@ -76,6 +92,9 @@ class EquationSystem
     std::map<std::string, ExprPtr> defs;
     std::set<std::string> uncertain_;
     mutable std::map<std::string, ExprPtr> memo;
+    /// Defined names each memo entry transitively expanded; keeps
+    /// replaceEquation() invalidation to the edited cone.
+    mutable std::map<std::string, std::set<std::string>> memo_deps;
 };
 
 } // namespace ar::symbolic

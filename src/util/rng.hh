@@ -99,6 +99,23 @@ class Rng
     /** Fisher-Yates shuffle of an index vector [0, n). */
     std::vector<std::size_t> permutation(std::size_t n);
 
+    /**
+     * Exact state equality (xoshiro words plus the Gaussian spare).
+     * Two equal generators produce identical draw streams forever;
+     * incremental re-evaluation uses this to prove a skipped pool
+     * stage would have consumed the same stream segment.
+     */
+    bool
+    operator==(const Rng &o) const
+    {
+        if (have_spare != o.have_spare)
+            return false;
+        if (have_spare && spare != o.spare)
+            return false;
+        return s[0] == o.s[0] && s[1] == o.s[1] && s[2] == o.s[2] &&
+               s[3] == o.s[3];
+    }
+
     /** In-place Fisher-Yates shuffle. */
     template <typename T>
     void

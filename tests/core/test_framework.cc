@@ -14,6 +14,7 @@
 #include "model/hill_marty.hh"
 #include "model/uncertainty.hh"
 #include "risk/risk_function.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace c = ar::core;
@@ -226,4 +227,81 @@ TEST(Framework, ProgramWithNoOutputsIsFatal)
     c::Framework fw;
     fw.setSystem(twoOutputSystem());
     EXPECT_THROW(fw.program({}), ar::util::FatalError);
+}
+
+TEST(Framework, UpdateEquationRecompilesEditedCone)
+{
+    c::Framework fw;
+    fw.setSystem(simpleSystem());
+    EXPECT_DOUBLE_EQ(
+        fw.evaluateCertain("y", {{"x", 3.0}, {"b", 1.0}}), 7.0);
+
+    const auto out = fw.updateEquation("y = 3 * x + b");
+    EXPECT_GE(out.recompiled, 1u);
+    EXPECT_DOUBLE_EQ(
+        fw.evaluateCertain("y", {{"x", 3.0}, {"b", 1.0}}), 10.0);
+
+    // The edited framework answers exactly like one built fresh on
+    // the edited system.
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("y = 3 * x + b");
+    sys.markUncertain("x");
+    c::Framework fresh;
+    fresh.setSystem(std::move(sys));
+    EXPECT_EQ(fw.evaluateCertain("y", {{"x", 0.25}, {"b", -2.0}}),
+              fresh.evaluateCertain("y", {{"x", 0.25}, {"b", -2.0}}));
+}
+
+TEST(Framework, UpdateEquationRevalidatesUntouchedOutputs)
+{
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("y = 2 * x");
+    sys.addEquation("w = q * q");
+    c::Framework fw;
+    fw.setSystem(std::move(sys));
+    (void)fw.compiled("y");
+    (void)fw.compiled("w");
+
+    const auto out = fw.updateEquation("y = 5 * x");
+    // w is outside the edited cone: its cached tape revalidates.
+    EXPECT_GE(out.revalidated, 1u);
+    EXPECT_DOUBLE_EQ(fw.evaluateCertain("w", {{"q", 3.0}}), 9.0);
+    EXPECT_DOUBLE_EQ(fw.evaluateCertain("y", {{"x", 2.0}}), 10.0);
+}
+
+TEST(Framework, UpdateEquationPatchesConstOnlyProgramEdit)
+{
+    ar::symbolic::EquationSystem sys;
+    sys.addEquation("y = x * 3 + 7");
+    sys.addEquation("w = x + 2");
+    c::Framework fw;
+    fw.setSystem(std::move(sys));
+    const auto &before = fw.program({"y", "w"});
+    const std::size_t tape = before.tapeLength();
+
+    // 3 -> 5 moves one Const slot; the fused tape is patched in
+    // place, not rebuilt.
+    const auto out = fw.updateEquation("y = x * 5 + 7");
+    EXPECT_EQ(out.patched, 1u);
+    const auto &after = fw.program({"y", "w"});
+    EXPECT_EQ(after.tapeLength(), tape);
+
+    std::vector<double> vals(2);
+    after.eval(std::vector<double>{4.0}, vals);
+    EXPECT_DOUBLE_EQ(vals[0], 27.0);
+    EXPECT_DOUBLE_EQ(vals[1], 6.0);
+}
+
+TEST(Framework, UpdateEquationNonSymbolLhsThrows)
+{
+    c::Framework fw;
+    fw.setSystem(simpleSystem());
+    EXPECT_THROW(fw.updateEquation("y + 1 = x"),
+                 ar::util::ParseError);
+}
+
+TEST(Framework, UpdateEquationWithoutSystemIsFatal)
+{
+    c::Framework fw;
+    EXPECT_THROW(fw.updateEquation("y = 1"), ar::util::FatalError);
 }

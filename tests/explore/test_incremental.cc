@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Incremental what-if sweeps: after editApp / editUncertainty /
+ * editDesign, the persistent evaluator's next evaluateAll() must be
+ * bit-identical to a freshly constructed evaluator over the edited
+ * inputs -- under both backends and every thread count -- because
+ * stage-checkpointed pools replay the master RNG stream exactly and
+ * the fused program recompiles only the edited cone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "explore/evaluate.hh"
+#include "model/app.hh"
+#include "model/uncertainty.hh"
+#include "risk/risk_function.hh"
+#include "util/cancel.hh"
+#include "util/fault.hh"
+
+namespace x = ar::explore;
+namespace m = ar::model;
+
+namespace
+{
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+std::vector<m::CoreConfig>
+designs()
+{
+    // d2 holds the per-size maximum counts, so editing d1 within
+    // {4, 16} never perturbs the shared pool layout.
+    return {m::CoreConfig({{4.0, 16}}),
+            m::CoreConfig({{16.0, 4}}),
+            m::CoreConfig({{4.0, 16}, {16.0, 4}})};
+}
+
+void
+expectBitEqual(const std::vector<x::DesignOutcome> &got,
+               const std::vector<x::DesignOutcome> &want,
+               const char *ctx)
+{
+    ASSERT_EQ(got.size(), want.size()) << ctx;
+    for (std::size_t d = 0; d < got.size(); ++d) {
+        EXPECT_EQ(bits(got[d].expected), bits(want[d].expected))
+            << ctx << " design " << d << " expected";
+        EXPECT_EQ(bits(got[d].stddev), bits(want[d].stddev))
+            << ctx << " design " << d << " stddev";
+        EXPECT_EQ(bits(got[d].risk), bits(want[d].risk))
+            << ctx << " design " << d << " risk";
+        EXPECT_EQ(got[d].faults, want[d].faults)
+            << ctx << " design " << d << " faults";
+    }
+}
+
+x::SweepConfig
+config(x::SweepBackend backend, std::size_t threads)
+{
+    x::SweepConfig cfg;
+    cfg.trials = 256;
+    cfg.seed = 11;
+    cfg.threads = threads;
+    cfg.fault_policy = ar::util::FaultPolicy::Discard;
+    cfg.backend = backend;
+    return cfg;
+}
+
+const x::SweepBackend kBackends[] = {x::SweepBackend::Direct,
+                                     x::SweepBackend::FusedProgram};
+const std::size_t kThreads[] = {1, 2, 8};
+
+} // namespace
+
+TEST(Incremental, RepeatSweepIsBitIdentical)
+{
+    for (const auto backend : kBackends) {
+        x::DesignSpaceEvaluator eval(designs(), m::appLPHC(),
+                                     m::UncertaintySpec::all(0.3),
+                                     config(backend, 1));
+        ar::risk::QuadraticRisk fn;
+        const auto first = eval.evaluateAll(fn, 30.0);
+        const auto second = eval.evaluateAll(fn, 30.0);
+        expectBitEqual(second, first, "pool replay");
+    }
+}
+
+TEST(Incremental, EditAppMatchesFreshEvaluator)
+{
+    ar::risk::QuadraticRisk fn;
+    for (const auto backend : kBackends) {
+        for (const auto threads : kThreads) {
+            const auto cfg = config(backend, threads);
+            x::DesignSpaceEvaluator eval(
+                designs(), m::appLPHC(),
+                m::UncertaintySpec::all(0.3), cfg);
+            (void)eval.evaluateAll(fn, 30.0);
+            eval.editApp(m::appHPLC());
+            const auto got = eval.evaluateAll(fn, 30.0);
+
+            x::DesignSpaceEvaluator fresh(
+                designs(), m::appHPLC(),
+                m::UncertaintySpec::all(0.3), cfg);
+            expectBitEqual(got, fresh.evaluateAll(fn, 30.0),
+                           "editApp");
+        }
+    }
+}
+
+TEST(Incremental, EditUncertaintyMatchesFreshEvaluator)
+{
+    ar::risk::QuadraticRisk fn;
+    const auto before = m::UncertaintySpec::all(0.3);
+    // Perf-only change: the f/c stages are replayed from their RNG
+    // checkpoints, the perf and fab stages rebuild.
+    auto after = before;
+    after.sigma_perf = 0.1;
+    for (const auto backend : kBackends) {
+        for (const auto threads : kThreads) {
+            const auto cfg = config(backend, threads);
+            x::DesignSpaceEvaluator eval(designs(), m::appLPHC(),
+                                         before, cfg);
+            (void)eval.evaluateAll(fn, 30.0);
+            eval.editUncertainty(after);
+            const auto got = eval.evaluateAll(fn, 30.0);
+
+            x::DesignSpaceEvaluator fresh(designs(), m::appLPHC(),
+                                          after, cfg);
+            expectBitEqual(got, fresh.evaluateAll(fn, 30.0),
+                           "editUncertainty");
+        }
+    }
+}
+
+TEST(Incremental, EditDesignInPoolMatchesFreshEvaluator)
+{
+    // The edited configuration only uses covered sizes and counts
+    // below the per-size maxima, so no pool is rebuilt and (under
+    // FusedProgram) only the edited output's cone recompiles.
+    ar::risk::QuadraticRisk fn;
+    const m::CoreConfig edited({{4.0, 4}, {16.0, 2}});
+    for (const auto backend : kBackends) {
+        for (const auto threads : kThreads) {
+            const auto cfg = config(backend, threads);
+            x::DesignSpaceEvaluator eval(
+                designs(), m::appLPHC(),
+                m::UncertaintySpec::all(0.3), cfg);
+            (void)eval.evaluateAll(fn, 30.0);
+            eval.editDesign(1, edited);
+            const auto got = eval.evaluateAll(fn, 30.0);
+
+            auto fresh_designs = designs();
+            fresh_designs[1] = edited;
+            x::DesignSpaceEvaluator fresh(
+                fresh_designs, m::appLPHC(),
+                m::UncertaintySpec::all(0.3), cfg);
+            expectBitEqual(got, fresh.evaluateAll(fn, 30.0),
+                           "editDesign fast path");
+        }
+    }
+}
+
+TEST(Incremental, EditDesignNewSizeMatchesFreshEvaluator)
+{
+    // A size outside the shared pools forces the perf/fab stages to
+    // rebuild; the f/c stages replay from their checkpoints, so the
+    // outcome still equals a fresh evaluator bit for bit.
+    ar::risk::QuadraticRisk fn;
+    const m::CoreConfig edited({{8.0, 8}});
+    for (const auto backend : kBackends) {
+        const auto cfg = config(backend, 1);
+        x::DesignSpaceEvaluator eval(designs(), m::appLPHC(),
+                                     m::UncertaintySpec::all(0.3),
+                                     cfg);
+        (void)eval.evaluateAll(fn, 30.0);
+        eval.editDesign(1, edited);
+        const auto got = eval.evaluateAll(fn, 30.0);
+
+        auto fresh_designs = designs();
+        fresh_designs[1] = edited;
+        x::DesignSpaceEvaluator fresh(fresh_designs, m::appLPHC(),
+                                      m::UncertaintySpec::all(0.3),
+                                      cfg);
+        expectBitEqual(got, fresh.evaluateAll(fn, 30.0),
+                       "editDesign slow path");
+    }
+}
+
+TEST(Incremental, ChainedEditsMatchFreshEvaluator)
+{
+    // Edits compose: app, then uncertainty, then two design edits;
+    // the surviving pools replay, the rest rebuild in stage order.
+    ar::risk::QuadraticRisk fn;
+    const auto spec2 = m::UncertaintySpec::all(0.2);
+    const m::CoreConfig d1({{4.0, 8}, {16.0, 1}});
+    for (const auto backend : kBackends) {
+        const auto cfg = config(backend, 2);
+        x::DesignSpaceEvaluator eval(designs(), m::appLPHC(),
+                                     m::UncertaintySpec::all(0.3),
+                                     cfg);
+        (void)eval.evaluateAll(fn, 30.0);
+        eval.editApp(m::appHPHC());
+        (void)eval.evaluateAll(fn, 30.0);
+        eval.editUncertainty(spec2);
+        eval.editDesign(1, d1);
+        const auto got = eval.evaluateAll(fn, 30.0);
+
+        auto fresh_designs = designs();
+        fresh_designs[1] = d1;
+        x::DesignSpaceEvaluator fresh(fresh_designs, m::appHPHC(),
+                                      spec2, cfg);
+        expectBitEqual(got, fresh.evaluateAll(fn, 30.0),
+                       "chained edits");
+    }
+}
+
+TEST(Incremental, CancelThenRetryIsDeterministic)
+{
+    // A cancelled sweep must not perturb the persistent state: after
+    // installing a fresh token, the retry answers exactly what an
+    // uninterrupted evaluator would.
+    ar::risk::QuadraticRisk fn;
+    for (const auto backend : kBackends) {
+        auto cfg = config(backend, 2);
+        auto tok = ar::util::CancelToken::create();
+        tok.cancel();
+        cfg.cancel = tok;
+        x::DesignSpaceEvaluator eval(designs(), m::appLPHC(),
+                                     m::UncertaintySpec::all(0.3),
+                                     cfg);
+        EXPECT_THROW((void)eval.evaluateAll(fn, 30.0),
+                     ar::util::CancelledError);
+        eval.setCancel(ar::util::CancelToken::create());
+        const auto got = eval.evaluateAll(fn, 30.0);
+
+        auto plain = config(backend, 2);
+        x::DesignSpaceEvaluator fresh(designs(), m::appLPHC(),
+                                      m::UncertaintySpec::all(0.3),
+                                      plain);
+        expectBitEqual(got, fresh.evaluateAll(fn, 30.0),
+                       "cancel then retry");
+    }
+}
+
+TEST(Incremental, EditDesignOutOfRangeIsFatal)
+{
+    x::DesignSpaceEvaluator eval(designs(), m::appLPHC(),
+                                 m::UncertaintySpec::all(0.3),
+                                 config(x::SweepBackend::Direct, 1));
+    EXPECT_THROW(eval.editDesign(3, m::CoreConfig({{4.0, 1}})),
+                 ar::util::FatalError);
+}

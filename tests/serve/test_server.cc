@@ -620,3 +620,151 @@ TEST(ServeShutdown, NewRequestsRefusedWhileDraining)
               0);
     ::close(fd);
 }
+
+namespace
+{
+
+/** Send an EDIT frame and return the response line. */
+std::string
+edit(Client &c, const std::string &name, const std::string &patch)
+{
+    c.send("EDIT " + name + " " + std::to_string(patch.size()) +
+           "\n" + patch);
+    return c.readLine();
+}
+
+/** Everything after the "model=<name>" token, so RUN and RERUN
+ * responses over differently named models compare field for field. */
+std::string
+afterModel(const std::string &line)
+{
+    const auto at = line.find(" model=");
+    if (at == std::string::npos)
+        return line;
+    const auto end = line.find(' ', at + 7);
+    return end == std::string::npos ? "" : line.substr(end + 1);
+}
+
+} // namespace
+
+TEST_P(ServeTest, EditThenRerunMatchesFreshUploadBitForBit)
+{
+    // The EDIT contract: after a line-level patch, RERUN answers
+    // exactly what a fresh UPLOAD of the hand-patched spec text
+    // would -- same mean, risk, and fault counts, bit for bit.
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+
+    const std::string resp = edit(c, "amdahl", "fixed s 64\n");
+    ASSERT_TRUE(startsWith(resp, "OK edit")) << resp;
+    // A binding edit keeps outputs and uncertain inputs: absorbed
+    // incrementally, no Framework rebuild.
+    EXPECT_EQ(field(resp, "rebuilt"), "0");
+
+    c.send("RERUN amdahl\n");
+    const std::string rerun = c.readLine();
+    ASSERT_TRUE(startsWith(rerun, "OK rerun model=amdahl")) << rerun;
+
+    std::string patched(kHealthySpec);
+    const auto at = patched.find("fixed s 32");
+    ASSERT_NE(at, std::string::npos);
+    patched.replace(at, std::strlen("fixed s 32"), "fixed s 64");
+
+    Client fresh(server_->port());
+    ASSERT_TRUE(startsWith(upload(fresh, "amdahl2", patched),
+                           "OK uploaded"));
+    fresh.send("RUN amdahl2\n");
+    const std::string direct = fresh.readLine();
+    ASSERT_TRUE(startsWith(direct, "OK run")) << direct;
+    EXPECT_EQ(afterModel(rerun), afterModel(direct));
+    EXPECT_EQ(field(rerun, "mean"), directMean(patched));
+}
+
+TEST_P(ServeTest, EditedEquationRevalidatesTheConeInPlace)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("RUN amdahl\n");
+    const std::string before = c.readLine();
+    ASSERT_TRUE(startsWith(before, "OK run")) << before;
+
+    const std::string patch = "Speedup = 2 / (1 - f + f / s)\n";
+    const std::string resp = edit(c, "amdahl", patch);
+    ASSERT_TRUE(startsWith(resp, "OK edit")) << resp;
+    EXPECT_EQ(field(resp, "rebuilt"), "0");
+    // The equation edit went through the what-if cache: its cone was
+    // invalidated and re-absorbed by patch or cone recompile.
+    EXPECT_NE(field(resp, "invalidated"), "0");
+
+    c.send("RERUN amdahl\n");
+    const std::string rerun = c.readLine();
+    ASSERT_TRUE(startsWith(rerun, "OK rerun")) << rerun;
+    EXPECT_NE(field(rerun, "mean"), field(before, "mean"));
+
+    std::string patched(kHealthySpec);
+    const std::string old = "Speedup = 1 / (1 - f + f / s)\n";
+    patched.replace(patched.find(old), old.size(), patch);
+    Client fresh(server_->port());
+    ASSERT_TRUE(startsWith(upload(fresh, "amdahl2", patched),
+                           "OK uploaded"));
+    fresh.send("RUN amdahl2\n");
+    EXPECT_EQ(afterModel(rerun), afterModel(fresh.readLine()));
+}
+
+TEST_P(ServeTest, UncertainSetChangeFallsBackToRebuild)
+{
+    // Turning a fixed input uncertain changes the uncertain-input
+    // set: the incremental path cannot absorb that, so the EDIT
+    // rebuilds the Framework -- and must still answer exactly what a
+    // fresh upload of the patched text would.
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+
+    const std::string patch = "uncertain s truncnormal 32 2 16 48\n";
+    const std::string resp = edit(c, "amdahl", patch);
+    ASSERT_TRUE(startsWith(resp, "OK edit")) << resp;
+    EXPECT_EQ(field(resp, "rebuilt"), "1");
+
+    c.send("RERUN amdahl\n");
+    const std::string rerun = c.readLine();
+    ASSERT_TRUE(startsWith(rerun, "OK rerun")) << rerun;
+
+    std::string patched(kHealthySpec);
+    const std::string old = "fixed s 32\n";
+    patched.replace(patched.find(old), old.size(), patch);
+    Client fresh(server_->port());
+    ASSERT_TRUE(startsWith(upload(fresh, "amdahl2", patched),
+                           "OK uploaded"));
+    fresh.send("RUN amdahl2\n");
+    EXPECT_EQ(afterModel(rerun), afterModel(fresh.readLine()));
+}
+
+TEST_P(ServeTest, EditUnknownModelIsATypedError)
+{
+    Client c(server_->port());
+    const std::string resp = edit(c, "ghost", "fixed s 4\n");
+    EXPECT_TRUE(startsWith(resp, "ERR UNKNOWN_MODEL")) << resp;
+    c.send("PING\n");
+    EXPECT_EQ(c.readLine(), "OK pong");
+}
+
+TEST_P(ServeTest, BadPatchLeavesTheModelUntouched)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("RUN amdahl\n");
+    const std::string before = c.readLine();
+    ASSERT_TRUE(startsWith(before, "OK run")) << before;
+
+    // The patched text fails to parse: typed error, no mutation.
+    const std::string resp =
+        edit(c, "amdahl", "Speedup = 1 / (1 -\n");
+    EXPECT_TRUE(startsWith(resp, "ERR PARSE")) << resp;
+
+    c.send("RUN amdahl\n");
+    EXPECT_EQ(c.readLine(), before);
+}

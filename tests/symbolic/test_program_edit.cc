@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Incremental tape editing: tryPatch() must leave the program
+ * bit-identical to a from-scratch compile of the edited forest (the
+ * golden contract the serve EDIT path and the framework's what-if
+ * cache lean on), refuse every edit whose fresh compile would take a
+ * different shape, and recompile() must absorb refused or structural
+ * edits through the warm builder with the same bit-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "symbolic/parser.hh"
+#include "symbolic/program.hh"
+#include "util/rng.hh"
+
+using namespace ar::symbolic;
+
+namespace
+{
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+#define ASSERT_BITEQ(got, want, msg)                                   \
+    ASSERT_EQ(bits(got), bits(want))                                   \
+        << msg << ": got " << (got) << " want " << (want)
+
+/** Assert @p prog and a fresh compile of @p fresh_outputs answer
+ * bit-identically on a deterministic input sweep, per trial and in
+ * batch (batch exercises the SIMD row path). */
+void
+expectMatchesFresh(const CompiledProgram &prog,
+                   std::vector<ExprPtr> fresh_outputs,
+                   const std::string &ctx)
+{
+    const CompiledProgram fresh(std::move(fresh_outputs));
+    ASSERT_EQ(prog.argNames(), fresh.argNames()) << ctx;
+    ASSERT_EQ(prog.numOutputs(), fresh.numOutputs()) << ctx;
+
+    const std::size_t nargs = prog.argNames().size();
+    const std::size_t nout = prog.numOutputs();
+
+    ar::util::Rng rng(2024);
+    constexpr std::size_t kTrials = 64;
+    std::vector<std::vector<double>> cols(nargs);
+    for (auto &col : cols) {
+        col.resize(kTrials);
+        for (auto &v : col)
+            v = rng.uniform() * 4.0 - 1.0; // Crosses 0 and 1.
+    }
+
+    std::vector<double> args(nargs), got(nout), want(nout);
+    for (std::size_t t = 0; t < kTrials; ++t) {
+        for (std::size_t a = 0; a < nargs; ++a)
+            args[a] = cols[a][t];
+        prog.eval(args, got);
+        fresh.eval(args, want);
+        for (std::size_t o = 0; o < nout; ++o)
+            ASSERT_BITEQ(got[o], want[o],
+                         ctx + " trial " + std::to_string(t) +
+                             " output " + std::to_string(o));
+    }
+
+    std::vector<BatchArg> batch(nargs);
+    for (std::size_t a = 0; a < nargs; ++a)
+        batch[a] = BatchArg{cols[a].data(), false};
+    std::vector<double> bgot(nout * kTrials), bwant(nout * kTrials);
+    std::vector<double *> grows(nout), wrows(nout);
+    for (std::size_t o = 0; o < nout; ++o) {
+        grows[o] = bgot.data() + o * kTrials;
+        wrows[o] = bwant.data() + o * kTrials;
+    }
+    prog.evalBatch(batch, kTrials, grows);
+    fresh.evalBatch(batch, kTrials, wrows);
+    for (std::size_t i = 0; i < bgot.size(); ++i)
+        ASSERT_BITEQ(bgot[i], bwant[i],
+                     ctx + " batch element " + std::to_string(i));
+}
+
+std::vector<ExprPtr>
+forest(const std::vector<std::string> &texts)
+{
+    std::vector<ExprPtr> out;
+    for (const auto &text : texts)
+        out.push_back(parseExpr(text));
+    return out;
+}
+
+TEST(ProgramEdit, ConstPatchIsBitIdenticalToFreshCompile)
+{
+    CompiledProgram prog(forest({"(x + 3) * y / (x + 7)"}));
+    const std::size_t len = prog.tapeLength();
+
+    const auto edited = forest({"(x + 4) * y / (x + 7)"});
+    ASSERT_TRUE(prog.tryPatch(edited));
+    EXPECT_EQ(prog.tapeLength(), len); // Patched in place.
+    expectMatchesFresh(prog, edited, "single const edit");
+}
+
+TEST(ProgramEdit, PatchAppliesChainedEditsAtomically)
+{
+    // {3 -> 4, 4 -> 6}: applying the edits by sequential value scan
+    // would corrupt the first patched slot; the pre-collected slot
+    // list must keep them independent.
+    CompiledProgram prog(forest({"x * 3 + y * 4"}));
+    const auto edited = forest({"x * 4 + y * 6"});
+    ASSERT_TRUE(prog.tryPatch(edited));
+    expectMatchesFresh(prog, edited, "chained const edits");
+}
+
+TEST(ProgramEdit, RepeatedPatchesConverge)
+{
+    CompiledProgram prog(forest({"x / (c0 + 2) + c0 * 3"}));
+    std::vector<ExprPtr> step;
+    for (double v : {5.0, 9.0, 2.5, 9.0, -3.0}) {
+        step = forest({"x / (c0 + " + std::to_string(v) +
+                       ") + c0 * 3"});
+        ASSERT_TRUE(prog.tryPatch(step)) << "edit to " << v;
+    }
+    expectMatchesFresh(prog, step, "repeated patches");
+}
+
+TEST(ProgramEdit, RefusesNeutralElementTransitions)
+{
+    // 2*x -> 1*x: a fresh compile prunes the multiplicative one, so
+    // an in-place patch would leave a tape shape no fresh compile
+    // produces.  Same for additive zero and the strength-reduced
+    // exponents; each must fall back to recompile and still match.
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"x * 2 + y", "x * 1 + y"},
+        {"x + 2 + y", "x + 0 + y"},
+        {"x ^ 3 + y", "x ^ 2 + y"},
+        {"x ^ 3 + y", "x ^ 0.5 + y"},
+        {"x ^ 3 + y", "x ^ -1 + y"},
+    };
+    for (const auto &[before, after] : cases) {
+        CompiledProgram prog(forest({before}));
+        const auto edited = forest({after});
+        EXPECT_FALSE(prog.tryPatch(edited))
+            << before << " -> " << after;
+        prog.recompile(edited);
+        expectMatchesFresh(prog, edited,
+                           before + " -> " + after + " (recompile)");
+    }
+}
+
+TEST(ProgramEdit, RefusesConflictingSharedConstant)
+{
+    // The interned pool shares one node for both 3s; changing only
+    // one occurrence is structural (the fresh forest has two
+    // distinct constants where the old had one shared node).
+    CompiledProgram prog(forest({"(x + 3) * (y + 3)"}));
+    const auto edited = forest({"(x + 4) * (y + 3)"});
+    EXPECT_FALSE(prog.tryPatch(edited));
+    prog.recompile(edited);
+    expectMatchesFresh(prog, edited, "shared-const split");
+}
+
+TEST(ProgramEdit, RefusesStructuralEdit)
+{
+    CompiledProgram prog(forest({"x * y + 3"}));
+    const auto edited = forest({"x * y + 3 + x"});
+    EXPECT_FALSE(prog.tryPatch(edited));
+}
+
+TEST(ProgramEdit, RefusesAllConstantForest)
+{
+    // A changed all-constant output folds at compile time; the tape
+    // holds the folded value, not the leaves, so patching by leaf
+    // value cannot reproduce a fresh compile.
+    CompiledProgram prog(forest({"2 + 3", "x + 1"}));
+    const auto edited = forest({"2 + 5", "x + 1"});
+    EXPECT_FALSE(prog.tryPatch(edited));
+    prog.recompile(edited);
+    expectMatchesFresh(prog, edited, "all-const fold");
+}
+
+TEST(ProgramEdit, RecompileReusesUntouchedCone)
+{
+    // First compile interns the whole forest into the warm builder;
+    // an edit touching one summand must re-intern only its cone.
+    CompiledProgram prog(forest(
+        {"log(a + b) * exp(c) + d ^ 3", "log(a + b) * 2"}));
+    const auto edited = forest(
+        {"log(a + b) * exp(c) + exp(d)", "log(a + b) * 2"});
+    EXPECT_FALSE(prog.tryPatch(edited)); // Structural.
+    const std::size_t cone = prog.recompile(edited);
+    // log(a+b), exp(c), their product and the second output are all
+    // reused; only the exp(d) node and the final add are fresh.
+    EXPECT_LE(cone, 3u);
+    expectMatchesFresh(prog, edited, "cone recompile");
+}
+
+TEST(ProgramEdit, RecompileAfterArgChangeStaysCorrect)
+{
+    // Adding an argument invalidates baked-in Arg indices; recompile
+    // must detect it, reset the builder, and still match fresh.
+    CompiledProgram prog(forest({"x + y"}));
+    const auto edited = forest({"x + y + z"});
+    EXPECT_FALSE(prog.tryPatch(edited));
+    prog.recompile(edited);
+    expectMatchesFresh(prog, edited, "arg-set change");
+
+    const auto back = forest({"x * y"});
+    prog.recompile(back);
+    expectMatchesFresh(prog, back, "arg-set shrink");
+}
+
+TEST(ProgramEdit, PatchAfterRecompileStillWorks)
+{
+    CompiledProgram prog(forest({"x * 3 + y"}));
+    const auto restructured = forest({"x * 3 + y * 2"});
+    prog.recompile(restructured);
+    const auto patched = forest({"x * 5 + y * 2"});
+    ASSERT_TRUE(prog.tryPatch(patched));
+    expectMatchesFresh(prog, patched, "patch after recompile");
+}
+
+TEST(ProgramEdit, MovedProgramRemainsEditable)
+{
+    // The warm builder holds interior pointers; move construction
+    // and assignment must keep patch/recompile working.
+    CompiledProgram a(forest({"x * 3 + y"}));
+    CompiledProgram b = std::move(a);
+    const auto patched = forest({"x * 7 + y"});
+    ASSERT_TRUE(b.tryPatch(patched));
+    expectMatchesFresh(b, patched, "patch after move");
+
+    CompiledProgram c(forest({"q + 1"}));
+    c = std::move(b);
+    const auto edited = forest({"x * 7 + y + 1"});
+    c.recompile(edited);
+    expectMatchesFresh(c, edited, "recompile after move-assign");
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 #include "symbolic/simplify.hh"
 #include "symbolic/substitute.hh"
 #include "symbolic/system.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 using namespace ar::symbolic;
@@ -134,4 +135,74 @@ TEST(System, MemoInvalidatedByNewEquations)
     EXPECT_TRUE(r1->isSymbol());
     sys.addEquation("x = 7");
     EXPECT_TRUE(sys.resolve("a")->isConstant(7.0));
+}
+
+TEST(System, ReplaceEquationInvalidatesOnlyTheCone)
+{
+    EquationSystem sys;
+    sys.addEquation("a = 2");
+    sys.addEquation("b = a + 3");
+    sys.addEquation("c = b * b");
+    sys.addEquation("d = 7");
+    EXPECT_TRUE(sys.resolve("c")->isConstant(25.0));
+    EXPECT_TRUE(sys.resolve("d")->isConstant(7.0));
+
+    // The edit reaches a, b, c; d's memo entry must survive.
+    const std::size_t invalidated = sys.replaceEquation("a = 5");
+    EXPECT_GE(invalidated, 1u);
+    EXPECT_LE(invalidated, 3u);
+    EXPECT_TRUE(sys.resolve("c")->isConstant(64.0));
+    EXPECT_TRUE(sys.resolve("d")->isConstant(7.0));
+}
+
+TEST(System, ReplaceEquationWithNewNameClearsMemo)
+{
+    EquationSystem sys;
+    sys.addEquation("a = x + 1");
+    sys.addEquation("b = a * 2");
+    (void)sys.resolve("b");
+    // A name never defined before may be referenced by any stale
+    // memo entry (as a free leaf), so the whole memo is dropped.
+    const std::size_t invalidated = sys.replaceEquation("x = 4");
+    EXPECT_GE(invalidated, 1u);
+    EXPECT_TRUE(sys.resolve("b")->isConstant(10.0));
+}
+
+TEST(System, ReplaceEquationNonSymbolLhsThrows)
+{
+    EquationSystem sys;
+    sys.addEquation("a = 2");
+    EXPECT_THROW(sys.replaceEquation("a + b = 3"),
+                 ar::util::ParseError);
+}
+
+TEST(System, ReplaceEquationKeepsUncertainMarks)
+{
+    EquationSystem sys;
+    sys.addEquation("z = x + 1");
+    sys.addEquation("out = z * 2");
+    sys.markUncertain("z");
+    EXPECT_TRUE(sys.resolve("out")->freeSymbols().count("z"));
+    sys.replaceEquation("z = x + 9");
+    // z stays an uncertain leaf under its new definition.
+    EXPECT_TRUE(sys.resolve("out")->freeSymbols().count("z"));
+}
+
+TEST(System, ReplaceEquationResolvesLikeFreshSystem)
+{
+    EquationSystem sys;
+    sys.addEquation("base = x + 1");
+    sys.addEquation("l = base * 2");
+    sys.addEquation("r = base * 3");
+    sys.addEquation("top = l + r");
+    (void)sys.resolve("top");
+    sys.replaceEquation("base = x * x");
+
+    EquationSystem fresh;
+    fresh.addEquation("base = x * x");
+    fresh.addEquation("l = base * 2");
+    fresh.addEquation("r = base * 3");
+    fresh.addEquation("top = l + r");
+    // Hash-consing makes structural equality pointer equality.
+    EXPECT_EQ(sys.resolve("top").get(), fresh.resolve("top").get());
 }

@@ -76,6 +76,33 @@ TEST(CancelToken, FarDeadlineStaysLive)
     EXPECT_EQ(tok.check(), CancelReason::None);
 }
 
+TEST(CancelToken, AlreadyExpiredDeadlineTripsAtFirstCheck)
+{
+    // A deadline in the past at construction: the token is born
+    // expired, so the very first check reports it -- the incremental
+    // retry paths rely on this never sneaking one trial through.
+    CancelToken tok = CancelToken::withDeadline(
+        CancelToken::Clock::now() - std::chrono::seconds(1));
+    EXPECT_TRUE(tok.hasDeadline());
+    EXPECT_EQ(tok.check(), CancelReason::DeadlineExpired);
+    EXPECT_TRUE(tok.expired());
+    try {
+        tok.throwIfExpired("born expired");
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        EXPECT_EQ(e.reason(), CancelReason::DeadlineExpired);
+    }
+}
+
+TEST(CancelToken, ZeroDurationDeadlineExpiresImmediately)
+{
+    CancelToken tok =
+        CancelToken::withTimeout(std::chrono::nanoseconds(0));
+    EXPECT_TRUE(tok.hasDeadline());
+    EXPECT_EQ(tok.check(), CancelReason::DeadlineExpired);
+    EXPECT_THROW(tok.throwIfExpired("zero budget"), CancelledError);
+}
+
 TEST(CancelToken, ExplicitCancelWinsOverDeadline)
 {
     CancelToken tok =

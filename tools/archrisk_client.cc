@@ -2,18 +2,28 @@
  * @file
  * archrisk-client: a small line-protocol client for archriskd.
  *
- *   archrisk-client <host> <port> ping
- *   archrisk-client <host> <port> upload <model> <spec-file>
- *   archrisk-client <host> <port> run <model> [key=value ...]
- *   archrisk-client <host> <port> sweep [key=value ...]
- *   archrisk-client <host> <port> sens <model> [key=value ...]
- *   archrisk-client <host> <port> metrics
- *   archrisk-client <host> <port> stall <ms> [key=value ...]
- *   archrisk-client <host> <port> raw '<request line>'
+ *   archrisk-client [--retry N] <host> <port> ping
+ *   archrisk-client [--retry N] <host> <port> upload <model> <spec-file>
+ *   archrisk-client [--retry N] <host> <port> edit <model> <patch-file>
+ *   archrisk-client [--retry N] <host> <port> run <model> [key=value ...]
+ *   archrisk-client [--retry N] <host> <port> rerun <model> [key=value ...]
+ *   archrisk-client [--retry N] <host> <port> sweep [key=value ...]
+ *   archrisk-client [--retry N] <host> <port> sens <model> [key=value ...]
+ *   archrisk-client [--retry N] <host> <port> metrics
+ *   archrisk-client [--retry N] <host> <port> stall <ms> [key=value ...]
+ *   archrisk-client [--retry N] <host> <port> raw '<request line>'
  *
  * Prints the server's response verbatim.  Exit status: 0 on an OK
  * response, 1 on an ERR response, 2 on usage/connection errors --
  * so shell scripts can assert typed failures without parsing.
+ *
+ * --retry N (default 0) re-sends a request answered with the typed
+ * "ERR OVERLOADED" shed response up to N extra times, sleeping a
+ * capped exponential backoff (50 ms doubling to at most 800 ms)
+ * between attempts; only the final response is printed, and the exit
+ * status reflects it, so a script sees 1 only after the bounded
+ * retry budget is exhausted.  Other ERR codes never retry: they are
+ * deterministic answers, not transient load.
  */
 
 #include <arpa/inet.h>
@@ -22,11 +32,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace
@@ -37,9 +49,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: archrisk-client <host> <port> <command> [args...]\n"
+        "usage: archrisk-client [--retry N] <host> <port> <command> "
+        "[args...]\n"
         "commands: ping | upload <model> <spec-file> |\n"
+        "          edit <model> <patch-file> |\n"
         "          run <model> [key=value ...] |\n"
+        "          rerun <model> [key=value ...] |\n"
         "          sweep [key=value ...] |\n"
         "          sens <model> [key=value ...] |\n"
         "          metrics | stall <ms> [key=value ...] |\n"
@@ -129,17 +144,76 @@ readExact(int fd, std::size_t nbytes, std::string &out,
     return true;
 }
 
+/**
+ * One request/response exchange on a fresh connection.  Fills the
+ * response line and (for byte-counted responses) the body payload.
+ * @return 0 on OK, 1 on ERR, 2 on a transport error (which also
+ *         prints its own diagnostic).
+ */
+int
+exchange(const std::string &host, int port,
+         const std::string &request, std::string &line,
+         std::string &payload)
+{
+    payload.clear();
+    const int fd = connectTo(host, port);
+    if (fd < 0) {
+        std::fprintf(stderr, "cannot connect to %s:%d: %s\n",
+                     host.c_str(), port, std::strerror(errno));
+        return 2;
+    }
+    if (!sendAll(fd, request)) {
+        std::fprintf(stderr, "send failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+
+    std::string rest;
+    if (!readLine(fd, line, rest)) {
+        std::fprintf(stderr, "connection closed by server\n");
+        ::close(fd);
+        return 2;
+    }
+
+    // "OK metrics nbytes=N" is followed by exactly N bytes of JSON.
+    const std::string marker = " nbytes=";
+    const auto at = line.find(marker);
+    if (line.rfind("OK ", 0) == 0 && at != std::string::npos) {
+        const std::size_t nbytes = static_cast<std::size_t>(
+            std::strtoull(line.c_str() + at + marker.size(),
+                          nullptr, 10));
+        if (!readExact(fd, nbytes, payload, rest)) {
+            std::fprintf(stderr, "truncated body\n");
+            ::close(fd);
+            return 2;
+        }
+    }
+    ::close(fd);
+    return line.rfind("ERR", 0) == 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 4)
+    std::vector<std::string> argl(argv + 1, argv + argc);
+    long retries = 0;
+    if (argl.size() >= 2 && argl[0] == "--retry") {
+        char *end = nullptr;
+        retries = std::strtol(argl[1].c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || retries < 0 ||
+            retries > 1000)
+            return usage();
+        argl.erase(argl.begin(), argl.begin() + 2);
+    }
+    if (argl.size() < 3)
         return usage();
-    const std::string host = argv[1];
-    const int port = std::atoi(argv[2]);
-    const std::string command = argv[3];
-    std::vector<std::string> args(argv + 4, argv + argc);
+    const std::string host = argl[0];
+    const int port = std::atoi(argl[1].c_str());
+    const std::string command = argl[2];
+    std::vector<std::string> args(argl.begin() + 3, argl.end());
 
     std::string request;
     std::string body;
@@ -147,21 +221,27 @@ main(int argc, char **argv)
         request = "PING\n";
     } else if (command == "metrics" && args.empty()) {
         request = "METRICS\n";
-    } else if (command == "upload" && args.size() == 2) {
+    } else if ((command == "upload" || command == "edit") &&
+               args.size() == 2) {
         std::ifstream in(args[1], std::ios::binary);
         if (!in) {
-            std::fprintf(stderr, "cannot read spec file '%s'\n",
+            std::fprintf(stderr, "cannot read %s file '%s'\n",
+                         command == "upload" ? "spec" : "patch",
                          args[1].c_str());
             return 2;
         }
         std::ostringstream text;
         text << in.rdbuf();
         body = text.str();
-        request = "UPLOAD " + args[0] + ' ' +
-                  std::to_string(body.size()) + '\n' + body;
-    } else if ((command == "run" || command == "sens") &&
+        request = (command == "upload" ? "UPLOAD " : "EDIT ") +
+                  args[0] + ' ' + std::to_string(body.size()) + '\n' +
+                  body;
+    } else if ((command == "run" || command == "rerun" ||
+                command == "sens") &&
                !args.empty()) {
-        request = command == "run" ? "RUN" : "SENS";
+        request = command == "run"
+                      ? "RUN"
+                      : command == "rerun" ? "RERUN" : "SENS";
         for (const auto &arg : args)
             request += ' ' + arg;
         request += '\n';
@@ -181,42 +261,27 @@ main(int argc, char **argv)
         return usage();
     }
 
-    const int fd = connectTo(host, port);
-    if (fd < 0) {
-        std::fprintf(stderr, "cannot connect to %s:%d: %s\n",
-                     host.c_str(), port, std::strerror(errno));
-        return 2;
+    std::string line, payload;
+    int rc = 0;
+    for (long attempt = 0;; ++attempt) {
+        rc = exchange(host, port, request, line, payload);
+        const bool overloaded =
+            rc == 1 && line.rfind("ERR OVERLOADED", 0) == 0;
+        if (!overloaded || attempt >= retries)
+            break;
+        const long shift = attempt < 4 ? attempt : 4;
+        const long delay_ms = std::min(50L << shift, 800L);
+        std::fprintf(stderr,
+                     "overloaded (attempt %ld/%ld); retrying in "
+                     "%ld ms\n",
+                     attempt + 1, retries + 1, delay_ms);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
     }
-    if (!sendAll(fd, request)) {
-        std::fprintf(stderr, "send failed: %s\n",
-                     std::strerror(errno));
-        ::close(fd);
+    if (rc == 2)
         return 2;
-    }
-
-    std::string line, rest;
-    if (!readLine(fd, line, rest)) {
-        std::fprintf(stderr, "connection closed by server\n");
-        ::close(fd);
-        return 2;
-    }
     std::printf("%s\n", line.c_str());
-
-    // "OK metrics nbytes=N" is followed by exactly N bytes of JSON.
-    const std::string marker = " nbytes=";
-    const auto at = line.find(marker);
-    if (line.rfind("OK ", 0) == 0 && at != std::string::npos) {
-        const std::size_t nbytes = static_cast<std::size_t>(
-            std::strtoull(line.c_str() + at + marker.size(),
-                          nullptr, 10));
-        std::string payload;
-        if (!readExact(fd, nbytes, payload, rest)) {
-            std::fprintf(stderr, "truncated body\n");
-            ::close(fd);
-            return 2;
-        }
+    if (!payload.empty())
         std::fwrite(payload.data(), 1, payload.size(), stdout);
-    }
-    ::close(fd);
-    return line.rfind("ERR", 0) == 0 ? 1 : 0;
+    return rc;
 }
