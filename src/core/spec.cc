@@ -229,6 +229,96 @@ parseSpec(const std::string &text)
             spec.bindings.uncertain[tokens[1].text] =
                 ar::extract::extractUncertainty(data).distribution;
             spec.system.markUncertain(tokens[1].text);
+        } else if (cmd == "states") {
+            if (tokens.size() < 3) {
+                failAt(ctx, line.size() + 1,
+                       "'states' needs NAME STATE:MULT:PROB ...");
+            }
+            const std::string &name = tokens[1].text;
+            for (const auto &c : spec.components) {
+                if (c.name() == name) {
+                    failAt(ctx, tokens[1].col, "component '" + name +
+                                                   "' already declared");
+                }
+            }
+            std::vector<ar::risk::ComponentState> states;
+            double total = 0.0;
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                const std::string &t = tokens[i].text;
+                const auto c1 = t.find(':');
+                const auto c2 = c1 == std::string::npos
+                                    ? std::string::npos
+                                    : t.find(':', c1 + 1);
+                if (c1 == std::string::npos ||
+                    c2 == std::string::npos ||
+                    t.find(':', c2 + 1) != std::string::npos) {
+                    failAt(ctx, tokens[i].col,
+                           "state must be NAME:MULTIPLIER:PROB, got '" +
+                               t + "'");
+                }
+                ar::risk::ComponentState s;
+                s.name = t.substr(0, c1);
+                if (s.name.empty())
+                    failAt(ctx, tokens[i].col, "empty state name");
+                for (const auto &prev : states) {
+                    if (prev.name == s.name) {
+                        failAt(ctx, tokens[i].col, "duplicate state '" +
+                                                       s.name + "'");
+                    }
+                }
+                if (!ar::util::parseDouble(t.substr(c1 + 1, c2 - c1 - 1),
+                                           s.multiplier)) {
+                    failAt(ctx, tokens[i].col + c1 + 1,
+                           "expected a numeric multiplier");
+                }
+                if (!ar::util::parseDouble(t.substr(c2 + 1),
+                                           s.probability)) {
+                    failAt(ctx, tokens[i].col + c2 + 1,
+                           "expected a numeric probability");
+                }
+                if (!std::isfinite(s.multiplier) || s.multiplier < 0.0) {
+                    failAt(ctx, tokens[i].col + c1 + 1,
+                           "multiplier must be finite and >= 0");
+                }
+                if (!(s.probability >= 0.0) || s.probability > 1.0) {
+                    failAt(ctx, tokens[i].col + c2 + 1,
+                           "probability must lie in [0, 1]");
+                }
+                total += s.probability;
+                states.push_back(std::move(s));
+            }
+            if (total > 1.0 + 1e-9) {
+                failAt(ctx, tokens[2].col,
+                       "state probabilities sum to " +
+                           std::to_string(total) + " (> 1)");
+            }
+            spec.components.emplace_back(name, std::move(states));
+            spec.bindings.uncertain[name] =
+                spec.components.back().toDistribution();
+            spec.system.markUncertain(name);
+        } else if (cmd == "structure") {
+            if (tokens.size() < 2) {
+                failAt(ctx, line.size() + 1,
+                       "'structure' needs an expression");
+            }
+            // The expression starts at the second token; re-locate
+            // any parse error into the full line.
+            const std::size_t off = tokens[1].col - 1;
+            try {
+                ar::symbolic::Equation eq;
+                eq.lhs = ar::symbolic::Expr::symbol("Structure");
+                eq.rhs = ar::symbolic::parseExpr(line.substr(off),
+                                                 line_no);
+                spec.system.addEquation(eq);
+            } catch (const ar::util::ParseError &e) {
+                auto d = e.diagnostic();
+                if (d.column != 0)
+                    d.column += off;
+                if (d.line == 0)
+                    d.line = line_no;
+                d.source = line;
+                throw ar::util::ParseError(std::move(d));
+            }
         } else if (cmd == "correlate") {
             expectArgs(tokens, 4, ctx);
             spec.bindings.correlations.push_back(
@@ -369,6 +459,13 @@ runSpec(const AnalysisSpec &spec, ar::util::CancelToken cancel)
         for (const auto &[name, dist] : spec.bindings.uncertain)
             fixed[name] = dist->mean();
         reference = fw.evaluateCertain(spec.output, fixed);
+        if (!std::isfinite(reference)) {
+            // A multi-state component with an unmodeled-state gap
+            // (probabilities summing below 1) has no mean to pin.
+            ar::util::raiseDiagnostic(
+                "runSpec: certain reference evaluated non-finite; "
+                "declare an explicit 'reference' in the spec");
+        }
     }
 
     const auto fn = makeRiskFunction(spec.risk);

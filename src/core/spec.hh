@@ -17,6 +17,8 @@
  *   uncertain A lognormal-ms 10 3
  *   samples L measurements.txt      # extract from observed data
  *   correlate f A 0.4
+ *   states Ch0 up:1:0.92 degraded:0.5:0.05 dead:0:0.03
+ *   structure kofn(2, Ch0, Ch1, Ch2) # defines variable 'Structure'
  *   output Speedup                  # more names co-propagate fused
  *   reference 12.5                  # optional; default: certain eval
  *   risk quadratic                  # step|linear|quadratic|monetary
@@ -38,6 +40,16 @@
  *   binomial N P
  *   normbinomial M P
  *   degenerate VALUE
+ *
+ * `states NAME state:multiplier:prob ...` declares a multi-state
+ * component (risk/multi_state.hh): each trial samples one state and
+ * NAME evaluates to its performance multiplier.  Probabilities may
+ * sum to less than 1 -- the gap is unmodeled-state mass that samples
+ * NaN and flows through the fault policy; such specs must declare an
+ * explicit `reference`.  `structure EXPR` defines the variable
+ * `Structure` from an expression over the state variables; the
+ * functions series(...), parallel(...), and kofn(k, ...) lower to
+ * the reliability structure functions of symbolic/structure.hh.
  */
 
 #ifndef AR_CORE_SPEC_HH
@@ -48,6 +60,7 @@
 #include <string>
 
 #include "core/framework.hh"
+#include "risk/multi_state.hh"
 #include "risk/risk_function.hh"
 
 namespace ar::core
@@ -58,6 +71,14 @@ struct AnalysisSpec
 {
     ar::symbolic::EquationSystem system;
     ar::mc::InputBindings bindings;
+
+    /**
+     * Multi-state components declared with `states`, in directive
+     * order.  Each also appears in bindings.uncertain as a
+     * Categorical over its state multipliers; this list preserves
+     * the state names and probabilities for reporting.
+     */
+    std::vector<ar::risk::MultiStateComponent> components;
     std::string output;                 ///< Responsive variable.
 
     /**

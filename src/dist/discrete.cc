@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "math/numeric.hh"
@@ -254,6 +255,128 @@ std::unique_ptr<Distribution>
 NormalizedBinomial::clone() const
 {
     return std::make_unique<NormalizedBinomial>(*this);
+}
+
+Categorical::Categorical(std::vector<double> values,
+                         std::vector<double> probs)
+{
+    if (values.empty())
+        ar::util::fatal("Categorical: need at least one state");
+    if (values.size() != probs.size()) {
+        ar::util::fatal("Categorical: ", values.size(), " values vs ",
+                        probs.size(), " probabilities");
+    }
+    std::vector<std::size_t> order(values.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return values[a] != values[b] ? values[a] < values[b]
+                                                : a < b;
+              });
+    values_.reserve(values.size());
+    probs_.reserve(values.size());
+    cum_.reserve(values.size());
+    for (const std::size_t i : order) {
+        if (!(probs[i] >= 0.0) || probs[i] > 1.0) {
+            ar::util::fatal("Categorical: probability must lie in "
+                            "[0, 1], got ", probs[i]);
+        }
+        values_.push_back(values[i]);
+        probs_.push_back(probs[i]);
+        total_ += probs[i];
+        cum_.push_back(total_);
+    }
+    if (total_ > 1.0 + 1e-9) {
+        ar::util::fatal("Categorical: probabilities sum to ", total_,
+                        " > 1");
+    }
+}
+
+double
+Categorical::sample(ar::util::Rng &rng) const
+{
+    return sampleFromUniform(rng.uniform());
+}
+
+double
+Categorical::mean() const
+{
+    // With a probability deficit the distribution is improper (the
+    // gap is an unmodeled state of unknown value), so the mean is
+    // honestly unknown.
+    if (total_ < 1.0 - 1e-9)
+        return std::numeric_limits<double>::quiet_NaN();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        acc += probs_[i] * values_[i];
+    return acc;
+}
+
+double
+Categorical::stddev() const
+{
+    const double mu = mean();
+    if (!std::isfinite(mu))
+        return std::numeric_limits<double>::quiet_NaN();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        acc += probs_[i] * (values_[i] - mu) * (values_[i] - mu);
+    return std::sqrt(acc);
+}
+
+double
+Categorical::cdf(double x) const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < values_.size() && values_[i] <= x; ++i)
+        acc += probs_[i];
+    return acc;
+}
+
+double
+Categorical::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        ar::util::fatal("Categorical::quantile: q out of range: ", q);
+    return sampleFromUniform(q);
+}
+
+double
+Categorical::sampleFromUniform(double u) const
+{
+    // Inverse CDF over the ascending support; the top (1 - total)
+    // band is the unmodeled-state gap and samples as NaN so fault
+    // containment sees (and attributes) the trial.
+    for (std::size_t i = 0; i < cum_.size(); ++i) {
+        if (u <= cum_[i])
+            return values_[i];
+    }
+    if (u <= total_ + 1e-12)
+        return values_.back();
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string
+Categorical::describe() const
+{
+    std::ostringstream oss;
+    oss << "Categorical(";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i > 0)
+            oss << ", ";
+        oss << values_[i] << ":" << probs_[i];
+    }
+    if (total_ < 1.0 - 1e-9)
+        oss << ", gap:" << 1.0 - total_;
+    oss << ")";
+    return oss.str();
+}
+
+std::unique_ptr<Distribution>
+Categorical::clone() const
+{
+    return std::make_unique<Categorical>(*this);
 }
 
 } // namespace ar::dist

@@ -1,12 +1,16 @@
 /**
  * @file
- * Discrete distributions: Bernoulli, Binomial, and the normalized
+ * Discrete distributions: Bernoulli, Binomial, the normalized
  * binomial Binomial(M, p)/M the paper uses as the hidden ground-truth
- * model for the application parameters f and c (Table 2, Eqs. 11-12).
+ * model for the application parameters f and c (Table 2, Eqs. 11-12),
+ * and the finite Categorical distribution backing multi-state
+ * component performance levels.
  */
 
 #ifndef AR_DIST_DISCRETE_HH
 #define AR_DIST_DISCRETE_HH
+
+#include <vector>
 
 #include "dist/distribution.hh"
 
@@ -113,6 +117,59 @@ class NormalizedBinomial : public Distribution
   private:
     Binomial inner;
     double m_count;
+};
+
+/**
+ * Finite discrete distribution over explicit support points, the
+ * sampling form of a multi-state component (ar::risk): each
+ * performance state contributes one (value, probability) atom.
+ *
+ * The support is kept sorted ascending by value so the quantile
+ * function is monotone -- Latin-hypercube strata over u therefore map
+ * to contiguous probability bands, exactly like every other
+ * distribution in the engine.
+ *
+ * Probabilities must be non-negative and may sum to LESS than one: a
+ * deficit models unspecified ("unmodeled") states, and any uniform
+ * variate falling into the gap samples as NaN so the fault-containment
+ * pipeline can attribute and police the trial.  A total above one is
+ * fatal.
+ */
+class Categorical : public Distribution
+{
+  public:
+    /**
+     * @param values Support points (one per state).
+     * @param probs Matching probabilities; each in [0, 1] and
+     *        sum <= 1 (within 1e-9).  Fatal on violation, on a size
+     *        mismatch, or on an empty support.
+     */
+    Categorical(std::vector<double> values, std::vector<double> probs);
+
+    double sample(ar::util::Rng &rng) const override;
+    double mean() const override;
+    double stddev() const override;
+    double cdf(double x) const override;
+    double quantile(double q) const override;
+    double sampleFromUniform(double u) const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return the ascending support points. */
+    const std::vector<double> &values() const { return values_; }
+
+    /** @return probabilities matching values(). */
+    const std::vector<double> &probabilities() const { return probs_; }
+
+    /** @return the total probability mass (<= 1; a deficit is the
+     * unmodeled-state gap that samples as NaN). */
+    double totalProbability() const { return total_; }
+
+  private:
+    std::vector<double> values_; ///< Ascending.
+    std::vector<double> probs_;
+    std::vector<double> cum_;    ///< Inclusive prefix sums of probs_.
+    double total_ = 0.0;
 };
 
 } // namespace ar::dist

@@ -10,6 +10,7 @@
 #include "dist/discrete.hh"
 #include "extract/extract.hh"
 #include "math/numeric.hh"
+#include "math/special.hh"
 #include "model/hill_marty.hh"
 #include "model/yield.hh"
 #include "obs/telemetry.hh"
@@ -69,20 +70,48 @@ sweepMetrics()
     return m;
 }
 
-/** Stratified (one-dimensional Latin hypercube) pool of draws. */
+/** Stratified (one-dimensional Latin hypercube) pool of draws.
+ * @p u_out, when non-null, receives each trial's uniform. */
 std::vector<double>
 stratifiedPool(const ar::dist::Distribution &dist, std::size_t trials,
-               ar::util::Rng &rng)
+               ar::util::Rng &rng,
+               std::vector<double> *u_out = nullptr)
 {
     std::vector<double> pool(trials);
+    if (u_out)
+        u_out->resize(trials);
     const auto perm = rng.permutation(trials);
     const double n = static_cast<double>(trials);
     for (std::size_t t = 0; t < trials; ++t) {
         const double u =
             (static_cast<double>(perm[t]) + rng.uniform()) / n;
+        if (u_out)
+            (*u_out)[t] = u;
         pool[t] = dist.sampleFromUniform(u);
     }
     return pool;
+}
+
+/** Reorder @p pool so its j-th smallest value lands on the trial
+ * holding the j-th smallest score (index tiebreak). */
+void
+reorderByScores(std::vector<double> &pool,
+                const std::vector<double> &scores)
+{
+    const std::size_t n = pool.size();
+    std::vector<std::size_t> ord(n);
+    for (std::size_t t = 0; t < n; ++t)
+        ord[t] = t;
+    std::sort(ord.begin(), ord.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (scores[a] != scores[b])
+                      return scores[a] < scores[b];
+                  return a < b;
+              });
+    std::vector<double> sorted = pool;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t j = 0; j < n; ++j)
+        pool[ord[j]] = sorted[j];
 }
 
 } // namespace
@@ -107,18 +136,19 @@ DesignSpaceEvaluator::DesignSpaceEvaluator(
 std::vector<double>
 DesignSpaceEvaluator::makePool(const ar::dist::Distribution &truth,
                                ar::util::Rng &rng, double clamp_lo,
-                               double clamp_hi) const
+                               double clamp_hi,
+                               std::vector<double> *u_out) const
 {
     std::vector<double> pool;
     if (cfg.approx_k == 0) {
-        pool = stratifiedPool(truth, cfg.trials, rng);
+        pool = stratifiedPool(truth, cfg.trials, rng, u_out);
     } else {
         // Limited-data analyst: observe k samples, re-estimate the
         // distribution (Figure 2), then sample the estimate.
         const auto observed = truth.sampleMany(cfg.approx_k, rng);
         const auto est =
             ar::extract::extractUncertainty(observed).distribution;
-        pool = stratifiedPool(*est, cfg.trials, rng);
+        pool = stratifiedPool(*est, cfg.trials, rng, u_out);
     }
     for (auto &v : pool)
         v = ar::math::clamp(v, clamp_lo, clamp_hi);
@@ -150,6 +180,90 @@ DesignSpaceEvaluator::buildPools()
         if (obs::metricsEnabled())
             sweepMetrics().pools_rebuilt.add();
     }
+    // Impose (or clear) the f/c rank correlation.  Deterministic in
+    // the captured uniforms and the pool value multisets, so running
+    // it after every (partial) rebuild is idempotent.
+    applyPoolCorrelations();
+}
+
+void
+DesignSpaceEvaluator::applyPoolCorrelations()
+{
+    // Resolve the effective f/c correlation; only that pair exists
+    // at the pool level.
+    double rho = 0.0;
+    for (const auto &corr : spec.correlations) {
+        const bool fc = (corr.a == "f" && corr.b == "c") ||
+                        (corr.a == "c" && corr.b == "f");
+        if (!fc) {
+            ar::util::fatal("DesignSpaceEvaluator: pool correlations "
+                            "support only the f/c pair, got '",
+                            corr.a, "'/'", corr.b, "'");
+        }
+        if (corr.rho <= -1.0 || corr.rho >= 1.0) {
+            ar::util::fatal("DesignSpaceEvaluator: correlation must "
+                            "lie in (-1, 1), got ", corr.rho);
+        }
+        rho = corr.rho;
+    }
+
+    // A degenerate (constant-fill) pool has no uniforms and nothing
+    // to reorder; the pair is inactive.
+    if (f_u_.empty() || c_u_.empty())
+        return;
+
+    if (rho == 0.0) {
+        // Restore natural order: the quantile transform is monotone,
+        // so ranking by the captured uniforms reproduces the
+        // stage-built pools exactly.
+        reorderByScores(f_pool, f_u_);
+        reorderByScores(c_pool, c_u_);
+        return;
+    }
+
+    // Two-dimensional Iman-Conover: normal scores of the uniform
+    // columns, de-correlated by their own empirical correlation e,
+    // then mixed to the target rho.  The f target score is z_f
+    // itself (monotone in u_f), so the f pool keeps its natural
+    // order bit-for-bit; only the c pool is permuted.
+    const std::size_t n = cfg.trials;
+    std::vector<double> zf(n), zc(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        zf[t] = ar::math::normalQuantile(
+            ar::math::clamp(f_u_[t], 1e-12, 1.0 - 1e-12));
+        zc[t] = ar::math::normalQuantile(
+            ar::math::clamp(c_u_[t], 1e-12, 1.0 - 1e-12));
+    }
+    double mf = 0.0, mc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+        mf += zf[t];
+        mc += zc[t];
+    }
+    mf /= static_cast<double>(n);
+    mc /= static_cast<double>(n);
+    double sff = 0.0, scc = 0.0, sfc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double df = zf[t] - mf;
+        const double dc = zc[t] - mc;
+        sff += df * df;
+        scc += dc * dc;
+        sfc += df * dc;
+    }
+    const double denom = std::sqrt(sff * scc);
+    double e = denom > 0.0 ? sfc / denom : 0.0;
+    e = ar::math::clamp(e, -0.999999, 0.999999);
+
+    // Target c score: rho * y1 + sqrt(1 - rho^2) * y2 with
+    // y1 = z_f, y2 = (z_c - e z_f) / sqrt(1 - e^2); its empirical
+    // correlation with z_f is exactly rho.
+    const double w = std::sqrt(1.0 - rho * rho) /
+                     std::sqrt(1.0 - e * e);
+    std::vector<double> tc(n);
+    for (std::size_t t = 0; t < n; ++t)
+        tc[t] = rho * zf[t] + w * (zc[t] - e * zf[t]);
+
+    reorderByScores(f_pool, f_u_); // natural order (z_f monotone)
+    reorderByScores(c_pool, tc);
 }
 
 void
@@ -163,18 +277,20 @@ DesignSpaceEvaluator::buildStage(std::size_t stage,
         if (spec.sigma_f > 0.0) {
             f_pool = makePool(
                 *ar::model::groundTruthF(app, spec.sigma_f), rng, 0.0,
-                1.0);
+                1.0, &f_u_);
         } else {
             f_pool.assign(trials, app.f);
+            f_u_.clear();
         }
         return;
       case StageC:
         if (spec.sigma_c > 0.0) {
             c_pool = makePool(
                 *ar::model::groundTruthC(app, spec.sigma_c), rng, 0.0,
-                1.0);
+                1.0, &c_u_);
         } else {
             c_pool.assign(trials, app.c);
+            c_u_.clear();
         }
         return;
       case StagePerf:
@@ -204,19 +320,47 @@ DesignSpaceEvaluator::buildStage(std::size_t stage,
             }
 
             // Per-size core-performance pools (one type-level draw
-            // per trial).
+            // per trial).  Declared states replace the Bernoulli
+            // severe-design-bug factor, so sigma_design is inert
+            // while core_states is non-empty.
+            const double sd_design = spec.core_states.empty()
+                                         ? spec.sigma_design
+                                         : 0.0;
             perf_pools.resize(size_values.size());
             for (std::size_t s = 0; s < size_values.size(); ++s) {
                 const double area = size_values[s];
-                if (spec.sigma_perf > 0.0 || spec.sigma_design > 0.0) {
+                if (spec.sigma_perf > 0.0 || sd_design > 0.0) {
                     const auto dist = ar::model::groundTruthCorePerf(
-                        area, spec.sigma_perf, spec.sigma_design,
+                        area, spec.sigma_perf, sd_design,
                         spec.gamma);
                     perf_pools[s] = makePool(*dist, rng, 0.0, inf);
                 } else {
                     perf_pools[s].assign(trials, std::sqrt(area));
                 }
             }
+            return;
+        }
+      case StageState:
+        {
+            state_pools.clear();
+            if (spec.core_states.empty())
+                return;
+            // One multiplier pool per distinct core size, sampled
+            // from the shared Categorical (independent across
+            // sizes).  No clamping: an unmodeled-state gap samples
+            // NaN and must reach the fault policy intact.
+            std::vector<double> values, probs;
+            values.reserve(spec.core_states.size());
+            probs.reserve(spec.core_states.size());
+            for (const auto &st : spec.core_states) {
+                values.push_back(st.multiplier);
+                probs.push_back(st.probability);
+            }
+            const ar::dist::Categorical dist(std::move(values),
+                                             std::move(probs));
+            state_pools.resize(size_values.size());
+            for (std::size_t s = 0; s < size_values.size(); ++s)
+                state_pools[s] = stratifiedPool(dist, trials, rng);
             return;
         }
       case StageFab:
@@ -303,12 +447,33 @@ DesignSpaceEvaluator::editUncertainty(
         dirty_[StageF] = true;
     if (new_spec.sigma_c != spec.sigma_c)
         dirty_[StageC] = true;
-    if (new_spec.sigma_perf != spec.sigma_perf ||
-        new_spec.sigma_design != spec.sigma_design ||
+    // sigma_design only feeds the performance pools while no states
+    // are declared (states replace the Bernoulli design-bug factor).
+    const double old_sd = spec.core_states.empty() ? spec.sigma_design
+                                                   : 0.0;
+    const double new_sd = new_spec.core_states.empty()
+                              ? new_spec.sigma_design
+                              : 0.0;
+    if (new_spec.sigma_perf != spec.sigma_perf || new_sd != old_sd ||
         new_spec.gamma != spec.gamma)
         dirty_[StagePerf] = true;
     if (new_spec.fab != spec.fab)
         dirty_[StageFab] = true;
+    if (!(new_spec.core_states == spec.core_states)) {
+        dirty_[StageState] = true;
+        if (new_spec.core_states.empty() !=
+            spec.core_states.empty()) {
+            // The designs' expressions gain or lose the S@ columns.
+            fused_prog_.reset();
+            fused_pending_.clear();
+            fused_cols_.clear();
+        }
+    }
+    if (!(new_spec.correlations == spec.correlations)) {
+        // The pools are re-ranked without re-drawing, so no stage is
+        // dirty, but every cached outcome moved with them.
+        outcomes_valid_ = false;
+    }
     spec = new_spec;
 }
 
@@ -369,6 +534,7 @@ DesignSpaceEvaluator::editDesign(std::size_t design_index,
     designs[design_index] = config;
     dirty_[StagePerf] = true;
     dirty_[StageFab] = true;
+    dirty_[StageState] = true; // per-size pools track size_values
     fused_prog_.reset();
     fused_pending_.clear();
     fused_cols_.clear();
@@ -422,18 +588,36 @@ DesignSpaceEvaluator::designExpr(const ar::model::CoreConfig &config)
                   .first;
     }
     std::map<std::string, std::string> renames;
+    std::set<std::size_t> sizes_used;
     for (std::size_t i = 0; i < k; ++i) {
         const auto it = std::find(size_values.begin(),
                                   size_values.end(), types[i].area);
         const std::size_t s =
             static_cast<std::size_t>(it - size_values.begin());
+        sizes_used.insert(s);
         renames[ar::model::names::corePerf(i)] =
             "P@" + std::to_string(s);
         renames[ar::model::names::coreCount(i)] =
             "N@" + std::to_string(s) + "x" +
             std::to_string(types[i].count);
     }
-    return ar::symbolic::renameSymbols(rit->second, renames);
+    ar::symbolic::ExprPtr expr =
+        ar::symbolic::renameSymbols(rit->second, renames);
+    if (!spec.core_states.empty()) {
+        // Multi-state degradation: every per-size performance column
+        // is scaled by that size's sampled state multiplier.
+        // substitute() is single-pass, so the self-reference in
+        // P@s -> P@s * S@s cannot recurse.
+        ar::symbolic::Bindings subs;
+        for (const std::size_t s : sizes_used) {
+            const std::string p = "P@" + std::to_string(s);
+            subs[p] = ar::symbolic::Expr::mul(
+                ar::symbolic::Expr::symbol(p),
+                ar::symbolic::Expr::symbol("S@" + std::to_string(s)));
+        }
+        expr = ar::symbolic::substitute(expr, subs);
+    }
+    return expr;
 }
 
 void
@@ -488,6 +672,11 @@ DesignSpaceEvaluator::columnFor(const std::string &name)
         const auto s =
             static_cast<std::size_t>(std::stoul(name.substr(2)));
         return perf_pools.at(s).data();
+    }
+    if (name.rfind("S@", 0) == 0) {
+        const auto s =
+            static_cast<std::size_t>(std::stoul(name.substr(2)));
+        return state_pools.at(s).data();
     }
     if (name.rfind("N@", 0) == 0) {
         const auto x = name.find('x');
@@ -561,10 +750,13 @@ DesignSpaceEvaluator::computeDesignSamples(std::size_t d,
         }
     }
 
+    const bool has_states = !spec.core_states.empty();
     for (std::size_t t = 0; t < trials; ++t) {
         for (std::size_t i = 0; i < k; ++i) {
             const std::size_t s = size_index[i];
-            perf_buf[i] = perf_pools[s][t];
+            perf_buf[i] = has_states
+                              ? perf_pools[s][t] * state_pools[s][t]
+                              : perf_pools[s][t];
             if (!spec.fab) {
                 count_buf[i] = static_cast<double>(types[i].count);
             } else if (cfg.approx_k == 0) {

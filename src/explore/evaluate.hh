@@ -219,14 +219,18 @@ class DesignSpaceEvaluator
     /// Pool construction is staged so what-if edits can rebuild one
     /// stage and replay the rest.  Stages are ordered by the master
     /// RNG stream: f pool, c pool, per-size performance pools,
-    /// fabrication pools.
+    /// fabrication pools, per-size multi-state pools.  StageState
+    /// draws nothing when the spec declares no states, so the master
+    /// stream (and therefore every earlier golden output) is
+    /// unchanged for single-state models.
     enum Stage : std::size_t
     {
         StageF = 0,
         StageC = 1,
         StagePerf = 2,
         StageFab = 3,
-        kNumStages = 4,
+        StageState = 4,
+        kNumStages = 5,
     };
 
     /**
@@ -263,11 +267,14 @@ class DesignSpaceEvaluator
     /**
      * Ground-truth pool, or -- in approximate mode -- a pool drawn
      * from the distribution extracted from approx_k observations of
-     * the ground truth.
+     * the ground truth.  @p u_out, when non-null, receives the
+     * stratified uniform of each trial (no extra RNG is consumed).
      */
     std::vector<double> makePool(const ar::dist::Distribution &truth,
                                  ar::util::Rng &rng, double clamp_lo,
-                                 double clamp_hi) const;
+                                 double clamp_hi,
+                                 std::vector<double> *u_out = nullptr)
+        const;
 
     /** Re-point fused_cols_ at the current pool storage (pool
      * rebuilds may reallocate the vectors the program reads). */
@@ -317,14 +324,31 @@ class DesignSpaceEvaluator
     ar::model::UncertaintySpec spec;
     SweepConfig cfg;
 
+    /**
+     * Impose (or clear) the spec's f/c rank correlation on the
+     * shared pools by Iman-Conover reordering of the pool *values*
+     * against the captured uniform columns.  Deterministic in the
+     * captured uniforms and the sorted value multiset, so re-running
+     * it after any subset of stage rebuilds is idempotent; called at
+     * the end of every buildPools().
+     */
+    void applyPoolCorrelations();
+
     StageCkpt ckpt_[kNumStages];
-    bool dirty_[kNumStages] = {true, true, true, true};
+    bool dirty_[kNumStages] = {true, true, true, true, true};
 
     // Shared sample pools, one entry per trial.
     std::vector<double> f_pool;
     std::vector<double> c_pool;
+    /// Stratified uniforms behind f_pool / c_pool in natural (trial)
+    /// order; empty when the pool is a constant fill.  Captured so
+    /// applyPoolCorrelations() can reorder without consuming RNG.
+    std::vector<double> f_u_;
+    std::vector<double> c_u_;
     std::vector<double> size_values;              ///< Distinct sizes.
     std::vector<std::vector<double>> perf_pools;  ///< [size][trial]
+    /// Per-size multi-state multiplier pools (empty without states).
+    std::vector<std::vector<double>> state_pools;
     /// survivors[size][m * trials + t] = working cores among the
     /// first (m + 1) instances of this size in trial t (exact mode).
     std::vector<std::vector<std::uint16_t>> survivor_prefix;

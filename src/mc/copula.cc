@@ -1,6 +1,7 @@
 #include "mc/copula.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "math/numeric.hh"
 #include "math/special.hh"
@@ -50,22 +51,99 @@ GaussianCopula::apply(UniformDesign &design,
     if (dims.size() != k)
         ar::util::fatal("GaussianCopula::apply: expected ", k,
                         " column indices, got ", dims.size());
-    std::vector<double> z(k), zc(k);
-    for (std::size_t t = 0; t < design.trials(); ++t) {
-        for (std::size_t d = 0; d < k; ++d) {
+    const std::size_t n = design.trials();
+    if (n < 2)
+        return; // a single trial has no rank structure to impose
+
+    // Iman-Conover: build target scores with the requested
+    // correlation, then PERMUTE each column's existing values into
+    // the target rank order.  The marginal multisets -- and hence
+    // LHS stratification -- are preserved exactly.
+
+    // Normal scores of each column.
+    std::vector<std::vector<double>> z(k, std::vector<double>(n));
+    for (std::size_t d = 0; d < k; ++d) {
+        for (std::size_t t = 0; t < n; ++t) {
             const double u = ar::math::clamp(
                 design.at(t, dims[d]), 1e-12, 1.0 - 1e-12);
-            z[d] = ar::math::normalQuantile(u);
+            z[d][t] = ar::math::normalQuantile(u);
         }
-        // zc = L z: correlated standard normals.
+    }
+
+    // Cancel the scores' own empirical correlation E = QQ^T so the
+    // target C = LL^T lands exactly: T = L Q^{-1} Z has empirical
+    // correlation L Q^{-1} E Q^{-T} L^T = C.  With too few trials E
+    // is rank deficient; fall back to the raw scores (Q = I).
+    ar::math::Matrix q = ar::math::Matrix::identity(k);
+    if (n > k) {
+        std::vector<double> mu(k, 0.0), sd(k, 0.0);
+        for (std::size_t d = 0; d < k; ++d) {
+            for (std::size_t t = 0; t < n; ++t)
+                mu[d] += z[d][t];
+            mu[d] /= static_cast<double>(n);
+            for (std::size_t t = 0; t < n; ++t) {
+                const double c = z[d][t] - mu[d];
+                sd[d] += c * c;
+            }
+            sd[d] = std::sqrt(sd[d]);
+        }
+        ar::math::Matrix emp = ar::math::Matrix::identity(k);
+        for (std::size_t a = 0; a < k; ++a) {
+            for (std::size_t b = a + 1; b < k; ++b) {
+                double acc = 0.0;
+                for (std::size_t t = 0; t < n; ++t)
+                    acc += (z[a][t] - mu[a]) * (z[b][t] - mu[b]);
+                const double denom = sd[a] * sd[b];
+                const double r = denom > 0.0 ? acc / denom : 0.0;
+                emp.at(a, b) = r;
+                emp.at(b, a) = r;
+            }
+        }
+        q = ar::math::cholesky(emp);
+    }
+
+    // Per trial: y = Q^{-1} z (forward substitution, Q lower
+    // triangular), then t = L y.
+    std::vector<std::vector<double>> target(
+        k, std::vector<double>(n));
+    std::vector<double> zrow(k), y(k);
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t d = 0; d < k; ++d)
+            zrow[d] = z[d][t];
+        for (std::size_t r = 0; r < k; ++r) {
+            double acc = zrow[r];
+            for (std::size_t c = 0; c < r; ++c)
+                acc -= q.at(r, c) * y[c];
+            y[r] = acc / q.at(r, r);
+        }
         for (std::size_t r = 0; r < k; ++r) {
             double acc = 0.0;
             for (std::size_t c = 0; c <= r; ++c)
-                acc += chol.at(r, c) * z[c];
-            zc[r] = acc;
+                acc += chol.at(r, c) * y[c];
+            target[r][t] = acc;
         }
-        for (std::size_t d = 0; d < k; ++d)
-            design.at(t, dims[d]) = ar::math::normalCdf(zc[d]);
+    }
+
+    // Reorder each column's values to match the target ranks: the
+    // j-th smallest value goes to the trial holding the j-th
+    // smallest target score (index tiebreak keeps this
+    // deterministic).
+    std::vector<std::size_t> ord(n);
+    std::vector<double> sorted(n);
+    for (std::size_t d = 0; d < k; ++d) {
+        for (std::size_t t = 0; t < n; ++t) {
+            ord[t] = t;
+            sorted[t] = design.at(t, dims[d]);
+        }
+        std::sort(ord.begin(), ord.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (target[d][a] != target[d][b])
+                          return target[d][a] < target[d][b];
+                      return a < b;
+                  });
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t j = 0; j < n; ++j)
+            design.at(ord[j], dims[d]) = sorted[j];
     }
 }
 

@@ -9,6 +9,16 @@
  * uniform design before the per-variable inverse-CDF transforms, so
  * every marginal distribution is preserved exactly while the joint
  * behaviour becomes correlated.
+ *
+ * The correlation is realized by Iman-Conover rank reordering: each
+ * column's values are PERMUTED (never replaced) so their rank order
+ * matches a set of target scores with the requested Gaussian
+ * correlation.  Because the values themselves are untouched, a
+ * Latin-hypercube column keeps its exact per-dimension strata -- one
+ * value per 1/n band -- and the sampler's variance reduction
+ * survives the correlation.  (The previous implementation overwrote
+ * the uniforms with fresh Phi(Lz) draws, which destroyed the
+ * stratification.)
  */
 
 #ifndef AR_MC_COPULA_HH
@@ -29,6 +39,9 @@ struct Correlation
     std::string a;
     std::string b;
     double rho = 0.0; ///< Correlation in Gaussian-copula space.
+
+    friend bool operator==(const Correlation &,
+                           const Correlation &) = default;
 };
 
 /** Gaussian copula over a set of named dimensions. */

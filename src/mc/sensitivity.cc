@@ -7,6 +7,7 @@
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "symbolic/substitute.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -79,6 +80,28 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
     const std::size_t k = names.size();
     if (k == 0)
         ar::util::fatal("sobolIndices: model has no uncertain inputs");
+
+    // Pick-freeze column swaps assume independent inputs: under a
+    // correlation the AB_i hybrid matrices no longer follow the
+    // joint distribution and the Jansen estimators are meaningless.
+    // Refuse loudly instead of returning invalid indices.
+    for (const auto &corr : in.correlations) {
+        const bool a_used =
+            std::find(names.begin(), names.end(), corr.a) !=
+            names.end();
+        const bool b_used =
+            std::find(names.begin(), names.end(), corr.b) !=
+            names.end();
+        if (a_used && b_used && corr.rho != 0.0) {
+            ar::util::raiseDiagnostic(
+                "sobolIndices: inputs '" + corr.a + "' and '" +
+                corr.b + "' are correlated (rho = " +
+                std::to_string(corr.rho) +
+                "); Sobol pick-freeze estimators require "
+                "independent inputs -- drop the 'correlate' pair or "
+                "analyze the independent model");
+        }
+    }
 
     const auto sampler = makeSampler(cfg.sampler);
     const std::size_t n = cfg.trials;

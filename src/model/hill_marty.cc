@@ -1,6 +1,7 @@
 #include "model/hill_marty.hh"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -111,6 +112,12 @@ HillMartyEvaluator::speedup(double f, double c,
     for (std::size_t i = 0; i < core_perf.size(); ++i) {
         const double n = core_count[i];
         const double p = core_perf[i];
+        // A NaN input (e.g. an unmodeled-state gap in the multi-state
+        // model) must poison the sample, not be silently treated as a
+        // dead type by the p_serial guard below; the symbolic model
+        // propagates it through P_parallel the same way.
+        if (std::isnan(n) || std::isnan(p))
+            return std::numeric_limits<double>::quiet_NaN();
         if (n > 0.0 && p > p_serial)
             p_serial = p;
         p_parallel += n * p;

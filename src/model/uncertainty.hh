@@ -34,6 +34,37 @@ struct UncertaintySpec
     bool fab = false;          ///< Yield-driven Binomial on N_core.
     double gamma = 0.15;       ///< Intrinsic design-bug probability.
 
+    /** One performance state of the multi-state core model. */
+    struct CoreState
+    {
+        double multiplier = 1.0;   ///< Performance scale, >= 0.
+        double probability = 0.0;  ///< Per-trial probability.
+
+        friend bool operator==(const CoreState &,
+                               const CoreState &) = default;
+    };
+
+    /**
+     * Multi-state core degradation (risk/multi_state.hh semantics).
+     * When non-empty, every trial samples one state per core size
+     * and scales that size's performance by the state multiplier;
+     * this replaces the Bernoulli severe-design-bug factor
+     * (sigma_design is ignored while states are declared).
+     * Probabilities must each lie in [0, 1] and sum to at most 1; a
+     * sum below 1 is unmodeled-state mass that samples NaN and flows
+     * through the run's fault policy.
+     */
+    std::vector<CoreState> core_states;
+
+    /**
+     * Pairwise correlations between the shared application pools
+     * ("f" and "c" are the only supported names), realized by
+     * Iman-Conover rank reordering so each pool keeps its exact LHS
+     * strata.  A pair is inactive while either pool is degenerate
+     * (its sigma is zero).
+     */
+    std::vector<ar::mc::Correlation> correlations;
+
     /** All five types at one level (Figures 7-9 x-axis). */
     static UncertaintySpec all(double sigma, double gamma = 0.15);
 

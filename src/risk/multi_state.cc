@@ -1,0 +1,135 @@
+#include "risk/multi_state.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "dist/discrete.hh"
+#include "symbolic/compile.hh"
+#include "util/logging.hh"
+
+namespace ar::risk
+{
+
+MultiStateComponent::MultiStateComponent(
+    std::string name, std::vector<ComponentState> states)
+    : name_(std::move(name)), states_(std::move(states))
+{
+    if (name_.empty())
+        ar::util::fatal("MultiStateComponent: empty component name");
+    if (states_.empty()) {
+        ar::util::fatal("MultiStateComponent '", name_,
+                        "': needs at least one state");
+    }
+    for (const auto &s : states_) {
+        if (s.name.empty()) {
+            ar::util::fatal("MultiStateComponent '", name_,
+                            "': empty state name");
+        }
+        if (!std::isfinite(s.multiplier) || s.multiplier < 0.0) {
+            ar::util::fatal("MultiStateComponent '", name_, "' state '",
+                            s.name, "': multiplier must be finite and "
+                            ">= 0, got ", s.multiplier);
+        }
+        if (!(s.probability >= 0.0) || s.probability > 1.0) {
+            ar::util::fatal("MultiStateComponent '", name_, "' state '",
+                            s.name, "': probability must lie in "
+                            "[0, 1], got ", s.probability);
+        }
+        total_ += s.probability;
+    }
+    if (total_ > 1.0 + 1e-9) {
+        ar::util::fatal("MultiStateComponent '", name_,
+                        "': state probabilities sum to ", total_,
+                        " (> 1)");
+    }
+}
+
+ar::dist::DistPtr
+MultiStateComponent::toDistribution() const
+{
+    std::vector<double> values, probs;
+    values.reserve(states_.size());
+    probs.reserve(states_.size());
+    for (const auto &s : states_) {
+        values.push_back(s.multiplier);
+        probs.push_back(s.probability);
+    }
+    return std::make_shared<ar::dist::Categorical>(std::move(values),
+                                                   std::move(probs));
+}
+
+std::vector<StateCombo>
+enumerateStateCombos(std::span<const MultiStateComponent> components)
+{
+    if (components.empty())
+        ar::util::fatal("enumerateStateCombos: no components");
+    std::vector<StateCombo> combos;
+    std::vector<std::size_t> idx(components.size(), 0);
+    for (;;) {
+        StateCombo combo;
+        combo.state = idx;
+        combo.multipliers.reserve(components.size());
+        combo.probability = 1.0;
+        for (std::size_t c = 0; c < components.size(); ++c) {
+            const auto &s = components[c].states()[idx[c]];
+            combo.multipliers.push_back(s.multiplier);
+            combo.probability *= s.probability;
+        }
+        combos.push_back(std::move(combo));
+
+        // Odometer increment over the per-component state counts.
+        std::size_t c = components.size();
+        while (c > 0) {
+            --c;
+            if (++idx[c] < components[c].states().size())
+                break;
+            idx[c] = 0;
+            if (c == 0)
+                return combos;
+        }
+    }
+}
+
+double
+enumerateExpectation(const ar::symbolic::ExprPtr &expr,
+                     std::span<const MultiStateComponent> components,
+                     const std::map<std::string, double> &fixed)
+{
+    const ar::symbolic::CompiledExpr compiled(expr);
+    const auto &names = compiled.argNames();
+
+    // Map each argument slot to a component index or a fixed value.
+    constexpr std::size_t kFixed = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> slot(names.size(), kFixed);
+    std::vector<double> args(names.size(), 0.0);
+    for (std::size_t a = 0; a < names.size(); ++a) {
+        bool bound = false;
+        for (std::size_t c = 0; c < components.size(); ++c) {
+            if (components[c].name() == names[a]) {
+                slot[a] = c;
+                bound = true;
+                break;
+            }
+        }
+        if (bound)
+            continue;
+        const auto it = fixed.find(names[a]);
+        if (it == fixed.end()) {
+            ar::util::fatal("enumerateExpectation: symbol '", names[a],
+                            "' is neither a component nor fixed");
+        }
+        args[a] = it->second;
+    }
+
+    double acc = 0.0;
+    for (const auto &combo : enumerateStateCombos(components)) {
+        for (std::size_t a = 0; a < names.size(); ++a) {
+            if (slot[a] != kFixed)
+                args[a] = combo.multipliers[slot[a]];
+        }
+        acc += combo.probability * compiled.eval(args);
+    }
+    return acc;
+}
+
+} // namespace ar::risk

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Multi-state component risk (tentpole of the multi-state layer).
+ *
+ * The paper's uncertainty model treats a design point's performance
+ * as one continuous random variable.  Real systems additionally fail
+ * *partially*: a core that drops to half frequency, a memory channel
+ * that goes dark, a cache slice that is fused off.  A multi-state
+ * component declares an ordered set of performance states -- each a
+ * (name, performance multiplier, probability) triple -- and every
+ * Monte-Carlo trial samples one state per component.
+ *
+ * The per-trial state multiplier is exposed to the model as an
+ * ordinary uncertain variable whose distribution is a
+ * ar::dist::Categorical over the multipliers, so the whole existing
+ * pipeline (LHS sampling, copulas, fused programs, SIMD tapes, fault
+ * attribution) applies unchanged.  System-level availability is
+ * composed from the state variables with the symbolic structure
+ * functions in symbolic/structure.hh (series / parallel / k-of-n /
+ * arbitrary expressions).
+ *
+ * enumerateStateCombos() / enumerateExpectation() walk the full
+ * cartesian state space; they are the brute-force oracle the tests
+ * hold the compiled tape against.
+ */
+
+#ifndef AR_RISK_MULTI_STATE_HH
+#define AR_RISK_MULTI_STATE_HH
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hh"
+#include "symbolic/expr.hh"
+
+namespace ar::risk
+{
+
+/** One performance state of a component. */
+struct ComponentState
+{
+    std::string name;          ///< e.g. "nominal", "half", "dead".
+    double multiplier = 1.0;   ///< Performance multiplier in [0, inf).
+    double probability = 0.0;  ///< Per-trial probability in [0, 1].
+};
+
+/**
+ * A component with a finite set of performance states.
+ *
+ * Probabilities must each lie in [0, 1] and sum to at most 1 (fatal
+ * otherwise).  A sum *below* 1 declares an unmodeled-state gap: the
+ * leftover mass samples as NaN and flows through the run's fault
+ * policy (fail_fast / discard / saturate), exactly like any other
+ * non-finite input.
+ */
+class MultiStateComponent
+{
+  public:
+    MultiStateComponent(std::string name,
+                        std::vector<ComponentState> states);
+
+    const std::string &name() const { return name_; }
+    const std::vector<ComponentState> &states() const { return states_; }
+
+    /** Sum of the state probabilities (<= 1). */
+    double totalProbability() const { return total_; }
+
+    /**
+     * The component's sampling distribution: a Categorical over the
+     * state multipliers (support sorted ascending, so its quantile is
+     * monotone and LHS stratification carries over).
+     */
+    ar::dist::DistPtr toDistribution() const;
+
+  private:
+    std::string name_;
+    std::vector<ComponentState> states_;
+    double total_ = 0.0;
+};
+
+/** One point of the cartesian state space. */
+struct StateCombo
+{
+    /** State index per component, declaration order. */
+    std::vector<std::size_t> state;
+    /** Multiplier per component, declaration order. */
+    std::vector<double> multipliers;
+    /** Joint probability (product of the per-state probabilities). */
+    double probability = 0.0;
+};
+
+/**
+ * Enumerate every combination of component states (cartesian
+ * product).  With unmodeled-state gaps the combo probabilities sum to
+ * less than 1; the gap mass is not enumerated.
+ */
+std::vector<StateCombo>
+enumerateStateCombos(std::span<const MultiStateComponent> components);
+
+/**
+ * Exact expectation of @p expr over the full state space by
+ * enumeration: sum of P(combo) * expr(combo).  Every free symbol of
+ * @p expr must be a component name or a key of @p fixed (fatal
+ * otherwise).  This is the brute-force oracle for the compiled
+ * structure-function tape.
+ */
+double enumerateExpectation(
+    const ar::symbolic::ExprPtr &expr,
+    std::span<const MultiStateComponent> components,
+    const std::map<std::string, double> &fixed = {});
+
+} // namespace ar::risk
+
+#endif // AR_RISK_MULTI_STATE_HH

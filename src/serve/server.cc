@@ -140,7 +140,11 @@ specLineKey(const std::string &raw)
     std::istringstream in(text);
     std::string cmd, a, b;
     in >> cmd;
-    if (cmd == "fixed" || cmd == "uncertain" || cmd == "samples") {
+    if (cmd == "fixed" || cmd == "uncertain" || cmd == "samples" ||
+        cmd == "states") {
+        // `states` shares the binding key: an edit can move a name
+        // between a scalar, a distribution, and a multi-state
+        // component by replacing its one binding line.
         in >> a;
         return "bind " + a;
     }
@@ -148,6 +152,8 @@ specLineKey(const std::string &raw)
         in >> a >> b;
         return "correlate " + a + ' ' + b;
     }
+    // `structure` (one per spec) and every scalar directive key on
+    // the directive word itself.
     return cmd;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "symbolic/structure.hh"
 #include "util/diagnostics.hh"
 #include "util/logging.hh"
 
@@ -199,6 +200,25 @@ class Parser
             }
             return name == "max" ? Expr::max(std::move(args))
                                  : Expr::min(std::move(args));
+        }
+        // Reliability structure functions (structure.hh lowerings).
+        if (name == "series" || name == "parallel") {
+            if (args.empty()) {
+                pos = start;
+                fail(name + " needs at least one argument");
+            }
+            return name == "series"
+                       ? seriesStructure(std::move(args))
+                       : parallelStructure(std::move(args));
+        }
+        if (name == "kofn") {
+            if (args.size() < 2) {
+                pos = start;
+                fail("kofn needs a count and at least one element");
+            }
+            ExprPtr k = std::move(args.front());
+            args.erase(args.begin());
+            return kOfNStructure(std::move(k), std::move(args));
         }
         pos = start;
         fail("unknown function '" + name + "'");

@@ -1,0 +1,52 @@
+#include "symbolic/structure.hh"
+
+#include "util/logging.hh"
+
+namespace ar::symbolic
+{
+
+namespace
+{
+
+void
+requireElements(const std::vector<ExprPtr> &elements, const char *what)
+{
+    if (elements.empty())
+        ar::util::fatal(what, ": needs at least one element");
+}
+
+} // namespace
+
+ExprPtr
+seriesStructure(std::vector<ExprPtr> elements)
+{
+    requireElements(elements, "seriesStructure");
+    return Expr::mul(std::move(elements));
+}
+
+ExprPtr
+parallelStructure(std::vector<ExprPtr> elements)
+{
+    requireElements(elements, "parallelStructure");
+    return Expr::max(std::move(elements));
+}
+
+ExprPtr
+kOfNStructure(ExprPtr k, std::vector<ExprPtr> elements)
+{
+    requireElements(elements, "kOfNStructure");
+    // gtz(sum_i gtz(x_i) - k + 0.5): the up-count is an integer, so
+    // the 0.5 offset makes "count >= k" exact for integer k; k = 0
+    // degenerates to a constant 1 (the count is never negative).
+    std::vector<ExprPtr> up;
+    up.reserve(elements.size());
+    for (auto &e : elements)
+        up.push_back(Expr::func("gtz", std::move(e)));
+    ExprPtr count = Expr::add(std::move(up));
+    ExprPtr margin = Expr::add(
+        Expr::sub(std::move(count), std::move(k)),
+        Expr::constant(0.5));
+    return Expr::func("gtz", std::move(margin));
+}
+
+} // namespace ar::symbolic

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reliability structure functions as symbolic expressions.
+ *
+ * A multi-state component (ar::risk) contributes one state variable
+ * whose sampled value is the component's performance multiplier for
+ * the trial.  A system-level structure function composes those
+ * variables into the system's effective multiplier; building it
+ * symbolically means it compiles through the ordinary
+ * symbolic -> interned-DAG -> CompiledProgram -> SIMD-tape pipeline
+ * and inherits batching, fault attribution, caching, and incremental
+ * what-if edits with no new evaluation machinery.
+ *
+ * Lowerings (also recognized by the equation parser as the functions
+ * `series(...)`, `parallel(...)`, and `kofn(k, ...)`):
+ *
+ *   series(x...)    -> x1 * x2 * ... (every element is needed; a dead
+ *                      element with multiplier 0 kills the chain)
+ *   parallel(x...)  -> max(x...)     (the best surviving element
+ *                      carries the system)
+ *   kofn(k, x...)   -> gtz(gtz(x1) + ... + gtz(xn) - k + 0.5)
+ *                      (1 when at least k elements are up -- i.e.
+ *                      have a positive multiplier -- else 0; k = 0 is
+ *                      identically 1, k = n requires every element)
+ *
+ * All three return plain ExprPtr trees, so they nest freely inside
+ * arbitrary expressions over the state variables.
+ */
+
+#ifndef AR_SYMBOLIC_STRUCTURE_HH
+#define AR_SYMBOLIC_STRUCTURE_HH
+
+#include <vector>
+
+#include "symbolic/expr.hh"
+
+namespace ar::symbolic
+{
+
+/** series(x...): product of the element multipliers (fatal when
+ * @p elements is empty). */
+ExprPtr seriesStructure(std::vector<ExprPtr> elements);
+
+/** parallel(x...): maximum of the element multipliers (fatal when
+ * @p elements is empty). */
+ExprPtr parallelStructure(std::vector<ExprPtr> elements);
+
+/**
+ * kofn(k, x...): 1 when at least @p k of the elements are up (have a
+ * multiplier > 0), else 0.  @p k may be any expression; the usual
+ * case is a constant.  Fatal when @p elements is empty.
+ */
+ExprPtr kOfNStructure(ExprPtr k, std::vector<ExprPtr> elements);
+
+} // namespace ar::symbolic
+
+#endif // AR_SYMBOLIC_STRUCTURE_HH

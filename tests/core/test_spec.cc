@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "core/spec.hh"
+#include "math/numeric.hh"
 #include "util/diagnostics.hh"
 #include "util/fault.hh"
 #include "util/io.hh"
@@ -439,4 +440,136 @@ output Speedup Latency
         EXPECT_NE(std::string(e.what()).find("Latency"),
                   std::string::npos);
     }
+}
+
+TEST(Spec, StatesDirectiveBindsACategorical)
+{
+    const char *text = R"(
+Perf = Peak * Core
+fixed Peak 10
+states Core up:1:0.8 half:0.5:0.15 dead:0:0.05
+output Perf
+trials 500
+seed 2
+)";
+    const auto spec = c::parseSpec(text);
+    ASSERT_EQ(spec.components.size(), 1u);
+    EXPECT_EQ(spec.components[0].name(), "Core");
+    EXPECT_EQ(spec.components[0].states().size(), 3u);
+    EXPECT_NEAR(spec.components[0].totalProbability(), 1.0, 1e-12);
+    ASSERT_TRUE(spec.bindings.uncertain.count("Core"));
+    EXPECT_NEAR(spec.bindings.uncertain.at("Core")->mean(),
+                1.0 * 0.8 + 0.5 * 0.15, 1e-12);
+    EXPECT_TRUE(spec.system.uncertain().count("Core"));
+
+    const auto res = c::runSpec(spec);
+    EXPECT_EQ(res.samples.size(), 500u);
+    // E[Perf] = 10 * E[Core]; LHS over 500 trials is near-exact for
+    // a three-point distribution.
+    EXPECT_NEAR(ar::math::mean(res.samples), 10.0 * 0.875, 0.02);
+}
+
+TEST(Spec, StructureDirectiveDefinesTheStructureVariable)
+{
+    const char *text = R"(
+BW = Peak * Structure
+structure kofn(1, A, B)
+fixed Peak 4
+states A up:1:0.9 down:0:0.1
+states B up:1:0.9 down:0:0.1
+output BW
+trials 400
+seed 6
+)";
+    const auto spec = c::parseSpec(text);
+    EXPECT_TRUE(spec.system.defines("Structure"));
+    const auto res = c::runSpec(spec);
+    EXPECT_EQ(res.samples.size(), 400u);
+    // Every sample is 0 or 4 (the gate is boolean).
+    for (const double s : res.samples)
+        EXPECT_TRUE(s == 0.0 || s == 4.0) << s;
+}
+
+TEST(Spec, MalformedStateTriplePointsAtTheToken)
+{
+    const auto d = specDiagnosticOf(
+        "y = Core\nstates Core up:1\noutput y\n");
+    EXPECT_NE(d.message.find("NAME:MULTIPLIER:PROB"),
+              std::string::npos);
+    EXPECT_EQ(d.line, 2u);
+    EXPECT_EQ(d.column, 13u); // column of 'up:1'
+}
+
+TEST(Spec, DuplicateStateNameIsAParseError)
+{
+    const auto d = specDiagnosticOf(
+        "y = Core\nstates Core up:1:0.5 up:0.5:0.3\noutput y\n");
+    EXPECT_NE(d.message.find("duplicate state 'up'"),
+              std::string::npos);
+    EXPECT_EQ(d.column, 22u);
+}
+
+TEST(Spec, DuplicateComponentIsAParseError)
+{
+    const auto d = specDiagnosticOf(
+        "y = Core\nstates Core up:1:1\nstates Core up:1:1\n"
+        "output y\n");
+    EXPECT_NE(d.message.find("already declared"), std::string::npos);
+    EXPECT_EQ(d.line, 3u);
+}
+
+TEST(Spec, StateProbabilityOutOfRangePointsAtTheProb)
+{
+    const auto d = specDiagnosticOf(
+        "y = Core\nstates Core up:1:1.5\noutput y\n");
+    EXPECT_NE(d.message.find("probability must lie in [0, 1]"),
+              std::string::npos);
+}
+
+TEST(Spec, StateProbabilitiesSummingPastOneAreAParseError)
+{
+    const auto d = specDiagnosticOf(
+        "y = Core\nstates Core up:1:0.8 down:0:0.4\noutput y\n");
+    EXPECT_NE(d.message.find("sum to"), std::string::npos);
+}
+
+TEST(Spec, StructureParseErrorIsRelocatedIntoTheLine)
+{
+    const auto d = specDiagnosticOf(
+        "y = Structure\nstructure kofn(2\noutput y\n");
+    EXPECT_EQ(d.line, 2u);
+    EXPECT_EQ(d.source, "structure kofn(2");
+    EXPECT_GT(d.column, 10u); // past the directive word
+}
+
+TEST(Spec, ProbabilityGapNeedsAnExplicitReference)
+{
+    // A probability gap makes the component's Categorical mean NaN
+    // (the unmodeled mass has no meaningful central value), so the
+    // default certain-evaluation reference is non-finite and runSpec
+    // demands an explicit `reference`.
+    const char *gap = R"(
+y = 10 * Core
+states Core up:1:0.8 half:0.5:0.15
+output y
+trials 100
+seed 4
+fault_policy discard
+)";
+    try {
+        c::runSpec(c::parseSpec(gap));
+        FAIL() << "ran a gap spec without an explicit reference";
+    } catch (const ar::util::DiagnosticError &e) {
+        EXPECT_NE(e.diagnostic().message.find("explicit 'reference'"),
+                  std::string::npos);
+    }
+
+    // With the reference declared, the run proceeds and the gap mass
+    // flows through the fault policy.
+    const auto res =
+        c::runSpec(c::parseSpec(std::string(gap) + "reference 10\n"));
+    EXPECT_LT(res.samples.size(), 100u);
+    EXPECT_GT(res.faults.faulty_trials, 0u);
+    for (const double v : res.samples)
+        EXPECT_TRUE(std::isfinite(v));
 }

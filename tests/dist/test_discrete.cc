@@ -204,3 +204,93 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, BinomialQuantileSweep,
     ::testing::Combine(::testing::Values(1u, 8u, 32u, 500u),
                        ::testing::Values(0.05, 0.5, 0.92)));
+
+TEST(Categorical, MomentsMatchWeightedSupport)
+{
+    d::Categorical dist({0.0, 0.5, 1.0}, {0.1, 0.2, 0.7});
+    EXPECT_NEAR(dist.mean(), 0.8, 1e-12);
+    const double var =
+        0.1 * 0.8 * 0.8 + 0.2 * 0.3 * 0.3 + 0.7 * 0.2 * 0.2;
+    EXPECT_NEAR(dist.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(Categorical, SortsSupportAscending)
+{
+    // Construction order is free; the support is canonicalized so
+    // the quantile is monotone (LHS stratification carries over).
+    d::Categorical dist({1.0, 0.0, 0.5}, {0.7, 0.1, 0.2});
+    ASSERT_EQ(dist.values().size(), 3u);
+    EXPECT_DOUBLE_EQ(dist.values()[0], 0.0);
+    EXPECT_DOUBLE_EQ(dist.values()[1], 0.5);
+    EXPECT_DOUBLE_EQ(dist.values()[2], 1.0);
+    EXPECT_DOUBLE_EQ(dist.probabilities()[0], 0.1);
+    EXPECT_DOUBLE_EQ(dist.probabilities()[1], 0.2);
+    EXPECT_DOUBLE_EQ(dist.probabilities()[2], 0.7);
+}
+
+TEST(Categorical, SampleFromUniformWalksCumulative)
+{
+    d::Categorical dist({0.0, 0.5, 1.0}, {0.1, 0.2, 0.7});
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.05), 0.0);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.1), 0.0);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.25), 0.5);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.31), 1.0);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(1.0), 1.0);
+}
+
+TEST(Categorical, ProbabilityGapSamplesNaN)
+{
+    // Probabilities summing below 1 declare unmodeled-state mass:
+    // the leftover uniform range samples NaN (and the mean is
+    // undefined), so the gap reaches the fault policy instead of
+    // being silently renormalized.
+    d::Categorical dist({0.0, 1.0}, {0.2, 0.7});
+    EXPECT_NEAR(dist.totalProbability(), 0.9, 1e-12);
+    EXPECT_DOUBLE_EQ(dist.sampleFromUniform(0.85), 1.0);
+    EXPECT_TRUE(std::isnan(dist.sampleFromUniform(0.95)));
+    EXPECT_TRUE(std::isnan(dist.mean()));
+    EXPECT_TRUE(std::isnan(dist.stddev()));
+}
+
+TEST(Categorical, SampleFrequenciesMatchProbabilities)
+{
+    d::Categorical dist({0.0, 0.5, 1.0}, {0.1, 0.2, 0.7});
+    ar::util::Rng rng(91);
+    std::size_t n0 = 0, nh = 0, n1 = 0;
+    const std::size_t n = 20000;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = dist.sample(rng);
+        if (x == 0.0)
+            ++n0;
+        else if (x == 0.5)
+            ++nh;
+        else
+            ++n1;
+    }
+    EXPECT_NEAR(static_cast<double>(n0) / n, 0.1, 0.01);
+    EXPECT_NEAR(static_cast<double>(nh) / n, 0.2, 0.01);
+    EXPECT_NEAR(static_cast<double>(n1) / n, 0.7, 0.015);
+}
+
+TEST(Categorical, CdfAndQuantileAreConsistent)
+{
+    d::Categorical dist({0.0, 0.5, 1.0}, {0.1, 0.2, 0.7});
+    EXPECT_NEAR(dist.cdf(-0.1), 0.0, 1e-12);
+    EXPECT_NEAR(dist.cdf(0.0), 0.1, 1e-12);
+    EXPECT_NEAR(dist.cdf(0.5), 0.3, 1e-12);
+    EXPECT_NEAR(dist.cdf(2.0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.05), 0.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.2), 0.5);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.99), 1.0);
+}
+
+TEST(Categorical, InvalidSpecsAreFatal)
+{
+    EXPECT_THROW(d::Categorical({}, {}), ar::util::FatalError);
+    EXPECT_THROW(d::Categorical({1.0}, {0.5, 0.5}),
+                 ar::util::FatalError);
+    EXPECT_THROW(d::Categorical({0.0, 1.0}, {0.6, 0.6}),
+                 ar::util::FatalError);
+    EXPECT_THROW(d::Categorical({0.0, 1.0}, {-0.1, 0.5}),
+                 ar::util::FatalError);
+}

@@ -372,3 +372,308 @@ TEST(Evaluate, FusedBackendThreadCountBitIdentical)
         }
     }
 }
+
+namespace
+{
+
+m::UncertaintySpec
+multiStateSpec(double sigma)
+{
+    // all(sigma) plus a three-state degradable-core model; the states
+    // replace the Bernoulli design-bug factor.
+    auto spec = m::UncertaintySpec::all(sigma);
+    spec.core_states = {{1.0, 0.85}, {0.5, 0.12}, {0.0, 0.03}};
+    return spec;
+}
+
+} // namespace
+
+TEST(Evaluate, CorrelatedPoolsChangeOutcomes)
+{
+    // Regression for the sweep silently dropping `correlate`: the
+    // f/c rank correlation must reach the shared pools and move the
+    // outcome statistics.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 2000;
+    cfg.seed = 7;
+    auto indep = m::UncertaintySpec::all(0.3);
+    auto corr = indep;
+    corr.correlations.push_back({"f", "c", 0.8});
+    x::DesignSpaceEvaluator ei(designs, m::appLPHC(), indep, cfg);
+    x::DesignSpaceEvaluator ec(designs, m::appLPHC(), corr, cfg);
+    const auto oi = ei.evaluateAll(fn, 30.0);
+    const auto oc = ec.evaluateAll(fn, 30.0);
+    bool moved = false;
+    for (std::size_t d = 0; d < designs.size(); ++d)
+        moved = moved || oi[d].risk != oc[d].risk;
+    EXPECT_TRUE(moved);
+}
+
+TEST(Evaluate, CorrelationPreservesPoolMarginals)
+{
+    // Iman-Conover only permutes the c pool against f, so each
+    // design's sample *statistics* shift while the f marginal (and
+    // with it any f-only quantity) is untouched.  Pin that by
+    // correlating with rho = 0: the reorder must restore the natural
+    // order and reproduce the independent sweep bit-for-bit.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 800;
+    cfg.seed = 3;
+    cfg.keep_samples = true;
+    auto indep = m::UncertaintySpec::all(0.25);
+    auto zero = indep;
+    zero.correlations.push_back({"f", "c", 0.0});
+    x::DesignSpaceEvaluator ei(designs, m::appLPHC(), indep, cfg);
+    x::DesignSpaceEvaluator ez(designs, m::appLPHC(), zero, cfg);
+    const auto oi = ei.evaluateAll(fn, 30.0);
+    const auto oz = ez.evaluateAll(fn, 30.0);
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        ASSERT_EQ(oi[d].expected, oz[d].expected);
+        ASSERT_EQ(oi[d].risk, oz[d].risk);
+        ASSERT_EQ(ei.samples(d), ez.samples(d));
+    }
+}
+
+TEST(Evaluate, CorrelatedSweepThreadCountBitIdentical)
+{
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    auto spec = m::UncertaintySpec::all(0.2);
+    spec.correlations.push_back({"f", "c", 0.5});
+    for (const auto backend :
+         {x::SweepBackend::Direct, x::SweepBackend::FusedProgram}) {
+        auto run = [&](std::size_t threads) {
+            x::SweepConfig cfg;
+            cfg.trials = 600;
+            cfg.seed = 99;
+            cfg.threads = threads;
+            cfg.keep_samples = true;
+            cfg.backend = backend;
+            x::DesignSpaceEvaluator eval(designs, m::appLPHC(), spec,
+                                         cfg);
+            auto outcomes = eval.evaluateAll(fn, 30.0);
+            std::vector<std::vector<double>> samples;
+            for (std::size_t d = 0; d < designs.size(); ++d)
+                samples.push_back(eval.samples(d));
+            return std::make_pair(std::move(outcomes),
+                                  std::move(samples));
+        };
+        const auto serial = run(1);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+            const auto parallel = run(threads);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                ASSERT_EQ(parallel.second[d], serial.second[d]);
+                ASSERT_EQ(parallel.first[d].expected,
+                          serial.first[d].expected);
+                ASSERT_EQ(parallel.first[d].risk,
+                          serial.first[d].risk);
+            }
+        }
+    }
+}
+
+TEST(Evaluate, CorrelationEditMatchesFreshEvaluator)
+{
+    // editUncertainty() with a copula change invalidates the outcome
+    // cache and re-ranks the pools without redrawing them; the result
+    // must be bit-identical to an evaluator built with the
+    // correlation from the start.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 700;
+    cfg.seed = 11;
+    cfg.keep_samples = true;
+    const auto indep = m::UncertaintySpec::all(0.2);
+    auto corr = indep;
+    corr.correlations.push_back({"f", "c", -0.6});
+
+    x::DesignSpaceEvaluator edited(designs, m::appLPHC(), indep, cfg);
+    (void)edited.evaluateAll(fn, 30.0);
+    edited.editUncertainty(corr);
+    const auto oe = edited.evaluateAll(fn, 30.0);
+
+    x::DesignSpaceEvaluator fresh(designs, m::appLPHC(), corr, cfg);
+    const auto of = fresh.evaluateAll(fn, 30.0);
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        ASSERT_EQ(oe[d].expected, of[d].expected);
+        ASSERT_EQ(oe[d].stddev, of[d].stddev);
+        ASSERT_EQ(oe[d].risk, of[d].risk);
+        ASSERT_EQ(edited.samples(d), fresh.samples(d));
+    }
+
+    // And editing the correlation *away* again matches the
+    // independent evaluator.
+    edited.editUncertainty(indep);
+    const auto oi = edited.evaluateAll(fn, 30.0);
+    x::DesignSpaceEvaluator fresh_indep(designs, m::appLPHC(), indep,
+                                        cfg);
+    const auto ofi = fresh_indep.evaluateAll(fn, 30.0);
+    for (std::size_t d = 0; d < designs.size(); ++d)
+        ASSERT_EQ(oi[d].risk, ofi[d].risk);
+}
+
+TEST(Evaluate, UnsupportedCorrelationPairIsFatal)
+{
+    const auto designs = threePaperDesigns();
+    auto spec = m::UncertaintySpec::all(0.2);
+    spec.correlations.push_back({"f", "perf", 0.5});
+    // The constructor builds the pools eagerly, so the unsupported
+    // pair is rejected right there.
+    EXPECT_THROW(
+        x::DesignSpaceEvaluator(designs, m::appLPHC(), spec, {}),
+        ar::util::FatalError);
+}
+
+TEST(Evaluate, MultiStateChangesOutcomes)
+{
+    // Declaring states replaces the Bernoulli design-bug factor, so
+    // the sweep statistics move relative to the single-state spec.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 1500;
+    cfg.seed = 13;
+    x::DesignSpaceEvaluator single(designs, m::appLPHC(),
+                                   m::UncertaintySpec::all(0.2), cfg);
+    x::DesignSpaceEvaluator multi(designs, m::appLPHC(),
+                                  multiStateSpec(0.2), cfg);
+    const auto os = single.evaluateAll(fn, 30.0);
+    const auto om = multi.evaluateAll(fn, 30.0);
+    bool moved = false;
+    for (std::size_t d = 0; d < designs.size(); ++d)
+        moved = moved || os[d].risk != om[d].risk;
+    EXPECT_TRUE(moved);
+}
+
+TEST(Evaluate, MultiStateFusedAgreesWithDirect)
+{
+    // The fused program multiplies "P@s" by the shared state column
+    // "S@s"; the Direct backend applies the multiplier in the closed
+    // form.  Agreement is to floating-point reassociation, as for
+    // every other spec shape.
+    const auto designs = threePaperDesigns();
+    const auto app = m::appLPHC();
+    ar::risk::QuadraticRisk fn;
+    auto run = [&](x::SweepBackend backend) {
+        x::SweepConfig cfg;
+        cfg.trials = 600;
+        cfg.seed = 99;
+        cfg.keep_samples = true;
+        cfg.backend = backend;
+        x::DesignSpaceEvaluator eval(designs, app, multiStateSpec(0.2),
+                                     cfg);
+        auto outcomes = eval.evaluateAll(fn, 30.0);
+        std::vector<std::vector<double>> samples;
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            samples.push_back(eval.samples(d));
+        return std::make_pair(std::move(outcomes), std::move(samples));
+    };
+    const auto direct = run(x::SweepBackend::Direct);
+    const auto fused = run(x::SweepBackend::FusedProgram);
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        for (std::size_t t = 0; t < 600; ++t) {
+            const double want = direct.second[d][t];
+            ASSERT_NEAR(fused.second[d][t], want,
+                        1e-9 * std::max(1.0, std::abs(want)))
+                << "design " << d << " trial " << t;
+        }
+        EXPECT_NEAR(fused.first[d].risk, direct.first[d].risk, 1e-9);
+    }
+}
+
+TEST(Evaluate, MultiStateThreadCountBitIdentical)
+{
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    for (const auto backend :
+         {x::SweepBackend::Direct, x::SweepBackend::FusedProgram}) {
+        auto run = [&](std::size_t threads) {
+            x::SweepConfig cfg;
+            cfg.trials = 600;
+            cfg.seed = 17;
+            cfg.threads = threads;
+            cfg.keep_samples = true;
+            cfg.backend = backend;
+            x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                         multiStateSpec(0.2), cfg);
+            auto outcomes = eval.evaluateAll(fn, 30.0);
+            std::vector<std::vector<double>> samples;
+            for (std::size_t d = 0; d < designs.size(); ++d)
+                samples.push_back(eval.samples(d));
+            return std::make_pair(std::move(outcomes),
+                                  std::move(samples));
+        };
+        const auto serial = run(1);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+            const auto parallel = run(threads);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                ASSERT_EQ(parallel.second[d], serial.second[d]);
+                ASSERT_EQ(parallel.first[d].risk,
+                          serial.first[d].risk);
+            }
+        }
+    }
+}
+
+TEST(Evaluate, MultiStateEditMatchesFreshEvaluator)
+{
+    // Toggling states on via editUncertainty() dirties the state
+    // stage (and the performance stage, whose effective design-bug
+    // sigma changes) and resets the fused program; the replay must be
+    // bit-identical to a fresh evaluator.
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    for (const auto backend :
+         {x::SweepBackend::Direct, x::SweepBackend::FusedProgram}) {
+        x::SweepConfig cfg;
+        cfg.trials = 500;
+        cfg.seed = 23;
+        cfg.keep_samples = true;
+        cfg.backend = backend;
+        x::DesignSpaceEvaluator edited(designs, m::appLPHC(),
+                                       m::UncertaintySpec::all(0.2),
+                                       cfg);
+        (void)edited.evaluateAll(fn, 30.0);
+        edited.editUncertainty(multiStateSpec(0.2));
+        const auto oe = edited.evaluateAll(fn, 30.0);
+
+        x::DesignSpaceEvaluator fresh(designs, m::appLPHC(),
+                                      multiStateSpec(0.2), cfg);
+        const auto of = fresh.evaluateAll(fn, 30.0);
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            ASSERT_EQ(oe[d].expected, of[d].expected);
+            ASSERT_EQ(oe[d].risk, of[d].risk);
+            ASSERT_EQ(edited.samples(d), fresh.samples(d));
+        }
+    }
+}
+
+TEST(Evaluate, StatelessSpecDrawsNoStatePools)
+{
+    // StageState consumes no RNG when the spec declares no states, so
+    // specs written before the multi-state layer sample identically.
+    // (The sweep goldens pin this globally; here we pin the local
+    // invariant that adding-then-removing states round-trips.)
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    x::SweepConfig cfg;
+    cfg.trials = 400;
+    cfg.seed = 31;
+    const auto plain = m::UncertaintySpec::all(0.2);
+    x::DesignSpaceEvaluator edited(designs, m::appLPHC(),
+                                   multiStateSpec(0.2), cfg);
+    (void)edited.evaluateAll(fn, 30.0);
+    edited.editUncertainty(plain);
+    const auto oe = edited.evaluateAll(fn, 30.0);
+    x::DesignSpaceEvaluator fresh(designs, m::appLPHC(), plain, cfg);
+    const auto of = fresh.evaluateAll(fn, 30.0);
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        ASSERT_EQ(oe[d].expected, of[d].expected);
+        ASSERT_EQ(oe[d].risk, of[d].risk);
+    }
+}

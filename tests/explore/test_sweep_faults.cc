@@ -4,16 +4,21 @@
  *
  * The Hill-Marty speedup model guards its own degenerate corners
  * (zero serial/parallel throughput yields speedup 0, not Inf), and
- * the lognormal pools are mean-parameterized, so the explore hot path
- * cannot naturally emit a non-finite sample.  These tests therefore
- * pin the *clean-path* contract: an all-finite sweep reports zero
- * faults with full effective N, for every policy and thread count.
+ * the lognormal pools are mean-parameterized, so the classic explore
+ * hot path cannot naturally emit a non-finite sample.  These tests
+ * pin the *clean-path* contract -- an all-finite sweep reports zero
+ * faults with full effective N, for every policy and thread count --
+ * plus the one natural fault source the multi-state layer adds: an
+ * unmodeled-state probability gap samples NaN multipliers that must
+ * flow through the configured policy.
  * Harness-driven fault behavior is exercised at the mc layer
  * (tests/mc/test_fault_containment.cc), which shares the FaultReport
  * vocabulary and policy code paths.
  */
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "explore/evaluate.hh"
 #include "model/app.hh"
@@ -95,4 +100,83 @@ TEST(SweepFaults, ReportAndOutcomesBitIdenticalAcrossThreads)
                       serial_outcomes[d].effective_trials);
         }
     }
+}
+
+TEST(SweepFaults, MultiStateGapFollowsFaultPolicy)
+{
+    // A multi-state spec whose probabilities sum below 1 leaves
+    // unmodeled-state mass: those trials sample a NaN multiplier and
+    // must flow through the configured fault policy like any other
+    // non-finite input.
+    const auto designs = threePaperDesigns();
+    auto spec = m::UncertaintySpec::all(0.2);
+    spec.core_states = {{1.0, 0.8}, {0.5, 0.1}}; // 0.1 gap
+    ar::risk::QuadraticRisk fn;
+
+    {
+        x::SweepConfig cfg;
+        cfg.trials = 500;
+        cfg.fault_policy = ar::util::FaultPolicy::FailFast;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(), spec, cfg);
+        EXPECT_THROW(eval.evaluateAll(fn, 30.0), ar::util::FaultError);
+    }
+    {
+        x::SweepConfig cfg;
+        cfg.trials = 500;
+        cfg.fault_policy = ar::util::FaultPolicy::Discard;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(), spec, cfg);
+        const auto outcomes = eval.evaluateAll(fn, 30.0);
+        const auto &report = eval.faultReport();
+        EXPECT_FALSE(report.clean());
+        EXPECT_GT(report.faulty_trials, 0u);
+        EXPECT_LT(report.effective_trials, 500u);
+        for (const auto &o : outcomes) {
+            EXPECT_GT(o.faults, 0u);
+            EXPECT_LT(o.effective_trials, 500u);
+            EXPECT_TRUE(std::isfinite(o.expected));
+            EXPECT_TRUE(std::isfinite(o.risk));
+        }
+    }
+    {
+        x::SweepConfig cfg;
+        cfg.trials = 500;
+        cfg.fault_policy = ar::util::FaultPolicy::Saturate;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(), spec, cfg);
+        const auto outcomes = eval.evaluateAll(fn, 30.0);
+        EXPECT_FALSE(eval.faultReport().clean());
+        for (const auto &o : outcomes) {
+            EXPECT_EQ(o.effective_trials, 500u);
+            EXPECT_TRUE(std::isfinite(o.expected));
+        }
+    }
+}
+
+TEST(SweepFaults, FullProbabilityStatesStayClean)
+{
+    // States that sum to exactly 1 never sample the gap; the sweep
+    // stays fault-free.
+    const auto designs = threePaperDesigns();
+    auto spec = m::UncertaintySpec::all(0.2);
+    spec.core_states = {{1.0, 0.85}, {0.5, 0.12}, {0.0, 0.03}};
+    x::SweepConfig cfg;
+    cfg.trials = 400;
+    cfg.fault_policy = ar::util::FaultPolicy::FailFast;
+    x::DesignSpaceEvaluator eval(designs, m::appLPHC(), spec, cfg);
+    ar::risk::QuadraticRisk fn;
+    (void)eval.evaluateAll(fn, 30.0);
+    EXPECT_TRUE(eval.faultReport().clean());
+}
+
+TEST(SweepFaults, InvalidStateSpecIsFatal)
+{
+    // Probabilities above 1 (or a sum above 1) are a spec error, not
+    // a fault: the pool build refuses them outright.
+    const auto designs = threePaperDesigns();
+    auto spec = m::UncertaintySpec::all(0.2);
+    spec.core_states = {{1.0, 0.8}, {0.5, 0.4}}; // sums to 1.2
+    // The constructor builds the pools eagerly, so the invalid
+    // Categorical is rejected right there.
+    EXPECT_THROW(
+        x::DesignSpaceEvaluator(designs, m::appLPHC(), spec, {}),
+        ar::util::FatalError);
 }

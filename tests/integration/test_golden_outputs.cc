@@ -101,7 +101,8 @@ computeEntries()
 
     // Propagation: run every example spec end to end.
     const char *kSpecs[] = {"amdahl", "accelerator",
-                            "hill_marty_asym"};
+                            "hill_marty_asym", "degradable_core",
+                            "memory_hierarchy"};
     for (const char *name : kSpecs) {
         const auto spec_path =
             kSourceDir + "/examples/specs/" + name + ".spec";
@@ -181,6 +182,38 @@ computeEntries()
                 h.foldWord(o.effective_trials);
             }
             out["sweep:t" + std::to_string(t) +
+                (fused ? ":fused" : ":direct")] = hex(h.value());
+        }
+    }
+
+    // Correlated multi-state sweep: pins the Iman-Conover pool
+    // correlation (the pre-fix sweep silently dropped `correlate`)
+    // and the per-size state pools in one entry per (threads,
+    // backend).
+    for (const std::size_t t : kThreads) {
+        for (const bool fused : {false, true}) {
+            ar::explore::SweepConfig cfg;
+            cfg.trials = 500;
+            cfg.seed = 17;
+            cfg.threads = t;
+            cfg.backend = fused
+                              ? ar::explore::SweepBackend::FusedProgram
+                              : ar::explore::SweepBackend::Direct;
+            auto spec = ar::model::UncertaintySpec::appArch(0.2, 0.2);
+            spec.correlations.push_back({"f", "c", 0.4});
+            spec.core_states = {{1.0, 0.85}, {0.5, 0.12}, {0.0, 0.03}};
+            ar::explore::DesignSpaceEvaluator eval(designs, app, spec,
+                                                   cfg);
+            ar::risk::QuadraticRisk fn;
+            const auto outcomes = eval.evaluateAll(fn, 10.0);
+            BitHash h;
+            for (const auto &o : outcomes) {
+                h.fold(o.expected);
+                h.fold(o.stddev);
+                h.fold(o.risk);
+                h.foldWord(o.effective_trials);
+            }
+            out["sweep-corr-states:t" + std::to_string(t) +
                 (fused ? ":fused" : ":direct")] = hex(h.value());
         }
     }

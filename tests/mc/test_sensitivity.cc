@@ -11,6 +11,7 @@
 #include "mc/sensitivity.hh"
 #include "simd/dispatch.hh"
 #include "symbolic/parser.hh"
+#include "util/diagnostics.hh"
 #include "util/logging.hh"
 
 namespace mc = ar::mc;
@@ -223,4 +224,53 @@ TEST(Sobol, ExprOverloadUnfusedMatchesCompiledExprOverload)
         EXPECT_EQ(a.indices[i].first_order, b.indices[i].first_order);
         EXPECT_EQ(a.indices[i].total, b.indices[i].total);
     }
+}
+
+TEST(Sobol, CorrelatedInputsRaiseStructuredDiagnostic)
+{
+    // Pick-freeze column swaps assume independence; under a
+    // correlation the estimators are invalid, so the analysis must
+    // refuse with a DiagnosticError naming the offending pair
+    // instead of returning silently wrong indices.
+    CompiledExpr fn(parseExpr("2 * x + z"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 2.0);
+    in.correlations.push_back({"x", "z", 0.4});
+    ar::util::Rng rng(21);
+    try {
+        mc::sobolIndices(fn, in, {1024}, rng);
+        FAIL() << "expected a DiagnosticError";
+    } catch (const ar::util::DiagnosticError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("'x'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'z'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("independent"), std::string::npos) << msg;
+    }
+}
+
+TEST(Sobol, CorrelationOfUnusedInputDoesNotBlock)
+{
+    // A correlate pair is only disqualifying when both endpoints
+    // actually feed the analyzed output.
+    CompiledExpr fn(parseExpr("2 * x + z"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 2.0);
+    in.uncertain["w"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.correlations.push_back({"x", "w", 0.9});
+    ar::util::Rng rng(22);
+    const auto res = mc::sobolIndices(fn, in, {1024}, rng);
+    EXPECT_EQ(res.indices.size(), 2u);
+}
+
+TEST(Sobol, ZeroRhoCorrelationDoesNotBlock)
+{
+    CompiledExpr fn(parseExpr("x + z"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.correlations.push_back({"x", "z", 0.0});
+    ar::util::Rng rng(23);
+    EXPECT_NO_THROW(mc::sobolIndices(fn, in, {1024}, rng));
 }

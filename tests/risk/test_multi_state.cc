@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the multi-state component layer: component
+ * validation, state-space enumeration, and the 0-ULP agreement
+ * between the compiled structure-function tape and brute-force
+ * enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "risk/multi_state.hh"
+#include "simd/dispatch.hh"
+#include "symbolic/compile.hh"
+#include "symbolic/parser.hh"
+#include "util/logging.hh"
+
+namespace risk = ar::risk;
+namespace sym = ar::symbolic;
+
+namespace
+{
+
+risk::MultiStateComponent
+channel(const std::string &name)
+{
+    return risk::MultiStateComponent(
+        name, {{"up", 1.0, 0.9}, {"slow", 0.6, 0.06}, {"down", 0.0, 0.02}});
+}
+
+} // namespace
+
+TEST(MultiState, InvalidComponentsAreFatal)
+{
+    using C = risk::MultiStateComponent;
+    EXPECT_THROW(C("", {{"up", 1.0, 1.0}}), ar::util::FatalError);
+    EXPECT_THROW(C("x", {}), ar::util::FatalError);
+    EXPECT_THROW(C("x", {{"", 1.0, 1.0}}), ar::util::FatalError);
+    EXPECT_THROW(C("x", {{"up", -0.5, 1.0}}), ar::util::FatalError);
+    EXPECT_THROW(
+        C("x", {{"up", std::numeric_limits<double>::infinity(), 1.0}}),
+        ar::util::FatalError);
+    EXPECT_THROW(C("x", {{"up", 1.0, 1.5}}), ar::util::FatalError);
+    EXPECT_THROW(C("x", {{"up", 1.0, -0.1}}), ar::util::FatalError);
+    EXPECT_THROW(C("x", {{"up", 1.0, 0.7}, {"down", 0.0, 0.4}}),
+                 ar::util::FatalError);
+    // A probability gap below 1 is allowed, not fatal.
+    const C gap("x", {{"up", 1.0, 0.7}, {"down", 0.0, 0.2}});
+    EXPECT_NEAR(gap.totalProbability(), 0.9, 1e-15);
+}
+
+TEST(MultiState, DistributionMatchesStates)
+{
+    const risk::MultiStateComponent c(
+        "core", {{"nominal", 1.0, 0.85}, {"half", 0.5, 0.12},
+                 {"dead", 0.0, 0.03}});
+    const auto dist = c.toDistribution();
+    EXPECT_NEAR(dist->mean(), 1.0 * 0.85 + 0.5 * 0.12, 1e-12);
+    // The Categorical's quantile is monotone, so LHS stratification
+    // survives sampling through it.
+    EXPECT_LE(dist->quantile(0.01), dist->quantile(0.99));
+}
+
+TEST(MultiState, EnumerationCoversTheStateSpace)
+{
+    const std::vector<risk::MultiStateComponent> comps = {
+        channel("a"),
+        risk::MultiStateComponent("b",
+                                  {{"up", 1.0, 0.95}, {"down", 0.0, 0.05}}),
+    };
+    const auto combos = risk::enumerateStateCombos(comps);
+    ASSERT_EQ(combos.size(), 6u); // 3 states x 2 states
+    double total = 0.0;
+    for (const auto &combo : combos) {
+        ASSERT_EQ(combo.state.size(), 2u);
+        ASSERT_EQ(combo.multipliers.size(), 2u);
+        total += combo.probability;
+    }
+    // Channel "a" carries a 0.02 unmodeled-state gap; the enumerated
+    // mass is the product of the per-component totals.
+    EXPECT_NEAR(total, 0.98 * 1.0, 1e-12);
+}
+
+TEST(MultiState, ExpectationMatchesClosedForm)
+{
+    // E[series(a, b)] = E[a] * E[b] for independent components.
+    const risk::MultiStateComponent a(
+        "a", {{"up", 1.0, 0.8}, {"half", 0.5, 0.2}});
+    const risk::MultiStateComponent b(
+        "b", {{"up", 1.0, 0.9}, {"down", 0.0, 0.1}});
+    const std::vector<risk::MultiStateComponent> comps = {a, b};
+    const double e = risk::enumerateExpectation(
+        sym::parseExpr("series(a, b)"), comps);
+    EXPECT_NEAR(e, (0.8 + 0.5 * 0.2) * 0.9, 1e-12);
+    // Fixed symbols participate as constants.
+    const double scaled = risk::enumerateExpectation(
+        sym::parseExpr("peak * series(a, b)"), comps, {{"peak", 10.0}});
+    EXPECT_NEAR(scaled, 10.0 * e, 1e-12);
+}
+
+TEST(MultiState, UnboundSymbolIsFatal)
+{
+    const std::vector<risk::MultiStateComponent> comps = {channel("a")};
+    EXPECT_THROW(
+        risk::enumerateExpectation(sym::parseExpr("a * mystery"), comps),
+        ar::util::FatalError);
+}
+
+TEST(MultiState, CompiledTapeMatchesEnumerationExactly)
+{
+    // The memory-hierarchy shape: a k-of-n gate in series with a
+    // parallel pair.  Enumerate the full state space, lay the combos
+    // out as trial columns, and hold the batch tape to the scalar
+    // evaluator bitwise (0 ULP) at every available SIMD level.
+    const std::vector<risk::MultiStateComponent> comps = {
+        channel("c0"), channel("c1"), channel("c2"),
+        risk::MultiStateComponent("l0",
+                                  {{"up", 1.0, 0.95}, {"down", 0.0, 0.05}}),
+        risk::MultiStateComponent("l1",
+                                  {{"up", 1.0, 0.95}, {"down", 0.0, 0.05}}),
+    };
+    const auto expr = sym::parseExpr(
+        "peak * kofn(2, c0, c1, c2) * parallel(l0, l1)");
+    const sym::CompiledExpr compiled(expr);
+    const auto combos = risk::enumerateStateCombos(comps);
+    ASSERT_EQ(combos.size(), 3u * 3u * 3u * 2u * 2u);
+
+    // Column per argument slot (SoA over combos).
+    const auto &names = compiled.argNames();
+    const double peak = 102.4;
+    std::vector<std::vector<double>> cols(names.size());
+    for (std::size_t a = 0; a < names.size(); ++a) {
+        if (names[a] == "peak") {
+            cols[a].assign(combos.size(), peak);
+            continue;
+        }
+        std::size_t ci = comps.size();
+        for (std::size_t c = 0; c < comps.size(); ++c)
+            if (comps[c].name() == names[a])
+                ci = c;
+        ASSERT_LT(ci, comps.size()) << names[a];
+        cols[a].reserve(combos.size());
+        for (const auto &combo : combos)
+            cols[a].push_back(combo.multipliers[ci]);
+    }
+    std::vector<sym::BatchArg> args(names.size());
+    for (std::size_t a = 0; a < names.size(); ++a)
+        args[a] = {cols[a].data(), false};
+
+    // Scalar reference, one eval per combo.
+    std::vector<double> ref(combos.size());
+    std::vector<double> scratch(names.size());
+    for (std::size_t t = 0; t < combos.size(); ++t) {
+        for (std::size_t a = 0; a < names.size(); ++a)
+            scratch[a] = cols[a][t];
+        ref[t] = compiled.eval(scratch);
+    }
+
+    for (const auto level : ar::simd::availableLevels()) {
+        ar::simd::ScopedLevel guard(level);
+        std::vector<double> out(combos.size(), -1.0);
+        compiled.evalBatch(args, combos.size(), out.data());
+        for (std::size_t t = 0; t < combos.size(); ++t) {
+            EXPECT_EQ(ref[t], out[t])
+                << "combo " << t << " at level "
+                << ar::simd::levelName(level);
+        }
+    }
+
+    // The enumeration oracle accumulates prob * eval in combo order;
+    // replicating that sum reproduces it bitwise.
+    double acc = 0.0;
+    for (std::size_t t = 0; t < combos.size(); ++t)
+        acc += combos[t].probability * ref[t];
+    const double oracle = risk::enumerateExpectation(
+        expr, comps, {{"peak", peak}});
+    EXPECT_EQ(acc, oracle);
+}
+
+TEST(MultiState, KOfNEdgeCasesOverStateSpace)
+{
+    const std::vector<risk::MultiStateComponent> comps = {
+        channel("a"), channel("b")};
+    // k = 0: the gate is constant 1, so the expectation is exactly
+    // the enumerated probability mass (0.98 per channel).
+    EXPECT_NEAR(
+        risk::enumerateExpectation(sym::parseExpr("kofn(0, a, b)"), comps),
+        0.98 * 0.98, 1e-12);
+    // k = n: both must be up or degraded (multiplier > 0).
+    EXPECT_NEAR(
+        risk::enumerateExpectation(sym::parseExpr("kofn(2, a, b)"), comps),
+        0.96 * 0.96, 1e-12);
+}
+
+TEST(MultiState, SingleStateComponentsAreDeterministic)
+{
+    // Degenerate one-state components make the structure function a
+    // constant over the (single) combo.
+    const std::vector<risk::MultiStateComponent> comps = {
+        risk::MultiStateComponent("up1", {{"on", 1.0, 1.0}}),
+        risk::MultiStateComponent("dead1", {{"off", 0.0, 1.0}}),
+    };
+    EXPECT_DOUBLE_EQ(risk::enumerateExpectation(
+                         sym::parseExpr("kofn(1, up1, dead1)"), comps),
+                     1.0);
+    EXPECT_DOUBLE_EQ(risk::enumerateExpectation(
+                         sym::parseExpr("kofn(2, up1, dead1)"), comps),
+                     0.0);
+    EXPECT_DOUBLE_EQ(risk::enumerateExpectation(
+                         sym::parseExpr("series(up1, dead1)"), comps),
+                     0.0);
+    EXPECT_DOUBLE_EQ(risk::enumerateExpectation(
+                         sym::parseExpr("parallel(up1, dead1)"), comps),
+                     1.0);
+}

@@ -768,3 +768,101 @@ TEST_P(ServeTest, BadPatchLeavesTheModelUntouched)
     c.send("RUN amdahl\n");
     EXPECT_EQ(c.readLine(), before);
 }
+
+namespace
+{
+
+/** Multi-state spec with a structure function; the 'slow' states
+ * keep every multiplier positive so the k-of-n gate is always up and
+ * the run stays fault-free under the default FailFast policy. */
+const char *const kMultiStateSpec =
+    "BW = Peak * Structure * (A + B) / 2\n"
+    "structure kofn(1, A, B)\n"
+    "fixed Peak 100\n"
+    "states A up:1:0.9 slow:0.5:0.1\n"
+    "states B up:1:0.9 slow:0.5:0.1\n"
+    "output BW\n"
+    "risk linear\n"
+    "trials 1000\n"
+    "seed 5\n";
+
+} // namespace
+
+TEST_P(ServeTest, MultiStateSpecRunsAndRerunsBitIdentically)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "ms", kMultiStateSpec),
+                           "OK uploaded"));
+    c.send("RUN ms\n");
+    const std::string run = c.readLine();
+    ASSERT_TRUE(startsWith(run, "OK run model=ms")) << run;
+    EXPECT_EQ(field(run, "mean"), directMean(kMultiStateSpec));
+
+    // Same seed twice: bit-identical.
+    c.send("RUN ms\n");
+    EXPECT_EQ(c.readLine(), run);
+}
+
+TEST_P(ServeTest, MultiStateEditRerunMatchesFreshUpload)
+{
+    // A `states` line keys as "bind <component>", so an EDIT patch
+    // replaces the component's state table in place; RERUN must then
+    // answer exactly what a fresh UPLOAD of the patched text would.
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "ms", kMultiStateSpec),
+                           "OK uploaded"));
+    c.send("RUN ms\n");
+    const std::string before = c.readLine();
+    ASSERT_TRUE(startsWith(before, "OK run")) << before;
+
+    const std::string old_line = "states A up:1:0.9 slow:0.5:0.1\n";
+    const std::string new_line = "states A up:1:0.7 slow:0.5:0.3\n";
+    const std::string resp = edit(c, "ms", new_line);
+    ASSERT_TRUE(startsWith(resp, "OK edit")) << resp;
+
+    c.send("RERUN ms\n");
+    const std::string rerun = c.readLine();
+    ASSERT_TRUE(startsWith(rerun, "OK rerun")) << rerun;
+    EXPECT_NE(field(rerun, "mean"), field(before, "mean"));
+
+    std::string patched(kMultiStateSpec);
+    const auto at = patched.find(old_line);
+    ASSERT_NE(at, std::string::npos);
+    patched.replace(at, old_line.size(), new_line);
+    Client fresh(server_->port());
+    ASSERT_TRUE(startsWith(upload(fresh, "ms2", patched),
+                           "OK uploaded"));
+    fresh.send("RUN ms2\n");
+    const std::string direct = fresh.readLine();
+    ASSERT_TRUE(startsWith(direct, "OK run")) << direct;
+    EXPECT_EQ(afterModel(rerun), afterModel(direct));
+    EXPECT_EQ(field(rerun, "mean"), directMean(patched));
+}
+
+TEST_P(ServeTest, SensOnACorrelatedModelIsATypedError)
+{
+    // Sobol pick-freeze estimators are invalid under correlated
+    // inputs; the daemon answers with a typed ERR naming the pair
+    // instead of silently returning garbage indices.
+    const char *const correlated =
+        "y = x1 + x2\n"
+        "uncertain x1 normal 0 1\n"
+        "uncertain x2 normal 0 1\n"
+        "correlate x1 x2 0.5\n"
+        "output y\n"
+        "risk quadratic\n"
+        "trials 512\n"
+        "seed 9\n";
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "corr", correlated),
+                           "OK uploaded"));
+    c.send("SENS corr trials=256\n");
+    const std::string resp = c.readLine();
+    ASSERT_TRUE(startsWith(resp, "ERR PARSE")) << resp;
+    EXPECT_NE(resp.find("x1"), std::string::npos);
+    EXPECT_NE(resp.find("x2"), std::string::npos);
+
+    // The connection and model survive the rejection.
+    c.send("RUN corr\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "OK run")) << resp;
+}

@@ -233,3 +233,74 @@ INSTANTIATE_TEST_SUITE_P(
                       "max(a, b * 2, sqrt(c))", "1/(x + 1/(y + 1))",
                       "gtz(n) * p + exp(log(q))",
                       "f / (1 - f + c * n)"));
+
+TEST(Parser, SeriesStructureIsProduct)
+{
+    const auto e = parseExpr("series(a, b, c)");
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 0.5}, {"b", 0.8}, {"c", 1.0}}),
+                     0.4);
+    // Any dead element kills the series path.
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 0.5}, {"b", 0.0}, {"c", 1.0}}),
+                     0.0);
+}
+
+TEST(Parser, ParallelStructureIsMax)
+{
+    const auto e = parseExpr("parallel(a, b, c)");
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 0.2}, {"b", 0.9}, {"c", 0.4}}),
+                     0.9);
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 0.0}, {"b", 0.0}, {"c", 0.0}}),
+                     0.0);
+}
+
+TEST(Parser, KOfNCountsUpElements)
+{
+    const auto e = parseExpr("kofn(2, a, b, c)");
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 1.0}, {"b", 1.0}, {"c", 0.0}}),
+                     1.0);
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 1.0}, {"b", 0.0}, {"c", 0.0}}),
+                     0.0);
+    // Fractional (degraded) performance still counts as "up".
+    EXPECT_DOUBLE_EQ(evalAt(e, {{"a", 0.5}, {"b", 0.1}, {"c", 0.0}}),
+                     1.0);
+}
+
+TEST(Parser, KOfNEdgeCases)
+{
+    // k = 0: the up-count is never negative, so the gate is always 1.
+    EXPECT_DOUBLE_EQ(evalAt(parseExpr("kofn(0, a)"), {{"a", 0.0}}),
+                     1.0);
+    // k = n: every element must be up.
+    const auto all = parseExpr("kofn(3, a, b, c)");
+    EXPECT_DOUBLE_EQ(
+        evalAt(all, {{"a", 1.0}, {"b", 1.0}, {"c", 1.0}}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        evalAt(all, {{"a", 1.0}, {"b", 1.0}, {"c", 0.0}}), 0.0);
+    // Single element degenerates to gtz.
+    const auto one = parseExpr("kofn(1, a)");
+    EXPECT_DOUBLE_EQ(evalAt(one, {{"a", 2.0}}), 1.0);
+    EXPECT_DOUBLE_EQ(evalAt(one, {{"a", 0.0}}), 0.0);
+}
+
+TEST(Parser, StructureFunctionsCompose)
+{
+    // The memory-hierarchy idiom: a k-of-n channel gate in series
+    // with a controller and a parallel pair.
+    const auto e = parseExpr(
+        "kofn(2, c0, c1, c2) * series(m, parallel(l0, l1))");
+    const std::map<std::string, double> up = {
+        {"c0", 1.0}, {"c1", 1.0}, {"c2", 0.0},
+        {"m", 1.0},  {"l0", 0.0}, {"l1", 1.0}};
+    EXPECT_DOUBLE_EQ(evalAt(e, up), 1.0);
+    auto down = up;
+    down["m"] = 0.0; // controller is a single point of failure
+    EXPECT_DOUBLE_EQ(evalAt(e, down), 0.0);
+}
+
+TEST(Parser, StructureArityErrors)
+{
+    EXPECT_THROW(parseExpr("series()"), ar::util::ParseError);
+    EXPECT_THROW(parseExpr("parallel()"), ar::util::ParseError);
+    EXPECT_THROW(parseExpr("kofn(2)"), ar::util::ParseError);
+    EXPECT_THROW(parseExpr("kofn()"), ar::util::ParseError);
+}
