@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <map>
 
@@ -737,6 +739,71 @@ BM_ModelBuild(benchmark::State &state)
 }
 BENCHMARK(BM_ModelBuild)->Arg(3)->Arg(5)
     ->Unit(benchmark::kMicrosecond);
+
+/** Shared body of the streamed / materializing propagation pair:
+ * one single-output Hill-Marty propagation on the counter sampler
+ * (streamable substreams), reporting the engine's analytic peak
+ * estimate and the process peak RSS as counters.  The CI memory
+ * smoke runs each variant in its own process (ru_maxrss is
+ * process-monotone, so sharing a process would let the materializing
+ * run contaminate the streamed reading). */
+void
+streamPropagationBody(benchmark::State &state, bool keep_samples)
+{
+    const auto config = ar::model::heteroCores();
+    auto sys = ar::model::buildHillMartySystem(config.numTypes());
+    const ar::symbolic::CompiledExpr fn(sys.resolve("Speedup"));
+    const std::vector<const ar::symbolic::CompiledExpr *> ptrs{&fn};
+    const auto in = ar::model::groundTruthBindings(
+        config, ar::model::appLPHC(),
+        ar::model::UncertaintySpec::all(0.2));
+    // Discard: rare all-cores-fail trials (P_serial = 0) must not
+    // abort the loop, and saturate would force retention.
+    ar::mc::PropagationConfig pc{
+        static_cast<std::size_t>(state.range(0)), "counter",
+        static_cast<std::size_t>(state.range(1)),
+        ar::util::FaultPolicy::Discard};
+    pc.stream.keep_samples = keep_samples;
+    const ar::mc::Propagator prop(pc);
+    std::uint64_t seed = 1;
+    std::size_t engine_peak = 0;
+    for (auto _ : state) {
+        ar::util::Rng rng(seed++);
+        const auto rep = prop.runManyReport(ptrs, in, rng);
+        engine_peak = rep.peak_bytes;
+        benchmark::DoNotOptimize(rep.stats.front().moments.mean());
+    }
+    struct rusage ru{};
+    ::getrusage(RUSAGE_SELF, &ru);
+    state.counters["engine_peak_bytes"] =
+        static_cast<double>(engine_peak);
+    state.counters["peak_rss_bytes"] =
+        1024.0 * static_cast<double>(ru.ru_maxrss);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_StreamPropagation(benchmark::State &state)
+{
+    streamPropagationBody(state, /*keep_samples=*/false);
+}
+// Streamed registers (and runs) before the keep variant so an
+// all-benches process reads its RSS before materialization inflates
+// the high-water mark; CI gates still use separate processes.
+BENCHMARK(BM_StreamPropagation)
+    ->Args({100000, 1})
+    ->Args({10000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StreamPropagationKeep(benchmark::State &state)
+{
+    streamPropagationBody(state, /*keep_samples=*/true);
+}
+BENCHMARK(BM_StreamPropagationKeep)
+    ->Args({100000, 1})
+    ->Args({10000000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -18,6 +18,16 @@ Two kinds of checks, both driven by files produced with
   benchmark names (which contain ``/``, hence the ``:`` separator):
   ``--speedup 'BM_SobolUnfused/8/2048:BM_SobolFused/8/2048:1.3'``.
 
+* **Counter ceilings** (``--max-metric BENCH:COUNTER:MAX``,
+  repeatable): the named user counter recorded on BENCH in the
+  *current* run must not exceed MAX.  Used by CI to hold the streamed
+  propagation bench under an absolute peak-RSS byte ceiling:
+  ``--max-metric 'BM_StreamPropagation/10000000/1:peak_rss_bytes:6.7e7'``.
+  Unlike --speedup, a missing benchmark or counter *fails* the check
+  (a memory gate that silently evaporates would pass forever), and
+  --warn-only does not apply: counters are machine-independent facts
+  about the run, not timings.
+
 Absolute times are machine-dependent, so CI runs this with
 ``--warn-only``: every violation is printed but the exit code stays 0.
 Run without ``--warn-only`` locally (same machine as the baseline) to
@@ -43,10 +53,13 @@ class BenchFileError(Exception):
 
 
 def load_benchmarks(path, role):
-    """Map benchmark name -> cpu_time in nanoseconds.
+    """Map benchmark name -> (cpu_time in ns, full row dict).
 
-    Raises BenchFileError (not a traceback) when the file is missing,
-    unreadable, not JSON, or holds no benchmark rows.
+    The row dict carries the user counters (google-benchmark writes
+    them as extra top-level keys on each benchmark entry), which the
+    --max-metric checks read.  Raises BenchFileError (not a
+    traceback) when the file is missing, unreadable, not JSON, or
+    holds no benchmark rows.
     """
     try:
         with open(path) as fh:
@@ -76,7 +89,9 @@ def load_benchmarks(path, role):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench["name"]
-        out[name] = bench["cpu_time"] * scale[bench.get("time_unit", "ns")]
+        out[name] = (
+            bench["cpu_time"] * scale[bench.get("time_unit", "ns")],
+            bench)
     if not out:
         raise BenchFileError(
             "%s file '%s' holds no benchmark entries; was it produced "
@@ -147,6 +162,19 @@ def parse_speedup(spec):
     return parts[0], parts[1], ratio
 
 
+def parse_max_metric(spec):
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            "expected BENCH:COUNTER:MAX, got %r" % spec)
+    try:
+        ceiling = float(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "MAX must be a number in %r" % spec)
+    return parts[0], parts[1], ceiling
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -161,6 +189,14 @@ def main(argv=None):
                     default=[], metavar="SLOW:FAST:MIN_RATIO",
                     help="assert cpu_time(SLOW)/cpu_time(FAST) >= "
                          "MIN_RATIO in the current run (repeatable)")
+    ap.add_argument("--max-metric", action="append",
+                    type=parse_max_metric, default=[],
+                    metavar="BENCH:COUNTER:MAX",
+                    help="assert the user counter COUNTER recorded on "
+                         "BENCH in the current run is <= MAX; a "
+                         "missing benchmark or counter fails, and "
+                         "--warn-only does not downgrade it "
+                         "(repeatable)")
     ap.add_argument("--warn-only", action="store_true",
                     help="print violations but always exit 0")
     ap.add_argument("--write-baseline", metavar="PATH",
@@ -196,7 +232,7 @@ def main(argv=None):
         if not shared:
             failures.append("no benchmark names shared with baseline")
         for name in shared:
-            old, new = baseline[name], current[name]
+            old, new = baseline[name][0], current[name][0]
             rel = (new - old) / old
             compared += 1
             status = "ok"
@@ -226,7 +262,7 @@ def main(argv=None):
                 "missing-from-current: speedup check %s/%s skipped "
                 "(missing %s)" % (slow, fast, ", ".join(missing)))
             continue
-        ratio = current[slow] / current[fast]
+        ratio = current[slow][0] / current[fast][0]
         ok = ratio >= min_ratio
         print("speedup %s / %s = %.2fx (want >= %.2fx)  %s"
               % (slow, fast, ratio, min_ratio,
@@ -234,6 +270,31 @@ def main(argv=None):
         if not ok:
             failures.append("speedup %s/%s = %.2fx < %.2fx"
                             % (slow, fast, ratio, min_ratio))
+
+    # Counter ceilings are hard failures even under --warn-only:
+    # user counters (e.g. peak bytes) are properties of the run, not
+    # of the machine's clock, so a breach is never runner noise.
+    hard_failures = []
+    for bench, counter, ceiling in args.max_metric:
+        if bench not in current:
+            hard_failures.append(
+                "max-metric %s: benchmark not in current run"
+                % bench)
+            continue
+        value = current[bench][1].get(counter)
+        if not isinstance(value, (int, float)):
+            hard_failures.append(
+                "max-metric %s: counter '%s' not recorded"
+                % (bench, counter))
+            continue
+        ok = value <= ceiling
+        print("metric %s %s = %.6g (want <= %.6g)  %s"
+              % (bench, counter, value, ceiling,
+                 "ok" if ok else "OVER CEILING"))
+        if not ok:
+            hard_failures.append(
+                "max-metric %s: %s = %.6g > %.6g"
+                % (bench, counter, value, ceiling))
 
     print("summary: %d compared, %d regression(s), %d "
           "missing-from-current (warned), %d new"
@@ -251,6 +312,12 @@ def main(argv=None):
         if not args.warn_only:
             return 1
         print("(--warn-only: exiting 0)", file=sys.stderr)
+    if hard_failures:
+        print("\n%d hard violation(s) (not downgraded by "
+              "--warn-only):" % len(hard_failures), file=sys.stderr)
+        for f in hard_failures:
+            print("  " + f, file=sys.stderr)
+        return 1
     return 0
 
 

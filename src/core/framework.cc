@@ -46,6 +46,52 @@ coreMetrics()
     return m;
 }
 
+/** Build the streaming observer for one analysis: archRisk's
+ * per-sample cost on the risk-analyzed output plus the caller's
+ * progress callback. */
+ar::mc::StreamObserver
+makeObserver(const ar::risk::RiskFunction &fn, double reference,
+             const std::function<void(const ar::mc::StreamFrame &)>
+                 &on_frame)
+{
+    ar::mc::StreamObserver observer;
+    observer.cost = [&fn, reference](double x) {
+        return fn.cost(x, reference);
+    };
+    observer.reference = reference;
+    observer.on_frame = on_frame;
+    return observer;
+}
+
+/** Summary derived from streaming moments (streamed runs have no
+ * retained samples to summarize; skewness/kurtosis are unavailable
+ * online and read 0). */
+ar::stats::Summary
+streamSummary(const ar::stats::StreamMoments &m)
+{
+    ar::stats::Summary s;
+    s.n = m.count();
+    s.mean = m.mean();
+    s.stddev = m.stddev();
+    s.variance = m.variance();
+    s.min = m.min();
+    s.max = m.max();
+    return s;
+}
+
+/** Copy the engine-level accounting into the analysis result. */
+void
+fillStreamFields(AnalysisResult &res, ar::mc::Propagation &out,
+                 bool streamed)
+{
+    res.stats = std::move(out.stats);
+    res.blocks = out.blocks;
+    res.trials_run = out.trials_run;
+    res.peak_bytes = out.peak_bytes;
+    res.early_stopped = out.early_stopped;
+    res.streamed = streamed;
+}
+
 } // namespace
 
 Framework::Framework(ar::mc::PropagationConfig cfg)
@@ -258,24 +304,37 @@ Framework::evaluateCertain(
 }
 
 AnalysisResult
-Framework::analyzeWith(const ar::mc::Propagator &prop,
-                       const std::string &responsive,
-                       const ar::mc::InputBindings &in,
-                       const ar::risk::RiskFunction &fn,
-                       double reference, std::uint64_t seed) const
+Framework::analyzeWith(
+    const ar::mc::Propagator &prop, const std::string &responsive,
+    const ar::mc::InputBindings &in, const ar::risk::RiskFunction &fn,
+    double reference, std::uint64_t seed,
+    const std::function<void(const ar::mc::StreamFrame &)> &on_frame)
+    const
 {
     obs::TraceSpan span("core.analyze");
     if (obs::metricsEnabled())
         coreMetrics().analyses.add();
     AnalysisResult res;
     ar::util::Rng rng(seed);
-    auto out = prop.runManyReport({&compiled(responsive)}, in, rng);
-    res.samples = std::move(out.samples.front());
+    auto out =
+        prop.runManyReport({&compiled(responsive)}, in, rng,
+                           makeObserver(fn, reference, on_frame));
+    const bool streamed = out.samples.empty();
     res.faults = std::move(out.faults);
-    obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
-    res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
-    res.risk = ar::risk::archRisk(res.samples, reference, fn);
+    obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
+    if (streamed) {
+        // No retained samples: summary and risk come from the
+        // streaming accumulators (bit-identical to the accumulators
+        // of a sample-keeping run of the same configuration).
+        res.summary = streamSummary(out.stats.front().moments);
+        res.risk = out.stats.front().risk.risk();
+    } else {
+        res.samples = std::move(out.samples.front());
+        res.summary = ar::stats::summarize(res.samples);
+        res.risk = ar::risk::archRisk(res.samples, reference, fn);
+    }
+    fillStreamFields(res, out, streamed);
     return res;
 }
 
@@ -284,28 +343,45 @@ Framework::analyzeMultiWith(
     const ar::mc::Propagator &prop,
     const std::vector<std::string> &responsives,
     const ar::mc::InputBindings &in, const ar::risk::RiskFunction &fn,
-    double reference, std::uint64_t seed) const
+    double reference, std::uint64_t seed,
+    const std::function<void(const ar::mc::StreamFrame &)> &on_frame)
+    const
 {
     obs::TraceSpan span("core.analyze_multi");
     if (obs::metricsEnabled())
         coreMetrics().analyses.add();
     AnalysisResult res;
     ar::util::Rng rng(seed);
-    auto out = prop.runMultiReport(program(responsives), in, rng);
-    res.samples = std::move(out.samples.front());
+    auto out =
+        prop.runMultiReport(program(responsives), in, rng,
+                            makeObserver(fn, reference, on_frame));
+    const bool streamed = out.samples.empty();
     res.faults = std::move(out.faults);
-    obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
-    res.summary = ar::stats::summarize(res.samples);
     res.reference = reference;
-    res.risk = ar::risk::archRisk(res.samples, reference, fn);
+    obs::ScopedPhase reduce("core.reduce", coreMetrics().reduce_ns);
     res.co_outputs.reserve(responsives.size() - 1);
-    for (std::size_t o = 1; o < responsives.size(); ++o) {
-        CoOutput co;
-        co.name = responsives[o];
-        co.samples = std::move(out.samples[o]);
-        co.summary = ar::stats::summarize(co.samples);
-        res.co_outputs.push_back(std::move(co));
+    if (streamed) {
+        res.summary = streamSummary(out.stats.front().moments);
+        res.risk = out.stats.front().risk.risk();
+        for (std::size_t o = 1; o < responsives.size(); ++o) {
+            CoOutput co;
+            co.name = responsives[o];
+            co.summary = streamSummary(out.stats[o].moments);
+            res.co_outputs.push_back(std::move(co));
+        }
+    } else {
+        res.samples = std::move(out.samples.front());
+        res.summary = ar::stats::summarize(res.samples);
+        res.risk = ar::risk::archRisk(res.samples, reference, fn);
+        for (std::size_t o = 1; o < responsives.size(); ++o) {
+            CoOutput co;
+            co.name = responsives[o];
+            co.samples = std::move(out.samples[o]);
+            co.summary = ar::stats::summarize(co.samples);
+            res.co_outputs.push_back(std::move(co));
+        }
     }
+    fillStreamFields(res, out, streamed);
     return res;
 }
 
@@ -331,6 +407,17 @@ Framework::analyze(const std::string &responsive,
 }
 
 AnalysisResult
+Framework::analyze(
+    const std::string &responsive, const ar::mc::InputBindings &in,
+    const ar::risk::RiskFunction &fn, double reference,
+    std::uint64_t seed, const ar::mc::PropagationConfig &cfg,
+    std::function<void(const ar::mc::StreamFrame &)> on_frame) const
+{
+    return analyzeWith(ar::mc::Propagator(cfg), responsive, in, fn,
+                       reference, seed, on_frame);
+}
+
+AnalysisResult
 Framework::analyzeMulti(const std::vector<std::string> &responsives,
                         const ar::mc::InputBindings &in,
                         const ar::risk::RiskFunction &fn,
@@ -349,6 +436,18 @@ Framework::analyzeMulti(const std::vector<std::string> &responsives,
 {
     return analyzeMultiWith(ar::mc::Propagator(cfg), responsives, in,
                             fn, reference, seed);
+}
+
+AnalysisResult
+Framework::analyzeMulti(
+    const std::vector<std::string> &responsives,
+    const ar::mc::InputBindings &in, const ar::risk::RiskFunction &fn,
+    double reference, std::uint64_t seed,
+    const ar::mc::PropagationConfig &cfg,
+    std::function<void(const ar::mc::StreamFrame &)> on_frame) const
+{
+    return analyzeMultiWith(ar::mc::Propagator(cfg), responsives, in,
+                            fn, reference, seed, on_frame);
 }
 
 std::vector<double>

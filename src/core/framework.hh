@@ -28,7 +28,8 @@ namespace ar::core
 struct CoOutput
 {
     std::string name;                ///< Responsive-variable name.
-    std::vector<double> samples;     ///< Post-policy draws.
+    std::vector<double> samples;     ///< Post-policy draws (empty
+                                     ///< when the run streamed).
     ar::stats::Summary summary;      ///< Moments of the samples.
 };
 
@@ -53,6 +54,23 @@ struct AnalysisResult
      * samples.
      */
     ar::util::FaultReport faults;
+
+    /**
+     * Per-output streaming accumulators (stats[0] is the risk-analyzed
+     * output), folded in fixed block order by mc::StreamEngine:
+     * bit-identical for any thread count AND between a streamed
+     * (keep_samples = false) and a sample-keeping run of the same
+     * configuration.  In streamed runs `samples` is empty and
+     * `summary`/`risk` are derived from these accumulators.
+     */
+    std::vector<ar::stats::StreamStats> stats;
+
+    std::size_t blocks = 0;     ///< Pipeline blocks merged.
+    std::size_t trials_run = 0; ///< Trials merged (< trials when
+                                ///< ci_target stopped the run early).
+    std::size_t peak_bytes = 0; ///< Engine's peak-memory estimate.
+    bool early_stopped = false; ///< ci_target halted the run.
+    bool streamed = false;      ///< Samples were not retained.
 
     /** @return expected performance under uncertainty. */
     double expected() const { return summary.mean; }
@@ -160,6 +178,20 @@ class Framework
                            const ar::mc::PropagationConfig &cfg) const;
 
     /**
+     * analyze() with a progress callback invoked at in-order block
+     * boundaries (see PropagationConfig::stream.frame_every).  The
+     * frames -- and the final result -- are bit-identical for any
+     * thread count.
+     */
+    AnalysisResult
+    analyze(const std::string &responsive,
+            const ar::mc::InputBindings &in,
+            const ar::risk::RiskFunction &fn, double reference,
+            std::uint64_t seed, const ar::mc::PropagationConfig &cfg,
+            std::function<void(const ar::mc::StreamFrame &)> on_frame)
+        const;
+
+    /**
      * analyze() over several responsive variables in one fused
      * propagation.  The first variable is the risk-analyzed one
      * (samples/summary/risk of the result refer to it); the rest
@@ -182,6 +214,16 @@ class Framework
                                 const ar::mc::PropagationConfig &cfg)
         const;
 
+    /** analyzeMulti() with a progress callback (see analyze()). */
+    AnalysisResult
+    analyzeMulti(const std::vector<std::string> &responsives,
+                 const ar::mc::InputBindings &in,
+                 const ar::risk::RiskFunction &fn, double reference,
+                 std::uint64_t seed,
+                 const ar::mc::PropagationConfig &cfg,
+                 std::function<void(const ar::mc::StreamFrame &)>
+                     on_frame) const;
+
     /**
      * Propagate only (no risk): returns the raw samples of the
      * responsive variable.
@@ -194,18 +236,21 @@ class Framework
     std::size_t trials() const { return propagator.trials(); }
 
   private:
-    AnalysisResult analyzeWith(const ar::mc::Propagator &prop,
-                               const std::string &responsive,
-                               const ar::mc::InputBindings &in,
-                               const ar::risk::RiskFunction &fn,
-                               double reference,
-                               std::uint64_t seed) const;
-    AnalysisResult
-    analyzeMultiWith(const ar::mc::Propagator &prop,
-                     const std::vector<std::string> &responsives,
-                     const ar::mc::InputBindings &in,
-                     const ar::risk::RiskFunction &fn, double reference,
-                     std::uint64_t seed) const;
+    AnalysisResult analyzeWith(
+        const ar::mc::Propagator &prop, const std::string &responsive,
+        const ar::mc::InputBindings &in,
+        const ar::risk::RiskFunction &fn, double reference,
+        std::uint64_t seed,
+        const std::function<void(const ar::mc::StreamFrame &)>
+            &on_frame = {}) const;
+    AnalysisResult analyzeMultiWith(
+        const ar::mc::Propagator &prop,
+        const std::vector<std::string> &responsives,
+        const ar::mc::InputBindings &in,
+        const ar::risk::RiskFunction &fn, double reference,
+        std::uint64_t seed,
+        const std::function<void(const ar::mc::StreamFrame &)>
+            &on_frame = {}) const;
 
     ar::mc::Propagator propagator;
     std::unique_ptr<ar::symbolic::EquationSystem> sys;

@@ -377,6 +377,26 @@ parseSpec(const std::string &text)
                        "unknown fault policy '" + tokens[1].text +
                            "' (fail_fast|discard|saturate)");
             }
+        } else if (cmd == "stream") {
+            expectArgs(tokens, 2, ctx);
+            const std::string &mode = tokens[1].text;
+            if (mode == "on") {
+                spec.stream = true;
+            } else if (mode == "off") {
+                spec.stream = false;
+            } else {
+                failAt(ctx, tokens[1].col,
+                       "unknown stream mode '" + mode +
+                           "' (on|off)");
+            }
+        } else if (cmd == "ci_target") {
+            expectArgs(tokens, 2, ctx);
+            const double target = numericToken(tokens, 1, ctx);
+            if (!(target > 0.0)) {
+                failAt(ctx, tokens[1].col,
+                       "ci_target must be positive");
+            }
+            spec.ci_target = target;
         } else if (cmd == "telemetry") {
             expectArgs(tokens, 2, ctx);
             const std::string &mode = tokens[1].text;
@@ -443,8 +463,26 @@ runSpec(const AnalysisSpec &spec, ar::util::CancelToken cancel)
     if (spec.telemetry_trace)
         ar::obs::setTracingEnabled(true);
 
-    Framework fw({spec.trials, "latin-hypercube", spec.threads,
-                  spec.fault_policy, std::move(cancel)});
+    if (spec.stream &&
+        spec.fault_policy == ar::util::FaultPolicy::Saturate) {
+        ar::util::raiseDiagnostic(
+            "runSpec: 'stream on' is incompatible with "
+            "'fault_policy saturate' (saturation needs the global "
+            "finite extrema, which streaming never materializes)");
+    }
+    if (spec.ci_target > 0.0 &&
+        spec.fault_policy == ar::util::FaultPolicy::Saturate) {
+        ar::util::raiseDiagnostic(
+            "runSpec: 'ci_target' is incompatible with "
+            "'fault_policy saturate'");
+    }
+
+    ar::mc::PropagationConfig pc{spec.trials, "latin-hypercube",
+                                 spec.threads, spec.fault_policy,
+                                 std::move(cancel)};
+    pc.stream.keep_samples = !spec.stream;
+    pc.stream.ci_target = spec.ci_target;
+    Framework fw(pc);
 
     // The Framework owns a copy of the system.
     ar::symbolic::EquationSystem sys = spec.system;

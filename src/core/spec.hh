@@ -26,6 +26,8 @@
  *   seed 7
  *   threads 4                       # workers; 0 = all cores
  *   fault_policy fail_fast          # fail_fast|discard|saturate
+ *   stream on                       # on|off: O(block)-memory run
+ *   ci_target 0.005                 # risk-CI early stop half-width
  *   telemetry metrics               # off|metrics|trace|all
  *
  * '#' starts a comment anywhere on a line (inline comments included).
@@ -96,6 +98,21 @@ struct AnalysisSpec
 
     /** Handling of trials with non-finite outputs. */
     ar::util::FaultPolicy fault_policy = ar::util::FaultPolicy::FailFast;
+
+    /**
+     * `stream on`: run without sample retention (O(block) memory);
+     * summary and risk come from the streaming accumulators, which
+     * are bit-identical to a sample-keeping run's accumulators.
+     * Incompatible with fault_policy saturate.
+     */
+    bool stream = false;
+
+    /**
+     * `ci_target X`: stop the propagation at the first block boundary
+     * where the risk estimate's 95% CI half-width is <= X
+     * (deterministic for any thread count; 0 disables).
+     */
+    double ci_target = 0.0;
 
     /**
      * Telemetry requested by the spec's `telemetry` directive.

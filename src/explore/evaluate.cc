@@ -11,6 +11,7 @@
 #include "extract/extract.hh"
 #include "math/numeric.hh"
 #include "math/special.hh"
+#include "mc/stream_engine.hh"
 #include "model/hill_marty.hh"
 #include "model/yield.hh"
 #include "obs/telemetry.hh"
@@ -863,9 +864,23 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     }
     buildPools();
 
+    if (cfg.stream) {
+        if (cfg.keep_samples) {
+            ar::util::fatal("DesignSpaceEvaluator: stream drops the "
+                            "per-design sample columns; disable "
+                            "keep_samples to stream");
+        }
+        if (cfg.fault_policy == ar::util::FaultPolicy::Saturate) {
+            ar::util::fatal("DesignSpaceEvaluator: stream mode is "
+                            "incompatible with the saturate policy "
+                            "(saturation needs the materialized "
+                            "sample columns)");
+        }
+    }
+
     std::uint64_t ref_bits;
     std::memcpy(&ref_bits, &reference_speedup, sizeof ref_bits);
-    if (outcomes_valid_ && last_fault_free_ &&
+    if (!cfg.stream && outcomes_valid_ && last_fault_free_ &&
         last_fn_ == static_cast<const void *>(&fn) &&
         last_fn_type_ == typeid(fn).hash_code() &&
         last_ref_bits_ == ref_bits) {
@@ -885,37 +900,116 @@ DesignSpaceEvaluator::evaluateAll(const ar::risk::RiskFunction &fn,
     std::vector<std::vector<double>> deferred(designs.size());
     std::vector<std::vector<std::size_t>> bad_trials(designs.size());
 
-    // Phase 1: normalized speedup samples per design.
+    // Phase 1: normalized speedup samples per design, through the
+    // block-pipelined engine (FusedProgram backend).  Keep mode
+    // retains every design column and leaves fault arbitration to
+    // the bespoke phases below; stream mode accumulates per-design
+    // statistics block by block (PerOutput skip: pools are shared,
+    // so trial t can fault for one design and not another) and never
+    // materializes the trials x designs matrix.
     std::vector<std::vector<double>> all(designs.size());
     if (cfg.backend == SweepBackend::FusedProgram) {
         buildFusedProgram();
         rebindFusedColumns();
-        obs::ScopedPhase phase("sweep.eval", sweepMetrics().eval_ns);
-        for (auto &samples : all)
-            samples.resize(trials);
-        // One fused pass per trial block computes every design; the
-        // sweep parallelizes over blocks (each writes a disjoint
-        // slice of every design's column).
-        constexpr std::size_t kBlock = 256;
-        const std::size_t n_blocks = (trials + kBlock - 1) / kBlock;
-        ar::util::parallelFor(
-            cfg.threads, n_blocks, [&](std::size_t b) {
-                const std::size_t t0 = b * kBlock;
-                const std::size_t t1 = std::min(trials, t0 + kBlock);
-                const std::size_t len = t1 - t0;
-                std::vector<ar::symbolic::BatchArg> bargs(
-                    fused_cols_.size());
-                for (std::size_t a = 0; a < fused_cols_.size(); ++a)
-                    bargs[a] = {fused_cols_[a] + t0, false};
-                std::vector<double *> outs(designs.size());
-                for (std::size_t d = 0; d < designs.size(); ++d)
-                    outs[d] = all[d].data() + t0;
-                fused_prog_->evalBatch(bargs, len, outs);
-                for (std::size_t d = 0; d < designs.size(); ++d) {
-                    for (std::size_t t = t0; t < t1; ++t)
-                        all[d][t] /= reference_speedup;
-                }
-            }, cfg.cancel);
+        ar::mc::StreamEngine::Spec espec;
+        espec.trials = trials;
+        espec.dims = 0; // Blocks read the shared pools directly.
+        espec.outputs = designs.size();
+        espec.threads = cfg.threads;
+        espec.policy = cfg.fault_policy;
+        espec.cancel = cfg.cancel;
+        espec.stream.keep_samples = !cfg.stream;
+        espec.fault_skip = ar::mc::StreamEngine::FaultSkip::PerOutput;
+        espec.accumulate = cfg.stream;
+        espec.apply_policy = false;
+        std::size_t pool_bytes =
+            (f_pool.size() + c_pool.size()) * sizeof(double);
+        for (const auto &p : perf_pools)
+            pool_bytes += p.size() * sizeof(double);
+        for (const auto &p : state_pools)
+            pool_bytes += p.size() * sizeof(double);
+        for (const auto &p : survivor_prefix)
+            pool_bytes += p.size() * sizeof(std::uint16_t);
+        for (const auto &kv : n_pools)
+            pool_bytes += kv.second.size() * sizeof(double);
+        for (const auto &kv : fused_count_cols_)
+            pool_bytes += kv.second.size() * sizeof(double);
+        espec.extra_bytes = pool_bytes;
+
+        ar::mc::StreamEngine::Hooks hooks;
+        // One fused pass per trial block computes every design.
+        hooks.eval = [&](std::size_t t0, std::size_t len,
+                         const std::vector<std::vector<double>> &,
+                         const std::vector<double *> &outs) {
+            std::vector<ar::symbolic::BatchArg> bargs(
+                fused_cols_.size());
+            for (std::size_t a = 0; a < fused_cols_.size(); ++a)
+                bargs[a] = {fused_cols_[a] + t0, false};
+            fused_prog_->evalBatch(bargs, len, outs);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                for (std::size_t i = 0; i < len; ++i)
+                    outs[d][i] /= reference_speedup;
+            }
+        };
+        if (cfg.stream) {
+            espec.risk_scope = ar::mc::StreamEngine::RiskScope::All;
+            espec.risk_reference = 1.0;
+            hooks.cost = [&fn](std::size_t, double x) {
+                return fn.cost(x, 1.0);
+            };
+            hooks.diagnose =
+                [](std::size_t, std::size_t,
+                   const std::vector<std::vector<double>> &,
+                   std::size_t, double value,
+                   ar::util::FaultKind &kind, std::string &op) {
+                    kind = ar::util::classifyNonFinite(value);
+                    op = "hill-marty speedup";
+                };
+        }
+
+        ar::mc::StreamEngine::Result er;
+        {
+            obs::ScopedPhase phase("sweep.eval",
+                                   sweepMetrics().eval_ns);
+            er = ar::mc::StreamEngine::run(espec, hooks);
+        }
+
+        if (cfg.stream) {
+            // The engine's fault report already matches the bespoke
+            // serial pass below: per-block (trial, design) events
+            // merged in block order, by_output keyed by design.
+            report_ = std::move(er.faults);
+            if (report_.faulty_trials > 0 &&
+                cfg.fault_policy ==
+                    ar::util::FaultPolicy::FailFast) {
+                report_.effective_trials =
+                    trials - report_.faulty_trials;
+                throw ar::util::FaultError(report_);
+            }
+            std::size_t min_effective = trials;
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                const auto &s = er.stats[d];
+                DesignOutcome &out = outcomes[d];
+                out.design_index = d;
+                out.faults = report_.by_output[d];
+                out.effective_trials = s.moments.count();
+                if (out.effective_trials == 0)
+                    throw ar::util::FaultError(report_);
+                min_effective =
+                    std::min(min_effective, out.effective_trials);
+                out.expected = s.moments.mean();
+                out.stddev = out.effective_trials > 1
+                                 ? s.moments.stddev()
+                                 : 0.0;
+                out.risk = s.risk.risk();
+                if (obs::metricsEnabled())
+                    sweepMetrics().designs_done.add();
+            }
+            report_.effective_trials = min_effective;
+            return outcomes;
+        }
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            all[d] = std::move(er.samples[d]);
     } else {
         // Designs only read the shared pools, so the sweep
         // parallelizes over designs; every buffer is per-design.

@@ -104,6 +104,20 @@ struct SweepConfig
     SweepBackend backend = SweepBackend::Direct;
 
     /**
+     * Stream per-design statistics through the block-pipelined
+     * engine instead of materializing every design's sample column:
+     * memory drops from O(trials * designs) to O(block * designs).
+     * Honored by the FusedProgram backend only (Direct computes
+     * whole columns per design and keeps the materializing path).
+     * Streamed moments use Welford/Chan accumulation rather than the
+     * materializing two-pass sums, so outcomes agree to ~1e-12
+     * relative tolerance, not bitwise; the what-if outcome cache is
+     * bypassed for the same reason.  Incompatible with keep_samples
+     * and with fault_policy saturate.
+     */
+    bool stream = false;
+
+    /**
      * Cooperative cancellation / deadline token, polled at block
      * boundaries of the evaluateAll() loops; a tripped token raises
      * ar::util::CancelledError within one block.  Cancellation has no

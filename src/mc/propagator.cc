@@ -1,12 +1,12 @@
 #include "mc/propagator.hh"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
-#include "util/thread_pool.hh"
 
 namespace ar::mc
 {
@@ -20,16 +20,10 @@ struct McMetrics
         obs::MetricsRegistry::global().counter("mc.propagations");
     obs::Counter trials =
         obs::MetricsRegistry::global().counter("mc.trials");
-    obs::Counter faulty_trials =
-        obs::MetricsRegistry::global().counter("mc.faulty_trials");
-    obs::Counter discarded_trials =
-        obs::MetricsRegistry::global().counter("mc.discarded_trials");
     obs::Counter sample_ns =
         obs::MetricsRegistry::global().counter("mc.sample_ns");
     obs::Counter eval_ns =
         obs::MetricsRegistry::global().counter("mc.eval_ns");
-    obs::Counter fault_ns =
-        obs::MetricsRegistry::global().counter("mc.fault_ns");
 };
 
 McMetrics &
@@ -38,13 +32,6 @@ mcMetrics()
     static McMetrics m;
     return m;
 }
-
-/**
- * Trials per parallel work unit.  Large enough that each tape op runs
- * as a vectorizable loop over a cache-resident block, small enough
- * that a 10k-trial run still load-balances across many workers.
- */
-constexpr std::size_t kBlockTrials = 256;
 
 /**
  * Check the bindings cover one argument list, and collect the
@@ -167,35 +154,121 @@ primedDists(const std::vector<std::string> &used,
 }
 
 /**
- * Apply the configured policy to the fully-built fault report.
- * FailFast throws with the report attached; Discard drops the faulty
- * trials from every output (alignment preserved); Saturate clamps
- * non-finite samples in place.
+ * The design strategy of one propagation: either a fully materialized
+ * (and possibly correlated) design matrix, or -- for a streamable
+ * sampler without correlations in streaming mode -- a master seed
+ * from which any block of uniforms is regenerated on demand.
  */
-void
-applyFaultPolicy(std::vector<std::vector<double>> &results,
-                 const std::vector<std::size_t> &faulty,
-                 ar::util::FaultPolicy policy,
-                 ar::util::FaultReport &faults)
+struct DesignPlan
 {
-    if (faulty.empty())
-        return;
-    switch (policy) {
-      case ar::util::FaultPolicy::FailFast:
-        faults.effective_trials = faults.trials - faulty.size();
-        throw ar::util::FaultError(faults);
-      case ar::util::FaultPolicy::Discard:
-        for (auto &samples : results)
-            ar::util::discardSamples(samples, faulty);
-        faults.effective_trials = faults.trials - faulty.size();
-        break;
-      case ar::util::FaultPolicy::Saturate:
-        for (auto &samples : results) {
-            if (ar::util::countNonFinite(samples) > 0)
-                ar::util::saturateSamples(samples, faults);
-        }
-        break;
+    std::optional<UniformDesign> design;
+    std::uint64_t master = 0;
+
+    bool streamed() const { return !design.has_value(); }
+
+    std::size_t bytes() const
+    {
+        if (!design)
+            return 0;
+        return design->trials() * design->dims() * sizeof(double);
     }
+};
+
+DesignPlan
+planDesign(const PropagationConfig &cfg, const Sampler &sampler,
+           const std::vector<std::string> &used,
+           const std::set<std::string> &used_set,
+           const InputBindings &in, ar::util::Rng &rng)
+{
+    DesignPlan plan;
+    // The copula imposes a whole-design rank reordering, so any
+    // active correlation forces materialization.
+    if (!cfg.stream.keep_samples && sampler.streamable() &&
+        in.correlations.empty()) {
+        plan.master = rng.nextU64();
+        return plan;
+    }
+    plan.design.emplace(sampler.design(cfg.trials, used.size(), rng));
+    applyCorrelations(*plan.design, used, used_set, in);
+    return plan;
+}
+
+/** Fill the block's physical-draw columns from the design plan. */
+void
+sampleBlock(const DesignPlan &dplan, const Sampler &sampler,
+            const std::vector<const ar::dist::Distribution *> &dists,
+            std::size_t t0, std::size_t len,
+            std::vector<std::vector<double>> &cols)
+{
+    obs::ScopedPhase phase("mc.sample", mcMetrics().sample_ns);
+    if (dplan.streamed()) {
+        UniformDesign block(len, dists.size());
+        sampler.fillBlock(dplan.master, t0, block);
+        for (std::size_t k = 0; k < dists.size(); ++k) {
+            dists[k]->sampleFromUniformBatch(block.column(k),
+                                             cols[k].data(), len);
+        }
+        return;
+    }
+    // The design is column-major, so each dimension's slice of
+    // uniforms feeds the distribution's batched inverse-CDF directly
+    // (one ar::simd quantile-kernel call for Normal and LogNormal, a
+    // scalar loop otherwise), no gather needed.
+    for (std::size_t k = 0; k < dists.size(); ++k) {
+        dists[k]->sampleFromUniformBatch(
+            dplan.design->column(k) + t0, cols[k].data(), len);
+    }
+}
+
+/** Copy one trial's physical arguments for scalar re-diagnosis. */
+void
+scalarArgs(const std::vector<ArgPlan> &plan,
+           const std::vector<std::vector<double>> &cols,
+           std::size_t local, std::vector<double> &args)
+{
+    args.resize(plan.size());
+    for (std::size_t a = 0; a < plan.size(); ++a) {
+        args[a] = plan[a].is_uncertain
+                      ? cols[plan[a].draw_index][local]
+                      : plan[a].fixed_value;
+    }
+}
+
+/** Translate an engine result into the public Propagation type. */
+Propagation
+toPropagation(StreamEngine::Result &&er)
+{
+    Propagation out;
+    out.samples = std::move(er.samples);
+    out.faults = std::move(er.faults);
+    out.stats = std::move(er.stats);
+    out.blocks = er.blocks;
+    out.trials_run = er.trials_run;
+    out.peak_bytes = er.peak_bytes;
+    out.early_stopped = er.early_stopped;
+    return out;
+}
+
+/** The engine spec shared by both propagation entry points. */
+StreamEngine::Spec
+makeSpec(const PropagationConfig &cfg, std::size_t dims,
+         std::size_t outputs, const StreamObserver &observer,
+         const DesignPlan &dplan)
+{
+    StreamEngine::Spec spec;
+    spec.trials = cfg.trials;
+    spec.dims = dims;
+    spec.outputs = outputs;
+    spec.threads = cfg.threads;
+    spec.policy = cfg.fault_policy;
+    spec.cancel = cfg.cancel;
+    spec.stream = cfg.stream;
+    spec.fault_skip = StreamEngine::FaultSkip::PerTrial;
+    spec.risk_scope = observer.cost ? StreamEngine::RiskScope::First
+                                    : StreamEngine::RiskScope::None;
+    spec.risk_reference = observer.reference;
+    spec.extra_bytes = dplan.bytes();
+    return spec;
 }
 
 } // namespace
@@ -234,6 +307,15 @@ Propagator::runManyReport(
     const std::vector<const ar::symbolic::CompiledExpr *> &fns,
     const InputBindings &in, ar::util::Rng &rng) const
 {
+    return runManyReport(fns, in, rng, StreamObserver{});
+}
+
+Propagation
+Propagator::runManyReport(
+    const std::vector<const ar::symbolic::CompiledExpr *> &fns,
+    const InputBindings &in, ar::util::Rng &rng,
+    const StreamObserver &observer) const
+{
     obs::TraceSpan run_span("mc.run_many");
     cfg.cancel.throwIfExpired("propagation");
     if (obs::metricsEnabled()) {
@@ -252,9 +334,8 @@ Propagator::runManyReport(
                                         used_set.end());
 
     const auto sampler = makeSampler(cfg.sampler);
-    UniformDesign design =
-        sampler->design(cfg.trials, used.size(), rng);
-    applyCorrelations(design, used, used_set, in);
+    const DesignPlan dplan =
+        planDesign(cfg, *sampler, used, used_set, in, rng);
 
     std::vector<std::vector<ArgPlan>> plans;
     plans.reserve(fns.size());
@@ -263,39 +344,14 @@ Propagator::runManyReport(
 
     const auto dists = primedDists(used, in);
 
-    const std::size_t trials = cfg.trials;
-    std::vector<std::vector<double>> columns(
-        used.size(), std::vector<double>(trials, 0.0));
-    std::vector<std::vector<double>> results(
-        fns.size(), std::vector<double>(trials, 0.0));
-
-    // Blocked SoA evaluation: each block materializes its slice of
-    // every sampled draw column, then runs each function's tape once
-    // over the whole slice.  Block b is a pure function of the design
-    // matrix, so any thread count yields bit-identical results.
-    const std::size_t n_blocks =
-        (trials + kBlockTrials - 1) / kBlockTrials;
-    ar::util::parallelFor(cfg.threads, n_blocks, [&](std::size_t b) {
-        const std::size_t t0 = b * kBlockTrials;
-        const std::size_t t1 =
-            std::min(trials, t0 + kBlockTrials);
-        const std::size_t len = t1 - t0;
-
-        {
-            obs::ScopedPhase phase("mc.sample",
-                                   mcMetrics().sample_ns);
-            // The design is column-major, so each dimension's
-            // slice of uniforms feeds the distribution's batched
-            // inverse-CDF directly (one ar::simd quantile-kernel
-            // call for Normal and LogNormal, a scalar loop
-            // otherwise), no gather needed.
-            for (std::size_t k = 0; k < used.size(); ++k) {
-                dists[k]->sampleFromUniformBatch(
-                    design.column(k) + t0,
-                    columns[k].data() + t0, len);
-            }
-        }
-
+    StreamEngine::Hooks hooks;
+    hooks.sample = [&](std::size_t t0, std::size_t len,
+                       std::vector<std::vector<double>> &cols) {
+        sampleBlock(dplan, *sampler, dists, t0, len, cols);
+    };
+    hooks.eval = [&](std::size_t, std::size_t len,
+                     const std::vector<std::vector<double>> &cols,
+                     const std::vector<double *> &outs) {
         obs::ScopedPhase phase("mc.eval", mcMetrics().eval_ns);
         std::vector<ar::symbolic::BatchArg> bargs;
         for (std::size_t f = 0; f < fns.size(); ++f) {
@@ -303,78 +359,54 @@ Propagator::runManyReport(
             bargs.resize(plan.size());
             for (std::size_t a = 0; a < plan.size(); ++a) {
                 if (plan[a].is_uncertain) {
-                    bargs[a] = {columns[plan[a].draw_index].data() +
-                                    t0,
+                    bargs[a] = {cols[plan[a].draw_index].data(),
                                 false};
                 } else {
                     bargs[a] = {&plan[a].fixed_value, true};
                 }
             }
-            fns[f]->evalBatch(bargs, len, results[f].data() + t0);
+            fns[f]->evalBatch(bargs, len, outs[f]);
         }
-    }, cfg.cancel);
+    };
+    // The precise scalar tape re-runs only the rare faulting trials
+    // to attribute each fault to its first offending op.
+    hooks.diagnose = [&](std::size_t output, std::size_t,
+                         const std::vector<std::vector<double>> &cols,
+                         std::size_t local, double value,
+                         ar::util::FaultKind &kind, std::string &op) {
+        std::vector<double> args;
+        scalarArgs(plans[output], cols, local, args);
+        ar::symbolic::EvalFault fault;
+        fns[output]->evalDiagnosed(args, fault);
+        kind = fault.faulted ? fault.kind
+                             : ar::util::classifyNonFinite(value);
+        op = fault.faulted ? fault.op : std::string();
+    };
+    if (observer.cost) {
+        hooks.cost = [&](std::size_t, double x) {
+            return observer.cost(x);
+        };
+    }
+    hooks.on_frame = observer.on_frame;
 
-    // Fault containment: a serial post-pass over the fully
-    // materialized results, so detection order -- and therefore the
-    // report -- is a pure function of the design matrix, independent
-    // of how blocks were scheduled across threads.  The cheap tier
-    // scans outputs for non-finite values; the precise scalar tape
-    // re-runs only the rare faulting trials to attribute each fault
-    // to its first offending op.
-    Propagation out;
-    out.faults.policy = cfg.fault_policy;
-    out.faults.trials = trials;
-    out.faults.by_output.assign(fns.size(), 0);
-    std::vector<std::size_t> faulty;
-    std::vector<double> scalar_args;
-    {
-        obs::ScopedPhase phase("mc.faults", mcMetrics().fault_ns);
-        const bool cancellable = cfg.cancel.cancellable();
-        for (std::size_t t = 0; t < trials; ++t) {
-            if (cancellable && (t & 4095u) == 0)
-                cfg.cancel.throwIfExpired("fault scan");
-            bool trial_faulty = false;
-            for (std::size_t f = 0; f < fns.size(); ++f) {
-                if (std::isfinite(results[f][t]))
-                    continue;
-                trial_faulty = true;
-                const auto &plan = plans[f];
-                scalar_args.resize(plan.size());
-                for (std::size_t a = 0; a < plan.size(); ++a) {
-                    scalar_args[a] =
-                        plan[a].is_uncertain
-                            ? columns[plan[a].draw_index][t]
-                            : plan[a].fixed_value;
-                }
-                ar::symbolic::EvalFault fault;
-                fns[f]->evalDiagnosed(scalar_args, fault);
-                out.faults.record(
-                    t, f,
-                    fault.faulted
-                        ? fault.kind
-                        : ar::util::classifyNonFinite(results[f][t]),
-                    fault.faulted ? fault.op : std::string());
-            }
-            if (trial_faulty)
-                faulty.push_back(t);
-        }
-    }
-    out.faults.faulty_trials = faulty.size();
-    out.faults.effective_trials = trials;
-    if (obs::metricsEnabled()) {
-        mcMetrics().faulty_trials.add(faulty.size());
-        if (cfg.fault_policy == ar::util::FaultPolicy::Discard)
-            mcMetrics().discarded_trials.add(faulty.size());
-    }
-    applyFaultPolicy(results, faulty, cfg.fault_policy, out.faults);
-    out.samples = std::move(results);
-    return out;
+    return toPropagation(StreamEngine::run(
+        makeSpec(cfg, used.size(), fns.size(), observer, dplan),
+        hooks));
 }
 
 Propagation
 Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
                            const InputBindings &in,
                            ar::util::Rng &rng) const
+{
+    return runMultiReport(prog, in, rng, StreamObserver{});
+}
+
+Propagation
+Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
+                           const InputBindings &in,
+                           ar::util::Rng &rng,
+                           const StreamObserver &observer) const
 {
     obs::TraceSpan run_span("mc.run_multi");
     cfg.cancel.throwIfExpired("propagation");
@@ -393,107 +425,57 @@ Propagator::runMultiReport(const ar::symbolic::CompiledProgram &prog,
                                         used_set.end());
 
     const auto sampler = makeSampler(cfg.sampler);
-    UniformDesign design =
-        sampler->design(cfg.trials, used.size(), rng);
-    applyCorrelations(design, used, used_set, in);
+    const DesignPlan dplan =
+        planDesign(cfg, *sampler, used, used_set, in, rng);
 
     const auto plan = buildPlan(prog.argNames(), in, used);
     const auto dists = primedDists(used, in);
-
-    const std::size_t trials = cfg.trials;
     const std::size_t n_out = prog.numOutputs();
-    std::vector<std::vector<double>> columns(
-        used.size(), std::vector<double>(trials, 0.0));
-    std::vector<std::vector<double>> results(
-        n_out, std::vector<double>(trials, 0.0));
 
-    // Same blocked SoA scheme as runManyReport(), but one fused tape
-    // pass computes every output of the block.
-    const std::size_t n_blocks =
-        (trials + kBlockTrials - 1) / kBlockTrials;
-    ar::util::parallelFor(cfg.threads, n_blocks, [&](std::size_t b) {
-        const std::size_t t0 = b * kBlockTrials;
-        const std::size_t t1 =
-            std::min(trials, t0 + kBlockTrials);
-        const std::size_t len = t1 - t0;
-
-        {
-            obs::ScopedPhase phase("mc.sample",
-                                   mcMetrics().sample_ns);
-            // Per-dimension batched inverse-CDF straight off the
-            // column-major design, exactly as in runManyReport().
-            for (std::size_t k = 0; k < used.size(); ++k) {
-                dists[k]->sampleFromUniformBatch(
-                    design.column(k) + t0,
-                    columns[k].data() + t0, len);
-            }
-        }
-
+    StreamEngine::Hooks hooks;
+    hooks.sample = [&](std::size_t t0, std::size_t len,
+                       std::vector<std::vector<double>> &cols) {
+        sampleBlock(dplan, *sampler, dists, t0, len, cols);
+    };
+    // One fused tape pass computes every output of the block.
+    hooks.eval = [&](std::size_t, std::size_t len,
+                     const std::vector<std::vector<double>> &cols,
+                     const std::vector<double *> &outs) {
         obs::ScopedPhase phase("mc.eval", mcMetrics().eval_ns);
         std::vector<ar::symbolic::BatchArg> bargs(plan.size());
         for (std::size_t a = 0; a < plan.size(); ++a) {
             if (plan[a].is_uncertain) {
-                bargs[a] = {columns[plan[a].draw_index].data() + t0,
-                            false};
+                bargs[a] = {cols[plan[a].draw_index].data(), false};
             } else {
                 bargs[a] = {&plan[a].fixed_value, true};
             }
         }
-        std::vector<double *> outs(n_out);
-        for (std::size_t o = 0; o < n_out; ++o)
-            outs[o] = results[o].data() + t0;
         prog.evalBatch(bargs, len, outs);
-    }, cfg.cancel);
+    };
+    // Attribution replays the faulting trial on the per-output tape
+    // the program keeps for diagnosis, so kinds and labels match the
+    // unfused path.
+    hooks.diagnose = [&](std::size_t output, std::size_t,
+                         const std::vector<std::vector<double>> &cols,
+                         std::size_t local, double value,
+                         ar::util::FaultKind &kind, std::string &op) {
+        std::vector<double> args;
+        scalarArgs(plan, cols, local, args);
+        ar::symbolic::EvalFault fault;
+        prog.evalDiagnosed(output, args, fault);
+        kind = fault.faulted ? fault.kind
+                             : ar::util::classifyNonFinite(value);
+        op = fault.faulted ? fault.op : std::string();
+    };
+    if (observer.cost) {
+        hooks.cost = [&](std::size_t, double x) {
+            return observer.cost(x);
+        };
+    }
+    hooks.on_frame = observer.on_frame;
 
-    // Identical serial fault post-pass; attribution replays the
-    // faulting trial on the per-output tape the program keeps for
-    // diagnosis, so kinds and labels match the unfused path.
-    Propagation out;
-    out.faults.policy = cfg.fault_policy;
-    out.faults.trials = trials;
-    out.faults.by_output.assign(n_out, 0);
-    std::vector<std::size_t> faulty;
-    std::vector<double> scalar_args(plan.size());
-    {
-        obs::ScopedPhase phase("mc.faults", mcMetrics().fault_ns);
-        const bool cancellable = cfg.cancel.cancellable();
-        for (std::size_t t = 0; t < trials; ++t) {
-            if (cancellable && (t & 4095u) == 0)
-                cfg.cancel.throwIfExpired("fault scan");
-            bool trial_faulty = false;
-            for (std::size_t o = 0; o < n_out; ++o) {
-                if (std::isfinite(results[o][t]))
-                    continue;
-                trial_faulty = true;
-                for (std::size_t a = 0; a < plan.size(); ++a) {
-                    scalar_args[a] =
-                        plan[a].is_uncertain
-                            ? columns[plan[a].draw_index][t]
-                            : plan[a].fixed_value;
-                }
-                ar::symbolic::EvalFault fault;
-                prog.evalDiagnosed(o, scalar_args, fault);
-                out.faults.record(
-                    t, o,
-                    fault.faulted
-                        ? fault.kind
-                        : ar::util::classifyNonFinite(results[o][t]),
-                    fault.faulted ? fault.op : std::string());
-            }
-            if (trial_faulty)
-                faulty.push_back(t);
-        }
-    }
-    out.faults.faulty_trials = faulty.size();
-    out.faults.effective_trials = trials;
-    if (obs::metricsEnabled()) {
-        mcMetrics().faulty_trials.add(faulty.size());
-        if (cfg.fault_policy == ar::util::FaultPolicy::Discard)
-            mcMetrics().discarded_trials.add(faulty.size());
-    }
-    applyFaultPolicy(results, faulty, cfg.fault_policy, out.faults);
-    out.samples = std::move(results);
-    return out;
+    return toPropagation(StreamEngine::run(
+        makeSpec(cfg, used.size(), n_out, observer, dplan), hooks));
 }
 
 } // namespace ar::mc

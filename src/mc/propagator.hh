@@ -10,6 +10,8 @@
 #ifndef AR_MC_PROPAGATOR_HH
 #define AR_MC_PROPAGATOR_HH
 
+#include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "dist/distribution.hh"
 #include "mc/copula.hh"
 #include "mc/sampler.hh"
+#include "mc/stream_engine.hh"
 #include "symbolic/compile.hh"
 #include "symbolic/program.hh"
 #include "util/cancel.hh"
@@ -53,17 +56,59 @@ struct PropagationConfig
      * (null) token costs one pointer test per block.
      */
     ar::util::CancelToken cancel{};
+
+    /**
+     * Streaming execution knobs (see mc::StreamEngine).  The default
+     * keeps every sample (classic behaviour).  With
+     * stream.keep_samples = false the propagation runs in O(block)
+     * memory: Propagation::samples stays empty and consumers read the
+     * streaming accumulators instead.  A streamable sampler
+     * ("counter") without correlations additionally avoids
+     * materializing the uniform design.
+     */
+    StreamConfig stream{};
 };
 
 /** Samples plus the fault accounting of one propagation run. */
 struct Propagation
 {
     /** One sample vector per function, aligned by trial (after any
-     * discard the alignment across functions is still preserved). */
+     * discard the alignment across functions is still preserved).
+     * Empty when the run streamed (keep_samples = false). */
     std::vector<std::vector<double>> samples;
 
     /** Deterministic fault report (bit-identical for any threads). */
     ar::util::FaultReport faults;
+
+    /**
+     * Per-function streaming accumulators, folded in fixed block
+     * order: bit-identical for any thread count and between streamed
+     * and sample-keeping runs of the same configuration.
+     */
+    std::vector<ar::stats::StreamStats> stats;
+
+    std::size_t blocks = 0;     ///< Pipeline blocks merged.
+    std::size_t trials_run = 0; ///< Trials merged (early stopping
+                                ///< truncates below cfg.trials).
+    std::size_t peak_bytes = 0; ///< Engine's peak-memory estimate.
+    bool early_stopped = false; ///< True when ci_target halted the run.
+};
+
+/**
+ * Optional per-run streaming consumer: a risk cost folded into the
+ * first function's accumulator (enabling ci_target early stopping)
+ * and a progress callback invoked at in-order block boundaries.
+ */
+struct StreamObserver
+{
+    /** Risk cost of one output-0 sample (archRisk's per-sample term). */
+    std::function<double(double)> cost;
+
+    /** Reference value for the exceedance counter (NaN disables). */
+    double reference = std::numeric_limits<double>::quiet_NaN();
+
+    /** Progress frames (see StreamConfig::frame_every). */
+    std::function<void(const StreamFrame &)> on_frame;
 };
 
 /** Named inputs for one propagation run. */
@@ -133,6 +178,14 @@ class Propagator
         const std::vector<const ar::symbolic::CompiledExpr *> &fns,
         const InputBindings &in, ar::util::Rng &rng) const;
 
+    /** runManyReport() with a streaming observer (risk accumulation
+     * on the first function, progress frames, early stopping). */
+    Propagation
+    runManyReport(
+        const std::vector<const ar::symbolic::CompiledExpr *> &fns,
+        const InputBindings &in, ar::util::Rng &rng,
+        const StreamObserver &observer) const;
+
     /**
      * Like runMany() but evaluating every output through one fused
      * CompiledProgram: subexpressions shared between outputs run
@@ -149,6 +202,12 @@ class Propagator
     Propagation
     runMultiReport(const ar::symbolic::CompiledProgram &prog,
                    const InputBindings &in, ar::util::Rng &rng) const;
+
+    /** runMultiReport() with a streaming observer. */
+    Propagation
+    runMultiReport(const ar::symbolic::CompiledProgram &prog,
+                   const InputBindings &in, ar::util::Rng &rng,
+                   const StreamObserver &observer) const;
 
     /** @return the configured trial count. */
     std::size_t trials() const { return cfg.trials; }

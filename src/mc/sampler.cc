@@ -5,6 +5,13 @@
 namespace ar::mc
 {
 
+void
+Sampler::fillBlock(std::uint64_t, std::size_t, UniformDesign &) const
+{
+    ar::util::panic("Sampler::fillBlock: sampler '", name(),
+                    "' is not streamable");
+}
+
 UniformDesign
 MonteCarloSampler::design(std::size_t trials, std::size_t dims,
                           ar::util::Rng &rng) const
@@ -34,6 +41,50 @@ LatinHypercubeSampler::design(std::size_t trials, std::size_t dims,
     return d;
 }
 
+UniformDesign
+CounterSampler::design(std::size_t trials, std::size_t dims,
+                       ar::util::Rng &rng) const
+{
+    const std::uint64_t master = rng.nextU64();
+    UniformDesign d(trials, dims);
+    for (std::size_t t0 = 0; t0 < trials; t0 += kGranule) {
+        const std::size_t t1 = std::min(trials, t0 + kGranule);
+        ar::util::Rng sub =
+            ar::util::Rng::substream(master, t0 / kGranule);
+        // Draw order within a granule is (trial, dim), the same walk
+        // fillBlock() replays, so both paths agree bit-for-bit.
+        for (std::size_t t = t0; t < t1; ++t)
+            for (std::size_t k = 0; k < dims; ++k)
+                d.at(t, k) = sub.uniform();
+    }
+    return d;
+}
+
+void
+CounterSampler::fillBlock(std::uint64_t master, std::size_t t0,
+                          UniformDesign &block) const
+{
+    const std::size_t len = block.trials();
+    const std::size_t dims = block.dims();
+    std::size_t filled = 0;
+    while (filled < len) {
+        const std::size_t t = t0 + filled;
+        const std::size_t g = t / kGranule;
+        const std::size_t g_first = g * kGranule;
+        ar::util::Rng sub = ar::util::Rng::substream(master, g);
+        // Skip the draws of granule trials preceding this range.
+        for (std::size_t skip = (t - g_first) * dims; skip > 0;
+             --skip)
+            sub.uniform();
+        const std::size_t take =
+            std::min(len - filled, g_first + kGranule - t);
+        for (std::size_t i = 0; i < take; ++i)
+            for (std::size_t k = 0; k < dims; ++k)
+                block.at(filled + i, k) = sub.uniform();
+        filled += take;
+    }
+}
+
 std::unique_ptr<Sampler>
 makeSampler(const std::string &name)
 {
@@ -41,6 +92,8 @@ makeSampler(const std::string &name)
         return std::make_unique<MonteCarloSampler>();
     if (name == "latin-hypercube")
         return std::make_unique<LatinHypercubeSampler>();
+    if (name == "counter")
+        return std::make_unique<CounterSampler>();
     ar::util::fatal("makeSampler: unknown sampler '", name, "'");
 }
 

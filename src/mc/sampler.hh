@@ -1,8 +1,11 @@
 /**
  * @file
  * Sampling plans for Monte-Carlo uncertainty propagation: independent
- * uniform sampling and Latin-hypercube stratified sampling (the
- * paper's choice, Figure 5 step 4, after mcerp).
+ * uniform sampling, Latin-hypercube stratified sampling (the paper's
+ * choice, Figure 5 step 4, after mcerp), and a counter-based sampler
+ * whose draws are a pure function of (master seed, trial index) so
+ * streaming engines can regenerate any trial block on demand without
+ * materializing the whole design.
  */
 
 #ifndef AR_MC_SAMPLER_HH
@@ -18,7 +21,14 @@
 namespace ar::mc
 {
 
-/** Row-major trials x dims matrix of uniform variates in (0, 1). */
+/**
+ * Column-major trials x dims matrix of uniform variates in (0, 1):
+ * all trials of dimension d are stored contiguously at
+ * data[d * trials .. (d + 1) * trials), so column(d) hands the
+ * per-dimension batch quantile transform a gather-free slice.
+ * (Logically the design is still "one row per trial"; only the
+ * storage order is per-column.)
+ */
 class UniformDesign
 {
   public:
@@ -71,6 +81,24 @@ class Sampler
     virtual UniformDesign design(std::size_t trials, std::size_t dims,
                                  ar::util::Rng &rng) const = 0;
 
+    /**
+     * True when fillBlock() can regenerate any trial range of the
+     * design on demand from a master seed.  Stratified plans (LHS)
+     * are whole-design by construction and return false; streaming
+     * engines then fall back to one materialized design.
+     */
+    virtual bool streamable() const { return false; }
+
+    /**
+     * Regenerate the design slice for trials [t0, t0 + block.trials())
+     * into @p block (streamable samplers only).  The values are a pure
+     * function of (master, trial, dim): independent of the requested
+     * range, of thread count, and identical to the same trials of
+     * design() seeded with the same master draw.
+     */
+    virtual void fillBlock(std::uint64_t master, std::size_t t0,
+                           UniformDesign &block) const;
+
     /** @return a short identifying name. */
     virtual std::string name() const = 0;
 };
@@ -98,7 +126,32 @@ class LatinHypercubeSampler : public Sampler
     std::string name() const override { return "latin-hypercube"; }
 };
 
-/** Factory by name ("monte-carlo" or "latin-hypercube"). */
+/**
+ * Counter-based streaming sampler: uniforms are drawn from fixed-size
+ * granules of kGranule trials, granule g fed by the independent RNG
+ * substream Rng::substream(master, g).  The value at (trial, dim)
+ * therefore depends only on the master seed and the trial index --
+ * never on block size, thread count, or how much of the design was
+ * generated -- which is what lets mc::StreamEngine run 10^7-trial
+ * propagations in O(block) memory.  design() consumes exactly one
+ * nextU64() from the caller's rng (the master seed) so a streamed and
+ * a materialized run advance the caller's stream identically.
+ */
+class CounterSampler : public Sampler
+{
+  public:
+    /** Trials per RNG substream granule. */
+    static constexpr std::size_t kGranule = 4096;
+
+    UniformDesign design(std::size_t trials, std::size_t dims,
+                         ar::util::Rng &rng) const override;
+    bool streamable() const override { return true; }
+    void fillBlock(std::uint64_t master, std::size_t t0,
+                   UniformDesign &block) const override;
+    std::string name() const override { return "counter"; }
+};
+
+/** Factory by name ("monte-carlo", "latin-hypercube", "counter"). */
 std::unique_ptr<Sampler> makeSampler(const std::string &name);
 
 } // namespace ar::mc

@@ -4,7 +4,9 @@
 
 #include "math/numeric.hh"
 #include "mc/sampler.hh"
+#include "mc/stream_engine.hh"
 #include "obs/telemetry.hh"
+#include "stats/stream.hh"
 #include "obs/trace.hh"
 #include "symbolic/substitute.hh"
 #include "util/diagnostics.hh"
@@ -41,6 +43,19 @@ sobolMetrics()
  * preserves operand order and the variant tapes stay bit-identical
  * to the base tape. */
 constexpr const char *kBSuffix = "!B";
+
+/**
+ * Streaming Jansen partial: pooled f(A)/f(B) moments plus the per-
+ * input squared-difference sums, accumulated per block and merged in
+ * fixed block order through the engine's fold hooks.
+ */
+struct SobolFold
+{
+    ar::stats::StreamMoments pooled; ///< Over f(A) and f(B).
+    std::vector<ar::math::KahanSum> first; ///< sum (fb - fab_i)^2.
+    std::vector<ar::math::KahanSum> total; ///< sum (fa - fab_i)^2.
+    std::size_t m = 0;                     ///< Surviving trials.
+};
 
 /**
  * Core Saltelli/Jansen estimator.  When @p prog is non-null it holds
@@ -148,16 +163,39 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
         sobolMetrics().evals.add(n * (k + 2));
     }
 
-    std::vector<double> fa(n), fb(n);
-    std::vector<std::vector<double>> fab(k, std::vector<double>(n));
-    // The evaluation sweep is a pure function of the two design
-    // matrices, so trial blocks parallelize with bit-identical
-    // results for any thread count.
-    constexpr std::size_t kBlock = 256;
-    const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+    if (cfg.stream &&
+        cfg.fault_policy == ar::util::FaultPolicy::Saturate) {
+        ar::util::fatal("sobolIndices: stream mode is incompatible "
+                        "with the saturate policy (saturation needs "
+                        "the materialized f-matrices)");
+    }
+
+    // The evaluation sweep runs on the block-pipelined engine: the
+    // k + 2 variant evaluations of a trial are the engine outputs,
+    // trial blocks are pure functions of the two design matrices,
+    // and per-block results merge in fixed block order -- so
+    // f-matrices, fault report, and estimators are bit-identical for
+    // any thread count.  cfg.stream folds the Jansen sums per block
+    // instead of retaining the f-matrices.
+    const std::size_t outputs = k + 2;
+    StreamEngine::Spec espec;
+    espec.trials = n;
+    espec.dims = prog ? 2 * k : 0;
+    espec.outputs = outputs;
+    espec.threads = cfg.threads;
+    espec.policy = cfg.fault_policy;
+    espec.cancel = cfg.cancel;
+    espec.stream.keep_samples = !cfg.stream;
+    espec.fault_skip = StreamEngine::FaultSkip::PerTrial;
+    espec.accumulate = false;
+    // Streamed runs let the engine apply the policy (FailFast throw,
+    // Discard via the per-trial skip mask); the materializing path
+    // keeps the bespoke per-matrix handling below.
+    espec.apply_policy = cfg.stream;
+    espec.extra_bytes = 2 * n * k * sizeof(double);
+
+    StreamEngine::Hooks hooks;
     if (prog) {
-        obs::ScopedPhase sweep_phase("mc.sobol.sweep_fused",
-                                     sobolMetrics().sweep_ns);
         // Fused sweep: the program's arguments are the fixed inputs
         // plus two copies of every uncertain input -- "name" bound
         // to the A column and "name!B" to the B column.  One batched
@@ -168,8 +206,8 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
             std::size_t dim;
             double fixed_value;
         };
-        std::vector<ProgArg> pplan;
-        pplan.reserve(prog->argNames().size());
+        auto pplan = std::make_shared<std::vector<ProgArg>>();
+        pplan->reserve(prog->argNames().size());
         const std::string suffix = kBSuffix;
         for (const auto &arg : prog->argNames()) {
             if (arg.size() > suffix.size() &&
@@ -182,170 +220,222 @@ sobolImpl(const ar::symbolic::CompiledExpr &fn,
                 if (pos == names.end())
                     ar::util::panic("sobolIndices: unplanned "
                                     "variant input '", arg, "'");
-                pplan.push_back(
+                pplan->push_back(
                     {ProgArg::B,
                      static_cast<std::size_t>(pos - names.begin()),
                      0.0});
             } else if (const auto pos = std::find(
                            names.begin(), names.end(), arg);
                        pos != names.end()) {
-                pplan.push_back(
+                pplan->push_back(
                     {ProgArg::A,
                      static_cast<std::size_t>(pos - names.begin()),
                      0.0});
             } else {
-                pplan.push_back({ProgArg::Fixed, 0, in.fixed.at(arg)});
+                pplan->push_back(
+                    {ProgArg::Fixed, 0, in.fixed.at(arg)});
             }
         }
-        std::vector<std::vector<double>> acols(
-            k, std::vector<double>(n));
-        std::vector<std::vector<double>> bcols(
-            k, std::vector<double>(n));
-        ar::util::parallelFor(
-            cfg.threads, n_blocks, [&](std::size_t b) {
-                const std::size_t t0 = b * kBlock;
-                const std::size_t t1 = std::min(n, t0 + kBlock);
-                const std::size_t len = t1 - t0;
-                // One batched inverse-CDF (ar::simd quantile
-                // kernel for Normal/LogNormal) per column slice,
-                // straight off the column-major designs.
-                for (std::size_t d = 0; d < k; ++d) {
-                    dists[d]->sampleFromUniformBatch(
-                        ua.column(d) + t0, acols[d].data() + t0,
-                        len);
-                    dists[d]->sampleFromUniformBatch(
-                        ub.column(d) + t0, bcols[d].data() + t0,
-                        len);
+        // Engine columns [0, k) carry the A draws, [k, 2k) the B
+        // draws: one batched inverse-CDF (ar::simd quantile kernel
+        // for Normal/LogNormal) per column slice, straight off the
+        // column-major designs.
+        hooks.sample = [&, k](std::size_t t0, std::size_t len,
+                              std::vector<std::vector<double>> &cols) {
+            for (std::size_t d = 0; d < k; ++d) {
+                dists[d]->sampleFromUniformBatch(
+                    ua.column(d) + t0, cols[d].data(), len);
+                dists[d]->sampleFromUniformBatch(
+                    ub.column(d) + t0, cols[k + d].data(), len);
+            }
+        };
+        hooks.eval = [&, k, pplan](
+                         std::size_t, std::size_t len,
+                         const std::vector<std::vector<double>> &cols,
+                         const std::vector<double *> &outs) {
+            obs::ScopedPhase sweep_phase("mc.sobol.sweep_fused",
+                                         sobolMetrics().sweep_ns);
+            std::vector<ar::symbolic::BatchArg> bargs(pplan->size());
+            for (std::size_t a = 0; a < pplan->size(); ++a) {
+                switch ((*pplan)[a].src) {
+                  case ProgArg::A:
+                    bargs[a] = {cols[(*pplan)[a].dim].data(), false};
+                    break;
+                  case ProgArg::B:
+                    bargs[a] = {cols[k + (*pplan)[a].dim].data(),
+                                false};
+                    break;
+                  case ProgArg::Fixed:
+                    bargs[a] = {&(*pplan)[a].fixed_value, true};
+                    break;
                 }
-                std::vector<ar::symbolic::BatchArg> bargs(
-                    pplan.size());
-                for (std::size_t a = 0; a < pplan.size(); ++a) {
-                    switch (pplan[a].src) {
-                      case ProgArg::A:
-                        bargs[a] = {acols[pplan[a].dim].data() + t0,
-                                    false};
-                        break;
-                      case ProgArg::B:
-                        bargs[a] = {bcols[pplan[a].dim].data() + t0,
-                                    false};
-                        break;
-                      case ProgArg::Fixed:
-                        bargs[a] = {&pplan[a].fixed_value, true};
-                        break;
-                    }
-                }
-                std::vector<double *> outs(k + 2);
-                outs[0] = fa.data() + t0;
-                outs[1] = fb.data() + t0;
-                for (std::size_t i = 0; i < k; ++i)
-                    outs[2 + i] = fab[i].data() + t0;
-                prog->evalBatch(bargs, len, outs);
-            }, cfg.cancel);
+            }
+            prog->evalBatch(bargs, len, outs);
+        };
     } else {
-        obs::ScopedPhase sweep_phase("mc.sobol.sweep",
-                                     sobolMetrics().sweep_ns);
-        ar::util::parallelFor(
-            cfg.threads, n_blocks, [&](std::size_t b) {
-                std::vector<double> row_a(k), row_b(k),
-                    argbuf(plan.size());
-                auto eval_with = [&](const std::vector<double> &row) {
-                    for (std::size_t a = 0; a < plan.size(); ++a) {
-                        argbuf[a] = plan[a].is_uncertain
-                                        ? row[plan[a].dim]
-                                        : plan[a].fixed_value;
-                    }
-                    return fn.eval(argbuf);
-                };
-                const std::size_t t1 = std::min(n, (b + 1) * kBlock);
-                for (std::size_t t = b * kBlock; t < t1; ++t) {
-                    for (std::size_t d = 0; d < k; ++d) {
-                        row_a[d] = realize(ua, t, d);
-                        row_b[d] = realize(ub, t, d);
-                    }
-                    fa[t] = eval_with(row_a);
-                    fb[t] = eval_with(row_b);
-                    for (std::size_t i = 0; i < k; ++i) {
-                        // AB_i: A with column i swapped in from B.
-                        const double keep = row_a[i];
-                        row_a[i] = row_b[i];
-                        fab[i][t] = eval_with(row_a);
-                        row_a[i] = keep;
-                    }
+        // Unfused sweep: k + 2 scalar tape walks per trial, rows
+        // realized from the designs exactly as before (scalar
+        // inverse-CDF per cell).
+        hooks.eval = [&, k](std::size_t t0, std::size_t len,
+                            const std::vector<std::vector<double>> &,
+                            const std::vector<double *> &outs) {
+            obs::ScopedPhase sweep_phase("mc.sobol.sweep",
+                                         sobolMetrics().sweep_ns);
+            std::vector<double> row_a(k), row_b(k),
+                argbuf(plan.size());
+            auto eval_with = [&](const std::vector<double> &row) {
+                for (std::size_t a = 0; a < plan.size(); ++a) {
+                    argbuf[a] = plan[a].is_uncertain
+                                    ? row[plan[a].dim]
+                                    : plan[a].fixed_value;
                 }
-            }, cfg.cancel);
+                return fn.eval(argbuf);
+            };
+            for (std::size_t i = 0; i < len; ++i) {
+                const std::size_t t = t0 + i;
+                for (std::size_t d = 0; d < k; ++d) {
+                    row_a[d] = realize(ua, t, d);
+                    row_b[d] = realize(ub, t, d);
+                }
+                outs[0][i] = eval_with(row_a);
+                outs[1][i] = eval_with(row_b);
+                for (std::size_t j = 0; j < k; ++j) {
+                    // AB_j: A with column j swapped in from B.
+                    const double keep = row_a[j];
+                    row_a[j] = row_b[j];
+                    outs[2 + j][i] = eval_with(row_a);
+                    row_a[j] = keep;
+                }
+            }
+        };
     }
 
-    // Fault containment: serial post-pass in trial order (hence
-    // thread-count independent).  A trial is faulty when any of its
-    // k + 2 evaluations is non-finite; the policy then applies to the
-    // whole trial so pick-freeze pairs stay aligned.  Diagnosis
-    // always replays the base tape, so attribution is identical for
-    // the fused and unfused sweeps.
-    SensitivityResult res;
-    res.faults.policy = cfg.fault_policy;
-    res.faults.trials = n;
-    res.faults.by_output.assign(k + 2, 0);
-    std::vector<std::size_t> faulty;
-    {
-        std::vector<double> row_a(k), row_b(k), argbuf(plan.size());
-        auto diagnose = [&](std::size_t t, std::size_t output,
-                            const std::vector<double> &row,
-                            double observed) {
-            for (std::size_t a = 0; a < plan.size(); ++a) {
-                argbuf[a] = plan[a].is_uncertain
-                                ? row[plan[a].dim]
-                                : plan[a].fixed_value;
-            }
-            ar::symbolic::EvalFault fault;
-            fn.evalDiagnosed(argbuf, fault);
-            res.faults.record(
-                t, output,
-                fault.faulted ? fault.kind
-                              : ar::util::classifyNonFinite(observed),
-                fault.faulted ? fault.op : std::string());
-        };
-        const bool cancellable = cfg.cancel.cancellable();
-        for (std::size_t t = 0; t < n; ++t) {
-            if (cancellable && (t & 4095u) == 0)
-                cfg.cancel.throwIfExpired("fault scan");
-            bool bad =
-                !std::isfinite(fa[t]) || !std::isfinite(fb[t]);
-            for (std::size_t i = 0; !bad && i < k; ++i)
-                bad = !std::isfinite(fab[i][t]);
-            if (!bad)
-                continue;
-            faulty.push_back(t);
-            for (std::size_t d = 0; d < k; ++d) {
-                row_a[d] = realize(ua, t, d);
-                row_b[d] = realize(ub, t, d);
-            }
-            if (!std::isfinite(fa[t]))
-                diagnose(t, 0, row_a, fa[t]);
-            if (!std::isfinite(fb[t]))
-                diagnose(t, 1, row_b, fb[t]);
-            for (std::size_t i = 0; i < k; ++i) {
-                if (std::isfinite(fab[i][t]))
+    // Diagnosis always replays the base tape on scalar-realized
+    // rows, so attribution is identical for the fused and unfused
+    // sweeps (and to the pre-engine serial post-pass).
+    hooks.diagnose = [&, k](std::size_t output, std::size_t trial,
+                            const std::vector<std::vector<double>> &,
+                            std::size_t, double observed,
+                            ar::util::FaultKind &kind,
+                            std::string &op) {
+        std::vector<double> row(k), argbuf(plan.size());
+        const UniformDesign &u = output == 1 ? ub : ua;
+        for (std::size_t d = 0; d < k; ++d)
+            row[d] = realize(u, trial, d);
+        if (output >= 2) // AB_i: column i comes from B.
+            row[output - 2] = realize(ub, trial, output - 2);
+        for (std::size_t a = 0; a < plan.size(); ++a) {
+            argbuf[a] = plan[a].is_uncertain ? row[plan[a].dim]
+                                             : plan[a].fixed_value;
+        }
+        ar::symbolic::EvalFault fault;
+        fn.evalDiagnosed(argbuf, fault);
+        kind = fault.faulted ? fault.kind
+                             : ar::util::classifyNonFinite(observed);
+        op = fault.faulted ? fault.op : std::string();
+    };
+
+    if (cfg.stream) {
+        hooks.fold = [&, k](std::size_t, std::size_t len,
+                            const std::vector<double *> &outs,
+                            const std::vector<unsigned char> &skip) {
+            auto f = std::make_shared<SobolFold>();
+            f->first.resize(k);
+            f->total.resize(k);
+            for (std::size_t i = 0; i < len; ++i) {
+                if (skip[i])
                     continue;
-                const double keep = row_a[i];
-                row_a[i] = row_b[i];
-                diagnose(t, 2 + i, row_a, fab[i][t]);
-                row_a[i] = keep;
+                ++f->m;
+                const double a = outs[0][i];
+                const double b = outs[1][i];
+                f->pooled.add(a);
+                f->pooled.add(b);
+                for (std::size_t j = 0; j < k; ++j) {
+                    const double db = b - outs[2 + j][i];
+                    const double da = a - outs[2 + j][i];
+                    f->first[j].add(db * db);
+                    f->total[j].add(da * da);
+                }
+            }
+            return std::static_pointer_cast<void>(f);
+        };
+        hooks.fold_merge = [k](const std::shared_ptr<void> &master,
+                               const std::shared_ptr<void> &partial) {
+            auto *dst = static_cast<SobolFold *>(master.get());
+            auto *src = static_cast<SobolFold *>(partial.get());
+            dst->pooled.merge(src->pooled);
+            for (std::size_t j = 0; j < k; ++j) {
+                dst->first[j].add(src->first[j].value());
+                dst->total[j].add(src->total[j].value());
+            }
+            dst->m += src->m;
+        };
+    }
+
+    SensitivityResult res;
+    auto er = StreamEngine::run(espec, hooks);
+    res.faults = std::move(er.faults);
+    res.trials = n;
+
+    if (cfg.stream) {
+        const auto *fold =
+            static_cast<const SobolFold *>(er.fold.get());
+        const std::size_t m = fold ? fold->m : 0;
+        if (m < 2)
+            throw ar::util::FaultError(res.faults);
+        const double variance = fold->pooled.variance();
+        res.output_mean = fold->pooled.mean();
+        res.output_variance = variance;
+        res.indices.resize(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            SobolIndex &idx = res.indices[i];
+            idx.input = names[i];
+            if (variance > 0.0) {
+                idx.first_order =
+                    1.0 - fold->first[i].value() /
+                              (2.0 * m * variance);
+                idx.total =
+                    fold->total[i].value() / (2.0 * m * variance);
+                idx.first_order =
+                    ar::math::clamp(idx.first_order, 0.0, 1.0);
+                idx.total = ar::math::clamp(idx.total, 0.0, 1.5);
             }
         }
+        return res;
     }
-    res.faults.faulty_trials = faulty.size();
-    res.faults.effective_trials = n;
-    if (!faulty.empty()) {
+
+    std::vector<double> fa = std::move(er.samples[0]);
+    std::vector<double> fb = std::move(er.samples[1]);
+    std::vector<std::vector<double>> fab(k);
+    for (std::size_t i = 0; i < k; ++i)
+        fab[i] = std::move(er.samples[2 + i]);
+
+    // Bespoke policy application over the materialized f-matrices: a
+    // faulty trial drops (or saturates) as a whole so pick-freeze
+    // pairs stay aligned.
+    if (res.faults.faulty_trials > 0) {
+        // Recover the faulty-trial list deterministically from the
+        // retained matrices (a trial is faulty when any of its k + 2
+        // evaluations is non-finite).
+        std::vector<std::size_t> bad;
+        for (std::size_t t = 0; t < n; ++t) {
+            bool is_bad =
+                !std::isfinite(fa[t]) || !std::isfinite(fb[t]);
+            for (std::size_t i = 0; !is_bad && i < k; ++i)
+                is_bad = !std::isfinite(fab[i][t]);
+            if (is_bad)
+                bad.push_back(t);
+        }
         switch (cfg.fault_policy) {
           case ar::util::FaultPolicy::FailFast:
-            res.faults.effective_trials = n - faulty.size();
+            res.faults.effective_trials = n - bad.size();
             throw ar::util::FaultError(res.faults);
           case ar::util::FaultPolicy::Discard:
-            ar::util::discardSamples(fa, faulty);
-            ar::util::discardSamples(fb, faulty);
+            ar::util::discardSamples(fa, bad);
+            ar::util::discardSamples(fb, bad);
             for (auto &col : fab)
-                ar::util::discardSamples(col, faulty);
-            res.faults.effective_trials = n - faulty.size();
+                ar::util::discardSamples(col, bad);
+            res.faults.effective_trials = n - bad.size();
             break;
           case ar::util::FaultPolicy::Saturate:
             for (auto *vec : {&fa, &fb}) {

@@ -87,6 +87,18 @@ struct SensitivityConfig
      * way.
      */
     bool fused = true;
+
+    /**
+     * Stream the Jansen estimator sums instead of materializing the
+     * k + 2 pick-freeze f-matrices: per-block partial sums are merged
+     * in fixed block order (bit-identical for any thread count), so
+     * memory drops from O(trials * k) to O(block * k) for the
+     * evaluation sweep.  The streamed mean/variance use a
+     * Welford/Chan accumulation rather than the materializing path's
+     * two-pass sums, so indices agree to ~1e-12 relative tolerance,
+     * not bitwise.  Incompatible with fault_policy saturate.
+     */
+    bool stream = false;
 };
 
 /**

@@ -1,0 +1,457 @@
+#include "mc/stream_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/telemetry.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace ar::mc
+{
+
+namespace
+{
+
+struct EngineMetrics
+{
+    obs::Counter blocks =
+        obs::MetricsRegistry::global().counter("mc.blocks");
+    obs::Counter faulty_trials =
+        obs::MetricsRegistry::global().counter("mc.faulty_trials");
+    obs::Counter discarded_trials =
+        obs::MetricsRegistry::global().counter("mc.discarded_trials");
+    obs::Counter fault_ns =
+        obs::MetricsRegistry::global().counter("mc.fault_ns");
+    obs::Gauge peak_bytes =
+        obs::MetricsRegistry::global().gauge("mc.peak_bytes");
+};
+
+EngineMetrics &
+engineMetrics()
+{
+    static EngineMetrics m;
+    return m;
+}
+
+/** One recorded fault event, deferred until the in-order merge. */
+struct FaultEvent
+{
+    std::size_t trial = 0;
+    std::size_t output = 0;
+    ar::util::FaultKind kind = ar::util::FaultKind::Nan;
+    std::string op;
+};
+
+/** Everything one block contributes, a pure function of its trials. */
+struct BlockPartial
+{
+    std::vector<ar::stats::StreamStats> stats;
+    std::vector<FaultEvent> events;  ///< (trial, output) order.
+    std::vector<std::size_t> faulty; ///< Faulty trials, ascending.
+    std::shared_ptr<void> fold;
+    std::size_t trials = 0;
+};
+
+bool
+riskEnabled(const StreamEngine::Spec &spec, std::size_t output)
+{
+    switch (spec.risk_scope) {
+      case StreamEngine::RiskScope::None: return false;
+      case StreamEngine::RiskScope::First: return output == 0;
+      case StreamEngine::RiskScope::All: return true;
+    }
+    return false;
+}
+
+std::vector<ar::stats::StreamStats>
+makeStats(const StreamEngine::Spec &spec)
+{
+    std::vector<ar::stats::StreamStats> stats(spec.outputs);
+    if (spec.stream.reservoir > 0) {
+        for (auto &s : stats) {
+            s.reservoir = ar::stats::StrideReservoir(
+                spec.stream.reservoir, spec.trials);
+        }
+    }
+    return stats;
+}
+
+/**
+ * Fold one block's output slice into @p stats, honouring the skip
+ * masks.  The (output, trial) fold order inside a block is fixed, so
+ * the partial is a pure function of the block contents.
+ */
+void
+accumulateBlock(const StreamEngine::Spec &spec,
+                const StreamEngine::Hooks &hooks, std::size_t t0,
+                std::size_t len, const std::vector<double *> &outs,
+                const std::vector<unsigned char> &trial_skip,
+                const std::vector<unsigned char> &cell_skip,
+                std::vector<ar::stats::StreamStats> &stats)
+{
+    const bool per_output =
+        spec.fault_skip == StreamEngine::FaultSkip::PerOutput;
+    const bool have_ref = std::isfinite(spec.risk_reference);
+    for (std::size_t o = 0; o < spec.outputs; ++o) {
+        auto &s = stats[o];
+        const bool do_risk = riskEnabled(spec, o);
+        const double *xs = outs[o];
+        const unsigned char *skip =
+            per_output ? cell_skip.data() + o * len
+                       : trial_skip.data();
+        for (std::size_t i = 0; i < len; ++i) {
+            if (skip[i])
+                continue;
+            const double x = xs[i];
+            s.moments.add(x);
+            if (do_risk) {
+                s.risk.add(hooks.cost(o, x),
+                           have_ref && x < spec.risk_reference);
+            }
+            s.reservoir.add(t0 + i, x);
+        }
+    }
+}
+
+/** Shared reduction state behind the in-order merge frontier. */
+struct MergeState
+{
+    std::mutex m;
+    std::map<std::size_t, BlockPartial> parked;
+    std::size_t next = 0;          ///< Next block index to merge.
+    std::size_t merged_blocks = 0;
+    std::size_t merged_trials = 0;
+    std::vector<ar::stats::StreamStats> master;
+    std::shared_ptr<void> master_fold;
+    bool have_fold = false;
+    ar::util::FaultReport report;
+    std::vector<std::size_t> faulty; ///< Global ascending.
+
+    /** Early-stop block index; merges past it are discarded. */
+    std::atomic<std::size_t> stop{
+        std::numeric_limits<std::size_t>::max()};
+};
+
+/** Merge one in-order partial (caller holds MergeState::m). */
+void
+mergeLocked(MergeState &st, const StreamEngine::Spec &spec,
+            const StreamEngine::Hooks &hooks, bool accumulate_inline,
+            std::size_t block_index, BlockPartial &&p)
+{
+    if (accumulate_inline) {
+        for (std::size_t o = 0; o < spec.outputs; ++o)
+            st.master[o].merge(p.stats[o]);
+    }
+    for (auto &ev : p.events)
+        st.report.record(ev.trial, ev.output, ev.kind,
+                         std::move(ev.op));
+    st.faulty.insert(st.faulty.end(), p.faulty.begin(),
+                     p.faulty.end());
+    if (hooks.fold) {
+        if (!st.have_fold) {
+            st.master_fold = std::move(p.fold);
+            st.have_fold = true;
+        } else {
+            hooks.fold_merge(st.master_fold, p.fold);
+        }
+    }
+    ++st.merged_blocks;
+    st.merged_trials += p.trials;
+
+    if (hooks.on_frame && spec.stream.frame_every > 0 &&
+        st.merged_blocks % spec.stream.frame_every == 0) {
+        StreamFrame frame;
+        frame.blocks_done = st.merged_blocks;
+        frame.trials_done = st.merged_trials;
+        frame.faulty_trials = st.faulty.size();
+        frame.stats = &st.master;
+        hooks.on_frame(frame);
+    }
+
+    // The early-stop decision reads only the merged in-order prefix,
+    // so the stop block is bit-identical for any thread count.
+    if (spec.stream.ci_target > 0.0 &&
+        st.stop.load(std::memory_order_relaxed) ==
+            std::numeric_limits<std::size_t>::max() &&
+        st.merged_blocks >= 2 &&
+        st.master[0].risk.count() >= StreamEngine::kMinCiTrials &&
+        st.master[0].risk.ciHalfWidth() <= spec.stream.ci_target) {
+        st.stop.store(block_index, std::memory_order_relaxed);
+    }
+}
+
+/** Park one finished partial and advance the merge frontier. */
+void
+pushPartial(MergeState &st, const StreamEngine::Spec &spec,
+            const StreamEngine::Hooks &hooks, bool accumulate_inline,
+            std::size_t block_index, BlockPartial &&p)
+{
+    std::lock_guard<std::mutex> lock(st.m);
+    if (block_index > st.stop.load(std::memory_order_relaxed))
+        return; // Raced past the stop point: discard, never merge.
+    st.parked.emplace(block_index, std::move(p));
+    while (!st.parked.empty() &&
+           st.parked.begin()->first == st.next &&
+           st.next <= st.stop.load(std::memory_order_relaxed)) {
+        auto it = st.parked.begin();
+        mergeLocked(st, spec, hooks, accumulate_inline, it->first,
+                    std::move(it->second));
+        st.parked.erase(it);
+        ++st.next;
+    }
+    if (st.stop.load(std::memory_order_relaxed) !=
+        std::numeric_limits<std::size_t>::max()) {
+        st.parked.clear();
+    }
+}
+
+} // namespace
+
+StreamEngine::Result
+StreamEngine::run(const Spec &spec, const Hooks &hooks)
+{
+    if (spec.trials == 0)
+        ar::util::fatal("StreamEngine: trial count must be positive");
+    if (spec.outputs == 0)
+        ar::util::fatal("StreamEngine: need at least one output");
+    if (!hooks.eval)
+        ar::util::panic("StreamEngine: eval hook is required");
+    if (spec.dims > 0 && !hooks.sample)
+        ar::util::panic("StreamEngine: sample hook is required when "
+                        "dims > 0");
+    if (spec.risk_scope != RiskScope::None && !hooks.cost)
+        ar::util::panic("StreamEngine: cost hook is required for "
+                        "risk accumulation");
+    if (hooks.fold && !hooks.fold_merge)
+        ar::util::panic("StreamEngine: fold requires fold_merge");
+    const bool keep = spec.stream.keep_samples;
+    if (!keep && spec.policy == ar::util::FaultPolicy::Saturate) {
+        ar::util::fatal("StreamEngine: the saturate policy needs the "
+                        "global finite extrema and so requires "
+                        "keep_samples; stream with fail_fast or "
+                        "discard instead");
+    }
+    if (spec.stream.ci_target > 0.0) {
+        if (!spec.accumulate || spec.risk_scope == RiskScope::None) {
+            ar::util::fatal("StreamEngine: ci_target needs the "
+                            "streaming risk accumulator");
+        }
+        if (spec.policy == ar::util::FaultPolicy::Saturate) {
+            ar::util::fatal("StreamEngine: ci_target is incompatible "
+                            "with the saturate policy (its statistics "
+                            "are only final after saturation)");
+        }
+    }
+
+    const std::size_t block =
+        spec.stream.block > 0 ? spec.stream.block : kDefaultBlock;
+    const std::size_t trials = spec.trials;
+    const std::size_t n_blocks = (trials + block - 1) / block;
+
+    // Saturate rewrites retained samples after the run, so its
+    // accumulators are rebuilt from the saturated vectors below
+    // rather than folded inline.
+    const bool accumulate_inline =
+        spec.accumulate &&
+        spec.policy != ar::util::FaultPolicy::Saturate;
+
+    Result res;
+    if (keep) {
+        res.samples.assign(spec.outputs,
+                           std::vector<double>(trials, 0.0));
+    }
+
+    MergeState st;
+    if (accumulate_inline)
+        st.master = makeStats(spec);
+    st.report.policy = spec.policy;
+    st.report.by_output.assign(spec.outputs, 0);
+
+    const bool per_output =
+        spec.fault_skip == FaultSkip::PerOutput;
+
+    ar::util::parallelFor(spec.threads, n_blocks, [&](std::size_t b) {
+        if (b > st.stop.load(std::memory_order_relaxed))
+            return; // Past a decided stop point: skip the work.
+        const std::size_t t0 = b * block;
+        const std::size_t t1 = std::min(trials, t0 + block);
+        const std::size_t len = t1 - t0;
+
+        BlockPartial p;
+        p.trials = len;
+
+        std::vector<std::vector<double>> cols(
+            spec.dims, std::vector<double>(len, 0.0));
+        if (spec.dims > 0)
+            hooks.sample(t0, len, cols);
+
+        std::vector<std::vector<double>> scratch;
+        std::vector<double *> outs(spec.outputs);
+        if (keep) {
+            for (std::size_t o = 0; o < spec.outputs; ++o)
+                outs[o] = res.samples[o].data() + t0;
+        } else {
+            scratch.assign(spec.outputs,
+                           std::vector<double>(len, 0.0));
+            for (std::size_t o = 0; o < spec.outputs; ++o)
+                outs[o] = scratch[o].data();
+        }
+        hooks.eval(t0, len, cols, outs);
+
+        // Fault scan in (trial, output) order: merged in block order
+        // these per-block fragments reproduce exactly the event
+        // sequence a serial whole-run scan would record.
+        std::vector<unsigned char> trial_skip(len, 0);
+        std::vector<unsigned char> cell_skip;
+        if (per_output)
+            cell_skip.assign(spec.outputs * len, 0);
+        {
+            obs::ScopedPhase phase("mc.faults",
+                                   engineMetrics().fault_ns);
+            for (std::size_t i = 0; i < len; ++i) {
+                bool trial_faulty = false;
+                for (std::size_t o = 0; o < spec.outputs; ++o) {
+                    const double v = outs[o][i];
+                    if (std::isfinite(v))
+                        continue;
+                    trial_faulty = true;
+                    if (per_output)
+                        cell_skip[o * len + i] = 1;
+                    FaultEvent ev;
+                    ev.trial = t0 + i;
+                    ev.output = o;
+                    if (hooks.diagnose) {
+                        hooks.diagnose(o, t0 + i, cols, i, v,
+                                       ev.kind, ev.op);
+                    } else {
+                        ev.kind = ar::util::classifyNonFinite(v);
+                    }
+                    p.events.push_back(std::move(ev));
+                }
+                if (trial_faulty) {
+                    if (!per_output)
+                        trial_skip[i] = 1;
+                    p.faulty.push_back(t0 + i);
+                }
+            }
+        }
+
+        if (accumulate_inline) {
+            p.stats = makeStats(spec);
+            accumulateBlock(spec, hooks, t0, len, outs, trial_skip,
+                            cell_skip, p.stats);
+        }
+        if (hooks.fold)
+            p.fold = hooks.fold(t0, len, outs, trial_skip);
+
+        pushPartial(st, spec, hooks, accumulate_inline, b,
+                    std::move(p));
+    }, spec.cancel);
+
+    res.blocks = st.merged_blocks;
+    res.trials_run = st.merged_trials;
+    res.early_stopped =
+        st.stop.load(std::memory_order_relaxed) !=
+        std::numeric_limits<std::size_t>::max();
+    if (keep && res.early_stopped) {
+        for (auto &samples : res.samples)
+            samples.resize(res.trials_run);
+    }
+
+    st.report.trials = res.trials_run;
+    st.report.faulty_trials = st.faulty.size();
+    st.report.effective_trials = res.trials_run;
+
+    // Deterministic analytic peak-working-set estimate: retained
+    // samples (if any) + per-worker block scratch + accumulators +
+    // whatever the caller materialized (design matrix, pools).
+    const std::size_t hw = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+    const std::size_t workers = std::min(
+        n_blocks, spec.threads > 0 ? spec.threads : hw);
+    const std::size_t per_block_bytes =
+        (spec.dims + (keep ? 0 : spec.outputs) + spec.outputs) *
+        block * sizeof(double);
+    res.peak_bytes =
+        spec.extra_bytes +
+        (keep ? spec.outputs * trials * sizeof(double) : 0) +
+        workers * per_block_bytes +
+        (workers + 1) * spec.outputs *
+            (sizeof(ar::stats::StreamStats) +
+             spec.stream.reservoir * sizeof(double));
+
+    if (obs::metricsEnabled()) {
+        engineMetrics().blocks.add(res.blocks);
+        engineMetrics().peak_bytes.toMax(
+            static_cast<double>(res.peak_bytes));
+    }
+
+    if (spec.apply_policy) {
+        if (obs::metricsEnabled()) {
+            engineMetrics().faulty_trials.add(st.faulty.size());
+            if (spec.policy == ar::util::FaultPolicy::Discard)
+                engineMetrics().discarded_trials.add(
+                    st.faulty.size());
+        }
+        if (!st.faulty.empty()) {
+            switch (spec.policy) {
+              case ar::util::FaultPolicy::FailFast:
+                st.report.effective_trials =
+                    res.trials_run - st.faulty.size();
+                throw ar::util::FaultError(st.report);
+              case ar::util::FaultPolicy::Discard:
+                for (auto &samples : res.samples)
+                    ar::util::discardSamples(samples, st.faulty);
+                st.report.effective_trials =
+                    res.trials_run - st.faulty.size();
+                break;
+              case ar::util::FaultPolicy::Saturate:
+                for (auto &samples : res.samples) {
+                    if (ar::util::countNonFinite(samples) > 0)
+                        ar::util::saturateSamples(samples,
+                                                  st.report);
+                }
+                break;
+            }
+        }
+    }
+
+    // Saturate: rebuild the accumulators from the (now finite)
+    // retained samples through the same block partition and merge
+    // order, preserving the positional determinism contract.
+    if (spec.accumulate && !accumulate_inline) {
+        st.master = makeStats(spec);
+        for (std::size_t b2 = 0; b2 < res.blocks; ++b2) {
+            const std::size_t t0 = b2 * block;
+            const std::size_t t1 =
+                std::min(res.trials_run, t0 + block);
+            const std::size_t len = t1 - t0;
+            std::vector<double *> outs(spec.outputs);
+            for (std::size_t o = 0; o < spec.outputs; ++o)
+                outs[o] = res.samples[o].data() + t0;
+            // Saturation made every retained sample finite, so no
+            // cell or trial is skipped in the refold.
+            const std::vector<unsigned char> trial_skip(len, 0);
+            const std::vector<unsigned char> cell_skip(
+                per_output ? spec.outputs * len : 0, 0);
+            auto partial = makeStats(spec);
+            accumulateBlock(spec, hooks, t0, len, outs, trial_skip,
+                            cell_skip, partial);
+            for (std::size_t o = 0; o < spec.outputs; ++o)
+                st.master[o].merge(partial[o]);
+        }
+    }
+
+    res.stats = std::move(st.master);
+    res.faults = std::move(st.report);
+    res.fold = std::move(st.master_fold);
+    return res;
+}
+
+} // namespace ar::mc

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Block-pipelined Monte-Carlo executor with deterministic online
+ * reduction (sample -> SIMD tape eval -> accumulate).
+ *
+ * Every consumer of trial sweeps in this repo used to materialize the
+ * full trials x (dims + outputs) matrix before computing anything.
+ * StreamEngine replaces those private loops with one executor that
+ * processes fixed-size trial blocks: a block's input columns are
+ * sampled, every output is evaluated over the block in one batched
+ * tape pass, faults are detected and attributed, and the block's
+ * contribution is folded into streaming accumulators
+ * (ar::stats::StreamStats).  Peak memory is O(block), not O(trials),
+ * unless the caller opts into sample retention.
+ *
+ * Determinism argument (fixed-order substream merge): the trial index
+ * space is partitioned into blocks of a fixed size; each block's
+ * partial accumulator is a pure function of that block's trials; and
+ * partials are merged into the run accumulator in ascending block
+ * index order behind a reorder buffer, regardless of which worker
+ * finished first.  Results are therefore bit-identical for any thread
+ * count, and bit-identical between a streaming run and a
+ * keep_samples run of the same spec (both feed the same per-block
+ * values through the same accumulators in the same order).
+ *
+ * Confidence-interval early stopping: with ci_target > 0 the merge
+ * frontier evaluates the risk estimate's 95% CI half-width after each
+ * in-order merge; the run stops at the first block prefix satisfying
+ * the target.  Because the decision reads only the in-order prefix,
+ * the stopping block -- and every reported statistic -- is
+ * bit-identical for any thread count; blocks that raced past the stop
+ * point are discarded, never merged.
+ */
+
+#ifndef AR_MC_STREAM_ENGINE_HH
+#define AR_MC_STREAM_ENGINE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "stats/stream.hh"
+#include "util/cancel.hh"
+#include "util/fault.hh"
+
+namespace ar::mc
+{
+
+/** Streaming knobs shared by every engine consumer. */
+struct StreamConfig
+{
+    /**
+     * Retain the full per-output sample vectors (the classic
+     * materializing behaviour, needed by KDE/plot/quantile
+     * consumers).  False streams: samples are folded into
+     * accumulators block by block and dropped.
+     */
+    bool keep_samples = true;
+
+    /** Trials per pipeline block; 0 means the engine default (256). */
+    std::size_t block = 0;
+
+    /**
+     * Early-stopping target: stop once the risk estimate's 95% CI
+     * half-width is <= this value (0 disables).  Evaluated on the
+     * in-order block prefix only, so the stop point is deterministic.
+     */
+    double ci_target = 0.0;
+
+    /** Emit a progress frame every N merged blocks (0 disables). */
+    std::size_t frame_every = 0;
+
+    /**
+     * Per-output stride-reservoir capacity for distribution
+     * reconstruction without retention (0 disables).
+     */
+    std::size_t reservoir = 0;
+};
+
+/** Progress snapshot handed to on_frame at block boundaries. */
+struct StreamFrame
+{
+    std::size_t blocks_done = 0;   ///< Blocks merged so far.
+    std::size_t trials_done = 0;   ///< Trials merged so far.
+    std::size_t faulty_trials = 0; ///< Faulty trials so far.
+
+    /** Cumulative per-output accumulators (borrowed; do not keep). */
+    const std::vector<ar::stats::StreamStats> *stats = nullptr;
+};
+
+/** The block-pipelined executor. */
+class StreamEngine
+{
+  public:
+    /** Which outputs a faulty value excludes from accumulation. */
+    enum class FaultSkip : std::uint8_t
+    {
+        /** A fault in any output drops the trial from every output
+         * (aligned consumers: propagation, Sobol pick-freeze). */
+        PerTrial,
+
+        /** A fault only drops the (trial, output) cell (independent
+         * consumers: one design-space design per output). */
+        PerOutput,
+    };
+
+    /** Which outputs get a risk accumulator (needs a cost hook). */
+    enum class RiskScope : std::uint8_t
+    {
+        None,  ///< No risk accumulation.
+        First, ///< Output 0 only (the risk-analyzed responsive).
+        All,   ///< Every output (design sweeps).
+    };
+
+    /** One run's shape and policies. */
+    struct Spec
+    {
+        std::size_t trials = 0;
+        std::size_t dims = 0;    ///< Sampled input columns (may be 0).
+        std::size_t outputs = 0;
+        std::size_t threads = 0; ///< 0 = hardware concurrency.
+        ar::util::FaultPolicy policy = ar::util::FaultPolicy::FailFast;
+        ar::util::CancelToken cancel{};
+        StreamConfig stream{};
+        FaultSkip fault_skip = FaultSkip::PerTrial;
+        RiskScope risk_scope = RiskScope::None;
+
+        /** Reference the exceedance counter compares against (NaN
+         * disables the counter; risk costs still accumulate). */
+        double risk_reference =
+            std::numeric_limits<double>::quiet_NaN();
+
+        /** Run the streaming accumulators.  Consumers that only want
+         * the pipelined executor + retention (design sweeps keeping
+         * their own estimator pass) turn this off. */
+        bool accumulate = true;
+
+        /** Apply the fault policy to report and retained samples.
+         * Consumers with bespoke policy semantics turn this off and
+         * receive the raw report + retained samples. */
+        bool apply_policy = true;
+
+        /** Caller-side bytes (e.g. a materialized design) folded into
+         * the peak-memory estimate reported via mc.peak_bytes. */
+        std::size_t extra_bytes = 0;
+    };
+
+    /** Consumer callbacks; all must be pure functions of the block
+     * contents so the determinism contract holds. */
+    struct Hooks
+    {
+        /** Fill cols[k][0..len) with the physical draws of input
+         * dimension k for trials [t0, t0+len).  Optional when
+         * dims == 0 (consumer reads its own pools in eval). */
+        std::function<void(std::size_t t0, std::size_t len,
+                           std::vector<std::vector<double>> &cols)>
+            sample;
+
+        /** Evaluate every output over the block: outs[o][0..len).
+         * Required. */
+        std::function<void(
+            std::size_t t0, std::size_t len,
+            const std::vector<std::vector<double>> &cols,
+            const std::vector<double *> &outs)>
+            eval;
+
+        /** Attribute one faulting (output, trial) cell: fill kind and
+         * op (e.g. by replaying the scalar tape).  @p trial is the
+         * global trial index, @p local its offset into cols.
+         * Optional; the default classifies the non-finite value
+         * only. */
+        std::function<void(std::size_t output, std::size_t trial,
+                           const std::vector<std::vector<double>> &cols,
+                           std::size_t local, double value,
+                           ar::util::FaultKind &kind, std::string &op)>
+            diagnose;
+
+        /** Risk cost of one sample (required when risk_scope is not
+         * None). */
+        std::function<double(std::size_t output, double x)> cost;
+
+        /** Progress frames, invoked in ascending block order on the
+         * merge frontier (under the merge lock; keep it fast or
+         * accept back-pressure on the pipeline). */
+        std::function<void(const StreamFrame &)> on_frame;
+
+        /**
+         * Optional custom cross-output fold for estimators that need
+         * several outputs of the same trial at once (Sobol's Jansen
+         * sums).  Called once per block with the output buffers and
+         * the per-trial skip mask (1 = excluded); the returned
+         * partial is merged via fold_merge in ascending block order.
+         */
+        std::function<std::shared_ptr<void>(
+            std::size_t t0, std::size_t len,
+            const std::vector<double *> &outs,
+            const std::vector<unsigned char> &skip)>
+            fold;
+
+        /** Merge a later fold partial into the master (block order). */
+        std::function<void(const std::shared_ptr<void> &master,
+                           const std::shared_ptr<void> &partial)>
+            fold_merge;
+    };
+
+    /** What a run produces. */
+    struct Result
+    {
+        /** Per-output accumulators (when Spec::accumulate). */
+        std::vector<ar::stats::StreamStats> stats;
+
+        /** Deterministic fault report (see util/fault.hh). */
+        ar::util::FaultReport faults;
+
+        /** Retained per-output samples (keep_samples only; policy
+         * applied when Spec::apply_policy). */
+        std::vector<std::vector<double>> samples;
+
+        /** Merged custom fold partial (when Hooks::fold). */
+        std::shared_ptr<void> fold;
+
+        std::size_t blocks = 0;     ///< Blocks merged.
+        std::size_t trials_run = 0; ///< Trials merged (early stop
+                                    ///< truncates).
+        std::size_t peak_bytes = 0; ///< Estimated peak working set.
+        bool early_stopped = false;
+    };
+
+    /** Default trials per pipeline block. */
+    static constexpr std::size_t kDefaultBlock = 256;
+
+    /** Fewest merged trials before early stopping may trigger. */
+    static constexpr std::size_t kMinCiTrials = 64;
+
+    /**
+     * Execute one run.
+     *
+     * @throws ar::util::FaultError under FailFast with faults (after
+     *         the full deterministic report is assembled), or under
+     *         Saturate when an output has no finite sample.
+     * @throws ar::util::CancelledError when the cancel token trips.
+     */
+    static Result run(const Spec &spec, const Hooks &hooks);
+};
+
+} // namespace ar::mc
+
+#endif // AR_MC_STREAM_ENGINE_HH

@@ -16,6 +16,14 @@
  *                                  # incrementally
  *   RUN <model> [key=value ...]    # trials= seed= deadline_ms=
  *                                  # policy=fail_fast|discard|saturate
+ *                                  # stream=N emits one "PART run
+ *                                  # ..." progress line every N
+ *                                  # merged trial blocks before the
+ *                                  # final OK; ci_target=H stops the
+ *                                  # run early once the risk
+ *                                  # estimate's 95% CI half-width
+ *                                  # is <= H (effective= reports the
+ *                                  # trials actually run)
  *   RERUN <model> [key=value ...]  # RUN against the post-EDIT model;
  *                                  # same keys, answers "OK rerun"
  *   SWEEP [key=value ...]          # app= sigma= area= trials= seed=
@@ -27,7 +35,11 @@
  *
  * Responses are a single "OK <verb> key=value ..." line, except
  * METRICS which replies "OK metrics nbytes=<n>" followed by exactly
- * n bytes of JSON.  Every failure is one typed line:
+ * n bytes of JSON, and RUN/RERUN with stream=N which interleave
+ * zero or more "PART <verb> key=value ..." progress lines before
+ * the final OK (dropping the PART lines leaves exactly the reply
+ * the request would produce without stream=).  Every failure is one
+ * typed line:
  *
  *   ERR <CODE> <human-readable detail>
  *

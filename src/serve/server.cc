@@ -62,6 +62,13 @@ struct ServeMetrics
         obs::MetricsRegistry::global().counter("serve.edits");
     obs::Counter drain_ns =
         obs::MetricsRegistry::global().counter("serve.drain_ns");
+    obs::Counter stream_runs =
+        obs::MetricsRegistry::global().counter("serve.stream.runs");
+    obs::Counter stream_frames =
+        obs::MetricsRegistry::global().counter("serve.stream.frames");
+    obs::Counter stream_early_stops =
+        obs::MetricsRegistry::global().counter(
+            "serve.stream.early_stops");
     obs::Gauge inflight =
         obs::MetricsRegistry::global().gauge("serve.inflight");
     obs::Gauge queue_depth =
@@ -694,8 +701,14 @@ Server::dispatch(const std::shared_ptr<Conn> &c, Request req)
     auto task = [this, c, req = std::move(req), tok, degraded]() {
         std::string response;
         bool close = false;
+        // Progressive results ("PART ..." frames) bypass the
+        // one-response-per-request path and go straight to the
+        // connection; writeConn is thread-safe.
+        const Emit emit = [this, c](const std::string &line) {
+            return writeConn(c, line);
+        };
         try {
-            response = execute(req, tok, degraded);
+            response = execute(req, tok, degraded, emit);
         } catch (const ProtocolError &e) {
             if (e.code() == ErrCode::Parse)
                 serveMetrics().parse_errors.add();
@@ -781,7 +794,7 @@ Server::finishRequest(const std::shared_ptr<Conn> &c,
 
 std::string
 Server::execute(const Request &req, const ar::util::CancelToken &tok,
-                bool degraded)
+                bool degraded, const Emit &emit)
 {
     tok.throwIfExpired("request");
     if (degraded)
@@ -791,7 +804,7 @@ Server::execute(const Request &req, const ar::util::CancelToken &tok,
     if (req.verb == "EDIT")
         return handleEdit(req);
     if (req.verb == "RUN" || req.verb == "RERUN")
-        return handleRun(req, tok, degraded);
+        return handleRun(req, tok, degraded, emit);
     if (req.verb == "SWEEP")
         return handleSweep(req, tok, degraded);
     if (req.verb == "SENS")
@@ -973,7 +986,8 @@ Server::handleEdit(const Request &req)
 
 std::string
 Server::handleRun(const Request &req,
-                  const ar::util::CancelToken &tok, bool degraded)
+                  const ar::util::CancelToken &tok, bool degraded,
+                  const Emit &emit)
 {
     // RERUN is RUN against the post-EDIT model; it exists so a
     // client can say "re-ask the question I already asked" and a
@@ -983,7 +997,8 @@ Server::handleRun(const Request &req,
         throw ProtocolError(ErrCode::BadRequest,
                             "usage: " + req.verb +
                                 " <model> [trials= seed= "
-                                "deadline_ms= policy=]");
+                                "deadline_ms= policy= stream= "
+                                "ci_target=]");
     auto model = findModel(req.args[0]);
     std::shared_lock<std::shared_mutex> model_lk(model->rw);
     const auto &spec = model->spec;
@@ -997,18 +1012,70 @@ Server::handleRun(const Request &req,
     pc.cancel = tok;
     const std::uint64_t seed = req.getU64("seed", spec.seed);
 
+    // Progressive streaming: stream=N emits one "PART ..." frame
+    // every N merged trial blocks; ci_target= stops the run early
+    // once the risk estimate's 95% CI half-width reaches the target.
+    // Spec-level `stream` / `ci_target` directives set the defaults.
+    const std::uint64_t frame_every = req.getU64("stream", 0);
+    const double ci_target =
+        req.getDouble("ci_target", spec.ci_target);
+    if (!(ci_target >= 0.0))
+        throw ProtocolError(ErrCode::BadRequest,
+                            "ci_target must be >= 0");
+    const bool saturate =
+        pc.fault_policy == ar::util::FaultPolicy::Saturate;
+    if ((frame_every > 0 || ci_target > 0.0) && saturate) {
+        throw ProtocolError(ErrCode::BadRequest,
+                            "stream=/ci_target= are incompatible "
+                            "with policy=saturate (saturation needs "
+                            "the materialized samples)");
+    }
+    // RUN never reads the sample vectors back, so it streams by
+    // default (O(block) memory per request); saturate is the one
+    // policy that still needs retention.  The reply is derived from
+    // the streaming accumulators either way, so a streamed and a
+    // plain RUN of the same request answer byte-identically.
+    pc.stream.keep_samples = saturate;
+    pc.stream.ci_target = ci_target;
+    pc.stream.frame_every = frame_every;
+
+    const std::string verb_word = rerun ? "rerun" : "run";
+    if (frame_every > 0 || ci_target > 0.0)
+        serveMetrics().stream_runs.add();
+    std::function<void(const ar::mc::StreamFrame &)> on_frame;
+    if (frame_every > 0) {
+        const std::string head =
+            "PART " + verb_word + " model=" + req.args[0];
+        on_frame = [this, head, &emit](
+                       const ar::mc::StreamFrame &frame) {
+            const auto &s = frame.stats->front();
+            serveMetrics().stream_frames.add();
+            emit(head + " blocks=" +
+                 std::to_string(frame.blocks_done) + " trials=" +
+                 std::to_string(frame.trials_done) + " faults=" +
+                 std::to_string(frame.faulty_trials) + " mean=" +
+                 fmtDouble(s.moments.mean()) + " stddev=" +
+                 fmtDouble(s.moments.stddev()) + " risk=" +
+                 fmtDouble(s.risk.risk()) + " ci=" +
+                 fmtDouble(s.risk.ciHalfWidth()) + "\n");
+        };
+    }
+
     const auto fn = ar::core::makeRiskFunction(spec.risk);
     const ar::core::AnalysisResult res =
         spec.outputs.size() > 1
             ? model->fw->analyzeMulti(spec.outputs, spec.bindings,
                                       *fn, model->reference, seed,
-                                      pc)
+                                      pc, on_frame)
             : model->fw->analyze(spec.output, spec.bindings, *fn,
-                                 model->reference, seed, pc);
+                                 model->reference, seed, pc,
+                                 on_frame);
+    if (res.early_stopped)
+        serveMetrics().stream_early_stops.add();
 
     return okLine(
-        std::string(rerun ? "rerun" : "run") +
-        " model=" + req.args[0] + " output=" + spec.output +
+        verb_word + " model=" + req.args[0] +
+        " output=" + spec.output +
         " trials=" + std::to_string(pc.trials) +
         " effective=" + std::to_string(res.faults.effective_trials) +
         " faults=" + std::to_string(res.faults.faulty_trials) +

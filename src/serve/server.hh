@@ -49,6 +49,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -158,14 +159,18 @@ class Server
     void wake();
     void drain();
 
+    /** Mid-request line sink for progressive results ("PART ..."
+     * frames); returns false once the connection is gone. */
+    using Emit = std::function<bool(const std::string &)>;
+
     std::string execute(const Request &req,
                         const ar::util::CancelToken &tok,
-                        bool degraded);
+                        bool degraded, const Emit &emit);
     std::string handleUpload(const Request &req);
     std::string handleEdit(const Request &req);
     std::string handleRun(const Request &req,
                           const ar::util::CancelToken &tok,
-                          bool degraded);
+                          bool degraded, const Emit &emit);
     std::string handleSweep(const Request &req,
                             const ar::util::CancelToken &tok,
                             bool degraded);

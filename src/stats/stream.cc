@@ -1,0 +1,148 @@
+#include "stats/stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ar::stats
+{
+
+namespace
+{
+
+/** z for a two-sided 95% normal confidence interval. */
+constexpr double kZ95 = 1.959963984540054;
+
+} // namespace
+
+void
+StreamMoments::add(double x)
+{
+    if (n_ == 0) {
+        lo_ = hi_ = x;
+    } else {
+        lo_ = std::min(lo_, x);
+        hi_ = std::max(hi_, x);
+    }
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+}
+
+void
+StreamMoments::merge(const StreamMoments &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double d = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += d * (nb / nt);
+    m2_ += other.m2_ + d * d * (na * nb / nt);
+    lo_ = std::min(lo_, other.lo_);
+    hi_ = std::max(hi_, other.hi_);
+    n_ += other.n_;
+}
+
+double
+StreamMoments::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+StreamMoments::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+StreamRisk::add(double cost, bool below)
+{
+    sum_.add(cost);
+    moments_.add(cost);
+    if (below)
+        ++below_;
+}
+
+void
+StreamRisk::merge(const StreamRisk &other)
+{
+    // Folding the later partial's compensated value keeps the merge
+    // a deterministic function of (this, other) -- the positional
+    // contract -- at the cost of dropping other's residual
+    // compensation term.
+    if (other.count() == 0)
+        return;
+    sum_.add(other.sum_.value());
+    moments_.merge(other.moments_);
+    below_ += other.below_;
+}
+
+double
+StreamRisk::risk() const
+{
+    const std::size_t n = count();
+    return n ? sum_.value() / static_cast<double>(n) : 0.0;
+}
+
+double
+StreamRisk::exceedance() const
+{
+    const std::size_t n = count();
+    return n ? static_cast<double>(below_) / static_cast<double>(n)
+             : 0.0;
+}
+
+double
+StreamRisk::ciHalfWidth() const
+{
+    const std::size_t n = count();
+    if (n < 2)
+        return 0.0;
+    return kZ95 *
+           std::sqrt(moments_.variance() / static_cast<double>(n));
+}
+
+StrideReservoir::StrideReservoir(std::size_t capacity,
+                                 std::size_t planned_trials)
+{
+    if (capacity == 0 || planned_trials == 0)
+        return;
+    stride_ = std::max<std::size_t>(
+        1, (planned_trials + capacity - 1) / capacity);
+    values_.reserve(std::min(capacity, planned_trials));
+}
+
+void
+StrideReservoir::add(std::size_t trial, double x)
+{
+    if (stride_ != 0 && trial % stride_ == 0)
+        values_.push_back(x);
+}
+
+void
+StrideReservoir::merge(const StrideReservoir &other)
+{
+    if (stride_ == 0)
+        stride_ = other.stride_;
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+}
+
+void
+StreamStats::merge(const StreamStats &other)
+{
+    moments.merge(other.moments);
+    risk.merge(other.risk);
+    reservoir.merge(other.reservoir);
+}
+
+} // namespace ar::stats

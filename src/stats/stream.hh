@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic streaming accumulators for block-pipelined
+ * Monte-Carlo reduction (the risk-as-fold formulation).
+ *
+ * Every class here is a small value type with two operations:
+ *
+ *  - add(x): fold one observation in (Welford for moments, a
+ *    Kahan-Neumaier compensated sum for risk costs);
+ *  - merge(other): combine a *later* partial into this one.
+ *
+ * The determinism contract is positional, not algebraic: callers
+ * partition the trial index space into fixed-size blocks, accumulate
+ * one partial per block, and merge the partials in ascending block
+ * order.  Because every partial is a pure function of its block's
+ * trials and the merge order is fixed, the result is bit-identical
+ * for any thread count -- and bit-identical between a streaming run
+ * and a materializing run that folds the same retained samples
+ * through the same block partition (see mc::StreamEngine).
+ */
+
+#ifndef AR_STATS_STREAM_HH
+#define AR_STATS_STREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/numeric.hh"
+
+namespace ar::stats
+{
+
+/**
+ * Streaming mean / variance / extrema (Welford update, Chan merge).
+ * All accessors are total: an empty or single-observation
+ * accumulator reports 0 variance rather than failing, so engines can
+ * surface stats for runs whose effective sample collapsed (e.g. a
+ * Discard policy that dropped every trial).
+ */
+class StreamMoments
+{
+  public:
+    /** Fold in one observation. */
+    void add(double x);
+
+    /** Merge a later partial (ascending block order). */
+    void merge(const StreamMoments &other);
+
+    /** @return observations folded so far. */
+    std::size_t count() const { return n_; }
+
+    /** @return running mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return sample variance, n-1 denominator (0 when n < 2). */
+    double variance() const;
+
+    /** @return sample standard deviation (0 when n < 2). */
+    double stddev() const;
+
+    /** @return smallest observation (0 when empty). */
+    double min() const { return n_ ? lo_ : 0.0; }
+
+    /** @return largest observation (0 when empty). */
+    double max() const { return n_ ? hi_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+};
+
+/**
+ * Streaming risk-vs-reference accumulator: a Kahan-Neumaier
+ * compensated sum of per-sample risk costs (the archRisk fold),
+ * an exceedance counter for P(sample < reference), and cost moments
+ * for the confidence interval that drives early stopping.
+ */
+class StreamRisk
+{
+  public:
+    /**
+     * Fold in one sample's cost.
+     *
+     * @param cost Risk-function cost of the sample vs the reference.
+     * @param below True when the sample fell below the reference.
+     */
+    void add(double cost, bool below);
+
+    /** Merge a later partial (ascending block order). */
+    void merge(const StreamRisk &other);
+
+    /** @return samples folded so far. */
+    std::size_t count() const { return moments_.count(); }
+
+    /** @return samples observed below the reference. */
+    std::size_t below() const { return below_; }
+
+    /** @return mean cost = the architectural risk (0 when empty). */
+    double risk() const;
+
+    /** @return P(sample < reference) estimate (0 when empty). */
+    double exceedance() const;
+
+    /**
+     * Half-width of the 95% normal-approximation confidence interval
+     * on the risk estimate: z * sqrt(var(cost) / n).  0 when fewer
+     * than two samples (no variance estimate yet).
+     */
+    double ciHalfWidth() const;
+
+  private:
+    ar::math::KahanSum sum_;
+    StreamMoments moments_;
+    std::size_t below_ = 0;
+};
+
+/**
+ * Bounded deterministic reservoir for distribution reconstruction
+ * under streaming: keeps every stride-th trial (stride fixed up
+ * front from the planned trial count), so membership is a pure
+ * function of the trial index -- independent of thread count, block
+ * size, and of whether the run stopped early (an early stop simply
+ * truncates the tail).  Partials merge by concatenation in block
+ * order, preserving trial order.
+ */
+class StrideReservoir
+{
+  public:
+    StrideReservoir() = default;
+
+    /**
+     * @param capacity Most samples to keep (0 disables).
+     * @param planned_trials Trial count the stride is sized for.
+     */
+    StrideReservoir(std::size_t capacity, std::size_t planned_trials);
+
+    /** Offer trial @p trial's sample; kept iff trial % stride == 0. */
+    void add(std::size_t trial, double x);
+
+    /** Merge a later partial (ascending block order). */
+    void merge(const StrideReservoir &other);
+
+    /** @return true when this reservoir keeps samples. */
+    bool enabled() const { return stride_ != 0; }
+
+    /** @return the sampling stride (0 when disabled). */
+    std::size_t stride() const { return stride_; }
+
+    /** @return retained samples in trial order. */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::size_t stride_ = 0;
+    std::vector<double> values_;
+};
+
+/** Per-output bundle the streaming engine accumulates. */
+struct StreamStats
+{
+    StreamMoments moments;
+    StreamRisk risk;
+    StrideReservoir reservoir;
+
+    /** Merge a later partial, member-wise (ascending block order). */
+    void merge(const StreamStats &other);
+};
+
+} // namespace ar::stats
+
+#endif // AR_STATS_STREAM_HH

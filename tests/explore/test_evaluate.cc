@@ -677,3 +677,83 @@ TEST(Evaluate, StatelessSpecDrawsNoStatePools)
         ASSERT_EQ(oe[d].risk, of[d].risk);
     }
 }
+
+TEST(Evaluate, StreamedSweepMatchesMaterializedWithinTolerance)
+{
+    // cfg.stream folds each design's speedup samples through the
+    // engine's streaming accumulators instead of materializing the
+    // per-design columns.  Welford/Kahan accumulation reassociates
+    // the sums, so outcomes agree to rounding, and
+    // the streamed sweep is itself bit-identical across threads.
+    const auto designs = threePaperDesigns();
+    const auto app = m::appLPHC();
+    ar::risk::QuadraticRisk fn;
+    auto run = [&](bool stream, std::size_t threads) {
+        x::SweepConfig cfg;
+        cfg.trials = 2000;
+        cfg.seed = 77;
+        cfg.threads = threads;
+        cfg.backend = x::SweepBackend::FusedProgram;
+        cfg.stream = stream;
+        // Discard: the wide uncertainty may fault the odd trial, and
+        // both modes must then drop exactly the same trials.
+        cfg.fault_policy = ar::util::FaultPolicy::Discard;
+        x::DesignSpaceEvaluator eval(
+            designs, app, m::UncertaintySpec::all(0.25), cfg);
+        return eval.evaluateAll(fn, 30.0);
+    };
+    const auto keep = run(false, 1);
+    const auto stream = run(true, 1);
+    ASSERT_EQ(stream.size(), keep.size());
+    for (std::size_t d = 0; d < keep.size(); ++d) {
+        EXPECT_EQ(stream[d].effective_trials,
+                  keep[d].effective_trials)
+            << d;
+        EXPECT_EQ(stream[d].faults, keep[d].faults) << d;
+        const double scale =
+            std::max(1.0, std::abs(keep[d].expected));
+        EXPECT_NEAR(stream[d].expected, keep[d].expected,
+                    1e-11 * scale)
+            << d;
+        EXPECT_NEAR(stream[d].stddev, keep[d].stddev, 1e-9 * scale)
+            << d;
+        EXPECT_NEAR(stream[d].risk, keep[d].risk, 1e-9 * scale)
+            << d;
+    }
+    const auto parallel = run(true, 4);
+    for (std::size_t d = 0; d < stream.size(); ++d) {
+        EXPECT_EQ(parallel[d].expected, stream[d].expected) << d;
+        EXPECT_EQ(parallel[d].stddev, stream[d].stddev) << d;
+        EXPECT_EQ(parallel[d].risk, stream[d].risk) << d;
+    }
+}
+
+TEST(Evaluate, StreamRejectsKeepSamplesAndSaturate)
+{
+    const auto designs = threePaperDesigns();
+    ar::risk::QuadraticRisk fn;
+    {
+        x::SweepConfig cfg;
+        cfg.trials = 64;
+        cfg.backend = x::SweepBackend::FusedProgram;
+        cfg.stream = true;
+        cfg.keep_samples = true;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                     m::UncertaintySpec::all(0.2),
+                                     cfg);
+        EXPECT_THROW(eval.evaluateAll(fn, 30.0),
+                     ar::util::FatalError);
+    }
+    {
+        x::SweepConfig cfg;
+        cfg.trials = 64;
+        cfg.backend = x::SweepBackend::FusedProgram;
+        cfg.stream = true;
+        cfg.fault_policy = ar::util::FaultPolicy::Saturate;
+        x::DesignSpaceEvaluator eval(designs, m::appLPHC(),
+                                     m::UncertaintySpec::all(0.2),
+                                     cfg);
+        EXPECT_THROW(eval.evaluateAll(fn, 30.0),
+                     ar::util::FatalError);
+    }
+}

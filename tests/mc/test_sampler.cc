@@ -90,7 +90,7 @@ TEST(MakeSampler, FactoryByName)
     EXPECT_THROW(mc::makeSampler("sobol"), ar::util::FatalError);
 }
 
-TEST(UniformDesign, RowMajorAccess)
+TEST(UniformDesign, ElementAccess)
 {
     mc::UniformDesign d(2, 3);
     d.at(1, 2) = 0.7;
@@ -98,4 +98,26 @@ TEST(UniformDesign, RowMajorAccess)
     EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
     EXPECT_EQ(d.trials(), 2u);
     EXPECT_EQ(d.dims(), 3u);
+}
+
+TEST(UniformDesign, ColumnIsContiguousColumnMajorStorage)
+{
+    // The batch quantile transform reads column(d) as a gather-free
+    // slice, so all trials of one dimension must be contiguous:
+    // column(d)[t] aliases at(t, d), and consecutive columns abut.
+    const std::size_t trials = 5, dims = 3;
+    mc::UniformDesign d(trials, dims);
+    for (std::size_t t = 0; t < trials; ++t)
+        for (std::size_t k = 0; k < dims; ++k)
+            d.at(t, k) = static_cast<double>(10 * k + t);
+    for (std::size_t k = 0; k < dims; ++k) {
+        const double *col = d.column(k);
+        for (std::size_t t = 0; t < trials; ++t) {
+            EXPECT_EQ(col + t, &d.at(t, k)); // Mutable alias.
+            EXPECT_DOUBLE_EQ(col[t],
+                             static_cast<double>(10 * k + t));
+        }
+    }
+    EXPECT_EQ(d.column(1), d.column(0) + trials);
+    EXPECT_EQ(d.column(2), d.column(1) + trials);
 }

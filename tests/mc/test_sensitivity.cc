@@ -274,3 +274,61 @@ TEST(Sobol, ZeroRhoCorrelationDoesNotBlock)
     ar::util::Rng rng(23);
     EXPECT_NO_THROW(mc::sobolIndices(fn, in, {1024}, rng));
 }
+
+TEST(Sobol, StreamedIndicesMatchMaterializedWithinTolerance)
+{
+    // cfg.stream folds the pick-freeze sweep through streaming
+    // accumulators (Welford pooled variance, Kahan Jansen sums)
+    // instead of the retained-matrix two-pass estimator.  The
+    // estimators are algebraically equal, so the indices agree to
+    // accumulation rounding (~1e-12), and the streamed run is itself
+    // bit-identical across thread counts.
+    CompiledExpr fn(parseExpr("2 * x + z + x * z"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 2.0);
+    auto run = [&](bool stream, bool fused, std::size_t threads) {
+        mc::SensitivityConfig cfg;
+        cfg.trials = 4096;
+        cfg.threads = threads;
+        cfg.stream = stream;
+        cfg.fused = fused;
+        ar::util::Rng rng(29);
+        return mc::sobolIndices(fn, in, cfg, rng);
+    };
+    for (const bool fused : {false, true}) {
+        const auto keep = run(false, fused, 1);
+        const auto stream = run(true, fused, 1);
+        EXPECT_NEAR(stream.output_mean, keep.output_mean, 1e-12);
+        EXPECT_NEAR(stream.output_variance, keep.output_variance,
+                    1e-9);
+        for (const char *name : {"x", "z"}) {
+            EXPECT_NEAR(stream.of(name).first_order,
+                        keep.of(name).first_order, 1e-9)
+                << name << " fused=" << fused;
+            EXPECT_NEAR(stream.of(name).total, keep.of(name).total,
+                        1e-9)
+                << name << " fused=" << fused;
+        }
+        const auto parallel = run(true, fused, 4);
+        EXPECT_EQ(parallel.output_mean, stream.output_mean);
+        EXPECT_EQ(parallel.of("x").first_order,
+                  stream.of("x").first_order);
+        EXPECT_EQ(parallel.of("z").total, stream.of("z").total);
+    }
+}
+
+TEST(Sobol, StreamIsIncompatibleWithSaturate)
+{
+    CompiledExpr fn(parseExpr("x + z"));
+    mc::InputBindings in;
+    in.uncertain["x"] = std::make_shared<d::Normal>(0.0, 1.0);
+    in.uncertain["z"] = std::make_shared<d::Normal>(0.0, 1.0);
+    mc::SensitivityConfig cfg;
+    cfg.trials = 1024;
+    cfg.stream = true;
+    cfg.fault_policy = ar::util::FaultPolicy::Saturate;
+    ar::util::Rng rng(31);
+    EXPECT_THROW(mc::sobolIndices(fn, in, cfg, rng),
+                 ar::util::FatalError);
+}

@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/framework.hh"
 #include "core/spec.hh"
@@ -200,6 +201,11 @@ directMean(const std::string &spec_text)
     pc.trials = spec.trials;
     pc.threads = 1;
     pc.fault_policy = spec.fault_policy;
+    // handleRun streams by default (saturate is the one policy that
+    // still needs sample retention), so the wire mean is the
+    // streaming-accumulator one.
+    pc.stream.keep_samples =
+        spec.fault_policy == ar::util::FaultPolicy::Saturate;
     const auto res = fw.analyze(spec.output, spec.bindings, *fn, ref,
                                 spec.seed, pc);
     char buf[40];
@@ -865,4 +871,78 @@ TEST_P(ServeTest, SensOnACorrelatedModelIsATypedError)
     // The connection and model survive the rejection.
     c.send("RUN corr\n");
     EXPECT_TRUE(startsWith(c.readLine(), "OK run")) << resp;
+}
+
+TEST_P(ServeTest, StreamedRunPartFramesLeaveThePlainReply)
+{
+    // stream=N interleaves "PART run ..." prefix-statistics frames
+    // before the final OK; the final line must be byte-identical to
+    // the reply of the same request without stream= (both are
+    // derived from the same deterministic accumulators).
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("RUN amdahl trials=1024\n");
+    const std::string plain = c.readLine();
+    ASSERT_TRUE(startsWith(plain, "OK run")) << plain;
+
+    c.send("RUN amdahl trials=1024 stream=1\n");
+    std::vector<std::string> parts;
+    std::string line;
+    while (startsWith(line = c.readLine(), "PART run "))
+        parts.push_back(line);
+    EXPECT_EQ(line, plain);
+    // 1024 trials / 256-trial blocks, one frame per merged block.
+    ASSERT_EQ(parts.size(), 4u);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        EXPECT_EQ(field(parts[i], "blocks"),
+                  std::to_string(i + 1));
+        EXPECT_EQ(field(parts[i], "trials"),
+                  std::to_string(256 * (i + 1)));
+        EXPECT_NE(field(parts[i], "mean"), "");
+        EXPECT_NE(field(parts[i], "ci"), "");
+    }
+    // The last frame saw every trial, so its statistics match the
+    // final reply verbatim.
+    EXPECT_EQ(field(parts.back(), "mean"), field(plain, "mean"));
+    EXPECT_EQ(field(parts.back(), "stddev"),
+              field(plain, "stddev"));
+
+    // Streaming frames are deterministic too: the same request
+    // repeats the same PART lines byte for byte.
+    c.send("RUN amdahl trials=1024 stream=1\n");
+    for (std::size_t i = 0; i < parts.size(); ++i)
+        EXPECT_EQ(c.readLine(), parts[i]);
+    EXPECT_EQ(c.readLine(), plain);
+}
+
+TEST_P(ServeTest, CiTargetStopsEarlyAndReportsEffectiveTrials)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("RUN amdahl trials=65536 ci_target=0.05\n");
+    const std::string resp = c.readLine();
+    ASSERT_TRUE(startsWith(resp, "OK run")) << resp;
+    const std::string eff = field(resp, "effective");
+    ASSERT_NE(eff, "");
+    EXPECT_LT(std::stoul(eff), 65536u) << resp;
+    // The stop point reads only the in-order merge prefix, so the
+    // truncated run repeats verbatim.
+    c.send("RUN amdahl trials=65536 ci_target=0.05\n");
+    EXPECT_EQ(c.readLine(), resp);
+}
+
+TEST_P(ServeTest, StreamUnderSaturateIsATypedBadRequest)
+{
+    Client c(server_->port());
+    ASSERT_TRUE(startsWith(upload(c, "amdahl", kHealthySpec),
+                           "OK uploaded"));
+    c.send("RUN amdahl stream=4 policy=saturate\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+    c.send("RUN amdahl ci_target=0.1 policy=saturate\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "ERR BAD_REQUEST"));
+    // The connection survives, and a plain saturate RUN still works.
+    c.send("RUN amdahl policy=saturate\n");
+    EXPECT_TRUE(startsWith(c.readLine(), "OK run"));
 }

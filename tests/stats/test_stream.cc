@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the deterministic streaming accumulators
+ * (stats/stream.hh): Welford moments with Chan merging, the
+ * Kahan-compensated risk fold with its early-stopping confidence
+ * interval, and the stride reservoir.  The load-bearing property is
+ * positional determinism: folding a sequence block by block and
+ * merging the partials in block order must be *bit-identical* to the
+ * single accumulator that saw the same sequence, for any block
+ * partition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "stats/stream.hh"
+#include "util/rng.hh"
+
+using ar::stats::StreamMoments;
+using ar::stats::StreamRisk;
+using ar::stats::StreamStats;
+using ar::stats::StrideReservoir;
+
+namespace
+{
+
+std::vector<double>
+lcgSequence(std::size_t n, std::uint64_t seed)
+{
+    ar::util::Rng rng(seed);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = 20.0 * rng.uniform() - 10.0;
+    return xs;
+}
+
+/** Fold @p xs through one accumulator per block of @p block trials,
+ * then merge the partials in ascending block order. */
+StreamMoments
+blockwiseMoments(const std::vector<double> &xs, std::size_t block)
+{
+    StreamMoments total;
+    for (std::size_t t0 = 0; t0 < xs.size(); t0 += block) {
+        StreamMoments part;
+        for (std::size_t i = t0;
+             i < std::min(xs.size(), t0 + block); ++i)
+            part.add(xs[i]);
+        total.merge(part);
+    }
+    return total;
+}
+
+} // namespace
+
+TEST(StreamMoments, EmptyAndSingletonAreTotal)
+{
+    StreamMoments m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.mean(), 0.0);
+    EXPECT_EQ(m.variance(), 0.0);
+    EXPECT_EQ(m.stddev(), 0.0);
+    EXPECT_EQ(m.min(), 0.0);
+    EXPECT_EQ(m.max(), 0.0);
+    m.add(3.5);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_EQ(m.mean(), 3.5);
+    EXPECT_EQ(m.variance(), 0.0); // n-1 denominator needs n >= 2.
+    EXPECT_EQ(m.min(), 3.5);
+    EXPECT_EQ(m.max(), 3.5);
+}
+
+TEST(StreamMoments, MatchesTwoPassStatistics)
+{
+    const auto xs = lcgSequence(10000, 11);
+    StreamMoments m;
+    for (double x : xs)
+        m.add(x);
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double ss = 0.0, lo = xs[0], hi = xs[0];
+    for (double x : xs) {
+        ss += (x - mean) * (x - mean);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_EQ(m.count(), xs.size());
+    EXPECT_NEAR(m.mean(), mean, 1e-12);
+    EXPECT_NEAR(m.variance(),
+                ss / static_cast<double>(xs.size() - 1), 1e-9);
+    EXPECT_EQ(m.min(), lo);
+    EXPECT_EQ(m.max(), hi);
+}
+
+TEST(StreamMoments, BlockwiseMergeIsBitIdenticalForAnyPartition)
+{
+    const auto xs = lcgSequence(4099, 23); // Deliberately not a
+                                           // multiple of any block.
+    const StreamMoments whole = blockwiseMoments(xs, xs.size());
+    for (std::size_t block : {1u, 7u, 64u, 256u, 1000u}) {
+        const StreamMoments part = blockwiseMoments(xs, block);
+        EXPECT_EQ(part.count(), whole.count()) << block;
+        // Bit-identity, not tolerance: the engine's determinism
+        // contract merges fixed-content partials in fixed order.
+        EXPECT_EQ(part.mean(), blockwiseMoments(xs, block).mean())
+            << block;
+        EXPECT_EQ(part.min(), whole.min()) << block;
+        EXPECT_EQ(part.max(), whole.max()) << block;
+        // Across *different* partitions the values agree to rounding
+        // (Chan's update is not associative in floating point).
+        EXPECT_NEAR(part.mean(), whole.mean(), 1e-12) << block;
+        EXPECT_NEAR(part.variance(), whole.variance(), 1e-9)
+            << block;
+    }
+}
+
+TEST(StreamMoments, MergeIntoEmptyCopiesAndMergeOfEmptyIsNoop)
+{
+    StreamMoments a;
+    StreamMoments b;
+    b.add(1.0);
+    b.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), b.mean());
+    const double before = a.variance();
+    a.merge(StreamMoments{});
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.variance(), before);
+}
+
+TEST(StreamRisk, FoldsCostMeanExceedanceAndCi)
+{
+    StreamRisk r;
+    EXPECT_EQ(r.risk(), 0.0);
+    EXPECT_EQ(r.exceedance(), 0.0);
+    EXPECT_EQ(r.ciHalfWidth(), 0.0);
+    const auto costs = lcgSequence(5000, 31);
+    double sum = 0.0;
+    std::size_t below = 0;
+    StreamMoments m;
+    for (double c : costs) {
+        const bool is_below = c < 0.0;
+        r.add(c, is_below);
+        sum += c;
+        below += is_below ? 1u : 0u;
+        m.add(c);
+    }
+    EXPECT_EQ(r.count(), costs.size());
+    EXPECT_EQ(r.below(), below);
+    EXPECT_NEAR(r.risk(),
+                sum / static_cast<double>(costs.size()), 1e-10);
+    EXPECT_NEAR(r.exceedance(),
+                static_cast<double>(below) /
+                    static_cast<double>(costs.size()),
+                1e-15);
+    // z * sqrt(var / n) with the two-sided 95% normal z.
+    EXPECT_NEAR(r.ciHalfWidth(),
+                1.959963984540054 *
+                    std::sqrt(m.variance() /
+                              static_cast<double>(costs.size())),
+                1e-12);
+}
+
+TEST(StreamRisk, BlockwiseMergeIsBitIdentical)
+{
+    const auto costs = lcgSequence(2048, 41);
+    const auto fold = [&](std::size_t block) {
+        StreamRisk total;
+        for (std::size_t t0 = 0; t0 < costs.size(); t0 += block) {
+            StreamRisk part;
+            for (std::size_t i = t0;
+                 i < std::min(costs.size(), t0 + block); ++i)
+                part.add(costs[i], costs[i] < 0.0);
+            total.merge(part);
+        }
+        return total;
+    };
+    const StreamRisk a = fold(256);
+    const StreamRisk b = fold(256);
+    EXPECT_EQ(a.risk(), b.risk());
+    EXPECT_EQ(a.ciHalfWidth(), b.ciHalfWidth());
+    EXPECT_EQ(a.below(), b.below());
+    EXPECT_NEAR(fold(1).risk(), fold(512).risk(), 1e-12);
+}
+
+TEST(StrideReservoir, MembershipIsAPureFunctionOfTrialIndex)
+{
+    // 100 slots over 1000 planned trials: stride 10, so exactly the
+    // trials divisible by 10 are kept, independent of block order.
+    StrideReservoir r(100, 1000);
+    ASSERT_TRUE(r.enabled());
+    EXPECT_EQ(r.stride(), 10u);
+    for (std::size_t t = 0; t < 1000; ++t)
+        r.add(t, static_cast<double>(t));
+    ASSERT_EQ(r.values().size(), 100u);
+    for (std::size_t i = 0; i < r.values().size(); ++i)
+        EXPECT_EQ(r.values()[i], static_cast<double>(10 * i));
+}
+
+TEST(StrideReservoir, MergesByConcatenationInBlockOrder)
+{
+    StrideReservoir whole(64, 512);
+    StrideReservoir merged;
+    for (std::size_t t0 = 0; t0 < 512; t0 += 100) {
+        StrideReservoir part(64, 512);
+        for (std::size_t t = t0; t < std::min<std::size_t>(512, t0 + 100);
+             ++t) {
+            whole.add(t, std::sin(static_cast<double>(t)));
+            part.add(t, std::sin(static_cast<double>(t)));
+        }
+        merged.merge(part);
+    }
+    ASSERT_EQ(merged.values().size(), whole.values().size());
+    for (std::size_t i = 0; i < whole.values().size(); ++i)
+        EXPECT_EQ(merged.values()[i], whole.values()[i]);
+}
+
+TEST(StrideReservoir, ZeroCapacityDisables)
+{
+    StrideReservoir r(0, 1000);
+    EXPECT_FALSE(r.enabled());
+    r.add(0, 1.0);
+    EXPECT_TRUE(r.values().empty());
+}
+
+TEST(StreamStats, MergesMemberWise)
+{
+    StreamStats a;
+    StreamStats b;
+    a.reservoir = StrideReservoir(4, 8);
+    b.reservoir = StrideReservoir(4, 8);
+    for (std::size_t t = 0; t < 4; ++t) {
+        a.moments.add(static_cast<double>(t));
+        a.risk.add(static_cast<double>(t), false);
+        a.reservoir.add(t, static_cast<double>(t));
+    }
+    for (std::size_t t = 4; t < 8; ++t) {
+        b.moments.add(static_cast<double>(t));
+        b.risk.add(static_cast<double>(t), true);
+        b.reservoir.add(t, static_cast<double>(t));
+    }
+    a.merge(b);
+    EXPECT_EQ(a.moments.count(), 8u);
+    EXPECT_EQ(a.risk.count(), 8u);
+    EXPECT_EQ(a.risk.below(), 4u);
+    ASSERT_EQ(a.reservoir.values().size(), 4u);
+    EXPECT_EQ(a.reservoir.values()[3], 6.0);
+}

@@ -49,6 +49,15 @@ main(int argc, char **argv)
                  "worker threads (0 = all cores; overrides the spec)");
     opts.declare("fault-policy", "",
                  "fail_fast|discard|saturate (overrides the spec)");
+    opts.declare("stream", "",
+                 "stream the propagation in O(block) memory "
+                 "(no sample retention: histogram and tail metrics "
+                 "are skipped; overrides the spec)",
+                 true);
+    opts.declare("ci-target", "",
+                 "stop early once the risk 95% CI half-width is <= "
+                 "this (implies streaming accumulators; overrides "
+                 "the spec)");
     opts.declare("metrics-json", "",
                  "enable metrics and write the scraped JSON here");
     opts.declare("trace-out", "",
@@ -103,6 +112,10 @@ main(int argc, char **argv)
                 return 2;
             }
         }
+        if (opts.getFlag("stream"))
+            spec.stream = true;
+        if (!opts.getString("ci-target").empty())
+            spec.ci_target = opts.getDouble("ci-target");
         const auto res = ar::core::runSpec(spec, g_interrupt);
         const double alpha = opts.getDouble("alpha");
 
@@ -114,23 +127,38 @@ main(int argc, char **argv)
                     res.summary.stddev);
         std::printf("min / max           : %.6g / %.6g\n",
                     res.summary.min, res.summary.max);
-        std::printf("VaR(%.0f%%)            : %.6g\n",
-                    100.0 * alpha,
-                    ar::risk::valueAtRisk(res.samples, alpha));
-        std::printf("CVaR(%.0f%%)           : %.6g\n",
-                    100.0 * alpha,
-                    ar::risk::conditionalValueAtRisk(res.samples,
-                                                     alpha));
-        std::printf("P(below reference)  : %.2f%%\n",
-                    100.0 * ar::risk::shortfallProbability(
-                                res.samples, res.reference));
+        if (!res.streamed) {
+            // Quantile metrics need the retained sample vector.
+            std::printf("VaR(%.0f%%)            : %.6g\n",
+                        100.0 * alpha,
+                        ar::risk::valueAtRisk(res.samples, alpha));
+            std::printf("CVaR(%.0f%%)           : %.6g\n",
+                        100.0 * alpha,
+                        ar::risk::conditionalValueAtRisk(res.samples,
+                                                         alpha));
+            std::printf("P(below reference)  : %.2f%%\n",
+                        100.0 * ar::risk::shortfallProbability(
+                                    res.samples, res.reference));
+        } else if (!res.stats.empty()) {
+            std::printf("P(below reference)  : %.2f%%\n",
+                        100.0 *
+                            res.stats.front().risk.exceedance());
+        }
         std::printf("architectural risk  : %.6g (%s)\n", res.risk,
                     spec.risk.c_str());
         std::printf("fault policy        : %s\n",
                     ar::util::faultPolicyName(spec.fault_policy));
         std::printf("effective trials    : %zu\n",
-                    res.faults.clean() ? spec.trials
-                                       : res.faults.effective_trials);
+                    res.faults.clean() && !res.streamed
+                        ? spec.trials
+                        : res.faults.effective_trials);
+        if (res.streamed) {
+            std::printf("streamed            : %zu blocks, "
+                        "%zu trials run%s, peak ~%zu bytes\n",
+                        res.blocks, res.trials_run,
+                        res.early_stopped ? " (CI early stop)" : "",
+                        res.peak_bytes);
+        }
         if (!res.faults.clean()) {
             std::printf("faults              : %s\n",
                         res.faults.summary().c_str());
@@ -151,7 +179,7 @@ main(int argc, char **argv)
             }
         }
 
-        if (!opts.getFlag("quiet")) {
+        if (!opts.getFlag("quiet") && !res.streamed) {
             std::printf("\n%s",
                         ar::report::histogramChart(
                             ar::stats::Histogram::fromData(

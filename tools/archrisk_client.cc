@@ -170,10 +170,19 @@ exchange(const std::string &host, int port,
     }
 
     std::string rest;
-    if (!readLine(fd, line, rest)) {
-        std::fprintf(stderr, "connection closed by server\n");
-        ::close(fd);
-        return 2;
+    // A streamed RUN (stream=N) interleaves "PART ..." progress
+    // lines before the final OK/ERR; print them as they arrive and
+    // keep reading for the terminal line.
+    for (;;) {
+        if (!readLine(fd, line, rest)) {
+            std::fprintf(stderr, "connection closed by server\n");
+            ::close(fd);
+            return 2;
+        }
+        if (line.rfind("PART ", 0) != 0)
+            break;
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
     }
 
     // "OK metrics nbytes=N" is followed by exactly N bytes of JSON.
